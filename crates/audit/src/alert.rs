@@ -1,0 +1,176 @@
+//! Administrator alert queue.
+//!
+//! The paper is explicit that automated responses "would be followed by an
+//! alert to the security administrator, who can then assess the situation and
+//! take the appropriate corrective actions" — and warns that fully automated
+//! response can itself be abused to stage a DoS (an intruder impersonating a
+//! host or user to get it blocked). The alert queue is the human-in-the-loop
+//! half of that design: automated countermeasures enqueue an [`Alert`], and
+//! an operator (or a test) drains and reviews them.
+
+use crate::log::AuditSeverity;
+use crate::time::Timestamp;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// An alert awaiting administrator review.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alert {
+    /// When the triggering event occurred.
+    pub time: Timestamp,
+    /// Severity of the underlying event.
+    pub severity: AuditSeverity,
+    /// What automated action was taken (e.g. `blacklisted 203.0.113.9`).
+    pub action_taken: String,
+    /// Why (e.g. `matched signature *phf*`).
+    pub reason: String,
+    /// The subject the action applies to, for easy reversal.
+    pub subject: String,
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} action={} reason={} subject={}",
+            self.time, self.severity, self.action_taken, self.reason, self.subject
+        )
+    }
+}
+
+/// Thread-safe FIFO queue of alerts with a minimum-severity filter.
+///
+/// Cloning shares the queue.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_audit::{Alert, AlertQueue, AuditSeverity, Timestamp};
+///
+/// let queue = AlertQueue::with_threshold(AuditSeverity::Warning);
+/// queue.push(Alert {
+///     time: Timestamp::from_millis(0),
+///     severity: AuditSeverity::Info, // below threshold: filtered out
+///     action_taken: "none".into(),
+///     reason: "routine".into(),
+///     subject: "alice".into(),
+/// });
+/// assert!(queue.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AlertQueue {
+    inner: Arc<Mutex<VecDeque<Alert>>>,
+    threshold: AuditSeverity,
+}
+
+impl Default for AlertQueue {
+    fn default() -> Self {
+        AlertQueue::with_threshold(AuditSeverity::Warning)
+    }
+}
+
+impl AlertQueue {
+    /// Queue accepting alerts at `Warning` severity and above.
+    pub fn new() -> Self {
+        AlertQueue::default()
+    }
+
+    /// Queue accepting alerts at `threshold` severity and above.
+    pub fn with_threshold(threshold: AuditSeverity) -> Self {
+        AlertQueue {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+            threshold,
+        }
+    }
+
+    /// Enqueues `alert` if it meets the severity threshold; returns whether
+    /// it was accepted.
+    pub fn push(&self, alert: Alert) -> bool {
+        if alert.severity < self.threshold {
+            return false;
+        }
+        self.inner.lock().push_back(alert);
+        true
+    }
+
+    /// Removes and returns the oldest alert.
+    pub fn pop(&self) -> Option<Alert> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Removes and returns all pending alerts, oldest first.
+    pub fn drain(&self) -> Vec<Alert> {
+        self.inner.lock().drain(..).collect()
+    }
+
+    /// Number of pending alerts.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert(sev: AuditSeverity, subject: &str) -> Alert {
+        Alert {
+            time: Timestamp::from_millis(1),
+            severity: sev,
+            action_taken: "blocked".into(),
+            reason: "signature".into(),
+            subject: subject.into(),
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = AlertQueue::new();
+        assert!(q.push(alert(AuditSeverity::Warning, "a")));
+        assert!(q.push(alert(AuditSeverity::Alert, "b")));
+        assert_eq!(q.pop().unwrap().subject, "a");
+        assert_eq!(q.pop().unwrap().subject, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn severity_threshold_filters() {
+        let q = AlertQueue::with_threshold(AuditSeverity::Alert);
+        assert!(!q.push(alert(AuditSeverity::Warning, "low")));
+        assert!(q.push(alert(AuditSeverity::Alert, "high")));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let q = AlertQueue::new();
+        q.push(alert(AuditSeverity::Warning, "a"));
+        q.push(alert(AuditSeverity::Warning, "b"));
+        let drained = q.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clones_share_queue() {
+        let a = AlertQueue::new();
+        let b = a.clone();
+        a.push(alert(AuditSeverity::Alert, "x"));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn display_mentions_action_and_subject() {
+        let text = alert(AuditSeverity::Alert, "203.0.113.9").to_string();
+        assert!(text.contains("blocked"));
+        assert!(text.contains("203.0.113.9"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # gaa-audit — audit, notification and alerting substrate
+//!
+//! The paper's response actions (§1, §5, §7) rely on three services:
+//!
+//! * **audit records** — "generating audit records", `rr_cond update_log`;
+//! * **notification** — "notifying network servers", `rr_cond notify` sends
+//!   e-mail to the system administrator (and dominates the §8 measurements:
+//!   5.9 ms → 53.3 ms once notification is enabled);
+//! * **administrator alerts** — "these actions would be followed by an alert
+//!   to the security administrator, who can then assess the situation".
+//!
+//! This crate provides all three, plus the **clock abstraction** the rest of
+//! the workspace uses so tests can drive logical time deterministically while
+//! benchmarks run on real time.
+//!
+//! The production notifier in the paper was sendmail; we substitute
+//! [`SimulatedSmtp`], a latency-modelled notifier, so
+//! the with/without-notification overhead *shape* of §8 can be reproduced on
+//! any machine (see DESIGN.md, substitution table).
+
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+pub mod alert;
+pub mod log;
+pub mod notify;
+pub mod time;
+
+pub use alert::{Alert, AlertQueue};
+pub use log::{AuditLog, AuditRecord, AuditSeverity};
+pub use notify::{
+    CollectingNotifier, CompositeNotifier, ConsoleNotifier, FailingNotifier, Notification,
+    Notifier, NotifyError, SimulatedSmtp,
+};
+pub use time::{Clock, SystemClock, Timestamp, VirtualClock};

@@ -1,0 +1,409 @@
+//! Structured audit log.
+//!
+//! Response actions throughout the paper write audit records: `rr_cond
+//! update_log`, post-condition logging, denied sensitive accesses (§3 item 3)
+//! and so on. The log is an in-memory ring buffer (bounded, so a logging
+//! storm cannot exhaust memory during a DoS) with a query interface used by
+//! tests, the anomaly detector and the experiment harness. Records can be
+//! mirrored to an `io::Write` sink for durable file logging.
+
+use crate::time::Timestamp;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::Write;
+use std::sync::Arc;
+
+/// Severity of an audit record, ordered from routine to critical.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum AuditSeverity {
+    /// Routine bookkeeping (successful accesses, policy loads).
+    Info,
+    /// Noteworthy but expected (access denials, config reloads).
+    Notice,
+    /// Suspicious activity (signature matches, threshold violations).
+    Warning,
+    /// Confirmed or high-confidence attack indicators.
+    Alert,
+}
+
+impl fmt::Display for AuditSeverity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AuditSeverity::Info => "INFO",
+            AuditSeverity::Notice => "NOTICE",
+            AuditSeverity::Warning => "WARNING",
+            AuditSeverity::Alert => "ALERT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One audit record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditRecord {
+    /// When the record was written.
+    pub time: Timestamp,
+    /// Severity class.
+    pub severity: AuditSeverity,
+    /// Machine-readable category, e.g. `access.denied`, `ids.signature`,
+    /// `policy.reload`.
+    pub category: String,
+    /// The principal or host the record concerns (user name, IP, …).
+    pub subject: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Extra key/value attributes (URL, threat type, …).
+    pub attrs: Vec<(String, String)>,
+}
+
+impl AuditRecord {
+    /// Creates a record with no extra attributes.
+    pub fn new(
+        time: Timestamp,
+        severity: AuditSeverity,
+        category: impl Into<String>,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        AuditRecord {
+            time,
+            severity,
+            category: category.into(),
+            subject: subject.into(),
+            message: message.into(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Adds a key/value attribute, returning `self` for chaining.
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Looks up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl fmt::Display for AuditRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {} subject={} {}",
+            self.time, self.severity, self.category, self.subject, self.message
+        )?;
+        for (k, v) in &self.attrs {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+struct Inner {
+    records: VecDeque<AuditRecord>,
+    capacity: usize,
+    dropped: u64,
+    sink: Option<Box<dyn Write + Send>>,
+}
+
+/// Bounded, thread-safe audit log.
+///
+/// Cloning shares the underlying buffer — the server, the GAA-API, the IDS
+/// and the tests all hold handles to the same log.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_audit::{AuditLog, AuditRecord, AuditSeverity, Timestamp};
+///
+/// let log = AuditLog::with_capacity(128);
+/// log.record(AuditRecord::new(
+///     Timestamp::from_millis(0),
+///     AuditSeverity::Warning,
+///     "ids.signature",
+///     "203.0.113.9",
+///     "CGI exploit signature matched",
+/// ));
+/// assert_eq!(log.len(), 1);
+/// assert_eq!(log.count_category("ids.signature"), 1);
+/// ```
+#[derive(Clone)]
+pub struct AuditLog {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl fmt::Debug for AuditLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("AuditLog")
+            .field("len", &inner.records.len())
+            .field("capacity", &inner.capacity)
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        AuditLog::with_capacity(4096)
+    }
+}
+
+impl AuditLog {
+    /// A log holding at most 4096 records (oldest evicted first).
+    pub fn new() -> Self {
+        AuditLog::default()
+    }
+
+    /// A log with an explicit ring capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "audit log capacity must be non-zero");
+        AuditLog {
+            inner: Arc::new(Mutex::new(Inner {
+                records: VecDeque::with_capacity(capacity.min(1024)),
+                capacity,
+                dropped: 0,
+                sink: None,
+            })),
+        }
+    }
+
+    /// Mirrors every record (one line each) to `sink` in addition to the ring
+    /// buffer. Used for durable file logs and for the benchmark harness,
+    /// which wants real file I/O on the logging path.
+    pub fn set_sink(&self, sink: Box<dyn Write + Send>) {
+        self.inner.lock().sink = Some(sink);
+    }
+
+    /// Appends a record, evicting the oldest if the ring is full.
+    pub fn record(&self, record: AuditRecord) {
+        let mut inner = self.inner.lock();
+        if let Some(sink) = inner.sink.as_mut() {
+            // Sink failures must not break policy enforcement; the ring copy
+            // is authoritative and the drop is counted.
+            if writeln!(sink, "{record}").is_err() {
+                inner.dropped += 1;
+            }
+        }
+        if inner.records.len() == inner.capacity {
+            inner.records.pop_front();
+            inner.dropped += 1;
+        }
+        inner.records.push_back(record);
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// True if no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of records lost to ring eviction or sink failures.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Snapshot of all retained records, oldest first.
+    pub fn records(&self) -> Vec<AuditRecord> {
+        self.inner.lock().records.iter().cloned().collect()
+    }
+
+    /// Records with exactly this category.
+    pub fn by_category(&self, category: &str) -> Vec<AuditRecord> {
+        self.inner
+            .lock()
+            .records
+            .iter()
+            .filter(|r| r.category == category)
+            .cloned()
+            .collect()
+    }
+
+    /// Count of records with exactly this category.
+    pub fn count_category(&self, category: &str) -> usize {
+        self.inner
+            .lock()
+            .records
+            .iter()
+            .filter(|r| r.category == category)
+            .count()
+    }
+
+    /// Records at or above `severity`.
+    pub fn at_least(&self, severity: AuditSeverity) -> Vec<AuditRecord> {
+        self.inner
+            .lock()
+            .records
+            .iter()
+            .filter(|r| r.severity >= severity)
+            .cloned()
+            .collect()
+    }
+
+    /// Records written at or after `since`.
+    pub fn since(&self, since: Timestamp) -> Vec<AuditRecord> {
+        self.inner
+            .lock()
+            .records
+            .iter()
+            .filter(|r| r.time >= since)
+            .cloned()
+            .collect()
+    }
+
+    /// Records concerning `subject` (exact match).
+    pub fn by_subject(&self, subject: &str) -> Vec<AuditRecord> {
+        self.inner
+            .lock()
+            .records
+            .iter()
+            .filter(|r| r.subject == subject)
+            .cloned()
+            .collect()
+    }
+
+    /// Removes all records (ring only; the sink is untouched).
+    pub fn clear(&self) {
+        self.inner.lock().records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64, sev: AuditSeverity, cat: &str, subj: &str) -> AuditRecord {
+        AuditRecord::new(Timestamp::from_millis(t), sev, cat, subj, "msg")
+    }
+
+    #[test]
+    fn record_and_query() {
+        let log = AuditLog::new();
+        log.record(rec(1, AuditSeverity::Info, "access.ok", "alice"));
+        log.record(rec(2, AuditSeverity::Warning, "ids.signature", "1.2.3.4"));
+        log.record(rec(3, AuditSeverity::Warning, "ids.signature", "1.2.3.4"));
+
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.count_category("ids.signature"), 2);
+        assert_eq!(log.by_subject("alice").len(), 1);
+        assert_eq!(log.at_least(AuditSeverity::Warning).len(), 2);
+        assert_eq!(log.since(Timestamp::from_millis(2)).len(), 2);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = AuditLog::with_capacity(2);
+        log.record(rec(1, AuditSeverity::Info, "a", "s"));
+        log.record(rec(2, AuditSeverity::Info, "b", "s"));
+        log.record(rec(3, AuditSeverity::Info, "c", "s"));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        let cats: Vec<String> = log.records().into_iter().map(|r| r.category).collect();
+        assert_eq!(cats, vec!["b".to_string(), "c".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = AuditLog::with_capacity(0);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let a = AuditLog::new();
+        let b = a.clone();
+        a.record(rec(1, AuditSeverity::Info, "x", "s"));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn attrs_round_trip() {
+        let r = rec(1, AuditSeverity::Alert, "ids.attack", "1.2.3.4")
+            .with_attr("url", "/cgi-bin/phf")
+            .with_attr("threat", "cgi_exploit");
+        assert_eq!(r.attr("url"), Some("/cgi-bin/phf"));
+        assert_eq!(r.attr("threat"), Some("cgi_exploit"));
+        assert_eq!(r.attr("missing"), None);
+        let display = r.to_string();
+        assert!(display.contains("url=/cgi-bin/phf"));
+        assert!(display.contains("ALERT"));
+    }
+
+    #[test]
+    fn sink_receives_lines() {
+        use parking_lot::Mutex as PMutex;
+        use std::sync::Arc;
+
+        #[derive(Clone)]
+        struct Buf(Arc<PMutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Buf(Arc::new(PMutex::new(Vec::new())));
+        let log = AuditLog::new();
+        log.set_sink(Box::new(buf.clone()));
+        log.record(rec(9, AuditSeverity::Notice, "access.denied", "bob"));
+        let text = String::from_utf8(buf.0.lock().clone()).unwrap();
+        assert!(text.contains("access.denied"));
+        assert!(text.contains("subject=bob"));
+    }
+
+    #[test]
+    fn sink_failure_counts_drops_but_keeps_ring_copy() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let log = AuditLog::new();
+        log.set_sink(Box::new(Broken));
+        log.record(rec(1, AuditSeverity::Info, "a", "s"));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(AuditSeverity::Alert > AuditSeverity::Warning);
+        assert!(AuditSeverity::Warning > AuditSeverity::Notice);
+        assert!(AuditSeverity::Notice > AuditSeverity::Info);
+    }
+
+    #[test]
+    fn clear_keeps_drop_counter() {
+        let log = AuditLog::with_capacity(1);
+        log.record(rec(1, AuditSeverity::Info, "a", "s"));
+        log.record(rec(2, AuditSeverity::Info, "b", "s"));
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+    }
+}

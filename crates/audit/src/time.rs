@@ -1,0 +1,225 @@
+//! Clock abstraction shared by the whole workspace.
+//!
+//! Adaptive policies depend on time everywhere — time-of-day pre-conditions,
+//! sliding-window thresholds, threat-level decay. Tests need to drive time
+//! deterministically while benchmarks and live servers use the wall clock, so
+//! every component takes a [`Clock`] trait object instead of calling
+//! `Instant::now` directly.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// A point in time, in milliseconds since the Unix epoch.
+///
+/// Millisecond resolution matches the paper's measurements (§8 reports
+/// millisecond averages) and is plenty for policy windows.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Timestamp for `millis` milliseconds since the epoch.
+    pub fn from_millis(millis: u64) -> Self {
+        Timestamp(millis)
+    }
+
+    /// Milliseconds since the epoch.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// This timestamp advanced by `d` (saturating).
+    pub fn plus(self, d: Duration) -> Self {
+        Timestamp(self.0.saturating_add(d.as_millis() as u64))
+    }
+
+    /// This timestamp moved back by `d` (saturating at zero).
+    pub fn minus(self, d: Duration) -> Self {
+        Timestamp(self.0.saturating_sub(d.as_millis() as u64))
+    }
+
+    /// Duration elapsed from `earlier` to `self`; zero if `earlier` is later.
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration::from_millis(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Hour of day (0–23) under a day = 86 400 000 ms convention. Used by
+    /// time-of-day pre-conditions ("more restrictive organizational policies
+    /// may be enforced after hours").
+    pub fn hour_of_day(self) -> u32 {
+        ((self.0 / 3_600_000) % 24) as u32
+    }
+
+    /// Minute within the hour (0–59).
+    pub fn minute_of_hour(self) -> u32 {
+        ((self.0 / 60_000) % 60) as u32
+    }
+
+    /// Day index since the epoch (day 0 = Thursday 1970-01-01). Day-of-week
+    /// follows: `(day_index + 4) % 7` with 0 = Sunday.
+    pub fn day_of_week(self) -> u32 {
+        (((self.0 / 86_400_000) + 4) % 7) as u32
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+/// Source of the current time.
+///
+/// Implementations must be cheap and thread-safe; the GAA-API reads the clock
+/// several times per request.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// The current time.
+    fn now(&self) -> Timestamp;
+}
+
+/// Wall-clock time via [`SystemTime`]. Used by live servers and benchmarks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl SystemClock {
+    /// Creates a wall clock.
+    pub fn new() -> Self {
+        SystemClock
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Timestamp {
+        let millis = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or(Duration::ZERO)
+            .as_millis() as u64;
+        Timestamp(millis)
+    }
+}
+
+/// A manually driven clock for deterministic tests.
+///
+/// Cloning shares the underlying time source, so a test can hold one handle
+/// while the system under test holds another.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_audit::{Clock, VirtualClock};
+/// use std::time::Duration;
+///
+/// let clock = VirtualClock::at_millis(1_000);
+/// assert_eq!(clock.now().as_millis(), 1_000);
+/// clock.advance(Duration::from_secs(5));
+/// assert_eq!(clock.now().as_millis(), 6_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    millis: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at time zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// A virtual clock starting at `millis` since the epoch.
+    pub fn at_millis(millis: u64) -> Self {
+        VirtualClock {
+            millis: Arc::new(AtomicU64::new(millis)),
+        }
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.millis
+            .fetch_add(d.as_millis() as u64, Ordering::SeqCst);
+    }
+
+    /// Jumps the clock to an absolute time. Panics in debug builds if this
+    /// would move time backwards (monotonicity is assumed by window code).
+    pub fn set(&self, t: Timestamp) {
+        let prev = self.millis.swap(t.0, Ordering::SeqCst);
+        debug_assert!(prev <= t.0, "VirtualClock moved backwards: {prev} -> {}", t.0);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(self.millis.load(Ordering::SeqCst))
+    }
+}
+
+/// A shareable clock handle. Most components store one of these.
+pub type SharedClock = Arc<dyn Clock>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_millis(10_000);
+        assert_eq!(t.plus(Duration::from_secs(1)).as_millis(), 11_000);
+        assert_eq!(t.minus(Duration::from_secs(1)).as_millis(), 9_000);
+        assert_eq!(t.minus(Duration::from_secs(100)).as_millis(), 0);
+        assert_eq!(
+            t.since(Timestamp::from_millis(4_000)),
+            Duration::from_millis(6_000)
+        );
+        assert_eq!(Timestamp::from_millis(4_000).since(t), Duration::ZERO);
+    }
+
+    #[test]
+    fn hour_and_minute_extraction() {
+        // 1970-01-01 02:30:00 UTC.
+        let t = Timestamp::from_millis(2 * 3_600_000 + 30 * 60_000);
+        assert_eq!(t.hour_of_day(), 2);
+        assert_eq!(t.minute_of_hour(), 30);
+    }
+
+    #[test]
+    fn hour_wraps_across_days() {
+        let t = Timestamp::from_millis(26 * 3_600_000);
+        assert_eq!(t.hour_of_day(), 2);
+    }
+
+    #[test]
+    fn day_of_week_epoch_is_thursday() {
+        assert_eq!(Timestamp::from_millis(0).day_of_week(), 4); // Thursday
+        let friday = Timestamp::from_millis(86_400_000);
+        assert_eq!(friday.day_of_week(), 5);
+        let sunday = Timestamp::from_millis(3 * 86_400_000);
+        assert_eq!(sunday.day_of_week(), 0);
+    }
+
+    #[test]
+    fn virtual_clock_shared_across_clones() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.advance(Duration::from_millis(250));
+        assert_eq!(b.now().as_millis(), 250);
+    }
+
+    #[test]
+    fn system_clock_is_monotonic_enough() {
+        let clock = SystemClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+        assert!(a.as_millis() > 1_600_000_000_000); // after 2020
+    }
+
+    #[test]
+    fn virtual_clock_set_forward() {
+        let clock = VirtualClock::at_millis(100);
+        clock.set(Timestamp::from_millis(500));
+        assert_eq!(clock.now().as_millis(), 500);
+    }
+}

@@ -1,0 +1,76 @@
+//! **A9** — anomaly detector costs (§9 future work, implemented).
+//!
+//! The detector runs on the hot path twice: `learn` on every granted
+//! request, `score` on every request guarded by an `anomaly` condition.
+//! Both must stay sub-microsecond for the integration to remain viable —
+//! which they do, since profiles are O(1)-updatable running statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaa_audit::Timestamp;
+use gaa_ids::anomaly::{AnomalyDetector, RequestFeatures};
+use std::hint::black_box;
+
+fn daytime(i: u64) -> Timestamp {
+    Timestamp::from_millis(10 * 3_600_000 + i * 60_000)
+}
+
+fn trained(principals: usize, observations: u64) -> AnomalyDetector {
+    let d = AnomalyDetector::new();
+    for p in 0..principals {
+        let name = format!("user{p}");
+        for i in 0..observations {
+            let url = format!("/docs/page{}.html?id={}", i % 7, i % 10);
+            d.learn(&name, &RequestFeatures::from_url(&url, daytime(i)));
+        }
+    }
+    d
+}
+
+fn bench_anomaly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a9_anomaly");
+
+    group.bench_function("feature_extraction", |b| {
+        b.iter(|| {
+            black_box(RequestFeatures::from_url(
+                black_box("/docs/reports/q1.html?id=42&session=abc"),
+                daytime(5),
+            ))
+        })
+    });
+
+    let detector = trained(1, 100);
+    let typical = RequestFeatures::from_url("/docs/page3.html?id=4", daytime(200));
+    group.bench_function("learn", |b| {
+        b.iter(|| detector.learn(black_box("user0"), black_box(&typical)))
+    });
+
+    for principals in [1usize, 100, 10_000] {
+        let detector = trained(principals, 50);
+        group.bench_with_input(
+            BenchmarkId::new("score", principals),
+            &principals,
+            |b, _| {
+                b.iter(|| {
+                    black_box(detector.score(black_box("user0"), black_box(&typical)))
+                })
+            },
+        );
+    }
+
+    let big = trained(1000, 50);
+    group.bench_function("export_1000_profiles", |b| {
+        b.iter(|| black_box(big.export_profiles()))
+    });
+    let text = big.export_profiles();
+    group.bench_function("import_1000_profiles", |b| {
+        b.iter(|| {
+            let d = AnomalyDetector::new();
+            black_box(d.import_profiles(black_box(&text)).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_anomaly);
+criterion_main!(benches);

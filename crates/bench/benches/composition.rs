@@ -1,0 +1,58 @@
+//! **A2** — cost of the three composition modes (§2.1).
+//!
+//! Measures `get_object_policy_info` + `check_authorization` over a
+//! system-wide + local policy pair under expand / narrow / stop. `stop`
+//! should be cheapest (local policies discarded at composition); expand and
+//! narrow are within noise of each other (same EACL walks, different final
+//! combination).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaa_audit::notify::CollectingNotifier;
+use gaa_audit::SystemClock;
+use gaa_conditions::{register_standard, StandardServices};
+use gaa_core::{GaaApiBuilder, MemoryPolicyStore, RightPattern, SecurityContext};
+use gaa_eacl::parse_eacl;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_composition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_composition");
+    for (mode_code, mode_name) in [(0u8, "expand"), (1, "narrow"), (2, "stop")] {
+        let system = format!(
+            "eacl_mode {mode_code}\nneg_access_right * *\npre_cond system_threat_level local =high\n"
+        );
+        let local = "\
+neg_access_right apache *
+pre_cond regex gnu *phf* *test-cgi*
+pos_access_right apache *
+";
+        let services = StandardServices::new(
+            Arc::new(SystemClock::new()),
+            Arc::new(CollectingNotifier::new()),
+        );
+        let mut store = MemoryPolicyStore::new();
+        store.set_system(vec![parse_eacl(&system).unwrap()]);
+        store.set_local("/obj", vec![parse_eacl(local).unwrap()]);
+        let api = register_standard(GaaApiBuilder::new(Arc::new(store)), &services).build();
+        let ctx = SecurityContext::new()
+            .with_client_ip("10.0.0.1")
+            .with_object("/obj")
+            .with_param(gaa_core::Param::new("url", "apache", "/obj?q=1"));
+        let right = RightPattern::new("apache", "GET");
+
+        group.bench_with_input(
+            BenchmarkId::new("compose_and_check", mode_name),
+            &mode_name,
+            |b, _| {
+                b.iter(|| {
+                    let policy = api.get_object_policy_info(black_box("/obj")).unwrap();
+                    black_box(api.check_authorization(&policy, &right, &ctx))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_composition);
+criterion_main!(benches);

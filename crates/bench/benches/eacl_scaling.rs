@@ -1,0 +1,59 @@
+//! **A3** — authorization cost vs EACL size.
+//!
+//! §2's ordered first-match evaluation is linear in the number of entries
+//! consulted. This sweep grows the policy from 1 to 256 guarded entries in
+//! front of the final grant, measuring `check_authorization` on a request
+//! that falls through every guard (the worst case).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gaa_audit::notify::CollectingNotifier;
+use gaa_audit::SystemClock;
+use gaa_conditions::{register_standard, StandardServices};
+use gaa_core::{GaaApiBuilder, MemoryPolicyStore, RightPattern, SecurityContext};
+use gaa_eacl::parse_eacl;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn policy_with_entries(n: usize) -> String {
+    let mut text = String::new();
+    for i in 0..n {
+        // Each guard is a signature that will not match the benign URL.
+        text.push_str(&format!(
+            "neg_access_right apache *\npre_cond regex gnu *attack-sig-{i}*\n"
+        ));
+    }
+    text.push_str("pos_access_right apache *\n");
+    text
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_eacl_scaling");
+    for n in [1usize, 4, 16, 64, 256] {
+        let services = StandardServices::new(
+            Arc::new(SystemClock::new()),
+            Arc::new(CollectingNotifier::new()),
+        );
+        let mut store = MemoryPolicyStore::new();
+        store.set_local("/obj", vec![parse_eacl(&policy_with_entries(n)).unwrap()]);
+        let api = register_standard(GaaApiBuilder::new(Arc::new(store)), &services).build();
+        let policy = api.get_object_policy_info("/obj").unwrap();
+        let ctx = SecurityContext::new()
+            .with_client_ip("10.0.0.1")
+            .with_object("/obj")
+            .with_param(gaa_core::Param::new(
+                "url",
+                "apache",
+                "/obj?completely=benign",
+            ));
+        let right = RightPattern::new("apache", "GET");
+
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(api.check_authorization(&policy, &right, &ctx)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

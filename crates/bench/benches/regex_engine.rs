@@ -1,0 +1,90 @@
+//! **A4** — signature-matching cost vs database size and dialect.
+//!
+//! Sweeps the number of glob signatures scanned per request and compares
+//! the glob fast path against the Thompson-NFA regex dialect, including the
+//! adversarial pattern that kills backtracking engines (the reason the
+//! engine is NFA-based: these patterns run on attacker-controlled input
+//! inside the DoS-defence path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gaa_conditions::regex::{signature_matches, signature_matches_uncached};
+use gaa_conditions::Regex;
+use std::hint::black_box;
+
+const BENIGN_URL: &str = "GET /docs/page3.html?id=42&session=abcdef0123456789 HTTP/1.1";
+const ATTACK_URL: &str = "GET /cgi-bin/phf?Qalias=x%0a/bin/cat%20/etc/passwd HTTP/1.0";
+
+fn signature_list(n: usize) -> String {
+    let mut sigs: Vec<String> = (0..n.saturating_sub(2))
+        .map(|i| format!("*vuln-probe-{i}*"))
+        .collect();
+    // Keep the paper's two real signatures at the end (worst case for the
+    // benign URL: everything is scanned).
+    sigs.push("*phf*".to_string());
+    sigs.push("*test-cgi*".to_string());
+    sigs.join(" ")
+}
+
+fn bench_signature_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a4_signature_scaling");
+    for n in [2usize, 8, 16, 32, 64] {
+        let sigs = signature_list(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("benign", n), &sigs, |b, sigs| {
+            b.iter(|| black_box(signature_matches(sigs, black_box(BENIGN_URL))))
+        });
+        group.bench_with_input(BenchmarkId::new("attack", n), &sigs, |b, sigs| {
+            b.iter(|| black_box(signature_matches(sigs, black_box(ATTACK_URL))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dialects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a4_dialects");
+
+    group.bench_function("glob_phf", |b| {
+        b.iter(|| black_box(signature_matches("*phf*", black_box(ATTACK_URL))))
+    });
+
+    let re = Regex::new("/cgi-bin/(phf|test-cgi)").unwrap();
+    group.bench_function("nfa_alternation", |b| {
+        b.iter(|| black_box(re.is_match(black_box(ATTACK_URL))))
+    });
+
+    let hex = Regex::new("%[0-9a-fA-F][0-9a-fA-F]").unwrap();
+    group.bench_function("nfa_hex_class", |b| {
+        b.iter(|| black_box(hex.is_match(black_box(ATTACK_URL))))
+    });
+
+    // Compiled-pattern cache ablation: the same `re:` signature evaluated
+    // per request with and without the cache.
+    group.bench_function("re_pattern_cached", |b| {
+        b.iter(|| {
+            black_box(signature_matches(
+                black_box("re:/cgi-bin/(phf|test-cgi)"),
+                black_box(ATTACK_URL),
+            ))
+        })
+    });
+    group.bench_function("re_pattern_uncached", |b| {
+        b.iter(|| {
+            black_box(signature_matches_uncached(
+                black_box("re:/cgi-bin/(phf|test-cgi)"),
+                black_box(ATTACK_URL),
+            ))
+        })
+    });
+
+    // The catastrophic-backtracking bomb stays linear on the NFA engine.
+    let bomb = Regex::new("(a+)+$").unwrap();
+    let bomb_input = format!("{}b", "a".repeat(256));
+    group.bench_function("nfa_redos_bomb_256", |b| {
+        b.iter(|| black_box(bomb.is_match(black_box(&bomb_input))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_signature_scaling, bench_dialects);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! **A5** — sliding-window threshold cost (§3 item 4).
+//!
+//! Measures event recording and threshold evaluation as the window
+//! population grows — the password-guessing defence runs both on every
+//! failed login, so the data structure must not degrade under the very
+//! attack it detects.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gaa_audit::{Timestamp, VirtualClock};
+use gaa_conditions::threshold::threshold_evaluator;
+use gaa_conditions::ThresholdTracker;
+use gaa_core::{EvalEnv, SecurityContext};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a5_threshold");
+
+    for population in [10usize, 100, 1000, 10_000] {
+        let clock = VirtualClock::new();
+        let tracker = ThresholdTracker::new(Arc::new(clock.clone()));
+        // Pre-populate the window with events spread over 30 seconds.
+        for i in 0..population {
+            if i % 10 == 0 {
+                clock.advance(Duration::from_millis(30_000 / population as u64 * 10));
+            }
+            tracker.record("failed_logins", "203.0.113.9");
+        }
+        let eval = threshold_evaluator(tracker.clone());
+        let ctx = SecurityContext::new().with_client_ip("203.0.113.9");
+
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(
+            BenchmarkId::new("evaluate", population),
+            &population,
+            |b, _| {
+                b.iter(|| {
+                    let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
+                    black_box(eval(black_box("failed_logins:5/60"), &env))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("record", population),
+            &population,
+            |b, _| b.iter(|| tracker.record("failed_logins", black_box("203.0.113.9"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold);
+criterion_main!(benches);

@@ -1,0 +1,405 @@
+//! Response-action conditions: `notify`, `update_log`, `audit`.
+//!
+//! §5 item 1: "the GAA-API libraries provide routines that can execute
+//! certain actions, such as logging information, notifying administrator,
+//! etc. Furthermore, the routines can be activated whether the request
+//! succeeds/fails (when defined as request-result conditions) or whether the
+//! requested operation succeeds/fails (when defined as post-conditions)."
+//!
+//! Value syntax follows the §7.2 policies:
+//!
+//! ```text
+//! rr_cond notify     local on:failure/sysadmin/info:cgi_exploit
+//! rr_cond update_log local on:failure/BadGuys/info:ip
+//! post_cond audit    local on:success/file_modified
+//! ```
+//!
+//! `on:<trigger>` is `on:success`, `on:failure` or `on:any`; the action
+//! fires only when the phase outcome matches (request outcome for rr
+//! conditions, operation outcome for post conditions). A non-firing action
+//! is **Met** — it must not veto the decision. `notify` reports "time, IP
+//! address, URL attempted and a threat type" (§7.2), which is exactly what
+//! the built notification body carries.
+
+use gaa_audit::log::{AuditLog, AuditRecord, AuditSeverity};
+use gaa_audit::notify::{Notification, Notifier};
+use gaa_core::{EvalDecision, EvalEnv, Outcome};
+use gaa_eacl::CondPhase;
+use std::sync::Arc;
+
+use crate::identity::GroupStore;
+
+/// When a response action fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fire when the request/operation succeeded.
+    OnSuccess,
+    /// Fire when the request/operation failed.
+    OnFailure,
+    /// Fire unconditionally.
+    OnAny,
+}
+
+impl Trigger {
+    /// Does this trigger fire for `outcome`?
+    pub fn fires(self, outcome: Outcome) -> bool {
+        match self {
+            Trigger::OnSuccess => outcome == Outcome::Success,
+            Trigger::OnFailure => outcome == Outcome::Failure,
+            Trigger::OnAny => true,
+        }
+    }
+}
+
+/// A parsed action value: trigger, target, info tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionSpec {
+    /// When to fire.
+    pub trigger: Trigger,
+    /// Action target: notification recipient, group name, audit category.
+    pub target: String,
+    /// Info tag (threat type, template selector); empty when omitted.
+    pub info: String,
+}
+
+impl ActionSpec {
+    /// Parses `on:failure/sysadmin/info:cgi_exploit`. Returns `None` on
+    /// malformed input.
+    pub fn parse(value: &str) -> Option<ActionSpec> {
+        let mut parts = value.trim().split('/');
+        let trigger = match parts.next()?.trim() {
+            "on:success" => Trigger::OnSuccess,
+            "on:failure" => Trigger::OnFailure,
+            "on:any" => Trigger::OnAny,
+            _ => return None,
+        };
+        let target = parts.next()?.trim().to_string();
+        if target.is_empty() {
+            return None;
+        }
+        let info = parts
+            .next()
+            .map(|p| p.trim().strip_prefix("info:").unwrap_or(p.trim()).to_string())
+            .unwrap_or_default();
+        Some(ActionSpec {
+            trigger,
+            target,
+            info,
+        })
+    }
+}
+
+/// The outcome an action condition keys on: request outcome for rr
+/// conditions, operation outcome for post conditions.
+fn phase_outcome(env: &EvalEnv<'_>) -> Option<Outcome> {
+    match env.phase {
+        CondPhase::Post => env.operation_outcome,
+        _ => env.request_outcome,
+    }
+}
+
+/// Builds the `notify` action evaluator over a notifier and audit log.
+///
+/// Delivery failure is audited and the condition still reports **Met** — a
+/// broken mail path must degrade to audit-only operation, never block
+/// enforcement or (worse) flip decisions.
+pub fn notify_evaluator(
+    notifier: Arc<dyn Notifier>,
+    audit: AuditLog,
+) -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    move |value: &str, env: &EvalEnv<'_>| {
+        let Some(spec) = ActionSpec::parse(value) else {
+            return EvalDecision::Unevaluated;
+        };
+        let Some(outcome) = phase_outcome(env) else {
+            return EvalDecision::Unevaluated;
+        };
+        if !spec.trigger.fires(outcome) {
+            return EvalDecision::Met; // not our trigger: nothing to do
+        }
+        // §7.2: report time, IP address, URL attempted and threat type.
+        let body = format!(
+            "time={} ip={} url={} threat={} outcome={}",
+            env.now,
+            env.context.client_ip().unwrap_or("-"),
+            env.context
+                .param("url")
+                .or_else(|| env.context.object())
+                .unwrap_or("-"),
+            if spec.info.is_empty() { "-" } else { &spec.info },
+            outcome,
+        );
+        let notification = Notification::new(env.now, spec.target.clone(), spec.info.clone(), body);
+        if let Err(e) = notifier.notify(&notification) {
+            audit.record(AuditRecord::new(
+                env.now,
+                AuditSeverity::Warning,
+                "notify.failed",
+                env.context.subject(),
+                e.to_string(),
+            ));
+        }
+        EvalDecision::Met
+    }
+}
+
+/// Builds the `update_log` action evaluator over the shared group store.
+///
+/// §7.2: "the `rr_cond update_log` updates the group BadGuys to include new
+/// suspicious IP address from the request." With `info:ip` the client IP is
+/// added; with `info:user` the authenticated user. Missing subject data
+/// leaves the condition Met but records an audit notice (the action had
+/// nothing to add).
+pub fn update_log_evaluator(
+    groups: GroupStore,
+    audit: AuditLog,
+) -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    move |value: &str, env: &EvalEnv<'_>| {
+        let Some(spec) = ActionSpec::parse(value) else {
+            return EvalDecision::Unevaluated;
+        };
+        let Some(outcome) = phase_outcome(env) else {
+            return EvalDecision::Unevaluated;
+        };
+        if !spec.trigger.fires(outcome) {
+            return EvalDecision::Met;
+        }
+        let member = match spec.info.as_str() {
+            "user" => env.context.user(),
+            _ => env.context.client_ip(), // default and "ip"
+        };
+        match member {
+            Some(member) => {
+                let added = groups.add(&spec.target, member);
+                if added {
+                    audit.record(
+                        AuditRecord::new(
+                            env.now,
+                            AuditSeverity::Alert,
+                            "group.updated",
+                            member,
+                            format!("added to group {}", spec.target),
+                        )
+                        .with_attr("group", spec.target.clone()),
+                    );
+                }
+            }
+            None => {
+                audit.record(AuditRecord::new(
+                    env.now,
+                    AuditSeverity::Notice,
+                    "group.update_skipped",
+                    env.context.subject(),
+                    format!("no {} available to add to {}", spec.info, spec.target),
+                ));
+            }
+        }
+        EvalDecision::Met
+    }
+}
+
+/// Builds the `audit` action evaluator: writes a record with the spec's
+/// target as category.
+pub fn audit_evaluator(
+    audit: AuditLog,
+) -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    move |value: &str, env: &EvalEnv<'_>| {
+        let Some(spec) = ActionSpec::parse(value) else {
+            return EvalDecision::Unevaluated;
+        };
+        let Some(outcome) = phase_outcome(env) else {
+            return EvalDecision::Unevaluated;
+        };
+        if !spec.trigger.fires(outcome) {
+            return EvalDecision::Met;
+        }
+        audit.record(
+            AuditRecord::new(
+                env.now,
+                AuditSeverity::Notice,
+                spec.target.clone(),
+                env.context.subject(),
+                format!(
+                    "{} on {} ({outcome})",
+                    if spec.info.is_empty() { "event" } else { &spec.info },
+                    env.context.object().unwrap_or("-"),
+                ),
+            )
+            .with_attr("phase", env.phase.keyword()),
+        );
+        EvalDecision::Met
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::notify::{CollectingNotifier, FailingNotifier};
+    use gaa_audit::Timestamp;
+    use gaa_core::SecurityContext;
+
+    fn rr_env<'a>(ctx: &'a SecurityContext, outcome: Outcome) -> EvalEnv<'a> {
+        EvalEnv {
+            context: ctx,
+            phase: CondPhase::RequestResult,
+            now: Timestamp::from_millis(42),
+            request_outcome: Some(outcome),
+            operation_outcome: None,
+            execution: None,
+        }
+    }
+
+    fn post_env<'a>(ctx: &'a SecurityContext, outcome: Outcome) -> EvalEnv<'a> {
+        EvalEnv {
+            context: ctx,
+            phase: CondPhase::Post,
+            now: Timestamp::from_millis(42),
+            request_outcome: Some(Outcome::Success),
+            operation_outcome: Some(outcome),
+            execution: None,
+        }
+    }
+
+    #[test]
+    fn action_spec_parsing() {
+        let spec = ActionSpec::parse("on:failure/sysadmin/info:cgi_exploit").unwrap();
+        assert_eq!(spec.trigger, Trigger::OnFailure);
+        assert_eq!(spec.target, "sysadmin");
+        assert_eq!(spec.info, "cgi_exploit");
+
+        let spec = ActionSpec::parse("on:any/ops").unwrap();
+        assert_eq!(spec.trigger, Trigger::OnAny);
+        assert_eq!(spec.info, "");
+
+        assert_eq!(ActionSpec::parse("whenever/ops"), None);
+        assert_eq!(ActionSpec::parse("on:failure"), None);
+        assert_eq!(ActionSpec::parse("on:failure//info:x"), None);
+    }
+
+    #[test]
+    fn notify_fires_on_matching_trigger_only() {
+        let notifier = Arc::new(CollectingNotifier::new());
+        let audit = AuditLog::new();
+        let eval = notify_evaluator(notifier.clone(), audit);
+        let ctx = SecurityContext::new()
+            .with_client_ip("203.0.113.9")
+            .with_object("/cgi-bin/phf");
+
+        // Denied request + on:failure -> fires.
+        let env = rr_env(&ctx, Outcome::Failure);
+        assert_eq!(
+            eval("on:failure/sysadmin/info:cgi_exploit", &env),
+            EvalDecision::Met
+        );
+        assert_eq!(notifier.delivered(), 1);
+        let sent = notifier.sent();
+        assert_eq!(sent[0].recipient, "sysadmin");
+        assert!(sent[0].body.contains("ip=203.0.113.9"));
+        assert!(sent[0].body.contains("url=/cgi-bin/phf"));
+        assert!(sent[0].body.contains("threat=cgi_exploit"));
+
+        // Granted request + on:failure -> no-op but Met.
+        let env = rr_env(&ctx, Outcome::Success);
+        assert_eq!(
+            eval("on:failure/sysadmin/info:cgi_exploit", &env),
+            EvalDecision::Met
+        );
+        assert_eq!(notifier.delivered(), 1);
+    }
+
+    #[test]
+    fn notify_failure_degrades_to_audit() {
+        let audit = AuditLog::new();
+        let eval = notify_evaluator(Arc::new(FailingNotifier::new()), audit.clone());
+        let ctx = SecurityContext::new().with_client_ip("1.2.3.4");
+        let env = rr_env(&ctx, Outcome::Failure);
+        assert_eq!(eval("on:failure/sysadmin/info:x", &env), EvalDecision::Met);
+        assert_eq!(audit.count_category("notify.failed"), 1);
+    }
+
+    #[test]
+    fn update_log_adds_ip_to_badguys() {
+        let groups = GroupStore::new();
+        let audit = AuditLog::new();
+        let eval = update_log_evaluator(groups.clone(), audit.clone());
+        let ctx = SecurityContext::new().with_client_ip("203.0.113.9");
+        let env = rr_env(&ctx, Outcome::Failure);
+        assert_eq!(eval("on:failure/BadGuys/info:ip", &env), EvalDecision::Met);
+        assert!(groups.contains("BadGuys", "203.0.113.9"));
+        assert_eq!(audit.count_category("group.updated"), 1);
+
+        // Firing again is idempotent and not re-audited.
+        assert_eq!(eval("on:failure/BadGuys/info:ip", &env), EvalDecision::Met);
+        assert_eq!(groups.len("BadGuys"), 1);
+        assert_eq!(audit.count_category("group.updated"), 1);
+    }
+
+    #[test]
+    fn update_log_user_variant_and_missing_subject() {
+        let groups = GroupStore::new();
+        let audit = AuditLog::new();
+        let eval = update_log_evaluator(groups.clone(), audit.clone());
+
+        let alice = SecurityContext::new().with_user("alice");
+        let env = rr_env(&alice, Outcome::Failure);
+        assert_eq!(eval("on:failure/Suspended/info:user", &env), EvalDecision::Met);
+        assert!(groups.contains("Suspended", "alice"));
+
+        // No client IP for an info:ip action: skipped + audited, still Met.
+        let env = rr_env(&alice, Outcome::Failure);
+        assert_eq!(eval("on:failure/BadGuys/info:ip", &env), EvalDecision::Met);
+        assert!(groups.is_empty("BadGuys"));
+        assert_eq!(audit.count_category("group.update_skipped"), 1);
+    }
+
+    #[test]
+    fn update_log_respects_trigger() {
+        let groups = GroupStore::new();
+        let eval = update_log_evaluator(groups.clone(), AuditLog::new());
+        let ctx = SecurityContext::new().with_client_ip("203.0.113.9");
+        let env = rr_env(&ctx, Outcome::Success);
+        assert_eq!(eval("on:failure/BadGuys/info:ip", &env), EvalDecision::Met);
+        assert!(groups.is_empty("BadGuys"));
+    }
+
+    #[test]
+    fn audit_action_uses_operation_outcome_in_post_phase() {
+        let audit = AuditLog::new();
+        let eval = audit_evaluator(audit.clone());
+        let ctx = SecurityContext::new()
+            .with_user("root")
+            .with_object("/etc/passwd");
+
+        // §1: "alerting that a particular critical file was modified".
+        let env = post_env(&ctx, Outcome::Success);
+        assert_eq!(
+            eval("on:success/file.modified/info:passwd_written", &env),
+            EvalDecision::Met
+        );
+        let records = audit.by_category("file.modified");
+        assert_eq!(records.len(), 1);
+        assert!(records[0].message.contains("passwd_written"));
+        assert_eq!(records[0].attr("phase"), Some("post_cond"));
+
+        // Operation failed: on:success action does not fire.
+        let env = post_env(&ctx, Outcome::Failure);
+        assert_eq!(
+            eval("on:success/file.modified/info:passwd_written", &env),
+            EvalDecision::Met
+        );
+        assert_eq!(audit.count_category("file.modified"), 1);
+    }
+
+    #[test]
+    fn malformed_specs_and_missing_outcomes_unevaluated() {
+        let audit = AuditLog::new();
+        let eval = audit_evaluator(audit);
+        let ctx = SecurityContext::new();
+        let env = rr_env(&ctx, Outcome::Success);
+        assert_eq!(eval("bogus", &env), EvalDecision::Unevaluated);
+
+        // Pre-phase env without outcomes: action conditions cannot run.
+        let pre = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
+        assert_eq!(eval("on:any/cat", &pre), EvalDecision::Unevaluated);
+    }
+}

@@ -1,0 +1,215 @@
+//! Applying IDS advisories to the policy services.
+//!
+//! §3: "The API can request information for adjusting policies, such as
+//! values for thresholds, times and locations. The values may depend on
+//! many factors and can be determined by a host-based IDS and communicated
+//! to the GAA-API." The [`EventBus`] carries those
+//! communications; [`AdvisoryApplier`] is the GAA-side consumer that folds
+//! them into the shared services:
+//!
+//! * [`ThresholdUpdate`](IdsAdvisory::ThresholdUpdate) → an adaptive limit
+//!   in the [`ThresholdTracker`](crate::ThresholdTracker) (consumed by
+//!   `@param` threshold conditions);
+//! * [`ThreatLevelChange`](IdsAdvisory::ThreatLevelChange) → the
+//!   [`ThreatMonitor`](gaa_ids::ThreatMonitor) (consumed by
+//!   `system_threat_level` conditions);
+//! * [`SpoofingIndication`](IdsAdvisory::SpoofingIndication) and
+//!   [`TimeWindowUpdate`](IdsAdvisory::TimeWindowUpdate) /
+//!   [`LocationUpdate`](IdsAdvisory::LocationUpdate) are recorded in the
+//!   audit log for the policy officer (applying them automatically would
+//!   rewrite policy text — a human decision).
+
+use crate::catalog::StandardServices;
+use gaa_audit::log::{AuditRecord, AuditSeverity};
+use gaa_ids::{EventBus, IdsAdvisory, Subscription};
+
+/// GAA-side consumer of IDS advisories.
+///
+/// Call [`apply_pending`](AdvisoryApplier::apply_pending) from the serving
+/// loop (or a timer); it drains the subscription and applies/records each
+/// advisory.
+pub struct AdvisoryApplier {
+    subscription: Subscription<IdsAdvisory>,
+    services: StandardServices,
+}
+
+impl AdvisoryApplier {
+    /// Subscribes to `bus` and binds the applier to `services`.
+    pub fn new(bus: &EventBus, services: StandardServices) -> Self {
+        AdvisoryApplier {
+            subscription: bus.subscribe_advisories(),
+            services,
+        }
+    }
+
+    /// Drains pending advisories, applying each; returns how many were
+    /// processed.
+    pub fn apply_pending(&self) -> usize {
+        let advisories = self.subscription.drain();
+        let count = advisories.len();
+        for advisory in advisories {
+            self.apply(advisory);
+        }
+        count
+    }
+
+    fn apply(&self, advisory: IdsAdvisory) {
+        let now = self.services.clock.now();
+        match advisory {
+            IdsAdvisory::ThresholdUpdate { parameter, value } => {
+                self.services.thresholds.set_limit(&parameter, value);
+                self.services.audit.record(AuditRecord::new(
+                    now,
+                    AuditSeverity::Notice,
+                    "advisory.threshold",
+                    "ids",
+                    format!("adaptive limit {parameter} set to {value}"),
+                ));
+            }
+            IdsAdvisory::ThreatLevelChange { level } => {
+                self.services.threat.set_level(level);
+                self.services.audit.record(AuditRecord::new(
+                    now,
+                    AuditSeverity::Warning,
+                    "advisory.threat_level",
+                    "ids",
+                    format!("system threat level set to {level}"),
+                ));
+            }
+            IdsAdvisory::SpoofingIndication {
+                source,
+                spoofed,
+                confidence,
+            } => {
+                self.services.audit.record(
+                    AuditRecord::new(
+                        now,
+                        AuditSeverity::Notice,
+                        "advisory.spoofing",
+                        source,
+                        format!("spoofed={spoofed} confidence={confidence:.2}"),
+                    ),
+                );
+            }
+            IdsAdvisory::TimeWindowUpdate {
+                start_hour,
+                end_hour,
+            } => {
+                self.services.audit.record(AuditRecord::new(
+                    now,
+                    AuditSeverity::Notice,
+                    "advisory.time_window",
+                    "ids",
+                    format!("recommended window {start_hour}-{end_hour} (policy edit required)"),
+                ));
+            }
+            IdsAdvisory::LocationUpdate { allowed_prefix } => {
+                self.services.audit.record(AuditRecord::new(
+                    now,
+                    AuditSeverity::Notice,
+                    "advisory.location",
+                    "ids",
+                    format!("recommended allowed prefix {allowed_prefix} (policy edit required)"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::notify::CollectingNotifier;
+    use gaa_audit::VirtualClock;
+    use gaa_ids::ThreatLevel;
+    use std::sync::Arc;
+
+    fn setup() -> (EventBus, StandardServices, AdvisoryApplier) {
+        let bus = EventBus::new();
+        let services = StandardServices::new(
+            Arc::new(VirtualClock::new()),
+            Arc::new(CollectingNotifier::new()),
+        );
+        let applier = AdvisoryApplier::new(&bus, services.clone());
+        (bus, services, applier)
+    }
+
+    #[test]
+    fn threshold_updates_reach_the_tracker() {
+        let (bus, services, applier) = setup();
+        bus.publish_advisory(IdsAdvisory::ThresholdUpdate {
+            parameter: "login_limit".into(),
+            value: 4.0,
+        });
+        assert_eq!(applier.apply_pending(), 1);
+        assert_eq!(services.thresholds.limit("login_limit"), Some(4.0));
+        assert_eq!(services.audit.count_category("advisory.threshold"), 1);
+    }
+
+    #[test]
+    fn threat_level_changes_reach_the_monitor() {
+        let (bus, services, applier) = setup();
+        bus.publish_advisory(IdsAdvisory::ThreatLevelChange {
+            level: ThreatLevel::High,
+        });
+        applier.apply_pending();
+        assert_eq!(services.threat.current(), ThreatLevel::High);
+        assert_eq!(services.audit.count_category("advisory.threat_level"), 1);
+    }
+
+    #[test]
+    fn recommendation_advisories_are_audited_not_applied() {
+        let (bus, services, applier) = setup();
+        bus.publish_advisory(IdsAdvisory::TimeWindowUpdate {
+            start_hour: 9,
+            end_hour: 17,
+        });
+        bus.publish_advisory(IdsAdvisory::LocationUpdate {
+            allowed_prefix: "10.".into(),
+        });
+        bus.publish_advisory(IdsAdvisory::SpoofingIndication {
+            source: "6.6.6.6".into(),
+            spoofed: true,
+            confidence: 0.9,
+        });
+        assert_eq!(applier.apply_pending(), 3);
+        assert_eq!(services.audit.count_category("advisory.time_window"), 1);
+        assert_eq!(services.audit.count_category("advisory.location"), 1);
+        assert_eq!(services.audit.count_category("advisory.spoofing"), 1);
+    }
+
+    #[test]
+    fn apply_pending_is_incremental() {
+        let (bus, _services, applier) = setup();
+        assert_eq!(applier.apply_pending(), 0);
+        bus.publish_advisory(IdsAdvisory::ThresholdUpdate {
+            parameter: "x".into(),
+            value: 1.0,
+        });
+        assert_eq!(applier.apply_pending(), 1);
+        assert_eq!(applier.apply_pending(), 0);
+    }
+
+    #[test]
+    fn end_to_end_host_ids_to_condition() {
+        // HostIds publishes -> applier applies -> the @param threshold
+        // condition sees the adaptive limit.
+        use crate::threshold::threshold_evaluator;
+        use gaa_core::{EvalDecision, EvalEnv, SecurityContext};
+        use gaa_audit::Timestamp;
+
+        let (bus, services, applier) = setup();
+        let host = gaa_ids::host::HostIds::new().with_bus(bus.clone());
+        host.observe("req_rate", 5.0);
+        host.observe("req_rate", 7.0);
+        host.publish_threshold("req_rate", 2.0);
+        applier.apply_pending();
+
+        let eval = threshold_evaluator(services.thresholds.clone());
+        let ctx = SecurityContext::new().with_client_ip("1.2.3.4");
+        let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
+        // Limit is now known: the condition evaluates (to NotMet — no
+        // events yet) instead of Unevaluated.
+        assert_eq!(eval("hits:@req_rate/60", &env), EvalDecision::NotMet);
+    }
+}

@@ -1,0 +1,107 @@
+//! The `anomaly` condition: anomaly-based intrusion detection in the
+//! policy loop.
+//!
+//! §9 future work, implemented: "We will investigate a possibility of
+//! implementing a simple profile building module and anomaly detector
+//! (implemented using conditions) to support anomaly-based intrusion
+//! detection in addition to the signature-based."
+//!
+//! The profiles are built from §3 item 7 traffic (the glue feeds every
+//! *granted* request into the shared
+//! [`AnomalyDetector`]); the condition
+//! `anomaly local <score>` is **met when the current request's anomaly
+//! score reaches the threshold** — policies attach it to negative entries
+//! so out-of-profile requests are denied (or to entries that merely
+//! tighten auditing). Cold-start principals never trip it.
+
+use gaa_core::{EvalDecision, EvalEnv};
+use gaa_ids::anomaly::{AnomalyDetector, RequestFeatures};
+
+/// Builds the `anomaly` evaluator over a shared detector.
+///
+/// The condition value is the score threshold (e.g. `3.0`). Unevaluated on
+/// a malformed threshold or when the context carries no URL to extract
+/// features from.
+pub fn anomaly_evaluator(
+    detector: AnomalyDetector,
+) -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    move |value: &str, env: &EvalEnv<'_>| {
+        let Ok(threshold) = value.trim().parse::<f64>() else {
+            return EvalDecision::Unevaluated;
+        };
+        let Some(url) = env.context.param("url").or_else(|| env.context.object()) else {
+            return EvalDecision::Unevaluated;
+        };
+        let features = RequestFeatures::from_url(url, env.now);
+        let score = detector.score(env.context.subject(), &features);
+        if score >= threshold {
+            EvalDecision::Met
+        } else {
+            EvalDecision::NotMet
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::Timestamp;
+    use gaa_core::{Param, SecurityContext};
+
+    fn daytime(minutes: u64) -> Timestamp {
+        Timestamp::from_millis(10 * 3_600_000 + minutes * 60_000)
+    }
+
+    fn trained_detector(user: &str) -> AnomalyDetector {
+        let detector = AnomalyDetector::new();
+        for i in 0..50 {
+            let url = format!("/docs/page{}.html?id={}", i % 5, i % 10);
+            detector.learn(user, &RequestFeatures::from_url(&url, daytime(i)));
+        }
+        detector
+    }
+
+    fn ctx(user: &str, url: &str) -> SecurityContext {
+        SecurityContext::new()
+            .with_user(user)
+            .with_param(Param::new("url", "apache", url))
+    }
+
+    #[test]
+    fn in_profile_requests_do_not_trip() {
+        let eval = anomaly_evaluator(trained_detector("alice"));
+        let ctx = ctx("alice", "/docs/page2.html?id=3");
+        let env = EvalEnv::pre(&ctx, daytime(60));
+        assert_eq!(eval("3.0", &env), EvalDecision::NotMet);
+    }
+
+    #[test]
+    fn out_of_profile_requests_trip() {
+        let eval = anomaly_evaluator(trained_detector("alice"));
+        let huge = format!("/docs/page1.html?{}", "x".repeat(400));
+        let ctx = ctx("alice", &huge);
+        let env = EvalEnv::pre(&ctx, daytime(60));
+        assert_eq!(eval("3.0", &env), EvalDecision::Met);
+    }
+
+    #[test]
+    fn cold_start_principals_never_trip() {
+        let eval = anomaly_evaluator(AnomalyDetector::new());
+        let huge = format!("/x?{}", "q".repeat(400));
+        let ctx = ctx("nobody", &huge);
+        let env = EvalEnv::pre(&ctx, daytime(0));
+        assert_eq!(eval("3.0", &env), EvalDecision::NotMet);
+    }
+
+    #[test]
+    fn malformed_threshold_or_missing_url_unevaluated() {
+        let eval = anomaly_evaluator(trained_detector("alice"));
+        let with_url = ctx("alice", "/docs/page1.html");
+        let env = EvalEnv::pre(&with_url, daytime(0));
+        assert_eq!(eval("not-a-number", &env), EvalDecision::Unevaluated);
+
+        let without_url = SecurityContext::new().with_user("alice");
+        let env = EvalEnv::pre(&without_url, daytime(0));
+        assert_eq!(eval("3.0", &env), EvalDecision::Unevaluated);
+    }
+}

@@ -1,0 +1,345 @@
+//! The standard evaluator catalog: one-call registration of every built-in
+//! condition routine, and config-file–driven selective registration
+//! (§6 step 1).
+
+use crate::actions::{audit_evaluator, notify_evaluator, update_log_evaluator};
+use crate::anomaly::anomaly_evaluator;
+use crate::expr::expr_evaluator;
+use crate::firewall::{block_network_evaluator, stop_service_evaluator, Firewall};
+use crate::identity::{group_evaluator, host_evaluator, user_evaluator, GroupStore};
+use crate::location::location_evaluator;
+use crate::regex::regex_evaluator;
+use crate::session::{
+    disable_account_evaluator, terminate_session_evaluator, SessionRegistry,
+};
+use crate::resource::{
+    cpu_limit_evaluator, files_limit_evaluator, mem_limit_evaluator, wall_limit_evaluator,
+};
+use crate::threat::threat_level_evaluator;
+use crate::threshold::{threshold_evaluator, ThresholdTracker};
+use crate::time::time_window_evaluator;
+use gaa_audit::log::AuditLog;
+use gaa_audit::notify::Notifier;
+use gaa_audit::time::Clock;
+use gaa_core::config::ConfigFile;
+use gaa_core::GaaApiBuilder;
+use gaa_ids::anomaly::AnomalyDetector;
+use gaa_ids::ThreatMonitor;
+use std::sync::Arc;
+
+/// The shared services the standard evaluators depend on.
+///
+/// One bundle serves the whole application; clone freely (all members share
+/// state through `Arc`s).
+#[derive(Clone)]
+pub struct StandardServices {
+    /// Clock shared with the API and server.
+    pub clock: Arc<dyn Clock>,
+    /// The IDS threat-level provider (§7.1).
+    pub threat: ThreatMonitor,
+    /// The mutable group store (BadGuys blacklist, §7.2).
+    pub groups: GroupStore,
+    /// Notification transport (§7.2 `rr_cond notify`).
+    pub notifier: Arc<dyn Notifier>,
+    /// Audit log shared with the server.
+    pub audit: AuditLog,
+    /// Sliding-window event tracker (§3 item 4 thresholds).
+    pub thresholds: ThresholdTracker,
+    /// Connection-level countermeasures (§1: network blocks, service stop).
+    pub firewall: Firewall,
+    /// Profile builder / anomaly detector (§9 future work, implemented).
+    pub anomaly: AnomalyDetector,
+    /// Session store (§1: "terminating the session, logging the user off").
+    pub sessions: SessionRegistry,
+}
+
+impl StandardServices {
+    /// Builds a service bundle over `clock` and `notifier` with fresh
+    /// shared state.
+    pub fn new(clock: Arc<dyn Clock>, notifier: Arc<dyn Notifier>) -> Self {
+        StandardServices {
+            threat: ThreatMonitor::new(clock.clone()),
+            groups: GroupStore::new(),
+            audit: AuditLog::new(),
+            thresholds: ThresholdTracker::new(clock.clone()),
+            firewall: Firewall::new(clock.clone()),
+            anomaly: AnomalyDetector::new(),
+            sessions: SessionRegistry::new(clock.clone()),
+            clock,
+            notifier,
+        }
+    }
+}
+
+/// Registers the **entire** standard condition library on `builder` under
+/// the names the paper's policies use.
+///
+/// | type | authority |
+/// |---|---|
+/// | `regex` | `gnu` |
+/// | `system_threat_level` | `local` |
+/// | `accessid` | `USER`, `GROUP`, `HOST` |
+/// | `location` | `local` |
+/// | `time_window` | `local` |
+/// | `expr` | `local` |
+/// | `threshold` | `local` |
+/// | `notify` | `local` |
+/// | `update_log` | `local` |
+/// | `audit` | `local` |
+/// | `cpu_limit`, `mem_limit`, `wall_limit`, `files_limit` | `local` |
+///
+/// The `redirect` type is intentionally **not** registered (§6 2d).
+///
+/// Also wires the services' shared [`AuditLog`] into the API so evaluator
+/// faults, denials and mid-condition violations land in the same log the
+/// response actions write to.
+#[must_use]
+pub fn register_standard(builder: GaaApiBuilder, services: &StandardServices) -> GaaApiBuilder {
+    builder
+        .with_audit(services.audit.clone())
+        .register("regex", "gnu", regex_evaluator)
+        .register(
+            "system_threat_level",
+            "local",
+            threat_level_evaluator(services.threat.clone()),
+        )
+        .register("accessid", "USER", user_evaluator())
+        .register(
+            "accessid",
+            "GROUP",
+            group_evaluator(services.groups.clone()),
+        )
+        .register("accessid", "HOST", host_evaluator())
+        .register("location", "local", location_evaluator())
+        .register("time_window", "local", time_window_evaluator())
+        .register("expr", "local", expr_evaluator())
+        .register(
+            "threshold",
+            "local",
+            threshold_evaluator(services.thresholds.clone()),
+        )
+        .register(
+            "notify",
+            "local",
+            notify_evaluator(services.notifier.clone(), services.audit.clone()),
+        )
+        .register(
+            "update_log",
+            "local",
+            update_log_evaluator(services.groups.clone(), services.audit.clone()),
+        )
+        .register("audit", "local", audit_evaluator(services.audit.clone()))
+        .register(
+            "block_network",
+            "local",
+            block_network_evaluator(services.firewall.clone()),
+        )
+        .register(
+            "stop_service",
+            "local",
+            stop_service_evaluator(services.firewall.clone()),
+        )
+        .register("anomaly", "local", anomaly_evaluator(services.anomaly.clone()))
+        .register(
+            "terminate_session",
+            "local",
+            terminate_session_evaluator(services.sessions.clone(), services.audit.clone()),
+        )
+        .register(
+            "disable_account",
+            "local",
+            disable_account_evaluator(
+                services.sessions.clone(),
+                services.groups.clone(),
+                services.audit.clone(),
+            ),
+        )
+        .register("cpu_limit", "local", cpu_limit_evaluator())
+        .register("mem_limit", "local", mem_limit_evaluator())
+        .register("wall_limit", "local", wall_limit_evaluator())
+        .register("files_limit", "local", files_limit_evaluator())
+}
+
+/// Registers only the routines named by `register` lines in `config`,
+/// resolving `builtin:<name>` routine names against the standard catalog.
+///
+/// Unknown routine names are skipped and returned so the caller can report
+/// them (§6 initializes from system *and* local configuration files; a typo
+/// in one must not silently disable the rest).
+pub fn register_from_config(
+    mut builder: GaaApiBuilder,
+    config: &ConfigFile,
+    services: &StandardServices,
+) -> (GaaApiBuilder, Vec<String>) {
+    let mut unknown = Vec::new();
+    for registration in &config.registrations {
+        let cond_type = registration.cond_type.clone();
+        let authority = registration.authority.clone();
+        builder = match registration.routine.as_str() {
+            "builtin:regex" => builder.register(cond_type, authority, regex_evaluator),
+            "builtin:system_threat_level" => builder.register(
+                cond_type,
+                authority,
+                threat_level_evaluator(services.threat.clone()),
+            ),
+            "builtin:accessid_user" => builder.register(cond_type, authority, user_evaluator()),
+            "builtin:accessid_group" => builder.register(
+                cond_type,
+                authority,
+                group_evaluator(services.groups.clone()),
+            ),
+            "builtin:accessid_host" => builder.register(cond_type, authority, host_evaluator()),
+            "builtin:location" => builder.register(cond_type, authority, location_evaluator()),
+            "builtin:time_window" => {
+                builder.register(cond_type, authority, time_window_evaluator())
+            }
+            "builtin:expr" => builder.register(cond_type, authority, expr_evaluator()),
+            "builtin:threshold" => builder.register(
+                cond_type,
+                authority,
+                threshold_evaluator(services.thresholds.clone()),
+            ),
+            "builtin:notify" => builder.register(
+                cond_type,
+                authority,
+                notify_evaluator(services.notifier.clone(), services.audit.clone()),
+            ),
+            "builtin:update_log" => builder.register(
+                cond_type,
+                authority,
+                update_log_evaluator(services.groups.clone(), services.audit.clone()),
+            ),
+            "builtin:audit" => {
+                builder.register(cond_type, authority, audit_evaluator(services.audit.clone()))
+            }
+            "builtin:block_network" => builder.register(
+                cond_type,
+                authority,
+                block_network_evaluator(services.firewall.clone()),
+            ),
+            "builtin:stop_service" => builder.register(
+                cond_type,
+                authority,
+                stop_service_evaluator(services.firewall.clone()),
+            ),
+            "builtin:terminate_session" => builder.register(
+                cond_type,
+                authority,
+                terminate_session_evaluator(services.sessions.clone(), services.audit.clone()),
+            ),
+            "builtin:disable_account" => builder.register(
+                cond_type,
+                authority,
+                disable_account_evaluator(
+                    services.sessions.clone(),
+                    services.groups.clone(),
+                    services.audit.clone(),
+                ),
+            ),
+            "builtin:anomaly" => builder.register(
+                cond_type,
+                authority,
+                anomaly_evaluator(services.anomaly.clone()),
+            ),
+            "builtin:cpu_limit" => builder.register(cond_type, authority, cpu_limit_evaluator()),
+            "builtin:mem_limit" => builder.register(cond_type, authority, mem_limit_evaluator()),
+            "builtin:wall_limit" => builder.register(cond_type, authority, wall_limit_evaluator()),
+            "builtin:files_limit" => {
+                builder.register(cond_type, authority, files_limit_evaluator())
+            }
+            other => {
+                unknown.push(other.to_string());
+                builder
+            }
+        };
+    }
+    (builder, unknown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::notify::CollectingNotifier;
+    use gaa_audit::VirtualClock;
+    use gaa_core::config::parse_config;
+    use gaa_core::{MemoryPolicyStore, RightPattern, SecurityContext};
+    use gaa_eacl::parse_eacl;
+    use gaa_ids::ThreatLevel;
+
+    fn services() -> StandardServices {
+        StandardServices::new(
+            Arc::new(VirtualClock::new()),
+            Arc::new(CollectingNotifier::new()),
+        )
+    }
+
+    #[test]
+    fn standard_registration_covers_paper_policies() {
+        let services = services();
+        let mut store = MemoryPolicyStore::new();
+        // The §7.2 local policy, verbatim semantics.
+        store.set_local(
+            "/cgi-bin/phf",
+            vec![parse_eacl(
+                "neg_access_right apache *\n\
+                 pre_cond regex gnu *phf* *test-cgi*\n\
+                 rr_cond notify local on:failure/sysadmin/info:cgi_exploit\n\
+                 rr_cond update_log local on:failure/BadGuys/info:ip\n\
+                 pos_access_right apache *\n",
+            )
+            .unwrap()],
+        );
+        let api = register_standard(
+            GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+            &services,
+        )
+        .build();
+
+        let policy = api.get_object_policy_info("/cgi-bin/phf").unwrap();
+        let ctx = SecurityContext::new()
+            .with_client_ip("203.0.113.9")
+            .with_object("/cgi-bin/phf")
+            .with_param(gaa_core::Param::new("url", "apache", "/cgi-bin/phf?Q=x"));
+        let result =
+            api.check_authorization(&policy, &RightPattern::new("apache", "GET"), &ctx);
+        assert!(result.status().is_no(), "{result}");
+        assert!(services.groups.contains("BadGuys", "203.0.113.9"));
+    }
+
+    #[test]
+    fn redirect_is_not_registered() {
+        let services = services();
+        let api = register_standard(
+            GaaApiBuilder::new(Arc::new(MemoryPolicyStore::new())),
+            &services,
+        )
+        .build();
+        assert!(!api.registry().is_registered("redirect", "local"));
+        assert!(api.registry().is_registered("regex", "gnu"));
+        assert!(api.registry().is_registered("accessid", "GROUP"));
+        assert!(api.registry().len() >= 16);
+    }
+
+    #[test]
+    fn config_driven_registration() {
+        let services = services();
+        services.threat.set_level(ThreatLevel::High);
+        let config = parse_config(
+            "register system_threat_level local builtin:system_threat_level\n\
+             register regex gnu builtin:regex\n\
+             register custom_thing local plugin:does_not_exist\n",
+        )
+        .unwrap();
+        let (builder, unknown) = register_from_config(
+            GaaApiBuilder::new(Arc::new(MemoryPolicyStore::new())),
+            &config,
+            &services,
+        );
+        assert_eq!(unknown, vec!["plugin:does_not_exist".to_string()]);
+        let api = builder.build();
+        assert!(api.registry().is_registered("system_threat_level", "local"));
+        assert!(api.registry().is_registered("regex", "gnu"));
+        assert!(!api.registry().is_registered("custom_thing", "local"));
+        assert!(!api.registry().is_registered("accessid", "USER"));
+    }
+}

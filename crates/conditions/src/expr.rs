@@ -1,0 +1,158 @@
+//! The `expr` condition: numeric comparisons over request parameters.
+//!
+//! §7.2: "The pre-condition `pre_cond expr local >1000` checks that the
+//! length of input to a CGI script is no longer than 1000 characters. This
+//! condition detects buffer overflow attacks, e.g. Code Red IIS attack."
+//!
+//! Value syntax: `<param><op><number>` where `<param>` names a context
+//! parameter (e.g. `query_len`, `header_count`, `content_length`), `<op>` is
+//! one of `< <= > >= = !=`, and bare `<op><number>` defaults the parameter
+//! to `query_len` (matching the paper's shorthand above).
+//!
+//! The condition is **met when the comparison holds** — §7.2 attaches
+//! `>1000` to a *negative* right, so an oversized input matches the guard
+//! and the entry denies.
+
+use gaa_core::{EvalDecision, EvalEnv};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl Op {
+    fn apply(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            Op::Lt => lhs < rhs,
+            Op::Le => lhs <= rhs,
+            Op::Gt => lhs > rhs,
+            Op::Ge => lhs >= rhs,
+            Op::Eq => (lhs - rhs).abs() < f64::EPSILON,
+            Op::Ne => (lhs - rhs).abs() >= f64::EPSILON,
+        }
+    }
+}
+
+/// Default parameter consulted when the expression names none.
+pub const DEFAULT_PARAM: &str = "query_len";
+
+fn parse_expr(value: &str) -> Option<(String, Op, f64)> {
+    let value = value.trim();
+    let op_pos = value.find(['<', '>', '=', '!'])?;
+    let (param, rest) = value.split_at(op_pos);
+    let param = param.trim();
+    let param = if param.is_empty() { DEFAULT_PARAM } else { param };
+
+    let (op, number) = if let Some(n) = rest.strip_prefix("<=") {
+        (Op::Le, n)
+    } else if let Some(n) = rest.strip_prefix(">=") {
+        (Op::Ge, n)
+    } else if let Some(n) = rest.strip_prefix("!=") {
+        (Op::Ne, n)
+    } else if let Some(n) = rest.strip_prefix("==") {
+        (Op::Eq, n)
+    } else if let Some(n) = rest.strip_prefix('<') {
+        (Op::Lt, n)
+    } else if let Some(n) = rest.strip_prefix('>') {
+        (Op::Gt, n)
+    } else if let Some(n) = rest.strip_prefix('=') {
+        (Op::Eq, n)
+    } else {
+        return None;
+    };
+    let number: f64 = number.trim().parse().ok()?;
+    Some((param.to_string(), op, number))
+}
+
+/// Builds the `expr` evaluator.
+///
+/// * malformed expression → `Unevaluated`;
+/// * named parameter missing from the context → `Unevaluated`;
+/// * parameter present but non-numeric → `Unevaluated`.
+pub fn expr_evaluator() -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    |value: &str, env: &EvalEnv<'_>| {
+        let Some((param, op, rhs)) = parse_expr(value) else {
+            return EvalDecision::Unevaluated;
+        };
+        let Some(text) = env.context.param(&param) else {
+            return EvalDecision::Unevaluated;
+        };
+        let Ok(lhs) = text.trim().parse::<f64>() else {
+            return EvalDecision::Unevaluated;
+        };
+        if op.apply(lhs, rhs) {
+            EvalDecision::Met
+        } else {
+            EvalDecision::NotMet
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::Timestamp;
+    use gaa_core::{Param, SecurityContext};
+
+    fn ctx_with(param: &str, value: &str) -> SecurityContext {
+        SecurityContext::new().with_param(Param::new(param, "apache", value))
+    }
+
+    fn eval_on(ctx: &SecurityContext, value: &str) -> EvalDecision {
+        let eval = expr_evaluator();
+        let env = EvalEnv::pre(ctx, Timestamp::from_millis(0));
+        eval(value, &env)
+    }
+
+    #[test]
+    fn paper_overflow_shorthand() {
+        // ">1000" with no parameter name reads query_len.
+        let long = ctx_with("query_len", "1001");
+        let short = ctx_with("query_len", "42");
+        assert_eq!(eval_on(&long, ">1000"), EvalDecision::Met);
+        assert_eq!(eval_on(&short, ">1000"), EvalDecision::NotMet);
+        assert_eq!(eval_on(&ctx_with("query_len", "1000"), ">1000"), EvalDecision::NotMet);
+    }
+
+    #[test]
+    fn named_parameters_and_all_operators() {
+        let ctx = ctx_with("header_count", "30");
+        assert_eq!(eval_on(&ctx, "header_count>20"), EvalDecision::Met);
+        assert_eq!(eval_on(&ctx, "header_count>=30"), EvalDecision::Met);
+        assert_eq!(eval_on(&ctx, "header_count<30"), EvalDecision::NotMet);
+        assert_eq!(eval_on(&ctx, "header_count<=30"), EvalDecision::Met);
+        assert_eq!(eval_on(&ctx, "header_count=30"), EvalDecision::Met);
+        assert_eq!(eval_on(&ctx, "header_count==30"), EvalDecision::Met);
+        assert_eq!(eval_on(&ctx, "header_count!=30"), EvalDecision::NotMet);
+        assert_eq!(eval_on(&ctx, "header_count!=31"), EvalDecision::Met);
+    }
+
+    #[test]
+    fn floats_and_whitespace() {
+        let ctx = ctx_with("load", "0.75");
+        assert_eq!(eval_on(&ctx, "load > 0.5"), EvalDecision::Met);
+        assert_eq!(eval_on(&ctx, " load <= 0.75 "), EvalDecision::Met);
+    }
+
+    #[test]
+    fn missing_or_non_numeric_parameter_is_unevaluated() {
+        let ctx = SecurityContext::new();
+        assert_eq!(eval_on(&ctx, ">1000"), EvalDecision::Unevaluated);
+        let ctx = ctx_with("query_len", "not-a-number");
+        assert_eq!(eval_on(&ctx, ">1000"), EvalDecision::Unevaluated);
+    }
+
+    #[test]
+    fn malformed_expressions_are_unevaluated() {
+        let ctx = ctx_with("query_len", "5");
+        assert_eq!(eval_on(&ctx, "query_len"), EvalDecision::Unevaluated);
+        assert_eq!(eval_on(&ctx, ">"), EvalDecision::Unevaluated);
+        assert_eq!(eval_on(&ctx, ">abc"), EvalDecision::Unevaluated);
+        assert_eq!(eval_on(&ctx, ""), EvalDecision::Unevaluated);
+    }
+}

@@ -1,0 +1,324 @@
+//! Connection-level countermeasures.
+//!
+//! §1's response catalogue goes beyond denying a request: "modifying overall
+//! system protection. Examples include terminating the session, logging the
+//! user off the system, disabling local account or **blocking connections
+//! from particular parts of the network or stopping selected services**
+//! (e.g., disable ssh connections)."
+//!
+//! [`Firewall`] implements those two: a shared prefix/CIDR block list
+//! consulted *before* request parsing (blocked sources cost no policy
+//! evaluation at all), and a service kill-switch that answers 503 until an
+//! administrator re-enables the service. Every mutation enqueues an
+//! [`Alert`] for the administrator — automated blocking
+//! without human review is exactly the DoS vector the paper warns about, so
+//! the queue records what was done, to whom, and why, for easy reversal.
+
+use gaa_audit::alert::{Alert, AlertQueue};
+use gaa_audit::log::AuditSeverity;
+use gaa_audit::time::{Clock, Timestamp};
+use crate::location::LocationPattern;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct FirewallState {
+    rules: Vec<(String, LocationPattern)>,
+}
+
+/// Shared connection-level blocker and service switch.
+///
+/// Cloning shares all state.
+#[derive(Clone)]
+pub struct Firewall {
+    state: Arc<RwLock<FirewallState>>,
+    service_enabled: Arc<AtomicBool>,
+    dropped: Arc<AtomicU64>,
+    alerts: AlertQueue,
+    clock: Arc<dyn Clock>,
+}
+
+impl fmt::Debug for Firewall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Firewall")
+            .field("rules", &self.state.read().rules.len())
+            .field("service_enabled", &self.service_enabled.load(Ordering::Relaxed))
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Firewall {
+    /// An empty firewall (service enabled, nothing blocked).
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Firewall {
+            state: Arc::new(RwLock::new(FirewallState { rules: Vec::new() })),
+            service_enabled: Arc::new(AtomicBool::new(true)),
+            dropped: Arc::new(AtomicU64::new(0)),
+            alerts: AlertQueue::new(),
+            clock,
+        }
+    }
+
+    /// Uses `alerts` for administrator review instead of an internal queue.
+    #[must_use]
+    pub fn with_alert_queue(mut self, alerts: AlertQueue) -> Self {
+        self.alerts = alerts;
+        self
+    }
+
+    /// The administrator review queue.
+    pub fn alerts(&self) -> &AlertQueue {
+        &self.alerts
+    }
+
+    /// Blocks a network pattern (`10.`, `203.0.113.0/24`, a single address),
+    /// citing `reason` in the admin alert. Malformed patterns are rejected
+    /// (returned as `Err`) — a typo must not silently block nothing or
+    /// everything.
+    pub fn block(&self, pattern: &str, reason: &str) -> Result<(), String> {
+        let parsed = LocationPattern::parse(pattern)
+            .ok_or_else(|| format!("malformed network pattern `{pattern}`"))?;
+        if matches!(parsed, LocationPattern::All) {
+            return Err("refusing to block `all` (use disable_service)".to_string());
+        }
+        let mut state = self.state.write();
+        if state.rules.iter().any(|(p, _)| p == pattern) {
+            return Ok(()); // idempotent
+        }
+        state.rules.push((pattern.to_string(), parsed));
+        drop(state);
+        self.alerts.push(Alert {
+            time: self.now(),
+            severity: AuditSeverity::Alert,
+            action_taken: format!("blocked network {pattern}"),
+            reason: reason.to_string(),
+            subject: pattern.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Removes a block; returns whether it existed.
+    pub fn unblock(&self, pattern: &str) -> bool {
+        let mut state = self.state.write();
+        let before = state.rules.len();
+        state.rules.retain(|(p, _)| p != pattern);
+        state.rules.len() != before
+    }
+
+    /// Is `ip` covered by any block rule?
+    pub fn is_blocked(&self, ip: &str) -> bool {
+        self.state
+            .read()
+            .rules
+            .iter()
+            .any(|(_, pattern)| pattern.matches(ip))
+    }
+
+    /// Records that a connection was refused (for reporting).
+    pub fn count_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections refused so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Currently blocked patterns, in insertion order.
+    pub fn rules(&self) -> Vec<String> {
+        self.state.read().rules.iter().map(|(p, _)| p.clone()).collect()
+    }
+
+    /// Stops the service entirely (everything answers 503), citing `reason`.
+    pub fn disable_service(&self, reason: &str) {
+        let was_enabled = self.service_enabled.swap(false, Ordering::SeqCst);
+        if was_enabled {
+            self.alerts.push(Alert {
+                time: self.now(),
+                severity: AuditSeverity::Alert,
+                action_taken: "service disabled".to_string(),
+                reason: reason.to_string(),
+                subject: "service".to_string(),
+            });
+        }
+    }
+
+    /// Re-enables the service (administrator action).
+    pub fn enable_service(&self) {
+        self.service_enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Is the service accepting requests?
+    pub fn service_enabled(&self) -> bool {
+        self.service_enabled.load(Ordering::SeqCst)
+    }
+
+    fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+}
+
+/// Builds the `block_network` response action (§1: "blocking connections
+/// from particular parts of the network").
+///
+/// Value syntax reuses the action grammar: `on:failure/<scope>/info:<tag>`
+/// with scope `ip` (block exactly the client address) or `subnet` (block
+/// the client's /24). The action is Met whether or not it fired; it is
+/// Unevaluated when no client address is available or the spec is
+/// malformed.
+pub fn block_network_evaluator(
+    firewall: Firewall,
+) -> impl Fn(&str, &gaa_core::EvalEnv<'_>) -> gaa_core::EvalDecision + Send + Sync {
+    use crate::actions::ActionSpec;
+    use gaa_core::EvalDecision;
+    move |value: &str, env: &gaa_core::EvalEnv<'_>| {
+        let Some(spec) = ActionSpec::parse(value) else {
+            return EvalDecision::Unevaluated;
+        };
+        let outcome = match env.phase {
+            gaa_eacl::CondPhase::Post => env.operation_outcome,
+            _ => env.request_outcome,
+        };
+        let Some(outcome) = outcome else {
+            return EvalDecision::Unevaluated;
+        };
+        if !spec.trigger.fires(outcome) {
+            return EvalDecision::Met;
+        }
+        let Some(ip) = env.context.client_ip() else {
+            return EvalDecision::Unevaluated;
+        };
+        let pattern = match spec.target.as_str() {
+            "subnet" => match ip.rsplit_once('.') {
+                Some((net, _)) => format!("{net}.0/24"),
+                None => ip.to_string(),
+            },
+            _ => ip.to_string(), // "ip" and anything else: exact address
+        };
+        let reason = if spec.info.is_empty() {
+            "policy response action".to_string()
+        } else {
+            spec.info.clone()
+        };
+        // For a well-formed client IP the derived pattern always parses; a
+        // context carrying garbage is refused by the firewall's own
+        // validation.
+        let _ = firewall.block(&pattern, &reason);
+        EvalDecision::Met
+    }
+}
+
+/// Builds the `stop_service` response action (§1: "stopping selected
+/// services"). Value: `on:failure/service/info:<reason>`.
+pub fn stop_service_evaluator(
+    firewall: Firewall,
+) -> impl Fn(&str, &gaa_core::EvalEnv<'_>) -> gaa_core::EvalDecision + Send + Sync {
+    use crate::actions::ActionSpec;
+    use gaa_core::EvalDecision;
+    move |value: &str, env: &gaa_core::EvalEnv<'_>| {
+        let Some(spec) = ActionSpec::parse(value) else {
+            return EvalDecision::Unevaluated;
+        };
+        let outcome = match env.phase {
+            gaa_eacl::CondPhase::Post => env.operation_outcome,
+            _ => env.request_outcome,
+        };
+        let Some(outcome) = outcome else {
+            return EvalDecision::Unevaluated;
+        };
+        if spec.trigger.fires(outcome) {
+            let reason = if spec.info.is_empty() {
+                "policy response action".to_string()
+            } else {
+                spec.info.clone()
+            };
+            firewall.disable_service(&reason);
+        }
+        EvalDecision::Met
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::VirtualClock;
+
+    fn firewall() -> Firewall {
+        Firewall::new(Arc::new(VirtualClock::new()))
+    }
+
+    #[test]
+    fn block_prefix_and_cidr() {
+        let fw = firewall();
+        fw.block("203.0.113.", "scan source").unwrap();
+        fw.block("10.9.0.0/16", "compromised subnet").unwrap();
+        assert!(fw.is_blocked("203.0.113.77"));
+        assert!(fw.is_blocked("10.9.200.1"));
+        assert!(!fw.is_blocked("10.8.0.1"));
+        assert!(!fw.is_blocked("192.0.2.1"));
+        assert_eq!(fw.rules().len(), 2);
+    }
+
+    #[test]
+    fn block_is_idempotent_and_reversible() {
+        let fw = firewall();
+        fw.block("203.0.113.9", "x").unwrap();
+        fw.block("203.0.113.9", "x").unwrap();
+        assert_eq!(fw.rules().len(), 1);
+        assert_eq!(fw.alerts().len(), 1, "idempotent re-block must not re-alert");
+        assert!(fw.unblock("203.0.113.9"));
+        assert!(!fw.unblock("203.0.113.9"));
+        assert!(!fw.is_blocked("203.0.113.9"));
+    }
+
+    #[test]
+    fn malformed_and_blanket_patterns_rejected() {
+        let fw = firewall();
+        assert!(fw.block("not-an-ip", "x").is_err());
+        assert!(fw.block("all", "x").is_err());
+        assert!(fw.rules().is_empty());
+    }
+
+    #[test]
+    fn service_switch() {
+        let fw = firewall();
+        assert!(fw.service_enabled());
+        fw.disable_service("under attack");
+        assert!(!fw.service_enabled());
+        fw.disable_service("again"); // no duplicate alert
+        assert_eq!(fw.alerts().len(), 1);
+        fw.enable_service();
+        assert!(fw.service_enabled());
+    }
+
+    #[test]
+    fn every_block_is_reviewable() {
+        let fw = firewall();
+        fw.block("203.0.113.9", "matched signature *phf*").unwrap();
+        let alerts = fw.alerts().drain();
+        assert_eq!(alerts.len(), 1);
+        assert!(alerts[0].action_taken.contains("203.0.113.9"));
+        assert!(alerts[0].reason.contains("*phf*"));
+    }
+
+    #[test]
+    fn drop_counting() {
+        let fw = firewall();
+        fw.count_drop();
+        fw.count_drop();
+        assert_eq!(fw.dropped(), 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = firewall();
+        let b = a.clone();
+        a.block("10.", "x").unwrap();
+        assert!(b.is_blocked("10.0.0.1"));
+        b.disable_service("y");
+        assert!(!a.service_enabled());
+    }
+}

@@ -1,0 +1,235 @@
+//! Access-identity conditions and the mutable group store.
+//!
+//! §7 uses three identity authorities:
+//!
+//! * `accessid USER <pattern>` — the authenticated user (pattern `*` means
+//!   "any authenticated user", the §7.1 lockdown requirement);
+//! * `accessid GROUP <group>` — membership in a named group. §7.2's
+//!   `BadGuys` group is *mutable at run time*: the `update_log` response
+//!   action appends attacker IPs, so later requests from those hosts are
+//!   denied even when probing unknown vulnerabilities;
+//! * `accessid HOST <prefix>` — the client host/IP (prefix or glob).
+//!
+//! Evaluation rules:
+//!
+//! * `USER`: no authenticated user → **Unevaluated** (the application can
+//!   request credentials — §6 translates the resulting `MAYBE` to
+//!   HTTP_AUTH_REQUIRED); user present → Met/NotMet by glob match;
+//! * `GROUP`: Met when the context's groups *or* the shared [`GroupStore`]
+//!   (keyed by user and by client IP) contain the group;
+//! * `HOST`: Met when the client IP matches; no client IP → Unevaluated.
+
+use gaa_core::{EvalDecision, EvalEnv};
+use gaa_ids::matcher::glob_match_ci;
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Shared, mutable group-membership store.
+///
+/// Backs `accessid GROUP` conditions and the `update_log` response action.
+/// Members may be user names or IP addresses — §7.2 blacklists IPs.
+/// Cloning shares the store.
+#[derive(Debug, Clone, Default)]
+pub struct GroupStore {
+    groups: Arc<RwLock<HashMap<String, HashSet<String>>>>,
+}
+
+impl GroupStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        GroupStore::default()
+    }
+
+    /// Adds `member` to `group`; returns whether it was newly added.
+    pub fn add(&self, group: &str, member: &str) -> bool {
+        self.groups
+            .write()
+            .entry(group.to_string())
+            .or_default()
+            .insert(member.to_string())
+    }
+
+    /// Removes `member` from `group`; returns whether it was present.
+    pub fn remove(&self, group: &str, member: &str) -> bool {
+        self.groups
+            .write()
+            .get_mut(group)
+            .is_some_and(|set| set.remove(member))
+    }
+
+    /// Is `member` in `group`?
+    pub fn contains(&self, group: &str, member: &str) -> bool {
+        self.groups
+            .read()
+            .get(group)
+            .is_some_and(|set| set.contains(member))
+    }
+
+    /// Number of members in `group` (0 when absent).
+    pub fn len(&self, group: &str) -> usize {
+        self.groups.read().get(group).map_or(0, HashSet::len)
+    }
+
+    /// Is `group` absent or empty?
+    pub fn is_empty(&self, group: &str) -> bool {
+        self.len(group) == 0
+    }
+
+    /// Snapshot of a group's members, sorted.
+    pub fn members(&self, group: &str) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .groups
+            .read()
+            .get(group)
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+}
+
+/// Builds the `accessid USER` evaluator.
+pub fn user_evaluator() -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    |value: &str, env: &EvalEnv<'_>| match env.context.user() {
+        Some(user) if value == "*" || glob_match_ci(value, user) => EvalDecision::Met,
+        Some(_) => EvalDecision::NotMet,
+        None => EvalDecision::Unevaluated,
+    }
+}
+
+/// Builds the `accessid GROUP` evaluator over a shared [`GroupStore`].
+pub fn group_evaluator(
+    store: GroupStore,
+) -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    move |value: &str, env: &EvalEnv<'_>| {
+        let group = value.trim();
+        if env.context.in_group(group) {
+            return EvalDecision::Met;
+        }
+        if let Some(user) = env.context.user() {
+            if store.contains(group, user) {
+                return EvalDecision::Met;
+            }
+        }
+        if let Some(ip) = env.context.client_ip() {
+            if store.contains(group, ip) {
+                return EvalDecision::Met;
+            }
+        }
+        EvalDecision::NotMet
+    }
+}
+
+/// Builds the `accessid HOST` evaluator (prefix or glob on the client IP).
+pub fn host_evaluator() -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    |value: &str, env: &EvalEnv<'_>| match env.context.client_ip() {
+        Some(ip) => {
+            let matched = value
+                .split_whitespace()
+                .any(|pat| ip.starts_with(pat) || glob_match_ci(pat, ip));
+            if matched {
+                EvalDecision::Met
+            } else {
+                EvalDecision::NotMet
+            }
+        }
+        None => EvalDecision::Unevaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::Timestamp;
+    use gaa_core::SecurityContext;
+
+    fn env_of(ctx: &SecurityContext) -> EvalEnv<'_> {
+        EvalEnv::pre(ctx, Timestamp::from_millis(0))
+    }
+
+    #[test]
+    fn group_store_add_remove_contains() {
+        let store = GroupStore::new();
+        assert!(store.is_empty("BadGuys"));
+        assert!(store.add("BadGuys", "203.0.113.9"));
+        assert!(!store.add("BadGuys", "203.0.113.9")); // duplicate
+        assert!(store.contains("BadGuys", "203.0.113.9"));
+        assert_eq!(store.len("BadGuys"), 1);
+        assert_eq!(store.members("BadGuys"), vec!["203.0.113.9".to_string()]);
+        assert!(store.remove("BadGuys", "203.0.113.9"));
+        assert!(!store.remove("BadGuys", "203.0.113.9"));
+        assert!(store.is_empty("BadGuys"));
+    }
+
+    #[test]
+    fn group_store_clones_share() {
+        let a = GroupStore::new();
+        let b = a.clone();
+        a.add("G", "x");
+        assert!(b.contains("G", "x"));
+    }
+
+    #[test]
+    fn user_evaluator_tristate() {
+        let eval = user_evaluator();
+        let alice = SecurityContext::new().with_user("alice");
+        let anon = SecurityContext::new();
+        assert_eq!(eval("alice", &env_of(&alice)), EvalDecision::Met);
+        assert_eq!(eval("*", &env_of(&alice)), EvalDecision::Met);
+        assert_eq!(eval("bob", &env_of(&alice)), EvalDecision::NotMet);
+        assert_eq!(eval("al*", &env_of(&alice)), EvalDecision::Met);
+        assert_eq!(eval("*", &env_of(&anon)), EvalDecision::Unevaluated);
+    }
+
+    #[test]
+    fn group_evaluator_checks_context_groups() {
+        let eval = group_evaluator(GroupStore::new());
+        let ctx = SecurityContext::new().with_user("alice").with_group("staff");
+        assert_eq!(eval("staff", &env_of(&ctx)), EvalDecision::Met);
+        assert_eq!(eval("admins", &env_of(&ctx)), EvalDecision::NotMet);
+    }
+
+    #[test]
+    fn group_evaluator_checks_store_by_user_and_ip() {
+        let store = GroupStore::new();
+        store.add("BadGuys", "203.0.113.9");
+        store.add("VIPs", "alice");
+        let eval = group_evaluator(store);
+
+        let by_ip = SecurityContext::new().with_client_ip("203.0.113.9");
+        assert_eq!(eval("BadGuys", &env_of(&by_ip)), EvalDecision::Met);
+
+        let by_user = SecurityContext::new().with_user("alice").with_client_ip("10.0.0.1");
+        assert_eq!(eval("VIPs", &env_of(&by_user)), EvalDecision::Met);
+        assert_eq!(eval("BadGuys", &env_of(&by_user)), EvalDecision::NotMet);
+
+        let anon = SecurityContext::new();
+        assert_eq!(eval("BadGuys", &env_of(&anon)), EvalDecision::NotMet);
+    }
+
+    #[test]
+    fn blacklist_growth_changes_decision_without_reload() {
+        // The §7.2 flow: same evaluator instance, store mutated between
+        // requests.
+        let store = GroupStore::new();
+        let eval = group_evaluator(store.clone());
+        let ctx = SecurityContext::new().with_client_ip("203.0.113.9");
+        assert_eq!(eval("BadGuys", &env_of(&ctx)), EvalDecision::NotMet);
+        store.add("BadGuys", "203.0.113.9");
+        assert_eq!(eval("BadGuys", &env_of(&ctx)), EvalDecision::Met);
+    }
+
+    #[test]
+    fn host_evaluator_prefix_and_glob() {
+        let eval = host_evaluator();
+        let ctx = SecurityContext::new().with_client_ip("128.9.160.23");
+        assert_eq!(eval("128.9.", &env_of(&ctx)), EvalDecision::Met);
+        assert_eq!(eval("128.9.*", &env_of(&ctx)), EvalDecision::Met);
+        assert_eq!(eval("10.", &env_of(&ctx)), EvalDecision::NotMet);
+        assert_eq!(eval("10. 128.9.", &env_of(&ctx)), EvalDecision::Met); // list
+
+        let anon = SecurityContext::new();
+        assert_eq!(eval("128.9.", &env_of(&anon)), EvalDecision::Unevaluated);
+    }
+}

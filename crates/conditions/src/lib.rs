@@ -1,0 +1,56 @@
+//! # gaa-conditions — the standard condition-evaluator library
+//!
+//! The GAA-API core (`gaa-core`) evaluates policies but knows no condition
+//! semantics: every condition type is served by a registered routine. This
+//! crate is the standard routine library covering everything the paper's
+//! deployments use (§7) plus the adaptive machinery of §2/§3:
+//!
+//! | condition (type, authority) | module | §
+//! |---|---|---|
+//! | `regex gnu <glob…>` / `re:<regex>` | [`regex`] | §7.2 signatures |
+//! | `system_threat_level local =high/>low/…` | [`threat`] | §7.1 |
+//! | `accessid USER/GROUP/HOST <pattern>` | [`identity`] | §7.1, §7.2 |
+//! | `location local <prefix|CIDR…>` | [`location`] | §2 |
+//! | `time_window local 9-17[@mon-fri]` | [`time`] | §2 "after hours" |
+//! | `expr local <param><op><number>` | [`expr`] | §7.2 overflow check |
+//! | `threshold local <key>:<max>/<window_s>` | [`threshold`] | §3 item 4 |
+//! | `notify local on:<trigger>/<rcpt>/info:<tag>` | [`actions`] | §7.2 |
+//! | `update_log local on:<trigger>/<group>/info:ip` | [`actions`] | §7.2 |
+//! | `audit local on:<trigger>/<category>` | [`actions`] | §1 countermeasures |
+//! | `cpu_limit/mem_limit/wall_limit/files_limit local <n>` | [`resource`] | §2 mid-conditions |
+//!
+//! The **redirect** condition type (`redirect local <url>`) is deliberately
+//! *never* registered: per §6 step 2d an unevaluated `pre_cond_redirect`
+//! surfaces as `MAYBE` with the URL in the condition value, which
+//! `AuthorizationResult::answer` translates into a 302.
+//!
+//! [`catalog`] bundles the services (threat monitor, group store, notifier,
+//! audit log, threshold tracker) and registers the whole standard library on
+//! a [`GaaApiBuilder`](gaa_core::GaaApiBuilder) in one call, or selectively
+//! from a parsed configuration file (§6 step 1).
+
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+pub mod actions;
+pub mod advisories;
+pub mod anomaly;
+pub mod catalog;
+pub mod expr;
+pub mod firewall;
+pub mod identity;
+pub mod location;
+pub mod regex;
+pub mod resource;
+pub mod session;
+pub mod threat;
+pub mod threshold;
+pub mod time;
+
+pub use advisories::AdvisoryApplier;
+pub use catalog::{register_standard, StandardServices};
+pub use firewall::Firewall;
+pub use identity::GroupStore;
+pub use regex::Regex;
+pub use session::SessionRegistry;
+pub use threshold::ThresholdTracker;

@@ -1,0 +1,189 @@
+//! The `location` condition: client-address restrictions.
+//!
+//! §2 lists location among the adaptive constraints; §4's `.htaccess`
+//! baseline uses `Allow from <ip-range>`. The value is a whitespace-
+//! separated list of:
+//!
+//! * dotted prefixes — `128.9.` matches `128.9.x.y` (Apache style);
+//! * CIDR blocks — `10.0.0.0/8`;
+//! * the keyword `all`.
+//!
+//! The condition is met when the client IP matches *any* element;
+//! unevaluated when the context has no client IP.
+
+use gaa_core::{EvalDecision, EvalEnv};
+use std::net::Ipv4Addr;
+
+/// One parsed location pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocationPattern {
+    /// Matches every address.
+    All,
+    /// Dotted prefix, e.g. `128.9.`.
+    Prefix(String),
+    /// IPv4 CIDR block.
+    Cidr {
+        /// Network address (host bits already masked off).
+        network: Ipv4Addr,
+        /// Prefix length 0–32.
+        bits: u8,
+    },
+}
+
+impl LocationPattern {
+    /// Parses one pattern; `None` for malformed input.
+    pub fn parse(text: &str) -> Option<LocationPattern> {
+        let text = text.trim();
+        if text.is_empty() {
+            return None;
+        }
+        if text.eq_ignore_ascii_case("all") {
+            return Some(LocationPattern::All);
+        }
+        if let Some((addr, bits)) = text.split_once('/') {
+            let addr: Ipv4Addr = addr.parse().ok()?;
+            let bits: u8 = bits.parse().ok()?;
+            if bits > 32 {
+                return None;
+            }
+            let mask = if bits == 0 {
+                0
+            } else {
+                u32::MAX << (32 - u32::from(bits))
+            };
+            let network = Ipv4Addr::from(u32::from(addr) & mask);
+            return Some(LocationPattern::Cidr { network, bits });
+        }
+        // A full address parses as a /32; anything else dotted is a prefix.
+        if let Ok(addr) = text.parse::<Ipv4Addr>() {
+            return Some(LocationPattern::Cidr {
+                network: addr,
+                bits: 32,
+            });
+        }
+        if text.chars().all(|c| c.is_ascii_digit() || c == '.') {
+            return Some(LocationPattern::Prefix(text.to_string()));
+        }
+        None
+    }
+
+    /// Does this pattern cover `ip`?
+    pub fn matches(&self, ip: &str) -> bool {
+        match self {
+            LocationPattern::All => true,
+            LocationPattern::Prefix(prefix) => ip.starts_with(prefix.as_str()),
+            LocationPattern::Cidr { network, bits } => match ip.parse::<Ipv4Addr>() {
+                Ok(addr) => {
+                    let mask = if *bits == 0 {
+                        0
+                    } else {
+                        u32::MAX << (32 - u32::from(*bits))
+                    };
+                    (u32::from(addr) & mask) == u32::from(*network)
+                }
+                Err(_) => false,
+            },
+        }
+    }
+}
+
+/// Does `ip` match any pattern in the whitespace-separated `value`?
+/// Malformed list elements are skipped (they can never grant access).
+pub fn location_matches(value: &str, ip: &str) -> bool {
+    value
+        .split_whitespace()
+        .filter_map(LocationPattern::parse)
+        .any(|pattern| pattern.matches(ip))
+}
+
+/// Builds the `location` evaluator.
+pub fn location_evaluator() -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    |value: &str, env: &EvalEnv<'_>| match env.context.client_ip() {
+        Some(ip) => {
+            if location_matches(value, ip) {
+                EvalDecision::Met
+            } else {
+                EvalDecision::NotMet
+            }
+        }
+        None => EvalDecision::Unevaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::Timestamp;
+    use gaa_core::SecurityContext;
+
+    #[test]
+    fn prefix_patterns() {
+        let p = LocationPattern::parse("128.9.").unwrap();
+        assert!(p.matches("128.9.160.23"));
+        assert!(!p.matches("128.10.0.1"));
+        // Prefix matching is textual, like Apache's: "128.9" would also
+        // match "128.90.…"; policy authors write the trailing dot.
+        let loose = LocationPattern::parse("128.9").unwrap();
+        assert!(loose.matches("128.90.0.1"));
+    }
+
+    #[test]
+    fn cidr_patterns() {
+        let p = LocationPattern::parse("10.0.0.0/8").unwrap();
+        assert!(p.matches("10.255.1.2"));
+        assert!(!p.matches("11.0.0.1"));
+
+        let p = LocationPattern::parse("192.168.1.0/24").unwrap();
+        assert!(p.matches("192.168.1.200"));
+        assert!(!p.matches("192.168.2.1"));
+
+        // Non-canonical network addresses are masked.
+        let p = LocationPattern::parse("192.168.1.77/24").unwrap();
+        assert!(p.matches("192.168.1.1"));
+
+        let p = LocationPattern::parse("0.0.0.0/0").unwrap();
+        assert!(p.matches("8.8.8.8"));
+    }
+
+    #[test]
+    fn exact_address_is_slash_32() {
+        let p = LocationPattern::parse("203.0.113.9").unwrap();
+        assert!(p.matches("203.0.113.9"));
+        assert!(!p.matches("203.0.113.10"));
+    }
+
+    #[test]
+    fn all_keyword() {
+        assert!(LocationPattern::parse("all").unwrap().matches("1.2.3.4"));
+        assert!(LocationPattern::parse("ALL").unwrap().matches("1.2.3.4"));
+    }
+
+    #[test]
+    fn malformed_patterns_rejected() {
+        assert_eq!(LocationPattern::parse(""), None);
+        assert_eq!(LocationPattern::parse("10.0.0.0/33"), None);
+        assert_eq!(LocationPattern::parse("not-an-ip"), None);
+        assert_eq!(LocationPattern::parse("10.0.0.0/x"), None);
+    }
+
+    #[test]
+    fn list_matching_skips_bad_elements() {
+        assert!(location_matches("garbage 10.0.0.0/8", "10.1.1.1"));
+        assert!(!location_matches("garbage", "10.1.1.1"));
+        assert!(location_matches("128.9. 10.0.0.0/8", "128.9.1.1"));
+    }
+
+    #[test]
+    fn evaluator_tristate() {
+        let eval = location_evaluator();
+        let inside = SecurityContext::new().with_client_ip("128.9.160.23");
+        let outside = SecurityContext::new().with_client_ip("198.51.100.7");
+        let anon = SecurityContext::new();
+        let env = EvalEnv::pre(&inside, Timestamp::from_millis(0));
+        assert_eq!(eval("128.9.", &env), EvalDecision::Met);
+        let env = EvalEnv::pre(&outside, Timestamp::from_millis(0));
+        assert_eq!(eval("128.9.", &env), EvalDecision::NotMet);
+        let env = EvalEnv::pre(&anon, Timestamp::from_millis(0));
+        assert_eq!(eval("128.9.", &env), EvalDecision::Unevaluated);
+    }
+}

@@ -1,0 +1,878 @@
+//! A from-scratch regular-expression engine (Thompson NFA) plus the
+//! signature-matching condition evaluator.
+//!
+//! §7.2 specifies new attack signatures "using regular expressions and
+//! numeric comparison", with the original implementation delegating to GNU
+//! regex (`pre_cond regex gnu *phf* *test-cgi*`). We build the engine
+//! ourselves:
+//!
+//! * **glob dialect** — the paper's signature style (`*phf*`); a condition
+//!   value is a whitespace-separated list of globs, any of which may match;
+//! * **regex dialect** — patterns prefixed `re:` use a real regular
+//!   expression syntax: literals, `.`, `*`, `+`, `?`, `|`, `(...)`,
+//!   character classes `[a-z]` / `[^0-9]`, escapes `\d \w \s \. \\ …`, and
+//!   anchors `^` / `$`.
+//!
+//! The regex engine compiles to a non-deterministic finite automaton and
+//! simulates it with a state *set* (Thompson's construction), so matching is
+//! `O(pattern × input)` — **no exponential backtracking**. That is a
+//! security property, not a nicety: these patterns run on every request, on
+//! attacker-controlled input, inside the DoS-defence path.
+
+use gaa_core::{EvalDecision, EvalEnv};
+use gaa_ids::matcher::glob_match_ci;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error compiling a regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    message: String,
+    position: usize,
+}
+
+impl RegexError {
+    fn new(position: usize, message: impl Into<String>) -> Self {
+        RegexError {
+            message: message.into(),
+            position,
+        }
+    }
+
+    /// Byte offset in the pattern where compilation failed.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+// ---- AST ----
+
+#[derive(Debug, Clone, PartialEq)]
+enum Ast {
+    Empty,
+    Literal(char),
+    Any,
+    Class { negated: bool, ranges: Vec<(char, char)> },
+    Concat(Vec<Ast>),
+    Alternate(Vec<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Optional(Box<Ast>),
+}
+
+// ---- parser ----
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            pattern,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn err(&self, message: impl Into<String>) -> RegexError {
+        // Translate char index back to a byte offset for the error report.
+        let byte = self
+            .pattern
+            .char_indices()
+            .nth(self.pos)
+            .map_or(self.pattern.len(), |(b, _)| b);
+        RegexError::new(byte, message)
+    }
+
+    fn parse_alternation(&mut self) -> Result<Ast, RegexError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alternate(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, RegexError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.parse_repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, RegexError> {
+        let mut atom = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    atom = Ast::Star(Box::new(atom));
+                }
+                Some('+') => {
+                    self.bump();
+                    atom = Ast::Plus(Box::new(atom));
+                }
+                Some('?') => {
+                    self.bump();
+                    atom = Ast::Optional(Box::new(atom));
+                }
+                _ => break,
+            }
+        }
+        Ok(atom)
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, RegexError> {
+        match self.bump() {
+            Some('(') => {
+                let inner = self.parse_alternation()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Ast::Any),
+            Some('\\') => self.parse_escape(),
+            Some(c @ ('*' | '+' | '?')) => Err(self.err(format!("dangling repetition `{c}`"))),
+            Some(c) => Ok(Ast::Literal(c)),
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Ast, RegexError> {
+        match self.bump() {
+            Some('d') => Ok(Ast::Class {
+                negated: false,
+                ranges: vec![('0', '9')],
+            }),
+            Some('w') => Ok(Ast::Class {
+                negated: false,
+                ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+            }),
+            Some('s') => Ok(Ast::Class {
+                negated: false,
+                ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+            }),
+            Some('n') => Ok(Ast::Literal('\n')),
+            Some('t') => Ok(Ast::Literal('\t')),
+            Some(c) => Ok(Ast::Literal(c)), // \. \\ \[ etc.
+            None => Err(self.err("trailing backslash")),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, RegexError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        let mut first = true;
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unclosed character class")),
+                Some(']') if !first => break,
+                Some(c) => {
+                    let c = if c == '\\' {
+                        self.bump().ok_or_else(|| self.err("trailing backslash"))?
+                    } else {
+                        c
+                    };
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).copied() != Some(']')
+                        && self.chars.get(self.pos + 1).is_some()
+                    {
+                        self.bump(); // the dash
+                        let hi = self.bump().ok_or_else(|| self.err("unclosed range"))?;
+                        if hi < c {
+                            return Err(self.err(format!("invalid range {c}-{hi}")));
+                        }
+                        ranges.push((c, hi));
+                    } else {
+                        ranges.push((c, c));
+                    }
+                }
+            }
+            first = false;
+        }
+        Ok(Ast::Class { negated, ranges })
+    }
+}
+
+// ---- NFA ----
+
+#[derive(Debug, Clone, PartialEq)]
+enum CharSpec {
+    Any,
+    Literal(char),
+    Class { negated: bool, ranges: Vec<(char, char)> },
+}
+
+impl CharSpec {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            CharSpec::Any => true,
+            CharSpec::Literal(l) => *l == c,
+            CharSpec::Class { negated, ranges } => {
+                let inside = ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+                inside != *negated
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum State {
+    Char { spec: CharSpec, next: usize },
+    Split { a: usize, b: usize },
+    Accept,
+}
+
+/// A compiled regular expression.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_conditions::Regex;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let re: Regex = "c(at|ow)s?".parse()?;
+/// assert!(re.is_match("three cats"));
+/// assert!(re.is_match("a cow"));
+/// assert!(!re.is_match("a dog"));
+///
+/// let anchored: Regex = "^/cgi-bin/.*\\.pl$".parse()?;
+/// assert!(anchored.is_match("/cgi-bin/form.pl"));
+/// assert!(!anchored.is_match("/static//cgi-bin/form.pl.txt"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regex {
+    states: Vec<State>,
+    start: usize,
+    anchored_start: bool,
+    anchored_end: bool,
+    pattern: String,
+}
+
+impl Regex {
+    /// Compiles `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegexError`] on syntax errors (unclosed groups/classes,
+    /// dangling repetitions, invalid ranges).
+    pub fn new(pattern: &str) -> Result<Self, RegexError> {
+        let (inner, anchored_start, anchored_end) = strip_anchors(pattern);
+        let mut parser = Parser::new(inner);
+        let ast = parser.parse_alternation()?;
+        if parser.pos != parser.chars.len() {
+            return Err(parser.err("unbalanced `)`"));
+        }
+        let mut compiler = Compiler { states: Vec::new() };
+        let frag = compiler.compile(&ast);
+        let accept = compiler.push(State::Accept);
+        compiler.patch(frag.out, accept);
+        Ok(Regex {
+            states: compiler.states,
+            start: frag.start,
+            anchored_start,
+            anchored_end,
+            pattern: pattern.to_string(),
+        })
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Does the pattern match anywhere in `text` (respecting anchors)?
+    pub fn is_match(&self, text: &str) -> bool {
+        let mut current: Vec<bool> = vec![false; self.states.len()];
+        let mut next: Vec<bool> = vec![false; self.states.len()];
+        let mut matched_pending = false; // accept seen, waiting for end (anchored_end)
+
+        self.add_state(&mut current, self.start);
+        if self.accepts(&current) {
+            if !self.anchored_end {
+                return true;
+            }
+            matched_pending = true;
+        }
+
+        for c in text.chars() {
+            next.iter_mut().for_each(|s| *s = false);
+            for (idx, active) in current.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                if let State::Char { spec, next: n } = &self.states[idx] {
+                    if spec.matches(c) {
+                        self.add_state(&mut next, *n);
+                    }
+                }
+            }
+            if !self.anchored_start {
+                // Unanchored search: allow a fresh match attempt at every
+                // input position (implicit leading `.*`).
+                self.add_state(&mut next, self.start);
+            }
+            std::mem::swap(&mut current, &mut next);
+            if self.accepts(&current) {
+                if !self.anchored_end {
+                    return true;
+                }
+                matched_pending = true;
+            } else {
+                matched_pending = false;
+            }
+        }
+        if self.anchored_end {
+            matched_pending || self.accepts(&current)
+        } else {
+            self.accepts(&current)
+        }
+    }
+
+    fn accepts(&self, set: &[bool]) -> bool {
+        set.iter()
+            .enumerate()
+            .any(|(idx, &active)| active && matches!(self.states[idx], State::Accept))
+    }
+
+    /// Adds `state` and its epsilon closure to `set`.
+    fn add_state(&self, set: &mut [bool], state: usize) {
+        if set[state] {
+            return;
+        }
+        set[state] = true;
+        if let State::Split { a, b } = self.states[state] {
+            self.add_state(set, a);
+            self.add_state(set, b);
+        }
+    }
+}
+
+impl FromStr for Regex {
+    type Err = RegexError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Regex::new(s)
+    }
+}
+
+fn strip_anchors(pattern: &str) -> (&str, bool, bool) {
+    let (pattern, start) = match pattern.strip_prefix('^') {
+        Some(rest) => (rest, true),
+        None => (pattern, false),
+    };
+    // `$` only anchors when not escaped.
+    let (pattern, end) = if pattern.ends_with('$') && !pattern.ends_with("\\$") {
+        (&pattern[..pattern.len() - 1], true)
+    } else {
+        (pattern, false)
+    };
+    (pattern, start, end)
+}
+
+/// A compilation fragment: entry state plus dangling out-edges to patch.
+struct Fragment {
+    start: usize,
+    out: Vec<OutEdge>,
+}
+
+enum OutEdge {
+    CharNext(usize),
+    SplitA(usize),
+    SplitB(usize),
+}
+
+struct Compiler {
+    states: Vec<State>,
+}
+
+impl Compiler {
+    fn push(&mut self, state: State) -> usize {
+        self.states.push(state);
+        self.states.len() - 1
+    }
+
+    fn patch(&mut self, edges: Vec<OutEdge>, target: usize) {
+        for edge in edges {
+            match edge {
+                OutEdge::CharNext(idx) => {
+                    if let State::Char { next, .. } = &mut self.states[idx] {
+                        *next = target;
+                    }
+                }
+                OutEdge::SplitA(idx) => {
+                    if let State::Split { a, .. } = &mut self.states[idx] {
+                        *a = target;
+                    }
+                }
+                OutEdge::SplitB(idx) => {
+                    if let State::Split { b, .. } = &mut self.states[idx] {
+                        *b = target;
+                    }
+                }
+            }
+        }
+    }
+
+    fn compile(&mut self, ast: &Ast) -> Fragment {
+        match ast {
+            Ast::Empty => {
+                // A split with both edges dangling acts as an epsilon.
+                let idx = self.push(State::Split { a: usize::MAX, b: usize::MAX });
+                Fragment {
+                    start: idx,
+                    out: vec![OutEdge::SplitA(idx), OutEdge::SplitB(idx)],
+                }
+            }
+            Ast::Literal(c) => {
+                let idx = self.push(State::Char {
+                    spec: CharSpec::Literal(*c),
+                    next: usize::MAX,
+                });
+                Fragment {
+                    start: idx,
+                    out: vec![OutEdge::CharNext(idx)],
+                }
+            }
+            Ast::Any => {
+                let idx = self.push(State::Char {
+                    spec: CharSpec::Any,
+                    next: usize::MAX,
+                });
+                Fragment {
+                    start: idx,
+                    out: vec![OutEdge::CharNext(idx)],
+                }
+            }
+            Ast::Class { negated, ranges } => {
+                let idx = self.push(State::Char {
+                    spec: CharSpec::Class {
+                        negated: *negated,
+                        ranges: ranges.clone(),
+                    },
+                    next: usize::MAX,
+                });
+                Fragment {
+                    start: idx,
+                    out: vec![OutEdge::CharNext(idx)],
+                }
+            }
+            Ast::Concat(parts) => {
+                let mut iter = parts.iter();
+                let first = self.compile(iter.next().expect("concat is non-empty"));
+                let mut out = first.out;
+                for part in iter {
+                    let frag = self.compile(part);
+                    self.patch(out, frag.start);
+                    out = frag.out;
+                }
+                Fragment {
+                    start: first.start,
+                    out,
+                }
+            }
+            Ast::Alternate(branches) => {
+                let frags: Vec<Fragment> =
+                    branches.iter().map(|b| self.compile(b)).collect();
+                // Chain of splits fanning out to each branch.
+                let mut out = Vec::new();
+                let mut starts = frags.iter().map(|f| f.start).collect::<Vec<_>>();
+                for frag in frags {
+                    out.extend(frag.out);
+                }
+                let mut entry = starts.pop().expect("alternation is non-empty");
+                while let Some(start) = starts.pop() {
+                    entry = self.push(State::Split { a: start, b: entry });
+                }
+                Fragment { start: entry, out }
+            }
+            Ast::Star(inner) => {
+                let frag = self.compile(inner);
+                let split = self.push(State::Split {
+                    a: frag.start,
+                    b: usize::MAX,
+                });
+                self.patch(frag.out, split);
+                Fragment {
+                    start: split,
+                    out: vec![OutEdge::SplitB(split)],
+                }
+            }
+            Ast::Plus(inner) => {
+                let frag = self.compile(inner);
+                let split = self.push(State::Split {
+                    a: frag.start,
+                    b: usize::MAX,
+                });
+                self.patch(frag.out, split);
+                Fragment {
+                    start: frag.start,
+                    out: vec![OutEdge::SplitB(split)],
+                }
+            }
+            Ast::Optional(inner) => {
+                let frag = self.compile(inner);
+                let split = self.push(State::Split {
+                    a: frag.start,
+                    b: usize::MAX,
+                });
+                let mut out = frag.out;
+                out.push(OutEdge::SplitB(split));
+                Fragment { start: split, out }
+            }
+        }
+    }
+}
+
+// ---- the signature condition evaluator ----
+
+/// Prefix selecting the full regex dialect in a condition value.
+pub const REGEX_PREFIX: &str = "re:";
+
+/// Process-wide cache of compiled `re:` patterns.
+///
+/// Policies re-evaluate the same handful of patterns on every request;
+/// recompiling the NFA each time wastes the entire speed advantage of the
+/// engine. Failed compilations are cached as `None` so a bad pattern does
+/// not re-parse per request either. Bounded: if operators somehow cycle
+/// through more than `CACHE_CAP` distinct patterns the cache clears and
+/// rebuilds (policies hold dozens of patterns, not thousands; the bound is
+/// a guard against pattern material derived from attacker input, which
+/// policies must never do anyway).
+fn compile_cached(pattern: &str) -> Option<Regex> {
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+    use std::sync::OnceLock;
+
+    const CACHE_CAP: usize = 1024;
+    static CACHE: OnceLock<Mutex<HashMap<String, Option<Regex>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock();
+    if let Some(compiled) = cache.get(pattern) {
+        return compiled.clone();
+    }
+    if cache.len() >= CACHE_CAP {
+        cache.clear();
+    }
+    let compiled = Regex::new(pattern).ok();
+    cache.insert(pattern.to_string(), compiled.clone());
+    compiled
+}
+
+/// Does any pattern in the whitespace-separated `value` match `text`?
+///
+/// Patterns are the paper's globs by default; `re:`-prefixed patterns use
+/// the [`Regex`] engine (compiled once per process and cached). Invalid
+/// regexes never match (and are reported by policy validation, not at
+/// request time).
+pub fn signature_matches(value: &str, text: &str) -> bool {
+    value.split_whitespace().any(|pattern| {
+        if let Some(re_src) = pattern.strip_prefix(REGEX_PREFIX) {
+            compile_cached(re_src).is_some_and(|re| re.is_match(text))
+        } else {
+            glob_match_ci(pattern, text)
+        }
+    })
+}
+
+/// Uncached variant of [`signature_matches`], kept public for the A4
+/// ablation bench (measures what the per-request recompilation the cache
+/// removes used to cost).
+pub fn signature_matches_uncached(value: &str, text: &str) -> bool {
+    value.split_whitespace().any(|pattern| {
+        if let Some(re_src) = pattern.strip_prefix(REGEX_PREFIX) {
+            Regex::new(re_src).map(|re| re.is_match(text)).unwrap_or(false)
+        } else {
+            glob_match_ci(pattern, text)
+        }
+    })
+}
+
+/// The `regex` condition evaluator (§7.2).
+///
+/// Matches the condition's patterns against the request's `url` parameter
+/// (full request line when provided as `request_line`). The condition is
+/// *met* when a pattern matches — policies attach it to `neg_access_right`
+/// entries so a match denies the request.
+///
+/// Unevaluated when the context carries no URL to inspect.
+pub fn regex_evaluator(value: &str, env: &EvalEnv<'_>) -> EvalDecision {
+    let text = env
+        .context
+        .param("request_line")
+        .or_else(|| env.context.param("url"))
+        .or_else(|| env.context.object());
+    match text {
+        Some(text) => {
+            if signature_matches(value, text) {
+                EvalDecision::Met
+            } else {
+                EvalDecision::NotMet
+            }
+        }
+        None => EvalDecision::Unevaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(pattern: &str) -> Regex {
+        Regex::new(pattern).unwrap_or_else(|e| panic!("compile `{pattern}`: {e}"))
+    }
+
+    #[test]
+    fn literal_substring_search() {
+        let r = re("phf");
+        assert!(r.is_match("phf"));
+        assert!(r.is_match("/cgi-bin/phf?x"));
+        assert!(!r.is_match("ph"));
+        assert!(!r.is_match(""));
+    }
+
+    #[test]
+    fn dot_and_star() {
+        let r = re("a.c");
+        assert!(r.is_match("abc"));
+        assert!(r.is_match("xxaxcxx"));
+        assert!(!r.is_match("ac"));
+
+        let r = re("ab*c");
+        assert!(r.is_match("ac"));
+        assert!(r.is_match("abbbbc"));
+        assert!(!r.is_match("adc"));
+    }
+
+    #[test]
+    fn plus_and_optional() {
+        let r = re("ab+c");
+        assert!(!r.is_match("ac"));
+        assert!(r.is_match("abc"));
+        assert!(r.is_match("abbc"));
+
+        let r = re("colou?r");
+        assert!(r.is_match("color"));
+        assert!(r.is_match("colour"));
+        assert!(!r.is_match("colur"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let r = re("c(at|ow)s?");
+        assert!(r.is_match("cat"));
+        assert!(r.is_match("cows"));
+        assert!(!r.is_match("cs"));
+
+        let r = re("(ab)+");
+        assert!(r.is_match("ab"));
+        assert!(r.is_match("ababab"));
+        assert!(!r.is_match("a"));
+    }
+
+    #[test]
+    fn character_classes() {
+        let r = re("[a-c]x");
+        assert!(r.is_match("ax"));
+        assert!(r.is_match("cx"));
+        assert!(!r.is_match("dx"));
+
+        let r = re("[^0-9]+");
+        assert!(r.is_match("abc"));
+        assert!(!r.is_match("123"));
+
+        let r = re("[-x]"); // leading dash is a literal... (parsed as range start)
+        assert!(r.is_match("x"));
+    }
+
+    #[test]
+    fn escapes() {
+        let r = re("\\d+");
+        assert!(r.is_match("abc123"));
+        assert!(!r.is_match("abc"));
+
+        let r = re("\\w+@\\w+");
+        assert!(r.is_match("admin@example"));
+        assert!(!r.is_match("@"));
+
+        let r = re("a\\.b");
+        assert!(r.is_match("a.b"));
+        assert!(!r.is_match("axb"));
+
+        let r = re("\\s");
+        assert!(r.is_match("a b"));
+        assert!(!r.is_match("ab"));
+    }
+
+    #[test]
+    fn anchors() {
+        let r = re("^abc");
+        assert!(r.is_match("abcdef"));
+        assert!(!r.is_match("xabc"));
+
+        let r = re("abc$");
+        assert!(r.is_match("xxabc"));
+        assert!(!r.is_match("abcx"));
+
+        let r = re("^abc$");
+        assert!(r.is_match("abc"));
+        assert!(!r.is_match("abcd"));
+        assert!(!r.is_match("zabc"));
+
+        let r = re("^$");
+        assert!(r.is_match(""));
+        assert!(!r.is_match("a"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let r = re("");
+        assert!(r.is_match(""));
+        assert!(r.is_match("anything"));
+    }
+
+    #[test]
+    fn nested_repetition_is_linear_time() {
+        // The classic catastrophic-backtracking bomb: (a+)+ vs aaaa…b.
+        let r = re("(a+)+$");
+        let input = format!("{}b", "a".repeat(2000));
+        let start = std::time::Instant::now();
+        assert!(!r.is_match(&input));
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(500),
+            "NFA simulation must not backtrack exponentially"
+        );
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(Regex::new("(abc").is_err());
+        assert!(Regex::new("abc)").is_err());
+        assert!(Regex::new("[abc").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("a\\").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+        let err = Regex::new("(a").unwrap_err();
+        assert!(err.to_string().contains("unclosed"));
+    }
+
+    #[test]
+    fn error_positions_are_byte_offsets() {
+        let err = Regex::new("ab[cd").unwrap_err();
+        assert_eq!(err.position(), 5);
+    }
+
+    #[test]
+    fn nimda_and_code_red_style_patterns() {
+        let r = re("%[0-9a-fA-F][0-9a-fA-F]");
+        assert!(r.is_match("/scripts/..%c0%af../winnt"));
+        assert!(!r.is_match("/index.html"));
+
+        let r = re("/cgi-bin/(phf|test-cgi)");
+        assert!(r.is_match("GET /cgi-bin/phf?Qalias=x"));
+        assert!(r.is_match("GET /cgi-bin/test-cgi"));
+        assert!(!r.is_match("GET /cgi-bin/safe.cgi"));
+    }
+
+    #[test]
+    fn signature_matches_mixes_globs_and_regexes() {
+        assert!(signature_matches("*phf* *test-cgi*", "/cgi-bin/phf"));
+        assert!(signature_matches("*phf* *test-cgi*", "/cgi-bin/test-cgi"));
+        assert!(!signature_matches("*phf* *test-cgi*", "/index.html"));
+        assert!(signature_matches("re:%[0-9a-f][0-9a-f]", "/a%c0b"));
+        assert!(!signature_matches("re:(bad", "anything (bad pattern never matches)"));
+    }
+
+    #[test]
+    fn regex_evaluator_reads_url_from_context() {
+        use gaa_core::{Param, SecurityContext};
+        use gaa_audit::Timestamp;
+
+        let ctx = SecurityContext::new()
+            .with_param(Param::new("url", "apache", "/cgi-bin/phf?Q=x"));
+        let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
+        assert_eq!(regex_evaluator("*phf*", &env), EvalDecision::Met);
+        assert_eq!(regex_evaluator("*nimda*", &env), EvalDecision::NotMet);
+
+        let empty = SecurityContext::new();
+        let env = EvalEnv::pre(&empty, Timestamp::from_millis(0));
+        assert_eq!(regex_evaluator("*phf*", &env), EvalDecision::Unevaluated);
+    }
+
+    #[test]
+    fn unicode_literals_match() {
+        let r = re("päß");
+        assert!(r.is_match("xxpäßyy"));
+        assert!(!r.is_match("pass"));
+    }
+
+    #[test]
+    fn cached_and_uncached_agree() {
+        for (value, text) in [
+            ("re:%[0-9a-f][0-9a-f]", "/a%c0b"),
+            ("re:(bad", "never matches"),
+            ("*phf* re:/x/y", "/cgi-bin/phf"),
+            ("re:^/only$", "/only"),
+        ] {
+            assert_eq!(
+                signature_matches(value, text),
+                signature_matches_uncached(value, text),
+                "{value} vs {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeat_evaluations() {
+        // Same pattern twice: second call must hit the cache (observable
+        // only as agreement + no panic; the perf delta is benched in A4).
+        let value = "re:/cgi-bin/(phf|test-cgi)";
+        assert!(signature_matches(value, "GET /cgi-bin/phf HTTP/1.0"));
+        assert!(signature_matches(value, "GET /cgi-bin/test-cgi HTTP/1.0"));
+        assert!(!signature_matches(value, "GET /index.html HTTP/1.0"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Mid-condition evaluators: resource ceilings during operation execution.
+//!
+//! §1 phase 2: "During the execution of the authorized operation; to detect
+//! malicious behavior in real-time (e.g., a user process consumes excessive
+//! system resources)". §2's example mid-condition is "a CPU usage threshold
+//! that must hold during the operation execution".
+//!
+//! Four evaluators read the [`ExecutionMetrics`](gaa_core::ExecutionMetrics)
+//! snapshot supplied by `gaa_execution_control`:
+//!
+//! * `cpu_limit local <ticks>` — CPU consumption ceiling;
+//! * `mem_limit local <bytes>` — memory ceiling;
+//! * `wall_limit local <millis>` — wall-clock ceiling;
+//! * `files_limit local <count>` — created-files ceiling (§3 item 6:
+//!   "unusual or suspicious application behavior such as creating files").
+//!
+//! Each is **met while consumption is at or below the limit** and fails once
+//! it exceeds it, at which point the server aborts the operation. Outside
+//! the mid phase (no metrics available) they are unevaluated.
+
+use gaa_core::{EvalDecision, EvalEnv};
+
+fn limit_evaluator(
+    metric: fn(&gaa_core::ExecutionMetrics) -> u64,
+) -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    move |value: &str, env: &EvalEnv<'_>| {
+        let Ok(limit) = value.trim().parse::<u64>() else {
+            return EvalDecision::Unevaluated;
+        };
+        match env.execution {
+            Some(metrics) => {
+                if metric(metrics) <= limit {
+                    EvalDecision::Met
+                } else {
+                    EvalDecision::NotMet
+                }
+            }
+            None => EvalDecision::Unevaluated,
+        }
+    }
+}
+
+/// Builds the `cpu_limit` evaluator.
+pub fn cpu_limit_evaluator() -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    limit_evaluator(|m| m.cpu_ticks)
+}
+
+/// Builds the `mem_limit` evaluator.
+pub fn mem_limit_evaluator() -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    limit_evaluator(|m| m.memory_bytes)
+}
+
+/// Builds the `wall_limit` evaluator (milliseconds).
+pub fn wall_limit_evaluator() -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    limit_evaluator(|m| m.wall_millis)
+}
+
+/// Builds the `files_limit` evaluator.
+pub fn files_limit_evaluator() -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    limit_evaluator(|m| u64::from(m.files_created))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::Timestamp;
+    use gaa_core::{ExecutionMetrics, SecurityContext};
+    use gaa_eacl::CondPhase;
+
+    fn mid_env<'a>(
+        ctx: &'a SecurityContext,
+        metrics: &'a ExecutionMetrics,
+    ) -> EvalEnv<'a> {
+        EvalEnv {
+            context: ctx,
+            phase: CondPhase::Mid,
+            now: Timestamp::from_millis(0),
+            request_outcome: None,
+            operation_outcome: None,
+            execution: Some(metrics),
+        }
+    }
+
+    #[test]
+    fn limits_met_at_boundary_failed_above() {
+        let ctx = SecurityContext::new();
+        let metrics = ExecutionMetrics {
+            cpu_ticks: 250,
+            memory_bytes: 1_048_576,
+            wall_millis: 900,
+            files_created: 3,
+        };
+        let env = mid_env(&ctx, &metrics);
+
+        assert_eq!(cpu_limit_evaluator()("250", &env), EvalDecision::Met);
+        assert_eq!(cpu_limit_evaluator()("249", &env), EvalDecision::NotMet);
+        assert_eq!(mem_limit_evaluator()("1048576", &env), EvalDecision::Met);
+        assert_eq!(mem_limit_evaluator()("1000000", &env), EvalDecision::NotMet);
+        assert_eq!(wall_limit_evaluator()("1000", &env), EvalDecision::Met);
+        assert_eq!(wall_limit_evaluator()("500", &env), EvalDecision::NotMet);
+        assert_eq!(files_limit_evaluator()("3", &env), EvalDecision::Met);
+        assert_eq!(files_limit_evaluator()("2", &env), EvalDecision::NotMet);
+        assert_eq!(files_limit_evaluator()("0", &env), EvalDecision::NotMet);
+    }
+
+    #[test]
+    fn zero_usage_meets_any_limit() {
+        let ctx = SecurityContext::new();
+        let metrics = ExecutionMetrics::zero();
+        let env = mid_env(&ctx, &metrics);
+        assert_eq!(cpu_limit_evaluator()("0", &env), EvalDecision::Met);
+        assert_eq!(files_limit_evaluator()("0", &env), EvalDecision::Met);
+    }
+
+    #[test]
+    fn without_metrics_unevaluated() {
+        let ctx = SecurityContext::new();
+        let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
+        assert_eq!(cpu_limit_evaluator()("100", &env), EvalDecision::Unevaluated);
+        assert_eq!(wall_limit_evaluator()("100", &env), EvalDecision::Unevaluated);
+    }
+
+    #[test]
+    fn malformed_limit_unevaluated() {
+        let ctx = SecurityContext::new();
+        let metrics = ExecutionMetrics::zero();
+        let env = mid_env(&ctx, &metrics);
+        assert_eq!(cpu_limit_evaluator()("lots", &env), EvalDecision::Unevaluated);
+        assert_eq!(cpu_limit_evaluator()("", &env), EvalDecision::Unevaluated);
+        assert_eq!(cpu_limit_evaluator()("-5", &env), EvalDecision::Unevaluated);
+    }
+}

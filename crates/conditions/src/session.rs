@@ -1,0 +1,384 @@
+//! Session tracking and the `terminate_session` / `disable_account`
+//! response actions.
+//!
+//! §1's countermeasure list: "terminating the session, logging the user off
+//! the system, disabling local account". The web server issues a session
+//! token after successful Basic authentication; later requests present the
+//! token instead of credentials. The [`SessionRegistry`] is the shared
+//! service those tokens live in — and response actions can revoke them:
+//!
+//! * `rr_cond terminate_session local on:failure/user/info:<why>` — log the
+//!   offending principal off everywhere (all their sessions die);
+//! * `rr_cond disable_account local on:failure/<group>/info:<why>` — add
+//!   the user to a disabled-accounts group (enforced by an `accessid GROUP`
+//!   deny entry), so they cannot log back in either.
+
+use crate::actions::ActionSpec;
+use crate::identity::GroupStore;
+use gaa_audit::log::{AuditLog, AuditRecord, AuditSeverity};
+use gaa_audit::time::{Clock, Timestamp};
+use gaa_core::{EvalDecision, EvalEnv, Outcome};
+use gaa_eacl::CondPhase;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A live session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// The authenticated principal.
+    pub user: String,
+    /// When the session was created.
+    pub created: Timestamp,
+    /// Last time the session was presented.
+    pub last_seen: Timestamp,
+}
+
+struct RegistryState {
+    sessions: HashMap<String, Session>,
+}
+
+/// Shared session store with token issuance, validation, idle expiry, and
+/// per-user termination.
+///
+/// Tokens are opaque strings derived from a seeded counter (deterministic in
+/// tests; uniqueness, not unguessability, is what the simulation needs —
+/// a production store would mint random tokens).
+#[derive(Clone)]
+pub struct SessionRegistry {
+    state: Arc<Mutex<RegistryState>>,
+    counter: Arc<AtomicU64>,
+    clock: Arc<dyn Clock>,
+    idle_timeout: Duration,
+}
+
+impl fmt::Debug for SessionRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionRegistry")
+            .field("sessions", &self.state.lock().sessions.len())
+            .field("idle_timeout", &self.idle_timeout)
+            .finish()
+    }
+}
+
+impl SessionRegistry {
+    /// A registry with a 30-minute idle timeout.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        SessionRegistry {
+            state: Arc::new(Mutex::new(RegistryState {
+                sessions: HashMap::new(),
+            })),
+            counter: Arc::new(AtomicU64::new(1)),
+            clock,
+            idle_timeout: Duration::from_secs(30 * 60),
+        }
+    }
+
+    /// Sets the idle timeout.
+    #[must_use]
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Creates a session for `user`, returning its token.
+    pub fn create(&self, user: &str) -> String {
+        let now = self.clock.now();
+        let serial = self.counter.fetch_add(1, Ordering::SeqCst);
+        // Token mixes the serial with a hash of user+time so tokens are not
+        // trivially sequential across users.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in user.bytes().chain(now.as_millis().to_le_bytes()) {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let token = format!("s{serial:04x}{h:016x}");
+        self.state.lock().sessions.insert(
+            token.clone(),
+            Session {
+                user: user.to_string(),
+                created: now,
+                last_seen: now,
+            },
+        );
+        token
+    }
+
+    /// Validates a token: returns the user and refreshes the idle timer, or
+    /// `None` for unknown, terminated or idle-expired tokens (expired ones
+    /// are removed).
+    pub fn validate(&self, token: &str) -> Option<String> {
+        let now = self.clock.now();
+        let mut state = self.state.lock();
+        let session = state.sessions.get_mut(token)?;
+        if now.since(session.last_seen) > self.idle_timeout {
+            state.sessions.remove(token);
+            return None;
+        }
+        session.last_seen = now;
+        Some(session.user.clone())
+    }
+
+    /// Terminates one session by token; returns whether it existed.
+    pub fn terminate(&self, token: &str) -> bool {
+        self.state.lock().sessions.remove(token).is_some()
+    }
+
+    /// Terminates **every** session belonging to `user` (the "log the user
+    /// off the system" countermeasure); returns how many died.
+    pub fn terminate_user(&self, user: &str) -> usize {
+        let mut state = self.state.lock();
+        let before = state.sessions.len();
+        state.sessions.retain(|_, s| s.user != user);
+        before - state.sessions.len()
+    }
+
+    /// Number of live (not yet expired) sessions.
+    pub fn len(&self) -> usize {
+        self.state.lock().sessions.len()
+    }
+
+    /// True when no sessions exist.
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().sessions.is_empty()
+    }
+
+    /// Live sessions belonging to `user`.
+    pub fn sessions_of(&self, user: &str) -> usize {
+        self.state
+            .lock()
+            .sessions
+            .values()
+            .filter(|s| s.user == user)
+            .count()
+    }
+}
+
+fn phase_outcome(env: &EvalEnv<'_>) -> Option<Outcome> {
+    match env.phase {
+        CondPhase::Post => env.operation_outcome,
+        _ => env.request_outcome,
+    }
+}
+
+/// Builds the `terminate_session` response action.
+///
+/// Value: `on:failure/user/info:<why>`. Fires for the context's
+/// authenticated user; a request with no user (nothing to log off) leaves
+/// the condition Met.
+pub fn terminate_session_evaluator(
+    sessions: SessionRegistry,
+    audit: AuditLog,
+) -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    move |value: &str, env: &EvalEnv<'_>| {
+        let Some(spec) = ActionSpec::parse(value) else {
+            return EvalDecision::Unevaluated;
+        };
+        let Some(outcome) = phase_outcome(env) else {
+            return EvalDecision::Unevaluated;
+        };
+        if !spec.trigger.fires(outcome) {
+            return EvalDecision::Met;
+        }
+        if let Some(user) = env.context.user() {
+            let killed = sessions.terminate_user(user);
+            if killed > 0 {
+                audit.record(
+                    AuditRecord::new(
+                        env.now,
+                        AuditSeverity::Alert,
+                        "session.terminated",
+                        user,
+                        format!("{killed} session(s) terminated: {}", spec.info),
+                    )
+                    .with_attr("reason", spec.info.clone()),
+                );
+            }
+        }
+        EvalDecision::Met
+    }
+}
+
+/// Builds the `disable_account` response action: adds the context's user to
+/// `spec.target` (a group an `accessid GROUP` deny entry watches) and kills
+/// their sessions.
+pub fn disable_account_evaluator(
+    sessions: SessionRegistry,
+    groups: GroupStore,
+    audit: AuditLog,
+) -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    move |value: &str, env: &EvalEnv<'_>| {
+        let Some(spec) = ActionSpec::parse(value) else {
+            return EvalDecision::Unevaluated;
+        };
+        let Some(outcome) = phase_outcome(env) else {
+            return EvalDecision::Unevaluated;
+        };
+        if !spec.trigger.fires(outcome) {
+            return EvalDecision::Met;
+        }
+        if let Some(user) = env.context.user() {
+            let newly = groups.add(&spec.target, user);
+            sessions.terminate_user(user);
+            if newly {
+                audit.record(
+                    AuditRecord::new(
+                        env.now,
+                        AuditSeverity::Alert,
+                        "account.disabled",
+                        user,
+                        format!("added to {} and logged off: {}", spec.target, spec.info),
+                    )
+                    .with_attr("group", spec.target.clone()),
+                );
+            }
+        }
+        EvalDecision::Met
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::VirtualClock;
+    use gaa_core::SecurityContext;
+
+    fn registry(clock: &VirtualClock) -> SessionRegistry {
+        SessionRegistry::new(Arc::new(clock.clone()))
+            .with_idle_timeout(Duration::from_secs(60))
+    }
+
+    #[test]
+    fn create_validate_refresh() {
+        let clock = VirtualClock::new();
+        let reg = registry(&clock);
+        let token = reg.create("alice");
+        assert_eq!(reg.validate(&token), Some("alice".to_string()));
+        // Validation refreshes the idle timer.
+        clock.advance(Duration::from_secs(50));
+        assert_eq!(reg.validate(&token), Some("alice".to_string()));
+        clock.advance(Duration::from_secs(50));
+        assert_eq!(reg.validate(&token), Some("alice".to_string()));
+    }
+
+    #[test]
+    fn idle_expiry() {
+        let clock = VirtualClock::new();
+        let reg = registry(&clock);
+        let token = reg.create("alice");
+        clock.advance(Duration::from_secs(61));
+        assert_eq!(reg.validate(&token), None);
+        assert!(reg.is_empty(), "expired sessions are removed");
+    }
+
+    #[test]
+    fn tokens_are_unique() {
+        let clock = VirtualClock::new();
+        let reg = registry(&clock);
+        let a = reg.create("alice");
+        let b = reg.create("alice");
+        let c = reg.create("bob");
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn terminate_user_kills_all_their_sessions() {
+        let clock = VirtualClock::new();
+        let reg = registry(&clock);
+        let a1 = reg.create("alice");
+        let a2 = reg.create("alice");
+        let b = reg.create("bob");
+        assert_eq!(reg.terminate_user("alice"), 2);
+        assert_eq!(reg.validate(&a1), None);
+        assert_eq!(reg.validate(&a2), None);
+        assert_eq!(reg.validate(&b), Some("bob".to_string()));
+        assert_eq!(reg.sessions_of("alice"), 0);
+    }
+
+    #[test]
+    fn terminate_single_token() {
+        let clock = VirtualClock::new();
+        let reg = registry(&clock);
+        let token = reg.create("alice");
+        assert!(reg.terminate(&token));
+        assert!(!reg.terminate(&token));
+    }
+
+    fn rr_env<'a>(ctx: &'a SecurityContext, outcome: Outcome) -> EvalEnv<'a> {
+        EvalEnv {
+            context: ctx,
+            phase: CondPhase::RequestResult,
+            now: Timestamp::from_millis(7),
+            request_outcome: Some(outcome),
+            operation_outcome: None,
+            execution: None,
+        }
+    }
+
+    #[test]
+    fn terminate_session_action_logs_user_off() {
+        let clock = VirtualClock::new();
+        let reg = registry(&clock);
+        let audit = AuditLog::new();
+        let _t1 = reg.create("mallory");
+        let _t2 = reg.create("mallory");
+        let eval = terminate_session_evaluator(reg.clone(), audit.clone());
+        let ctx = SecurityContext::new().with_user("mallory");
+        let env = rr_env(&ctx, Outcome::Failure);
+        assert_eq!(
+            eval("on:failure/user/info:privilege_abuse", &env),
+            EvalDecision::Met
+        );
+        assert_eq!(reg.sessions_of("mallory"), 0);
+        let records = audit.by_category("session.terminated");
+        assert_eq!(records.len(), 1);
+        assert!(records[0].message.contains("2 session(s)"));
+    }
+
+    #[test]
+    fn terminate_session_respects_trigger_and_anonymous() {
+        let clock = VirtualClock::new();
+        let reg = registry(&clock);
+        let audit = AuditLog::new();
+        let _t = reg.create("alice");
+        let eval = terminate_session_evaluator(reg.clone(), audit);
+
+        // Granted request: on:failure does not fire.
+        let ctx = SecurityContext::new().with_user("alice");
+        let env = rr_env(&ctx, Outcome::Success);
+        assert_eq!(eval("on:failure/user/info:x", &env), EvalDecision::Met);
+        assert_eq!(reg.sessions_of("alice"), 1);
+
+        // Anonymous: nothing to log off, still Met.
+        let anon = SecurityContext::new();
+        let env = rr_env(&anon, Outcome::Failure);
+        assert_eq!(eval("on:failure/user/info:x", &env), EvalDecision::Met);
+    }
+
+    #[test]
+    fn disable_account_blacklists_and_logs_off() {
+        let clock = VirtualClock::new();
+        let reg = registry(&clock);
+        let groups = GroupStore::new();
+        let audit = AuditLog::new();
+        let _t = reg.create("mallory");
+        let eval = disable_account_evaluator(reg.clone(), groups.clone(), audit.clone());
+        let ctx = SecurityContext::new().with_user("mallory");
+        let env = rr_env(&ctx, Outcome::Failure);
+        assert_eq!(
+            eval("on:failure/Disabled/info:repeated_violations", &env),
+            EvalDecision::Met
+        );
+        assert!(groups.contains("Disabled", "mallory"));
+        assert_eq!(reg.sessions_of("mallory"), 0);
+        assert_eq!(audit.count_category("account.disabled"), 1);
+        // Idempotent: no duplicate audit.
+        let _ = eval("on:failure/Disabled/info:repeated_violations", &env);
+        assert_eq!(audit.count_category("account.disabled"), 1);
+    }
+}

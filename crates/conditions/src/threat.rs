@@ -1,0 +1,134 @@
+//! The `system_threat_level` condition (§7.1).
+//!
+//! Value syntax is a comparison against the IDS-supplied level:
+//! `=high`, `>low`, `>=medium`, `<high`, `<=medium`, `!=low`. The §7.1
+//! policies use `=high` (system-wide lockout) and `>low` (local
+//! authentication requirement).
+
+use gaa_core::{EvalDecision, EvalEnv};
+use gaa_ids::{ThreatLevel, ThreatMonitor};
+
+/// Parses a comparison value like `>=medium` into an operator and level.
+fn parse_comparison(value: &str) -> Option<(&str, ThreatLevel)> {
+    let value = value.trim();
+    for op in ["<=", ">=", "!=", "=", "<", ">"] {
+        if let Some(rest) = value.strip_prefix(op) {
+            return rest.trim().parse().ok().map(|level| (op, level));
+        }
+    }
+    // Bare level means equality.
+    value.parse().ok().map(|level| ("=", level))
+}
+
+/// Builds the `system_threat_level` evaluator over a shared
+/// [`ThreatMonitor`].
+///
+/// Malformed comparison values evaluate to `Unevaluated` (surface as
+/// `MAYBE`), never to a silent grant.
+pub fn threat_level_evaluator(
+    monitor: ThreatMonitor,
+) -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    move |value: &str, _env: &EvalEnv<'_>| {
+        let Some((op, target)) = parse_comparison(value) else {
+            return EvalDecision::Unevaluated;
+        };
+        let current = monitor.current();
+        let met = match op {
+            "=" => current == target,
+            "!=" => current != target,
+            "<" => current < target,
+            "<=" => current <= target,
+            ">" => current > target,
+            ">=" => current >= target,
+            _ => unreachable!("parse_comparison only yields known operators"),
+        };
+        if met {
+            EvalDecision::Met
+        } else {
+            EvalDecision::NotMet
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::{Timestamp, VirtualClock};
+    use gaa_core::SecurityContext;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn setup() -> (ThreatMonitor, SecurityContext) {
+        let monitor = ThreatMonitor::new(Arc::new(VirtualClock::new()))
+            .with_decay_after(Duration::ZERO);
+        (monitor, SecurityContext::new())
+    }
+
+    #[test]
+    fn equality_comparison() {
+        let (monitor, ctx) = setup();
+        let eval = threat_level_evaluator(monitor.clone());
+        let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
+        monitor.set_level(ThreatLevel::High);
+        assert_eq!(eval("=high", &env), EvalDecision::Met);
+        assert_eq!(eval("high", &env), EvalDecision::Met); // bare level
+        monitor.set_level(ThreatLevel::Low);
+        assert_eq!(eval("=high", &env), EvalDecision::NotMet);
+    }
+
+    #[test]
+    fn ordering_comparisons() {
+        let (monitor, ctx) = setup();
+        let eval = threat_level_evaluator(monitor.clone());
+        let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
+
+        monitor.set_level(ThreatLevel::Medium);
+        assert_eq!(eval(">low", &env), EvalDecision::Met);
+        assert_eq!(eval(">=medium", &env), EvalDecision::Met);
+        assert_eq!(eval("<high", &env), EvalDecision::Met);
+        assert_eq!(eval("<=low", &env), EvalDecision::NotMet);
+        assert_eq!(eval("!=low", &env), EvalDecision::Met);
+
+        monitor.set_level(ThreatLevel::Low);
+        assert_eq!(eval(">low", &env), EvalDecision::NotMet);
+        assert_eq!(eval("<=low", &env), EvalDecision::Met);
+    }
+
+    #[test]
+    fn section_71_policies() {
+        let (monitor, ctx) = setup();
+        let eval = threat_level_evaluator(monitor.clone());
+        let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
+
+        // System-wide mandatory deny guard: =high.
+        // Local authentication guard: >low.
+        for (level, sys_guard, local_guard) in [
+            (ThreatLevel::Low, EvalDecision::NotMet, EvalDecision::NotMet),
+            (ThreatLevel::Medium, EvalDecision::NotMet, EvalDecision::Met),
+            (ThreatLevel::High, EvalDecision::Met, EvalDecision::Met),
+        ] {
+            monitor.set_level(level);
+            assert_eq!(eval("=high", &env), sys_guard, "level {level}");
+            assert_eq!(eval(">low", &env), local_guard, "level {level}");
+        }
+    }
+
+    #[test]
+    fn malformed_values_are_unevaluated() {
+        let (monitor, ctx) = setup();
+        let eval = threat_level_evaluator(monitor);
+        let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
+        assert_eq!(eval("=catastrophic", &env), EvalDecision::Unevaluated);
+        assert_eq!(eval("", &env), EvalDecision::Unevaluated);
+        assert_eq!(eval(">>high", &env), EvalDecision::Unevaluated);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let (monitor, ctx) = setup();
+        monitor.set_level(ThreatLevel::High);
+        let eval = threat_level_evaluator(monitor);
+        let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
+        assert_eq!(eval("  >= medium ", &env), EvalDecision::Met);
+    }
+}

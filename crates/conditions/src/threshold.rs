@@ -1,0 +1,292 @@
+//! The `threshold` condition: sliding-window event counting.
+//!
+//! §3 item 4: the GAA-API reports "violating threshold conditions, e.g.,
+//! the number of failed login attempts within a given period of time". §2
+//! makes thresholds adaptive: the limit "can change in the event of possible
+//! security attacks" and "can be supplied by other services, e.g., an IDS".
+//!
+//! The application feeds events into a shared [`ThresholdTracker`]
+//! (`tracker.record("failed_logins", client_ip)`); the condition value
+//! `failed_logins:5/60` is **met when the subject has at least 5 events in
+//! the last 60 seconds** — policies attach it to `neg_access_right` entries
+//! so violators are denied. The numeric limit may be replaced by `@<param>`
+//! to read an adaptive limit published by a host IDS
+//! (`failed_logins:@login_limit/60`).
+
+use gaa_core::{EvalDecision, EvalEnv};
+use gaa_audit::time::{Clock, Timestamp};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Event queues keyed by `(metric, subject)`.
+type EventMap = HashMap<(String, String), VecDeque<Timestamp>>;
+
+/// Shared sliding-window event tracker, keyed by `(metric, subject)`.
+///
+/// Cloning shares the tracker.
+#[derive(Debug, Clone)]
+pub struct ThresholdTracker {
+    clock: Arc<dyn Clock>,
+    events: Arc<Mutex<EventMap>>,
+    /// Adaptive limits published by an IDS (§2); consulted by `@param`
+    /// condition values.
+    limits: Arc<Mutex<HashMap<String, f64>>>,
+    /// Events older than this are dropped at record time. Bounds memory;
+    /// windows longer than the retention undercount and should raise it.
+    retention: Duration,
+}
+
+impl ThresholdTracker {
+    /// A tracker over `clock` with one hour of event retention.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        ThresholdTracker {
+            clock,
+            events: Arc::new(Mutex::new(HashMap::new())),
+            limits: Arc::new(Mutex::new(HashMap::new())),
+            retention: Duration::from_secs(3600),
+        }
+    }
+
+    /// Sets the retention horizon (must cover the longest window any policy
+    /// uses).
+    #[must_use]
+    pub fn with_retention(mut self, retention: Duration) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    /// Records one event of `metric` for `subject` (e.g. a failed login by
+    /// an IP) at the current time, pruning events beyond the retention
+    /// horizon.
+    pub fn record(&self, metric: &str, subject: &str) {
+        let now = self.clock.now();
+        let retention_cutoff = now.minus(self.retention);
+        let mut events = self.events.lock();
+        let queue = events
+            .entry((metric.to_string(), subject.to_string()))
+            .or_default();
+        while queue.front().is_some_and(|&t| t < retention_cutoff) {
+            queue.pop_front();
+        }
+        queue.push_back(now);
+    }
+
+    /// Number of events of `metric` for `subject` within the trailing
+    /// `window`.
+    ///
+    /// Non-mutating: queries with different windows on the same metric do
+    /// not interfere (several policy entries may watch the same metric over
+    /// different horizons).
+    pub fn count(&self, metric: &str, subject: &str, window: Duration) -> usize {
+        let now = self.clock.now();
+        let cutoff = now.minus(window);
+        let events = self.events.lock();
+        match events.get(&(metric.to_string(), subject.to_string())) {
+            Some(queue) => queue.iter().filter(|&&t| t >= cutoff).count(),
+            None => 0,
+        }
+    }
+
+    /// Publishes an adaptive limit (typically from an
+    /// [`IdsAdvisory::ThresholdUpdate`](gaa_ids::IdsAdvisory)).
+    pub fn set_limit(&self, parameter: &str, value: f64) {
+        self.limits.lock().insert(parameter.to_string(), value);
+    }
+
+    /// Reads an adaptive limit.
+    pub fn limit(&self, parameter: &str) -> Option<f64> {
+        self.limits.lock().get(parameter).copied()
+    }
+}
+
+/// Parsed condition value: metric, limit spec, window.
+fn parse_spec(value: &str) -> Option<(String, LimitSpec, Duration)> {
+    let value = value.trim();
+    let (metric, rest) = value.split_once(':')?;
+    let (limit, window) = rest.split_once('/')?;
+    let limit = if let Some(param) = limit.strip_prefix('@') {
+        LimitSpec::Adaptive(param.trim().to_string())
+    } else {
+        LimitSpec::Fixed(limit.trim().parse().ok()?)
+    };
+    let window_s: u64 = window.trim().parse().ok()?;
+    Some((
+        metric.trim().to_string(),
+        limit,
+        Duration::from_secs(window_s),
+    ))
+}
+
+enum LimitSpec {
+    Fixed(f64),
+    Adaptive(String),
+}
+
+/// Builds the `threshold` evaluator over a shared tracker.
+///
+/// Met when the subject's event count within the window **reaches** the
+/// limit. Both identity facets are consulted — the authenticated user *and*
+/// the client address — and the larger count decides, so presenting correct
+/// credentials cannot wash out a source-keyed lockout (and vice versa).
+/// Unevaluated on malformed specs, unknown adaptive limits, or when the
+/// context carries no identity at all.
+pub fn threshold_evaluator(
+    tracker: ThresholdTracker,
+) -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    move |value: &str, env: &EvalEnv<'_>| {
+        let Some((metric, limit_spec, window)) = parse_spec(value) else {
+            return EvalDecision::Unevaluated;
+        };
+        let limit = match limit_spec {
+            LimitSpec::Fixed(n) => n,
+            LimitSpec::Adaptive(param) => match tracker.limit(&param) {
+                Some(n) => n,
+                None => return EvalDecision::Unevaluated,
+            },
+        };
+        let subjects: Vec<&str> = env
+            .context
+            .user()
+            .into_iter()
+            .chain(env.context.client_ip())
+            .collect();
+        if subjects.is_empty() {
+            return EvalDecision::Unevaluated;
+        }
+        let count = subjects
+            .into_iter()
+            .map(|s| tracker.count(&metric, s, window))
+            .max()
+            .unwrap_or(0) as f64;
+        if count >= limit {
+            EvalDecision::Met
+        } else {
+            EvalDecision::NotMet
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::VirtualClock;
+    use gaa_core::SecurityContext;
+
+    fn setup() -> (VirtualClock, ThresholdTracker) {
+        let clock = VirtualClock::new();
+        let tracker = ThresholdTracker::new(Arc::new(clock.clone()));
+        (clock, tracker)
+    }
+
+    #[test]
+    fn window_counting_and_pruning() {
+        let (clock, tracker) = setup();
+        tracker.record("failed_logins", "1.2.3.4");
+        tracker.record("failed_logins", "1.2.3.4");
+        clock.advance(Duration::from_secs(30));
+        tracker.record("failed_logins", "1.2.3.4");
+        assert_eq!(
+            tracker.count("failed_logins", "1.2.3.4", Duration::from_secs(60)),
+            3
+        );
+        clock.advance(Duration::from_secs(31));
+        // The first two are now outside a 60s window.
+        assert_eq!(
+            tracker.count("failed_logins", "1.2.3.4", Duration::from_secs(60)),
+            1
+        );
+        assert_eq!(
+            tracker.count("failed_logins", "9.9.9.9", Duration::from_secs(60)),
+            0
+        );
+    }
+
+    #[test]
+    fn subjects_and_metrics_are_independent() {
+        let (_clock, tracker) = setup();
+        tracker.record("failed_logins", "a");
+        tracker.record("requests", "a");
+        tracker.record("failed_logins", "b");
+        assert_eq!(tracker.count("failed_logins", "a", Duration::from_secs(60)), 1);
+        assert_eq!(tracker.count("requests", "a", Duration::from_secs(60)), 1);
+        assert_eq!(tracker.count("failed_logins", "b", Duration::from_secs(60)), 1);
+    }
+
+    #[test]
+    fn evaluator_trips_at_limit() {
+        let (_clock, tracker) = setup();
+        let eval = threshold_evaluator(tracker.clone());
+        let ctx = SecurityContext::new().with_client_ip("1.2.3.4");
+        let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
+
+        for _ in 0..4 {
+            tracker.record("failed_logins", "1.2.3.4");
+        }
+        assert_eq!(eval("failed_logins:5/60", &env), EvalDecision::NotMet);
+        tracker.record("failed_logins", "1.2.3.4");
+        assert_eq!(eval("failed_logins:5/60", &env), EvalDecision::Met);
+    }
+
+    #[test]
+    fn evaluator_window_expiry_resets() {
+        let (clock, tracker) = setup();
+        let eval = threshold_evaluator(tracker.clone());
+        let ctx = SecurityContext::new().with_client_ip("1.2.3.4");
+        let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
+        for _ in 0..5 {
+            tracker.record("failed_logins", "1.2.3.4");
+        }
+        assert_eq!(eval("failed_logins:5/60", &env), EvalDecision::Met);
+        clock.advance(Duration::from_secs(61));
+        assert_eq!(eval("failed_logins:5/60", &env), EvalDecision::NotMet);
+    }
+
+    #[test]
+    fn adaptive_limit_from_ids() {
+        let (_clock, tracker) = setup();
+        let eval = threshold_evaluator(tracker.clone());
+        let ctx = SecurityContext::new().with_client_ip("1.2.3.4");
+        let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
+
+        // Unknown adaptive parameter: unevaluated.
+        assert_eq!(
+            eval("failed_logins:@login_limit/60", &env),
+            EvalDecision::Unevaluated
+        );
+        tracker.set_limit("login_limit", 2.0);
+        tracker.record("failed_logins", "1.2.3.4");
+        assert_eq!(eval("failed_logins:@login_limit/60", &env), EvalDecision::NotMet);
+        tracker.record("failed_logins", "1.2.3.4");
+        assert_eq!(eval("failed_logins:@login_limit/60", &env), EvalDecision::Met);
+        // IDS tightens the limit under attack (§2 adaptive constraints).
+        tracker.set_limit("login_limit", 1.0);
+        assert_eq!(eval("failed_logins:@login_limit/60", &env), EvalDecision::Met);
+    }
+
+    #[test]
+    fn evaluator_prefers_user_subject() {
+        let (_clock, tracker) = setup();
+        let eval = threshold_evaluator(tracker.clone());
+        let ctx = SecurityContext::new().with_user("alice").with_client_ip("1.2.3.4");
+        let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
+        tracker.record("failed_logins", "alice");
+        assert_eq!(eval("failed_logins:1/60", &env), EvalDecision::Met);
+    }
+
+    #[test]
+    fn anonymous_and_malformed_are_unevaluated() {
+        let (_clock, tracker) = setup();
+        let eval = threshold_evaluator(tracker);
+        let anon = SecurityContext::new();
+        let env = EvalEnv::pre(&anon, Timestamp::from_millis(0));
+        assert_eq!(eval("failed_logins:5/60", &env), EvalDecision::Unevaluated);
+
+        let ctx = SecurityContext::new().with_client_ip("1.2.3.4");
+        let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
+        assert_eq!(eval("nonsense", &env), EvalDecision::Unevaluated);
+        assert_eq!(eval("m:x/60", &env), EvalDecision::Unevaluated);
+        assert_eq!(eval("m:5/x", &env), EvalDecision::Unevaluated);
+    }
+}

@@ -1,0 +1,206 @@
+//! The `time_window` condition: time-of-day and day-of-week restrictions.
+//!
+//! §1: "More restrictive organizational policies may be enforced after
+//! hours"; §2 lists time among the adaptive constraints whose allowable
+//! values "can change in the event of possible security attacks".
+//!
+//! Value syntax: `<start>-<end>` in 24-hour clock, optionally with a day
+//! restriction: `9-17@mon-fri` or `0-24@sat,sun`. The window is
+//! half-open `[start, end)`; `18-6` wraps around midnight. `0-24` means
+//! all day.
+
+use gaa_core::{EvalDecision, EvalEnv};
+
+/// Day-of-week index, 0 = Sunday … 6 = Saturday (matching
+/// [`Timestamp::day_of_week`](gaa_audit::Timestamp::day_of_week)).
+fn day_index(name: &str) -> Option<u32> {
+    match name.to_ascii_lowercase().as_str() {
+        "sun" | "sunday" => Some(0),
+        "mon" | "monday" => Some(1),
+        "tue" | "tuesday" => Some(2),
+        "wed" | "wednesday" => Some(3),
+        "thu" | "thursday" => Some(4),
+        "fri" | "friday" => Some(5),
+        "sat" | "saturday" => Some(6),
+        _ => None,
+    }
+}
+
+/// A parsed time window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeWindow {
+    start_hour: u32,
+    end_hour: u32,
+    /// Allowed days (bitmask over 0..7); `None` means any day.
+    days: Option<u8>,
+}
+
+impl TimeWindow {
+    /// Parses `9-17`, `18-6`, `9-17@mon-fri`, `0-24@sat,sun`.
+    /// Returns `None` on malformed input.
+    pub fn parse(value: &str) -> Option<TimeWindow> {
+        let value = value.trim();
+        let (hours, days) = match value.split_once('@') {
+            Some((h, d)) => (h, Some(d)),
+            None => (value, None),
+        };
+        let (start, end) = hours.split_once('-')?;
+        let start_hour: u32 = start.trim().parse().ok()?;
+        let end_hour: u32 = end.trim().parse().ok()?;
+        if start_hour > 24 || end_hour > 24 {
+            return None;
+        }
+        let days = match days {
+            None => None,
+            Some(spec) => {
+                let mut mask = 0u8;
+                for part in spec.split(',') {
+                    let part = part.trim();
+                    if let Some((from, to)) = part.split_once('-') {
+                        let from = day_index(from)?;
+                        let to = day_index(to)?;
+                        // Inclusive range, possibly wrapping the week.
+                        let mut d = from;
+                        loop {
+                            mask |= 1 << d;
+                            if d == to {
+                                break;
+                            }
+                            d = (d + 1) % 7;
+                        }
+                    } else {
+                        mask |= 1 << day_index(part)?;
+                    }
+                }
+                if mask == 0 {
+                    return None;
+                }
+                Some(mask)
+            }
+        };
+        Some(TimeWindow {
+            start_hour,
+            end_hour,
+            days,
+        })
+    }
+
+    /// Is the given hour/day inside the window?
+    pub fn contains(&self, hour: u32, day: u32) -> bool {
+        if let Some(mask) = self.days {
+            if mask & (1 << day) == 0 {
+                return false;
+            }
+        }
+        if self.start_hour == self.end_hour {
+            // Degenerate: 0-length window, except 0-0 == whole day by the
+            // 0-24 convention only when written 0-24.
+            return false;
+        }
+        if self.start_hour < self.end_hour {
+            hour >= self.start_hour && hour < self.end_hour
+        } else {
+            // Wraps midnight, e.g. 18-6.
+            hour >= self.start_hour || hour < self.end_hour
+        }
+    }
+}
+
+/// Builds the `time_window` evaluator against the API clock (or the
+/// context's pinned time).
+pub fn time_window_evaluator() -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
+    |value: &str, env: &EvalEnv<'_>| {
+        let Some(window) = TimeWindow::parse(value) else {
+            return EvalDecision::Unevaluated;
+        };
+        let now = env.now;
+        if window.contains(now.hour_of_day(), now.day_of_week()) {
+            EvalDecision::Met
+        } else {
+            EvalDecision::NotMet
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::Timestamp;
+    use gaa_core::SecurityContext;
+
+    #[test]
+    fn simple_window() {
+        let w = TimeWindow::parse("9-17").unwrap();
+        assert!(!w.contains(8, 1));
+        assert!(w.contains(9, 1));
+        assert!(w.contains(16, 1));
+        assert!(!w.contains(17, 1)); // half-open
+        assert!(!w.contains(23, 1));
+    }
+
+    #[test]
+    fn wrapping_window() {
+        let w = TimeWindow::parse("18-6").unwrap();
+        assert!(w.contains(18, 1));
+        assert!(w.contains(23, 1));
+        assert!(w.contains(0, 1));
+        assert!(w.contains(5, 1));
+        assert!(!w.contains(6, 1));
+        assert!(!w.contains(12, 1));
+    }
+
+    #[test]
+    fn whole_day() {
+        let w = TimeWindow::parse("0-24").unwrap();
+        for hour in 0..24 {
+            assert!(w.contains(hour, 3), "hour {hour}");
+        }
+    }
+
+    #[test]
+    fn day_restrictions() {
+        let w = TimeWindow::parse("9-17@mon-fri").unwrap();
+        assert!(w.contains(10, 1)); // Monday
+        assert!(w.contains(10, 5)); // Friday
+        assert!(!w.contains(10, 6)); // Saturday
+        assert!(!w.contains(10, 0)); // Sunday
+
+        let w = TimeWindow::parse("0-24@sat,sun").unwrap();
+        assert!(w.contains(3, 0));
+        assert!(w.contains(3, 6));
+        assert!(!w.contains(3, 2));
+    }
+
+    #[test]
+    fn wrapping_day_range() {
+        let w = TimeWindow::parse("0-24@fri-mon").unwrap();
+        assert!(w.contains(1, 5)); // Fri
+        assert!(w.contains(1, 6)); // Sat
+        assert!(w.contains(1, 0)); // Sun
+        assert!(w.contains(1, 1)); // Mon
+        assert!(!w.contains(1, 3)); // Wed
+    }
+
+    #[test]
+    fn malformed_windows() {
+        assert_eq!(TimeWindow::parse("25-3"), None);
+        assert_eq!(TimeWindow::parse("9"), None);
+        assert_eq!(TimeWindow::parse("a-b"), None);
+        assert_eq!(TimeWindow::parse("9-17@noday"), None);
+        assert_eq!(TimeWindow::parse(""), None);
+    }
+
+    #[test]
+    fn evaluator_uses_env_time() {
+        let eval = time_window_evaluator();
+        let ctx = SecurityContext::new();
+        // Epoch (Thursday 00:00) + 10 hours = Thursday 10:00.
+        let ten_am = Timestamp::from_millis(10 * 3_600_000);
+        let env = EvalEnv::pre(&ctx, ten_am);
+        assert_eq!(eval("9-17", &env), EvalDecision::Met);
+        assert_eq!(eval("11-17", &env), EvalDecision::NotMet);
+        assert_eq!(eval("9-17@thu", &env), EvalDecision::Met);
+        assert_eq!(eval("9-17@fri", &env), EvalDecision::NotMet);
+        assert_eq!(eval("bogus", &env), EvalDecision::Unevaluated);
+    }
+}

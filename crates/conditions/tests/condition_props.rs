@@ -1,0 +1,134 @@
+//! Property tests for the condition evaluators: sliding windows vs a
+//! brute-force recount, time windows vs an explicit hour walk, CIDR
+//! matching vs bit arithmetic, and glob/NFA cross-checks on signature
+//! workloads.
+
+use gaa_audit::{Clock, Timestamp, VirtualClock};
+use gaa_conditions::location::{location_matches, LocationPattern};
+use gaa_conditions::time::TimeWindow;
+use gaa_conditions::ThresholdTracker;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+proptest! {
+    /// The sliding-window count equals a brute-force recount over the raw
+    /// event log, for any event timing pattern and any window length.
+    #[test]
+    fn threshold_window_matches_bruteforce(
+        gaps_ms in proptest::collection::vec(0u64..5_000, 1..40),
+        window_s in 1u64..20,
+    ) {
+        let clock = VirtualClock::new();
+        let tracker = ThresholdTracker::new(Arc::new(clock.clone()));
+        let mut event_times = Vec::new();
+        for gap in &gaps_ms {
+            clock.advance(Duration::from_millis(*gap));
+            tracker.record("m", "subject");
+            event_times.push(clock.now().as_millis());
+        }
+        let window = Duration::from_secs(window_s);
+        let now = clock.now().as_millis();
+        let cutoff = now.saturating_sub(window.as_millis() as u64);
+        let expected = event_times.iter().filter(|&&t| t >= cutoff).count();
+        prop_assert_eq!(tracker.count("m", "subject", window), expected);
+    }
+
+    /// Window pruning is permanent: counting with a small window never
+    /// resurrects events for a later bigger-window query... it must NOT
+    /// prune events still inside the bigger window. (Regression guard: the
+    /// prune cutoff must be per-query, not destructive beyond its own
+    /// window.)
+    #[test]
+    fn small_window_query_does_not_destroy_later_counts(
+        n in 1usize..20,
+    ) {
+        let clock = VirtualClock::new();
+        let tracker = ThresholdTracker::new(Arc::new(clock.clone()));
+        for _ in 0..n {
+            tracker.record("m", "s");
+            clock.advance(Duration::from_secs(1));
+        }
+        // All events are within the last n seconds.
+        let tiny = tracker.count("m", "s", Duration::from_millis(1));
+        prop_assert!(tiny <= 1);
+        // If pruning used the tiny window destructively, this would now be
+        // wrong. It must still see everything within n+1 seconds.
+        let wide = tracker.count("m", "s", Duration::from_secs(n as u64 + 1));
+        prop_assert_eq!(wide, n, "destructive prune");
+    }
+
+    /// TimeWindow::contains agrees with a brute-force membership walk.
+    #[test]
+    fn time_window_matches_walk(start in 0u32..24, end in 0u32..25, hour in 0u32..24) {
+        let spec = format!("{start}-{end}");
+        if let Some(window) = TimeWindow::parse(&spec) {
+            let expected = if start < end {
+                hour >= start && hour < end
+            } else if start == end {
+                false
+            } else {
+                hour >= start || hour < end
+            };
+            prop_assert_eq!(window.contains(hour, 3), expected, "{}@{}", spec, hour);
+        }
+    }
+
+    /// CIDR matching agrees with explicit u32 mask arithmetic.
+    #[test]
+    fn cidr_matches_bit_arithmetic(net in any::<u32>(), bits in 0u8..=32, addr in any::<u32>()) {
+        let net_ip = std::net::Ipv4Addr::from(net);
+        let addr_ip = std::net::Ipv4Addr::from(addr);
+        let pattern = LocationPattern::parse(&format!("{net_ip}/{bits}")).expect("valid cidr");
+        let mask: u32 = if bits == 0 { 0 } else { u32::MAX << (32 - u32::from(bits)) };
+        let expected = (net & mask) == (addr & mask);
+        prop_assert_eq!(pattern.matches(&addr_ip.to_string()), expected);
+    }
+
+    /// location_matches never panics on arbitrary pattern lists and IPs.
+    #[test]
+    fn location_matches_never_panics(value in "\\PC{0,48}", ip in "\\PC{0,24}") {
+        let _ = location_matches(&value, &ip);
+    }
+
+    /// A /32 pattern matches exactly its own address.
+    #[test]
+    fn slash_32_is_exact(addr in any::<u32>(), other in any::<u32>()) {
+        let a = std::net::Ipv4Addr::from(addr).to_string();
+        let b = std::net::Ipv4Addr::from(other).to_string();
+        let p = LocationPattern::parse(&a).expect("addr parses");
+        prop_assert_eq!(p.matches(&b), a == b);
+    }
+
+    /// Glob signatures: `*needle*` matches exactly the substring relation.
+    #[test]
+    fn star_wrapped_glob_is_substring(
+        needle in "[a-z]{1,6}",
+        haystack in "[a-z/?.]{0,30}",
+    ) {
+        let matched = gaa_conditions::regex::signature_matches(
+            &format!("*{needle}*"),
+            &haystack,
+        );
+        prop_assert_eq!(matched, haystack.contains(&needle));
+    }
+}
+
+#[test]
+fn threshold_evaluator_is_pure_wrt_env_time() {
+    // The evaluator counts against the tracker's clock, not env.now — a
+    // spoofed context timestamp cannot hide recent failures.
+    use gaa_conditions::threshold::threshold_evaluator;
+    use gaa_core::{EvalDecision, EvalEnv, SecurityContext};
+
+    let clock = VirtualClock::new();
+    let tracker = ThresholdTracker::new(Arc::new(clock.clone()));
+    for _ in 0..5 {
+        tracker.record("failed_logins", "1.2.3.4");
+    }
+    let eval = threshold_evaluator(tracker);
+    let ctx = SecurityContext::new().with_client_ip("1.2.3.4");
+    // env.now far in the "future" — irrelevant.
+    let env = EvalEnv::pre(&ctx, Timestamp::from_millis(u64::MAX / 2));
+    assert_eq!(eval("failed_logins:5/60", &env), EvalDecision::Met);
+}

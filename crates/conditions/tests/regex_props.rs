@@ -1,0 +1,199 @@
+//! Property tests for the Thompson-NFA regex engine: agreement with a naive
+//! backtracking reference implementation on randomly generated patterns, and
+//! robustness against arbitrary pattern input.
+
+use gaa_conditions::Regex;
+use proptest::prelude::*;
+
+/// Reference matcher: straightforward exponential backtracking over the same
+/// dialect subset (literals from a small alphabet, `.`, `*`, `?`, `|`,
+/// groups). Slow but obviously correct on tiny inputs.
+mod reference {
+    #[derive(Debug, Clone)]
+    pub enum Ast {
+        Literal(char),
+        Any,
+        Concat(Vec<Ast>),
+        Alternate(Box<Ast>, Box<Ast>),
+        Star(Box<Ast>),
+        Optional(Box<Ast>),
+    }
+
+    impl Ast {
+        /// All suffix offsets of `input` reachable after matching self
+        /// against a prefix.
+        pub fn match_prefix(&self, input: &[char]) -> Vec<usize> {
+            match self {
+                Ast::Literal(c) => {
+                    if input.first() == Some(c) {
+                        vec![1]
+                    } else {
+                        vec![]
+                    }
+                }
+                Ast::Any => {
+                    if input.is_empty() {
+                        vec![]
+                    } else {
+                        vec![1]
+                    }
+                }
+                Ast::Concat(parts) => {
+                    let mut offsets = vec![0usize];
+                    for part in parts {
+                        let mut next = Vec::new();
+                        for &off in &offsets {
+                            for n in part.match_prefix(&input[off..]) {
+                                if !next.contains(&(off + n)) {
+                                    next.push(off + n);
+                                }
+                            }
+                        }
+                        offsets = next;
+                        if offsets.is_empty() {
+                            break;
+                        }
+                    }
+                    offsets
+                }
+                Ast::Alternate(a, b) => {
+                    let mut out = a.match_prefix(input);
+                    for n in b.match_prefix(input) {
+                        if !out.contains(&n) {
+                            out.push(n);
+                        }
+                    }
+                    out
+                }
+                Ast::Star(inner) => {
+                    let mut out = vec![0usize];
+                    let mut frontier = vec![0usize];
+                    while !frontier.is_empty() {
+                        let mut next = Vec::new();
+                        for &off in &frontier {
+                            for n in inner.match_prefix(&input[off..]) {
+                                let total = off + n;
+                                if n > 0 && !out.contains(&total) {
+                                    out.push(total);
+                                    next.push(total);
+                                }
+                            }
+                        }
+                        frontier = next;
+                    }
+                    out
+                }
+                Ast::Optional(inner) => {
+                    let mut out = vec![0usize];
+                    for n in inner.match_prefix(input) {
+                        if !out.contains(&n) {
+                            out.push(n);
+                        }
+                    }
+                    out
+                }
+            }
+        }
+
+        /// Unanchored search, like `Regex::is_match` without anchors.
+        pub fn is_match(&self, text: &str) -> bool {
+            let chars: Vec<char> = text.chars().collect();
+            (0..=chars.len()).any(|start| !self.match_prefix(&chars[start..]).is_empty())
+        }
+
+        /// Renders back to pattern syntax (grouping every composite).
+        pub fn to_pattern(&self) -> String {
+            match self {
+                Ast::Literal(c) => c.to_string(),
+                Ast::Any => ".".to_string(),
+                Ast::Concat(parts) => parts.iter().map(Ast::to_pattern).collect(),
+                Ast::Alternate(a, b) => {
+                    format!("({}|{})", a.to_pattern(), b.to_pattern())
+                }
+                Ast::Star(inner) => format!("({})*", inner.to_pattern()),
+                Ast::Optional(inner) => format!("({})?", inner.to_pattern()),
+            }
+        }
+    }
+}
+
+use reference::Ast;
+
+fn ast(depth: u32) -> BoxedStrategy<Ast> {
+    let leaf = prop_oneof![
+        prop_oneof![Just('a'), Just('b'), Just('c')].prop_map(Ast::Literal),
+        Just(Ast::Any),
+    ];
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Ast::Concat),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Ast::Alternate(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Ast::Star(Box::new(a))),
+            inner.prop_map(|a| Ast::Optional(Box::new(a))),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The NFA engine agrees with the backtracking reference on every
+    /// generated (pattern, input) pair.
+    #[test]
+    fn nfa_agrees_with_reference(
+        pattern_ast in ast(3),
+        input in "[abc]{0,8}",
+    ) {
+        let pattern = pattern_ast.to_pattern();
+        let compiled = Regex::new(&pattern)
+            .unwrap_or_else(|e| panic!("generated pattern `{pattern}` failed to compile: {e}"));
+        let expected = pattern_ast.is_match(&input);
+        let actual = compiled.is_match(&input);
+        prop_assert_eq!(
+            actual, expected,
+            "pattern `{}` vs input `{}`", pattern, input
+        );
+    }
+
+    /// Compilation never panics on arbitrary input (errors are fine).
+    #[test]
+    fn compile_never_panics(pattern in "\\PC{0,40}") {
+        let _ = Regex::new(&pattern);
+    }
+
+    /// Matching never panics and terminates on arbitrary (valid pattern,
+    /// arbitrary input) pairs.
+    #[test]
+    fn match_never_panics(pattern_ast in ast(2), input in "\\PC{0,40}") {
+        let pattern = pattern_ast.to_pattern();
+        if let Ok(re) = Regex::new(&pattern) {
+            let _ = re.is_match(&input);
+        }
+    }
+
+    /// A literal pattern matches exactly when it is a substring.
+    #[test]
+    fn literal_patterns_are_substring_search(
+        needle in "[abc]{1,5}",
+        haystack in "[abc]{0,12}",
+    ) {
+        let re = Regex::new(&needle).expect("literal compiles");
+        prop_assert_eq!(re.is_match(&haystack), haystack.contains(&needle));
+    }
+
+    /// Anchored ^pat$ agrees with the reference's whole-string match (a
+    /// prefix match from position 0 that consumes the entire input).
+    #[test]
+    fn full_anchoring_matches_whole_string(
+        pattern_ast in ast(2),
+        input in "[abc]{0,6}",
+    ) {
+        let inner = pattern_ast.to_pattern();
+        let re = Regex::new(&format!("^{inner}$")).expect("anchored compiles");
+        let chars: Vec<char> = input.chars().collect();
+        let expected = pattern_ast.match_prefix(&chars).contains(&chars.len());
+        prop_assert_eq!(re.is_match(&input), expected, "pattern ^{}$ input {}", inner, input);
+    }
+}

@@ -1,0 +1,262 @@
+//! GAA configuration files.
+//!
+//! §6 step 1 (initialization): "`gaa_initialize` … extract and register
+//! condition evaluation and policy retrieval routines from the system and
+//! local configuration files". A configuration file lists which evaluation
+//! routines serve which `(condition type, authority)` pairs, plus free-form
+//! parameters for those routines (recipients, limits, file paths).
+//!
+//! Concrete syntax (line-oriented, `#` comments):
+//!
+//! ```text
+//! # register <cond_type> <authority> <routine-name>
+//! register regex gnu builtin:regex
+//! register system_threat_level local builtin:threat_level
+//! register notify local builtin:notify
+//!
+//! # param <key> <value…>
+//! param notify.recipient sysadmin
+//! param badguys.group BadGuys
+//! ```
+//!
+//! The mapping from routine *names* to evaluator *implementations* is a
+//! separate catalog supplied by the embedding application (the
+//! `gaa-conditions` crate provides the standard catalog); this keeps the
+//! core crate free of any specific condition semantics, mirroring the
+//! paper's dynamically-loaded routines.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// One `register` line: bind a routine name to a condition key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Registration {
+    /// Condition type to serve (e.g. `regex`).
+    pub cond_type: String,
+    /// Authority to serve (e.g. `gnu`, `local`, `*`).
+    pub authority: String,
+    /// Routine name resolved against an evaluator catalog.
+    pub routine: String,
+}
+
+/// A parsed configuration file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConfigFile {
+    /// Routine registrations, in file order.
+    pub registrations: Vec<Registration>,
+    /// Free-form routine parameters.
+    pub params: HashMap<String, String>,
+}
+
+impl ConfigFile {
+    /// Looks up a parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params.get(key).map(String::as_str)
+    }
+
+    /// Merges `other` into `self`; `other`'s registrations append (so they
+    /// override earlier ones when applied in order) and its params replace
+    /// same-keyed entries. Used to layer a local configuration over the
+    /// system-wide one, as in §6 step 1.
+    pub fn merge(&mut self, other: ConfigFile) {
+        self.registrations.extend(other.registrations);
+        self.params.extend(other.params);
+    }
+}
+
+/// A located configuration parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseConfigError {
+    line: usize,
+    message: String,
+}
+
+impl ParseConfigError {
+    /// 1-based line number.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseConfigError {}
+
+/// Parses a configuration file.
+///
+/// # Errors
+///
+/// Returns [`ParseConfigError`] with a line number on unknown keywords or
+/// truncated lines.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_core::config::parse_config;
+///
+/// # fn main() -> Result<(), gaa_core::config::ParseConfigError> {
+/// let cfg = parse_config(
+///     "register regex gnu builtin:regex\n\
+///      param notify.recipient sysadmin\n",
+/// )?;
+/// assert_eq!(cfg.registrations.len(), 1);
+/// assert_eq!(cfg.param("notify.recipient"), Some("sysadmin"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_config(input: &str) -> Result<ConfigFile, ParseConfigError> {
+    let mut cfg = ConfigFile::default();
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("register") => {
+                let (Some(cond_type), Some(authority), Some(routine)) =
+                    (tokens.next(), tokens.next(), tokens.next())
+                else {
+                    return Err(ParseConfigError {
+                        line: lineno,
+                        message: "register requires <cond_type> <authority> <routine>".into(),
+                    });
+                };
+                if tokens.next().is_some() {
+                    return Err(ParseConfigError {
+                        line: lineno,
+                        message: "register takes exactly three arguments".into(),
+                    });
+                }
+                cfg.registrations.push(Registration {
+                    cond_type: cond_type.to_string(),
+                    authority: authority.to_string(),
+                    routine: routine.to_string(),
+                });
+            }
+            Some("param") => {
+                let Some(key) = tokens.next() else {
+                    return Err(ParseConfigError {
+                        line: lineno,
+                        message: "param requires <key> <value>".into(),
+                    });
+                };
+                let value: String = tokens.collect::<Vec<_>>().join(" ");
+                if value.is_empty() {
+                    return Err(ParseConfigError {
+                        line: lineno,
+                        message: "param requires a value".into(),
+                    });
+                }
+                cfg.params.insert(key.to_string(), value);
+            }
+            Some(other) => {
+                return Err(ParseConfigError {
+                    line: lineno,
+                    message: format!("unknown keyword `{other}` (expected register or param)"),
+                })
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    Ok(cfg)
+}
+
+/// Reads and parses a configuration file from disk.
+///
+/// # Errors
+///
+/// Returns an I/O or parse error (boxed) with the file name in the message.
+pub fn load_config(path: &Path) -> Result<ConfigFile, Box<dyn Error + Send + Sync>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    parse_config(&text).map_err(|e| format!("{}: {e}", path.display()).into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_registrations_and_params() {
+        let cfg = parse_config(
+            "# system config\n\
+             register regex gnu builtin:regex\n\
+             register accessid USER builtin:accessid   # trailing comment\n\
+             param notify.recipient sysadmin\n\
+             param banner Warning: monitored system\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.registrations.len(), 2);
+        assert_eq!(cfg.registrations[0].routine, "builtin:regex");
+        assert_eq!(cfg.registrations[1].authority, "USER");
+        assert_eq!(cfg.param("notify.recipient"), Some("sysadmin"));
+        assert_eq!(cfg.param("banner"), Some("Warning: monitored system"));
+        assert_eq!(cfg.param("missing"), None);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_config("register regex gnu\n").unwrap_err();
+        assert_eq!(err.line(), 1);
+        let err = parse_config("# ok\nfrobnicate x\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn register_rejects_extra_tokens() {
+        assert!(parse_config("register a b c d\n").is_err());
+    }
+
+    #[test]
+    fn param_requires_value() {
+        assert!(parse_config("param lonely\n").is_err());
+    }
+
+    #[test]
+    fn merge_layers_local_over_system() {
+        let mut system = parse_config(
+            "register regex gnu builtin:regex\nparam notify.recipient sysadmin\n",
+        )
+        .unwrap();
+        let local = parse_config(
+            "register regex gnu custom:regex\nparam notify.recipient webmaster\n",
+        )
+        .unwrap();
+        system.merge(local);
+        assert_eq!(system.registrations.len(), 2);
+        // Applied in order, the later (local) registration wins.
+        assert_eq!(system.registrations[1].routine, "custom:regex");
+        assert_eq!(system.param("notify.recipient"), Some("webmaster"));
+    }
+
+    #[test]
+    fn empty_and_comment_only_files() {
+        assert_eq!(parse_config("").unwrap(), ConfigFile::default());
+        assert_eq!(parse_config("# x\n\n# y\n").unwrap(), ConfigFile::default());
+    }
+
+    #[test]
+    fn load_config_from_disk() {
+        let dir = std::env::temp_dir().join(format!("gaa-cfg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gaa.conf");
+        std::fs::write(&path, "register t a r\n").unwrap();
+        let cfg = load_config(&path).unwrap();
+        assert_eq!(cfg.registrations.len(), 1);
+        let missing = load_config(&dir.join("nope.conf"));
+        assert!(missing.is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! Per-request security context: the information glue code extracts from the
+//! application and hands to the GAA-API.
+//!
+//! §6 step 2b: "The context information (e.g., system configuration, server
+//! status, client status and the details of access request) that may be used
+//! by the condition evaluation routines is extracted from the `request_rec`
+//! structure and is added to requested right structure as a list of
+//! parameters. These parameters are classified with type and authority so
+//! that GAA-API routines that evaluate conditions with the same type and
+//! authority could find the relevant parameters."
+
+use gaa_audit::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// A typed, authority-classified request parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter type, matched against condition types (e.g. `url`,
+    /// `query_len`, `header`).
+    pub ptype: String,
+    /// Defining authority, matched against condition authorities.
+    pub authority: String,
+    /// Value.
+    pub value: String,
+}
+
+impl Param {
+    /// Creates a parameter.
+    pub fn new(
+        ptype: impl Into<String>,
+        authority: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Self {
+        Param {
+            ptype: ptype.into(),
+            authority: authority.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// Whether a request or operation succeeded — the trigger selector for
+/// request-result (`on:success` / `on:failure`) and post conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The request was granted / the operation completed successfully.
+    Success,
+    /// The request was denied / the operation failed.
+    Failure,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Success => f.write_str("success"),
+            Outcome::Failure => f.write_str("failure"),
+        }
+    }
+}
+
+/// Resource consumption of an executing operation, fed to mid-condition
+/// evaluation (`gaa_execution_control`).
+///
+/// §2: "a CPU usage threshold that must hold during the operation
+/// execution". The web-server substrate meters CGI execution and calls
+/// [`GaaApi::execution_control`](crate::GaaApi::execution_control)
+/// periodically with a fresh snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ExecutionMetrics {
+    /// Consumed CPU ticks (simulated).
+    pub cpu_ticks: u64,
+    /// Peak memory in bytes (simulated).
+    pub memory_bytes: u64,
+    /// Wall-clock time the operation has been running, in milliseconds.
+    pub wall_millis: u64,
+    /// Files created by the operation so far (§3 item 6: "unusual or
+    /// suspicious application behavior such as creating files").
+    pub files_created: u32,
+}
+
+impl ExecutionMetrics {
+    /// Metrics at the start of an operation.
+    pub fn zero() -> Self {
+        ExecutionMetrics::default()
+    }
+
+    /// Wall-clock time as a [`Duration`].
+    pub fn wall(&self) -> Duration {
+        Duration::from_millis(self.wall_millis)
+    }
+}
+
+/// The security context of one access request.
+///
+/// Built by application glue (e.g. the web server's GAA module) from its
+/// native request structure. Identity fields follow the paper's access-ID
+/// model: an authenticated user, their groups, and the client host address.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SecurityContext {
+    user: Option<String>,
+    groups: Vec<String>,
+    client_ip: Option<String>,
+    object: Option<String>,
+    time: Option<Timestamp>,
+    params: Vec<Param>,
+}
+
+impl SecurityContext {
+    /// An empty (anonymous) context.
+    pub fn new() -> Self {
+        SecurityContext::default()
+    }
+
+    /// Sets the authenticated user.
+    #[must_use]
+    pub fn with_user(mut self, user: impl Into<String>) -> Self {
+        self.user = Some(user.into());
+        self
+    }
+
+    /// Adds a group membership.
+    #[must_use]
+    pub fn with_group(mut self, group: impl Into<String>) -> Self {
+        self.groups.push(group.into());
+        self
+    }
+
+    /// Sets the client IP address.
+    #[must_use]
+    pub fn with_client_ip(mut self, ip: impl Into<String>) -> Self {
+        self.client_ip = Some(ip.into());
+        self
+    }
+
+    /// Sets the requested object (URL path, file name…).
+    #[must_use]
+    pub fn with_object(mut self, object: impl Into<String>) -> Self {
+        self.object = Some(object.into());
+        self
+    }
+
+    /// Pins the request time (defaults to the API's clock when unset).
+    #[must_use]
+    pub fn with_time(mut self, time: Timestamp) -> Self {
+        self.time = Some(time);
+        self
+    }
+
+    /// Adds a classified parameter.
+    #[must_use]
+    pub fn with_param(mut self, param: Param) -> Self {
+        self.params.push(param);
+        self
+    }
+
+    /// The authenticated user, if any.
+    pub fn user(&self) -> Option<&str> {
+        self.user.as_deref()
+    }
+
+    /// Group memberships.
+    pub fn groups(&self) -> &[String] {
+        &self.groups
+    }
+
+    /// Is the context a member of `group`?
+    pub fn in_group(&self, group: &str) -> bool {
+        self.groups.iter().any(|g| g == group)
+    }
+
+    /// The client IP address, if known.
+    pub fn client_ip(&self) -> Option<&str> {
+        self.client_ip.as_deref()
+    }
+
+    /// The requested object, if set.
+    pub fn object(&self) -> Option<&str> {
+        self.object.as_deref()
+    }
+
+    /// The pinned request time, if set.
+    pub fn time(&self) -> Option<Timestamp> {
+        self.time
+    }
+
+    /// All parameters.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// First parameter with the given type (any authority).
+    pub fn param(&self, ptype: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|p| p.ptype == ptype)
+            .map(|p| p.value.as_str())
+    }
+
+    /// First parameter matching both type and authority — the §6 lookup rule
+    /// ("routines that evaluate conditions with the same type and authority
+    /// could find the relevant parameters").
+    pub fn param_for(&self, ptype: &str, authority: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|p| p.ptype == ptype && (p.authority == authority || authority == "*"))
+            .map(|p| p.value.as_str())
+    }
+
+    /// A short identity string for audit records: user if authenticated,
+    /// else client IP, else `anonymous`.
+    pub fn subject(&self) -> &str {
+        self.user
+            .as_deref()
+            .or(self.client_ip.as_deref())
+            .unwrap_or("anonymous")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let ctx = SecurityContext::new()
+            .with_user("alice")
+            .with_group("staff")
+            .with_group("admins")
+            .with_client_ip("10.0.0.1")
+            .with_object("/index.html")
+            .with_param(Param::new("url", "apache", "/index.html"))
+            .with_param(Param::new("query_len", "apache", "12"));
+        assert_eq!(ctx.user(), Some("alice"));
+        assert!(ctx.in_group("staff"));
+        assert!(ctx.in_group("admins"));
+        assert!(!ctx.in_group("BadGuys"));
+        assert_eq!(ctx.client_ip(), Some("10.0.0.1"));
+        assert_eq!(ctx.object(), Some("/index.html"));
+        assert_eq!(ctx.param("query_len"), Some("12"));
+    }
+
+    #[test]
+    fn param_lookup_honours_type_and_authority() {
+        let ctx = SecurityContext::new()
+            .with_param(Param::new("limit", "sshd", "5"))
+            .with_param(Param::new("limit", "apache", "10"));
+        assert_eq!(ctx.param_for("limit", "apache"), Some("10"));
+        assert_eq!(ctx.param_for("limit", "sshd"), Some("5"));
+        assert_eq!(ctx.param_for("limit", "*"), Some("5")); // first match
+        assert_eq!(ctx.param_for("limit", "ftp"), None);
+        assert_eq!(ctx.param("limit"), Some("5"));
+    }
+
+    #[test]
+    fn subject_prefers_user_then_ip() {
+        assert_eq!(SecurityContext::new().subject(), "anonymous");
+        assert_eq!(
+            SecurityContext::new().with_client_ip("1.2.3.4").subject(),
+            "1.2.3.4"
+        );
+        assert_eq!(
+            SecurityContext::new()
+                .with_client_ip("1.2.3.4")
+                .with_user("bob")
+                .subject(),
+            "bob"
+        );
+    }
+
+    #[test]
+    fn metrics_wall_duration() {
+        let m = ExecutionMetrics {
+            wall_millis: 1500,
+            ..ExecutionMetrics::zero()
+        };
+        assert_eq!(m.wall(), Duration::from_millis(1500));
+        assert_eq!(ExecutionMetrics::zero().cpu_ticks, 0);
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(Outcome::Success.to_string(), "success");
+        assert_eq!(Outcome::Failure.to_string(), "failure");
+    }
+}

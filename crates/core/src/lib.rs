@@ -1,0 +1,86 @@
+//! # gaa-core — the Generic Authorization and Access-control API
+//!
+//! This crate is the paper's primary contribution: a **generic** policy
+//! evaluation engine that performs fine-grained access control *and*
+//! application-level intrusion detection/response in one pass. It is
+//! deliberately application-agnostic — it sees requested rights, a security
+//! context and registered condition-evaluation routines, never HTTP — which
+//! is how the original was reused unchanged across Apache, sshd and
+//! FreeS/WAN (§1, §9).
+//!
+//! ## The five API entry points (§6)
+//!
+//! | paper call | here |
+//! |---|---|
+//! | `gaa_initialize` (config + routine registration) | [`GaaApiBuilder`] |
+//! | `gaa_get_object_policy_info` | [`GaaApi::get_object_policy_info`] |
+//! | build list of requested rights | [`SecurityContext`] + [`RightPattern`] |
+//! | `gaa_check_authorization` | [`GaaApi::check_authorization`] |
+//! | `gaa_execution_control` (unimplemented in the paper) | [`GaaApi::execution_control`] |
+//! | `gaa_post_execution_actions` | [`GaaApi::post_execution_actions`] |
+//!
+//! ## Tri-state status (§6)
+//!
+//! Every evaluation produces a [`GaaStatus`]: `Yes` (all conditions met),
+//! `No` (at least one failed), `Maybe` (none failed, at least one left
+//! unevaluated — e.g. no evaluator registered for its `(type, authority)`
+//! pair). `Maybe` drives both the 401-retry flow (missing credentials) and
+//! the adaptive-redirection feature (§6 step 2d).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use gaa_core::{
+//!     EvalDecision, GaaApiBuilder, MemoryPolicyStore, RightPattern, SecurityContext,
+//! };
+//! use gaa_eacl::parse_eacl;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut store = MemoryPolicyStore::new();
+//! store.set_local(
+//!     "/index.html",
+//!     vec![parse_eacl("pos_access_right apache *\npre_cond accessid USER alice\n")?],
+//! );
+//!
+//! let api = GaaApiBuilder::new(Arc::new(store))
+//!     .register("accessid", "USER", |value, env| {
+//!         match env.context.user() {
+//!             Some(user) if user == value => EvalDecision::Met,
+//!             Some(_) => EvalDecision::NotMet,
+//!             None => EvalDecision::Unevaluated, // no credentials yet -> MAYBE
+//!         }
+//!     })
+//!     .build();
+//!
+//! let policy = api.get_object_policy_info("/index.html")?;
+//! let ctx = SecurityContext::new().with_user("alice");
+//! let result = api.check_authorization(&policy, &RightPattern::new("apache", "GET"), &ctx);
+//! assert!(result.status().is_yes());
+//! # Ok(())
+//! # }
+//! ```
+
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+mod api;
+mod context;
+mod decision;
+mod policy_store;
+mod registry;
+mod status;
+mod trace;
+
+pub mod config;
+
+pub use api::{AppliedEntry, AuthorizationResult, GaaApi, GaaApiBuilder, PhaseStatus};
+pub use context::{ExecutionMetrics, Outcome, Param, SecurityContext};
+pub use decision::{AnswerCode, REDIRECT_COND_TYPE};
+pub use gaa_eacl::RightPattern;
+pub use policy_store::{
+    CacheStats, CachingPolicyStore, FilePolicyStore, MemoryPolicyStore, PolicyError, PolicyStore,
+};
+pub use registry::{ConditionRegistry, EvalDecision, EvalEnv, ConditionEvaluator};
+pub use status::GaaStatus;
+pub use trace::{ConditionTrace, DecisionTrace, EaclTrace, EntryTrace};

@@ -1,0 +1,161 @@
+//! The tri-state evaluation status and its algebra.
+//!
+//! §6: the status values are obtained during condition evaluation — `YES`:
+//! all conditions are met; `NO`: at least one of the conditions fails;
+//! `MAYBE`: none of the conditions fails but there is at least one condition
+//! that is left unevaluated. The GAA-API returns `MAYBE` if the corresponding
+//! condition evaluation function is not registered with the API.
+//!
+//! The combination rules form a three-valued (Kleene) logic in which `No` is
+//! absorbing for conjunction and `Yes` is absorbing for disjunction; both
+//! operations are commutative, associative and idempotent (property-tested
+//! in `tests/status_laws.rs`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result of evaluating a condition block, an EACL entry, or a whole
+/// composed policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GaaStatus {
+    /// All conditions met: the request/phase is positively decided.
+    Yes,
+    /// At least one condition failed.
+    No,
+    /// Nothing failed, but at least one condition could not be evaluated.
+    Maybe,
+}
+
+impl GaaStatus {
+    /// Three-valued conjunction: `No` dominates, then `Maybe`, then `Yes`.
+    #[must_use]
+    pub fn and(self, other: GaaStatus) -> GaaStatus {
+        use GaaStatus::*;
+        match (self, other) {
+            (No, _) | (_, No) => No,
+            (Maybe, _) | (_, Maybe) => Maybe,
+            (Yes, Yes) => Yes,
+        }
+    }
+
+    /// Three-valued disjunction: `Yes` dominates, then `Maybe`, then `No`.
+    #[must_use]
+    pub fn or(self, other: GaaStatus) -> GaaStatus {
+        use GaaStatus::*;
+        match (self, other) {
+            (Yes, _) | (_, Yes) => Yes,
+            (Maybe, _) | (_, Maybe) => Maybe,
+            (No, No) => No,
+        }
+    }
+
+    /// Folds a conjunction over `statuses`; the empty conjunction is `Yes`
+    /// (§6: "if there are no pre-conditions, the authorization status is set
+    /// to YES").
+    pub fn all<I: IntoIterator<Item = GaaStatus>>(statuses: I) -> GaaStatus {
+        statuses
+            .into_iter()
+            .fold(GaaStatus::Yes, GaaStatus::and)
+    }
+
+    /// Folds a disjunction over `statuses`; the empty disjunction is `No`.
+    pub fn any<I: IntoIterator<Item = GaaStatus>>(statuses: I) -> GaaStatus {
+        statuses.into_iter().fold(GaaStatus::No, GaaStatus::or)
+    }
+
+    /// Is this `Yes`?
+    pub fn is_yes(self) -> bool {
+        self == GaaStatus::Yes
+    }
+
+    /// Is this `No`?
+    pub fn is_no(self) -> bool {
+        self == GaaStatus::No
+    }
+
+    /// Is this `Maybe`?
+    pub fn is_maybe(self) -> bool {
+        self == GaaStatus::Maybe
+    }
+}
+
+impl fmt::Display for GaaStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GaaStatus::Yes => "YES",
+            GaaStatus::No => "NO",
+            GaaStatus::Maybe => "MAYBE",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::GaaStatus::{self, *};
+
+    const ALL: [GaaStatus; 3] = [Yes, No, Maybe];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Yes.and(Yes), Yes);
+        assert_eq!(Yes.and(No), No);
+        assert_eq!(Yes.and(Maybe), Maybe);
+        assert_eq!(No.and(Maybe), No);
+        assert_eq!(Maybe.and(Maybe), Maybe);
+        assert_eq!(No.and(No), No);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Yes.or(No), Yes);
+        assert_eq!(Yes.or(Maybe), Yes);
+        assert_eq!(No.or(Maybe), Maybe);
+        assert_eq!(No.or(No), No);
+        assert_eq!(Maybe.or(Maybe), Maybe);
+    }
+
+    #[test]
+    fn identities() {
+        for s in ALL {
+            assert_eq!(s.and(Yes), s, "Yes is the and-identity");
+            assert_eq!(s.or(No), s, "No is the or-identity");
+        }
+    }
+
+    #[test]
+    fn absorbing_elements() {
+        for s in ALL {
+            assert_eq!(s.and(No), No);
+            assert_eq!(s.or(Yes), Yes);
+        }
+    }
+
+    #[test]
+    fn empty_folds_match_paper_semantics() {
+        assert_eq!(GaaStatus::all(std::iter::empty()), Yes);
+        assert_eq!(GaaStatus::any(std::iter::empty()), No);
+    }
+
+    #[test]
+    fn folds_over_sequences() {
+        assert_eq!(GaaStatus::all([Yes, Maybe, Yes]), Maybe);
+        assert_eq!(GaaStatus::all([Yes, Maybe, No]), No);
+        assert_eq!(GaaStatus::any([No, Maybe, No]), Maybe);
+        assert_eq!(GaaStatus::any([No, Yes]), Yes);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Yes.is_yes() && !Yes.is_no() && !Yes.is_maybe());
+        assert!(No.is_no());
+        assert!(Maybe.is_maybe());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Yes.to_string(), "YES");
+        assert_eq!(No.to_string(), "NO");
+        assert_eq!(Maybe.to_string(), "MAYBE");
+    }
+}

@@ -1,0 +1,390 @@
+//! Decision tracing: answer "*why* was this request granted/denied?".
+//!
+//! §2 ends with the observation that ordering-sensitive policies need
+//! tooling: "the function of defining the order of EACL entries and
+//! conditions within an entry can be best served by an automated tool to
+//! ensure policy correctness and consistency and to ease the policy
+//! specification burden on the policy officer."
+//! [`validate`](gaa_eacl::validate) lints policies statically;
+//! [`GaaApi::explain`](crate::GaaApi::explain) complements it dynamically:
+//! it re-evaluates the grant/deny decision for a concrete request and
+//! records every entry consulted and every pre-condition verdict, in order.
+//!
+//! `explain` evaluates **pre-conditions only** — request-result, mid and
+//! post blocks carry response *actions* (notify, blacklist updates) that
+//! must not fire during diagnosis. The returned decision therefore matches
+//! [`AuthorizationResult::authorization_status`](crate::AuthorizationResult::authorization_status),
+//! not the final action-folded status.
+
+use crate::api::GaaApi;
+use crate::context::SecurityContext;
+use crate::registry::{EvalDecision, EvalEnv};
+use crate::status::GaaStatus;
+use gaa_eacl::{
+    ComposedPolicy, CompositionMode, CondPhase, Condition, Polarity, PolicyLayer, RightPattern,
+};
+use std::fmt;
+
+/// Verdict recorded for one pre-condition during tracing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConditionTrace {
+    /// The condition as written in the policy.
+    pub condition: Condition,
+    /// What its evaluator said.
+    pub decision: EvalDecision,
+    /// Whether an evaluator was registered at all.
+    pub had_evaluator: bool,
+}
+
+/// Trace of one entry whose right pattern matched the requested right.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryTrace {
+    /// Index of the entry within its EACL.
+    pub entry_index: usize,
+    /// Grant or deny entry.
+    pub polarity: Polarity,
+    /// Pre-condition verdicts, in evaluation order (short-circuits after
+    /// the first failure, exactly like real evaluation).
+    pub conditions: Vec<ConditionTrace>,
+    /// The pre-block status for this entry.
+    pub pre_status: GaaStatus,
+    /// Did this entry decide its EACL (first non-failing guard)?
+    pub applied: bool,
+}
+
+/// Trace of one EACL's evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EaclTrace {
+    /// System or local layer.
+    pub layer: PolicyLayer,
+    /// Index within the layer.
+    pub eacl_index: usize,
+    /// Entries whose right matched, in order, up to and including the
+    /// applied one.
+    pub entries: Vec<EntryTrace>,
+    /// This EACL's contribution (`None` = abstained).
+    pub contribution: Option<GaaStatus>,
+}
+
+/// A complete decision trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionTrace {
+    /// The right that was checked.
+    pub right: RightPattern,
+    /// Per-EACL traces, in evaluation order.
+    pub eacls: Vec<EaclTrace>,
+    /// Composition mode in force.
+    pub mode: CompositionMode,
+    /// The system layer's combined contribution.
+    pub system_decision: Option<GaaStatus>,
+    /// The local layer's combined contribution.
+    pub local_decision: Option<GaaStatus>,
+    /// The composed pre-condition decision (response actions excluded).
+    pub decision: GaaStatus,
+}
+
+impl fmt::Display for DecisionTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "decision trace for right `{}` (mode {})", self.right, self.mode)?;
+        for eacl in &self.eacls {
+            writeln!(
+                f,
+                "  {:?} EACL #{}: {}",
+                eacl.layer,
+                eacl.eacl_index,
+                match eacl.contribution {
+                    Some(s) => s.to_string(),
+                    None => "abstained".to_string(),
+                }
+            )?;
+            for entry in &eacl.entries {
+                writeln!(
+                    f,
+                    "    entry {} ({}) pre={} {}",
+                    entry.entry_index + 1,
+                    match entry.polarity {
+                        Polarity::Positive => "grant",
+                        Polarity::Negative => "deny",
+                    },
+                    entry.pre_status,
+                    if entry.applied { "<= applied" } else { "(fell through)" }
+                )?;
+                for ct in &entry.conditions {
+                    writeln!(
+                        f,
+                        "      {} {} -> {}",
+                        ct.condition.cond_type,
+                        ct.condition.value,
+                        match (ct.decision, ct.had_evaluator) {
+                            (EvalDecision::Met, _) => "met",
+                            (EvalDecision::NotMet, _) => "FAILED",
+                            (EvalDecision::Unevaluated, false) => "unevaluated (no routine)",
+                            (EvalDecision::Unevaluated, true) => "unevaluated",
+                        }
+                    )?;
+                }
+            }
+        }
+        writeln!(
+            f,
+            "  system={:?} local={:?} => {}",
+            self.system_decision, self.local_decision, self.decision
+        )
+    }
+}
+
+impl GaaApi {
+    /// Re-evaluates the grant/deny path for `right` and returns a full
+    /// [`DecisionTrace`].
+    ///
+    /// Pre-conditions are evaluated with the same registry, context, and
+    /// short-circuit rules as [`check_authorization`]; request-result, mid
+    /// and post blocks are **not** evaluated (their side effects must not
+    /// fire during diagnosis), so the traced decision corresponds to
+    /// [`AuthorizationResult::authorization_status`].
+    ///
+    /// [`check_authorization`]: GaaApi::check_authorization
+    /// [`AuthorizationResult::authorization_status`]: crate::AuthorizationResult::authorization_status
+    pub fn explain(
+        &self,
+        policy: &ComposedPolicy,
+        right: &RightPattern,
+        ctx: &SecurityContext,
+    ) -> DecisionTrace {
+        let now = ctx.time().unwrap_or_else(|| self.clock().now());
+        let mut eacls = Vec::new();
+        let mut sys_contributions = Vec::new();
+        let mut loc_contributions = Vec::new();
+        let mut sys_index = 0usize;
+        let mut loc_index = 0usize;
+
+        for (layer, eacl) in policy.layers() {
+            let eacl_index = match layer {
+                PolicyLayer::System => {
+                    sys_index += 1;
+                    sys_index - 1
+                }
+                PolicyLayer::Local => {
+                    loc_index += 1;
+                    loc_index - 1
+                }
+            };
+            let mut entries = Vec::new();
+            let mut contribution = None;
+            for (entry_index, entry) in eacl.matching_entries(&right.authority, &right.value) {
+                let env = EvalEnv {
+                    context: ctx,
+                    phase: CondPhase::Pre,
+                    now,
+                    request_outcome: None,
+                    operation_outcome: None,
+                    execution: None,
+                };
+                let mut conditions = Vec::new();
+                let mut pre_status = GaaStatus::Yes;
+                for cond in &entry.pre {
+                    let eval = self.registry().evaluate(cond, &env);
+                    conditions.push(ConditionTrace {
+                        condition: cond.clone(),
+                        decision: eval.decision,
+                        had_evaluator: eval.had_evaluator,
+                    });
+                    match eval.decision {
+                        EvalDecision::Met => {}
+                        EvalDecision::NotMet => {
+                            pre_status = GaaStatus::No;
+                            break; // mirrors the real short-circuit
+                        }
+                        EvalDecision::Unevaluated => {
+                            pre_status = pre_status.and(GaaStatus::Maybe);
+                        }
+                    }
+                }
+                let applied = pre_status != GaaStatus::No;
+                entries.push(EntryTrace {
+                    entry_index,
+                    polarity: entry.right.polarity,
+                    conditions,
+                    pre_status,
+                    applied,
+                });
+                if applied {
+                    let decision = match (entry.right.polarity, pre_status) {
+                        (Polarity::Positive, s) => s,
+                        (Polarity::Negative, GaaStatus::Yes) => GaaStatus::No,
+                        (Polarity::Negative, _) => GaaStatus::Maybe,
+                    };
+                    contribution = Some(decision);
+                    break;
+                }
+            }
+            if let Some(decision) = contribution {
+                match layer {
+                    PolicyLayer::System => sys_contributions.push(decision),
+                    PolicyLayer::Local => loc_contributions.push(decision),
+                }
+            }
+            eacls.push(EaclTrace {
+                layer,
+                eacl_index,
+                entries,
+                contribution,
+            });
+        }
+
+        let system_decision = if sys_contributions.is_empty() {
+            None
+        } else {
+            Some(GaaStatus::all(sys_contributions))
+        };
+        let local_decision = if loc_contributions.is_empty() {
+            None
+        } else {
+            Some(GaaStatus::all(loc_contributions))
+        };
+        let decision =
+            self.combine_layers_public(policy.mode(), system_decision, local_decision);
+
+        DecisionTrace {
+            right: right.clone(),
+            eacls,
+            mode: policy.mode(),
+            system_decision,
+            local_decision,
+            decision,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::GaaApiBuilder;
+    use crate::policy_store::MemoryPolicyStore;
+    use gaa_eacl::parse_eacl;
+    use std::sync::Arc;
+
+    fn api_and_policy() -> (GaaApi, ComposedPolicy) {
+        let mut store = MemoryPolicyStore::new();
+        store.set_system(vec![parse_eacl(
+            "eacl_mode 1\nneg_access_right * *\npre_cond flag local lockdown\n",
+        )
+        .unwrap()]);
+        store.set_local(
+            "/obj",
+            vec![parse_eacl(
+                "neg_access_right apache *\n\
+                 pre_cond flag local attack\n\
+                 rr_cond unregistered_action local x\n\
+                 pos_access_right apache *\n\
+                 pre_cond user USER *\n",
+            )
+            .unwrap()],
+        );
+        let api = GaaApiBuilder::new(Arc::new(store))
+            .register("flag", "local", |value: &str, env: &EvalEnv<'_>| {
+                match env.context.param("flag") {
+                    Some(v) if v == value => EvalDecision::Met,
+                    _ => EvalDecision::NotMet,
+                }
+            })
+            .register("user", "USER", |_: &str, env: &EvalEnv<'_>| {
+                match env.context.user() {
+                    Some(_) => EvalDecision::Met,
+                    None => EvalDecision::Unevaluated,
+                }
+            })
+            .build();
+        let policy = api.get_object_policy_info("/obj").unwrap();
+        (api, policy)
+    }
+
+    fn right() -> RightPattern {
+        RightPattern::new("apache", "GET")
+    }
+
+    #[test]
+    fn trace_matches_real_decision() {
+        let (api, policy) = api_and_policy();
+        for (flag, user) in [
+            ("calm", Some("alice")),
+            ("calm", None),
+            ("attack", Some("alice")),
+            ("lockdown", Some("alice")),
+        ] {
+            let mut ctx = SecurityContext::new()
+                .with_param(crate::context::Param::new("flag", "t", flag));
+            if let Some(u) = user {
+                ctx = ctx.with_user(u);
+            }
+            let trace = api.explain(&policy, &right(), &ctx);
+            let real = api.check_authorization(&policy, &right(), &ctx);
+            assert_eq!(
+                trace.decision,
+                real.authorization_status(),
+                "flag={flag} user={user:?}\n{trace}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_shows_fell_through_and_applied_entries() {
+        let (api, policy) = api_and_policy();
+        let ctx = SecurityContext::new()
+            .with_user("alice")
+            .with_param(crate::context::Param::new("flag", "t", "calm"));
+        let trace = api.explain(&policy, &right(), &ctx);
+
+        // System EACL: guard fails, abstains.
+        assert_eq!(trace.eacls[0].contribution, None);
+        assert!(!trace.eacls[0].entries[0].applied);
+
+        // Local EACL: entry 1 falls through, entry 2 applies.
+        let local = &trace.eacls[1];
+        assert_eq!(local.contribution, Some(GaaStatus::Yes));
+        assert_eq!(local.entries.len(), 2);
+        assert!(!local.entries[0].applied);
+        assert!(local.entries[1].applied);
+    }
+
+    #[test]
+    fn trace_records_condition_verdicts_in_order() {
+        let (api, policy) = api_and_policy();
+        let ctx = SecurityContext::new()
+            .with_param(crate::context::Param::new("flag", "t", "attack"));
+        let trace = api.explain(&policy, &right(), &ctx);
+        let deny_entry = &trace.eacls[1].entries[0];
+        assert!(deny_entry.applied);
+        assert_eq!(deny_entry.conditions.len(), 1);
+        assert_eq!(deny_entry.conditions[0].decision, EvalDecision::Met);
+        assert_eq!(trace.decision, GaaStatus::No);
+    }
+
+    #[test]
+    fn unregistered_conditions_are_marked() {
+        let mut store = MemoryPolicyStore::new();
+        store.set_local(
+            "/obj",
+            vec![parse_eacl("pos_access_right apache *\npre_cond mystery local x\n").unwrap()],
+        );
+        let api = GaaApiBuilder::new(Arc::new(store)).build();
+        let policy = api.get_object_policy_info("/obj").unwrap();
+        let trace = api.explain(&policy, &right(), &SecurityContext::new());
+        let ct = &trace.eacls[0].entries[0].conditions[0];
+        assert_eq!(ct.decision, EvalDecision::Unevaluated);
+        assert!(!ct.had_evaluator);
+        assert!(trace.to_string().contains("no routine"));
+    }
+
+    #[test]
+    fn display_renders_the_whole_story() {
+        let (api, policy) = api_and_policy();
+        let ctx = SecurityContext::new()
+            .with_param(crate::context::Param::new("flag", "t", "lockdown"));
+        let text = api.explain(&policy, &right(), &ctx).to_string();
+        assert!(text.contains("System EACL #0"));
+        assert!(text.contains("Local EACL #0"));
+        assert!(text.contains("<= applied"));
+        assert!(text.contains("=> NO"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property test: the decision tracer ([`GaaApi::explain`]) agrees with
+//! real evaluation ([`GaaApi::check_authorization`]) on *arbitrary* policies
+//! and contexts — not just the handful of hand-written cases in the unit
+//! tests. A diagnostic tool that disagrees with the enforcer is worse than
+//! none.
+
+use gaa_core::{
+    EvalDecision, EvalEnv, GaaApi, GaaApiBuilder, MemoryPolicyStore, Param, RightPattern,
+    SecurityContext,
+};
+use gaa_eacl::{AccessRight, CompositionMode, Condition, Eacl, EaclEntry, Polarity};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Three synthetic condition types with distinct tri-state behaviour:
+/// * `flag_eq local <v>` — Met iff the context's `flag` param equals `<v>`;
+/// * `always_maybe local _` — always Unevaluated;
+/// * `registered_no local _` — always NotMet.
+/// Plus `never_registered`, which has no evaluator (MAYBE path).
+fn build_api(system: Vec<Eacl>, local: Vec<Eacl>) -> GaaApi {
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(system);
+    store.set_local("/obj", local);
+    GaaApiBuilder::new(Arc::new(store))
+        .register("flag_eq", "local", |value: &str, env: &EvalEnv<'_>| {
+            match env.context.param("flag") {
+                Some(v) if v == value => EvalDecision::Met,
+                _ => EvalDecision::NotMet,
+            }
+        })
+        .register("always_maybe", "local", |_: &str, _: &EvalEnv<'_>| {
+            EvalDecision::Unevaluated
+        })
+        .register("registered_no", "local", |_: &str, _: &EvalEnv<'_>| {
+            EvalDecision::NotMet
+        })
+        .build()
+}
+
+fn condition() -> impl Strategy<Value = Condition> {
+    prop_oneof![
+        "[ab]".prop_map(|v| Condition::new("flag_eq", "local", v)),
+        Just(Condition::new("always_maybe", "local", "x")),
+        Just(Condition::new("registered_no", "local", "x")),
+        Just(Condition::new("never_registered", "local", "x")),
+    ]
+}
+
+fn entry() -> impl Strategy<Value = EaclEntry> {
+    (
+        any::<bool>(),
+        prop_oneof![Just("apache"), Just("*"), Just("sshd")],
+        prop_oneof![Just("GET"), Just("*"), Just("POST")],
+        proptest::collection::vec(condition(), 0..4),
+    )
+        .prop_map(|(positive, authority, value, pre)| {
+            let right = AccessRight {
+                polarity: if positive {
+                    Polarity::Positive
+                } else {
+                    Polarity::Negative
+                },
+                authority: authority.to_string(),
+                value: value.to_string(),
+            };
+            let mut e = EaclEntry::new(right);
+            e.pre = pre;
+            e
+        })
+}
+
+fn eacl(with_mode: bool) -> impl Strategy<Value = Eacl> {
+    (
+        proptest::collection::vec(entry(), 0..5),
+        prop_oneof![
+            Just(CompositionMode::Expand),
+            Just(CompositionMode::Narrow),
+            Just(CompositionMode::Stop),
+        ],
+    )
+        .prop_map(move |(entries, mode)| Eacl {
+            mode: with_mode.then_some(mode),
+            entries,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// explain().decision == check_authorization().authorization_status()
+    /// for arbitrary two-layer policies, flags and rights.
+    #[test]
+    fn trace_always_matches_real_evaluation(
+        system in proptest::collection::vec(eacl(true), 0..3),
+        local in proptest::collection::vec(eacl(false), 0..3),
+        flag in "[abc]",
+        right_value in prop_oneof![Just("GET"), Just("POST"), Just("DELETE")],
+    ) {
+        let api = build_api(system, local);
+        let policy = api.get_object_policy_info("/obj").unwrap();
+        let ctx = SecurityContext::new().with_param(Param::new("flag", "t", flag));
+        let right = RightPattern::new("apache", right_value);
+
+        let trace = api.explain(&policy, &right, &ctx);
+        let real = api.check_authorization(&policy, &right, &ctx);
+        prop_assert_eq!(
+            trace.decision,
+            real.authorization_status(),
+            "trace disagrees with evaluation:\n{}",
+            trace
+        );
+    }
+
+    /// The trace's applied entries mirror the evaluator's applied entries
+    /// (same EACL, same entry index, same pre-status) for every layer.
+    #[test]
+    fn trace_applied_entries_match(
+        local in proptest::collection::vec(eacl(false), 1..3),
+        flag in "[ab]",
+    ) {
+        let api = build_api(Vec::new(), local);
+        let policy = api.get_object_policy_info("/obj").unwrap();
+        let ctx = SecurityContext::new().with_param(Param::new("flag", "t", flag));
+        let right = RightPattern::new("apache", "GET");
+
+        let trace = api.explain(&policy, &right, &ctx);
+        let real = api.check_authorization(&policy, &right, &ctx);
+
+        let traced_applied: Vec<(usize, usize)> = trace
+            .eacls
+            .iter()
+            .flat_map(|e| {
+                e.entries
+                    .iter()
+                    .filter(|t| t.applied)
+                    .map(move |t| (e.eacl_index, t.entry_index))
+            })
+            .collect();
+        let real_applied: Vec<(usize, usize)> = real
+            .applied()
+            .iter()
+            .map(|a| (a.eacl_index, a.entry_index))
+            .collect();
+        prop_assert_eq!(traced_applied, real_applied, "\n{}", trace);
+
+        for (traced, actual) in trace
+            .eacls
+            .iter()
+            .flat_map(|e| e.entries.iter().filter(|t| t.applied))
+            .zip(real.applied())
+        {
+            prop_assert_eq!(traced.pre_status, actual.pre_status);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Multi-EACL evaluation: several separately specified policies per layer
+//! conjoin (§2.1: "To evaluate several separately specified local (or
+//! system-wide) policies, we take a conjunction of the policies"), and the
+//! `.htaccess`-style directory walk produces exactly such lists.
+
+use gaa_core::{
+    EvalDecision, EvalEnv, GaaApiBuilder, GaaStatus, MemoryPolicyStore, Param, RightPattern,
+    SecurityContext,
+};
+use gaa_eacl::parse_eacl;
+use std::sync::Arc;
+
+fn api_with_layers(system: &[&str], local: &[&str]) -> gaa_core::GaaApi {
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(system.iter().map(|t| parse_eacl(t).unwrap()).collect());
+    store.set_local("/obj", local.iter().map(|t| parse_eacl(t).unwrap()).collect());
+    GaaApiBuilder::new(Arc::new(store))
+        .register("flag", "local", |value: &str, env: &EvalEnv<'_>| {
+            match env.context.param("flag") {
+                Some(v) if v == value => EvalDecision::Met,
+                _ => EvalDecision::NotMet,
+            }
+        })
+        .build()
+}
+
+fn decide(system: &[&str], local: &[&str], flag: &str) -> GaaStatus {
+    let api = api_with_layers(system, local);
+    let policy = api.get_object_policy_info("/obj").unwrap();
+    let ctx = SecurityContext::new().with_param(Param::new("flag", "t", flag));
+    api.check_authorization(&policy, &RightPattern::new("apache", "GET"), &ctx)
+        .status()
+}
+
+const GRANT: &str = "pos_access_right apache *\n";
+const DENY: &str = "neg_access_right apache *\n";
+const GRANT_IF_X: &str = "pos_access_right apache *\npre_cond flag local x\n";
+const DENY_IF_X: &str = "neg_access_right apache *\npre_cond flag local x\n";
+
+#[test]
+fn same_layer_policies_conjoin() {
+    // Two local policies: both must allow.
+    assert_eq!(decide(&[], &[GRANT, GRANT], "-"), GaaStatus::Yes);
+    assert_eq!(decide(&[], &[GRANT, DENY], "-"), GaaStatus::No);
+    assert_eq!(decide(&[], &[DENY, GRANT], "-"), GaaStatus::No);
+    assert_eq!(decide(&[], &[DENY, DENY], "-"), GaaStatus::No);
+}
+
+#[test]
+fn abstaining_policies_drop_out_of_the_conjunction() {
+    // The guarded policy abstains when its flag is off — the other decides.
+    assert_eq!(decide(&[], &[DENY_IF_X, GRANT], "off"), GaaStatus::Yes);
+    assert_eq!(decide(&[], &[DENY_IF_X, GRANT], "x"), GaaStatus::No);
+    // Everything abstains: default deny.
+    assert_eq!(decide(&[], &[DENY_IF_X, GRANT_IF_X], "off"), GaaStatus::No);
+}
+
+#[test]
+fn two_system_policies_both_mandatory() {
+    let sys_a = "eacl_mode 1\nneg_access_right apache *\npre_cond flag local a\n";
+    let sys_b = "neg_access_right apache *\npre_cond flag local b\n";
+    // Flag a trips the first mandatory policy…
+    assert_eq!(decide(&[sys_a, sys_b], &[GRANT], "a"), GaaStatus::No);
+    // …flag b the second…
+    assert_eq!(decide(&[sys_a, sys_b], &[GRANT], "b"), GaaStatus::No);
+    // …and with neither, the local grant decides.
+    assert_eq!(decide(&[sys_a, sys_b], &[GRANT], "calm"), GaaStatus::Yes);
+}
+
+#[test]
+fn directory_walk_produces_conjoined_local_policies() {
+    // Mirrors the FilePolicyStore semantics: outer dir grants broadly,
+    // inner dir adds a restriction — both apply to the deep object.
+    let outer = GRANT;
+    let inner = DENY_IF_X;
+    let api = api_with_layers(&[], &[outer, inner]);
+    let policy = api.get_object_policy_info("/obj").unwrap();
+    let right = RightPattern::new("apache", "GET");
+
+    let calm = SecurityContext::new().with_param(Param::new("flag", "t", "off"));
+    assert!(api.check_authorization(&policy, &right, &calm).status().is_yes());
+    let hot = SecurityContext::new().with_param(Param::new("flag", "t", "x"));
+    assert!(api.check_authorization(&policy, &right, &hot).status().is_no());
+}
+
+#[test]
+fn maybe_propagates_through_the_conjunction() {
+    let grant_unsure = "pos_access_right apache *\npre_cond unregistered local x\n";
+    // YES ∧ MAYBE = MAYBE.
+    assert_eq!(decide(&[], &[GRANT, grant_unsure], "-"), GaaStatus::Maybe);
+    // NO ∧ MAYBE = NO.
+    assert_eq!(decide(&[], &[DENY, grant_unsure], "-"), GaaStatus::No);
+}
+
+#[test]
+fn applied_entries_record_eacl_indices_across_layers() {
+    let api = api_with_layers(&[GRANT, GRANT], &[GRANT]);
+    let policy = api.get_object_policy_info("/obj").unwrap();
+    let ctx = SecurityContext::new();
+    let result = api.check_authorization(&policy, &RightPattern::new("apache", "GET"), &ctx);
+    let applied = result.applied();
+    assert_eq!(applied.len(), 3);
+    assert_eq!(applied[0].eacl_index, 0);
+    assert_eq!(applied[1].eacl_index, 1);
+    assert_eq!(applied[2].eacl_index, 0); // local indexing restarts per layer
+}

@@ -1,0 +1,98 @@
+//! Property tests for the tri-state status algebra and the layer
+//! combination rules.
+
+use gaa_core::GaaStatus;
+use proptest::prelude::*;
+
+fn status() -> impl Strategy<Value = GaaStatus> {
+    prop_oneof![
+        Just(GaaStatus::Yes),
+        Just(GaaStatus::No),
+        Just(GaaStatus::Maybe)
+    ]
+}
+
+proptest! {
+    #[test]
+    fn and_is_commutative(a in status(), b in status()) {
+        prop_assert_eq!(a.and(b), b.and(a));
+    }
+
+    #[test]
+    fn or_is_commutative(a in status(), b in status()) {
+        prop_assert_eq!(a.or(b), b.or(a));
+    }
+
+    #[test]
+    fn and_is_associative(a in status(), b in status(), c in status()) {
+        prop_assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+    }
+
+    #[test]
+    fn or_is_associative(a in status(), b in status(), c in status()) {
+        prop_assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+    }
+
+    #[test]
+    fn and_is_idempotent(a in status()) {
+        prop_assert_eq!(a.and(a), a);
+    }
+
+    #[test]
+    fn or_is_idempotent(a in status()) {
+        prop_assert_eq!(a.or(a), a);
+    }
+
+    #[test]
+    fn absorption_laws(a in status(), b in status()) {
+        prop_assert_eq!(a.and(a.or(b)), a);
+        prop_assert_eq!(a.or(a.and(b)), a);
+    }
+
+    #[test]
+    fn distributivity(a in status(), b in status(), c in status()) {
+        prop_assert_eq!(a.and(b.or(c)), a.and(b).or(a.and(c)));
+        prop_assert_eq!(a.or(b.and(c)), a.or(b).and(a.or(c)));
+    }
+
+    #[test]
+    fn no_dominates_and(a in status()) {
+        prop_assert_eq!(GaaStatus::No.and(a), GaaStatus::No);
+    }
+
+    #[test]
+    fn yes_dominates_or(a in status()) {
+        prop_assert_eq!(GaaStatus::Yes.or(a), GaaStatus::Yes);
+    }
+
+    #[test]
+    fn fold_all_equals_pairwise(statuses in proptest::collection::vec(status(), 0..8)) {
+        let folded = GaaStatus::all(statuses.iter().copied());
+        let pairwise = statuses
+            .iter()
+            .copied()
+            .fold(GaaStatus::Yes, GaaStatus::and);
+        prop_assert_eq!(folded, pairwise);
+    }
+
+    /// A denial anywhere in a conjunction can never be washed out — the
+    /// security-critical property behind "mandatory policies must always
+    /// hold".
+    #[test]
+    fn no_in_sequence_forces_no(
+        mut statuses in proptest::collection::vec(status(), 0..8),
+        position in 0usize..8
+    ) {
+        let position = position.min(statuses.len());
+        statuses.insert(position, GaaStatus::No);
+        prop_assert_eq!(GaaStatus::all(statuses), GaaStatus::No);
+    }
+
+    /// Maybe can never be strengthened to Yes by conjunction.
+    #[test]
+    fn maybe_never_becomes_yes_under_and(statuses in proptest::collection::vec(status(), 0..8)) {
+        let mut with_maybe = statuses.clone();
+        with_maybe.push(GaaStatus::Maybe);
+        prop_assert_ne!(GaaStatus::all(with_maybe), GaaStatus::Yes);
+    }
+}

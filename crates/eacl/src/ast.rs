@@ -1,0 +1,469 @@
+//! Abstract syntax tree for the EACL policy language.
+//!
+//! The shapes here mirror the BNF in the paper's Appendix:
+//!
+//! ```text
+//! eacl       ::= (composition_mode) { entry }
+//! entry      ::= pright conds | nright pre_cond_block rr_cond_block
+//! pright     ::= "pos_access_right" def_auth value
+//! nright     ::= "neg_access_right" def_auth value
+//! conds      ::= pre_cond_block rr_cond_block mid_cond_block post_cond_block
+//! condition  ::= cond_type def_auth value
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// How a system-wide policy composes with local policies (§2.1).
+///
+/// The numeric encodings (`0`, `1`, `2`) follow the Appendix BNF
+/// (`composition mode ::= "0" | "1" | "2"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompositionMode {
+    /// `0` — the system-wide policy *broadens* access: the request is allowed
+    /// if either the system-wide or the local policy allows it (disjunction).
+    Expand,
+    /// `1` — the system-wide policy *narrows* access: mandatory (system) and
+    /// discretionary (local) components must both be satisfied (conjunction).
+    Narrow,
+    /// `2` — the system-wide policy *overrides*: local policies are ignored
+    /// entirely. Used to react quickly to an attack ("shut down component
+    /// systems").
+    Stop,
+}
+
+impl CompositionMode {
+    /// The numeric code used in the Appendix BNF.
+    pub fn code(self) -> u8 {
+        match self {
+            CompositionMode::Expand => 0,
+            CompositionMode::Narrow => 1,
+            CompositionMode::Stop => 2,
+        }
+    }
+
+    /// Keyword form used by the pretty-printer.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            CompositionMode::Expand => "expand",
+            CompositionMode::Narrow => "narrow",
+            CompositionMode::Stop => "stop",
+        }
+    }
+}
+
+impl fmt::Display for CompositionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+impl FromStr for CompositionMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "0" | "expand" => Ok(CompositionMode::Expand),
+            "1" | "narrow" => Ok(CompositionMode::Narrow),
+            "2" | "stop" => Ok(CompositionMode::Stop),
+            other => Err(format!(
+                "unknown composition mode `{other}` (expected 0/1/2 or expand/narrow/stop)"
+            )),
+        }
+    }
+}
+
+/// Whether an entry grants (`pos_access_right`) or denies
+/// (`neg_access_right`) its right when the entry's pre-conditions hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// The entry grants the right.
+    Positive,
+    /// The entry denies the right.
+    Negative,
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Polarity::Positive => f.write_str("pos_access_right"),
+            Polarity::Negative => f.write_str("neg_access_right"),
+        }
+    }
+}
+
+/// The four condition phases of an EACL entry (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CondPhase {
+    /// Evaluated before the operation starts; decides whether the entry
+    /// applies.
+    Pre,
+    /// Activated once the authorization decision is known (grant *or* deny).
+    RequestResult,
+    /// Must hold during the execution of the authorized operation.
+    Mid,
+    /// Activated after the operation completes (success *or* failure).
+    Post,
+}
+
+impl CondPhase {
+    /// The line keyword introducing a condition of this phase.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            CondPhase::Pre => "pre_cond",
+            CondPhase::RequestResult => "rr_cond",
+            CondPhase::Mid => "mid_cond",
+            CondPhase::Post => "post_cond",
+        }
+    }
+
+    /// All phases, in evaluation order.
+    pub fn all() -> [CondPhase; 4] {
+        [
+            CondPhase::Pre,
+            CondPhase::RequestResult,
+            CondPhase::Mid,
+            CondPhase::Post,
+        ]
+    }
+}
+
+impl fmt::Display for CondPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A single condition: `cond_type def_auth value`.
+///
+/// `cond_type` selects the evaluation routine (e.g. `regex`, `accessid`,
+/// `system_threat_level`); `authority` scopes the namespace in which the
+/// type is defined (`local`, `gnu`, a Kerberos realm, …); `value` is the
+/// opaque argument interpreted by the routine (the remainder of the line).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Condition {
+    /// Condition type, e.g. `regex`, `accessid`, `time_window`.
+    pub cond_type: String,
+    /// Defining authority, e.g. `local`, `gnu`, `USER`, `GROUP`.
+    pub authority: String,
+    /// Opaque value string passed to the evaluation routine.
+    pub value: String,
+}
+
+impl Condition {
+    /// Convenience constructor.
+    ///
+    /// ```rust
+    /// use gaa_eacl::Condition;
+    /// let c = Condition::new("regex", "gnu", "*phf*");
+    /// assert_eq!(c.cond_type, "regex");
+    /// ```
+    pub fn new(
+        cond_type: impl Into<String>,
+        authority: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Self {
+        Condition {
+            cond_type: cond_type.into(),
+            authority: authority.into(),
+            value: value.into(),
+        }
+    }
+
+    /// The `(type, authority)` pair used to look up a registered evaluator.
+    pub fn key(&self) -> (&str, &str) {
+        (&self.cond_type, &self.authority)
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.cond_type, self.authority, self.value)
+    }
+}
+
+/// An access right: polarity plus a `def_auth value` pattern.
+///
+/// Both `authority` and `value` may be the wildcard `*`, which matches
+/// anything when an EACL is evaluated against a requested right.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccessRight {
+    /// Grant or deny.
+    pub polarity: Polarity,
+    /// Defining authority of the right (e.g. `apache`, `sshd`, `*`).
+    pub authority: String,
+    /// Right value (e.g. `GET`, `EXEC_CGI`, `*`).
+    pub value: String,
+}
+
+impl AccessRight {
+    /// Constructs a positive (granting) right.
+    pub fn positive(authority: impl Into<String>, value: impl Into<String>) -> Self {
+        AccessRight {
+            polarity: Polarity::Positive,
+            authority: authority.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Constructs a negative (denying) right.
+    pub fn negative(authority: impl Into<String>, value: impl Into<String>) -> Self {
+        AccessRight {
+            polarity: Polarity::Negative,
+            authority: authority.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Does this right's pattern cover the requested `(authority, value)`
+    /// pair? `*` in either position matches anything.
+    pub fn matches(&self, authority: &str, value: &str) -> bool {
+        (self.authority == "*" || self.authority == authority)
+            && (self.value == "*" || self.value == value)
+    }
+}
+
+impl fmt::Display for AccessRight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.polarity, self.authority, self.value)
+    }
+}
+
+/// A requested right, built by the application from an incoming access
+/// request (paper §6 step 2b). Matched against [`AccessRight`] patterns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RightPattern {
+    /// Defining authority (e.g. `apache`).
+    pub authority: String,
+    /// Right value (e.g. `GET`).
+    pub value: String,
+}
+
+impl RightPattern {
+    /// Convenience constructor.
+    pub fn new(authority: impl Into<String>, value: impl Into<String>) -> Self {
+        RightPattern {
+            authority: authority.into(),
+            value: value.into(),
+        }
+    }
+}
+
+impl fmt::Display for RightPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.authority, self.value)
+    }
+}
+
+/// One EACL entry: a right plus four ordered condition blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct EaclEntry {
+    /// The (positive or negative) access right this entry governs.
+    pub right: AccessRight,
+    /// Pre-conditions (ordered conjunction) deciding whether the entry
+    /// applies.
+    pub pre: Vec<Condition>,
+    /// Request-result conditions fired once the decision is known.
+    pub rr: Vec<Condition>,
+    /// Mid-conditions enforced during operation execution.
+    pub mid: Vec<Condition>,
+    /// Post-conditions fired after the operation completes.
+    pub post: Vec<Condition>,
+}
+
+impl Default for AccessRight {
+    fn default() -> Self {
+        AccessRight::positive("*", "*")
+    }
+}
+
+impl EaclEntry {
+    /// Creates an entry for `right` with empty condition blocks.
+    pub fn new(right: AccessRight) -> Self {
+        EaclEntry {
+            right,
+            pre: Vec::new(),
+            rr: Vec::new(),
+            mid: Vec::new(),
+            post: Vec::new(),
+        }
+    }
+
+    /// Appends a condition to the block for `phase`, returning `self` for
+    /// chaining.
+    pub fn with_condition(mut self, phase: CondPhase, cond: Condition) -> Self {
+        self.block_mut(phase).push(cond);
+        self
+    }
+
+    /// Shared view of the condition block for `phase`.
+    pub fn block(&self, phase: CondPhase) -> &[Condition] {
+        match phase {
+            CondPhase::Pre => &self.pre,
+            CondPhase::RequestResult => &self.rr,
+            CondPhase::Mid => &self.mid,
+            CondPhase::Post => &self.post,
+        }
+    }
+
+    /// Mutable view of the condition block for `phase`.
+    pub fn block_mut(&mut self, phase: CondPhase) -> &mut Vec<Condition> {
+        match phase {
+            CondPhase::Pre => &mut self.pre,
+            CondPhase::RequestResult => &mut self.rr,
+            CondPhase::Mid => &mut self.mid,
+            CondPhase::Post => &mut self.post,
+        }
+    }
+
+    /// Total number of conditions across all four blocks.
+    pub fn condition_count(&self) -> usize {
+        self.pre.len() + self.rr.len() + self.mid.len() + self.post.len()
+    }
+
+    /// True if the entry has no conditions at all (an unconditional grant or
+    /// deny).
+    pub fn is_unconditional(&self) -> bool {
+        self.condition_count() == 0
+    }
+}
+
+/// An ordered EACL: optional composition mode plus entries evaluated
+/// first-to-last (earlier entries take precedence, §2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Eacl {
+    /// Composition mode, meaningful on system-wide policies (§2.1).
+    pub mode: Option<CompositionMode>,
+    /// Ordered entries; evaluation proceeds first-to-last.
+    pub entries: Vec<EaclEntry>,
+}
+
+impl Eacl {
+    /// Creates an empty EACL with no composition mode.
+    pub fn new() -> Self {
+        Eacl::default()
+    }
+
+    /// Creates an empty EACL carrying a composition mode.
+    pub fn with_mode(mode: CompositionMode) -> Self {
+        Eacl {
+            mode: Some(mode),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends an entry, returning `self` for chaining.
+    pub fn with_entry(mut self, entry: EaclEntry) -> Self {
+        self.entries.push(entry);
+        self
+    }
+
+    /// Iterator over entries whose right matches the requested
+    /// `(authority, value)` pair, preserving EACL order.
+    pub fn matching_entries<'a>(
+        &'a self,
+        authority: &'a str,
+        value: &'a str,
+    ) -> impl Iterator<Item = (usize, &'a EaclEntry)> + 'a {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.right.matches(authority, value))
+    }
+
+    /// Total number of conditions in the whole EACL.
+    pub fn condition_count(&self) -> usize {
+        self.entries.iter().map(EaclEntry::condition_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composition_mode_codes_round_trip() {
+        for mode in [
+            CompositionMode::Expand,
+            CompositionMode::Narrow,
+            CompositionMode::Stop,
+        ] {
+            let from_code: CompositionMode = mode.code().to_string().parse().unwrap();
+            assert_eq!(from_code, mode);
+            let from_kw: CompositionMode = mode.keyword().parse().unwrap();
+            assert_eq!(from_kw, mode);
+        }
+    }
+
+    #[test]
+    fn composition_mode_rejects_garbage() {
+        assert!("3".parse::<CompositionMode>().is_err());
+        assert!("".parse::<CompositionMode>().is_err());
+        assert!("Narrow".parse::<CompositionMode>().is_err());
+    }
+
+    #[test]
+    fn right_wildcard_matching() {
+        let r = AccessRight::positive("*", "*");
+        assert!(r.matches("apache", "GET"));
+        assert!(r.matches("sshd", "login"));
+
+        let r = AccessRight::positive("apache", "*");
+        assert!(r.matches("apache", "GET"));
+        assert!(!r.matches("sshd", "GET"));
+
+        let r = AccessRight::negative("apache", "EXEC_CGI");
+        assert!(r.matches("apache", "EXEC_CGI"));
+        assert!(!r.matches("apache", "GET"));
+    }
+
+    #[test]
+    fn wildcard_is_exact_token_not_substring() {
+        let r = AccessRight::positive("apache*", "GET");
+        assert!(!r.matches("apache", "GET"));
+        assert!(r.matches("apache*", "GET"));
+    }
+
+    #[test]
+    fn entry_blocks_addressable_by_phase() {
+        let mut entry = EaclEntry::new(AccessRight::positive("apache", "*"));
+        for phase in CondPhase::all() {
+            entry
+                .block_mut(phase)
+                .push(Condition::new("t", "local", phase.keyword()));
+        }
+        for phase in CondPhase::all() {
+            assert_eq!(entry.block(phase).len(), 1);
+            assert_eq!(entry.block(phase)[0].value, phase.keyword());
+        }
+        assert_eq!(entry.condition_count(), 4);
+        assert!(!entry.is_unconditional());
+    }
+
+    #[test]
+    fn matching_entries_preserve_order() {
+        let eacl = Eacl::new()
+            .with_entry(EaclEntry::new(AccessRight::negative("apache", "*")))
+            .with_entry(EaclEntry::new(AccessRight::positive("*", "*")))
+            .with_entry(EaclEntry::new(AccessRight::positive("sshd", "login")));
+        let hits: Vec<usize> = eacl
+            .matching_entries("apache", "GET")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            AccessRight::negative("apache", "*").to_string(),
+            "neg_access_right apache *"
+        );
+        assert_eq!(
+            Condition::new("regex", "gnu", "*phf*").to_string(),
+            "regex gnu *phf*"
+        );
+        assert_eq!(CondPhase::RequestResult.to_string(), "rr_cond");
+    }
+}

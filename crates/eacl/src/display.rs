@@ -1,0 +1,94 @@
+//! Pretty-printing of EACLs back to their concrete syntax.
+//!
+//! The printer is the exact inverse of the parser for every AST value whose
+//! string fields are themselves lexically valid (no embedded newlines or `#`,
+//! single-token authorities). This round-trip property is enforced by a
+//! property test in `tests/roundtrip.rs`.
+
+use crate::ast::{CondPhase, Eacl, EaclEntry};
+use std::fmt;
+
+impl fmt::Display for EaclEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.right)?;
+        for phase in CondPhase::all() {
+            for cond in self.block(phase) {
+                writeln!(f, "{} {}", phase.keyword(), cond)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Eacl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(mode) = self.mode {
+            writeln!(f, "eacl_mode {}", mode.code())?;
+        }
+        for (idx, entry) in self.entries.iter().enumerate() {
+            writeln!(f, "# EACL entry {}", idx + 1)?;
+            write!(f, "{entry}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::{AccessRight, CompositionMode, CondPhase, Condition, Eacl, EaclEntry};
+    use crate::parser::parse_eacl;
+
+    fn sample() -> Eacl {
+        Eacl::with_mode(CompositionMode::Narrow)
+            .with_entry(
+                EaclEntry::new(AccessRight::negative("apache", "*"))
+                    .with_condition(CondPhase::Pre, Condition::new("regex", "gnu", "*phf*"))
+                    .with_condition(
+                        CondPhase::RequestResult,
+                        Condition::new("notify", "local", "on:failure/sysadmin/info:cgi"),
+                    )
+                    .with_condition(
+                        CondPhase::Mid,
+                        Condition::new("cpu_limit", "local", "<=250"),
+                    )
+                    .with_condition(
+                        CondPhase::Post,
+                        Condition::new("audit", "local", "on:success/info:op"),
+                    ),
+            )
+            .with_entry(EaclEntry::new(AccessRight::positive("apache", "*")))
+    }
+
+    #[test]
+    fn printed_form_contains_all_lines() {
+        let text = sample().to_string();
+        assert!(text.contains("eacl_mode 1"));
+        assert!(text.contains("neg_access_right apache *"));
+        assert!(text.contains("pre_cond regex gnu *phf*"));
+        assert!(text.contains("rr_cond notify local on:failure/sysadmin/info:cgi"));
+        assert!(text.contains("mid_cond cpu_limit local <=250"));
+        assert!(text.contains("post_cond audit local on:success/info:op"));
+        assert!(text.contains("pos_access_right apache *"));
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let original = sample();
+        let reparsed = parse_eacl(&original.to_string()).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn empty_eacl_prints_nothing_but_reparses() {
+        let empty = Eacl::new();
+        assert_eq!(empty.to_string(), "");
+        assert_eq!(parse_eacl("").unwrap(), empty);
+    }
+
+    #[test]
+    fn mode_only_eacl_round_trips() {
+        let eacl = Eacl::with_mode(CompositionMode::Stop);
+        let reparsed = parse_eacl(&eacl.to_string()).unwrap();
+        assert_eq!(eacl, reparsed);
+    }
+}

@@ -1,0 +1,78 @@
+//! Located parse errors for the EACL language.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing an EACL policy file.
+///
+/// Carries the 1-based line number at which the problem was found so policy
+/// officers can locate mistakes in their policy files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEaclError {
+    line: usize,
+    kind: ErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ErrorKind {
+    /// A condition line appeared before any access-right line.
+    ConditionBeforeEntry,
+    /// An `eacl_mode` line appeared after entries had already started, or
+    /// appeared twice.
+    MisplacedMode,
+    /// The composition mode value was not recognised.
+    BadMode(String),
+    /// A line did not start with a recognised keyword.
+    UnknownKeyword(String),
+    /// An access-right line was missing its authority or value token.
+    IncompleteRight,
+    /// A condition line was missing its type, authority or value token.
+    IncompleteCondition,
+}
+
+impl ParseEaclError {
+    pub(crate) fn new(line: usize, kind: ErrorKind) -> Self {
+        ParseEaclError { line, kind }
+    }
+
+    /// 1-based line number of the offending line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Used for error relocation in `parse_eacl_list`.
+    pub(crate) fn into_kind(self) -> ErrorKind {
+        self.kind
+    }
+}
+
+impl fmt::Display for ParseEaclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ErrorKind::ConditionBeforeEntry => {
+                f.write_str("condition line before any pos_access_right/neg_access_right entry")
+            }
+            ErrorKind::MisplacedMode => {
+                f.write_str("eacl_mode must appear once, before the first entry")
+            }
+            ErrorKind::BadMode(m) => write!(
+                f,
+                "unknown composition mode `{m}` (expected 0/1/2 or expand/narrow/stop)"
+            ),
+            ErrorKind::UnknownKeyword(k) => write!(
+                f,
+                "unknown keyword `{k}` (expected eacl_mode, pos_access_right, \
+                 neg_access_right, pre_cond, rr_cond, mid_cond or post_cond)"
+            ),
+            ErrorKind::IncompleteRight => {
+                f.write_str("access right requires an authority and a value token")
+            }
+            ErrorKind::IncompleteCondition => {
+                f.write_str("condition requires a type, an authority and a value")
+            }
+        }
+    }
+}
+
+impl Error for ParseEaclError {}

@@ -1,0 +1,87 @@
+//! # gaa-eacl — the Extended Access Control List policy language
+//!
+//! This crate implements the **EACL** language from *"Integrated Access Control
+//! and Intrusion Detection for Web Servers"* (Ryutov, Neuman, Kim, Zhou —
+//! ICDCS 2003), §2 and the Appendix.
+//!
+//! An EACL is an **ordered** list of entries. Each entry carries a positive or
+//! negative access right and four optional, totally ordered condition blocks:
+//!
+//! * **pre-conditions** — decide whether the entry applies (grant/deny guard);
+//! * **request-result conditions** — response actions fired on grant and/or
+//!   deny (audit, notify, blacklist update);
+//! * **mid-conditions** — constraints that must hold *while* the authorized
+//!   operation executes;
+//! * **post-conditions** — actions fired after the operation completes.
+//!
+//! The crate provides:
+//!
+//! * the abstract syntax tree ([`Eacl`], [`EaclEntry`], [`Condition`], …);
+//! * a line-oriented [`parser`](parse_eacl) for the concrete syntax given in
+//!   the paper's Appendix (BNF) and used throughout its §7 deployment examples;
+//! * a [pretty-printer](Eacl#impl-Display-for-Eacl) that round-trips with the
+//!   parser;
+//! * [static validation](validate::validate) (shadowed entries, unknown
+//!   phases, empty policies);
+//! * [policy composition](compose) — the `expand` / `narrow` / `stop` modes of
+//!   §2.1 that relate system-wide and local policies.
+//!
+//! Policy *evaluation* (the tri-state YES/NO/MAYBE machinery) lives in
+//! `gaa-core`; this crate is purely the language.
+//!
+//! ## Concrete syntax
+//!
+//! ```text
+//! # composition mode: expand | narrow | stop (or 0 | 1 | 2)
+//! eacl_mode narrow
+//!
+//! # EACL entry 1
+//! neg_access_right apache *
+//! pre_cond regex gnu *phf* *test-cgi*
+//! rr_cond notify local on:failure/sysadmin/info:cgi_exploit
+//! rr_cond update_log local on:failure/BadGuys/info:ip
+//!
+//! # EACL entry 2
+//! pos_access_right apache *
+//! ```
+//!
+//! Every non-comment line is either the optional `eacl_mode` header, an
+//! access-right line opening a new entry, or a condition line attaching to the
+//! current entry. A condition line is `<phase>_cond <type> <authority>
+//! <value…>` where the value extends to the end of the line (signature lists
+//! such as `*phf* *test-cgi*` are a single value).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use gaa_eacl::{parse_eacl, CompositionMode, Polarity};
+//!
+//! # fn main() -> Result<(), gaa_eacl::ParseEaclError> {
+//! let policy = parse_eacl(
+//!     "eacl_mode narrow\n\
+//!      neg_access_right * *\n\
+//!      pre_cond system_threat_level local =high\n",
+//! )?;
+//! assert_eq!(policy.mode, Some(CompositionMode::Narrow));
+//! assert_eq!(policy.entries.len(), 1);
+//! assert_eq!(policy.entries[0].right.polarity, Polarity::Negative);
+//! # Ok(())
+//! # }
+//! ```
+
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+mod ast;
+pub mod compose;
+mod display;
+mod error;
+mod parser;
+pub mod validate;
+
+pub use ast::{
+    AccessRight, CompositionMode, CondPhase, Condition, Eacl, EaclEntry, Polarity, RightPattern,
+};
+pub use compose::{ComposedPolicy, PolicyLayer};
+pub use error::ParseEaclError;
+pub use parser::{parse_eacl, parse_eacl_list};

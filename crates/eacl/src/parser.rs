@@ -1,0 +1,366 @@
+//! Line-oriented parser for the EACL concrete syntax.
+//!
+//! The syntax is deliberately simple (the paper calls EACL "a simple
+//! language"): one construct per line, `#` comments, blank lines ignored.
+//!
+//! * `eacl_mode <mode>` — optional, at most once, before the first entry;
+//! * `pos_access_right <authority> <value>` — opens a granting entry;
+//! * `neg_access_right <authority> <value>` — opens a denying entry;
+//! * `pre_cond|rr_cond|mid_cond|post_cond <type> <authority> <value…>` —
+//!   appends a condition to the current entry; the value runs to end of line
+//!   (so signature lists like `*phf* *test-cgi*` are one value).
+
+use crate::ast::{AccessRight, CompositionMode, CondPhase, Condition, Eacl, EaclEntry, Polarity};
+use crate::error::{ErrorKind, ParseEaclError};
+
+/// Parses a single EACL from `input`.
+///
+/// # Errors
+///
+/// Returns [`ParseEaclError`] (with a line number) if the input contains an
+/// unknown keyword, a condition before any entry, a misplaced or repeated
+/// `eacl_mode` line, or a truncated right/condition.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_eacl::parse_eacl;
+///
+/// # fn main() -> Result<(), gaa_eacl::ParseEaclError> {
+/// let eacl = parse_eacl(
+///     "neg_access_right apache *\n\
+///      pre_cond regex gnu *phf* *test-cgi*\n\
+///      rr_cond notify local on:failure/sysadmin/info:cgi_exploit\n\
+///      pos_access_right apache *\n",
+/// )?;
+/// assert_eq!(eacl.entries.len(), 2);
+/// assert_eq!(eacl.entries[0].pre[0].value, "*phf* *test-cgi*");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_eacl(input: &str) -> Result<Eacl, ParseEaclError> {
+    let mut eacl = Eacl::new();
+    let mut current: Option<EaclEntry> = None;
+    let mut seen_mode = false;
+
+    for (idx, raw_line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        let (keyword, rest) = split_first_token(line);
+        match keyword {
+            "eacl_mode" => {
+                if seen_mode || current.is_some() || !eacl.entries.is_empty() {
+                    return Err(ParseEaclError::new(lineno, ErrorKind::MisplacedMode));
+                }
+                seen_mode = true;
+                let mode_str = rest.trim();
+                let mode: CompositionMode = mode_str
+                    .parse()
+                    .map_err(|_| ParseEaclError::new(lineno, ErrorKind::BadMode(mode_str.into())))?;
+                eacl.mode = Some(mode);
+            }
+            "pos_access_right" | "neg_access_right" => {
+                if let Some(done) = current.take() {
+                    eacl.entries.push(done);
+                }
+                let polarity = if keyword == "pos_access_right" {
+                    Polarity::Positive
+                } else {
+                    Polarity::Negative
+                };
+                let (authority, value_rest) = split_first_token(rest.trim());
+                let value = value_rest.trim();
+                if authority.is_empty() || value.is_empty() || value.contains(char::is_whitespace) {
+                    return Err(ParseEaclError::new(lineno, ErrorKind::IncompleteRight));
+                }
+                current = Some(EaclEntry::new(AccessRight {
+                    polarity,
+                    authority: authority.to_string(),
+                    value: value.to_string(),
+                }));
+            }
+            "pre_cond" | "rr_cond" | "mid_cond" | "post_cond" => {
+                let phase = match keyword {
+                    "pre_cond" => CondPhase::Pre,
+                    "rr_cond" => CondPhase::RequestResult,
+                    "mid_cond" => CondPhase::Mid,
+                    _ => CondPhase::Post,
+                };
+                let entry = current
+                    .as_mut()
+                    .ok_or_else(|| ParseEaclError::new(lineno, ErrorKind::ConditionBeforeEntry))?;
+                let (cond_type, after_type) = split_first_token(rest.trim());
+                let (authority, value) = split_first_token(after_type.trim());
+                let value = value.trim();
+                if cond_type.is_empty() || authority.is_empty() || value.is_empty() {
+                    return Err(ParseEaclError::new(lineno, ErrorKind::IncompleteCondition));
+                }
+                // `post_cond` must map back through the phase keyword; blocks are
+                // totally ordered within the entry, so plain push preserves order.
+                entry.block_mut(phase).push(Condition {
+                    cond_type: cond_type.to_string(),
+                    authority: authority.to_string(),
+                    value: value.to_string(),
+                });
+            }
+            other => {
+                return Err(ParseEaclError::new(
+                    lineno,
+                    ErrorKind::UnknownKeyword(other.to_string()),
+                ))
+            }
+        }
+    }
+
+    if let Some(done) = current.take() {
+        eacl.entries.push(done);
+    }
+    Ok(eacl)
+}
+
+/// Parses a file holding *several* EACLs separated by `eacl_mode` headers.
+///
+/// The paper's `get_object_policy_info` builds "a list of EACLs"; operators
+/// sometimes keep several system-wide EACLs in one file. Every `eacl_mode`
+/// line starts a new EACL; content before the first header forms a headerless
+/// EACL if non-empty.
+///
+/// # Errors
+///
+/// Propagates [`ParseEaclError`] from any constituent EACL, with line numbers
+/// relative to the whole input.
+pub fn parse_eacl_list(input: &str) -> Result<Vec<Eacl>, ParseEaclError> {
+    // Split on eacl_mode boundaries while tracking original line offsets so
+    // error line numbers stay global.
+    let mut segments: Vec<(usize, String)> = Vec::new();
+    let mut current = String::new();
+    let mut current_start = 0usize;
+    for (idx, raw_line) in input.lines().enumerate() {
+        let stripped = strip_comment(raw_line);
+        if stripped.split_whitespace().next() == Some("eacl_mode") {
+            if !current.trim().is_empty() {
+                segments.push((current_start, std::mem::take(&mut current)));
+            }
+            current_start = idx;
+        }
+        current.push_str(raw_line);
+        current.push('\n');
+    }
+    if !current.trim().is_empty() {
+        segments.push((current_start, current));
+    }
+
+    let mut eacls = Vec::with_capacity(segments.len());
+    for (offset, segment) in segments {
+        let eacl = parse_eacl(&segment).map_err(|e| {
+            // Re-locate the error against the original (whole-file) input.
+            let line = e.line();
+            ParseEaclError::new(line + offset, e.into_kind())
+        })?;
+        if !eacl.entries.is_empty() || eacl.mode.is_some() {
+            eacls.push(eacl);
+        }
+    }
+    Ok(eacls)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn split_first_token(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    match s.find(char::is_whitespace) {
+        Some(pos) => (&s[..pos], &s[pos..]),
+        None => (s, ""),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CompositionMode;
+
+    const SECTION_71_SYSTEM: &str = "\
+eacl_mode 1   # composition mode narrow
+# EACL entry 1
+neg_access_right * *
+pre_cond system_threat_level local =high
+";
+
+    const SECTION_71_LOCAL: &str = "\
+# EACL entry 1
+pos_access_right apache *
+pre_cond system_threat_level local >low
+pre_cond accessid USER apache*
+";
+
+    const SECTION_72_LOCAL: &str = "\
+# EACL entry 1
+neg_access_right apache *
+pre_cond regex gnu *phf* *test-cgi*
+rr_cond notify local on:failure/sysadmin/info:cgi_exploit
+rr_cond update_log local on:failure/BadGuys/info:ip
+# EACL entry 2
+pos_access_right apache *
+";
+
+    #[test]
+    fn parses_section_71_system_policy() {
+        let eacl = parse_eacl(SECTION_71_SYSTEM).unwrap();
+        assert_eq!(eacl.mode, Some(CompositionMode::Narrow));
+        assert_eq!(eacl.entries.len(), 1);
+        let entry = &eacl.entries[0];
+        assert_eq!(entry.right.polarity, Polarity::Negative);
+        assert_eq!(entry.right.authority, "*");
+        assert_eq!(entry.pre.len(), 1);
+        assert_eq!(entry.pre[0].cond_type, "system_threat_level");
+        assert_eq!(entry.pre[0].value, "=high");
+    }
+
+    #[test]
+    fn parses_section_71_local_policy() {
+        let eacl = parse_eacl(SECTION_71_LOCAL).unwrap();
+        assert_eq!(eacl.mode, None);
+        assert_eq!(eacl.entries.len(), 1);
+        assert_eq!(eacl.entries[0].pre.len(), 2);
+        assert_eq!(eacl.entries[0].pre[1].authority, "USER");
+    }
+
+    #[test]
+    fn parses_section_72_local_policy() {
+        let eacl = parse_eacl(SECTION_72_LOCAL).unwrap();
+        assert_eq!(eacl.entries.len(), 2);
+        let deny = &eacl.entries[0];
+        assert_eq!(deny.right.polarity, Polarity::Negative);
+        assert_eq!(deny.pre[0].value, "*phf* *test-cgi*");
+        assert_eq!(deny.rr.len(), 2);
+        assert_eq!(deny.rr[1].cond_type, "update_log");
+        let grant = &eacl.entries[1];
+        assert!(grant.is_unconditional());
+        assert_eq!(grant.right.polarity, Polarity::Positive);
+    }
+
+    #[test]
+    fn value_runs_to_end_of_line() {
+        let eacl = parse_eacl(
+            "pos_access_right apache *\npre_cond regex gnu */////////////////*  extra tokens\n",
+        )
+        .unwrap();
+        assert_eq!(
+            eacl.entries[0].pre[0].value,
+            "*/////////////////*  extra tokens"
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let eacl = parse_eacl("\n\n# only comments\n   # indented\n").unwrap();
+        assert!(eacl.entries.is_empty());
+        assert_eq!(eacl.mode, None);
+    }
+
+    #[test]
+    fn condition_before_entry_is_an_error() {
+        let err = parse_eacl("pre_cond regex gnu *phf*\n").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("before any"));
+    }
+
+    #[test]
+    fn mode_after_entry_is_an_error() {
+        let err = parse_eacl("pos_access_right a b\neacl_mode 1\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn duplicate_mode_is_an_error() {
+        let err = parse_eacl("eacl_mode 1\neacl_mode 2\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn bad_mode_is_an_error() {
+        let err = parse_eacl("eacl_mode 7\n").unwrap_err();
+        assert!(err.to_string().contains('7'));
+    }
+
+    #[test]
+    fn unknown_keyword_is_an_error() {
+        let err = parse_eacl("allow from all\n").unwrap_err();
+        assert!(err.to_string().contains("allow"));
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn incomplete_right_is_an_error() {
+        assert!(parse_eacl("pos_access_right apache\n").is_err());
+        assert!(parse_eacl("pos_access_right\n").is_err());
+    }
+
+    #[test]
+    fn incomplete_condition_is_an_error() {
+        assert!(parse_eacl("pos_access_right a b\npre_cond regex\n").is_err());
+        assert!(parse_eacl("pos_access_right a b\npre_cond regex gnu\n").is_err());
+    }
+
+    #[test]
+    fn error_line_numbers_count_comments_and_blanks() {
+        let err = parse_eacl("# header\n\npos_access_right a b\nbogus line here\n").unwrap_err();
+        assert_eq!(err.line(), 4);
+    }
+
+    #[test]
+    fn multi_eacl_file_splits_on_mode_headers() {
+        let input = "\
+eacl_mode 1
+neg_access_right * *
+pre_cond system_threat_level local =high
+eacl_mode 0
+pos_access_right apache *
+";
+        let eacls = parse_eacl_list(input).unwrap();
+        assert_eq!(eacls.len(), 2);
+        assert_eq!(eacls[0].mode, Some(CompositionMode::Narrow));
+        assert_eq!(eacls[1].mode, Some(CompositionMode::Expand));
+        assert_eq!(eacls[1].entries.len(), 1);
+    }
+
+    #[test]
+    fn multi_eacl_file_with_headerless_prefix() {
+        let input = "\
+pos_access_right apache GET
+eacl_mode 2
+neg_access_right * *
+";
+        let eacls = parse_eacl_list(input).unwrap();
+        assert_eq!(eacls.len(), 2);
+        assert_eq!(eacls[0].mode, None);
+        assert_eq!(eacls[1].mode, Some(CompositionMode::Stop));
+    }
+
+    #[test]
+    fn multi_eacl_error_keeps_global_line_number() {
+        let input = "\
+eacl_mode 1
+pos_access_right a b
+eacl_mode 0
+junk
+";
+        let err = parse_eacl_list(input).unwrap_err();
+        assert_eq!(err.line(), 4);
+    }
+
+    #[test]
+    fn empty_input_yields_no_eacls() {
+        assert!(parse_eacl_list("").unwrap().is_empty());
+        assert!(parse_eacl_list("# nothing\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! Static validation of EACL policies.
+//!
+//! The paper (§2) notes that "the function of defining the order of EACL
+//! entries and conditions within an entry can be best served by an automated
+//! tool to ensure policy correctness and consistency" and leaves that tool to
+//! future work. This module implements that tool: a linter that detects the
+//! ordering mistakes the paper warns about.
+
+use crate::ast::{Eacl, Polarity};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Severity of a validation finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Questionable but legal policy; evaluation proceeds.
+    Warning,
+    /// The policy is self-defeating; deployment should be blocked.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// A single finding produced by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Index of the entry the finding refers to, if any.
+    pub entry: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.entry {
+            Some(idx) => write!(f, "{}: entry {}: {}", self.severity, idx + 1, self.message),
+            None => write!(f, "{}: {}", self.severity, self.message),
+        }
+    }
+}
+
+/// Lints `eacl` and returns all findings, most severe first.
+///
+/// Checks performed:
+///
+/// * **empty policy** (warning) — an EACL with no entries denies everything
+///   under the default-deny evaluation rule;
+/// * **unreachable entries** (error) — entries after an *unconditional* entry
+///   whose right pattern subsumes theirs can never be consulted, because
+///   evaluation is first-match (§2: "entries which already have been examined
+///   take precedence");
+/// * **duplicate entries** (warning) — textually identical entries;
+/// * **unconditional deny-all first** (warning) — a leading
+///   `neg_access_right * *` with no pre-conditions makes the whole policy a
+///   constant deny;
+/// * **response conditions on unreachable entries** (folded into the
+///   unreachable error message) — notify/audit actions that can never fire.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_eacl::{parse_eacl, validate::validate};
+///
+/// # fn main() -> Result<(), gaa_eacl::ParseEaclError> {
+/// let eacl = parse_eacl(
+///     "pos_access_right * *\n\
+///      neg_access_right apache *\n\
+///      pre_cond regex gnu *phf*\n",
+/// )?;
+/// let findings = validate(&eacl);
+/// assert!(findings.iter().any(|f| f.message.contains("unreachable")));
+/// # Ok(())
+/// # }
+/// ```
+pub fn validate(eacl: &Eacl) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    if eacl.entries.is_empty() {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            entry: None,
+            message: "policy has no entries; default-deny applies to every request".into(),
+        });
+        return findings;
+    }
+
+    // Unreachability: an unconditional entry whose right pattern subsumes a
+    // later entry's pattern shadows it completely.
+    for (i, blocker) in eacl.entries.iter().enumerate() {
+        if !blocker.pre.is_empty() {
+            continue; // Conditional entries fall through when their guard fails.
+        }
+        for (j, shadowed) in eacl.entries.iter().enumerate().skip(i + 1) {
+            if subsumes(&blocker.right.authority, &shadowed.right.authority)
+                && subsumes(&blocker.right.value, &shadowed.right.value)
+            {
+                let mut message = format!(
+                    "unreachable: unconditional entry {} already decides every right this \
+                     entry matches",
+                    i + 1
+                );
+                if !shadowed.rr.is_empty() || !shadowed.post.is_empty() {
+                    message.push_str("; its notify/audit response conditions can never fire");
+                }
+                findings.push(Finding {
+                    severity: Severity::Error,
+                    entry: Some(j),
+                    message,
+                });
+            }
+        }
+    }
+
+    // Duplicates.
+    for (i, a) in eacl.entries.iter().enumerate() {
+        for (j, b) in eacl.entries.iter().enumerate().skip(i + 1) {
+            if a == b {
+                findings.push(Finding {
+                    severity: Severity::Warning,
+                    entry: Some(j),
+                    message: format!("duplicate of entry {}", i + 1),
+                });
+            }
+        }
+    }
+
+    // Constant deny.
+    let first = &eacl.entries[0];
+    if first.right.polarity == Polarity::Negative
+        && first.right.authority == "*"
+        && first.right.value == "*"
+        && first.pre.is_empty()
+    {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            entry: Some(0),
+            message: "leading unconditional deny-all makes the entire policy a constant deny"
+                .into(),
+        });
+    }
+
+    findings.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.entry.cmp(&b.entry)));
+    findings
+}
+
+/// Pattern subsumption for right tokens: `*` subsumes everything; otherwise
+/// only an identical token.
+fn subsumes(pattern: &str, other: &str) -> bool {
+    pattern == "*" || pattern == other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AccessRight, CondPhase, Condition, Eacl, EaclEntry};
+
+    fn guarded(entry: EaclEntry) -> EaclEntry {
+        entry.with_condition(CondPhase::Pre, Condition::new("t", "local", "v"))
+    }
+
+    #[test]
+    fn empty_policy_warns() {
+        let findings = validate(&Eacl::new());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn unconditional_grant_shadows_later_entries() {
+        let eacl = Eacl::new()
+            .with_entry(EaclEntry::new(AccessRight::positive("*", "*")))
+            .with_entry(EaclEntry::new(AccessRight::negative("apache", "*")));
+        let findings = validate(&eacl);
+        assert!(findings
+            .iter()
+            .any(|f| f.severity == Severity::Error && f.entry == Some(1)));
+    }
+
+    #[test]
+    fn conditional_entries_do_not_shadow() {
+        let eacl = Eacl::new()
+            .with_entry(guarded(EaclEntry::new(AccessRight::negative("apache", "*"))))
+            .with_entry(EaclEntry::new(AccessRight::positive("apache", "*")));
+        assert!(validate(&eacl).is_empty());
+    }
+
+    #[test]
+    fn narrower_pattern_does_not_shadow_wider() {
+        let eacl = Eacl::new()
+            .with_entry(EaclEntry::new(AccessRight::positive("apache", "GET")))
+            .with_entry(EaclEntry::new(AccessRight::positive("apache", "*")));
+        assert!(validate(&eacl).is_empty());
+    }
+
+    #[test]
+    fn shadowed_response_actions_called_out() {
+        let eacl = Eacl::new()
+            .with_entry(EaclEntry::new(AccessRight::positive("*", "*")))
+            .with_entry(
+                EaclEntry::new(AccessRight::negative("apache", "*")).with_condition(
+                    CondPhase::RequestResult,
+                    Condition::new("notify", "local", "on:failure/x/info:y"),
+                ),
+            );
+        let findings = validate(&eacl);
+        assert!(findings.iter().any(|f| f.message.contains("never fire")));
+    }
+
+    #[test]
+    fn duplicates_warn() {
+        let entry = guarded(EaclEntry::new(AccessRight::positive("apache", "*")));
+        let eacl = Eacl::new().with_entry(entry.clone()).with_entry(entry);
+        let findings = validate(&eacl);
+        assert!(findings
+            .iter()
+            .any(|f| f.severity == Severity::Warning && f.message.contains("duplicate")));
+    }
+
+    #[test]
+    fn leading_deny_all_warns() {
+        let eacl = Eacl::new()
+            .with_entry(EaclEntry::new(AccessRight::negative("*", "*")))
+            .with_entry(EaclEntry::new(AccessRight::positive("apache", "*")));
+        let findings = validate(&eacl);
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("constant deny")));
+    }
+
+    #[test]
+    fn clean_policy_has_no_findings() {
+        let eacl = Eacl::new()
+            .with_entry(guarded(EaclEntry::new(AccessRight::negative("apache", "*"))))
+            .with_entry(EaclEntry::new(AccessRight::positive("apache", "*")));
+        assert!(validate(&eacl).is_empty());
+    }
+
+    #[test]
+    fn errors_sort_before_warnings() {
+        let dup = EaclEntry::new(AccessRight::positive("*", "*"));
+        let eacl = Eacl::new()
+            .with_entry(dup.clone())
+            .with_entry(dup)
+            .with_entry(EaclEntry::new(AccessRight::negative("apache", "GET")));
+        let findings = validate(&eacl);
+        assert!(!findings.is_empty());
+        for pair in findings.windows(2) {
+            assert!(pair[0].severity >= pair[1].severity);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests: the pretty-printer and parser are mutual inverses for all
+//! lexically valid ASTs, and the parser never panics on arbitrary input.
+
+use gaa_eacl::{
+    parse_eacl, parse_eacl_list, AccessRight, CompositionMode, CondPhase, Condition, Eacl,
+    EaclEntry, Polarity,
+};
+use proptest::prelude::*;
+
+/// A single token valid in authority/type position: no whitespace, no `#`,
+/// and not a keyword that would confuse the line classifier.
+fn token() -> impl Strategy<Value = String> {
+    "[A-Za-z*][A-Za-z0-9_*.:-]{0,11}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "eacl_mode" | "pos_access_right" | "neg_access_right" | "pre_cond" | "rr_cond"
+                | "mid_cond" | "post_cond"
+        )
+    })
+}
+
+/// A condition value: may contain interior spaces (signature lists), but must
+/// not start/end with whitespace, contain `#`, or be empty.
+fn value_string() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9*/<>=:_.-]{1,8}( [A-Za-z0-9*/<>=:_.-]{1,8}){0,3}"
+}
+
+fn condition() -> impl Strategy<Value = Condition> {
+    (token(), token(), value_string()).prop_map(|(t, a, v)| Condition {
+        cond_type: t,
+        authority: a,
+        value: v,
+    })
+}
+
+fn access_right() -> impl Strategy<Value = AccessRight> {
+    (any::<bool>(), token(), token()).prop_map(|(pos, a, v)| AccessRight {
+        polarity: if pos {
+            Polarity::Positive
+        } else {
+            Polarity::Negative
+        },
+        authority: a,
+        value: v,
+    })
+}
+
+fn entry() -> impl Strategy<Value = EaclEntry> {
+    (
+        access_right(),
+        proptest::collection::vec(condition(), 0..4),
+        proptest::collection::vec(condition(), 0..4),
+        proptest::collection::vec(condition(), 0..3),
+        proptest::collection::vec(condition(), 0..3),
+    )
+        .prop_map(|(right, pre, rr, mid, post)| EaclEntry {
+            right,
+            pre,
+            rr,
+            mid,
+            post,
+        })
+}
+
+fn eacl() -> impl Strategy<Value = Eacl> {
+    (
+        proptest::option::of(prop_oneof![
+            Just(CompositionMode::Expand),
+            Just(CompositionMode::Narrow),
+            Just(CompositionMode::Stop),
+        ]),
+        proptest::collection::vec(entry(), 0..6),
+    )
+        .prop_map(|(mode, entries)| Eacl { mode, entries })
+}
+
+proptest! {
+    #[test]
+    fn print_then_parse_is_identity(original in eacl()) {
+        let text = original.to_string();
+        let reparsed = parse_eacl(&text).expect("printed policy must parse");
+        prop_assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn parse_never_panics(input in "\\PC{0,200}") {
+        let _ = parse_eacl(&input);
+        let _ = parse_eacl_list(&input);
+    }
+
+    #[test]
+    fn parse_list_of_printed_eacls(mut eacls in proptest::collection::vec(eacl(), 1..4)) {
+        // Give every EACL a mode so list boundaries are unambiguous.
+        for e in &mut eacls {
+            if e.mode.is_none() {
+                e.mode = Some(CompositionMode::Narrow);
+            }
+        }
+        // Drop empty (mode-only, entry-less) trailing confusion: all have modes so
+        // each prints at least its header and survives the list round-trip.
+        let text: String = eacls.iter().map(|e| e.to_string()).collect();
+        let reparsed = parse_eacl_list(&text).expect("printed list must parse");
+        prop_assert_eq!(eacls, reparsed);
+    }
+
+    #[test]
+    fn condition_order_is_preserved(conds in proptest::collection::vec(condition(), 1..8)) {
+        let mut entry = EaclEntry::new(AccessRight::positive("apache", "*"));
+        entry.pre = conds.clone();
+        let eacl = Eacl::new().with_entry(entry);
+        let reparsed = parse_eacl(&eacl.to_string()).unwrap();
+        prop_assert_eq!(&reparsed.entries[0].pre, &conds);
+    }
+
+    #[test]
+    fn entry_order_is_preserved(entries in proptest::collection::vec(entry(), 1..8)) {
+        let eacl = Eacl { mode: None, entries: entries.clone() };
+        let reparsed = parse_eacl(&eacl.to_string()).unwrap();
+        prop_assert_eq!(reparsed.entries, entries);
+    }
+}
+
+#[test]
+fn phase_keywords_cover_all_phases() {
+    // Guards the parser's keyword table against new phases being added to the
+    // AST without parser support.
+    for phase in CondPhase::all() {
+        let text = format!(
+            "pos_access_right apache *\n{} t local v\n",
+            phase.keyword()
+        );
+        let eacl = parse_eacl(&text).unwrap();
+        assert_eq!(eacl.entries[0].block(phase).len(), 1, "{phase:?}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Common Log Format access logging.
+//!
+//! Every Apache of the era wrote CLF logs, and the paper's related work
+//! (§10, Almgren et al.) builds intrusion detection on top of them: "a
+//! lightweight tool for detecting web server attacks … finds and reports
+//! intrusions by looking for attack signatures in the log entries." The
+//! server writes these lines so the offline analyzer in
+//! [`crate::loganalyzer`] has the same input that tool had — and the A8
+//! experiment can contrast offline detection with the GAA's inline
+//! blocking.
+
+use gaa_audit::time::Timestamp;
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// One access-log entry, pre-serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessEntry {
+    /// Client address.
+    pub client_ip: String,
+    /// Authenticated user (`-` when anonymous).
+    pub user: Option<String>,
+    /// Request receipt time.
+    pub time: Timestamp,
+    /// The request line, e.g. `GET /x HTTP/1.1`.
+    pub request_line: String,
+    /// Response status code.
+    pub status: u16,
+    /// Response body size in bytes.
+    pub bytes: usize,
+}
+
+impl AccessEntry {
+    /// Renders the entry in Common Log Format:
+    /// `ip - user [time] "request" status bytes`.
+    pub fn to_clf(&self) -> String {
+        let mut out = String::with_capacity(64 + self.request_line.len());
+        let _ = write!(
+            out,
+            "{} - {} [{}] \"{}\" {} {}",
+            self.client_ip,
+            self.user.as_deref().unwrap_or("-"),
+            self.time.as_millis(),
+            self.request_line,
+            self.status,
+            self.bytes
+        );
+        out
+    }
+
+    /// Parses a CLF line produced by [`to_clf`](AccessEntry::to_clf).
+    /// Returns `None` on malformed lines (truncated logs are a fact of
+    /// life; analyzers skip bad lines).
+    pub fn parse_clf(line: &str) -> Option<AccessEntry> {
+        let (prefix, rest) = line.split_once(" [")?;
+        let mut pre = prefix.split(' ');
+        let client_ip = pre.next()?.to_string();
+        let dash = pre.next()?;
+        if dash != "-" {
+            return None;
+        }
+        let user = match pre.next()? {
+            "-" => None,
+            u => Some(u.to_string()),
+        };
+        let (time_str, rest) = rest.split_once("] \"")?;
+        let time = Timestamp::from_millis(time_str.parse().ok()?);
+        let (request_line, rest) = rest.rsplit_once("\" ")?;
+        let mut tail = rest.split(' ');
+        let status: u16 = tail.next()?.parse().ok()?;
+        let bytes: usize = tail.next()?.parse().ok()?;
+        Some(AccessEntry {
+            client_ip,
+            user,
+            time,
+            request_line: request_line.to_string(),
+            status,
+            bytes,
+        })
+    }
+}
+
+/// Shared, append-only access log (CLF lines).
+///
+/// Cloning shares the buffer.
+#[derive(Debug, Clone, Default)]
+pub struct AccessLog {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl AccessLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        AccessLog::default()
+    }
+
+    /// Appends one entry.
+    pub fn log(&self, entry: &AccessEntry) {
+        self.lines.lock().push(entry.to_clf());
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.lines.lock().len()
+    }
+
+    /// True when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.lines.lock().is_empty()
+    }
+
+    /// Snapshot of all lines, oldest first.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+
+    /// The whole log as one newline-joined text (what an offline analyzer
+    /// reads from disk).
+    pub fn as_text(&self) -> String {
+        self.lines.lock().join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> AccessEntry {
+        AccessEntry {
+            client_ip: "203.0.113.9".into(),
+            user: Some("alice".into()),
+            time: Timestamp::from_millis(12345),
+            request_line: "GET /cgi-bin/phf?Qalias=x HTTP/1.0".into(),
+            status: 403,
+            bytes: 17,
+        }
+    }
+
+    #[test]
+    fn clf_round_trip() {
+        let e = entry();
+        let line = e.to_clf();
+        assert_eq!(
+            line,
+            "203.0.113.9 - alice [12345] \"GET /cgi-bin/phf?Qalias=x HTTP/1.0\" 403 17"
+        );
+        assert_eq!(AccessEntry::parse_clf(&line), Some(e));
+    }
+
+    #[test]
+    fn anonymous_round_trip() {
+        let e = AccessEntry {
+            user: None,
+            ..entry()
+        };
+        assert_eq!(AccessEntry::parse_clf(&e.to_clf()), Some(e));
+    }
+
+    #[test]
+    fn request_lines_with_quotes_survive() {
+        // rsplit_once on `" ` keeps embedded quotes in the request line.
+        let e = AccessEntry {
+            request_line: "GET /x?q=\"quoted\" HTTP/1.1".into(),
+            ..entry()
+        };
+        assert_eq!(AccessEntry::parse_clf(&e.to_clf()), Some(e));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert_eq!(AccessEntry::parse_clf(""), None);
+        assert_eq!(AccessEntry::parse_clf("definitely not clf"), None);
+        assert_eq!(AccessEntry::parse_clf("1.2.3.4 - - [xx] \"GET / HTTP/1.1\" 200 5"), None);
+        assert_eq!(AccessEntry::parse_clf("1.2.3.4 - - [5] \"GET / HTTP/1.1\" two 5"), None);
+    }
+
+    #[test]
+    fn log_accumulates_and_shares() {
+        let log = AccessLog::new();
+        let clone = log.clone();
+        log.log(&entry());
+        log.log(&entry());
+        assert_eq!(clone.len(), 2);
+        assert!(clone.as_text().contains("phf"));
+        assert_eq!(clone.lines().len(), 2);
+    }
+}

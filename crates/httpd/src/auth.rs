@@ -1,0 +1,267 @@
+//! HTTP Basic authentication and the htpasswd credential store (§4:
+//! `AuthType Basic`, `AuthUserFile`, `Require valid-user`).
+//!
+//! Includes a from-scratch base64 codec (no external crates) and a toy
+//! iterated-FNV password hash standing in for `crypt(3)`. The hash is a
+//! reproduction artifact, **not** a production KDF — documented as such.
+
+use std::collections::HashMap;
+use std::fmt;
+
+const BASE64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `data` as standard base64 with padding.
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(BASE64_ALPHABET[(triple >> 18) as usize & 63] as char);
+        out.push(BASE64_ALPHABET[(triple >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            BASE64_ALPHABET[(triple >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            BASE64_ALPHABET[triple as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decodes standard base64 (padding required for the final quantum to be
+/// unambiguous, but trailing `=` may be omitted). Returns `None` on any
+/// invalid character or impossible length.
+pub fn base64_decode(text: &str) -> Option<Vec<u8>> {
+    fn val(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some(u32::from(c - b'A')),
+            b'a'..=b'z' => Some(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Some(u32::from(c - b'0') + 52),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let trimmed = text.trim_end_matches('=');
+    let mut out = Vec::with_capacity(trimmed.len() * 3 / 4);
+    let mut buffer = 0u32;
+    let mut bits = 0u32;
+    for &c in trimmed.as_bytes() {
+        buffer = (buffer << 6) | val(c)?;
+        bits += 6;
+        if bits >= 8 {
+            bits -= 8;
+            out.push((buffer >> bits) as u8);
+        }
+    }
+    // Leftover bits must be zero padding of a legal quantum (2 or 4 bits).
+    if bits >= 6 || (buffer & ((1 << bits) - 1)) != 0 {
+        return None;
+    }
+    Some(out)
+}
+
+/// Credentials extracted from an `Authorization: Basic …` header value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicCredentials {
+    /// The user name.
+    pub user: String,
+    /// The cleartext password.
+    pub password: String,
+}
+
+/// Parses an `Authorization` header value (`Basic <base64(user:pass)>`).
+pub fn parse_basic_auth(header_value: &str) -> Option<BasicCredentials> {
+    let encoded = header_value.trim().strip_prefix("Basic ")?;
+    let decoded = base64_decode(encoded.trim())?;
+    let text = String::from_utf8(decoded).ok()?;
+    let (user, password) = text.split_once(':')?;
+    if user.is_empty() {
+        return None;
+    }
+    Some(BasicCredentials {
+        user: user.to_string(),
+        password: password.to_string(),
+    })
+}
+
+/// The toy password hash: salted, iterated 64-bit FNV-1a, hex-encoded.
+///
+/// Stands in for the `crypt(3)` hashes of a real `.htpasswd` file so the
+/// store compares digests rather than cleartext. It is deterministic and
+/// fast by design (benchmarks hash on every authenticated request, as
+/// Apache did); do not reuse outside this reproduction.
+pub fn password_hash(salt: &str, password: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for _round in 0..64 {
+        for byte in salt.bytes().chain(password.bytes()) {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// An in-memory `.htpasswd` file (§4's `AuthUserFile`).
+#[derive(Debug, Clone, Default)]
+pub struct HtpasswdStore {
+    salt: String,
+    users: HashMap<String, String>,
+}
+
+impl HtpasswdStore {
+    /// An empty store with the given salt.
+    pub fn new(salt: impl Into<String>) -> Self {
+        HtpasswdStore {
+            salt: salt.into(),
+            users: HashMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) a user with a cleartext password, stored hashed.
+    pub fn add_user(&mut self, user: &str, password: &str) {
+        self.users
+            .insert(user.to_string(), password_hash(&self.salt, password));
+    }
+
+    /// Verifies credentials; constant-shape comparison over the hex digest.
+    pub fn verify(&self, user: &str, password: &str) -> bool {
+        match self.users.get(user) {
+            Some(stored) => {
+                let candidate = password_hash(&self.salt, password);
+                // Bitwise-accumulated comparison: no early exit on mismatch.
+                stored
+                    .bytes()
+                    .zip(candidate.bytes())
+                    .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+                    == 0
+                    && stored.len() == candidate.len()
+            }
+            None => {
+                // Burn a hash anyway so user probing cannot time-split.
+                let _ = password_hash(&self.salt, password);
+                false
+            }
+        }
+    }
+
+    /// Is `user` present?
+    pub fn has_user(&self, user: &str) -> bool {
+        self.users.contains_key(user)
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when no users are present.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+impl fmt::Display for HtpasswdStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HtpasswdStore({} users)", self.users.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_round_trip() {
+        for data in [
+            &b""[..],
+            b"f",
+            b"fo",
+            b"foo",
+            b"foob",
+            b"fooba",
+            b"foobar",
+            b"alice:secret",
+            &[0u8, 255, 128, 7],
+        ] {
+            let encoded = base64_encode(data);
+            assert_eq!(base64_decode(&encoded).as_deref(), Some(data), "{encoded}");
+        }
+    }
+
+    #[test]
+    fn base64_known_vectors() {
+        assert_eq!(base64_encode(b"Aladdin:open sesame"), "QWxhZGRpbjpvcGVuIHNlc2FtZQ==");
+        assert_eq!(
+            base64_decode("QWxhZGRpbjpvcGVuIHNlc2FtZQ==").unwrap(),
+            b"Aladdin:open sesame"
+        );
+    }
+
+    #[test]
+    fn base64_rejects_invalid() {
+        assert_eq!(base64_decode("!!!!"), None);
+        assert_eq!(base64_decode("A"), None); // impossible length
+        assert_eq!(base64_decode("AA=="), Some(vec![0]));
+        assert_eq!(base64_decode("AB=="), None); // non-zero padding bits: strict reject
+    }
+
+    #[test]
+    fn basic_auth_parsing() {
+        let header = format!("Basic {}", base64_encode(b"alice:s3cret"));
+        let creds = parse_basic_auth(&header).unwrap();
+        assert_eq!(creds.user, "alice");
+        assert_eq!(creds.password, "s3cret");
+
+        // Passwords may contain colons.
+        let header = format!("Basic {}", base64_encode(b"bob:pa:ss"));
+        let creds = parse_basic_auth(&header).unwrap();
+        assert_eq!(creds.password, "pa:ss");
+
+        assert_eq!(parse_basic_auth("Bearer token"), None);
+        assert_eq!(parse_basic_auth("Basic !!!"), None);
+        let no_colon = format!("Basic {}", base64_encode(b"nocolon"));
+        assert_eq!(parse_basic_auth(&no_colon), None);
+        let empty_user = format!("Basic {}", base64_encode(b":pw"));
+        assert_eq!(parse_basic_auth(&empty_user), None);
+    }
+
+    #[test]
+    fn htpasswd_verify() {
+        let mut store = HtpasswdStore::new("isi-staff");
+        store.add_user("alice", "wonderland");
+        store.add_user("bob", "builder");
+        assert_eq!(store.len(), 2);
+        assert!(store.verify("alice", "wonderland"));
+        assert!(store.verify("bob", "builder"));
+        assert!(!store.verify("alice", "builder"));
+        assert!(!store.verify("alice", ""));
+        assert!(!store.verify("carol", "anything"));
+        assert!(store.has_user("alice"));
+        assert!(!store.has_user("carol"));
+    }
+
+    #[test]
+    fn hashes_are_salted() {
+        assert_ne!(password_hash("s1", "pw"), password_hash("s2", "pw"));
+        assert_ne!(password_hash("s", "pw1"), password_hash("s", "pw2"));
+        assert_eq!(password_hash("s", "pw"), password_hash("s", "pw"));
+    }
+
+    #[test]
+    fn replacing_a_user_changes_their_password() {
+        let mut store = HtpasswdStore::new("salt");
+        store.add_user("alice", "old");
+        store.add_user("alice", "new");
+        assert!(!store.verify("alice", "old"));
+        assert!(store.verify("alice", "new"));
+        assert_eq!(store.len(), 1);
+    }
+}

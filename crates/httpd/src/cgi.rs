@@ -1,0 +1,353 @@
+//! Simulated CGI scripts with metered, interruptible execution.
+//!
+//! §1 motivates the execution-control phase with CGI abuse: "a web server
+//! can be subverted through vulnerable CGI scripts, which may be exploited
+//! by meta characters or buffer overflow attacks", and phase 2 of
+//! enforcement runs "during the execution of the authorized operation; to
+//! detect malicious behavior in real-time (e.g., a user process consumes
+//! excessive system resources)".
+//!
+//! A [`CgiScript`] describes behaviour; [`CgiExecution`] runs it in steps,
+//! exposing [`ExecutionMetrics`] after every step so the server can call
+//! `gaa_execution_control` and abort a runaway operation mid-flight — the
+//! phase the paper left unimplemented.
+
+use gaa_core::ExecutionMetrics;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a script does per unit of input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CgiBehavior {
+    /// Echoes the query string back (the classic `test-cgi`).
+    Echo,
+    /// Burns CPU proportional to input length: `base + per_byte × len`
+    /// ticks, allocating `mem_per_byte × len` bytes.
+    Compute {
+        /// Fixed tick cost.
+        base_cost: u64,
+        /// Ticks per input byte.
+        per_byte: u64,
+        /// Bytes of memory per input byte.
+        mem_per_byte: u64,
+    },
+    /// The `phf` bug: shell meta-characters in the query make the script
+    /// "leak" a sensitive file.
+    VulnerablePhf,
+    /// Consumes `ticks` CPU regardless of input — a runaway loop for
+    /// mid-condition tests.
+    CpuBomb {
+        /// Total ticks consumed.
+        ticks: u64,
+    },
+    /// Creates `count` files (§3 item 6: "unusual or suspicious application
+    /// behavior such as creating files").
+    FileCreator {
+        /// Files created over the run.
+        count: u32,
+    },
+}
+
+/// A CGI script in the document tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CgiScript {
+    /// Script name (diagnostics).
+    pub name: String,
+    /// Behaviour model.
+    pub behavior: CgiBehavior,
+}
+
+impl CgiScript {
+    /// A benign search script: modest compute per byte.
+    pub fn search() -> Self {
+        CgiScript {
+            name: "search".into(),
+            behavior: CgiBehavior::Compute {
+                base_cost: 10,
+                per_byte: 2,
+                mem_per_byte: 64,
+            },
+        }
+    }
+
+    /// A heavier compute script.
+    pub fn compute() -> Self {
+        CgiScript {
+            name: "compute".into(),
+            behavior: CgiBehavior::Compute {
+                base_cost: 50,
+                per_byte: 10,
+                mem_per_byte: 256,
+            },
+        }
+    }
+
+    /// The vulnerable `phf` script (§7.2).
+    pub fn vulnerable_phf() -> Self {
+        CgiScript {
+            name: "phf".into(),
+            behavior: CgiBehavior::VulnerablePhf,
+        }
+    }
+
+    /// The vulnerable `test-cgi` script (§7.2).
+    pub fn vulnerable_test_cgi() -> Self {
+        CgiScript {
+            name: "test-cgi".into(),
+            behavior: CgiBehavior::Echo,
+        }
+    }
+
+    /// A runaway CPU consumer for mid-condition tests.
+    pub fn cpu_bomb(ticks: u64) -> Self {
+        CgiScript {
+            name: "cpu-bomb".into(),
+            behavior: CgiBehavior::CpuBomb { ticks },
+        }
+    }
+
+    /// A file-creating script for mid-condition tests.
+    pub fn file_creator(count: u32) -> Self {
+        CgiScript {
+            name: "file-creator".into(),
+            behavior: CgiBehavior::FileCreator { count },
+        }
+    }
+}
+
+/// Why an execution ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CgiOutcome {
+    /// Ran to completion; carries the output body.
+    Completed(Vec<u8>),
+    /// Aborted by execution control after the given metrics snapshot.
+    Aborted(ExecutionMetrics),
+}
+
+/// A stepwise CGI execution.
+///
+/// Each [`step`](CgiExecution::step) consumes one quantum of simulated work
+/// (`TICKS_PER_STEP` CPU ticks) and updates the metrics; the caller checks
+/// mid-conditions between steps and calls [`abort`](CgiExecution::abort) to
+/// kill the operation.
+#[derive(Debug)]
+pub struct CgiExecution {
+    metrics: ExecutionMetrics,
+    total_ticks: u64,
+    total_memory: u64,
+    total_files: u32,
+    output: Vec<u8>,
+    finished: bool,
+    aborted: bool,
+}
+
+/// Simulated CPU ticks consumed per [`CgiExecution::step`].
+pub const TICKS_PER_STEP: u64 = 25;
+
+/// Simulated wall milliseconds per step (ties metrics to `wall_limit`).
+pub const WALL_MILLIS_PER_STEP: u64 = 1;
+
+impl CgiExecution {
+    /// Starts executing `script` against the query/body `input`.
+    pub fn start(script: &CgiScript, input: &str) -> Self {
+        let (total_ticks, total_memory, total_files, output) = match &script.behavior {
+            CgiBehavior::Echo => (
+                20 + input.len() as u64,
+                1024,
+                0,
+                format!("CGI/1.0 test script report:\nQUERY_STRING = {input}\n").into_bytes(),
+            ),
+            CgiBehavior::Compute {
+                base_cost,
+                per_byte,
+                mem_per_byte,
+            } => (
+                base_cost + per_byte * input.len() as u64,
+                mem_per_byte * input.len() as u64,
+                0,
+                format!("computed over {} bytes\n", input.len()).into_bytes(),
+            ),
+            CgiBehavior::VulnerablePhf => {
+                // The historical phf bug: a %0a (newline) smuggles a shell
+                // command. Our simulation "leaks" a canary file.
+                let exploited = input.contains('\n')
+                    || input.to_ascii_lowercase().contains("%0a")
+                    || input.contains(';');
+                let output = if exploited {
+                    b"root:x:0:0:root:/root:/bin/bash\nLEAKED /etc/passwd\n".to_vec()
+                } else {
+                    format!("phf: query name resolution for {input}\n").into_bytes()
+                };
+                (30 + input.len() as u64, 2048, 0, output)
+            }
+            CgiBehavior::CpuBomb { ticks } => {
+                (*ticks, 4096, 0, b"bomb done\n".to_vec())
+            }
+            CgiBehavior::FileCreator { count } => (
+                20 + u64::from(*count) * 10,
+                1024,
+                *count,
+                format!("created {count} files\n").into_bytes(),
+            ),
+        };
+        CgiExecution {
+            metrics: ExecutionMetrics::zero(),
+            total_ticks,
+            total_memory,
+            total_files,
+            output,
+            finished: false,
+            aborted: false,
+        }
+    }
+
+    /// Runs one quantum; returns `true` while more work remains.
+    pub fn step(&mut self) -> bool {
+        if self.finished || self.aborted {
+            return false;
+        }
+        self.metrics.cpu_ticks = (self.metrics.cpu_ticks + TICKS_PER_STEP).min(self.total_ticks);
+        self.metrics.wall_millis += WALL_MILLIS_PER_STEP;
+        let progress = self.metrics.cpu_ticks as f64 / self.total_ticks.max(1) as f64;
+        self.metrics.memory_bytes = (self.total_memory as f64 * progress) as u64;
+        self.metrics.files_created = (f64::from(self.total_files) * progress) as u32;
+        if self.metrics.cpu_ticks >= self.total_ticks {
+            self.metrics.memory_bytes = self.total_memory;
+            self.metrics.files_created = self.total_files;
+            self.finished = true;
+        }
+        !self.finished
+    }
+
+    /// Current resource consumption.
+    pub fn metrics(&self) -> &ExecutionMetrics {
+        &self.metrics
+    }
+
+    /// Aborts the execution (mid-condition violation).
+    pub fn abort(&mut self) {
+        self.aborted = true;
+    }
+
+    /// Did the execution run to completion?
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Was the execution aborted?
+    pub fn is_aborted(&self) -> bool {
+        self.aborted
+    }
+
+    /// Consumes the execution, yielding its outcome.
+    pub fn into_outcome(self) -> CgiOutcome {
+        if self.aborted {
+            CgiOutcome::Aborted(self.metrics)
+        } else {
+            CgiOutcome::Completed(self.output)
+        }
+    }
+}
+
+impl fmt::Display for CgiScript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cgi:{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_completion(script: &CgiScript, input: &str) -> CgiOutcome {
+        let mut exec = CgiExecution::start(script, input);
+        while exec.step() {}
+        exec.into_outcome()
+    }
+
+    #[test]
+    fn echo_script_reports_query() {
+        let out = run_to_completion(&CgiScript::vulnerable_test_cgi(), "x=1");
+        match out {
+            CgiOutcome::Completed(body) => {
+                assert!(String::from_utf8(body).unwrap().contains("QUERY_STRING = x=1"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn phf_leaks_only_when_exploited() {
+        let benign = run_to_completion(&CgiScript::vulnerable_phf(), "Qalias=jdoe");
+        match benign {
+            CgiOutcome::Completed(body) => {
+                assert!(!String::from_utf8(body).unwrap().contains("LEAKED"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let exploited =
+            run_to_completion(&CgiScript::vulnerable_phf(), "Qalias=x%0a/bin/cat%20/etc/passwd");
+        match exploited {
+            CgiOutcome::Completed(body) => {
+                assert!(String::from_utf8(body).unwrap().contains("LEAKED /etc/passwd"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compute_cost_scales_with_input() {
+        let script = CgiScript::compute();
+        let mut small = CgiExecution::start(&script, "ab");
+        let mut big = CgiExecution::start(&script, &"a".repeat(100));
+        while small.step() {}
+        while big.step() {}
+        assert!(big.metrics().cpu_ticks > small.metrics().cpu_ticks);
+        assert!(big.metrics().memory_bytes > small.metrics().memory_bytes);
+    }
+
+    #[test]
+    fn metrics_grow_monotonically_per_step() {
+        let mut exec = CgiExecution::start(&CgiScript::cpu_bomb(500), "");
+        let mut last = 0;
+        let mut steps = 0;
+        while exec.step() {
+            assert!(exec.metrics().cpu_ticks >= last);
+            last = exec.metrics().cpu_ticks;
+            steps += 1;
+        }
+        assert_eq!(exec.metrics().cpu_ticks, 500);
+        assert!(steps >= 19, "500 ticks at 25/step is 20 steps, saw {steps}");
+        assert!(exec.is_finished());
+        assert!(!exec.is_aborted());
+    }
+
+    #[test]
+    fn abort_stops_execution() {
+        let mut exec = CgiExecution::start(&CgiScript::cpu_bomb(10_000), "");
+        exec.step();
+        exec.step();
+        exec.abort();
+        assert!(!exec.step());
+        assert!(exec.is_aborted());
+        let metrics_at_abort = *exec.metrics();
+        match exec.into_outcome() {
+            CgiOutcome::Aborted(m) => assert_eq!(m, metrics_at_abort),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_creator_reports_files() {
+        let mut exec = CgiExecution::start(&CgiScript::file_creator(7), "");
+        while exec.step() {}
+        assert_eq!(exec.metrics().files_created, 7);
+    }
+
+    #[test]
+    fn zero_tick_scripts_finish_immediately() {
+        let mut exec = CgiExecution::start(&CgiScript::cpu_bomb(0), "");
+        assert!(!exec.step());
+        assert!(exec.is_finished());
+    }
+}

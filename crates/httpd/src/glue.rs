@@ -1,0 +1,441 @@
+//! The GAA ↔ web-server glue: Figure 1 end-to-end.
+//!
+//! §6: "The GAA-API is integrated into Apache by modifying the
+//! `check_user_access` function. The glue code extracts the information
+//! about requests from the Apache core modules, initializes the GAA-API,
+//! calls the API functions to evaluate policies, and finally returns access
+//! control decision and status values to the modules."
+//!
+//! [`GaaGlue`] owns the initialized [`GaaApi`], the shared
+//! [`StandardServices`], and the IDS hookups:
+//!
+//! * [`extract_context`](GaaGlue::extract_context) — §6 step 2b: the
+//!   request is converted into classified parameters;
+//! * [`requested_rights`](GaaGlue::requested_rights) — the right list (a
+//!   method right, plus `EXEC_CGI` for scripts);
+//! * [`authorize`](GaaGlue::authorize) — steps 2a–2d: policy retrieval,
+//!   `gaa_check_authorization`, translation to an HTTP answer;
+//! * IDS reporting (§3): signature matches become `ApplicationAttack`
+//!   reports (feeding the threat monitor), oversized inputs become
+//!   `AbnormalParameters`, denials of sensitive objects become
+//!   `SensitiveDenial`, and granted requests emit `LegitimatePattern`
+//!   observations for profile building.
+
+use crate::http::{HttpRequest, Method};
+use gaa_conditions::StandardServices;
+use gaa_core::{
+    AnswerCode, AuthorizationResult, GaaApi, Param, RightPattern, SecurityContext,
+};
+use gaa_ids::{EventBus, GaaReport, ReportKind, SignatureDb};
+
+/// What the glue tells the server to do with a request.
+#[derive(Debug)]
+pub struct GlueDecision {
+    /// The translated answer (§6 step 2d).
+    pub answer: AnswerCode,
+    /// The underlying authorization result (carried into the execution-
+    /// control and post-execution phases).
+    pub result: AuthorizationResult,
+    /// The context the decision was made under (reused by later phases).
+    pub context: SecurityContext,
+}
+
+/// The glue module binding the GAA-API into the request path.
+pub struct GaaGlue {
+    api: GaaApi,
+    services: StandardServices,
+    bus: Option<EventBus>,
+    signatures: Option<SignatureDb>,
+    sensitive_prefixes: Vec<String>,
+}
+
+impl GaaGlue {
+    /// Wraps an initialized API and its services.
+    pub fn new(api: GaaApi, services: StandardServices) -> Self {
+        GaaGlue {
+            api,
+            services,
+            bus: None,
+            signatures: None,
+            sensitive_prefixes: vec!["/private".to_string(), "/etc".to_string()],
+        }
+    }
+
+    /// Publishes §3 reports on `bus`.
+    #[must_use]
+    pub fn with_bus(mut self, bus: EventBus) -> Self {
+        self.bus = Some(bus);
+        self
+    }
+
+    /// Scans requests against `signatures` for IDS reporting (the *policy*
+    /// still decides access; this drives §3 item 5 reports and threat-level
+    /// escalation).
+    #[must_use]
+    pub fn with_signatures(mut self, signatures: SignatureDb) -> Self {
+        self.signatures = Some(signatures);
+        self
+    }
+
+    /// Replaces the sensitive-object prefixes for §3 item 3 reports.
+    #[must_use]
+    pub fn with_sensitive_prefixes(mut self, prefixes: Vec<String>) -> Self {
+        self.sensitive_prefixes = prefixes;
+        self
+    }
+
+    /// The wrapped API.
+    pub fn api(&self) -> &GaaApi {
+        &self.api
+    }
+
+    /// The shared services (threat monitor, groups, audit, thresholds).
+    pub fn services(&self) -> &StandardServices {
+        &self.services
+    }
+
+    /// §6 step 2b: builds the security context from the request structure.
+    /// Parameters are classified with type and authority so evaluators can
+    /// find them.
+    pub fn extract_context(
+        &self,
+        request: &HttpRequest,
+        user: Option<&str>,
+        groups: &[String],
+    ) -> SecurityContext {
+        let mut ctx = SecurityContext::new()
+            .with_client_ip(request.client_ip.clone())
+            .with_object(request.path.clone())
+            .with_param(Param::new("url", "apache", request.target.clone()))
+            .with_param(Param::new("request_line", "apache", request.request_line()))
+            .with_param(Param::new("method", "apache", request.method.as_str()))
+            .with_param(Param::new(
+                "query_len",
+                "apache",
+                request.input_len().to_string(),
+            ))
+            .with_param(Param::new(
+                "header_count",
+                "apache",
+                request.headers.len().to_string(),
+            ))
+            .with_param(Param::new(
+                "content_length",
+                "apache",
+                request.body.len().to_string(),
+            ));
+        if let Some(user) = user {
+            ctx = ctx.with_user(user);
+        }
+        for group in groups {
+            ctx = ctx.with_group(group.clone());
+        }
+        ctx
+    }
+
+    /// §6 step 2b: the request as a list of requested rights.
+    pub fn requested_rights(&self, request: &HttpRequest, is_cgi: bool) -> Vec<RightPattern> {
+        let mut rights = vec![RightPattern::new("apache", request.method.as_str())];
+        if is_cgi && request.method != Method::Head {
+            rights.push(RightPattern::new("apache", "EXEC_CGI"));
+        }
+        rights
+    }
+
+    /// Steps 2a–2d: retrieve + compose policies, check every requested
+    /// right (conjunction), translate, and report observations to the IDS.
+    pub fn authorize(
+        &self,
+        request: &HttpRequest,
+        user: Option<&str>,
+        groups: &[String],
+        is_cgi: bool,
+    ) -> GlueDecision {
+        let context = self.extract_context(request, user, groups);
+        let now = self.api.clock().now();
+
+        // §3 reporting runs regardless of the decision: detection is part of
+        // the same pass as access control.
+        self.scan_and_report(request, now);
+
+        let policy = match self.api.get_object_policy_info(&request.path) {
+            Ok(policy) => policy,
+            Err(e) => {
+                // Fail closed: unreadable policy denies.
+                self.services.audit.record(gaa_audit::AuditRecord::new(
+                    now,
+                    gaa_audit::AuditSeverity::Alert,
+                    "policy.retrieval_failed",
+                    context.subject(),
+                    e.to_string(),
+                ));
+                let result = self.api.check_authorization(
+                    &gaa_eacl::ComposedPolicy::compose(
+                        vec![deny_all_policy()],
+                        Vec::new(),
+                    ),
+                    &RightPattern::new("apache", request.method.as_str()),
+                    &context,
+                );
+                return GlueDecision {
+                    answer: AnswerCode::Declined,
+                    result,
+                    context,
+                };
+            }
+        };
+
+        let rights = self.requested_rights(request, is_cgi);
+        // The request is authorized only if every requested right is.
+        // Rights are checked in order and evaluation stops at the first
+        // non-YES result: its unevaluated conditions drive the 401/302
+        // translation, and its response actions must fire exactly once
+        // (continuing would re-trigger notify/update_log on the remaining
+        // rights).
+        let mut chosen: Option<AuthorizationResult> = None;
+        for right in &rights {
+            let result = self.api.check_authorization(&policy, right, &context);
+            let non_yes = !result.status().is_yes();
+            if chosen.is_none() || non_yes {
+                chosen = Some(result);
+            }
+            if non_yes {
+                break;
+            }
+        }
+        let result = chosen.expect("at least one requested right");
+        let answer = result.answer();
+
+        // Post-decision observations (§3 items 3 and 7).
+        match &answer {
+            AnswerCode::Declined
+                if self
+                    .sensitive_prefixes
+                    .iter()
+                    .any(|p| request.path.starts_with(p.as_str()))
+                => {
+                    self.publish(GaaReport::new(
+                        now,
+                        ReportKind::SensitiveDenial,
+                        request.client_ip.clone(),
+                        request.path.clone(),
+                        "access to sensitive object denied",
+                    ));
+                    self.services.threat.report_suspicion();
+                }
+            AnswerCode::Ok => {
+                self.publish(GaaReport::new(
+                    now,
+                    ReportKind::LegitimatePattern,
+                    context.subject(),
+                    request.path.clone(),
+                    format!("granted {} len={}", request.method, request.input_len()),
+                ));
+                // §3 item 7 / §9: granted requests build the per-principal
+                // profile the anomaly condition scores against.
+                self.services.anomaly.learn(
+                    context.subject(),
+                    &gaa_ids::anomaly::RequestFeatures::from_url(&request.target, now),
+                );
+            }
+            _ => {}
+        }
+
+        GlueDecision {
+            answer,
+            result,
+            context,
+        }
+    }
+
+    /// Scans the request against the signature DB and publishes
+    /// `ApplicationAttack` / `AbnormalParameters` reports (§3 items 2 & 5),
+    /// escalating the threat monitor on confident hits.
+    fn scan_and_report(&self, request: &HttpRequest, now: gaa_audit::Timestamp) {
+        if let Some(db) = &self.signatures {
+            for hit in db.scan(&request.request_line(), request.input_len()) {
+                let confident = hit.confidence >= 0.8;
+                self.publish(
+                    GaaReport::new(
+                        now,
+                        ReportKind::ApplicationAttack,
+                        request.client_ip.clone(),
+                        request.target.clone(),
+                        format!("signature {} matched", hit.id),
+                    )
+                    .with_signature(hit),
+                );
+                if confident {
+                    self.services.threat.report_suspicion();
+                }
+            }
+        }
+        if request.input_len() > 4096 {
+            self.publish(GaaReport::new(
+                now,
+                ReportKind::AbnormalParameters,
+                request.client_ip.clone(),
+                request.target.clone(),
+                format!("input of {} bytes", request.input_len()),
+            ));
+        }
+    }
+
+    fn publish(&self, report: GaaReport) {
+        if let Some(bus) = &self.bus {
+            bus.publish_report(report);
+        }
+    }
+}
+
+/// The fail-closed policy used when retrieval fails.
+fn deny_all_policy() -> gaa_eacl::Eacl {
+    gaa_eacl::Eacl::new().with_entry(gaa_eacl::EaclEntry::new(
+        gaa_eacl::AccessRight::negative("*", "*"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::notify::CollectingNotifier;
+    use gaa_audit::VirtualClock;
+    use gaa_conditions::register_standard;
+    use gaa_core::{GaaApiBuilder, GaaStatus, MemoryPolicyStore};
+    use gaa_eacl::parse_eacl;
+    use gaa_ids::ThreatLevel;
+    use std::sync::Arc;
+
+    fn glue_with_policy(local: &str) -> GaaGlue {
+        let services = StandardServices::new(
+            Arc::new(VirtualClock::new()),
+            Arc::new(CollectingNotifier::new()),
+        );
+        let mut store = MemoryPolicyStore::new();
+        store.set_local("/cgi-bin/phf", vec![parse_eacl(local).unwrap()]);
+        store.set_local("/index.html", vec![parse_eacl(local).unwrap()]);
+        store.set_local("/private/passwords.html", vec![parse_eacl(local).unwrap()]);
+        let api = register_standard(
+            GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+            &services,
+        )
+        .build();
+        GaaGlue::new(api, services)
+    }
+
+    const SECTION_72: &str = "\
+neg_access_right apache *
+pre_cond regex gnu *phf* *test-cgi*
+rr_cond notify local on:failure/sysadmin/info:cgi_exploit
+rr_cond update_log local on:failure/BadGuys/info:ip
+pos_access_right apache *
+";
+
+    #[test]
+    fn context_extraction_classifies_parameters() {
+        let glue = glue_with_policy("pos_access_right apache *\n");
+        let req = HttpRequest::get("/index.html?q=abc")
+            .with_client_ip("10.0.0.1")
+            .with_header("host", "example.org");
+        let ctx = glue.extract_context(&req, Some("alice"), &["staff".to_string()]);
+        assert_eq!(ctx.user(), Some("alice"));
+        assert!(ctx.in_group("staff"));
+        assert_eq!(ctx.client_ip(), Some("10.0.0.1"));
+        assert_eq!(ctx.param("query_len"), Some("5"));
+        assert_eq!(ctx.param("header_count"), Some("1"));
+        assert_eq!(ctx.param_for("url", "apache"), Some("/index.html?q=abc"));
+    }
+
+    #[test]
+    fn requested_rights_include_exec_cgi_for_scripts() {
+        let glue = glue_with_policy("pos_access_right apache *\n");
+        let req = HttpRequest::get("/cgi-bin/phf?x");
+        let rights = glue.requested_rights(&req, true);
+        assert_eq!(rights.len(), 2);
+        assert_eq!(rights[1], RightPattern::new("apache", "EXEC_CGI"));
+        let rights = glue.requested_rights(&req, false);
+        assert_eq!(rights.len(), 1);
+    }
+
+    #[test]
+    fn section_72_attack_is_denied_and_blacklisted() {
+        let glue = glue_with_policy(SECTION_72);
+        let req = HttpRequest::get("/cgi-bin/phf?Qalias=x").with_client_ip("203.0.113.9");
+        let decision = glue.authorize(&req, None, &[], true);
+        assert_eq!(decision.answer, AnswerCode::Declined);
+        assert!(glue.services().groups.contains("BadGuys", "203.0.113.9"));
+    }
+
+    #[test]
+    fn benign_request_is_granted() {
+        let glue = glue_with_policy(SECTION_72);
+        let req = HttpRequest::get("/index.html").with_client_ip("10.0.0.1");
+        let decision = glue.authorize(&req, None, &[], false);
+        assert_eq!(decision.answer, AnswerCode::Ok);
+        assert_eq!(decision.result.status(), GaaStatus::Yes);
+    }
+
+    #[test]
+    fn signature_hits_are_reported_and_escalate_threat() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe_reports(Some(vec![ReportKind::ApplicationAttack]));
+        let glue = glue_with_policy(SECTION_72)
+            .with_bus(bus)
+            .with_signatures(SignatureDb::with_defaults());
+        // Three confident hits escalate Low -> Medium (default threshold 3).
+        for i in 0..3 {
+            let req = HttpRequest::get(&format!("/cgi-bin/phf?probe={i}"))
+                .with_client_ip("203.0.113.9");
+            let _ = glue.authorize(&req, None, &[], true);
+        }
+        let reports = sub.drain();
+        assert_eq!(reports.len(), 3);
+        assert!(reports[0].signature.is_some());
+        assert_eq!(glue.services().threat.current(), ThreatLevel::Medium);
+    }
+
+    #[test]
+    fn sensitive_denial_is_reported() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe_reports(Some(vec![ReportKind::SensitiveDenial]));
+        let glue = glue_with_policy("neg_access_right apache *\n").with_bus(bus);
+        let req = HttpRequest::get("/private/passwords.html").with_client_ip("10.9.9.9");
+        let decision = glue.authorize(&req, None, &[], false);
+        assert_eq!(decision.answer, AnswerCode::Declined);
+        let reports = sub.drain();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].target, "/private/passwords.html");
+    }
+
+    #[test]
+    fn granted_requests_feed_profiles() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe_reports(Some(vec![ReportKind::LegitimatePattern]));
+        let glue = glue_with_policy("pos_access_right apache *\n").with_bus(bus);
+        let req = HttpRequest::get("/index.html").with_client_ip("10.0.0.1");
+        let _ = glue.authorize(&req, Some("alice"), &[], false);
+        let reports = sub.drain();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].source, "alice");
+    }
+
+    #[test]
+    fn oversized_input_reported_as_abnormal() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe_reports(Some(vec![ReportKind::AbnormalParameters]));
+        let glue = glue_with_policy("pos_access_right apache *\n").with_bus(bus);
+        let req =
+            HttpRequest::get(&format!("/index.html?{}", "x".repeat(5000))).with_client_ip("1.1.1.1");
+        let _ = glue.authorize(&req, None, &[], false);
+        assert_eq!(sub.drain().len(), 1);
+    }
+
+    #[test]
+    fn unknown_object_gets_default_deny() {
+        // No local policy for /other.html, no system policy: default deny.
+        let glue = glue_with_policy("pos_access_right apache *\n");
+        let req = HttpRequest::get("/other.html");
+        let decision = glue.authorize(&req, None, &[], false);
+        assert_eq!(decision.answer, AnswerCode::Declined);
+    }
+}

@@ -1,0 +1,485 @@
+//! Apache's native access control — the measurement baseline (§4).
+//!
+//! Implements the directive set the paper shows:
+//!
+//! ```text
+//! Order Deny,Allow
+//! Deny from All
+//! Allow from 128.9.
+//! AuthType Basic
+//! AuthUserFile /usr/local/apache2/.htpasswd-isi-staff
+//! Require valid-user
+//! Satisfy All
+//! ```
+//!
+//! Semantics follow Apache 1.3/2.0:
+//!
+//! * `Order Deny,Allow` — deny directives are evaluated first; anything
+//!   matching `Allow` is let back in; the **default is allow**;
+//! * `Order Allow,Deny` — allow first, deny overrides; **default deny**;
+//! * `Require valid-user` / `Require user a b` / `Require group g` — the
+//!   authentication constraint;
+//! * `Satisfy All` — host *and* user constraints must pass; `Satisfy Any` —
+//!   either suffices.
+//!
+//! The paper's critique (§5) is that these directives "can not express a
+//! policy with logical relations among three or more constraints" — this
+//! module exists so benchmarks and tests can compare the GAA-API against
+//! exactly that limited baseline.
+
+use crate::auth::HtpasswdStore;
+use gaa_conditions::location::location_matches;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// `Order` directive value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Order {
+    /// `Deny,Allow`: default allow.
+    #[default]
+    DenyAllow,
+    /// `Allow,Deny`: default deny.
+    AllowDeny,
+}
+
+/// `Require` directive value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Require {
+    /// Any successfully authenticated user.
+    ValidUser,
+    /// One of the named users.
+    User(Vec<String>),
+    /// Membership in one of the named groups.
+    Group(Vec<String>),
+}
+
+/// `Satisfy` directive value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Satisfy {
+    /// Host and user constraints must both pass.
+    #[default]
+    All,
+    /// Either constraint suffices.
+    Any,
+}
+
+/// Outcome of evaluating an `.htaccess` configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HtDecision {
+    /// Access granted.
+    Allow,
+    /// Access denied (403).
+    Forbidden,
+    /// Credentials required or wrong (401).
+    AuthRequired,
+}
+
+/// A parsed `.htaccess` configuration.
+#[derive(Debug, Clone, Default)]
+pub struct HtAccess {
+    order: Order,
+    allow_from: Vec<String>,
+    deny_from: Vec<String>,
+    auth_basic: bool,
+    auth_user_file: Option<String>,
+    require: Option<Require>,
+    satisfy: Satisfy,
+}
+
+/// Identity facts handed to evaluation: the (already verified) user and
+/// their groups. Password verification happens in the server against the
+/// named [`HtpasswdStore`]; `user` here is `Some` only on success.
+#[derive(Debug, Clone, Default)]
+pub struct HtIdentity<'a> {
+    /// Authenticated user, if any.
+    pub user: Option<&'a str>,
+    /// The user's groups.
+    pub groups: &'a [String],
+}
+
+impl HtAccess {
+    /// Parses `.htaccess` text. Unknown directives are rejected — a typo in
+    /// an access-control file must not silently widen access.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line.
+    pub fn parse(text: &str) -> Result<HtAccess, String> {
+        let mut cfg = HtAccess::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            let (directive, rest) = match line.split_once(char::is_whitespace) {
+                Some((d, r)) => (d, r.trim()),
+                None => (line, ""),
+            };
+            match directive.to_ascii_lowercase().as_str() {
+                "order" => {
+                    cfg.order = match rest.replace(' ', "").to_ascii_lowercase().as_str() {
+                        "deny,allow" => Order::DenyAllow,
+                        "allow,deny" => Order::AllowDeny,
+                        other => return Err(format!("line {lineno}: bad Order `{other}`")),
+                    };
+                }
+                "allow" => {
+                    let spec = rest
+                        .strip_prefix("from ")
+                        .or_else(|| rest.strip_prefix("From "))
+                        .ok_or_else(|| format!("line {lineno}: Allow requires `from`"))?;
+                    cfg.allow_from.push(spec.trim().to_string());
+                }
+                "deny" => {
+                    let spec = rest
+                        .strip_prefix("from ")
+                        .or_else(|| rest.strip_prefix("From "))
+                        .ok_or_else(|| format!("line {lineno}: Deny requires `from`"))?;
+                    cfg.deny_from.push(spec.trim().to_string());
+                }
+                "authtype" => {
+                    if !rest.eq_ignore_ascii_case("basic") {
+                        return Err(format!("line {lineno}: only AuthType Basic is supported"));
+                    }
+                    cfg.auth_basic = true;
+                }
+                "authuserfile" => {
+                    cfg.auth_user_file = Some(rest.to_string());
+                }
+                "authname" => { /* realm label: accepted, unused */ }
+                "require" => {
+                    let mut tokens = rest.split_whitespace();
+                    cfg.require = match tokens.next() {
+                        Some("valid-user") => Some(Require::ValidUser),
+                        Some("user") => {
+                            Some(Require::User(tokens.map(str::to_string).collect()))
+                        }
+                        Some("group") => {
+                            Some(Require::Group(tokens.map(str::to_string).collect()))
+                        }
+                        other => {
+                            return Err(format!("line {lineno}: bad Require {other:?}"))
+                        }
+                    };
+                }
+                "satisfy" => {
+                    cfg.satisfy = match rest.to_ascii_lowercase().as_str() {
+                        "all" => Satisfy::All,
+                        "any" => Satisfy::Any,
+                        other => return Err(format!("line {lineno}: bad Satisfy `{other}`")),
+                    };
+                }
+                other => return Err(format!("line {lineno}: unknown directive `{other}`")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// The named `AuthUserFile`, if any.
+    pub fn auth_user_file(&self) -> Option<&str> {
+        self.auth_user_file.as_deref()
+    }
+
+    /// Does a `Require` directive exist (user constraint present)?
+    pub fn requires_auth(&self) -> bool {
+        self.require.is_some()
+    }
+
+    /// Is this configuration a blanket `Deny from All` with no allowance?
+    pub fn denies_all(&self) -> bool {
+        self.deny_from.iter().any(|d| d.eq_ignore_ascii_case("all"))
+            && self.allow_from.is_empty()
+    }
+
+    fn matches_any(specs: &[String], ip: &str) -> bool {
+        specs.iter().any(|spec| {
+            spec.eq_ignore_ascii_case("all") || location_matches(spec, ip)
+        })
+    }
+
+    /// Host constraint under the configured `Order`.
+    fn host_allows(&self, ip: &str) -> bool {
+        let allowed = Self::matches_any(&self.allow_from, ip);
+        let denied = Self::matches_any(&self.deny_from, ip);
+        match self.order {
+            // Deny first, allow overrides, default allow.
+            Order::DenyAllow => !denied || allowed,
+            // Allow first, deny overrides, default deny.
+            Order::AllowDeny => allowed && !denied,
+        }
+    }
+
+    /// User constraint: `None` when it cannot be decided without
+    /// credentials (→ 401).
+    fn user_allows(&self, identity: &HtIdentity<'_>) -> Option<bool> {
+        match &self.require {
+            None => Some(true),
+            Some(requirement) => identity.user.map(|user| match requirement {
+                    Require::ValidUser => true,
+                    Require::User(users) => users.iter().any(|u| u == user),
+                    Require::Group(groups) => {
+                        groups.iter().any(|g| identity.groups.contains(g))
+                    }
+                }),
+        }
+    }
+
+    /// Evaluates this configuration for a client.
+    pub fn evaluate(&self, client_ip: &str, identity: &HtIdentity<'_>) -> HtDecision {
+        let host_ok = if self.allow_from.is_empty() && self.deny_from.is_empty() {
+            true
+        } else {
+            self.host_allows(client_ip)
+        };
+        let user_ok = self.user_allows(identity);
+
+        match self.satisfy {
+            Satisfy::All => {
+                if !host_ok {
+                    return HtDecision::Forbidden;
+                }
+                match user_ok {
+                    Some(true) => HtDecision::Allow,
+                    // Wrong user re-challenges (like Apache), missing
+                    // credentials challenge.
+                    Some(false) | None => HtDecision::AuthRequired,
+                }
+            }
+            Satisfy::Any => {
+                if self.require.is_none() {
+                    return if host_ok {
+                        HtDecision::Allow
+                    } else {
+                        HtDecision::Forbidden
+                    };
+                }
+                if host_ok {
+                    return HtDecision::Allow;
+                }
+                match user_ok {
+                    Some(true) => HtDecision::Allow,
+                    Some(false) => HtDecision::AuthRequired,
+                    None => HtDecision::AuthRequired,
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for HtAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Order {}",
+            match self.order {
+                Order::DenyAllow => "Deny,Allow",
+                Order::AllowDeny => "Allow,Deny",
+            }
+        )?;
+        for d in &self.deny_from {
+            writeln!(f, "Deny from {d}")?;
+        }
+        for a in &self.allow_from {
+            writeln!(f, "Allow from {a}")?;
+        }
+        if self.auth_basic {
+            writeln!(f, "AuthType Basic")?;
+        }
+        if let Some(file) = &self.auth_user_file {
+            writeln!(f, "AuthUserFile {file}")?;
+        }
+        match &self.require {
+            Some(Require::ValidUser) => writeln!(f, "Require valid-user")?,
+            Some(Require::User(users)) => writeln!(f, "Require user {}", users.join(" "))?,
+            Some(Require::Group(groups)) => writeln!(f, "Require group {}", groups.join(" "))?,
+            None => {}
+        }
+        writeln!(
+            f,
+            "Satisfy {}",
+            match self.satisfy {
+                Satisfy::All => "All",
+                Satisfy::Any => "Any",
+            }
+        )
+    }
+}
+
+/// A registry of named htpasswd stores, resolving `AuthUserFile` paths.
+#[derive(Debug, Clone, Default)]
+pub struct AuthFileRegistry {
+    files: HashMap<String, Arc<HtpasswdStore>>,
+}
+
+impl AuthFileRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        AuthFileRegistry::default()
+    }
+
+    /// Registers a store under its `AuthUserFile` path.
+    pub fn add(&mut self, path: &str, store: HtpasswdStore) {
+        self.files.insert(path.to_string(), Arc::new(store));
+    }
+
+    /// Looks up a store.
+    pub fn get(&self, path: &str) -> Option<&Arc<HtpasswdStore>> {
+        self.files.get(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_SAMPLE: &str = "\
+Order Deny,Allow
+Deny from All
+Allow from 128.9.
+AuthType Basic
+AuthUserFile /usr/local/apache2/.htpasswd-isi-staff
+Require valid-user
+Satisfy All
+";
+
+    fn anon() -> HtIdentity<'static> {
+        HtIdentity {
+            user: None,
+            groups: &[],
+        }
+    }
+
+    fn user(name: &'static str) -> HtIdentity<'static> {
+        HtIdentity {
+            user: Some(name),
+            groups: &[],
+        }
+    }
+
+    #[test]
+    fn parses_paper_sample() {
+        let cfg = HtAccess::parse(PAPER_SAMPLE).unwrap();
+        assert!(cfg.requires_auth());
+        assert_eq!(
+            cfg.auth_user_file(),
+            Some("/usr/local/apache2/.htpasswd-isi-staff")
+        );
+        // Round-trip through Display.
+        let reparsed = HtAccess::parse(&cfg.to_string()).unwrap();
+        assert_eq!(reparsed.to_string(), cfg.to_string());
+    }
+
+    #[test]
+    fn paper_sample_semantics() {
+        let cfg = HtAccess::parse(PAPER_SAMPLE).unwrap();
+        // Inside the IP range without credentials: challenge.
+        assert_eq!(cfg.evaluate("128.9.160.23", &anon()), HtDecision::AuthRequired);
+        // Inside the range with a valid user: allowed.
+        assert_eq!(cfg.evaluate("128.9.160.23", &user("alice")), HtDecision::Allow);
+        // Outside the range: forbidden regardless of credentials.
+        assert_eq!(cfg.evaluate("203.0.113.9", &user("alice")), HtDecision::Forbidden);
+        assert_eq!(cfg.evaluate("203.0.113.9", &anon()), HtDecision::Forbidden);
+    }
+
+    #[test]
+    fn order_deny_allow_defaults_to_allow() {
+        let cfg = HtAccess::parse("Order Deny,Allow\nDeny from 10.\n").unwrap();
+        assert_eq!(cfg.evaluate("10.1.1.1", &anon()), HtDecision::Forbidden);
+        assert_eq!(cfg.evaluate("11.1.1.1", &anon()), HtDecision::Allow);
+    }
+
+    #[test]
+    fn order_allow_deny_defaults_to_deny() {
+        let cfg = HtAccess::parse("Order Allow,Deny\nAllow from 10.\n").unwrap();
+        assert_eq!(cfg.evaluate("10.1.1.1", &anon()), HtDecision::Allow);
+        assert_eq!(cfg.evaluate("11.1.1.1", &anon()), HtDecision::Forbidden);
+        // Deny overrides allow in Allow,Deny.
+        let cfg =
+            HtAccess::parse("Order Allow,Deny\nAllow from 10.\nDeny from 10.0.0.\n").unwrap();
+        assert_eq!(cfg.evaluate("10.0.0.5", &anon()), HtDecision::Forbidden);
+        assert_eq!(cfg.evaluate("10.1.0.5", &anon()), HtDecision::Allow);
+    }
+
+    #[test]
+    fn allow_overrides_deny_in_deny_allow() {
+        let cfg = HtAccess::parse(
+            "Order Deny,Allow\nDeny from All\nAllow from 128.9.\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.evaluate("128.9.1.1", &anon()), HtDecision::Allow);
+        assert_eq!(cfg.evaluate("1.2.3.4", &anon()), HtDecision::Forbidden);
+    }
+
+    #[test]
+    fn require_user_list() {
+        let cfg = HtAccess::parse("Require user alice bob\n").unwrap();
+        assert_eq!(cfg.evaluate("1.1.1.1", &user("alice")), HtDecision::Allow);
+        assert_eq!(cfg.evaluate("1.1.1.1", &user("bob")), HtDecision::Allow);
+        assert_eq!(
+            cfg.evaluate("1.1.1.1", &user("mallory")),
+            HtDecision::AuthRequired
+        );
+        assert_eq!(cfg.evaluate("1.1.1.1", &anon()), HtDecision::AuthRequired);
+    }
+
+    #[test]
+    fn require_group() {
+        let groups = vec!["staff".to_string()];
+        let identity = HtIdentity {
+            user: Some("alice"),
+            groups: &groups,
+        };
+        let cfg = HtAccess::parse("Require group staff\n").unwrap();
+        assert_eq!(cfg.evaluate("1.1.1.1", &identity), HtDecision::Allow);
+        assert_eq!(
+            cfg.evaluate("1.1.1.1", &user("bob")),
+            HtDecision::AuthRequired
+        );
+    }
+
+    #[test]
+    fn satisfy_any_lets_host_or_user_through() {
+        let cfg = HtAccess::parse(
+            "Order Deny,Allow\nDeny from All\nAllow from 10.\nRequire valid-user\nSatisfy Any\n",
+        )
+        .unwrap();
+        // Inside the network: no credentials needed.
+        assert_eq!(cfg.evaluate("10.1.1.1", &anon()), HtDecision::Allow);
+        // Outside but authenticated: allowed.
+        assert_eq!(cfg.evaluate("1.2.3.4", &user("alice")), HtDecision::Allow);
+        // Outside and anonymous: challenge (credentials could still fix it).
+        assert_eq!(cfg.evaluate("1.2.3.4", &anon()), HtDecision::AuthRequired);
+    }
+
+    #[test]
+    fn unknown_directives_rejected() {
+        assert!(HtAccess::parse("Frobnicate on\n").is_err());
+        assert!(HtAccess::parse("Order sideways\n").is_err());
+        assert!(HtAccess::parse("Allow 10.\n").is_err()); // missing `from`
+        assert!(HtAccess::parse("Require wizard\n").is_err());
+        assert!(HtAccess::parse("Satisfy sometimes\n").is_err());
+        assert!(HtAccess::parse("AuthType Digest\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let cfg = HtAccess::parse("# comment\n\nOrder Deny,Allow # trailing\n").unwrap();
+        assert_eq!(cfg.evaluate("1.1.1.1", &anon()), HtDecision::Allow);
+    }
+
+    #[test]
+    fn auth_file_registry() {
+        let mut registry = AuthFileRegistry::new();
+        let mut store = HtpasswdStore::new("salt");
+        store.add_user("alice", "pw");
+        registry.add("/etc/htpasswd-staff", store);
+        assert!(registry.get("/etc/htpasswd-staff").unwrap().verify("alice", "pw"));
+        assert!(registry.get("/missing").is_none());
+    }
+}

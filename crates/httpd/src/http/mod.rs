@@ -1,0 +1,12 @@
+//! HTTP/1.x wire handling: requests, responses, status codes,
+//! percent-decoding.
+
+mod percent;
+mod request;
+mod response;
+mod status;
+
+pub use percent::{percent_decode, percent_encode};
+pub use request::{HttpRequest, Method, ParseRequestError, RequestLimits, Version};
+pub use response::HttpResponse;
+pub use status::StatusCode;

@@ -1,0 +1,116 @@
+//! Percent-encoding (RFC 3986) — implemented here because malformed
+//! percent-escapes are themselves an attack signal (§7.2: "the pre-condition
+//! `pre_cond regex gnu *%*` detects malformed URLs … This may indicate
+//! ongoing attack, such as NIMDA").
+
+/// Decodes percent-escapes in `input`.
+///
+/// Invalid escapes (`%ZZ`, truncated `%4`) are passed through literally
+/// rather than rejected — exactly what servers of the era did, and what
+/// keeps the raw `%` visible to the `*%*` signature. `+` is *not* decoded
+/// (that is form encoding, not URI encoding).
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_httpd::http::percent_decode;
+///
+/// assert_eq!(percent_decode("/a%20b"), "/a b");
+/// assert_eq!(percent_decode("/a%2Fb"), "/a/b");
+/// assert_eq!(percent_decode("/broken%ZZend"), "/broken%ZZend");
+/// ```
+pub fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hi = bytes.get(i + 1).copied().and_then(hex_val);
+            let lo = bytes.get(i + 2).copied().and_then(hex_val);
+            if let (Some(hi), Some(lo)) = (hi, lo) {
+                out.push(hi * 16 + lo);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    // Decoded bytes may not be valid UTF-8 (e.g. NIMDA's %c0%af); replace
+    // invalid sequences so downstream string handling stays safe.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Encodes everything except RFC 3986 unreserved characters.
+pub fn percent_encode(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for byte in input.bytes() {
+        if byte.is_ascii_alphanumeric() || matches!(byte, b'-' | b'_' | b'.' | b'~' | b'/') {
+            out.push(byte as char);
+        } else {
+            out.push('%');
+            out.push(char::from_digit(u32::from(byte >> 4), 16).expect("hex").to_ascii_uppercase());
+            out.push(char::from_digit(u32::from(byte & 0xf), 16).expect("hex").to_ascii_uppercase());
+        }
+    }
+    out
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_decoding() {
+        assert_eq!(percent_decode(""), "");
+        assert_eq!(percent_decode("/plain/path"), "/plain/path");
+        assert_eq!(percent_decode("%41%42%43"), "ABC");
+        assert_eq!(percent_decode("a%20b%20c"), "a b c");
+        assert_eq!(percent_decode("%2e%2e%2f"), "../");
+    }
+
+    #[test]
+    fn invalid_escapes_pass_through() {
+        assert_eq!(percent_decode("%"), "%");
+        assert_eq!(percent_decode("%4"), "%4");
+        assert_eq!(percent_decode("%ZZ"), "%ZZ");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%%41"), "%A");
+    }
+
+    #[test]
+    fn plus_is_not_space() {
+        assert_eq!(percent_decode("a+b"), "a+b");
+    }
+
+    #[test]
+    fn non_utf8_bytes_are_replaced_not_panicking() {
+        // NIMDA's overlong-UTF-8 traversal bytes.
+        let decoded = percent_decode("/scripts/..%c0%af../winnt");
+        assert!(decoded.starts_with("/scripts/.."));
+        assert!(decoded.ends_with("../winnt"));
+    }
+
+    #[test]
+    fn encode_round_trips_through_decode() {
+        for input in ["/a b/c", "query=x&y=z", "ünïcode/päth", "/plain"] {
+            assert_eq!(percent_decode(&percent_encode(input)), input, "{input}");
+        }
+    }
+
+    #[test]
+    fn encode_leaves_unreserved_alone() {
+        assert_eq!(percent_encode("/abc-123_~.z"), "/abc-123_~.z");
+        assert_eq!(percent_encode("a b"), "a%20b");
+        assert_eq!(percent_encode("%"), "%25");
+    }
+}

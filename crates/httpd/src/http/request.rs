@@ -1,0 +1,481 @@
+//! HTTP request parsing — the `request_rec` stand-in.
+//!
+//! Parsing enforces configurable limits (request-line length, header count,
+//! header size) because pathological requests are exactly what §1 describes:
+//! "Launching a DoS attack against a web server can be accomplished in many
+//! ways, including ill-formed HTTP requests (e.g., a large number of HTTP
+//! headers)." A parse failure is not just an error: the server reports it to
+//! the IDS bus as an [`IllFormedRequest`](gaa_ids::ReportKind) observation.
+
+use super::percent::percent_decode;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// HTTP request methods the server understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// GET.
+    Get,
+    /// HEAD.
+    Head,
+    /// POST.
+    Post,
+}
+
+impl Method {
+    /// The canonical token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Method {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "HEAD" => Ok(Method::Head),
+            "POST" => Ok(Method::Post),
+            _ => Err(()),
+        }
+    }
+}
+
+/// HTTP protocol versions the server accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Version {
+    /// HTTP/1.0.
+    Http10,
+    /// HTTP/1.1.
+    Http11,
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Version::Http10 => f.write_str("HTTP/1.0"),
+            Version::Http11 => f.write_str("HTTP/1.1"),
+        }
+    }
+}
+
+/// Limits enforced during parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestLimits {
+    /// Maximum request-line length in bytes.
+    pub max_request_line: usize,
+    /// Maximum number of headers.
+    pub max_headers: usize,
+    /// Maximum single header line length in bytes.
+    pub max_header_line: usize,
+    /// Maximum body size in bytes.
+    pub max_body: usize,
+}
+
+impl Default for RequestLimits {
+    fn default() -> Self {
+        RequestLimits {
+            max_request_line: 8190, // Apache's LimitRequestLine default
+            max_headers: 100,       // Apache's LimitRequestFields default
+            max_header_line: 8190,
+            max_body: 1 << 20,
+        }
+    }
+}
+
+/// Why a request failed to parse. Each variant is an observable the IDS
+/// cares about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseRequestError {
+    /// The request was empty or had no request line.
+    Empty,
+    /// Request line was not `METHOD TARGET VERSION`.
+    MalformedRequestLine(String),
+    /// Unknown or unsupported method token.
+    UnsupportedMethod(String),
+    /// Version was not HTTP/1.0 or HTTP/1.1.
+    UnsupportedVersion(String),
+    /// A header line lacked a colon.
+    MalformedHeader(String),
+    /// The request line exceeded the limit.
+    RequestLineTooLong(usize),
+    /// More headers than the limit — the §1 header-flood DoS.
+    TooManyHeaders(usize),
+    /// A header line exceeded the limit.
+    HeaderLineTooLong(usize),
+    /// Declared body exceeded the limit.
+    BodyTooLarge(usize),
+    /// The request target did not start with `/`.
+    BadTarget(String),
+}
+
+impl fmt::Display for ParseRequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseRequestError::Empty => f.write_str("empty request"),
+            ParseRequestError::MalformedRequestLine(line) => {
+                write!(f, "malformed request line: {line:?}")
+            }
+            ParseRequestError::UnsupportedMethod(m) => write!(f, "unsupported method {m:?}"),
+            ParseRequestError::UnsupportedVersion(v) => write!(f, "unsupported version {v:?}"),
+            ParseRequestError::MalformedHeader(h) => write!(f, "malformed header: {h:?}"),
+            ParseRequestError::RequestLineTooLong(n) => {
+                write!(f, "request line of {n} bytes exceeds limit")
+            }
+            ParseRequestError::TooManyHeaders(n) => write!(f, "{n} headers exceed limit"),
+            ParseRequestError::HeaderLineTooLong(n) => {
+                write!(f, "header line of {n} bytes exceeds limit")
+            }
+            ParseRequestError::BodyTooLarge(n) => write!(f, "body of {n} bytes exceeds limit"),
+            ParseRequestError::BadTarget(t) => write!(f, "bad request target {t:?}"),
+        }
+    }
+}
+
+impl Error for ParseRequestError {}
+
+/// A parsed HTTP request (the fields the GAA glue extracts from Apache's
+/// `request_rec` in §6 step 2b).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: Method,
+    /// Raw request target (path + query, undecoded).
+    pub target: String,
+    /// Percent-decoded path component.
+    pub path: String,
+    /// Raw query string (empty if none).
+    pub query: String,
+    /// Protocol version.
+    pub version: Version,
+    /// Headers in arrival order (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// Request body.
+    pub body: Vec<u8>,
+    /// Client address, filled in by the transport.
+    pub client_ip: String,
+}
+
+impl HttpRequest {
+    /// Builds a GET request programmatically (tests, workload generators).
+    pub fn get(target: &str) -> Self {
+        let (path, query) = split_target(target);
+        HttpRequest {
+            method: Method::Get,
+            target: target.to_string(),
+            path: percent_decode(&path),
+            query,
+            version: Version::Http11,
+            headers: Vec::new(),
+            body: Vec::new(),
+            client_ip: "127.0.0.1".to_string(),
+        }
+    }
+
+    /// Sets the client IP, for chaining.
+    #[must_use]
+    pub fn with_client_ip(mut self, ip: impl Into<String>) -> Self {
+        self.client_ip = ip.into();
+        self
+    }
+
+    /// Adds a header, for chaining.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_ascii_lowercase(), value.to_string()));
+        self
+    }
+
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `METHOD target VERSION` — the line signatures match against.
+    pub fn request_line(&self) -> String {
+        format!("{} {} {}", self.method, self.target, self.version)
+    }
+
+    /// Total input length relevant to the §7.2 overflow check: query plus
+    /// body.
+    pub fn input_len(&self) -> usize {
+        self.query.len() + self.body.len()
+    }
+
+    /// Parses a request from raw bytes under the default limits.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParseRequestError`]; every variant corresponds to an
+    /// ill-formed-request observation.
+    pub fn parse(raw: &[u8], client_ip: &str) -> Result<Self, ParseRequestError> {
+        Self::parse_with_limits(raw, client_ip, &RequestLimits::default())
+    }
+
+    /// Parses with explicit limits.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParseRequestError`].
+    pub fn parse_with_limits(
+        raw: &[u8],
+        client_ip: &str,
+        limits: &RequestLimits,
+    ) -> Result<Self, ParseRequestError> {
+        // Find the header/body split.
+        let (head, body) = match find_header_end(raw) {
+            Some(pos) => (&raw[..pos], &raw[pos + 4..]),
+            None => (raw, &raw[raw.len()..]),
+        };
+        let head = String::from_utf8_lossy(head);
+        let mut lines = head.split("\r\n").flat_map(|chunk| chunk.split('\n'));
+
+        let request_line = lines.next().unwrap_or("").trim_end();
+        if request_line.is_empty() {
+            return Err(ParseRequestError::Empty);
+        }
+        if request_line.len() > limits.max_request_line {
+            return Err(ParseRequestError::RequestLineTooLong(request_line.len()));
+        }
+
+        let mut parts = request_line.split(' ');
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(ParseRequestError::MalformedRequestLine(
+                truncate(request_line),
+            ));
+        };
+        if parts.next().is_some() {
+            return Err(ParseRequestError::MalformedRequestLine(
+                truncate(request_line),
+            ));
+        }
+        let method: Method = method
+            .parse()
+            .map_err(|()| ParseRequestError::UnsupportedMethod(truncate(method)))?;
+        let version = match version {
+            "HTTP/1.0" => Version::Http10,
+            "HTTP/1.1" => Version::Http11,
+            other => return Err(ParseRequestError::UnsupportedVersion(truncate(other))),
+        };
+        if !target.starts_with('/') {
+            return Err(ParseRequestError::BadTarget(truncate(target)));
+        }
+
+        let mut headers = Vec::new();
+        for line in lines {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if line.len() > limits.max_header_line {
+                return Err(ParseRequestError::HeaderLineTooLong(line.len()));
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(ParseRequestError::MalformedHeader(truncate(line)));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            if headers.len() > limits.max_headers {
+                return Err(ParseRequestError::TooManyHeaders(headers.len()));
+            }
+        }
+
+        if body.len() > limits.max_body {
+            return Err(ParseRequestError::BodyTooLarge(body.len()));
+        }
+
+        let (path, query) = split_target(target);
+        Ok(HttpRequest {
+            method,
+            target: target.to_string(),
+            path: percent_decode(&path),
+            query,
+            version,
+            headers,
+            body: body.to_vec(),
+            client_ip: client_ip.to_string(),
+        })
+    }
+}
+
+fn find_header_end(raw: &[u8]) -> Option<usize> {
+    raw.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn split_target(target: &str) -> (String, String) {
+    match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), query.to_string()),
+        None => (target.to_string(), String::new()),
+    }
+}
+
+fn truncate(s: &str) -> String {
+    const MAX: usize = 80;
+    if s.len() <= MAX {
+        s.to_string()
+    } else {
+        let mut end = MAX;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<HttpRequest, ParseRequestError> {
+        HttpRequest::parse(raw.as_bytes(), "10.0.0.1")
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let req = parse("GET /index.html HTTP/1.1\r\nHost: example.org\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/index.html");
+        assert_eq!(req.query, "");
+        assert_eq!(req.version, Version::Http11);
+        assert_eq!(req.header("host"), Some("example.org"));
+        assert_eq!(req.header("HOST"), Some("example.org"));
+        assert_eq!(req.client_ip, "10.0.0.1");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_query_and_decodes_path() {
+        let req = parse("GET /a%20dir/file.html?x=1&y=2 HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/a dir/file.html");
+        assert_eq!(req.query, "x=1&y=2");
+        assert_eq!(req.target, "/a%20dir/file.html?x=1&y=2");
+        assert_eq!(req.input_len(), 7);
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /form HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.body, b"hello");
+        assert_eq!(req.input_len(), 5);
+    }
+
+    #[test]
+    fn request_line_round_trip() {
+        let req = parse("GET /x?q=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.request_line(), "GET /x?q=1 HTTP/1.1");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(parse("").unwrap_err(), ParseRequestError::Empty);
+        assert!(matches!(
+            parse("NONSENSE\r\n\r\n").unwrap_err(),
+            ParseRequestError::MalformedRequestLine(_)
+        ));
+        assert!(matches!(
+            parse("BREW /pot HTTP/1.1\r\n\r\n").unwrap_err(),
+            ParseRequestError::UnsupportedMethod(_)
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/2\r\n\r\n").unwrap_err(),
+            ParseRequestError::UnsupportedVersion(_)
+        ));
+        assert!(matches!(
+            parse("GET relative HTTP/1.1\r\n\r\n").unwrap_err(),
+            ParseRequestError::BadTarget(_)
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1 extra\r\n\r\n").unwrap_err(),
+            ParseRequestError::MalformedRequestLine(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n").unwrap_err(),
+            ParseRequestError::MalformedHeader(_)
+        ));
+    }
+
+    #[test]
+    fn header_flood_is_detected() {
+        // §1: "a large number of HTTP headers".
+        let mut raw = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..200 {
+            raw.push_str(&format!("X-Flood-{i}: y\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(
+            parse(&raw).unwrap_err(),
+            ParseRequestError::TooManyHeaders(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_request_line_rejected() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9000));
+        assert!(matches!(
+            parse(&raw).unwrap_err(),
+            ParseRequestError::RequestLineTooLong(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let limits = RequestLimits {
+            max_body: 4,
+            ..RequestLimits::default()
+        };
+        let err = HttpRequest::parse_with_limits(
+            b"POST /x HTTP/1.1\r\n\r\nhello",
+            "1.1.1.1",
+            &limits,
+        )
+        .unwrap_err();
+        assert_eq!(err, ParseRequestError::BodyTooLarge(5));
+    }
+
+    #[test]
+    fn bare_lf_line_endings_accepted() {
+        let req = parse("GET /x HTTP/1.1\nHost: h\n\n").unwrap();
+        assert_eq!(req.header("host"), Some("h"));
+    }
+
+    #[test]
+    fn builder_constructor() {
+        let req = HttpRequest::get("/docs/x.html?q=abc")
+            .with_client_ip("203.0.113.9")
+            .with_header("User-Agent", "test");
+        assert_eq!(req.path, "/docs/x.html");
+        assert_eq!(req.query, "q=abc");
+        assert_eq!(req.client_ip, "203.0.113.9");
+        assert_eq!(req.header("user-agent"), Some("test"));
+    }
+
+    #[test]
+    fn error_messages_truncate_long_input() {
+        let raw = format!("{} /x HTTP/1.1\r\n\r\n", "M".repeat(300));
+        let err = parse(&raw).unwrap_err();
+        assert!(err.to_string().len() < 200);
+    }
+}

@@ -1,0 +1,93 @@
+//! HTTP status codes used by the server, including the Apache return-value
+//! translations of §6 step 2d (OK / DECLINED / AUTH_REQUIRED / REDIRECT).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The status codes this server emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StatusCode {
+    /// 200 — the request succeeded (`HTTP_OK`).
+    Ok,
+    /// 302 — adaptive redirection (`HTTP_REDIRECT`, §6 2d).
+    Found,
+    /// 400 — the request was malformed (§3 item 1 trigger).
+    BadRequest,
+    /// 401 — credentials required (`HTTP_AUTH_REQUIRED`).
+    Unauthorized,
+    /// 403 — the request was denied (`HTTP_DECLINED` surface form).
+    Forbidden,
+    /// 404 — no such object.
+    NotFound,
+    /// 413 — request larger than the configured limits.
+    PayloadTooLarge,
+    /// 500 — handler failure (aborted CGI, internal error).
+    InternalServerError,
+    /// 503 — service disabled (stop-mode lockdown).
+    ServiceUnavailable,
+}
+
+impl StatusCode {
+    /// The numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            StatusCode::Ok => 200,
+            StatusCode::Found => 302,
+            StatusCode::BadRequest => 400,
+            StatusCode::Unauthorized => 401,
+            StatusCode::Forbidden => 403,
+            StatusCode::NotFound => 404,
+            StatusCode::PayloadTooLarge => 413,
+            StatusCode::InternalServerError => 500,
+            StatusCode::ServiceUnavailable => 503,
+        }
+    }
+
+    /// The standard reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            StatusCode::Ok => "OK",
+            StatusCode::Found => "Found",
+            StatusCode::BadRequest => "Bad Request",
+            StatusCode::Unauthorized => "Unauthorized",
+            StatusCode::Forbidden => "Forbidden",
+            StatusCode::NotFound => "Not Found",
+            StatusCode::PayloadTooLarge => "Payload Too Large",
+            StatusCode::InternalServerError => "Internal Server Error",
+            StatusCode::ServiceUnavailable => "Service Unavailable",
+        }
+    }
+
+    /// Is this a success code?
+    pub fn is_success(self) -> bool {
+        self.code() / 100 == 2
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code(), self.reason())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_reasons() {
+        assert_eq!(StatusCode::Ok.code(), 200);
+        assert_eq!(StatusCode::Found.code(), 302);
+        assert_eq!(StatusCode::Unauthorized.code(), 401);
+        assert_eq!(StatusCode::Forbidden.code(), 403);
+        assert_eq!(StatusCode::Ok.to_string(), "200 OK");
+        assert_eq!(StatusCode::Forbidden.to_string(), "403 Forbidden");
+    }
+
+    #[test]
+    fn success_predicate() {
+        assert!(StatusCode::Ok.is_success());
+        assert!(!StatusCode::Forbidden.is_success());
+        assert!(!StatusCode::Found.is_success());
+    }
+}

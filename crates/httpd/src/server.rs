@@ -1,0 +1,953 @@
+//! The request lifecycle: parse → authenticate → access control → handler
+//! (→ execution control) → post-execution actions.
+//!
+//! Access control is pluggable so experiments can compare like-for-like:
+//!
+//! * [`AccessControl::Open`] — no checks (raw server baseline);
+//! * [`AccessControl::Htaccess`] — Apache's native mechanism (§4), the
+//!   baseline the §8 overhead numbers compare against;
+//! * [`AccessControl::Gaa`] — the integrated GAA-API path (Figure 1),
+//!   including the execution-control phase over CGI runs and the
+//!   post-execution action phase.
+
+use crate::access_log::{AccessEntry, AccessLog};
+use crate::auth::{parse_basic_auth, HtpasswdStore};
+use crate::cgi::{CgiExecution, CgiOutcome};
+use crate::glue::GaaGlue;
+use crate::htaccess::{AuthFileRegistry, HtAccess, HtDecision, HtIdentity};
+use crate::http::{HttpRequest, HttpResponse, Method, ParseRequestError, RequestLimits, StatusCode};
+use crate::vfs::{Node, Vfs};
+use gaa_conditions::Firewall;
+use gaa_core::{AnswerCode, Outcome};
+use gaa_audit::Timestamp;
+use gaa_ids::{EventBus, GaaReport, ReportKind};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Pluggable access-control mechanism.
+pub enum AccessControl {
+    /// No access control (raw-handler baseline).
+    Open,
+    /// Apache-native `.htaccess` evaluation (§4) over in-memory configs
+    /// attached to the [`Vfs`].
+    Htaccess {
+        /// Resolves `AuthUserFile` names to credential stores.
+        registry: AuthFileRegistry,
+    },
+    /// Apache-native `.htaccess` evaluation with per-request **file reads**
+    /// — what Apache actually does ("Apache looks for an access control
+    /// file called .htaccess in every directory of the path", §4). This is
+    /// the fair baseline for the §8 overhead comparison, since the GAA path
+    /// also re-reads its policy files per request.
+    HtaccessFiles {
+        /// Directory containing the `.htaccess` tree.
+        root: std::path::PathBuf,
+        /// Resolves `AuthUserFile` names to credential stores.
+        registry: AuthFileRegistry,
+    },
+    /// The integrated GAA-API (Figure 1).
+    Gaa(Box<GaaGlue>),
+}
+
+/// Aggregate counters over the server's lifetime.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests received (including unparseable ones).
+    pub requests: AtomicU64,
+    /// 200 responses.
+    pub ok: AtomicU64,
+    /// 403 responses.
+    pub forbidden: AtomicU64,
+    /// 401 responses.
+    pub unauthorized: AtomicU64,
+    /// 302 responses.
+    pub redirected: AtomicU64,
+    /// 404 responses.
+    pub not_found: AtomicU64,
+    /// 400 responses (ill-formed requests).
+    pub bad_request: AtomicU64,
+    /// CGI executions aborted by execution control.
+    pub cgi_aborted: AtomicU64,
+}
+
+impl ServerStats {
+    fn bump_for(&self, status: StatusCode) {
+        let counter = match status {
+            StatusCode::Ok => &self.ok,
+            StatusCode::Forbidden => &self.forbidden,
+            StatusCode::Unauthorized => &self.unauthorized,
+            StatusCode::Found => &self.redirected,
+            StatusCode::NotFound => &self.not_found,
+            StatusCode::BadRequest => &self.bad_request,
+            _ => return,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-number snapshot (for reports and assertions).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            forbidden: self.forbidden.load(Ordering::Relaxed),
+            unauthorized: self.unauthorized.load(Ordering::Relaxed),
+            redirected: self.redirected.load(Ordering::Relaxed),
+            not_found: self.not_found.load(Ordering::Relaxed),
+            bad_request: self.bad_request.load(Ordering::Relaxed),
+            cgi_aborted: self.cgi_aborted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-number view of [`ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Requests received.
+    pub requests: u64,
+    /// 200 responses.
+    pub ok: u64,
+    /// 403 responses.
+    pub forbidden: u64,
+    /// 401 responses.
+    pub unauthorized: u64,
+    /// 302 responses.
+    pub redirected: u64,
+    /// 404 responses.
+    pub not_found: u64,
+    /// 400 responses.
+    pub bad_request: u64,
+    /// Aborted CGI executions.
+    pub cgi_aborted: u64,
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requests={} ok={} 403={} 401={} 302={} 404={} 400={} cgi_aborted={}",
+            self.requests,
+            self.ok,
+            self.forbidden,
+            self.unauthorized,
+            self.redirected,
+            self.not_found,
+            self.bad_request,
+            self.cgi_aborted
+        )
+    }
+}
+
+/// The web server.
+pub struct Server {
+    vfs: Vfs,
+    access: AccessControl,
+    limits: RequestLimits,
+    /// Fallback credential store (GAA mode; htaccess configs may name their
+    /// own via `AuthUserFile`).
+    users: Option<Arc<HtpasswdStore>>,
+    /// Static group memberships by user name.
+    user_groups: HashMap<String, Vec<String>>,
+    bus: Option<EventBus>,
+    firewall: Option<Firewall>,
+    access_log: Option<AccessLog>,
+    sessions_enabled: bool,
+    stats: ServerStats,
+    /// How many CGI steps run between execution-control checks.
+    exec_control_interval: u32,
+}
+
+impl Server {
+    /// A server over `vfs` with the given access-control mechanism.
+    pub fn new(vfs: Vfs, access: AccessControl) -> Self {
+        Server {
+            vfs,
+            access,
+            limits: RequestLimits::default(),
+            users: None,
+            user_groups: HashMap::new(),
+            bus: None,
+            firewall: None,
+            access_log: None,
+            sessions_enabled: false,
+            stats: ServerStats::default(),
+            exec_control_interval: 1,
+        }
+    }
+
+    /// Sets the fallback credential store.
+    #[must_use]
+    pub fn with_users(mut self, users: Arc<HtpasswdStore>) -> Self {
+        self.users = Some(users);
+        self
+    }
+
+    /// Declares a user's group memberships.
+    #[must_use]
+    pub fn with_user_group(mut self, user: &str, group: &str) -> Self {
+        self.user_groups
+            .entry(user.to_string())
+            .or_default()
+            .push(group.to_string());
+        self
+    }
+
+    /// Publishes ill-formed-request reports on `bus` (§3 item 1).
+    #[must_use]
+    pub fn with_bus(mut self, bus: EventBus) -> Self {
+        self.bus = Some(bus);
+        self
+    }
+
+    /// Writes a Common Log Format line for every handled request (the feed
+    /// for the §10 offline log analyzer and for ordinary operations).
+    #[must_use]
+    pub fn with_access_log(mut self, log: AccessLog) -> Self {
+        self.access_log = Some(log);
+        self
+    }
+
+    /// Enables cookie sessions in GAA mode: a successful Basic
+    /// authentication issues a `gaa_session` cookie; later requests may
+    /// present the cookie instead of credentials, and the
+    /// `terminate_session` / `disable_account` response actions (§1) revoke
+    /// it server-side.
+    #[must_use]
+    pub fn with_sessions(mut self) -> Self {
+        self.sessions_enabled = true;
+        self
+    }
+
+    /// Consults `firewall` before any request processing: blocked sources
+    /// are refused (403) without parsing or policy evaluation, and a
+    /// disabled service answers 503 (§1: "blocking connections from
+    /// particular parts of the network or stopping selected services").
+    #[must_use]
+    pub fn with_firewall(mut self, firewall: Firewall) -> Self {
+        self.firewall = Some(firewall);
+        self
+    }
+
+    /// Overrides the parser limits.
+    #[must_use]
+    pub fn with_limits(mut self, limits: RequestLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Checks mid-conditions every `n` CGI steps (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_exec_control_interval(mut self, n: u32) -> Self {
+        assert!(n > 0, "execution-control interval must be non-zero");
+        self.exec_control_interval = n;
+        self
+    }
+
+    /// The document tree.
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Full pipeline from raw bytes: parse, then [`handle`](Server::handle).
+    /// Parse failures answer 400 and are reported to the IDS bus.
+    pub fn handle_bytes(&self, raw: &[u8], client_ip: &str) -> HttpResponse {
+        if let Some(refused) = self.firewall_gate(client_ip) {
+            self.stats.requests.fetch_add(1, Ordering::Relaxed);
+            self.stats.bump_for(refused.status);
+            return refused;
+        }
+        match HttpRequest::parse_with_limits(raw, client_ip, &self.limits) {
+            Ok(request) => self.handle(request),
+            Err(error) => {
+                self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                self.report_ill_formed(client_ip, &error);
+                let status = match error {
+                    ParseRequestError::BodyTooLarge(_)
+                    | ParseRequestError::RequestLineTooLong(_)
+                    | ParseRequestError::HeaderLineTooLong(_) => StatusCode::PayloadTooLarge,
+                    _ => StatusCode::BadRequest,
+                };
+                let response = HttpResponse::with_status(status);
+                self.stats.bump_for(status);
+                response
+            }
+        }
+    }
+
+    /// Handles a parsed request.
+    pub fn handle(&self, request: HttpRequest) -> HttpResponse {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match self.firewall_gate(&request.client_ip) {
+            Some(refused) => refused,
+            None => self.dispatch(&request),
+        };
+        self.stats.bump_for(response.status);
+        if let Some(log) = &self.access_log {
+            // CLF user field: best-effort from the Authorization header
+            // (like Apache, the log records the *presented* user name).
+            let user = request
+                .header("authorization")
+                .and_then(parse_basic_auth)
+                .map(|c| c.user);
+            log.log(&AccessEntry {
+                client_ip: request.client_ip.clone(),
+                user,
+                time: Timestamp::default(),
+                request_line: request.request_line(),
+                status: response.status.code(),
+                bytes: response.body.len(),
+            });
+        }
+        response
+    }
+
+    /// Connection-level gate: `Some(response)` when the firewall refuses
+    /// the source or the whole service is stopped.
+    fn firewall_gate(&self, client_ip: &str) -> Option<HttpResponse> {
+        let firewall = self.firewall.as_ref()?;
+        if !firewall.service_enabled() {
+            return Some(HttpResponse::with_status(StatusCode::ServiceUnavailable));
+        }
+        if firewall.is_blocked(client_ip) {
+            firewall.count_drop();
+            return Some(HttpResponse::with_status(StatusCode::Forbidden));
+        }
+        None
+    }
+
+    fn dispatch(&self, request: &HttpRequest) -> HttpResponse {
+        // Authentication (§4 AuthType Basic): resolve credentials first so
+        // every access-control mechanism sees the same identity facts.
+        let credentials = request.header("authorization").and_then(parse_basic_auth);
+        let is_cgi = self.vfs.is_cgi(&request.path);
+
+        match &self.access {
+            AccessControl::Open => {
+                let user = self.verify_default(credentials.as_ref());
+                self.run_handler(request, is_cgi, user.as_deref(), None)
+            }
+            AccessControl::Htaccess { registry } => {
+                let chain: Vec<&HtAccess> = self.vfs.htaccess_chain(&request.path);
+                self.dispatch_htaccess(request, is_cgi, credentials.as_ref(), registry, &chain)
+            }
+            AccessControl::HtaccessFiles { root, registry } => {
+                match load_htaccess_chain(root, &request.path) {
+                    Ok(owned) => {
+                        let chain: Vec<&HtAccess> = owned.iter().collect();
+                        self.dispatch_htaccess(
+                            request,
+                            is_cgi,
+                            credentials.as_ref(),
+                            registry,
+                            &chain,
+                        )
+                    }
+                    // Fail closed: an unreadable or unparseable access file
+                    // must never widen access.
+                    Err(_) => HttpResponse::with_status(StatusCode::Forbidden),
+                }
+            }
+            AccessControl::Gaa(glue) => {
+                self.dispatch_gaa(request, is_cgi, credentials.as_ref(), glue)
+            }
+        }
+    }
+
+    /// Verifies credentials against the fallback store.
+    fn verify_default(
+        &self,
+        credentials: Option<&crate::auth::BasicCredentials>,
+    ) -> Option<String> {
+        let creds = credentials?;
+        let store = self.users.as_ref()?;
+        if store.verify(&creds.user, &creds.password) {
+            Some(creds.user.clone())
+        } else {
+            None
+        }
+    }
+
+    fn groups_of(&self, user: Option<&str>) -> Vec<String> {
+        user.and_then(|u| self.user_groups.get(u))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn dispatch_htaccess(
+        &self,
+        request: &HttpRequest,
+        is_cgi: bool,
+        credentials: Option<&crate::auth::BasicCredentials>,
+        registry: &AuthFileRegistry,
+        chain: &[&HtAccess],
+    ) -> HttpResponse {
+        // Verify credentials against the chain's AuthUserFile (innermost
+        // naming wins), falling back to the server-wide store.
+        let store = chain
+            .iter()
+            .rev()
+            .find_map(|cfg| cfg.auth_user_file())
+            .and_then(|name| registry.get(name).cloned())
+            .or_else(|| self.users.clone());
+        let user = credentials.and_then(|creds| {
+            store.as_ref().and_then(|s| {
+                if s.verify(&creds.user, &creds.password) {
+                    Some(creds.user.clone())
+                } else {
+                    None
+                }
+            })
+        });
+        let groups = self.groups_of(user.as_deref());
+        let identity = HtIdentity {
+            user: user.as_deref(),
+            groups: &groups,
+        };
+
+        // Conservative merge over the directory chain: any Forbidden wins,
+        // then any AuthRequired, else allow.
+        let mut decision = HtDecision::Allow;
+        for cfg in chain {
+            match cfg.evaluate(&request.client_ip, &identity) {
+                HtDecision::Forbidden => {
+                    decision = HtDecision::Forbidden;
+                    break;
+                }
+                HtDecision::AuthRequired => decision = HtDecision::AuthRequired,
+                HtDecision::Allow => {}
+            }
+        }
+        match decision {
+            HtDecision::Forbidden => HttpResponse::with_status(StatusCode::Forbidden),
+            HtDecision::AuthRequired => HttpResponse::unauthorized("protected"),
+            HtDecision::Allow => self.run_handler(request, is_cgi, user.as_deref(), None),
+        }
+    }
+
+    fn dispatch_gaa(
+        &self,
+        request: &HttpRequest,
+        is_cgi: bool,
+        credentials: Option<&crate::auth::BasicCredentials>,
+        glue: &GaaGlue,
+    ) -> HttpResponse {
+        // Session cookie first (§1 sessions): a live token stands in for
+        // credentials.
+        let session_user = if self.sessions_enabled {
+            request
+                .header("cookie")
+                .and_then(session_token)
+                .and_then(|token| glue.services().sessions.validate(&token))
+        } else {
+            None
+        };
+        // Verify credentials; a failed attempt is a threshold event
+        // (§3 item 4: failed login attempts per period).
+        let mut fresh_login = false;
+        let user = session_user.or_else(|| match (credentials, self.users.as_ref()) {
+            (Some(creds), Some(store)) => {
+                if store.verify(&creds.user, &creds.password) {
+                    fresh_login = true;
+                    Some(creds.user.clone())
+                } else {
+                    glue.services()
+                        .thresholds
+                        .record("failed_logins", &request.client_ip);
+                    None
+                }
+            }
+            _ => None,
+        });
+        let groups = self.groups_of(user.as_deref());
+
+        let decision = glue.authorize(request, user.as_deref(), &groups, is_cgi);
+        match &decision.answer {
+            AnswerCode::Declined => HttpResponse::with_status(StatusCode::Forbidden),
+            AnswerCode::AuthRequired => HttpResponse::unauthorized("gaa-protected"),
+            AnswerCode::Redirect(url) => HttpResponse::redirect(url),
+            AnswerCode::Ok => {
+                let mut response =
+                    self.run_handler(request, is_cgi, user.as_deref(), Some((glue, &decision)));
+                // A fresh, successful login gets a session cookie.
+                if self.sessions_enabled && fresh_login && response.status.is_success() {
+                    if let Some(user) = user.as_deref() {
+                        let token = glue.services().sessions.create(user);
+                        response = response.with_header(
+                            "set-cookie",
+                            &format!("gaa_session={token}; HttpOnly"),
+                        );
+                    }
+                }
+                // §6 step 4: post-execution actions with the operation
+                // outcome.
+                let outcome = if response.status.is_success() {
+                    Outcome::Success
+                } else {
+                    Outcome::Failure
+                };
+                let _ = glue.api().post_execution_actions(
+                    &decision.result,
+                    &decision.context,
+                    outcome,
+                );
+                response
+            }
+        }
+    }
+
+    /// The content handler: static files and CGI execution (with optional
+    /// execution control in GAA mode).
+    fn run_handler(
+        &self,
+        request: &HttpRequest,
+        is_cgi: bool,
+        _user: Option<&str>,
+        gaa: Option<(&GaaGlue, &crate::glue::GlueDecision)>,
+    ) -> HttpResponse {
+        let Some(node) = self.vfs.lookup(&request.path) else {
+            return HttpResponse::with_status(StatusCode::NotFound);
+        };
+        let response = match node {
+            Node::File {
+                content,
+                content_type,
+            } => HttpResponse::ok(content.clone(), content_type),
+            Node::Cgi(script) => {
+                debug_assert!(is_cgi);
+                let input = if request.body.is_empty() {
+                    request.query.clone()
+                } else {
+                    String::from_utf8_lossy(&request.body).into_owned()
+                };
+                let mut execution = CgiExecution::start(script, &input);
+                let mut steps: u32 = 0;
+                loop {
+                    let more = execution.step();
+                    steps += 1;
+                    // §6 step 3: execution control over the running
+                    // operation.
+                    if let Some((glue, decision)) = gaa {
+                        if steps.is_multiple_of(self.exec_control_interval) || !more {
+                            let phase = glue.api().execution_control(
+                                &decision.result,
+                                &decision.context,
+                                execution.metrics(),
+                            );
+                            if phase.status.is_no() {
+                                execution.abort();
+                                self.stats.cgi_aborted.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    if !more {
+                        break;
+                    }
+                }
+                match execution.into_outcome() {
+                    CgiOutcome::Completed(body) => HttpResponse::ok(body, "text/plain"),
+                    CgiOutcome::Aborted(_) => {
+                        HttpResponse::with_status(StatusCode::InternalServerError)
+                    }
+                }
+            }
+        };
+        // HEAD: identical status and headers, no body (RFC 9110 §9.3.2).
+        if request.method == Method::Head {
+            let mut response = response;
+            response.body.clear();
+            response
+        } else {
+            response
+        }
+    }
+
+    fn report_ill_formed(&self, client_ip: &str, error: &ParseRequestError) {
+        if let Some(bus) = &self.bus {
+            bus.publish_report(GaaReport::new(
+                gaa_audit::Timestamp::default(),
+                ReportKind::IllFormedRequest,
+                client_ip,
+                "-",
+                error.to_string(),
+            ));
+        }
+    }
+}
+
+/// Extracts the `gaa_session` token from a `Cookie` header value.
+fn session_token(cookie_header: &str) -> Option<String> {
+    cookie_header.split(';').find_map(|pair| {
+        let (name, value) = pair.split_once('=')?;
+        if name.trim() == "gaa_session" {
+            Some(value.trim().to_string())
+        } else {
+            None
+        }
+    })
+}
+
+/// Reads and parses the `.htaccess` chain for `path` from disk:
+/// `<root>/.htaccess`, then one per ancestor directory of `path`, outermost
+/// first — Apache's per-request walk (§4: "Apache looks for an access
+/// control file called .htaccess in every directory of the path to the
+/// document").
+///
+/// # Errors
+///
+/// Returns an error string when a file exists but cannot be read or parsed
+/// (callers fail closed).
+pub fn load_htaccess_chain(
+    root: &std::path::Path,
+    path: &str,
+) -> Result<Vec<HtAccess>, String> {
+    fn read_one(dir: &std::path::Path, chain: &mut Vec<HtAccess>) -> Result<(), String> {
+        let candidate = dir.join(".htaccess");
+        if candidate.exists() {
+            let text = std::fs::read_to_string(&candidate)
+                .map_err(|e| format!("{}: {e}", candidate.display()))?;
+            chain.push(
+                HtAccess::parse(&text).map_err(|e| format!("{}: {e}", candidate.display()))?,
+            );
+        }
+        Ok(())
+    }
+
+    let mut chain = Vec::new();
+    read_one(root, &mut chain)?;
+    let segments: Vec<&str> = path
+        .trim_matches('/')
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    if segments.len() > 1 {
+        let mut dir = root.to_path_buf();
+        for segment in &segments[..segments.len() - 1] {
+            dir = dir.join(segment);
+            read_one(&dir, &mut chain)?;
+        }
+    }
+    Ok(chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::base64_encode;
+    use crate::cgi::CgiScript;
+    use crate::htaccess::HtAccess;
+    use gaa_audit::notify::CollectingNotifier;
+    use gaa_audit::VirtualClock;
+    use gaa_conditions::{register_standard, StandardServices};
+    use gaa_core::{GaaApiBuilder, MemoryPolicyStore};
+    use gaa_eacl::parse_eacl;
+
+    fn basic_auth_header(user: &str, pass: &str) -> String {
+        format!("Basic {}", base64_encode(format!("{user}:{pass}").as_bytes()))
+    }
+
+    fn users() -> Arc<HtpasswdStore> {
+        let mut store = HtpasswdStore::new("isi");
+        store.add_user("alice", "wonderland");
+        store.add_user("bob", "builder");
+        Arc::new(store)
+    }
+
+    fn open_server() -> Server {
+        Server::new(Vfs::default_site(), AccessControl::Open)
+    }
+
+    fn gaa_server(local_policies: &[(&str, &str)]) -> (Server, StandardServices) {
+        let services = StandardServices::new(
+            Arc::new(VirtualClock::new()),
+            Arc::new(CollectingNotifier::new()),
+        );
+        let mut store = MemoryPolicyStore::new();
+        for (object, text) in local_policies {
+            store.set_local(*object, vec![parse_eacl(text).unwrap()]);
+        }
+        let api = register_standard(
+            GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+            &services,
+        )
+        .build();
+        let glue = GaaGlue::new(api, services.clone());
+        let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)))
+            .with_users(users());
+        (server, services)
+    }
+
+    #[test]
+    fn open_server_serves_static_files() {
+        let server = open_server();
+        let resp = server.handle(HttpRequest::get("/index.html"));
+        assert_eq!(resp.status, StatusCode::Ok);
+        assert!(resp.body_text().contains("Welcome"));
+        assert_eq!(server.stats().snapshot().ok, 1);
+    }
+
+    #[test]
+    fn missing_objects_404() {
+        let server = open_server();
+        let resp = server.handle(HttpRequest::get("/no/such/thing"));
+        assert_eq!(resp.status, StatusCode::NotFound);
+        assert_eq!(server.stats().snapshot().not_found, 1);
+    }
+
+    #[test]
+    fn cgi_runs_without_access_control() {
+        let server = open_server();
+        let resp = server.handle(HttpRequest::get("/cgi-bin/test-cgi?a=b"));
+        assert_eq!(resp.status, StatusCode::Ok);
+        assert!(resp.body_text().contains("QUERY_STRING = a=b"));
+    }
+
+    #[test]
+    fn handle_bytes_parses_and_reports_bad_requests() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe_reports(Some(vec![ReportKind::IllFormedRequest]));
+        let server = Server::new(Vfs::default_site(), AccessControl::Open).with_bus(bus);
+        let ok = server.handle_bytes(b"GET /index.html HTTP/1.1\r\n\r\n", "1.1.1.1");
+        assert_eq!(ok.status, StatusCode::Ok);
+        let bad = server.handle_bytes(b"NOT-HTTP\r\n\r\n", "1.1.1.1");
+        assert_eq!(bad.status, StatusCode::BadRequest);
+        assert_eq!(sub.drain().len(), 1);
+        assert_eq!(server.stats().snapshot().bad_request, 1);
+    }
+
+    #[test]
+    fn htaccess_mode_enforces_paper_sample() {
+        let mut vfs = Vfs::default_site();
+        vfs.set_htaccess(
+            "/staff",
+            HtAccess::parse(
+                "Order Deny,Allow\nDeny from All\nAllow from 128.9.\n\
+                 AuthType Basic\nAuthUserFile /htpasswd-isi\nRequire valid-user\nSatisfy All\n",
+            )
+            .unwrap(),
+        );
+        let mut registry = AuthFileRegistry::new();
+        let mut store = HtpasswdStore::new("isi");
+        store.add_user("alice", "wonderland");
+        registry.add("/htpasswd-isi", store);
+        let server = Server::new(vfs, AccessControl::Htaccess { registry });
+
+        // Outside the network: 403.
+        let resp = server.handle(HttpRequest::get("/staff/home.html").with_client_ip("1.2.3.4"));
+        assert_eq!(resp.status, StatusCode::Forbidden);
+        // Inside, anonymous: 401 with a challenge.
+        let resp =
+            server.handle(HttpRequest::get("/staff/home.html").with_client_ip("128.9.1.1"));
+        assert_eq!(resp.status, StatusCode::Unauthorized);
+        assert!(resp.header("www-authenticate").is_some());
+        // Inside with valid credentials: 200.
+        let resp = server.handle(
+            HttpRequest::get("/staff/home.html")
+                .with_client_ip("128.9.1.1")
+                .with_header("authorization", &basic_auth_header("alice", "wonderland")),
+        );
+        assert_eq!(resp.status, StatusCode::Ok);
+        // Wrong password: challenge again.
+        let resp = server.handle(
+            HttpRequest::get("/staff/home.html")
+                .with_client_ip("128.9.1.1")
+                .with_header("authorization", &basic_auth_header("alice", "nope")),
+        );
+        assert_eq!(resp.status, StatusCode::Unauthorized);
+        // Unprotected parts still open.
+        let resp = server.handle(HttpRequest::get("/index.html").with_client_ip("1.2.3.4"));
+        assert_eq!(resp.status, StatusCode::Ok);
+    }
+
+    #[test]
+    fn gaa_mode_full_72_flow() {
+        let policy = "\
+neg_access_right apache *
+pre_cond regex gnu *phf* *test-cgi*
+rr_cond update_log local on:failure/BadGuys/info:ip
+pos_access_right apache *
+";
+        let (server, services) = gaa_server(&[
+            ("/cgi-bin/phf", policy),
+            ("/cgi-bin/search", policy),
+            ("/index.html", policy),
+        ]);
+        // Attack: denied and blacklisted.
+        let resp = server.handle(
+            HttpRequest::get("/cgi-bin/phf?Qalias=x").with_client_ip("203.0.113.9"),
+        );
+        assert_eq!(resp.status, StatusCode::Forbidden);
+        assert!(services.groups.contains("BadGuys", "203.0.113.9"));
+        // Benign CGI allowed and executed.
+        let resp = server.handle(
+            HttpRequest::get("/cgi-bin/search?q=rust").with_client_ip("10.0.0.1"),
+        );
+        assert_eq!(resp.status, StatusCode::Ok);
+        // Static page allowed.
+        let resp = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+        assert_eq!(resp.status, StatusCode::Ok);
+    }
+
+    #[test]
+    fn gaa_blacklisted_host_blocked_on_unknown_probe() {
+        // §7.2's key claim: after one known exploit, *unknown* probes from
+        // the same host are blocked by the group membership.
+        let deny_badguys_then_detect = "\
+neg_access_right apache *
+pre_cond accessid GROUP BadGuys
+neg_access_right apache *
+pre_cond regex gnu *phf* *test-cgi*
+rr_cond update_log local on:failure/BadGuys/info:ip
+pos_access_right apache *
+";
+        let (server, services) = gaa_server(&[
+            ("/cgi-bin/phf", deny_badguys_then_detect),
+            ("/index.html", deny_badguys_then_detect),
+        ]);
+        let attacker = "203.0.113.77";
+        // First request matches a known signature.
+        let resp =
+            server.handle(HttpRequest::get("/cgi-bin/phf?x").with_client_ip(attacker));
+        assert_eq!(resp.status, StatusCode::Forbidden);
+        assert!(services.groups.contains("BadGuys", attacker));
+        // Second request has NO known signature, but the host is now
+        // blacklisted.
+        let resp = server.handle(HttpRequest::get("/index.html").with_client_ip(attacker));
+        assert_eq!(resp.status, StatusCode::Forbidden);
+        // An innocent host is unaffected.
+        let resp = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+        assert_eq!(resp.status, StatusCode::Ok);
+    }
+
+    #[test]
+    fn gaa_auth_required_flow() {
+        let policy = "\
+pos_access_right apache *
+pre_cond accessid USER *
+";
+        let (server, _services) = gaa_server(&[("/index.html", policy)]);
+        // Anonymous: MAYBE -> 401.
+        let resp = server.handle(HttpRequest::get("/index.html"));
+        assert_eq!(resp.status, StatusCode::Unauthorized);
+        // With credentials: 200.
+        let resp = server.handle(
+            HttpRequest::get("/index.html")
+                .with_header("authorization", &basic_auth_header("alice", "wonderland")),
+        );
+        assert_eq!(resp.status, StatusCode::Ok);
+    }
+
+    #[test]
+    fn gaa_failed_login_records_threshold_event() {
+        let policy = "pos_access_right apache *\n";
+        let (server, services) = gaa_server(&[("/index.html", policy)]);
+        let _ = server.handle(
+            HttpRequest::get("/index.html")
+                .with_client_ip("9.9.9.9")
+                .with_header("authorization", &basic_auth_header("alice", "WRONG")),
+        );
+        assert_eq!(
+            services
+                .thresholds
+                .count("failed_logins", "9.9.9.9", std::time::Duration::from_secs(60)),
+            1
+        );
+    }
+
+    #[test]
+    fn gaa_redirect_flow() {
+        let policy = "\
+pos_access_right apache *
+pre_cond redirect local http://replica1.example.org/index.html
+";
+        let (server, _services) = gaa_server(&[("/index.html", policy)]);
+        let resp = server.handle(HttpRequest::get("/index.html"));
+        assert_eq!(resp.status, StatusCode::Found);
+        assert_eq!(
+            resp.header("location"),
+            Some("http://replica1.example.org/index.html")
+        );
+    }
+
+    #[test]
+    fn gaa_mid_condition_aborts_runaway_cgi() {
+        let policy = "\
+pos_access_right apache *
+mid_cond cpu_limit local 100
+";
+        let services = StandardServices::new(
+            Arc::new(VirtualClock::new()),
+            Arc::new(CollectingNotifier::new()),
+        );
+        let mut store = MemoryPolicyStore::new();
+        store.set_local("/cgi-bin/bomb", vec![parse_eacl(policy).unwrap()]);
+        store.set_local("/cgi-bin/search", vec![parse_eacl(policy).unwrap()]);
+        let api = register_standard(
+            GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+            &services,
+        )
+        .build();
+        let glue = GaaGlue::new(api, services.clone());
+        let mut vfs = Vfs::default_site();
+        vfs.add_cgi("/cgi-bin/bomb", CgiScript::cpu_bomb(10_000));
+        let server = Server::new(vfs, AccessControl::Gaa(Box::new(glue)));
+
+        // The bomb exceeds the 100-tick budget: aborted mid-flight -> 500.
+        let resp = server.handle(HttpRequest::get("/cgi-bin/bomb"));
+        assert_eq!(resp.status, StatusCode::InternalServerError);
+        assert_eq!(server.stats().snapshot().cgi_aborted, 1);
+        assert_eq!(services.audit.count_category("gaa.mid_violation"), 1);
+
+        // A cheap script stays under budget and completes.
+        let resp = server.handle(HttpRequest::get("/cgi-bin/search?q=a"));
+        assert_eq!(resp.status, StatusCode::Ok);
+        assert_eq!(server.stats().snapshot().cgi_aborted, 1);
+    }
+
+    #[test]
+    fn gaa_post_conditions_fire_after_operation() {
+        let policy = "\
+pos_access_right apache *
+post_cond audit local on:success/file.served/info:index
+";
+        let (server, services) = gaa_server(&[("/index.html", policy)]);
+        let resp = server.handle(HttpRequest::get("/index.html"));
+        assert_eq!(resp.status, StatusCode::Ok);
+        assert_eq!(services.audit.count_category("file.served"), 1);
+    }
+
+    #[test]
+    fn head_requests_omit_the_body() {
+        let server = open_server();
+        let mut req = HttpRequest::get("/index.html");
+        req.method = Method::Head;
+        let resp = server.handle(req);
+        assert_eq!(resp.status, StatusCode::Ok);
+        assert!(resp.body.is_empty());
+        // GET still carries it.
+        let resp = server.handle(HttpRequest::get("/index.html"));
+        assert!(!resp.body.is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let server = open_server();
+        let _ = server.handle(HttpRequest::get("/index.html"));
+        let _ = server.handle(HttpRequest::get("/missing"));
+        let snapshot = server.stats().snapshot();
+        assert_eq!(snapshot.requests, 2);
+        assert_eq!(snapshot.ok, 1);
+        assert_eq!(snapshot.not_found, 1);
+        assert!(snapshot.to_string().contains("requests=2"));
+    }
+}

@@ -1,0 +1,166 @@
+//! A minimal TCP front end so the examples can serve real sockets.
+//!
+//! One thread per connection, one request per connection (`connection:
+//! close`), read until the header terminator plus declared body. Deliberately
+//! small: the interesting behaviour lives in [`Server`]; this
+//! is just transport.
+
+use crate::http::HttpResponse;
+use crate::server::Server;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to a running TCP front end.
+pub struct TcpFront {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpFront {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves `server` on a
+    /// background thread until [`stop`](TcpFront::stop) or drop.
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind error.
+    pub fn spawn(addr: &str, server: Arc<Server>) -> std::io::Result<TcpFront> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let thread = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        let server = server.clone();
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, &peer.ip().to_string(), &server);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(TcpFront {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for TcpFront {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, peer_ip: &str, server: &Server) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // Read until end of headers, then the declared body.
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if let Some(header_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[..header_end]);
+            let content_length = head
+                .lines()
+                .find_map(|l| {
+                    let (name, value) = l.split_once(':')?;
+                    name.trim()
+                        .eq_ignore_ascii_case("content-length")
+                        .then(|| value.trim().parse::<usize>().ok())?
+                })
+                .unwrap_or(0);
+            if buf.len() >= header_end + 4 + content_length {
+                break;
+            }
+        }
+        if buf.len() > 1 << 22 {
+            break; // absolute transport cap
+        }
+    }
+    let response: HttpResponse = server.handle_bytes(&buf, peer_ip);
+    stream.write_all(&response.to_bytes())?;
+    stream.flush()
+}
+
+/// Blocking one-shot HTTP client for tests and examples: sends `raw` and
+/// returns the raw response bytes.
+///
+/// # Errors
+///
+/// Propagates connect/read/write errors.
+pub fn send_raw(addr: std::net::SocketAddr, raw: &[u8]) -> std::io::Result<Vec<u8>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(raw)?;
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::AccessControl;
+    use crate::vfs::Vfs;
+
+    #[test]
+    fn serves_real_sockets() {
+        let server = Arc::new(Server::new(Vfs::default_site(), AccessControl::Open));
+        let front = TcpFront::spawn("127.0.0.1:0", server).unwrap();
+        let addr = front.addr();
+
+        let response =
+            send_raw(addr, b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let text = String::from_utf8_lossy(&response);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("Welcome"));
+
+        let response = send_raw(addr, b"GET /missing HTTP/1.1\r\n\r\n").unwrap();
+        assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 404"));
+
+        front.stop();
+    }
+
+    #[test]
+    fn post_bodies_are_read_fully() {
+        let server = Arc::new(Server::new(Vfs::default_site(), AccessControl::Open));
+        let front = TcpFront::spawn("127.0.0.1:0", server).unwrap();
+        let raw = b"POST /cgi-bin/test-cgi HTTP/1.1\r\ncontent-length: 7\r\n\r\npayload";
+        let response = send_raw(front.addr(), raw).unwrap();
+        let text = String::from_utf8_lossy(&response);
+        assert!(text.contains("QUERY_STRING = payload"), "{text}");
+    }
+}

@@ -1,0 +1,240 @@
+//! The virtual document tree served by the substrate.
+//!
+//! Holds static files and CGI scripts under absolute paths, plus
+//! per-directory metadata slots for `.htaccess`-style configuration. A
+//! canned [`default site`](Vfs::default_site) mirrors the environment the
+//! paper's deployments assume: public pages, an authenticated staff area, a
+//! `cgi-bin` with both benign and "vulnerable" scripts, and a private area.
+
+use crate::cgi::CgiScript;
+use crate::htaccess::HtAccess;
+use std::collections::BTreeMap;
+
+/// A node in the document tree.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A static file.
+    File {
+        /// File contents.
+        content: Vec<u8>,
+        /// MIME type served with it.
+        content_type: String,
+    },
+    /// A CGI script executed by the [`cgi`](crate::cgi) runtime.
+    Cgi(CgiScript),
+}
+
+/// The virtual filesystem.
+#[derive(Debug, Clone, Default)]
+pub struct Vfs {
+    nodes: BTreeMap<String, Node>,
+    htaccess: BTreeMap<String, HtAccess>,
+}
+
+impl Vfs {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Vfs::default()
+    }
+
+    /// Adds a static HTML file.
+    pub fn add_html(&mut self, path: &str, content: &str) {
+        self.nodes.insert(
+            normalize(path),
+            Node::File {
+                content: content.as_bytes().to_vec(),
+                content_type: "text/html".to_string(),
+            },
+        );
+    }
+
+    /// Adds a static file with explicit content type.
+    pub fn add_file(&mut self, path: &str, content: impl Into<Vec<u8>>, content_type: &str) {
+        self.nodes.insert(
+            normalize(path),
+            Node::File {
+                content: content.into(),
+                content_type: content_type.to_string(),
+            },
+        );
+    }
+
+    /// Adds a CGI script.
+    pub fn add_cgi(&mut self, path: &str, script: CgiScript) {
+        self.nodes.insert(normalize(path), Node::Cgi(script));
+    }
+
+    /// Attaches `.htaccess`-style configuration to a directory.
+    pub fn set_htaccess(&mut self, dir: &str, config: HtAccess) {
+        self.htaccess.insert(normalize_dir(dir), config);
+    }
+
+    /// Looks up a node by decoded path.
+    pub fn lookup(&self, path: &str) -> Option<&Node> {
+        self.nodes.get(&normalize(path))
+    }
+
+    /// Is the path a CGI script?
+    pub fn is_cgi(&self, path: &str) -> bool {
+        matches!(self.lookup(path), Some(Node::Cgi(_)))
+    }
+
+    /// All `.htaccess` configurations applying to `path`, outermost
+    /// directory first — Apache consults every directory on the way down
+    /// (§4: "Apache looks for an access control file called .htaccess in
+    /// every directory of the path to the document").
+    pub fn htaccess_chain(&self, path: &str) -> Vec<&HtAccess> {
+        let mut out = Vec::new();
+        if let Some(root) = self.htaccess.get("/") {
+            out.push(root);
+        }
+        let normalized = normalize(path);
+        let segments: Vec<&str> = normalized
+            .trim_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut dir = String::new();
+        if segments.len() > 1 {
+            for segment in &segments[..segments.len() - 1] {
+                dir.push('/');
+                dir.push_str(segment);
+                if let Some(cfg) = self.htaccess.get(dir.as_str()) {
+                    out.push(cfg);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All node paths, sorted (diagnostics, workload generation).
+    pub fn paths(&self) -> Vec<String> {
+        self.nodes.keys().cloned().collect()
+    }
+
+    /// A document tree mirroring the paper's deployment environment:
+    ///
+    /// * `/index.html`, `/docs/*.html` — public pages;
+    /// * `/staff/*.html` — the authenticated area of §7.1;
+    /// * `/cgi-bin/search`, `/cgi-bin/compute` — benign scripts;
+    /// * `/cgi-bin/phf`, `/cgi-bin/test-cgi` — the vulnerable scripts of
+    ///   §7.2;
+    /// * `/private/passwords.html` — a sensitive object whose denial is a
+    ///   §3 item 3 report.
+    pub fn default_site() -> Self {
+        let mut vfs = Vfs::new();
+        vfs.add_html("/index.html", "<html><body>Welcome to the ISI web server</body></html>");
+        for i in 1..=8 {
+            vfs.add_html(
+                &format!("/docs/page{i}.html"),
+                &format!("<html><body>Documentation page {i}</body></html>"),
+            );
+        }
+        vfs.add_html("/docs/manual.html", "<html><body>The manual</body></html>");
+        vfs.add_html("/staff/home.html", "<html><body>Staff area</body></html>");
+        vfs.add_html("/staff/reports.html", "<html><body>Quarterly reports</body></html>");
+        vfs.add_html(
+            "/private/passwords.html",
+            "<html><body>CLASSIFIED</body></html>",
+        );
+        vfs.add_cgi("/cgi-bin/search", CgiScript::search());
+        vfs.add_cgi("/cgi-bin/compute", CgiScript::compute());
+        vfs.add_cgi("/cgi-bin/phf", CgiScript::vulnerable_phf());
+        vfs.add_cgi("/cgi-bin/test-cgi", CgiScript::vulnerable_test_cgi());
+        vfs
+    }
+}
+
+fn normalize(path: &str) -> String {
+    let mut out = String::with_capacity(path.len() + 1);
+    if !path.starts_with('/') {
+        out.push('/');
+    }
+    out.push_str(path);
+    out
+}
+
+fn normalize_dir(dir: &str) -> String {
+    let normalized = normalize(dir);
+    if normalized.len() > 1 && normalized.ends_with('/') {
+        normalized[..normalized.len() - 1].to_string()
+    } else {
+        normalized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::htaccess::HtAccess;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut vfs = Vfs::new();
+        assert!(vfs.is_empty());
+        vfs.add_html("/a.html", "<html/>");
+        vfs.add_file("/logo.png", vec![1, 2, 3], "image/png");
+        assert_eq!(vfs.len(), 2);
+        assert!(matches!(vfs.lookup("/a.html"), Some(Node::File { .. })));
+        assert!(vfs.lookup("/missing").is_none());
+        // Leading-slash normalization.
+        assert!(vfs.lookup("a.html").is_some());
+    }
+
+    #[test]
+    fn cgi_detection() {
+        let vfs = Vfs::default_site();
+        assert!(vfs.is_cgi("/cgi-bin/phf"));
+        assert!(vfs.is_cgi("/cgi-bin/search"));
+        assert!(!vfs.is_cgi("/index.html"));
+        assert!(!vfs.is_cgi("/nope"));
+    }
+
+    #[test]
+    fn default_site_contents() {
+        let vfs = Vfs::default_site();
+        assert!(vfs.lookup("/index.html").is_some());
+        assert!(vfs.lookup("/staff/home.html").is_some());
+        assert!(vfs.lookup("/private/passwords.html").is_some());
+        assert!(vfs.len() >= 14);
+    }
+
+    #[test]
+    fn htaccess_chain_is_outermost_first() {
+        let mut vfs = Vfs::new();
+        vfs.add_html("/docs/reports/q1.html", "x");
+        vfs.set_htaccess("/", HtAccess::parse("Order Deny,Allow\n").unwrap());
+        vfs.set_htaccess("/docs", HtAccess::parse("Order Allow,Deny\n").unwrap());
+        vfs.set_htaccess(
+            "/docs/reports",
+            HtAccess::parse("Order Deny,Allow\nDeny from All\n").unwrap(),
+        );
+        vfs.set_htaccess("/other", HtAccess::parse("Order Deny,Allow\n").unwrap());
+
+        let chain = vfs.htaccess_chain("/docs/reports/q1.html");
+        assert_eq!(chain.len(), 3);
+        // Root first, then /docs, then /docs/reports.
+        assert!(chain[2].denies_all());
+
+        let chain = vfs.htaccess_chain("/index.html");
+        assert_eq!(chain.len(), 1);
+    }
+
+    #[test]
+    fn trailing_slash_directories_normalize() {
+        let mut vfs = Vfs::new();
+        vfs.add_html("/docs/a.html", "x");
+        vfs.set_htaccess("/docs/", HtAccess::parse("Order Allow,Deny\n").unwrap());
+        assert_eq!(vfs.htaccess_chain("/docs/a.html").len(), 1);
+    }
+}

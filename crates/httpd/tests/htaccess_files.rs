@@ -1,0 +1,106 @@
+//! The per-request-file-read `.htaccess` mode (`AccessControl::
+//! HtaccessFiles`) — Apache's actual behaviour (§4) and the fair §8
+//! baseline: directory walk from disk, live edits, fail-closed on
+//! unreadable or unparseable files.
+
+use gaa_httpd::auth::HtpasswdStore;
+use gaa_httpd::htaccess::AuthFileRegistry;
+use gaa_httpd::server::load_htaccess_chain;
+use gaa_httpd::{AccessControl, HttpRequest, Server, StatusCode, Vfs};
+use std::path::PathBuf;
+
+fn setup_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gaa-htfiles-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("staff")).unwrap();
+    dir
+}
+
+fn server_over(root: &PathBuf) -> Server {
+    let mut registry = AuthFileRegistry::new();
+    let mut store = HtpasswdStore::new("ht");
+    store.add_user("alice", "wonderland");
+    registry.add("/htpasswd", store);
+    Server::new(
+        Vfs::default_site(),
+        AccessControl::HtaccessFiles {
+            root: root.clone(),
+            registry,
+        },
+    )
+}
+
+#[test]
+fn directory_chain_read_from_disk() {
+    let dir = setup_dir("chain");
+    std::fs::write(dir.join(".htaccess"), "Order Deny,Allow\n").unwrap();
+    std::fs::write(
+        dir.join("staff/.htaccess"),
+        "Order Deny,Allow\nDeny from All\nAllow from 128.9.\n",
+    )
+    .unwrap();
+    let server = server_over(&dir);
+
+    // Root content is open.
+    let resp = server.handle(HttpRequest::get("/index.html").with_client_ip("1.2.3.4"));
+    assert_eq!(resp.status, StatusCode::Ok);
+    // /staff is restricted to the 128.9. network by its own file.
+    let resp = server.handle(HttpRequest::get("/staff/home.html").with_client_ip("1.2.3.4"));
+    assert_eq!(resp.status, StatusCode::Forbidden);
+    let resp = server.handle(HttpRequest::get("/staff/home.html").with_client_ip("128.9.5.5"));
+    assert_eq!(resp.status, StatusCode::Ok);
+}
+
+#[test]
+fn live_edits_take_effect_immediately() {
+    let dir = setup_dir("edit");
+    std::fs::write(dir.join(".htaccess"), "Order Deny,Allow\n").unwrap();
+    let server = server_over(&dir);
+    let probe = || {
+        server
+            .handle(HttpRequest::get("/index.html").with_client_ip("1.2.3.4"))
+            .status
+    };
+    assert_eq!(probe(), StatusCode::Ok);
+    std::fs::write(dir.join(".htaccess"), "Order Deny,Allow\nDeny from All\n").unwrap();
+    assert_eq!(probe(), StatusCode::Forbidden, "Apache re-reads per request");
+    std::fs::remove_file(dir.join(".htaccess")).unwrap();
+    assert_eq!(probe(), StatusCode::Ok, "no file means no restriction");
+}
+
+#[test]
+fn unparseable_htaccess_fails_closed() {
+    let dir = setup_dir("badfile");
+    std::fs::write(dir.join(".htaccess"), "Frobnicate everything\n").unwrap();
+    let server = server_over(&dir);
+    let resp = server.handle(HttpRequest::get("/index.html").with_client_ip("1.2.3.4"));
+    assert_eq!(
+        resp.status,
+        StatusCode::Forbidden,
+        "a corrupt access file must never widen access"
+    );
+}
+
+#[test]
+fn load_chain_helper_reports_errors() {
+    let dir = setup_dir("helper");
+    std::fs::write(dir.join(".htaccess"), "Order Deny,Allow\n").unwrap();
+    std::fs::write(dir.join("staff/.htaccess"), "garbage here\n").unwrap();
+
+    let ok = load_htaccess_chain(&dir, "/index.html").unwrap();
+    assert_eq!(ok.len(), 1);
+    let chain = load_htaccess_chain(&dir, "/staff/home.html");
+    let err = chain.unwrap_err();
+    assert!(err.contains(".htaccess"), "{err}");
+    assert!(err.contains("unknown directive"), "{err}");
+}
+
+#[test]
+fn missing_directories_are_fine() {
+    let dir = setup_dir("missing");
+    let chain = load_htaccess_chain(&dir, "/deep/nested/path/file.html").unwrap();
+    assert!(chain.is_empty());
+    let server = server_over(&dir);
+    let resp = server.handle(HttpRequest::get("/index.html").with_client_ip("1.2.3.4"));
+    assert_eq!(resp.status, StatusCode::Ok);
+}

@@ -1,0 +1,138 @@
+//! Property tests for the HTTP substrate: parser robustness, percent-codec
+//! round trips, htaccess host logic vs a reference model, base64 vs
+//! reference.
+
+use gaa_httpd::auth::{base64_decode, base64_encode};
+use gaa_httpd::htaccess::{HtAccess, HtDecision, HtIdentity};
+use gaa_httpd::http::{percent_decode, percent_encode, HttpRequest};
+use proptest::prelude::*;
+
+proptest! {
+    /// The parser never panics, whatever bytes arrive (it runs first on
+    /// every connection, on attacker-controlled input).
+    #[test]
+    fn parser_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = HttpRequest::parse(&raw, "10.0.0.1");
+    }
+
+    /// Structurally valid requests always parse, and the parsed fields
+    /// round-trip.
+    #[test]
+    fn valid_requests_parse(
+        path_segs in proptest::collection::vec("[a-z0-9]{1,8}", 1..4),
+        query in proptest::option::of("[a-z0-9=&]{1,16}"),
+        headers in proptest::collection::vec(("[A-Za-z-]{1,12}", "[ -~&&[^:]]{0,24}"), 0..6),
+    ) {
+        let path = format!("/{}", path_segs.join("/"));
+        let target = match &query {
+            Some(q) => format!("{path}?{q}"),
+            None => path.clone(),
+        };
+        let mut raw = format!("GET {target} HTTP/1.1\r\n");
+        for (name, value) in &headers {
+            raw.push_str(&format!("{name}: {value}\r\n"));
+        }
+        raw.push_str("\r\n");
+        let req = HttpRequest::parse(raw.as_bytes(), "10.0.0.1").expect("valid request");
+        prop_assert_eq!(&req.path, &path);
+        prop_assert_eq!(&req.query, &query.unwrap_or_default());
+        prop_assert_eq!(req.headers.len(), headers.len());
+    }
+
+    /// percent_encode/percent_decode are mutual inverses on arbitrary text.
+    #[test]
+    fn percent_round_trip(input in "\\PC{0,64}") {
+        prop_assert_eq!(percent_decode(&percent_encode(&input)), input);
+    }
+
+    /// Decoding never panics on arbitrary input (including broken escapes).
+    #[test]
+    fn percent_decode_never_panics(input in "\\PC{0,64}") {
+        let _ = percent_decode(&input);
+    }
+
+    /// base64 encode/decode round-trips arbitrary bytes.
+    #[test]
+    fn base64_round_trip(data in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let encoded = base64_encode(&data);
+        prop_assert_eq!(base64_decode(&encoded), Some(data));
+    }
+
+    /// base64_decode never panics on arbitrary text.
+    #[test]
+    fn base64_decode_never_panics(text in "\\PC{0,64}") {
+        let _ = base64_decode(&text);
+    }
+
+    /// htaccess host logic agrees with an explicit reference model across
+    /// both orders and arbitrary allow/deny prefix sets.
+    #[test]
+    fn htaccess_host_logic_matches_model(
+        order_deny_allow in any::<bool>(),
+        allow in proptest::collection::vec(prop_oneof![Just("10."), Just("128.9."), Just("192.168.1.")], 0..3),
+        deny in proptest::collection::vec(prop_oneof![Just("10."), Just("128.9."), Just("all")], 0..3),
+        ip in prop_oneof![
+            Just("10.1.1.1"),
+            Just("128.9.5.5"),
+            Just("192.168.1.9"),
+            Just("203.0.113.77"),
+        ],
+    ) {
+        let mut text = String::new();
+        text.push_str(if order_deny_allow {
+            "Order Deny,Allow\n"
+        } else {
+            "Order Allow,Deny\n"
+        });
+        for a in &allow {
+            text.push_str(&format!("Allow from {a}\n"));
+        }
+        for d in &deny {
+            text.push_str(&format!("Deny from {d}\n"));
+        }
+        let cfg = HtAccess::parse(&text).expect("valid config");
+        let identity = HtIdentity { user: None, groups: &[] };
+        let got = cfg.evaluate(ip, &identity);
+
+        // Reference model (Apache semantics).
+        let matches = |specs: &[&str]| {
+            specs.iter().any(|s| *s == "all" || ip.starts_with(s))
+        };
+        let allowed = matches(&allow);
+        let denied = matches(&deny);
+        let host_ok = if allow.is_empty() && deny.is_empty() {
+            true
+        } else if order_deny_allow {
+            !denied || allowed
+        } else {
+            allowed && !denied
+        };
+        let expected = if host_ok { HtDecision::Allow } else { HtDecision::Forbidden };
+        prop_assert_eq!(got, expected, "cfg:\n{}ip: {}", text, ip);
+    }
+}
+
+#[test]
+fn regression_empty_allow_deny_with_require_challenges() {
+    let cfg = HtAccess::parse("Require valid-user\n").unwrap();
+    let anon = HtIdentity {
+        user: None,
+        groups: &[],
+    };
+    assert_eq!(cfg.evaluate("1.2.3.4", &anon), HtDecision::AuthRequired);
+}
+
+proptest! {
+    /// The full server pipeline (parse → access control → handler) never
+    /// panics on arbitrary wire bytes — the outermost attacker-facing
+    /// surface.
+    #[test]
+    fn server_never_panics_on_wire_garbage(
+        raw in proptest::collection::vec(any::<u8>(), 0..256),
+        ip_octet in 1u8..255,
+    ) {
+        use gaa_httpd::{AccessControl, Server, Vfs};
+        let server = Server::new(Vfs::default_site(), AccessControl::Open);
+        let _ = server.handle_bytes(&raw, &format!("10.9.9.{ip_octet}"));
+    }
+}

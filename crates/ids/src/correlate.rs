@@ -1,0 +1,199 @@
+//! Correlation of application-level reports with network-level evidence.
+//!
+//! §3: the GAA-API "can request a network-based IDS to report … indications
+//! of address spoofing. This information can be used in addition to the
+//! application level attack signatures to further reduce the false positive
+//! rate and avoid DoS attacks. This is particularly important for applying
+//! pro-active countermeasures, such as updating firewall rules and dropping
+//! connections." The paper also warns (§1) that "an automated response to
+//! attacks can be used by an intruder in order to stage a DoS (the intruder
+//! could have impersonated a host or a user)".
+//!
+//! [`Correlator`] encodes that judgement: an application-level attack report
+//! is corroborated against the network IDS's spoofing answer, producing a
+//! combined confidence and a recommendation whether a *proactive* measure
+//! (blacklisting, firewalling) is safe to apply.
+
+use crate::bus::GaaReport;
+use crate::network::NetworkIds;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of corroborating an application-level report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorroboratedAlert {
+    /// The source address in question.
+    pub source: String,
+    /// Application-level confidence (from the signature match, 0.0–1.0).
+    pub app_confidence: f64,
+    /// Whether the network IDS saw spoofing indications for the source.
+    pub spoofing_indicated: bool,
+    /// Network-level confidence in the spoofing answer.
+    pub network_confidence: f64,
+    /// Combined confidence that the *named source* is genuinely attacking.
+    pub combined_confidence: f64,
+    /// Whether proactive countermeasures (blacklist, firewall) are
+    /// recommended against this source.
+    pub proactive_safe: bool,
+}
+
+/// Combines application- and network-level evidence.
+#[derive(Debug, Clone)]
+pub struct Correlator {
+    network: NetworkIds,
+    /// Minimum combined confidence for recommending proactive measures.
+    proactive_threshold: f64,
+}
+
+impl Correlator {
+    /// Creates a correlator over `network` with a 0.7 proactive threshold.
+    pub fn new(network: NetworkIds) -> Self {
+        Correlator {
+            network,
+            proactive_threshold: 0.7,
+        }
+    }
+
+    /// Sets the combined-confidence threshold above which proactive
+    /// countermeasures are recommended.
+    pub fn with_proactive_threshold(mut self, t: f64) -> Self {
+        self.proactive_threshold = t;
+        self
+    }
+
+    /// Corroborates an application-level attack report.
+    ///
+    /// * If the network IDS indicates spoofing, the combined confidence is
+    ///   discounted by the spoofing confidence — blocking the named source
+    ///   would punish an impersonated innocent (the DoS-staging attack the
+    ///   paper warns about).
+    /// * If transport metadata looked genuine, the application confidence is
+    ///   reinforced.
+    pub fn corroborate(&self, report: &GaaReport) -> CorroboratedAlert {
+        let app_confidence = report.signature.as_ref().map_or(0.5, |s| s.confidence);
+        let (spoofed, network_confidence) = self.network.spoofing_indication(&report.source);
+        let combined_confidence = if spoofed {
+            // Strong spoofing evidence drives confidence in the *source
+            // attribution* towards zero even if the attack itself is real.
+            app_confidence * (1.0 - network_confidence)
+        } else {
+            // Genuine transport: boost towards 1.0 in proportion to how sure
+            // the network side is.
+            app_confidence + (1.0 - app_confidence) * network_confidence * 0.5
+        };
+        CorroboratedAlert {
+            source: report.source.clone(),
+            app_confidence,
+            spoofing_indicated: spoofed,
+            network_confidence,
+            combined_confidence,
+            proactive_safe: combined_confidence >= self.proactive_threshold && !spoofed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::ReportKind;
+    use crate::signatures::{AttackClass, SignatureMatch};
+    use gaa_audit::{Timestamp, VirtualClock};
+    use std::sync::Arc;
+
+    fn attack_report(source: &str, confidence: f64) -> GaaReport {
+        GaaReport::new(
+            Timestamp::from_millis(0),
+            ReportKind::ApplicationAttack,
+            source,
+            "/cgi-bin/phf",
+            "signature match",
+        )
+        .with_signature(SignatureMatch {
+            id: "sig.phf".into(),
+            class: AttackClass::CgiExploit,
+            severity: 8,
+            confidence,
+            recommendation: "deny".into(),
+        })
+    }
+
+    fn network() -> NetworkIds {
+        NetworkIds::new(Arc::new(VirtualClock::new()))
+    }
+
+    #[test]
+    fn genuine_source_with_strong_signature_is_proactive_safe() {
+        let net = network();
+        for _ in 0..20 {
+            net.observe_connection("1.2.3.4", 80, true);
+        }
+        let alert = Correlator::new(net).corroborate(&attack_report("1.2.3.4", 0.95));
+        assert!(!alert.spoofing_indicated);
+        assert!(alert.combined_confidence > 0.95);
+        assert!(alert.proactive_safe);
+    }
+
+    #[test]
+    fn spoofed_source_blocks_proactive_measures() {
+        let net = network();
+        for _ in 0..20 {
+            net.observe_connection("6.6.6.6", 80, false);
+        }
+        let alert = Correlator::new(net).corroborate(&attack_report("6.6.6.6", 0.95));
+        assert!(alert.spoofing_indicated);
+        assert!(alert.combined_confidence < 0.2);
+        assert!(!alert.proactive_safe);
+    }
+
+    #[test]
+    fn unknown_source_keeps_app_confidence() {
+        let net = network();
+        let alert = Correlator::new(net).corroborate(&attack_report("9.9.9.9", 0.8));
+        assert!(!alert.spoofing_indicated);
+        assert!((alert.combined_confidence - 0.8).abs() < 1e-9);
+        assert!(alert.proactive_safe); // 0.8 >= 0.7 default threshold
+    }
+
+    #[test]
+    fn weak_signature_without_corroboration_is_not_proactive() {
+        // NIMDA-style `%` signature has confidence 0.6 in the default DB —
+        // below the proactive bar without network corroboration.
+        let net = network();
+        let alert = Correlator::new(net).corroborate(&attack_report("8.8.8.8", 0.6));
+        assert!(!alert.proactive_safe);
+    }
+
+    #[test]
+    fn weak_signature_with_corroboration_becomes_proactive() {
+        let net = network();
+        for _ in 0..20 {
+            net.observe_connection("8.8.8.8", 80, true);
+        }
+        let alert = Correlator::new(net).corroborate(&attack_report("8.8.8.8", 0.6));
+        assert!(alert.combined_confidence > 0.7, "{}", alert.combined_confidence);
+        assert!(alert.proactive_safe);
+    }
+
+    #[test]
+    fn report_without_signature_uses_neutral_confidence() {
+        let net = network();
+        let report = GaaReport::new(
+            Timestamp::from_millis(0),
+            ReportKind::SuspiciousBehavior,
+            "5.5.5.5",
+            "/x",
+            "odd",
+        );
+        let alert = Correlator::new(net).corroborate(&report);
+        assert!((alert.app_confidence - 0.5).abs() < 1e-9);
+        assert!(!alert.proactive_safe);
+    }
+
+    #[test]
+    fn custom_threshold_respected() {
+        let net = network();
+        let alert = Correlator::new(net)
+            .with_proactive_threshold(0.95)
+            .corroborate(&attack_report("1.1.1.1", 0.9));
+        assert!(!alert.proactive_safe);
+    }
+}

@@ -1,0 +1,215 @@
+//! Host-IDS simulator: baseline observation and adaptive thresholds.
+//!
+//! §2: "A condition may either explicitly list the value of a constraint or
+//! specify where the value can be obtained at run time. The latter allows for
+//! adaptive constraint specification, since allowable times, locations and
+//! thresholds can change in the event of possible security attacks. The value
+//! of condition can be supplied by other services, e.g., an IDS."
+//!
+//! [`HostIds`] watches a stream of numeric observations per parameter (login
+//! failures per minute, CPU per request, …), maintains a running baseline
+//! (mean and deviation via Welford's algorithm) and recommends thresholds at
+//! `mean + k·stddev`. Recommendations can be published as
+//! [`IdsAdvisory::ThresholdUpdate`] so policies that reference a runtime
+//! parameter tighten automatically under attack.
+
+use crate::bus::{EventBus, IdsAdvisory};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Running statistics for one parameter (Welford's online algorithm).
+#[derive(Debug, Clone, Default)]
+struct Baseline {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Baseline {
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+}
+
+/// A simulated host-based IDS.
+///
+/// Cloning shares state.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_ids::host::HostIds;
+///
+/// let host = HostIds::new();
+/// for v in [2.0, 3.0, 2.0, 4.0, 3.0] {
+///     host.observe("failed_logins_per_min", v);
+/// }
+/// let threshold = host.recommend_threshold("failed_logins_per_min", 3.0);
+/// assert!(threshold > 4.0); // above everything seen so far
+/// assert!(host.is_anomalous("failed_logins_per_min", 50.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HostIds {
+    baselines: Arc<Mutex<HashMap<String, Baseline>>>,
+    bus: Option<EventBus>,
+}
+
+impl HostIds {
+    /// Creates a host IDS with no baselines.
+    pub fn new() -> Self {
+        HostIds::default()
+    }
+
+    /// Attaches an event bus for threshold advisories.
+    pub fn with_bus(mut self, bus: EventBus) -> Self {
+        self.bus = Some(bus);
+        self
+    }
+
+    /// Feeds one observation of `parameter`.
+    pub fn observe(&self, parameter: &str, value: f64) {
+        self.baselines
+            .lock()
+            .entry(parameter.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Number of observations recorded for `parameter`.
+    pub fn observation_count(&self, parameter: &str) -> u64 {
+        self.baselines
+            .lock()
+            .get(parameter)
+            .map_or(0, |b| b.count)
+    }
+
+    /// Baseline mean for `parameter` (0.0 if never observed).
+    pub fn mean(&self, parameter: &str) -> f64 {
+        self.baselines.lock().get(parameter).map_or(0.0, |b| b.mean)
+    }
+
+    /// Recommends a threshold of `mean + k·stddev` for `parameter`.
+    ///
+    /// With fewer than two observations the recommendation is `mean + k`
+    /// (a conservative default spread of 1.0).
+    pub fn recommend_threshold(&self, parameter: &str, k: f64) -> f64 {
+        let baselines = self.baselines.lock();
+        match baselines.get(parameter) {
+            Some(b) if b.count >= 2 => b.mean + k * b.stddev().max(f64::EPSILON),
+            Some(b) => b.mean + k,
+            None => k,
+        }
+    }
+
+    /// Publishes the current recommendation for `parameter` as a
+    /// [`IdsAdvisory::ThresholdUpdate`]; returns the value sent (also when no
+    /// bus is attached).
+    pub fn publish_threshold(&self, parameter: &str, k: f64) -> f64 {
+        let value = self.recommend_threshold(parameter, k);
+        if let Some(bus) = &self.bus {
+            bus.publish_advisory(IdsAdvisory::ThresholdUpdate {
+                parameter: parameter.to_string(),
+                value,
+            });
+        }
+        value
+    }
+
+    /// Is `value` more than `k` standard deviations above the baseline mean?
+    /// (Resource-consumption anomaly, §3 item 6.)
+    pub fn is_anomalous(&self, parameter: &str, value: f64, k: f64) -> bool {
+        let baselines = self.baselines.lock();
+        match baselines.get(parameter) {
+            Some(b) if b.count >= 2 => value > b.mean + k * b.stddev().max(f64::EPSILON),
+            _ => false, // no baseline yet: cannot call anything anomalous
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_mean_and_stddev() {
+        let host = HostIds::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            host.observe("p", v);
+        }
+        assert!((host.mean("p") - 5.0).abs() < 1e-9);
+        assert_eq!(host.observation_count("p"), 8);
+        // Sample stddev of that classic dataset is ~2.138.
+        let thr = host.recommend_threshold("p", 1.0);
+        assert!((thr - 7.138).abs() < 0.01, "threshold {thr}");
+    }
+
+    #[test]
+    fn anomaly_detection_needs_baseline() {
+        let host = HostIds::new();
+        assert!(!host.is_anomalous("cpu", 1_000.0, 3.0));
+        host.observe("cpu", 10.0);
+        assert!(!host.is_anomalous("cpu", 1_000.0, 3.0)); // one sample: still no
+        host.observe("cpu", 12.0);
+        assert!(host.is_anomalous("cpu", 1_000.0, 3.0));
+        assert!(!host.is_anomalous("cpu", 11.0, 3.0));
+    }
+
+    #[test]
+    fn recommendation_without_observations_is_k() {
+        let host = HostIds::new();
+        assert_eq!(host.recommend_threshold("never_seen", 5.0), 5.0);
+    }
+
+    #[test]
+    fn identical_observations_still_yield_usable_threshold() {
+        let host = HostIds::new();
+        for _ in 0..10 {
+            host.observe("flat", 3.0);
+        }
+        // stddev 0 -> clamped to epsilon; threshold is essentially the mean.
+        let thr = host.recommend_threshold("flat", 3.0);
+        assert!((3.0..3.01).contains(&thr));
+        assert!(host.is_anomalous("flat", 3.5, 3.0));
+    }
+
+    #[test]
+    fn threshold_advisory_published_on_bus() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe_advisories();
+        let host = HostIds::new().with_bus(bus);
+        host.observe("logins", 2.0);
+        host.observe("logins", 4.0);
+        let sent = host.publish_threshold("logins", 2.0);
+        let got = sub.drain();
+        assert_eq!(got.len(), 1);
+        match &got[0] {
+            IdsAdvisory::ThresholdUpdate { parameter, value } => {
+                assert_eq!(parameter, "logins");
+                assert!((value - sent).abs() < 1e-12);
+            }
+            other => panic!("unexpected advisory {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parameters_are_independent() {
+        let host = HostIds::new();
+        host.observe("a", 100.0);
+        host.observe("b", 1.0);
+        assert!((host.mean("a") - 100.0).abs() < 1e-9);
+        assert!((host.mean("b") - 1.0).abs() < 1e-9);
+    }
+}

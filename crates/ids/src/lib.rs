@@ -1,0 +1,45 @@
+//! # gaa-ids — intrusion detection substrate
+//!
+//! The paper's GAA-API does not do all detection alone: it *integrates* with
+//! network- and host-based IDSs (§3). The current interaction in the paper is
+//! "limited to determining the current system threat profile and adapting the
+//! security policy"; closer interaction (structured reports in both
+//! directions over subscription channels) is called out as the next task and
+//! as future work (§9). This crate builds that substrate:
+//!
+//! * [`threat`] — the system threat level (low / medium / high) with
+//!   escalation and decay, the value consumed by `pre_cond
+//!   system_threat_level` policies (§7.1);
+//! * [`bus`] — the subscription-based communication channel between the
+//!   GAA-API and IDSs (§9 future work, implemented): the seven report kinds
+//!   of §3 flow one way, IDS advisories (spoofing indications, adaptive
+//!   threshold values) flow the other;
+//! * [`signatures`] — the attack-signature database behind §7.2: CGI exploit
+//!   names, NIMDA-style malformed URLs, slash-flood DoS, oversized inputs;
+//! * [`network`] — a network-IDS simulator: connection-rate tracking, port
+//!   scans, address-spoofing indications;
+//! * [`host`] — a host-IDS simulator: baseline observation and adaptive
+//!   threshold recommendation ("values may depend on many factors and can be
+//!   determined by a host-based IDS and communicated to the GAA-API");
+//! * [`anomaly`] — profile building and anomaly detection (§9 future work,
+//!   implemented);
+//! * [`correlate`] — correlation of application-level reports with
+//!   network-level corroboration to cut the false-positive rate before
+//!   proactive countermeasures fire (§3).
+
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+pub mod anomaly;
+pub mod bus;
+pub mod correlate;
+pub mod host;
+pub mod matcher;
+pub mod network;
+pub mod signatures;
+pub mod threat;
+
+pub use bus::{EventBus, GaaReport, IdsAdvisory, ReportKind, Subscription};
+pub use correlate::{Correlator, CorroboratedAlert};
+pub use signatures::{AttackClass, AttackSignature, SignatureDb, SignatureMatch};
+pub use threat::{ThreatLevel, ThreatMonitor};

@@ -1,0 +1,149 @@
+//! Glob-style pattern matching for attack signatures.
+//!
+//! Signature patterns in the paper use shell-style globs: `*phf*`,
+//! `*test-cgi*`, `*%*`, `*///////////////////*`. This module implements that
+//! dialect: `*` matches any (possibly empty) substring, `?` matches exactly
+//! one byte, everything else matches literally. Matching is linear-time via
+//! the classic two-pointer backtracking algorithm (no exponential blowup on
+//! adversarial patterns — important, since the patterns guard a DoS path).
+//!
+//! The richer regular-expression dialect for `pre_cond regex` lives in
+//! `gaa-conditions::regex`; this module is the minimal, allocation-free core
+//! used by the signature database.
+
+/// Does `pattern` (glob dialect: `*`, `?`, literals) match all of `text`?
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_ids::matcher::glob_match;
+///
+/// assert!(glob_match("*phf*", "/cgi-bin/phf?Qalias=x"));
+/// assert!(glob_match("*test-cgi*", "GET /cgi-bin/test-cgi HTTP/1.0"));
+/// assert!(!glob_match("*phf*", "/index.html"));
+/// assert!(glob_match("a?c", "abc"));
+/// ```
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let p = pattern.as_bytes();
+    let t = text.as_bytes();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    // Backtracking anchors: position of the last `*` in the pattern and the
+    // text position we will retry from when a literal run fails.
+    let (mut star_pi, mut star_ti) = (usize::MAX, 0usize);
+
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == b'?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star_pi = pi;
+            star_ti = ti;
+            pi += 1;
+        } else if star_pi != usize::MAX {
+            // Let the last `*` absorb one more byte and retry.
+            pi = star_pi + 1;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    // Only trailing `*`s may remain.
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Case-insensitive variant of [`glob_match`] (ASCII only — URLs and header
+/// names are ASCII-folded by attackers, e.g. `PHF` vs `phf`).
+pub fn glob_match_ci(pattern: &str, text: &str) -> bool {
+    glob_match(
+        &pattern.to_ascii_lowercase(),
+        &text.to_ascii_lowercase(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_matching() {
+        assert!(glob_match("abc", "abc"));
+        assert!(!glob_match("abc", "abcd"));
+        assert!(!glob_match("abc", "ab"));
+        assert!(!glob_match("abc", "xbc"));
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "a"));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("**", ""));
+        assert!(!glob_match("?", ""));
+    }
+
+    #[test]
+    fn star_absorbs_any_substring() {
+        assert!(glob_match("*phf*", "phf"));
+        assert!(glob_match("*phf*", "/cgi-bin/phf"));
+        assert!(glob_match("*phf*", "phf?query"));
+        assert!(glob_match("*phf*", "xxphfyy"));
+        assert!(!glob_match("*phf*", "phx"));
+    }
+
+    #[test]
+    fn paper_signatures() {
+        // §7.2 signatures.
+        assert!(glob_match("*test-cgi*", "/cgi-bin/test-cgi"));
+        assert!(glob_match("*%*", "/scripts/..%c0%af../winnt"));
+        assert!(!glob_match("*%*", "/index.html"));
+        let dos = "*///////////////////*";
+        assert!(glob_match(dos, "/a///////////////////////b"));
+        assert!(!glob_match(dos, "/a////b"));
+    }
+
+    #[test]
+    fn question_mark_matches_single_byte() {
+        assert!(glob_match("a?c", "abc"));
+        assert!(glob_match("a?c", "a.c"));
+        assert!(!glob_match("a?c", "ac"));
+        assert!(!glob_match("a?c", "abbc"));
+    }
+
+    #[test]
+    fn mixed_star_and_literals() {
+        assert!(glob_match("a*b*c", "aXXbYYc"));
+        assert!(glob_match("a*b*c", "abc"));
+        assert!(!glob_match("a*b*c", "acb"));
+        assert!(glob_match("*a*a*a*", "aaa"));
+        assert!(!glob_match("*a*a*a*", "aa"));
+    }
+
+    #[test]
+    fn adversarial_star_runs_terminate_quickly() {
+        // Degenerate pattern/text pair that kills naive exponential matchers.
+        let pattern = "a*a*a*a*a*a*a*a*a*b";
+        let text = "a".repeat(200);
+        let start = std::time::Instant::now();
+        assert!(!glob_match(pattern, &text));
+        assert!(start.elapsed() < std::time::Duration::from_millis(250));
+    }
+
+    #[test]
+    fn case_insensitive_variant() {
+        assert!(glob_match_ci("*PHF*", "/cgi-bin/phf"));
+        assert!(glob_match_ci("*phf*", "/CGI-BIN/PHF"));
+        assert!(!glob_match("*PHF*", "/cgi-bin/phf"));
+    }
+
+    #[test]
+    fn star_at_edges() {
+        assert!(glob_match("*suffix", "the-suffix"));
+        assert!(glob_match("prefix*", "prefix-and-more"));
+        assert!(!glob_match("*suffix", "suffix-not"));
+        assert!(!glob_match("prefix*", "not-prefix"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Network-IDS simulator.
+//!
+//! §3: "The GAA-API can request a network-based IDS to report, for example,
+//! indications of address spoofing. This information can be used in addition
+//! to the application level attack signatures to further reduce the false
+//! positive rate and avoid DoS attacks" — i.e. avoid an attacker getting an
+//! innocent (impersonated) host blocked.
+//!
+//! The simulator tracks per-source connection rates and destination-port
+//! fan-out over a sliding window, and answers spoofing queries from a table
+//! of observed transport-level inconsistencies (in a real deployment these
+//! come from TTL/sequence analysis; tests and the workload driver inject
+//! them).
+
+use crate::bus::{EventBus, IdsAdvisory};
+use gaa_audit::time::{Clock, Timestamp};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct SourceState {
+    /// Timestamps of recent connections (sliding window).
+    connections: VecDeque<Timestamp>,
+    /// Distinct destination ports contacted in the window.
+    ports: VecDeque<(Timestamp, u16)>,
+    /// Transport-level inconsistency observations (spoofing evidence).
+    inconsistencies: u32,
+    /// Total connection observations (for the consistency ratio).
+    observations: u32,
+}
+
+/// A simulated network-based IDS.
+///
+/// * `observe_connection` feeds it packets/connections;
+/// * `connection_rate` / `is_flooding` expose the DoS view;
+/// * `is_port_scanning` flags sources touching many distinct ports;
+/// * `spoofing_indication` answers the GAA-API's corroboration query (§3).
+///
+/// Cloning shares state.
+#[derive(Debug, Clone)]
+pub struct NetworkIds {
+    state: Arc<Mutex<HashMap<String, SourceState>>>,
+    clock: Arc<dyn Clock>,
+    window: Duration,
+    flood_threshold: usize,
+    scan_threshold: usize,
+    bus: Option<EventBus>,
+}
+
+impl NetworkIds {
+    /// Creates a network IDS with a 10 s window, a 100-connection flood
+    /// threshold and a 10-port scan threshold.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        NetworkIds {
+            state: Arc::new(Mutex::new(HashMap::new())),
+            clock,
+            window: Duration::from_secs(10),
+            flood_threshold: 100,
+            scan_threshold: 10,
+            bus: None,
+        }
+    }
+
+    /// Sets the sliding-window length.
+    pub fn with_window(mut self, window: Duration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the connections-per-window flood threshold.
+    pub fn with_flood_threshold(mut self, n: usize) -> Self {
+        self.flood_threshold = n;
+        self
+    }
+
+    /// Sets the distinct-ports-per-window scan threshold.
+    pub fn with_scan_threshold(mut self, n: usize) -> Self {
+        self.scan_threshold = n;
+        self
+    }
+
+    /// Attaches an event bus on which spoofing answers are also published as
+    /// [`IdsAdvisory::SpoofingIndication`].
+    pub fn with_bus(mut self, bus: EventBus) -> Self {
+        self.bus = Some(bus);
+        self
+    }
+
+    /// Records one connection from `source` to `port`. `consistent` reports
+    /// whether transport-level metadata looked genuine (a real IDS derives
+    /// this from TTL/sequence analysis; the simulator is told).
+    pub fn observe_connection(&self, source: &str, port: u16, consistent: bool) {
+        let now = self.clock.now();
+        let mut state = self.state.lock();
+        let entry = state.entry(source.to_string()).or_default();
+        entry.connections.push_back(now);
+        entry.ports.push_back((now, port));
+        entry.observations += 1;
+        if !consistent {
+            entry.inconsistencies += 1;
+        }
+        Self::evict(entry, now, self.window);
+    }
+
+    fn evict(entry: &mut SourceState, now: Timestamp, window: Duration) {
+        let cutoff = now.minus(window);
+        while entry.connections.front().is_some_and(|&t| t < cutoff) {
+            entry.connections.pop_front();
+        }
+        while entry.ports.front().is_some_and(|&(t, _)| t < cutoff) {
+            entry.ports.pop_front();
+        }
+    }
+
+    /// Connections from `source` within the current window.
+    pub fn connection_rate(&self, source: &str) -> usize {
+        let now = self.clock.now();
+        let mut state = self.state.lock();
+        match state.get_mut(source) {
+            Some(entry) => {
+                Self::evict(entry, now, self.window);
+                entry.connections.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Is `source` currently exceeding the flood threshold?
+    pub fn is_flooding(&self, source: &str) -> bool {
+        self.connection_rate(source) >= self.flood_threshold
+    }
+
+    /// Is `source` touching at least `scan_threshold` distinct ports in the
+    /// window?
+    pub fn is_port_scanning(&self, source: &str) -> bool {
+        let now = self.clock.now();
+        let mut state = self.state.lock();
+        match state.get_mut(source) {
+            Some(entry) => {
+                Self::evict(entry, now, self.window);
+                let distinct: HashSet<u16> = entry.ports.iter().map(|&(_, p)| p).collect();
+                distinct.len() >= self.scan_threshold
+            }
+            None => false,
+        }
+    }
+
+    /// Spoofing corroboration for `source`: `(spoofed, confidence)`.
+    ///
+    /// A source is considered spoofed when more than half of its observed
+    /// connections carried inconsistent transport metadata; confidence grows
+    /// with the number of observations. Unknown sources answer
+    /// `(false, 0.0)` — no evidence either way.
+    pub fn spoofing_indication(&self, source: &str) -> (bool, f64) {
+        let state = self.state.lock();
+        let answer = match state.get(source) {
+            Some(entry) if entry.observations > 0 => {
+                let ratio = f64::from(entry.inconsistencies) / f64::from(entry.observations);
+                let confidence =
+                    ratio.max(1.0 - ratio) * (f64::from(entry.observations.min(20)) / 20.0);
+                (ratio > 0.5, confidence)
+            }
+            _ => (false, 0.0),
+        };
+        drop(state);
+        if let Some(bus) = &self.bus {
+            bus.publish_advisory(IdsAdvisory::SpoofingIndication {
+                source: source.to_string(),
+                spoofed: answer.0,
+                confidence: answer.1,
+            });
+        }
+        answer
+    }
+
+    /// Sources currently above the flood threshold (for proactive firewall
+    /// updates).
+    pub fn flooding_sources(&self) -> Vec<String> {
+        let now = self.clock.now();
+        let mut state = self.state.lock();
+        let mut out = Vec::new();
+        for (source, entry) in state.iter_mut() {
+            Self::evict(entry, now, self.window);
+            if entry.connections.len() >= self.flood_threshold {
+                out.push(source.clone());
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::VirtualClock;
+
+    fn ids(clock: &VirtualClock) -> NetworkIds {
+        NetworkIds::new(Arc::new(clock.clone()))
+            .with_window(Duration::from_secs(10))
+            .with_flood_threshold(5)
+            .with_scan_threshold(3)
+    }
+
+    #[test]
+    fn connection_rate_counts_window_only() {
+        let clock = VirtualClock::new();
+        let n = ids(&clock);
+        for _ in 0..3 {
+            n.observe_connection("10.0.0.1", 80, true);
+        }
+        assert_eq!(n.connection_rate("10.0.0.1"), 3);
+        clock.advance(Duration::from_secs(11));
+        assert_eq!(n.connection_rate("10.0.0.1"), 0);
+    }
+
+    #[test]
+    fn flood_detection() {
+        let clock = VirtualClock::new();
+        let n = ids(&clock);
+        for _ in 0..5 {
+            n.observe_connection("10.0.0.2", 80, true);
+        }
+        assert!(n.is_flooding("10.0.0.2"));
+        assert!(!n.is_flooding("10.0.0.3"));
+        assert_eq!(n.flooding_sources(), vec!["10.0.0.2".to_string()]);
+    }
+
+    #[test]
+    fn port_scan_detection_uses_distinct_ports() {
+        let clock = VirtualClock::new();
+        let n = ids(&clock);
+        n.observe_connection("10.0.0.4", 80, true);
+        n.observe_connection("10.0.0.4", 80, true);
+        n.observe_connection("10.0.0.4", 80, true);
+        assert!(!n.is_port_scanning("10.0.0.4")); // one distinct port
+        n.observe_connection("10.0.0.4", 22, true);
+        n.observe_connection("10.0.0.4", 443, true);
+        assert!(n.is_port_scanning("10.0.0.4")); // three distinct ports
+    }
+
+    #[test]
+    fn spoofing_requires_majority_inconsistency() {
+        let clock = VirtualClock::new();
+        let n = ids(&clock);
+        for _ in 0..8 {
+            n.observe_connection("6.6.6.6", 80, false);
+        }
+        for _ in 0..2 {
+            n.observe_connection("6.6.6.6", 80, true);
+        }
+        let (spoofed, confidence) = n.spoofing_indication("6.6.6.6");
+        assert!(spoofed);
+        assert!(confidence > 0.3);
+
+        for _ in 0..10 {
+            n.observe_connection("7.7.7.7", 80, true);
+        }
+        let (spoofed, confidence) = n.spoofing_indication("7.7.7.7");
+        assert!(!spoofed);
+        assert!(confidence > 0.4); // confident it is genuine
+    }
+
+    #[test]
+    fn unknown_source_has_no_spoofing_evidence() {
+        let clock = VirtualClock::new();
+        let n = ids(&clock);
+        assert_eq!(n.spoofing_indication("0.0.0.0"), (false, 0.0));
+    }
+
+    #[test]
+    fn spoofing_answers_published_on_bus() {
+        let clock = VirtualClock::new();
+        let bus = EventBus::new();
+        let sub = bus.subscribe_advisories();
+        let n = ids(&clock).with_bus(bus);
+        n.observe_connection("10.0.0.9", 80, false);
+        n.spoofing_indication("10.0.0.9");
+        let got = sub.drain();
+        assert_eq!(got.len(), 1);
+        assert!(matches!(
+            &got[0],
+            IdsAdvisory::SpoofingIndication { source, .. } if source == "10.0.0.9"
+        ));
+    }
+
+    #[test]
+    fn windows_are_per_source() {
+        let clock = VirtualClock::new();
+        let n = ids(&clock);
+        for _ in 0..5 {
+            n.observe_connection("a", 80, true);
+        }
+        n.observe_connection("b", 80, true);
+        assert!(n.is_flooding("a"));
+        assert!(!n.is_flooding("b"));
+    }
+}

@@ -1,0 +1,332 @@
+//! Attack-signature database (§7.2).
+//!
+//! "New signatures can be specified using regular expressions and numeric
+//! comparison." A signature pairs a glob pattern (or numeric length bound)
+//! with threat metadata — attack class, severity, a confidence value and a
+//! defensive recommendation (§3 item 5: reports "may include threat
+//! characteristics, such as attack type and severity, confidence value and
+//! defensive recommendations").
+
+use crate::matcher::glob_match_ci;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Classes of web-server attack the paper discusses (§1, §7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackClass {
+    /// Exploitation of vulnerable CGI scripts (phf, test-cgi, …).
+    CgiExploit,
+    /// Malformed URLs, e.g. NIMDA's `%`-encoded IIS traversal probes.
+    MalformedUrl,
+    /// Denial of service via pathological requests (slash floods, header
+    /// floods).
+    DenialOfService,
+    /// Buffer-overflow attempts via oversized inputs (Code Red style).
+    BufferOverflow,
+    /// Path traversal / sensitive-file disclosure.
+    Traversal,
+    /// Password guessing against authentication.
+    PasswordGuessing,
+}
+
+impl fmt::Display for AttackClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttackClass::CgiExploit => "cgi_exploit",
+            AttackClass::MalformedUrl => "malformed_url",
+            AttackClass::DenialOfService => "denial_of_service",
+            AttackClass::BufferOverflow => "buffer_overflow",
+            AttackClass::Traversal => "traversal",
+            AttackClass::PasswordGuessing => "password_guessing",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a signature inspects a request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Matcher {
+    /// Case-insensitive glob over the request line (URI + query).
+    UrlGlob(String),
+    /// Total query/input length strictly greater than the bound
+    /// (`pre_cond expr local >1000` in §7.2 detects Code-Red-style
+    /// overflows).
+    InputLongerThan(usize),
+}
+
+/// One attack signature with its threat metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackSignature {
+    /// Stable identifier, e.g. `sig.phf`.
+    pub id: String,
+    /// Attack class this signature indicates.
+    pub class: AttackClass,
+    /// The matcher.
+    pub matcher: Matcher,
+    /// Severity 1 (low) – 10 (critical).
+    pub severity: u8,
+    /// Confidence 0.0–1.0 that a match is a true positive.
+    pub confidence: f64,
+    /// Defensive recommendation carried in reports (§3 item 5).
+    pub recommendation: String,
+}
+
+impl AttackSignature {
+    /// Does this signature match the given request line and input length?
+    pub fn matches(&self, request_line: &str, input_len: usize) -> bool {
+        match &self.matcher {
+            Matcher::UrlGlob(glob) => glob_match_ci(glob, request_line),
+            Matcher::InputLongerThan(bound) => input_len > *bound,
+        }
+    }
+}
+
+/// A match produced by [`SignatureDb::scan`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignatureMatch {
+    /// Identifier of the matching signature.
+    pub id: String,
+    /// Attack class.
+    pub class: AttackClass,
+    /// Severity of the matched signature.
+    pub severity: u8,
+    /// Confidence of the matched signature.
+    pub confidence: f64,
+    /// Defensive recommendation.
+    pub recommendation: String,
+}
+
+/// An ordered collection of attack signatures.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_ids::SignatureDb;
+///
+/// let db = SignatureDb::with_defaults();
+/// let hits = db.scan("GET /cgi-bin/phf?Qalias=x HTTP/1.0", 24);
+/// assert!(hits.iter().any(|h| h.id == "sig.phf"));
+/// assert!(db.scan("GET /index.html HTTP/1.0", 0).is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SignatureDb {
+    signatures: Vec<AttackSignature>,
+}
+
+impl SignatureDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        SignatureDb::default()
+    }
+
+    /// The default database covering every signature the paper names:
+    ///
+    /// * `*phf*`, `*test-cgi*` — vulnerable CGI scripts (§7.2);
+    /// * a long run of slashes — the Apache slowdown/log-filling DoS (§7.2);
+    /// * `*%*` on the path — NIMDA-style malformed GET (§7.2);
+    /// * input longer than 1000 chars — Code-Red-style buffer overflow
+    ///   (§7.2);
+    /// * `*../*` and `*/etc/passwd*` — traversal / sensitive-file probes
+    ///   (§1's "critical file" discussion).
+    pub fn with_defaults() -> Self {
+        let mut db = SignatureDb::new();
+        db.add(AttackSignature {
+            id: "sig.phf".into(),
+            class: AttackClass::CgiExploit,
+            matcher: Matcher::UrlGlob("*phf*".into()),
+            severity: 8,
+            confidence: 0.95,
+            recommendation: "deny; blacklist source; notify admin".into(),
+        });
+        db.add(AttackSignature {
+            id: "sig.test-cgi".into(),
+            class: AttackClass::CgiExploit,
+            matcher: Matcher::UrlGlob("*test-cgi*".into()),
+            severity: 7,
+            confidence: 0.95,
+            recommendation: "deny; blacklist source; notify admin".into(),
+        });
+        db.add(AttackSignature {
+            id: "sig.slash-flood".into(),
+            class: AttackClass::DenialOfService,
+            matcher: Matcher::UrlGlob("*///////////////////*".into()),
+            severity: 6,
+            confidence: 0.9,
+            recommendation: "deny; rate-limit source".into(),
+        });
+        db.add(AttackSignature {
+            id: "sig.nimda-percent".into(),
+            class: AttackClass::MalformedUrl,
+            matcher: Matcher::UrlGlob("*%*".into()),
+            severity: 5,
+            confidence: 0.6,
+            recommendation: "deny; corroborate with network IDS".into(),
+        });
+        db.add(AttackSignature {
+            id: "sig.overflow-1000".into(),
+            class: AttackClass::BufferOverflow,
+            matcher: Matcher::InputLongerThan(1000),
+            severity: 9,
+            confidence: 0.85,
+            recommendation: "deny; notify admin".into(),
+        });
+        db.add(AttackSignature {
+            id: "sig.traversal".into(),
+            class: AttackClass::Traversal,
+            matcher: Matcher::UrlGlob("*../*".into()),
+            severity: 7,
+            confidence: 0.8,
+            recommendation: "deny".into(),
+        });
+        db.add(AttackSignature {
+            id: "sig.etc-passwd".into(),
+            class: AttackClass::Traversal,
+            matcher: Matcher::UrlGlob("*/etc/passwd*".into()),
+            severity: 9,
+            confidence: 0.9,
+            recommendation: "deny; notify admin".into(),
+        });
+        db
+    }
+
+    /// Appends a signature (later signatures scan after earlier ones).
+    pub fn add(&mut self, signature: AttackSignature) {
+        self.signatures.push(signature);
+    }
+
+    /// Removes a signature by id; returns whether one was removed.
+    pub fn remove(&mut self, id: &str) -> bool {
+        let before = self.signatures.len();
+        self.signatures.retain(|s| s.id != id);
+        self.signatures.len() != before
+    }
+
+    /// Number of signatures.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// True if the database holds no signatures.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// All signatures, in scan order.
+    pub fn signatures(&self) -> &[AttackSignature] {
+        &self.signatures
+    }
+
+    /// Scans a request line and input length against every signature,
+    /// returning all matches in database order.
+    pub fn scan(&self, request_line: &str, input_len: usize) -> Vec<SignatureMatch> {
+        self.signatures
+            .iter()
+            .filter(|s| s.matches(request_line, input_len))
+            .map(|s| SignatureMatch {
+                id: s.id.clone(),
+                class: s.class,
+                severity: s.severity,
+                confidence: s.confidence,
+                recommendation: s.recommendation.clone(),
+            })
+            .collect()
+    }
+
+    /// The highest-severity match, if any. Useful when only one response
+    /// action will be taken.
+    pub fn worst_match(&self, request_line: &str, input_len: usize) -> Option<SignatureMatch> {
+        self.scan(request_line, input_len)
+            .into_iter()
+            .max_by_key(|m| m.severity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_db_catches_paper_attacks() {
+        let db = SignatureDb::with_defaults();
+
+        let phf = db.scan("GET /cgi-bin/phf?Qalias=x%0a/bin/cat%20/etc/passwd HTTP/1.0", 40);
+        assert!(phf.iter().any(|m| m.id == "sig.phf"));
+
+        let testcgi = db.scan("GET /cgi-bin/test-cgi?* HTTP/1.0", 10);
+        assert!(testcgi.iter().any(|m| m.id == "sig.test-cgi"));
+
+        let dos = db.scan("GET /a///////////////////////// HTTP/1.0", 0);
+        assert!(dos.iter().any(|m| m.id == "sig.slash-flood"));
+
+        let nimda = db.scan("GET /scripts/..%c0%af../winnt/system32/cmd.exe HTTP/1.0", 0);
+        assert!(nimda.iter().any(|m| m.id == "sig.nimda-percent"));
+
+        let overflow = db.scan("GET /index.html HTTP/1.0", 1001);
+        assert!(overflow.iter().any(|m| m.id == "sig.overflow-1000"));
+    }
+
+    #[test]
+    fn legit_requests_are_clean() {
+        let db = SignatureDb::with_defaults();
+        assert!(db.scan("GET /index.html HTTP/1.1", 0).is_empty());
+        assert!(db.scan("GET /docs/manual.html?page=3 HTTP/1.1", 6).is_empty());
+        assert!(db.scan("POST /forms/contact HTTP/1.1", 500).is_empty());
+    }
+
+    #[test]
+    fn overflow_boundary_is_strict() {
+        let db = SignatureDb::with_defaults();
+        assert!(db.scan("GET /x HTTP/1.0", 1000).is_empty());
+        assert_eq!(db.scan("GET /x HTTP/1.0", 1001).len(), 1);
+    }
+
+    #[test]
+    fn matching_is_case_insensitive() {
+        let db = SignatureDb::with_defaults();
+        let hits = db.scan("GET /CGI-BIN/PHF HTTP/1.0", 0);
+        assert!(hits.iter().any(|m| m.id == "sig.phf"));
+    }
+
+    #[test]
+    fn worst_match_picks_highest_severity() {
+        let db = SignatureDb::with_defaults();
+        // phf (8) + overlong (9) + percent (5): worst is overflow.
+        let worst = db
+            .worst_match("GET /cgi-bin/phf?x=%41 HTTP/1.0", 2000)
+            .unwrap();
+        assert_eq!(worst.id, "sig.overflow-1000");
+    }
+
+    #[test]
+    fn add_and_remove() {
+        let mut db = SignatureDb::new();
+        assert!(db.is_empty());
+        db.add(AttackSignature {
+            id: "sig.custom".into(),
+            class: AttackClass::CgiExploit,
+            matcher: Matcher::UrlGlob("*evil*".into()),
+            severity: 5,
+            confidence: 0.5,
+            recommendation: "deny".into(),
+        });
+        assert_eq!(db.len(), 1);
+        assert!(!db.scan("GET /evil HTTP/1.0", 0).is_empty());
+        assert!(db.remove("sig.custom"));
+        assert!(!db.remove("sig.custom"));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn scan_returns_all_matches_in_order() {
+        let db = SignatureDb::with_defaults();
+        let hits = db.scan("GET /cgi-bin/phf/../test-cgi HTTP/1.0", 0);
+        let ids: Vec<&str> = hits.iter().map(|m| m.id.as_str()).collect();
+        assert!(ids.contains(&"sig.phf"));
+        assert!(ids.contains(&"sig.test-cgi"));
+        assert!(ids.contains(&"sig.traversal"));
+        // Database order preserved.
+        let phf_pos = ids.iter().position(|&i| i == "sig.phf").unwrap();
+        let cgi_pos = ids.iter().position(|&i| i == "sig.test-cgi").unwrap();
+        assert!(phf_pos < cgi_pos);
+    }
+}

@@ -1,0 +1,317 @@
+//! System threat level: the value behind `pre_cond system_threat_level`.
+//!
+//! §7.1: "An IDS supplies a system threat level. For example, low threat
+//! level means normal system operational state, medium threat level indicates
+//! suspicious behavior and high threat level means that the system is under
+//! attack."
+//!
+//! [`ThreatMonitor`] holds the current level, escalates it when suspicion is
+//! reported, and decays it back towards `Low` after a quiet period — so a
+//! lockdown policy (§7.1) relaxes automatically once an attack subsides.
+
+use gaa_audit::time::{Clock, Timestamp};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The system-wide threat level, ordered `Low < Medium < High`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum ThreatLevel {
+    /// Normal system operational state.
+    #[default]
+    Low,
+    /// Suspicious behaviour observed.
+    Medium,
+    /// The system is under attack.
+    High,
+}
+
+impl ThreatLevel {
+    /// One step up, saturating at `High`.
+    pub fn escalate(self) -> ThreatLevel {
+        match self {
+            ThreatLevel::Low => ThreatLevel::Medium,
+            _ => ThreatLevel::High,
+        }
+    }
+
+    /// One step down, saturating at `Low`.
+    pub fn relax(self) -> ThreatLevel {
+        match self {
+            ThreatLevel::High => ThreatLevel::Medium,
+            _ => ThreatLevel::Low,
+        }
+    }
+}
+
+impl fmt::Display for ThreatLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ThreatLevel::Low => "low",
+            ThreatLevel::Medium => "medium",
+            ThreatLevel::High => "high",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for ThreatLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "low" => Ok(ThreatLevel::Low),
+            "medium" => Ok(ThreatLevel::Medium),
+            "high" => Ok(ThreatLevel::High),
+            other => Err(format!("unknown threat level `{other}`")),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct MonitorState {
+    level: ThreatLevel,
+    last_change: Timestamp,
+    /// Consecutive suspicion reports at the current level (escalation needs
+    /// `reports_to_escalate` of them, so one stray event does not lock the
+    /// system down — the paper's own caution about attacker-staged DoS).
+    pending_reports: u32,
+}
+
+/// Shared, clock-driven threat-level provider.
+///
+/// * `report_suspicion()` counts suspicious events; after
+///   `reports_to_escalate` events the level steps up and the counter resets.
+/// * `current()` lazily applies decay: after `decay_after` without any change
+///   or suspicion, the level steps down one notch (repeatedly, if several
+///   quiet periods have passed).
+/// * `set_level()` lets an operator or an external IDS force a level.
+///
+/// Cloning shares the monitor.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_audit::VirtualClock;
+/// use gaa_ids::{ThreatLevel, ThreatMonitor};
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let clock = VirtualClock::new();
+/// let monitor = ThreatMonitor::new(Arc::new(clock.clone()))
+///     .with_escalation_threshold(2)
+///     .with_decay_after(Duration::from_secs(60));
+///
+/// monitor.report_suspicion();
+/// assert_eq!(monitor.current(), ThreatLevel::Low); // one report is not enough
+/// monitor.report_suspicion();
+/// assert_eq!(monitor.current(), ThreatLevel::Medium);
+///
+/// clock.advance(Duration::from_secs(61));
+/// assert_eq!(monitor.current(), ThreatLevel::Low); // decayed back
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreatMonitor {
+    state: Arc<Mutex<MonitorState>>,
+    clock: Arc<dyn Clock>,
+    reports_to_escalate: u32,
+    decay_after: Duration,
+}
+
+impl ThreatMonitor {
+    /// Creates a monitor at `Low` with a 3-report escalation threshold and
+    /// 5-minute decay.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        let now = clock.now();
+        ThreatMonitor {
+            state: Arc::new(Mutex::new(MonitorState {
+                level: ThreatLevel::Low,
+                last_change: now,
+                pending_reports: 0,
+            })),
+            clock,
+            reports_to_escalate: 3,
+            decay_after: Duration::from_secs(300),
+        }
+    }
+
+    /// Sets how many suspicion reports trigger one escalation step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_escalation_threshold(mut self, n: u32) -> Self {
+        assert!(n > 0, "escalation threshold must be non-zero");
+        self.reports_to_escalate = n;
+        self
+    }
+
+    /// Sets the quiet period after which the level decays one step.
+    pub fn with_decay_after(mut self, d: Duration) -> Self {
+        self.decay_after = d;
+        self
+    }
+
+    /// The current level, after applying any pending decay.
+    pub fn current(&self) -> ThreatLevel {
+        let mut state = self.state.lock();
+        self.apply_decay(&mut state);
+        state.level
+    }
+
+    /// Forces the level (operator action or external IDS feed).
+    pub fn set_level(&self, level: ThreatLevel) {
+        let mut state = self.state.lock();
+        state.level = level;
+        state.last_change = self.clock.now();
+        state.pending_reports = 0;
+    }
+
+    /// Registers one suspicious event; returns the level after any resulting
+    /// escalation.
+    pub fn report_suspicion(&self) -> ThreatLevel {
+        let mut state = self.state.lock();
+        self.apply_decay(&mut state);
+        state.pending_reports += 1;
+        if state.pending_reports >= self.reports_to_escalate {
+            state.pending_reports = 0;
+            let next = state.level.escalate();
+            if next != state.level {
+                state.level = next;
+                state.last_change = self.clock.now();
+            } else {
+                // Already at High: refresh the change stamp so decay restarts.
+                state.last_change = self.clock.now();
+            }
+        }
+        state.level
+    }
+
+    /// Registers a *confirmed attack*: jumps straight to `High`.
+    pub fn report_attack(&self) {
+        self.set_level(ThreatLevel::High);
+    }
+
+    fn apply_decay(&self, state: &mut MonitorState) {
+        if self.decay_after.is_zero() {
+            return;
+        }
+        let now = self.clock.now();
+        while state.level != ThreatLevel::Low
+            && now.since(state.last_change) > self.decay_after
+        {
+            state.level = state.level.relax();
+            state.last_change = state.last_change.plus(self.decay_after);
+            state.pending_reports = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::VirtualClock;
+
+    fn monitor(clock: &VirtualClock) -> ThreatMonitor {
+        ThreatMonitor::new(Arc::new(clock.clone()))
+            .with_escalation_threshold(2)
+            .with_decay_after(Duration::from_secs(60))
+    }
+
+    #[test]
+    fn ordering_matches_paper_semantics() {
+        assert!(ThreatLevel::Low < ThreatLevel::Medium);
+        assert!(ThreatLevel::Medium < ThreatLevel::High);
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for level in [ThreatLevel::Low, ThreatLevel::Medium, ThreatLevel::High] {
+            assert_eq!(level.to_string().parse::<ThreatLevel>().unwrap(), level);
+        }
+        assert!("severe".parse::<ThreatLevel>().is_err());
+    }
+
+    #[test]
+    fn escalation_needs_threshold_reports() {
+        let clock = VirtualClock::new();
+        let m = monitor(&clock);
+        assert_eq!(m.report_suspicion(), ThreatLevel::Low);
+        assert_eq!(m.report_suspicion(), ThreatLevel::Medium);
+        assert_eq!(m.report_suspicion(), ThreatLevel::Medium);
+        assert_eq!(m.report_suspicion(), ThreatLevel::High);
+    }
+
+    #[test]
+    fn attack_jumps_to_high() {
+        let clock = VirtualClock::new();
+        let m = monitor(&clock);
+        m.report_attack();
+        assert_eq!(m.current(), ThreatLevel::High);
+    }
+
+    #[test]
+    fn decay_steps_down_per_quiet_period() {
+        let clock = VirtualClock::new();
+        let m = monitor(&clock);
+        m.set_level(ThreatLevel::High);
+        clock.advance(Duration::from_secs(61));
+        assert_eq!(m.current(), ThreatLevel::Medium);
+        clock.advance(Duration::from_secs(61));
+        assert_eq!(m.current(), ThreatLevel::Low);
+    }
+
+    #[test]
+    fn multiple_quiet_periods_decay_in_one_read() {
+        let clock = VirtualClock::new();
+        let m = monitor(&clock);
+        m.set_level(ThreatLevel::High);
+        clock.advance(Duration::from_secs(200));
+        assert_eq!(m.current(), ThreatLevel::Low);
+    }
+
+    #[test]
+    fn suspicion_resets_decay_window() {
+        let clock = VirtualClock::new();
+        let m = monitor(&clock);
+        m.set_level(ThreatLevel::High);
+        clock.advance(Duration::from_secs(59));
+        assert_eq!(m.current(), ThreatLevel::High);
+    }
+
+    #[test]
+    fn zero_decay_disables_relaxation() {
+        let clock = VirtualClock::new();
+        let m = ThreatMonitor::new(Arc::new(clock.clone())).with_decay_after(Duration::ZERO);
+        m.set_level(ThreatLevel::High);
+        clock.advance(Duration::from_secs(100_000));
+        assert_eq!(m.current(), ThreatLevel::High);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let clock = VirtualClock::new();
+        let a = monitor(&clock);
+        let b = a.clone();
+        a.set_level(ThreatLevel::Medium);
+        assert_eq!(b.current(), ThreatLevel::Medium);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-zero")]
+    fn zero_escalation_threshold_panics() {
+        let clock = VirtualClock::new();
+        let _ = ThreatMonitor::new(Arc::new(clock)).with_escalation_threshold(0);
+    }
+
+    #[test]
+    fn escalate_relax_are_bounded() {
+        assert_eq!(ThreatLevel::High.escalate(), ThreatLevel::High);
+        assert_eq!(ThreatLevel::Low.relax(), ThreatLevel::Low);
+    }
+}

@@ -1,0 +1,215 @@
+//! Attack-traffic generation: every attack class the paper names.
+
+use gaa_httpd::auth::base64_encode;
+use gaa_httpd::HttpRequest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The attack classes exercised by the scenarios (§1, §7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Vulnerable-CGI exploitation (`phf`, `test-cgi`).
+    CgiExploit,
+    /// NIMDA-style malformed (`%`-laden) URL.
+    MalformedUrl,
+    /// Slash-flood request that slows Apache and fills logs.
+    SlashFlood,
+    /// Code-Red-style oversized input (>1000 chars).
+    BufferOverflow,
+    /// Repeated wrong-password attempts.
+    PasswordGuessing,
+    /// A probe with **no known signature** — only blacklisting the source
+    /// after an earlier hit can stop it (§7.2's closing argument).
+    UnknownProbe,
+}
+
+impl AttackKind {
+    /// All kinds, for sweeps.
+    pub fn all() -> [AttackKind; 6] {
+        [
+            AttackKind::CgiExploit,
+            AttackKind::MalformedUrl,
+            AttackKind::SlashFlood,
+            AttackKind::BufferOverflow,
+            AttackKind::PasswordGuessing,
+            AttackKind::UnknownProbe,
+        ]
+    }
+
+    /// A short label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackKind::CgiExploit => "cgi_exploit",
+            AttackKind::MalformedUrl => "malformed_url",
+            AttackKind::SlashFlood => "slash_flood",
+            AttackKind::BufferOverflow => "buffer_overflow",
+            AttackKind::PasswordGuessing => "password_guessing",
+            AttackKind::UnknownProbe => "unknown_probe",
+        }
+    }
+}
+
+/// Generator of attack requests.
+#[derive(Debug)]
+pub struct AttackTraffic {
+    rng: StdRng,
+    attacker_ips: Vec<String>,
+}
+
+impl AttackTraffic {
+    /// A deterministic generator with the default attacker pool.
+    pub fn new(seed: u64) -> Self {
+        AttackTraffic {
+            rng: StdRng::seed_from_u64(seed),
+            attacker_ips: (1..=5).map(|i| format!("203.0.113.{i}")).collect(),
+        }
+    }
+
+    /// Replaces the attacker IP pool.
+    #[must_use]
+    pub fn with_attacker_ips(mut self, ips: Vec<String>) -> Self {
+        assert!(!ips.is_empty(), "need at least one attacker IP");
+        self.attacker_ips = ips;
+        self
+    }
+
+    fn attacker_ip(&mut self) -> String {
+        self.attacker_ips[self.rng.gen_range(0..self.attacker_ips.len())].clone()
+    }
+
+    /// One request of the given kind.
+    pub fn generate(&mut self, kind: AttackKind) -> HttpRequest {
+        let ip = self.attacker_ip();
+        self.generate_from(kind, &ip)
+    }
+
+    /// One request of the given kind from a specific source.
+    pub fn generate_from(&mut self, kind: AttackKind, ip: &str) -> HttpRequest {
+        match kind {
+            AttackKind::CgiExploit => {
+                let target = if self.rng.gen_bool(0.5) {
+                    "/cgi-bin/phf?Qalias=x%0a/bin/cat%20/etc/passwd".to_string()
+                } else {
+                    "/cgi-bin/test-cgi?*".to_string()
+                };
+                HttpRequest::get(&target).with_client_ip(ip)
+            }
+            AttackKind::MalformedUrl => HttpRequest::get(
+                "/scripts/..%c0%af../winnt/system32/cmd.exe?/c+dir",
+            )
+            .with_client_ip(ip),
+            AttackKind::SlashFlood => {
+                let slashes = "/".repeat(self.rng.gen_range(20..40));
+                HttpRequest::get(&format!("/a{slashes}b")).with_client_ip(ip)
+            }
+            AttackKind::BufferOverflow => {
+                let payload = "A".repeat(self.rng.gen_range(1100..1500));
+                HttpRequest::get(&format!("/cgi-bin/search?q={payload}")).with_client_ip(ip)
+            }
+            AttackKind::PasswordGuessing => {
+                let guess = format!("guess{}", self.rng.gen_range(0..100_000));
+                let token = base64_encode(format!("alice:{guess}").as_bytes());
+                HttpRequest::get("/staff/home.html")
+                    .with_client_ip(ip)
+                    .with_header("authorization", &format!("Basic {token}"))
+            }
+            AttackKind::UnknownProbe => {
+                // A zero-day-ish probe: hits a real object with an input no
+                // signature in the default DB matches.
+                let n = self.rng.gen_range(0..1000);
+                HttpRequest::get(&format!("/cgi-bin/search?q=exploit{n}"))
+                    .with_client_ip(ip)
+            }
+        }
+    }
+
+    /// The §7.2 vulnerability-scan script: from one address, a known
+    /// exploit first, then `probes` attacks with unknown signatures. "If
+    /// the system identifies requests from an address as matching known
+    /// attack signature, then subsequent requests from that host … checking
+    /// for vulnerabilities we might not yet know about, can still be
+    /// blocked."
+    pub fn scan_script(&mut self, probes: usize) -> (String, Vec<HttpRequest>) {
+        let ip = self.attacker_ip();
+        let mut out = vec![self.generate_from(AttackKind::CgiExploit, &ip)];
+        for _ in 0..probes {
+            out.push(self.generate_from(AttackKind::UnknownProbe, &ip));
+        }
+        (ip, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = AttackTraffic::new(5);
+        let mut b = AttackTraffic::new(5);
+        for kind in AttackKind::all() {
+            assert_eq!(a.generate(kind).target, b.generate(kind).target);
+        }
+    }
+
+    #[test]
+    fn cgi_exploit_matches_paper_signatures() {
+        let mut gen = AttackTraffic::new(1);
+        for _ in 0..20 {
+            let req = gen.generate(AttackKind::CgiExploit);
+            assert!(
+                req.target.contains("phf") || req.target.contains("test-cgi"),
+                "{}",
+                req.target
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_url_contains_percent() {
+        let req = AttackTraffic::new(1).generate(AttackKind::MalformedUrl);
+        assert!(req.target.contains('%'));
+    }
+
+    #[test]
+    fn slash_flood_has_long_slash_run() {
+        let req = AttackTraffic::new(1).generate(AttackKind::SlashFlood);
+        assert!(req.target.contains("////////////////////"));
+    }
+
+    #[test]
+    fn overflow_exceeds_1000_chars() {
+        let req = AttackTraffic::new(1).generate(AttackKind::BufferOverflow);
+        assert!(req.input_len() > 1000);
+    }
+
+    #[test]
+    fn password_guessing_carries_bad_credentials() {
+        let req = AttackTraffic::new(1).generate(AttackKind::PasswordGuessing);
+        assert!(req.header("authorization").unwrap().starts_with("Basic "));
+    }
+
+    #[test]
+    fn unknown_probe_avoids_default_signatures() {
+        use gaa_ids::SignatureDb;
+        let db = SignatureDb::with_defaults();
+        let mut gen = AttackTraffic::new(9);
+        for _ in 0..50 {
+            let req = gen.generate(AttackKind::UnknownProbe);
+            assert!(
+                db.scan(&req.request_line(), req.input_len()).is_empty(),
+                "unknown probe must not match known signatures: {}",
+                req.target
+            );
+        }
+    }
+
+    #[test]
+    fn scan_script_keeps_one_source() {
+        let (ip, requests) = AttackTraffic::new(2).scan_script(5);
+        assert_eq!(requests.len(), 6);
+        assert!(requests.iter().all(|r| r.client_ip == ip));
+        // First request is the known exploit.
+        assert!(requests[0].target.contains("phf") || requests[0].target.contains("test-cgi"));
+    }
+}

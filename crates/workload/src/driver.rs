@@ -1,0 +1,251 @@
+//! Runs a scenario against a server and scores detection quality.
+//!
+//! Blocking an attack (403/400/413, or a mid-condition abort) is a true
+//! positive; blocking benign traffic is a false positive. 401 challenges
+//! are tracked separately — under lockdown they are the *intended* response
+//! to anonymous benign traffic, not a detection error.
+
+use crate::attacks::AttackKind;
+use crate::scenario::Scenario;
+use gaa_httpd::{Server, StatusCode};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Outcome counts for one traffic class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Requests sent.
+    pub sent: u64,
+    /// Served with 200.
+    pub served: u64,
+    /// Blocked (403, 400, 413, 500-abort).
+    pub blocked: u64,
+    /// Challenged with 401.
+    pub challenged: u64,
+    /// Redirected with 302.
+    pub redirected: u64,
+    /// 404s (probes for absent objects).
+    pub not_found: u64,
+}
+
+impl ClassStats {
+    fn record(&mut self, status: StatusCode) {
+        self.sent += 1;
+        match status {
+            StatusCode::Ok => self.served += 1,
+            StatusCode::Forbidden
+            | StatusCode::BadRequest
+            | StatusCode::PayloadTooLarge
+            | StatusCode::InternalServerError
+            | StatusCode::ServiceUnavailable => self.blocked += 1,
+            StatusCode::Unauthorized => self.challenged += 1,
+            StatusCode::Found => self.redirected += 1,
+            StatusCode::NotFound => self.not_found += 1,
+        }
+    }
+
+    /// Fraction of this class that was blocked.
+    pub fn block_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.blocked as f64 / self.sent as f64
+        }
+    }
+}
+
+/// Aggregated detection results for a scenario run.
+#[derive(Debug, Clone, Default)]
+pub struct DetectionStats {
+    /// Benign traffic outcomes.
+    pub legit: ClassStats,
+    /// Per-attack-class outcomes.
+    pub per_attack: HashMap<AttackKind, ClassStats>,
+}
+
+impl DetectionStats {
+    /// Outcomes for one attack class (zeroes if the class never ran).
+    pub fn attack(&self, kind: AttackKind) -> ClassStats {
+        self.per_attack.get(&kind).copied().unwrap_or_default()
+    }
+
+    /// Overall true-positive rate: blocked attacks / attacks sent.
+    pub fn true_positive_rate(&self) -> f64 {
+        let sent: u64 = self.per_attack.values().map(|s| s.sent).sum();
+        let blocked: u64 = self.per_attack.values().map(|s| s.blocked).sum();
+        if sent == 0 {
+            0.0
+        } else {
+            blocked as f64 / sent as f64
+        }
+    }
+
+    /// False-positive rate: blocked benign / benign sent.
+    pub fn false_positive_rate(&self) -> f64 {
+        self.legit.block_rate()
+    }
+}
+
+impl fmt::Display for DetectionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<18} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "class", "sent", "served", "blocked", "401", "302", "404"
+        )?;
+        let row = |f: &mut fmt::Formatter<'_>, name: &str, s: &ClassStats| {
+            writeln!(
+                f,
+                "{:<18} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                name, s.sent, s.served, s.blocked, s.challenged, s.redirected, s.not_found
+            )
+        };
+        row(f, "legit", &self.legit)?;
+        let mut kinds: Vec<&AttackKind> = self.per_attack.keys().collect();
+        kinds.sort_by_key(|k| k.label());
+        for kind in kinds {
+            row(f, kind.label(), &self.per_attack[kind])?;
+        }
+        writeln!(
+            f,
+            "TPR={:.3} FPR={:.3}",
+            self.true_positive_rate(),
+            self.false_positive_rate()
+        )
+    }
+}
+
+/// Sends every scenario request to `server` in order, tallying outcomes by
+/// ground-truth label.
+pub fn run_scenario(server: &Server, scenario: &Scenario) -> DetectionStats {
+    let mut stats = DetectionStats::default();
+    for item in &scenario.items {
+        let response = server.handle(item.request.clone());
+        match item.label {
+            None => stats.legit.record(response.status),
+            Some(kind) => stats
+                .per_attack
+                .entry(kind)
+                .or_default()
+                .record(response.status),
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+    use gaa_audit::notify::CollectingNotifier;
+    use gaa_audit::VirtualClock;
+    use gaa_conditions::{register_standard, StandardServices};
+    use gaa_core::{GaaApiBuilder, MemoryPolicyStore};
+    use gaa_eacl::parse_eacl;
+    use gaa_httpd::{AccessControl, GaaGlue, Server, Vfs};
+    use std::sync::Arc;
+
+    /// The §7.2 protection policy as a system-wide EACL so it guards every
+    /// object.
+    const SYSTEM_72: &str = "\
+eacl_mode 1
+neg_access_right apache *
+pre_cond accessid GROUP BadGuys
+neg_access_right apache *
+pre_cond regex gnu *phf* *test-cgi*
+rr_cond update_log local on:failure/BadGuys/info:ip
+neg_access_right apache *
+pre_cond regex gnu *///////////////////*
+neg_access_right apache *
+pre_cond regex gnu *%*
+neg_access_right apache *
+pre_cond expr local >1000
+pos_access_right apache *
+";
+
+    fn protected_server() -> (Server, StandardServices) {
+        let services = StandardServices::new(
+            Arc::new(VirtualClock::new()),
+            Arc::new(CollectingNotifier::new()),
+        );
+        let mut store = MemoryPolicyStore::new();
+        store.set_system(vec![parse_eacl(SYSTEM_72).unwrap()]);
+        let api = register_standard(
+            GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+            &services,
+        )
+        .build();
+        let glue = GaaGlue::new(api, services.clone());
+        (
+            Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue))),
+            services,
+        )
+    }
+
+    #[test]
+    fn attacks_blocked_legit_served() {
+        let (server, _services) = protected_server();
+        let scenario = ScenarioBuilder::new(11, vec!["/index.html".into(), "/docs/page1.html".into()])
+            .legit(40)
+            .attacks(AttackKind::CgiExploit, 10)
+            .attacks(AttackKind::SlashFlood, 10)
+            .attacks(AttackKind::MalformedUrl, 10)
+            .attacks(AttackKind::BufferOverflow, 10)
+            .build();
+        let stats = run_scenario(&server, &scenario);
+        assert_eq!(stats.legit.sent, 40);
+        assert_eq!(stats.legit.served, 40, "no false positives: {stats}");
+        for kind in [
+            AttackKind::CgiExploit,
+            AttackKind::SlashFlood,
+            AttackKind::MalformedUrl,
+            AttackKind::BufferOverflow,
+        ] {
+            let s = stats.attack(kind);
+            assert_eq!(s.blocked, s.sent, "{} must be fully blocked", kind.label());
+        }
+        assert!(stats.true_positive_rate() > 0.999);
+        assert_eq!(stats.false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn scan_script_unknown_probes_blocked_via_blacklist() {
+        let (server, services) = protected_server();
+        let scenario = ScenarioBuilder::new(13, vec!["/index.html".into()])
+            .scan_scripts(1, 8)
+            .build();
+        let stats = run_scenario(&server, &scenario);
+        // The known exploit is blocked by signature…
+        assert_eq!(stats.attack(AttackKind::CgiExploit).blocked, 1);
+        // …and every unknown probe afterwards by the grown blacklist.
+        let probes = stats.attack(AttackKind::UnknownProbe);
+        assert_eq!(probes.blocked, probes.sent, "{stats}");
+        assert!(!services.groups.is_empty("BadGuys"));
+    }
+
+    #[test]
+    fn unknown_probes_without_prior_exploit_get_through() {
+        // Control: the same probes from a fresh address are NOT blocked —
+        // the blacklist, not magic, stops the scan script.
+        let (server, _services) = protected_server();
+        let mut attack_gen = crate::attacks::AttackTraffic::new(99)
+            .with_attacker_ips(vec!["198.51.100.9".into()]);
+        let probe = attack_gen.generate(AttackKind::UnknownProbe);
+        let response = server.handle(probe);
+        assert_eq!(response.status, StatusCode::Ok);
+    }
+
+    #[test]
+    fn display_table_renders() {
+        let (server, _services) = protected_server();
+        let scenario = ScenarioBuilder::new(17, vec!["/index.html".into()])
+            .legit(5)
+            .attacks(AttackKind::CgiExploit, 2)
+            .build();
+        let stats = run_scenario(&server, &scenario);
+        let table = stats.to_string();
+        assert!(table.contains("legit"));
+        assert!(table.contains("cgi_exploit"));
+        assert!(table.contains("TPR="));
+    }
+}

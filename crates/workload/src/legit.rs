@@ -1,0 +1,209 @@
+//! Benign traffic generation.
+//!
+//! Models the environment of §7.1: "Mixed access to web services. Access to
+//! some web resources require user authentication, some do not." Paths are
+//! drawn with a zipf-like popularity skew (a few hot pages, a long tail),
+//! queries are short and well-formed, and a configurable fraction of
+//! requests carry valid Basic credentials.
+
+use gaa_httpd::auth::base64_encode;
+use gaa_httpd::HttpRequest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A user account known to the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Account {
+    /// User name.
+    pub user: String,
+    /// Cleartext password (the generator authenticates correctly).
+    pub password: String,
+}
+
+/// Generator of benign requests.
+#[derive(Debug)]
+pub struct LegitTraffic {
+    rng: StdRng,
+    paths: Vec<String>,
+    accounts: Vec<Account>,
+    client_ips: Vec<String>,
+    auth_fraction: f64,
+}
+
+impl LegitTraffic {
+    /// A generator over `paths` with deterministic seed `seed`.
+    pub fn new(seed: u64, paths: Vec<String>) -> Self {
+        assert!(!paths.is_empty(), "need at least one path");
+        LegitTraffic {
+            rng: StdRng::seed_from_u64(seed),
+            paths,
+            accounts: vec![
+                Account {
+                    user: "alice".into(),
+                    password: "wonderland".into(),
+                },
+                Account {
+                    user: "bob".into(),
+                    password: "builder".into(),
+                },
+            ],
+            client_ips: (1..=20).map(|i| format!("10.0.0.{i}")).collect(),
+            auth_fraction: 0.3,
+        }
+    }
+
+    /// Replaces the account list.
+    #[must_use]
+    pub fn with_accounts(mut self, accounts: Vec<Account>) -> Self {
+        self.accounts = accounts;
+        self
+    }
+
+    /// Sets the fraction of requests sent with valid credentials.
+    #[must_use]
+    pub fn with_auth_fraction(mut self, fraction: f64) -> Self {
+        self.auth_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Replaces the client IP pool.
+    #[must_use]
+    pub fn with_client_ips(mut self, ips: Vec<String>) -> Self {
+        assert!(!ips.is_empty(), "need at least one client IP");
+        self.client_ips = ips;
+        self
+    }
+
+    /// Draws a path with zipf-ish skew: rank r is picked with weight ~1/(r+1).
+    fn draw_path(&mut self) -> String {
+        let n = self.paths.len();
+        // Inverse-CDF over harmonic weights, computed incrementally.
+        let total: f64 = (0..n).map(|r| 1.0 / (r + 1) as f64).sum();
+        let mut x = self.rng.gen::<f64>() * total;
+        for (r, path) in self.paths.iter().enumerate() {
+            x -= 1.0 / (r + 1) as f64;
+            if x <= 0.0 {
+                return path.clone();
+            }
+        }
+        self.paths[n - 1].clone()
+    }
+
+    /// Generates the next benign request.
+    pub fn next_request(&mut self) -> HttpRequest {
+        let path = self.draw_path();
+        let ip = self.client_ips[self.rng.gen_range(0..self.client_ips.len())].clone();
+        let target = if path.contains("cgi-bin") {
+            // Benign CGI query: short, alphanumeric.
+            let qlen = self.rng.gen_range(3..20);
+            let q: String = (0..qlen)
+                .map(|_| {
+                    let c = self.rng.gen_range(0..36);
+                    if c < 10 {
+                        (b'0' + c) as char
+                    } else {
+                        (b'a' + c - 10) as char
+                    }
+                })
+                .collect();
+            format!("{path}?q={q}")
+        } else if self.rng.gen_bool(0.3) {
+            format!("{path}?id={}", self.rng.gen_range(0..100))
+        } else {
+            path
+        };
+        let mut request = HttpRequest::get(&target).with_client_ip(ip);
+        if !self.accounts.is_empty() && self.rng.gen_bool(self.auth_fraction) {
+            let account = &self.accounts[self.rng.gen_range(0..self.accounts.len())];
+            let token = base64_encode(format!("{}:{}", account.user, account.password).as_bytes());
+            request = request.with_header("authorization", &format!("Basic {token}"));
+        }
+        request
+    }
+
+    /// Generates `n` benign requests.
+    pub fn take(&mut self, n: usize) -> Vec<HttpRequest> {
+        (0..n).map(|_| self.next_request()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paths() -> Vec<String> {
+        vec![
+            "/index.html".into(),
+            "/docs/page1.html".into(),
+            "/docs/page2.html".into(),
+            "/cgi-bin/search".into(),
+        ]
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a: Vec<String> = LegitTraffic::new(7, paths())
+            .take(50)
+            .into_iter()
+            .map(|r| r.target)
+            .collect();
+        let b: Vec<String> = LegitTraffic::new(7, paths())
+            .take(50)
+            .into_iter()
+            .map(|r| r.target)
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<String> = LegitTraffic::new(8, paths())
+            .take(50)
+            .into_iter()
+            .map(|r| r.target)
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let mut gen = LegitTraffic::new(42, paths());
+        let mut first = 0;
+        let mut last = 0;
+        for req in gen.take(2000) {
+            if req.path == "/index.html" {
+                first += 1;
+            }
+            if req.path == "/cgi-bin/search" {
+                last += 1;
+            }
+        }
+        assert!(first > last * 2, "rank 1 ({first}) should dominate rank 4 ({last})");
+    }
+
+    #[test]
+    fn auth_fraction_respected() {
+        let mut gen = LegitTraffic::new(1, paths()).with_auth_fraction(1.0);
+        assert!(gen
+            .take(20)
+            .iter()
+            .all(|r| r.header("authorization").is_some()));
+        let mut gen = LegitTraffic::new(1, paths()).with_auth_fraction(0.0);
+        assert!(gen
+            .take(20)
+            .iter()
+            .all(|r| r.header("authorization").is_none()));
+    }
+
+    #[test]
+    fn queries_are_benign() {
+        let mut gen = LegitTraffic::new(3, paths());
+        for req in gen.take(500) {
+            assert!(req.input_len() < 50, "benign input stays small: {}", req.target);
+            assert!(!req.target.contains('%'));
+            assert!(!req.target.contains("phf"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one path")]
+    fn empty_paths_panics() {
+        let _ = LegitTraffic::new(0, Vec::new());
+    }
+}

@@ -1,0 +1,30 @@
+//! # gaa-workload — traffic generation and scenario driving
+//!
+//! Deterministic (seeded) generators for the traffic classes the paper's
+//! deployments face, plus a driver that runs labelled traffic against a
+//! [`Server`](gaa_httpd::Server) and scores detection quality:
+//!
+//! * [`legit`] — benign browsing: zipf-ish path popularity over the
+//!   document tree, a mix of anonymous and authenticated users, benign CGI
+//!   queries;
+//! * [`attacks`] — the §7.2 attack classes: CGI exploits (`phf`,
+//!   `test-cgi`), NIMDA-style malformed URLs, slash-flood DoS,
+//!   buffer-overflow inputs, password guessing, and the multi-probe
+//!   vulnerability-scan script whose *unknown* probes only the BadGuys
+//!   blacklist can stop;
+//! * [`scenario`] — seeded interleavings of the above;
+//! * [`driver`] — runs a scenario, collects per-class
+//!   [`DetectionStats`] (blocked / served /
+//!   challenged), and computes true/false-positive rates.
+
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+pub mod attacks;
+pub mod driver;
+pub mod legit;
+pub mod scenario;
+
+pub use attacks::AttackKind;
+pub use driver::{ClassStats, DetectionStats};
+pub use scenario::{LabeledRequest, Scenario, ScenarioBuilder};

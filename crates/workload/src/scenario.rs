@@ -1,0 +1,196 @@
+//! Seeded scenario construction: labelled interleavings of benign and
+//! attack traffic.
+
+use crate::attacks::{AttackKind, AttackTraffic};
+use crate::legit::LegitTraffic;
+use gaa_httpd::HttpRequest;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A request with its ground-truth label.
+#[derive(Debug, Clone)]
+pub struct LabeledRequest {
+    /// The request.
+    pub request: HttpRequest,
+    /// `None` for benign traffic, the attack class otherwise.
+    pub label: Option<AttackKind>,
+}
+
+/// A finished scenario: an ordered request stream.
+#[derive(Debug)]
+pub struct Scenario {
+    /// The labelled request stream, in send order.
+    pub items: Vec<LabeledRequest>,
+    /// Seed the scenario was built from (for reproduction in reports).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Number of benign requests.
+    pub fn legit_count(&self) -> usize {
+        self.items.iter().filter(|i| i.label.is_none()).count()
+    }
+
+    /// Number of attack requests.
+    pub fn attack_count(&self) -> usize {
+        self.items.len() - self.legit_count()
+    }
+}
+
+/// Builds scenarios deterministically from a seed.
+#[derive(Debug)]
+pub struct ScenarioBuilder {
+    seed: u64,
+    legit: usize,
+    attacks: Vec<(AttackKind, usize)>,
+    scan_scripts: usize,
+    scan_probes: usize,
+    paths: Vec<String>,
+}
+
+impl ScenarioBuilder {
+    /// A builder over the benign `paths` pool.
+    pub fn new(seed: u64, paths: Vec<String>) -> Self {
+        ScenarioBuilder {
+            seed,
+            legit: 0,
+            attacks: Vec::new(),
+            scan_scripts: 0,
+            scan_probes: 5,
+            paths,
+        }
+    }
+
+    /// Adds `n` benign requests.
+    #[must_use]
+    pub fn legit(mut self, n: usize) -> Self {
+        self.legit += n;
+        self
+    }
+
+    /// Adds `n` attacks of `kind`.
+    #[must_use]
+    pub fn attacks(mut self, kind: AttackKind, n: usize) -> Self {
+        self.attacks.push((kind, n));
+        self
+    }
+
+    /// Adds `n` vulnerability-scan scripts of `probes` unknown probes each
+    /// (§7.2). Scan-script requests keep their relative order (the known
+    /// exploit arrives before the unknown probes), mirroring a script that
+    /// fires sequentially.
+    #[must_use]
+    pub fn scan_scripts(mut self, n: usize, probes: usize) -> Self {
+        self.scan_scripts = n;
+        self.scan_probes = probes;
+        self
+    }
+
+    /// Builds the scenario: attacks and benign traffic shuffled together
+    /// (deterministically), scan scripts appended in order.
+    pub fn build(self) -> Scenario {
+        let mut items = Vec::new();
+        let mut legit_gen = LegitTraffic::new(self.seed ^ 0x5eed_0001, self.paths.clone());
+        for request in legit_gen.take(self.legit) {
+            items.push(LabeledRequest {
+                request,
+                label: None,
+            });
+        }
+        let mut attack_gen = AttackTraffic::new(self.seed ^ 0x5eed_0002);
+        for (kind, n) in &self.attacks {
+            for _ in 0..*n {
+                items.push(LabeledRequest {
+                    request: attack_gen.generate(*kind),
+                    label: Some(*kind),
+                });
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5eed_0003);
+        items.shuffle(&mut rng);
+
+        for _ in 0..self.scan_scripts {
+            let (_ip, requests) = attack_gen.scan_script(self.scan_probes);
+            for (idx, request) in requests.into_iter().enumerate() {
+                items.push(LabeledRequest {
+                    request,
+                    label: Some(if idx == 0 {
+                        AttackKind::CgiExploit
+                    } else {
+                        AttackKind::UnknownProbe
+                    }),
+                });
+            }
+        }
+        Scenario {
+            items,
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paths() -> Vec<String> {
+        vec!["/index.html".into(), "/docs/page1.html".into()]
+    }
+
+    #[test]
+    fn counts_add_up() {
+        let scenario = ScenarioBuilder::new(1, paths())
+            .legit(50)
+            .attacks(AttackKind::CgiExploit, 5)
+            .attacks(AttackKind::SlashFlood, 3)
+            .scan_scripts(2, 4)
+            .build();
+        assert_eq!(scenario.legit_count(), 50);
+        // 5 + 3 + 2*(1 + 4).
+        assert_eq!(scenario.attack_count(), 18);
+        assert_eq!(scenario.items.len(), 68);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ScenarioBuilder::new(9, paths())
+            .legit(20)
+            .attacks(AttackKind::BufferOverflow, 4)
+            .build();
+        let b = ScenarioBuilder::new(9, paths())
+            .legit(20)
+            .attacks(AttackKind::BufferOverflow, 4)
+            .build();
+        let targets_a: Vec<&str> = a.items.iter().map(|i| i.request.target.as_str()).collect();
+        let targets_b: Vec<&str> = b.items.iter().map(|i| i.request.target.as_str()).collect();
+        assert_eq!(targets_a, targets_b);
+    }
+
+    #[test]
+    fn interleaving_actually_shuffles() {
+        let scenario = ScenarioBuilder::new(3, paths())
+            .legit(30)
+            .attacks(AttackKind::CgiExploit, 30)
+            .build();
+        // Attacks must not all sit at the end.
+        let first_half_attacks = scenario.items[..30]
+            .iter()
+            .filter(|i| i.label.is_some())
+            .count();
+        assert!(first_half_attacks > 3, "{first_half_attacks} attacks in first half");
+    }
+
+    #[test]
+    fn scan_scripts_preserve_exploit_first_order() {
+        let scenario = ScenarioBuilder::new(4, paths()).scan_scripts(1, 3).build();
+        assert_eq!(scenario.items.len(), 4);
+        assert_eq!(scenario.items[0].label, Some(AttackKind::CgiExploit));
+        assert!(scenario.items[1..]
+            .iter()
+            .all(|i| i.label == Some(AttackKind::UnknownProbe)));
+        // All from the same source.
+        let ip = &scenario.items[0].request.client_ip;
+        assert!(scenario.items.iter().all(|i| &i.request.client_ip == ip));
+    }
+}

@@ -1,0 +1,123 @@
+//! Adaptive DoS defence: thresholds supplied at run time by a host IDS.
+//!
+//! §2: "A condition may … specify where the value can be obtained at run
+//! time. The latter allows for adaptive constraint specification, since
+//! allowable times, locations and thresholds can change in the event of
+//! possible security attacks. The value of condition can be supplied by
+//! other services, e.g., an IDS."
+//!
+//! The policy uses `threshold local requests:@req_limit/10`: the numeric
+//! limit is not in the policy file at all — a host IDS observes baseline
+//! request rates, publishes a recommendation over the advisory channel, and
+//! tightens it when the network IDS sees flooding. The same client traffic
+//! is admitted before the advisory and cut off after it.
+//!
+//! ```text
+//! cargo run --example adaptive_dos
+//! ```
+
+use gaa::audit::notify::CollectingNotifier;
+use gaa::audit::{Clock, VirtualClock};
+use gaa::conditions::{register_standard, StandardServices};
+use gaa::core::{GaaApiBuilder, MemoryPolicyStore};
+use gaa::eacl::parse_eacl;
+use gaa::httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
+use gaa::ids::host::HostIds;
+use gaa::ids::network::NetworkIds;
+use gaa::ids::{EventBus, IdsAdvisory};
+use std::sync::Arc;
+use std::time::Duration;
+
+const POLICY: &str = "\
+neg_access_right apache *
+pre_cond threshold local requests:@req_limit/10
+pos_access_right apache *
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let clock = VirtualClock::new();
+    let services = StandardServices::new(
+        Arc::new(clock.clone()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(vec![parse_eacl(POLICY)?]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(Arc::new(clock.clone())),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)));
+
+    // The IDS side: a host IDS learning baseline rates, a network IDS
+    // watching connections, and the advisory channel between them and the
+    // GAA-API's threshold tracker.
+    let bus = EventBus::new();
+    let advisories = bus.subscribe_advisories();
+    let host_ids = HostIds::new().with_bus(bus.clone());
+    let network_ids = NetworkIds::new(Arc::new(clock.clone()))
+        .with_window(Duration::from_secs(10))
+        .with_flood_threshold(15);
+
+    // Helper: one client request, counted by both the tracker and the IDS.
+    let send = |ip: &str| -> StatusCode {
+        services.thresholds.record("requests", ip);
+        network_ids.observe_connection(ip, 80, true);
+        server
+            .handle(HttpRequest::get("/index.html").with_client_ip(ip))
+            .status
+    };
+
+    println!("-- phase 1: no advisory published yet --");
+    let status = send("10.0.0.1");
+    println!(
+        "client request -> {status} (adaptive limit unknown: condition unevaluated -> MAYBE -> 401)"
+    );
+
+    println!("\n-- phase 2: the host IDS learns a baseline and publishes a limit --");
+    for rate in [4.0, 5.0, 6.0, 5.0, 4.0, 6.0] {
+        host_ids.observe("requests_per_10s", rate);
+    }
+    let recommended = host_ids.publish_threshold("requests_per_10s", 3.0);
+    // The GAA side applies advisories from the channel to the tracker.
+    for advisory in advisories.drain() {
+        if let IdsAdvisory::ThresholdUpdate { value, .. } = advisory {
+            services.thresholds.set_limit("req_limit", value);
+        }
+    }
+    println!("recommended limit: {recommended:.1} requests / 10 s");
+    for i in 1..=12 {
+        let status = send("10.0.0.1");
+        if status != StatusCode::Ok {
+            println!("request {i:>2} -> {status}  (threshold tripped)");
+            break;
+        } else if i == 12 {
+            println!("request {i:>2} -> {status}");
+        }
+    }
+
+    println!("\n-- phase 3: flood detected; the limit is tightened --");
+    clock.advance(Duration::from_secs(11)); // new window
+    for _ in 0..16 {
+        network_ids.observe_connection("203.0.113.9", 80, true);
+    }
+    if network_ids.is_flooding("203.0.113.9") {
+        services.thresholds.set_limit("req_limit", 3.0);
+        println!("network IDS reports flooding from 203.0.113.9; limit tightened to 3/10s");
+    }
+    let mut blocked_at = None;
+    for i in 1..=8 {
+        let status = send("10.0.0.7");
+        if status != StatusCode::Ok {
+            blocked_at = Some(i);
+            break;
+        }
+    }
+    println!(
+        "fresh client now cut off at request {:?} (was 10 under the learned limit)",
+        blocked_at
+    );
+    println!("clock: {} (virtual)", clock.now());
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! The third integration from the paper's genericity claim: a
+//! FreeS/WAN-style IPsec tunnel gatekeeper.
+//!
+//! §1: "We have integrated the GAA-API with Apache web server, sshd and
+//! FreeS/WAN IPsec for Linux." Tunnel establishment is just another access
+//! request: the right is `ipsec tunnel`, the object is the security
+//! gateway, and the conditions are peer subnets, threat level and tunnel
+//! quotas. The same unmodified crates enforce it.
+//!
+//! ```text
+//! cargo run --example ipsec_gatekeeper
+//! ```
+
+use gaa::audit::notify::ConsoleNotifier;
+use gaa::audit::VirtualClock;
+use gaa::conditions::{register_standard, StandardServices};
+use gaa::core::{AnswerCode, GaaApi, GaaApiBuilder, MemoryPolicyStore, RightPattern, SecurityContext};
+use gaa::eacl::parse_eacl;
+use gaa::ids::ThreatLevel;
+use std::sync::Arc;
+
+/// Tunnels are allowed from the branch-office subnets; at elevated threat
+/// only the primary site may connect; every rejected negotiation from
+/// elsewhere is counted and, past a threshold, the peer is blocked outright.
+const GATEKEEPER_POLICY: &str = "\
+neg_access_right ipsec *
+pre_cond threshold local failed_negotiations:5/300
+rr_cond block_network local on:failure/ip/info:negotiation_flood
+neg_access_right ipsec *
+pre_cond system_threat_level local >low
+pre_cond location local 203.0.113.0/24
+rr_cond notify local on:failure/netops/info:branch_locked_out
+pos_access_right ipsec tunnel
+pre_cond location local 198.51.100.0/24 203.0.113.0/24
+";
+
+struct Gatekeeper {
+    api: GaaApi,
+    services: StandardServices,
+}
+
+impl Gatekeeper {
+    fn negotiate(&self, peer_ip: &str) -> AnswerCode {
+        let ctx = SecurityContext::new()
+            .with_client_ip(peer_ip)
+            .with_object("gw:tunnel");
+        let policy = self
+            .api
+            .get_object_policy_info("gw:tunnel")
+            .expect("in-memory policies");
+        let result =
+            self.api
+                .check_authorization(&policy, &RightPattern::new("ipsec", "tunnel"), &ctx);
+        if !result.status().is_yes() {
+            self.services
+                .thresholds
+                .record("failed_negotiations", peer_ip);
+        }
+        result.answer()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let clock = VirtualClock::new();
+    let services = StandardServices::new(
+        Arc::new(clock.clone()),
+        Arc::new(ConsoleNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_local("gw:tunnel", vec![parse_eacl(GATEKEEPER_POLICY)?]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(Arc::new(clock.clone())),
+        &services,
+    )
+    .build();
+    let gate = Gatekeeper {
+        api,
+        services: services.clone(),
+    };
+
+    println!("-- normal operation (threat low) --");
+    println!("primary site  198.51.100.7:  {}", gate.negotiate("198.51.100.7"));
+    println!("branch office 203.0.113.40:  {}", gate.negotiate("203.0.113.40"));
+    println!("unknown peer  192.0.2.66:    {}", gate.negotiate("192.0.2.66"));
+
+    println!("\n-- the IDS raises the threat level: branches are shed --");
+    services.threat.set_level(ThreatLevel::Medium);
+    println!("primary site  198.51.100.7:  {}", gate.negotiate("198.51.100.7"));
+    println!("branch office 203.0.113.40:  {}", gate.negotiate("203.0.113.40"));
+
+    println!("\n-- an unknown peer hammers the gateway --");
+    services.threat.set_level(ThreatLevel::Low);
+    for attempt in 1..=6 {
+        let answer = gate.negotiate("192.0.2.66");
+        println!("attempt {attempt}: {answer}");
+    }
+    println!(
+        "firewall now blocks: {:?} (queued for admin review: {} alert(s))",
+        services.firewall.rules(),
+        services.firewall.alerts().len()
+    );
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! The policy officer's toolbox: static lint, coverage check, and a live
+//! decision trace — the §2 "automated tool to ensure policy correctness and
+//! consistency", assembled from three public APIs.
+//!
+//! ```text
+//! cargo run --example policy_doctor
+//! ```
+
+use gaa::audit::notify::CollectingNotifier;
+use gaa::audit::VirtualClock;
+use gaa::conditions::{register_standard, StandardServices};
+use gaa::core::{GaaApiBuilder, MemoryPolicyStore, RightPattern, SecurityContext};
+use gaa::eacl::validate::validate;
+use gaa::eacl::parse_eacl;
+use std::sync::Arc;
+
+/// A policy with deliberate mistakes for the doctor to find.
+const DRAFT_POLICY: &str = "\
+# entry 1: blacklist check
+neg_access_right apache *
+pre_cond accessid GROUP BadGuys
+# entry 2: oops — unconditional grant-all, shadowing everything below
+pos_access_right * *
+# entry 3: unreachable signature check (never consulted!)
+neg_access_right apache *
+pre_cond regex gnu *phf*
+rr_cond notify local on:failure/sysadmin/info:cgi_exploit
+# entry 4: a typo'd condition type nobody registered
+pos_access_right apache *
+pre_cond acessid USER *
+";
+
+const FIXED_POLICY: &str = "\
+neg_access_right apache *
+pre_cond accessid GROUP BadGuys
+neg_access_right apache *
+pre_cond regex gnu *phf*
+rr_cond notify local on:failure/sysadmin/info:cgi_exploit
+pos_access_right apache *
+pre_cond accessid USER *
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== 1. static lint (gaa_eacl::validate) ==");
+    let draft = parse_eacl(DRAFT_POLICY)?;
+    for finding in validate(&draft) {
+        println!("  {finding}");
+    }
+
+    println!("\n== 2. evaluator coverage (GaaApi::check_coverage) ==");
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(vec![draft]);
+    let api = register_standard(GaaApiBuilder::new(Arc::new(store)), &services).build();
+    let policy = api.get_object_policy_info("/index.html")?;
+    for (layer, eacl, entry, phase, cond) in api.check_coverage(&policy) {
+        println!(
+            "  {layer:?} EACL {eacl}, entry {}, {}: no evaluator for `{} {}` \
+             — would evaluate to MAYBE",
+            entry + 1,
+            phase.keyword(),
+            cond.cond_type,
+            cond.authority
+        );
+    }
+
+    println!("\n== 3. decision trace on the FIXED policy (GaaApi::explain) ==");
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    services.groups.add("BadGuys", "203.0.113.9");
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(vec![parse_eacl(FIXED_POLICY)?]);
+    let api = register_standard(GaaApiBuilder::new(Arc::new(store)), &services).build();
+    let policy = api.get_object_policy_info("/cgi-bin/phf")?;
+    let right = RightPattern::new("apache", "GET");
+
+    println!("-- why is the blacklisted host denied? --");
+    let ctx = SecurityContext::new()
+        .with_client_ip("203.0.113.9")
+        .with_param(gaa::core::Param::new("url", "apache", "/cgi-bin/phf?x"));
+    print!("{}", api.explain(&policy, &right, &ctx));
+
+    println!("-- why does an anonymous innocent get a 401? --");
+    let ctx = SecurityContext::new()
+        .with_client_ip("10.0.0.1")
+        .with_param(gaa::core::Param::new("url", "apache", "/index.html"));
+    print!("{}", api.explain(&policy, &right, &ctx));
+
+    println!("-- and why is alice served? --");
+    let ctx = SecurityContext::new()
+        .with_user("alice")
+        .with_client_ip("10.0.0.1")
+        .with_param(gaa::core::Param::new("url", "apache", "/index.html"));
+    print!("{}", api.explain(&policy, &right, &ctx));
+    Ok(())
+}

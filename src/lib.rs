@@ -1,0 +1,24 @@
+//! # gaa — Integrated Access Control and Intrusion Detection for Web Servers
+//!
+//! Facade crate for the reproduction of Ryutov, Neuman, Kim & Zhou,
+//! *"Integrated Access Control and Intrusion Detection for Web Servers"*
+//! (ICDCS 2003). Re-exports every workspace crate under one roof so the
+//! examples and integration tests can `use gaa::…`.
+//!
+//! * [`eacl`] — the EACL policy language (§2, Appendix);
+//! * [`core`] — the GAA-API itself (§5–§6);
+//! * [`conditions`] — the standard condition evaluator library (§7);
+//! * [`httpd`] — the web-server substrate and GAA glue (§4–§6, Figure 1);
+//! * [`ids`] — IDS substrate and GAA↔IDS interaction (§3);
+//! * [`audit`] — audit log, notification, alerts;
+//! * [`workload`] — traffic/attack generators and the scenario driver (§7–§8).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use gaa_audit as audit;
+pub use gaa_conditions as conditions;
+pub use gaa_core as core;
+pub use gaa_eacl as eacl;
+pub use gaa_httpd as httpd;
+pub use gaa_ids as ids;
+pub use gaa_workload as workload;

@@ -1,0 +1,130 @@
+//! §2 adaptive constraints end to end over HTTP: the threshold *value*
+//! lives outside the policy file, arrives from a host IDS over the advisory
+//! channel, and tightens during a flood — no policy edit, no restart.
+
+use gaa::audit::notify::CollectingNotifier;
+use gaa::audit::VirtualClock;
+use gaa::conditions::{register_standard, AdvisoryApplier, StandardServices};
+use gaa::core::{GaaApiBuilder, MemoryPolicyStore};
+use gaa::eacl::parse_eacl;
+use gaa::httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
+use gaa::ids::host::HostIds;
+use gaa::ids::EventBus;
+use std::sync::Arc;
+use std::time::Duration;
+
+const POLICY: &str = "\
+neg_access_right apache *
+pre_cond threshold local requests:@req_limit/10
+pos_access_right apache *
+";
+
+struct Rig {
+    server: Server,
+    services: StandardServices,
+    clock: VirtualClock,
+    applier: AdvisoryApplier,
+    host_ids: HostIds,
+}
+
+fn build() -> Rig {
+    let clock = VirtualClock::new();
+    let services = StandardServices::new(
+        Arc::new(clock.clone()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(vec![parse_eacl(POLICY).unwrap()]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)));
+    let bus = EventBus::new();
+    let applier = AdvisoryApplier::new(&bus, services.clone());
+    let host_ids = HostIds::new().with_bus(bus);
+    Rig {
+        server,
+        services,
+        clock,
+        applier,
+        host_ids,
+    }
+}
+
+impl Rig {
+    fn send(&self, ip: &str) -> StatusCode {
+        self.services.thresholds.record("requests", ip);
+        self.server
+            .handle(HttpRequest::get("/index.html").with_client_ip(ip))
+            .status
+    }
+}
+
+#[test]
+fn unknown_adaptive_limit_challenges_instead_of_granting() {
+    let rig = build();
+    // No advisory published: the @req_limit parameter is unknown, the
+    // condition is unevaluated, the entry contributes MAYBE -> 401 — never
+    // a silent grant.
+    assert_eq!(rig.send("10.0.0.1"), StatusCode::Unauthorized);
+}
+
+#[test]
+fn published_limit_enforces_and_tightens() {
+    let rig = build();
+    // The host IDS learns a baseline and publishes mean + 3σ ≈ 8.
+    for rate in [4.0, 5.0, 6.0, 5.0, 4.0, 6.0] {
+        rig.host_ids.observe("req_rate", rate);
+    }
+    rig.host_ids.publish_threshold("req_rate", 3.0);
+    assert_eq!(rig.applier.apply_pending(), 1);
+    let limit = rig.services.thresholds.limit("req_rate");
+    assert!(limit.is_some());
+    // Map the advisory onto the policy's parameter name.
+    rig.services
+        .thresholds
+        .set_limit("req_limit", limit.unwrap());
+
+    // Requests are admitted up to the learned limit, then cut off.
+    let mut cut_at = None;
+    for i in 1..=12 {
+        if rig.send("10.0.0.1") != StatusCode::Ok {
+            cut_at = Some(i);
+            break;
+        }
+    }
+    let learned_cut = cut_at.expect("the learned limit must eventually trip");
+    assert!(learned_cut >= 7, "limit ≈ mean+3σ ≈ 8, tripped at {learned_cut}");
+
+    // Flood detected: the limit is tightened to 3. A fresh client now gets
+    // far fewer requests through, in a fresh window.
+    rig.clock.advance(Duration::from_secs(11));
+    rig.services.thresholds.set_limit("req_limit", 3.0);
+    let mut cut_at = None;
+    for i in 1..=8 {
+        if rig.send("10.0.0.7") != StatusCode::Ok {
+            cut_at = Some(i);
+            break;
+        }
+    }
+    assert_eq!(cut_at, Some(3), "tightened limit trips at the 3rd request");
+
+    // And relaxing restores service for yet another client.
+    rig.clock.advance(Duration::from_secs(11));
+    rig.services.thresholds.set_limit("req_limit", 100.0);
+    for _ in 0..10 {
+        assert_eq!(rig.send("10.0.0.9"), StatusCode::Ok);
+    }
+}
+
+#[test]
+fn advisory_application_is_audited() {
+    let rig = build();
+    rig.host_ids.observe("req_rate", 5.0);
+    rig.host_ids.publish_threshold("req_rate", 2.0);
+    rig.applier.apply_pending();
+    assert_eq!(rig.services.audit.count_category("advisory.threshold"), 1);
+}

@@ -1,0 +1,103 @@
+//! **§9 anomaly-based detection** — profiles built from granted traffic,
+//! out-of-profile requests denied by the `anomaly` condition.
+
+use gaa::audit::notify::CollectingNotifier;
+use gaa::audit::VirtualClock;
+use gaa::conditions::{register_standard, StandardServices};
+use gaa::core::{GaaApiBuilder, MemoryPolicyStore};
+use gaa::eacl::parse_eacl;
+use gaa::httpd::auth::{base64_encode, HtpasswdStore};
+use gaa::httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
+use std::sync::Arc;
+use std::time::Duration;
+
+const POLICY: &str = "\
+neg_access_right apache *
+pre_cond anomaly local 3.0
+rr_cond audit local on:failure/anomaly.denied/info:out_of_profile
+pos_access_right apache *
+pre_cond accessid USER *
+";
+
+fn build() -> (Server, StandardServices, VirtualClock) {
+    // Start mid-morning so the training window is one stable hour.
+    let clock = VirtualClock::at_millis(10 * 3_600_000);
+    let services = StandardServices::new(
+        Arc::new(clock.clone()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(vec![parse_eacl(POLICY).unwrap()]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    let mut users = HtpasswdStore::new("anomaly");
+    users.add_user("alice", "wonderland");
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)))
+        .with_users(Arc::new(users));
+    (server, services, clock)
+}
+
+fn authed(target: &str) -> HttpRequest {
+    HttpRequest::get(target)
+        .with_client_ip("10.0.0.1")
+        .with_header(
+            "authorization",
+            &format!("Basic {}", base64_encode(b"alice:wonderland")),
+        )
+}
+
+#[test]
+fn profile_learns_then_flags_outliers() {
+    let (server, services, clock) = build();
+
+    // Training: 40 granted, typical requests build alice's profile via the
+    // glue's §3-item-7 feed. (Cold start: the anomaly guard cannot trip.)
+    for i in 0..40 {
+        let response = server.handle(authed(&format!("/docs/page{}.html?id={}", i % 8 + 1, i % 9)));
+        assert_eq!(response.status, StatusCode::Ok, "training request {i}");
+        clock.advance(Duration::from_secs(45));
+    }
+    assert_eq!(services.anomaly.observations("alice"), 40);
+
+    // A typical request is still served…
+    let response = server.handle(authed("/docs/page3.html?id=4"));
+    assert_eq!(response.status, StatusCode::Ok);
+
+    // …but a wildly out-of-profile one (huge query) is denied and audited.
+    let weird = format!("/docs/page3.html?{}", "z".repeat(600));
+    let response = server.handle(authed(&weird));
+    assert_eq!(response.status, StatusCode::Forbidden);
+    assert_eq!(services.audit.count_category("anomaly.denied"), 1);
+
+    // Denied requests do NOT poison the profile.
+    assert_eq!(services.anomaly.observations("alice"), 41);
+}
+
+#[test]
+fn unusual_hour_plus_deviation_is_flagged() {
+    let (server, services, clock) = build();
+    for i in 0..40 {
+        let _ = server.handle(authed(&format!("/docs/page{}.html?id={}", i % 8 + 1, i % 9)));
+        clock.advance(Duration::from_secs(45));
+    }
+    // Jump to 03:00 next day: same page but a somewhat longer query. The
+    // hour penalty plus the query z-score crosses the threshold.
+    clock.advance(Duration::from_secs(16 * 3600));
+    let response = server.handle(authed("/docs/page3.html?id=4&extra=abcdefghijklmnop"));
+    assert_eq!(response.status, StatusCode::Forbidden);
+    assert!(services.audit.count_category("anomaly.denied") >= 1);
+}
+
+#[test]
+fn fresh_users_are_not_harassed() {
+    let (server, _services, _clock) = build();
+    // No profile for alice yet: even odd-looking requests pass (cold-start
+    // guard keeps the false-positive rate down, as §3 intends profiles to).
+    let weird = format!("/docs/page1.html?{}", "z".repeat(600));
+    let response = server.handle(authed(&weird));
+    assert_eq!(response.status, StatusCode::Ok);
+}

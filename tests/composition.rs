@@ -1,0 +1,178 @@
+//! **A2** — policy composition (§2.1) end to end through the server, plus
+//! the property-style guarantees narrow/expand must satisfy.
+
+use gaa::audit::notify::CollectingNotifier;
+use gaa::audit::VirtualClock;
+use gaa::conditions::{register_standard, StandardServices};
+use gaa::core::{GaaApiBuilder, GaaStatus, MemoryPolicyStore, RightPattern, SecurityContext};
+use gaa::eacl::parse_eacl;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Evaluates one (system, local) policy pair for an anonymous request.
+fn decide(system: &str, local: &str) -> GaaStatus {
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    if !system.is_empty() {
+        store.set_system(vec![parse_eacl(system).unwrap()]);
+    }
+    if !local.is_empty() {
+        store.set_local("/obj", vec![parse_eacl(local).unwrap()]);
+    }
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let policy = api.get_object_policy_info("/obj").unwrap();
+    let ctx = SecurityContext::new().with_client_ip("10.0.0.1").with_object("/obj");
+    api.check_authorization(&policy, &RightPattern::new("apache", "GET"), &ctx)
+        .status()
+}
+
+const GRANT: &str = "pos_access_right apache *\n";
+const DENY: &str = "neg_access_right apache *\n";
+const ABSTAIN: &str = ""; // no policy at this layer
+
+fn with_mode(mode: u8, body: &str) -> String {
+    format!("eacl_mode {mode}\n{body}")
+}
+
+#[test]
+fn narrow_truth_table() {
+    // (system, local) -> composed, under narrow (mode 1).
+    let cases = [
+        (GRANT, GRANT, GaaStatus::Yes),
+        (GRANT, DENY, GaaStatus::No),
+        (GRANT, ABSTAIN, GaaStatus::Yes),
+        (DENY, GRANT, GaaStatus::No),
+        (DENY, DENY, GaaStatus::No),
+        (DENY, ABSTAIN, GaaStatus::No),
+        (ABSTAIN, GRANT, GaaStatus::Yes),
+        (ABSTAIN, DENY, GaaStatus::No),
+        (ABSTAIN, ABSTAIN, GaaStatus::No), // default deny
+    ];
+    for (system, local, expected) in cases {
+        let system_text = if system.is_empty() {
+            // An empty EACL with a mode still sets the mode.
+            "eacl_mode 1\n".to_string()
+        } else {
+            with_mode(1, system)
+        };
+        assert_eq!(
+            decide(&system_text, local),
+            expected,
+            "narrow({system:?}, {local:?})"
+        );
+    }
+}
+
+#[test]
+fn expand_truth_table() {
+    let cases = [
+        (GRANT, GRANT, GaaStatus::Yes),
+        (GRANT, DENY, GaaStatus::Yes), // disjunction: either grant suffices
+        (GRANT, ABSTAIN, GaaStatus::Yes),
+        (DENY, GRANT, GaaStatus::Yes),
+        (DENY, DENY, GaaStatus::No),
+        (DENY, ABSTAIN, GaaStatus::No),
+        (ABSTAIN, GRANT, GaaStatus::Yes),
+        (ABSTAIN, DENY, GaaStatus::No),
+        (ABSTAIN, ABSTAIN, GaaStatus::No),
+    ];
+    for (system, local, expected) in cases {
+        let system_text = if system.is_empty() {
+            "eacl_mode 0\n".to_string()
+        } else {
+            with_mode(0, system)
+        };
+        assert_eq!(
+            decide(&system_text, local),
+            expected,
+            "expand({system:?}, {local:?})"
+        );
+    }
+}
+
+#[test]
+fn stop_ignores_local_entirely() {
+    let cases = [
+        (GRANT, DENY, GaaStatus::Yes),
+        (DENY, GRANT, GaaStatus::No),
+        (GRANT, GRANT, GaaStatus::Yes),
+        (DENY, DENY, GaaStatus::No),
+    ];
+    for (system, local, expected) in cases {
+        assert_eq!(
+            decide(&with_mode(2, system), local),
+            expected,
+            "stop({system:?}, {local:?})"
+        );
+    }
+}
+
+#[test]
+fn stop_mode_admin_only_log_access() {
+    // §2.1's stop-mode example: allow the log file only to the admin,
+    // whatever the local policies say.
+    let system = "\
+eacl_mode 2
+pos_access_right apache *
+pre_cond accessid USER admin
+";
+    let local_wide_open = GRANT;
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(vec![parse_eacl(system).unwrap()]);
+    store.set_local("/system.log", vec![parse_eacl(local_wide_open).unwrap()]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let policy = api.get_object_policy_info("/system.log").unwrap();
+    let right = RightPattern::new("apache", "GET");
+
+    let admin = SecurityContext::new().with_user("admin");
+    assert!(api.check_authorization(&policy, &right, &admin).status().is_yes());
+    let other = SecurityContext::new().with_user("mallory");
+    assert!(api.check_authorization(&policy, &right, &other).status().is_no());
+}
+
+proptest! {
+    /// Narrow never grants a request that the local policy alone denies,
+    /// and never grants when the system layer denies — the "mandatory
+    /// policies must always hold" guarantee.
+    #[test]
+    fn narrow_is_no_more_permissive_than_either_layer(
+        sys_grants in any::<bool>(),
+        loc_grants in any::<bool>(),
+    ) {
+        let system = with_mode(1, if sys_grants { GRANT } else { DENY });
+        let local = if loc_grants { GRANT } else { DENY };
+        let composed = decide(&system, local);
+        if composed == GaaStatus::Yes {
+            prop_assert!(sys_grants && loc_grants);
+        }
+    }
+
+    /// Expand never denies a request that either layer grants.
+    #[test]
+    fn expand_is_no_less_permissive_than_either_layer(
+        sys_grants in any::<bool>(),
+        loc_grants in any::<bool>(),
+    ) {
+        let system = with_mode(0, if sys_grants { GRANT } else { DENY });
+        let local = if loc_grants { GRANT } else { DENY };
+        let composed = decide(&system, local);
+        if sys_grants || loc_grants {
+            prop_assert_eq!(composed, GaaStatus::Yes);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Concurrency: the whole stack is `&self`-threaded — one server instance
+//! handles parallel requests while response actions mutate the shared
+//! blacklist, thresholds and audit log.
+
+use gaa::audit::notify::CollectingNotifier;
+use gaa::audit::VirtualClock;
+use gaa::conditions::{register_standard, StandardServices};
+use gaa::core::{GaaApiBuilder, MemoryPolicyStore};
+use gaa::eacl::parse_eacl;
+use gaa::httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
+use std::sync::Arc;
+
+const POLICY: &str = "\
+eacl_mode 1
+neg_access_right apache *
+pre_cond accessid GROUP BadGuys
+neg_access_right apache *
+pre_cond regex gnu *phf*
+rr_cond update_log local on:failure/BadGuys/info:ip
+pos_access_right apache *
+";
+
+fn build() -> (Arc<Server>, StandardServices) {
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(vec![parse_eacl(POLICY).unwrap()]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    (
+        Arc::new(Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)))),
+        services,
+    )
+}
+
+#[test]
+fn parallel_benign_traffic_is_all_served() {
+    let (server, _services) = build();
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let mut ok = 0;
+                for i in 0..200 {
+                    let req = HttpRequest::get(&format!("/docs/page{}.html", i % 8 + 1))
+                        .with_client_ip(format!("10.0.{t}.{}", i % 250 + 1));
+                    if server.handle(req).status == StatusCode::Ok {
+                        ok += 1;
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+    let total: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    assert_eq!(total, 1600);
+    let snapshot = server.stats().snapshot();
+    assert_eq!(snapshot.requests, 1600);
+    assert_eq!(snapshot.ok, 1600);
+}
+
+#[test]
+fn parallel_attacks_all_blocked_and_blacklist_is_consistent() {
+    let (server, services) = build();
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let ip = format!("203.0.113.{}", t + 1);
+                let mut blocked = 0;
+                for i in 0..50 {
+                    // Alternate: signature attack, then a benign URL which
+                    // must also be blocked once the host is listed.
+                    let target = if i % 2 == 0 {
+                        format!("/cgi-bin/phf?probe={i}")
+                    } else {
+                        "/index.html".to_string()
+                    };
+                    let req = HttpRequest::get(&target).with_client_ip(&ip);
+                    if server.handle(req).status == StatusCode::Forbidden {
+                        blocked += 1;
+                    }
+                }
+                blocked
+            })
+        })
+        .collect();
+    let total: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    // Every request from every attacker thread is blocked: the first is a
+    // signature hit (which blacklists), and everything after is membership.
+    assert_eq!(total, 8 * 50);
+    assert_eq!(services.groups.len("BadGuys"), 8);
+    // The audit log saw every grow-event exactly once per attacker.
+    assert_eq!(services.audit.count_category("group.updated"), 8);
+}
+
+#[test]
+fn mixed_traffic_keeps_innocents_unaffected() {
+    let (server, _services) = build();
+    let attacker = {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            for i in 0..100 {
+                let _ = server.handle(
+                    HttpRequest::get(&format!("/cgi-bin/phf?x={i}"))
+                        .with_client_ip("203.0.113.99"),
+                );
+            }
+        })
+    };
+    let innocents: Vec<_> = (0..4)
+        .map(|t| {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                (0..100)
+                    .filter(|i| {
+                        let req = HttpRequest::get("/index.html")
+                            .with_client_ip(format!("10.1.1.{t}"));
+                        let _ = i;
+                        server.handle(req).status == StatusCode::Ok
+                    })
+                    .count()
+            })
+        })
+        .collect();
+    attacker.join().unwrap();
+    let served: usize = innocents.into_iter().map(|t| t.join().unwrap()).sum();
+    assert_eq!(served, 400, "attack storms must not impact other clients");
+}

@@ -1,0 +1,140 @@
+//! **§6 step 1** — initialization from configuration files on disk:
+//! "gaa_initialize … extract and register condition evaluation and policy
+//! retrieval routines from the system and local configuration files, fetch
+//! the system policy file, and generate internal structures for later use."
+
+use gaa::audit::notify::CollectingNotifier;
+use gaa::audit::VirtualClock;
+use gaa::conditions::{catalog::register_from_config, StandardServices};
+use gaa::core::config::{load_config, parse_config};
+use gaa::core::{FilePolicyStore, GaaApiBuilder, RightPattern, SecurityContext};
+use gaa::ids::ThreatLevel;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn setup_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gaa-configinit-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("docroot")).unwrap();
+    dir
+}
+
+const SYSTEM_CONF: &str = "\
+# system-wide configuration: which routines serve which condition types
+register system_threat_level local builtin:system_threat_level
+register regex gnu builtin:regex
+param notify.recipient sysadmin
+";
+
+const LOCAL_CONF: &str = "\
+# local configuration layers extra routines on top
+register accessid USER builtin:accessid_user
+register accessid GROUP builtin:accessid_group
+param notify.recipient webmaster
+";
+
+#[test]
+fn full_disk_initialization_flow() {
+    let dir = setup_dir("full");
+    std::fs::write(dir.join("system.conf"), SYSTEM_CONF).unwrap();
+    std::fs::write(dir.join("local.conf"), LOCAL_CONF).unwrap();
+    std::fs::write(
+        dir.join("system.eacl"),
+        "eacl_mode 1\nneg_access_right * *\npre_cond system_threat_level local =high\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("docroot/.eacl"),
+        "pos_access_right apache *\npre_cond accessid USER *\n",
+    )
+    .unwrap();
+
+    // 1. Load and merge the configuration files (local layers over system).
+    let mut config = load_config(&dir.join("system.conf")).unwrap();
+    config.merge(load_config(&dir.join("local.conf")).unwrap());
+    assert_eq!(config.registrations.len(), 4);
+    assert_eq!(config.param("notify.recipient"), Some("webmaster"));
+
+    // 2. Register exactly the configured routines.
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let store = FilePolicyStore::new()
+        .with_system_file(dir.join("system.eacl"))
+        .with_local_root(dir.join("docroot"));
+    let (builder, unknown) = register_from_config(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &config,
+        &services,
+    );
+    assert!(unknown.is_empty());
+    let api = builder.build();
+
+    // Only the configured routines exist.
+    assert!(api.registry().is_registered("regex", "gnu"));
+    assert!(api.registry().is_registered("accessid", "USER"));
+    assert!(!api.registry().is_registered("notify", "local"));
+    assert!(!api.registry().is_registered("time_window", "local"));
+
+    // 3. The composed policies enforce correctly.
+    let policy = api.get_object_policy_info("/index.html").unwrap();
+    let right = RightPattern::new("apache", "GET");
+
+    let alice = SecurityContext::new().with_user("alice");
+    assert!(api.check_authorization(&policy, &right, &alice).status().is_yes());
+    let anon = SecurityContext::new();
+    assert!(api.check_authorization(&policy, &right, &anon).status().is_maybe());
+    services.threat.set_level(ThreatLevel::High);
+    assert!(api.check_authorization(&policy, &right, &alice).status().is_no());
+}
+
+#[test]
+fn coverage_check_catches_configuration_gaps() {
+    // The policy uses `accessid` but the config forgot to register it: the
+    // deployment-time coverage check names the gap before an attacker
+    // exploits the resulting MAYBE.
+    let dir = setup_dir("gap");
+    std::fs::write(
+        dir.join("system.eacl"),
+        "pos_access_right apache *\npre_cond accessid USER *\n",
+    )
+    .unwrap();
+    let config = parse_config("register regex gnu builtin:regex\n").unwrap();
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let store = FilePolicyStore::new().with_system_file(dir.join("system.eacl"));
+    let (builder, _unknown) = register_from_config(
+        GaaApiBuilder::new(Arc::new(store)),
+        &config,
+        &services,
+    );
+    let api = builder.build();
+    let policy = api.get_object_policy_info("/anything").unwrap();
+    let missing = api.check_coverage(&policy);
+    assert_eq!(missing.len(), 1);
+    assert_eq!(missing[0].4.cond_type, "accessid");
+}
+
+#[test]
+fn unknown_routines_are_reported_not_fatal() {
+    let config = parse_config(
+        "register regex gnu builtin:regex\n\
+         register exotic local plugin:from_vendor\n",
+    )
+    .unwrap();
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let (builder, unknown) = register_from_config(
+        GaaApiBuilder::new(Arc::new(gaa::core::MemoryPolicyStore::new())),
+        &config,
+        &services,
+    );
+    assert_eq!(unknown, vec!["plugin:from_vendor".to_string()]);
+    let api = builder.build();
+    assert!(api.registry().is_registered("regex", "gnu"));
+}

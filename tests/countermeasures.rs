@@ -1,0 +1,145 @@
+//! **§1 countermeasures** — connection-level blocking and service stop,
+//! driven entirely by policy response actions, with administrator alerts
+//! for every automated step.
+
+use gaa::audit::notify::CollectingNotifier;
+use gaa::audit::VirtualClock;
+use gaa::conditions::{register_standard, StandardServices};
+use gaa::core::{GaaApiBuilder, MemoryPolicyStore};
+use gaa::eacl::parse_eacl;
+use gaa::httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
+use std::sync::Arc;
+
+fn server_with(system_policy: &str) -> (Server, StandardServices) {
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(vec![parse_eacl(system_policy).unwrap()]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)))
+        .with_firewall(services.firewall.clone());
+    (server, services)
+}
+
+#[test]
+fn exploit_triggers_network_block_at_connection_level() {
+    let policy = "\
+neg_access_right apache *
+pre_cond regex gnu *phf*
+rr_cond block_network local on:failure/ip/info:cgi_exploit
+pos_access_right apache *
+";
+    let (server, services) = server_with(policy);
+    let attacker = "203.0.113.9";
+
+    // The exploit is denied by policy AND the source is firewalled.
+    let response = server.handle(HttpRequest::get("/cgi-bin/phf?x").with_client_ip(attacker));
+    assert_eq!(response.status, StatusCode::Forbidden);
+    assert!(services.firewall.is_blocked(attacker));
+
+    // Subsequent requests are refused before any policy evaluation: no new
+    // audit denial records accumulate, only the firewall drop counter.
+    let denials_before = services.audit.count_category("gaa.denied");
+    let response = server.handle(HttpRequest::get("/index.html").with_client_ip(attacker));
+    assert_eq!(response.status, StatusCode::Forbidden);
+    assert_eq!(services.audit.count_category("gaa.denied"), denials_before);
+    assert_eq!(services.firewall.dropped(), 1);
+
+    // Other clients are unaffected.
+    let response = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(response.status, StatusCode::Ok);
+
+    // The automated action is queued for administrator review (§1: "these
+    // actions would be followed by an alert to the security administrator").
+    let alerts = services.firewall.alerts().drain();
+    assert_eq!(alerts.len(), 1);
+    assert!(alerts[0].action_taken.contains(attacker));
+    assert!(alerts[0].reason.contains("cgi_exploit"));
+
+    // The administrator reviews and reverses it.
+    assert!(services.firewall.unblock(attacker));
+    let response = server.handle(HttpRequest::get("/index.html").with_client_ip(attacker));
+    assert_eq!(response.status, StatusCode::Ok);
+}
+
+#[test]
+fn subnet_scope_blocks_the_slash_24() {
+    let policy = "\
+neg_access_right apache *
+pre_cond regex gnu *phf*
+rr_cond block_network local on:failure/subnet/info:scan
+pos_access_right apache *
+";
+    let (server, services) = server_with(policy);
+    let _ = server.handle(HttpRequest::get("/cgi-bin/phf?x").with_client_ip("203.0.113.9"));
+    assert!(services.firewall.is_blocked("203.0.113.9"));
+    assert!(services.firewall.is_blocked("203.0.113.200"), "whole /24 blocked");
+    assert!(!services.firewall.is_blocked("203.0.114.1"));
+    assert_eq!(services.firewall.rules(), vec!["203.0.113.0/24".to_string()]);
+}
+
+#[test]
+fn stop_service_answers_503_until_reenabled() {
+    // The stop-mode panic button: an attack on the admin interface stops
+    // the whole service.
+    let policy = "\
+neg_access_right apache *
+pre_cond regex gnu */etc/passwd*
+rr_cond stop_service local on:failure/service/info:credential_theft_attempt
+pos_access_right apache *
+";
+    let (server, services) = server_with(policy);
+
+    let response = server.handle(
+        HttpRequest::get("/cgi-bin/search?q=../../etc/passwd").with_client_ip("203.0.113.9"),
+    );
+    assert_eq!(response.status, StatusCode::Forbidden);
+    assert!(!services.firewall.service_enabled());
+
+    // Everyone gets 503 now, including innocents.
+    let response = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(response.status, StatusCode::ServiceUnavailable);
+
+    // The alert explains why, and the admin restores service.
+    let alerts = services.firewall.alerts().drain();
+    assert!(alerts
+        .iter()
+        .any(|a| a.reason.contains("credential_theft_attempt")));
+    services.firewall.enable_service();
+    let response = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(response.status, StatusCode::Ok);
+}
+
+#[test]
+fn firewall_gate_applies_to_raw_bytes_too() {
+    let policy = "pos_access_right apache *\n";
+    let (server, services) = server_with(policy);
+    services.firewall.block("203.0.113.", "manual").unwrap();
+    let response = server.handle_bytes(b"GET /index.html HTTP/1.1\r\n\r\n", "203.0.113.9");
+    assert_eq!(response.status, StatusCode::Forbidden);
+    // Even unparseable bytes from blocked sources are refused cheaply.
+    let response = server.handle_bytes(b"garbage", "203.0.113.9");
+    assert_eq!(response.status, StatusCode::Forbidden);
+    assert_eq!(services.firewall.dropped(), 2);
+}
+
+#[test]
+fn actions_do_not_fire_on_granted_requests() {
+    let policy = "\
+pos_access_right apache *
+rr_cond block_network local on:failure/ip/info:x
+rr_cond stop_service local on:failure/service/info:x
+";
+    let (server, services) = server_with(policy);
+    let response = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(response.status, StatusCode::Ok);
+    assert!(services.firewall.rules().is_empty());
+    assert!(services.firewall.service_enabled());
+}

@@ -1,0 +1,159 @@
+//! Failure injection: the integration must fail *closed* on policy
+//! problems, degrade gracefully on service outages, and contain buggy
+//! evaluator code.
+
+use gaa::audit::notify::FailingNotifier;
+use gaa::audit::{AuditLog, VirtualClock};
+use gaa::conditions::{register_standard, StandardServices};
+use gaa::core::{
+    EvalDecision, FilePolicyStore, GaaApiBuilder, MemoryPolicyStore, PolicyStore,
+};
+use gaa::eacl::parse_eacl;
+use gaa::httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
+use std::sync::Arc;
+
+#[test]
+fn unparseable_policy_file_fails_closed() {
+    let dir = std::env::temp_dir().join(format!("gaa-failinj-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("system.eacl"), "pos_access_right apache *\nGARBAGE\n").unwrap();
+
+    let store = FilePolicyStore::new().with_system_file(dir.join("system.eacl"));
+    assert!(store.system_policies().is_err());
+
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(FailingNotifier::new()),
+    );
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)));
+
+    let response = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(
+        response.status,
+        StatusCode::Forbidden,
+        "a broken policy store must deny, never wave requests through"
+    );
+    assert_eq!(services.audit.count_category("policy.retrieval_failed"), 1);
+}
+
+#[test]
+fn panicking_evaluator_degrades_to_maybe_not_crash() {
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(FailingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_local(
+        "/index.html",
+        vec![parse_eacl("pos_access_right apache *\npre_cond buggy local x\n").unwrap()],
+    );
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .register("buggy", "local", |_: &str, _: &gaa::core::EvalEnv<'_>| -> EvalDecision {
+        panic!("webmaster-supplied routine explodes")
+    })
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)));
+
+    // The server survives, answers 401 (MAYBE), and audits the fault.
+    let response = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(response.status, StatusCode::Unauthorized);
+    assert_eq!(services.audit.count_category("gaa.evaluator_fault"), 1);
+}
+
+#[test]
+fn notifier_outage_does_not_affect_enforcement() {
+    let failing = Arc::new(FailingNotifier::new());
+    let services = StandardServices::new(Arc::new(VirtualClock::new()), failing.clone());
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(vec![parse_eacl(
+        "neg_access_right apache *\n\
+         pre_cond regex gnu *phf*\n\
+         rr_cond notify local on:failure/sysadmin/info:cgi_exploit\n\
+         rr_cond update_log local on:failure/BadGuys/info:ip\n\
+         pos_access_right apache *\n",
+    )
+    .unwrap()]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)));
+
+    // The attack is still denied and still blacklisted even though mail is
+    // down; the outage itself is audited.
+    let response =
+        server.handle(HttpRequest::get("/cgi-bin/phf?x").with_client_ip("203.0.113.9"));
+    assert_eq!(response.status, StatusCode::Forbidden);
+    assert!(services.groups.contains("BadGuys", "203.0.113.9"));
+    assert!(failing.attempts() >= 1);
+    assert_eq!(services.audit.count_category("notify.failed"), 1);
+
+    // Benign traffic is unaffected.
+    let response = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(response.status, StatusCode::Ok);
+}
+
+#[test]
+fn audit_ring_survives_logging_storms() {
+    // A DoS that generates masses of denials must not exhaust memory: the
+    // ring evicts, counts drops, and enforcement never flinches.
+    let log = AuditLog::with_capacity(64);
+    let services = StandardServices {
+        audit: log.clone(),
+        ..StandardServices::new(Arc::new(VirtualClock::new()), Arc::new(FailingNotifier::new()))
+    };
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(vec![parse_eacl(
+        "neg_access_right apache *\npre_cond regex gnu *phf*\npos_access_right apache *\n",
+    )
+    .unwrap()]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)));
+
+    for i in 0..500 {
+        let response = server.handle(
+            HttpRequest::get(&format!("/cgi-bin/phf?storm={i}"))
+                .with_client_ip("203.0.113.9"),
+        );
+        assert_eq!(response.status, StatusCode::Forbidden);
+    }
+    assert_eq!(log.len(), 64);
+    assert!(log.dropped() > 0);
+}
+
+#[test]
+fn malformed_wire_requests_never_reach_handlers() {
+    let server = Server::new(Vfs::default_site(), AccessControl::Open);
+    let garbage: &[&[u8]] = &[
+        b"",
+        b"\r\n\r\n",
+        b"GET\r\n\r\n",
+        b"GET /x HTTP/9.9\r\n\r\n",
+        b"DELETE /x HTTP/1.1\r\n\r\n",
+        b"GET /x HTTP/1.1\r\nbroken header line\r\n\r\n",
+        &[0xff, 0xfe, 0x00, 0x01, b'\r', b'\n', b'\r', b'\n'],
+    ];
+    for raw in garbage {
+        let response = server.handle_bytes(raw, "203.0.113.9");
+        assert_eq!(response.status, StatusCode::BadRequest, "{raw:?}");
+    }
+    assert_eq!(server.stats().snapshot().bad_request, garbage.len() as u64);
+}

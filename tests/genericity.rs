@@ -1,0 +1,131 @@
+//! The §1 genericity claim as a test: the same unmodified GAA-API crates
+//! authorize a web server, an SSH-style login service and an IPsec-style
+//! tunnel gatekeeper — only the requested rights and context differ.
+
+use gaa::audit::notify::CollectingNotifier;
+use gaa::audit::VirtualClock;
+use gaa::conditions::{register_standard, StandardServices};
+use gaa::core::{AnswerCode, GaaApi, GaaApiBuilder, MemoryPolicyStore, RightPattern, SecurityContext};
+use gaa::eacl::parse_eacl;
+use gaa::ids::ThreatLevel;
+use std::sync::Arc;
+
+/// One API instance, three applications' policies, three right authorities.
+fn build() -> (GaaApi, StandardServices) {
+    let services = StandardServices::new(
+        // Monday 09:00 (epoch day 0 is Thursday; +4 days).
+        Arc::new(VirtualClock::at_millis(4 * 86_400_000 + 9 * 3_600_000)),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_local(
+        "/index.html",
+        vec![parse_eacl("pos_access_right apache GET\n").unwrap()],
+    );
+    store.set_local(
+        "sshd:session",
+        vec![parse_eacl(
+            "pos_access_right sshd login\n\
+             pre_cond time_window local 7-19@mon-fri\n\
+             pre_cond accessid USER *\n",
+        )
+        .unwrap()],
+    );
+    store.set_local(
+        "gw:tunnel",
+        vec![parse_eacl(
+            "neg_access_right ipsec *\n\
+             pre_cond system_threat_level local =high\n\
+             pos_access_right ipsec tunnel\n\
+             pre_cond location local 198.51.100.0/24\n",
+        )
+        .unwrap()],
+    );
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    (api, services)
+}
+
+fn check(api: &GaaApi, object: &str, right: RightPattern, ctx: &SecurityContext) -> AnswerCode {
+    let policy = api.get_object_policy_info(object).unwrap();
+    api.check_authorization(&policy, &right, ctx).answer()
+}
+
+#[test]
+fn one_api_instance_serves_three_applications() {
+    let (api, _services) = build();
+
+    // Web.
+    let web_ctx = SecurityContext::new().with_client_ip("10.0.0.1");
+    assert_eq!(
+        check(&api, "/index.html", RightPattern::new("apache", "GET"), &web_ctx),
+        AnswerCode::Ok
+    );
+    // The web right does not leak into ssh policy space: no sshd entry
+    // matches `apache GET`, and vice versa.
+    assert_eq!(
+        check(&api, "sshd:session", RightPattern::new("apache", "GET"), &web_ctx),
+        AnswerCode::Declined
+    );
+
+    // SSH.
+    let ssh_ctx = SecurityContext::new().with_user("alice").with_client_ip("10.0.0.1");
+    assert_eq!(
+        check(&api, "sshd:session", RightPattern::new("sshd", "login"), &ssh_ctx),
+        AnswerCode::Ok
+    );
+
+    // IPsec.
+    let tunnel_ctx = SecurityContext::new().with_client_ip("198.51.100.7");
+    assert_eq!(
+        check(&api, "gw:tunnel", RightPattern::new("ipsec", "tunnel"), &tunnel_ctx),
+        AnswerCode::Ok
+    );
+    let outsider = SecurityContext::new().with_client_ip("192.0.2.1");
+    assert_eq!(
+        check(&api, "gw:tunnel", RightPattern::new("ipsec", "tunnel"), &outsider),
+        AnswerCode::Declined
+    );
+}
+
+#[test]
+fn shared_services_cross_application_state() {
+    // The threat level is one system-wide value: an attack seen by the web
+    // server locks the IPsec gateway too — the integration argument at
+    // fleet scale.
+    let (api, services) = build();
+    let tunnel_ctx = SecurityContext::new().with_client_ip("198.51.100.7");
+    assert_eq!(
+        check(&api, "gw:tunnel", RightPattern::new("ipsec", "tunnel"), &tunnel_ctx),
+        AnswerCode::Ok
+    );
+    services.threat.set_level(ThreatLevel::High);
+    assert_eq!(
+        check(&api, "gw:tunnel", RightPattern::new("ipsec", "tunnel"), &tunnel_ctx),
+        AnswerCode::Declined
+    );
+}
+
+#[test]
+fn ssh_after_hours_denied_by_the_same_time_evaluator() {
+    let (api, services) = build();
+    let ssh_ctx = SecurityContext::new().with_user("alice");
+    assert_eq!(
+        check(&api, "sshd:session", RightPattern::new("sshd", "login"), &ssh_ctx),
+        AnswerCode::Ok
+    );
+    // Advance to 21:00: the very same `time_window` routine that guards web
+    // objects now rejects the login.
+    let _ = services; // clock is shared through services
+    // (jump 12h via a fresh context pin instead of mutating the clock)
+    let late_ctx = ssh_ctx
+        .clone()
+        .with_time(gaa::audit::Timestamp::from_millis(4 * 86_400_000 + 21 * 3_600_000));
+    assert_eq!(
+        check(&api, "sshd:session", RightPattern::new("sshd", "login"), &late_ctx),
+        AnswerCode::Declined
+    );
+}

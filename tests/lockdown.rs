@@ -1,0 +1,154 @@
+//! **D7.1** — the Network Lockdown deployment, asserted over the full
+//! threat-level × identity matrix, including automatic relaxation.
+
+use gaa::audit::notify::CollectingNotifier;
+use gaa::audit::VirtualClock;
+use gaa::conditions::{register_standard, StandardServices};
+use gaa::core::{GaaApiBuilder, MemoryPolicyStore};
+use gaa::eacl::parse_eacl;
+use gaa::httpd::auth::{base64_encode, HtpasswdStore};
+use gaa::httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
+use gaa::ids::ThreatLevel;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SYSTEM: &str = "\
+eacl_mode 1
+neg_access_right * *
+pre_cond system_threat_level local =high
+";
+
+const LOCAL: &str = "\
+pos_access_right apache *
+pre_cond system_threat_level local >low
+pre_cond accessid USER *
+pos_access_right apache *
+pre_cond system_threat_level local =low
+";
+
+fn build(clock: VirtualClock) -> (Server, StandardServices) {
+    let services = StandardServices::new(
+        Arc::new(clock),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(vec![parse_eacl(SYSTEM).unwrap()]);
+    for path in Vfs::default_site().paths() {
+        store.set_local(path, vec![parse_eacl(LOCAL).unwrap()]);
+    }
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    let mut users = HtpasswdStore::new("t");
+    users.add_user("alice", "wonderland");
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)))
+        .with_users(Arc::new(users));
+    (server, services)
+}
+
+fn anon(server: &Server) -> StatusCode {
+    server
+        .handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"))
+        .status
+}
+
+fn authed(server: &Server) -> StatusCode {
+    server
+        .handle(
+            HttpRequest::get("/index.html")
+                .with_client_ip("10.0.0.1")
+                .with_header(
+                    "authorization",
+                    &format!("Basic {}", base64_encode(b"alice:wonderland")),
+                ),
+        )
+        .status
+}
+
+#[test]
+fn lockdown_matrix_matches_paper_semantics() {
+    let (server, services) = build(VirtualClock::new());
+    let cases = [
+        (ThreatLevel::Low, StatusCode::Ok, StatusCode::Ok),
+        (ThreatLevel::Medium, StatusCode::Unauthorized, StatusCode::Ok),
+        (ThreatLevel::High, StatusCode::Forbidden, StatusCode::Forbidden),
+    ];
+    for (level, expect_anon, expect_auth) in cases {
+        services.threat.set_level(level);
+        assert_eq!(anon(&server), expect_anon, "anonymous at {level}");
+        assert_eq!(authed(&server), expect_auth, "authenticated at {level}");
+    }
+}
+
+#[test]
+fn mandatory_system_deny_cannot_be_bypassed_locally() {
+    // Even a local grant-all cannot override the system-wide lockout under
+    // narrow composition ("can not be bypassed by a local policy").
+    let clock = VirtualClock::new();
+    let services = StandardServices::new(
+        Arc::new(clock),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(vec![parse_eacl(SYSTEM).unwrap()]);
+    store.set_local("/index.html", vec![parse_eacl("pos_access_right * *\n").unwrap()]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)));
+    services.threat.set_level(ThreatLevel::High);
+    assert_eq!(anon(&server), StatusCode::Forbidden);
+}
+
+#[test]
+fn wrong_password_counts_as_anonymous_under_lockdown() {
+    let (server, services) = build(VirtualClock::new());
+    services.threat.set_level(ThreatLevel::Medium);
+    let status = server
+        .handle(
+            HttpRequest::get("/index.html")
+                .with_client_ip("10.0.0.1")
+                .with_header(
+                    "authorization",
+                    &format!("Basic {}", base64_encode(b"alice:WRONG")),
+                ),
+        )
+        .status;
+    assert_eq!(status, StatusCode::Unauthorized);
+    // And the failed attempt was recorded for threshold conditions.
+    assert_eq!(
+        services
+            .thresholds
+            .count("failed_logins", "10.0.0.1", Duration::from_secs(60)),
+        1
+    );
+}
+
+#[test]
+fn ids_escalation_and_decay_drive_the_policy() {
+    let clock = VirtualClock::new();
+    let (server, services) = build(clock.clone());
+    let threat = services
+        .threat
+        .clone()
+        .with_decay_after(Duration::from_secs(120));
+    // Fresh monitor config shares the same underlying state.
+    threat.set_level(ThreatLevel::Low);
+    assert_eq!(anon(&server), StatusCode::Ok);
+
+    threat.set_level(ThreatLevel::High);
+    assert_eq!(anon(&server), StatusCode::Forbidden);
+
+    clock.advance(Duration::from_secs(121));
+    // The *server's* monitor applies the default 5-minute decay, so still
+    // locked; the reconfigured handle sees medium.
+    assert_eq!(threat.current(), ThreatLevel::Medium);
+    clock.advance(Duration::from_secs(300));
+    assert_eq!(anon(&server), StatusCode::Ok, "decay must reopen the system");
+}

@@ -1,0 +1,141 @@
+//! **A7 / §6 step 3** — the execution-control phase (unimplemented in the
+//! paper, implemented here), across every resource dimension.
+
+use gaa::audit::notify::CollectingNotifier;
+use gaa::audit::VirtualClock;
+use gaa::conditions::{register_standard, StandardServices};
+use gaa::core::{GaaApiBuilder, MemoryPolicyStore};
+use gaa::eacl::parse_eacl;
+use gaa::httpd::cgi::CgiScript;
+use gaa::httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
+use std::sync::Arc;
+
+fn server_with_policy_and_script(policy: &str, script: CgiScript) -> (Server, StandardServices) {
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_local("/cgi-bin/job", vec![parse_eacl(policy).unwrap()]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    let mut vfs = Vfs::new();
+    vfs.add_cgi("/cgi-bin/job", script);
+    (
+        Server::new(vfs, AccessControl::Gaa(Box::new(glue))),
+        services,
+    )
+}
+
+fn run(server: &Server) -> StatusCode {
+    server
+        .handle(HttpRequest::get("/cgi-bin/job").with_client_ip("10.0.0.1"))
+        .status
+}
+
+#[test]
+fn cpu_ceiling_aborts_runaways() {
+    let policy = "pos_access_right apache *\nmid_cond cpu_limit local 200\n";
+    let (server, services) = server_with_policy_and_script(policy, CgiScript::cpu_bomb(5_000));
+    assert_eq!(run(&server), StatusCode::InternalServerError);
+    assert_eq!(server.stats().snapshot().cgi_aborted, 1);
+    assert_eq!(services.audit.count_category("gaa.mid_violation"), 1);
+    // The abort happened early: the bomb never consumed its full 5000 ticks.
+    let record = &services.audit.by_category("gaa.mid_violation")[0];
+    assert!(record.message.contains("cpu="));
+}
+
+#[test]
+fn cpu_ceiling_lets_compliant_jobs_finish() {
+    let policy = "pos_access_right apache *\nmid_cond cpu_limit local 10000\n";
+    let (server, _services) = server_with_policy_and_script(policy, CgiScript::cpu_bomb(5_000));
+    assert_eq!(run(&server), StatusCode::Ok);
+    assert_eq!(server.stats().snapshot().cgi_aborted, 0);
+}
+
+#[test]
+fn files_created_ceiling() {
+    // §3 item 6: "unusual or suspicious application behavior such as
+    // creating files".
+    let policy = "pos_access_right apache *\nmid_cond files_limit local 3\n";
+    let (server, _services) =
+        server_with_policy_and_script(policy, CgiScript::file_creator(50));
+    assert_eq!(run(&server), StatusCode::InternalServerError);
+
+    let policy = "pos_access_right apache *\nmid_cond files_limit local 100\n";
+    let (server, _services) =
+        server_with_policy_and_script(policy, CgiScript::file_creator(50));
+    assert_eq!(run(&server), StatusCode::Ok);
+}
+
+#[test]
+fn wall_clock_ceiling() {
+    let policy = "pos_access_right apache *\nmid_cond wall_limit local 10\n";
+    // 25 ticks/step, 1 wall-ms/step: 10 000 ticks = 400 steps > 10 ms.
+    let (server, _services) = server_with_policy_and_script(policy, CgiScript::cpu_bomb(10_000));
+    assert_eq!(run(&server), StatusCode::InternalServerError);
+}
+
+#[test]
+fn multiple_mid_conditions_all_enforced() {
+    // CPU generous, memory tight: the memory ceiling must still trip.
+    let policy = "\
+pos_access_right apache *
+mid_cond cpu_limit local 1000000
+mid_cond mem_limit local 100
+";
+    let (server, _services) = server_with_policy_and_script(policy, CgiScript::cpu_bomb(5_000));
+    // The bomb allocates 4096 bytes > 100.
+    assert_eq!(run(&server), StatusCode::InternalServerError);
+}
+
+#[test]
+fn exec_control_interval_trades_latency_for_overshoot() {
+    // Checking every 8 steps lets the job overshoot the budget by up to
+    // 8 quanta before the abort lands — but it still lands.
+    let policy = "pos_access_right apache *\nmid_cond cpu_limit local 100\n";
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_local("/cgi-bin/job", vec![parse_eacl(policy).unwrap()]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    let mut vfs = Vfs::new();
+    vfs.add_cgi("/cgi-bin/job", CgiScript::cpu_bomb(100_000));
+    let server = Server::new(vfs, AccessControl::Gaa(Box::new(glue)))
+        .with_exec_control_interval(8);
+    assert_eq!(run(&server), StatusCode::InternalServerError);
+    assert_eq!(server.stats().snapshot().cgi_aborted, 1);
+}
+
+#[test]
+fn static_files_skip_execution_control() {
+    let policy = "pos_access_right apache *\nmid_cond cpu_limit local 1\n";
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_local("/index.html", vec![parse_eacl(policy).unwrap()]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)));
+    // Serving a static file performs no metered execution: even an absurd
+    // 1-tick budget cannot abort it.
+    let response = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(response.status, StatusCode::Ok);
+}

@@ -1,0 +1,112 @@
+//! **A8 / §10 related work** — inline GAA enforcement vs Almgren-style
+//! offline log analysis: the offline tool *detects* the same attacks but
+//! every one of them has already been served by the time the log is read.
+
+use gaa::audit::notify::CollectingNotifier;
+use gaa::audit::VirtualClock;
+use gaa::conditions::{register_standard, StandardServices};
+use gaa::core::{GaaApiBuilder, MemoryPolicyStore};
+use gaa::eacl::parse_eacl;
+use gaa::httpd::{AccessControl, AccessLog, GaaGlue, LogAnalyzer, Server, Vfs};
+use gaa::workload::driver::run_scenario;
+use gaa::workload::{AttackKind, ScenarioBuilder};
+use std::sync::Arc;
+
+const PROTECTION: &str = "\
+eacl_mode 1
+neg_access_right apache *
+pre_cond accessid GROUP BadGuys
+neg_access_right apache *
+pre_cond regex gnu *phf* *test-cgi*
+rr_cond update_log local on:failure/BadGuys/info:ip
+neg_access_right apache *
+pre_cond regex gnu *///////////////////*
+neg_access_right apache *
+pre_cond expr local >1000
+pos_access_right apache *
+";
+
+fn scenario() -> gaa::workload::Scenario {
+    ScenarioBuilder::new(
+        1010,
+        vec!["/index.html".into(), "/docs/page1.html".into(), "/cgi-bin/search".into()],
+    )
+    .legit(100)
+    .attacks(AttackKind::CgiExploit, 15)
+    .attacks(AttackKind::SlashFlood, 15)
+    .attacks(AttackKind::BufferOverflow, 15)
+    .build()
+}
+
+#[test]
+fn offline_analyzer_detects_but_cannot_stop() {
+    // Unprotected server with an access log: attacks are served.
+    let log = AccessLog::new();
+    let open = Server::new(Vfs::default_site(), AccessControl::Open)
+        .with_access_log(log.clone());
+    let stats = run_scenario(&open, &scenario());
+    assert_eq!(stats.true_positive_rate(), 0.0, "nothing blocked inline");
+
+    // The offline tool reads the log afterwards: it *finds* the attacks…
+    let report = LogAnalyzer::new().analyze(&log.as_text());
+    assert!(
+        report.findings.len() >= 40,
+        "expected ≥40 of 45 attacks found, got {}",
+        report.findings.len()
+    );
+    // …but almost all of them were already served (the CGI exploits hit a
+    // real vulnerable script and returned 200; slash-floods 404'd by luck
+    // of the URL, which is refusal by accident, not defence).
+    assert!(
+        report.served_attacks() >= 25,
+        "served-too-late count: {}",
+        report.served_attacks()
+    );
+}
+
+#[test]
+fn inline_gaa_blocks_what_the_offline_tool_only_reports() {
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(vec![parse_eacl(PROTECTION).unwrap()]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    let log = AccessLog::new();
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)))
+        .with_access_log(log.clone());
+
+    let stats = run_scenario(&server, &scenario());
+    assert!(stats.true_positive_rate() > 0.999, "{stats}");
+    assert_eq!(stats.false_positive_rate(), 0.0);
+
+    // The log analyzer over the *protected* server's log finds the same
+    // attacks — all refused this time.
+    let report = LogAnalyzer::new().analyze(&log.as_text());
+    assert!(report.findings.len() >= 40);
+    assert_eq!(
+        report.served_attacks(),
+        0,
+        "inline enforcement means zero attacks served before detection"
+    );
+}
+
+#[test]
+fn both_see_the_same_log_volume() {
+    let log = AccessLog::new();
+    let open = Server::new(Vfs::default_site(), AccessControl::Open)
+        .with_access_log(log.clone());
+    let scenario = scenario();
+    let total = scenario.items.len();
+    let _ = run_scenario(&open, &scenario);
+    assert_eq!(log.len(), total);
+    let report = LogAnalyzer::new().analyze(&log.as_text());
+    assert_eq!(report.lines_scanned, total);
+    assert_eq!(report.malformed_lines, 0);
+}

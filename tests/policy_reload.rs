@@ -1,0 +1,113 @@
+//! Policy hot reload: editing policy files changes decisions without
+//! restarting the server — both on the paper-faithful re-read-per-request
+//! path and through the §9 cache via generation-based invalidation.
+
+use gaa::audit::notify::CollectingNotifier;
+use gaa::audit::VirtualClock;
+use gaa::conditions::{register_standard, StandardServices};
+use gaa::core::{CachingPolicyStore, FilePolicyStore, GaaApiBuilder};
+use gaa::httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn setup_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gaa-reload-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn gaa_server_over(store: impl gaa::core::PolicyStore + 'static) -> (Server, StandardServices) {
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    (
+        Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue))),
+        services,
+    )
+}
+
+fn get(server: &Server) -> StatusCode {
+    server
+        .handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"))
+        .status
+}
+
+#[test]
+fn uncached_store_picks_up_edits_immediately() {
+    let dir = setup_dir("uncached");
+    let system = dir.join("system.eacl");
+    std::fs::write(&system, "pos_access_right apache *\n").unwrap();
+    let (server, _services) =
+        gaa_server_over(FilePolicyStore::new().with_system_file(&system));
+
+    assert_eq!(get(&server), StatusCode::Ok);
+
+    // The operator reacts to an incident: system-wide deny.
+    std::fs::write(&system, "neg_access_right * *\n").unwrap();
+    assert_eq!(get(&server), StatusCode::Forbidden, "no restart needed");
+
+    // And reopens afterwards.
+    std::fs::write(&system, "pos_access_right apache *\n").unwrap();
+    assert_eq!(get(&server), StatusCode::Ok);
+}
+
+#[test]
+fn cached_store_serves_stale_until_touched() {
+    let dir = setup_dir("cached");
+    let system = dir.join("system.eacl");
+    std::fs::write(&system, "pos_access_right apache *\n").unwrap();
+    let inner = FilePolicyStore::new().with_system_file(&system);
+
+    // Keep a handle to signal invalidation, as a reload endpoint would.
+    let cached = Arc::new(CachingPolicyStore::new(inner));
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let api = register_standard(
+        GaaApiBuilder::new(cached.clone()).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)));
+
+    assert_eq!(get(&server), StatusCode::Ok);
+    std::fs::write(&system, "neg_access_right * *\n").unwrap();
+    // The cache hasn't been told: stale grant (the documented trade-off).
+    assert_eq!(get(&server), StatusCode::Ok);
+    // Operator signals the change; next request sees the deny.
+    cached.inner().touch();
+    assert_eq!(get(&server), StatusCode::Forbidden);
+    let stats = cached.stats();
+    assert!(stats.hits >= 1);
+    assert!(stats.invalidations >= 2);
+}
+
+#[test]
+fn per_directory_policy_appears_when_created() {
+    let dir = setup_dir("perdir");
+    std::fs::create_dir_all(dir.join("docs")).unwrap();
+    std::fs::write(dir.join(".eacl"), "pos_access_right apache *\n").unwrap();
+    let (server, _services) = gaa_server_over(
+        FilePolicyStore::new().with_local_root(&dir),
+    );
+    let probe = |srv: &Server| {
+        srv.handle(HttpRequest::get("/docs/page1.html").with_client_ip("10.0.0.1"))
+            .status
+    };
+    assert_eq!(probe(&server), StatusCode::Ok);
+    // A webmaster drops a deny into the subdirectory.
+    std::fs::write(dir.join("docs/.eacl"), "neg_access_right apache *\n").unwrap();
+    assert_eq!(probe(&server), StatusCode::Forbidden);
+    // Objects outside that directory are unaffected.
+    assert_eq!(get(&server), StatusCode::Ok);
+}

@@ -1,0 +1,83 @@
+//! **§6 2d** — adaptive redirection: a `MAYBE` whose only unevaluated
+//! condition is `redirect` becomes a 302 to the URL in the condition value.
+
+use gaa::audit::notify::CollectingNotifier;
+use gaa::audit::VirtualClock;
+use gaa::conditions::{register_standard, StandardServices};
+use gaa::core::{GaaApiBuilder, MemoryPolicyStore};
+use gaa::eacl::parse_eacl;
+use gaa::httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
+use std::sync::Arc;
+
+fn server_with(local: &str) -> Server {
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_local("/index.html", vec![parse_eacl(local).unwrap()]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)))
+}
+
+#[test]
+fn load_balancing_redirect_for_matching_clients() {
+    // "The redirection policies encoded in the pre-conditions specify
+    // characteristics of a client, current system state and URL that must
+    // serve the client."
+    let policy = "\
+pos_access_right apache *
+pre_cond location local 10.
+pre_cond redirect local http://replica-west.example.org/index.html
+pos_access_right apache *
+";
+    let server = server_with(policy);
+
+    // A 10.x client matches entry 1's location guard; the redirect
+    // condition is left unevaluated -> 302 to the replica.
+    let west = server.handle(HttpRequest::get("/index.html").with_client_ip("10.1.2.3"));
+    assert_eq!(west.status, StatusCode::Found);
+    assert_eq!(
+        west.header("location"),
+        Some("http://replica-west.example.org/index.html")
+    );
+
+    // Everyone else falls through to entry 2 and is served directly.
+    let other = server.handle(HttpRequest::get("/index.html").with_client_ip("192.0.2.10"));
+    assert_eq!(other.status, StatusCode::Ok);
+    assert!(other.body_text().contains("Welcome"));
+}
+
+#[test]
+fn redirect_with_other_uncertainty_challenges_instead() {
+    // Two unevaluated conditions (redirect + missing credentials): the §6
+    // rule requires *exactly one* unevaluated redirect condition, so the
+    // answer degrades to 401.
+    let policy = "\
+pos_access_right apache *
+pre_cond accessid USER *
+pre_cond redirect local http://replica.example.org/
+";
+    let server = server_with(policy);
+    let response = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(response.status, StatusCode::Unauthorized);
+}
+
+#[test]
+fn failed_guard_suppresses_redirect() {
+    // The redirect entry's guard fails: no redirect, next entry decides.
+    let policy = "\
+pos_access_right apache *
+pre_cond location local 172.16.
+pre_cond redirect local http://replica.example.org/
+neg_access_right apache *
+";
+    let server = server_with(policy);
+    let response = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(response.status, StatusCode::Forbidden);
+}

@@ -1,0 +1,141 @@
+//! **§1 sessions** — login issues a cookie, the cookie stands in for
+//! credentials, and the `terminate_session` / `disable_account` response
+//! actions revoke access server-side.
+
+use gaa::audit::notify::CollectingNotifier;
+use gaa::audit::VirtualClock;
+use gaa::conditions::{register_standard, StandardServices};
+use gaa::core::{GaaApiBuilder, MemoryPolicyStore};
+use gaa::eacl::parse_eacl;
+use gaa::httpd::auth::{base64_encode, HtpasswdStore};
+use gaa::httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Authenticated-only site; abusing the private area disables the account.
+const POLICY: &str = "\
+neg_access_right apache *
+pre_cond accessid GROUP Disabled
+neg_access_right apache *
+pre_cond regex gnu */private/*
+rr_cond disable_account local on:failure/Disabled/info:private_area_abuse
+rr_cond terminate_session local on:failure/user/info:private_area_abuse
+pos_access_right apache *
+pre_cond accessid USER *
+";
+
+fn build() -> (Server, StandardServices, VirtualClock) {
+    let clock = VirtualClock::new();
+    let services = StandardServices::new(
+        Arc::new(clock.clone()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(vec![parse_eacl(POLICY).unwrap()]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone());
+    let mut users = HtpasswdStore::new("sess");
+    users.add_user("alice", "wonderland");
+    users.add_user("mallory", "evil");
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)))
+        .with_users(Arc::new(users))
+        .with_sessions();
+    (server, services, clock)
+}
+
+fn login(server: &Server, user: &str, pass: &str) -> (StatusCode, Option<String>) {
+    let response = server.handle(
+        HttpRequest::get("/index.html")
+            .with_client_ip("10.0.0.1")
+            .with_header(
+                "authorization",
+                &format!("Basic {}", base64_encode(format!("{user}:{pass}").as_bytes())),
+            ),
+    );
+    let cookie = response
+        .header("set-cookie")
+        .and_then(|c| c.split(';').next())
+        .and_then(|c| c.split_once('='))
+        .map(|(_, v)| v.to_string());
+    (response.status, cookie)
+}
+
+fn with_cookie(server: &Server, target: &str, token: &str) -> StatusCode {
+    server
+        .handle(
+            HttpRequest::get(target)
+                .with_client_ip("10.0.0.1")
+                .with_header("cookie", &format!("gaa_session={token}")),
+        )
+        .status
+}
+
+#[test]
+fn cookie_stands_in_for_credentials() {
+    let (server, _services, _clock) = build();
+    // Anonymous: challenged.
+    let anon = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(anon.status, StatusCode::Unauthorized);
+    // Login issues a cookie.
+    let (status, cookie) = login(&server, "alice", "wonderland");
+    assert_eq!(status, StatusCode::Ok);
+    let token = cookie.expect("session cookie issued");
+    // The cookie alone authenticates subsequent requests.
+    assert_eq!(with_cookie(&server, "/docs/page1.html", &token), StatusCode::Ok);
+    // A bogus token does not.
+    assert_eq!(
+        with_cookie(&server, "/docs/page1.html", "sdeadbeef"),
+        StatusCode::Unauthorized
+    );
+    // Failed logins issue no cookie.
+    let (status, cookie) = login(&server, "alice", "WRONG");
+    assert_eq!(status, StatusCode::Unauthorized);
+    assert!(cookie.is_none());
+}
+
+#[test]
+fn abuse_terminates_session_and_disables_account() {
+    let (server, services, _clock) = build();
+    let (_, cookie) = login(&server, "mallory", "evil");
+    let token = cookie.unwrap();
+    assert_eq!(with_cookie(&server, "/docs/page1.html", &token), StatusCode::Ok);
+
+    // Mallory pokes the private area: denied, logged off, account disabled.
+    let status = with_cookie(&server, "/private/passwords.html", &token);
+    assert_eq!(status, StatusCode::Forbidden);
+    assert!(services.groups.contains("Disabled", "mallory"));
+    assert_eq!(services.sessions.sessions_of("mallory"), 0);
+    assert_eq!(services.audit.count_category("account.disabled"), 1);
+
+    // The stolen cookie is dead…
+    assert_eq!(
+        with_cookie(&server, "/docs/page1.html", &token),
+        StatusCode::Unauthorized
+    );
+    // …and even the correct password cannot get back in (group deny).
+    let (status, _) = login(&server, "mallory", "evil");
+    assert_eq!(status, StatusCode::Forbidden);
+
+    // Alice is unaffected.
+    let (status, cookie) = login(&server, "alice", "wonderland");
+    assert_eq!(status, StatusCode::Ok);
+    assert!(cookie.is_some());
+}
+
+#[test]
+fn sessions_expire_when_idle() {
+    let (server, _services, clock) = build();
+    let (_, cookie) = login(&server, "alice", "wonderland");
+    let token = cookie.unwrap();
+    assert_eq!(with_cookie(&server, "/index.html", &token), StatusCode::Ok);
+    // Idle past the default 30-minute timeout.
+    clock.advance(Duration::from_secs(31 * 60));
+    assert_eq!(
+        with_cookie(&server, "/index.html", &token),
+        StatusCode::Unauthorized
+    );
+}
