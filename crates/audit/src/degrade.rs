@@ -1,0 +1,288 @@
+//! Observable degradation state.
+//!
+//! §7 of the paper argues the integrated system must keep enforcing policy
+//! while it responds to trouble. When a dependency fails — the notifier, the
+//! policy store, an evaluator, the IDS event bus — the pipeline degrades
+//! *deliberately* (retry, serve stale, audit-only) rather than failing open
+//! or stalling. [`DegradationState`] is the shared registry where each
+//! resilience component records that choice, so the server can expose "what
+//! is currently degraded and why" to operators and so chaos tests can assert
+//! that every degradation is both entered and *left* again.
+
+use crate::log::{AuditLog, AuditRecord, AuditSeverity};
+use crate::time::Timestamp;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A pipeline dependency that can degrade independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Component {
+    /// Notification transport (mail to the administrator).
+    Notifier,
+    /// Policy retrieval (EACL files on disk).
+    PolicyStore,
+    /// Condition evaluators invoked by the GAA-API.
+    Evaluator,
+    /// IDS event bus between detectors and the policy engine.
+    EventBus,
+    /// CGI execution control.
+    Cgi,
+}
+
+impl Component {
+    /// All components, for iteration in status reports.
+    pub const ALL: [Component; 5] = [
+        Component::Notifier,
+        Component::PolicyStore,
+        Component::Evaluator,
+        Component::EventBus,
+        Component::Cgi,
+    ];
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Component::Notifier => "notifier",
+            Component::PolicyStore => "policy_store",
+            Component::Evaluator => "evaluator",
+            Component::EventBus => "event_bus",
+            Component::Cgi => "cgi",
+        };
+        f.write_str(s)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    reason: String,
+    since: Timestamp,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    degraded: BTreeMap<Component, Entry>,
+    /// Total number of state transitions (entered + recovered), ever.
+    transitions: u64,
+}
+
+/// Shared registry of currently degraded components.
+///
+/// Cloning shares state: the server, the resilience decorators and the tests
+/// all hold handles to one registry. Transitions are audited
+/// (`degrade.entered` / `degrade.recovered`) when an [`AuditLog`] is
+/// attached, satisfying the invariant that no degradation is silent.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_audit::degrade::{Component, DegradationState};
+/// use gaa_audit::Timestamp;
+///
+/// let state = DegradationState::new();
+/// state.mark_degraded(Component::Notifier, "circuit open", Timestamp::from_millis(10));
+/// assert!(state.is_degraded(Component::Notifier));
+/// state.mark_recovered(Component::Notifier, Timestamp::from_millis(20));
+/// assert!(state.is_fully_operational());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DegradationState {
+    state: Arc<Mutex<State>>,
+    audit: Option<AuditLog>,
+}
+
+impl DegradationState {
+    /// An empty registry with no audit mirroring.
+    pub fn new() -> Self {
+        DegradationState::default()
+    }
+
+    /// An empty registry that writes `degrade.*` records to `audit` on every
+    /// transition.
+    pub fn with_audit(audit: AuditLog) -> Self {
+        DegradationState {
+            state: Arc::new(Mutex::new(State::default())),
+            audit: Some(audit),
+        }
+    }
+
+    /// Records that `component` is degraded. Idempotent: re-marking an
+    /// already-degraded component updates the reason but neither counts a
+    /// new transition nor re-audits.
+    pub fn mark_degraded(&self, component: Component, reason: &str, now: Timestamp) {
+        let mut state = self.state.lock();
+        match state.degraded.get_mut(&component) {
+            Some(entry) => {
+                entry.reason = reason.to_string();
+                return;
+            }
+            None => {
+                state.degraded.insert(
+                    component,
+                    Entry {
+                        reason: reason.to_string(),
+                        since: now,
+                    },
+                );
+                state.transitions += 1;
+            }
+        }
+        drop(state);
+        if let Some(audit) = &self.audit {
+            audit.record(
+                AuditRecord::new(
+                    now,
+                    AuditSeverity::Warning,
+                    "degrade.entered",
+                    component.to_string(),
+                    format!("{component} degraded: {reason}"),
+                )
+                .with_attr("reason", reason),
+            );
+        }
+    }
+
+    /// Records that `component` is healthy again. Idempotent on
+    /// already-healthy components.
+    pub fn mark_recovered(&self, component: Component, now: Timestamp) {
+        let removed = {
+            let mut state = self.state.lock();
+            let removed = state.degraded.remove(&component);
+            if removed.is_some() {
+                state.transitions += 1;
+            }
+            removed
+        };
+        if let (Some(entry), Some(audit)) = (removed, &self.audit) {
+            audit.record(
+                AuditRecord::new(
+                    now,
+                    AuditSeverity::Notice,
+                    "degrade.recovered",
+                    component.to_string(),
+                    format!("{component} recovered"),
+                )
+                .with_attr(
+                    "degraded_for_ms",
+                    now.since(entry.since).as_millis().to_string(),
+                ),
+            );
+        }
+    }
+
+    /// True if `component` is currently degraded.
+    pub fn is_degraded(&self, component: Component) -> bool {
+        self.state.lock().degraded.contains_key(&component)
+    }
+
+    /// The degradation reason for `component`, if degraded.
+    pub fn reason(&self, component: Component) -> Option<String> {
+        self.state
+            .lock()
+            .degraded
+            .get(&component)
+            .map(|e| e.reason.clone())
+    }
+
+    /// True when nothing is degraded.
+    pub fn is_fully_operational(&self) -> bool {
+        self.state.lock().degraded.is_empty()
+    }
+
+    /// Snapshot of `(component, reason, since)` for everything currently
+    /// degraded, in stable component order.
+    pub fn degraded(&self) -> Vec<(Component, String, Timestamp)> {
+        self.state
+            .lock()
+            .degraded
+            .iter()
+            .map(|(c, e)| (*c, e.reason.clone(), e.since))
+            .collect()
+    }
+
+    /// Total state transitions (degradations entered plus recoveries) since
+    /// construction. Matches the number of `degrade.*` audit records an
+    /// audited registry writes — chaos tests assert this parity.
+    pub fn transitions(&self) -> u64 {
+        self.state.lock().transitions
+    }
+
+    /// One-line operator-facing summary, e.g. for a status endpoint.
+    pub fn summary(&self) -> String {
+        let state = self.state.lock();
+        if state.degraded.is_empty() {
+            "all components operational".to_string()
+        } else {
+            let parts: Vec<String> = state
+                .degraded
+                .iter()
+                .map(|(c, e)| format!("{c}: {}", e.reason))
+                .collect();
+            format!("degraded [{}]", parts.join("; "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_are_tracked_and_idempotent() {
+        let state = DegradationState::new();
+        assert!(state.is_fully_operational());
+        state.mark_degraded(Component::Notifier, "outage", Timestamp::from_millis(1));
+        state.mark_degraded(Component::Notifier, "still out", Timestamp::from_millis(2));
+        assert_eq!(state.transitions(), 1);
+        assert_eq!(
+            state.reason(Component::Notifier).as_deref(),
+            Some("still out")
+        );
+        state.mark_recovered(Component::Notifier, Timestamp::from_millis(3));
+        state.mark_recovered(Component::Notifier, Timestamp::from_millis(4));
+        assert!(state.is_fully_operational());
+        assert_eq!(state.transitions(), 2);
+    }
+
+    #[test]
+    fn audited_transitions_write_records() {
+        let audit = AuditLog::new();
+        let state = DegradationState::with_audit(audit.clone());
+        state.mark_degraded(
+            Component::PolicyStore,
+            "io error",
+            Timestamp::from_millis(5),
+        );
+        state.mark_recovered(Component::PolicyStore, Timestamp::from_millis(25));
+        assert_eq!(audit.count_category("degrade.entered"), 1);
+        assert_eq!(audit.count_category("degrade.recovered"), 1);
+        let recovered = &audit.by_category("degrade.recovered")[0];
+        assert_eq!(recovered.attr("degraded_for_ms"), Some("20"));
+    }
+
+    #[test]
+    fn summary_reads_well() {
+        let state = DegradationState::new();
+        assert_eq!(state.summary(), "all components operational");
+        state.mark_degraded(Component::EventBus, "drops", Timestamp::from_millis(0));
+        state.mark_degraded(
+            Component::Notifier,
+            "circuit open",
+            Timestamp::from_millis(0),
+        );
+        let s = state.summary();
+        assert!(s.contains("notifier: circuit open"));
+        assert!(s.contains("event_bus: drops"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = DegradationState::new();
+        let b = a.clone();
+        a.mark_degraded(Component::Cgi, "bomb", Timestamp::from_millis(0));
+        assert!(b.is_degraded(Component::Cgi));
+        assert_eq!(b.degraded().len(), 1);
+    }
+}

@@ -18,18 +18,20 @@
 //! the with/without-notification overhead *shape* of §8 can be reproduced on
 //! any machine (see DESIGN.md, substitution table).
 
-
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 pub mod alert;
+pub mod degrade;
 pub mod log;
 pub mod notify;
 pub mod time;
 
 pub use alert::{Alert, AlertQueue};
+pub use degrade::{Component, DegradationState};
 pub use log::{AuditLog, AuditRecord, AuditSeverity};
 pub use notify::{
-    CollectingNotifier, CompositeNotifier, ConsoleNotifier, FailingNotifier, Notification,
-    Notifier, NotifyError, SimulatedSmtp,
+    resilient_notifier, CircuitBreakerNotifier, CollectingNotifier, CompositeNotifier,
+    ConsoleNotifier, FailingNotifier, FaultInjectingNotifier, Notification, Notifier, NotifyError,
+    RetryingNotifier, SimulatedSmtp,
 };
-pub use time::{Clock, SystemClock, Timestamp, VirtualClock};
+pub use time::{Clock, SharedClock, SkewedClock, SystemClock, Timestamp, VirtualClock};

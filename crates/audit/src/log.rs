@@ -16,9 +16,7 @@ use std::io::Write;
 use std::sync::Arc;
 
 /// Severity of an audit record, ordered from routine to critical.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum AuditSeverity {
     /// Routine bookkeeping (successful accesses, policy loads).
     Info,

@@ -7,7 +7,10 @@
 //! cost with a configurable latency so benchmarks reproduce the overhead
 //! *shape* without a mail server.
 
-use crate::time::Timestamp;
+use crate::degrade::{Component, DegradationState};
+use crate::log::{AuditLog, AuditRecord, AuditSeverity};
+use crate::time::{SharedClock, Timestamp};
+use gaa_faults::{Fault, FaultInjector, FaultSite};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -272,6 +275,405 @@ impl Notifier for CompositeNotifier {
     }
 }
 
+/// Fault-injection decorator: consults a [`FaultInjector`] at
+/// [`FaultSite::Notifier`] before each delivery.
+///
+/// * [`Fault::Error`] — the transport refuses the message (outage);
+/// * [`Fault::Latency`] — delivery succeeds after the given (clock-timeline)
+///   delay, modelling a latency spike;
+/// * [`Fault::Hang`] — the transport stalls for the given delay and *then*
+///   fails, modelling a connection that times out.
+///
+/// Delays run on the injected [`Clock`](crate::time::Clock), so chaos tests
+/// driving a [`VirtualClock`](crate::time::VirtualClock) observe latency in
+/// virtual time without wall-clock sleeps.
+#[derive(Debug)]
+pub struct FaultInjectingNotifier {
+    inner: Arc<dyn Notifier>,
+    injector: Arc<dyn FaultInjector>,
+    clock: SharedClock,
+}
+
+impl FaultInjectingNotifier {
+    /// Wraps `inner` with the given fault plan and clock.
+    pub fn new(
+        inner: Arc<dyn Notifier>,
+        injector: Arc<dyn FaultInjector>,
+        clock: SharedClock,
+    ) -> Self {
+        FaultInjectingNotifier {
+            inner,
+            injector,
+            clock,
+        }
+    }
+}
+
+impl Notifier for FaultInjectingNotifier {
+    fn notify(&self, notification: &Notification) -> Result<(), NotifyError> {
+        match self.injector.fault_at(FaultSite::Notifier) {
+            Some(Fault::Error) => Err(NotifyError::new("injected transport outage")),
+            Some(Fault::Hang(millis)) => {
+                self.clock.sleep(Duration::from_millis(millis));
+                Err(NotifyError::new("injected transport hang (timed out)"))
+            }
+            Some(Fault::Latency(millis)) => {
+                self.clock.sleep(Duration::from_millis(millis));
+                self.inner.notify(notification)
+            }
+            _ => self.inner.notify(notification),
+        }
+    }
+
+    fn delivered(&self) -> u64 {
+        self.inner.delivered()
+    }
+}
+
+/// Retry decorator: bounded exponential backoff with deterministic jitter,
+/// slept on the injected clock; undeliverable notifications are
+/// *dead-lettered* into the audit log rather than lost.
+///
+/// The audit record (`notify.dead_letter`, severity Warning) preserves the
+/// recipient, subject and body, so an administrator recovering the mail path
+/// can replay what they missed — the paper's real-time-response guarantee
+/// degrades to an auditable one instead of silently evaporating.
+#[derive(Debug)]
+pub struct RetryingNotifier {
+    inner: Arc<dyn Notifier>,
+    clock: SharedClock,
+    audit: AuditLog,
+    max_attempts: u32,
+    base_backoff: Duration,
+    max_backoff: Duration,
+    jitter_state: Mutex<u64>,
+    attempts: AtomicU64,
+    dead_lettered: AtomicU64,
+}
+
+impl RetryingNotifier {
+    /// Wraps `inner` with the default policy: 4 attempts, 50 ms base
+    /// backoff doubling to a 2 s cap, ±50% deterministic jitter.
+    pub fn new(inner: Arc<dyn Notifier>, clock: SharedClock, audit: AuditLog) -> Self {
+        RetryingNotifier {
+            inner,
+            clock,
+            audit,
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            jitter_state: Mutex::new(0x9e37_79b9_7f4a_7c15),
+            attempts: AtomicU64::new(0),
+            dead_lettered: AtomicU64::new(0),
+        }
+    }
+
+    /// Overrides the retry policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn with_policy(mut self, max_attempts: u32, base: Duration, cap: Duration) -> Self {
+        assert!(max_attempts > 0, "at least one delivery attempt required");
+        self.max_attempts = max_attempts;
+        self.base_backoff = base;
+        self.max_backoff = cap;
+        self
+    }
+
+    /// Seeds the jitter stream (deterministic per seed).
+    pub fn with_jitter_seed(self, seed: u64) -> Self {
+        *self.jitter_state.lock() = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        self
+    }
+
+    /// Total delivery attempts made (including retries).
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Notifications given up on and dead-lettered to the audit log.
+    pub fn dead_lettered(&self) -> u64 {
+        self.dead_lettered.load(Ordering::Relaxed)
+    }
+
+    /// Backoff before retry number `retry` (0-based): `base * 2^retry`
+    /// clamped to the cap, plus up to +50% deterministic jitter.
+    fn backoff(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.max_backoff);
+        let mut state = self.jitter_state.lock();
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let jitter_ms = if exp.as_millis() == 0 {
+            0
+        } else {
+            z % (exp.as_millis() as u64 / 2).max(1)
+        };
+        exp + Duration::from_millis(jitter_ms)
+    }
+
+    /// The worst-case total time a single notification can spend in this
+    /// decorator: the sum of all backoffs at maximum jitter. Chaos tests
+    /// assert observed latency stays under this bound during outages.
+    pub fn max_total_backoff(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        for retry in 0..self.max_attempts.saturating_sub(1) {
+            let exp = self
+                .base_backoff
+                .saturating_mul(1u32 << retry.min(16))
+                .min(self.max_backoff);
+            total += exp + exp / 2 + Duration::from_millis(1);
+        }
+        total
+    }
+}
+
+impl Notifier for RetryingNotifier {
+    fn notify(&self, notification: &Notification) -> Result<(), NotifyError> {
+        let mut last_err = NotifyError::new("no attempt made");
+        for attempt in 0..self.max_attempts {
+            self.attempts.fetch_add(1, Ordering::Relaxed);
+            match self.inner.notify(notification) {
+                Ok(()) => return Ok(()),
+                Err(e) => last_err = e,
+            }
+            if attempt + 1 < self.max_attempts {
+                self.clock.sleep(self.backoff(attempt));
+            }
+        }
+        self.dead_lettered.fetch_add(1, Ordering::Relaxed);
+        self.audit.record(
+            AuditRecord::new(
+                self.clock.now(),
+                AuditSeverity::Warning,
+                "notify.dead_letter",
+                notification.recipient.clone(),
+                format!(
+                    "notification undeliverable after {} attempts: {}",
+                    self.max_attempts, last_err
+                ),
+            )
+            .with_attr("subject", notification.subject.clone())
+            .with_attr("body", notification.body.clone())
+            .with_attr("attempts", self.max_attempts.to_string()),
+        );
+        Err(last_err)
+    }
+
+    fn delivered(&self) -> u64 {
+        self.inner.delivered()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerPhase {
+    Closed,
+    Open { since: Timestamp },
+}
+
+#[derive(Debug)]
+struct BreakerState {
+    phase: BreakerPhase,
+    consecutive_failures: u32,
+}
+
+/// Circuit breaker: after `threshold` consecutive delivery failures the
+/// circuit *opens* and the system drops to audit-only mode — further
+/// notifications are suppressed (recorded as `notify.suppressed`) instead of
+/// burning a full retry cycle per request while the transport is down. This
+/// bounds request latency during an outage.
+///
+/// After `cooldown` (on the injected clock) the breaker goes *half-open*:
+/// the next notification is let through as a probe. Success closes the
+/// circuit and clears the degradation; failure re-opens it for another
+/// cooldown. All transitions are audited (`notify.circuit_open` at Alert,
+/// `notify.circuit_closed` at Notice) and mirrored into the shared
+/// [`DegradationState`].
+#[derive(Debug)]
+pub struct CircuitBreakerNotifier {
+    inner: Arc<dyn Notifier>,
+    clock: SharedClock,
+    audit: AuditLog,
+    degradation: DegradationState,
+    threshold: u32,
+    cooldown: Duration,
+    state: Mutex<BreakerState>,
+    suppressed: AtomicU64,
+}
+
+impl CircuitBreakerNotifier {
+    /// Wraps `inner` with the default policy: open after 3 consecutive
+    /// failures, half-open probe after a 5 s cooldown.
+    pub fn new(
+        inner: Arc<dyn Notifier>,
+        clock: SharedClock,
+        audit: AuditLog,
+        degradation: DegradationState,
+    ) -> Self {
+        CircuitBreakerNotifier {
+            inner,
+            clock,
+            audit,
+            degradation,
+            threshold: 3,
+            cooldown: Duration::from_secs(5),
+            state: Mutex::new(BreakerState {
+                phase: BreakerPhase::Closed,
+                consecutive_failures: 0,
+            }),
+            suppressed: AtomicU64::new(0),
+        }
+    }
+
+    /// Overrides the trip threshold and cooldown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn with_policy(mut self, threshold: u32, cooldown: Duration) -> Self {
+        assert!(threshold > 0, "breaker threshold must be non-zero");
+        self.threshold = threshold;
+        self.cooldown = cooldown;
+        self
+    }
+
+    /// True while the circuit is open (audit-only mode).
+    pub fn is_open(&self) -> bool {
+        matches!(self.state.lock().phase, BreakerPhase::Open { .. })
+    }
+
+    /// Notifications suppressed while the circuit was open.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed.load(Ordering::Relaxed)
+    }
+
+    fn on_success(&self, now: Timestamp) {
+        let mut state = self.state.lock();
+        let was_open = matches!(state.phase, BreakerPhase::Open { .. });
+        state.phase = BreakerPhase::Closed;
+        state.consecutive_failures = 0;
+        drop(state);
+        if was_open {
+            self.audit.record(AuditRecord::new(
+                now,
+                AuditSeverity::Notice,
+                "notify.circuit_closed",
+                "notifier",
+                "notification transport recovered; circuit closed",
+            ));
+            self.degradation.mark_recovered(Component::Notifier, now);
+        }
+    }
+
+    fn on_failure(&self, now: Timestamp, was_probe: bool) {
+        let mut state = self.state.lock();
+        state.consecutive_failures = state.consecutive_failures.saturating_add(1);
+        let should_open = was_probe || state.consecutive_failures >= self.threshold;
+        let newly_open = should_open && !matches!(state.phase, BreakerPhase::Open { .. });
+        if should_open {
+            state.phase = BreakerPhase::Open { since: now };
+        }
+        let failures = state.consecutive_failures;
+        drop(state);
+        if newly_open {
+            self.audit.record(
+                AuditRecord::new(
+                    now,
+                    AuditSeverity::Alert,
+                    "notify.circuit_open",
+                    "notifier",
+                    format!(
+                        "notification transport failed {failures} consecutive times; \
+                         circuit open, degrading to audit-only mode"
+                    ),
+                )
+                .with_attr("consecutive_failures", failures.to_string()),
+            );
+            self.degradation.mark_degraded(
+                Component::Notifier,
+                "circuit open: notifications suppressed, audit-only",
+                now,
+            );
+        }
+    }
+}
+
+impl Notifier for CircuitBreakerNotifier {
+    fn notify(&self, notification: &Notification) -> Result<(), NotifyError> {
+        let now = self.clock.now();
+        let probing = {
+            let state = self.state.lock();
+            match state.phase {
+                BreakerPhase::Closed => false,
+                BreakerPhase::Open { since } => {
+                    if now.since(since) < self.cooldown {
+                        drop(state);
+                        self.suppressed.fetch_add(1, Ordering::Relaxed);
+                        self.audit.record(
+                            AuditRecord::new(
+                                now,
+                                AuditSeverity::Notice,
+                                "notify.suppressed",
+                                notification.recipient.clone(),
+                                "notification suppressed: circuit open (audit-only mode)",
+                            )
+                            .with_attr("subject", notification.subject.clone()),
+                        );
+                        return Err(NotifyError::new(
+                            "circuit open: notification suppressed (audit-only mode)",
+                        ));
+                    }
+                    true // cooldown elapsed: half-open, probe with this one
+                }
+            }
+        };
+        match self.inner.notify(notification) {
+            Ok(()) => {
+                self.on_success(now);
+                Ok(())
+            }
+            Err(e) => {
+                self.on_failure(now, probing);
+                Err(e)
+            }
+        }
+    }
+
+    fn delivered(&self) -> u64 {
+        self.inner.delivered()
+    }
+}
+
+/// The full production resilience stack for a notification transport:
+/// `CircuitBreaker(Retrying(FaultInjecting(inner)))` sharing one clock,
+/// audit log and degradation registry.
+///
+/// With [`gaa_faults::NoFaults`] as the injector this is exactly the
+/// production configuration; chaos tests swap in a seeded
+/// [`gaa_faults::FaultPlan`].
+pub fn resilient_notifier(
+    inner: Arc<dyn Notifier>,
+    injector: Arc<dyn FaultInjector>,
+    clock: SharedClock,
+    audit: AuditLog,
+    degradation: DegradationState,
+) -> Arc<CircuitBreakerNotifier> {
+    let faulty = Arc::new(FaultInjectingNotifier::new(inner, injector, clock.clone()));
+    let retrying = Arc::new(RetryingNotifier::new(faulty, clock.clone(), audit.clone()));
+    Arc::new(CircuitBreakerNotifier::new(
+        retrying,
+        clock,
+        audit,
+        degradation,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,5 +752,267 @@ mod tests {
         assert!(text.contains("sysadmin"));
         assert!(text.contains("cgi_exploit"));
         assert!(text.contains("42ms"));
+    }
+
+    mod resilience {
+        //! VirtualClock-driven tests: no wall-clock sleeps anywhere. Backoff
+        //! and cooldown elapse by advancing the virtual clock, so these run
+        //! in microseconds regardless of the configured durations.
+
+        use super::*;
+        use crate::time::{Clock, VirtualClock};
+        use gaa_faults::{FaultPlan, NoFaults};
+
+        fn virtual_clock() -> (Arc<VirtualClock>, SharedClock) {
+            let vc = Arc::new(VirtualClock::at_millis(1_000));
+            let shared: SharedClock = vc.clone();
+            (vc, shared)
+        }
+
+        /// Inner notifier that fails the first `failures` calls, then
+        /// succeeds — for driving retry and breaker recovery paths.
+        #[derive(Debug)]
+        struct FlakyNotifier {
+            failures: AtomicU64,
+            delivered: AtomicU64,
+        }
+
+        impl FlakyNotifier {
+            fn failing_first(failures: u64) -> Self {
+                FlakyNotifier {
+                    failures: AtomicU64::new(failures),
+                    delivered: AtomicU64::new(0),
+                }
+            }
+        }
+
+        impl Notifier for FlakyNotifier {
+            fn notify(&self, _n: &Notification) -> Result<(), NotifyError> {
+                let left = self.failures.load(Ordering::Relaxed);
+                if left > 0 {
+                    self.failures.store(left - 1, Ordering::Relaxed);
+                    return Err(NotifyError::new("flaky"));
+                }
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+
+            fn delivered(&self) -> u64 {
+                self.delivered.load(Ordering::Relaxed)
+            }
+        }
+
+        #[test]
+        fn retrying_notifier_recovers_from_transient_failures() {
+            let (vc, clock) = virtual_clock();
+            let audit = AuditLog::new();
+            let inner = Arc::new(FlakyNotifier::failing_first(2));
+            let retrying = RetryingNotifier::new(inner.clone(), clock, audit.clone());
+
+            let before = vc.now();
+            retrying.notify(&note("x")).unwrap();
+            assert_eq!(retrying.attempts(), 3);
+            assert_eq!(retrying.delivered(), 1);
+            assert_eq!(retrying.dead_lettered(), 0);
+            assert!(audit.is_empty(), "successful retries are not dead-lettered");
+            // Two backoffs elapsed, in virtual time only.
+            assert!(vc.now() > before);
+        }
+
+        #[test]
+        fn retrying_backoff_grows_and_respects_bound() {
+            let (vc, clock) = virtual_clock();
+            let audit = AuditLog::new();
+            let inner = Arc::new(FailingNotifier::new());
+            let retrying = RetryingNotifier::new(inner, clock, audit.clone())
+                .with_policy(5, Duration::from_millis(100), Duration::from_secs(1))
+                .with_jitter_seed(7);
+
+            let start = vc.now();
+            assert!(retrying.notify(&note("x")).is_err());
+            let elapsed = vc.now().since(start);
+
+            // 4 backoffs: 100, 200, 400, 800ms bases -> at least 1.5s total,
+            // and never more than the advertised worst case.
+            assert!(
+                elapsed >= Duration::from_millis(1_500),
+                "elapsed {elapsed:?}"
+            );
+            assert!(
+                elapsed <= retrying.max_total_backoff(),
+                "elapsed {elapsed:?} > bound {:?}",
+                retrying.max_total_backoff()
+            );
+            assert_eq!(retrying.attempts(), 5);
+        }
+
+        #[test]
+        fn retrying_jitter_is_deterministic_per_seed() {
+            let elapsed_for_seed = |seed: u64| {
+                let (vc, clock) = virtual_clock();
+                let retrying =
+                    RetryingNotifier::new(Arc::new(FailingNotifier::new()), clock, AuditLog::new())
+                        .with_policy(4, Duration::from_millis(50), Duration::from_secs(2))
+                        .with_jitter_seed(seed);
+                let start = vc.now();
+                let _ = retrying.notify(&note("x"));
+                vc.now().since(start)
+            };
+            assert_eq!(elapsed_for_seed(3), elapsed_for_seed(3));
+        }
+
+        #[test]
+        fn dead_letter_preserves_notification_content() {
+            let (_vc, clock) = virtual_clock();
+            let audit = AuditLog::new();
+            let retrying =
+                RetryingNotifier::new(Arc::new(FailingNotifier::new()), clock, audit.clone())
+                    .with_policy(2, Duration::from_millis(10), Duration::from_millis(100));
+
+            assert!(retrying.notify(&note("cgi_exploit")).is_err());
+            assert_eq!(retrying.dead_lettered(), 1);
+            let dead = audit.by_category("notify.dead_letter");
+            assert_eq!(dead.len(), 1);
+            assert_eq!(dead[0].subject, "sysadmin");
+            assert_eq!(dead[0].attr("subject"), Some("cgi_exploit"));
+            assert_eq!(dead[0].attr("body"), Some("body"));
+            assert_eq!(dead[0].attr("attempts"), Some("2"));
+        }
+
+        #[test]
+        fn breaker_trips_after_threshold_and_suppresses() {
+            let (_vc, clock) = virtual_clock();
+            let audit = AuditLog::new();
+            let degradation = DegradationState::new();
+            let breaker = CircuitBreakerNotifier::new(
+                Arc::new(FailingNotifier::new()),
+                clock,
+                audit.clone(),
+                degradation.clone(),
+            )
+            .with_policy(3, Duration::from_secs(5));
+
+            for _ in 0..3 {
+                assert!(breaker.notify(&note("x")).is_err());
+            }
+            assert!(breaker.is_open());
+            assert_eq!(audit.count_category("notify.circuit_open"), 1);
+            assert!(degradation.is_degraded(Component::Notifier));
+
+            // While open, deliveries are suppressed without touching the
+            // transport, and each suppression is audited.
+            assert!(breaker.notify(&note("y")).is_err());
+            assert!(breaker.notify(&note("z")).is_err());
+            assert_eq!(breaker.suppressed(), 2);
+            assert_eq!(audit.count_category("notify.suppressed"), 2);
+        }
+
+        #[test]
+        fn breaker_half_open_failure_reopens() {
+            let (vc, clock) = virtual_clock();
+            let audit = AuditLog::new();
+            let breaker = CircuitBreakerNotifier::new(
+                Arc::new(FailingNotifier::new()),
+                clock,
+                audit.clone(),
+                DegradationState::new(),
+            )
+            .with_policy(1, Duration::from_secs(5));
+
+            assert!(breaker.notify(&note("x")).is_err());
+            assert!(breaker.is_open());
+
+            // Cooldown elapses; the probe fails; circuit re-opens for a
+            // fresh cooldown during which deliveries stay suppressed.
+            vc.advance(Duration::from_secs(5));
+            assert!(breaker.notify(&note("probe")).is_err());
+            assert!(breaker.is_open());
+            vc.advance(Duration::from_secs(1));
+            assert!(breaker.notify(&note("y")).is_err());
+            assert_eq!(breaker.suppressed(), 1);
+        }
+
+        #[test]
+        fn breaker_recovers_through_half_open_probe() {
+            let (vc, clock) = virtual_clock();
+            let audit = AuditLog::new();
+            let degradation = DegradationState::new();
+            let inner = Arc::new(FlakyNotifier::failing_first(2));
+            let breaker = CircuitBreakerNotifier::new(
+                inner.clone(),
+                clock,
+                audit.clone(),
+                degradation.clone(),
+            )
+            .with_policy(2, Duration::from_secs(5));
+
+            assert!(breaker.notify(&note("a")).is_err());
+            assert!(breaker.notify(&note("b")).is_err());
+            assert!(breaker.is_open());
+            assert!(degradation.is_degraded(Component::Notifier));
+
+            vc.advance(Duration::from_secs(5));
+            breaker.notify(&note("probe")).unwrap();
+            assert!(!breaker.is_open());
+            assert!(degradation.is_fully_operational());
+            assert_eq!(audit.count_category("notify.circuit_closed"), 1);
+            assert_eq!(breaker.delivered(), 1);
+        }
+
+        #[test]
+        fn full_stack_with_no_faults_is_transparent() {
+            let (_vc, clock) = virtual_clock();
+            let audit = AuditLog::new();
+            let degradation = DegradationState::new();
+            let collector = Arc::new(CollectingNotifier::new());
+            let stack = resilient_notifier(
+                collector.clone(),
+                Arc::new(NoFaults),
+                clock,
+                audit.clone(),
+                degradation.clone(),
+            );
+            stack.notify(&note("hello")).unwrap();
+            assert_eq!(collector.delivered(), 1);
+            assert!(audit.is_empty());
+            assert!(degradation.is_fully_operational());
+        }
+
+        #[test]
+        fn full_stack_survives_outage_window_and_recovers() {
+            let (vc, clock) = virtual_clock();
+            let audit = AuditLog::new();
+            let degradation = DegradationState::with_audit(audit.clone());
+            let collector = Arc::new(CollectingNotifier::new());
+            // The first 12 transport calls fail — exactly three full retry
+            // cycles (4 attempts each), enough to trip the default breaker
+            // threshold of 3 — then the outage clears.
+            let plan = FaultPlan::builder(11)
+                .fail_window(FaultSite::Notifier, 0, 12, gaa_faults::Fault::Error)
+                .build();
+            let stack = resilient_notifier(
+                collector.clone(),
+                Arc::new(plan),
+                clock,
+                audit.clone(),
+                degradation.clone(),
+            );
+
+            assert!(stack.notify(&note("one")).is_err());
+            assert!(stack.notify(&note("two")).is_err());
+            assert!(stack.notify(&note("three")).is_err());
+            assert!(stack.is_open());
+            assert!(degradation.is_degraded(Component::Notifier));
+
+            // Outage is over (12 faulted calls consumed by the three retry
+            // cycles); after cooldown the probe succeeds.
+            vc.advance(Duration::from_secs(5));
+            stack.notify(&note("four")).unwrap();
+            assert!(!stack.is_open());
+            assert!(degradation.is_fully_operational());
+            assert_eq!(collector.subjects(), vec!["four"]);
+            assert_eq!(audit.count_category("degrade.entered"), 1);
+            assert_eq!(audit.count_category("degrade.recovered"), 1);
+        }
     }
 }

@@ -79,6 +79,17 @@ impl fmt::Display for Timestamp {
 pub trait Clock: Send + Sync + fmt::Debug {
     /// The current time.
     fn now(&self) -> Timestamp;
+
+    /// Blocks the caller for `d` *in this clock's timeline*.
+    ///
+    /// The wall clock really sleeps; [`VirtualClock`] advances itself
+    /// instead, so retry backoff and latency modelling driven through this
+    /// method run instantly (and deterministically) under test.
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
 }
 
 /// Wall-clock time via [`SystemTime`]. Used by live servers and benchmarks.
@@ -146,7 +157,11 @@ impl VirtualClock {
     /// would move time backwards (monotonicity is assumed by window code).
     pub fn set(&self, t: Timestamp) {
         let prev = self.millis.swap(t.0, Ordering::SeqCst);
-        debug_assert!(prev <= t.0, "VirtualClock moved backwards: {prev} -> {}", t.0);
+        debug_assert!(
+            prev <= t.0,
+            "VirtualClock moved backwards: {prev} -> {}",
+            t.0
+        );
     }
 }
 
@@ -154,10 +169,54 @@ impl Clock for VirtualClock {
     fn now(&self) -> Timestamp {
         Timestamp(self.millis.load(Ordering::SeqCst))
     }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
 }
 
 /// A shareable clock handle. Most components store one of these.
 pub type SharedClock = Arc<dyn Clock>;
+
+/// A clock decorated with fault injection: a [`Fault::SkewMs`] injected at
+/// [`FaultSite::Clock`] shifts every reading, modelling NTP drift or an
+/// attacker-skewed time source. Policy windows, threshold windows and
+/// threat-level decay all read through the clock, so chaos tests can check
+/// that skew degrades those features without breaking enforcement.
+///
+/// Skew is saturating-clamped at zero (the epoch) rather than wrapping.
+#[derive(Debug, Clone)]
+pub struct SkewedClock {
+    inner: Arc<dyn Clock>,
+    injector: Arc<dyn gaa_faults::FaultInjector>,
+}
+
+impl SkewedClock {
+    /// Wraps `inner`, consulting `injector` on every read.
+    pub fn new(inner: Arc<dyn Clock>, injector: Arc<dyn gaa_faults::FaultInjector>) -> Self {
+        SkewedClock { inner, injector }
+    }
+}
+
+impl Clock for SkewedClock {
+    fn now(&self) -> Timestamp {
+        let t = self.inner.now();
+        match self.injector.fault_at(gaa_faults::FaultSite::Clock) {
+            Some(gaa_faults::Fault::SkewMs(skew)) => {
+                if skew >= 0 {
+                    Timestamp(t.0.saturating_add(skew as u64))
+                } else {
+                    Timestamp(t.0.saturating_sub(skew.unsigned_abs()))
+                }
+            }
+            _ => t,
+        }
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.inner.sleep(d);
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -221,5 +280,41 @@ mod tests {
         let clock = VirtualClock::at_millis(100);
         clock.set(Timestamp::from_millis(500));
         assert_eq!(clock.now().as_millis(), 500);
+    }
+
+    #[test]
+    fn virtual_clock_sleep_advances_instead_of_blocking() {
+        let clock = VirtualClock::at_millis(0);
+        let start = std::time::Instant::now();
+        clock.sleep(Duration::from_secs(3600));
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert_eq!(clock.now().as_millis(), 3_600_000);
+    }
+
+    #[test]
+    fn skewed_clock_applies_injected_skew() {
+        use gaa_faults::{Fault, FaultPlan, FaultSite};
+
+        let base = VirtualClock::at_millis(10_000);
+        let plan = FaultPlan::builder(1)
+            .fail_nth(FaultSite::Clock, 1, Fault::SkewMs(-2_500))
+            .fail_nth(FaultSite::Clock, 2, Fault::SkewMs(500))
+            .build();
+        let clock = SkewedClock::new(Arc::new(base), Arc::new(plan));
+        assert_eq!(clock.now().as_millis(), 10_000); // call 0: no fault
+        assert_eq!(clock.now().as_millis(), 7_500); // negative skew
+        assert_eq!(clock.now().as_millis(), 10_500); // positive skew
+        assert_eq!(clock.now().as_millis(), 10_000); // plan exhausted
+    }
+
+    #[test]
+    fn skewed_clock_saturates_at_epoch() {
+        use gaa_faults::{Fault, FaultPlan, FaultSite};
+
+        let plan = FaultPlan::builder(1)
+            .fail_always(FaultSite::Clock, Fault::SkewMs(i64::MIN))
+            .build();
+        let clock = SkewedClock::new(Arc::new(VirtualClock::at_millis(5)), Arc::new(plan));
+        assert_eq!(clock.now().as_millis(), 0);
     }
 }

@@ -49,11 +49,7 @@ fn bench_anomaly(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("score", principals),
             &principals,
-            |b, _| {
-                b.iter(|| {
-                    black_box(detector.score(black_box("user0"), black_box(&typical)))
-                })
-            },
+            |b, _| b.iter(|| black_box(detector.score(black_box("user0"), black_box(&typical)))),
         );
     }
 

@@ -14,8 +14,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gaa_bench::{
-    attack_request, baseline_server, benign_request, gaa_cached_server, gaa_file_server,
-    PolicyDir,
+    attack_request, baseline_server, benign_request, gaa_cached_server, gaa_file_server, PolicyDir,
 };
 use std::hint::black_box;
 use std::time::Duration;

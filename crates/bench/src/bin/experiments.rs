@@ -104,7 +104,10 @@ fn f1() {
     .build();
     let glue = GaaGlue::new(api, services.clone());
 
-    println!("[1] initialization: {} condition routines registered", glue.api().registry().len());
+    println!(
+        "[1] initialization: {} condition routines registered",
+        glue.api().registry().len()
+    );
 
     let request = HttpRequest::get(&format!("/cgi-bin/search?q={}", "gaa-".repeat(40)))
         .with_client_ip("10.0.0.1");
@@ -124,14 +127,11 @@ fn f1() {
             .collect::<Vec<_>>()
             .join(", ")
     );
-    let result = glue
-        .api()
-        .check_authorization(&policy, &rights[0], &ctx);
+    let result = glue.api().check_authorization(&policy, &rights[0], &ctx);
     println!("[2c] check_authorization: {}", result);
     println!("[2d] translation: {}", result.answer());
 
-    let mut execution =
-        gaa_httpd::cgi::CgiExecution::start(&CgiScript::search(), &request.query);
+    let mut execution = gaa_httpd::cgi::CgiExecution::start(&CgiScript::search(), &request.query);
     let mut checks = 0;
     while execution.step() {
         let phase = glue
@@ -271,7 +271,12 @@ pre_cond system_threat_level local =low
                     ),
             )
             .status;
-        println!("{:<10} {:>12} {:>12}", level.to_string(), anon.code(), auth.code());
+        println!(
+            "{:<10} {:>12} {:>12}",
+            level.to_string(),
+            anon.code(),
+            auth.code()
+        );
     }
     println!("expected shape: low 200/200, medium 401/200, high 403/403");
 }

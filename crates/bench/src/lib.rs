@@ -79,10 +79,8 @@ impl PolicyDir {
     /// Writes the §7.1 + §7.2 policies (and the baseline `.htaccess`) under
     /// a fresh temp directory.
     pub fn materialize(tag: &str) -> PolicyDir {
-        let root = std::env::temp_dir().join(format!(
-            "gaa-bench-policies-{tag}-{}",
-            std::process::id()
-        ));
+        let root =
+            std::env::temp_dir().join(format!("gaa-bench-policies-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         std::fs::create_dir_all(root.join("docroot")).unwrap();
         std::fs::create_dir_all(root.join("htdocs")).unwrap();
@@ -220,7 +218,10 @@ mod tests {
         let dir = PolicyDir::materialize("libtest");
         let (server, services) = gaa_file_server(&dir, Duration::ZERO);
         assert_eq!(server.handle(benign_request()).status, StatusCode::Ok);
-        assert_eq!(server.handle(attack_request()).status, StatusCode::Forbidden);
+        assert_eq!(
+            server.handle(attack_request()).status,
+            StatusCode::Forbidden
+        );
         assert!(services.groups.contains("BadGuys", "203.0.113.5"));
         // Blacklist now blocks even benign-looking requests from that host.
         let follow_up = HttpRequest::get("/index.html").with_client_ip("203.0.113.5");

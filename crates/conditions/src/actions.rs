@@ -79,7 +79,12 @@ impl ActionSpec {
         }
         let info = parts
             .next()
-            .map(|p| p.trim().strip_prefix("info:").unwrap_or(p.trim()).to_string())
+            .map(|p| {
+                p.trim()
+                    .strip_prefix("info:")
+                    .unwrap_or(p.trim())
+                    .to_string()
+            })
             .unwrap_or_default();
         Some(ActionSpec {
             trigger,
@@ -126,7 +131,11 @@ pub fn notify_evaluator(
                 .param("url")
                 .or_else(|| env.context.object())
                 .unwrap_or("-"),
-            if spec.info.is_empty() { "-" } else { &spec.info },
+            if spec.info.is_empty() {
+                "-"
+            } else {
+                &spec.info
+            },
             outcome,
         );
         let notification = Notification::new(env.now, spec.target.clone(), spec.info.clone(), body);
@@ -221,7 +230,11 @@ pub fn audit_evaluator(
                 env.context.subject(),
                 format!(
                     "{} on {} ({outcome})",
-                    if spec.info.is_empty() { "event" } else { &spec.info },
+                    if spec.info.is_empty() {
+                        "event"
+                    } else {
+                        &spec.info
+                    },
                     env.context.object().unwrap_or("-"),
                 ),
             )
@@ -342,7 +355,10 @@ mod tests {
 
         let alice = SecurityContext::new().with_user("alice");
         let env = rr_env(&alice, Outcome::Failure);
-        assert_eq!(eval("on:failure/Suspended/info:user", &env), EvalDecision::Met);
+        assert_eq!(
+            eval("on:failure/Suspended/info:user", &env),
+            EvalDecision::Met
+        );
         assert!(groups.contains("Suspended", "alice"));
 
         // No client IP for an info:ip action: skipped + audited, still Met.

@@ -81,15 +81,13 @@ impl AdvisoryApplier {
                 spoofed,
                 confidence,
             } => {
-                self.services.audit.record(
-                    AuditRecord::new(
-                        now,
-                        AuditSeverity::Notice,
-                        "advisory.spoofing",
-                        source,
-                        format!("spoofed={spoofed} confidence={confidence:.2}"),
-                    ),
-                );
+                self.services.audit.record(AuditRecord::new(
+                    now,
+                    AuditSeverity::Notice,
+                    "advisory.spoofing",
+                    source,
+                    format!("spoofed={spoofed} confidence={confidence:.2}"),
+                ));
             }
             IdsAdvisory::TimeWindowUpdate {
                 start_hour,
@@ -195,8 +193,8 @@ mod tests {
         // HostIds publishes -> applier applies -> the @param threshold
         // condition sees the adaptive limit.
         use crate::threshold::threshold_evaluator;
-        use gaa_core::{EvalDecision, EvalEnv, SecurityContext};
         use gaa_audit::Timestamp;
+        use gaa_core::{EvalDecision, EvalEnv, SecurityContext};
 
         let (bus, services, applier) = setup();
         let host = gaa_ids::host::HostIds::new().with_bus(bus.clone());

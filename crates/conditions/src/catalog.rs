@@ -9,12 +9,10 @@ use crate::firewall::{block_network_evaluator, stop_service_evaluator, Firewall}
 use crate::identity::{group_evaluator, host_evaluator, user_evaluator, GroupStore};
 use crate::location::location_evaluator;
 use crate::regex::regex_evaluator;
-use crate::session::{
-    disable_account_evaluator, terminate_session_evaluator, SessionRegistry,
-};
 use crate::resource::{
     cpu_limit_evaluator, files_limit_evaluator, mem_limit_evaluator, wall_limit_evaluator,
 };
+use crate::session::{disable_account_evaluator, terminate_session_evaluator, SessionRegistry};
 use crate::threat::threat_level_evaluator;
 use crate::threshold::{threshold_evaluator, ThresholdTracker};
 use crate::time::time_window_evaluator;
@@ -139,7 +137,11 @@ pub fn register_standard(builder: GaaApiBuilder, services: &StandardServices) ->
             "local",
             stop_service_evaluator(services.firewall.clone()),
         )
-        .register("anomaly", "local", anomaly_evaluator(services.anomaly.clone()))
+        .register(
+            "anomaly",
+            "local",
+            anomaly_evaluator(services.anomaly.clone()),
+        )
         .register(
             "terminate_session",
             "local",
@@ -209,9 +211,11 @@ pub fn register_from_config(
                 authority,
                 update_log_evaluator(services.groups.clone(), services.audit.clone()),
             ),
-            "builtin:audit" => {
-                builder.register(cond_type, authority, audit_evaluator(services.audit.clone()))
-            }
+            "builtin:audit" => builder.register(
+                cond_type,
+                authority,
+                audit_evaluator(services.audit.clone()),
+            ),
             "builtin:block_network" => builder.register(
                 cond_type,
                 authority,
@@ -300,8 +304,7 @@ mod tests {
             .with_client_ip("203.0.113.9")
             .with_object("/cgi-bin/phf")
             .with_param(gaa_core::Param::new("url", "apache", "/cgi-bin/phf?Q=x"));
-        let result =
-            api.check_authorization(&policy, &RightPattern::new("apache", "GET"), &ctx);
+        let result = api.check_authorization(&policy, &RightPattern::new("apache", "GET"), &ctx);
         assert!(result.status().is_no(), "{result}");
         assert!(services.groups.contains("BadGuys", "203.0.113.9"));
     }

@@ -46,7 +46,11 @@ fn parse_expr(value: &str) -> Option<(String, Op, f64)> {
     let op_pos = value.find(['<', '>', '=', '!'])?;
     let (param, rest) = value.split_at(op_pos);
     let param = param.trim();
-    let param = if param.is_empty() { DEFAULT_PARAM } else { param };
+    let param = if param.is_empty() {
+        DEFAULT_PARAM
+    } else {
+        param
+    };
 
     let (op, number) = if let Some(n) = rest.strip_prefix("<=") {
         (Op::Le, n)
@@ -116,7 +120,10 @@ mod tests {
         let short = ctx_with("query_len", "42");
         assert_eq!(eval_on(&long, ">1000"), EvalDecision::Met);
         assert_eq!(eval_on(&short, ">1000"), EvalDecision::NotMet);
-        assert_eq!(eval_on(&ctx_with("query_len", "1000"), ">1000"), EvalDecision::NotMet);
+        assert_eq!(
+            eval_on(&ctx_with("query_len", "1000"), ">1000"),
+            EvalDecision::NotMet
+        );
     }
 
     #[test]

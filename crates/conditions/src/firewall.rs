@@ -14,10 +14,10 @@
 //! without human review is exactly the DoS vector the paper warns about, so
 //! the queue records what was done, to whom, and why, for easy reversal.
 
+use crate::location::LocationPattern;
 use gaa_audit::alert::{Alert, AlertQueue};
 use gaa_audit::log::AuditSeverity;
 use gaa_audit::time::{Clock, Timestamp};
-use crate::location::LocationPattern;
 use parking_lot::RwLock;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -44,7 +44,10 @@ impl fmt::Debug for Firewall {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Firewall")
             .field("rules", &self.state.read().rules.len())
-            .field("service_enabled", &self.service_enabled.load(Ordering::Relaxed))
+            .field(
+                "service_enabled",
+                &self.service_enabled.load(Ordering::Relaxed),
+            )
             .field("dropped", &self.dropped.load(Ordering::Relaxed))
             .finish()
     }
@@ -129,7 +132,12 @@ impl Firewall {
 
     /// Currently blocked patterns, in insertion order.
     pub fn rules(&self) -> Vec<String> {
-        self.state.read().rules.iter().map(|(p, _)| p.clone()).collect()
+        self.state
+            .read()
+            .rules
+            .iter()
+            .map(|(p, _)| p.clone())
+            .collect()
     }
 
     /// Stops the service entirely (everything answers 503), citing `reason`.
@@ -268,7 +276,11 @@ mod tests {
         fw.block("203.0.113.9", "x").unwrap();
         fw.block("203.0.113.9", "x").unwrap();
         assert_eq!(fw.rules().len(), 1);
-        assert_eq!(fw.alerts().len(), 1, "idempotent re-block must not re-alert");
+        assert_eq!(
+            fw.alerts().len(),
+            1,
+            "idempotent re-block must not re-alert"
+        );
         assert!(fw.unblock("203.0.113.9"));
         assert!(!fw.unblock("203.0.113.9"));
         assert!(!fw.is_blocked("203.0.113.9"));

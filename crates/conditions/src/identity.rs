@@ -185,7 +185,9 @@ mod tests {
     #[test]
     fn group_evaluator_checks_context_groups() {
         let eval = group_evaluator(GroupStore::new());
-        let ctx = SecurityContext::new().with_user("alice").with_group("staff");
+        let ctx = SecurityContext::new()
+            .with_user("alice")
+            .with_group("staff");
         assert_eq!(eval("staff", &env_of(&ctx)), EvalDecision::Met);
         assert_eq!(eval("admins", &env_of(&ctx)), EvalDecision::NotMet);
     }
@@ -200,7 +202,9 @@ mod tests {
         let by_ip = SecurityContext::new().with_client_ip("203.0.113.9");
         assert_eq!(eval("BadGuys", &env_of(&by_ip)), EvalDecision::Met);
 
-        let by_user = SecurityContext::new().with_user("alice").with_client_ip("10.0.0.1");
+        let by_user = SecurityContext::new()
+            .with_user("alice")
+            .with_client_ip("10.0.0.1");
         assert_eq!(eval("VIPs", &env_of(&by_user)), EvalDecision::Met);
         assert_eq!(eval("BadGuys", &env_of(&by_user)), EvalDecision::NotMet);
 

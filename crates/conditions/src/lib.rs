@@ -29,7 +29,6 @@
 //! a [`GaaApiBuilder`](gaa_core::GaaApiBuilder) in one call, or selectively
 //! from a parsed configuration file (§6 step 1).
 
-
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 pub mod actions;

@@ -60,7 +60,10 @@ enum Ast {
     Empty,
     Literal(char),
     Any,
-    Class { negated: bool, ranges: Vec<(char, char)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
     Concat(Vec<Ast>),
     Alternate(Vec<Ast>),
     Star(Box<Ast>),
@@ -242,7 +245,10 @@ impl<'a> Parser<'a> {
 enum CharSpec {
     Any,
     Literal(char),
-    Class { negated: bool, ranges: Vec<(char, char)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
 }
 
 impl CharSpec {
@@ -462,7 +468,10 @@ impl Compiler {
         match ast {
             Ast::Empty => {
                 // A split with both edges dangling acts as an epsilon.
-                let idx = self.push(State::Split { a: usize::MAX, b: usize::MAX });
+                let idx = self.push(State::Split {
+                    a: usize::MAX,
+                    b: usize::MAX,
+                });
                 Fragment {
                     start: idx,
                     out: vec![OutEdge::SplitA(idx), OutEdge::SplitB(idx)],
@@ -516,8 +525,7 @@ impl Compiler {
                 }
             }
             Ast::Alternate(branches) => {
-                let frags: Vec<Fragment> =
-                    branches.iter().map(|b| self.compile(b)).collect();
+                let frags: Vec<Fragment> = branches.iter().map(|b| self.compile(b)).collect();
                 // Chain of splits fanning out to each branch.
                 let mut out = Vec::new();
                 let mut starts = frags.iter().map(|f| f.start).collect::<Vec<_>>();
@@ -625,7 +633,9 @@ pub fn signature_matches(value: &str, text: &str) -> bool {
 pub fn signature_matches_uncached(value: &str, text: &str) -> bool {
     value.split_whitespace().any(|pattern| {
         if let Some(re_src) = pattern.strip_prefix(REGEX_PREFIX) {
-            Regex::new(re_src).map(|re| re.is_match(text)).unwrap_or(false)
+            Regex::new(re_src)
+                .map(|re| re.is_match(text))
+                .unwrap_or(false)
         } else {
             glob_match_ci(pattern, text)
         }
@@ -824,16 +834,19 @@ mod tests {
         assert!(signature_matches("*phf* *test-cgi*", "/cgi-bin/test-cgi"));
         assert!(!signature_matches("*phf* *test-cgi*", "/index.html"));
         assert!(signature_matches("re:%[0-9a-f][0-9a-f]", "/a%c0b"));
-        assert!(!signature_matches("re:(bad", "anything (bad pattern never matches)"));
+        assert!(!signature_matches(
+            "re:(bad",
+            "anything (bad pattern never matches)"
+        ));
     }
 
     #[test]
     fn regex_evaluator_reads_url_from_context() {
-        use gaa_core::{Param, SecurityContext};
         use gaa_audit::Timestamp;
+        use gaa_core::{Param, SecurityContext};
 
-        let ctx = SecurityContext::new()
-            .with_param(Param::new("url", "apache", "/cgi-bin/phf?Q=x"));
+        let ctx =
+            SecurityContext::new().with_param(Param::new("url", "apache", "/cgi-bin/phf?Q=x"));
         let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
         assert_eq!(regex_evaluator("*phf*", &env), EvalDecision::Met);
         assert_eq!(regex_evaluator("*nimda*", &env), EvalDecision::NotMet);

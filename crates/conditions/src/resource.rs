@@ -67,10 +67,7 @@ mod tests {
     use gaa_core::{ExecutionMetrics, SecurityContext};
     use gaa_eacl::CondPhase;
 
-    fn mid_env<'a>(
-        ctx: &'a SecurityContext,
-        metrics: &'a ExecutionMetrics,
-    ) -> EvalEnv<'a> {
+    fn mid_env<'a>(ctx: &'a SecurityContext, metrics: &'a ExecutionMetrics) -> EvalEnv<'a> {
         EvalEnv {
             context: ctx,
             phase: CondPhase::Mid,
@@ -116,8 +113,14 @@ mod tests {
     fn without_metrics_unevaluated() {
         let ctx = SecurityContext::new();
         let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
-        assert_eq!(cpu_limit_evaluator()("100", &env), EvalDecision::Unevaluated);
-        assert_eq!(wall_limit_evaluator()("100", &env), EvalDecision::Unevaluated);
+        assert_eq!(
+            cpu_limit_evaluator()("100", &env),
+            EvalDecision::Unevaluated
+        );
+        assert_eq!(
+            wall_limit_evaluator()("100", &env),
+            EvalDecision::Unevaluated
+        );
     }
 
     #[test]
@@ -125,7 +128,10 @@ mod tests {
         let ctx = SecurityContext::new();
         let metrics = ExecutionMetrics::zero();
         let env = mid_env(&ctx, &metrics);
-        assert_eq!(cpu_limit_evaluator()("lots", &env), EvalDecision::Unevaluated);
+        assert_eq!(
+            cpu_limit_evaluator()("lots", &env),
+            EvalDecision::Unevaluated
+        );
         assert_eq!(cpu_limit_evaluator()("", &env), EvalDecision::Unevaluated);
         assert_eq!(cpu_limit_evaluator()("-5", &env), EvalDecision::Unevaluated);
     }

@@ -247,8 +247,7 @@ mod tests {
     use gaa_core::SecurityContext;
 
     fn registry(clock: &VirtualClock) -> SessionRegistry {
-        SessionRegistry::new(Arc::new(clock.clone()))
-            .with_idle_timeout(Duration::from_secs(60))
+        SessionRegistry::new(Arc::new(clock.clone())).with_idle_timeout(Duration::from_secs(60))
     }
 
     #[test]

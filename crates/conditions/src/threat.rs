@@ -59,8 +59,8 @@ mod tests {
     use std::time::Duration;
 
     fn setup() -> (ThreatMonitor, SecurityContext) {
-        let monitor = ThreatMonitor::new(Arc::new(VirtualClock::new()))
-            .with_decay_after(Duration::ZERO);
+        let monitor =
+            ThreatMonitor::new(Arc::new(VirtualClock::new())).with_decay_after(Duration::ZERO);
         (monitor, SecurityContext::new())
     }
 

@@ -13,8 +13,8 @@
 //! to read an adaptive limit published by a host IDS
 //! (`failed_logins:@login_limit/60`).
 
-use gaa_core::{EvalDecision, EvalEnv};
 use gaa_audit::time::{Clock, Timestamp};
+use gaa_core::{EvalDecision, EvalEnv};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -209,9 +209,15 @@ mod tests {
         tracker.record("failed_logins", "a");
         tracker.record("requests", "a");
         tracker.record("failed_logins", "b");
-        assert_eq!(tracker.count("failed_logins", "a", Duration::from_secs(60)), 1);
+        assert_eq!(
+            tracker.count("failed_logins", "a", Duration::from_secs(60)),
+            1
+        );
         assert_eq!(tracker.count("requests", "a", Duration::from_secs(60)), 1);
-        assert_eq!(tracker.count("failed_logins", "b", Duration::from_secs(60)), 1);
+        assert_eq!(
+            tracker.count("failed_logins", "b", Duration::from_secs(60)),
+            1
+        );
     }
 
     #[test]
@@ -257,19 +263,30 @@ mod tests {
         );
         tracker.set_limit("login_limit", 2.0);
         tracker.record("failed_logins", "1.2.3.4");
-        assert_eq!(eval("failed_logins:@login_limit/60", &env), EvalDecision::NotMet);
+        assert_eq!(
+            eval("failed_logins:@login_limit/60", &env),
+            EvalDecision::NotMet
+        );
         tracker.record("failed_logins", "1.2.3.4");
-        assert_eq!(eval("failed_logins:@login_limit/60", &env), EvalDecision::Met);
+        assert_eq!(
+            eval("failed_logins:@login_limit/60", &env),
+            EvalDecision::Met
+        );
         // IDS tightens the limit under attack (§2 adaptive constraints).
         tracker.set_limit("login_limit", 1.0);
-        assert_eq!(eval("failed_logins:@login_limit/60", &env), EvalDecision::Met);
+        assert_eq!(
+            eval("failed_logins:@login_limit/60", &env),
+            EvalDecision::Met
+        );
     }
 
     #[test]
     fn evaluator_prefers_user_subject() {
         let (_clock, tracker) = setup();
         let eval = threshold_evaluator(tracker.clone());
-        let ctx = SecurityContext::new().with_user("alice").with_client_ip("1.2.3.4");
+        let ctx = SecurityContext::new()
+            .with_user("alice")
+            .with_client_ip("1.2.3.4");
         let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
         tracker.record("failed_logins", "alice");
         assert_eq!(eval("failed_logins:1/60", &env), EvalDecision::Met);

@@ -42,8 +42,10 @@ use gaa_eacl::{
     ComposedPolicy, CompositionMode, CondPhase, Condition, Eacl, EaclEntry, Polarity, PolicyLayer,
     RightPattern,
 };
+use gaa_faults::FaultInjector;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Builder for [`GaaApi`] — the `gaa_initialize` phase: registering
 /// condition-evaluation routines and wiring services.
@@ -53,6 +55,7 @@ pub struct GaaApiBuilder {
     clock: Arc<dyn Clock>,
     audit: Option<AuditLog>,
     default_status: GaaStatus,
+    phase_deadline: Option<Duration>,
 }
 
 impl GaaApiBuilder {
@@ -65,6 +68,7 @@ impl GaaApiBuilder {
             clock: Arc::new(SystemClock::new()),
             audit: None,
             default_status: GaaStatus::No,
+            phase_deadline: None,
         }
     }
 
@@ -72,6 +76,26 @@ impl GaaApiBuilder {
     #[must_use]
     pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Routes every evaluator invocation through `injector`
+    /// ([`gaa_faults::FaultSite::Evaluator`]), so chaos tests can make
+    /// registered routines panic, fail or hang on a seeded schedule.
+    #[must_use]
+    pub fn with_fault_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.registry.set_injector(injector);
+        self
+    }
+
+    /// Bounds the evaluator time spent per condition block. When the stall
+    /// reported by a hung evaluator pushes a block past this budget, the
+    /// block stops, its remaining conditions count as unevaluated (`MAYBE`),
+    /// and a `gaa.phase_deadline` audit record is written — the request
+    /// degrades to uncertainty instead of stalling indefinitely.
+    #[must_use]
+    pub fn with_phase_deadline(mut self, deadline: Duration) -> Self {
+        self.phase_deadline = Some(deadline);
         self
     }
 
@@ -126,6 +150,7 @@ impl GaaApiBuilder {
             clock: self.clock,
             audit: self.audit,
             default_status: self.default_status,
+            phase_deadline: self.phase_deadline,
         }
     }
 }
@@ -267,6 +292,7 @@ pub struct GaaApi {
     clock: Arc<dyn Clock>,
     audit: Option<AuditLog>,
     default_status: GaaStatus,
+    phase_deadline: Option<Duration>,
 }
 
 impl fmt::Debug for GaaApi {
@@ -320,7 +346,8 @@ impl GaaApi {
                     loc_index - 1
                 }
             };
-            if let Some(entry_applied) = self.evaluate_eacl(eacl, layer, eacl_index, right, ctx, now)
+            if let Some(entry_applied) =
+                self.evaluate_eacl(eacl, layer, eacl_index, right, ctx, now)
             {
                 match layer {
                     PolicyLayer::System => sys_contributions.push(entry_applied.decision),
@@ -525,14 +552,11 @@ impl GaaApi {
             for (entry_index, entry) in eacl.entries.iter().enumerate() {
                 for phase in CondPhase::all() {
                     for cond in entry.block(phase) {
-                        if !self.registry.is_registered(&cond.cond_type, &cond.authority) {
-                            missing.push((
-                                layer,
-                                eacl_index,
-                                entry_index,
-                                phase,
-                                cond.clone(),
-                            ));
+                        if !self
+                            .registry
+                            .is_registered(&cond.cond_type, &cond.authority)
+                        {
+                            missing.push((layer, eacl_index, entry_index, phase, cond.clone()));
                         }
                     }
                 }
@@ -618,8 +642,42 @@ impl GaaApi {
         let mut status = GaaStatus::Yes;
         let mut failed = Vec::new();
         let mut unevaluated = Vec::new();
+        let mut spent = Duration::ZERO;
         for cond in conditions {
             let eval = self.registry.evaluate(cond, env);
+            if let Some(stall) = eval.elapsed {
+                // A hung evaluator consumed real (clock-timeline) time.
+                self.clock.sleep(stall);
+                spent += stall;
+            }
+            if let Some(deadline) = self.phase_deadline {
+                if spent > deadline {
+                    // The answer arrived after the block's time budget: the
+                    // request must not stall, so the late answer is
+                    // discarded, the rest of the block is skipped, and the
+                    // block degrades to uncertainty (MAYBE) — which the
+                    // enforcement layer handles fail-closed.
+                    if let Some(audit) = &self.audit {
+                        audit.record(
+                            AuditRecord::new(
+                                env.now,
+                                AuditSeverity::Warning,
+                                "gaa.phase_deadline",
+                                env.context.subject(),
+                                format!(
+                                    "evaluator for `{} {}` exceeded the {:?} phase deadline \
+                                     ({:?} spent); treating block as unevaluated",
+                                    cond.cond_type, cond.authority, deadline, spent
+                                ),
+                            )
+                            .with_attr("value", cond.value.clone()),
+                        );
+                    }
+                    unevaluated.push(cond.clone());
+                    status = status.and(GaaStatus::Maybe);
+                    break;
+                }
+            }
             if eval.faulted {
                 if let Some(audit) = &self.audit {
                     audit.record(
@@ -694,8 +752,8 @@ impl GaaApi {
 mod tests {
     use super::*;
     use crate::policy_store::MemoryPolicyStore;
-    use gaa_eacl::parse_eacl;
     use gaa_audit::VirtualClock;
+    use gaa_eacl::parse_eacl;
 
     /// Builds an API over the given system/local policy texts with the
     /// standard test evaluators registered:
@@ -713,11 +771,12 @@ mod tests {
         }
         let api = GaaApiBuilder::new(Arc::new(store))
             .with_clock(Arc::new(VirtualClock::new()))
-            .register("flag", "local", |value: &str, env: &EvalEnv<'_>| {
-                match env.context.param("flag") {
-                    Some(v) if v == value => EvalDecision::Met,
-                    _ => EvalDecision::NotMet,
-                }
+            .register("flag", "local", |value: &str, env: &EvalEnv<'_>| match env
+                .context
+                .param("flag")
+            {
+                Some(v) if v == value => EvalDecision::Met,
+                _ => EvalDecision::NotMet,
             })
             .register("user", "USER", |value: &str, env: &EvalEnv<'_>| {
                 match env.context.user() {
@@ -788,10 +847,7 @@ pos_access_right apache *
 
     #[test]
     fn negative_entry_with_met_guard_denies() {
-        let (api, policy) = api_with(
-            "",
-            "neg_access_right apache *\npre_cond flag local evil\n",
-        );
+        let (api, policy) = api_with("", "neg_access_right apache *\npre_cond flag local evil\n");
         let result = api.check_authorization(&policy, &right(), &ctx_flag("evil"));
         assert!(result.status().is_no());
     }
@@ -810,10 +866,7 @@ pos_access_right apache *
 
     #[test]
     fn anonymous_user_condition_yields_maybe_for_auth_retry() {
-        let (api, policy) = api_with(
-            "",
-            "pos_access_right apache *\npre_cond user USER *\n",
-        );
+        let (api, policy) = api_with("", "pos_access_right apache *\npre_cond user USER *\n");
         let anon = api.check_authorization(&policy, &right(), &SecurityContext::new());
         assert!(anon.status().is_maybe());
         let alice = api.check_authorization(
@@ -888,10 +941,7 @@ pre_cond flag local lockdown
 
     #[test]
     fn rr_conditions_fold_into_final_status() {
-        let (api, policy) = api_with(
-            "",
-            "pos_access_right apache *\nrr_cond never local x\n",
-        );
+        let (api, policy) = api_with("", "pos_access_right apache *\nrr_cond never local x\n");
         let result = api.check_authorization(&policy, &right(), &SecurityContext::new());
         assert!(result.authorization_status().is_yes());
         assert!(result.request_result_status().is_no());
@@ -913,11 +963,12 @@ pre_cond flag local lockdown
             .unwrap()],
         );
         let api = GaaApiBuilder::new(Arc::new(store))
-            .register("flag", "local", |value: &str, env: &EvalEnv<'_>| {
-                match env.context.param("flag") {
-                    Some(v) if v == value => EvalDecision::Met,
-                    _ => EvalDecision::NotMet,
-                }
+            .register("flag", "local", |value: &str, env: &EvalEnv<'_>| match env
+                .context
+                .param("flag")
+            {
+                Some(v) if v == value => EvalDecision::Met,
+                _ => EvalDecision::NotMet,
             })
             .register("observe", "local", move |_: &str, env: &EvalEnv<'_>| {
                 observed2.lock().push(env.request_outcome.unwrap());
@@ -954,7 +1005,11 @@ pre_cond flag local lockdown
             .build();
         let policy = api.get_object_policy_info("/obj").unwrap();
         let _ = api.check_authorization(&policy, &right(), &SecurityContext::new());
-        assert_eq!(calls.load(Ordering::SeqCst), 0, "later pre-conditions must not run");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            0,
+            "later pre-conditions must not run"
+        );
     }
 
     #[test]
@@ -1050,14 +1105,80 @@ pre_cond flag local lockdown
         );
         let api = GaaApiBuilder::new(Arc::new(store))
             .with_audit(audit.clone())
-            .register("boom", "local", |_: &str, _: &EvalEnv<'_>| -> EvalDecision {
-                panic!("bug")
-            })
+            .register(
+                "boom",
+                "local",
+                |_: &str, _: &EvalEnv<'_>| -> EvalDecision { panic!("bug") },
+            )
             .build();
         let policy = api.get_object_policy_info("/obj").unwrap();
         let result = api.check_authorization(&policy, &right(), &SecurityContext::new());
         assert!(result.status().is_maybe());
         assert_eq!(audit.count_category("gaa.evaluator_fault"), 1);
+    }
+
+    #[test]
+    fn injected_hang_past_deadline_degrades_to_maybe() {
+        use gaa_faults::{Fault, FaultPlan, FaultSite};
+
+        let audit = AuditLog::new();
+        let clock = Arc::new(VirtualClock::at_millis(0));
+        let mut store = MemoryPolicyStore::new();
+        store.set_local(
+            "/obj",
+            vec![parse_eacl("pos_access_right apache *\npre_cond slow local x\n").unwrap()],
+        );
+        let plan = FaultPlan::builder(21)
+            .fail_nth(FaultSite::Evaluator, 0, Fault::Hang(5_000))
+            .build();
+        let api = GaaApiBuilder::new(Arc::new(store))
+            .with_clock(clock.clone())
+            .with_audit(audit.clone())
+            .with_fault_injector(Arc::new(plan))
+            .with_phase_deadline(std::time::Duration::from_millis(500))
+            .register("slow", "local", |_: &str, _: &EvalEnv<'_>| {
+                EvalDecision::Met
+            })
+            .build();
+        let policy = api.get_object_policy_info("/obj").unwrap();
+
+        // Call 0: the evaluator hangs for 5s (virtual) against a 500ms
+        // budget — the request completes as MAYBE instead of granting, with
+        // the timeout audited, and virtual time shows the bounded stall.
+        let result = api.check_authorization(&policy, &right(), &SecurityContext::new());
+        assert!(result.status().is_maybe());
+        assert_eq!(audit.count_category("gaa.phase_deadline"), 1);
+        assert_eq!(clock.now().as_millis(), 5_000);
+
+        // Call 1: no fault, normal grant.
+        let result = api.check_authorization(&policy, &right(), &SecurityContext::new());
+        assert!(result.status().is_yes());
+    }
+
+    #[test]
+    fn injected_hang_within_deadline_is_harmless() {
+        use gaa_faults::{Fault, FaultPlan, FaultSite};
+
+        let clock = Arc::new(VirtualClock::at_millis(0));
+        let mut store = MemoryPolicyStore::new();
+        store.set_local(
+            "/obj",
+            vec![parse_eacl("pos_access_right apache *\npre_cond slow local x\n").unwrap()],
+        );
+        let plan = FaultPlan::builder(22)
+            .fail_nth(FaultSite::Evaluator, 0, Fault::Hang(100))
+            .build();
+        let api = GaaApiBuilder::new(Arc::new(store))
+            .with_clock(clock)
+            .with_fault_injector(Arc::new(plan))
+            .with_phase_deadline(std::time::Duration::from_millis(500))
+            .register("slow", "local", |_: &str, _: &EvalEnv<'_>| {
+                EvalDecision::Met
+            })
+            .build();
+        let policy = api.get_object_policy_info("/obj").unwrap();
+        let result = api.check_authorization(&policy, &right(), &SecurityContext::new());
+        assert!(result.status().is_yes());
     }
 
     #[test]
@@ -1072,7 +1193,9 @@ pre_cond flag local lockdown
             .with_audit(audit.clone())
             .build();
         let policy = api.get_object_policy_info("/obj").unwrap();
-        let ctx = SecurityContext::new().with_user("mallory").with_object("/obj");
+        let ctx = SecurityContext::new()
+            .with_user("mallory")
+            .with_object("/obj");
         let _ = api.check_authorization(&policy, &right(), &ctx);
         let denials = audit.by_category("gaa.denied");
         assert_eq!(denials.len(), 1);

@@ -179,8 +179,8 @@ pub fn parse_config(input: &str) -> Result<ConfigFile, ParseConfigError> {
 ///
 /// Returns an I/O or parse error (boxed) with the file name in the message.
 pub fn load_config(path: &Path) -> Result<ConfigFile, Box<dyn Error + Send + Sync>> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     parse_config(&text).map_err(|e| format!("{}: {e}", path.display()).into())
 }
 
@@ -227,14 +227,12 @@ mod tests {
 
     #[test]
     fn merge_layers_local_over_system() {
-        let mut system = parse_config(
-            "register regex gnu builtin:regex\nparam notify.recipient sysadmin\n",
-        )
-        .unwrap();
-        let local = parse_config(
-            "register regex gnu custom:regex\nparam notify.recipient webmaster\n",
-        )
-        .unwrap();
+        let mut system =
+            parse_config("register regex gnu builtin:regex\nparam notify.recipient sysadmin\n")
+                .unwrap();
+        let local =
+            parse_config("register regex gnu custom:regex\nparam notify.recipient webmaster\n")
+                .unwrap();
         system.merge(local);
         assert_eq!(system.registrations.len(), 2);
         // Applied in order, the later (local) registration wins.

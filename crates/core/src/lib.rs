@@ -61,7 +61,6 @@
 //! # }
 //! ```
 
-
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 mod api;
@@ -79,8 +78,9 @@ pub use context::{ExecutionMetrics, Outcome, Param, SecurityContext};
 pub use decision::{AnswerCode, REDIRECT_COND_TYPE};
 pub use gaa_eacl::RightPattern;
 pub use policy_store::{
-    CacheStats, CachingPolicyStore, FilePolicyStore, MemoryPolicyStore, PolicyError, PolicyStore,
+    CacheStats, CachingPolicyStore, FaultingPolicyStore, FilePolicyStore, MemoryPolicyStore,
+    PolicyError, PolicyStore, ResilientPolicyStore,
 };
-pub use registry::{ConditionRegistry, EvalDecision, EvalEnv, ConditionEvaluator};
+pub use registry::{ConditionEvaluator, ConditionRegistry, EvalDecision, EvalEnv};
 pub use status::GaaStatus;
 pub use trace::{ConditionTrace, DecisionTrace, EaclTrace, EntryTrace};

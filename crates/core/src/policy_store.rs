@@ -16,13 +16,20 @@
 //! caching of the retrieved and translated policies for later reuse by
 //! subsequent requests" (ablation A1 in DESIGN.md).
 
+use gaa_audit::degrade::{Component, DegradationState};
+use gaa_audit::log::{AuditLog, AuditRecord, AuditSeverity};
+use gaa_audit::time::SharedClock;
+use gaa_audit::Timestamp;
 use gaa_eacl::{parse_eacl_list, Eacl, ParseEaclError};
+use gaa_faults::{Fault, FaultInjector, FaultSite};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Error retrieving or translating a policy.
 #[derive(Debug)]
@@ -336,6 +343,232 @@ impl<S: PolicyStore> PolicyStore for CachingPolicyStore<S> {
     }
 }
 
+/// Fault-injection decorator for policy retrieval: a [`Fault::Error`] (or
+/// [`Fault::Hang`], which a synchronous store can only surface as a timeout
+/// error) injected at [`FaultSite::PolicyStore`] makes the read fail with an
+/// I/O error, exactly as a vanished disk or NFS stall would.
+pub struct FaultingPolicyStore {
+    inner: Arc<dyn PolicyStore>,
+    injector: Arc<dyn FaultInjector>,
+}
+
+impl FaultingPolicyStore {
+    /// Wraps `inner`, consulting `injector` before every read.
+    pub fn new(inner: Arc<dyn PolicyStore>, injector: Arc<dyn FaultInjector>) -> Self {
+        FaultingPolicyStore { inner, injector }
+    }
+
+    fn injected_error(&self) -> Option<PolicyError> {
+        match self.injector.fault_at(FaultSite::PolicyStore) {
+            Some(Fault::Error) => Some(PolicyError::Io(std::io::Error::other(
+                "injected policy store I/O failure",
+            ))),
+            Some(Fault::Hang(millis)) => Some(PolicyError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("injected policy store stall ({millis}ms)"),
+            ))),
+            _ => None,
+        }
+    }
+}
+
+impl PolicyStore for FaultingPolicyStore {
+    fn system_policies(&self) -> Result<Vec<Eacl>, PolicyError> {
+        match self.injected_error() {
+            Some(e) => Err(e),
+            None => self.inner.system_policies(),
+        }
+    }
+
+    fn local_policies(&self, object: &str) -> Result<Vec<Eacl>, PolicyError> {
+        match self.injected_error() {
+            Some(e) => Err(e),
+            None => self.inner.local_policies(object),
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        self.inner.generation()
+    }
+}
+
+struct LastGood {
+    eacls: Vec<Eacl>,
+    fetched: Timestamp,
+}
+
+#[derive(Default)]
+struct ResilientState {
+    system: Option<LastGood>,
+    local: HashMap<String, LastGood>,
+    stale_serves: u64,
+}
+
+/// Stale-serving decorator: on inner-store failure, serves the last
+/// successfully retrieved policy for a bounded TTL instead of failing the
+/// request outright.
+///
+/// A transient I/O blip (NFS hiccup, mid-rewrite read) would otherwise deny
+/// every request — technically fail-closed, practically a self-inflicted
+/// denial of service. Serving a *recent* known-good policy keeps §7's
+/// integrated enforcement running through the blip, and every stale serve is
+/// audited (`policy.stale_served`, Warning) and mirrored into the
+/// [`DegradationState`], so the degradation is observable, bounded and
+/// recoverable — never silent.
+///
+/// The TTL is the trust horizon: a policy older than `stale_ttl` is treated
+/// as gone and the error propagates — the caller's fail-closed path takes
+/// over (deny + `policy.retrieval_failed`). Deployments that cannot tolerate
+/// *any* staleness (a revoked attacker must lose access on the very next
+/// request) build with [`ResilientPolicyStore::fail_closed`], which turns
+/// the decorator into pure observation: errors always propagate.
+pub struct ResilientPolicyStore {
+    inner: Arc<dyn PolicyStore>,
+    clock: SharedClock,
+    audit: AuditLog,
+    degradation: DegradationState,
+    stale_ttl: Duration,
+    fail_closed: bool,
+    state: Mutex<ResilientState>,
+}
+
+impl ResilientPolicyStore {
+    /// Wraps `inner` with a 60-second stale-serving window.
+    pub fn new(
+        inner: Arc<dyn PolicyStore>,
+        clock: SharedClock,
+        audit: AuditLog,
+        degradation: DegradationState,
+    ) -> Self {
+        ResilientPolicyStore {
+            inner,
+            clock,
+            audit,
+            degradation,
+            stale_ttl: Duration::from_secs(60),
+            fail_closed: false,
+            state: Mutex::new(ResilientState::default()),
+        }
+    }
+
+    /// Overrides how long a last-good policy may be served after the store
+    /// starts failing.
+    #[must_use]
+    pub fn with_stale_ttl(mut self, ttl: Duration) -> Self {
+        self.stale_ttl = ttl;
+        self
+    }
+
+    /// Disables stale serving entirely: store errors always propagate and
+    /// requests fail closed immediately.
+    #[must_use]
+    pub fn fail_closed(mut self) -> Self {
+        self.fail_closed = true;
+        self
+    }
+
+    /// Number of reads answered from the stale cache.
+    pub fn stale_serves(&self) -> u64 {
+        self.state.lock().stale_serves
+    }
+
+    fn on_success(&self, now: Timestamp) {
+        if self.degradation.is_degraded(Component::PolicyStore) {
+            self.degradation.mark_recovered(Component::PolicyStore, now);
+        }
+    }
+
+    fn serve_stale(
+        &self,
+        which: &str,
+        entry: Option<&LastGood>,
+        now: Timestamp,
+        error: PolicyError,
+        stale_serves: &mut u64,
+    ) -> Result<Vec<Eacl>, PolicyError> {
+        let fresh_enough = entry
+            .map(|lg| now.since(lg.fetched) <= self.stale_ttl)
+            .unwrap_or(false);
+        if self.fail_closed || !fresh_enough {
+            return Err(error);
+        }
+        let entry = entry.expect("fresh_enough implies entry");
+        *stale_serves += 1;
+        self.audit.record(
+            AuditRecord::new(
+                now,
+                AuditSeverity::Warning,
+                "policy.stale_served",
+                which,
+                format!("policy store failed ({error}); serving last-good policy"),
+            )
+            .with_attr("age_ms", now.since(entry.fetched).as_millis().to_string())
+            .with_attr("ttl_ms", self.stale_ttl.as_millis().to_string()),
+        );
+        self.degradation.mark_degraded(
+            Component::PolicyStore,
+            "store failing: serving last-good policy within TTL",
+            now,
+        );
+        Ok(entry.eacls.clone())
+    }
+}
+
+impl PolicyStore for ResilientPolicyStore {
+    fn system_policies(&self) -> Result<Vec<Eacl>, PolicyError> {
+        let now = self.clock.now();
+        match self.inner.system_policies() {
+            Ok(eacls) => {
+                self.state.lock().system = Some(LastGood {
+                    eacls: eacls.clone(),
+                    fetched: now,
+                });
+                self.on_success(now);
+                Ok(eacls)
+            }
+            Err(e) => {
+                let mut state = self.state.lock();
+                let ResilientState {
+                    system,
+                    stale_serves,
+                    ..
+                } = &mut *state;
+                self.serve_stale("system", system.as_ref(), now, e, stale_serves)
+            }
+        }
+    }
+
+    fn local_policies(&self, object: &str) -> Result<Vec<Eacl>, PolicyError> {
+        let now = self.clock.now();
+        match self.inner.local_policies(object) {
+            Ok(eacls) => {
+                self.state.lock().local.insert(
+                    object.to_string(),
+                    LastGood {
+                        eacls: eacls.clone(),
+                        fetched: now,
+                    },
+                );
+                self.on_success(now);
+                Ok(eacls)
+            }
+            Err(e) => {
+                let mut state = self.state.lock();
+                let ResilientState {
+                    local,
+                    stale_serves,
+                    ..
+                } = &mut *state;
+                self.serve_stale(object, local.get(object), now, e, stale_serves)
+            }
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        self.inner.generation()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,10 +576,8 @@ mod tests {
     use std::fs;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "gaa-policy-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("gaa-policy-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -398,11 +629,7 @@ mod tests {
         let dir = tmpdir("walk");
         fs::create_dir_all(dir.join("docs/reports")).unwrap();
         fs::write(dir.join(".eacl"), "pos_access_right apache ROOT\n").unwrap();
-        fs::write(
-            dir.join("docs/.eacl"),
-            "pos_access_right apache DOCS\n",
-        )
-        .unwrap();
+        fs::write(dir.join("docs/.eacl"), "pos_access_right apache DOCS\n").unwrap();
         fs::write(
             dir.join("docs/reports/.eacl"),
             "pos_access_right apache REPORTS\n",
@@ -466,9 +693,7 @@ mod tests {
         let dir = tmpdir("inval");
         let sys = dir.join("system.eacl");
         fs::write(&sys, "pos_access_right apache *\n").unwrap();
-        let file_store = CachingPolicyStore::new(
-            FilePolicyStore::new().with_system_file(&sys),
-        );
+        let file_store = CachingPolicyStore::new(FilePolicyStore::new().with_system_file(&sys));
         file_store.system_policies().unwrap();
         file_store.system_policies().unwrap();
         assert_eq!(file_store.stats().hits, 1);
@@ -484,5 +709,136 @@ mod tests {
         let io_err = PolicyError::from(std::io::Error::other("boom"));
         assert!(io_err.to_string().contains("boom"));
         assert!(io_err.source().is_some());
+    }
+
+    mod resilience {
+        use super::*;
+        use gaa_audit::VirtualClock;
+        use gaa_faults::{Fault, FaultPlan, FaultSite};
+
+        fn store_with_policy() -> Arc<MemoryPolicyStore> {
+            let mut inner = MemoryPolicyStore::new();
+            inner.set_system(vec![grant_eacl()]);
+            inner.set_local("/x", vec![grant_eacl()]);
+            Arc::new(inner)
+        }
+
+        fn resilient(
+            inner: Arc<dyn PolicyStore>,
+            clock: Arc<VirtualClock>,
+            audit: &AuditLog,
+            degradation: &DegradationState,
+        ) -> ResilientPolicyStore {
+            ResilientPolicyStore::new(inner, clock, audit.clone(), degradation.clone())
+                .with_stale_ttl(Duration::from_secs(30))
+        }
+
+        #[test]
+        fn faulting_store_injects_io_errors() {
+            let plan = FaultPlan::builder(1)
+                .fail_nth(FaultSite::PolicyStore, 0, Fault::Error)
+                .build();
+            let store = FaultingPolicyStore::new(store_with_policy(), Arc::new(plan));
+            assert!(matches!(store.system_policies(), Err(PolicyError::Io(_))));
+            // Fault window over: reads succeed again.
+            assert_eq!(store.system_policies().unwrap().len(), 1);
+            assert_eq!(store.local_policies("/x").unwrap().len(), 1);
+        }
+
+        #[test]
+        fn stale_serving_within_ttl_then_fail_closed_after() {
+            let clock = Arc::new(VirtualClock::at_millis(0));
+            let audit = AuditLog::new();
+            let degradation = DegradationState::new();
+            // Reads 1.. fail (read 0 primes the last-good copy).
+            let plan = FaultPlan::builder(2)
+                .fail_window(FaultSite::PolicyStore, 1, u64::MAX, Fault::Error)
+                .build();
+            let faulty = Arc::new(FaultingPolicyStore::new(
+                store_with_policy(),
+                Arc::new(plan),
+            ));
+            let store = resilient(faulty, clock.clone(), &audit, &degradation);
+
+            assert_eq!(store.system_policies().unwrap().len(), 1); // primes cache
+
+            clock.advance(Duration::from_secs(10));
+            // Store now failing, but the 10s-old copy is within the 30s TTL.
+            assert_eq!(store.system_policies().unwrap().len(), 1);
+            assert_eq!(store.stale_serves(), 1);
+            assert!(degradation.is_degraded(Component::PolicyStore));
+            let stale = audit.by_category("policy.stale_served");
+            assert_eq!(stale.len(), 1);
+            assert_eq!(stale[0].attr("age_ms"), Some("10000"));
+
+            // Past the TTL the stale copy is no longer trusted: fail closed.
+            clock.advance(Duration::from_secs(25));
+            assert!(store.system_policies().is_err());
+        }
+
+        #[test]
+        fn recovery_clears_degradation() {
+            let clock = Arc::new(VirtualClock::at_millis(0));
+            let audit = AuditLog::new();
+            let degradation = DegradationState::new();
+            let plan = FaultPlan::builder(3)
+                .fail_window(FaultSite::PolicyStore, 1, 3, Fault::Error)
+                .build();
+            let faulty = Arc::new(FaultingPolicyStore::new(
+                store_with_policy(),
+                Arc::new(plan),
+            ));
+            let store = resilient(faulty, clock.clone(), &audit, &degradation);
+
+            store.system_policies().unwrap(); // prime
+            store.system_policies().unwrap(); // stale serve 1
+            store.system_policies().unwrap(); // stale serve 2
+            assert!(degradation.is_degraded(Component::PolicyStore));
+            store.system_policies().unwrap(); // store healthy again
+            assert!(degradation.is_fully_operational());
+            assert_eq!(store.stale_serves(), 2);
+        }
+
+        #[test]
+        fn fail_closed_mode_never_serves_stale() {
+            let clock = Arc::new(VirtualClock::at_millis(0));
+            let audit = AuditLog::new();
+            let degradation = DegradationState::new();
+            let plan = FaultPlan::builder(4)
+                .fail_window(FaultSite::PolicyStore, 1, u64::MAX, Fault::Error)
+                .build();
+            let faulty = Arc::new(FaultingPolicyStore::new(
+                store_with_policy(),
+                Arc::new(plan),
+            ));
+            let store =
+                ResilientPolicyStore::new(faulty, clock, audit.clone(), degradation.clone())
+                    .fail_closed();
+
+            store.system_policies().unwrap();
+            assert!(store.system_policies().is_err());
+            assert_eq!(store.stale_serves(), 0);
+            assert!(audit.by_category("policy.stale_served").is_empty());
+        }
+
+        #[test]
+        fn local_policies_are_cached_per_object() {
+            let clock = Arc::new(VirtualClock::at_millis(0));
+            let audit = AuditLog::new();
+            let degradation = DegradationState::new();
+            let plan = FaultPlan::builder(5)
+                .fail_window(FaultSite::PolicyStore, 1, u64::MAX, Fault::Error)
+                .build();
+            let faulty = Arc::new(FaultingPolicyStore::new(
+                store_with_policy(),
+                Arc::new(plan),
+            ));
+            let store = resilient(faulty, clock, &audit, &degradation);
+
+            assert_eq!(store.local_policies("/x").unwrap().len(), 1); // prime
+            assert_eq!(store.local_policies("/x").unwrap().len(), 1); // stale
+                                                                      // Never-seen object has no last-good copy: fail closed.
+            assert!(store.local_policies("/y").is_err());
+        }
     }
 }

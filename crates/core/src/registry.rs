@@ -17,10 +17,12 @@
 use crate::context::{ExecutionMetrics, Outcome, SecurityContext};
 use gaa_audit::time::Timestamp;
 use gaa_eacl::{CondPhase, Condition};
+use gaa_faults::{Fault, FaultInjector, FaultSite};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Result of evaluating one condition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -107,6 +109,9 @@ pub struct RegistryEval {
     pub had_evaluator: bool,
     /// True when the evaluator panicked (fault injection / buggy routine).
     pub faulted: bool,
+    /// Time the evaluator stalled for before returning (injected hangs).
+    /// The caller charges this against its per-phase deadline.
+    pub elapsed: Option<Duration>,
 }
 
 /// Keyed store of condition evaluators.
@@ -116,6 +121,7 @@ pub struct RegistryEval {
 #[derive(Clone, Default)]
 pub struct ConditionRegistry {
     evaluators: HashMap<(String, String), Arc<dyn ConditionEvaluator>>,
+    injector: Option<Arc<dyn FaultInjector>>,
 }
 
 impl fmt::Debug for ConditionRegistry {
@@ -151,6 +157,20 @@ impl ConditionRegistry {
             .insert((cond_type.into(), authority.into()), evaluator);
     }
 
+    /// Consults `injector` at [`FaultSite::Evaluator`] before every routine
+    /// invocation, simulating buggy or hung evaluators:
+    ///
+    /// * [`Fault::Panic`] — the routine panics (exercising the real
+    ///   `catch_unwind` containment path);
+    /// * [`Fault::Error`] — the routine fails without panicking
+    ///   (`Unevaluated` + `faulted`);
+    /// * [`Fault::Hang`] — the routine completes but reports the given
+    ///   stall in [`RegistryEval::elapsed`], which the API charges against
+    ///   its per-phase deadline.
+    pub fn set_injector(&mut self, injector: Arc<dyn FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
     /// Is any routine registered for this key (exact or wildcard)?
     pub fn is_registered(&self, cond_type: &str, authority: &str) -> bool {
         self.lookup(cond_type, authority).is_some()
@@ -169,7 +189,10 @@ impl ConditionRegistry {
     fn lookup(&self, cond_type: &str, authority: &str) -> Option<&Arc<dyn ConditionEvaluator>> {
         self.evaluators
             .get(&(cond_type.to_string(), authority.to_string()))
-            .or_else(|| self.evaluators.get(&(cond_type.to_string(), "*".to_string())))
+            .or_else(|| {
+                self.evaluators
+                    .get(&(cond_type.to_string(), "*".to_string()))
+            })
     }
 
     /// Evaluates `condition` in `env`.
@@ -185,20 +208,44 @@ impl ConditionRegistry {
                 decision: EvalDecision::Unevaluated,
                 had_evaluator: false,
                 faulted: false,
+                elapsed: None,
             };
         };
+        let injected = self
+            .injector
+            .as_ref()
+            .and_then(|i| i.fault_at(FaultSite::Evaluator));
+        if matches!(injected, Some(Fault::Error)) {
+            return RegistryEval {
+                decision: EvalDecision::Unevaluated,
+                had_evaluator: true,
+                faulted: true,
+                elapsed: None,
+            };
+        }
+        let elapsed = match injected {
+            Some(Fault::Hang(millis)) => Some(Duration::from_millis(millis)),
+            _ => None,
+        };
         let value = condition.value.clone();
-        let result = catch_unwind(AssertUnwindSafe(|| evaluator.evaluate(&value, env)));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if matches!(injected, Some(Fault::Panic)) {
+                panic!("injected evaluator panic");
+            }
+            evaluator.evaluate(&value, env)
+        }));
         match result {
             Ok(decision) => RegistryEval {
                 decision,
                 had_evaluator: true,
                 faulted: false,
+                elapsed,
             },
             Err(_) => RegistryEval {
                 decision: EvalDecision::Unevaluated,
                 had_evaluator: true,
                 faulted: true,
+                elapsed,
             },
         }
     }
@@ -277,9 +324,7 @@ mod tests {
         registry.register(
             "broken",
             "local",
-            Arc::new(|_: &str, _: &EvalEnv<'_>| -> EvalDecision {
-                panic!("evaluator bug")
-            }),
+            Arc::new(|_: &str, _: &EvalEnv<'_>| -> EvalDecision { panic!("evaluator bug") }),
         );
         let ctx = env_ctx();
         let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
@@ -327,6 +372,45 @@ mod tests {
                 .decision,
             EvalDecision::NotMet
         );
+    }
+
+    #[test]
+    fn injected_faults_surface_as_evaluator_failures() {
+        use gaa_faults::{Fault, FaultPlan, FaultSite};
+
+        let mut registry = ConditionRegistry::new();
+        registry.register("t", "a", always(EvalDecision::Met));
+        let plan = FaultPlan::builder(9)
+            .fail_nth(FaultSite::Evaluator, 0, Fault::Panic)
+            .fail_nth(FaultSite::Evaluator, 1, Fault::Error)
+            .fail_nth(FaultSite::Evaluator, 2, Fault::Hang(750))
+            .build();
+        registry.set_injector(Arc::new(plan));
+        let ctx = env_ctx();
+        let env = EvalEnv::pre(&ctx, Timestamp::from_millis(0));
+        let cond = Condition::new("t", "a", "v");
+
+        // Call 0: injected panic, contained by catch_unwind.
+        let r = registry.evaluate(&cond, &env);
+        assert_eq!(r.decision, EvalDecision::Unevaluated);
+        assert!(r.faulted);
+
+        // Call 1: injected error without panic.
+        let r = registry.evaluate(&cond, &env);
+        assert_eq!(r.decision, EvalDecision::Unevaluated);
+        assert!(r.faulted);
+        assert_eq!(r.elapsed, None);
+
+        // Call 2: injected hang — evaluation completes but reports the stall.
+        let r = registry.evaluate(&cond, &env);
+        assert_eq!(r.decision, EvalDecision::Met);
+        assert!(!r.faulted);
+        assert_eq!(r.elapsed, Some(Duration::from_millis(750)));
+
+        // Call 3: plan exhausted, normal operation.
+        let r = registry.evaluate(&cond, &env);
+        assert_eq!(r.decision, EvalDecision::Met);
+        assert_eq!(r.elapsed, None);
     }
 
     #[test]

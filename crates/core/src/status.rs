@@ -53,9 +53,7 @@ impl GaaStatus {
     /// (§6: "if there are no pre-conditions, the authorization status is set
     /// to YES").
     pub fn all<I: IntoIterator<Item = GaaStatus>>(statuses: I) -> GaaStatus {
-        statuses
-            .into_iter()
-            .fold(GaaStatus::Yes, GaaStatus::and)
+        statuses.into_iter().fold(GaaStatus::Yes, GaaStatus::and)
     }
 
     /// Folds a disjunction over `statuses`; the empty disjunction is `No`.

@@ -85,7 +85,11 @@ pub struct DecisionTrace {
 
 impl fmt::Display for DecisionTrace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "decision trace for right `{}` (mode {})", self.right, self.mode)?;
+        writeln!(
+            f,
+            "decision trace for right `{}` (mode {})",
+            self.right, self.mode
+        )?;
         for eacl in &self.eacls {
             writeln!(
                 f,
@@ -107,7 +111,11 @@ impl fmt::Display for DecisionTrace {
                         Polarity::Negative => "deny",
                     },
                     entry.pre_status,
-                    if entry.applied { "<= applied" } else { "(fell through)" }
+                    if entry.applied {
+                        "<= applied"
+                    } else {
+                        "(fell through)"
+                    }
                 )?;
                 for ct in &entry.conditions {
                     writeln!(
@@ -242,8 +250,7 @@ impl GaaApi {
         } else {
             Some(GaaStatus::all(loc_contributions))
         };
-        let decision =
-            self.combine_layers_public(policy.mode(), system_decision, local_decision);
+        let decision = self.combine_layers_public(policy.mode(), system_decision, local_decision);
 
         DecisionTrace {
             right: right.clone(),
@@ -282,11 +289,12 @@ mod tests {
             .unwrap()],
         );
         let api = GaaApiBuilder::new(Arc::new(store))
-            .register("flag", "local", |value: &str, env: &EvalEnv<'_>| {
-                match env.context.param("flag") {
-                    Some(v) if v == value => EvalDecision::Met,
-                    _ => EvalDecision::NotMet,
-                }
+            .register("flag", "local", |value: &str, env: &EvalEnv<'_>| match env
+                .context
+                .param("flag")
+            {
+                Some(v) if v == value => EvalDecision::Met,
+                _ => EvalDecision::NotMet,
             })
             .register("user", "USER", |_: &str, env: &EvalEnv<'_>| {
                 match env.context.user() {
@@ -312,8 +320,8 @@ mod tests {
             ("attack", Some("alice")),
             ("lockdown", Some("alice")),
         ] {
-            let mut ctx = SecurityContext::new()
-                .with_param(crate::context::Param::new("flag", "t", flag));
+            let mut ctx =
+                SecurityContext::new().with_param(crate::context::Param::new("flag", "t", flag));
             if let Some(u) = user {
                 ctx = ctx.with_user(u);
             }
@@ -350,8 +358,8 @@ mod tests {
     #[test]
     fn trace_records_condition_verdicts_in_order() {
         let (api, policy) = api_and_policy();
-        let ctx = SecurityContext::new()
-            .with_param(crate::context::Param::new("flag", "t", "attack"));
+        let ctx =
+            SecurityContext::new().with_param(crate::context::Param::new("flag", "t", "attack"));
         let trace = api.explain(&policy, &right(), &ctx);
         let deny_entry = &trace.eacls[1].entries[0];
         assert!(deny_entry.applied);
@@ -379,8 +387,8 @@ mod tests {
     #[test]
     fn display_renders_the_whole_story() {
         let (api, policy) = api_and_policy();
-        let ctx = SecurityContext::new()
-            .with_param(crate::context::Param::new("flag", "t", "lockdown"));
+        let ctx =
+            SecurityContext::new().with_param(crate::context::Param::new("flag", "t", "lockdown"));
         let text = api.explain(&policy, &right(), &ctx).to_string();
         assert!(text.contains("System EACL #0"));
         assert!(text.contains("Local EACL #0"));

@@ -16,18 +16,21 @@ use std::sync::Arc;
 /// * `flag_eq local <v>` — Met iff the context's `flag` param equals `<v>`;
 /// * `always_maybe local _` — always Unevaluated;
 /// * `registered_no local _` — always NotMet.
+///
 /// Plus `never_registered`, which has no evaluator (MAYBE path).
 fn build_api(system: Vec<Eacl>, local: Vec<Eacl>) -> GaaApi {
     let mut store = MemoryPolicyStore::new();
     store.set_system(system);
     store.set_local("/obj", local);
     GaaApiBuilder::new(Arc::new(store))
-        .register("flag_eq", "local", |value: &str, env: &EvalEnv<'_>| {
-            match env.context.param("flag") {
+        .register(
+            "flag_eq",
+            "local",
+            |value: &str, env: &EvalEnv<'_>| match env.context.param("flag") {
                 Some(v) if v == value => EvalDecision::Met,
                 _ => EvalDecision::NotMet,
-            }
-        })
+            },
+        )
         .register("always_maybe", "local", |_: &str, _: &EvalEnv<'_>| {
             EvalDecision::Unevaluated
         })

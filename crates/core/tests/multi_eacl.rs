@@ -13,14 +13,19 @@ use std::sync::Arc;
 fn api_with_layers(system: &[&str], local: &[&str]) -> gaa_core::GaaApi {
     let mut store = MemoryPolicyStore::new();
     store.set_system(system.iter().map(|t| parse_eacl(t).unwrap()).collect());
-    store.set_local("/obj", local.iter().map(|t| parse_eacl(t).unwrap()).collect());
+    store.set_local(
+        "/obj",
+        local.iter().map(|t| parse_eacl(t).unwrap()).collect(),
+    );
     GaaApiBuilder::new(Arc::new(store))
-        .register("flag", "local", |value: &str, env: &EvalEnv<'_>| {
-            match env.context.param("flag") {
+        .register(
+            "flag",
+            "local",
+            |value: &str, env: &EvalEnv<'_>| match env.context.param("flag") {
                 Some(v) if v == value => EvalDecision::Met,
                 _ => EvalDecision::NotMet,
-            }
-        })
+            },
+        )
         .build()
 }
 
@@ -78,9 +83,15 @@ fn directory_walk_produces_conjoined_local_policies() {
     let right = RightPattern::new("apache", "GET");
 
     let calm = SecurityContext::new().with_param(Param::new("flag", "t", "off"));
-    assert!(api.check_authorization(&policy, &right, &calm).status().is_yes());
+    assert!(api
+        .check_authorization(&policy, &right, &calm)
+        .status()
+        .is_yes());
     let hot = SecurityContext::new().with_param(Param::new("flag", "t", "x"));
-    assert!(api.check_authorization(&policy, &right, &hot).status().is_no());
+    assert!(api
+        .check_authorization(&policy, &right, &hot)
+        .status()
+        .is_no());
 }
 
 #[test]

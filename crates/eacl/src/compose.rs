@@ -160,8 +160,7 @@ mod tests {
         let undeclared = grant("a");
         let expand = Eacl::with_mode(CompositionMode::Expand);
         let narrow = Eacl::with_mode(CompositionMode::Narrow);
-        let composed =
-            ComposedPolicy::compose(vec![undeclared, expand, narrow], vec![grant("b")]);
+        let composed = ComposedPolicy::compose(vec![undeclared, expand, narrow], vec![grant("b")]);
         assert_eq!(composed.mode(), CompositionMode::Expand);
     }
 

@@ -69,7 +69,6 @@
 //! # }
 //! ```
 
-
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 mod ast;

@@ -58,9 +58,9 @@ pub fn parse_eacl(input: &str) -> Result<Eacl, ParseEaclError> {
                 }
                 seen_mode = true;
                 let mode_str = rest.trim();
-                let mode: CompositionMode = mode_str
-                    .parse()
-                    .map_err(|_| ParseEaclError::new(lineno, ErrorKind::BadMode(mode_str.into())))?;
+                let mode: CompositionMode = mode_str.parse().map_err(|_| {
+                    ParseEaclError::new(lineno, ErrorKind::BadMode(mode_str.into()))
+                })?;
                 eacl.mode = Some(mode);
             }
             "pos_access_right" | "neg_access_right" => {

@@ -188,7 +188,9 @@ mod tests {
     #[test]
     fn conditional_entries_do_not_shadow() {
         let eacl = Eacl::new()
-            .with_entry(guarded(EaclEntry::new(AccessRight::negative("apache", "*"))))
+            .with_entry(guarded(EaclEntry::new(AccessRight::negative(
+                "apache", "*",
+            ))))
             .with_entry(EaclEntry::new(AccessRight::positive("apache", "*")));
         assert!(validate(&eacl).is_empty());
     }
@@ -231,15 +233,15 @@ mod tests {
             .with_entry(EaclEntry::new(AccessRight::negative("*", "*")))
             .with_entry(EaclEntry::new(AccessRight::positive("apache", "*")));
         let findings = validate(&eacl);
-        assert!(findings
-            .iter()
-            .any(|f| f.message.contains("constant deny")));
+        assert!(findings.iter().any(|f| f.message.contains("constant deny")));
     }
 
     #[test]
     fn clean_policy_has_no_findings() {
         let eacl = Eacl::new()
-            .with_entry(guarded(EaclEntry::new(AccessRight::negative("apache", "*"))))
+            .with_entry(guarded(EaclEntry::new(AccessRight::negative(
+                "apache", "*",
+            ))))
             .with_entry(EaclEntry::new(AccessRight::positive("apache", "*")));
         assert!(validate(&eacl).is_empty());
     }

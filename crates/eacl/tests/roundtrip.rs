@@ -13,8 +13,13 @@ fn token() -> impl Strategy<Value = String> {
     "[A-Za-z*][A-Za-z0-9_*.:-]{0,11}".prop_filter("not a keyword", |s| {
         !matches!(
             s.as_str(),
-            "eacl_mode" | "pos_access_right" | "neg_access_right" | "pre_cond" | "rr_cond"
-                | "mid_cond" | "post_cond"
+            "eacl_mode"
+                | "pos_access_right"
+                | "neg_access_right"
+                | "pre_cond"
+                | "rr_cond"
+                | "mid_cond"
+                | "post_cond"
         )
     })
 }
@@ -125,10 +130,7 @@ fn phase_keywords_cover_all_phases() {
     // Guards the parser's keyword table against new phases being added to the
     // AST without parser support.
     for phase in CondPhase::all() {
-        let text = format!(
-            "pos_access_right apache *\n{} t local v\n",
-            phase.keyword()
-        );
+        let text = format!("pos_access_right apache *\n{} t local v\n", phase.keyword());
         let eacl = parse_eacl(&text).unwrap();
         assert_eq!(eacl.entries[0].block(phase).len(), 1, "{phase:?}");
     }

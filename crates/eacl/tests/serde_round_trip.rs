@@ -6,9 +6,7 @@
 //! the `serde` data model via `serde::de::value` primitives — no JSON crate
 //! needed.
 
-use gaa_eacl::{
-    parse_eacl, AccessRight, CompositionMode, CondPhase, Condition, Eacl, EaclEntry,
-};
+use gaa_eacl::{parse_eacl, AccessRight, CompositionMode, CondPhase, Condition, Eacl, EaclEntry};
 use proptest::prelude::*;
 use serde::de::value::Error as DeError;
 

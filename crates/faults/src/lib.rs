@@ -1,0 +1,443 @@
+//! # gaa-faults — deterministic fault injection for the GAA pipeline
+//!
+//! The paper's value proposition is *real-time response before damage
+//! occurs* (§3, §7). That only holds if the enforcement pipeline stays
+//! correct when its own dependencies misbehave: a policy store that stops
+//! reading, an evaluator that panics or hangs, a notifier that times out, an
+//! IDS bus that drops events, a clock that skews, a connection that resets
+//! mid-request, a CGI that bombs its resource limits.
+//!
+//! This crate provides the *injection* half of that story: a seeded
+//! [`FaultPlan`] — a deterministic schedule of faults per injection site —
+//! behind the [`FaultInjector`] trait that the production crates consult at
+//! their hook points (`core::policy_store`, `core::registry`,
+//! `audit::notify`, `ids::bus`, `httpd::{tcp,cgi,glue}`). The *degradation*
+//! half (retrying/circuit-breaking notifiers, stale-serving policy cache,
+//! per-phase deadlines, the `DegradationState` registry) lives with the
+//! components it protects; `tests/chaos.rs` sweeps seeded plans through the
+//! full Figure-1 flow and asserts the resilience invariants.
+//!
+//! Determinism is the point: every fault a plan injects is a pure function
+//! of `(seed, site, call number)`, so a failing chaos run reproduces from
+//! its seed alone. The crate deliberately depends on nothing above the lock
+//! vendoring — every layer of the workspace can afford this dependency.
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A place in the pipeline that consults the injector before doing work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// `PolicyStore::system_policies` / `local_policies` (I/O layer).
+    PolicyStore,
+    /// A registered condition evaluator invocation (`core::registry`).
+    Evaluator,
+    /// A notification delivery attempt (`audit::notify`).
+    Notifier,
+    /// An IDS event-bus publish (`ids::bus`).
+    EventBus,
+    /// A clock read (`audit::time::SkewedClock`).
+    Clock,
+    /// Serving one accepted TCP connection (`httpd::tcp`).
+    Tcp,
+    /// One execution-control step of a running CGI (`httpd::server`).
+    Cgi,
+}
+
+impl FaultSite {
+    /// All sites, for iteration in tests and reports.
+    pub const ALL: [FaultSite; 7] = [
+        FaultSite::PolicyStore,
+        FaultSite::Evaluator,
+        FaultSite::Notifier,
+        FaultSite::EventBus,
+        FaultSite::Clock,
+        FaultSite::Tcp,
+        FaultSite::Cgi,
+    ];
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultSite::PolicyStore => "policy_store",
+            FaultSite::Evaluator => "evaluator",
+            FaultSite::Notifier => "notifier",
+            FaultSite::EventBus => "event_bus",
+            FaultSite::Clock => "clock",
+            FaultSite::Tcp => "tcp",
+            FaultSite::Cgi => "cgi",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What to inject at a site. Durations are plain milliseconds so this crate
+/// stays dependency-free; the consuming component interprets them against
+/// its own clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail the operation (I/O error, notifier outage, dropped bus event,
+    /// mid-request TCP reset — whatever "failure" means at the site).
+    Error,
+    /// Panic inside the operation (evaluator bugs).
+    Panic,
+    /// The operation hangs for this many (virtual) milliseconds before
+    /// completing; deadline machinery should cut it off.
+    Hang(u64),
+    /// The operation succeeds but takes this many extra milliseconds
+    /// (notifier latency spike).
+    Latency(u64),
+    /// The clock reads skewed by this many signed milliseconds.
+    SkewMs(i64),
+    /// A CGI step reports pathological resource consumption, tripping
+    /// mid-condition limits.
+    ResourceBomb,
+}
+
+/// Decides, per call, whether a site experiences a fault.
+///
+/// Implementations must be cheap and thread-safe: hooks sit on request-hot
+/// paths and are consulted even in production configurations (where the
+/// injector is [`NoFaults`] and the check is a virtual call returning
+/// `None`).
+pub trait FaultInjector: Send + Sync + fmt::Debug {
+    /// Consults the plan; `None` means "operate normally".
+    fn fault_at(&self, site: FaultSite) -> Option<Fault>;
+}
+
+/// Shared injector handle, as stored by the production components.
+pub type SharedInjector = Arc<dyn FaultInjector>;
+
+/// The production injector: never injects anything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn fault_at(&self, _site: FaultSite) -> Option<Fault> {
+        None
+    }
+}
+
+/// When a rule fires, relative to the site's own call counter (the first
+/// call to a site is call `0`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Trigger {
+    /// Calls in `[from, to)`.
+    Window { from: u64, to: u64 },
+    /// Every call, independently, with this probability (deterministic in
+    /// the plan seed).
+    Probability(f64),
+    /// Exactly call `n`.
+    Nth(u64),
+    /// Every call.
+    Always,
+}
+
+#[derive(Debug, Clone)]
+struct Rule {
+    site: FaultSite,
+    trigger: Trigger,
+    fault: Fault,
+}
+
+/// Builder for [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    rules: Vec<Rule>,
+}
+
+impl FaultPlanBuilder {
+    /// Injects `fault` at `site` for calls `from..to` (end-exclusive).
+    pub fn fail_window(mut self, site: FaultSite, from: u64, to: u64, fault: Fault) -> Self {
+        self.rules.push(Rule {
+            site,
+            trigger: Trigger::Window { from, to },
+            fault,
+        });
+        self
+    }
+
+    /// Injects `fault` at `site` on every call, independently, with
+    /// probability `p` (drawn from the plan's seeded stream).
+    pub fn fail_with_probability(mut self, site: FaultSite, p: f64, fault: Fault) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.rules.push(Rule {
+            site,
+            trigger: Trigger::Probability(p),
+            fault,
+        });
+        self
+    }
+
+    /// Injects `fault` at `site` exactly on call `n`.
+    pub fn fail_nth(mut self, site: FaultSite, n: u64, fault: Fault) -> Self {
+        self.rules.push(Rule {
+            site,
+            trigger: Trigger::Nth(n),
+            fault,
+        });
+        self
+    }
+
+    /// Injects `fault` at `site` on every call.
+    pub fn fail_always(mut self, site: FaultSite, fault: Fault) -> Self {
+        self.rules.push(Rule {
+            site,
+            trigger: Trigger::Always,
+            fault,
+        });
+        self
+    }
+
+    /// Finalizes the plan.
+    pub fn build(self) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            rules: self.rules,
+            state: Arc::new(Mutex::new(PlanState {
+                counters: HashMap::new(),
+                history: Vec::new(),
+                disarmed: false,
+            })),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PlanState {
+    /// Per-site call counters.
+    counters: HashMap<FaultSite, u64>,
+    /// Every injected fault: (site, call number, fault).
+    history: Vec<(FaultSite, u64, Fault)>,
+    /// When set, the plan stops injecting (fault window "cleared").
+    disarmed: bool,
+}
+
+/// A deterministic, seeded schedule of faults.
+///
+/// Rules are consulted in insertion order; the first that fires wins for a
+/// given call. Cloning shares state (call counters and history), so the
+/// same plan handle can be wired into several components.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_faults::{Fault, FaultInjector, FaultPlan, FaultSite};
+///
+/// let plan = FaultPlan::builder(42)
+///     .fail_window(FaultSite::Notifier, 0, 3, Fault::Error)
+///     .build();
+/// assert_eq!(plan.fault_at(FaultSite::Notifier), Some(Fault::Error));
+/// assert_eq!(plan.fault_at(FaultSite::PolicyStore), None);
+/// ```
+#[derive(Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<Rule>,
+    state: Arc<Mutex<PlanState>>,
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.seed)
+            .field("rules", &self.rules.len())
+            .field("injected", &self.state.lock().history.len())
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// Starts a plan over `seed`.
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// A plan that injects nothing (equivalent to [`NoFaults`] but
+    /// shareable/disarmable like any plan).
+    pub fn none() -> FaultPlan {
+        FaultPlan::builder(0).build()
+    }
+
+    /// The seed the plan was built over.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Stops all further injection — "the faults clear". Recovery paths
+    /// (circuit half-open probes, cache refreshes) then see a healthy
+    /// dependency again.
+    pub fn disarm(&self) {
+        self.state.lock().disarmed = true;
+    }
+
+    /// Resumes injection after [`FaultPlan::disarm`].
+    pub fn rearm(&self) {
+        self.state.lock().disarmed = false;
+    }
+
+    /// Number of faults injected so far at `site`.
+    pub fn injected_at(&self, site: FaultSite) -> u64 {
+        self.state
+            .lock()
+            .history
+            .iter()
+            .filter(|(s, _, _)| *s == site)
+            .count() as u64
+    }
+
+    /// Total faults injected so far.
+    pub fn injected_total(&self) -> u64 {
+        self.state.lock().history.len() as u64
+    }
+
+    /// Every injection so far: `(site, call number, fault)`, in order.
+    pub fn history(&self) -> Vec<(FaultSite, u64, Fault)> {
+        self.state.lock().history.clone()
+    }
+
+    /// Deterministic per-(seed, site, call) coin for probability rules.
+    fn coin(&self, site: FaultSite, call: u64, rule_index: usize) -> f64 {
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((site as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(call.wrapping_mul(0x94d0_49bb_1331_11eb))
+            .wrapping_add(rule_index as u64);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn fault_at(&self, site: FaultSite) -> Option<Fault> {
+        let mut state = self.state.lock();
+        let counter = state.counters.entry(site).or_insert(0);
+        let call = *counter;
+        *counter += 1;
+        if state.disarmed {
+            return None;
+        }
+        for (index, rule) in self.rules.iter().enumerate() {
+            if rule.site != site {
+                continue;
+            }
+            let fires = match rule.trigger {
+                Trigger::Window { from, to } => call >= from && call < to,
+                Trigger::Nth(n) => call == n,
+                Trigger::Always => true,
+                Trigger::Probability(p) => self.coin(site, call, index) < p,
+            };
+            if fires {
+                state.history.push((site, call, rule.fault));
+                return Some(rule.fault);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_open_and_close() {
+        let plan = FaultPlan::builder(1)
+            .fail_window(FaultSite::PolicyStore, 2, 4, Fault::Error)
+            .build();
+        let results: Vec<_> = (0..6)
+            .map(|_| plan.fault_at(FaultSite::PolicyStore))
+            .collect();
+        assert_eq!(
+            results,
+            vec![
+                None,
+                None,
+                Some(Fault::Error),
+                Some(Fault::Error),
+                None,
+                None
+            ]
+        );
+        assert_eq!(plan.injected_at(FaultSite::PolicyStore), 2);
+    }
+
+    #[test]
+    fn counters_are_per_site() {
+        let plan = FaultPlan::builder(1)
+            .fail_nth(FaultSite::Notifier, 0, Fault::Error)
+            .build();
+        assert_eq!(plan.fault_at(FaultSite::Evaluator), None);
+        assert_eq!(plan.fault_at(FaultSite::Notifier), Some(Fault::Error));
+        assert_eq!(plan.fault_at(FaultSite::Notifier), None);
+    }
+
+    #[test]
+    fn probability_is_deterministic_per_seed() {
+        let outcomes = |seed| {
+            let plan = FaultPlan::builder(seed)
+                .fail_with_probability(FaultSite::EventBus, 0.5, Fault::Error)
+                .build();
+            (0..64)
+                .map(|_| plan.fault_at(FaultSite::EventBus).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(outcomes(7), outcomes(7));
+        assert_ne!(outcomes(7), outcomes(8));
+        let hits = outcomes(7).iter().filter(|h| **h).count();
+        assert!((10..=54).contains(&hits), "p=0.5 over 64 draws: {hits}");
+    }
+
+    #[test]
+    fn disarm_stops_injection_and_rearm_resumes() {
+        let plan = FaultPlan::builder(3)
+            .fail_always(FaultSite::Tcp, Fault::Error)
+            .build();
+        assert!(plan.fault_at(FaultSite::Tcp).is_some());
+        plan.disarm();
+        assert!(plan.fault_at(FaultSite::Tcp).is_none());
+        plan.rearm();
+        assert!(plan.fault_at(FaultSite::Tcp).is_some());
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let plan = FaultPlan::builder(4)
+            .fail_nth(FaultSite::Cgi, 1, Fault::ResourceBomb)
+            .build();
+        let other = plan.clone();
+        assert_eq!(plan.fault_at(FaultSite::Cgi), None);
+        assert_eq!(other.fault_at(FaultSite::Cgi), Some(Fault::ResourceBomb));
+        assert_eq!(plan.injected_total(), 1);
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let plan = FaultPlan::builder(5)
+            .fail_nth(FaultSite::Evaluator, 0, Fault::Panic)
+            .fail_always(FaultSite::Evaluator, Fault::Hang(50))
+            .build();
+        assert_eq!(plan.fault_at(FaultSite::Evaluator), Some(Fault::Panic));
+        assert_eq!(plan.fault_at(FaultSite::Evaluator), Some(Fault::Hang(50)));
+    }
+
+    #[test]
+    fn no_faults_injects_nothing() {
+        for site in FaultSite::ALL {
+            assert_eq!(NoFaults.fault_at(site), None);
+        }
+    }
+}

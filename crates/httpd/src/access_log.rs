@@ -171,8 +171,14 @@ mod tests {
     fn malformed_lines_are_rejected() {
         assert_eq!(AccessEntry::parse_clf(""), None);
         assert_eq!(AccessEntry::parse_clf("definitely not clf"), None);
-        assert_eq!(AccessEntry::parse_clf("1.2.3.4 - - [xx] \"GET / HTTP/1.1\" 200 5"), None);
-        assert_eq!(AccessEntry::parse_clf("1.2.3.4 - - [5] \"GET / HTTP/1.1\" two 5"), None);
+        assert_eq!(
+            AccessEntry::parse_clf("1.2.3.4 - - [xx] \"GET / HTTP/1.1\" 200 5"),
+            None
+        );
+        assert_eq!(
+            AccessEntry::parse_clf("1.2.3.4 - - [5] \"GET / HTTP/1.1\" two 5"),
+            None
+        );
     }
 
     #[test]

@@ -198,7 +198,10 @@ mod tests {
 
     #[test]
     fn base64_known_vectors() {
-        assert_eq!(base64_encode(b"Aladdin:open sesame"), "QWxhZGRpbjpvcGVuIHNlc2FtZQ==");
+        assert_eq!(
+            base64_encode(b"Aladdin:open sesame"),
+            "QWxhZGRpbjpvcGVuIHNlc2FtZQ=="
+        );
         assert_eq!(
             base64_decode("QWxhZGRpbjpvcGVuIHNlc2FtZQ==").unwrap(),
             b"Aladdin:open sesame"

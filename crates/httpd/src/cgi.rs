@@ -180,9 +180,7 @@ impl CgiExecution {
                 };
                 (30 + input.len() as u64, 2048, 0, output)
             }
-            CgiBehavior::CpuBomb { ticks } => {
-                (*ticks, 4096, 0, b"bomb done\n".to_vec())
-            }
+            CgiBehavior::CpuBomb { ticks } => (*ticks, 4096, 0, b"bomb done\n".to_vec()),
             CgiBehavior::FileCreator { count } => (
                 20 + u64::from(*count) * 10,
                 1024,
@@ -270,7 +268,9 @@ mod tests {
         let out = run_to_completion(&CgiScript::vulnerable_test_cgi(), "x=1");
         match out {
             CgiOutcome::Completed(body) => {
-                assert!(String::from_utf8(body).unwrap().contains("QUERY_STRING = x=1"));
+                assert!(String::from_utf8(body)
+                    .unwrap()
+                    .contains("QUERY_STRING = x=1"));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -285,11 +285,15 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        let exploited =
-            run_to_completion(&CgiScript::vulnerable_phf(), "Qalias=x%0a/bin/cat%20/etc/passwd");
+        let exploited = run_to_completion(
+            &CgiScript::vulnerable_phf(),
+            "Qalias=x%0a/bin/cat%20/etc/passwd",
+        );
         match exploited {
             CgiOutcome::Completed(body) => {
-                assert!(String::from_utf8(body).unwrap().contains("LEAKED /etc/passwd"));
+                assert!(String::from_utf8(body)
+                    .unwrap()
+                    .contains("LEAKED /etc/passwd"));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -22,10 +22,9 @@
 //!   observations for profile building.
 
 use crate::http::{HttpRequest, Method};
+use gaa_audit::DegradationState;
 use gaa_conditions::StandardServices;
-use gaa_core::{
-    AnswerCode, AuthorizationResult, GaaApi, Param, RightPattern, SecurityContext,
-};
+use gaa_core::{AnswerCode, AuthorizationResult, GaaApi, Param, RightPattern, SecurityContext};
 use gaa_ids::{EventBus, GaaReport, ReportKind, SignatureDb};
 
 /// What the glue tells the server to do with a request.
@@ -47,6 +46,7 @@ pub struct GaaGlue {
     bus: Option<EventBus>,
     signatures: Option<SignatureDb>,
     sensitive_prefixes: Vec<String>,
+    degradation: Option<DegradationState>,
 }
 
 impl GaaGlue {
@@ -58,7 +58,21 @@ impl GaaGlue {
             bus: None,
             signatures: None,
             sensitive_prefixes: vec!["/private".to_string(), "/etc".to_string()],
+            degradation: None,
         }
+    }
+
+    /// Attaches the degradation registry the resilience decorators write to,
+    /// so the server can expose which dependencies are currently degraded.
+    #[must_use]
+    pub fn with_degradation(mut self, degradation: DegradationState) -> Self {
+        self.degradation = Some(degradation);
+        self
+    }
+
+    /// The attached degradation registry, if any.
+    pub fn degradation(&self) -> Option<&DegradationState> {
+        self.degradation.as_ref()
     }
 
     /// Publishes §3 reports on `bus`.
@@ -170,10 +184,7 @@ impl GaaGlue {
                     e.to_string(),
                 ));
                 let result = self.api.check_authorization(
-                    &gaa_eacl::ComposedPolicy::compose(
-                        vec![deny_all_policy()],
-                        Vec::new(),
-                    ),
+                    &gaa_eacl::ComposedPolicy::compose(vec![deny_all_policy()], Vec::new()),
                     &RightPattern::new("apache", request.method.as_str()),
                     &context,
                 );
@@ -192,18 +203,41 @@ impl GaaGlue {
         // translation, and its response actions must fire exactly once
         // (continuing would re-trigger notify/update_log on the remaining
         // rights).
-        let mut chosen: Option<AuthorizationResult> = None;
-        for right in &rights {
-            let result = self.api.check_authorization(&policy, right, &context);
-            let non_yes = !result.status().is_yes();
-            if chosen.is_none() || non_yes {
-                chosen = Some(result);
+        let Some((first, rest)) = rights.split_first() else {
+            // Unreachable with the current right builder, but the request
+            // path must never panic: an empty right list fails closed.
+            self.services.audit.record(gaa_audit::AuditRecord::new(
+                now,
+                gaa_audit::AuditSeverity::Alert,
+                "gaa.internal_error",
+                context.subject(),
+                "no requested rights derived from request",
+            ));
+            let result = self.api.check_authorization(
+                &gaa_eacl::ComposedPolicy::compose(vec![deny_all_policy()], Vec::new()),
+                &RightPattern::new("apache", request.method.as_str()),
+                &context,
+            );
+            return GlueDecision {
+                answer: AnswerCode::Declined,
+                result,
+                context,
+            };
+        };
+        // The first right's result is kept while everything says YES (so its
+        // response actions fire exactly once); the first non-YES result
+        // replaces it and stops evaluation.
+        let mut result = self.api.check_authorization(&policy, first, &context);
+        for right in rest {
+            if !result.status().is_yes() {
+                break;
             }
-            if non_yes {
+            let next = self.api.check_authorization(&policy, right, &context);
+            if !next.status().is_yes() {
+                result = next;
                 break;
             }
         }
-        let result = chosen.expect("at least one requested right");
         let answer = result.answer();
 
         // Post-decision observations (§3 items 3 and 7).
@@ -212,17 +246,17 @@ impl GaaGlue {
                 if self
                     .sensitive_prefixes
                     .iter()
-                    .any(|p| request.path.starts_with(p.as_str()))
-                => {
-                    self.publish(GaaReport::new(
-                        now,
-                        ReportKind::SensitiveDenial,
-                        request.client_ip.clone(),
-                        request.path.clone(),
-                        "access to sensitive object denied",
-                    ));
-                    self.services.threat.report_suspicion();
-                }
+                    .any(|p| request.path.starts_with(p.as_str())) =>
+            {
+                self.publish(GaaReport::new(
+                    now,
+                    ReportKind::SensitiveDenial,
+                    request.client_ip.clone(),
+                    request.path.clone(),
+                    "access to sensitive object denied",
+                ));
+                self.services.threat.report_suspicion();
+            }
             AnswerCode::Ok => {
                 self.publish(GaaReport::new(
                     now,
@@ -290,9 +324,9 @@ impl GaaGlue {
 
 /// The fail-closed policy used when retrieval fails.
 fn deny_all_policy() -> gaa_eacl::Eacl {
-    gaa_eacl::Eacl::new().with_entry(gaa_eacl::EaclEntry::new(
-        gaa_eacl::AccessRight::negative("*", "*"),
-    ))
+    gaa_eacl::Eacl::new().with_entry(gaa_eacl::EaclEntry::new(gaa_eacl::AccessRight::negative(
+        "*", "*",
+    )))
 }
 
 #[cfg(test)]
@@ -384,8 +418,8 @@ pos_access_right apache *
             .with_signatures(SignatureDb::with_defaults());
         // Three confident hits escalate Low -> Medium (default threshold 3).
         for i in 0..3 {
-            let req = HttpRequest::get(&format!("/cgi-bin/phf?probe={i}"))
-                .with_client_ip("203.0.113.9");
+            let req =
+                HttpRequest::get(&format!("/cgi-bin/phf?probe={i}")).with_client_ip("203.0.113.9");
             let _ = glue.authorize(&req, None, &[], true);
         }
         let reports = sub.drain();
@@ -424,8 +458,8 @@ pos_access_right apache *
         let bus = EventBus::new();
         let sub = bus.subscribe_reports(Some(vec![ReportKind::AbnormalParameters]));
         let glue = glue_with_policy("pos_access_right apache *\n").with_bus(bus);
-        let req =
-            HttpRequest::get(&format!("/index.html?{}", "x".repeat(5000))).with_client_ip("1.1.1.1");
+        let req = HttpRequest::get(&format!("/index.html?{}", "x".repeat(5000)))
+            .with_client_ip("1.1.1.1");
         let _ = glue.authorize(&req, None, &[], false);
         assert_eq!(sub.drain().len(), 1);
     }

@@ -157,15 +157,9 @@ impl HtAccess {
                     let mut tokens = rest.split_whitespace();
                     cfg.require = match tokens.next() {
                         Some("valid-user") => Some(Require::ValidUser),
-                        Some("user") => {
-                            Some(Require::User(tokens.map(str::to_string).collect()))
-                        }
-                        Some("group") => {
-                            Some(Require::Group(tokens.map(str::to_string).collect()))
-                        }
-                        other => {
-                            return Err(format!("line {lineno}: bad Require {other:?}"))
-                        }
+                        Some("user") => Some(Require::User(tokens.map(str::to_string).collect())),
+                        Some("group") => Some(Require::Group(tokens.map(str::to_string).collect())),
+                        other => return Err(format!("line {lineno}: bad Require {other:?}")),
                     };
                 }
                 "satisfy" => {
@@ -193,14 +187,13 @@ impl HtAccess {
 
     /// Is this configuration a blanket `Deny from All` with no allowance?
     pub fn denies_all(&self) -> bool {
-        self.deny_from.iter().any(|d| d.eq_ignore_ascii_case("all"))
-            && self.allow_from.is_empty()
+        self.deny_from.iter().any(|d| d.eq_ignore_ascii_case("all")) && self.allow_from.is_empty()
     }
 
     fn matches_any(specs: &[String], ip: &str) -> bool {
-        specs.iter().any(|spec| {
-            spec.eq_ignore_ascii_case("all") || location_matches(spec, ip)
-        })
+        specs
+            .iter()
+            .any(|spec| spec.eq_ignore_ascii_case("all") || location_matches(spec, ip))
     }
 
     /// Host constraint under the configured `Order`.
@@ -221,12 +214,10 @@ impl HtAccess {
         match &self.require {
             None => Some(true),
             Some(requirement) => identity.user.map(|user| match requirement {
-                    Require::ValidUser => true,
-                    Require::User(users) => users.iter().any(|u| u == user),
-                    Require::Group(groups) => {
-                        groups.iter().any(|g| identity.groups.contains(g))
-                    }
-                }),
+                Require::ValidUser => true,
+                Require::User(users) => users.iter().any(|u| u == user),
+                Require::Group(groups) => groups.iter().any(|g| identity.groups.contains(g)),
+            }),
         }
     }
 
@@ -379,11 +370,20 @@ Satisfy All
     fn paper_sample_semantics() {
         let cfg = HtAccess::parse(PAPER_SAMPLE).unwrap();
         // Inside the IP range without credentials: challenge.
-        assert_eq!(cfg.evaluate("128.9.160.23", &anon()), HtDecision::AuthRequired);
+        assert_eq!(
+            cfg.evaluate("128.9.160.23", &anon()),
+            HtDecision::AuthRequired
+        );
         // Inside the range with a valid user: allowed.
-        assert_eq!(cfg.evaluate("128.9.160.23", &user("alice")), HtDecision::Allow);
+        assert_eq!(
+            cfg.evaluate("128.9.160.23", &user("alice")),
+            HtDecision::Allow
+        );
         // Outside the range: forbidden regardless of credentials.
-        assert_eq!(cfg.evaluate("203.0.113.9", &user("alice")), HtDecision::Forbidden);
+        assert_eq!(
+            cfg.evaluate("203.0.113.9", &user("alice")),
+            HtDecision::Forbidden
+        );
         assert_eq!(cfg.evaluate("203.0.113.9", &anon()), HtDecision::Forbidden);
     }
 
@@ -400,18 +400,14 @@ Satisfy All
         assert_eq!(cfg.evaluate("10.1.1.1", &anon()), HtDecision::Allow);
         assert_eq!(cfg.evaluate("11.1.1.1", &anon()), HtDecision::Forbidden);
         // Deny overrides allow in Allow,Deny.
-        let cfg =
-            HtAccess::parse("Order Allow,Deny\nAllow from 10.\nDeny from 10.0.0.\n").unwrap();
+        let cfg = HtAccess::parse("Order Allow,Deny\nAllow from 10.\nDeny from 10.0.0.\n").unwrap();
         assert_eq!(cfg.evaluate("10.0.0.5", &anon()), HtDecision::Forbidden);
         assert_eq!(cfg.evaluate("10.1.0.5", &anon()), HtDecision::Allow);
     }
 
     #[test]
     fn allow_overrides_deny_in_deny_allow() {
-        let cfg = HtAccess::parse(
-            "Order Deny,Allow\nDeny from All\nAllow from 128.9.\n",
-        )
-        .unwrap();
+        let cfg = HtAccess::parse("Order Deny,Allow\nDeny from All\nAllow from 128.9.\n").unwrap();
         assert_eq!(cfg.evaluate("128.9.1.1", &anon()), HtDecision::Allow);
         assert_eq!(cfg.evaluate("1.2.3.4", &anon()), HtDecision::Forbidden);
     }
@@ -479,7 +475,10 @@ Satisfy All
         let mut store = HtpasswdStore::new("salt");
         store.add_user("alice", "pw");
         registry.add("/etc/htpasswd-staff", store);
-        assert!(registry.get("/etc/htpasswd-staff").unwrap().verify("alice", "pw"));
+        assert!(registry
+            .get("/etc/htpasswd-staff")
+            .unwrap()
+            .verify("alice", "pw"));
         assert!(registry.get("/missing").is_none());
     }
 }

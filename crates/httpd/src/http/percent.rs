@@ -48,9 +48,10 @@ pub fn percent_encode(input: &str) -> String {
         if byte.is_ascii_alphanumeric() || matches!(byte, b'-' | b'_' | b'.' | b'~' | b'/') {
             out.push(byte as char);
         } else {
+            const HEX: &[u8; 16] = b"0123456789ABCDEF";
             out.push('%');
-            out.push(char::from_digit(u32::from(byte >> 4), 16).expect("hex").to_ascii_uppercase());
-            out.push(char::from_digit(u32::from(byte & 0xf), 16).expect("hex").to_ascii_uppercase());
+            out.push(HEX[usize::from(byte >> 4)] as char);
+            out.push(HEX[usize::from(byte & 0xf)] as char);
         }
     }
     out

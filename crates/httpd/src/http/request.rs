@@ -195,7 +195,8 @@ impl HttpRequest {
     /// Adds a header, for chaining.
     #[must_use]
     pub fn with_header(mut self, name: &str, value: &str) -> Self {
-        self.headers.push((name.to_ascii_lowercase(), value.to_string()));
+        self.headers
+            .push((name.to_ascii_lowercase(), value.to_string()));
         self
     }
 
@@ -259,14 +260,14 @@ impl HttpRequest {
         let (Some(method), Some(target), Some(version)) =
             (parts.next(), parts.next(), parts.next())
         else {
-            return Err(ParseRequestError::MalformedRequestLine(
-                truncate(request_line),
-            ));
+            return Err(ParseRequestError::MalformedRequestLine(truncate(
+                request_line,
+            )));
         };
         if parts.next().is_some() {
-            return Err(ParseRequestError::MalformedRequestLine(
-                truncate(request_line),
-            ));
+            return Err(ParseRequestError::MalformedRequestLine(truncate(
+                request_line,
+            )));
         }
         let method: Method = method
             .parse()
@@ -446,12 +447,9 @@ mod tests {
             max_body: 4,
             ..RequestLimits::default()
         };
-        let err = HttpRequest::parse_with_limits(
-            b"POST /x HTTP/1.1\r\n\r\nhello",
-            "1.1.1.1",
-            &limits,
-        )
-        .unwrap_err();
+        let err =
+            HttpRequest::parse_with_limits(b"POST /x HTTP/1.1\r\n\r\nhello", "1.1.1.1", &limits)
+                .unwrap_err();
         assert_eq!(err, ParseRequestError::BodyTooLarge(5));
     }
 

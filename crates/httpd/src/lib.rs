@@ -28,7 +28,6 @@
 //! * [`tcp`] — a minimal real-socket front end used by the runnable
 //!   examples.
 
-
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 pub mod access_log;
@@ -42,9 +41,9 @@ pub mod server;
 pub mod tcp;
 pub mod vfs;
 
+pub use access_log::{AccessEntry, AccessLog};
 pub use glue::GaaGlue;
 pub use http::{HttpRequest, HttpResponse, Method, ParseRequestError, StatusCode};
-pub use server::{AccessControl, Server, ServerStats};
-pub use access_log::{AccessEntry, AccessLog};
 pub use loganalyzer::{LogAnalyzer, LogReport};
+pub use server::{AccessControl, Server, ServerStats};
 pub use vfs::{Node, Vfs};

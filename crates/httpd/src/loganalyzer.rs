@@ -132,7 +132,11 @@ mod tests {
             clf("10.0.0.1", "GET /index.html HTTP/1.1", 200),
             clf("203.0.113.9", "GET /cgi-bin/phf?Qalias=x HTTP/1.0", 200),
             clf("10.0.0.2", "GET /docs/page1.html HTTP/1.1", 200),
-            clf("203.0.113.9", "GET /a///////////////////////b HTTP/1.0", 200),
+            clf(
+                "203.0.113.9",
+                "GET /a///////////////////////b HTTP/1.0",
+                200,
+            ),
         ]
         .join("\n");
         let report = LogAnalyzer::new().analyze(&log);
@@ -174,8 +178,7 @@ mod tests {
         let long = format!("GET /cgi-bin/search?q={} HTTP/1.0", "A".repeat(1200));
         let log = clf("a", &long, 200);
         let report = LogAnalyzer::new().analyze(&log);
-        assert!(report
-            .findings[0]
+        assert!(report.findings[0]
             .matches
             .iter()
             .any(|m| m.id == "sig.overflow-1000"));

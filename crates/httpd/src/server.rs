@@ -12,14 +12,17 @@
 
 use crate::access_log::{AccessEntry, AccessLog};
 use crate::auth::{parse_basic_auth, HtpasswdStore};
-use crate::cgi::{CgiExecution, CgiOutcome};
+use crate::cgi::{CgiExecution, CgiOutcome, CgiScript};
 use crate::glue::GaaGlue;
 use crate::htaccess::{AuthFileRegistry, HtAccess, HtDecision, HtIdentity};
-use crate::http::{HttpRequest, HttpResponse, Method, ParseRequestError, RequestLimits, StatusCode};
+use crate::http::{
+    HttpRequest, HttpResponse, Method, ParseRequestError, RequestLimits, StatusCode,
+};
 use crate::vfs::{Node, Vfs};
+use gaa_audit::{DegradationState, Timestamp};
 use gaa_conditions::Firewall;
 use gaa_core::{AnswerCode, Outcome};
-use gaa_audit::Timestamp;
+use gaa_faults::{Fault, FaultInjector, FaultSite};
 use gaa_ids::{EventBus, GaaReport, ReportKind};
 use std::collections::HashMap;
 use std::fmt;
@@ -156,6 +159,8 @@ pub struct Server {
     stats: ServerStats,
     /// How many CGI steps run between execution-control checks.
     exec_control_interval: u32,
+    /// Optional fault injector for chaos testing (CGI resource bombs).
+    injector: Option<Arc<dyn FaultInjector>>,
 }
 
 impl Server {
@@ -173,6 +178,26 @@ impl Server {
             sessions_enabled: false,
             stats: ServerStats::default(),
             exec_control_interval: 1,
+            injector: None,
+        }
+    }
+
+    /// Installs a fault injector: an injected [`Fault::ResourceBomb`] at
+    /// [`FaultSite::Cgi`] turns the next CGI run into a runaway consumer,
+    /// exercising the execution-control defence (§6 step 3).
+    #[must_use]
+    pub fn with_fault_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// The degradation registry attached to the GAA glue, if running in GAA
+    /// mode with one configured. Operators poll this to see which
+    /// dependencies (notifier, policy store, …) are currently degraded.
+    pub fn degradation(&self) -> Option<&DegradationState> {
+        match &self.access {
+            AccessControl::Gaa(glue) => glue.degradation(),
+            _ => None,
         }
     }
 
@@ -482,10 +507,8 @@ impl Server {
                 if self.sessions_enabled && fresh_login && response.status.is_success() {
                     if let Some(user) = user.as_deref() {
                         let token = glue.services().sessions.create(user);
-                        response = response.with_header(
-                            "set-cookie",
-                            &format!("gaa_session={token}; HttpOnly"),
-                        );
+                        response = response
+                            .with_header("set-cookie", &format!("gaa_session={token}; HttpOnly"));
                     }
                 }
                 // §6 step 4: post-execution actions with the operation
@@ -495,11 +518,9 @@ impl Server {
                 } else {
                     Outcome::Failure
                 };
-                let _ = glue.api().post_execution_actions(
-                    &decision.result,
-                    &decision.context,
-                    outcome,
-                );
+                let _ =
+                    glue.api()
+                        .post_execution_actions(&decision.result, &decision.context, outcome);
                 response
             }
         }
@@ -528,6 +549,21 @@ impl Server {
                     request.query.clone()
                 } else {
                     String::from_utf8_lossy(&request.body).into_owned()
+                };
+                // Chaos hook: an injected resource bomb swaps the script for
+                // a runaway consumer — the execution-control phase (not the
+                // handler) is responsible for containing it.
+                let bomb;
+                let script = match self
+                    .injector
+                    .as_ref()
+                    .and_then(|i| i.fault_at(FaultSite::Cgi))
+                {
+                    Some(Fault::ResourceBomb) => {
+                        bomb = CgiScript::cpu_bomb(1_000_000);
+                        &bomb
+                    }
+                    _ => script,
                 };
                 let mut execution = CgiExecution::start(script, &input);
                 let mut steps: u32 = 0;
@@ -607,18 +643,14 @@ fn session_token(cookie_header: &str) -> Option<String> {
 ///
 /// Returns an error string when a file exists but cannot be read or parsed
 /// (callers fail closed).
-pub fn load_htaccess_chain(
-    root: &std::path::Path,
-    path: &str,
-) -> Result<Vec<HtAccess>, String> {
+pub fn load_htaccess_chain(root: &std::path::Path, path: &str) -> Result<Vec<HtAccess>, String> {
     fn read_one(dir: &std::path::Path, chain: &mut Vec<HtAccess>) -> Result<(), String> {
         let candidate = dir.join(".htaccess");
         if candidate.exists() {
             let text = std::fs::read_to_string(&candidate)
                 .map_err(|e| format!("{}: {e}", candidate.display()))?;
-            chain.push(
-                HtAccess::parse(&text).map_err(|e| format!("{}: {e}", candidate.display()))?,
-            );
+            chain
+                .push(HtAccess::parse(&text).map_err(|e| format!("{}: {e}", candidate.display()))?);
         }
         Ok(())
     }
@@ -653,7 +685,10 @@ mod tests {
     use gaa_eacl::parse_eacl;
 
     fn basic_auth_header(user: &str, pass: &str) -> String {
-        format!("Basic {}", base64_encode(format!("{user}:{pass}").as_bytes()))
+        format!(
+            "Basic {}",
+            base64_encode(format!("{user}:{pass}").as_bytes())
+        )
     }
 
     fn users() -> Arc<HtpasswdStore> {
@@ -746,8 +781,7 @@ mod tests {
         let resp = server.handle(HttpRequest::get("/staff/home.html").with_client_ip("1.2.3.4"));
         assert_eq!(resp.status, StatusCode::Forbidden);
         // Inside, anonymous: 401 with a challenge.
-        let resp =
-            server.handle(HttpRequest::get("/staff/home.html").with_client_ip("128.9.1.1"));
+        let resp = server.handle(HttpRequest::get("/staff/home.html").with_client_ip("128.9.1.1"));
         assert_eq!(resp.status, StatusCode::Unauthorized);
         assert!(resp.header("www-authenticate").is_some());
         // Inside with valid credentials: 200.
@@ -783,15 +817,13 @@ pos_access_right apache *
             ("/index.html", policy),
         ]);
         // Attack: denied and blacklisted.
-        let resp = server.handle(
-            HttpRequest::get("/cgi-bin/phf?Qalias=x").with_client_ip("203.0.113.9"),
-        );
+        let resp =
+            server.handle(HttpRequest::get("/cgi-bin/phf?Qalias=x").with_client_ip("203.0.113.9"));
         assert_eq!(resp.status, StatusCode::Forbidden);
         assert!(services.groups.contains("BadGuys", "203.0.113.9"));
         // Benign CGI allowed and executed.
-        let resp = server.handle(
-            HttpRequest::get("/cgi-bin/search?q=rust").with_client_ip("10.0.0.1"),
-        );
+        let resp =
+            server.handle(HttpRequest::get("/cgi-bin/search?q=rust").with_client_ip("10.0.0.1"));
         assert_eq!(resp.status, StatusCode::Ok);
         // Static page allowed.
         let resp = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
@@ -816,8 +848,7 @@ pos_access_right apache *
         ]);
         let attacker = "203.0.113.77";
         // First request matches a known signature.
-        let resp =
-            server.handle(HttpRequest::get("/cgi-bin/phf?x").with_client_ip(attacker));
+        let resp = server.handle(HttpRequest::get("/cgi-bin/phf?x").with_client_ip(attacker));
         assert_eq!(resp.status, StatusCode::Forbidden);
         assert!(services.groups.contains("BadGuys", attacker));
         // Second request has NO known signature, but the host is now
@@ -857,9 +888,11 @@ pre_cond accessid USER *
                 .with_header("authorization", &basic_auth_header("alice", "WRONG")),
         );
         assert_eq!(
-            services
-                .thresholds
-                .count("failed_logins", "9.9.9.9", std::time::Duration::from_secs(60)),
+            services.thresholds.count(
+                "failed_logins",
+                "9.9.9.9",
+                std::time::Duration::from_secs(60)
+            ),
             1
         );
     }
@@ -912,6 +945,69 @@ mid_cond cpu_limit local 100
         let resp = server.handle(HttpRequest::get("/cgi-bin/search?q=a"));
         assert_eq!(resp.status, StatusCode::Ok);
         assert_eq!(server.stats().snapshot().cgi_aborted, 1);
+    }
+
+    #[test]
+    fn injected_resource_bomb_is_contained_by_execution_control() {
+        use gaa_faults::{Fault, FaultPlan, FaultSite};
+        let policy = "\
+pos_access_right apache *
+mid_cond cpu_limit local 100
+";
+        let services = StandardServices::new(
+            Arc::new(VirtualClock::new()),
+            Arc::new(CollectingNotifier::new()),
+        );
+        let mut store = MemoryPolicyStore::new();
+        store.set_local("/cgi-bin/search", vec![parse_eacl(policy).unwrap()]);
+        let api = register_standard(
+            GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+            &services,
+        )
+        .build();
+        let glue = GaaGlue::new(api, services.clone());
+        let plan = FaultPlan::builder(11)
+            .fail_nth(FaultSite::Cgi, 0, Fault::ResourceBomb)
+            .build();
+        let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)))
+            .with_fault_injector(Arc::new(plan));
+
+        // First run: the benign script is swapped for a bomb, and the
+        // mid-condition aborts it — resource exhaustion never completes.
+        let resp = server.handle(HttpRequest::get("/cgi-bin/search?q=a"));
+        assert_eq!(resp.status, StatusCode::InternalServerError);
+        assert_eq!(server.stats().snapshot().cgi_aborted, 1);
+        assert_eq!(services.audit.count_category("gaa.mid_violation"), 1);
+
+        // Second run: no fault, the real script completes.
+        let resp = server.handle(HttpRequest::get("/cgi-bin/search?q=a"));
+        assert_eq!(resp.status, StatusCode::Ok);
+        assert_eq!(server.stats().snapshot().cgi_aborted, 1);
+    }
+
+    #[test]
+    fn server_exposes_glue_degradation_registry() {
+        use gaa_audit::{Component, DegradationState};
+        let services = StandardServices::new(
+            Arc::new(VirtualClock::new()),
+            Arc::new(CollectingNotifier::new()),
+        );
+        let api = register_standard(
+            GaaApiBuilder::new(Arc::new(MemoryPolicyStore::new()))
+                .with_clock(services.clock.clone()),
+            &services,
+        )
+        .build();
+        let degradation = DegradationState::new();
+        let glue = GaaGlue::new(api, services.clone()).with_degradation(degradation.clone());
+        let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)));
+        let exposed = server.degradation().expect("gaa mode exposes degradation");
+        assert!(exposed.is_fully_operational());
+        degradation.mark_degraded(Component::Notifier, "outage", services.clock.now());
+        assert!(exposed.is_degraded(Component::Notifier));
+
+        let open = open_server();
+        assert!(open.degradation().is_none());
     }
 
     #[test]

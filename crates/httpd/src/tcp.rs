@@ -7,8 +7,9 @@
 
 use crate::http::HttpResponse;
 use crate::server::Server;
+use gaa_faults::{Fault, FaultInjector, FaultSite};
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -28,6 +29,22 @@ impl TcpFront {
     ///
     /// Returns any bind error.
     pub fn spawn(addr: &str, server: Arc<Server>) -> std::io::Result<TcpFront> {
+        TcpFront::spawn_with_injector(addr, server, None)
+    }
+
+    /// Like [`spawn`](TcpFront::spawn), with a fault injector consulted once
+    /// per connection at [`FaultSite::Tcp`]: an injected [`Fault::Error`]
+    /// resets the connection mid-request (request consumed, no response);
+    /// [`Fault::Latency`] delays the response by the given milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind error.
+    pub fn spawn_with_injector(
+        addr: &str,
+        server: Arc<Server>,
+        injector: Option<Arc<dyn FaultInjector>>,
+    ) -> std::io::Result<TcpFront> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -38,8 +55,14 @@ impl TcpFront {
                 match listener.accept() {
                     Ok((stream, peer)) => {
                         let server = server.clone();
+                        let injector = injector.clone();
                         std::thread::spawn(move || {
-                            let _ = serve_connection(stream, &peer.ip().to_string(), &server);
+                            let _ = serve_connection(
+                                stream,
+                                &peer.ip().to_string(),
+                                &server,
+                                injector.as_deref(),
+                            );
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -80,7 +103,12 @@ impl Drop for TcpFront {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, peer_ip: &str, server: &Server) -> std::io::Result<()> {
+fn serve_connection(
+    mut stream: TcpStream,
+    peer_ip: &str,
+    server: &Server,
+    injector: Option<&dyn FaultInjector>,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
@@ -109,6 +137,18 @@ fn serve_connection(mut stream: TcpStream, peer_ip: &str, server: &Server) -> st
         if buf.len() > 1 << 22 {
             break; // absolute transport cap
         }
+    }
+    // Chaos hook: the connection may be reset mid-request (after the bytes
+    // were consumed, before any response) or delayed.
+    match injector.and_then(|i| i.fault_at(FaultSite::Tcp)) {
+        Some(Fault::Error | Fault::Panic) => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return Ok(());
+        }
+        Some(Fault::Latency(ms) | Fault::Hang(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        _ => {}
     }
     let response: HttpResponse = server.handle_bytes(&buf, peer_ip);
     stream.write_all(&response.to_bytes())?;
@@ -142,14 +182,39 @@ mod tests {
         let front = TcpFront::spawn("127.0.0.1:0", server).unwrap();
         let addr = front.addr();
 
-        let response =
-            send_raw(addr, b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let response = send_raw(addr, b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
         let text = String::from_utf8_lossy(&response);
         assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
         assert!(text.contains("Welcome"));
 
         let response = send_raw(addr, b"GET /missing HTTP/1.1\r\n\r\n").unwrap();
         assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 404"));
+
+        front.stop();
+    }
+
+    #[test]
+    fn injected_reset_drops_the_connection_then_recovers() {
+        use gaa_faults::{Fault, FaultPlan, FaultSite};
+        let server = Arc::new(Server::new(Vfs::default_site(), AccessControl::Open));
+        let plan = FaultPlan::builder(7)
+            .fail_nth(FaultSite::Tcp, 0, Fault::Error)
+            .build();
+        let front =
+            TcpFront::spawn_with_injector("127.0.0.1:0", server, Some(Arc::new(plan))).unwrap();
+        let addr = front.addr();
+
+        // First connection: reset mid-request — no response bytes at all.
+        let response = send_raw(addr, b"GET /index.html HTTP/1.1\r\n\r\n");
+        let empty = match response {
+            Ok(bytes) => bytes.is_empty(),
+            Err(_) => true, // a hard reset may also surface as an I/O error
+        };
+        assert!(empty, "reset connection must not deliver a response");
+
+        // Second connection: the fault plan is exhausted, service resumes.
+        let response = send_raw(addr, b"GET /index.html HTTP/1.1\r\n\r\n").unwrap();
+        assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 200"));
 
         front.stop();
     }

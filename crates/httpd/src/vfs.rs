@@ -133,7 +133,10 @@ impl Vfs {
     ///   §3 item 3 report.
     pub fn default_site() -> Self {
         let mut vfs = Vfs::new();
-        vfs.add_html("/index.html", "<html><body>Welcome to the ISI web server</body></html>");
+        vfs.add_html(
+            "/index.html",
+            "<html><body>Welcome to the ISI web server</body></html>",
+        );
         for i in 1..=8 {
             vfs.add_html(
                 &format!("/docs/page{i}.html"),
@@ -142,7 +145,10 @@ impl Vfs {
         }
         vfs.add_html("/docs/manual.html", "<html><body>The manual</body></html>");
         vfs.add_html("/staff/home.html", "<html><body>Staff area</body></html>");
-        vfs.add_html("/staff/reports.html", "<html><body>Quarterly reports</body></html>");
+        vfs.add_html(
+            "/staff/reports.html",
+            "<html><body>Quarterly reports</body></html>",
+        );
         vfs.add_html(
             "/private/passwords.html",
             "<html><body>CLASSIFIED</body></html>",

@@ -7,7 +7,7 @@ use gaa_httpd::auth::HtpasswdStore;
 use gaa_httpd::htaccess::AuthFileRegistry;
 use gaa_httpd::server::load_htaccess_chain;
 use gaa_httpd::{AccessControl, HttpRequest, Server, StatusCode, Vfs};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn setup_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("gaa-htfiles-{tag}-{}", std::process::id()));
@@ -16,7 +16,7 @@ fn setup_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn server_over(root: &PathBuf) -> Server {
+fn server_over(root: &Path) -> Server {
     let mut registry = AuthFileRegistry::new();
     let mut store = HtpasswdStore::new("ht");
     store.add_user("alice", "wonderland");
@@ -24,7 +24,7 @@ fn server_over(root: &PathBuf) -> Server {
     Server::new(
         Vfs::default_site(),
         AccessControl::HtaccessFiles {
-            root: root.clone(),
+            root: root.to_path_buf(),
             registry,
         },
     )
@@ -63,7 +63,11 @@ fn live_edits_take_effect_immediately() {
     };
     assert_eq!(probe(), StatusCode::Ok);
     std::fs::write(dir.join(".htaccess"), "Order Deny,Allow\nDeny from All\n").unwrap();
-    assert_eq!(probe(), StatusCode::Forbidden, "Apache re-reads per request");
+    assert_eq!(
+        probe(),
+        StatusCode::Forbidden,
+        "Apache re-reads per request"
+    );
     std::fs::remove_file(dir.join(".htaccess")).unwrap();
     assert_eq!(probe(), StatusCode::Ok, "no file means no restriction");
 }

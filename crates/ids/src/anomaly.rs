@@ -179,10 +179,7 @@ impl AnomalyDetector {
 
     /// Number of learned observations for `principal`.
     pub fn observations(&self, principal: &str) -> u64 {
-        self.profiles
-            .lock()
-            .get(principal)
-            .map_or(0, |p| p.total)
+        self.profiles.lock().get(principal).map_or(0, |p| p.total)
     }
 
     /// Serializes every profile to a line-oriented text format, so learned
@@ -322,7 +319,11 @@ mod tests {
         train(&d, "alice", 50);
         let huge = format!("/docs/page1.html?{}", "x".repeat(500));
         let features = RequestFeatures::from_url(&huge, daytime(100));
-        assert!(d.is_anomalous("alice", &features), "score {}", d.score("alice", &features));
+        assert!(
+            d.is_anomalous("alice", &features),
+            "score {}",
+            d.score("alice", &features)
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@
 use crate::signatures::SignatureMatch;
 use crate::threat::ThreatLevel;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use gaa_audit::log::{AuditLog, AuditRecord, AuditSeverity};
 use gaa_audit::time::Timestamp;
+use gaa_faults::{FaultInjector, FaultSite};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -188,6 +190,9 @@ struct ReportSub {
 struct BusState {
     report_subs: Vec<ReportSub>,
     advisory_subs: Vec<Sender<IdsAdvisory>>,
+    injector: Option<Arc<dyn FaultInjector>>,
+    audit: Option<AuditLog>,
+    dropped: u64,
 }
 
 /// Pub/sub bus connecting the GAA-API with any number of IDS components.
@@ -237,15 +242,58 @@ impl EventBus {
         EventBus::default()
     }
 
+    /// Consults `injector` at [`FaultSite::EventBus`] on every publish: any
+    /// injected fault drops the event, simulating a lossy or disconnected
+    /// GAA↔IDS channel. Shared across clones of this bus.
+    pub fn set_fault_injector(&self, injector: Arc<dyn FaultInjector>) {
+        self.state.lock().injector = Some(injector);
+    }
+
+    /// Mirrors every dropped event into `audit` (`ids.event_dropped`,
+    /// Warning), so losing IDS traffic is never silent.
+    pub fn set_audit(&self, audit: AuditLog) {
+        self.state.lock().audit = Some(audit);
+    }
+
+    /// Events dropped by fault injection since construction.
+    pub fn dropped_events(&self) -> u64 {
+        self.state.lock().dropped
+    }
+
+    /// True (and accounted + audited) when the current publish should drop.
+    fn drop_injected(state: &mut BusState, time: Timestamp, what: &str, detail: String) -> bool {
+        let faulted = state
+            .injector
+            .as_ref()
+            .and_then(|i| i.fault_at(FaultSite::EventBus))
+            .is_some();
+        if faulted {
+            state.dropped += 1;
+            if let Some(audit) = &state.audit {
+                audit.record(
+                    AuditRecord::new(
+                        time,
+                        AuditSeverity::Warning,
+                        "ids.event_dropped",
+                        "event_bus",
+                        format!("{what} dropped by GAA/IDS channel fault"),
+                    )
+                    .with_attr("detail", detail),
+                );
+            }
+        }
+        faulted
+    }
+
     /// Subscribes to GAA→IDS reports. `kinds: None` receives everything;
     /// `Some(kinds)` receives only those kinds (the policy-controlled
     /// filter).
     pub fn subscribe_reports(&self, kinds: Option<Vec<ReportKind>>) -> Subscription<GaaReport> {
         let (tx, rx) = unbounded();
-        self.state.lock().report_subs.push(ReportSub {
-            kinds,
-            sender: tx,
-        });
+        self.state
+            .lock()
+            .report_subs
+            .push(ReportSub { kinds, sender: tx });
         Subscription { receiver: rx }
     }
 
@@ -259,6 +307,14 @@ impl EventBus {
     /// Publishes a GAA→IDS report to every matching subscriber.
     pub fn publish_report(&self, report: GaaReport) {
         let mut state = self.state.lock();
+        if Self::drop_injected(
+            &mut state,
+            report.time,
+            "GAA report",
+            format!("{:?} from {}", report.kind, report.source),
+        ) {
+            return;
+        }
         state.report_subs.retain(|sub| {
             let wanted = sub
                 .kinds
@@ -274,6 +330,16 @@ impl EventBus {
     /// Publishes an IDS→GAA advisory to every subscriber.
     pub fn publish_advisory(&self, advisory: IdsAdvisory) {
         let mut state = self.state.lock();
+        // Advisories carry no timestamp of their own, so a drop record is
+        // written at time zero; the detail attribute identifies the advisory.
+        if Self::drop_injected(
+            &mut state,
+            Timestamp::from_millis(0),
+            "IDS advisory",
+            format!("{advisory:?}"),
+        ) {
+            return;
+        }
         state
             .advisory_subs
             .retain(|tx| tx.send(advisory.clone()).is_ok());
@@ -316,7 +382,10 @@ mod tests {
         let got: Vec<ReportKind> = sub.drain().into_iter().map(|r| r.kind).collect();
         assert_eq!(
             got,
-            vec![ReportKind::ThresholdViolation, ReportKind::ApplicationAttack]
+            vec![
+                ReportKind::ThresholdViolation,
+                ReportKind::ApplicationAttack
+            ]
         );
     }
 
@@ -390,6 +459,65 @@ mod tests {
         };
         let r = report(ReportKind::ApplicationAttack).with_signature(sig.clone());
         assert_eq!(r.signature.as_ref().unwrap().id, "sig.phf");
+    }
+
+    #[test]
+    fn injected_faults_drop_events_and_audit() {
+        use gaa_faults::{Fault, FaultPlan, FaultSite};
+
+        let bus = EventBus::new();
+        let audit = AuditLog::new();
+        let sub = bus.subscribe_reports(None);
+        let plan = FaultPlan::builder(6)
+            .fail_window(FaultSite::EventBus, 1, 3, Fault::Error)
+            .build();
+        bus.set_fault_injector(Arc::new(plan));
+        bus.set_audit(audit.clone());
+
+        bus.publish_report(report(ReportKind::ApplicationAttack)); // delivered
+        bus.publish_report(report(ReportKind::SensitiveDenial)); // dropped
+        bus.publish_report(report(ReportKind::ThresholdViolation)); // dropped
+        bus.publish_report(report(ReportKind::SuspiciousBehavior)); // delivered
+
+        let got: Vec<ReportKind> = sub.drain().into_iter().map(|r| r.kind).collect();
+        assert_eq!(
+            got,
+            vec![
+                ReportKind::ApplicationAttack,
+                ReportKind::SuspiciousBehavior
+            ]
+        );
+        assert_eq!(bus.dropped_events(), 2);
+        let dropped = audit.by_category("ids.event_dropped");
+        assert_eq!(dropped.len(), 2);
+        assert!(dropped[0]
+            .attr("detail")
+            .unwrap()
+            .contains("SensitiveDenial"));
+    }
+
+    #[test]
+    fn injected_faults_drop_advisories_too() {
+        use gaa_faults::{Fault, FaultPlan, FaultSite};
+
+        let bus = EventBus::new();
+        let sub = bus.subscribe_advisories();
+        let plan = FaultPlan::builder(7)
+            .fail_nth(FaultSite::EventBus, 0, Fault::Error)
+            .build();
+        bus.set_fault_injector(Arc::new(plan));
+
+        bus.publish_advisory(IdsAdvisory::ThreatLevelChange {
+            level: ThreatLevel::High,
+        }); // dropped
+        bus.publish_advisory(IdsAdvisory::ThresholdUpdate {
+            parameter: "p".into(),
+            value: 1.0,
+        }); // delivered
+        let got = sub.drain();
+        assert_eq!(got.len(), 1);
+        assert!(matches!(got[0], IdsAdvisory::ThresholdUpdate { .. }));
+        assert_eq!(bus.dropped_events(), 1);
     }
 
     #[test]

@@ -169,7 +169,11 @@ mod tests {
             net.observe_connection("8.8.8.8", 80, true);
         }
         let alert = Correlator::new(net).corroborate(&attack_report("8.8.8.8", 0.6));
-        assert!(alert.combined_confidence > 0.7, "{}", alert.combined_confidence);
+        assert!(
+            alert.combined_confidence > 0.7,
+            "{}",
+            alert.combined_confidence
+        );
         assert!(alert.proactive_safe);
     }
 

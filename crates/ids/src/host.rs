@@ -90,10 +90,7 @@ impl HostIds {
 
     /// Number of observations recorded for `parameter`.
     pub fn observation_count(&self, parameter: &str) -> u64 {
-        self.baselines
-            .lock()
-            .get(parameter)
-            .map_or(0, |b| b.count)
+        self.baselines.lock().get(parameter).map_or(0, |b| b.count)
     }
 
     /// Baseline mean for `parameter` (0.0 if never observed).

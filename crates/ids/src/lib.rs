@@ -27,7 +27,6 @@
 //!   network-level corroboration to cut the false-positive rate before
 //!   proactive countermeasures fire (§3).
 
-
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 pub mod anomaly;

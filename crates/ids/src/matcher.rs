@@ -58,10 +58,7 @@ pub fn glob_match(pattern: &str, text: &str) -> bool {
 /// Case-insensitive variant of [`glob_match`] (ASCII only — URLs and header
 /// names are ASCII-folded by attackers, e.g. `PHF` vs `phf`).
 pub fn glob_match_ci(pattern: &str, text: &str) -> bool {
-    glob_match(
-        &pattern.to_ascii_lowercase(),
-        &text.to_ascii_lowercase(),
-    )
+    glob_match(&pattern.to_ascii_lowercase(), &text.to_ascii_lowercase())
 }
 
 #[cfg(test)]

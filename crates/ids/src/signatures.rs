@@ -249,7 +249,10 @@ mod tests {
     fn default_db_catches_paper_attacks() {
         let db = SignatureDb::with_defaults();
 
-        let phf = db.scan("GET /cgi-bin/phf?Qalias=x%0a/bin/cat%20/etc/passwd HTTP/1.0", 40);
+        let phf = db.scan(
+            "GET /cgi-bin/phf?Qalias=x%0a/bin/cat%20/etc/passwd HTTP/1.0",
+            40,
+        );
         assert!(phf.iter().any(|m| m.id == "sig.phf"));
 
         let testcgi = db.scan("GET /cgi-bin/test-cgi?* HTTP/1.0", 10);
@@ -269,7 +272,9 @@ mod tests {
     fn legit_requests_are_clean() {
         let db = SignatureDb::with_defaults();
         assert!(db.scan("GET /index.html HTTP/1.1", 0).is_empty());
-        assert!(db.scan("GET /docs/manual.html?page=3 HTTP/1.1", 6).is_empty());
+        assert!(db
+            .scan("GET /docs/manual.html?page=3 HTTP/1.1", 6)
+            .is_empty());
         assert!(db.scan("POST /forms/contact HTTP/1.1", 500).is_empty());
     }
 

@@ -202,9 +202,7 @@ impl ThreatMonitor {
             return;
         }
         let now = self.clock.now();
-        while state.level != ThreatLevel::Low
-            && now.since(state.last_change) > self.decay_after
-        {
+        while state.level != ThreatLevel::Low && now.since(state.last_change) > self.decay_after {
             state.level = state.level.relax();
             state.last_change = state.last_change.plus(self.decay_after);
             state.pending_reports = 0;

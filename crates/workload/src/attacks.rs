@@ -94,10 +94,10 @@ impl AttackTraffic {
                 };
                 HttpRequest::get(&target).with_client_ip(ip)
             }
-            AttackKind::MalformedUrl => HttpRequest::get(
-                "/scripts/..%c0%af../winnt/system32/cmd.exe?/c+dir",
-            )
-            .with_client_ip(ip),
+            AttackKind::MalformedUrl => {
+                HttpRequest::get("/scripts/..%c0%af../winnt/system32/cmd.exe?/c+dir")
+                    .with_client_ip(ip)
+            }
             AttackKind::SlashFlood => {
                 let slashes = "/".repeat(self.rng.gen_range(20..40));
                 HttpRequest::get(&format!("/a{slashes}b")).with_client_ip(ip)
@@ -117,8 +117,7 @@ impl AttackTraffic {
                 // A zero-day-ish probe: hits a real object with an input no
                 // signature in the default DB matches.
                 let n = self.rng.gen_range(0..1000);
-                HttpRequest::get(&format!("/cgi-bin/search?q=exploit{n}"))
-                    .with_client_ip(ip)
+                HttpRequest::get(&format!("/cgi-bin/search?q=exploit{n}")).with_client_ip(ip)
             }
         }
     }

@@ -185,13 +185,14 @@ pos_access_right apache *
     #[test]
     fn attacks_blocked_legit_served() {
         let (server, _services) = protected_server();
-        let scenario = ScenarioBuilder::new(11, vec!["/index.html".into(), "/docs/page1.html".into()])
-            .legit(40)
-            .attacks(AttackKind::CgiExploit, 10)
-            .attacks(AttackKind::SlashFlood, 10)
-            .attacks(AttackKind::MalformedUrl, 10)
-            .attacks(AttackKind::BufferOverflow, 10)
-            .build();
+        let scenario =
+            ScenarioBuilder::new(11, vec!["/index.html".into(), "/docs/page1.html".into()])
+                .legit(40)
+                .attacks(AttackKind::CgiExploit, 10)
+                .attacks(AttackKind::SlashFlood, 10)
+                .attacks(AttackKind::MalformedUrl, 10)
+                .attacks(AttackKind::BufferOverflow, 10)
+                .build();
         let stats = run_scenario(&server, &scenario);
         assert_eq!(stats.legit.sent, 40);
         assert_eq!(stats.legit.served, 40, "no false positives: {stats}");
@@ -228,8 +229,8 @@ pos_access_right apache *
         // Control: the same probes from a fresh address are NOT blocked —
         // the blacklist, not magic, stops the scan script.
         let (server, _services) = protected_server();
-        let mut attack_gen = crate::attacks::AttackTraffic::new(99)
-            .with_attacker_ips(vec!["198.51.100.9".into()]);
+        let mut attack_gen =
+            crate::attacks::AttackTraffic::new(99).with_attacker_ips(vec!["198.51.100.9".into()]);
         let probe = attack_gen.generate(AttackKind::UnknownProbe);
         let response = server.handle(probe);
         assert_eq!(response.status, StatusCode::Ok);

@@ -174,7 +174,10 @@ mod tests {
                 last += 1;
             }
         }
-        assert!(first > last * 2, "rank 1 ({first}) should dominate rank 4 ({last})");
+        assert!(
+            first > last * 2,
+            "rank 1 ({first}) should dominate rank 4 ({last})"
+        );
     }
 
     #[test]
@@ -195,7 +198,11 @@ mod tests {
     fn queries_are_benign() {
         let mut gen = LegitTraffic::new(3, paths());
         for req in gen.take(500) {
-            assert!(req.input_len() < 50, "benign input stays small: {}", req.target);
+            assert!(
+                req.input_len() < 50,
+                "benign input stays small: {}",
+                req.target
+            );
             assert!(!req.target.contains('%'));
             assert!(!req.target.contains("phf"));
         }

@@ -17,7 +17,6 @@
 //!   [`DetectionStats`] (blocked / served /
 //!   challenged), and computes true/false-positive rates.
 
-
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 pub mod attacks;

@@ -178,7 +178,10 @@ mod tests {
             .iter()
             .filter(|i| i.label.is_some())
             .count();
-        assert!(first_half_attacks > 3, "{first_half_attacks} attacks in first half");
+        assert!(
+            first_half_attacks > 3,
+            "{first_half_attacks} attacks in first half"
+        );
     }
 
     #[test]

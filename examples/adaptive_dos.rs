@@ -36,10 +36,8 @@ pos_access_right apache *
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clock = VirtualClock::new();
-    let services = StandardServices::new(
-        Arc::new(clock.clone()),
-        Arc::new(CollectingNotifier::new()),
-    );
+    let services =
+        StandardServices::new(Arc::new(clock.clone()), Arc::new(CollectingNotifier::new()));
     let mut store = MemoryPolicyStore::new();
     store.set_system(vec![parse_eacl(POLICY)?]);
     let api = register_standard(

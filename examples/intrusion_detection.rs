@@ -65,10 +65,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("-- the paper's attack gallery --");
     let attacks = [
-        ("phf exploit", "/cgi-bin/phf?Qalias=x%0a/bin/cat%20/etc/passwd"),
+        (
+            "phf exploit",
+            "/cgi-bin/phf?Qalias=x%0a/bin/cat%20/etc/passwd",
+        ),
         ("test-cgi probe", "/cgi-bin/test-cgi?*"),
         ("slash-flood DoS", "/a/////////////////////////b"),
-        ("NIMDA malformed URL", "/scripts/..%c0%af../winnt/system32/cmd.exe"),
+        (
+            "NIMDA malformed URL",
+            "/scripts/..%c0%af../winnt/system32/cmd.exe",
+        ),
     ];
     for (i, (label, target)) in attacks.iter().enumerate() {
         let ip = format!("203.0.113.{}", i + 1);
@@ -77,15 +83,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let overflow = format!("/cgi-bin/search?q={}", "A".repeat(1200));
     let response = server.handle(HttpRequest::get(&overflow).with_client_ip("203.0.113.5"));
-    println!("{:<24} from {:<14} -> {}", "Code-Red overflow", "203.0.113.5", response.status);
+    println!(
+        "{:<24} from {:<14} -> {}",
+        "Code-Red overflow", "203.0.113.5", response.status
+    );
 
     println!("\n-- the §7.2 scan script: known exploit, then zero-days --");
     let scanner = "203.0.113.66";
     let script = [
-        "/cgi-bin/phf?Qalias=root",          // known signature
-        "/cgi-bin/search?q=brand-new-0day",  // unknown
-        "/docs/page1.html?x=other-0day",     // unknown
-        "/index.html",                       // even plain requests
+        "/cgi-bin/phf?Qalias=root",         // known signature
+        "/cgi-bin/search?q=brand-new-0day", // unknown
+        "/docs/page1.html?x=other-0day",    // unknown
+        "/index.html",                      // even plain requests
     ];
     for target in script {
         let response = server.handle(HttpRequest::get(target).with_client_ip(scanner));

@@ -14,7 +14,9 @@
 use gaa::audit::notify::ConsoleNotifier;
 use gaa::audit::VirtualClock;
 use gaa::conditions::{register_standard, StandardServices};
-use gaa::core::{AnswerCode, GaaApi, GaaApiBuilder, MemoryPolicyStore, RightPattern, SecurityContext};
+use gaa::core::{
+    AnswerCode, GaaApi, GaaApiBuilder, MemoryPolicyStore, RightPattern, SecurityContext,
+};
 use gaa::eacl::parse_eacl;
 use gaa::ids::ThreatLevel;
 use std::sync::Arc;
@@ -62,10 +64,7 @@ impl Gatekeeper {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clock = VirtualClock::new();
-    let services = StandardServices::new(
-        Arc::new(clock.clone()),
-        Arc::new(ConsoleNotifier::new()),
-    );
+    let services = StandardServices::new(Arc::new(clock.clone()), Arc::new(ConsoleNotifier::new()));
     let mut store = MemoryPolicyStore::new();
     store.set_local("gw:tunnel", vec![parse_eacl(GATEKEEPER_POLICY)?]);
     let api = register_standard(
@@ -79,14 +78,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("-- normal operation (threat low) --");
-    println!("primary site  198.51.100.7:  {}", gate.negotiate("198.51.100.7"));
-    println!("branch office 203.0.113.40:  {}", gate.negotiate("203.0.113.40"));
-    println!("unknown peer  192.0.2.66:    {}", gate.negotiate("192.0.2.66"));
+    println!(
+        "primary site  198.51.100.7:  {}",
+        gate.negotiate("198.51.100.7")
+    );
+    println!(
+        "branch office 203.0.113.40:  {}",
+        gate.negotiate("203.0.113.40")
+    );
+    println!(
+        "unknown peer  192.0.2.66:    {}",
+        gate.negotiate("192.0.2.66")
+    );
 
     println!("\n-- the IDS raises the threat level: branches are shed --");
     services.threat.set_level(ThreatLevel::Medium);
-    println!("primary site  198.51.100.7:  {}", gate.negotiate("198.51.100.7"));
-    println!("branch office 203.0.113.40:  {}", gate.negotiate("203.0.113.40"));
+    println!(
+        "primary site  198.51.100.7:  {}",
+        gate.negotiate("198.51.100.7")
+    );
+    println!(
+        "branch office 203.0.113.40:  {}",
+        gate.negotiate("203.0.113.40")
+    );
 
     println!("\n-- an unknown peer hammers the gateway --");
     services.threat.set_level(ThreatLevel::Low);

@@ -45,10 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let clock = VirtualClock::at_millis(9 * 3_600_000);
-    let services = StandardServices::new(
-        Arc::new(clock.clone()),
-        Arc::new(CollectingNotifier::new()),
-    );
+    let services =
+        StandardServices::new(Arc::new(clock.clone()), Arc::new(CollectingNotifier::new()));
     // Escalate quickly in the demo, decay after one quiet minute.
     let threat = services
         .threat
@@ -106,8 +104,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("-- the attack intensifies --");
     for i in 0..2 {
         let _ = server.handle(
-            HttpRequest::get(&format!("/cgi-bin/test-cgi?probe={i}"))
-                .with_client_ip("203.0.113.9"),
+            HttpRequest::get(&format!("/cgi-bin/test-cgi?probe={i}")).with_client_ip("203.0.113.9"),
         );
     }
     probe(&server, "after 4 hits (threat high: full lockout)");

@@ -10,8 +10,8 @@ use gaa::audit::notify::CollectingNotifier;
 use gaa::audit::VirtualClock;
 use gaa::conditions::{register_standard, StandardServices};
 use gaa::core::{GaaApiBuilder, MemoryPolicyStore, RightPattern, SecurityContext};
-use gaa::eacl::validate::validate;
 use gaa::eacl::parse_eacl;
+use gaa::eacl::validate::validate;
 use std::sync::Arc;
 
 /// A policy with deliberate mistakes for the doctor to find.

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Serve traffic.
     let requests = [
-        ("benign page", HttpRequest::get("/index.html").with_client_ip("10.0.0.1")),
+        (
+            "benign page",
+            HttpRequest::get("/index.html").with_client_ip("10.0.0.1"),
+        ),
         (
             "benign CGI",
             HttpRequest::get("/cgi-bin/search?q=rust").with_client_ip("10.0.0.1"),
@@ -69,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{label:<42} {line:<60} -> {}", response.status);
     }
 
-    println!("\nBadGuys blacklist: {:?}", services.groups.members("BadGuys"));
+    println!(
+        "\nBadGuys blacklist: {:?}",
+        services.groups.members("BadGuys")
+    );
     println!("audit records: {}", services.audit.len());
     for record in services.audit.records() {
         println!("  {record}");

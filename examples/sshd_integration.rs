@@ -58,9 +58,9 @@ impl ToySshd {
             .api
             .get_object_policy_info("sshd:session")
             .expect("in-memory policies");
-        let result = self
-            .api
-            .check_authorization(&policy, &RightPattern::new("sshd", "login"), &ctx);
+        let result =
+            self.api
+                .check_authorization(&policy, &RightPattern::new("sshd", "login"), &ctx);
         result.answer()
     }
 }
@@ -68,10 +68,8 @@ impl ToySshd {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 09:00 on a Monday (epoch day 0 is a Thursday; +4 days = Monday).
     let clock = VirtualClock::at_millis(4 * 86_400_000 + 9 * 3_600_000);
-    let services = StandardServices::new(
-        Arc::new(clock.clone()),
-        Arc::new(CollectingNotifier::new()),
-    );
+    let services =
+        StandardServices::new(Arc::new(clock.clone()), Arc::new(CollectingNotifier::new()));
     let mut store = MemoryPolicyStore::new();
     store.set_local("sshd:session", vec![parse_eacl(SSHD_POLICY)?]);
     let api = register_standard(

@@ -19,6 +19,7 @@ pub use gaa_audit as audit;
 pub use gaa_conditions as conditions;
 pub use gaa_core as core;
 pub use gaa_eacl as eacl;
+pub use gaa_faults as faults;
 pub use gaa_httpd as httpd;
 pub use gaa_ids as ids;
 pub use gaa_workload as workload;

@@ -29,10 +29,8 @@ struct Rig {
 
 fn build() -> Rig {
     let clock = VirtualClock::new();
-    let services = StandardServices::new(
-        Arc::new(clock.clone()),
-        Arc::new(CollectingNotifier::new()),
-    );
+    let services =
+        StandardServices::new(Arc::new(clock.clone()), Arc::new(CollectingNotifier::new()));
     let mut store = MemoryPolicyStore::new();
     store.set_system(vec![parse_eacl(POLICY).unwrap()]);
     let api = register_standard(
@@ -97,7 +95,10 @@ fn published_limit_enforces_and_tightens() {
         }
     }
     let learned_cut = cut_at.expect("the learned limit must eventually trip");
-    assert!(learned_cut >= 7, "limit ≈ mean+3σ ≈ 8, tripped at {learned_cut}");
+    assert!(
+        learned_cut >= 7,
+        "limit ≈ mean+3σ ≈ 8, tripped at {learned_cut}"
+    );
 
     // Flood detected: the limit is tightened to 3. A fresh client now gets
     // far fewer requests through, in a fresh window.

@@ -22,10 +22,8 @@ pre_cond accessid USER *
 fn build() -> (Server, StandardServices, VirtualClock) {
     // Start mid-morning so the training window is one stable hour.
     let clock = VirtualClock::at_millis(10 * 3_600_000);
-    let services = StandardServices::new(
-        Arc::new(clock.clone()),
-        Arc::new(CollectingNotifier::new()),
-    );
+    let services =
+        StandardServices::new(Arc::new(clock.clone()), Arc::new(CollectingNotifier::new()));
     let mut store = MemoryPolicyStore::new();
     store.set_system(vec![parse_eacl(POLICY).unwrap()]);
     let api = register_standard(
@@ -57,7 +55,11 @@ fn profile_learns_then_flags_outliers() {
     // Training: 40 granted, typical requests build alice's profile via the
     // glue's §3-item-7 feed. (Cold start: the anomaly guard cannot trip.)
     for i in 0..40 {
-        let response = server.handle(authed(&format!("/docs/page{}.html?id={}", i % 8 + 1, i % 9)));
+        let response = server.handle(authed(&format!(
+            "/docs/page{}.html?id={}",
+            i % 8 + 1,
+            i % 9
+        )));
         assert_eq!(response.status, StatusCode::Ok, "training request {i}");
         clock.advance(Duration::from_secs(45));
     }
@@ -81,7 +83,11 @@ fn profile_learns_then_flags_outliers() {
 fn unusual_hour_plus_deviation_is_flagged() {
     let (server, services, clock) = build();
     for i in 0..40 {
-        let _ = server.handle(authed(&format!("/docs/page{}.html?id={}", i % 8 + 1, i % 9)));
+        let _ = server.handle(authed(&format!(
+            "/docs/page{}.html?id={}",
+            i % 8 + 1,
+            i % 9
+        )));
         clock.advance(Duration::from_secs(45));
     }
     // Jump to 03:00 next day: same page but a somewhat longer query. The

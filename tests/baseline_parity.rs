@@ -70,7 +70,10 @@ fn request(ip: &str, creds: Option<(&str, &str)>) -> HttpRequest {
     if let Some((user, pass)) = creds {
         req = req.with_header(
             "authorization",
-            &format!("Basic {}", base64_encode(format!("{user}:{pass}").as_bytes())),
+            &format!(
+                "Basic {}",
+                base64_encode(format!("{user}:{pass}").as_bytes())
+            ),
         );
     }
     req

@@ -1,0 +1,402 @@
+//! Chaos suite: seeded fault schedules swept through the Figure-1 flow.
+//!
+//! Every schedule drives the full server stack (TCP-less: parsed requests
+//! through [`Server::handle`]) under a deterministic [`FaultPlan`] and
+//! asserts the four degradation invariants:
+//!
+//! 1. **Access never fails open** — whatever breaks, a request that would
+//!    be denied on a healthy system is still denied.
+//! 2. **Every degradation emits an audit record** — operators can
+//!    reconstruct what was degraded, when, and why from the audit log alone.
+//! 3. **Bounded latency under notifier outage** — a dead mail transport
+//!    costs at most one bounded retry cycle per request, and nothing at all
+//!    once the circuit breaker trips.
+//! 4. **Recovery restores normal mode** — when the fault schedule ends, the
+//!    breaker closes, stale caches refresh, and the degradation registry
+//!    returns to fully-operational.
+
+use gaa::audit::notify::{CollectingNotifier, RetryingNotifier};
+use gaa::audit::{resilient_notifier, AuditLog, Clock, Component, DegradationState, VirtualClock};
+use gaa::conditions::{register_standard, StandardServices};
+use gaa::core::{FaultingPolicyStore, GaaApiBuilder, MemoryPolicyStore, ResilientPolicyStore};
+use gaa::eacl::parse_eacl;
+use gaa::faults::{Fault, FaultPlan, FaultSite};
+use gaa::httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
+use gaa::ids::EventBus;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// §7.2-style policy: known CGI exploits are denied and the sysadmin is
+/// notified about each attempt.
+const NOTIFYING_POLICY: &str = "\
+neg_access_right apache *
+pre_cond regex gnu *phf*
+rr_cond notify local on:failure/sysadmin/info:cgi_exploit
+pos_access_right apache *
+";
+
+struct NotifierStack {
+    server: Server,
+    services: StandardServices,
+    clock: Arc<VirtualClock>,
+    audit: AuditLog,
+    degradation: DegradationState,
+    transport: Arc<CollectingNotifier>,
+}
+
+/// Builds a GAA server whose notification path is the full resilience
+/// stack (circuit breaker → retrying → fault injection → transport).
+fn notifier_stack(plan: &Arc<FaultPlan>) -> NotifierStack {
+    let clock = Arc::new(VirtualClock::new());
+    let audit = AuditLog::new();
+    let degradation = DegradationState::with_audit(audit.clone());
+    let transport = Arc::new(CollectingNotifier::new());
+    let notifier = resilient_notifier(
+        transport.clone(),
+        plan.clone(),
+        clock.clone(),
+        audit.clone(),
+        degradation.clone(),
+    );
+    let services = StandardServices {
+        audit: audit.clone(),
+        ..StandardServices::new(clock.clone(), notifier)
+    };
+    let mut store = MemoryPolicyStore::new();
+    store.set_local("/cgi-bin/phf", vec![parse_eacl(NOTIFYING_POLICY).unwrap()]);
+    store.set_local("/index.html", vec![parse_eacl(NOTIFYING_POLICY).unwrap()]);
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone()).with_degradation(degradation.clone());
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)));
+    NotifierStack {
+        server,
+        services,
+        clock,
+        audit,
+        degradation,
+        transport,
+    }
+}
+
+/// The worst-case time one notification may spend retrying (the bound the
+/// latency invariant is checked against), computed from the default policy.
+fn retry_bound(clock: &Arc<VirtualClock>) -> Duration {
+    RetryingNotifier::new(
+        Arc::new(CollectingNotifier::new()),
+        clock.clone(),
+        AuditLog::new(),
+    )
+    .max_total_backoff()
+}
+
+/// Schedule 1 (seed 41): total notifier outage, then transport recovery.
+///
+/// Covers all four invariants on the notification path: denials keep
+/// denying, the breaker trips into audited audit-only mode, per-request
+/// latency stays under the retry bound (and drops to zero once open), and
+/// a successful half-open probe restores normal mode.
+#[test]
+fn notifier_outage_trips_breaker_and_recovers() {
+    let plan = Arc::new(
+        FaultPlan::builder(41)
+            .fail_always(FaultSite::Notifier, Fault::Error)
+            .build(),
+    );
+    let stack = notifier_stack(&plan);
+    let bound = retry_bound(&stack.clock);
+
+    // Three attacks, each burning one full (failed) retry cycle: the
+    // breaker's threshold. Denial is never affected.
+    for i in 0..3 {
+        let before = stack.clock.now();
+        let resp = stack.server.handle(
+            HttpRequest::get(&format!("/cgi-bin/phf?probe={i}")).with_client_ip("203.0.113.9"),
+        );
+        assert_eq!(
+            resp.status,
+            StatusCode::Forbidden,
+            "attack {i} must stay denied"
+        );
+        let spent = stack.clock.now().since(before);
+        assert!(
+            spent <= bound,
+            "attack {i}: retry latency {spent:?} exceeds bound {bound:?}"
+        );
+    }
+    assert_eq!(stack.audit.count_category("notify.dead_letter"), 3);
+    assert_eq!(stack.audit.count_category("notify.circuit_open"), 1);
+    assert_eq!(stack.audit.count_category("degrade.entered"), 1);
+    assert!(stack.degradation.is_degraded(Component::Notifier));
+
+    // Breaker open: the next attack is still denied, its notification is
+    // suppressed, and it costs zero notification latency.
+    let before = stack.clock.now();
+    let resp = stack
+        .server
+        .handle(HttpRequest::get("/cgi-bin/phf?again").with_client_ip("203.0.113.9"));
+    assert_eq!(resp.status, StatusCode::Forbidden);
+    assert_eq!(
+        stack.clock.now().since(before),
+        Duration::ZERO,
+        "an open circuit must not burn retry time per request"
+    );
+    assert_eq!(stack.audit.count_category("notify.suppressed"), 1);
+    assert_eq!(stack.transport.sent().len(), 0);
+
+    // Benign traffic was never entangled with the outage.
+    let resp = stack
+        .server
+        .handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(resp.status, StatusCode::Ok);
+
+    // Transport comes back; after the cooldown the half-open probe
+    // delivers, closing the circuit and clearing the degradation.
+    plan.disarm();
+    stack.clock.advance(Duration::from_secs(6));
+    let resp = stack
+        .server
+        .handle(HttpRequest::get("/cgi-bin/phf?post-recovery").with_client_ip("203.0.113.9"));
+    assert_eq!(resp.status, StatusCode::Forbidden);
+    assert_eq!(
+        stack.transport.sent().len(),
+        1,
+        "probe notification delivered"
+    );
+    assert_eq!(stack.audit.count_category("notify.circuit_closed"), 1);
+    assert_eq!(stack.audit.count_category("degrade.recovered"), 1);
+    assert!(stack.degradation.is_fully_operational());
+    assert_eq!(stack.degradation.transitions(), 2);
+}
+
+/// Schedule 2 (seed 42): policy-store outage with stale serving.
+///
+/// Inside the TTL the last-good policy keeps (correctly) answering; objects
+/// with no cached policy fail closed; past the TTL everything fails closed;
+/// recovery clears the degradation. Every phase leaves audit records.
+#[test]
+fn policy_store_outage_serves_stale_then_fails_closed() {
+    let plan = Arc::new(
+        FaultPlan::builder(42)
+            .fail_always(FaultSite::PolicyStore, Fault::Error)
+            .build(),
+    );
+    plan.disarm(); // healthy warm-up first
+
+    let clock = Arc::new(VirtualClock::new());
+    let audit = AuditLog::new();
+    let degradation = DegradationState::with_audit(audit.clone());
+    let services = StandardServices {
+        audit: audit.clone(),
+        ..StandardServices::new(clock.clone(), Arc::new(CollectingNotifier::new()))
+    };
+    let mut store = MemoryPolicyStore::new();
+    store.set_local(
+        "/index.html",
+        vec![parse_eacl("pos_access_right apache *\n").unwrap()],
+    );
+    let faulting = Arc::new(FaultingPolicyStore::new(Arc::new(store), plan.clone()));
+    let resilient =
+        ResilientPolicyStore::new(faulting, clock.clone(), audit.clone(), degradation.clone())
+            .with_stale_ttl(Duration::from_secs(10));
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(resilient)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone()).with_degradation(degradation.clone());
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)));
+
+    // Warm-up on a healthy store caches the last-good policies.
+    let resp = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(resp.status, StatusCode::Ok);
+
+    // Outage, within the TTL: the cached policy still answers, audited and
+    // flagged as a degradation.
+    plan.rearm();
+    let resp = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(
+        resp.status,
+        StatusCode::Ok,
+        "stale-served policy keeps answering"
+    );
+    assert!(audit.count_category("policy.stale_served") >= 1);
+    assert_eq!(audit.count_category("degrade.entered"), 1);
+    assert!(degradation.is_degraded(Component::PolicyStore));
+
+    // An object that was never cached has no last-good policy: fail closed.
+    let resp =
+        server.handle(HttpRequest::get("/private/passwords.html").with_client_ip("10.0.0.1"));
+    assert_eq!(
+        resp.status,
+        StatusCode::Forbidden,
+        "uncached object must fail closed during the outage"
+    );
+    assert!(audit.count_category("policy.retrieval_failed") >= 1);
+
+    // Past the TTL the stale copy is too old to trust: fail closed.
+    clock.advance(Duration::from_secs(11));
+    let resp = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(
+        resp.status,
+        StatusCode::Forbidden,
+        "expired stale policy must fail closed, never open"
+    );
+
+    // Store recovers: service and registry return to normal.
+    plan.disarm();
+    let resp = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(resp.status, StatusCode::Ok);
+    assert_eq!(audit.count_category("degrade.recovered"), 1);
+    assert!(degradation.is_fully_operational());
+    assert_eq!(degradation.transitions(), 2);
+}
+
+/// Schedule 3 (seed 43): hung evaluator, CGI resource bomb, and an IDS
+/// event-bus drop — the compute-side faults.
+///
+/// A hung condition evaluator degrades the answer to MAYBE (401) within the
+/// phase deadline instead of stalling forever; an injected resource bomb is
+/// contained by the execution-control phase; a dropped IDS event is audited
+/// rather than silently lost; and once the schedule is exhausted everything
+/// returns to normal.
+#[test]
+fn evaluator_hang_cgi_bomb_and_bus_drop_are_contained() {
+    let plan = Arc::new(
+        FaultPlan::builder(43)
+            .fail_nth(FaultSite::Evaluator, 0, Fault::Hang(5_000))
+            .fail_nth(FaultSite::Cgi, 0, Fault::ResourceBomb)
+            .fail_nth(FaultSite::EventBus, 0, Fault::Error)
+            .build(),
+    );
+    let clock = Arc::new(VirtualClock::new());
+    let audit = AuditLog::new();
+    let services = StandardServices {
+        audit: audit.clone(),
+        ..StandardServices::new(clock.clone(), Arc::new(CollectingNotifier::new()))
+    };
+    let mut store = MemoryPolicyStore::new();
+    store.set_local(
+        "/index.html",
+        vec![parse_eacl("pos_access_right apache *\npre_cond regex gnu *index*\n").unwrap()],
+    );
+    store.set_local(
+        "/cgi-bin/search",
+        vec![parse_eacl("pos_access_right apache *\nmid_cond cpu_limit local 100\n").unwrap()],
+    );
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .with_fault_injector(plan.clone())
+    .with_phase_deadline(Duration::from_millis(500))
+    .build();
+    let bus = EventBus::new();
+    let sub = bus.subscribe_reports(None);
+    bus.set_fault_injector(plan.clone());
+    bus.set_audit(audit.clone());
+    let glue = GaaGlue::new(api, services.clone()).with_bus(bus.clone());
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)))
+        .with_fault_injector(plan.clone());
+
+    // Request 1: the evaluator hangs past the phase deadline. The answer
+    // degrades to MAYBE (401 challenge) — never to YES — and the stall is
+    // both bounded and audited.
+    let before = clock.now();
+    let resp = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(
+        resp.status,
+        StatusCode::Unauthorized,
+        "a hung evaluator must degrade to MAYBE, not grant"
+    );
+    assert_eq!(audit.count_category("gaa.phase_deadline"), 1);
+    assert_eq!(
+        clock.now().since(before),
+        Duration::from_millis(5_000),
+        "the stall is the injected hang, not an unbounded wait"
+    );
+
+    // Request 2: the CGI script is swapped for a resource bomb; the
+    // mid-condition aborts it, audited, and the IDS report about the
+    // granted request is dropped by the injected bus fault — also audited.
+    let resp = server.handle(HttpRequest::get("/cgi-bin/search?q=a").with_client_ip("10.0.0.1"));
+    assert_eq!(resp.status, StatusCode::InternalServerError);
+    assert_eq!(server.stats().snapshot().cgi_aborted, 1);
+    assert!(audit.count_category("gaa.mid_violation") >= 1);
+    assert_eq!(bus.dropped_events(), 1);
+    assert_eq!(audit.count_category("ids.event_dropped"), 1);
+    assert_eq!(sub.drain().len(), 0, "the dropped report must not arrive");
+
+    // Schedule exhausted: the same requests now behave normally.
+    let resp = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+    assert_eq!(resp.status, StatusCode::Ok);
+    let resp = server.handle(HttpRequest::get("/cgi-bin/search?q=a").with_client_ip("10.0.0.1"));
+    assert_eq!(resp.status, StatusCode::Ok);
+    assert_eq!(
+        server.stats().snapshot().cgi_aborted,
+        1,
+        "no further aborts"
+    );
+    assert!(!sub.drain().is_empty(), "reports flow again after recovery");
+}
+
+/// Schedules 4–6 (seeds 7, 21, 99): probabilistic notifier flakiness.
+///
+/// Whatever the (deterministic, seeded) coin flips produce, the two
+/// non-negotiable invariants hold: denials never fail open, and the
+/// degradation registry and `degrade.*` audit records never disagree.
+#[test]
+fn seeded_flaky_notifier_sweep_holds_invariants() {
+    for seed in [7u64, 21, 99] {
+        let plan = Arc::new(
+            FaultPlan::builder(seed)
+                .fail_with_probability(FaultSite::Notifier, 0.6, Fault::Error)
+                .build(),
+        );
+        let stack = notifier_stack(&plan);
+        let bound = retry_bound(&stack.clock);
+
+        for i in 0..12 {
+            let before = stack.clock.now();
+            let resp = stack.server.handle(
+                HttpRequest::get(&format!("/cgi-bin/phf?sweep={i}")).with_client_ip("203.0.113.9"),
+            );
+            assert_eq!(
+                resp.status,
+                StatusCode::Forbidden,
+                "seed {seed}, attack {i}: denial must not fail open"
+            );
+            assert!(
+                stack.clock.now().since(before) <= bound,
+                "seed {seed}, attack {i}: latency exceeded the retry bound"
+            );
+            let resp = stack
+                .server
+                .handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+            assert_eq!(
+                resp.status,
+                StatusCode::Ok,
+                "seed {seed}: benign traffic flows"
+            );
+        }
+
+        // Audit ↔ registry parity: every degradation transition left a
+        // degrade.* record.
+        let entered = stack.audit.count_category("degrade.entered") as u64;
+        let recovered = stack.audit.count_category("degrade.recovered") as u64;
+        assert_eq!(
+            stack.degradation.transitions(),
+            entered + recovered,
+            "seed {seed}: degradation transitions must all be audited"
+        );
+        // The services handle keeps the stack alive end-to-end.
+        assert!(!stack.services.audit.is_empty());
+        assert!(
+            plan.injected_total() > 0,
+            "seed {seed}: schedule never fired"
+        );
+    }
+}

@@ -28,7 +28,9 @@ fn decide(system: &str, local: &str) -> GaaStatus {
     )
     .build();
     let policy = api.get_object_policy_info("/obj").unwrap();
-    let ctx = SecurityContext::new().with_client_ip("10.0.0.1").with_object("/obj");
+    let ctx = SecurityContext::new()
+        .with_client_ip("10.0.0.1")
+        .with_object("/obj");
     api.check_authorization(&policy, &RightPattern::new("apache", "GET"), &ctx)
         .status()
 }
@@ -140,9 +142,15 @@ pre_cond accessid USER admin
     let right = RightPattern::new("apache", "GET");
 
     let admin = SecurityContext::new().with_user("admin");
-    assert!(api.check_authorization(&policy, &right, &admin).status().is_yes());
+    assert!(api
+        .check_authorization(&policy, &right, &admin)
+        .status()
+        .is_yes());
     let other = SecurityContext::new().with_user("mallory");
-    assert!(api.check_authorization(&policy, &right, &other).status().is_no());
+    assert!(api
+        .check_authorization(&policy, &right, &other)
+        .status()
+        .is_no());
 }
 
 proptest! {

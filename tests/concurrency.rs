@@ -34,7 +34,10 @@ fn build() -> (Arc<Server>, StandardServices) {
     .build();
     let glue = GaaGlue::new(api, services.clone());
     (
-        Arc::new(Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)))),
+        Arc::new(Server::new(
+            Vfs::default_site(),
+            AccessControl::Gaa(Box::new(glue)),
+        )),
         services,
     )
 }
@@ -108,8 +111,7 @@ fn mixed_traffic_keeps_innocents_unaffected() {
         std::thread::spawn(move || {
             for i in 0..100 {
                 let _ = server.handle(
-                    HttpRequest::get(&format!("/cgi-bin/phf?x={i}"))
-                        .with_client_ip("203.0.113.99"),
+                    HttpRequest::get(&format!("/cgi-bin/phf?x={i}")).with_client_ip("203.0.113.99"),
                 );
             }
         })
@@ -120,8 +122,8 @@ fn mixed_traffic_keeps_innocents_unaffected() {
             std::thread::spawn(move || {
                 (0..100)
                     .filter(|i| {
-                        let req = HttpRequest::get("/index.html")
-                            .with_client_ip(format!("10.1.1.{t}"));
+                        let req =
+                            HttpRequest::get("/index.html").with_client_ip(format!("10.1.1.{t}"));
                         let _ = i;
                         server.handle(req).status == StatusCode::Ok
                     })

@@ -82,11 +82,20 @@ fn full_disk_initialization_flow() {
     let right = RightPattern::new("apache", "GET");
 
     let alice = SecurityContext::new().with_user("alice");
-    assert!(api.check_authorization(&policy, &right, &alice).status().is_yes());
+    assert!(api
+        .check_authorization(&policy, &right, &alice)
+        .status()
+        .is_yes());
     let anon = SecurityContext::new();
-    assert!(api.check_authorization(&policy, &right, &anon).status().is_maybe());
+    assert!(api
+        .check_authorization(&policy, &right, &anon)
+        .status()
+        .is_maybe());
     services.threat.set_level(ThreatLevel::High);
-    assert!(api.check_authorization(&policy, &right, &alice).status().is_no());
+    assert!(api
+        .check_authorization(&policy, &right, &alice)
+        .status()
+        .is_no());
 }
 
 #[test]
@@ -106,11 +115,8 @@ fn coverage_check_catches_configuration_gaps() {
         Arc::new(CollectingNotifier::new()),
     );
     let store = FilePolicyStore::new().with_system_file(dir.join("system.eacl"));
-    let (builder, _unknown) = register_from_config(
-        GaaApiBuilder::new(Arc::new(store)),
-        &config,
-        &services,
-    );
+    let (builder, _unknown) =
+        register_from_config(GaaApiBuilder::new(Arc::new(store)), &config, &services);
     let api = builder.build();
     let policy = api.get_object_policy_info("/anything").unwrap();
     let missing = api.check_coverage(&policy);

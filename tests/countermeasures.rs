@@ -80,9 +80,15 @@ pos_access_right apache *
     let (server, services) = server_with(policy);
     let _ = server.handle(HttpRequest::get("/cgi-bin/phf?x").with_client_ip("203.0.113.9"));
     assert!(services.firewall.is_blocked("203.0.113.9"));
-    assert!(services.firewall.is_blocked("203.0.113.200"), "whole /24 blocked");
+    assert!(
+        services.firewall.is_blocked("203.0.113.200"),
+        "whole /24 blocked"
+    );
     assert!(!services.firewall.is_blocked("203.0.114.1"));
-    assert_eq!(services.firewall.rules(), vec!["203.0.113.0/24".to_string()]);
+    assert_eq!(
+        services.firewall.rules(),
+        vec!["203.0.113.0/24".to_string()]
+    );
 }
 
 #[test]

@@ -57,9 +57,8 @@ fn each_paper_attack_is_denied() {
         "/scripts/..%c0%af../winnt/system32/cmd.exe",
     ];
     for (i, target) in attacks.iter().enumerate() {
-        let response = server.handle(
-            HttpRequest::get(target).with_client_ip(format!("203.0.113.{}", 50 + i)),
-        );
+        let response =
+            server.handle(HttpRequest::get(target).with_client_ip(format!("203.0.113.{}", 50 + i)));
         assert_eq!(response.status, StatusCode::Forbidden, "{target}");
     }
     // Code-Red-style oversized input.
@@ -99,8 +98,7 @@ fn blacklist_blocks_unknown_exploits_from_known_bad_hosts() {
     let (server, _services, _notifier) = protected();
     let attacker = "203.0.113.77";
     // Known exploit: denied by signature.
-    let first =
-        server.handle(HttpRequest::get("/cgi-bin/phf?x").with_client_ip(attacker));
+    let first = server.handle(HttpRequest::get("/cgi-bin/phf?x").with_client_ip(attacker));
     assert_eq!(first.status, StatusCode::Forbidden);
     // Unknown-signature probes from the same host: denied by membership.
     for target in [
@@ -187,6 +185,7 @@ fn new_signature_without_recompilation() {
         HttpRequest::get("/cgi-bin/search?q=newworm-payload").with_client_ip("203.0.113.9"),
     );
     assert_eq!(hit.status, StatusCode::Forbidden);
-    let clean = server.handle(HttpRequest::get("/cgi-bin/search?q=benign").with_client_ip("10.0.0.1"));
+    let clean =
+        server.handle(HttpRequest::get("/cgi-bin/search?q=benign").with_client_ip("10.0.0.1"));
     assert_eq!(clean.status, StatusCode::Ok);
 }

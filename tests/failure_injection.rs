@@ -5,9 +5,7 @@
 use gaa::audit::notify::FailingNotifier;
 use gaa::audit::{AuditLog, VirtualClock};
 use gaa::conditions::{register_standard, StandardServices};
-use gaa::core::{
-    EvalDecision, FilePolicyStore, GaaApiBuilder, MemoryPolicyStore, PolicyStore,
-};
+use gaa::core::{EvalDecision, FilePolicyStore, GaaApiBuilder, MemoryPolicyStore, PolicyStore};
 use gaa::eacl::parse_eacl;
 use gaa::httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
 use std::sync::Arc;
@@ -17,7 +15,11 @@ fn unparseable_policy_file_fails_closed() {
     let dir = std::env::temp_dir().join(format!("gaa-failinj-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
-    std::fs::write(dir.join("system.eacl"), "pos_access_right apache *\nGARBAGE\n").unwrap();
+    std::fs::write(
+        dir.join("system.eacl"),
+        "pos_access_right apache *\nGARBAGE\n",
+    )
+    .unwrap();
 
     let store = FilePolicyStore::new().with_system_file(dir.join("system.eacl"));
     assert!(store.system_policies().is_err());
@@ -58,9 +60,13 @@ fn panicking_evaluator_degrades_to_maybe_not_crash() {
         GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
         &services,
     )
-    .register("buggy", "local", |_: &str, _: &gaa::core::EvalEnv<'_>| -> EvalDecision {
-        panic!("webmaster-supplied routine explodes")
-    })
+    .register(
+        "buggy",
+        "local",
+        |_: &str, _: &gaa::core::EvalEnv<'_>| -> EvalDecision {
+            panic!("webmaster-supplied routine explodes")
+        },
+    )
     .build();
     let glue = GaaGlue::new(api, services.clone());
     let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)));
@@ -94,8 +100,7 @@ fn notifier_outage_does_not_affect_enforcement() {
 
     // The attack is still denied and still blacklisted even though mail is
     // down; the outage itself is audited.
-    let response =
-        server.handle(HttpRequest::get("/cgi-bin/phf?x").with_client_ip("203.0.113.9"));
+    let response = server.handle(HttpRequest::get("/cgi-bin/phf?x").with_client_ip("203.0.113.9"));
     assert_eq!(response.status, StatusCode::Forbidden);
     assert!(services.groups.contains("BadGuys", "203.0.113.9"));
     assert!(failing.attempts() >= 1);
@@ -113,7 +118,10 @@ fn audit_ring_survives_logging_storms() {
     let log = AuditLog::with_capacity(64);
     let services = StandardServices {
         audit: log.clone(),
-        ..StandardServices::new(Arc::new(VirtualClock::new()), Arc::new(FailingNotifier::new()))
+        ..StandardServices::new(
+            Arc::new(VirtualClock::new()),
+            Arc::new(FailingNotifier::new()),
+        )
     };
     let mut store = MemoryPolicyStore::new();
     store.set_system(vec![parse_eacl(
@@ -130,8 +138,7 @@ fn audit_ring_survives_logging_storms() {
 
     for i in 0..500 {
         let response = server.handle(
-            HttpRequest::get(&format!("/cgi-bin/phf?storm={i}"))
-                .with_client_ip("203.0.113.9"),
+            HttpRequest::get(&format!("/cgi-bin/phf?storm={i}")).with_client_ip("203.0.113.9"),
         );
         assert_eq!(response.status, StatusCode::Forbidden);
     }

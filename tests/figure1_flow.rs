@@ -65,7 +65,10 @@ fn initialization_registers_standard_routines() {
 #[test]
 fn step_2a_composes_system_before_local() {
     let (glue, _services) = build_glue();
-    let policy = glue.api().get_object_policy_info("/cgi-bin/search").unwrap();
+    let policy = glue
+        .api()
+        .get_object_policy_info("/cgi-bin/search")
+        .unwrap();
     assert_eq!(policy.mode(), CompositionMode::Narrow);
     let layers: Vec<PolicyLayer> = policy.layers().map(|(l, _)| l).collect();
     assert_eq!(layers, vec![PolicyLayer::System, PolicyLayer::Local]);
@@ -81,7 +84,10 @@ fn step_2b_builds_rights_and_classified_params() {
     assert_eq!(rights[1].value, "EXEC_CGI");
 
     let ctx = glue.extract_context(&request, Some("alice"), &[]);
-    assert_eq!(ctx.param_for("url", "apache"), Some("/cgi-bin/search?q=abc"));
+    assert_eq!(
+        ctx.param_for("url", "apache"),
+        Some("/cgi-bin/search?q=abc")
+    );
     assert_eq!(ctx.param_for("query_len", "apache"), Some("5"));
     assert_eq!(ctx.subject(), "alice");
 }
@@ -122,9 +128,9 @@ fn step_3_execution_control_enforces_mid_conditions() {
     // Under the 120-tick budget: allowed to continue.
     let mut execution = CgiExecution::start(&CgiScript::search(), "q=abc");
     execution.step();
-    let phase = glue
-        .api()
-        .execution_control(&decision.result, &decision.context, execution.metrics());
+    let phase =
+        glue.api()
+            .execution_control(&decision.result, &decision.context, execution.metrics());
     assert!(phase.status.is_yes());
 
     // A bomb blows the budget: the check says NO and the server aborts.
@@ -146,16 +152,16 @@ fn step_4_post_conditions_follow_operation_outcome() {
     let request = HttpRequest::get("/cgi-bin/search?q=abc").with_client_ip("10.0.0.1");
     let decision = glue.authorize(&request, Some("alice"), &[], true);
 
-    let phase = glue
-        .api()
-        .post_execution_actions(&decision.result, &decision.context, Outcome::Success);
+    let phase =
+        glue.api()
+            .post_execution_actions(&decision.result, &decision.context, Outcome::Success);
     assert!(phase.status.is_yes());
     assert_eq!(services.audit.count_category("op.done"), 1);
     assert_eq!(services.audit.count_category("op.failed"), 0);
 
-    let _ = glue
-        .api()
-        .post_execution_actions(&decision.result, &decision.context, Outcome::Failure);
+    let _ =
+        glue.api()
+            .post_execution_actions(&decision.result, &decision.context, Outcome::Failure);
     assert_eq!(services.audit.count_category("op.done"), 1);
     assert_eq!(services.audit.count_category("op.failed"), 1);
 }

@@ -5,7 +5,9 @@
 use gaa::audit::notify::CollectingNotifier;
 use gaa::audit::VirtualClock;
 use gaa::conditions::{register_standard, StandardServices};
-use gaa::core::{AnswerCode, GaaApi, GaaApiBuilder, MemoryPolicyStore, RightPattern, SecurityContext};
+use gaa::core::{
+    AnswerCode, GaaApi, GaaApiBuilder, MemoryPolicyStore, RightPattern, SecurityContext,
+};
 use gaa::eacl::parse_eacl;
 use gaa::ids::ThreatLevel;
 use std::sync::Arc;
@@ -61,32 +63,59 @@ fn one_api_instance_serves_three_applications() {
     // Web.
     let web_ctx = SecurityContext::new().with_client_ip("10.0.0.1");
     assert_eq!(
-        check(&api, "/index.html", RightPattern::new("apache", "GET"), &web_ctx),
+        check(
+            &api,
+            "/index.html",
+            RightPattern::new("apache", "GET"),
+            &web_ctx
+        ),
         AnswerCode::Ok
     );
     // The web right does not leak into ssh policy space: no sshd entry
     // matches `apache GET`, and vice versa.
     assert_eq!(
-        check(&api, "sshd:session", RightPattern::new("apache", "GET"), &web_ctx),
+        check(
+            &api,
+            "sshd:session",
+            RightPattern::new("apache", "GET"),
+            &web_ctx
+        ),
         AnswerCode::Declined
     );
 
     // SSH.
-    let ssh_ctx = SecurityContext::new().with_user("alice").with_client_ip("10.0.0.1");
+    let ssh_ctx = SecurityContext::new()
+        .with_user("alice")
+        .with_client_ip("10.0.0.1");
     assert_eq!(
-        check(&api, "sshd:session", RightPattern::new("sshd", "login"), &ssh_ctx),
+        check(
+            &api,
+            "sshd:session",
+            RightPattern::new("sshd", "login"),
+            &ssh_ctx
+        ),
         AnswerCode::Ok
     );
 
     // IPsec.
     let tunnel_ctx = SecurityContext::new().with_client_ip("198.51.100.7");
     assert_eq!(
-        check(&api, "gw:tunnel", RightPattern::new("ipsec", "tunnel"), &tunnel_ctx),
+        check(
+            &api,
+            "gw:tunnel",
+            RightPattern::new("ipsec", "tunnel"),
+            &tunnel_ctx
+        ),
         AnswerCode::Ok
     );
     let outsider = SecurityContext::new().with_client_ip("192.0.2.1");
     assert_eq!(
-        check(&api, "gw:tunnel", RightPattern::new("ipsec", "tunnel"), &outsider),
+        check(
+            &api,
+            "gw:tunnel",
+            RightPattern::new("ipsec", "tunnel"),
+            &outsider
+        ),
         AnswerCode::Declined
     );
 }
@@ -99,12 +128,22 @@ fn shared_services_cross_application_state() {
     let (api, services) = build();
     let tunnel_ctx = SecurityContext::new().with_client_ip("198.51.100.7");
     assert_eq!(
-        check(&api, "gw:tunnel", RightPattern::new("ipsec", "tunnel"), &tunnel_ctx),
+        check(
+            &api,
+            "gw:tunnel",
+            RightPattern::new("ipsec", "tunnel"),
+            &tunnel_ctx
+        ),
         AnswerCode::Ok
     );
     services.threat.set_level(ThreatLevel::High);
     assert_eq!(
-        check(&api, "gw:tunnel", RightPattern::new("ipsec", "tunnel"), &tunnel_ctx),
+        check(
+            &api,
+            "gw:tunnel",
+            RightPattern::new("ipsec", "tunnel"),
+            &tunnel_ctx
+        ),
         AnswerCode::Declined
     );
 }
@@ -114,18 +153,30 @@ fn ssh_after_hours_denied_by_the_same_time_evaluator() {
     let (api, services) = build();
     let ssh_ctx = SecurityContext::new().with_user("alice");
     assert_eq!(
-        check(&api, "sshd:session", RightPattern::new("sshd", "login"), &ssh_ctx),
+        check(
+            &api,
+            "sshd:session",
+            RightPattern::new("sshd", "login"),
+            &ssh_ctx
+        ),
         AnswerCode::Ok
     );
     // Advance to 21:00: the very same `time_window` routine that guards web
     // objects now rejects the login.
     let _ = services; // clock is shared through services
-    // (jump 12h via a fresh context pin instead of mutating the clock)
+                      // (jump 12h via a fresh context pin instead of mutating the clock)
     let late_ctx = ssh_ctx
         .clone()
-        .with_time(gaa::audit::Timestamp::from_millis(4 * 86_400_000 + 21 * 3_600_000));
+        .with_time(gaa::audit::Timestamp::from_millis(
+            4 * 86_400_000 + 21 * 3_600_000,
+        ));
     assert_eq!(
-        check(&api, "sshd:session", RightPattern::new("sshd", "login"), &late_ctx),
+        check(
+            &api,
+            "sshd:session",
+            RightPattern::new("sshd", "login"),
+            &late_ctx
+        ),
         AnswerCode::Declined
     );
 }

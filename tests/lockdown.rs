@@ -27,10 +27,7 @@ pre_cond system_threat_level local =low
 ";
 
 fn build(clock: VirtualClock) -> (Server, StandardServices) {
-    let services = StandardServices::new(
-        Arc::new(clock),
-        Arc::new(CollectingNotifier::new()),
-    );
+    let services = StandardServices::new(Arc::new(clock), Arc::new(CollectingNotifier::new()));
     let mut store = MemoryPolicyStore::new();
     store.set_system(vec![parse_eacl(SYSTEM).unwrap()]);
     for path in Vfs::default_site().paths() {
@@ -73,8 +70,16 @@ fn lockdown_matrix_matches_paper_semantics() {
     let (server, services) = build(VirtualClock::new());
     let cases = [
         (ThreatLevel::Low, StatusCode::Ok, StatusCode::Ok),
-        (ThreatLevel::Medium, StatusCode::Unauthorized, StatusCode::Ok),
-        (ThreatLevel::High, StatusCode::Forbidden, StatusCode::Forbidden),
+        (
+            ThreatLevel::Medium,
+            StatusCode::Unauthorized,
+            StatusCode::Ok,
+        ),
+        (
+            ThreatLevel::High,
+            StatusCode::Forbidden,
+            StatusCode::Forbidden,
+        ),
     ];
     for (level, expect_anon, expect_auth) in cases {
         services.threat.set_level(level);
@@ -88,13 +93,13 @@ fn mandatory_system_deny_cannot_be_bypassed_locally() {
     // Even a local grant-all cannot override the system-wide lockout under
     // narrow composition ("can not be bypassed by a local policy").
     let clock = VirtualClock::new();
-    let services = StandardServices::new(
-        Arc::new(clock),
-        Arc::new(CollectingNotifier::new()),
-    );
+    let services = StandardServices::new(Arc::new(clock), Arc::new(CollectingNotifier::new()));
     let mut store = MemoryPolicyStore::new();
     store.set_system(vec![parse_eacl(SYSTEM).unwrap()]);
-    store.set_local("/index.html", vec![parse_eacl("pos_access_right * *\n").unwrap()]);
+    store.set_local(
+        "/index.html",
+        vec![parse_eacl("pos_access_right * *\n").unwrap()],
+    );
     let api = register_standard(
         GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
         &services,
@@ -150,5 +155,9 @@ fn ids_escalation_and_decay_drive_the_policy() {
     // locked; the reconfigured handle sees medium.
     assert_eq!(threat.current(), ThreatLevel::Medium);
     clock.advance(Duration::from_secs(300));
-    assert_eq!(anon(&server), StatusCode::Ok, "decay must reopen the system");
+    assert_eq!(
+        anon(&server),
+        StatusCode::Ok,
+        "decay must reopen the system"
+    );
 }

@@ -62,13 +62,11 @@ fn files_created_ceiling() {
     // §3 item 6: "unusual or suspicious application behavior such as
     // creating files".
     let policy = "pos_access_right apache *\nmid_cond files_limit local 3\n";
-    let (server, _services) =
-        server_with_policy_and_script(policy, CgiScript::file_creator(50));
+    let (server, _services) = server_with_policy_and_script(policy, CgiScript::file_creator(50));
     assert_eq!(run(&server), StatusCode::InternalServerError);
 
     let policy = "pos_access_right apache *\nmid_cond files_limit local 100\n";
-    let (server, _services) =
-        server_with_policy_and_script(policy, CgiScript::file_creator(50));
+    let (server, _services) = server_with_policy_and_script(policy, CgiScript::file_creator(50));
     assert_eq!(run(&server), StatusCode::Ok);
 }
 
@@ -112,8 +110,7 @@ fn exec_control_interval_trades_latency_for_overshoot() {
     let glue = GaaGlue::new(api, services.clone());
     let mut vfs = Vfs::new();
     vfs.add_cgi("/cgi-bin/job", CgiScript::cpu_bomb(100_000));
-    let server = Server::new(vfs, AccessControl::Gaa(Box::new(glue)))
-        .with_exec_control_interval(8);
+    let server = Server::new(vfs, AccessControl::Gaa(Box::new(glue))).with_exec_control_interval(8);
     assert_eq!(run(&server), StatusCode::InternalServerError);
     assert_eq!(server.stats().snapshot().cgi_aborted, 1);
 }

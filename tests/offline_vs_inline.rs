@@ -29,7 +29,11 @@ pos_access_right apache *
 fn scenario() -> gaa::workload::Scenario {
     ScenarioBuilder::new(
         1010,
-        vec!["/index.html".into(), "/docs/page1.html".into(), "/cgi-bin/search".into()],
+        vec![
+            "/index.html".into(),
+            "/docs/page1.html".into(),
+            "/cgi-bin/search".into(),
+        ],
     )
     .legit(100)
     .attacks(AttackKind::CgiExploit, 15)
@@ -42,8 +46,7 @@ fn scenario() -> gaa::workload::Scenario {
 fn offline_analyzer_detects_but_cannot_stop() {
     // Unprotected server with an access log: attacks are served.
     let log = AccessLog::new();
-    let open = Server::new(Vfs::default_site(), AccessControl::Open)
-        .with_access_log(log.clone());
+    let open = Server::new(Vfs::default_site(), AccessControl::Open).with_access_log(log.clone());
     let stats = run_scenario(&open, &scenario());
     assert_eq!(stats.true_positive_rate(), 0.0, "nothing blocked inline");
 
@@ -100,8 +103,7 @@ fn inline_gaa_blocks_what_the_offline_tool_only_reports() {
 #[test]
 fn both_see_the_same_log_volume() {
     let log = AccessLog::new();
-    let open = Server::new(Vfs::default_site(), AccessControl::Open)
-        .with_access_log(log.clone());
+    let open = Server::new(Vfs::default_site(), AccessControl::Open).with_access_log(log.clone());
     let scenario = scenario();
     let total = scenario.items.len();
     let _ = run_scenario(&open, &scenario);

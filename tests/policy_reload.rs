@@ -45,8 +45,7 @@ fn uncached_store_picks_up_edits_immediately() {
     let dir = setup_dir("uncached");
     let system = dir.join("system.eacl");
     std::fs::write(&system, "pos_access_right apache *\n").unwrap();
-    let (server, _services) =
-        gaa_server_over(FilePolicyStore::new().with_system_file(&system));
+    let (server, _services) = gaa_server_over(FilePolicyStore::new().with_system_file(&system));
 
     assert_eq!(get(&server), StatusCode::Ok);
 
@@ -97,9 +96,7 @@ fn per_directory_policy_appears_when_created() {
     let dir = setup_dir("perdir");
     std::fs::create_dir_all(dir.join("docs")).unwrap();
     std::fs::write(dir.join(".eacl"), "pos_access_right apache *\n").unwrap();
-    let (server, _services) = gaa_server_over(
-        FilePolicyStore::new().with_local_root(&dir),
-    );
+    let (server, _services) = gaa_server_over(FilePolicyStore::new().with_local_root(&dir));
     let probe = |srv: &Server| {
         srv.handle(HttpRequest::get("/docs/page1.html").with_client_ip("10.0.0.1"))
             .status

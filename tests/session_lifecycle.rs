@@ -26,10 +26,8 @@ pre_cond accessid USER *
 
 fn build() -> (Server, StandardServices, VirtualClock) {
     let clock = VirtualClock::new();
-    let services = StandardServices::new(
-        Arc::new(clock.clone()),
-        Arc::new(CollectingNotifier::new()),
-    );
+    let services =
+        StandardServices::new(Arc::new(clock.clone()), Arc::new(CollectingNotifier::new()));
     let mut store = MemoryPolicyStore::new();
     store.set_system(vec![parse_eacl(POLICY).unwrap()]);
     let api = register_standard(
@@ -53,7 +51,10 @@ fn login(server: &Server, user: &str, pass: &str) -> (StatusCode, Option<String>
             .with_client_ip("10.0.0.1")
             .with_header(
                 "authorization",
-                &format!("Basic {}", base64_encode(format!("{user}:{pass}").as_bytes())),
+                &format!(
+                    "Basic {}",
+                    base64_encode(format!("{user}:{pass}").as_bytes())
+                ),
             ),
     );
     let cookie = response
@@ -85,7 +86,10 @@ fn cookie_stands_in_for_credentials() {
     assert_eq!(status, StatusCode::Ok);
     let token = cookie.expect("session cookie issued");
     // The cookie alone authenticates subsequent requests.
-    assert_eq!(with_cookie(&server, "/docs/page1.html", &token), StatusCode::Ok);
+    assert_eq!(
+        with_cookie(&server, "/docs/page1.html", &token),
+        StatusCode::Ok
+    );
     // A bogus token does not.
     assert_eq!(
         with_cookie(&server, "/docs/page1.html", "sdeadbeef"),
@@ -102,7 +106,10 @@ fn abuse_terminates_session_and_disables_account() {
     let (server, services, _clock) = build();
     let (_, cookie) = login(&server, "mallory", "evil");
     let token = cookie.unwrap();
-    assert_eq!(with_cookie(&server, "/docs/page1.html", &token), StatusCode::Ok);
+    assert_eq!(
+        with_cookie(&server, "/docs/page1.html", &token),
+        StatusCode::Ok
+    );
 
     // Mallory pokes the private area: denied, logged off, account disabled.
     let status = with_cookie(&server, "/private/passwords.html", &token);

@@ -56,14 +56,25 @@ fn live_requests_over_sockets() {
 
     // Benign GET served.
     let response = send_raw(addr, b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
-    assert!(status_line(&response).contains("200"), "{}", status_line(&response));
+    assert!(
+        status_line(&response).contains("200"),
+        "{}",
+        status_line(&response)
+    );
     assert!(String::from_utf8_lossy(&response).contains("Welcome"));
 
     // The exploit is denied over the wire (loopback traffic, so the client
     // IP recorded for the blacklist is 127.0.0.1).
-    let response =
-        send_raw(addr, b"GET /cgi-bin/phf?Qalias=x HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
-    assert!(status_line(&response).contains("403"), "{}", status_line(&response));
+    let response = send_raw(
+        addr,
+        b"GET /cgi-bin/phf?Qalias=x HTTP/1.1\r\nHost: t\r\n\r\n",
+    )
+    .unwrap();
+    assert!(
+        status_line(&response).contains("403"),
+        "{}",
+        status_line(&response)
+    );
     assert!(services.groups.contains("BadGuys", "127.0.0.1"));
 
     // Now even benign requests from this (blacklisted) client are refused.
@@ -83,7 +94,11 @@ fn post_denied_by_method_policy_over_sockets() {
         b"POST /cgi-bin/search HTTP/1.1\r\ncontent-length: 3\r\n\r\nq=a",
     )
     .unwrap();
-    assert!(status_line(&response).contains("403"), "{}", status_line(&response));
+    assert!(
+        status_line(&response).contains("403"),
+        "{}",
+        status_line(&response)
+    );
     front.stop();
 }
 
@@ -91,7 +106,11 @@ fn post_denied_by_method_policy_over_sockets() {
 fn malformed_wire_bytes_get_400_over_sockets() {
     let (front, _services) = spawn();
     let response = send_raw(front.addr(), b"NONSENSE BYTES\r\n\r\n").unwrap();
-    assert!(status_line(&response).contains("400"), "{}", status_line(&response));
+    assert!(
+        status_line(&response).contains("400"),
+        "{}",
+        status_line(&response)
+    );
     front.stop();
 }
 
@@ -125,7 +144,11 @@ fn basic_auth_works_over_sockets() {
     let auth = base64_encode(b"alice:wonderland");
     let raw = format!("GET /index.html HTTP/1.1\r\nAuthorization: Basic {auth}\r\n\r\n");
     let response = send_raw(front.addr(), raw.as_bytes()).unwrap();
-    assert!(status_line(&response).contains("200"), "{}", status_line(&response));
+    assert!(
+        status_line(&response).contains("200"),
+        "{}",
+        status_line(&response)
+    );
 
     front.stop();
 }

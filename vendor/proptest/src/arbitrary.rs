@@ -1,0 +1,65 @@
+//! `any::<T>()` for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The whole-domain strategy for `Self`.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, `any::<u8>()`, …).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Whole-domain strategy for a primitive type.
+pub struct AnyPrim<T>(PhantomData<T>);
+
+impl<T> Clone for AnyPrim<T> {
+    fn clone(&self) -> Self {
+        AnyPrim(PhantomData)
+    }
+}
+
+impl<T> std::fmt::Debug for AnyPrim<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AnyPrim")
+    }
+}
+
+macro_rules! arbitrary_prim {
+    ($($t:ty => |$rng:ident| $sample:expr;)*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn generate(&self, $rng: &mut TestRng) -> $t {
+                $sample
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrim(PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_prim! {
+    bool => |rng| rng.next_u64() & 1 == 1;
+    u8 => |rng| rng.next_u64() as u8;
+    u16 => |rng| rng.next_u64() as u16;
+    u32 => |rng| rng.next_u64() as u32;
+    u64 => |rng| rng.next_u64();
+    usize => |rng| rng.next_u64() as usize;
+    i8 => |rng| rng.next_u64() as i8;
+    i16 => |rng| rng.next_u64() as i16;
+    i32 => |rng| rng.next_u64() as i32;
+    i64 => |rng| rng.next_u64() as i64;
+    isize => |rng| rng.next_u64() as isize;
+}

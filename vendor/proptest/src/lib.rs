@@ -1,0 +1,187 @@
+//! Offline mini-`proptest`: a deterministic property-testing harness
+//! covering the API surface this workspace uses.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! small but *functional* implementation: strategies really generate random
+//! values (seeded deterministically per test, so failures reproduce), the
+//! `proptest!` macro really loops `ProptestConfig::cases` times, and the
+//! regex-string strategies really sample matching strings for the pattern
+//! subset the tests use. Shrinking is intentionally not implemented — a
+//! failing case prints its inputs via the assertion message instead.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+mod regex_sampler;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-importable surface, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs a property-test body `config.cases` times with freshly generated
+/// inputs. Every test gets its own RNG stream, seeded from its full module
+/// path and name, so runs are reproducible and independent of execution
+/// order.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal muncher for [`proptest!`]: emits one test fn per input item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__cfg.cases {
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Property assertion (stub: plain `assert!`, which aborts the case run).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_bools(x in 1u8..255, b in any::<bool>(), mut y in 0u64..10) {
+            y += 1;
+            prop_assert!((1..255).contains(&x));
+            prop_assert!(b || !b);
+            prop_assert!((1..=10).contains(&y));
+        }
+
+        #[test]
+        fn regex_tokens_match_their_class(
+            s in "[a-z]{1,6}",
+            t in "[A-Za-z*][A-Za-z0-9_*.:-]{0,11}",
+        ) {
+            prop_assert!((1..=6).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(!t.is_empty() && t.len() <= 12);
+        }
+
+        #[test]
+        fn vec_and_option_and_tuples(
+            v in crate::collection::vec((any::<bool>(), "[ab]"), 0..5),
+            o in crate::option::of(0u32..7),
+        ) {
+            prop_assert!(v.len() < 5);
+            for (_, s) in &v {
+                prop_assert!(s == "a" || s == "b");
+            }
+            if let Some(x) = o {
+                prop_assert!(x < 7);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_and_filter(
+            c in prop_oneof![Just('x'), Just('y')],
+            n in (0u32..100).prop_map(|n| n * 2).prop_filter("nonzero", |n| *n > 0),
+        ) {
+            prop_assert!(c == 'x' || c == 'y');
+            prop_assert!(n % 2 == 0 && n > 0);
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf,
+        Node(Vec<Tree>),
+    }
+
+    impl Tree {
+        fn depth(&self) -> u32 {
+            match self {
+                Tree::Leaf => 0,
+                Tree::Node(children) => 1 + children.iter().map(Tree::depth).max().unwrap_or(0),
+            }
+        }
+    }
+
+    fn tree() -> BoxedStrategy<Tree> {
+        Just(Tree::Leaf)
+            .prop_recursive(3, 16, 3, |inner| {
+                crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+            })
+            .boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn recursive_strategies_bound_depth(t in tree()) {
+            prop_assert!(t.depth() <= 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::for_test("seed");
+        let mut b = crate::test_runner::TestRng::for_test("seed");
+        for _ in 0..32 {
+            assert_eq!("\\PC{0,24}".generate(&mut a), "\\PC{0,24}".generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Sampler for regex-string strategies.
+//!
+//! Real proptest compiles the pattern with `regex-syntax` and samples from
+//! its HIR. This vendored version parses the dialect subset the workspace's
+//! tests actually use and generates matching strings:
+//!
+//! * literals, `.`, groups `( … )`
+//! * character classes with ranges, trailing-literal `-`, negation `[^…]`
+//!   and intersection `[ -~&&[^:]]`
+//! * `\PC` (any non-control character)
+//! * quantifiers `{m}`, `{m,n}`, `?`, `*`, `+`
+//!
+//! Unsupported syntax panics with the offending pattern so a new test using
+//! a wider dialect fails loudly rather than generating wrong data.
+
+use crate::test_runner::TestRng;
+
+/// One parsed element plus its repetition bounds.
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+enum Atom {
+    /// A set of candidate characters (classes, `.`, `\PC`'s ASCII core).
+    Class(Vec<char>),
+    /// A non-control character, occasionally multi-byte (for `\PC`).
+    AnyPrintable,
+    /// A literal character.
+    Literal(char),
+    /// A parenthesized sub-pattern.
+    Group(Vec<Piece>),
+}
+
+/// Printable-ASCII universe used for `.`/negation/intersection.
+fn printable_ascii() -> Vec<char> {
+    (0x20u8..=0x7e).map(char::from).collect()
+}
+
+/// Characters occasionally mixed into `\PC` samples to exercise multi-byte
+/// UTF-8 handling.
+const UNICODE_EXTRAS: &[char] = &['é', 'λ', '中', '€', 'Ω', '–', '☃'];
+
+struct Parser<'a> {
+    pattern: &'a str,
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            pattern,
+            chars: pattern.chars().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!(
+            "vendored proptest regex sampler: {what} at offset {} in pattern `{}` \
+             (extend vendor/proptest/src/regex_sampler.rs to support it)",
+            self.pos, self.pattern
+        )
+    }
+
+    /// Parses a sequence of pieces until `end` (or end of input).
+    fn sequence(&mut self, end: Option<char>) -> Vec<Piece> {
+        let mut pieces = Vec::new();
+        loop {
+            match self.peek() {
+                None => {
+                    if end.is_some() {
+                        self.fail("unterminated group");
+                    }
+                    return pieces;
+                }
+                Some(c) if Some(c) == end => {
+                    self.bump();
+                    return pieces;
+                }
+                Some(_) => {
+                    let atom = self.atom();
+                    let (min, max) = self.quantifier();
+                    pieces.push(Piece { atom, min, max });
+                }
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Atom {
+        match self.bump().unwrap() {
+            '[' => Atom::Class(self.class_body()),
+            '(' => Atom::Group(self.sequence(Some(')'))),
+            '.' => Atom::Class(printable_ascii()),
+            '\\' => match self.bump() {
+                Some('P') => match self.bump() {
+                    Some('C') => Atom::AnyPrintable,
+                    _ => self.fail("unsupported \\P category"),
+                },
+                Some(
+                    c @ ('.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '\\' | '|'
+                    | '^' | '$' | '-'),
+                ) => Atom::Literal(c),
+                Some('n') => Atom::Literal('\n'),
+                Some('t') => Atom::Literal('\t'),
+                _ => self.fail("unsupported escape"),
+            },
+            c @ ('|' | '*' | '+' | '?' | '{') => {
+                let _ = c;
+                self.fail("unsupported operator")
+            }
+            c => Atom::Literal(c),
+        }
+    }
+
+    /// Parses a class body after `[`, handling negation, ranges, a trailing
+    /// literal `-`, and `&&[^…]` intersection. Returns the candidate set.
+    fn class_body(&mut self) -> Vec<char> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut set: Vec<char> = Vec::new();
+        loop {
+            match self.bump() {
+                None => self.fail("unterminated character class"),
+                Some(']') => break,
+                Some('&') if self.peek() == Some('&') => {
+                    self.bump();
+                    if self.bump() != Some('[') {
+                        self.fail("`&&` must be followed by a class");
+                    }
+                    let other = self.class_body();
+                    // `&&` binds the rest of the class: expect the outer `]`.
+                    if self.bump() != Some(']') {
+                        self.fail("expected `]` after class intersection");
+                    }
+                    set.retain(|c| other.contains(c));
+                    break;
+                }
+                Some('\\') => match self.bump() {
+                    Some(c) => set.push(c),
+                    None => self.fail("dangling escape in class"),
+                },
+                Some(c) => {
+                    if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                        self.bump();
+                        let hi = self
+                            .bump()
+                            .unwrap_or_else(|| self.fail("unterminated range"));
+                        if (c as u32) > (hi as u32) {
+                            self.fail("inverted class range");
+                        }
+                        for code in (c as u32)..=(hi as u32) {
+                            if let Some(ch) = char::from_u32(code) {
+                                set.push(ch);
+                            }
+                        }
+                    } else {
+                        set.push(c);
+                    }
+                }
+            }
+        }
+        if negated {
+            let mut universe = printable_ascii();
+            universe.retain(|c| !set.contains(c));
+            universe
+        } else {
+            set
+        }
+    }
+
+    /// Parses an optional quantifier; `(1, 1)` when absent.
+    fn quantifier(&mut self) -> (usize, usize) {
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                (0, 1)
+            }
+            Some('*') => {
+                self.bump();
+                (0, 8)
+            }
+            Some('+') => {
+                self.bump();
+                (1, 8)
+            }
+            Some('{') => {
+                self.bump();
+                let min = self.number();
+                match self.bump() {
+                    Some('}') => (min, min),
+                    Some(',') => {
+                        let max = self.number();
+                        if self.bump() != Some('}') {
+                            self.fail("unterminated quantifier");
+                        }
+                        if max < min {
+                            self.fail("inverted quantifier bounds");
+                        }
+                        (min, max)
+                    }
+                    _ => self.fail("malformed quantifier"),
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn number(&mut self) -> usize {
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        digits
+            .parse()
+            .unwrap_or_else(|_| self.fail("expected a number"))
+    }
+}
+
+fn render(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+    for piece in pieces {
+        let reps = rng.usize_in(piece.min, piece.max);
+        for _ in 0..reps {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => {
+                    if set.is_empty() {
+                        panic!("vendored proptest regex sampler: empty character class");
+                    }
+                    out.push(set[rng.usize_in(0, set.len() - 1)]);
+                }
+                Atom::AnyPrintable => {
+                    if rng.chance(0.06) {
+                        out.push(UNICODE_EXTRAS[rng.usize_in(0, UNICODE_EXTRAS.len() - 1)]);
+                    } else {
+                        let ascii = printable_ascii();
+                        out.push(ascii[rng.usize_in(0, ascii.len() - 1)]);
+                    }
+                }
+                Atom::Group(inner) => render(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let pieces = parser.sequence(None);
+    let mut out = String::new();
+    render(&pieces, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample;
+    use crate::test_runner::TestRng;
+
+    fn gen100(pattern: &str) -> Vec<String> {
+        let mut rng = TestRng::for_test(pattern);
+        (0..100).map(|_| sample(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn simple_classes() {
+        for s in gen100("[a-z]{1,6}") {
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn leading_class_plus_tail() {
+        for s in gen100("[A-Za-z*][A-Za-z0-9_*.:-]{0,11}") {
+            let chars: Vec<char> = s.chars().collect();
+            assert!(!chars.is_empty() && chars.len() <= 12, "{s:?}");
+            assert!(chars[0].is_ascii_alphabetic() || chars[0] == '*', "{s:?}");
+            for c in &chars[1..] {
+                assert!(c.is_ascii_alphanumeric() || "_*.:-".contains(*c), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn groups_with_spaces() {
+        for s in gen100("[A-Za-z0-9*/<>=:_.-]{1,8}( [A-Za-z0-9*/<>=:_.-]{1,8}){0,3}") {
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=4).contains(&words.len()), "{s:?}");
+            for w in words {
+                assert!((1..=8).contains(&w.len()), "{s:?}");
+                assert!(!w.contains(' '));
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_with_negation() {
+        for s in gen100("[ -~&&[^:]]{0,24}") {
+            assert!(s.chars().count() <= 24, "{s:?}");
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c) && c != ':', "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn any_printable() {
+        for s in gen100("\\PC{0,24}") {
+            assert!(s.chars().count() <= 24);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_dash_at_class_end() {
+        for s in gen100("[A-Za-z-]{1,12}") {
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic() || c == '-'));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "regex sampler")]
+    fn unsupported_syntax_panics() {
+        let mut rng = TestRng::for_test("x");
+        let _ = sample("a|b", &mut rng);
+    }
+}

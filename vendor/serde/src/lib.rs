@@ -1,0 +1,131 @@
+//! Offline compile-compatibility subset of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its policy and audit
+//! types so they are *declared* serializable (snapshotting and shipping
+//! policies between hosts is a stated direction), but no code path actually
+//! drives a serializer at runtime — the EACL grammar itself is the wire
+//! format. This stub therefore provides the trait shapes (enough for
+//! bounds like `T: Serialize + for<'de> Deserialize<'de>` and for the
+//! derive macros) without any data-format machinery. If a future PR adds a
+//! real format (JSON snapshots etc.), replace this with a full
+//! implementation behind the same trait surface.
+
+// Lets the `::serde`-prefixed code emitted by the derive macros resolve
+// when the derives are used inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A serializer sink (stub: only unit serialization, which is what the
+/// derive emits).
+pub trait Serializer: Sized {
+    /// Successful output type.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Serializes a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can be deserialized from borrowed data with lifetime `'de`.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A deserializer source (stub: carries only the error type).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+}
+
+pub mod ser {
+    //! Serialization error plumbing.
+
+    use std::fmt::Display;
+
+    /// Errors producible by a serializer.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    //! Deserialization error plumbing.
+
+    use std::fmt::Display;
+
+    /// Errors producible by a deserializer.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    pub mod value {
+        //! Plain-value error type (`serde::de::value::Error`).
+
+        use std::fmt;
+
+        /// A deserialization error carrying only a message.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct Error {
+            msg: String,
+        }
+
+        impl fmt::Display for Error {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.msg)
+            }
+        }
+
+        impl std::error::Error for Error {}
+
+        impl super::Error for Error {
+            fn custom<T: fmt::Display>(msg: T) -> Self {
+                Error {
+                    msg: msg.to_string(),
+                }
+            }
+        }
+
+        impl crate::ser::Error for Error {
+            fn custom<T: fmt::Display>(msg: T) -> Self {
+                Error {
+                    msg: msg.to_string(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize, Debug, PartialEq)]
+    struct Point {
+        x: u32,
+        y: u32,
+    }
+
+    #[derive(super::Serialize, super::Deserialize)]
+    enum Shape {
+        #[allow(dead_code)]
+        Dot,
+        #[allow(dead_code)]
+        Line(u8),
+    }
+
+    #[test]
+    fn derived_impls_satisfy_bounds() {
+        fn assert_serde<T: crate::Serialize + for<'de> crate::Deserialize<'de>>() {}
+        assert_serde::<Point>();
+        assert_serde::<Shape>();
+    }
+}

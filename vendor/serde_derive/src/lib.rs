@@ -1,0 +1,74 @@
+//! Stub `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! compile-compatibility `serde`.
+//!
+//! The emitted impls are intentionally trivial (unit serialization, always-
+//! erroring deserialization): the workspace declares serializability on its
+//! types but never drives a serializer at runtime. No `syn`/`quote` — the
+//! type name is extracted by scanning the raw token stream, which is
+//! sufficient because every derive target in this workspace is a plain
+//! non-generic struct or enum (the macro panics loudly otherwise, so a
+//! future generic target fails at its definition site, not mysteriously
+//! downstream).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the identifier following the top-level `struct`/`enum` keyword and
+/// rejects generic targets.
+fn type_name(input: &TokenStream) -> String {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde stub derive: expected type name, found {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "serde stub derive: generic type `{name}` is not supported; \
+                             extend vendor/serde_derive if generics are needed"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde stub derive: no struct or enum found in input")
+}
+
+/// Derives a unit-serializing `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 serializer.serialize_unit()\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde stub derive: generated Serialize impl must parse")
+}
+
+/// Derives an always-erroring `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(_deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
+                     \"vendored serde stub cannot deserialize at runtime\",\n\
+                 ))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde stub derive: generated Deserialize impl must parse")
+}
