@@ -1,0 +1,268 @@
+//! Deployment-level analysis orchestration.
+
+use crate::lint::Lint;
+use crate::passes;
+use crate::snapshot::RegistrySnapshot;
+use crate::source::Source;
+use gaa_eacl::{CompositionMode, PolicyLayer};
+
+/// The composition mode a deployment's system policies resolve to: the
+/// first system EACL that declares one wins, else the `narrow` default —
+/// exactly the rule [`gaa_eacl::ComposedPolicy::compose`] applies at
+/// request time.
+pub fn resolved_mode(system: &[Source]) -> CompositionMode {
+    passes::resolved_mode(system)
+}
+
+/// The whole-deployment static analyzer.
+///
+/// Feed it the system-wide policy sources and the per-object local sources
+/// and it reports [`Lint`]s across five passes:
+///
+/// 1. **syntax** — [`gaa_eacl::validate`] findings folded in per EACL
+///    (`GAA101`/`GAA103`/`GAA104`);
+/// 2. **shadowing** — entries unreachable under ordered first-match
+///    evaluation (`GAA201`), including the composition-aware cross-layer
+///    variants (`GAA202`–`GAA204`);
+/// 3. **MAYBE surface** — conditions no registered evaluator will ever
+///    resolve (`GAA301`), and likely typos of registered names (`GAA302`);
+/// 4. **redirect loops** — adaptive-redirection chains between the
+///    analyzed objects that cycle (`GAA303`);
+/// 5. **completeness** — request-space gaps that silently fall through to
+///    the default deny (`GAA401`).
+///
+/// ```rust
+/// use gaa_analyze::{Analyzer, Source};
+///
+/// let system = Source::parse("system", "eacl_mode stop\npos_access_right apache GET\n")?;
+/// let local = Source::parse("/obj", "neg_access_right apache GET\n")?;
+/// let lints = Analyzer::new().analyze(&[system], &[local]);
+/// // The local deny is dead under `stop` composition.
+/// assert!(lints.iter().any(|l| l.code == "GAA202"));
+/// # Ok::<(), gaa_eacl::ParseEaclError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    snapshot: Option<RegistrySnapshot>,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer::new()
+    }
+}
+
+impl Analyzer {
+    /// An analyzer assuming the standard condition catalog
+    /// ([`RegistrySnapshot::standard`]) is registered.
+    pub fn new() -> Self {
+        Analyzer {
+            snapshot: Some(RegistrySnapshot::standard()),
+        }
+    }
+
+    /// An analyzer checking against an explicit registry snapshot.
+    pub fn with_snapshot(snapshot: RegistrySnapshot) -> Self {
+        Analyzer {
+            snapshot: Some(snapshot),
+        }
+    }
+
+    /// An analyzer with no registry knowledge: the MAYBE-surface pass
+    /// (`GAA301`/`GAA302`) is skipped entirely rather than flagging every
+    /// condition.
+    pub fn without_registry() -> Self {
+        Analyzer { snapshot: None }
+    }
+
+    /// The snapshot this analyzer checks conditions against, if any.
+    pub fn snapshot(&self) -> Option<&RegistrySnapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// Runs the per-source passes (syntax, shadowing, MAYBE surface) on one
+    /// source in isolation — what the policy-store load gate uses, since it
+    /// sees one artifact at a time.
+    pub fn analyze_source(&self, source: &Source, layer: PolicyLayer) -> Vec<Lint> {
+        let mut lints = self.source_passes(source, layer, 0);
+        if layer == PolicyLayer::Local {
+            // A self-loop redirect needs no second source to be wrong.
+            lints.extend(passes::redirect_lints(std::slice::from_ref(source)));
+        }
+        lints
+    }
+
+    /// Runs every pass over a whole deployment: system sources plus one
+    /// source per object's local policy. Lints come back grouped by pass
+    /// (syntax and per-source findings first, then cross-layer, redirect,
+    /// and completeness findings).
+    pub fn analyze(&self, system: &[Source], locals: &[Source]) -> Vec<Lint> {
+        let mut lints = Vec::new();
+        let mut base = 0usize;
+        for source in system {
+            lints.extend(self.source_passes(source, PolicyLayer::System, base));
+            base += source.eacls.len();
+        }
+        let mut base = 0usize;
+        for source in locals {
+            lints.extend(self.source_passes(source, PolicyLayer::Local, base));
+            base += source.eacls.len();
+        }
+        lints.extend(passes::cross_layer_lints(system, locals));
+        lints.extend(passes::redirect_lints(locals));
+        lints.extend(passes::completeness_lints(
+            system,
+            locals,
+            passes::resolved_mode(system),
+        ));
+        lints
+    }
+
+    fn source_passes(&self, source: &Source, layer: PolicyLayer, base: usize) -> Vec<Lint> {
+        let mut lints = passes::syntax_lints(source, layer, base);
+        lints.extend(passes::shadow_lints(source, layer, base));
+        if let Some(snapshot) = &self.snapshot {
+            lints.extend(passes::surface_lints(source, layer, base, snapshot));
+        }
+        lints
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_eacl::PolicyLayer;
+
+    fn src(name: &str, text: &str) -> Source {
+        Source::parse(name, text).unwrap()
+    }
+
+    #[test]
+    fn clean_deployment_has_no_lints() {
+        let system = src(
+            "system",
+            "eacl_mode narrow\n\
+             neg_access_right apache *\n\
+             pre_cond system_threat_level local =high\n\
+             pos_access_right apache *\n",
+        );
+        let local = src(
+            "/index.html",
+            "pos_access_right apache *\npre_cond accessid GROUP staff\n",
+        );
+        let lints = Analyzer::new().analyze(&[system], &[local]);
+        assert!(lints.is_empty(), "unexpected lints: {lints:?}");
+    }
+
+    #[test]
+    fn shadowed_deny_is_an_error_with_location() {
+        let local = src("/x", "pos_access_right * *\nneg_access_right apache GET\n");
+        let lints = Analyzer::new().analyze_source(&local, PolicyLayer::Local);
+        let shadow = lints.iter().find(|l| l.code == "GAA201").unwrap();
+        assert_eq!(shadow.severity, crate::LintSeverity::Error);
+        assert_eq!(shadow.entry, Some(1));
+        assert_eq!(shadow.span.unwrap().line, 2);
+    }
+
+    #[test]
+    fn stop_mode_marks_locals_dead() {
+        let system = src("system", "eacl_mode stop\npos_access_right apache *\n");
+        let local = src("/x", "neg_access_right apache *\n");
+        let lints = Analyzer::new().analyze(&[system], &[local]);
+        assert!(lints.iter().any(|l| l.code == "GAA202"));
+        // The dead deny is not also reported as narrowed/expanded away.
+        assert!(!lints
+            .iter()
+            .any(|l| l.code == "GAA203" || l.code == "GAA204"));
+    }
+
+    #[test]
+    fn narrow_unconditional_system_deny_voids_local_grants() {
+        let system = src("system", "eacl_mode narrow\nneg_access_right apache *\n");
+        let local = src("/x", "pos_access_right apache GET\n");
+        let lints = Analyzer::new().analyze(&[system], &[local]);
+        let lint = lints.iter().find(|l| l.code == "GAA203").unwrap();
+        let pattern = lint.pattern.as_ref().unwrap();
+        assert_eq!(pattern.authority, "apache");
+        assert_eq!(pattern.value, "GET");
+    }
+
+    #[test]
+    fn expand_unconditional_system_grant_voids_local_denies() {
+        let system = src("system", "eacl_mode expand\npos_access_right apache *\n");
+        let local = src("/x", "neg_access_right apache GET\n");
+        let lints = Analyzer::new().analyze(&[system], &[local]);
+        assert!(lints.iter().any(|l| l.code == "GAA204"));
+    }
+
+    #[test]
+    fn expand_grant_with_competing_system_eacl_is_not_flagged() {
+        // A second system EACL matching the same rights can still contribute
+        // NO/MAYBE, so the local deny is not provably ineffective.
+        let mut system = src("system", "eacl_mode expand\npos_access_right apache *\n");
+        let second = src(
+            "system2",
+            "neg_access_right apache *\npre_cond system_threat_level local =high\n",
+        );
+        system.eacls.extend(second.eacls);
+        system.spans.extend(second.spans);
+        let local = src("/x", "neg_access_right apache GET\n");
+        let lints = Analyzer::new().analyze(&[system], &[local]);
+        assert!(!lints.iter().any(|l| l.code == "GAA204"));
+    }
+
+    #[test]
+    fn completeness_gap_reports_deployment_pattern() {
+        let system = src("system", "eacl_mode narrow\npos_access_right apache GET\n");
+        let local = src("/x", "pos_access_right sshd login\n");
+        let lints = Analyzer::new().analyze(&[system], &[local]);
+        // (apache, login), (sshd, GET) and both «other» buckets are gaps.
+        let gaps: Vec<_> = lints.iter().filter(|l| l.code == "GAA401").collect();
+        assert_eq!(gaps.len(), 4);
+        assert!(gaps.iter().all(|l| l.source == "deployment"));
+    }
+
+    #[test]
+    fn without_registry_skips_surface_pass() {
+        let local = src(
+            "/x",
+            "pos_access_right apache *\npre_cond nonsense local 1\n",
+        );
+        let with = Analyzer::new().analyze_source(&local, PolicyLayer::Local);
+        let without = Analyzer::without_registry().analyze_source(&local, PolicyLayer::Local);
+        assert!(with.iter().any(|l| l.code == "GAA301"));
+        assert!(!without.iter().any(|l| l.code.starts_with("GAA30")));
+    }
+
+    #[test]
+    fn typo_gets_a_suggestion() {
+        let local = src(
+            "/x",
+            "pos_access_right apache *\npre_cond acessid USER alice\n",
+        );
+        let lints = Analyzer::new().analyze_source(&local, PolicyLayer::Local);
+        let typo = lints.iter().find(|l| l.code == "GAA302").unwrap();
+        assert!(typo.suggestion.as_ref().unwrap().contains("accessid"));
+    }
+
+    #[test]
+    fn redirect_self_loop_found_in_single_source() {
+        let local = src(
+            "/obj",
+            "pos_access_right apache *\npre_cond redirect local http://replica.example.org/obj\n",
+        );
+        let lints = Analyzer::new().analyze_source(&local, PolicyLayer::Local);
+        assert!(lints.iter().any(|l| l.code == "GAA303"));
+    }
+
+    #[test]
+    fn local_eacl_indexes_are_layer_global() {
+        let a = src("/a", "pos_access_right apache *\n");
+        let b = src("/b", "pos_access_right * *\npos_access_right apache GET\n");
+        let lints = Analyzer::new().analyze(&[], &[a, b]);
+        let shadow = lints.iter().find(|l| l.code == "GAA201").unwrap();
+        // /b's first (and only) EACL is index 1 in the layer-wide list.
+        assert_eq!(shadow.eacl, Some(1));
+        assert_eq!(shadow.source, "/b");
+    }
+}

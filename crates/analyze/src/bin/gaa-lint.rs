@@ -1,0 +1,166 @@
+//! `gaa-lint` — lint an EACL deployment from the command line.
+//!
+//! ```text
+//! gaa-lint [--json] [--deny-warnings] [--differential] [--seed N]
+//!          [--no-default-registry] [--system FILE]... FILE...
+//! ```
+//!
+//! Plain `FILE` arguments are object-local policies (the object name is
+//! `/` + the file stem, so `phf.eacl` analyzes as object `/phf`);
+//! `--system FILE` names system-wide policy files. Exit status: `0` clean
+//! (or warnings without `--deny-warnings`), `1` findings at or above the
+//! failing threshold, `2` usage or I/O errors.
+
+use gaa_analyze::{
+    differential_check, max_severity, render_human, render_json, Analyzer, LintSeverity,
+    RegistrySnapshot, Source,
+};
+use std::path::Path;
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    deny_warnings: bool,
+    differential: bool,
+    seed: u64,
+    default_registry: bool,
+    system_files: Vec<String>,
+    local_files: Vec<String>,
+}
+
+const USAGE: &str = "usage: gaa-lint [--json] [--deny-warnings] [--differential] [--seed N] \
+                     [--no-default-registry] [--system FILE]... FILE...";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        json: false,
+        deny_warnings: false,
+        differential: false,
+        seed: 0,
+        default_registry: true,
+        system_files: Vec::new(),
+        local_files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => options.json = true,
+            "--deny-warnings" => options.deny_warnings = true,
+            "--differential" => options.differential = true,
+            "--seed" => {
+                let value = it.next().ok_or("--seed needs a value")?;
+                options.seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid --seed value `{value}`"))?;
+            }
+            "--no-default-registry" => options.default_registry = false,
+            "--system" => {
+                let file = it.next().ok_or("--system needs a file argument")?;
+                options.system_files.push(file.clone());
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
+            file => options.local_files.push(file.to_string()),
+        }
+    }
+    if options.system_files.is_empty() && options.local_files.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(options)
+}
+
+/// The object name a local policy file stands for: `/` + file stem.
+fn object_name(file: &str) -> String {
+    let stem = Path::new(file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| file.to_string());
+    format!("/{stem}")
+}
+
+fn load(name: String, file: &str) -> Result<Source, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("gaa-lint: {file}: {e}"))?;
+    Source::parse(name, &text).map_err(|e| format!("gaa-lint: {file}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut system = Vec::new();
+    for file in &options.system_files {
+        match load("system".to_string(), file) {
+            Ok(source) => system.push(source),
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut locals = Vec::new();
+    for file in &options.local_files {
+        match load(object_name(file), file) {
+            Ok(source) => locals.push(source),
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let analyzer = if options.default_registry {
+        Analyzer::new()
+    } else {
+        Analyzer::without_registry()
+    };
+    let lints = analyzer.analyze(&system, &locals);
+
+    if options.json {
+        println!("{}", render_json(&lints));
+    } else {
+        print!("{}", render_human(&lints));
+    }
+
+    if options.differential {
+        let snapshot = analyzer
+            .snapshot()
+            .cloned()
+            .unwrap_or_else(RegistrySnapshot::default);
+        let report = differential_check(&system, &locals, &snapshot, &lints, options.seed);
+        if !options.json {
+            eprintln!(
+                "differential: {} claims checked over {} assignments{} ({} requests)",
+                report.lints_checked,
+                report.assignments,
+                if report.exhaustive {
+                    " (exhaustive)"
+                } else {
+                    " (sampled)"
+                },
+                report.requests
+            );
+        }
+        if !report.is_consistent() {
+            for violation in &report.violations {
+                eprintln!("differential violation: {violation}");
+            }
+            return ExitCode::from(1);
+        }
+    }
+
+    let failing = if options.deny_warnings {
+        LintSeverity::Warning
+    } else {
+        LintSeverity::Error
+    };
+    match max_severity(&lints) {
+        Some(worst) if worst >= failing => ExitCode::from(1),
+        _ => ExitCode::SUCCESS,
+    }
+}

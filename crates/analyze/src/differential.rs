@@ -1,0 +1,508 @@
+//! Differential checking: replay the analyzer's reachability claims against
+//! the real `gaa-core` evaluator.
+//!
+//! The semantic passes prove their claims against a *model* of the runtime
+//! (first-match entry selection, guard-NO fall-through, the three
+//! composition modes). This harness closes the loop: it builds an actual
+//! [`GaaApi`] over the analyzed deployment, drives every registered
+//! pre-condition as an independent boolean, enumerates a small request
+//! alphabet drawn from the deployment's own vocabulary, and asserts each
+//! lint's runtime claim on every `(assignment, object, right)` triple:
+//!
+//! * `GAA201`/`GAA202` — the shadowed entry (or any local entry) never
+//!   appears in [`AuthorizationResult::applied`];
+//! * `GAA203` — every matching request's final status is NO;
+//! * `GAA204` — every matching request's authorization status is YES;
+//! * `GAA401` — the gap right applies no entry and falls to default deny.
+//!
+//! The check is **one-sided**: it can refute an unsound lint, not prove the
+//! analyzer found everything. Condition assignments are exhaustive when the
+//! deployment has at most [`EXHAUSTIVE_LIMIT`] registered pre-condition
+//! triples, otherwise a fixed number of seeded samples — never wall-clock
+//! dependent.
+//!
+//! [`GaaApi`]: gaa_core::GaaApi
+
+use crate::lint::{Lint, OTHER_VALUE};
+use crate::snapshot::RegistrySnapshot;
+use crate::source::Source;
+use gaa_audit::VirtualClock;
+use gaa_core::{
+    AuthorizationResult, EvalDecision, EvalEnv, GaaApiBuilder, MemoryPolicyStore, RightPattern,
+    SecurityContext, REDIRECT_COND_TYPE,
+};
+use gaa_eacl::PolicyLayer;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Deployments with at most this many registered pre-condition triples are
+/// checked over **all** `2^k` truth assignments.
+pub const EXHAUSTIVE_LIMIT: usize = 12;
+
+/// Seeded sample count used beyond [`EXHAUSTIVE_LIMIT`].
+pub const SAMPLED_ASSIGNMENTS: usize = 4096;
+
+/// Request token standing in for "any authority/value the deployment never
+/// names" when enumerating the request alphabet.
+const OTHER_TOKEN: &str = OTHER_VALUE;
+
+/// Outcome of a [`differential_check`] run.
+#[derive(Debug, Clone)]
+pub struct DifferentialReport {
+    /// Lints that carried a checkable runtime claim.
+    pub lints_checked: usize,
+    /// Truth assignments exercised.
+    pub assignments: usize,
+    /// Whether the assignment space was covered exhaustively.
+    pub exhaustive: bool,
+    /// Total `check_authorization` calls made.
+    pub requests: usize,
+    /// Human-readable descriptions of every claim the runtime refuted.
+    /// Empty means the analyzer and the evaluator agree.
+    pub violations: Vec<String>,
+}
+
+impl DifferentialReport {
+    /// True when no lint claim was refuted by the evaluator.
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A lint's runtime claim, pre-resolved to evaluator coordinates.
+enum Claim<'a> {
+    /// This (layer, eacl, entry) never appears in `applied()`; `object`
+    /// restricts the check to one object's composed policy.
+    NeverApplied {
+        lint: &'a Lint,
+        object: Option<&'a str>,
+        layer: PolicyLayer,
+        eacl: usize,
+        entry: usize,
+    },
+    /// No local-layer entry ever applies for this object (`GAA202`).
+    NoLocalApplied { lint: &'a Lint, object: &'a str },
+    /// Every request matching the pattern ends with final status NO
+    /// (`GAA203`).
+    StatusNo { lint: &'a Lint, object: &'a str },
+    /// Every request matching the pattern has authorization status YES
+    /// (`GAA204`).
+    AuthorizationYes { lint: &'a Lint, object: &'a str },
+    /// The gap right applies no entry anywhere and defaults to deny
+    /// (`GAA401`); `value` has [`OTHER_VALUE`] already mapped to the
+    /// request token.
+    Gap {
+        lint: &'a Lint,
+        authority: &'a str,
+        value: String,
+    },
+}
+
+fn pattern_matches(pattern: &RightPattern, authority: &str, value: &str) -> bool {
+    (pattern.authority == "*" || pattern.authority == authority)
+        && (pattern.value == "*" || pattern.value == value)
+}
+
+/// Replays `lints` (as produced by [`crate::Analyzer::analyze`] on the same
+/// `system`/`locals`) against a real evaluator built from `snapshot`.
+/// `seed` drives the sampled-assignment fallback; exhaustive runs ignore it.
+pub fn differential_check(
+    system: &[Source],
+    locals: &[Source],
+    snapshot: &RegistrySnapshot,
+    lints: &[Lint],
+    seed: u64,
+) -> DifferentialReport {
+    // --- the deployment's vocabulary ---
+    let all_entries: Vec<_> = system
+        .iter()
+        .chain(locals.iter())
+        .flat_map(|s| s.eacls.iter())
+        .flat_map(|e| e.entries.iter())
+        .collect();
+
+    let mut authorities: BTreeSet<String> = all_entries
+        .iter()
+        .map(|e| e.right.authority.clone())
+        .filter(|a| a != "*")
+        .collect();
+    authorities.insert(OTHER_TOKEN.to_string());
+    let mut values: BTreeSet<String> = all_entries
+        .iter()
+        .map(|e| e.right.value.clone())
+        .filter(|v| v != "*")
+        .collect();
+    values.insert(OTHER_TOKEN.to_string());
+    let alphabet: Vec<(String, String)> = authorities
+        .iter()
+        .flat_map(|a| values.iter().map(move |v| (a.clone(), v.clone())))
+        .collect();
+
+    // Registered pre-condition triples become independent booleans.
+    let triples: Vec<(String, String, String)> = all_entries
+        .iter()
+        .flat_map(|e| e.pre.iter())
+        .filter(|c| {
+            c.cond_type != REDIRECT_COND_TYPE && snapshot.is_registered(&c.cond_type, &c.authority)
+        })
+        .map(|c| (c.cond_type.clone(), c.authority.clone(), c.value.clone()))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    // --- the real evaluator ---
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(
+        system
+            .iter()
+            .flat_map(|s| s.eacls.iter().cloned())
+            .collect(),
+    );
+    for source in locals {
+        store.set_local(&source.name, source.eacls.clone());
+    }
+
+    type Assignment = HashMap<(String, String, String), bool>;
+    let assignment: Arc<Mutex<Assignment>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut builder = GaaApiBuilder::new(Arc::new(store)).with_clock(Arc::new(VirtualClock::new()));
+    let keys: BTreeSet<(String, String)> = triples
+        .iter()
+        .map(|(t, a, _)| (t.clone(), a.clone()))
+        .collect();
+    for (cond_type, authority) in keys {
+        let map = Arc::clone(&assignment);
+        let (t, a) = (cond_type.clone(), authority.clone());
+        builder = builder.register(
+            cond_type,
+            authority,
+            move |value: &str, _env: &EvalEnv<'_>| {
+                let met = map
+                    .lock()
+                    .get(&(t.clone(), a.clone(), value.to_string()))
+                    .copied()
+                    .unwrap_or(true);
+                if met {
+                    EvalDecision::Met
+                } else {
+                    EvalDecision::NotMet
+                }
+            },
+        );
+    }
+    let api = builder.build();
+
+    // Per-object composed policies (composition is assignment-independent).
+    let objects: Vec<String> = if locals.is_empty() {
+        vec![OTHER_TOKEN.to_string()]
+    } else {
+        locals.iter().map(|s| s.name.clone()).collect()
+    };
+    let policies: Vec<_> = objects
+        .iter()
+        .map(|o| {
+            api.get_object_policy_info(o)
+                .expect("memory store cannot fail")
+        })
+        .collect();
+
+    // Local EACL index base per source (lints index the layer-wide list).
+    let mut local_base: HashMap<&str, usize> = HashMap::new();
+    let mut base = 0usize;
+    for source in locals {
+        local_base.insert(source.name.as_str(), base);
+        base += source.eacls.len();
+    }
+
+    // --- resolve lint claims ---
+    let mut claims: Vec<Claim<'_>> = Vec::new();
+    for lint in lints {
+        match lint.code {
+            "GAA201" => {
+                let (Some(layer), Some(eacl), Some(entry)) = (lint.layer, lint.eacl, lint.entry)
+                else {
+                    continue;
+                };
+                let (object, eacl) = match layer {
+                    PolicyLayer::System => (None, eacl),
+                    PolicyLayer::Local => {
+                        let Some(b) = local_base.get(lint.source.as_str()) else {
+                            continue;
+                        };
+                        (Some(lint.source.as_str()), eacl - b)
+                    }
+                };
+                claims.push(Claim::NeverApplied {
+                    lint,
+                    object,
+                    layer,
+                    eacl,
+                    entry,
+                });
+            }
+            "GAA202" => claims.push(Claim::NoLocalApplied {
+                lint,
+                object: &lint.source,
+            }),
+            "GAA203" if lint.pattern.is_some() => claims.push(Claim::StatusNo {
+                lint,
+                object: &lint.source,
+            }),
+            "GAA204" if lint.pattern.is_some() => claims.push(Claim::AuthorizationYes {
+                lint,
+                object: &lint.source,
+            }),
+            "GAA401" => {
+                let Some(pattern) = &lint.pattern else {
+                    continue;
+                };
+                claims.push(Claim::Gap {
+                    lint,
+                    authority: &pattern.authority,
+                    value: if pattern.value == OTHER_VALUE {
+                        OTHER_TOKEN.to_string()
+                    } else {
+                        pattern.value.clone()
+                    },
+                });
+            }
+            _ => {} // syntax tier, MAYBE surface, redirect loops: no runtime claim
+        }
+    }
+
+    // --- the assignment space ---
+    let exhaustive = triples.len() <= EXHAUSTIVE_LIMIT;
+    let total_assignments = if exhaustive {
+        1usize << triples.len()
+    } else {
+        SAMPLED_ASSIGNMENTS
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let ctx = SecurityContext::new();
+    let mut requests = 0usize;
+    let mut violations: Vec<String> = Vec::new();
+    let mut violated = vec![false; claims.len()];
+
+    for index in 0..total_assignments {
+        {
+            let mut map = assignment.lock();
+            map.clear();
+            for (bit, triple) in triples.iter().enumerate() {
+                let met = if exhaustive {
+                    index >> bit & 1 == 1
+                } else {
+                    rng.gen::<bool>()
+                };
+                map.insert(triple.clone(), met);
+            }
+        }
+        for (object, policy) in objects.iter().zip(&policies) {
+            for (authority, value) in &alphabet {
+                let right = RightPattern::new(authority.clone(), value.clone());
+                let result = api.check_authorization(policy, &right, &ctx);
+                requests += 1;
+                for (ci, claim) in claims.iter().enumerate() {
+                    if violated[ci] {
+                        continue;
+                    }
+                    if let Some(report) = refute(claim, object, authority, value, &result, index) {
+                        violated[ci] = true;
+                        violations.push(report);
+                    }
+                }
+            }
+        }
+    }
+
+    DifferentialReport {
+        lints_checked: claims.len(),
+        assignments: total_assignments,
+        exhaustive,
+        requests,
+        violations,
+    }
+}
+
+/// Returns a violation description when `result` refutes `claim` for this
+/// `(object, right)` evaluation, `None` when the claim holds here.
+fn refute(
+    claim: &Claim<'_>,
+    object: &str,
+    authority: &str,
+    value: &str,
+    result: &AuthorizationResult,
+    assignment: usize,
+) -> Option<String> {
+    match claim {
+        Claim::NeverApplied {
+            lint,
+            object: scope,
+            layer,
+            eacl,
+            entry,
+        } => {
+            if scope.is_some_and(|s| s != object) {
+                return None;
+            }
+            let hit = result
+                .applied()
+                .iter()
+                .any(|a| a.layer == *layer && a.eacl_index == *eacl && a.entry_index == *entry);
+            hit.then(|| {
+                format!(
+                    "{}: entry claimed unreachable applied for right `{authority} {value}` \
+                     on `{object}` (assignment {assignment}): {}",
+                    lint.code, lint.message
+                )
+            })
+        }
+        Claim::NoLocalApplied { lint, object: o } => {
+            if *o != object {
+                return None;
+            }
+            let hit = result
+                .applied()
+                .iter()
+                .any(|a| a.layer == PolicyLayer::Local);
+            hit.then(|| {
+                format!(
+                    "{}: local entry applied under `stop` composition for right \
+                     `{authority} {value}` on `{object}` (assignment {assignment})",
+                    lint.code
+                )
+            })
+        }
+        Claim::StatusNo { lint, object: o } => {
+            let pattern = lint.pattern.as_ref()?;
+            if *o != object || !pattern_matches(pattern, authority, value) {
+                return None;
+            }
+            (!result.status().is_no()).then(|| {
+                format!(
+                    "{}: status {} (expected NO) for right `{authority} {value}` on \
+                     `{object}` (assignment {assignment}): {}",
+                    lint.code,
+                    result.status(),
+                    lint.message
+                )
+            })
+        }
+        Claim::AuthorizationYes { lint, object: o } => {
+            let pattern = lint.pattern.as_ref()?;
+            if *o != object || !pattern_matches(pattern, authority, value) {
+                return None;
+            }
+            (!result.authorization_status().is_yes()).then(|| {
+                format!(
+                    "{}: authorization status {} (expected YES) for right \
+                     `{authority} {value}` on `{object}` (assignment {assignment}): {}",
+                    lint.code,
+                    result.authorization_status(),
+                    lint.message
+                )
+            })
+        }
+        Claim::Gap {
+            lint,
+            authority: a,
+            value: v,
+        } => {
+            if *a != authority || v != value {
+                return None;
+            }
+            (!result.applied().is_empty() || !result.status().is_no()).then(|| {
+                format!(
+                    "{}: gap right `{authority} {value}` applied {} entries with status {} \
+                     on `{object}` (assignment {assignment})",
+                    lint.code,
+                    result.applied().len(),
+                    result.status()
+                )
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::Analyzer;
+
+    fn src(name: &str, text: &str) -> Source {
+        Source::parse(name, text).unwrap()
+    }
+
+    #[test]
+    fn section_7_2_style_deployment_is_consistent() {
+        // Mirrors the paper's §7.2 deployment: a system-wide CGI-exploit
+        // screen plus per-object local policies.
+        let system = src(
+            "system",
+            "eacl_mode narrow\n\
+             neg_access_right apache *\n\
+             pre_cond regex gnu *phf* *test-cgi*\n\
+             rr_cond notify local on:failure/sysadmin\n\
+             pos_access_right apache *\n",
+        );
+        let phf = src(
+            "/cgi-bin/phf",
+            "neg_access_right apache *\npre_cond accessid GROUP BadGuys\n\
+             pos_access_right apache *\n",
+        );
+        let index = src("/index.html", "pos_access_right apache *\n");
+        let snapshot = RegistrySnapshot::standard();
+        let lints = Analyzer::with_snapshot(snapshot.clone())
+            .analyze(std::slice::from_ref(&system), &[phf.clone(), index.clone()]);
+        let report = differential_check(&[system], &[phf, index], &snapshot, &lints, 7);
+        assert!(report.exhaustive);
+        assert!(
+            report.is_consistent(),
+            "violations: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn refutes_a_fabricated_claim() {
+        // A hand-forged GAA203 on a grant the system does NOT deny must be
+        // caught — this is the harness's own soundness check.
+        let system = src("system", "eacl_mode narrow\npos_access_right apache *\n");
+        let local = src("/x", "pos_access_right apache GET\n");
+        let bogus = Lint::new(
+            "GAA203",
+            crate::LintSeverity::Warning,
+            "/x",
+            "fabricated".into(),
+        )
+        .at(PolicyLayer::Local, 0, Some(0), None)
+        .with_pattern(RightPattern::new("apache", "GET"));
+        let snapshot = RegistrySnapshot::standard();
+        let report = differential_check(&[system], &[local], &snapshot, &[bogus], 7);
+        assert_eq!(report.lints_checked, 1);
+        assert!(!report.is_consistent());
+    }
+
+    #[test]
+    fn real_lints_survive_on_a_defective_deployment() {
+        let system = src("system", "eacl_mode narrow\nneg_access_right apache *\n");
+        let local = src(
+            "/x",
+            "pos_access_right apache GET\npos_access_right sshd login\n",
+        );
+        let snapshot = RegistrySnapshot::standard();
+        let lints = Analyzer::with_snapshot(snapshot.clone())
+            .analyze(std::slice::from_ref(&system), std::slice::from_ref(&local));
+        assert!(lints.iter().any(|l| l.code == "GAA203"));
+        assert!(lints.iter().any(|l| l.code == "GAA401"));
+        let report = differential_check(&[system], &[local], &snapshot, &lints, 11);
+        assert!(
+            report.is_consistent(),
+            "violations: {:?}",
+            report.violations
+        );
+        assert!(report.lints_checked >= 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! The policy-store load gate: refuse to serve defective policies.
+//!
+//! [`gaa_core::GatedPolicyStore`] takes an opaque callback so `gaa-core`
+//! never depends on this crate; [`lint_gate`] is the canonical callback —
+//! it runs the per-source passes (syntax, shadowing, MAYBE surface, local
+//! redirect self-loops) on every artifact the store hands out and vetoes
+//! those at or above a severity threshold.
+
+use crate::analyzer::Analyzer;
+use crate::lint::{max_severity, LintSeverity};
+use crate::source::Source;
+use gaa_core::PolicyGate;
+use gaa_eacl::{Eacl, PolicyLayer};
+use std::sync::Arc;
+
+/// Builds a [`PolicyGate`] that lints each policy source as it is loaded.
+///
+/// By convention (shared with [`gaa_core::GatedPolicyStore`]) the system
+/// layer is gated under the source name `"system"`; any other name is an
+/// object's local policy. `deny_warnings` lowers the veto threshold from
+/// [`LintSeverity::Error`] to [`LintSeverity::Warning`].
+///
+/// Only the per-source passes run here — the gate sees one artifact at a
+/// time, so deployment-wide findings (cross-layer shadowing, completeness)
+/// belong to `gaa-lint` / [`Analyzer::analyze`], not the load path.
+pub fn lint_gate(analyzer: Analyzer, deny_warnings: bool) -> PolicyGate {
+    let threshold = if deny_warnings {
+        LintSeverity::Warning
+    } else {
+        LintSeverity::Error
+    };
+    Arc::new(move |source_name: &str, eacls: &[Eacl]| {
+        let layer = if source_name == "system" {
+            PolicyLayer::System
+        } else {
+            PolicyLayer::Local
+        };
+        let source = Source::from_eacls(source_name, eacls.to_vec());
+        let lints = analyzer.analyze_source(&source, layer);
+        match max_severity(&lints) {
+            Some(worst) if worst >= threshold => {
+                let shown: Vec<String> = lints
+                    .iter()
+                    .filter(|l| l.severity >= threshold)
+                    .map(|l| format!("{}: {}", l.code, l.message))
+                    .collect();
+                Err(shown.join("; "))
+            }
+            _ => Ok(()),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_core::{GatedPolicyStore, MemoryPolicyStore, PolicyError, PolicyStore};
+    use gaa_eacl::parse_eacl;
+    use std::sync::Arc;
+
+    fn store_with(local: &str) -> MemoryPolicyStore {
+        let mut store = MemoryPolicyStore::new();
+        store.set_local("/x", vec![parse_eacl(local).unwrap()]);
+        store
+    }
+
+    #[test]
+    fn gate_passes_clean_policies() {
+        let store = store_with("pos_access_right apache *\npre_cond accessid USER alice\n");
+        let gated = GatedPolicyStore::new(Arc::new(store), lint_gate(Analyzer::new(), false));
+        assert_eq!(gated.local_policies("/x").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn gate_rejects_error_lints_with_codes() {
+        // A shadowed deny is a GAA201 error.
+        let store = store_with("pos_access_right * *\nneg_access_right apache GET\n");
+        let gated = GatedPolicyStore::new(Arc::new(store), lint_gate(Analyzer::new(), false));
+        let err = gated.local_policies("/x").unwrap_err();
+        match err {
+            PolicyError::Rejected {
+                source_name,
+                reason,
+            } => {
+                assert_eq!(source_name, "/x");
+                assert!(reason.contains("GAA201"), "reason: {reason}");
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deny_warnings_lowers_the_threshold() {
+        // An unregistered (but not typo'd) condition is only a warning.
+        let store = store_with("pos_access_right apache *\npre_cond nonsense local 1\n");
+        let lenient = GatedPolicyStore::new(
+            Arc::new(store_with(
+                "pos_access_right apache *\npre_cond nonsense local 1\n",
+            )),
+            lint_gate(Analyzer::new(), false),
+        );
+        assert!(lenient.local_policies("/x").is_ok());
+        let strict = GatedPolicyStore::new(Arc::new(store), lint_gate(Analyzer::new(), true));
+        let err = strict.local_policies("/x").unwrap_err();
+        assert!(matches!(err, PolicyError::Rejected { .. }));
+    }
+}

@@ -1,0 +1,60 @@
+//! # gaa-analyze — composition-aware static analysis for EACL deployments
+//!
+//! The paper (§2) calls for "an automated tool to ensure policy correctness
+//! and consistency" and leaves it to future work. `gaa-eacl`'s
+//! [`validate`](gaa_eacl::validate) module covers the per-EACL syntax tier;
+//! this crate is the rest of that tool: a **whole-deployment** analyzer
+//! that understands the §2.1 composition modes (`expand` / `narrow` /
+//! `stop`), the runtime's first-match + guard-fall-through entry selection,
+//! and the registered condition catalog.
+//!
+//! ## Pieces
+//!
+//! * [`Analyzer`] — runs the passes over named [`Source`]s and returns
+//!   [`Lint`]s with stable `GAA0xx` codes (catalog on [`Lint`]);
+//! * [`RegistrySnapshot`] — the condition-evaluator vocabulary the
+//!   MAYBE-surface pass checks against;
+//! * [`render_human`] / [`render_json`] — report renderers (the JSON one is
+//!   hand-written; the workspace carries no `serde_json`);
+//! * [`differential_check`] — replays every reachability lint against a
+//!   real `gaa-core` evaluator over enumerated request/condition spaces;
+//! * [`lint_gate`] — the [`gaa_core::GatedPolicyStore`] callback that makes
+//!   the server refuse to load Error-level policies;
+//! * the `gaa-lint` binary — the command-line front end.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use gaa_analyze::{Analyzer, Source};
+//!
+//! # fn main() -> Result<(), gaa_eacl::ParseEaclError> {
+//! let system = Source::parse("system", "eacl_mode narrow\nneg_access_right apache *\n")?;
+//! let local = Source::parse("/index.html", "pos_access_right apache GET\n")?;
+//! let lints = Analyzer::new().analyze(&[system], &[local]);
+//! // The unconditional system-wide deny voids the local grant under `narrow`.
+//! assert!(lints.iter().any(|l| l.code == "GAA203"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+mod analyzer;
+mod differential;
+mod gate;
+mod lint;
+mod passes;
+mod render;
+mod snapshot;
+mod source;
+
+pub use analyzer::{resolved_mode, Analyzer};
+pub use differential::{
+    differential_check, DifferentialReport, EXHAUSTIVE_LIMIT, SAMPLED_ASSIGNMENTS,
+};
+pub use gate::lint_gate;
+pub use lint::{max_severity, Lint, LintSeverity, OTHER_VALUE};
+pub use render::{render_human, render_json, summary};
+pub use snapshot::RegistrySnapshot;
+pub use source::Source;

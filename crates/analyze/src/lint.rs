@@ -1,0 +1,200 @@
+//! The finding model: stable lint codes, severities, and locations.
+
+use gaa_eacl::{PolicyLayer, RightPattern, Span};
+use std::fmt;
+
+/// Sentinel value used in a [`Lint::pattern`] to mean "any right value not
+/// concretely named by the deployment's entries" (the completeness pass's
+/// residual bucket).
+pub const OTHER_VALUE: &str = "«other»";
+
+/// How serious a finding is.
+///
+/// Ordered `Note < Warning < Error`, so `lints.iter().map(|l| l.severity).max()`
+/// yields the gate-relevant worst case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintSeverity {
+    /// Informational: worth knowing, never actionable on its own.
+    Note,
+    /// Probably a mistake, but the policy still means *something* coherent.
+    Warning,
+    /// The policy cannot mean what it says (dead deny, typo'd condition):
+    /// the load gate refuses these by default.
+    Error,
+}
+
+impl fmt::Display for LintSeverity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LintSeverity::Note => "note",
+            LintSeverity::Warning => "warning",
+            LintSeverity::Error => "error",
+        })
+    }
+}
+
+/// One analyzer finding.
+///
+/// ## Lint catalog
+///
+/// | code | severity | meaning |
+/// |---|---|---|
+/// | `GAA101` | warning | policy has no entries (everything falls to the default) |
+/// | `GAA103` | warning | exact duplicate of an earlier entry |
+/// | `GAA104` | error | unconditional deny-everything entry first (constant deny) |
+/// | `GAA201` | warn/error | entry shadowed by an earlier entry (pattern and guard subsumed); error when polarities differ |
+/// | `GAA202` | warning | local policy dead: system composition mode is `stop` |
+/// | `GAA203` | warning | local entry ineffective: `narrow`-mode system entry unconditionally denies everything it could match |
+/// | `GAA204` | warning | local deny ineffective: `expand`-mode system entry unconditionally grants everything it could match |
+/// | `GAA301` | warning | condition has no registered evaluator — always `MAYBE` at request time |
+/// | `GAA302` | error | unknown condition type/authority close to a registered name (likely typo) |
+/// | `GAA303` | error | redirect chain loops between objects |
+/// | `GAA401` | warning | request-space gap: no entry matches, silent default-deny |
+///
+/// `GAA101`/`GAA103`/`GAA104` are folded in from the syntax tier
+/// ([`gaa_eacl::validate`]); `GAA102`, that tier's unreachability check, is
+/// superseded here by the more precise `GAA201` and never emitted by the
+/// analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Stable code, e.g. `"GAA201"`.
+    pub code: &'static str,
+    /// Severity tier.
+    pub severity: LintSeverity,
+    /// Name of the policy source the finding is anchored in (`"system"`, an
+    /// object path, a file name) — or `"deployment"` for whole-deployment
+    /// findings such as completeness gaps.
+    pub source: String,
+    /// Which layer the finding's EACL belongs to, when entry-anchored.
+    pub layer: Option<PolicyLayer>,
+    /// EACL index **within its layer's concatenated list** (the order the
+    /// runtime consults them), when entry-anchored.
+    pub eacl: Option<usize>,
+    /// Entry index within the EACL (0-based, as in
+    /// [`gaa_eacl::validate::Finding`]), when entry-anchored.
+    pub entry: Option<usize>,
+    /// Byte/line span in the source text, when the source was parsed from
+    /// text (absent for findings on programmatically built policies).
+    pub span: Option<Span>,
+    /// The right pattern the finding's runtime claim quantifies over:
+    /// the ineffective entry's pattern for `GAA202`–`GAA204`, the gap
+    /// pattern for `GAA401` (value may be [`OTHER_VALUE`]). Wildcards (`*`)
+    /// are allowed in either position. This is what the differential harness
+    /// replays against the real evaluator.
+    pub pattern: Option<RightPattern>,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// Actionable fix hint (`did you mean …`), when one exists.
+    pub suggestion: Option<String>,
+}
+
+impl Lint {
+    pub(crate) fn new(
+        code: &'static str,
+        severity: LintSeverity,
+        source: &str,
+        message: String,
+    ) -> Self {
+        Lint {
+            code,
+            severity,
+            source: source.to_string(),
+            layer: None,
+            eacl: None,
+            entry: None,
+            span: None,
+            pattern: None,
+            message,
+            suggestion: None,
+        }
+    }
+
+    pub(crate) fn at(
+        mut self,
+        layer: PolicyLayer,
+        eacl: usize,
+        entry: Option<usize>,
+        span: Option<Span>,
+    ) -> Self {
+        self.layer = Some(layer);
+        self.eacl = Some(eacl);
+        self.entry = entry;
+        self.span = span;
+        self
+    }
+
+    pub(crate) fn with_pattern(mut self, pattern: RightPattern) -> Self {
+        self.pattern = Some(pattern);
+        self
+    }
+
+    pub(crate) fn with_suggestion(mut self, suggestion: String) -> Self {
+        self.suggestion = Some(suggestion);
+        self
+    }
+}
+
+impl fmt::Display for Lint {
+    /// `severity[code]: source: [line N:] [eacl E entry M:] message`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}: ", self.severity, self.code, self.source)?;
+        if let Some(span) = self.span {
+            write!(f, "{span}: ")?;
+        }
+        if let (Some(eacl), Some(entry)) = (self.eacl, self.entry) {
+            write!(f, "eacl {eacl} entry {entry}: ")?;
+        }
+        f.write_str(&self.message)?;
+        if let Some(suggestion) = &self.suggestion {
+            write!(f, " ({suggestion})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The worst severity present, or `None` for a clean report.
+pub fn max_severity(lints: &[Lint]) -> Option<LintSeverity> {
+    lints.iter().map(|l| l.severity).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_eacl::Span;
+
+    #[test]
+    fn severity_ordering_drives_gating() {
+        assert!(LintSeverity::Note < LintSeverity::Warning);
+        assert!(LintSeverity::Warning < LintSeverity::Error);
+        let lints = vec![
+            Lint::new("GAA101", LintSeverity::Warning, "a", "w".into()),
+            Lint::new("GAA201", LintSeverity::Error, "a", "e".into()),
+        ];
+        assert_eq!(max_severity(&lints), Some(LintSeverity::Error));
+        assert_eq!(max_severity(&[]), None);
+    }
+
+    #[test]
+    fn display_includes_location_and_suggestion() {
+        let lint = Lint::new(
+            "GAA302",
+            LintSeverity::Error,
+            "/cgi-bin/phf",
+            "unknown condition type `acessid`".into(),
+        )
+        .at(
+            gaa_eacl::PolicyLayer::Local,
+            0,
+            Some(3),
+            Some(Span {
+                line: 12,
+                start: 100,
+                end: 120,
+            }),
+        )
+        .with_suggestion("did you mean `accessid`?".into());
+        let text = lint.to_string();
+        assert!(text.starts_with("error[GAA302]: /cgi-bin/phf: line 12: eacl 0 entry 3:"));
+        assert!(text.contains("did you mean `accessid`?"));
+    }
+}

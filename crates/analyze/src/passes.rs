@@ -1,0 +1,618 @@
+//! The analysis passes: syntax fold, shadowing/reachability, MAYBE surface,
+//! redirect loops, and completeness.
+//!
+//! Every pass is a pure function from sources to [`Lint`]s. Soundness of the
+//! reachability claims rests on one assumption, which the differential
+//! harness (see [`crate::differential`]) re-validates against the real
+//! evaluator: **condition evaluation is deterministic within a request** —
+//! two occurrences of the same `(type, authority, value)` triple evaluate
+//! identically while one request is decided.
+
+use crate::lint::{Lint, LintSeverity, OTHER_VALUE};
+use crate::snapshot::RegistrySnapshot;
+use crate::source::Source;
+use gaa_core::REDIRECT_COND_TYPE;
+use gaa_eacl::validate::{validate_spanned, FindingKind, Severity};
+use gaa_eacl::{
+    AccessRight, CompositionMode, CondPhase, Eacl, EaclEntry, Polarity, PolicyLayer, RightPattern,
+    SpannedEacl,
+};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// `outer` matches every `(authority, value)` pair `inner` matches.
+pub(crate) fn covers(outer: &AccessRight, inner: &AccessRight) -> bool {
+    token_covers(&outer.authority, &inner.authority) && token_covers(&outer.value, &inner.value)
+}
+
+fn token_covers(outer: &str, inner: &str) -> bool {
+    outer == "*" || outer == inner
+}
+
+/// Some concrete right matches both patterns.
+pub(crate) fn intersects(a: &AccessRight, b: &AccessRight) -> bool {
+    token_intersects(&a.authority, &b.authority) && token_intersects(&a.value, &b.value)
+}
+
+fn token_intersects(x: &str, y: &str) -> bool {
+    x == "*" || y == "*" || x == y
+}
+
+/// Every pre-condition of `earlier` also appears in `later` — so whenever
+/// `earlier`'s guard fails (some condition NOT met), `later`'s guard fails
+/// too, and whenever `earlier`'s guard passes, `earlier` applied first.
+fn pre_subset(earlier: &EaclEntry, later: &EaclEntry) -> bool {
+    earlier.pre.iter().all(|c| later.pre.contains(c))
+}
+
+// ---- syntax tier (folded from gaa-eacl's per-EACL validator) ----
+
+/// Folds [`gaa_eacl::validate`] findings into lints, skipping
+/// [`FindingKind::Unreachable`] (superseded by the more precise `GAA201`).
+pub(crate) fn syntax_lints(source: &Source, layer: PolicyLayer, eacl_base: usize) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    for (li, eacl) in source.eacls.iter().enumerate() {
+        let findings = match source.spans.get(li) {
+            Some(spans) => validate_spanned(&SpannedEacl {
+                eacl: eacl.clone(),
+                spans: spans.clone(),
+            }),
+            None => gaa_eacl::validate::validate(eacl),
+        };
+        for finding in findings {
+            if finding.kind == FindingKind::Unreachable {
+                continue;
+            }
+            let severity = match finding.severity {
+                Severity::Warning => LintSeverity::Warning,
+                Severity::Error => LintSeverity::Error,
+            };
+            lints.push(
+                Lint::new(finding.kind.code(), severity, &source.name, finding.message).at(
+                    layer,
+                    eacl_base + li,
+                    finding.entry,
+                    finding.span,
+                ),
+            );
+        }
+    }
+    lints
+}
+
+// ---- shadowing / reachability within one EACL (GAA201) ----
+
+/// Dead entries under ordered first-match evaluation: entry `j` can never
+/// apply when an earlier entry `i` has a subsuming right pattern and a
+/// pre-condition subset. For every request matching `j`, either `i` applied
+/// first, or `i`'s guard failed on a condition `j`'s guard shares.
+pub(crate) fn shadow_lints(source: &Source, layer: PolicyLayer, eacl_base: usize) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    for (li, eacl) in source.eacls.iter().enumerate() {
+        for j in 1..eacl.entries.len() {
+            let later = &eacl.entries[j];
+            let Some((i, earlier)) = eacl.entries[..j]
+                .iter()
+                .enumerate()
+                .find(|(_, e)| covers(&e.right, &later.right) && pre_subset(e, later))
+            else {
+                continue;
+            };
+            let (severity, consequence) = if earlier.right.polarity == later.right.polarity {
+                (LintSeverity::Warning, "the entry is redundant")
+            } else if later.right.polarity == Polarity::Negative {
+                (
+                    LintSeverity::Error,
+                    "the deny it expresses is silently lost",
+                )
+            } else {
+                (
+                    LintSeverity::Error,
+                    "the grant it expresses is silently lost",
+                )
+            };
+            lints.push(
+                Lint::new(
+                    "GAA201",
+                    severity,
+                    &source.name,
+                    format!(
+                        "entry {j} (`{}`) can never apply: entry {i} (`{}`) matches every \
+                         right it matches and its pre-conditions are a subset — first match \
+                         wins, so {consequence}",
+                        later.right, earlier.right
+                    ),
+                )
+                .at(layer, eacl_base + li, Some(j), source.entry_span(li, j)),
+            );
+        }
+    }
+    lints
+}
+
+// ---- cross-layer reachability after composition (GAA202/203/204) ----
+
+/// The composition mode the runtime will resolve: the first system EACL
+/// declaring one, else the `Narrow` default (mirrors
+/// [`gaa_eacl::ComposedPolicy::compose`]).
+pub(crate) fn resolved_mode(system: &[Source]) -> CompositionMode {
+    system
+        .iter()
+        .flat_map(|s| s.eacls.iter())
+        .find_map(|e| e.mode)
+        .unwrap_or(CompositionMode::Narrow)
+}
+
+/// An entry whose guard can never fail: an empty pre-block evaluates to
+/// `YES` unconditionally.
+fn always_applies(entry: &EaclEntry) -> bool {
+    entry.pre.is_empty()
+}
+
+/// No entry before `index` in `eacl` could apply to a request matching
+/// `target` — so for those requests, entry `index` is the first match.
+fn first_match_for(eacl: &Eacl, index: usize, target: &AccessRight) -> bool {
+    !eacl.entries[..index]
+        .iter()
+        .any(|e| intersects(&e.right, target))
+}
+
+/// Cross-layer lints over the composed deployment. `system` and `locals`
+/// are the pre-composition lists — under `stop` the runtime drops locals at
+/// compose time, which is exactly what `GAA202` reports.
+pub(crate) fn cross_layer_lints(system: &[Source], locals: &[Source]) -> Vec<Lint> {
+    let mode = resolved_mode(system);
+    let mut lints = Vec::new();
+
+    if mode == CompositionMode::Stop {
+        let mut local_base = 0usize;
+        for source in locals {
+            if source.entry_count() > 0 {
+                lints.push(
+                    Lint::new(
+                        "GAA202",
+                        LintSeverity::Warning,
+                        &source.name,
+                        "local policy is dead: the system-wide policy declares composition \
+                         mode `stop`, which discards local policies at composition time"
+                            .to_string(),
+                    )
+                    .at(
+                        PolicyLayer::Local,
+                        local_base,
+                        Some(0),
+                        source.entry_span(0, 0),
+                    ),
+                );
+            }
+            local_base += source.eacls.len();
+        }
+        return lints;
+    }
+
+    // Flatten the system layer once, keeping global EACL indexes.
+    let system_eacls: Vec<&Eacl> = system.iter().flat_map(|s| s.eacls.iter()).collect();
+
+    let mut local_base = 0usize;
+    for source in locals {
+        for (li, eacl) in source.eacls.iter().enumerate() {
+            'entries: for (lj, local_entry) in eacl.entries.iter().enumerate() {
+                for (si, sys_eacl) in system_eacls.iter().enumerate() {
+                    for (se, sys_entry) in sys_eacl.entries.iter().enumerate() {
+                        if !always_applies(sys_entry)
+                            || !covers(&sys_entry.right, &local_entry.right)
+                            || !first_match_for(sys_eacl, se, &local_entry.right)
+                        {
+                            continue;
+                        }
+                        let lint = match (mode, sys_entry.right.polarity, local_entry) {
+                            // Narrow: an unconditional system deny absorbs
+                            // everything — the final status is NO for every
+                            // request this local entry matches.
+                            (CompositionMode::Narrow, Polarity::Negative, _) => Some((
+                                "GAA203",
+                                format!(
+                                    "local entry {lj} (`{}`) is ineffective: system entry \
+                                     {se} of system EACL {si} (`{}`) unconditionally denies \
+                                     every right it matches under `narrow` composition \
+                                     (its request-result actions still fire)",
+                                    local_entry.right, sys_entry.right
+                                ),
+                            )),
+                            // Expand: an unconditional system grant wins the
+                            // disjunction — but only if no other system EACL
+                            // can contribute a non-YES for these requests.
+                            (CompositionMode::Expand, Polarity::Positive, l)
+                                if l.right.polarity == Polarity::Negative
+                                    && !system_eacls.iter().enumerate().any(|(oi, other)| {
+                                        oi != si
+                                            && other
+                                                .entries
+                                                .iter()
+                                                .any(|e| intersects(&e.right, &local_entry.right))
+                                    }) =>
+                            {
+                                Some((
+                                    "GAA204",
+                                    format!(
+                                        "local entry {lj} (`{}`) never affects the decision: \
+                                         system entry {se} of system EACL {si} (`{}`) \
+                                         unconditionally grants every right it matches under \
+                                         `expand` composition (its request-result actions \
+                                         still fire)",
+                                        local_entry.right, sys_entry.right
+                                    ),
+                                ))
+                            }
+                            _ => None,
+                        };
+                        if let Some((code, message)) = lint {
+                            lints.push(
+                                Lint::new(code, LintSeverity::Warning, &source.name, message)
+                                    .at(
+                                        PolicyLayer::Local,
+                                        local_base + li,
+                                        Some(lj),
+                                        source.entry_span(li, lj),
+                                    )
+                                    .with_pattern(RightPattern::new(
+                                        local_entry.right.authority.clone(),
+                                        local_entry.right.value.clone(),
+                                    )),
+                            );
+                            continue 'entries;
+                        }
+                    }
+                }
+            }
+        }
+        local_base += source.eacls.len();
+    }
+    lints
+}
+
+// ---- MAYBE surface (GAA301/302) ----
+
+/// Classic Levenshtein distance (small strings only).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut current = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let substitution = prev[j] + usize::from(ca != cb);
+            current.push(substitution.min(prev[j + 1] + 1).min(current[j] + 1));
+        }
+        prev = current;
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate within edit distance 2, if any.
+fn closest<'a>(target: &str, candidates: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+    candidates
+        .filter(|c| *c != target)
+        .map(|c| (edit_distance(target, c), c))
+        .filter(|(d, _)| *d <= 2)
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, c)| c)
+}
+
+/// Conditions with no registered evaluator: they will be left unevaluated
+/// and surface as `MAYBE` at request time. A near-miss against the registry
+/// (edit distance ≤ 2) upgrades to a typo error (`GAA302`); the `redirect`
+/// type is exempt — it is resolved by the server's answer-code path, never
+/// by the registry.
+pub(crate) fn surface_lints(
+    source: &Source,
+    layer: PolicyLayer,
+    eacl_base: usize,
+    snapshot: &RegistrySnapshot,
+) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    for (li, eacl) in source.eacls.iter().enumerate() {
+        for (ei, entry) in eacl.entries.iter().enumerate() {
+            for phase in CondPhase::all() {
+                for (ci, cond) in entry.block(phase).iter().enumerate() {
+                    if cond.cond_type == REDIRECT_COND_TYPE
+                        || snapshot.is_registered(&cond.cond_type, &cond.authority)
+                    {
+                        continue;
+                    }
+                    let span = source.condition_span(li, ei, phase, ci);
+                    let location = (layer, eacl_base + li, Some(ei), span);
+                    let lint = if snapshot.has_type(&cond.cond_type) {
+                        // Right type, wrong authority.
+                        let authorities = snapshot.authorities_for(&cond.cond_type);
+                        match closest(&cond.authority, authorities.iter().copied()) {
+                            Some(fix) => Lint::new(
+                                "GAA302",
+                                LintSeverity::Error,
+                                &source.name,
+                                format!(
+                                    "condition `{} {}` names an unregistered authority",
+                                    cond.cond_type, cond.authority
+                                ),
+                            )
+                            .with_suggestion(format!("did you mean authority `{fix}`?")),
+                            None => Lint::new(
+                                "GAA301",
+                                LintSeverity::Warning,
+                                &source.name,
+                                format!(
+                                    "no evaluator registered for `{} {}`; the condition will \
+                                     evaluate to MAYBE at request time (registered \
+                                     authorities for `{}`: {})",
+                                    cond.cond_type,
+                                    cond.authority,
+                                    cond.cond_type,
+                                    authorities.join(", ")
+                                ),
+                            ),
+                        }
+                    } else {
+                        match closest(&cond.cond_type, snapshot.types().into_iter()) {
+                            Some(fix) => Lint::new(
+                                "GAA302",
+                                LintSeverity::Error,
+                                &source.name,
+                                format!(
+                                    "unknown condition type `{}` in {} block",
+                                    cond.cond_type,
+                                    phase.keyword()
+                                ),
+                            )
+                            .with_suggestion(format!("did you mean `{fix}`?")),
+                            None => Lint::new(
+                                "GAA301",
+                                LintSeverity::Warning,
+                                &source.name,
+                                format!(
+                                    "no evaluator registered for `{} {}`; the condition will \
+                                     evaluate to MAYBE at request time ({} block)",
+                                    cond.cond_type,
+                                    cond.authority,
+                                    phase.keyword()
+                                ),
+                            ),
+                        }
+                    };
+                    let (layer, eacl_idx, entry_idx, span) = location;
+                    lints.push(lint.at(layer, eacl_idx, entry_idx, span));
+                }
+            }
+        }
+    }
+    lints
+}
+
+// ---- redirect loops (GAA303) ----
+
+/// Extracts the object path from a redirect target: for a URL the path
+/// component (`http://replica/obj` → `/obj`), otherwise the value verbatim.
+pub(crate) fn redirect_target_path(value: &str) -> String {
+    match value.find("://") {
+        Some(scheme_end) => {
+            let rest = &value[scheme_end + 3..];
+            match rest.find('/') {
+                Some(slash) => rest[slash..].to_string(),
+                None => "/".to_string(),
+            }
+        }
+        None => value.to_string(),
+    }
+}
+
+/// Redirect chains between the analyzed objects that can never resolve
+/// because they loop. Edges outside the analyzed set (external replicas)
+/// are ignored — only targets naming another analyzed source count.
+pub(crate) fn redirect_lints(locals: &[Source]) -> Vec<Lint> {
+    let names: BTreeSet<&str> = locals.iter().map(|s| s.name.as_str()).collect();
+    // Adjacency plus one lint anchor per edge.
+    let mut edges: Vec<(String, String, Lint)> = Vec::new();
+    let mut adjacency: HashMap<&str, Vec<String>> = HashMap::new();
+    let mut local_base = 0usize;
+    for source in locals {
+        for (li, eacl) in source.eacls.iter().enumerate() {
+            for (ei, entry) in eacl.entries.iter().enumerate() {
+                for phase in CondPhase::all() {
+                    for (ci, cond) in entry.block(phase).iter().enumerate() {
+                        if cond.cond_type != REDIRECT_COND_TYPE {
+                            continue;
+                        }
+                        let target = redirect_target_path(&cond.value);
+                        if !names.contains(target.as_str()) {
+                            continue;
+                        }
+                        let lint = Lint::new(
+                            "GAA303",
+                            LintSeverity::Error,
+                            &source.name,
+                            format!(
+                                "redirect target `{}` (object `{target}`) leads back to \
+                                 `{}` — the redirect chain loops and can never resolve",
+                                cond.value, source.name
+                            ),
+                        )
+                        .at(
+                            PolicyLayer::Local,
+                            local_base + li,
+                            Some(ei),
+                            source.condition_span(li, ei, phase, ci),
+                        );
+                        adjacency
+                            .entry(source.name.as_str())
+                            .or_default()
+                            .push(target.clone());
+                        edges.push((source.name.clone(), target, lint));
+                    }
+                }
+            }
+        }
+        local_base += source.eacls.len();
+    }
+
+    // An edge u -> v is part of a loop iff u is reachable from v.
+    let reachable = |from: &str, to: &str| -> bool {
+        let mut queue: VecDeque<&str> = VecDeque::from([from]);
+        let mut seen: BTreeSet<&str> = BTreeSet::from([from]);
+        while let Some(node) = queue.pop_front() {
+            if node == to {
+                return true;
+            }
+            for next in adjacency.get(node).into_iter().flatten() {
+                if seen.insert(next.as_str()) {
+                    queue.push_back(next.as_str());
+                }
+            }
+        }
+        false
+    };
+    edges
+        .into_iter()
+        .filter(|(u, v, _)| reachable(v, u))
+        .map(|(_, _, lint)| lint)
+        .collect()
+}
+
+// ---- completeness (GAA401) ----
+
+/// Request-space gaps: `(authority, value)` combinations drawn from the
+/// deployment's own vocabulary that no effective entry matches — requests
+/// for them fall through to the silent default (deny).
+///
+/// The alphabet is the concrete (non-`*`) authorities and values mentioned
+/// by **any** entry (including `stop`-dropped locals: the artifacts name
+/// those rights, so the deployment clearly cares about them), plus an
+/// [`OTHER_VALUE`] bucket per authority for values no entry names. Matching
+/// runs against the **effective** entries only (locals excluded under
+/// `stop`).
+pub(crate) fn completeness_lints(
+    system: &[Source],
+    locals: &[Source],
+    mode: CompositionMode,
+) -> Vec<Lint> {
+    let all_entries: Vec<&EaclEntry> = system
+        .iter()
+        .chain(locals.iter())
+        .flat_map(|s| s.eacls.iter())
+        .flat_map(|e| e.entries.iter())
+        .collect();
+    let effective: Vec<&EaclEntry> = if mode == CompositionMode::Stop {
+        system
+            .iter()
+            .flat_map(|s| s.eacls.iter())
+            .flat_map(|e| e.entries.iter())
+            .collect()
+    } else {
+        all_entries.clone()
+    };
+    if effective.is_empty() {
+        // GAA101 (empty policy) already covers the degenerate case.
+        return Vec::new();
+    }
+
+    let authorities: BTreeSet<&str> = all_entries
+        .iter()
+        .map(|e| e.right.authority.as_str())
+        .filter(|a| *a != "*")
+        .collect();
+    let values: BTreeSet<&str> = all_entries
+        .iter()
+        .map(|e| e.right.value.as_str())
+        .filter(|v| *v != "*")
+        .collect();
+
+    let matches_gap = |right: &AccessRight, authority: &str, value: Option<&str>| -> bool {
+        let authority_ok = right.authority == "*" || right.authority == authority;
+        let value_ok = match value {
+            Some(v) => right.value == "*" || right.value == v,
+            // The residual bucket: only a wildcard value reaches it.
+            None => right.value == "*",
+        };
+        authority_ok && value_ok
+    };
+
+    let mut lints = Vec::new();
+    for authority in &authorities {
+        let candidates = values.iter().map(|v| Some(*v)).chain(std::iter::once(None));
+        for value in candidates {
+            if effective
+                .iter()
+                .any(|e| matches_gap(&e.right, authority, value))
+            {
+                continue;
+            }
+            let (shown, pattern_value) = match value {
+                Some(v) => (format!("`{authority} {v}`"), v.to_string()),
+                None => (
+                    format!("`{authority} <any value not named by an entry>`"),
+                    OTHER_VALUE.to_string(),
+                ),
+            };
+            lints.push(
+                Lint::new(
+                    "GAA401",
+                    LintSeverity::Warning,
+                    "deployment",
+                    format!(
+                        "no entry matches rights {shown} — such requests fall through to \
+                         the silent default decision (deny)"
+                    ),
+                )
+                .with_pattern(RightPattern::new(authority.to_string(), pattern_value)),
+            );
+        }
+    }
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("accessid", "accessid"), 0);
+        assert_eq!(edit_distance("acessid", "accessid"), 1);
+        assert_eq!(edit_distance("regex", "expr"), 4);
+        assert_eq!(edit_distance("", "abc"), 3);
+    }
+
+    #[test]
+    fn closest_requires_small_distance() {
+        let candidates = ["accessid", "regex", "notify"];
+        assert_eq!(
+            closest("acessid", candidates.iter().copied()),
+            Some("accessid")
+        );
+        assert_eq!(closest("totally_new", candidates.iter().copied()), None);
+        // An exact match is not a typo.
+        assert_eq!(closest("regex", ["regex"].iter().copied()), None);
+    }
+
+    #[test]
+    fn redirect_target_path_strips_scheme_and_host() {
+        assert_eq!(
+            redirect_target_path("http://replica1.example.org/obj"),
+            "/obj"
+        );
+        assert_eq!(redirect_target_path("http://host"), "/");
+        assert_eq!(redirect_target_path("/already/a/path"), "/already/a/path");
+    }
+
+    #[test]
+    fn pattern_cover_and_intersect() {
+        let star = AccessRight::positive("*", "*");
+        let apache = AccessRight::positive("apache", "*");
+        let get = AccessRight::positive("apache", "GET");
+        assert!(covers(&star, &get));
+        assert!(covers(&apache, &get));
+        assert!(!covers(&get, &apache));
+        assert!(intersects(&apache, &star));
+        assert!(!intersects(
+            &AccessRight::positive("sshd", "*"),
+            &AccessRight::positive("apache", "GET")
+        ));
+    }
+}

@@ -1,0 +1,195 @@
+//! Human-readable and JSON renderers for lint reports.
+//!
+//! The JSON encoder is hand-written: the workspace's vendored `serde` is
+//! derive-only (no `serde_json`), and the output here is a flat,
+//! fully-known shape.
+
+use crate::lint::{max_severity, Lint, LintSeverity};
+use gaa_eacl::PolicyLayer;
+use std::fmt::Write as _;
+
+/// Renders one lint per line (via [`Lint`]'s `Display`) plus a trailing
+/// summary line, e.g. `policy check: 2 errors, 3 warnings`.
+pub fn render_human(lints: &[Lint]) -> String {
+    let mut out = String::new();
+    for lint in lints {
+        let _ = writeln!(out, "{lint}");
+    }
+    let _ = writeln!(out, "policy check: {}", summary(lints));
+    out
+}
+
+/// The one-line totals summary, e.g. `1 error, 2 warnings` or `clean`.
+pub fn summary(lints: &[Lint]) -> String {
+    if lints.is_empty() {
+        return "clean".to_string();
+    }
+    let count = |s: LintSeverity| lints.iter().filter(|l| l.severity == s).count();
+    let mut parts = Vec::new();
+    for (n, singular) in [
+        (count(LintSeverity::Error), "error"),
+        (count(LintSeverity::Warning), "warning"),
+        (count(LintSeverity::Note), "note"),
+    ] {
+        if n > 0 {
+            parts.push(format!("{n} {singular}{}", if n == 1 { "" } else { "s" }));
+        }
+    }
+    parts.join(", ")
+}
+
+/// Renders the report as a JSON document:
+///
+/// ```json
+/// {"max_severity": "error", "lints": [{"code": "GAA201", ...}]}
+/// ```
+///
+/// Absent optional fields render as `null`; spans expand to `line`,
+/// `start`, `end`.
+pub fn render_json(lints: &[Lint]) -> String {
+    let mut out = String::from("{\"max_severity\":");
+    match max_severity(lints) {
+        Some(s) => {
+            out.push('"');
+            let _ = write!(out, "{s}");
+            out.push('"');
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"lints\":[");
+    for (i, lint) in lints.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        encode_lint(&mut out, lint);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn encode_lint(out: &mut String, lint: &Lint) {
+    out.push('{');
+    field_str(out, "code", Some(lint.code));
+    out.push(',');
+    field_str(out, "severity", Some(&lint.severity.to_string()));
+    out.push(',');
+    field_str(out, "source", Some(&lint.source));
+    out.push(',');
+    field_str(
+        out,
+        "layer",
+        lint.layer.map(|l| match l {
+            PolicyLayer::System => "system",
+            PolicyLayer::Local => "local",
+        }),
+    );
+    out.push(',');
+    field_num(out, "eacl", lint.eacl);
+    out.push(',');
+    field_num(out, "entry", lint.entry);
+    out.push(',');
+    field_num(out, "line", lint.span.map(|s| s.line));
+    out.push(',');
+    field_num(out, "start", lint.span.map(|s| s.start));
+    out.push(',');
+    field_num(out, "end", lint.span.map(|s| s.end));
+    out.push_str(",\"pattern\":");
+    match &lint.pattern {
+        Some(p) => {
+            out.push('{');
+            field_str(out, "authority", Some(&p.authority));
+            out.push(',');
+            field_str(out, "value", Some(&p.value));
+            out.push('}');
+        }
+        None => out.push_str("null"),
+    }
+    out.push(',');
+    field_str(out, "message", Some(&lint.message));
+    out.push(',');
+    field_str(out, "suggestion", lint.suggestion.as_deref());
+    out.push('}');
+}
+
+fn field_str(out: &mut String, key: &str, value: Option<&str>) {
+    let _ = write!(out, "\"{key}\":");
+    match value {
+        Some(v) => {
+            out.push('"');
+            escape_into(out, v);
+            out.push('"');
+        }
+        None => out.push_str("null"),
+    }
+}
+
+fn field_num(out: &mut String, key: &str, value: Option<usize>) {
+    match value {
+        Some(v) => {
+            let _ = write!(out, "\"{key}\":{v}");
+        }
+        None => {
+            let _ = write!(out, "\"{key}\":null");
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_eacl::RightPattern;
+
+    fn sample() -> Vec<Lint> {
+        vec![
+            Lint::new(
+                "GAA401",
+                LintSeverity::Warning,
+                "deployment",
+                "no entry matches rights `sshd login`".into(),
+            )
+            .with_pattern(RightPattern::new("sshd", "login")),
+            Lint::new(
+                "GAA302",
+                LintSeverity::Error,
+                "/x",
+                "unknown condition type `acessid` — \"quoted\"".into(),
+            )
+            .with_suggestion("did you mean `accessid`?".into()),
+        ]
+    }
+
+    #[test]
+    fn human_report_has_summary_line() {
+        let report = render_human(&sample());
+        assert!(report.contains("warning[GAA401]: deployment:"));
+        assert!(report.ends_with("policy check: 1 error, 1 warning\n"));
+        assert_eq!(render_human(&[]), "policy check: clean\n");
+    }
+
+    #[test]
+    fn json_escapes_and_nulls() {
+        let json = render_json(&sample());
+        assert!(json.starts_with("{\"max_severity\":\"error\","));
+        assert!(json.contains("\"pattern\":{\"authority\":\"sshd\",\"value\":\"login\"}"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"layer\":null"));
+        assert!(json.contains("\"suggestion\":\"did you mean `accessid`?\""));
+        assert_eq!(render_json(&[]), "{\"max_severity\":null,\"lints\":[]}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Registry snapshots: the analyzer's knowledge of which condition
+//! evaluators a deployment registers.
+
+use gaa_core::ConditionRegistry;
+use std::collections::BTreeSet;
+
+/// An immutable snapshot of the `(condition type, authority)` pairs that
+/// have a registered evaluation routine.
+///
+/// The MAYBE-surface pass compares every policy condition against this to
+/// predict which will be left unevaluated (and therefore `MAYBE`) at
+/// request time. Lookup mirrors [`ConditionRegistry`]: an exact
+/// `(type, authority)` hit, then a `(type, "*")` wildcard-authority
+/// fallback.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegistrySnapshot {
+    keys: BTreeSet<(String, String)>,
+}
+
+impl RegistrySnapshot {
+    /// A snapshot from explicit `(type, authority)` keys.
+    pub fn from_keys<I, T, A>(keys: I) -> Self
+    where
+        I: IntoIterator<Item = (T, A)>,
+        T: Into<String>,
+        A: Into<String>,
+    {
+        RegistrySnapshot {
+            keys: keys
+                .into_iter()
+                .map(|(t, a)| (t.into(), a.into()))
+                .collect(),
+        }
+    }
+
+    /// A snapshot of a live registry (what the running server actually has).
+    pub fn from_registry(registry: &ConditionRegistry) -> Self {
+        RegistrySnapshot::from_keys(registry.registered_keys())
+    }
+
+    /// The standard catalog snapshot — exactly what
+    /// [`gaa_conditions::register_standard`] installs.
+    pub fn standard() -> Self {
+        RegistrySnapshot::from_keys(gaa_conditions::standard_registered_keys())
+    }
+
+    /// Whether `(cond_type, authority)` resolves to an evaluator (exact or
+    /// wildcard-authority).
+    pub fn is_registered(&self, cond_type: &str, authority: &str) -> bool {
+        self.keys
+            .contains(&(cond_type.to_string(), authority.to_string()))
+            || self
+                .keys
+                .contains(&(cond_type.to_string(), "*".to_string()))
+    }
+
+    /// Whether any authority is registered for `cond_type`.
+    pub fn has_type(&self, cond_type: &str) -> bool {
+        self.keys.iter().any(|(t, _)| t == cond_type)
+    }
+
+    /// All registered condition type names, deduplicated, sorted.
+    pub fn types(&self) -> Vec<&str> {
+        let mut types: Vec<&str> = self.keys.iter().map(|(t, _)| t.as_str()).collect();
+        types.dedup();
+        types
+    }
+
+    /// The authorities registered for `cond_type`, sorted.
+    pub fn authorities_for(&self, cond_type: &str) -> Vec<&str> {
+        self.keys
+            .iter()
+            .filter(|(t, _)| t == cond_type)
+            .map(|(_, a)| a.as_str())
+            .collect()
+    }
+
+    /// All `(type, authority)` keys, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.keys.iter().map(|(t, a)| (t.as_str(), a.as_str()))
+    }
+
+    /// Number of registered keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_snapshot_matches_catalog() {
+        let snapshot = RegistrySnapshot::standard();
+        assert!(snapshot.is_registered("regex", "gnu"));
+        assert!(snapshot.is_registered("accessid", "GROUP"));
+        assert!(!snapshot.is_registered("redirect", "local"));
+        assert!(!snapshot.is_registered("regex", "local"));
+        assert_eq!(
+            snapshot.authorities_for("accessid"),
+            vec!["GROUP", "HOST", "USER"]
+        );
+    }
+
+    #[test]
+    fn wildcard_authority_falls_back() {
+        let snapshot = RegistrySnapshot::from_keys([("custom", "*"), ("exact", "local")]);
+        assert!(snapshot.is_registered("custom", "anything"));
+        assert!(snapshot.is_registered("exact", "local"));
+        assert!(!snapshot.is_registered("exact", "other"));
+        assert!(snapshot.has_type("custom"));
+        assert!(!snapshot.has_type("missing"));
+        assert_eq!(snapshot.len(), 2);
+        assert!(!snapshot.is_empty());
+    }
+}

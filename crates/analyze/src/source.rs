@@ -1,0 +1,106 @@
+//! Named policy sources: the unit the analyzer consumes.
+
+use gaa_eacl::{parse_eacl_list_spanned, CondPhase, Eacl, EaclSpans, ParseEaclError, Span};
+
+/// A named list of EACLs, optionally with source-text spans.
+///
+/// A source corresponds to one policy artifact: the system-wide policy file
+/// (conventionally named `"system"`), or one object's local policy (named by
+/// the object path, e.g. `"/cgi-bin/phf"`). Names matter: the redirect-loop
+/// pass resolves redirect targets against local source names, and the load
+/// gate reports rejections per source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Source {
+    /// Source name (`"system"`, an object path, or a file name).
+    pub name: String,
+    /// The EACLs, in evaluation order.
+    pub eacls: Vec<Eacl>,
+    /// Per-EACL span tables, parallel to `eacls` — empty when the policies
+    /// were built programmatically rather than parsed from text.
+    pub spans: Vec<EaclSpans>,
+}
+
+impl Source {
+    /// Parses `text` as an EACL list, keeping spans for lint locations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parser's located error on malformed input.
+    pub fn parse(name: impl Into<String>, text: &str) -> Result<Self, ParseEaclError> {
+        let spanned = parse_eacl_list_spanned(text)?;
+        let mut eacls = Vec::with_capacity(spanned.len());
+        let mut spans = Vec::with_capacity(spanned.len());
+        for s in spanned {
+            eacls.push(s.eacl);
+            spans.push(s.spans);
+        }
+        Ok(Source {
+            name: name.into(),
+            eacls,
+            spans,
+        })
+    }
+
+    /// Wraps already-parsed EACLs (no span information).
+    pub fn from_eacls(name: impl Into<String>, eacls: Vec<Eacl>) -> Self {
+        Source {
+            name: name.into(),
+            eacls,
+            spans: Vec::new(),
+        }
+    }
+
+    /// The span of entry `entry` (its access-right line) in EACL `eacl`,
+    /// when known.
+    pub fn entry_span(&self, eacl: usize, entry: usize) -> Option<Span> {
+        self.spans
+            .get(eacl)
+            .and_then(|s| s.entries.get(entry))
+            .map(|e| e.right)
+    }
+
+    /// The span of condition `index` in the `phase` block of the given
+    /// entry, when known.
+    pub fn condition_span(
+        &self,
+        eacl: usize,
+        entry: usize,
+        phase: CondPhase,
+        index: usize,
+    ) -> Option<Span> {
+        self.spans
+            .get(eacl)
+            .and_then(|s| s.entries.get(entry))
+            .and_then(|e| e.condition(phase, index))
+    }
+
+    /// Total number of entries across all EACLs in this source.
+    pub fn entry_count(&self) -> usize {
+        self.eacls.iter().map(|e| e.entries.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsed_source_keeps_spans() {
+        let text = "eacl_mode narrow\nneg_access_right apache *\npre_cond regex gnu *phf*\n";
+        let source = Source::parse("system", text).unwrap();
+        assert_eq!(source.eacls.len(), 1);
+        assert_eq!(source.spans.len(), 1);
+        let span = source.entry_span(0, 0).unwrap();
+        assert_eq!(&text[span.start..span.end], "neg_access_right apache *");
+        let cond = source.condition_span(0, 0, CondPhase::Pre, 0).unwrap();
+        assert_eq!(&text[cond.start..cond.end], "pre_cond regex gnu *phf*");
+        assert_eq!(source.entry_count(), 1);
+    }
+
+    #[test]
+    fn programmatic_source_has_no_spans() {
+        let source = Source::from_eacls("/x", vec![Eacl::new()]);
+        assert!(source.spans.is_empty());
+        assert_eq!(source.entry_span(0, 0), None);
+    }
+}

@@ -1,0 +1,217 @@
+//! Every catalog code fires on a crafted fixture, locations and renderers
+//! behave, and the differential harness signs off on the analyzer's claims
+//! for a paper-style (§7.2) deployment.
+
+use gaa_analyze::{
+    differential_check, max_severity, render_human, render_json, Analyzer, LintSeverity,
+    RegistrySnapshot, Source,
+};
+
+fn src(name: &str, text: &str) -> Source {
+    Source::parse(name, text).unwrap()
+}
+
+fn codes(lints: &[gaa_analyze::Lint]) -> Vec<&'static str> {
+    let mut codes: Vec<&'static str> = lints.iter().map(|l| l.code).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes
+}
+
+#[test]
+fn syntax_tier_codes_fold_in() {
+    // GAA101 empty policy, GAA103 duplicate, GAA104 leading deny-all.
+    let empty = src("/empty", "eacl_mode narrow\n");
+    let lints = Analyzer::new().analyze(&[], &[empty]);
+    assert!(codes(&lints).contains(&"GAA101"));
+
+    let dup = src(
+        "/dup",
+        "pos_access_right apache GET\npos_access_right apache GET\n",
+    );
+    let lints = Analyzer::new().analyze(&[], &[dup]);
+    assert!(codes(&lints).contains(&"GAA103"));
+
+    let deny_all = src(
+        "/deny",
+        "neg_access_right * *\npos_access_right apache GET\n",
+    );
+    let lints = Analyzer::new().analyze(&[], &[deny_all]);
+    assert!(codes(&lints).contains(&"GAA104"));
+
+    // GAA102 (the syntax tier's coarse unreachability) is superseded by
+    // GAA201 and must not appear.
+    let shadowed = src("/s", "pos_access_right * *\nneg_access_right apache GET\n");
+    let lints = Analyzer::new().analyze(&[], &[shadowed]);
+    assert!(!codes(&lints).contains(&"GAA102"));
+    assert!(codes(&lints).contains(&"GAA201"));
+}
+
+#[test]
+fn guard_subset_shadowing_is_caught_beyond_the_syntax_tier() {
+    // Entry 1 repeats entry 0's guard, so it can never be the first match:
+    // the syntax tier (unconditional blockers only) misses this, GAA201
+    // does not.
+    let local = src(
+        "/x",
+        "pos_access_right apache *\n\
+         pre_cond accessid GROUP staff\n\
+         neg_access_right apache GET\n\
+         pre_cond accessid GROUP staff\n\
+         pre_cond accessid USER alice\n",
+    );
+    let lints = Analyzer::new().analyze(&[], &[local]);
+    let shadow = lints.iter().find(|l| l.code == "GAA201").unwrap();
+    assert_eq!(shadow.severity, LintSeverity::Error);
+    assert_eq!(shadow.entry, Some(1));
+    // The span points at the shadowed entry's access-right line.
+    assert_eq!(shadow.span.unwrap().line, 3);
+}
+
+#[test]
+fn composition_codes_cover_all_three_modes() {
+    let local = src("/x", "neg_access_right apache GET\n");
+    let stop = src("system", "eacl_mode stop\npos_access_right apache *\n");
+    let lints = Analyzer::new().analyze(&[stop], std::slice::from_ref(&local));
+    assert!(codes(&lints).contains(&"GAA202"));
+
+    let narrow = src("system", "eacl_mode narrow\nneg_access_right apache *\n");
+    let grant = src("/x", "pos_access_right apache GET\n");
+    let lints = Analyzer::new().analyze(&[narrow], &[grant]);
+    assert!(codes(&lints).contains(&"GAA203"));
+
+    let expand = src("system", "eacl_mode expand\npos_access_right apache *\n");
+    let lints = Analyzer::new().analyze(&[expand], &[local]);
+    assert!(codes(&lints).contains(&"GAA204"));
+}
+
+#[test]
+fn conditional_system_entries_do_not_void_locals() {
+    // The §7.2 system screen is guarded by a regex condition, so local
+    // policies stay live under narrow composition.
+    let system = src(
+        "system",
+        "eacl_mode narrow\n\
+         neg_access_right apache *\n\
+         pre_cond regex gnu *phf*\n\
+         pos_access_right apache *\n",
+    );
+    let local = src("/cgi-bin/phf", "pos_access_right apache GET\n");
+    let lints = Analyzer::new().analyze(&[system], &[local]);
+    assert!(lints.is_empty(), "unexpected: {lints:?}");
+}
+
+#[test]
+fn maybe_surface_and_redirect_codes() {
+    let unknown = src(
+        "/a",
+        "pos_access_right apache *\npre_cond reputation remote low\n",
+    );
+    let lints = Analyzer::new().analyze(&[], &[unknown]);
+    assert!(codes(&lints).contains(&"GAA301"));
+
+    let typo = src(
+        "/b",
+        "pos_access_right apache *\npre_cond acessid USER alice\n",
+    );
+    let lints = Analyzer::new().analyze(&[], &[typo]);
+    let typo_lint = lints.iter().find(|l| l.code == "GAA302").unwrap();
+    assert!(typo_lint.suggestion.is_some());
+
+    // A two-object redirect cycle: /a redirects to /b, /b back to /a.
+    let a = src(
+        "/a",
+        "pos_access_right apache *\npre_cond redirect local http://replica.example.org/b\n",
+    );
+    let b = src(
+        "/b",
+        "pos_access_right apache *\npre_cond redirect local http://replica.example.org/a\n",
+    );
+    let lints = Analyzer::new().analyze(&[], &[a.clone(), b]);
+    assert_eq!(
+        lints.iter().filter(|l| l.code == "GAA303").count(),
+        2,
+        "both edges of the cycle are reported"
+    );
+
+    // A redirect out of the analyzed set is fine (the paper's replica case).
+    let lints = Analyzer::new().analyze(&[], &[a]);
+    assert!(!codes(&lints).contains(&"GAA303"));
+}
+
+#[test]
+fn completeness_gaps_use_the_deployment_vocabulary() {
+    let system = src("system", "eacl_mode narrow\npos_access_right apache GET\n");
+    let local = src("/x", "pos_access_right sshd login\n");
+    let lints =
+        Analyzer::new().analyze(std::slice::from_ref(&system), std::slice::from_ref(&local));
+    let gaps: Vec<_> = lints.iter().filter(|l| l.code == "GAA401").collect();
+    assert_eq!(gaps.len(), 4);
+    // And the runtime agrees those rights fall through to default deny.
+    let snapshot = RegistrySnapshot::standard();
+    let report = differential_check(&[system], &[local], &snapshot, &lints, 3);
+    assert!(report.is_consistent(), "{:?}", report.violations);
+}
+
+#[test]
+fn renderers_cover_the_report() {
+    let system = src("system", "eacl_mode narrow\nneg_access_right apache *\n");
+    let local = src(
+        "/x",
+        "pos_access_right apache GET\npre_cond acessid USER a\n",
+    );
+    let lints = Analyzer::new().analyze(&[system], &[local]);
+    assert_eq!(max_severity(&lints), Some(LintSeverity::Error));
+
+    let human = render_human(&lints);
+    assert!(human.contains("error[GAA302]"));
+    assert!(human.contains("warning[GAA203]"));
+    assert!(human.lines().last().unwrap().starts_with("policy check: "));
+
+    let json = render_json(&lints);
+    assert!(json.starts_with("{\"max_severity\":\"error\""));
+    assert!(json.contains("\"code\":\"GAA302\""));
+    assert!(json.contains("\"layer\":\"local\""));
+    // Spans survive into the JSON shape.
+    assert!(json.contains("\"line\":2"));
+}
+
+#[test]
+fn paper_deployment_lints_clean_and_differentially_consistent() {
+    // The §7.2 deployment: system-wide CGI-exploit screening with response
+    // actions, per-object local policies, threat-level modulation.
+    let system = src(
+        "system",
+        "eacl_mode narrow\n\
+         neg_access_right apache *\n\
+         pre_cond regex gnu *phf* *test-cgi*\n\
+         rr_cond notify local on:failure/sysadmin/info:cgi_exploit\n\
+         rr_cond update_log local on:failure/BadGuys/info:ip\n\
+         neg_access_right apache *\n\
+         pre_cond system_threat_level local =high\n\
+         pre_cond accessid HOST untrusted.example.org\n\
+         pos_access_right apache *\n",
+    );
+    let phf = src(
+        "/cgi-bin/phf",
+        "neg_access_right apache *\n\
+         pre_cond accessid GROUP BadGuys\n\
+         rr_cond audit local on:failure\n\
+         pos_access_right apache *\n\
+         pre_cond accessid USER trusted\n\
+         pos_access_right apache GET\n",
+    );
+    let index = src("/index.html", "pos_access_right apache *\n");
+    let snapshot = RegistrySnapshot::standard();
+    let analyzer = Analyzer::with_snapshot(snapshot.clone());
+    let lints = analyzer.analyze(std::slice::from_ref(&system), &[phf.clone(), index.clone()]);
+    assert!(lints.is_empty(), "unexpected lints: {lints:?}");
+
+    let report = differential_check(&[system], &[phf, index], &snapshot, &lints, 42);
+    assert!(
+        report.exhaustive,
+        "small deployments are checked exhaustively"
+    );
+    assert!(report.is_consistent());
+    assert!(report.requests > 0);
+}

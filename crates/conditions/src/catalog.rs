@@ -69,6 +69,58 @@ impl StandardServices {
     }
 }
 
+/// Every `(condition type, authority)` pair the standard catalog knows
+/// about, whether or not [`register_standard`] installs an evaluator for it.
+///
+/// The third column records whether the pair gets a runtime evaluator:
+/// `redirect` is deliberately `false` — it is resolved by the server's
+/// answer-code path (§6 2d), never by the registry — so the static analyzer
+/// must not flag it as a MAYBE-only condition.
+///
+/// This table is what `gaa-analyze` uses for "did you mean …" typo
+/// suggestions: a condition type close to one of these names but matching
+/// none is almost certainly a misspelling.
+pub const KNOWN_CONDITIONS: &[(&str, &str, bool)] = &[
+    ("regex", "gnu", true),
+    ("system_threat_level", "local", true),
+    ("accessid", "USER", true),
+    ("accessid", "GROUP", true),
+    ("accessid", "HOST", true),
+    ("location", "local", true),
+    ("time_window", "local", true),
+    ("expr", "local", true),
+    ("threshold", "local", true),
+    ("notify", "local", true),
+    ("update_log", "local", true),
+    ("audit", "local", true),
+    ("block_network", "local", true),
+    ("stop_service", "local", true),
+    ("anomaly", "local", true),
+    ("terminate_session", "local", true),
+    ("disable_account", "local", true),
+    ("cpu_limit", "local", true),
+    ("mem_limit", "local", true),
+    ("wall_limit", "local", true),
+    ("files_limit", "local", true),
+    ("redirect", "local", false),
+];
+
+/// The sorted `(type, authority)` keys [`register_standard`] actually
+/// registers — i.e. [`KNOWN_CONDITIONS`] minus the evaluator-less entries.
+///
+/// Matches `ConditionRegistry::registered_keys()` on a registry built by
+/// [`register_standard`]; the analyzer uses it as the default registry
+/// snapshot when no live registry is at hand.
+pub fn standard_registered_keys() -> Vec<(String, String)> {
+    let mut keys: Vec<(String, String)> = KNOWN_CONDITIONS
+        .iter()
+        .filter(|(_, _, registered)| *registered)
+        .map(|(t, a, _)| (t.to_string(), a.to_string()))
+        .collect();
+    keys.sort();
+    keys
+}
+
 /// Registers the **entire** standard condition library on `builder` under
 /// the names the paper's policies use.
 ///
@@ -321,6 +373,25 @@ mod tests {
         assert!(api.registry().is_registered("regex", "gnu"));
         assert!(api.registry().is_registered("accessid", "GROUP"));
         assert!(api.registry().len() >= 16);
+    }
+
+    #[test]
+    fn known_conditions_table_matches_standard_registration() {
+        let services = services();
+        let api = register_standard(
+            GaaApiBuilder::new(Arc::new(MemoryPolicyStore::new())),
+            &services,
+        )
+        .build();
+        assert_eq!(api.registry().registered_keys(), standard_registered_keys());
+        // Evaluator-less entries are known but absent from the registry.
+        for (cond_type, authority, registered) in KNOWN_CONDITIONS {
+            assert_eq!(
+                api.registry().is_registered(cond_type, authority),
+                *registered,
+                "{cond_type}/{authority}"
+            );
+        }
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub mod threshold;
 pub mod time;
 
 pub use advisories::AdvisoryApplier;
-pub use catalog::{register_standard, StandardServices};
+pub use catalog::{
+    register_standard, standard_registered_keys, StandardServices, KNOWN_CONDITIONS,
+};
 pub use firewall::Firewall;
 pub use identity::GroupStore;
 pub use regex::Regex;

@@ -78,8 +78,9 @@ pub use context::{ExecutionMetrics, Outcome, Param, SecurityContext};
 pub use decision::{AnswerCode, REDIRECT_COND_TYPE};
 pub use gaa_eacl::RightPattern;
 pub use policy_store::{
-    CacheStats, CachingPolicyStore, FaultingPolicyStore, FilePolicyStore, MemoryPolicyStore,
-    PolicyError, PolicyStore, ResilientPolicyStore,
+    CacheStats, CachingPolicyStore, FaultingPolicyStore, FilePolicyStore, GateMode,
+    GatedPolicyStore, MemoryPolicyStore, PolicyError, PolicyGate, PolicyStore,
+    ResilientPolicyStore,
 };
 pub use registry::{ConditionEvaluator, ConditionRegistry, EvalDecision, EvalEnv};
 pub use status::GaaStatus;

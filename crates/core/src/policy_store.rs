@@ -43,6 +43,15 @@ pub enum PolicyError {
         /// The located parse error.
         error: ParseEaclError,
     },
+    /// A policy parsed but was refused by a load gate (static analysis
+    /// found Error-level defects). Enforcement is fail-closed: requests
+    /// against a rejected policy are denied, exactly as for a parse error.
+    Rejected {
+        /// Source (or logical name) of the rejected policy.
+        source_name: String,
+        /// Rendered summary of the gate's findings.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PolicyError {
@@ -51,6 +60,12 @@ impl fmt::Display for PolicyError {
             PolicyError::Io(e) => write!(f, "policy i/o error: {e}"),
             PolicyError::Parse { source_name, error } => {
                 write!(f, "policy parse error in {source_name}: {error}")
+            }
+            PolicyError::Rejected {
+                source_name,
+                reason,
+            } => {
+                write!(f, "policy rejected by lint gate in {source_name}: {reason}")
             }
         }
     }
@@ -61,6 +76,7 @@ impl Error for PolicyError {
         match self {
             PolicyError::Io(e) => Some(e),
             PolicyError::Parse { error, .. } => Some(error),
+            PolicyError::Rejected { .. } => None,
         }
     }
 }
@@ -569,6 +585,136 @@ impl PolicyStore for ResilientPolicyStore {
     }
 }
 
+/// What a [`GatedPolicyStore`] does when its gate rejects a policy list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateMode {
+    /// Refuse to load: the read fails with [`PolicyError::Rejected`] and the
+    /// caller's fail-closed path denies the request.
+    Enforce,
+    /// Load anyway, but audit the findings (`policy.lint_warned`). For
+    /// migration periods where blocking deployment is too disruptive.
+    WarnOnly,
+}
+
+/// A policy-quality gate: given a source name (`"system"` or the object
+/// path) and the parsed EACL list, return `Err` with a rendered findings
+/// summary to reject the load.
+///
+/// The closure form keeps `gaa-core` free of any dependency on the analyzer
+/// — `gaa-analyze` supplies the standard gate built on its lint passes.
+pub type PolicyGate = Arc<dyn Fn(&str, &[Eacl]) -> Result<(), String> + Send + Sync>;
+
+/// Load-time lint gate (§2's "automated tool to ensure policy correctness"
+/// wired into deployment): every policy list read through this decorator is
+/// checked by a [`PolicyGate`] before it reaches evaluation.
+///
+/// In [`GateMode::Enforce`] a rejected policy never loads — the store read
+/// fails with [`PolicyError::Rejected`] and enforcement stays fail-closed
+/// (deny), preventing a self-defeating policy (shadowed deny, constant
+/// grant) from silently weakening the deployment. In [`GateMode::WarnOnly`]
+/// the policy loads and the findings are audited instead.
+pub struct GatedPolicyStore {
+    inner: Arc<dyn PolicyStore>,
+    gate: PolicyGate,
+    mode: GateMode,
+    audit: Option<(AuditLog, SharedClock)>,
+    rejections: AtomicU64,
+}
+
+impl GatedPolicyStore {
+    /// Wraps `inner`, consulting `gate` on every successful read. Defaults
+    /// to [`GateMode::Enforce`].
+    pub fn new(inner: Arc<dyn PolicyStore>, gate: PolicyGate) -> Self {
+        GatedPolicyStore {
+            inner,
+            gate,
+            mode: GateMode::Enforce,
+            audit: None,
+            rejections: AtomicU64::new(0),
+        }
+    }
+
+    /// Switches to [`GateMode::WarnOnly`]: findings are audited but the
+    /// policy loads.
+    #[must_use]
+    pub fn warn_only(mut self) -> Self {
+        self.mode = GateMode::WarnOnly;
+        self
+    }
+
+    /// Sets the gate mode explicitly (e.g. from a config parameter).
+    #[must_use]
+    pub fn with_mode(mut self, mode: GateMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Records every gate rejection/warning in `audit`, stamped by `clock`.
+    #[must_use]
+    pub fn with_audit(mut self, audit: AuditLog, clock: SharedClock) -> Self {
+        self.audit = Some((audit, clock));
+        self
+    }
+
+    /// Number of reads the gate rejected (enforce mode) or flagged
+    /// (warn-only mode).
+    pub fn rejections(&self) -> u64 {
+        self.rejections.load(Ordering::SeqCst)
+    }
+
+    fn check(&self, source_name: &str, eacls: Vec<Eacl>) -> Result<Vec<Eacl>, PolicyError> {
+        let Err(reason) = (self.gate)(source_name, &eacls) else {
+            return Ok(eacls);
+        };
+        self.rejections.fetch_add(1, Ordering::SeqCst);
+        match self.mode {
+            GateMode::Enforce => {
+                if let Some((audit, clock)) = &self.audit {
+                    audit.record(AuditRecord::new(
+                        clock.now(),
+                        AuditSeverity::Alert,
+                        "policy.lint_rejected",
+                        source_name,
+                        format!("policy refused by lint gate: {reason}"),
+                    ));
+                }
+                Err(PolicyError::Rejected {
+                    source_name: source_name.to_string(),
+                    reason,
+                })
+            }
+            GateMode::WarnOnly => {
+                if let Some((audit, clock)) = &self.audit {
+                    audit.record(AuditRecord::new(
+                        clock.now(),
+                        AuditSeverity::Warning,
+                        "policy.lint_warned",
+                        source_name,
+                        format!("policy loaded despite lint findings: {reason}"),
+                    ));
+                }
+                Ok(eacls)
+            }
+        }
+    }
+}
+
+impl PolicyStore for GatedPolicyStore {
+    fn system_policies(&self) -> Result<Vec<Eacl>, PolicyError> {
+        let eacls = self.inner.system_policies()?;
+        self.check("system", eacls)
+    }
+
+    fn local_policies(&self, object: &str) -> Result<Vec<Eacl>, PolicyError> {
+        let eacls = self.inner.local_policies(object)?;
+        self.check(object, eacls)
+    }
+
+    fn generation(&self) -> u64 {
+        self.inner.generation()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -709,6 +855,92 @@ mod tests {
         let io_err = PolicyError::from(std::io::Error::other("boom"));
         assert!(io_err.to_string().contains("boom"));
         assert!(io_err.source().is_some());
+    }
+
+    mod gate {
+        use super::*;
+        use gaa_audit::VirtualClock;
+
+        fn store_with_policy() -> Arc<MemoryPolicyStore> {
+            let mut inner = MemoryPolicyStore::new();
+            inner.set_system(vec![grant_eacl()]);
+            inner.set_local("/x", vec![grant_eacl()]);
+            Arc::new(inner)
+        }
+
+        /// A gate that rejects any policy list containing a wildcard grant.
+        fn no_wildcard_grant_gate() -> PolicyGate {
+            Arc::new(|_source, eacls: &[Eacl]| {
+                for eacl in eacls {
+                    for entry in &eacl.entries {
+                        if entry.right.value == "*" {
+                            return Err("wildcard grant".to_string());
+                        }
+                    }
+                }
+                Ok(())
+            })
+        }
+
+        #[test]
+        fn clean_policies_pass_through() {
+            let store =
+                GatedPolicyStore::new(store_with_policy(), Arc::new(|_, _: &[Eacl]| Ok(())));
+            assert_eq!(store.system_policies().unwrap().len(), 1);
+            assert_eq!(store.local_policies("/x").unwrap().len(), 1);
+            assert_eq!(store.rejections(), 0);
+        }
+
+        #[test]
+        fn enforce_mode_refuses_rejected_policies() {
+            let clock = Arc::new(VirtualClock::at_millis(7));
+            let audit = AuditLog::new();
+            let store = GatedPolicyStore::new(store_with_policy(), no_wildcard_grant_gate())
+                .with_audit(audit.clone(), clock);
+
+            let err = store.system_policies().unwrap_err();
+            assert!(
+                matches!(&err, PolicyError::Rejected { source_name, .. } if source_name == "system"),
+                "{err}"
+            );
+            assert!(err.to_string().contains("wildcard grant"), "{err}");
+
+            let err = store.local_policies("/x").unwrap_err();
+            assert!(
+                matches!(&err, PolicyError::Rejected { source_name, .. } if source_name == "/x"),
+                "{err}"
+            );
+            assert_eq!(store.rejections(), 2);
+
+            let records = audit.records();
+            assert_eq!(records.len(), 2);
+            assert!(records.iter().all(|r| r.category == "policy.lint_rejected"));
+        }
+
+        #[test]
+        fn warn_only_mode_loads_and_audits() {
+            let clock = Arc::new(VirtualClock::at_millis(7));
+            let audit = AuditLog::new();
+            let store = GatedPolicyStore::new(store_with_policy(), no_wildcard_grant_gate())
+                .warn_only()
+                .with_audit(audit.clone(), clock);
+
+            assert_eq!(store.system_policies().unwrap().len(), 1);
+            assert_eq!(store.local_policies("/x").unwrap().len(), 1);
+            assert_eq!(store.rejections(), 2);
+
+            let records = audit.records();
+            assert_eq!(records.len(), 2);
+            assert!(records.iter().all(|r| r.category == "policy.lint_warned"));
+        }
+
+        #[test]
+        fn gate_delegates_generation() {
+            let inner = store_with_policy();
+            let g = inner.generation();
+            let store = GatedPolicyStore::new(inner, Arc::new(|_, _: &[Eacl]| Ok(())));
+            assert_eq!(store.generation(), g);
+        }
     }
 
     mod resilience {

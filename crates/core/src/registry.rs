@@ -176,6 +176,18 @@ impl ConditionRegistry {
         self.lookup(cond_type, authority).is_some()
     }
 
+    /// The sorted list of `(condition type, authority)` keys with a
+    /// registered routine, wildcard (`"*"`) authorities included verbatim.
+    ///
+    /// This is the registry snapshot the static analyzer (`gaa-analyze`)
+    /// consumes to predict which conditions will be left unevaluated
+    /// (MAYBE) at request time.
+    pub fn registered_keys(&self) -> Vec<(String, String)> {
+        let mut keys: Vec<(String, String)> = self.evaluators.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
     /// Number of registered routines.
     pub fn len(&self) -> usize {
         self.evaluators.len()

@@ -39,11 +39,6 @@ impl ParseEaclError {
     pub fn line(&self) -> usize {
         self.line
     }
-
-    /// Used for error relocation in `parse_eacl_list`.
-    pub(crate) fn into_kind(self) -> ErrorKind {
-        self.kind
-    }
 }
 
 impl fmt::Display for ParseEaclError {

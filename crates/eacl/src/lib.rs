@@ -76,6 +76,7 @@ pub mod compose;
 mod display;
 mod error;
 mod parser;
+mod span;
 pub mod validate;
 
 pub use ast::{
@@ -83,4 +84,5 @@ pub use ast::{
 };
 pub use compose::{ComposedPolicy, PolicyLayer};
 pub use error::ParseEaclError;
-pub use parser::{parse_eacl, parse_eacl_list};
+pub use parser::{parse_eacl, parse_eacl_list, parse_eacl_list_spanned, parse_eacl_spanned};
+pub use span::{EaclSpans, EntrySpans, Span, SpannedEacl};

@@ -9,9 +9,14 @@
 //! * `pre_cond|rr_cond|mid_cond|post_cond <type> <authority> <value…>` —
 //!   appends a condition to the current entry; the value runs to end of line
 //!   (so signature lists like `*phf* *test-cgi*` are one value).
+//!
+//! Every parse also records a [`Span`] per construct. [`parse_eacl`] and
+//! [`parse_eacl_list`] discard the spans; the `_spanned` variants return
+//! them alongside the AST for diagnostics (`gaa-analyze` lint locations).
 
 use crate::ast::{AccessRight, CompositionMode, CondPhase, Condition, Eacl, EaclEntry, Polarity};
 use crate::error::{ErrorKind, ParseEaclError};
+use crate::span::{EaclSpans, EntrySpans, Span, SpannedEacl};
 
 /// Parses a single EACL from `input`.
 ///
@@ -39,33 +44,139 @@ use crate::error::{ErrorKind, ParseEaclError};
 /// # }
 /// ```
 pub fn parse_eacl(input: &str) -> Result<Eacl, ParseEaclError> {
-    let mut eacl = Eacl::new();
-    let mut current: Option<EaclEntry> = None;
-    let mut seen_mode = false;
+    parse_eacl_spanned(input).map(|spanned| spanned.eacl)
+}
 
-    for (idx, raw_line) in input.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = strip_comment(raw_line).trim();
-        if line.is_empty() {
-            continue;
+/// Parses a single EACL, returning the AST together with per-construct
+/// source spans.
+///
+/// # Errors
+///
+/// Exactly as [`parse_eacl`].
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_eacl::parse_eacl_spanned;
+///
+/// # fn main() -> Result<(), gaa_eacl::ParseEaclError> {
+/// let spanned = parse_eacl_spanned("pos_access_right apache *\npre_cond regex gnu *phf*\n")?;
+/// assert_eq!(spanned.spans.entries[0].right.line, 1);
+/// assert_eq!(spanned.spans.entries[0].pre[0].line, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_eacl_spanned(input: &str) -> Result<SpannedEacl, ParseEaclError> {
+    let mut parser = LineParser::new();
+    for (lineno, line_start, raw_line) in lines_with_offsets(input) {
+        parser.feed(lineno, line_start, raw_line)?;
+    }
+    Ok(parser.finish())
+}
+
+/// Parses a file holding *several* EACLs separated by `eacl_mode` headers.
+///
+/// The paper's `get_object_policy_info` builds "a list of EACLs"; operators
+/// sometimes keep several system-wide EACLs in one file. Every `eacl_mode`
+/// line starts a new EACL; content before the first header forms a headerless
+/// EACL if non-empty.
+///
+/// # Errors
+///
+/// Propagates [`ParseEaclError`] from any constituent EACL, with line numbers
+/// relative to the whole input.
+pub fn parse_eacl_list(input: &str) -> Result<Vec<Eacl>, ParseEaclError> {
+    Ok(parse_eacl_list_spanned(input)?
+        .into_iter()
+        .map(|spanned| spanned.eacl)
+        .collect())
+}
+
+/// Parses a multi-EACL file, returning each EACL with its spans. Line
+/// numbers and byte offsets are relative to the **whole** input, not the
+/// individual EACL's segment.
+///
+/// # Errors
+///
+/// Exactly as [`parse_eacl_list`].
+pub fn parse_eacl_list_spanned(input: &str) -> Result<Vec<SpannedEacl>, ParseEaclError> {
+    let mut eacls = Vec::new();
+    let mut parser = LineParser::new();
+    for (lineno, line_start, raw_line) in lines_with_offsets(input) {
+        let stripped = strip_comment(raw_line);
+        if stripped.split_whitespace().next() == Some("eacl_mode") && parser.has_content() {
+            push_nonempty(&mut eacls, std::mem::take(&mut parser).finish());
         }
+        parser.feed(lineno, line_start, raw_line)?;
+    }
+    push_nonempty(&mut eacls, parser.finish());
+    Ok(eacls)
+}
+
+fn push_nonempty(eacls: &mut Vec<SpannedEacl>, spanned: SpannedEacl) {
+    if !spanned.eacl.entries.is_empty() || spanned.eacl.mode.is_some() {
+        eacls.push(spanned);
+    }
+}
+
+/// Incremental line-at-a-time parser state shared by the single- and
+/// multi-EACL entry points. Feeding lines with global line numbers and byte
+/// offsets makes both error locations and spans whole-file-relative for
+/// free.
+#[derive(Default)]
+struct LineParser {
+    eacl: Eacl,
+    spans: EaclSpans,
+    current: Option<(EaclEntry, EntrySpans)>,
+    seen_mode: bool,
+}
+
+impl LineParser {
+    fn new() -> Self {
+        LineParser::default()
+    }
+
+    /// Has this parser consumed any policy construct yet?
+    fn has_content(&self) -> bool {
+        self.seen_mode || self.current.is_some() || !self.eacl.entries.is_empty()
+    }
+
+    fn feed(
+        &mut self,
+        lineno: usize,
+        line_start: usize,
+        raw_line: &str,
+    ) -> Result<(), ParseEaclError> {
+        let content = strip_comment(raw_line);
+        let line = content.trim();
+        if line.is_empty() {
+            return Ok(());
+        }
+        let lead = content.len() - content.trim_start().len();
+        let span = Span {
+            line: lineno,
+            start: line_start + lead,
+            end: line_start + lead + line.len(),
+        };
 
         let (keyword, rest) = split_first_token(line);
         match keyword {
             "eacl_mode" => {
-                if seen_mode || current.is_some() || !eacl.entries.is_empty() {
+                if self.has_content() {
                     return Err(ParseEaclError::new(lineno, ErrorKind::MisplacedMode));
                 }
-                seen_mode = true;
+                self.seen_mode = true;
                 let mode_str = rest.trim();
                 let mode: CompositionMode = mode_str.parse().map_err(|_| {
                     ParseEaclError::new(lineno, ErrorKind::BadMode(mode_str.into()))
                 })?;
-                eacl.mode = Some(mode);
+                self.eacl.mode = Some(mode);
+                self.spans.mode = Some(span);
             }
             "pos_access_right" | "neg_access_right" => {
-                if let Some(done) = current.take() {
-                    eacl.entries.push(done);
+                if let Some((entry, entry_spans)) = self.current.take() {
+                    self.eacl.entries.push(entry);
+                    self.spans.entries.push(entry_spans);
                 }
                 let polarity = if keyword == "pos_access_right" {
                     Polarity::Positive
@@ -77,11 +188,18 @@ pub fn parse_eacl(input: &str) -> Result<Eacl, ParseEaclError> {
                 if authority.is_empty() || value.is_empty() || value.contains(char::is_whitespace) {
                     return Err(ParseEaclError::new(lineno, ErrorKind::IncompleteRight));
                 }
-                current = Some(EaclEntry::new(AccessRight {
+                let entry = EaclEntry::new(AccessRight {
                     polarity,
                     authority: authority.to_string(),
                     value: value.to_string(),
-                }));
+                });
+                self.current = Some((
+                    entry,
+                    EntrySpans {
+                        right: span,
+                        ..EntrySpans::default()
+                    },
+                ));
             }
             "pre_cond" | "rr_cond" | "mid_cond" | "post_cond" => {
                 let phase = match keyword {
@@ -90,7 +208,8 @@ pub fn parse_eacl(input: &str) -> Result<Eacl, ParseEaclError> {
                     "mid_cond" => CondPhase::Mid,
                     _ => CondPhase::Post,
                 };
-                let entry = current
+                let (entry, entry_spans) = self
+                    .current
                     .as_mut()
                     .ok_or_else(|| ParseEaclError::new(lineno, ErrorKind::ConditionBeforeEntry))?;
                 let (cond_type, after_type) = split_first_token(rest.trim());
@@ -106,6 +225,7 @@ pub fn parse_eacl(input: &str) -> Result<Eacl, ParseEaclError> {
                     authority: authority.to_string(),
                     value: value.to_string(),
                 });
+                entry_spans.block_mut(phase).push(span);
             }
             other => {
                 return Err(ParseEaclError::new(
@@ -114,58 +234,32 @@ pub fn parse_eacl(input: &str) -> Result<Eacl, ParseEaclError> {
                 ))
             }
         }
+        Ok(())
     }
 
-    if let Some(done) = current.take() {
-        eacl.entries.push(done);
+    fn finish(mut self) -> SpannedEacl {
+        if let Some((entry, entry_spans)) = self.current.take() {
+            self.eacl.entries.push(entry);
+            self.spans.entries.push(entry_spans);
+        }
+        SpannedEacl {
+            eacl: self.eacl,
+            spans: self.spans,
+        }
     }
-    Ok(eacl)
 }
 
-/// Parses a file holding *several* EACLs separated by `eacl_mode` headers.
-///
-/// The paper's `get_object_policy_info` builds "a list of EACLs"; operators
-/// sometimes keep several system-wide EACLs in one file. Every `eacl_mode`
-/// line starts a new EACL; content before the first header forms a headerless
-/// EACL if non-empty.
-///
-/// # Errors
-///
-/// Propagates [`ParseEaclError`] from any constituent EACL, with line numbers
-/// relative to the whole input.
-pub fn parse_eacl_list(input: &str) -> Result<Vec<Eacl>, ParseEaclError> {
-    // Split on eacl_mode boundaries while tracking original line offsets so
-    // error line numbers stay global.
-    let mut segments: Vec<(usize, String)> = Vec::new();
-    let mut current = String::new();
-    let mut current_start = 0usize;
-    for (idx, raw_line) in input.lines().enumerate() {
-        let stripped = strip_comment(raw_line);
-        if stripped.split_whitespace().next() == Some("eacl_mode") {
-            if !current.trim().is_empty() {
-                segments.push((current_start, std::mem::take(&mut current)));
-            }
-            current_start = idx;
-        }
-        current.push_str(raw_line);
-        current.push('\n');
-    }
-    if !current.trim().is_empty() {
-        segments.push((current_start, current));
-    }
-
-    let mut eacls = Vec::with_capacity(segments.len());
-    for (offset, segment) in segments {
-        let eacl = parse_eacl(&segment).map_err(|e| {
-            // Re-locate the error against the original (whole-file) input.
-            let line = e.line();
-            ParseEaclError::new(line + offset, e.into_kind())
-        })?;
-        if !eacl.entries.is_empty() || eacl.mode.is_some() {
-            eacls.push(eacl);
-        }
-    }
-    Ok(eacls)
+/// Iterates `(1-based line number, byte offset of line start, line content
+/// without the terminator)`. CRLF terminators are tolerated: the trailing
+/// `\r` stays in the yielded slice but is whitespace, so trimming removes
+/// it before any span is computed.
+fn lines_with_offsets(input: &str) -> impl Iterator<Item = (usize, usize, &str)> {
+    let mut offset = 0usize;
+    input.split('\n').enumerate().map(move |(idx, raw_line)| {
+        let line_start = offset;
+        offset += raw_line.len() + 1;
+        (idx + 1, line_start, raw_line)
+    })
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -362,5 +456,72 @@ junk
     fn empty_input_yields_no_eacls() {
         assert!(parse_eacl_list("").unwrap().is_empty());
         assert!(parse_eacl_list("# nothing\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn spans_locate_every_construct() {
+        let input = "\
+eacl_mode narrow
+# a comment line
+  neg_access_right apache *   # indented, trailing comment
+pre_cond regex gnu *phf*
+rr_cond notify local on:failure/x/info:y
+pos_access_right apache *
+";
+        let spanned = parse_eacl_spanned(input).unwrap();
+        let spans = &spanned.spans;
+        let mode = spans.mode.unwrap();
+        assert_eq!(mode.line, 1);
+        assert_eq!(&input[mode.start..mode.end], "eacl_mode narrow");
+        let entry0 = &spans.entries[0];
+        assert_eq!(entry0.right.line, 3);
+        assert_eq!(
+            &input[entry0.right.start..entry0.right.end],
+            "neg_access_right apache *"
+        );
+        assert_eq!(entry0.pre[0].line, 4);
+        assert_eq!(
+            &input[entry0.pre[0].start..entry0.pre[0].end],
+            "pre_cond regex gnu *phf*"
+        );
+        assert_eq!(entry0.rr[0].line, 5);
+        assert_eq!(spans.entries[1].right.line, 6);
+        assert_eq!(
+            spanned.spans.entries[0].condition(CondPhase::Pre, 0),
+            Some(entry0.pre[0])
+        );
+        assert_eq!(spanned.spans.entries[0].condition(CondPhase::Mid, 0), None);
+    }
+
+    #[test]
+    fn list_spans_are_whole_file_relative() {
+        let input = "\
+eacl_mode 1
+neg_access_right * *
+eacl_mode 0
+pos_access_right apache *
+pre_cond accessid USER alice
+";
+        let spanned = parse_eacl_list_spanned(input).unwrap();
+        assert_eq!(spanned.len(), 2);
+        let second = &spanned[1];
+        assert_eq!(second.spans.mode.unwrap().line, 3);
+        assert_eq!(second.spans.entries[0].right.line, 4);
+        assert_eq!(second.spans.entries[0].pre[0].line, 5);
+        let pre = second.spans.entries[0].pre[0];
+        assert_eq!(&input[pre.start..pre.end], "pre_cond accessid USER alice");
+    }
+
+    #[test]
+    fn spanned_and_plain_parse_agree() {
+        let eacl = parse_eacl(SECTION_72_LOCAL).unwrap();
+        let spanned = parse_eacl_spanned(SECTION_72_LOCAL).unwrap();
+        assert_eq!(eacl, spanned.eacl);
+        assert_eq!(spanned.spans.entries.len(), eacl.entries.len());
+        for (entry, spans) in eacl.entries.iter().zip(&spanned.spans.entries) {
+            for phase in CondPhase::all() {
+                assert_eq!(entry.block(phase).len(), spans.block(phase).len());
+            }
+        }
     }
 }

@@ -1,0 +1,145 @@
+//! Source locations for parsed EACLs.
+//!
+//! Spans live in a **side table** ([`EaclSpans`]), not in the AST itself:
+//! the AST's `PartialEq` drives the print→parse round-trip property tests,
+//! and two policies that differ only in formatting must stay equal. The
+//! spanned parser entry points ([`parse_eacl_spanned`],
+//! [`parse_eacl_list_spanned`]) return the AST and its span table together
+//! as a [`SpannedEacl`].
+//!
+//! [`parse_eacl_spanned`]: crate::parse_eacl_spanned
+//! [`parse_eacl_list_spanned`]: crate::parse_eacl_list_spanned
+
+use crate::ast::{CondPhase, Eacl};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Location of one construct (an `eacl_mode` header, an access-right line,
+/// or a condition line) in the policy source text.
+///
+/// `line` is 1-based; `start`/`end` are byte offsets into the whole input
+/// covering the construct's text with surrounding whitespace and trailing
+/// comments stripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// 1-based line number within the source text.
+    pub line: usize,
+    /// Byte offset of the construct's first character.
+    pub start: usize,
+    /// Byte offset one past the construct's last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering nothing at the very start of the input. Used when a
+    /// finding concerns the policy as a whole (e.g. an empty policy).
+    pub fn file_start() -> Span {
+        Span {
+            line: 1,
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Returns this span shifted by `line_delta` lines and `byte_delta`
+    /// bytes (relocating a segment-relative span into whole-file terms).
+    #[must_use]
+    pub fn shifted(self, line_delta: usize, byte_delta: usize) -> Span {
+        Span {
+            line: self.line + line_delta,
+            start: self.start + byte_delta,
+            end: self.end + byte_delta,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+/// Spans for one EACL entry: the access-right line plus one span per
+/// condition in each phase block, in block order.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EntrySpans {
+    /// Span of the `pos_access_right` / `neg_access_right` line.
+    pub right: Span,
+    /// Spans of the `pre_cond` lines, in order.
+    pub pre: Vec<Span>,
+    /// Spans of the `rr_cond` lines, in order.
+    pub rr: Vec<Span>,
+    /// Spans of the `mid_cond` lines, in order.
+    pub mid: Vec<Span>,
+    /// Spans of the `post_cond` lines, in order.
+    pub post: Vec<Span>,
+}
+
+impl EntrySpans {
+    /// The span list for `phase`, parallel to
+    /// [`EaclEntry::block`](crate::EaclEntry::block).
+    pub fn block(&self, phase: CondPhase) -> &[Span] {
+        match phase {
+            CondPhase::Pre => &self.pre,
+            CondPhase::RequestResult => &self.rr,
+            CondPhase::Mid => &self.mid,
+            CondPhase::Post => &self.post,
+        }
+    }
+
+    /// Mutable span list for `phase` (parser internal).
+    pub(crate) fn block_mut(&mut self, phase: CondPhase) -> &mut Vec<Span> {
+        match phase {
+            CondPhase::Pre => &mut self.pre,
+            CondPhase::RequestResult => &mut self.rr,
+            CondPhase::Mid => &mut self.mid,
+            CondPhase::Post => &mut self.post,
+        }
+    }
+
+    /// The span of the `index`-th condition of `phase`, if recorded.
+    pub fn condition(&self, phase: CondPhase, index: usize) -> Option<Span> {
+        self.block(phase).get(index).copied()
+    }
+
+    fn shift(&mut self, line_delta: usize, byte_delta: usize) {
+        self.right = self.right.shifted(line_delta, byte_delta);
+        for phase in CondPhase::all() {
+            for span in self.block_mut(phase) {
+                *span = span.shifted(line_delta, byte_delta);
+            }
+        }
+    }
+}
+
+/// The span side table of one parsed EACL: structurally parallel to
+/// [`Eacl`] (`entries[i]` locates `eacl.entries[i]`).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EaclSpans {
+    /// Span of the `eacl_mode` header line, when present.
+    pub mode: Option<Span>,
+    /// Per-entry spans, parallel to [`Eacl::entries`].
+    pub entries: Vec<EntrySpans>,
+}
+
+impl EaclSpans {
+    /// Shifts every recorded span by `line_delta` lines and `byte_delta`
+    /// bytes (relocating segment-relative spans into whole-file terms).
+    pub fn shift(&mut self, line_delta: usize, byte_delta: usize) {
+        if let Some(mode) = &mut self.mode {
+            *mode = mode.shifted(line_delta, byte_delta);
+        }
+        for entry in &mut self.entries {
+            entry.shift(line_delta, byte_delta);
+        }
+    }
+}
+
+/// A parsed EACL together with its source-location side table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpannedEacl {
+    /// The abstract syntax tree.
+    pub eacl: Eacl,
+    /// Source locations, parallel to `eacl`.
+    pub spans: EaclSpans,
+}

@@ -1,12 +1,16 @@
-//! Static validation of EACL policies.
+//! Static validation of EACL policies — the syntax tier of the lint stack.
 //!
 //! The paper (§2) notes that "the function of defining the order of EACL
 //! entries and conditions within an entry can be best served by an automated
 //! tool to ensure policy correctness and consistency" and leaves that tool to
-//! future work. This module implements that tool: a linter that detects the
-//! ordering mistakes the paper warns about.
+//! future work. This module implements the per-EACL half of that tool: a
+//! linter that detects the ordering mistakes the paper warns about. The
+//! whole-deployment semantic passes (composition-aware shadowing,
+//! MAYBE-surface, completeness, differential checking) live in the
+//! `gaa-analyze` crate, which folds these findings in as its `GAA1xx` tier.
 
 use crate::ast::{Eacl, Polarity};
+use crate::span::{EaclSpans, Span, SpannedEacl};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -28,22 +32,61 @@ impl fmt::Display for Severity {
     }
 }
 
-/// A single finding produced by [`validate`].
+/// Machine-readable classification of a [`Finding`], with a stable lint
+/// code (the `GAA1xx` syntax tier of the `gaa-analyze` catalog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FindingKind {
+    /// `GAA101`: the policy has no entries at all.
+    EmptyPolicy,
+    /// `GAA102`: an entry is unreachable behind an unconditional subsuming
+    /// entry.
+    Unreachable,
+    /// `GAA103`: an entry textually duplicates an earlier one.
+    Duplicate,
+    /// `GAA104`: a leading unconditional deny-all makes the policy constant.
+    ConstantDeny,
+}
+
+impl FindingKind {
+    /// The stable lint code, e.g. `"GAA102"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            FindingKind::EmptyPolicy => "GAA101",
+            FindingKind::Unreachable => "GAA102",
+            FindingKind::Duplicate => "GAA103",
+            FindingKind::ConstantDeny => "GAA104",
+        }
+    }
+}
+
+/// A single finding produced by [`validate`] / [`validate_spanned`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Finding {
+    /// What class of defect this is (carries the stable lint code).
+    pub kind: FindingKind,
     /// Severity of the finding.
     pub severity: Severity,
     /// Index of the entry the finding refers to, if any.
     pub entry: Option<usize>,
+    /// Source location of the offending construct. Always present when the
+    /// policy was parsed via [`parse_eacl_spanned`]; `None` for ASTs built
+    /// programmatically (no source text to point into).
+    ///
+    /// [`parse_eacl_spanned`]: crate::parse_eacl_spanned
+    pub span: Option<Span>,
     /// Human-readable description.
     pub message: String,
 }
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.kind.code())?;
+        if let Some(span) = self.span {
+            write!(f, ": {span}")?;
+        }
         match self.entry {
-            Some(idx) => write!(f, "{}: entry {}: {}", self.severity, idx + 1, self.message),
-            None => write!(f, "{}: {}", self.severity, self.message),
+            Some(idx) => write!(f, ": entry {}: {}", idx + 1, self.message),
+            None => write!(f, ": {}", self.message),
         }
     }
 }
@@ -52,18 +95,21 @@ impl fmt::Display for Finding {
 ///
 /// Checks performed:
 ///
-/// * **empty policy** (warning) — an EACL with no entries denies everything
-///   under the default-deny evaluation rule;
-/// * **unreachable entries** (error) — entries after an *unconditional* entry
-///   whose right pattern subsumes theirs can never be consulted, because
-///   evaluation is first-match (§2: "entries which already have been examined
-///   take precedence");
-/// * **duplicate entries** (warning) — textually identical entries;
-/// * **unconditional deny-all first** (warning) — a leading
+/// * **empty policy** (`GAA101`, warning) — an EACL with no entries denies
+///   everything under the default-deny evaluation rule;
+/// * **unreachable entries** (`GAA102`, error) — entries after an
+///   *unconditional* entry whose right pattern subsumes theirs can never be
+///   consulted, because evaluation is first-match (§2: "entries which
+///   already have been examined take precedence");
+/// * **duplicate entries** (`GAA103`, warning) — textually identical entries;
+/// * **unconditional deny-all first** (`GAA104`, warning) — a leading
 ///   `neg_access_right * *` with no pre-conditions makes the whole policy a
 ///   constant deny;
 /// * **response conditions on unreachable entries** (folded into the
 ///   unreachable error message) — notify/audit actions that can never fire.
+///
+/// Findings from this entry point carry no [`Span`] (there is no source
+/// text); use [`validate_spanned`] to keep positions.
 ///
 /// # Examples
 ///
@@ -82,12 +128,44 @@ impl fmt::Display for Finding {
 /// # }
 /// ```
 pub fn validate(eacl: &Eacl) -> Vec<Finding> {
+    validate_impl(eacl, None)
+}
+
+/// Lints a parsed-with-spans EACL; every finding carries the byte/line
+/// [`Span`] of the construct it refers to.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_eacl::{parse_eacl_spanned, validate::validate_spanned};
+///
+/// # fn main() -> Result<(), gaa_eacl::ParseEaclError> {
+/// let spanned = parse_eacl_spanned(
+///     "pos_access_right * *\n\
+///      neg_access_right apache *\n",
+/// )?;
+/// let findings = validate_spanned(&spanned);
+/// assert_eq!(findings[0].span.unwrap().line, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn validate_spanned(spanned: &SpannedEacl) -> Vec<Finding> {
+    validate_impl(&spanned.eacl, Some(&spanned.spans))
+}
+
+fn validate_impl(eacl: &Eacl, spans: Option<&EaclSpans>) -> Vec<Finding> {
     let mut findings = Vec::new();
+    // With spans available, every finding gets a location: entry findings
+    // point at the entry's access-right line; the whole-policy finding
+    // points at the mode header or the start of the (empty) file.
+    let entry_span = |entry: usize| spans.map(|s| s.entries[entry].right);
 
     if eacl.entries.is_empty() {
         findings.push(Finding {
+            kind: FindingKind::EmptyPolicy,
             severity: Severity::Warning,
             entry: None,
+            span: spans.map(|s| s.mode.unwrap_or_else(Span::file_start)),
             message: "policy has no entries; default-deny applies to every request".into(),
         });
         return findings;
@@ -112,8 +190,10 @@ pub fn validate(eacl: &Eacl) -> Vec<Finding> {
                     message.push_str("; its notify/audit response conditions can never fire");
                 }
                 findings.push(Finding {
+                    kind: FindingKind::Unreachable,
                     severity: Severity::Error,
                     entry: Some(j),
+                    span: entry_span(j),
                     message,
                 });
             }
@@ -125,8 +205,10 @@ pub fn validate(eacl: &Eacl) -> Vec<Finding> {
         for (j, b) in eacl.entries.iter().enumerate().skip(i + 1) {
             if a == b {
                 findings.push(Finding {
+                    kind: FindingKind::Duplicate,
                     severity: Severity::Warning,
                     entry: Some(j),
+                    span: entry_span(j),
                     message: format!("duplicate of entry {}", i + 1),
                 });
             }
@@ -141,8 +223,10 @@ pub fn validate(eacl: &Eacl) -> Vec<Finding> {
         && first.pre.is_empty()
     {
         findings.push(Finding {
+            kind: FindingKind::ConstantDeny,
             severity: Severity::Warning,
             entry: Some(0),
+            span: entry_span(0),
             message: "leading unconditional deny-all makes the entire policy a constant deny"
                 .into(),
         });
@@ -162,6 +246,7 @@ fn subsumes(pattern: &str, other: &str) -> bool {
 mod tests {
     use super::*;
     use crate::ast::{AccessRight, CondPhase, Condition, Eacl, EaclEntry};
+    use crate::parser::parse_eacl_spanned;
 
     fn guarded(entry: EaclEntry) -> EaclEntry {
         entry.with_condition(CondPhase::Pre, Condition::new("t", "local", "v"))
@@ -172,6 +257,8 @@ mod tests {
         let findings = validate(&Eacl::new());
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].severity, Severity::Warning);
+        assert_eq!(findings[0].kind, FindingKind::EmptyPolicy);
+        assert_eq!(findings[0].span, None);
     }
 
     #[test]
@@ -258,5 +345,61 @@ mod tests {
         for pair in findings.windows(2) {
             assert!(pair[0].severity >= pair[1].severity);
         }
+    }
+
+    #[test]
+    fn spanned_findings_carry_locations() {
+        let spanned = parse_eacl_spanned(
+            "# comment\n\
+             pos_access_right * *\n\
+             neg_access_right apache *\n\
+             rr_cond notify local on:failure/x/info:y\n\
+             neg_access_right apache *\n\
+             rr_cond notify local on:failure/x/info:y\n",
+        )
+        .unwrap();
+        let findings = validate_spanned(&spanned);
+        assert!(!findings.is_empty());
+        for finding in &findings {
+            let span = finding.span.expect("spanned validate keeps positions");
+            assert!(span.line >= 2, "{finding}");
+        }
+        // The cross-entry unreachable finding points at the *shadowed*
+        // entry's own line, not the blocker's.
+        let unreachable: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::Unreachable)
+            .collect();
+        // Entry 1 shadows entries 2 and 3; entry 2 (also unconditional)
+        // shadows entry 3 again.
+        assert_eq!(unreachable.len(), 3);
+        assert_eq!(unreachable[0].span.unwrap().line, 3);
+        assert_eq!(unreachable[1].span.unwrap().line, 5);
+        assert_eq!(unreachable[2].span.unwrap().line, 5);
+        // Display includes the code and the line.
+        let text = unreachable[0].to_string();
+        assert!(text.contains("GAA102"), "{text}");
+        assert!(text.contains("line 3"), "{text}");
+    }
+
+    #[test]
+    fn spanned_empty_policy_points_at_header() {
+        let spanned = parse_eacl_spanned("eacl_mode narrow\n# nothing else\n").unwrap();
+        let findings = validate_spanned(&spanned);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, FindingKind::EmptyPolicy);
+        assert_eq!(findings[0].span.unwrap().line, 1);
+        // Entirely empty input: span degrades to the file start.
+        let empty = parse_eacl_spanned("").unwrap();
+        let findings = validate_spanned(&empty);
+        assert_eq!(findings[0].span.unwrap(), Span::file_start());
+    }
+
+    #[test]
+    fn kind_codes_are_stable() {
+        assert_eq!(FindingKind::EmptyPolicy.code(), "GAA101");
+        assert_eq!(FindingKind::Unreachable.code(), "GAA102");
+        assert_eq!(FindingKind::Duplicate.code(), "GAA103");
+        assert_eq!(FindingKind::ConstantDeny.code(), "GAA104");
     }
 }

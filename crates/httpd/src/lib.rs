@@ -23,6 +23,9 @@
 //!   memory, files created) so mid-conditions have something to police;
 //! * [`glue`] — Figure 1 end-to-end: context extraction, the four
 //!   per-request GAA phases, status translation, IDS reporting (§3);
+//! * [`policy_lint`] — config-driven load-path linting: the policy store
+//!   refuses (or audits, per `param lint.mode`) artifacts the `gaa-analyze`
+//!   passes prove self-defeating;
 //! * [`server`] — the request lifecycle tying it all together, with
 //!   pluggable access control (none / htaccess / GAA);
 //! * [`tcp`] — a minimal real-socket front end used by the runnable
@@ -37,6 +40,7 @@ pub mod glue;
 pub mod htaccess;
 pub mod http;
 pub mod loganalyzer;
+pub mod policy_lint;
 pub mod server;
 pub mod tcp;
 pub mod vfs;
@@ -45,5 +49,6 @@ pub use access_log::{AccessEntry, AccessLog};
 pub use glue::GaaGlue;
 pub use http::{HttpRequest, HttpResponse, Method, ParseRequestError, StatusCode};
 pub use loganalyzer::{LogAnalyzer, LogReport};
+pub use policy_lint::{lint_policy_store, LintEnforcement};
 pub use server::{AccessControl, Server, ServerStats};
 pub use vfs::{Node, Vfs};

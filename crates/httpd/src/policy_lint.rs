@@ -1,0 +1,185 @@
+//! Config-driven policy-load linting for the server.
+//!
+//! The analyzer (`gaa-analyze`) can prove a policy artifact self-defeating
+//! — a shadowed deny, a typo'd condition type — before a single request is
+//! evaluated against it. This module wires that check into the server's
+//! policy-retrieval path: the store is wrapped in a
+//! [`gaa_core::GatedPolicyStore`] whose gate runs the per-source lint
+//! passes, so an Error-level policy never reaches the evaluator (the glue's
+//! fail-closed retrieval path denies the requests instead and the rejection
+//! is audited).
+//!
+//! Enforcement is configured through the standard §6 configuration file:
+//!
+//! ```text
+//! param lint.mode enforce   # reject Error-level policies (default)
+//! param lint.mode warn      # load everything, audit findings
+//! param lint.mode off       # no linting on the load path
+//! ```
+
+use gaa_analyze::{lint_gate, Analyzer};
+use gaa_audit::{AuditLog, SharedClock};
+use gaa_core::config::ConfigFile;
+use gaa_core::{GateMode, GatedPolicyStore, PolicyStore};
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// How strictly the load path treats lint findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintEnforcement {
+    /// Refuse to serve policies with Error-level findings (the default).
+    #[default]
+    Enforce,
+    /// Serve everything, but audit what the linter found.
+    WarnOnly,
+    /// Skip load-path linting entirely.
+    Off,
+}
+
+impl FromStr for LintEnforcement {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "enforce" => Ok(LintEnforcement::Enforce),
+            "warn" => Ok(LintEnforcement::WarnOnly),
+            "off" => Ok(LintEnforcement::Off),
+            other => Err(format!(
+                "invalid lint.mode `{other}` (expected enforce, warn or off)"
+            )),
+        }
+    }
+}
+
+impl LintEnforcement {
+    /// Reads the `lint.mode` parameter from a configuration file; absent
+    /// means [`LintEnforcement::Enforce`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the parameter value is not one of
+    /// `enforce` / `warn` / `off`.
+    pub fn from_config(config: &ConfigFile) -> Result<Self, String> {
+        match config.param("lint.mode") {
+            Some(value) => value.parse(),
+            None => Ok(LintEnforcement::Enforce),
+        }
+    }
+}
+
+/// Wraps `store` according to `enforcement`: a linting
+/// [`GatedPolicyStore`] for `Enforce`/`WarnOnly`, the store unchanged for
+/// `Off`. Pass the audit log and clock so rejections (or warn-mode
+/// findings) land in the audit trail alongside the §3 reports.
+pub fn lint_policy_store(
+    store: Arc<dyn PolicyStore>,
+    enforcement: LintEnforcement,
+    audit: Option<(AuditLog, SharedClock)>,
+) -> Arc<dyn PolicyStore> {
+    let mode = match enforcement {
+        LintEnforcement::Off => return store,
+        LintEnforcement::Enforce => GateMode::Enforce,
+        LintEnforcement::WarnOnly => GateMode::WarnOnly,
+    };
+    let mut gated = GatedPolicyStore::new(store, lint_gate(Analyzer::new(), false)).with_mode(mode);
+    if let Some((audit, clock)) = audit {
+        gated = gated.with_audit(audit, clock);
+    }
+    Arc::new(gated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glue::GaaGlue;
+    use crate::http::{HttpRequest, StatusCode};
+    use crate::server::{AccessControl, Server};
+    use crate::vfs::Vfs;
+    use gaa_audit::notify::CollectingNotifier;
+    use gaa_audit::VirtualClock;
+    use gaa_conditions::{register_standard, StandardServices};
+    use gaa_core::config::parse_config;
+    use gaa_core::{GaaApiBuilder, MemoryPolicyStore};
+    use gaa_eacl::parse_eacl;
+
+    // A self-defeating policy: the unconditional grant shadows the deny
+    // (GAA201, Error severity).
+    const DEFECTIVE: &str = "pos_access_right apache *\n\
+                             neg_access_right apache *\n\
+                             pre_cond accessid GROUP BadGuys\n";
+
+    fn server_with(enforcement: LintEnforcement) -> (Server, StandardServices) {
+        let services = StandardServices::new(
+            Arc::new(VirtualClock::new()),
+            Arc::new(CollectingNotifier::new()),
+        );
+        let mut store = MemoryPolicyStore::new();
+        store.set_local("/index.html", vec![parse_eacl(DEFECTIVE).unwrap()]);
+        let store = lint_policy_store(
+            Arc::new(store),
+            enforcement,
+            Some((services.audit.clone(), services.clock.clone())),
+        );
+        let api = register_standard(
+            GaaApiBuilder::new(store).with_clock(services.clock.clone()),
+            &services,
+        )
+        .build();
+        let glue = GaaGlue::new(api, services.clone());
+        let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)));
+        (server, services)
+    }
+
+    #[test]
+    fn enforce_mode_denies_requests_under_a_rejected_policy() {
+        let (server, services) = server_with(LintEnforcement::Enforce);
+        let resp = server.handle(HttpRequest::get("/index.html"));
+        assert_eq!(resp.status, StatusCode::Forbidden);
+        // The rejection reached the audit trail via the fail-closed path.
+        let records = services.audit.records();
+        assert!(records.iter().any(|r| r.category == "policy.lint_rejected"));
+        assert!(records
+            .iter()
+            .any(|r| r.category == "policy.retrieval_failed"));
+    }
+
+    #[test]
+    fn warn_mode_serves_and_audits() {
+        let (server, services) = server_with(LintEnforcement::WarnOnly);
+        let resp = server.handle(HttpRequest::get("/index.html"));
+        assert_eq!(resp.status, StatusCode::Ok);
+        assert!(services
+            .audit
+            .records()
+            .iter()
+            .any(|r| r.category == "policy.lint_warned"));
+    }
+
+    #[test]
+    fn off_mode_leaves_the_store_alone() {
+        let (server, services) = server_with(LintEnforcement::Off);
+        let resp = server.handle(HttpRequest::get("/index.html"));
+        assert_eq!(resp.status, StatusCode::Ok);
+        assert!(!services
+            .audit
+            .records()
+            .iter()
+            .any(|r| r.category.starts_with("policy.lint")));
+    }
+
+    #[test]
+    fn enforcement_parses_from_config() {
+        let config = parse_config("param lint.mode warn\n").unwrap();
+        assert_eq!(
+            LintEnforcement::from_config(&config).unwrap(),
+            LintEnforcement::WarnOnly
+        );
+        let default = parse_config("param notify.recipient sysadmin\n").unwrap();
+        assert_eq!(
+            LintEnforcement::from_config(&default).unwrap(),
+            LintEnforcement::Enforce
+        );
+        let bad = parse_config("param lint.mode strictest\n").unwrap();
+        assert!(LintEnforcement::from_config(&bad).is_err());
+    }
+}

@@ -1,101 +1,212 @@
-//! The policy officer's toolbox: static lint, coverage check, and a live
-//! decision trace — the §2 "automated tool to ensure policy correctness and
-//! consistency", assembled from three public APIs.
+//! The policy officer's toolbox, rebuilt on `gaa-analyze` — the §2
+//! "automated tool to ensure policy correctness and consistency": a full
+//! deployment lint, a differential check against the live evaluator, the
+//! load gate refusing the broken draft, and a decision trace on the fix.
 //!
 //! ```text
 //! cargo run --example policy_doctor
 //! ```
 
+use gaa::analyze::{
+    differential_check, lint_gate, render_human, Analyzer, RegistrySnapshot, Source,
+};
 use gaa::audit::notify::CollectingNotifier;
 use gaa::audit::VirtualClock;
 use gaa::conditions::{register_standard, StandardServices};
-use gaa::core::{GaaApiBuilder, MemoryPolicyStore, RightPattern, SecurityContext};
+use gaa::core::{
+    GaaApiBuilder, GatedPolicyStore, MemoryPolicyStore, PolicyStore, RightPattern, SecurityContext,
+};
 use gaa::eacl::parse_eacl;
-use gaa::eacl::validate::validate;
 use std::sync::Arc;
 
-/// A policy with deliberate mistakes for the doctor to find.
-const DRAFT_POLICY: &str = "\
+/// A draft system-wide policy with a deliberate mistake: `stop` composition
+/// throws away every local policy in the deployment.
+const DRAFT_SYSTEM: &str = "\
+# oops — `stop` silently discards all local policies (GAA202)
+eacl_mode stop
+neg_access_right apache *
+pre_cond system_threat_level local =high
+";
+
+/// A draft local policy for `/cgi-bin/phf` with three more mistakes for
+/// the doctor to find (see the embedded test for the full inventory).
+const DRAFT_LOCAL: &str = "\
 # entry 1: blacklist check
 neg_access_right apache *
 pre_cond accessid GROUP BadGuys
-# entry 2: oops — unconditional grant-all, shadowing everything below
+# entry 2: oops — unconditional grant-all, shadowing everything below (GAA201)
 pos_access_right * *
-# entry 3: unreachable signature check (never consulted!)
+# entry 3: unreachable signature check, its notify can never fire
 neg_access_right apache *
 pre_cond regex gnu *phf*
 rr_cond notify local on:failure/sysadmin/info:cgi_exploit
-# entry 4: a typo'd condition type nobody registered
-pos_access_right apache *
+# entry 4: a typo'd condition type nobody registered (GAA302) — and the only
+# mention of sshd rights, so the deployment has sshd coverage gaps (GAA401)
+pos_access_right sshd login
 pre_cond acessid USER *
 ";
 
-const FIXED_POLICY: &str = "\
+const FIXED_SYSTEM: &str = "\
+eacl_mode narrow
+neg_access_right apache *
+pre_cond system_threat_level local =high
+pos_access_right * *
+";
+
+const FIXED_LOCAL: &str = "\
 neg_access_right apache *
 pre_cond accessid GROUP BadGuys
 neg_access_right apache *
 pre_cond regex gnu *phf*
 rr_cond notify local on:failure/sysadmin/info:cgi_exploit
 pos_access_right apache *
+pos_access_right sshd login
 pre_cond accessid USER *
 ";
 
+fn draft() -> (Vec<Source>, Vec<Source>) {
+    let system = Source::parse("system", DRAFT_SYSTEM).expect("draft system parses");
+    let local = Source::parse("/cgi-bin/phf", DRAFT_LOCAL).expect("draft local parses");
+    (vec![system], vec![local])
+}
+
+fn fixed() -> (Vec<Source>, Vec<Source>) {
+    let system = Source::parse("system", FIXED_SYSTEM).expect("fixed system parses");
+    let local = Source::parse("/cgi-bin/phf", FIXED_LOCAL).expect("fixed local parses");
+    (vec![system], vec![local])
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("== 1. static lint (gaa_eacl::validate) ==");
-    let draft = parse_eacl(DRAFT_POLICY)?;
-    for finding in validate(&draft) {
-        println!("  {finding}");
-    }
+    let analyzer = Analyzer::new();
 
-    println!("\n== 2. evaluator coverage (GaaApi::check_coverage) ==");
-    let services = StandardServices::new(
-        Arc::new(VirtualClock::new()),
-        Arc::new(CollectingNotifier::new()),
+    println!("== 1. deployment lint on the draft (gaa_analyze::Analyzer) ==");
+    let (system, locals) = draft();
+    let lints = analyzer.analyze(&system, &locals);
+    print!("{}", render_human(&lints));
+
+    println!("\n== 2. differential check: the evaluator confirms every claim ==");
+    let report = differential_check(
+        &system,
+        &locals,
+        &RegistrySnapshot::standard(),
+        &lints,
+        2003,
     );
+    println!(
+        "  {} claims checked over {} condition assignments ({}): {}",
+        report.lints_checked,
+        report.assignments,
+        if report.exhaustive {
+            "exhaustive"
+        } else {
+            "sampled"
+        },
+        if report.is_consistent() {
+            "all confirmed"
+        } else {
+            "REFUTED"
+        }
+    );
+
+    println!("\n== 3. the load gate refuses the draft (GatedPolicyStore) ==");
     let mut store = MemoryPolicyStore::new();
-    store.set_system(vec![draft]);
-    let api = register_standard(GaaApiBuilder::new(Arc::new(store)), &services).build();
-    let policy = api.get_object_policy_info("/index.html")?;
-    for (layer, eacl, entry, phase, cond) in api.check_coverage(&policy) {
-        println!(
-            "  {layer:?} EACL {eacl}, entry {}, {}: no evaluator for `{} {}` \
-             — would evaluate to MAYBE",
-            entry + 1,
-            phase.keyword(),
-            cond.cond_type,
-            cond.authority
-        );
+    store.set_local("/cgi-bin/phf", vec![parse_eacl(DRAFT_LOCAL)?]);
+    let gated = GatedPolicyStore::new(Arc::new(store), lint_gate(Analyzer::new(), false));
+    match gated.local_policies("/cgi-bin/phf") {
+        Err(e) => println!("  refused: {e}"),
+        Ok(_) => println!("  unexpectedly loaded!"),
     }
 
-    println!("\n== 3. decision trace on the FIXED policy (GaaApi::explain) ==");
+    println!("\n== 4. the fixed deployment lints clean ==");
+    let (system, locals) = fixed();
+    let lints = analyzer.analyze(&system, &locals);
+    print!("{}", render_human(&lints));
+
+    println!("\n== 5. decision trace on the fix (GaaApi::explain) ==");
     let services = StandardServices::new(
         Arc::new(VirtualClock::new()),
         Arc::new(CollectingNotifier::new()),
     );
     services.groups.add("BadGuys", "203.0.113.9");
     let mut store = MemoryPolicyStore::new();
-    store.set_system(vec![parse_eacl(FIXED_POLICY)?]);
+    store.set_system(vec![parse_eacl(FIXED_SYSTEM)?]);
+    store.set_local("/cgi-bin/phf", vec![parse_eacl(FIXED_LOCAL)?]);
     let api = register_standard(GaaApiBuilder::new(Arc::new(store)), &services).build();
     let policy = api.get_object_policy_info("/cgi-bin/phf")?;
     let right = RightPattern::new("apache", "GET");
 
-    println!("-- why is the blacklisted host denied? --");
+    println!("-- why is the blacklisted host denied? (entry 1: the blacklist) --");
     let ctx = SecurityContext::new()
         .with_client_ip("203.0.113.9")
         .with_param(gaa::core::Param::new("url", "apache", "/cgi-bin/phf?x"));
     print!("{}", api.explain(&policy, &right, &ctx));
 
-    println!("-- why does an anonymous innocent get a 401? --");
-    let ctx = SecurityContext::new()
-        .with_client_ip("10.0.0.1")
-        .with_param(gaa::core::Param::new("url", "apache", "/index.html"));
-    print!("{}", api.explain(&policy, &right, &ctx));
-
-    println!("-- and why is alice served? --");
+    println!("-- and why is alice denied too? (entry 2: the *phf* signature) --");
     let ctx = SecurityContext::new()
         .with_user("alice")
         .with_client_ip("10.0.0.1")
-        .with_param(gaa::core::Param::new("url", "apache", "/index.html"));
+        .with_param(gaa::core::Param::new("url", "apache", "/cgi-bin/phf"));
     print!("{}", api.explain(&policy, &right, &ctx));
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite check: the draft deployment yields exactly the four
+    /// intended finding classes, and the runtime confirms their claims.
+    #[test]
+    fn draft_policy_yields_the_four_intended_findings() {
+        let (system, locals) = draft();
+        let lints = Analyzer::new().analyze(&system, &locals);
+
+        // 1. Shadowing: the grant-all kills entries 3 and 4 (the shadowed
+        //    deny is Error severity — its polarity flips the decision).
+        let shadows: Vec<_> = lints.iter().filter(|l| l.code == "GAA201").collect();
+        assert_eq!(shadows.len(), 2);
+        assert!(shadows
+            .iter()
+            .any(|l| l.severity == gaa::analyze::LintSeverity::Error && l.entry == Some(2)));
+
+        // 2. Composition: `stop` mode makes the whole local policy dead.
+        assert!(lints.iter().any(|l| l.code == "GAA202"));
+
+        // 3. MAYBE surface: the typo'd `acessid` is flagged with a fix.
+        let typo = lints.iter().find(|l| l.code == "GAA302").unwrap();
+        assert!(typo.suggestion.as_ref().unwrap().contains("accessid"));
+
+        // 4. Completeness: sshd rights fall through to silent default-deny
+        //    (the only sshd entry is in the discarded local policy).
+        let gaps: Vec<_> = lints.iter().filter(|l| l.code == "GAA401").collect();
+        assert_eq!(gaps.len(), 2);
+        assert!(gaps
+            .iter()
+            .all(|l| l.pattern.as_ref().unwrap().authority == "sshd"));
+
+        // And the live evaluator agrees with every checkable claim.
+        let report = differential_check(
+            &system,
+            &locals,
+            &RegistrySnapshot::standard(),
+            &lints,
+            2003,
+        );
+        assert!(report.is_consistent(), "{:?}", report.violations);
+        assert!(report.lints_checked >= 4);
+    }
+
+    #[test]
+    fn fixed_deployment_lints_clean_and_loads() {
+        let (system, locals) = fixed();
+        let lints = Analyzer::new().analyze(&system, &locals);
+        assert!(lints.is_empty(), "unexpected lints: {lints:?}");
+
+        let mut store = MemoryPolicyStore::new();
+        store.set_system(vec![parse_eacl(FIXED_SYSTEM).unwrap()]);
+        store.set_local("/cgi-bin/phf", vec![parse_eacl(FIXED_LOCAL).unwrap()]);
+        let gated = GatedPolicyStore::new(Arc::new(store), lint_gate(Analyzer::new(), false));
+        assert!(gated.system_policies().is_ok());
+        assert!(gated.local_policies("/cgi-bin/phf").is_ok());
+    }
 }

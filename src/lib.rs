@@ -6,6 +6,8 @@
 //! examples and integration tests can `use gaa::…`.
 //!
 //! * [`eacl`] — the EACL policy language (§2, Appendix);
+//! * [`analyze`] — the composition-aware policy analyzer and `gaa-lint`
+//!   (the §2 "automated tool to ensure policy correctness and consistency");
 //! * [`core`] — the GAA-API itself (§5–§6);
 //! * [`conditions`] — the standard condition evaluator library (§7);
 //! * [`httpd`] — the web-server substrate and GAA glue (§4–§6, Figure 1);
@@ -15,6 +17,7 @@
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
+pub use gaa_analyze as analyze;
 pub use gaa_audit as audit;
 pub use gaa_conditions as conditions;
 pub use gaa_core as core;

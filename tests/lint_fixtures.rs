@@ -1,0 +1,47 @@
+//! The checked-in policy fixtures must stay lint-clean (CI also runs
+//! `gaa-lint --deny-warnings --differential` over them; this test keeps
+//! `cargo test` equivalent to that gate, span-for-span).
+
+use gaa::analyze::{differential_check, Analyzer, LintSeverity, RegistrySnapshot, Source};
+use std::path::Path;
+
+fn load_deployment(dir: &str) -> (Vec<Source>, Vec<Source>) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join(dir);
+    let read = |path: &Path| std::fs::read_to_string(path).unwrap();
+    let system = vec![Source::parse("system", &read(&root.join("system.eacl"))).unwrap()];
+    let mut locals = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(root.join("objects"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        locals.push(Source::parse(format!("/{stem}"), &read(&path)).unwrap());
+    }
+    assert!(!locals.is_empty(), "no object fixtures found under {dir}");
+    (system, locals)
+}
+
+fn assert_clean(dir: &str) {
+    let (system, locals) = load_deployment(dir);
+    let analyzer = Analyzer::new();
+    let lints = analyzer.analyze(&system, &locals);
+    let worst = gaa::analyze::max_severity(&lints);
+    assert!(
+        worst.is_none() || worst < Some(LintSeverity::Warning),
+        "{dir} must lint clean under --deny-warnings, found: {lints:?}"
+    );
+    let report = differential_check(&system, &locals, &RegistrySnapshot::standard(), &lints, 0);
+    assert!(report.is_consistent(), "{:?}", report.violations);
+}
+
+#[test]
+fn example_policies_lint_clean() {
+    assert_clean("examples/policies");
+}
+
+#[test]
+fn test_fixture_policies_lint_clean() {
+    assert_clean("tests/fixtures");
+}
