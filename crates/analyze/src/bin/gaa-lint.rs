@@ -1,8 +1,11 @@
-//! `gaa-lint` — lint an EACL deployment from the command line.
+//! `gaa-lint` — lint and symbolically verify EACL deployments.
 //!
 //! ```text
 //! gaa-lint [--json] [--deny-warnings] [--differential] [--seed N]
 //!          [--no-default-registry] [--system FILE]... FILE...
+//! gaa-lint diff [--json] OLD_DIR NEW_DIR
+//! gaa-lint equiv A_DIR B_DIR
+//! gaa-lint invariants FILE.inv DIR
 //! ```
 //!
 //! Plain `FILE` arguments are object-local policies (the object name is
@@ -10,9 +13,19 @@
 //! `--system FILE` names system-wide policy files. Exit status: `0` clean
 //! (or warnings without `--deny-warnings`), `1` findings at or above the
 //! failing threshold, `2` usage or I/O errors.
+//!
+//! The subcommands take **deployment directories**: an optional
+//! `system.eacl` at the top plus `objects/*.eacl` local policies.
+//! `diff` reports every semantic change between two deployments as
+//! `GAA5xx` findings with interpreter-confirmed witnesses (exit `1` when
+//! any grant-widening/MAYBE-shifting region exists); `equiv` proves two
+//! deployments decide every request identically (exit `1` when they
+//! differ); `invariants` checks the `*.inv` assertions against a
+//! deployment, printing a counterexample per violation.
 
 use gaa_analyze::{
-    differential_check, max_severity, render_human, render_json, Analyzer, LintSeverity,
+    check_invariants, diff_deployments, diff_lints, differential_check, max_severity,
+    parse_invariants, region_code, render_human, render_json, Analyzer, Deployment, LintSeverity,
     RegistrySnapshot, Source,
 };
 use std::path::Path;
@@ -29,7 +42,10 @@ struct Options {
 }
 
 const USAGE: &str = "usage: gaa-lint [--json] [--deny-warnings] [--differential] [--seed N] \
-                     [--no-default-registry] [--system FILE]... FILE...";
+                     [--no-default-registry] [--system FILE]... FILE...\n\
+                     \x20      gaa-lint diff [--json] OLD_DIR NEW_DIR\n\
+                     \x20      gaa-lint equiv A_DIR B_DIR\n\
+                     \x20      gaa-lint invariants FILE.inv DIR";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
@@ -83,8 +99,161 @@ fn load(name: String, file: &str) -> Result<Source, String> {
     Source::parse(name, &text).map_err(|e| format!("gaa-lint: {file}: {e}"))
 }
 
+/// Loads a deployment directory: optional `system.eacl` plus sorted
+/// `objects/*.eacl` (each named `/` + its file stem).
+fn load_deployment(dir: &str) -> Result<Deployment, String> {
+    let root = Path::new(dir);
+    if !root.is_dir() {
+        return Err(format!("gaa-lint: {dir}: not a directory"));
+    }
+    let mut system = Vec::new();
+    let system_file = root.join("system.eacl");
+    if system_file.is_file() {
+        system.push(load("system".to_string(), &system_file.to_string_lossy())?);
+    }
+    let mut locals = Vec::new();
+    let objects = root.join("objects");
+    if objects.is_dir() {
+        let mut files: Vec<_> = std::fs::read_dir(&objects)
+            .map_err(|e| format!("gaa-lint: {}: {e}", objects.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "eacl"))
+            .collect();
+        files.sort();
+        for file in files {
+            let file = file.to_string_lossy().into_owned();
+            locals.push(load(object_name(&file), &file)?);
+        }
+    }
+    if system.is_empty() && locals.is_empty() {
+        return Err(format!(
+            "gaa-lint: {dir}: no system.eacl or objects/*.eacl found"
+        ));
+    }
+    Ok(Deployment::new(system, locals))
+}
+
+fn run_diff(args: &[String]) -> Result<ExitCode, String> {
+    let mut json = false;
+    let mut dirs = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
+            dir => dirs.push(dir),
+        }
+    }
+    let [old_dir, new_dir] = dirs.as_slice() else {
+        return Err(format!(
+            "diff takes exactly two deployment directories\n{USAGE}"
+        ));
+    };
+    let old = load_deployment(old_dir)?;
+    let new = load_deployment(new_dir)?;
+    let diff = diff_deployments(&old, &new, &RegistrySnapshot::standard());
+    let lints = diff_lints(&diff);
+    if json {
+        println!("{}", render_json(&lints));
+    } else {
+        print!("{}", render_human(&lints));
+        if diff.identical {
+            eprintln!(
+                "diff: deployments are semantically identical \
+                 ({} request cells, {} condition variables)",
+                diff.cells, diff.variables
+            );
+        }
+    }
+    // Notes (GAA504 pure tightening) don't fail the diff; any widening or
+    // MAYBE-shifting region does.
+    Ok(match max_severity(&lints) {
+        Some(worst) if worst >= LintSeverity::Warning => ExitCode::from(1),
+        _ => ExitCode::SUCCESS,
+    })
+}
+
+fn run_equiv(args: &[String]) -> Result<ExitCode, String> {
+    let [a_dir, b_dir] = args else {
+        return Err(format!(
+            "equiv takes exactly two deployment directories\n{USAGE}"
+        ));
+    };
+    let a = load_deployment(a_dir)?;
+    let b = load_deployment(b_dir)?;
+    let diff = diff_deployments(&a, &b, &RegistrySnapshot::standard());
+    if diff.identical {
+        println!(
+            "equivalent: all {} request cells compile to identical decision DAGs \
+             ({} condition variables)",
+            diff.cells, diff.variables
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!(
+            "NOT equivalent: {} changed region(s) across {} request cells",
+            diff.regions.len(),
+            diff.cells
+        );
+        for region in &diff.regions {
+            let (code, _) = region_code(region);
+            println!(
+                "  [{code}] `{} {}` on `{}`: {} -> {} ({} assignment(s))",
+                region.authority,
+                region.value,
+                region.object,
+                region.old,
+                region.new,
+                region.assignments
+            );
+        }
+        Ok(ExitCode::from(1))
+    }
+}
+
+fn run_invariants(args: &[String]) -> Result<ExitCode, String> {
+    let [inv_file, dir] = args else {
+        return Err(format!(
+            "invariants takes an .inv file and a deployment directory\n{USAGE}"
+        ));
+    };
+    let text =
+        std::fs::read_to_string(inv_file).map_err(|e| format!("gaa-lint: {inv_file}: {e}"))?;
+    let invariants = parse_invariants(&text).map_err(|e| format!("gaa-lint: {inv_file}: {e}"))?;
+    let deployment = load_deployment(dir)?;
+    let violations = check_invariants(&deployment, &RegistrySnapshot::standard(), &invariants)
+        .map_err(|e| format!("gaa-lint: {inv_file}: {e}"))?;
+    if violations.is_empty() {
+        println!(
+            "invariants: all {} assertion(s) hold symbolically",
+            invariants.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    for violation in &violations {
+        println!("invariant violation: {}", violation.describe());
+    }
+    Ok(ExitCode::from(1))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(subcommand) = args.first() {
+        let run = match subcommand.as_str() {
+            "diff" => Some(run_diff(&args[1..])),
+            "equiv" => Some(run_equiv(&args[1..])),
+            "invariants" => Some(run_invariants(&args[1..])),
+            _ => None,
+        };
+        if let Some(result) = run {
+            return match result {
+                Ok(code) => code,
+                Err(message) => {
+                    eprintln!("{message}");
+                    ExitCode::from(2)
+                }
+            };
+        }
+    }
     let options = match parse_args(&args) {
         Ok(options) => options,
         Err(message) => {

@@ -16,10 +16,18 @@
 //! * `GAA401` — the gap right applies no entry and falls to default deny.
 //!
 //! The check is **one-sided**: it can refute an unsound lint, not prove the
-//! analyzer found everything. Condition assignments are exhaustive when the
-//! deployment has at most [`EXHAUSTIVE_LIMIT`] registered pre-condition
-//! triples, otherwise a fixed number of seeded samples — never wall-clock
-//! dependent.
+//! analyzer found everything. Coverage is exhaustive when the deployment
+//! has at most [`EXHAUSTIVE_LIMIT`] registered pre-condition triples,
+//! otherwise a fixed number of seeded samples — never wall-clock dependent.
+//!
+//! In the exhaustive tier the harness no longer brute-forces every claim
+//! through the interpreter: each claim is first *proved* on the canonical
+//! decision DAGs of [`gaa_core::dag`] (a constant-FALSE applies-diagram ⇔
+//! the entry never applies on any of the `2^k` assignments; a constant-NO
+//! decision root ⇔ every matching request is denied; …). Only claims the
+//! DAG cannot certify fall back to concrete enumeration, and a seeded
+//! sample of assignments ([`CROSS_CHECK_ASSIGNMENTS`]) is still replayed
+//! through the interpreter to cross-validate the symbolic compiler itself.
 //!
 //! [`GaaApi`]: gaa_core::GaaApi
 
@@ -27,9 +35,12 @@ use crate::lint::{Lint, OTHER_VALUE};
 use crate::snapshot::RegistrySnapshot;
 use crate::source::Source;
 use gaa_audit::VirtualClock;
+use gaa_core::dag::{
+    compile_applies, compile_decision, compile_layer_applies, DecisionDag, EntryRef, VarTable,
+};
 use gaa_core::{
-    AuthorizationResult, EvalDecision, EvalEnv, GaaApiBuilder, MemoryPolicyStore, RightPattern,
-    SecurityContext, REDIRECT_COND_TYPE,
+    AuthorizationResult, EvalDecision, EvalEnv, GaaApiBuilder, GaaStatus, MemoryPolicyStore,
+    RightPattern, SecurityContext, REDIRECT_COND_TYPE,
 };
 use gaa_eacl::PolicyLayer;
 use parking_lot::Mutex;
@@ -44,6 +55,10 @@ pub const EXHAUSTIVE_LIMIT: usize = 12;
 
 /// Seeded sample count used beyond [`EXHAUSTIVE_LIMIT`].
 pub const SAMPLED_ASSIGNMENTS: usize = 4096;
+
+/// Seeded assignments replayed through the interpreter in the exhaustive
+/// tier to cross-validate the symbolic DAG compiler against the evaluator.
+pub const CROSS_CHECK_ASSIGNMENTS: usize = 64;
 
 /// Request token standing in for "any authority/value the deployment never
 /// names" when enumerating the request alphabet.
@@ -284,33 +299,198 @@ pub fn differential_check(
     let ctx = SecurityContext::new();
     let mut requests = 0usize;
     let mut violations: Vec<String> = Vec::new();
-    let mut violated = vec![false; claims.len()];
 
-    for index in 0..total_assignments {
-        {
-            let mut map = assignment.lock();
-            map.clear();
-            for (bit, triple) in triples.iter().enumerate() {
-                let met = if exhaustive {
-                    index >> bit & 1 == 1
-                } else {
-                    rng.gen::<bool>()
-                };
-                map.insert(triple.clone(), met);
+    // --- symbolic tier: prove claims on the decision DAGs ---
+    // A claim the DAG certifies holds on ALL 2^k assignments at once;
+    // only unproven claims fall back to concrete enumeration below.
+    let mut pending: Vec<usize> = (0..claims.len()).collect();
+    if exhaustive {
+        let vars = VarTable::from_triples(triples.iter().cloned().collect());
+        let mut dag = DecisionDag::new();
+        let object_index = |name: &str| objects.iter().position(|o| o == name);
+        pending = Vec::new();
+        for (ci, claim) in claims.iter().enumerate() {
+            let proved = match claim {
+                Claim::NeverApplied {
+                    object,
+                    layer,
+                    eacl,
+                    entry,
+                    ..
+                } => {
+                    let scope: Vec<usize> = match object {
+                        Some(name) => object_index(name).into_iter().collect(),
+                        None => (0..policies.len()).collect(),
+                    };
+                    !scope.is_empty()
+                        && scope.iter().all(|&oi| {
+                            alphabet.iter().all(|(a, v)| {
+                                let root = compile_applies(
+                                    &mut dag,
+                                    &policies[oi],
+                                    &vars,
+                                    a,
+                                    v,
+                                    EntryRef {
+                                        layer: *layer,
+                                        eacl: *eacl,
+                                        entry: *entry,
+                                    },
+                                );
+                                dag.constant_bool(root) == Some(false)
+                            })
+                        })
+                }
+                Claim::NoLocalApplied { object, .. } => object_index(object).is_some_and(|oi| {
+                    alphabet.iter().all(|(a, v)| {
+                        let root = compile_layer_applies(
+                            &mut dag,
+                            &policies[oi],
+                            &vars,
+                            a,
+                            v,
+                            PolicyLayer::Local,
+                        );
+                        dag.constant_bool(root) == Some(false)
+                    })
+                }),
+                // Authorization constant NO implies final status NO (the
+                // request-result phase cannot resurrect a denial).
+                Claim::StatusNo { lint, object } => {
+                    let pattern = lint.pattern.as_ref().expect("claim requires pattern");
+                    object_index(object).is_some_and(|oi| {
+                        alphabet
+                            .iter()
+                            .filter(|(a, v)| pattern_matches(pattern, a, v))
+                            .all(|(a, v)| {
+                                let root = compile_decision(
+                                    &mut dag,
+                                    &policies[oi],
+                                    &vars,
+                                    a,
+                                    v,
+                                    GaaStatus::No,
+                                );
+                                dag.constant_status(root) == Some(GaaStatus::No)
+                            })
+                    })
+                }
+                Claim::AuthorizationYes { lint, object } => {
+                    let pattern = lint.pattern.as_ref().expect("claim requires pattern");
+                    object_index(object).is_some_and(|oi| {
+                        alphabet
+                            .iter()
+                            .filter(|(a, v)| pattern_matches(pattern, a, v))
+                            .all(|(a, v)| {
+                                let root = compile_decision(
+                                    &mut dag,
+                                    &policies[oi],
+                                    &vars,
+                                    a,
+                                    v,
+                                    GaaStatus::No,
+                                );
+                                dag.constant_status(root) == Some(GaaStatus::Yes)
+                            })
+                    })
+                }
+                Claim::Gap {
+                    authority, value, ..
+                } => policies.iter().all(|policy| {
+                    let decision =
+                        compile_decision(&mut dag, policy, &vars, authority, value, GaaStatus::No);
+                    dag.constant_status(decision) == Some(GaaStatus::No)
+                        && [PolicyLayer::System, PolicyLayer::Local].iter().all(|l| {
+                            let applies = compile_layer_applies(
+                                &mut dag, policy, &vars, authority, value, *l,
+                            );
+                            dag.constant_bool(applies) == Some(false)
+                        })
+                }),
+            };
+            if !proved {
+                pending.push(ci);
             }
         }
-        for (object, policy) in objects.iter().zip(&policies) {
-            for (authority, value) in &alphabet {
-                let right = RightPattern::new(authority.clone(), value.clone());
-                let result = api.check_authorization(policy, &right, &ctx);
-                requests += 1;
-                for (ci, claim) in claims.iter().enumerate() {
-                    if violated[ci] {
-                        continue;
+
+        // Cross-validate the compiler itself: replay a seeded slice of the
+        // assignment space through the interpreter and require the DAG's
+        // authorization status to match everywhere.
+        let mut decision_roots: HashMap<(usize, usize), u32> = HashMap::new();
+        let cross = total_assignments.min(CROSS_CHECK_ASSIGNMENTS);
+        for sample in 0..cross {
+            let index = if total_assignments <= CROSS_CHECK_ASSIGNMENTS {
+                sample
+            } else {
+                rng.gen_range(0..total_assignments)
+            };
+            {
+                let mut map = assignment.lock();
+                map.clear();
+                for (bit, triple) in triples.iter().enumerate() {
+                    map.insert(triple.clone(), index >> bit & 1 == 1);
+                }
+            }
+            for (oi, (object, policy)) in objects.iter().zip(&policies).enumerate() {
+                for (ai, (authority, value)) in alphabet.iter().enumerate() {
+                    let root = *decision_roots.entry((oi, ai)).or_insert_with(|| {
+                        compile_decision(&mut dag, policy, &vars, authority, value, GaaStatus::No)
+                    });
+                    let symbolic = dag.eval_status(root, &mut |bit| {
+                        if index >> bit & 1 == 1 {
+                            GaaStatus::Yes
+                        } else {
+                            GaaStatus::No
+                        }
+                    });
+                    let right = RightPattern::new(authority.clone(), value.clone());
+                    let interpreted = api
+                        .check_authorization(policy, &right, &ctx)
+                        .authorization_status();
+                    requests += 1;
+                    if interpreted != symbolic {
+                        violations.push(format!(
+                            "symbolic cross-check: DAG says {symbolic}, interpreter says \
+                             {interpreted} for right `{authority} {value}` on `{object}` \
+                             (assignment {index})"
+                        ));
                     }
-                    if let Some(report) = refute(claim, object, authority, value, &result, index) {
-                        violated[ci] = true;
-                        violations.push(report);
+                }
+            }
+        }
+    }
+
+    // --- concrete tier: enumerate/sample assignments for unproven claims ---
+    let mut violated = vec![false; claims.len()];
+    if !pending.is_empty() {
+        for index in 0..total_assignments {
+            {
+                let mut map = assignment.lock();
+                map.clear();
+                for (bit, triple) in triples.iter().enumerate() {
+                    let met = if exhaustive {
+                        index >> bit & 1 == 1
+                    } else {
+                        rng.gen::<bool>()
+                    };
+                    map.insert(triple.clone(), met);
+                }
+            }
+            for (object, policy) in objects.iter().zip(&policies) {
+                for (authority, value) in &alphabet {
+                    let right = RightPattern::new(authority.clone(), value.clone());
+                    let result = api.check_authorization(policy, &right, &ctx);
+                    requests += 1;
+                    for &ci in &pending {
+                        if violated[ci] {
+                            continue;
+                        }
+                        if let Some(report) =
+                            refute(&claims[ci], object, authority, value, &result, index)
+                        {
+                            violated[ci] = true;
+                            violations.push(report);
+                        }
                     }
                 }
             }

@@ -20,6 +20,10 @@
 //!   real `gaa-core` evaluator over enumerated request/condition spaces;
 //! * [`lint_gate`] — the [`gaa_core::GatedPolicyStore`] callback that makes
 //!   the server refuse to load Error-level policies;
+//! * [`symbolic`] — the decision-DAG tier: [`diff_deployments`] /
+//!   [`diff_lints`] (`gaa-lint diff`, GAA5xx codes), [`check_invariants`]
+//!   (`*.inv` assertions), [`diff_gate`] (hot-reload update vetting) and
+//!   [`cross_validate`] (compiler soundness vs the interpreter);
 //! * the `gaa-lint` binary — the command-line front end.
 //!
 //! ## Example
@@ -48,13 +52,20 @@ mod passes;
 mod render;
 mod snapshot;
 mod source;
+pub mod symbolic;
 
 pub use analyzer::{resolved_mode, Analyzer};
 pub use differential::{
-    differential_check, DifferentialReport, EXHAUSTIVE_LIMIT, SAMPLED_ASSIGNMENTS,
+    differential_check, DifferentialReport, CROSS_CHECK_ASSIGNMENTS, EXHAUSTIVE_LIMIT,
+    SAMPLED_ASSIGNMENTS,
 };
 pub use gate::lint_gate;
 pub use lint::{max_severity, Lint, LintSeverity, OTHER_VALUE};
-pub use render::{render_human, render_json, summary};
+pub use render::{render_human, render_json, summary, JSON_SCHEMA_VERSION};
 pub use snapshot::RegistrySnapshot;
 pub use source::Source;
+pub use symbolic::{
+    check_invariants, cross_validate, diff_deployments, diff_gate, diff_lints, parse_invariants,
+    region_code, CrossValidationReport, Deployment, DeploymentDiff, DiffRegion, Invariant,
+    InvariantViolation, Witness,
+};

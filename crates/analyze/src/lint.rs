@@ -50,11 +50,17 @@ impl fmt::Display for LintSeverity {
 /// | `GAA302` | error | unknown condition type/authority close to a registered name (likely typo) |
 /// | `GAA303` | error | redirect chain loops between objects |
 /// | `GAA401` | warning | request-space gap: no entry matches, silent default-deny |
+/// | `GAA501` | error | semantic diff: a request region's status changes to YES (grant-widening) |
+/// | `GAA502` | warning | semantic diff: a denied region becomes MAYBE (deny-narrowing) |
+/// | `GAA503` | warning | semantic diff: a granted region becomes MAYBE (MAYBE-surface growth) |
+/// | `GAA504` | note | semantic diff: a region's status changes to NO (restriction-tightening) |
 ///
 /// `GAA101`/`GAA103`/`GAA104` are folded in from the syntax tier
 /// ([`gaa_eacl::validate`]); `GAA102`, that tier's unreachability check, is
 /// superseded here by the more precise `GAA201` and never emitted by the
-/// analyzer.
+/// analyzer. The `GAA5xx` codes come from the symbolic tier
+/// ([`crate::symbolic`]) and are emitted by `gaa-lint diff`, not by
+/// [`crate::Analyzer`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Lint {
     /// Stable code, e.g. `"GAA201"`.

@@ -601,6 +601,56 @@ mod tests {
         assert_eq!(redirect_target_path("/already/a/path"), "/already/a/path");
     }
 
+    fn redirecting(name: &str, target: &str) -> Source {
+        Source::parse(
+            name,
+            &format!("pos_access_right apache GET\npre_cond redirect local {target}\n"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn three_object_redirect_cycle_flags_every_hop() {
+        // /a -> /b -> /c -> /a: the loop spans three objects, so no single
+        // pairwise check can see it — every edge must come back GAA303.
+        let locals = [
+            redirecting("/a", "http://mirror.example.org/b"),
+            redirecting("/b", "/c"),
+            redirecting("/c", "/a"),
+        ];
+        let lints = redirect_lints(&locals);
+        assert_eq!(lints.len(), 3, "{lints:?}");
+        for (lint, name) in lints.iter().zip(["/a", "/b", "/c"]) {
+            assert_eq!(lint.code, "GAA303");
+            assert_eq!(lint.severity, LintSeverity::Error);
+            assert_eq!(lint.source, name);
+            // Anchored at the redirect condition's own line.
+            assert_eq!(lint.span.map(|s| s.line), Some(2));
+        }
+    }
+
+    #[test]
+    fn self_redirect_is_a_loop() {
+        let locals = [redirecting(
+            "/selfloop",
+            "http://replica.example.org/selfloop",
+        )];
+        let lints = redirect_lints(&locals);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].code, "GAA303");
+        assert_eq!(lints[0].source, "/selfloop");
+    }
+
+    #[test]
+    fn acyclic_and_external_redirects_stay_clean() {
+        // /a -> /b -> external replica: a chain that resolves is fine.
+        let locals = [
+            redirecting("/a", "/b"),
+            redirecting("/b", "http://replica.example.org/mirror"),
+        ];
+        assert!(redirect_lints(&locals).is_empty());
+    }
+
     #[test]
     fn pattern_cover_and_intersect() {
         let star = AccessRight::positive("*", "*");

@@ -38,16 +38,38 @@ pub fn summary(lints: &[Lint]) -> String {
     parts.join(", ")
 }
 
+/// Version of the JSON report shape emitted by [`render_json`]. Bumped on
+/// any incompatible change so scripted consumers can pin what they parse.
+pub const JSON_SCHEMA_VERSION: usize = 1;
+
 /// Renders the report as a JSON document:
 ///
 /// ```json
-/// {"max_severity": "error", "lints": [{"code": "GAA201", ...}]}
+/// {"schema_version": 1, "max_severity": "error", "lints": [{"code": "GAA201", ...}]}
 /// ```
 ///
-/// Absent optional fields render as `null`; spans expand to `line`,
-/// `start`, `end`.
+/// The output is deterministic and machine-stable: findings are sorted by
+/// `(source, span position, code)` regardless of pass emission order, keys
+/// appear in a fixed order, and the document is tagged with
+/// [`JSON_SCHEMA_VERSION`]. Absent optional fields render as `null`; spans
+/// expand to `line`, `start`, `end`.
 pub fn render_json(lints: &[Lint]) -> String {
-    let mut out = String::from("{\"max_severity\":");
+    let mut sorted: Vec<&Lint> = lints.iter().collect();
+    sorted.sort_by(|a, b| {
+        let span_key = |l: &Lint| match l.span {
+            // Spanless findings (whole-deployment, programmatic sources)
+            // sort after located ones within their source.
+            Some(s) => (0usize, s.line, s.start),
+            None => (1usize, 0, 0),
+        };
+        a.source
+            .cmp(&b.source)
+            .then_with(|| span_key(a).cmp(&span_key(b)))
+            .then_with(|| a.code.cmp(b.code))
+    });
+    let mut out = String::new();
+    let _ = write!(out, "{{\"schema_version\":{JSON_SCHEMA_VERSION},");
+    out.push_str("\"max_severity\":");
     match max_severity(lints) {
         Some(s) => {
             out.push('"');
@@ -57,7 +79,7 @@ pub fn render_json(lints: &[Lint]) -> String {
         None => out.push_str("null"),
     }
     out.push_str(",\"lints\":[");
-    for (i, lint) in lints.iter().enumerate() {
+    for (i, lint) in sorted.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -185,11 +207,49 @@ mod tests {
     #[test]
     fn json_escapes_and_nulls() {
         let json = render_json(&sample());
-        assert!(json.starts_with("{\"max_severity\":\"error\","));
+        assert!(json.starts_with("{\"schema_version\":1,\"max_severity\":\"error\","));
         assert!(json.contains("\"pattern\":{\"authority\":\"sshd\",\"value\":\"login\"}"));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"layer\":null"));
         assert!(json.contains("\"suggestion\":\"did you mean `accessid`?\""));
-        assert_eq!(render_json(&[]), "{\"max_severity\":null,\"lints\":[]}");
+        assert_eq!(
+            render_json(&[]),
+            "{\"schema_version\":1,\"max_severity\":null,\"lints\":[]}"
+        );
+    }
+
+    #[test]
+    fn json_output_is_sorted_and_emission_order_independent() {
+        use gaa_eacl::Span;
+        let span = |line, start| Span {
+            line,
+            start,
+            end: start + 1,
+        };
+        let lints = vec![
+            Lint::new("GAA401", LintSeverity::Warning, "deployment", "gap".into()),
+            Lint::new("GAA302", LintSeverity::Error, "/b", "typo".into()).at(
+                PolicyLayer::Local,
+                0,
+                Some(0),
+                Some(span(9, 80)),
+            ),
+            Lint::new("GAA201", LintSeverity::Warning, "/b", "shadowed".into()).at(
+                PolicyLayer::Local,
+                0,
+                Some(1),
+                Some(span(2, 10)),
+            ),
+            Lint::new("GAA101", LintSeverity::Warning, "/a", "empty".into()),
+        ];
+        let json = render_json(&lints);
+        let mut reversed = lints.clone();
+        reversed.reverse();
+        assert_eq!(json, render_json(&reversed));
+        let pos = |code: &str| json.find(code).unwrap_or_else(|| panic!("{code} missing"));
+        // Sorted by source, then span position (spanless last), then code.
+        assert!(pos("GAA101") < pos("GAA201"));
+        assert!(pos("GAA201") < pos("GAA302"));
+        assert!(pos("GAA302") < pos("GAA401"));
     }
 }

@@ -1,0 +1,1178 @@
+//! Symbolic policy verification: semantic diff, equivalence, invariants.
+//!
+//! Built on the canonical decision DAGs of [`gaa_core::dag`]: a composed
+//! deployment is compiled, per request cell, to a function from
+//! condition-outcome variables (tri-valued, YES / NO / UNEVALUATED) to an
+//! authorization status. Because the DAGs are reduced and hash-consed,
+//! semantically equal deployments compile to identical roots inside a
+//! shared arena — so equivalence is pointer comparison, and a *diff* is the
+//! set of cells whose roots differ, refined per status transition with an
+//! exact model count and a concrete witness assignment.
+//!
+//! Three verification surfaces are exported:
+//!
+//! * [`diff_deployments`] / [`diff_lints`] — `gaa-lint diff`: every
+//!   `(request cell, transition)` region that changed, as `GAA5xx` lints
+//!   (GAA501 grant-widening, GAA502 deny-narrowing, GAA503 MAYBE-surface
+//!   growth, GAA504 restriction-tightening), each carrying a witness the
+//!   real interpreter confirmed;
+//! * [`parse_invariants`] / [`check_invariants`] — the `*.inv` assertion
+//!   format (`deny PUT /admin/* when system_threat_level local =high`),
+//!   checked symbolically with interpreter-confirmed counterexamples;
+//! * [`diff_gate`] — a [`PolicyGate`] for hot-reload: it learns the
+//!   deployed policy set from the retrieval stream and refuses any *update*
+//!   that grant-widens its source or violates an invariant (`lint.diff_gate`
+//!   in the server configuration; fail-closed via
+//!   [`gaa_core::GatedPolicyStore`]).
+//!
+//! [`cross_validate`] closes the loop on the compiler itself: it compares
+//! the interpreter, the symbolic DAG and the compiled fast-path evaluator
+//! over the exhaustive condition-outcome truth table (tri-valued up to
+//! 3^7 assignments, boolean up to 2^12, seeded samples beyond).
+//!
+//! All symbolic verdicts speak about the **authorization status** (§6
+//! phases 1–3); request-result conditions carry side effects and stay with
+//! the interpreter.
+
+use crate::lint::{Lint, LintSeverity, OTHER_VALUE};
+use crate::snapshot::RegistrySnapshot;
+use crate::source::Source;
+use gaa_audit::VirtualClock;
+use gaa_core::dag::{collect_triples, compile_decision, DecisionDag, PartialAssignment, VarTable};
+use gaa_core::{
+    CompiledPolicy, EvalDecision, EvalEnv, GaaApi, GaaApiBuilder, GaaStatus, MemoryPolicyStore,
+    PolicyGate, RightPattern, SecurityContext, REDIRECT_COND_TYPE,
+};
+use gaa_eacl::{ComposedPolicy, Condition, Eacl};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// One side of a comparison: the system policy sources plus the per-object
+/// local sources (named by object path), exactly what `gaa-lint` loads.
+#[derive(Debug, Clone, Default)]
+pub struct Deployment {
+    /// System-wide policy sources (conventionally one, named `"system"`).
+    pub system: Vec<Source>,
+    /// Per-object local policy sources.
+    pub locals: Vec<Source>,
+}
+
+impl Deployment {
+    /// Bundles parsed sources into a deployment.
+    #[must_use]
+    pub fn new(system: Vec<Source>, locals: Vec<Source>) -> Self {
+        Deployment { system, locals }
+    }
+
+    fn system_eacls(&self) -> Vec<Eacl> {
+        self.system
+            .iter()
+            .flat_map(|s| s.eacls.iter().cloned())
+            .collect()
+    }
+
+    fn local_eacls(&self, object: &str) -> Vec<Eacl> {
+        self.locals
+            .iter()
+            .filter(|s| s.name == object)
+            .flat_map(|s| s.eacls.iter().cloned())
+            .collect()
+    }
+
+    /// The composed policy an evaluator would see for `object`; objects
+    /// with no local source get the system-only composition.
+    #[must_use]
+    pub fn compose_for(&self, object: &str) -> ComposedPolicy {
+        ComposedPolicy::compose(self.system_eacls(), self.local_eacls(object))
+    }
+}
+
+/// The shared enumeration universe of one or more deployments: request
+/// alphabet (named tokens plus the `«other»` bucket per axis), object names
+/// (plus the unnamed-object bucket), and the condition-outcome variables.
+struct Vocabulary {
+    authorities: Vec<String>,
+    values: Vec<String>,
+    objects: Vec<String>,
+    triples: BTreeSet<(String, String, String)>,
+}
+
+fn vocabulary(deployments: &[&Deployment], snapshot: &RegistrySnapshot) -> Vocabulary {
+    let mut authorities: BTreeSet<String> = BTreeSet::new();
+    let mut values: BTreeSet<String> = BTreeSet::new();
+    let mut objects: BTreeSet<String> = BTreeSet::new();
+    let mut triples: BTreeSet<(String, String, String)> = BTreeSet::new();
+    let is_registered = |t: &str, a: &str| snapshot.is_registered(t, a);
+    for deployment in deployments {
+        for source in deployment.system.iter().chain(deployment.locals.iter()) {
+            for eacl in &source.eacls {
+                collect_triples(eacl, &is_registered, &mut triples);
+                for entry in &eacl.entries {
+                    if entry.right.authority != "*" {
+                        authorities.insert(entry.right.authority.clone());
+                    }
+                    if entry.right.value != "*" {
+                        values.insert(entry.right.value.clone());
+                    }
+                }
+            }
+        }
+        for local in &deployment.locals {
+            objects.insert(local.name.clone());
+        }
+    }
+    authorities.insert(OTHER_VALUE.to_string());
+    values.insert(OTHER_VALUE.to_string());
+    objects.insert(OTHER_VALUE.to_string());
+    Vocabulary {
+        authorities: authorities.into_iter().collect(),
+        values: values.into_iter().collect(),
+        objects: objects.into_iter().collect(),
+        triples,
+    }
+}
+
+/// A concrete condition-outcome witness: each constrained condition with
+/// the outcome that exhibits the reported behavior (unconstrained
+/// conditions may take any outcome).
+pub type Witness = Vec<(Condition, GaaStatus)>;
+
+fn witness_from(vars: &VarTable, assignment: &PartialAssignment) -> Witness {
+    assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.map(|s| (vars.condition(i), s)))
+        .collect()
+}
+
+fn describe_witness(witness: &Witness) -> String {
+    if witness.is_empty() {
+        return "any condition outcome".to_string();
+    }
+    witness
+        .iter()
+        .map(|(c, s)| format!("{} {} {}={s}", c.cond_type, c.authority, c.value))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// An interpreter harness whose registered pre-conditions answer from a
+/// shared tri-valued assignment table (unknown triples default to Met) —
+/// the ground truth every symbolic verdict is replayed against.
+type AssignmentTable = Arc<Mutex<HashMap<(String, String, String), GaaStatus>>>;
+
+struct Harness {
+    api: GaaApi,
+    assignment: AssignmentTable,
+}
+
+impl Harness {
+    fn new(deployment: &Deployment, triples: &[(String, String, String)]) -> Self {
+        let mut store = MemoryPolicyStore::new();
+        store.set_system(deployment.system_eacls());
+        for source in &deployment.locals {
+            store.set_local(&source.name, source.eacls.clone());
+        }
+        let assignment: AssignmentTable = Arc::new(Mutex::new(HashMap::new()));
+        let mut builder =
+            GaaApiBuilder::new(Arc::new(store)).with_clock(Arc::new(VirtualClock::new()));
+        let keys: BTreeSet<(String, String)> = triples
+            .iter()
+            .map(|(t, a, _)| (t.clone(), a.clone()))
+            .collect();
+        for (cond_type, authority) in keys {
+            let map = Arc::clone(&assignment);
+            let (t, a) = (cond_type.clone(), authority.clone());
+            builder = builder.register(
+                cond_type,
+                authority,
+                move |value: &str, _env: &EvalEnv<'_>| match map
+                    .lock()
+                    .get(&(t.clone(), a.clone(), value.to_string()))
+                    .copied()
+                {
+                    Some(GaaStatus::Yes) | None => EvalDecision::Met,
+                    Some(GaaStatus::No) => EvalDecision::NotMet,
+                    Some(GaaStatus::Maybe) => EvalDecision::Unevaluated,
+                },
+            );
+        }
+        Harness {
+            api: builder.build(),
+            assignment,
+        }
+    }
+
+    /// Installs an assignment; variables left `None` default to YES (Met).
+    fn set(&self, triples: &[(String, String, String)], assignment: &PartialAssignment) {
+        let mut map = self.assignment.lock();
+        map.clear();
+        for (i, triple) in triples.iter().enumerate() {
+            let status = assignment
+                .get(i)
+                .copied()
+                .flatten()
+                .unwrap_or(GaaStatus::Yes);
+            map.insert(triple.clone(), status);
+        }
+    }
+
+    fn authorization(&self, policy: &ComposedPolicy, authority: &str, value: &str) -> GaaStatus {
+        self.api
+            .check_authorization(
+                policy,
+                &RightPattern::new(authority, value),
+                &SecurityContext::new(),
+            )
+            .authorization_status()
+    }
+}
+
+/// One changed region of the decision surface: a request cell whose
+/// authorization status transitions `old → new` on `assignments` of the
+/// possible condition outcomes, with a concrete witness.
+#[derive(Debug, Clone)]
+pub struct DiffRegion {
+    /// Object whose composed policy changed (`«other»` = any object with
+    /// no local policy).
+    pub object: String,
+    /// Request authority token (`«other»` = any unnamed authority).
+    pub authority: String,
+    /// Request value token (`«other»` = any unnamed value).
+    pub value: String,
+    /// Authorization status under the old deployment.
+    pub old: GaaStatus,
+    /// Authorization status under the new deployment.
+    pub new: GaaStatus,
+    /// Exact number of full condition-outcome assignments (out of
+    /// `3^variables`) exhibiting this transition.
+    pub assignments: u128,
+    /// A concrete condition-outcome witness for the transition.
+    pub witness: Witness,
+    /// Whether the real interpreter reproduced both statuses at the
+    /// witness (it always should; `false` flags a compiler bug).
+    pub confirmed: bool,
+}
+
+/// Result of [`diff_deployments`].
+#[derive(Debug, Clone)]
+pub struct DeploymentDiff {
+    /// True when every request cell compiled to the identical DAG root —
+    /// the deployments are semantically equivalent.
+    pub identical: bool,
+    /// Changed regions, deterministically ordered by
+    /// (object, authority, value, transition).
+    pub regions: Vec<DiffRegion>,
+    /// Size of the condition-outcome variable universe.
+    pub variables: usize,
+    /// Request cells compared (objects × authorities × values).
+    pub cells: usize,
+}
+
+/// Transition enumeration order: most security-relevant first.
+const TRANSITIONS: [(GaaStatus, GaaStatus); 6] = [
+    (GaaStatus::No, GaaStatus::Yes),
+    (GaaStatus::Maybe, GaaStatus::Yes),
+    (GaaStatus::No, GaaStatus::Maybe),
+    (GaaStatus::Yes, GaaStatus::Maybe),
+    (GaaStatus::Yes, GaaStatus::No),
+    (GaaStatus::Maybe, GaaStatus::No),
+];
+
+/// Compares two deployments symbolically: compiles every request cell of
+/// both into one shared DAG arena over the union variable universe, then
+/// reports each `(cell, transition)` region with an exact count and an
+/// interpreter-confirmed witness. `identical` doubles as the `gaa-lint
+/// equiv` verdict.
+pub fn diff_deployments(
+    old: &Deployment,
+    new: &Deployment,
+    snapshot: &RegistrySnapshot,
+) -> DeploymentDiff {
+    let voc = vocabulary(&[old, new], snapshot);
+    let vars = VarTable::from_triples(voc.triples.clone());
+    let mut dag = DecisionDag::new();
+    let old_harness = Harness::new(old, vars.triples());
+    let new_harness = Harness::new(new, vars.triples());
+
+    let mut identical = true;
+    let mut regions = Vec::new();
+    let mut cells = 0usize;
+    for object in &voc.objects {
+        let old_policy = old.compose_for(object);
+        let new_policy = new.compose_for(object);
+        for authority in &voc.authorities {
+            for value in &voc.values {
+                cells += 1;
+                let old_root = compile_decision(
+                    &mut dag,
+                    &old_policy,
+                    &vars,
+                    authority,
+                    value,
+                    GaaStatus::No,
+                );
+                let new_root = compile_decision(
+                    &mut dag,
+                    &new_policy,
+                    &vars,
+                    authority,
+                    value,
+                    GaaStatus::No,
+                );
+                if old_root == new_root {
+                    continue;
+                }
+                identical = false;
+                let pair = dag.pair_decision(old_root, new_root);
+                for (from, to) in TRANSITIONS {
+                    let count = dag.count_transition(pair, vars.len(), from, to);
+                    if count == 0 {
+                        continue;
+                    }
+                    let assignment = dag
+                        .witness_transition(pair, vars.len(), from, to)
+                        .expect("positive count implies a witness path");
+                    old_harness.set(vars.triples(), &assignment);
+                    let got_old = old_harness.authorization(&old_policy, authority, value);
+                    new_harness.set(vars.triples(), &assignment);
+                    let got_new = new_harness.authorization(&new_policy, authority, value);
+                    regions.push(DiffRegion {
+                        object: object.clone(),
+                        authority: authority.clone(),
+                        value: value.clone(),
+                        old: from,
+                        new: to,
+                        assignments: count,
+                        witness: witness_from(&vars, &assignment),
+                        confirmed: got_old == from && got_new == to,
+                    });
+                }
+            }
+        }
+    }
+    DeploymentDiff {
+        identical,
+        regions,
+        variables: vars.len(),
+        cells,
+    }
+}
+
+/// The `GAA5xx` code and severity a region reports as.
+#[must_use]
+pub fn region_code(region: &DiffRegion) -> (&'static str, LintSeverity) {
+    match (region.old, region.new) {
+        (_, GaaStatus::Yes) => ("GAA501", LintSeverity::Error),
+        (GaaStatus::No, GaaStatus::Maybe) => ("GAA502", LintSeverity::Warning),
+        (_, GaaStatus::Maybe) => ("GAA503", LintSeverity::Warning),
+        (_, GaaStatus::No) => ("GAA504", LintSeverity::Note),
+    }
+}
+
+/// Renders a diff as `GAA5xx` lints (one per region), ready for the
+/// standard human/JSON renderers.
+#[must_use]
+pub fn diff_lints(diff: &DeploymentDiff) -> Vec<Lint> {
+    let total = 3u128.pow(u32::try_from(diff.variables).unwrap_or(0));
+    diff.regions
+        .iter()
+        .map(|region| {
+            let (code, severity) = region_code(region);
+            let label = match code {
+                "GAA501" => "grant-widening",
+                "GAA502" => "deny-narrowing",
+                "GAA503" => "MAYBE-surface growth",
+                _ => "restriction-tightening",
+            };
+            let message = format!(
+                "{label}: right `{} {}` changes {}→{} for {} of {} condition outcome(s); \
+                 witness: {}{}",
+                region.authority,
+                region.value,
+                region.old,
+                region.new,
+                region.assignments,
+                total,
+                describe_witness(&region.witness),
+                if region.confirmed {
+                    " (interpreter-confirmed)"
+                } else {
+                    " (NOT confirmed by the interpreter — possible compiler defect)"
+                },
+            );
+            Lint::new(code, severity, &region.object, message).with_pattern(RightPattern::new(
+                region.authority.clone(),
+                region.value.clone(),
+            ))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------------
+
+/// One `*.inv` assertion: for every request matching the right pattern on
+/// every object matching the object pattern, under every condition
+/// assignment consistent with the `when` atoms, the authorization status
+/// must equal `expected`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invariant {
+    /// 1-based line in the `.inv` file (0 for programmatic invariants).
+    pub line: usize,
+    /// The assertion text, verbatim.
+    pub text: String,
+    /// Required status: `deny` → NO, `grant` → YES, `maybe` → MAYBE.
+    pub expected: GaaStatus,
+    /// Right authority token, or `*`.
+    pub authority: String,
+    /// Right value token, or `*`.
+    pub value: String,
+    /// Object pattern: exact path, `*`, or `/prefix/*`.
+    pub object: String,
+    /// Condition constraints: each `(condition, status)` fixes one
+    /// condition-outcome variable (`!` atoms fix it to NO).
+    pub when: Vec<(Condition, GaaStatus)>,
+}
+
+/// Parses the `*.inv` assertion format, one invariant per line:
+///
+/// ```text
+/// # comments and blank lines are ignored
+/// <deny|grant|maybe> [<authority>] <value> <object> [when <atom>[, <atom>]...]
+/// ```
+///
+/// The object pattern is the last positional token (exact path, `*`, or
+/// `/prefix/*`); with two positional tokens the authority defaults to `*`.
+/// Each atom is `[!]<type> <authority> <value...>`, constraining that
+/// condition's outcome to YES (or NO with the leading `!`).
+///
+/// ```text
+/// deny apache PUT /admin/* when system_threat_level local =high
+/// grant GET /index.html when accessid GROUP staff
+/// maybe apache POST /upload when !accessid USER admin
+/// ```
+///
+/// # Errors
+///
+/// Returns `line N: <reason>` for malformed lines.
+pub fn parse_invariants(text: &str) -> Result<Vec<Invariant>, String> {
+    let mut invariants = Vec::new();
+    for (index, raw) in text.lines().enumerate() {
+        let line = index + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+        let expected = match tokens[0] {
+            "deny" => GaaStatus::No,
+            "grant" => GaaStatus::Yes,
+            "maybe" => GaaStatus::Maybe,
+            other => {
+                return Err(format!(
+                    "line {line}: unknown verb `{other}` (expected deny, grant or maybe)"
+                ))
+            }
+        };
+        let when_at = tokens.iter().position(|t| *t == "when");
+        let head = &tokens[1..when_at.unwrap_or(tokens.len())];
+        let (authority, value, object) = match head {
+            [value, object] => ("*".to_string(), (*value).to_string(), (*object).to_string()),
+            [authority, value, object] => (
+                (*authority).to_string(),
+                (*value).to_string(),
+                (*object).to_string(),
+            ),
+            _ => {
+                return Err(format!(
+                    "line {line}: expected `[<authority>] <value> <object>` before `when`"
+                ))
+            }
+        };
+        let mut when = Vec::new();
+        if let Some(at) = when_at {
+            let clause = tokens[at + 1..].join(" ");
+            if clause.is_empty() {
+                return Err(format!("line {line}: `when` with no atoms"));
+            }
+            for atom in clause.split(',') {
+                let parts: Vec<&str> = atom.split_whitespace().collect();
+                if parts.len() < 3 {
+                    return Err(format!(
+                        "line {line}: atom `{}` must be `[!]<type> <authority> <value>`",
+                        atom.trim()
+                    ));
+                }
+                let (cond_type, status) = match parts[0].strip_prefix('!') {
+                    Some(stripped) => (stripped, GaaStatus::No),
+                    None => (parts[0], GaaStatus::Yes),
+                };
+                when.push((
+                    Condition::new(cond_type, parts[1], parts[2..].join(" ")),
+                    status,
+                ));
+            }
+        }
+        invariants.push(Invariant {
+            line,
+            text: trimmed.to_string(),
+            expected,
+            authority,
+            value,
+            object,
+            when,
+        });
+    }
+    Ok(invariants)
+}
+
+/// A counterexample to an [`Invariant`].
+#[derive(Debug, Clone)]
+pub struct InvariantViolation {
+    /// The violated invariant.
+    pub invariant: Invariant,
+    /// Object on which it fails (`«other»` = any object with no local
+    /// policy).
+    pub object: String,
+    /// Request authority of the failing cell.
+    pub authority: String,
+    /// Request value of the failing cell.
+    pub value: String,
+    /// The status actually reached (≠ the invariant's expected status).
+    pub actual: GaaStatus,
+    /// Condition outcomes exhibiting the violation (includes the `when`
+    /// constraints).
+    pub witness: Witness,
+    /// Whether the interpreter reproduced `actual` at the witness.
+    pub confirmed: bool,
+}
+
+impl InvariantViolation {
+    /// One-line human description with the counterexample.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!(
+            "line {}: `{}` violated: right `{} {}` on `{}` reaches {} under {}{}",
+            self.invariant.line,
+            self.invariant.text,
+            self.authority,
+            self.value,
+            self.object,
+            self.actual,
+            describe_witness(&self.witness),
+            if self.confirmed {
+                " (interpreter-confirmed)"
+            } else {
+                " (NOT confirmed by the interpreter — possible compiler defect)"
+            },
+        )
+    }
+}
+
+fn object_matches(pattern: &str, name: &str) -> bool {
+    if pattern == "*" {
+        return true;
+    }
+    match pattern.strip_suffix("/*") {
+        Some(prefix) => name.starts_with(&format!("{prefix}/")),
+        None => pattern == name,
+    }
+}
+
+fn map_token<'a>(token: &'a str, alphabet: &[String]) -> &'a str {
+    if token != "*" && !alphabet.iter().any(|t| t == token) {
+        // A token no entry names behaves exactly like the «other» bucket.
+        OTHER_VALUE
+    } else {
+        token
+    }
+}
+
+/// Checks invariants against a deployment symbolically; every violation
+/// carries an interpreter-confirmed counterexample.
+///
+/// # Errors
+///
+/// Returns a description when an invariant is malformed for this
+/// deployment: a `when` atom naming a condition with no registered
+/// evaluator (its outcome is the constant UNEVALUATED, so constraining it
+/// to YES/NO can never be met), or contradictory atoms.
+pub fn check_invariants(
+    deployment: &Deployment,
+    snapshot: &RegistrySnapshot,
+    invariants: &[Invariant],
+) -> Result<Vec<InvariantViolation>, String> {
+    let mut voc = vocabulary(&[deployment], snapshot);
+    for invariant in invariants {
+        for (cond, _) in &invariant.when {
+            if cond.cond_type == REDIRECT_COND_TYPE
+                || !snapshot.is_registered(&cond.cond_type, &cond.authority)
+            {
+                return Err(format!(
+                    "line {}: `when` names condition `{} {}` with no registered evaluator; \
+                     its outcome is always UNEVALUATED and cannot be constrained",
+                    invariant.line, cond.cond_type, cond.authority
+                ));
+            }
+            voc.triples.insert((
+                cond.cond_type.clone(),
+                cond.authority.clone(),
+                cond.value.clone(),
+            ));
+        }
+    }
+    let vars = VarTable::from_triples(voc.triples.clone());
+    let mut dag = DecisionDag::new();
+    let harness = Harness::new(deployment, vars.triples());
+    let named: BTreeSet<&str> = deployment.locals.iter().map(|s| s.name.as_str()).collect();
+
+    let mut violations = Vec::new();
+    for invariant in invariants {
+        // Fix the `when` outcomes; everything else stays symbolic.
+        let mut constraint: PartialAssignment = vec![None; vars.len()];
+        for (cond, status) in &invariant.when {
+            let index = vars.index_of(cond).expect("when triples were added");
+            if constraint[index].is_some_and(|existing| existing != *status) {
+                return Err(format!(
+                    "line {}: contradictory `when` atoms for `{} {} {}`",
+                    invariant.line, cond.cond_type, cond.authority, cond.value
+                ));
+            }
+            constraint[index] = Some(*status);
+        }
+
+        let mut objects: Vec<&str> = voc
+            .objects
+            .iter()
+            .map(String::as_str)
+            .filter(|o| *o != OTHER_VALUE && object_matches(&invariant.object, o))
+            .collect();
+        // The unnamed-object composition (system only) is in scope whenever
+        // the pattern can cover an object with no local policy.
+        let covers_unnamed = invariant.object == "*"
+            || invariant.object.ends_with("/*")
+            || !named.contains(invariant.object.as_str());
+        if covers_unnamed {
+            objects.push(OTHER_VALUE);
+        }
+
+        let authorities: Vec<&str> = if invariant.authority == "*" {
+            voc.authorities.iter().map(String::as_str).collect()
+        } else {
+            vec![map_token(&invariant.authority, &voc.authorities)]
+        };
+        let values: Vec<&str> = if invariant.value == "*" {
+            voc.values.iter().map(String::as_str).collect()
+        } else {
+            vec![map_token(&invariant.value, &voc.values)]
+        };
+
+        for object in objects {
+            let policy = deployment.compose_for(object);
+            for authority in &authorities {
+                for value in &values {
+                    let root =
+                        compile_decision(&mut dag, &policy, &vars, authority, value, GaaStatus::No);
+                    let restricted = dag.restrict(root, &constraint);
+                    if dag.constant_status(restricted) == Some(invariant.expected) {
+                        continue;
+                    }
+                    let (actual, assignment) = [GaaStatus::Yes, GaaStatus::No, GaaStatus::Maybe]
+                        .into_iter()
+                        .filter(|s| *s != invariant.expected)
+                        .find_map(|s| {
+                            dag.witness_status(restricted, vars.len(), s)
+                                .map(|a| (s, a))
+                        })
+                        .expect("non-constant or wrong-constant DAG has a counterexample");
+                    // Merge the when-constraints back into the witness.
+                    let mut merged = assignment;
+                    for (index, status) in constraint.iter().enumerate() {
+                        if status.is_some() {
+                            merged[index] = *status;
+                        }
+                    }
+                    harness.set(vars.triples(), &merged);
+                    let got = harness.authorization(&policy, authority, value);
+                    violations.push(InvariantViolation {
+                        invariant: invariant.clone(),
+                        object: object.to_string(),
+                        authority: (*authority).to_string(),
+                        value: (*value).to_string(),
+                        actual,
+                        witness: witness_from(&vars, &merged),
+                        confirmed: got == actual,
+                    });
+                }
+            }
+        }
+    }
+    Ok(violations)
+}
+
+// ---------------------------------------------------------------------------
+// Hot-reload gate
+// ---------------------------------------------------------------------------
+
+/// The retrieval-stream view the diff gate has learned so far.
+#[derive(Default)]
+struct GateView {
+    system: Option<Vec<Eacl>>,
+    locals: HashMap<String, Vec<Eacl>>,
+}
+
+impl GateView {
+    fn deployment(&self) -> Deployment {
+        let system = self
+            .system
+            .iter()
+            .map(|eacls| Source::from_eacls("system", eacls.clone()))
+            .collect();
+        let mut names: Vec<&String> = self.locals.keys().collect();
+        names.sort();
+        let locals = names
+            .into_iter()
+            .map(|name| Source::from_eacls(name.clone(), self.locals[name].clone()))
+            .collect();
+        Deployment::new(system, locals)
+    }
+
+    fn record(&mut self, name: &str, eacls: &[Eacl]) {
+        if name == "system" {
+            self.system = Some(eacls.to_vec());
+        } else {
+            self.locals.insert(name.to_string(), eacls.to_vec());
+        }
+    }
+}
+
+/// A [`PolicyGate`] that refuses grant-widening or invariant-violating
+/// policy *updates* at hot-reload time.
+///
+/// The gate learns the deployed policy set from the retrieval stream: the
+/// first sighting of each source (the vetted initial deployment — run
+/// `gaa-lint` in CI for that) establishes its baseline. When a source's
+/// content *changes*, the gate substitutes the candidate into the learned
+/// view and symbolically diffs the whole deployment before/after: any
+/// GAA501 grant-widening region — or any violated invariant on the updated
+/// view — vetoes the load. Wrap with [`gaa_core::GatedPolicyStore`] in
+/// `Enforce` mode for the fail-closed deny + audit behavior
+/// (`policy.lint_rejected`).
+#[must_use]
+pub fn diff_gate(snapshot: RegistrySnapshot, invariants: Vec<Invariant>) -> PolicyGate {
+    let state: Mutex<GateView> = Mutex::new(GateView::default());
+    Arc::new(move |name: &str, eacls: &[Eacl]| {
+        let mut view = state.lock();
+        let previous = if name == "system" {
+            view.system.clone()
+        } else {
+            view.locals.get(name).cloned()
+        };
+        match previous {
+            None => {
+                view.record(name, eacls);
+                Ok(())
+            }
+            Some(ref old) if old.as_slice() == eacls => Ok(()),
+            Some(_) => {
+                let old_deployment = view.deployment();
+                let mut candidate = view.deployment();
+                if name == "system" {
+                    candidate.system = vec![Source::from_eacls("system", eacls.to_vec())];
+                } else {
+                    candidate.locals.retain(|s| s.name != name);
+                    candidate
+                        .locals
+                        .push(Source::from_eacls(name, eacls.to_vec()));
+                    candidate.locals.sort_by(|a, b| a.name.cmp(&b.name));
+                }
+                let diff = diff_deployments(&old_deployment, &candidate, &snapshot);
+                let widened: Vec<String> = diff
+                    .regions
+                    .iter()
+                    .filter(|r| region_code(r).0 == "GAA501")
+                    .map(|r| {
+                        format!(
+                            "`{} {}` on `{}` {}→{} ({})",
+                            r.authority,
+                            r.value,
+                            r.object,
+                            r.old,
+                            r.new,
+                            describe_witness(&r.witness)
+                        )
+                    })
+                    .collect();
+                if !widened.is_empty() {
+                    return Err(format!(
+                        "GAA501: update grant-widens the deployment: {}",
+                        widened.join("; ")
+                    ));
+                }
+                if !invariants.is_empty() {
+                    let violations = check_invariants(&candidate, &snapshot, &invariants)
+                        .map_err(|e| format!("invariant check failed: {e}"))?;
+                    if let Some(first) = violations.first() {
+                        return Err(format!("invariant violated: {}", first.describe()));
+                    }
+                }
+                view.record(name, eacls);
+                Ok(())
+            }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Compiler cross-validation
+// ---------------------------------------------------------------------------
+
+/// Outcome of [`cross_validate`].
+#[derive(Debug, Clone)]
+pub struct CrossValidationReport {
+    /// Condition-outcome variables in the deployment.
+    pub variables: usize,
+    /// Assignments exercised.
+    pub assignments: usize,
+    /// Whether the assignment space was covered exhaustively.
+    pub exhaustive: bool,
+    /// Interpreter `check_authorization` calls made.
+    pub requests: usize,
+    /// Any (assignment, object, cell) where interpreter, symbolic DAG and
+    /// compiled evaluator did not all agree. Empty = the compiler is sound
+    /// on this deployment.
+    pub disagreements: Vec<String>,
+}
+
+impl CrossValidationReport {
+    /// True when all three evaluators agreed everywhere.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.disagreements.is_empty()
+    }
+}
+
+/// Maximum assignments enumerated exhaustively by [`cross_validate`].
+const CROSS_VALIDATE_LIMIT: usize = 4096;
+/// Seeded sample count beyond the exhaustive limits.
+const CROSS_VALIDATE_SAMPLES: usize = 256;
+
+/// Differentially validates the symbolic compiler **and** the compiled
+/// fast-path evaluator against the real interpreter: for every
+/// (assignment, object, request cell), the three must agree on the
+/// authorization status.
+///
+/// Coverage is exhaustive over the tri-valued truth table when `3^k ≤
+/// 4096` (k ≤ 7), exhaustive over the boolean (YES/NO) table when `2^k ≤
+/// 4096` (k ≤ 12), and `seed`-driven tri-valued sampling beyond that.
+pub fn cross_validate(
+    deployment: &Deployment,
+    snapshot: &RegistrySnapshot,
+    seed: u64,
+) -> CrossValidationReport {
+    let voc = vocabulary(&[deployment], snapshot);
+    let vars = VarTable::from_triples(voc.triples.clone());
+    let harness = Harness::new(deployment, vars.triples());
+    let mut dag = DecisionDag::new();
+
+    let policies: Vec<(String, ComposedPolicy)> = voc
+        .objects
+        .iter()
+        .map(|o| (o.clone(), deployment.compose_for(o)))
+        .collect();
+    let compiled: Vec<CompiledPolicy> = policies
+        .iter()
+        .map(|(_, p)| harness.api.compile_policy(p))
+        .collect();
+    let roots: Vec<Vec<u32>> = policies
+        .iter()
+        .map(|(_, policy)| {
+            voc.authorities
+                .iter()
+                .flat_map(|a| {
+                    voc.values
+                        .iter()
+                        .map(|v| compile_decision(&mut dag, policy, &vars, a, v, GaaStatus::No))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        })
+        .collect();
+
+    let k = vars.len();
+    let tri_total = 3usize.checked_pow(u32::try_from(k).unwrap_or(u32::MAX));
+    let bool_total = 1usize.checked_shl(u32::try_from(k).unwrap_or(u32::MAX));
+    #[derive(Clone, Copy)]
+    enum Space {
+        Tri(usize),
+        Bool(usize),
+        Sampled,
+    }
+    let space = match (tri_total, bool_total) {
+        (Some(t), _) if t <= CROSS_VALIDATE_LIMIT => Space::Tri(t),
+        (_, Some(b)) if b <= CROSS_VALIDATE_LIMIT => Space::Bool(b),
+        _ => Space::Sampled,
+    };
+    let total = match space {
+        Space::Tri(t) => t,
+        Space::Bool(b) => b,
+        Space::Sampled => CROSS_VALIDATE_SAMPLES,
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ctx = SecurityContext::new();
+    let mut requests = 0usize;
+    let mut disagreements = Vec::new();
+    for index in 0..total {
+        let assignment: PartialAssignment = (0..k)
+            .map(|bit| {
+                let status = match space {
+                    Space::Tri(_) => [GaaStatus::Yes, GaaStatus::No, GaaStatus::Maybe]
+                        [index / 3usize.pow(u32::try_from(bit).expect("small index")) % 3],
+                    Space::Bool(_) => {
+                        if index >> bit & 1 == 1 {
+                            GaaStatus::Yes
+                        } else {
+                            GaaStatus::No
+                        }
+                    }
+                    Space::Sampled => {
+                        [GaaStatus::Yes, GaaStatus::No, GaaStatus::Maybe][rng.gen_range(0..3)]
+                    }
+                };
+                Some(status)
+            })
+            .collect();
+        harness.set(vars.triples(), &assignment);
+        for (oi, (object, policy)) in policies.iter().enumerate() {
+            for (ai, authority) in voc.authorities.iter().enumerate() {
+                for (vi, value) in voc.values.iter().enumerate() {
+                    let right = RightPattern::new(authority.clone(), value.clone());
+                    let interpreted = harness
+                        .api
+                        .check_authorization(policy, &right, &ctx)
+                        .authorization_status();
+                    requests += 1;
+                    let symbolic = dag
+                        .eval_status(roots[oi][ai * voc.values.len() + vi], &mut |i| {
+                            assignment[i].expect("full assignment")
+                        });
+                    let fast =
+                        harness
+                            .api
+                            .check_authorization_compiled(&compiled[oi], &right, &ctx);
+                    if interpreted != symbolic || interpreted != fast {
+                        disagreements.push(format!(
+                            "assignment {index}: `{authority} {value}` on `{object}`: \
+                             interpreter={interpreted} symbolic={symbolic} compiled={fast}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    CrossValidationReport {
+        variables: k,
+        assignments: total,
+        exhaustive: !matches!(space, Space::Sampled),
+        requests,
+        disagreements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(name: &str, text: &str) -> Source {
+        Source::parse(name, text).unwrap()
+    }
+
+    fn section_7_2() -> Deployment {
+        Deployment::new(
+            vec![src(
+                "system",
+                "eacl_mode narrow\n\
+                 neg_access_right apache *\n\
+                 pre_cond regex gnu *phf* *test-cgi*\n\
+                 rr_cond notify local on:failure/sysadmin\n\
+                 pos_access_right apache *\n",
+            )],
+            vec![
+                src(
+                    "/cgi-bin/phf",
+                    "neg_access_right apache *\npre_cond accessid GROUP BadGuys\n\
+                     pos_access_right apache *\n",
+                ),
+                src("/index.html", "pos_access_right apache *\n"),
+            ],
+        )
+    }
+
+    #[test]
+    fn identical_deployments_are_equivalent() {
+        let snapshot = RegistrySnapshot::standard();
+        let diff = diff_deployments(&section_7_2(), &section_7_2(), &snapshot);
+        assert!(diff.identical);
+        assert!(diff.regions.is_empty());
+    }
+
+    #[test]
+    fn refactored_deployment_stays_equivalent() {
+        // Appending an unreachable duplicate grant does not change the
+        // decision function — the DAGs coincide.
+        let mut refactored = section_7_2();
+        refactored.locals[1] = src(
+            "/index.html",
+            "pos_access_right apache *\npos_access_right apache GET\n",
+        );
+        let snapshot = RegistrySnapshot::standard();
+        let diff = diff_deployments(&section_7_2(), &refactored, &snapshot);
+        assert!(diff.identical, "regions: {:?}", diff.regions);
+    }
+
+    #[test]
+    fn dropping_a_system_screen_is_grant_widening() {
+        let mut widened = section_7_2();
+        widened.system = vec![src(
+            "system",
+            "eacl_mode narrow\npos_access_right apache *\n",
+        )];
+        let snapshot = RegistrySnapshot::standard();
+        let diff = diff_deployments(&section_7_2(), &widened, &snapshot);
+        assert!(!diff.identical);
+        let lints = diff_lints(&diff);
+        let widening: Vec<&Lint> = lints.iter().filter(|l| l.code == "GAA501").collect();
+        assert!(!widening.is_empty(), "lints: {lints:?}");
+        // Every region's witness was reproduced by the real interpreter.
+        for region in &diff.regions {
+            assert!(region.confirmed, "unconfirmed region {region:?}");
+        }
+        assert_eq!(lints.iter().filter(|l| l.code == "GAA504").count(), 0);
+    }
+
+    #[test]
+    fn tightening_reports_gaa504_notes() {
+        let mut tightened = section_7_2();
+        tightened
+            .system
+            .push(src("system-extra", "neg_access_right apache POST\n"));
+        let snapshot = RegistrySnapshot::standard();
+        let diff = diff_deployments(&section_7_2(), &tightened, &snapshot);
+        assert!(!diff.identical);
+        let lints = diff_lints(&diff);
+        assert!(lints.iter().all(|l| l.code == "GAA504"), "lints: {lints:?}");
+        assert!(lints.iter().any(|l| l.severity == LintSeverity::Note));
+    }
+
+    #[test]
+    fn invariants_parse_and_hold() {
+        let text = "# block exploit probes under high threat\n\
+                    deny apache GET /cgi-bin/phf when accessid GROUP BadGuys\n\
+                    grant apache GET /index.html when !regex gnu *phf* *test-cgi*\n";
+        let invariants = parse_invariants(text).unwrap();
+        assert_eq!(invariants.len(), 2);
+        assert_eq!(invariants[0].expected, GaaStatus::No);
+        assert_eq!(invariants[0].authority, "apache");
+        assert_eq!(invariants[1].authority, "apache");
+        assert_eq!(invariants[1].when[0].1, GaaStatus::No);
+        let snapshot = RegistrySnapshot::standard();
+        let violations = check_invariants(&section_7_2(), &snapshot, &invariants).unwrap();
+        assert!(
+            violations.is_empty(),
+            "{:?}",
+            violations.iter().map(|v| v.describe()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn violated_invariant_carries_a_confirmed_counterexample() {
+        // /index.html has an unconditional grant, so demanding deny fails.
+        let invariants = parse_invariants("deny apache GET /index.html\n").unwrap();
+        let snapshot = RegistrySnapshot::standard();
+        let violations = check_invariants(&section_7_2(), &snapshot, &invariants).unwrap();
+        assert_eq!(violations.len(), 1);
+        let violation = &violations[0];
+        assert_eq!(violation.actual, GaaStatus::Yes);
+        assert!(violation.confirmed, "{}", violation.describe());
+        assert!(violation.describe().contains("GET"));
+    }
+
+    #[test]
+    fn unregistered_when_atom_is_rejected() {
+        let invariants = parse_invariants("deny apache GET * when nosuch local x\n").unwrap();
+        let snapshot = RegistrySnapshot::standard();
+        let err = check_invariants(&section_7_2(), &snapshot, &invariants).unwrap_err();
+        assert!(err.contains("no registered evaluator"), "{err}");
+    }
+
+    #[test]
+    fn diff_gate_accepts_baselines_and_refuses_widening_updates() {
+        let snapshot = RegistrySnapshot::standard();
+        let gate = diff_gate(snapshot, Vec::new());
+        let deployment = section_7_2();
+        let system = deployment.system_eacls();
+        let phf = deployment.local_eacls("/cgi-bin/phf");
+        // Baseline sightings pass.
+        assert!(gate("system", &system).is_ok());
+        assert!(gate("/cgi-bin/phf", &phf).is_ok());
+        // Unchanged re-check passes.
+        assert!(gate("/cgi-bin/phf", &phf).is_ok());
+        // Dropping the BadGuys screen widens /cgi-bin/phf: refused.
+        let widened = src("/cgi-bin/phf", "pos_access_right apache *\n").eacls;
+        let err = gate("/cgi-bin/phf", &widened).unwrap_err();
+        assert!(err.contains("GAA501"), "{err}");
+        // The baseline is unchanged, so the original still passes.
+        assert!(gate("/cgi-bin/phf", &phf).is_ok());
+        // A tightening update is accepted and becomes the new baseline.
+        let tightened = src("/cgi-bin/phf", "neg_access_right apache *\n").eacls;
+        assert!(gate("/cgi-bin/phf", &tightened).is_ok());
+        assert!(gate("/cgi-bin/phf", &phf).unwrap_err().contains("GAA501"));
+    }
+
+    #[test]
+    fn diff_gate_enforces_invariants_on_updates() {
+        let snapshot = RegistrySnapshot::standard();
+        let invariants = parse_invariants("deny apache GET /secret\n").unwrap();
+        let gate = diff_gate(snapshot, invariants);
+        let deny = src("/secret", "neg_access_right apache *\n").eacls;
+        assert!(gate("/secret", &deny).is_ok());
+        // The update does not widen /secret relative to... it does widen;
+        // use a non-widening but invariant-violating path: a guarded deny
+        // that turns MAYBE — no. Grant update violates both; the GAA501
+        // check fires first, which is fine. Use an invariant about MAYBE:
+        let gate = diff_gate(
+            RegistrySnapshot::standard(),
+            parse_invariants("maybe apache GET /vault\n").unwrap(),
+        );
+        let maybe = src(
+            "/vault",
+            "pos_access_right apache *\npre_cond accessid USER admin\n",
+        )
+        .eacls;
+        assert!(gate("/vault", &maybe).is_ok());
+        // Tightening to a constant deny breaks the MAYBE invariant without
+        // widening anything.
+        let hard_deny = src("/vault", "neg_access_right apache *\n").eacls;
+        let err = gate("/vault", &hard_deny).unwrap_err();
+        assert!(err.contains("invariant violated"), "{err}");
+    }
+
+    #[test]
+    fn cross_validation_is_exhaustive_and_consistent() {
+        let snapshot = RegistrySnapshot::standard();
+        let report = cross_validate(&section_7_2(), &snapshot, 7);
+        assert!(report.exhaustive);
+        assert!(report.variables >= 2);
+        assert!(
+            report.is_consistent(),
+            "disagreements: {:?}",
+            report.disagreements
+        );
+    }
+}

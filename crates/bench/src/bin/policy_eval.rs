@@ -1,0 +1,192 @@
+//! Interpreter vs compiled-DAG policy evaluation benchmark.
+//!
+//! Loads the checked-in `examples/policies` deployment, composes each
+//! object's policy, and times `gaa_check_authorization` on the interpreted
+//! path against [`GaaApi::check_authorization_compiled`] on the decision-DAG
+//! fast path, over a fixed request × security-context mix. Every compiled
+//! decision is asserted equal to the interpreter's before timing starts —
+//! the benchmark refuses to measure a divergent compiler.
+//!
+//! ```text
+//! policy_eval [--write FILE] [--iterations N]
+//! ```
+//!
+//! Prints a hand-rolled JSON summary (the workspace carries no
+//! `serde_json`) and with `--write` also saves it, which is how the
+//! committed `BENCH_policy_eval.json` trajectory seed is produced.
+//!
+//! [`GaaApi::check_authorization_compiled`]: gaa_core::GaaApi::check_authorization_compiled
+
+use gaa_audit::notify::CollectingNotifier;
+use gaa_audit::VirtualClock;
+use gaa_conditions::{register_standard, StandardServices};
+use gaa_core::{
+    CompiledPolicy, GaaApi, GaaApiBuilder, MemoryPolicyStore, RightPattern, SecurityContext,
+};
+use gaa_eacl::{parse_eacl_list, ComposedPolicy};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+const DEFAULT_ITERATIONS: u32 = 200;
+
+fn deployment_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/policies")
+}
+
+fn build_api() -> (GaaApi, Vec<(String, ComposedPolicy)>) {
+    let dir = deployment_dir();
+    let read = |p: &Path| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(parse_eacl_list(&read(&dir.join("system.eacl"))).expect("system parses"));
+    let mut objects = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(dir.join("objects"))
+        .expect("objects dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "eacl"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let stem = path.file_stem().expect("stem").to_string_lossy();
+        let name = format!("/{stem}");
+        store.set_local(&name, parse_eacl_list(&read(&path)).expect("local parses"));
+        objects.push(name);
+    }
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let policies = objects
+        .into_iter()
+        .map(|o| {
+            let policy = api.get_object_policy_info(&o).expect("memory store");
+            (o, policy)
+        })
+        .collect();
+    (api, policies)
+}
+
+fn request_mix() -> Vec<(RightPattern, SecurityContext)> {
+    let rights = ["GET", "POST", "HEAD"];
+    let contexts = [
+        SecurityContext::new(),
+        SecurityContext::new().with_user("admin"),
+        SecurityContext::new().with_user("mallory"),
+    ];
+    rights
+        .iter()
+        .flat_map(|value| {
+            contexts
+                .iter()
+                .map(move |ctx| (RightPattern::new("apache", *value), ctx.clone()))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut write_to: Option<String> = None;
+    let mut iterations = DEFAULT_ITERATIONS;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--write" => write_to = Some(it.next().expect("--write needs a file").clone()),
+            "--iterations" => {
+                iterations = it
+                    .next()
+                    .expect("--iterations needs a value")
+                    .parse()
+                    .expect("numeric iterations")
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let (api, policies) = build_api();
+    let mix = request_mix();
+    let compiled: Vec<CompiledPolicy> = policies
+        .iter()
+        .map(|(_, policy)| api.compile_policy(policy))
+        .collect();
+
+    // Soundness first: the fast path must agree with the interpreter on
+    // every (object, request, context) cell before we time anything.
+    let mut cells = 0usize;
+    for ((object, policy), fast) in policies.iter().zip(&compiled) {
+        for (right, ctx) in &mix {
+            let interpreted = api
+                .check_authorization(policy, right, ctx)
+                .authorization_status();
+            let compiled_status = api.check_authorization_compiled(fast, right, ctx);
+            assert_eq!(
+                interpreted, compiled_status,
+                "compiler diverges on {object} {} {}",
+                right.authority, right.value
+            );
+            cells += 1;
+        }
+    }
+
+    let time = |f: &mut dyn FnMut()| -> f64 {
+        // One warmup pass, then the measured run.
+        f();
+        let start = Instant::now();
+        for _ in 0..iterations {
+            f();
+        }
+        start.elapsed().as_secs_f64()
+    };
+
+    let interp_secs = time(&mut || {
+        for (_, policy) in &policies {
+            for (right, ctx) in &mix {
+                std::hint::black_box(api.check_authorization(policy, right, ctx).status());
+            }
+        }
+    });
+    let compiled_secs = time(&mut || {
+        for fast in &compiled {
+            for (right, ctx) in &mix {
+                std::hint::black_box(api.check_authorization_compiled(fast, right, ctx));
+            }
+        }
+    });
+
+    let decisions = (cells as f64) * f64::from(iterations);
+    let interp_rate = decisions / interp_secs;
+    let compiled_rate = decisions / compiled_secs;
+    let dag_nodes: usize = compiled.iter().map(CompiledPolicy::node_count).sum();
+
+    let mut json = String::from("{");
+    let _ = write!(json, "\"bench\":\"policy_eval\",");
+    let _ = write!(json, "\"deployment\":\"examples/policies\",");
+    let _ = write!(json, "\"iterations\":{iterations},");
+    let _ = write!(json, "\"cells_per_iteration\":{cells},");
+    let _ = write!(json, "\"dag_nodes\":{dag_nodes},");
+    let _ = write!(
+        json,
+        "\"interpreter\":{{\"decisions_per_sec\":{:.0},\"ns_per_decision\":{:.0}}},",
+        interp_rate,
+        1e9 * interp_secs / decisions
+    );
+    let _ = write!(
+        json,
+        "\"compiled\":{{\"decisions_per_sec\":{:.0},\"ns_per_decision\":{:.0}}},",
+        compiled_rate,
+        1e9 * compiled_secs / decisions
+    );
+    let _ = write!(json, "\"speedup\":{:.2}", compiled_rate / interp_rate);
+    json.push('}');
+
+    println!("{json}");
+    if let Some(file) = write_to {
+        std::fs::write(&file, format!("{json}\n")).unwrap_or_else(|e| panic!("{file}: {e}"));
+        eprintln!("wrote {file}");
+    }
+}

@@ -518,6 +518,11 @@ impl GaaApi {
         &self.registry
     }
 
+    /// The §5.1 nothing-applies default this API was built with.
+    pub(crate) fn default_status(&self) -> GaaStatus {
+        self.default_status
+    }
+
     /// Coverage check: every condition in `policy` whose `(type, authority)`
     /// has **no registered evaluator**, with its location.
     ///

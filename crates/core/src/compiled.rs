@@ -1,0 +1,253 @@
+//! Compiled fast-path authorization: evaluate requests against the
+//! pre-built decision DAG of [`crate::dag`] instead of re-walking the
+//! composed EACL lists entry by entry.
+//!
+//! [`GaaApi::compile_policy`] translates a composed deployment into a
+//! [`CompiledPolicy`] — one canonical DAG root per request cell, where the
+//! cells are the deployment's concrete `(authority, value)` alphabet plus
+//! an *other* bucket for tokens no entry names (all such requests are
+//! indistinguishable to the policy, so one cell is exact).
+//! [`GaaApi::check_authorization_compiled`] then answers a request with a
+//! single root-to-terminal walk, evaluating each registered condition at
+//! most once (memoized per request).
+//!
+//! The compiled path returns the **authorization status** (§6 phases 1–3).
+//! It assumes pre-condition evaluators are pure for the duration of one
+//! request — the same assumption the analyzer documents — because the DAG
+//! may probe conditions in a different order (and skip different ones) than
+//! the interpreter's short-circuiting walk. Request-result conditions,
+//! detailed traces and §3 side effects still require the interpreted
+//! [`GaaApi::check_authorization`].
+
+use crate::api::GaaApi;
+use crate::dag::{compile_decision, DecisionDag, VarTable};
+use crate::registry::{EvalDecision, EvalEnv};
+use crate::status::GaaStatus;
+use gaa_eacl::{ComposedPolicy, RightPattern};
+use std::collections::{BTreeSet, HashMap};
+
+/// The request-cell bucket for authority/value tokens no entry names.
+const OTHER_CELL: &str = "«other»";
+
+/// A deployment compiled to decision-DAG form; build with
+/// [`GaaApi::compile_policy`], evaluate with
+/// [`GaaApi::check_authorization_compiled`].
+pub struct CompiledPolicy {
+    dag: DecisionDag,
+    vars: VarTable,
+    authorities: BTreeSet<String>,
+    values: BTreeSet<String>,
+    roots: HashMap<String, HashMap<String, u32>>,
+}
+
+impl CompiledPolicy {
+    /// Compiles `policy` over the condition universe selected by
+    /// `is_registered` (normally the registry's registration check), with
+    /// `default` as the §5.1 nothing-applies status.
+    pub fn compile(
+        policy: &ComposedPolicy,
+        is_registered: &dyn Fn(&str, &str) -> bool,
+        default: GaaStatus,
+    ) -> Self {
+        let vars = VarTable::from_policy(policy, is_registered);
+        let mut authorities: BTreeSet<String> = BTreeSet::new();
+        let mut values: BTreeSet<String> = BTreeSet::new();
+        for (_, eacl) in policy.layers() {
+            for entry in &eacl.entries {
+                if entry.right.authority != "*" {
+                    authorities.insert(entry.right.authority.clone());
+                }
+                if entry.right.value != "*" {
+                    values.insert(entry.right.value.clone());
+                }
+            }
+        }
+        authorities.insert(OTHER_CELL.to_string());
+        values.insert(OTHER_CELL.to_string());
+
+        let mut dag = DecisionDag::new();
+        let mut roots: HashMap<String, HashMap<String, u32>> = HashMap::new();
+        for authority in &authorities {
+            let row = roots.entry(authority.clone()).or_default();
+            for value in &values {
+                let root = compile_decision(&mut dag, policy, &vars, authority, value, default);
+                row.insert(value.clone(), root);
+            }
+        }
+        CompiledPolicy {
+            dag,
+            vars,
+            authorities,
+            values,
+            roots,
+        }
+    }
+
+    /// The condition-outcome variable table the DAG is ordered by.
+    #[must_use]
+    pub fn vars(&self) -> &VarTable {
+        &self.vars
+    }
+
+    /// Number of request cells (alphabet product including *other*).
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.authorities.len() * self.values.len()
+    }
+
+    /// Number of shared internal DAG nodes across all cells.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.dag.node_count()
+    }
+
+    fn cell<'a>(&'a self, right: &'a RightPattern) -> (&'a str, &'a str) {
+        let authority = if self.authorities.contains(&right.authority) {
+            right.authority.as_str()
+        } else {
+            OTHER_CELL
+        };
+        let value = if self.values.contains(&right.value) {
+            right.value.as_str()
+        } else {
+            OTHER_CELL
+        };
+        (authority, value)
+    }
+
+    /// Evaluates the compiled decision for `right`, pulling condition
+    /// outcomes (by variable index) from `lookup`.
+    pub fn decide(
+        &self,
+        right: &RightPattern,
+        lookup: &mut dyn FnMut(usize) -> GaaStatus,
+    ) -> GaaStatus {
+        let (authority, value) = self.cell(right);
+        let root = self.roots[authority][value];
+        self.dag.eval_status(root, lookup)
+    }
+}
+
+impl GaaApi {
+    /// Compiles a composed deployment for the fast path, using this API's
+    /// registry to pick the condition-outcome variables and its configured
+    /// default status.
+    #[must_use]
+    pub fn compile_policy(&self, policy: &ComposedPolicy) -> CompiledPolicy {
+        CompiledPolicy::compile(
+            policy,
+            &|cond_type, authority| self.registry().is_registered(cond_type, authority),
+            self.default_status(),
+        )
+    }
+
+    /// Fast-path `gaa_check_authorization`: one DAG walk, each condition
+    /// evaluated at most once. Returns the authorization status — the same
+    /// value as [`AuthorizationResult::authorization_status`] on the
+    /// interpreted path.
+    ///
+    /// [`AuthorizationResult::authorization_status`]: crate::AuthorizationResult::authorization_status
+    pub fn check_authorization_compiled(
+        &self,
+        compiled: &CompiledPolicy,
+        right: &RightPattern,
+        ctx: &crate::context::SecurityContext,
+    ) -> GaaStatus {
+        let now = ctx.time().unwrap_or_else(|| self.clock().now());
+        let env = EvalEnv::pre(ctx, now);
+        let mut memo: Vec<Option<GaaStatus>> = vec![None; compiled.vars().len()];
+        compiled.decide(right, &mut |index| {
+            if let Some(status) = memo[index] {
+                return status;
+            }
+            let cond = compiled.vars().condition(index);
+            let status = match self.registry().evaluate(&cond, &env).decision {
+                EvalDecision::Met => GaaStatus::Yes,
+                EvalDecision::NotMet => GaaStatus::No,
+                EvalDecision::Unevaluated => GaaStatus::Maybe,
+            };
+            memo[index] = Some(status);
+            status
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::GaaApiBuilder;
+    use crate::context::SecurityContext;
+    use crate::policy_store::MemoryPolicyStore;
+    use gaa_eacl::{parse_eacl, parse_eacl_list};
+    use std::sync::Arc;
+
+    fn api_with(system: &str, local: &str) -> (GaaApi, ComposedPolicy) {
+        let mut store = MemoryPolicyStore::new();
+        if !system.is_empty() {
+            store.set_system(parse_eacl_list(system).unwrap());
+        }
+        if !local.is_empty() {
+            store.set_local("/obj", vec![parse_eacl(local).unwrap()]);
+        }
+        let api = GaaApiBuilder::new(Arc::new(store))
+            .register("accessid", "USER", |value, env| match env.context.user() {
+                Some(user) if user == value => EvalDecision::Met,
+                Some(_) => EvalDecision::NotMet,
+                None => EvalDecision::Unevaluated,
+            })
+            .build();
+        let policy = api.get_object_policy_info("/obj").unwrap();
+        (api, policy)
+    }
+
+    #[test]
+    fn compiled_path_matches_the_interpreter() {
+        let (api, policy) = api_with(
+            "eacl_mode narrow\nneg_access_right apache POST\n\
+             pre_cond accessid USER mallory\npos_access_right apache *\n",
+            "pos_access_right apache GET\n\
+             pos_access_right apache *\npre_cond accessid USER admin\n",
+        );
+        let compiled = api.compile_policy(&policy);
+        let contexts = [
+            SecurityContext::new(),
+            SecurityContext::new().with_user("admin"),
+            SecurityContext::new().with_user("mallory"),
+        ];
+        for ctx in &contexts {
+            for (authority, value) in [
+                ("apache", "GET"),
+                ("apache", "POST"),
+                ("apache", "DELETE"),
+                ("sshd", "login"),
+            ] {
+                let right = RightPattern::new(authority, value);
+                let interpreted = api
+                    .check_authorization(&policy, &right, ctx)
+                    .authorization_status();
+                let fast = api.check_authorization_compiled(&compiled, &right, ctx);
+                assert_eq!(interpreted, fast, "cell ({authority}, {value})");
+            }
+        }
+    }
+
+    #[test]
+    fn unnamed_tokens_share_the_other_cell() {
+        let (api, policy) = api_with("", "pos_access_right apache GET\n");
+        let compiled = api.compile_policy(&policy);
+        let ctx = SecurityContext::new();
+        // Any value other than GET falls into the same bucket: denied by
+        // the nothing-applies default.
+        for value in ["POST", "TRACE", "«other»", "*"] {
+            let status = api.check_authorization_compiled(
+                &compiled,
+                &RightPattern::new("apache", value),
+                &ctx,
+            );
+            assert!(status.is_no(), "value {value}");
+        }
+        assert!(api
+            .check_authorization_compiled(&compiled, &RightPattern::new("apache", "GET"), &ctx)
+            .is_yes());
+    }
+}

@@ -1,0 +1,940 @@
+//! Ternary decision DAGs — the symbolic form of §5 EACL evaluation.
+//!
+//! A composed deployment (system policy × composition mode × local policy)
+//! is, for any fixed request cell, a *function* from condition outcomes to
+//! an authorization status. Each registered pre-condition is a tri-valued
+//! variable (YES / NO / UNEVALUATED — the [`GaaStatus`] lattice of §6), and
+//! the first-match entry walk, the per-layer Kleene conjunction and the
+//! composition-mode tables of [`crate::GaaApi::check_authorization`] are all
+//! finite functions over those variables. This module compiles that function
+//! into an **ordered, reduced, hash-consed multi-valued decision diagram**:
+//!
+//! * *ordered* — variables appear in one global sorted order on every path;
+//! * *reduced* — a node whose three children are identical is elided;
+//! * *hash-consed* — structurally equal nodes are shared, so within one
+//!   [`DecisionDag`] arena two semantically equal deployments compile to the
+//!   *same* root id. Equivalence checking is pointer comparison.
+//!
+//! The diagram computes the **authorization status** (§6 phases 1–3: the
+//! pre-condition verdict before request-result conditions are folded in).
+//! Request-result conditions depend on the request outcome and carry side
+//! effects (notify, audit, update_log), so they stay with the interpreter.
+//!
+//! Consumers: the compiled fast-path evaluator ([`crate::CompiledPolicy`]),
+//! and `gaa-analyze`'s semantic diff / invariant checker / equivalence
+//! prover, which also use the applies-DAGs ([`compile_applies`]) to reason
+//! about which entry fires.
+
+use crate::status::GaaStatus;
+use gaa_eacl::{
+    ComposedPolicy, CompositionMode, Condition, Eacl, EaclEntry, Polarity, PolicyLayer,
+};
+use std::collections::{BTreeSet, HashMap};
+
+/// Decisions an EACL layer can reach: a [`GaaStatus`] or an abstention
+/// (no entry matched the request — the layer contributes nothing).
+const T_YES: u32 = 0;
+const T_NO: u32 = 1;
+const T_MAYBE: u32 = 2;
+const T_ABSTAIN: u32 = 3;
+const T_TRUE: u32 = 4;
+const T_FALSE: u32 = 5;
+/// Terminal ids below this bound encode constants; the pair product of two
+/// status functions needs `4 * 3 + 3 = 15 < 16`.
+const NUM_TERMINALS: u32 = 16;
+
+const STATUS_LABELS: [GaaStatus; 3] = [GaaStatus::Yes, GaaStatus::No, GaaStatus::Maybe];
+
+fn status_terminal(status: GaaStatus) -> u32 {
+    match status {
+        GaaStatus::Yes => T_YES,
+        GaaStatus::No => T_NO,
+        GaaStatus::Maybe => T_MAYBE,
+    }
+}
+
+fn terminal_status(id: u32) -> GaaStatus {
+    match id {
+        T_YES => GaaStatus::Yes,
+        T_NO => GaaStatus::No,
+        T_MAYBE => GaaStatus::Maybe,
+        other => panic!("terminal {other} is not a status"),
+    }
+}
+
+fn status_index(status: GaaStatus) -> usize {
+    match status {
+        GaaStatus::Yes => 0,
+        GaaStatus::No => 1,
+        GaaStatus::Maybe => 2,
+    }
+}
+
+// Binary operation codes for the memoized `apply`. Each is a total function
+// over terminal values; `op_apply` is the single source of truth.
+const OP_AND: u8 = 0;
+const OP_FIRST_POS: u8 = 1;
+const OP_FIRST_NEG: u8 = 2;
+const OP_CONJ_ABSTAIN: u8 = 3;
+const OP_PAIR: u8 = 4;
+const OP_APPLIES: u8 = 5;
+const OP_NONE_APPLIED: u8 = 6;
+const OP_OR_BOOL: u8 = 7;
+// Combine ops encode (mode, default) in the low bits: 0x10 | mode<<1 | default.
+const OP_COMBINE_BASE: u8 = 0x10;
+
+fn kleene_and(a: u32, b: u32) -> u32 {
+    if a == T_NO || b == T_NO {
+        T_NO
+    } else if a == T_MAYBE || b == T_MAYBE {
+        T_MAYBE
+    } else {
+        T_YES
+    }
+}
+
+/// The first-match step of §6 step 2: `pre` is this entry's pre-condition
+/// status, `rest` the decision of the remaining entries. `No` falls through
+/// (the entry does not apply); otherwise the entry decides.
+fn first_match(polarity: Polarity, pre: u32, rest: u32) -> u32 {
+    if pre == T_NO {
+        rest
+    } else {
+        match (polarity, pre) {
+            (Polarity::Positive, s) => s,
+            (Polarity::Negative, T_YES) => T_NO,
+            (Polarity::Negative, _) => T_MAYBE,
+        }
+    }
+}
+
+/// Folds two per-EACL decisions within one layer: abstentions pass the
+/// other side through, two verdicts combine with the Kleene AND — exactly
+/// `GaaStatus::all` over the non-abstaining EACLs.
+fn conj_abstain(a: u32, b: u32) -> u32 {
+    match (a, b) {
+        (T_ABSTAIN, x) | (x, T_ABSTAIN) => x,
+        (x, y) => kleene_and(x, y),
+    }
+}
+
+/// The §5.1 composition-mode tables, byte-for-byte the `combine_layers`
+/// match in `api.rs`, with `T_ABSTAIN` standing in for `None`.
+fn combine(mode: CompositionMode, default: u32, sys: u32, loc: u32) -> u32 {
+    match mode {
+        CompositionMode::Stop => {
+            if sys == T_ABSTAIN {
+                default
+            } else {
+                sys
+            }
+        }
+        CompositionMode::Narrow => match (sys, loc) {
+            (T_NO, _) => T_NO,
+            (_, T_NO) => T_NO,
+            (T_MAYBE, _) => T_MAYBE,
+            (T_YES, T_ABSTAIN) => T_YES,
+            (T_YES, l) => l,
+            (T_ABSTAIN, T_ABSTAIN) => default,
+            (T_ABSTAIN, l) => l,
+            _ => unreachable!("non-decision terminal in combine"),
+        },
+        CompositionMode::Expand => match (sys, loc) {
+            (T_YES, _) | (_, T_YES) => T_YES,
+            (T_MAYBE, _) | (_, T_MAYBE) => T_MAYBE,
+            (T_NO, _) | (_, T_NO) => T_NO,
+            (T_ABSTAIN, T_ABSTAIN) => default,
+            _ => unreachable!("non-decision terminal in combine"),
+        },
+    }
+}
+
+fn op_apply(op: u8, a: u32, b: u32) -> u32 {
+    match op {
+        OP_AND => kleene_and(a, b),
+        OP_FIRST_POS => first_match(Polarity::Positive, a, b),
+        OP_FIRST_NEG => first_match(Polarity::Negative, a, b),
+        OP_CONJ_ABSTAIN => conj_abstain(a, b),
+        OP_PAIR => a * 4 + b,
+        OP_APPLIES => {
+            // a: "no earlier matching entry applied", b: this entry's pre status.
+            if a == T_TRUE && b != T_NO {
+                T_TRUE
+            } else {
+                T_FALSE
+            }
+        }
+        OP_NONE_APPLIED => {
+            if a == T_TRUE && b == T_NO {
+                T_TRUE
+            } else {
+                T_FALSE
+            }
+        }
+        OP_OR_BOOL => {
+            if a == T_TRUE || b == T_TRUE {
+                T_TRUE
+            } else {
+                T_FALSE
+            }
+        }
+        _ => {
+            let mode = match (op - OP_COMBINE_BASE) >> 1 {
+                0 => CompositionMode::Expand,
+                1 => CompositionMode::Narrow,
+                2 => CompositionMode::Stop,
+                _ => panic!("unknown op {op}"),
+            };
+            let default = if op & 1 == 1 { T_YES } else { T_NO };
+            combine(mode, default, a, b)
+        }
+    }
+}
+
+fn combine_op(mode: CompositionMode, default: GaaStatus) -> u8 {
+    let mode_bits = match mode {
+        CompositionMode::Expand => 0u8,
+        CompositionMode::Narrow => 1,
+        CompositionMode::Stop => 2,
+    };
+    let default_bit = match default {
+        GaaStatus::Yes => 1u8,
+        _ => 0,
+    };
+    OP_COMBINE_BASE | (mode_bits << 1) | default_bit
+}
+
+/// One internal node: a variable test with a child per outcome, in the
+/// fixed edge order `[Yes, No, Maybe]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    kids: [u32; 3],
+}
+
+/// A hash-consing arena of ternary decision nodes.
+///
+/// Node ids are `u32` handles into the arena; ids below a small reserved
+/// bound are terminals. Because construction is reduced and hash-consed,
+/// **two roots are semantically equal iff their ids are equal** — provided
+/// both were built in the same arena over the same variable order.
+#[derive(Default)]
+pub struct DecisionDag {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, u32>,
+    memo: HashMap<(u8, u32, u32), u32>,
+}
+
+/// A satisfying assignment extracted from the DAG: for each variable index,
+/// the outcome the path constrains it to, or `None` when the function's
+/// value does not depend on it.
+pub type PartialAssignment = Vec<Option<GaaStatus>>;
+
+impl DecisionDag {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        DecisionDag::default()
+    }
+
+    /// Number of internal (non-terminal) nodes allocated so far.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant diagram for a [`GaaStatus`].
+    #[must_use]
+    pub fn leaf_status(&self, status: GaaStatus) -> u32 {
+        status_terminal(status)
+    }
+
+    fn var_of(&self, id: u32) -> u32 {
+        if id < NUM_TERMINALS {
+            u32::MAX
+        } else {
+            self.nodes[(id - NUM_TERMINALS) as usize].var
+        }
+    }
+
+    fn kids_of(&self, id: u32) -> [u32; 3] {
+        self.nodes[(id - NUM_TERMINALS) as usize].kids
+    }
+
+    /// Makes (or finds) the node testing `var` with the given children,
+    /// applying the reduction rule.
+    fn node(&mut self, var: u32, kids: [u32; 3]) -> u32 {
+        if kids[0] == kids[1] && kids[1] == kids[2] {
+            return kids[0];
+        }
+        let node = Node { var, kids };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = NUM_TERMINALS + u32::try_from(self.nodes.len()).expect("dag arena overflow");
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    /// A fresh variable node: `var` with the three constant status leaves
+    /// as children (the symbolic form of one condition-outcome variable).
+    pub fn var(&mut self, var: usize) -> u32 {
+        let var = u32::try_from(var).expect("variable index overflow");
+        self.node(var, [T_YES, T_NO, T_MAYBE])
+    }
+
+    fn apply(&mut self, op: u8, a: u32, b: u32) -> u32 {
+        if a < NUM_TERMINALS && b < NUM_TERMINALS {
+            return op_apply(op, a, b);
+        }
+        if let Some(&hit) = self.memo.get(&(op, a, b)) {
+            return hit;
+        }
+        let (va, vb) = (self.var_of(a), self.var_of(b));
+        let var = va.min(vb);
+        let mut kids = [0u32; 3];
+        for (i, kid) in kids.iter_mut().enumerate() {
+            let ca = if va == var { self.kids_of(a)[i] } else { a };
+            let cb = if vb == var { self.kids_of(b)[i] } else { b };
+            *kid = self.apply(op, ca, cb);
+        }
+        let result = self.node(var, kids);
+        self.memo.insert((op, a, b), result);
+        result
+    }
+
+    /// Pairs two status diagrams into one whose terminals encode
+    /// `(value of a, value of b)` — the transition diagram used by the
+    /// semantic diff. Query it with [`DecisionDag::witness_transition`] and
+    /// [`DecisionDag::count_transition`].
+    pub fn pair_decision(&mut self, a: u32, b: u32) -> u32 {
+        self.apply(OP_PAIR, a, b)
+    }
+
+    /// Evaluates a status diagram under concrete condition outcomes.
+    pub fn eval_status(&self, root: u32, lookup: &mut dyn FnMut(usize) -> GaaStatus) -> GaaStatus {
+        terminal_status(self.eval_raw(root, lookup))
+    }
+
+    /// Evaluates a boolean (applies) diagram under concrete outcomes.
+    pub fn eval_bool(&self, root: u32, lookup: &mut dyn FnMut(usize) -> GaaStatus) -> bool {
+        self.eval_raw(root, lookup) == T_TRUE
+    }
+
+    fn eval_raw(&self, root: u32, lookup: &mut dyn FnMut(usize) -> GaaStatus) -> u32 {
+        let mut id = root;
+        while id >= NUM_TERMINALS {
+            let node = self.nodes[(id - NUM_TERMINALS) as usize];
+            id = node.kids[status_index(lookup(node.var as usize))];
+        }
+        id
+    }
+
+    /// `Some(status)` when the diagram is the given constant.
+    #[must_use]
+    pub fn constant_status(&self, root: u32) -> Option<GaaStatus> {
+        (root < T_ABSTAIN).then(|| terminal_status(root))
+    }
+
+    /// `Some(flag)` when a boolean diagram is constant.
+    #[must_use]
+    pub fn constant_bool(&self, root: u32) -> Option<bool> {
+        match root {
+            T_TRUE => Some(true),
+            T_FALSE => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Bitmask of terminals reachable from each node, memoized per call.
+    fn reachable(&self, root: u32, memo: &mut HashMap<u32, u16>) -> u16 {
+        if root < NUM_TERMINALS {
+            return 1 << root;
+        }
+        if let Some(&hit) = memo.get(&root) {
+            return hit;
+        }
+        let kids = self.kids_of(root);
+        let mask = kids.iter().fold(0u16, |m, &k| m | self.reachable(k, memo));
+        memo.insert(root, mask);
+        mask
+    }
+
+    /// Extracts an assignment on which the diagram reaches a terminal
+    /// accepted by `accept`; returns the terminal reached and the (partial)
+    /// assignment, or `None` when no path exists. `num_vars` sizes the
+    /// returned vector.
+    fn witness(&self, root: u32, num_vars: usize, accept: u16) -> Option<(u32, PartialAssignment)> {
+        let mut memo = HashMap::new();
+        if self.reachable(root, &mut memo) & accept == 0 {
+            return None;
+        }
+        let mut assignment: PartialAssignment = vec![None; num_vars];
+        let mut id = root;
+        while id >= NUM_TERMINALS {
+            let node = self.nodes[(id - NUM_TERMINALS) as usize];
+            let pick = (0..3)
+                .find(|&i| self.reachable(node.kids[i], &mut memo) & accept != 0)
+                .expect("reachable mask promised a path");
+            assignment[node.var as usize] = Some(STATUS_LABELS[pick]);
+            id = node.kids[pick];
+        }
+        Some((id, assignment))
+    }
+
+    /// An assignment under which a status diagram evaluates to `target`.
+    #[must_use]
+    pub fn witness_status(
+        &self,
+        root: u32,
+        num_vars: usize,
+        target: GaaStatus,
+    ) -> Option<PartialAssignment> {
+        self.witness(root, num_vars, 1 << status_terminal(target))
+            .map(|(_, a)| a)
+    }
+
+    /// An assignment under which a boolean diagram evaluates to `target`.
+    #[must_use]
+    pub fn witness_bool(
+        &self,
+        root: u32,
+        num_vars: usize,
+        target: bool,
+    ) -> Option<PartialAssignment> {
+        let terminal = if target { T_TRUE } else { T_FALSE };
+        self.witness(root, num_vars, 1 << terminal).map(|(_, a)| a)
+    }
+
+    /// An assignment on which a pair diagram (see
+    /// [`DecisionDag::pair_decision`]) transitions `from → to`.
+    #[must_use]
+    pub fn witness_transition(
+        &self,
+        root: u32,
+        num_vars: usize,
+        from: GaaStatus,
+        to: GaaStatus,
+    ) -> Option<PartialAssignment> {
+        let terminal = status_terminal(from) * 4 + status_terminal(to);
+        self.witness(root, num_vars, 1 << terminal).map(|(_, a)| a)
+    }
+
+    /// Number of full assignments (out of `3^num_vars`) on which a pair
+    /// diagram transitions `from → to`.
+    #[must_use]
+    pub fn count_transition(
+        &self,
+        root: u32,
+        num_vars: usize,
+        from: GaaStatus,
+        to: GaaStatus,
+    ) -> u128 {
+        let target = status_terminal(from) * 4 + status_terminal(to);
+        let mut memo = HashMap::new();
+        let paths = self.count_paths(root, target, num_vars, &mut memo);
+        paths * pow3(self.level(root, num_vars))
+    }
+
+    fn level(&self, id: u32, num_vars: usize) -> u32 {
+        if id < NUM_TERMINALS {
+            u32::try_from(num_vars).expect("variable count overflow")
+        } else {
+            self.nodes[(id - NUM_TERMINALS) as usize].var
+        }
+    }
+
+    fn count_paths(
+        &self,
+        id: u32,
+        target: u32,
+        num_vars: usize,
+        memo: &mut HashMap<u32, u128>,
+    ) -> u128 {
+        if id < NUM_TERMINALS {
+            return u128::from(id == target);
+        }
+        if let Some(&hit) = memo.get(&id) {
+            return hit;
+        }
+        let node = self.nodes[(id - NUM_TERMINALS) as usize];
+        let total = node
+            .kids
+            .iter()
+            .map(|&k| {
+                let gap = self.level(k, num_vars) - node.var - 1;
+                self.count_paths(k, target, num_vars, memo) * pow3(gap)
+            })
+            .sum();
+        memo.insert(id, total);
+        total
+    }
+
+    /// Restricts (cofactors) a diagram by the fixed outcomes in
+    /// `assignment`: variables set to `Some(status)` are replaced by that
+    /// outcome, the rest remain symbolic.
+    pub fn restrict(&mut self, root: u32, assignment: &PartialAssignment) -> u32 {
+        let mut memo = HashMap::new();
+        self.restrict_inner(root, assignment, &mut memo)
+    }
+
+    fn restrict_inner(
+        &mut self,
+        id: u32,
+        assignment: &PartialAssignment,
+        memo: &mut HashMap<u32, u32>,
+    ) -> u32 {
+        if id < NUM_TERMINALS {
+            return id;
+        }
+        if let Some(&hit) = memo.get(&id) {
+            return hit;
+        }
+        let node = self.nodes[(id - NUM_TERMINALS) as usize];
+        let result = match assignment.get(node.var as usize).copied().flatten() {
+            Some(status) => self.restrict_inner(node.kids[status_index(status)], assignment, memo),
+            None => {
+                let mut kids = [0u32; 3];
+                for (i, kid) in kids.iter_mut().enumerate() {
+                    *kid = self.restrict_inner(node.kids[i], assignment, memo);
+                }
+                self.node(node.var, kids)
+            }
+        };
+        memo.insert(id, result);
+        result
+    }
+}
+
+/// The global variable order: registered, non-redirect pre-condition
+/// `(type, authority, value)` triples, sorted. Redirect pre-conditions have
+/// no evaluator by design (they surface as MAYBE plus a replica location)
+/// and compile to the constant MAYBE, as does any unregistered condition.
+pub struct VarTable {
+    triples: Vec<(String, String, String)>,
+    index: HashMap<(String, String, String), usize>,
+}
+
+impl VarTable {
+    /// Builds the table from an already-collected sorted triple set.
+    #[must_use]
+    pub fn from_triples(triples: BTreeSet<(String, String, String)>) -> Self {
+        let triples: Vec<_> = triples.into_iter().collect();
+        let index = triples
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, t)| (t, i))
+            .collect();
+        VarTable { triples, index }
+    }
+
+    /// Collects the variable universe of one composed deployment:
+    /// every registered, non-redirect pre-condition triple in any layer.
+    #[must_use]
+    pub fn from_policy(
+        policy: &ComposedPolicy,
+        is_registered: &dyn Fn(&str, &str) -> bool,
+    ) -> Self {
+        let mut triples = BTreeSet::new();
+        for (_, eacl) in policy.layers() {
+            collect_triples(eacl, is_registered, &mut triples);
+        }
+        VarTable::from_triples(triples)
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether the universe is empty (decisions are constants).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// The sorted triples, in variable order.
+    #[must_use]
+    pub fn triples(&self) -> &[(String, String, String)] {
+        &self.triples
+    }
+
+    /// Reconstructs the [`Condition`] for a variable index.
+    #[must_use]
+    pub fn condition(&self, index: usize) -> Condition {
+        let (cond_type, authority, value) = &self.triples[index];
+        Condition::new(cond_type, authority, value)
+    }
+
+    /// The variable index of a condition, if it is in the universe.
+    #[must_use]
+    pub fn index_of(&self, cond: &Condition) -> Option<usize> {
+        self.index
+            .get(&(
+                cond.cond_type.clone(),
+                cond.authority.clone(),
+                cond.value.clone(),
+            ))
+            .copied()
+    }
+}
+
+/// Adds `eacl`'s registered, non-redirect pre-condition triples to `out` —
+/// the same universe the differential harness enumerates.
+pub fn collect_triples(
+    eacl: &Eacl,
+    is_registered: &dyn Fn(&str, &str) -> bool,
+    out: &mut BTreeSet<(String, String, String)>,
+) {
+    for entry in &eacl.entries {
+        for cond in &entry.pre {
+            if cond.cond_type != crate::decision::REDIRECT_COND_TYPE
+                && is_registered(&cond.cond_type, &cond.authority)
+            {
+                out.insert((
+                    cond.cond_type.clone(),
+                    cond.authority.clone(),
+                    cond.value.clone(),
+                ));
+            }
+        }
+    }
+}
+
+/// Compiles one entry's pre-condition block: the Kleene AND over its
+/// condition variables (empty block → constant YES). Short-circuiting in
+/// the interpreter affects side effects only, never the resulting status,
+/// so the plain conjunction is exact.
+fn compile_pre(dag: &mut DecisionDag, entry: &EaclEntry, vars: &VarTable) -> u32 {
+    let mut acc = T_YES;
+    for cond in &entry.pre {
+        let cond_dag = match vars.index_of(cond) {
+            Some(index) => dag.var(index),
+            None => T_MAYBE,
+        };
+        acc = dag.apply(OP_AND, acc, cond_dag);
+    }
+    acc
+}
+
+/// Compiles one EACL's first-match walk for a concrete request cell:
+/// fold the matching entries right-to-left with the §6 step-2 rule. No
+/// matching entry (or every pre-block NO) leaves the layer abstaining.
+fn compile_eacl(
+    dag: &mut DecisionDag,
+    eacl: &Eacl,
+    vars: &VarTable,
+    authority: &str,
+    value: &str,
+) -> u32 {
+    let matching: Vec<&EaclEntry> = eacl
+        .matching_entries(authority, value)
+        .map(|(_, entry)| entry)
+        .collect();
+    let mut acc = T_ABSTAIN;
+    for entry in matching.into_iter().rev() {
+        let pre = compile_pre(dag, entry, vars);
+        let op = match entry.right.polarity {
+            Polarity::Positive => OP_FIRST_POS,
+            Polarity::Negative => OP_FIRST_NEG,
+        };
+        acc = dag.apply(op, pre, acc);
+    }
+    acc
+}
+
+/// Compiles the full composed decision for a concrete request cell
+/// `(authority, value)`: per-layer EACL folds conjoined (abstain-aware),
+/// then the composition-mode table with `default` for the all-abstain case.
+/// The root computes the deployment's **authorization status**.
+pub fn compile_decision(
+    dag: &mut DecisionDag,
+    policy: &ComposedPolicy,
+    vars: &VarTable,
+    authority: &str,
+    value: &str,
+    default: GaaStatus,
+) -> u32 {
+    let mut sys = T_ABSTAIN;
+    let mut loc = T_ABSTAIN;
+    for (layer, eacl) in policy.layers() {
+        let contribution = compile_eacl(dag, eacl, vars, authority, value);
+        match layer {
+            PolicyLayer::System => sys = dag.apply(OP_CONJ_ABSTAIN, sys, contribution),
+            PolicyLayer::Local => loc = dag.apply(OP_CONJ_ABSTAIN, loc, contribution),
+        }
+    }
+    let op = combine_op(policy.mode(), default);
+    dag.apply(op, sys, loc)
+}
+
+/// Names one entry inside a composed deployment, using layer-relative EACL
+/// indices (the numbering [`crate::AppliedEntry`] reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryRef {
+    /// The layer the entry's EACL came from.
+    pub layer: PolicyLayer,
+    /// EACL index within that layer.
+    pub eacl: usize,
+    /// Entry index within the EACL.
+    pub entry: usize,
+}
+
+fn layer_eacl(policy: &ComposedPolicy, layer: PolicyLayer, eacl_index: usize) -> Option<&Eacl> {
+    policy
+        .layers()
+        .filter(|(l, _)| *l == layer)
+        .nth(eacl_index)
+        .map(|(_, eacl)| eacl)
+}
+
+/// Compiles a boolean diagram that is TRUE exactly when the referenced
+/// entry is the one the first-match walk applies for the request cell —
+/// i.e. it matches the cell, its pre-block is not NO, and every earlier
+/// matching entry's pre-block *is* NO. Constant FALSE when the entry does
+/// not match the cell (or the reference names no entry).
+pub fn compile_applies(
+    dag: &mut DecisionDag,
+    policy: &ComposedPolicy,
+    vars: &VarTable,
+    authority: &str,
+    value: &str,
+    entry_ref: EntryRef,
+) -> u32 {
+    let Some(eacl) = layer_eacl(policy, entry_ref.layer, entry_ref.eacl) else {
+        return T_FALSE;
+    };
+    let mut none_applied = T_TRUE;
+    for (index, entry) in eacl.matching_entries(authority, value) {
+        let pre = compile_pre(dag, entry, vars);
+        if index == entry_ref.entry {
+            return dag.apply(OP_APPLIES, none_applied, pre);
+        }
+        none_applied = dag.apply(OP_NONE_APPLIED, none_applied, pre);
+    }
+    T_FALSE
+}
+
+/// TRUE when *some* entry of the given layer applies for the cell; used by
+/// the analyzer to check dead-layer and coverage-gap claims symbolically.
+pub fn compile_layer_applies(
+    dag: &mut DecisionDag,
+    policy: &ComposedPolicy,
+    vars: &VarTable,
+    authority: &str,
+    value: &str,
+    layer: PolicyLayer,
+) -> u32 {
+    let mut any = T_FALSE;
+    for (l, eacl) in policy.layers() {
+        if l != layer {
+            continue;
+        }
+        let mut none_applied = T_TRUE;
+        for (_, entry) in eacl.matching_entries(authority, value) {
+            let pre = compile_pre(dag, entry, vars);
+            none_applied = dag.apply(OP_NONE_APPLIED, none_applied, pre);
+        }
+        // Some entry applies iff not every matching pre-block is NO.
+        let negated = negate_bool(dag, none_applied);
+        any = dag.apply(OP_OR_BOOL, any, negated);
+    }
+    any
+}
+
+/// Boolean NOT over a TRUE/FALSE diagram.
+fn negate_bool(dag: &mut DecisionDag, root: u32) -> u32 {
+    let mut memo = HashMap::new();
+    negate_inner(dag, root, &mut memo)
+}
+
+fn negate_inner(dag: &mut DecisionDag, id: u32, memo: &mut HashMap<u32, u32>) -> u32 {
+    if id < NUM_TERMINALS {
+        return match id {
+            T_TRUE => T_FALSE,
+            T_FALSE => T_TRUE,
+            other => panic!("negating non-boolean terminal {other}"),
+        };
+    }
+    if let Some(&hit) = memo.get(&id) {
+        return hit;
+    }
+    let node = dag.nodes[(id - NUM_TERMINALS) as usize];
+    let mut kids = [0u32; 3];
+    for (i, kid) in kids.iter_mut().enumerate() {
+        *kid = negate_inner(dag, node.kids[i], memo);
+    }
+    let result = dag.node(node.var, kids);
+    memo.insert(id, result);
+    result
+}
+
+fn pow3(exp: u32) -> u128 {
+    3u128.pow(exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_eacl::parse_eacl;
+
+    fn registered(_: &str, _: &str) -> bool {
+        true
+    }
+
+    fn policy(system: &str, local: &str) -> ComposedPolicy {
+        let system = if system.is_empty() {
+            vec![]
+        } else {
+            vec![parse_eacl(system).unwrap()]
+        };
+        let local = if local.is_empty() {
+            vec![]
+        } else {
+            vec![parse_eacl(local).unwrap()]
+        };
+        ComposedPolicy::compose(system, local)
+    }
+
+    #[test]
+    fn unconditional_grant_compiles_to_constant_yes() {
+        let policy = policy("", "pos_access_right apache *\n");
+        let vars = VarTable::from_policy(&policy, &registered);
+        let mut dag = DecisionDag::new();
+        let root = compile_decision(&mut dag, &policy, &vars, "apache", "GET", GaaStatus::No);
+        assert_eq!(dag.constant_status(root), Some(GaaStatus::Yes));
+    }
+
+    #[test]
+    fn guarded_grant_depends_on_its_condition() {
+        let policy = policy(
+            "",
+            "pos_access_right apache *\npre_cond accessid USER alice\n",
+        );
+        let vars = VarTable::from_policy(&policy, &registered);
+        assert_eq!(vars.len(), 1);
+        let mut dag = DecisionDag::new();
+        let root = compile_decision(&mut dag, &policy, &vars, "apache", "GET", GaaStatus::No);
+        assert_eq!(dag.constant_status(root), None);
+        for status in [GaaStatus::Yes, GaaStatus::No, GaaStatus::Maybe] {
+            // pos entry: pre No falls through to abstain -> default No;
+            // pre Yes -> Yes; pre Maybe -> Maybe — the identity on status.
+            assert_eq!(dag.eval_status(root, &mut |_| status), status);
+        }
+    }
+
+    #[test]
+    fn semantically_equal_deployments_share_a_root() {
+        // A redundant duplicate entry does not change the function.
+        let a = policy(
+            "",
+            "pos_access_right apache *\npre_cond accessid USER alice\n",
+        );
+        let b = policy(
+            "",
+            "pos_access_right apache *\npre_cond accessid USER alice\n\
+             pos_access_right apache *\npre_cond accessid USER alice\n",
+        );
+        let mut triples = BTreeSet::new();
+        for p in [&a, &b] {
+            for (_, eacl) in p.layers() {
+                collect_triples(eacl, &registered, &mut triples);
+            }
+        }
+        let vars = VarTable::from_triples(triples);
+        let mut dag = DecisionDag::new();
+        let ra = compile_decision(&mut dag, &a, &vars, "apache", "GET", GaaStatus::No);
+        let rb = compile_decision(&mut dag, &b, &vars, "apache", "GET", GaaStatus::No);
+        // Duplicate guarded grant: if pre is Maybe the first entry yields
+        // Maybe either way; if No both fall through. Identical functions,
+        // identical roots.
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn witness_and_count_agree_with_enumeration() {
+        let old = policy(
+            "eacl_mode narrow\nneg_access_right apache *\n\
+             pre_cond system_threat_level local =high\npos_access_right apache *\n",
+            "",
+        );
+        let new = policy("eacl_mode narrow\npos_access_right apache *\n", "");
+        let mut triples = BTreeSet::new();
+        for p in [&old, &new] {
+            for (_, eacl) in p.layers() {
+                collect_triples(eacl, &registered, &mut triples);
+            }
+        }
+        let vars = VarTable::from_triples(triples);
+        let mut dag = DecisionDag::new();
+        let ro = compile_decision(&mut dag, &old, &vars, "apache", "GET", GaaStatus::No);
+        let rn = compile_decision(&mut dag, &new, &vars, "apache", "GET", GaaStatus::No);
+        let pair = dag.pair_decision(ro, rn);
+        // threat=Yes: old No -> new Yes (widening); threat=No: old Yes;
+        // threat=Maybe: old Maybe -> new Yes.
+        assert_eq!(
+            dag.count_transition(pair, vars.len(), GaaStatus::No, GaaStatus::Yes),
+            1
+        );
+        assert_eq!(
+            dag.count_transition(pair, vars.len(), GaaStatus::Maybe, GaaStatus::Yes),
+            1
+        );
+        let witness = dag
+            .witness_transition(pair, vars.len(), GaaStatus::No, GaaStatus::Yes)
+            .expect("widening witness");
+        assert_eq!(witness, vec![Some(GaaStatus::Yes)]);
+    }
+
+    #[test]
+    fn applies_diagram_tracks_first_match() {
+        let p = policy(
+            "",
+            "neg_access_right apache *\npre_cond accessid GROUP BadGuys\n\
+             pos_access_right apache *\n",
+        );
+        let vars = VarTable::from_policy(&p, &registered);
+        let mut dag = DecisionDag::new();
+        let entry = |index| EntryRef {
+            layer: PolicyLayer::Local,
+            eacl: 0,
+            entry: index,
+        };
+        let deny = compile_applies(&mut dag, &p, &vars, "apache", "GET", entry(0));
+        let grant = compile_applies(&mut dag, &p, &vars, "apache", "GET", entry(1));
+        // BadGuys outcome Yes or Maybe: the deny applies; No: the grant.
+        assert!(dag.eval_bool(deny, &mut |_| GaaStatus::Yes));
+        assert!(!dag.eval_bool(grant, &mut |_| GaaStatus::Yes));
+        assert!(!dag.eval_bool(deny, &mut |_| GaaStatus::No));
+        assert!(dag.eval_bool(grant, &mut |_| GaaStatus::No));
+        // A cell the entries do not match: constant FALSE.
+        let other = compile_applies(&mut dag, &p, &vars, "sshd", "login", entry(0));
+        assert_eq!(dag.constant_bool(other), Some(false));
+    }
+
+    #[test]
+    fn restrict_fixes_outcomes() {
+        let p = policy(
+            "",
+            "pos_access_right apache *\npre_cond accessid USER alice\n\
+             pre_cond accessid GROUP staff\n",
+        );
+        let vars = VarTable::from_policy(&p, &registered);
+        assert_eq!(vars.len(), 2);
+        let mut dag = DecisionDag::new();
+        let root = compile_decision(&mut dag, &p, &vars, "apache", "GET", GaaStatus::No);
+        // Fix GROUP staff (var order sorts GROUP before USER) to Yes: the
+        // decision now depends only on USER alice.
+        let restricted = dag.restrict(root, &vec![Some(GaaStatus::Yes), None]);
+        assert_eq!(dag.constant_status(restricted), None);
+        assert_eq!(
+            dag.eval_status(restricted, &mut |_| GaaStatus::Yes),
+            GaaStatus::Yes
+        );
+        let both = dag.restrict(root, &vec![Some(GaaStatus::Yes), Some(GaaStatus::No)]);
+        assert_eq!(dag.constant_status(both), Some(GaaStatus::No));
+    }
+}

@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 mod api;
+mod compiled;
 mod context;
 mod decision;
 mod policy_store;
@@ -72,8 +73,10 @@ mod status;
 mod trace;
 
 pub mod config;
+pub mod dag;
 
 pub use api::{AppliedEntry, AuthorizationResult, GaaApi, GaaApiBuilder, PhaseStatus};
+pub use compiled::CompiledPolicy;
 pub use context::{ExecutionMetrics, Outcome, Param, SecurityContext};
 pub use decision::{AnswerCode, REDIRECT_COND_TYPE};
 pub use gaa_eacl::RightPattern;

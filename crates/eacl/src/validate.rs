@@ -186,14 +186,26 @@ fn validate_impl(eacl: &Eacl, spans: Option<&EaclSpans>) -> Vec<Finding> {
                      entry matches",
                     i + 1
                 );
+                // Anchor at the right line by default; when the complaint
+                // is about dead response conditions, point at the first
+                // offending condition line of the (multi-line) block.
+                let mut span = entry_span(j);
                 if !shadowed.rr.is_empty() || !shadowed.post.is_empty() {
                     message.push_str("; its notify/audit response conditions can never fire");
+                    if let Some(s) = spans {
+                        span = s.entries[j]
+                            .rr
+                            .first()
+                            .or_else(|| s.entries[j].post.first())
+                            .copied()
+                            .or(span);
+                    }
                 }
                 findings.push(Finding {
                     kind: FindingKind::Unreachable,
                     severity: Severity::Error,
                     entry: Some(j),
-                    span: entry_span(j),
+                    span,
                     message,
                 });
             }
@@ -365,7 +377,8 @@ mod tests {
             assert!(span.line >= 2, "{finding}");
         }
         // The cross-entry unreachable finding points at the *shadowed*
-        // entry's own line, not the blocker's.
+        // entry; since the complaint here is about its dead rr_cond, the
+        // span names the condition's own line, not the entry start.
         let unreachable: Vec<&Finding> = findings
             .iter()
             .filter(|f| f.kind == FindingKind::Unreachable)
@@ -373,13 +386,53 @@ mod tests {
         // Entry 1 shadows entries 2 and 3; entry 2 (also unconditional)
         // shadows entry 3 again.
         assert_eq!(unreachable.len(), 3);
-        assert_eq!(unreachable[0].span.unwrap().line, 3);
-        assert_eq!(unreachable[1].span.unwrap().line, 5);
-        assert_eq!(unreachable[2].span.unwrap().line, 5);
+        assert_eq!(unreachable[0].span.unwrap().line, 4);
+        assert_eq!(unreachable[1].span.unwrap().line, 6);
+        assert_eq!(unreachable[2].span.unwrap().line, 6);
         // Display includes the code and the line.
         let text = unreachable[0].to_string();
         assert!(text.contains("GAA102"), "{text}");
-        assert!(text.contains("line 3"), "{text}");
+        assert!(text.contains("line 4"), "{text}");
+    }
+
+    #[test]
+    fn multi_line_condition_blocks_anchor_at_the_offending_line() {
+        // The shadowed entry spreads its conditions over several lines;
+        // the dead-response-conditions finding must point at the first
+        // response condition (line 6), not the entry's right (line 3).
+        let spanned = parse_eacl_spanned(
+            "pos_access_right * *\n\
+             # a deny nobody will ever reach\n\
+             neg_access_right apache *\n\
+             pre_cond accessid GROUP BadGuys\n\
+             pre_cond time_window local 06:00-22:00\n\
+             rr_cond notify local on:failure/x/info:y\n\
+             rr_cond update_log local system_log\n\
+             post_cond audit local on:success\n",
+        )
+        .unwrap();
+        let findings = validate_spanned(&spanned);
+        let finding = findings
+            .iter()
+            .find(|f| f.kind == FindingKind::Unreachable)
+            .expect("shadowed entry is flagged");
+        assert!(finding.message.contains("never fire"), "{finding}");
+        assert_eq!(finding.span.unwrap().line, 6, "{finding}");
+
+        // Without response conditions the anchor stays on the right line.
+        let plain = parse_eacl_spanned(
+            "pos_access_right * *\n\
+             neg_access_right apache *\n\
+             pre_cond accessid GROUP BadGuys\n\
+             pre_cond time_window local 06:00-22:00\n",
+        )
+        .unwrap();
+        let findings = validate_spanned(&plain);
+        let finding = findings
+            .iter()
+            .find(|f| f.kind == FindingKind::Unreachable)
+            .expect("shadowed entry is flagged");
+        assert_eq!(finding.span.unwrap().line, 2, "{finding}");
     }
 
     #[test]

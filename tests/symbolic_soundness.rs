@@ -1,0 +1,279 @@
+//! Soundness gate for the symbolic policy-verification stack (the PR's
+//! acceptance criterion): for the checked-in fixture pair and for 200
+//! seeded random deployments, `diff_deployments` verdicts and the
+//! compiled fast-path evaluator are differentially validated against the
+//! real `gaa-core` interpreter over the exhaustive condition-outcome
+//! truth table with zero disagreements, and every GAA501/502/503 region
+//! carries a witness request the interpreter confirms.
+
+use gaa::analyze::{
+    cross_validate, diff_deployments, region_code, Analyzer, Deployment, RegistrySnapshot, Source,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+use std::path::Path;
+
+fn load_deployment(dir: &str) -> Deployment {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join(dir);
+    let read = |path: &Path| std::fs::read_to_string(path).unwrap();
+    let system_file = root.join("system.eacl");
+    let system = if system_file.exists() {
+        vec![Source::parse("system", &read(&system_file)).unwrap()]
+    } else {
+        Vec::new()
+    };
+    let mut locals = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(root.join("objects"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "eacl"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        locals.push(Source::parse(format!("/{stem}"), &read(&path)).unwrap());
+    }
+    assert!(!locals.is_empty(), "no object fixtures found under {dir}");
+    Deployment::new(system, locals)
+}
+
+#[test]
+fn widened_fixture_pair_is_flagged_with_confirmed_witnesses() {
+    let old = load_deployment("examples/policies");
+    let new = load_deployment("examples/policies-widened");
+    let diff = diff_deployments(&old, &new, &RegistrySnapshot::standard());
+    assert!(!diff.identical, "the widened copy must not be equivalent");
+    let codes: Vec<&str> = diff.regions.iter().map(|r| region_code(r).0).collect();
+    assert!(
+        codes.contains(&"GAA501"),
+        "dropping the threat-level screen must grant-widen, got {codes:?}"
+    );
+    for region in &diff.regions {
+        assert!(
+            region.confirmed,
+            "interpreter failed to confirm witness for {region:?}"
+        );
+        assert!(region.assignments > 0, "empty region reported: {region:?}");
+    }
+}
+
+#[test]
+fn fixture_deployments_are_self_equivalent() {
+    for dir in ["examples/policies", "tests/fixtures"] {
+        let deployment = load_deployment(dir);
+        let diff = diff_deployments(&deployment, &deployment, &RegistrySnapshot::standard());
+        assert!(diff.identical, "{dir} must be equivalent to itself");
+        assert!(diff.regions.is_empty());
+    }
+}
+
+#[test]
+fn fixture_deployments_cross_validate_exhaustively() {
+    for dir in [
+        "examples/policies",
+        "examples/policies-widened",
+        "tests/fixtures",
+    ] {
+        let deployment = load_deployment(dir);
+        let report = cross_validate(&deployment, &RegistrySnapshot::standard(), 7);
+        assert!(
+            report.exhaustive,
+            "{dir} has few enough variables for an exhaustive table"
+        );
+        assert!(
+            report.is_consistent(),
+            "{dir}: interpreter/DAG/compiled disagree: {:?}",
+            report.disagreements
+        );
+        assert!(report.requests > 0);
+    }
+}
+
+#[test]
+fn redirect_fixtures_trip_gaa303_for_cycles_and_self_loops() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures-redirect/objects");
+    let read = |path: &Path| std::fs::read_to_string(path).unwrap();
+    let mut locals = Vec::new();
+    let mut paths: Vec<_> = std::fs::read_dir(&root)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    paths.sort();
+    for path in paths {
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        locals.push(Source::parse(format!("/{stem}"), &read(&path)).unwrap());
+    }
+    let lints = Analyzer::new().analyze(&[], &locals);
+    let looped: Vec<&str> = lints
+        .iter()
+        .filter(|l| l.code == "GAA303")
+        .map(|l| l.source.as_str())
+        .collect();
+    for object in ["/a", "/b", "/c", "/selfloop"] {
+        assert!(
+            looped.contains(&object),
+            "{object} is on a redirect loop but GAA303 did not fire: {lints:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 200 seeded random deployments.
+// ---------------------------------------------------------------------------
+
+const AUTHORITIES: [&str; 3] = ["apache", "sshd", "*"];
+const VALUES: [&str; 3] = ["GET", "POST", "*"];
+const MODES: [&str; 3] = ["narrow", "expand", "stop"];
+/// Condition pool: four registered triples (so the tri-valued table stays
+/// ≤ 3⁴ = 81 and every run is exhaustive), one unregistered type and one
+/// redirect — both of which the evaluators must agree to leave
+/// UNEVALUATED.
+const CONDITIONS: [&str; 6] = [
+    "pre_cond regex gnu *phf* *test-cgi*",
+    "pre_cond system_threat_level local =high",
+    "pre_cond accessid GROUP BadGuys",
+    "pre_cond accessid HOST untrusted.example.org",
+    "pre_cond custom_probe ext stage2",
+    "pre_cond redirect local http://mirror.example.org/elsewhere",
+];
+
+fn random_entry(rng: &mut StdRng) -> String {
+    let polarity = if rng.gen_bool(0.5) { "pos" } else { "neg" };
+    let authority = AUTHORITIES[rng.gen_range(0..AUTHORITIES.len())];
+    let value = VALUES[rng.gen_range(0..VALUES.len())];
+    let mut entry = format!("{polarity}_access_right {authority} {value}\n");
+    for _ in 0..rng.gen_range(0..=2) {
+        entry.push_str(CONDITIONS[rng.gen_range(0..CONDITIONS.len())]);
+        entry.push('\n');
+    }
+    entry
+}
+
+fn random_eacl(rng: &mut StdRng, with_mode: bool) -> String {
+    let mut text = String::new();
+    if with_mode {
+        text.push_str("eacl_mode ");
+        text.push_str(MODES[rng.gen_range(0..MODES.len())]);
+        text.push_str("\n\n");
+    }
+    for _ in 0..rng.gen_range(1..=3) {
+        text.push_str(&random_entry(rng));
+        text.push('\n');
+    }
+    text
+}
+
+/// Raw text form so a mutation can rebuild the deployment.
+struct DraftDeployment {
+    system: Option<String>,
+    locals: Vec<(String, String)>,
+}
+
+impl DraftDeployment {
+    fn build(&self) -> Deployment {
+        let system = self
+            .system
+            .iter()
+            .map(|text| Source::parse("system", text).unwrap())
+            .collect();
+        let locals = self
+            .locals
+            .iter()
+            .map(|(name, text)| Source::parse(name.clone(), text).unwrap())
+            .collect();
+        Deployment::new(system, locals)
+    }
+}
+
+fn random_draft(rng: &mut StdRng) -> DraftDeployment {
+    let system = rng.gen_bool(0.8).then(|| random_eacl(rng, true));
+    let locals = (0..rng.gen_range(1..=2))
+        .map(|i| (format!("/obj{i}"), random_eacl(rng, false)))
+        .collect();
+    DraftDeployment { system, locals }
+}
+
+/// Appends one random entry to a random policy of the deployment — a
+/// change that can widen, narrow, grow the MAYBE surface, or (when the
+/// new entry is shadowed by an earlier match) change nothing at all.
+fn mutate(rng: &mut StdRng, draft: &DraftDeployment) -> DraftDeployment {
+    let mut system = draft.system.clone();
+    let mut locals = draft.locals.clone();
+    let targets = locals.len() + usize::from(system.is_some());
+    let pick = rng.gen_range(0..targets);
+    let extra = random_entry(rng);
+    if pick < locals.len() {
+        locals[pick].1.push('\n');
+        locals[pick].1.push_str(&extra);
+    } else if let Some(text) = system.as_mut() {
+        text.push('\n');
+        text.push_str(&extra);
+    }
+    DraftDeployment { system, locals }
+}
+
+fn soundness_batch(seeds: Range<u64>) {
+    let snapshot = RegistrySnapshot::standard();
+    for seed in seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draft = random_draft(&mut rng);
+        let old = draft.build();
+
+        let report = cross_validate(&old, &snapshot, seed);
+        assert!(report.exhaustive, "seed {seed}: table should be exhaustive");
+        assert!(
+            report.is_consistent(),
+            "seed {seed}: interpreter/DAG/compiled disagree: {:?}\nsystem: {:?}\nlocals: {:?}",
+            report.disagreements,
+            draft.system,
+            draft.locals,
+        );
+
+        let self_diff = diff_deployments(&old, &old, &snapshot);
+        assert!(self_diff.identical, "seed {seed}: not self-equivalent");
+
+        let mutated = mutate(&mut rng, &draft);
+        let new = mutated.build();
+        let diff = diff_deployments(&old, &new, &snapshot);
+        for region in &diff.regions {
+            assert!(
+                region.confirmed,
+                "seed {seed}: interpreter refuted witness for {region:?}"
+            );
+            assert!(
+                region.assignments > 0,
+                "seed {seed}: empty region {region:?}"
+            );
+            let (code, _) = region_code(region);
+            assert!(code.starts_with("GAA50"), "seed {seed}: bad code {code}");
+        }
+
+        let report = cross_validate(&new, &snapshot, seed.wrapping_mul(0x9e37_79b9));
+        assert!(
+            report.is_consistent(),
+            "seed {seed}: mutated deployment disagrees: {:?}",
+            report.disagreements
+        );
+    }
+}
+
+#[test]
+fn random_deployments_seeds_000_049() {
+    soundness_batch(0..50);
+}
+
+#[test]
+fn random_deployments_seeds_050_099() {
+    soundness_batch(50..100);
+}
+
+#[test]
+fn random_deployments_seeds_100_149() {
+    soundness_batch(100..150);
+}
+
+#[test]
+fn random_deployments_seeds_150_199() {
+    soundness_batch(150..200);
+}
