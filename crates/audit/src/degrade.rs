@@ -29,16 +29,19 @@ pub enum Component {
     EventBus,
     /// CGI execution control.
     Cgi,
+    /// The TCP serving front end (accept loop, worker pool).
+    Frontend,
 }
 
 impl Component {
     /// All components, for iteration in status reports.
-    pub const ALL: [Component; 5] = [
+    pub const ALL: [Component; 6] = [
         Component::Notifier,
         Component::PolicyStore,
         Component::Evaluator,
         Component::EventBus,
         Component::Cgi,
+        Component::Frontend,
     ];
 }
 
@@ -50,6 +53,7 @@ impl fmt::Display for Component {
             Component::Evaluator => "evaluator",
             Component::EventBus => "event_bus",
             Component::Cgi => "cgi",
+            Component::Frontend => "frontend",
         };
         f.write_str(s)
     }

@@ -1,0 +1,410 @@
+//! End-to-end HTTP throughput: serving front × decision cache ablation.
+//!
+//! Spawns three loopback servers over the same GAA policy and drives each
+//! with concurrent keep-alive clients:
+//!
+//! 1. `seed_front` — the original thread-per-connection,
+//!    one-request-per-connection front ([`TcpFront::spawn_thread_per_connection`]);
+//! 2. `pool` — the bounded worker-pool front with HTTP/1.1 keep-alive,
+//!    decision cache **off**;
+//! 3. `pool_cached` — the same front with the §9 authorization decision
+//!    cache **on**.
+//!
+//! Before any timing, a **differential gate** replays a seeded mixed
+//! workload (benign traffic, CGI exploits, scan scripts) item-by-item
+//! through cache-on and cache-off servers — including a mid-run policy
+//! rewrite (`FilePolicyStore::touch`) and an IDS threat-level escalation
+//! and relaxation — and refuses to benchmark if any status diverges: a
+//! cache that changes answers is not an optimization, it is a policy
+//! violation.
+//!
+//! ```text
+//! http_throughput [--write FILE] [--iterations N] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks the run for CI (the differential gate still runs in
+//! full). Prints a hand-rolled JSON summary (the workspace carries no
+//! `serde_json`); `--write` also saves it, which is how the committed
+//! `BENCH_http_throughput.json` is produced.
+//!
+//! [`TcpFront::spawn_thread_per_connection`]: gaa_httpd::tcp::TcpFront::spawn_thread_per_connection
+
+use gaa_audit::notify::CollectingNotifier;
+use gaa_audit::VirtualClock;
+use gaa_conditions::{register_standard, StandardServices};
+use gaa_core::{DecisionCache, FilePolicyStore, GaaApiBuilder, MemoryPolicyStore};
+use gaa_eacl::parse_eacl_list;
+use gaa_httpd::tcp::{PoolConfig, TcpFront};
+use gaa_httpd::{AccessControl, GaaGlue, Server, StatusCode, Vfs};
+use gaa_ids::ThreatLevel;
+use gaa_workload::{AttackKind, ScenarioBuilder};
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DEFAULT_REQUESTS_PER_CLIENT: u32 = 2000;
+const CLIENTS: usize = 4;
+
+/// A policy whose compiled support set is cacheable (group membership and
+/// the threat level are stamp-keyed; the regex is stable), with a lockdown
+/// entry so threat escalation changes answers and an `rr_cond` on the
+/// signature entry so obligations stay on the uncached path.
+const POLICY: &str = "\
+neg_access_right apache *
+pre_cond system_threat_level local =high
+neg_access_right apache *
+pre_cond accessid GROUP BadGuys
+neg_access_right apache *
+pre_cond regex gnu *phf*
+rr_cond update_log local on:failure/BadGuys/info:ip
+pos_access_right apache *
+";
+
+/// The throughput policy: [`POLICY`] plus a bank of signature-style regex
+/// deny entries, the shape of a production EACL after a year of incident
+/// response. All additions are stable conditions, so the support set stays
+/// cacheable — the ablation measures what the cache saves on a policy of
+/// realistic size.
+fn throughput_policy() -> String {
+    let mut text = String::from(POLICY);
+    for pattern in [
+        "*formmail*",
+        "*cmd.exe*",
+        "*root.exe*",
+        "*..%c0%af*",
+        "*.bat*",
+        "*xterm*",
+        "*/etc/passwd*",
+        "*campas*",
+        "*aglimpse*",
+        "*websendmail*",
+        "*view-source*",
+        "*htmlscript*",
+        "*wwwboard*",
+        "*sojourn*",
+        "*nph-test*",
+        "*printenv*",
+        "*handler*",
+        "*webdist*",
+        "*faxsurvey*",
+        "*wrap*",
+        "*classifieds*",
+        "*guestbook*",
+        "*survey.cgi*",
+        "*perl.exe*",
+    ] {
+        text.push_str(&format!(
+            "neg_access_right apache *\npre_cond regex gnu {pattern}\n"
+        ));
+    }
+    text
+}
+
+fn services() -> StandardServices {
+    StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    )
+}
+
+/// A GAA server over an in-memory copy of [`POLICY`], optionally with the
+/// decision cache attached.
+fn throughput_server(cached: bool) -> Arc<Server> {
+    let services = services();
+    let mut store = MemoryPolicyStore::new();
+    store.set_system(parse_eacl_list(&throughput_policy()).expect("policy parses"));
+    let api = register_standard(
+        GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let mut glue = GaaGlue::new(api, services.clone());
+    if cached {
+        glue = glue.with_decision_cache(DecisionCache::new());
+    }
+    Arc::new(Server::new(
+        Vfs::default_site(),
+        AccessControl::Gaa(Box::new(glue)),
+    ))
+}
+
+/// Total frame length of one HTTP response (headers + `content-length`
+/// body) once `buf` holds it completely.
+fn frame_len(buf: &[u8]) -> Option<usize> {
+    let header_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = String::from_utf8_lossy(&buf[..header_end]);
+    let content_length = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse::<usize>().ok())?
+        })
+        .unwrap_or(0);
+    let total = header_end + 4 + content_length;
+    (buf.len() >= total).then_some(total)
+}
+
+/// One benchmark client: `n` GET requests over keep-alive connections,
+/// reconnecting whenever the server closes (the seed front closes after
+/// every response, so it pays a connect per request).
+fn run_client(addr: std::net::SocketAddr, n: u32) {
+    let paths = ["/index.html", "/docs/page1.html"];
+    let mut stream: Option<TcpStream> = None;
+    let mut carry: Vec<u8> = Vec::new();
+    for i in 0..n {
+        let s = match stream.as_mut() {
+            Some(s) => s,
+            None => {
+                carry.clear();
+                let s = TcpStream::connect(addr).expect("connect");
+                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                stream.insert(s)
+            }
+        };
+        let request = format!(
+            "GET {} HTTP/1.1\r\nhost: bench\r\n\r\n",
+            paths[(i as usize) % paths.len()]
+        );
+        s.write_all(request.as_bytes()).expect("write");
+        let mut chunk = [0u8; 4096];
+        let (response, closed) = loop {
+            if let Some(len) = frame_len(&carry) {
+                let rest = carry.split_off(len);
+                break (std::mem::replace(&mut carry, rest), false);
+            }
+            let read = s.read(&mut chunk).expect("read");
+            if read == 0 {
+                break (std::mem::take(&mut carry), true);
+            }
+            carry.extend_from_slice(&chunk[..read]);
+        };
+        let text = String::from_utf8_lossy(&response);
+        assert!(
+            text.starts_with("HTTP/1.1 200"),
+            "unexpected response: {}",
+            text.lines().next().unwrap_or("")
+        );
+        if closed || text.contains("connection: close") {
+            stream = None;
+        }
+    }
+}
+
+/// Drives `front` with [`CLIENTS`] concurrent clients of `n` requests each
+/// and returns requests per second.
+fn measure(front: &TcpFront, n: u32) -> f64 {
+    let addr = front.addr();
+    // Warmup: populate caches and profiles off the clock.
+    run_client(addr, 50);
+    let start = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| std::thread::spawn(move || run_client(addr, n)))
+        .collect();
+    for c in clients {
+        c.join().expect("client panicked");
+    }
+    f64::from(n) * (CLIENTS as f64) / start.elapsed().as_secs_f64()
+}
+
+/// A GAA server over a shared on-disk system policy file, returning the
+/// store handle (for `touch`) and services (for threat control).
+fn file_backed_server(
+    system_file: &std::path::Path,
+    cached: bool,
+) -> (Server, Arc<FilePolicyStore>, StandardServices) {
+    let services = services();
+    let store = Arc::new(FilePolicyStore::new().with_system_file(system_file));
+    let api = register_standard(
+        GaaApiBuilder::new(store.clone()).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let mut glue = GaaGlue::new(api, services.clone());
+    if cached {
+        glue = glue.with_decision_cache(DecisionCache::new());
+    }
+    let server = Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue)));
+    (server, store, services)
+}
+
+/// Replays a seeded mixed scenario through cache-on and cache-off servers,
+/// rewriting the policy mid-run and escalating/relaxing the threat level,
+/// and returns `(items, mismatches, cache_hits)`.
+fn differential_gate(dir: &std::path::Path) -> (usize, usize, u64) {
+    let system_file = dir.join("system.eacl");
+    std::fs::write(&system_file, POLICY).expect("write policy");
+
+    let (plain, plain_store, plain_services) = file_backed_server(&system_file, false);
+    let (cached, cached_store, cached_services) = file_backed_server(&system_file, true);
+
+    let scenario = ScenarioBuilder::new(42, vec!["/index.html".into(), "/docs/page1.html".into()])
+        .legit(120)
+        .attacks(AttackKind::CgiExploit, 10)
+        .attacks(AttackKind::MalformedUrl, 10)
+        .scan_scripts(2, 5)
+        .build();
+
+    let n = scenario.items.len();
+    let mut mismatches = 0usize;
+    for (i, item) in scenario.items.iter().enumerate() {
+        if i == n / 3 {
+            // Operator tightens policy mid-run: /docs goes dark.
+            let tightened = format!("neg_access_right apache *docs*\n{POLICY}");
+            std::fs::write(&system_file, tightened).expect("rewrite policy");
+            plain_store.touch();
+            cached_store.touch();
+        }
+        if i == 2 * n / 3 {
+            plain_services.threat.set_level(ThreatLevel::High);
+            cached_services.threat.set_level(ThreatLevel::High);
+        }
+        if i == 2 * n / 3 + n / 6 {
+            plain_services.threat.set_level(ThreatLevel::Low);
+            cached_services.threat.set_level(ThreatLevel::Low);
+        }
+        let a = plain.handle(item.request.clone()).status;
+        let b = cached.handle(item.request.clone()).status;
+        if a != b {
+            mismatches += 1;
+            eprintln!(
+                "DIVERGENCE at item {i} ({:?}): uncached={a:?} cached={b:?}",
+                item.request.path
+            );
+        }
+    }
+
+    // A benign request under lockdown must have been denied on both paths —
+    // sanity that the threat escalation actually bit.
+    let lockdown_probe = {
+        plain_services.threat.set_level(ThreatLevel::High);
+        cached_services.threat.set_level(ThreatLevel::High);
+        let req = gaa_httpd::HttpRequest::get("/index.html").with_client_ip("198.51.100.7");
+        let a = plain.handle(req.clone()).status;
+        let b = cached.handle(req).status;
+        assert_eq!(a, StatusCode::Forbidden, "lockdown entry must deny");
+        a == b
+    };
+    assert!(lockdown_probe, "lockdown divergence");
+
+    let hits = cached.decision_cache_stats().map_or(0, |s| s.hits);
+    (n, mismatches, hits)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut write_to: Option<String> = None;
+    let mut per_client = DEFAULT_REQUESTS_PER_CLIENT;
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--write" => write_to = Some(it.next().expect("--write needs a file").clone()),
+            "--iterations" => {
+                per_client = it
+                    .next()
+                    .expect("--iterations needs a value")
+                    .parse()
+                    .expect("numeric iterations")
+            }
+            "--smoke" => smoke = true,
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    if smoke {
+        per_client = per_client.min(100);
+    }
+
+    // Correctness gate first: refuse to benchmark a cache that changes
+    // answers under policy reload or threat transitions.
+    let dir = std::env::temp_dir().join(format!("gaa-http-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let (diff_items, mismatches, diff_hits) = differential_gate(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        mismatches, 0,
+        "decision cache diverged from the interpreter on {mismatches}/{diff_items} items"
+    );
+    assert!(diff_hits > 0, "differential gate never hit the cache");
+    eprintln!("differential gate: {diff_items} items, 0 mismatches, {diff_hits} cache hits");
+
+    let seed_front =
+        TcpFront::spawn_thread_per_connection("127.0.0.1:0", throughput_server(false), None)
+            .expect("bind seed front");
+    let seed_rps = measure(&seed_front, per_client);
+    seed_front.stop();
+
+    let pool = TcpFront::spawn_pool(
+        "127.0.0.1:0",
+        throughput_server(false),
+        PoolConfig::default(),
+        None,
+    )
+    .expect("bind pool front");
+    let pool_rps = measure(&pool, per_client);
+    pool.stop();
+
+    let cached_server = throughput_server(true);
+    let pool_cached = TcpFront::spawn_pool(
+        "127.0.0.1:0",
+        cached_server.clone(),
+        PoolConfig::default(),
+        None,
+    )
+    .expect("bind cached pool front");
+    let cached_rps = measure(&pool_cached, per_client);
+    pool_cached.stop();
+    let cache_stats = cached_server.decision_cache_stats();
+
+    let mut json = String::from("{");
+    let _ = write!(json, "\"bench\":\"http_throughput\",");
+    let _ = write!(json, "\"clients\":{CLIENTS},");
+    let _ = write!(json, "\"requests_per_client\":{per_client},");
+    let _ = write!(
+        json,
+        "\"seed_front\":{{\"req_per_sec\":{seed_rps:.0},\"us_per_request\":{:.1}}},",
+        1e6 / seed_rps
+    );
+    let _ = write!(
+        json,
+        "\"pool\":{{\"req_per_sec\":{pool_rps:.0},\"us_per_request\":{:.1}}},",
+        1e6 / pool_rps
+    );
+    let _ = write!(
+        json,
+        "\"pool_cached\":{{\"req_per_sec\":{cached_rps:.0},\"us_per_request\":{:.1}}},",
+        1e6 / cached_rps
+    );
+    if let Some(stats) = cache_stats {
+        let _ = write!(
+            json,
+            "\"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"invalidations\":{}}},",
+            stats.hits, stats.misses, stats.insertions, stats.invalidations
+        );
+    }
+    let _ = write!(
+        json,
+        "\"differential\":{{\"items\":{diff_items},\"mismatches\":{mismatches},\"cache_hits\":{diff_hits}}},"
+    );
+    let _ = write!(json, "\"speedup_pool_vs_seed\":{:.2},", pool_rps / seed_rps);
+    let _ = write!(
+        json,
+        "\"speedup_cache_on_vs_off\":{:.2},",
+        cached_rps / pool_rps
+    );
+    let _ = write!(
+        json,
+        "\"speedup_pool_cached_vs_seed\":{:.2}",
+        cached_rps / seed_rps
+    );
+    json.push('}');
+
+    println!("{json}");
+    if let Some(file) = write_to {
+        std::fs::write(&file, format!("{json}\n")).unwrap_or_else(|e| panic!("{file}: {e}"));
+        eprintln!("wrote {file}");
+    }
+}

@@ -23,6 +23,7 @@ use gaa_core::{EvalDecision, EvalEnv};
 use gaa_ids::matcher::glob_match_ci;
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Shared, mutable group-membership store.
@@ -33,6 +34,7 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Default)]
 pub struct GroupStore {
     groups: Arc<RwLock<HashMap<String, HashSet<String>>>>,
+    version: Arc<AtomicU64>,
 }
 
 impl GroupStore {
@@ -43,19 +45,36 @@ impl GroupStore {
 
     /// Adds `member` to `group`; returns whether it was newly added.
     pub fn add(&self, group: &str, member: &str) -> bool {
-        self.groups
+        let added = self
+            .groups
             .write()
             .entry(group.to_string())
             .or_default()
-            .insert(member.to_string())
+            .insert(member.to_string());
+        if added {
+            self.version.fetch_add(1, Ordering::Release);
+        }
+        added
     }
 
     /// Removes `member` from `group`; returns whether it was present.
     pub fn remove(&self, group: &str, member: &str) -> bool {
-        self.groups
+        let removed = self
+            .groups
             .write()
             .get_mut(group)
-            .is_some_and(|set| set.remove(member))
+            .is_some_and(|set| set.remove(member));
+        if removed {
+            self.version.fetch_add(1, Ordering::Release);
+        }
+        removed
+    }
+
+    /// A counter that advances on every actual membership change — the
+    /// invalidation stamp consumed by authorization-decision caches, since
+    /// `update_log` mutates membership mid-traffic (§7.2).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
     }
 
     /// Is `member` in `group`?
@@ -160,6 +179,20 @@ mod tests {
         assert!(store.remove("BadGuys", "203.0.113.9"));
         assert!(!store.remove("BadGuys", "203.0.113.9"));
         assert!(store.is_empty("BadGuys"));
+    }
+
+    #[test]
+    fn version_advances_only_on_membership_changes() {
+        let store = GroupStore::new();
+        let start = store.version();
+        assert!(store.add("BadGuys", "203.0.113.9"));
+        assert_eq!(store.version(), start + 1);
+        assert!(!store.add("BadGuys", "203.0.113.9")); // no-op duplicate
+        assert_eq!(store.version(), start + 1);
+        assert!(store.remove("BadGuys", "203.0.113.9"));
+        assert_eq!(store.version(), start + 2);
+        assert!(!store.remove("BadGuys", "203.0.113.9")); // no-op
+        assert_eq!(store.version(), start + 2);
     }
 
     #[test]

@@ -208,6 +208,25 @@ pub struct AuthorizationResult {
 }
 
 impl AuthorizationResult {
+    /// Rehydrates a result from a cached `Yes`/`No` decision.
+    ///
+    /// Only decisions that a [`DecisionCache`](crate::DecisionCache) may
+    /// legally store can be rebuilt this way: fully evaluated (`unevaluated`
+    /// empty, so `Yes` answers `Ok` and `No` answers `Declined`, never
+    /// `Redirect`/`AuthRequired`) and free of request-result, mid- and
+    /// post-condition obligations (`applied` empty, so later phases are
+    /// no-ops — exactly as they were on the miss that populated the entry).
+    pub fn from_cached(right: RightPattern, status: GaaStatus) -> Self {
+        AuthorizationResult {
+            right,
+            authorization: status,
+            rr_status: GaaStatus::Yes,
+            status,
+            applied: Vec::new(),
+            unevaluated: Vec::new(),
+        }
+    }
+
     /// The final authorization status (pre-conditions composed across
     /// layers, conjoined with the request-result condition status — §6 2c).
     pub fn status(&self) -> GaaStatus {
@@ -573,6 +592,12 @@ impl GaaApi {
     /// The clock the API evaluates against.
     pub fn clock(&self) -> &Arc<dyn Clock> {
         &self.clock
+    }
+
+    /// The policy store's current generation — the policy component of a
+    /// [`DecisionCache`](crate::DecisionCache) invalidation stamp.
+    pub fn policy_generation(&self) -> u64 {
+        self.store.generation()
     }
 
     /// Crate-internal access to the layer-combination rules (used by the

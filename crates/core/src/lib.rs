@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 mod api;
+mod cache;
 mod compiled;
 mod context;
 mod decision;
@@ -76,6 +77,7 @@ pub mod config;
 pub mod dag;
 
 pub use api::{AppliedEntry, AuthorizationResult, GaaApi, GaaApiBuilder, PhaseStatus};
+pub use cache::{support_set_cacheable, CacheStamp, DecisionCache, DecisionCacheStats, Volatility};
 pub use compiled::CompiledPolicy;
 pub use context::{ExecutionMetrics, Outcome, Param, SecurityContext};
 pub use decision::{AnswerCode, REDIRECT_COND_TYPE};

@@ -24,8 +24,13 @@
 use crate::http::{HttpRequest, Method};
 use gaa_audit::DegradationState;
 use gaa_conditions::StandardServices;
-use gaa_core::{AnswerCode, AuthorizationResult, GaaApi, Param, RightPattern, SecurityContext};
+use gaa_core::{
+    dag::VarTable, support_set_cacheable, AnswerCode, AuthorizationResult, CacheStamp,
+    DecisionCache, GaaApi, Param, RightPattern, SecurityContext, Volatility,
+};
 use gaa_ids::{EventBus, GaaReport, ReportKind, SignatureDb};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 
 /// What the glue tells the server to do with a request.
 #[derive(Debug)]
@@ -47,6 +52,10 @@ pub struct GaaGlue {
     signatures: Option<SignatureDb>,
     sensitive_prefixes: Vec<String>,
     degradation: Option<DegradationState>,
+    cache: Option<DecisionCache>,
+    /// Per-object cache-safety plan: `object → (policy generation it was
+    /// computed at, is the support set cacheable)`.
+    plans: Mutex<HashMap<String, (u64, bool)>>,
 }
 
 impl GaaGlue {
@@ -59,7 +68,25 @@ impl GaaGlue {
             signatures: None,
             sensitive_prefixes: vec!["/private".to_string(), "/etc".to_string()],
             degradation: None,
+            cache: None,
+            plans: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Attaches an authorization-decision cache (see
+    /// [`DecisionCache`]). The glue only serves cached answers for objects
+    /// whose compiled support set it has proven cacheable, and only stores
+    /// fully evaluated `Yes`/`No` decisions that carry no response-action,
+    /// mid- or post-condition obligations.
+    #[must_use]
+    pub fn with_decision_cache(mut self, cache: DecisionCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached decision cache, if any.
+    pub fn decision_cache(&self) -> Option<&DecisionCache> {
+        self.cache.as_ref()
     }
 
     /// Attaches the degradation registry the resilience decorators write to,
@@ -169,8 +196,23 @@ impl GaaGlue {
         let now = self.api.clock().now();
 
         // §3 reporting runs regardless of the decision: detection is part of
-        // the same pass as access control.
+        // the same pass as access control. It runs before the cache lookup,
+        // so a cache hit changes nothing about what the IDS observes.
         self.scan_and_report(request, now);
+
+        // Stamp *after* scanning — a confident signature hit may have just
+        // escalated the threat level.
+        let stamp = self.stamp();
+        if let Some((right, status)) = self.cached_decision(stamp, request, is_cgi, &context) {
+            let result = AuthorizationResult::from_cached(right, status);
+            let answer = result.answer();
+            self.post_decision_observations(request, &context, &answer, now);
+            return GlueDecision {
+                answer,
+                result,
+                context,
+            };
+        }
 
         let policy = match self.api.get_object_policy_info(&request.path) {
             Ok(policy) => policy,
@@ -227,21 +269,43 @@ impl GaaGlue {
         // The first right's result is kept while everything says YES (so its
         // response actions fire exactly once); the first non-YES result
         // replaces it and stops evaluation.
+        let mut evaluated: Vec<(RightPattern, AuthorizationResult)> = Vec::new();
         let mut result = self.api.check_authorization(&policy, first, &context);
+        evaluated.push((first.clone(), result.clone()));
         for right in rest {
             if !result.status().is_yes() {
                 break;
             }
             let next = self.api.check_authorization(&policy, right, &context);
+            evaluated.push((right.clone(), next.clone()));
             if !next.status().is_yes() {
                 result = next;
                 break;
             }
         }
+        self.store_decisions(stamp, request, &policy, &context, &evaluated);
         let answer = result.answer();
 
-        // Post-decision observations (§3 items 3 and 7).
-        match &answer {
+        self.post_decision_observations(request, &context, &answer, now);
+
+        GlueDecision {
+            answer,
+            result,
+            context,
+        }
+    }
+
+    /// Post-decision observations (§3 items 3 and 7). Runs identically on
+    /// the cached and the evaluated paths — detection must not degrade when
+    /// the decision comes from the cache.
+    fn post_decision_observations(
+        &self,
+        request: &HttpRequest,
+        context: &SecurityContext,
+        answer: &AnswerCode,
+        now: gaa_audit::Timestamp,
+    ) {
+        match answer {
             AnswerCode::Declined
                 if self
                     .sensitive_prefixes
@@ -274,11 +338,104 @@ impl GaaGlue {
             }
             _ => {}
         }
+    }
 
-        GlueDecision {
-            answer,
-            result,
-            context,
+    /// The current invalidation stamp:
+    /// `[policy_generation, threat_epoch, group_version]`.
+    fn stamp(&self) -> CacheStamp {
+        [
+            self.api.policy_generation(),
+            self.services.threat.epoch(),
+            self.services.groups.version(),
+        ]
+    }
+
+    /// Serves the whole rights conjunction from the cache, emulating the
+    /// evaluation loop's stopping rule: the first right's status is kept
+    /// while everything says `Yes`; the first non-`Yes` status wins and
+    /// stops. Returns `None` (fall through to full evaluation) unless the
+    /// object's support set is proven cacheable at this policy generation
+    /// and *every* needed lookup hits.
+    fn cached_decision(
+        &self,
+        stamp: CacheStamp,
+        request: &HttpRequest,
+        is_cgi: bool,
+        context: &SecurityContext,
+    ) -> Option<(RightPattern, gaa_core::GaaStatus)> {
+        let cache = self.cache.as_ref()?;
+        // Only a plan computed at the current generation counts; after a
+        // reload the slow path recomputes it from the fresh policy.
+        match self.plans.lock().get(&request.path) {
+            Some(&(generation, true)) if generation == stamp[0] => {}
+            _ => return None,
+        }
+        let rights = self.requested_rights(request, is_cgi);
+        let mut kept: Option<(RightPattern, gaa_core::GaaStatus)> = None;
+        for right in rights {
+            let status = cache.lookup(stamp, &cache_key(&right, context))?;
+            let kept_status = kept.as_ref().map(|(_, s)| *s);
+            match kept_status {
+                None => kept = Some((right, status)),
+                Some(s) if s.is_yes() && !status.is_yes() => {
+                    kept = Some((right, status));
+                }
+                _ => {}
+            }
+            if !kept.as_ref().is_some_and(|(_, s)| s.is_yes()) {
+                break;
+            }
+        }
+        kept
+    }
+
+    /// Stores the decisions just evaluated, when sound: support set proven
+    /// cacheable, stamp unchanged across the evaluation (no policy reload,
+    /// threat transition or group change raced it), the status fully
+    /// evaluated (`Yes`/`No`, nothing unevaluated), and no applied entry
+    /// carrying response-action, mid- or post-condition obligations (those
+    /// must re-fire on every request).
+    fn store_decisions(
+        &self,
+        stamp: CacheStamp,
+        request: &HttpRequest,
+        policy: &gaa_eacl::ComposedPolicy,
+        context: &SecurityContext,
+        evaluated: &[(RightPattern, AuthorizationResult)],
+    ) {
+        let Some(cache) = self.cache.as_ref() else {
+            return;
+        };
+        let cacheable = {
+            let mut plans = self.plans.lock();
+            match plans.get(&request.path) {
+                Some(&(generation, cacheable)) if generation == stamp[0] => cacheable,
+                _ => {
+                    let vars = VarTable::from_policy(policy, &|t, a| {
+                        self.api.registry().is_registered(t, a)
+                    });
+                    let cacheable = support_set_cacheable(vars.triples(), classify_input);
+                    plans.insert(request.path.clone(), (stamp[0], cacheable));
+                    cacheable
+                }
+            }
+        };
+        if !cacheable || self.stamp() != stamp {
+            cache.note_uncacheable();
+            return;
+        }
+        for (right, result) in evaluated {
+            let status = result.status();
+            let fully_evaluated =
+                (status.is_yes() || status.is_no()) && result.unevaluated().is_empty();
+            let no_obligations = result.applied().iter().all(|a| {
+                a.entry.rr.is_empty() && a.entry.mid.is_empty() && a.entry.post.is_empty()
+            });
+            if fully_evaluated && no_obligations {
+                cache.insert(stamp, &cache_key(right, context), status);
+            } else {
+                cache.note_uncacheable();
+            }
         }
     }
 
@@ -320,6 +477,61 @@ impl GaaGlue {
             bus.publish_report(report);
         }
     }
+}
+
+/// How a support-set input behaves for decision caching.
+///
+/// * `Stable` inputs are fully determined by the security context, which
+///   the cache key covers in full (subject, object, client address, every
+///   classified request parameter): `accessid USER`/`HOST`, `location`,
+///   `regex`, `expr`.
+/// * `StampKeyed` inputs are volatile but version-counted in the
+///   [`CacheStamp`]: the IDS threat level (epoch) and `accessid GROUP`
+///   (membership version — `update_log` mutates it mid-traffic, §7.2).
+/// * Everything else is `Uncacheable`, fail-safe: wall-clock `time_window`,
+///   request-rate `threshold`, `anomaly` scores, and any type this
+///   classifier has never heard of.
+fn classify_input(cond_type: &str, authority: &str) -> Volatility {
+    match cond_type {
+        "accessid" if authority.eq_ignore_ascii_case("GROUP") => Volatility::StampKeyed,
+        "accessid" if authority.eq_ignore_ascii_case("USER") => Volatility::Stable,
+        "accessid" if authority.eq_ignore_ascii_case("HOST") => Volatility::Stable,
+        "location" | "regex" | "expr" => Volatility::Stable,
+        "system_threat_level" => Volatility::StampKeyed,
+        _ => Volatility::Uncacheable,
+    }
+}
+
+/// The cache key: the requested right plus every context field an evaluator
+/// can read. Fields are joined with control separators (`\x1d`–`\x1f`) that
+/// cannot occur in parsed header values or decoded paths as ambiguous
+/// delimiters, and optional fields are presence-tagged so `None` and `""`
+/// never collide.
+fn cache_key(right: &RightPattern, ctx: &SecurityContext) -> String {
+    use std::fmt::Write as _;
+    let mut key = String::with_capacity(96);
+    let _ = write!(
+        key,
+        "{}\u{1f}{}\u{1f}{:?}\u{1f}{:?}\u{1f}{:?}",
+        right.authority,
+        right.value,
+        ctx.object(),
+        ctx.user(),
+        ctx.client_ip()
+    );
+    key.push('\u{1f}');
+    for group in ctx.groups() {
+        let _ = write!(key, "{group}\u{1e}");
+    }
+    key.push('\u{1f}');
+    for param in ctx.params() {
+        let _ = write!(
+            key,
+            "{}\u{1d}{}\u{1d}{}\u{1e}",
+            param.ptype, param.authority, param.value
+        );
+    }
+    key
 }
 
 /// The fail-closed policy used when retrieval fails.
@@ -462,6 +674,115 @@ pos_access_right apache *
             .with_client_ip("1.1.1.1");
         let _ = glue.authorize(&req, None, &[], false);
         assert_eq!(sub.drain().len(), 1);
+    }
+
+    const GROUP_AND_REGEX: &str = "\
+neg_access_right apache *
+pre_cond accessid GROUP BadGuys
+neg_access_right apache *
+pre_cond regex gnu *phf*
+rr_cond update_log local on:failure/BadGuys/info:ip
+pos_access_right apache *
+";
+
+    #[test]
+    fn cache_hits_and_group_mutation_invalidates() {
+        let glue = glue_with_policy(GROUP_AND_REGEX).with_decision_cache(DecisionCache::new());
+        let benign = HttpRequest::get("/index.html").with_client_ip("203.0.113.9");
+
+        // Miss, then hit, same answer.
+        assert_eq!(
+            glue.authorize(&benign, None, &[], false).answer,
+            AnswerCode::Ok
+        );
+        assert_eq!(
+            glue.authorize(&benign, None, &[], false).answer,
+            AnswerCode::Ok
+        );
+        let stats = glue.decision_cache().unwrap().stats();
+        assert!(stats.hits >= 1, "expected a cache hit: {stats:?}");
+        assert!(stats.insertions >= 1);
+
+        // The §7.2 attack fires update_log (uncached — it carries an rr
+        // obligation), blacklisting the IP and bumping the group version…
+        let attack = HttpRequest::get("/cgi-bin/phf?Qalias=x").with_client_ip("203.0.113.9");
+        assert_eq!(
+            glue.authorize(&attack, None, &[], true).answer,
+            AnswerCode::Declined
+        );
+        assert!(glue.services().groups.contains("BadGuys", "203.0.113.9"));
+
+        // …so the previously cached Ok for this client must not survive.
+        assert_eq!(
+            glue.authorize(&benign, None, &[], false).answer,
+            AnswerCode::Declined
+        );
+        assert!(glue.decision_cache().unwrap().stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn rr_obligations_fire_on_every_repeat_with_cache_on() {
+        let glue = glue_with_policy(GROUP_AND_REGEX).with_decision_cache(DecisionCache::new());
+        let audit_before = glue.services().audit.records().len();
+        let attack = HttpRequest::get("/cgi-bin/phf?Qalias=x").with_client_ip("203.0.113.9");
+        let _ = glue.authorize(&attack, None, &[], true);
+        let after_first = glue.services().audit.records().len();
+        let _ = glue.authorize(&attack, None, &[], true);
+        let after_second = glue.services().audit.records().len();
+        // The second identical attack must not be short-circuited into
+        // silence: response actions re-fire (membership is already present,
+        // but the action still runs and audits).
+        assert!(after_first > audit_before);
+        assert!(after_second > after_first);
+    }
+
+    #[test]
+    fn threat_transition_invalidates_cached_grants() {
+        let lockdown = "\
+neg_access_right apache *
+pre_cond system_threat_level local =high
+pos_access_right apache *
+";
+        let glue = glue_with_policy(lockdown).with_decision_cache(DecisionCache::new());
+        let req = HttpRequest::get("/index.html").with_client_ip("10.0.0.1");
+
+        assert_eq!(
+            glue.authorize(&req, None, &[], false).answer,
+            AnswerCode::Ok
+        );
+        assert_eq!(
+            glue.authorize(&req, None, &[], false).answer,
+            AnswerCode::Ok
+        );
+        assert!(glue.decision_cache().unwrap().stats().hits >= 1);
+
+        glue.services().threat.set_level(ThreatLevel::High);
+        assert_eq!(
+            glue.authorize(&req, None, &[], false).answer,
+            AnswerCode::Declined
+        );
+        glue.services().threat.set_level(ThreatLevel::Low);
+        assert_eq!(
+            glue.authorize(&req, None, &[], false).answer,
+            AnswerCode::Ok
+        );
+        assert!(glue.decision_cache().unwrap().stats().invalidations >= 2);
+    }
+
+    #[test]
+    fn volatile_support_sets_are_never_cached() {
+        let timed = "\
+pos_access_right apache *
+pre_cond time_window local 9:00-17:00
+";
+        let glue = glue_with_policy(timed).with_decision_cache(DecisionCache::new());
+        let req = HttpRequest::get("/index.html").with_client_ip("10.0.0.1");
+        let _ = glue.authorize(&req, None, &[], false);
+        let _ = glue.authorize(&req, None, &[], false);
+        let stats = glue.decision_cache().unwrap().stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.insertions, 0);
+        assert!(stats.uncacheable >= 1);
     }
 
     #[test]

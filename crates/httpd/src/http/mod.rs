@@ -1,11 +1,13 @@
 //! HTTP/1.x wire handling: requests, responses, status codes,
 //! percent-decoding.
 
+mod path;
 mod percent;
 mod request;
 mod response;
 mod status;
 
+pub use path::remove_dot_segments;
 pub use percent::{percent_decode, percent_encode};
 pub use request::{HttpRequest, Method, ParseRequestError, RequestLimits, Version};
 pub use response::HttpResponse;

@@ -1,0 +1,102 @@
+//! Dot-segment removal (RFC 3986 §5.2.4).
+//!
+//! Percent-decoding happens *before* path interpretation, so `/a/%2e%2e/b`
+//! decodes to `/a/../b` — exactly the classic traversal trick the original
+//! GAA deployment saw from NIMDA-era scanners. Every consumer of a decoded
+//! path (the request parser, the [`Vfs`](crate::vfs::Vfs) lookup, the
+//! on-disk `.htaccess` walk) must therefore collapse `.` and `..` segments
+//! first, or literal dot segments walk the per-directory config chain and
+//! sidestep any ancestor's policy.
+
+/// Collapses `.` and `..` segments in an already-percent-decoded path.
+///
+/// Returns `None` when a `..` segment would climb above the root — such a
+/// path can only be an escape attempt and callers must reject it (the
+/// parser answers 400). Empty segments (`//`) are collapsed too; a trailing
+/// slash (or trailing dot segment, which RFC 3986 treats as naming the
+/// directory itself) is preserved.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_httpd::http::remove_dot_segments;
+///
+/// assert_eq!(remove_dot_segments("/a/../b"), Some("/b".to_string()));
+/// assert_eq!(remove_dot_segments("/a/./b/"), Some("/a/b/".to_string()));
+/// assert_eq!(remove_dot_segments("/../etc/passwd"), None);
+/// ```
+pub fn remove_dot_segments(path: &str) -> Option<String> {
+    let trailing_dir = path.ends_with('/') || path.ends_with("/.") || path.ends_with("/..");
+    let mut kept: Vec<&str> = Vec::new();
+    for segment in path.split('/') {
+        match segment {
+            "" | "." => {}
+            ".." => {
+                kept.pop()?;
+            }
+            other => kept.push(other),
+        }
+    }
+    let mut out = String::with_capacity(path.len());
+    out.push('/');
+    out.push_str(&kept.join("/"));
+    if trailing_dir && out.len() > 1 {
+        out.push('/');
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_paths_pass_through() {
+        assert_eq!(remove_dot_segments("/"), Some("/".to_string()));
+        assert_eq!(
+            remove_dot_segments("/index.html"),
+            Some("/index.html".to_string())
+        );
+        assert_eq!(
+            remove_dot_segments("/docs/page1.html"),
+            Some("/docs/page1.html".to_string())
+        );
+    }
+
+    #[test]
+    fn single_dots_collapse() {
+        assert_eq!(remove_dot_segments("/./a/./b"), Some("/a/b".to_string()));
+        assert_eq!(remove_dot_segments("/a/."), Some("/a/".to_string()));
+    }
+
+    #[test]
+    fn double_dots_pop() {
+        assert_eq!(remove_dot_segments("/a/b/../c"), Some("/a/c".to_string()));
+        assert_eq!(remove_dot_segments("/a/.."), Some("/".to_string()));
+        assert_eq!(
+            remove_dot_segments("/staff/../private/passwords.html"),
+            Some("/private/passwords.html".to_string())
+        );
+    }
+
+    #[test]
+    fn root_escapes_are_rejected() {
+        assert_eq!(remove_dot_segments("/.."), None);
+        assert_eq!(remove_dot_segments("/../etc/passwd"), None);
+        assert_eq!(remove_dot_segments("/a/../../b"), None);
+    }
+
+    #[test]
+    fn empty_segments_collapse() {
+        assert_eq!(remove_dot_segments("//a///b"), Some("/a/b".to_string()));
+        assert_eq!(remove_dot_segments("/a/b/"), Some("/a/b/".to_string()));
+    }
+
+    #[test]
+    fn decoded_traversal_probe_is_caught() {
+        use crate::http::percent_decode;
+        let decoded = percent_decode("/a/%2e%2e/%2e%2e/etc/passwd");
+        assert_eq!(decoded, "/a/../../etc/passwd");
+        assert_eq!(remove_dot_segments(&decoded), None);
+    }
+}

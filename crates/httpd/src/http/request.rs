@@ -7,6 +7,7 @@
 //! headers)." A parse failure is not just an error: the server reports it to
 //! the IDS bus as an [`IllFormedRequest`](gaa_ids::ReportKind) observation.
 
+use super::path::remove_dot_segments;
 use super::percent::percent_decode;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -120,6 +121,16 @@ pub enum ParseRequestError {
     BodyTooLarge(usize),
     /// The request target did not start with `/`.
     BadTarget(String),
+    /// `Content-Length` was non-numeric, or duplicated with conflicting
+    /// values — request-smuggling territory.
+    BadContentLength(String),
+    /// Fewer body bytes arrived than `Content-Length` declared.
+    IncompleteBody {
+        /// Bytes the header promised.
+        declared: usize,
+        /// Bytes actually received.
+        received: usize,
+    },
 }
 
 impl fmt::Display for ParseRequestError {
@@ -141,6 +152,15 @@ impl fmt::Display for ParseRequestError {
             }
             ParseRequestError::BodyTooLarge(n) => write!(f, "body of {n} bytes exceeds limit"),
             ParseRequestError::BadTarget(t) => write!(f, "bad request target {t:?}"),
+            ParseRequestError::BadContentLength(v) => {
+                write!(f, "bad content-length {v:?}")
+            }
+            ParseRequestError::IncompleteBody { declared, received } => {
+                write!(
+                    f,
+                    "content-length declared {declared} bytes, got {received}"
+                )
+            }
         }
     }
 }
@@ -173,10 +193,13 @@ impl HttpRequest {
     /// Builds a GET request programmatically (tests, workload generators).
     pub fn get(target: &str) -> Self {
         let (path, query) = split_target(target);
+        // Escaping targets clamp to `/` — the builder is infallible and
+        // used by workload generators that replay hostile probes.
+        let path = remove_dot_segments(&percent_decode(&path)).unwrap_or_else(|| "/".to_string());
         HttpRequest {
             method: Method::Get,
             target: target.to_string(),
-            path: percent_decode(&path),
+            path,
             query,
             version: Version::Http11,
             headers: Vec::new(),
@@ -303,15 +326,33 @@ impl HttpRequest {
             return Err(ParseRequestError::BodyTooLarge(body.len()));
         }
 
+        let mut body = body.to_vec();
+        if let Some(declared) = declared_content_length(&headers)? {
+            if declared > limits.max_body {
+                return Err(ParseRequestError::BodyTooLarge(declared));
+            }
+            match body.len() {
+                received if received < declared => {
+                    return Err(ParseRequestError::IncompleteBody { declared, received });
+                }
+                // Trailing bytes beyond the declared length belong to no
+                // request; a smuggled second request must not reach handlers.
+                received if received > declared => body.truncate(declared),
+                _ => {}
+            }
+        }
+
         let (path, query) = split_target(target);
+        let path = remove_dot_segments(&percent_decode(&path))
+            .ok_or_else(|| ParseRequestError::BadTarget(truncate(target)))?;
         Ok(HttpRequest {
             method,
             target: target.to_string(),
-            path: percent_decode(&path),
+            path,
             query,
             version,
             headers,
-            body: body.to_vec(),
+            body,
             client_ip: client_ip.to_string(),
         })
     }
@@ -319,6 +360,30 @@ impl HttpRequest {
 
 fn find_header_end(raw: &[u8]) -> Option<usize> {
     raw.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The single declared `Content-Length`, if any.
+///
+/// Non-numeric values are rejected outright; duplicates are tolerated only
+/// when every copy agrees (RFC 7230 §3.3.2), since a pair of conflicting
+/// lengths is the classic request-smuggling primitive.
+fn declared_content_length(
+    headers: &[(String, String)],
+) -> Result<Option<usize>, ParseRequestError> {
+    let mut declared: Option<usize> = None;
+    for (_, value) in headers.iter().filter(|(n, _)| n == "content-length") {
+        let parsed: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| ParseRequestError::BadContentLength(truncate(value)))?;
+        match declared {
+            Some(prev) if prev != parsed => {
+                return Err(ParseRequestError::BadContentLength(truncate(value)));
+            }
+            _ => declared = Some(parsed),
+        }
+    }
+    Ok(declared)
 }
 
 fn split_target(target: &str) -> (String, String) {
@@ -468,6 +533,89 @@ mod tests {
         assert_eq!(req.query, "q=abc");
         assert_eq!(req.client_ip, "203.0.113.9");
         assert_eq!(req.header("user-agent"), Some("test"));
+    }
+
+    #[test]
+    fn non_numeric_content_length_rejected() {
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n").unwrap_err(),
+            ParseRequestError::BadContentLength(_)
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n").unwrap_err(),
+            ParseRequestError::BadContentLength(_)
+        ));
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_rejected() {
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello!";
+        assert!(matches!(
+            parse(raw).unwrap_err(),
+            ParseRequestError::BadContentLength(_)
+        ));
+    }
+
+    #[test]
+    fn agreeing_duplicate_content_lengths_accepted() {
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        assert_eq!(parse(raw).unwrap().body, b"hello");
+    }
+
+    #[test]
+    fn short_body_rejected_as_incomplete() {
+        let err = parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nhello").unwrap_err();
+        assert_eq!(
+            err,
+            ParseRequestError::IncompleteBody {
+                declared: 10,
+                received: 5
+            }
+        );
+    }
+
+    #[test]
+    fn overlong_body_truncated_to_declared_length() {
+        // The trailing bytes would otherwise be parsed by a naive proxy as
+        // a second, smuggled request.
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /admin HTTP/1.1";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn declared_length_over_limit_rejected_without_body() {
+        let limits = RequestLimits {
+            max_body: 4,
+            ..RequestLimits::default()
+        };
+        let err = HttpRequest::parse_with_limits(
+            b"POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\n",
+            "1.1.1.1",
+            &limits,
+        )
+        .unwrap_err();
+        assert_eq!(err, ParseRequestError::BodyTooLarge(99));
+    }
+
+    #[test]
+    fn dot_segments_collapse_in_parsed_path() {
+        let req = parse("GET /docs/../index.html HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/index.html");
+        let req = parse("GET /a/%2e%2e/b.html HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/b.html");
+    }
+
+    #[test]
+    fn root_escaping_target_rejected() {
+        assert!(matches!(
+            parse("GET /../etc/passwd HTTP/1.1\r\n\r\n").unwrap_err(),
+            ParseRequestError::BadTarget(_)
+        ));
+        assert!(matches!(
+            parse("GET /%2e%2e/%2e%2e/etc/passwd HTTP/1.1\r\n\r\n").unwrap_err(),
+            ParseRequestError::BadTarget(_)
+        ));
     }
 
     #[test]

@@ -79,12 +79,22 @@ impl HttpResponse {
 
     /// Serializes to wire format (HTTP/1.1, `connection: close`).
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_wire(false)
+    }
+
+    /// Serializes to wire format with an explicit connection disposition —
+    /// the pool front's keep-alive loop decides per response.
+    pub fn to_wire(&self, keep_alive: bool) -> Vec<u8> {
         let mut out = format!("HTTP/1.1 {}\r\n", self.status).into_bytes();
         for (name, value) in &self.headers {
             out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
         }
         out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
-        out.extend_from_slice(b"connection: close\r\n\r\n");
+        if keep_alive {
+            out.extend_from_slice(b"connection: keep-alive\r\n\r\n");
+        } else {
+            out.extend_from_slice(b"connection: close\r\n\r\n");
+        }
         out.extend_from_slice(&self.body);
         out
     }
@@ -131,6 +141,15 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("content-type: text/plain\r\n"));
         assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+    }
+
+    #[test]
+    fn wire_format_keep_alive() {
+        let bytes = HttpResponse::ok("hi", "text/plain").to_wire(true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(!text.contains("connection: close"));
         assert!(text.ends_with("\r\n\r\nhi"));
     }
 

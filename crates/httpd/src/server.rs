@@ -201,6 +201,15 @@ impl Server {
         }
     }
 
+    /// Statistics of the GAA glue's authorization decision cache, if
+    /// running in GAA mode with one attached.
+    pub fn decision_cache_stats(&self) -> Option<gaa_core::DecisionCacheStats> {
+        match &self.access {
+            AccessControl::Gaa(glue) => glue.decision_cache().map(|c| c.stats()),
+            _ => None,
+        }
+    }
+
     /// Sets the fallback credential store.
     #[must_use]
     pub fn with_users(mut self, users: Arc<HtpasswdStore>) -> Self {
@@ -657,6 +666,11 @@ pub fn load_htaccess_chain(root: &std::path::Path, path: &str) -> Result<Vec<HtA
 
     let mut chain = Vec::new();
     read_one(root, &mut chain)?;
+    // Defense in depth: the parser already collapses dot segments, but this
+    // walk also takes paths from other callers and must never join a
+    // literal `..` onto an on-disk directory.
+    let path = crate::http::remove_dot_segments(path)
+        .ok_or_else(|| format!("path {path:?} escapes the document root"))?;
     let segments: Vec<&str> = path
         .trim_matches('/')
         .split('/')

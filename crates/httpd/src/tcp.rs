@@ -1,29 +1,85 @@
-//! A minimal TCP front end so the examples can serve real sockets.
+//! The TCP serving front end.
 //!
-//! One thread per connection, one request per connection (`connection:
-//! close`), read until the header terminator plus declared body. Deliberately
-//! small: the interesting behaviour lives in [`Server`]; this
-//! is just transport.
+//! The default front is a bounded worker pool with HTTP/1.1 keep-alive:
+//! one blocking accept thread feeds a bounded queue drained by a fixed set
+//! of worker threads, each serving whole connections (many requests per
+//! connection, subject to a per-connection request limit and a read
+//! deadline). When the queue is full the accept thread answers `503` on the
+//! spot and records the saturation in the shared
+//! [`DegradationState`](gaa_audit::DegradationState) — backpressure is a
+//! *policy decision*, not an OS accident. Transient `accept()` errors (e.g.
+//! `EMFILE` under load) are retried with bounded backoff instead of killing
+//! the listener; the loop exits only on [`stop`](TcpFront::stop).
+//!
+//! [`TcpFront::spawn_thread_per_connection`] preserves the original
+//! one-thread-one-request-`connection: close` front as the benchmark
+//! baseline (`gaa-bench http_throughput` measures both).
 
-use crate::http::HttpResponse;
+use crate::http::{HttpResponse, StatusCode};
 use crate::server::Server;
+use gaa_audit::degrade::Component;
+use gaa_audit::{Clock, DegradationState, SystemClock};
 use gaa_faults::{Fault, FaultInjector, FaultSite};
+use parking_lot::Mutex;
 use std::io::{Read, Write};
-use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Tuning for the worker-pool front.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Bounded accept-queue depth; beyond it new connections get `503`.
+    pub queue_depth: usize,
+    /// Requests served on one connection before it is closed.
+    pub max_requests_per_conn: u32,
+    /// Socket read deadline — an idle keep-alive connection is dropped
+    /// after this long.
+    pub read_timeout: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 8,
+            queue_depth: 64,
+            max_requests_per_conn: 100,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// How connections are served behind the accept loop.
+enum FrontMode {
+    /// Bounded queue + worker pool, keep-alive.
+    Pool {
+        tx: std::sync::mpsc::SyncSender<(TcpStream, SocketAddr)>,
+    },
+    /// One detached thread per connection, one request, `connection:
+    /// close` — the original front, kept as the benchmark baseline.
+    ThreadPerConnection {
+        server: Arc<Server>,
+        injector: Option<Arc<dyn FaultInjector>>,
+        read_timeout: Duration,
+    },
+}
+
 /// Handle to a running TCP front end.
 pub struct TcpFront {
-    addr: std::net::SocketAddr,
+    addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    rejected: Arc<AtomicU64>,
 }
 
 impl TcpFront {
-    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves `server` on a
-    /// background thread until [`stop`](TcpFront::stop) or drop.
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves `server` on the
+    /// default worker pool until [`stop`](TcpFront::stop) or drop.
     ///
     /// # Errors
     ///
@@ -32,10 +88,11 @@ impl TcpFront {
         TcpFront::spawn_with_injector(addr, server, None)
     }
 
-    /// Like [`spawn`](TcpFront::spawn), with a fault injector consulted once
-    /// per connection at [`FaultSite::Tcp`]: an injected [`Fault::Error`]
-    /// resets the connection mid-request (request consumed, no response);
-    /// [`Fault::Latency`] delays the response by the given milliseconds.
+    /// Like [`spawn`](TcpFront::spawn), with a fault injector consulted
+    /// once per *request* at [`FaultSite::Tcp`]: an injected
+    /// [`Fault::Error`] resets the connection mid-request (request
+    /// consumed, no response); [`Fault::Latency`] delays the response by
+    /// the given milliseconds.
     ///
     /// # Errors
     ///
@@ -45,54 +102,128 @@ impl TcpFront {
         server: Arc<Server>,
         injector: Option<Arc<dyn FaultInjector>>,
     ) -> std::io::Result<TcpFront> {
+        TcpFront::spawn_pool(addr, server, PoolConfig::default(), injector)
+    }
+
+    /// Spawns the worker-pool front with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind error.
+    pub fn spawn_pool(
+        addr: &str,
+        server: Arc<Server>,
+        config: PoolConfig,
+        injector: Option<Arc<dyn FaultInjector>>,
+    ) -> std::io::Result<TcpFront> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = stop.clone();
-        let thread = std::thread::spawn(move || {
-            while !stop2.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, peer)) => {
-                        let server = server.clone();
-                        let injector = injector.clone();
-                        std::thread::spawn(move || {
-                            let _ = serve_connection(
-                                stream,
-                                &peer.ip().to_string(),
-                                &server,
-                                injector.as_deref(),
-                            );
-                        });
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
-                }
-            }
-        });
+        let rejected = Arc::new(AtomicU64::new(0));
+        let degradation = server.degradation().cloned();
+
+        let (tx, rx) = sync_channel::<(TcpStream, SocketAddr)>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let server = server.clone();
+                let injector = injector.clone();
+                let config = config.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || worker_loop(&rx, &server, injector, &config, &stop))
+            })
+            .collect();
+
+        let accept_thread = {
+            let stop = stop.clone();
+            let rejected = rejected.clone();
+            std::thread::spawn(move || {
+                accept_loop(
+                    &listener,
+                    &stop,
+                    degradation.as_ref(),
+                    &FrontMode::Pool { tx },
+                    &rejected,
+                );
+            })
+        };
+
         Ok(TcpFront {
             addr: local,
             stop,
-            thread: Some(thread),
+            accept_thread: Some(accept_thread),
+            workers,
+            rejected,
+        })
+    }
+
+    /// Spawns the original thread-per-connection front: an unbounded thread
+    /// per accepted connection, one request each, `connection: close`.
+    /// Kept for the `http_throughput` baseline measurement; production
+    /// callers want [`spawn`](TcpFront::spawn).
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind error.
+    pub fn spawn_thread_per_connection(
+        addr: &str,
+        server: Arc<Server>,
+        injector: Option<Arc<dyn FaultInjector>>,
+    ) -> std::io::Result<TcpFront> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let rejected = Arc::new(AtomicU64::new(0));
+        let degradation = server.degradation().cloned();
+        let mode = FrontMode::ThreadPerConnection {
+            server,
+            injector,
+            read_timeout: Duration::from_secs(5),
+        };
+        let accept_thread = {
+            let stop = stop.clone();
+            let rejected = rejected.clone();
+            std::thread::spawn(move || {
+                accept_loop(&listener, &stop, degradation.as_ref(), &mode, &rejected);
+            })
+        };
+        Ok(TcpFront {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers: Vec::new(),
+            rejected,
         })
     }
 
     /// The bound address.
-    pub fn addr(&self) -> std::net::SocketAddr {
+    pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// Stops the accept loop and joins the thread.
+    /// Connections answered `503` because the accept queue was full.
+    pub fn saturation_rejects(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Stops the accept loop, drains the workers, and joins all threads.
     pub fn stop(mut self) {
         self.shutdown();
     }
 
     fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(thread) = self.thread.take() {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept thread blocks in accept(); a throwaway connection
+        // unblocks it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
             let _ = thread.join();
+        }
+        // The accept thread dropped its sender on exit; workers drain the
+        // queue, see the disconnect, and return.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
@@ -103,43 +234,201 @@ impl Drop for TcpFront {
     }
 }
 
-fn serve_connection(
+/// The shared accept loop: blocking accept, bounded-backoff retry on
+/// transient errors, audited degradation, exit only on `stop`.
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    degradation: Option<&DegradationState>,
+    mode: &FrontMode,
+    rejected: &AtomicU64,
+) {
+    let clock = SystemClock::new();
+    let mut backoff = Duration::from_millis(1);
+    // Tracks degradation *this loop* caused, so recovery marks are not
+    // sent for degradations some other component owns.
+    let mut degraded_here = false;
+    let recover = |degraded_here: &mut bool| {
+        if *degraded_here {
+            *degraded_here = false;
+            if let Some(d) = degradation {
+                d.mark_recovered(Component::Frontend, clock.now());
+            }
+        }
+    };
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                backoff = Duration::from_millis(1);
+                if stop.load(Ordering::SeqCst) {
+                    break; // the stop() wake-up connection
+                }
+                match mode {
+                    FrontMode::Pool { tx } => match tx.try_send((stream, peer)) {
+                        Ok(()) => recover(&mut degraded_here),
+                        Err(TrySendError::Full((stream, _))) => {
+                            // Backpressure: the queue is the admission
+                            // control surface. Shed load visibly.
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                            if !degraded_here {
+                                degraded_here = true;
+                                if let Some(d) = degradation {
+                                    d.mark_degraded(
+                                        Component::Frontend,
+                                        "accept queue full",
+                                        clock.now(),
+                                    );
+                                }
+                            }
+                            respond_and_close(
+                                stream,
+                                &HttpResponse::with_status(StatusCode::ServiceUnavailable),
+                            );
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    },
+                    FrontMode::ThreadPerConnection {
+                        server,
+                        injector,
+                        read_timeout,
+                    } => {
+                        recover(&mut degraded_here);
+                        let server = server.clone();
+                        let injector = injector.clone();
+                        let read_timeout = *read_timeout;
+                        std::thread::spawn(move || {
+                            let _ = serve_one_request(
+                                stream,
+                                &peer.ip().to_string(),
+                                &server,
+                                injector.as_deref(),
+                                read_timeout,
+                            );
+                        });
+                    }
+                }
+            }
+            Err(_) if stop.load(Ordering::SeqCst) => break,
+            Err(e) => {
+                // Transient accept failure (EMFILE, ECONNABORTED, …): audit,
+                // back off, and keep listening — a front that dies on the
+                // first resource spike is itself a DoS vector.
+                if !degraded_here {
+                    degraded_here = true;
+                    if let Some(d) = degradation {
+                        d.mark_degraded(
+                            Component::Frontend,
+                            &format!("accept error: {e}"),
+                            clock.now(),
+                        );
+                    }
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(500));
+            }
+        }
+    }
+}
+
+fn respond_and_close(mut stream: TcpStream, response: &HttpResponse) {
+    let _ = stream.write_all(&response.to_wire(false));
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// One pool worker: pull connections off the shared queue until the accept
+/// thread drops the sender.
+fn worker_loop(
+    rx: &Mutex<Receiver<(TcpStream, SocketAddr)>>,
+    server: &Server,
+    injector: Option<Arc<dyn FaultInjector>>,
+    config: &PoolConfig,
+    stop: &AtomicBool,
+) {
+    loop {
+        // Holding the lock across recv() is the classic shared-receiver
+        // pattern: exactly one worker waits on the channel, the rest wait
+        // on the mutex, and a delivered connection releases both.
+        let conn = rx.lock().recv();
+        let Ok((stream, peer)) = conn else {
+            break;
+        };
+        let _ = serve_pool_connection(
+            stream,
+            &peer.ip().to_string(),
+            server,
+            injector.as_deref(),
+            config,
+            stop,
+        );
+    }
+}
+
+/// Serves one keep-alive connection: frame requests off the socket, answer
+/// each, close on `connection: close`, the per-connection request limit,
+/// parse-level errors, EOF, or the read deadline.
+fn serve_pool_connection(
     mut stream: TcpStream,
     peer_ip: &str,
     server: &Server,
     injector: Option<&dyn FaultInjector>,
+    config: &PoolConfig,
+    stop: &AtomicBool,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    let mut buf = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    // Read until end of headers, then the declared body.
-    loop {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    let mut carry: Vec<u8> = Vec::new();
+    let mut served = 0u32;
+    while served < config.max_requests_per_conn && !stop.load(Ordering::SeqCst) {
+        let Some(frame) = read_request_frame(&mut stream, &mut carry)? else {
+            break; // clean EOF / idle timeout with nothing buffered
+        };
+        // Chaos hook: the connection may be reset mid-request (after the
+        // bytes were consumed, before any response) or delayed.
+        match injector.and_then(|i| i.fault_at(FaultSite::Tcp)) {
+            Some(Fault::Error | Fault::Panic) => {
+                let _ = stream.shutdown(Shutdown::Both);
+                return Ok(());
+            }
+            Some(Fault::Latency(ms) | Fault::Hang(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            _ => {}
+        }
+        let response = server.handle_bytes(&frame, peer_ip);
+        served += 1;
+        // A parse-level failure leaves the connection's framing suspect:
+        // close rather than guess where the next request starts.
+        let keep = served < config.max_requests_per_conn
+            && !matches!(
+                response.status,
+                StatusCode::BadRequest | StatusCode::PayloadTooLarge
+            )
+            && wants_keep_alive(&frame);
+        stream.write_all(&response.to_wire(keep))?;
+        stream.flush()?;
+        if !keep {
             break;
         }
-        buf.extend_from_slice(&chunk[..n]);
-        if let Some(header_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
-            let head = String::from_utf8_lossy(&buf[..header_end]);
-            let content_length = head
-                .lines()
-                .find_map(|l| {
-                    let (name, value) = l.split_once(':')?;
-                    name.trim()
-                        .eq_ignore_ascii_case("content-length")
-                        .then(|| value.trim().parse::<usize>().ok())?
-                })
-                .unwrap_or(0);
-            if buf.len() >= header_end + 4 + content_length {
-                break;
-            }
-        }
-        if buf.len() > 1 << 22 {
-            break; // absolute transport cap
-        }
     }
-    // Chaos hook: the connection may be reset mid-request (after the bytes
-    // were consumed, before any response) or delayed.
+    let _ = stream.shutdown(Shutdown::Both);
+    Ok(())
+}
+
+/// The original single-request service path (thread-per-connection front).
+fn serve_one_request(
+    mut stream: TcpStream,
+    peer_ip: &str,
+    server: &Server,
+    injector: Option<&dyn FaultInjector>,
+    read_timeout: Duration,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(read_timeout))?;
+    let mut carry: Vec<u8> = Vec::new();
+    let Some(frame) = read_request_frame(&mut stream, &mut carry)? else {
+        return Ok(());
+    };
     match injector.and_then(|i| i.fault_at(FaultSite::Tcp)) {
         Some(Fault::Error | Fault::Panic) => {
             let _ = stream.shutdown(Shutdown::Both);
@@ -150,21 +439,112 @@ fn serve_connection(
         }
         _ => {}
     }
-    let response: HttpResponse = server.handle_bytes(&buf, peer_ip);
+    let response = server.handle_bytes(&frame, peer_ip);
     stream.write_all(&response.to_bytes())?;
     stream.flush()
 }
 
-/// Blocking one-shot HTTP client for tests and examples: sends `raw` and
-/// returns the raw response bytes.
+/// Reads one framed request (headers + declared body) into a buffer,
+/// carrying any pipelined surplus over to the next call.
+///
+/// Returns `Ok(None)` on clean EOF or idle timeout with nothing buffered;
+/// a partial request interrupted by EOF/timeout is returned as-is so the
+/// parser can reject it (the original front behaved the same way).
+fn read_request_frame(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+) -> std::io::Result<Option<Vec<u8>>> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(len) = frame_len(carry) {
+            let rest = carry.split_off(len);
+            let frame = std::mem::replace(carry, rest);
+            return Ok(Some(frame));
+        }
+        if carry.len() > 1 << 22 {
+            // Absolute transport cap: hand the server what we have (it
+            // answers 400/413) rather than buffering without bound.
+            return Ok(Some(std::mem::take(carry)));
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                0
+            }
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            if carry.is_empty() {
+                return Ok(None);
+            }
+            return Ok(Some(std::mem::take(carry)));
+        }
+        carry.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Total frame length (headers + declared body) once the buffer holds a
+/// complete request, else `None`. The `Content-Length` read here is
+/// *framing only* — lenient, first parseable copy — the strict parser
+/// re-validates it before any handler sees the request.
+fn frame_len(buf: &[u8]) -> Option<usize> {
+    let header_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = String::from_utf8_lossy(&buf[..header_end]);
+    let content_length = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse::<usize>().ok())?
+        })
+        .unwrap_or(0);
+    let total = header_end.checked_add(4)?.checked_add(content_length)?;
+    (buf.len() >= total).then_some(total)
+}
+
+/// HTTP/1.x connection-persistence defaults: 1.1 keeps alive unless
+/// `connection: close`; 1.0 closes unless `connection: keep-alive`.
+fn wants_keep_alive(raw: &[u8]) -> bool {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or(raw.len());
+    let head = String::from_utf8_lossy(&raw[..header_end]);
+    let mut lines = head.lines();
+    let http10 = lines
+        .next()
+        .is_some_and(|line| line.trim_end().ends_with("HTTP/1.0"));
+    let connection = lines.find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.trim()
+            .eq_ignore_ascii_case("connection")
+            .then(|| value.trim().to_ascii_lowercase())
+    });
+    match connection {
+        Some(value) if value.contains("close") => false,
+        Some(value) if value.contains("keep-alive") => true,
+        _ => !http10,
+    }
+}
+
+/// Blocking one-shot HTTP client for tests and examples: sends `raw`,
+/// half-closes the write side (so keep-alive servers see EOF and finish),
+/// and returns the raw response bytes.
 ///
 /// # Errors
 ///
 /// Propagates connect/read/write errors.
-pub fn send_raw(addr: std::net::SocketAddr, raw: &[u8]) -> std::io::Result<Vec<u8>> {
+pub fn send_raw(addr: SocketAddr, raw: &[u8]) -> std::io::Result<Vec<u8>> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.write_all(raw)?;
+    let _ = stream.shutdown(Shutdown::Write);
     let mut out = Vec::new();
     stream.read_to_end(&mut out)?;
     Ok(out)
@@ -176,10 +556,13 @@ mod tests {
     use crate::server::AccessControl;
     use crate::vfs::Vfs;
 
+    fn open_server() -> Arc<Server> {
+        Arc::new(Server::new(Vfs::default_site(), AccessControl::Open))
+    }
+
     #[test]
     fn serves_real_sockets() {
-        let server = Arc::new(Server::new(Vfs::default_site(), AccessControl::Open));
-        let front = TcpFront::spawn("127.0.0.1:0", server).unwrap();
+        let front = TcpFront::spawn("127.0.0.1:0", open_server()).unwrap();
         let addr = front.addr();
 
         let response = send_raw(addr, b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
@@ -196,12 +579,12 @@ mod tests {
     #[test]
     fn injected_reset_drops_the_connection_then_recovers() {
         use gaa_faults::{Fault, FaultPlan, FaultSite};
-        let server = Arc::new(Server::new(Vfs::default_site(), AccessControl::Open));
         let plan = FaultPlan::builder(7)
             .fail_nth(FaultSite::Tcp, 0, Fault::Error)
             .build();
         let front =
-            TcpFront::spawn_with_injector("127.0.0.1:0", server, Some(Arc::new(plan))).unwrap();
+            TcpFront::spawn_with_injector("127.0.0.1:0", open_server(), Some(Arc::new(plan)))
+                .unwrap();
         let addr = front.addr();
 
         // First connection: reset mid-request — no response bytes at all.
@@ -221,11 +604,174 @@ mod tests {
 
     #[test]
     fn post_bodies_are_read_fully() {
-        let server = Arc::new(Server::new(Vfs::default_site(), AccessControl::Open));
-        let front = TcpFront::spawn("127.0.0.1:0", server).unwrap();
+        let front = TcpFront::spawn("127.0.0.1:0", open_server()).unwrap();
         let raw = b"POST /cgi-bin/test-cgi HTTP/1.1\r\ncontent-length: 7\r\n\r\npayload";
         let response = send_raw(front.addr(), raw).unwrap();
         let text = String::from_utf8_lossy(&response);
         assert!(text.contains("QUERY_STRING = payload"), "{text}");
+    }
+
+    /// Reads exactly one response (headers + content-length body) off a
+    /// persistent connection, carrying surplus bytes (a pipelined second
+    /// response arriving in the same packet) over in `carry`.
+    fn read_one_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Vec<u8> {
+        let mut chunk = [0u8; 2048];
+        loop {
+            if let Some(len) = frame_len(carry) {
+                let rest = carry.split_off(len);
+                return std::mem::replace(carry, rest);
+            }
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed mid-response");
+            carry.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        let front = TcpFront::spawn("127.0.0.1:0", open_server()).unwrap();
+        let mut stream = TcpStream::connect(front.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+
+        let mut carry = Vec::new();
+        for i in 0..3 {
+            stream
+                .write_all(b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
+                .unwrap();
+            let response = read_one_response(&mut stream, &mut carry);
+            let text = String::from_utf8_lossy(&response);
+            assert!(text.starts_with("HTTP/1.1 200 OK"), "request {i}: {text}");
+            assert!(text.contains("connection: keep-alive"), "request {i}");
+        }
+
+        // An explicit close is honoured: response says close, then EOF.
+        stream
+            .write_all(b"GET /index.html HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let response = read_one_response(&mut stream, &mut carry);
+        assert!(String::from_utf8_lossy(&response).contains("connection: close"));
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "server must close after connection: close");
+
+        front.stop();
+    }
+
+    #[test]
+    fn http_1_0_defaults_to_close() {
+        let front = TcpFront::spawn("127.0.0.1:0", open_server()).unwrap();
+        let mut stream = TcpStream::connect(front.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream
+            .write_all(b"GET /index.html HTTP/1.0\r\n\r\n")
+            .unwrap();
+        let mut all = Vec::new();
+        stream.read_to_end(&mut all).unwrap(); // EOF: server closed
+        assert!(String::from_utf8_lossy(&all).contains("connection: close"));
+        front.stop();
+    }
+
+    #[test]
+    fn pipelined_requests_are_each_answered() {
+        let front = TcpFront::spawn("127.0.0.1:0", open_server()).unwrap();
+        let mut stream = TcpStream::connect(front.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream
+            .write_all(
+                b"GET /index.html HTTP/1.1\r\n\r\nGET /docs/page1.html HTTP/1.1\r\nConnection: close\r\n\r\n",
+            )
+            .unwrap();
+        let mut carry = Vec::new();
+        let first = read_one_response(&mut stream, &mut carry);
+        assert!(String::from_utf8_lossy(&first).contains("Welcome"));
+        let second = read_one_response(&mut stream, &mut carry);
+        assert!(String::from_utf8_lossy(&second).contains("Documentation page 1"));
+        front.stop();
+    }
+
+    #[test]
+    fn saturated_queue_answers_503_and_audits_degradation() {
+        use gaa_faults::{Fault, FaultPlan, FaultSite};
+        // One worker, queue depth 1, and every request delayed long enough
+        // to pin the worker: the flood must overflow the queue.
+        let plan = FaultPlan::builder(3)
+            .fail_always(FaultSite::Tcp, Fault::Latency(300))
+            .build();
+        let front = TcpFront::spawn_pool(
+            "127.0.0.1:0",
+            open_server(),
+            PoolConfig {
+                workers: 1,
+                queue_depth: 1,
+                ..PoolConfig::default()
+            },
+            Some(Arc::new(plan)),
+        )
+        .unwrap();
+        let addr = front.addr();
+
+        let clients: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    send_raw(
+                        addr,
+                        b"GET /index.html HTTP/1.1\r\nConnection: close\r\n\r\n",
+                    )
+                })
+            })
+            .collect();
+        let mut saw_503 = false;
+        let mut saw_200 = false;
+        for client in clients {
+            if let Ok(Ok(bytes)) = client.join() {
+                let text = String::from_utf8_lossy(&bytes).into_owned();
+                saw_503 |= text.starts_with("HTTP/1.1 503");
+                saw_200 |= text.starts_with("HTTP/1.1 200");
+            }
+        }
+        assert!(saw_503, "expected at least one shed connection");
+        assert!(saw_200, "expected at least one served connection");
+        assert!(front.saturation_rejects() >= 1);
+        front.stop();
+    }
+
+    #[test]
+    fn frame_len_framing() {
+        assert_eq!(frame_len(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(frame_len(b"GET / HTTP/1.1\r\n\r\n"), Some(18));
+        let post = b"POST / HTTP/1.1\r\ncontent-length: 4\r\n\r\nbody-and-more";
+        assert_eq!(frame_len(post), Some(post.len() - "-and-more".len()));
+        assert_eq!(
+            frame_len(b"POST / HTTP/1.1\r\ncontent-length: 4\r\n\r\nbo"),
+            None
+        );
+    }
+
+    #[test]
+    fn keep_alive_negotiation() {
+        assert!(wants_keep_alive(b"GET / HTTP/1.1\r\n\r\n"));
+        assert!(!wants_keep_alive(
+            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+        ));
+        assert!(!wants_keep_alive(b"GET / HTTP/1.0\r\n\r\n"));
+        assert!(wants_keep_alive(
+            b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        ));
+    }
+
+    #[test]
+    fn thread_per_connection_front_still_serves() {
+        let front =
+            TcpFront::spawn_thread_per_connection("127.0.0.1:0", open_server(), None).unwrap();
+        let response =
+            send_raw(front.addr(), b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 200"));
+        front.stop();
     }
 }

@@ -167,7 +167,11 @@ fn normalize(path: &str) -> String {
         out.push('/');
     }
     out.push_str(path);
-    out
+    // Collapse `.`/`..` so `/staff/../private/x` and `/private/x` are the
+    // same tree node and walk the same htaccess chain. Escapes clamp to the
+    // root, which holds no nodes — lookups miss, and the parser has already
+    // rejected such targets with 400 before they reach the tree.
+    crate::http::remove_dot_segments(&out).unwrap_or_else(|| "/".to_string())
 }
 
 fn normalize_dir(dir: &str) -> String {
@@ -234,6 +238,27 @@ mod tests {
 
         let chain = vfs.htaccess_chain("/index.html");
         assert_eq!(chain.len(), 1);
+    }
+
+    #[test]
+    fn dot_segments_collapse_before_lookup_and_chain_walk() {
+        let mut vfs = Vfs::new();
+        vfs.add_html("/private/secret.html", "x");
+        vfs.set_htaccess(
+            "/private",
+            HtAccess::parse("Order Deny,Allow\nDeny from All\n").unwrap(),
+        );
+
+        // A dot-segment alias reaches the same node…
+        assert!(vfs.lookup("/staff/../private/secret.html").is_some());
+        // …and walks the same htaccess chain — no sidestepping /private's
+        // config via literal `..` components.
+        let chain = vfs.htaccess_chain("/staff/../private/secret.html");
+        assert_eq!(chain.len(), 1);
+        assert!(chain[0].denies_all());
+
+        // Root escapes clamp to `/`, where nothing is served.
+        assert!(vfs.lookup("/../etc/passwd").is_none());
     }
 
     #[test]

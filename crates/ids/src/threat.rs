@@ -81,6 +81,9 @@ struct MonitorState {
     /// `reports_to_escalate` of them, so one stray event does not lock the
     /// system down — the paper's own caution about attacker-staged DoS).
     pending_reports: u32,
+    /// Bumped on every actual level transition; decision caches key on it
+    /// so a transition invalidates every cached outcome instantly.
+    epoch: u64,
 }
 
 /// Shared, clock-driven threat-level provider.
@@ -133,6 +136,7 @@ impl ThreatMonitor {
                 level: ThreatLevel::Low,
                 last_change: now,
                 pending_reports: 0,
+                epoch: 0,
             })),
             clock,
             reports_to_escalate: 3,
@@ -167,9 +171,21 @@ impl ThreatMonitor {
     /// Forces the level (operator action or external IDS feed).
     pub fn set_level(&self, level: ThreatLevel) {
         let mut state = self.state.lock();
+        if state.level != level {
+            state.epoch += 1;
+        }
         state.level = level;
         state.last_change = self.clock.now();
         state.pending_reports = 0;
+    }
+
+    /// A counter that advances on every actual level transition (including
+    /// lazy decay steps). Two equal epochs mean no transition happened in
+    /// between — the invalidation stamp for authorization-decision caches.
+    pub fn epoch(&self) -> u64 {
+        let mut state = self.state.lock();
+        self.apply_decay(&mut state);
+        state.epoch
     }
 
     /// Registers one suspicious event; returns the level after any resulting
@@ -183,6 +199,7 @@ impl ThreatMonitor {
             let next = state.level.escalate();
             if next != state.level {
                 state.level = next;
+                state.epoch += 1;
                 state.last_change = self.clock.now();
             } else {
                 // Already at High: refresh the change stamp so decay restarts.
@@ -204,6 +221,7 @@ impl ThreatMonitor {
         let now = self.clock.now();
         while state.level != ThreatLevel::Low && now.since(state.last_change) > self.decay_after {
             state.level = state.level.relax();
+            state.epoch += 1;
             state.last_change = state.last_change.plus(self.decay_after);
             state.pending_reports = 0;
         }
@@ -305,6 +323,26 @@ mod tests {
     fn zero_escalation_threshold_panics() {
         let clock = VirtualClock::new();
         let _ = ThreatMonitor::new(Arc::new(clock)).with_escalation_threshold(0);
+    }
+
+    #[test]
+    fn epoch_advances_only_on_actual_transitions() {
+        let clock = VirtualClock::new();
+        let m = monitor(&clock);
+        let start = m.epoch();
+        m.set_level(ThreatLevel::Low); // no-op transition
+        assert_eq!(m.epoch(), start);
+        m.set_level(ThreatLevel::High);
+        assert_eq!(m.epoch(), start + 1);
+        // Two quiet periods: High → Medium → Low, two lazy decay steps.
+        clock.advance(Duration::from_secs(200));
+        assert_eq!(m.epoch(), start + 3);
+        assert_eq!(m.current(), ThreatLevel::Low);
+        // Escalation via suspicion reports also counts.
+        m.report_suspicion();
+        m.report_suspicion();
+        assert_eq!(m.current(), ThreatLevel::Medium);
+        assert_eq!(m.epoch(), start + 4);
     }
 
     #[test]

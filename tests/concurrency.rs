@@ -5,9 +5,11 @@
 use gaa::audit::notify::CollectingNotifier;
 use gaa::audit::VirtualClock;
 use gaa::conditions::{register_standard, StandardServices};
-use gaa::core::{GaaApiBuilder, MemoryPolicyStore};
+use gaa::core::{DecisionCache, GaaApiBuilder, MemoryPolicyStore};
 use gaa::eacl::parse_eacl;
 use gaa::httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
+use gaa::ids::ThreatLevel;
+use gaa::workload::{AttackKind, ScenarioBuilder};
 use std::sync::Arc;
 
 const POLICY: &str = "\
@@ -20,19 +22,36 @@ rr_cond update_log local on:failure/BadGuys/info:ip
 pos_access_right apache *
 ";
 
-fn build() -> (Arc<Server>, StandardServices) {
+/// [`POLICY`] plus a threat-level lockdown entry, so IDS escalation flips
+/// decisions (and must flush the decision cache).
+const LOCKDOWN_POLICY: &str = "\
+eacl_mode 1
+neg_access_right apache *
+pre_cond system_threat_level local =high
+neg_access_right apache *
+pre_cond accessid GROUP BadGuys
+neg_access_right apache *
+pre_cond regex gnu *phf*
+rr_cond update_log local on:failure/BadGuys/info:ip
+pos_access_right apache *
+";
+
+fn build_with(policy: &str, cached: bool) -> (Arc<Server>, StandardServices) {
     let services = StandardServices::new(
         Arc::new(VirtualClock::new()),
         Arc::new(CollectingNotifier::new()),
     );
     let mut store = MemoryPolicyStore::new();
-    store.set_system(vec![parse_eacl(POLICY).unwrap()]);
+    store.set_system(vec![parse_eacl(policy).unwrap()]);
     let api = register_standard(
         GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
         &services,
     )
     .build();
-    let glue = GaaGlue::new(api, services.clone());
+    let mut glue = GaaGlue::new(api, services.clone());
+    if cached {
+        glue = glue.with_decision_cache(DecisionCache::new());
+    }
     (
         Arc::new(Server::new(
             Vfs::default_site(),
@@ -40,6 +59,10 @@ fn build() -> (Arc<Server>, StandardServices) {
         )),
         services,
     )
+}
+
+fn build() -> (Arc<Server>, StandardServices) {
+    build_with(POLICY, false)
 }
 
 #[test]
@@ -134,4 +157,93 @@ fn mixed_traffic_keeps_innocents_unaffected() {
     attacker.join().unwrap();
     let served: usize = innocents.into_iter().map(|t| t.join().unwrap()).sum();
     assert_eq!(served, 400, "attack storms must not impact other clients");
+}
+
+#[test]
+fn cached_and_uncached_decisions_agree_on_seeded_workloads() {
+    for seed in [3u64, 7, 11] {
+        let (plain, _) = build_with(POLICY, false);
+        let (cached, _) = build_with(POLICY, true);
+        let scenario =
+            ScenarioBuilder::new(seed, vec!["/index.html".into(), "/docs/page1.html".into()])
+                .legit(80)
+                .attacks(AttackKind::CgiExploit, 8)
+                .attacks(AttackKind::MalformedUrl, 8)
+                .scan_scripts(1, 4)
+                .build();
+        for (i, item) in scenario.items.iter().enumerate() {
+            let a = plain.handle(item.request.clone()).status;
+            let b = cached.handle(item.request.clone()).status;
+            assert_eq!(
+                a, b,
+                "seed {seed} item {i} ({:?}): cache changed the decision",
+                item.request.path
+            );
+        }
+        let stats = cached.decision_cache_stats().unwrap();
+        assert!(
+            stats.hits > 0,
+            "seed {seed}: the cache never hit: {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn threat_transitions_invalidate_cached_grants_in_flight() {
+    let (server, services) = build_with(LOCKDOWN_POLICY, true);
+
+    // Benign traffic hammers the cache while the IDS threat level flips
+    // underneath it. Every answer must be a coherent policy outcome for
+    // *some* threat level — Ok or Forbidden, never an error — and once the
+    // level settles, cached answers must match it.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|t| {
+            let server = server.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut n = 0u32;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let req =
+                        HttpRequest::get("/index.html").with_client_ip(format!("10.2.0.{}", t + 1));
+                    let status = server.handle(req).status;
+                    assert!(
+                        matches!(status, StatusCode::Ok | StatusCode::Forbidden),
+                        "mid-transition answer must still be a policy outcome, got {status:?}"
+                    );
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+
+    for _ in 0..5 {
+        services.threat.set_level(ThreatLevel::High);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        services.threat.set_level(ThreatLevel::Low);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let answered: u32 = readers.into_iter().map(|t| t.join().unwrap()).sum();
+    assert!(answered > 0);
+
+    // Settled states: lockdown denies, relaxation re-grants — through the
+    // cache, which must have been flushed on each transition.
+    let probe = || {
+        server
+            .handle(HttpRequest::get("/index.html").with_client_ip("10.2.0.1"))
+            .status
+    };
+    services.threat.set_level(ThreatLevel::High);
+    assert_eq!(probe(), StatusCode::Forbidden);
+    services.threat.set_level(ThreatLevel::Low);
+    assert_eq!(probe(), StatusCode::Ok);
+
+    let stats = server.decision_cache_stats().unwrap();
+    assert!(stats.hits > 0, "{stats:?}");
+    assert!(
+        stats.invalidations >= 2,
+        "each threat transition must flush the cache: {stats:?}"
+    );
 }

@@ -5,8 +5,9 @@
 use gaa::audit::notify::CollectingNotifier;
 use gaa::audit::VirtualClock;
 use gaa::conditions::{register_standard, StandardServices};
-use gaa::core::{CachingPolicyStore, FilePolicyStore, GaaApiBuilder};
+use gaa::core::{CachingPolicyStore, DecisionCache, FilePolicyStore, GaaApiBuilder};
 use gaa::httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
+use gaa::ids::ThreatLevel;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -107,4 +108,83 @@ fn per_directory_policy_appears_when_created() {
     assert_eq!(probe(&server), StatusCode::Forbidden);
     // Objects outside that directory are unaffected.
     assert_eq!(get(&server), StatusCode::Ok);
+}
+
+/// A GAA server with the §9 authorization decision cache attached, over a
+/// shared [`FilePolicyStore`] handle (kept for `touch`).
+fn cached_decision_server(store: Arc<FilePolicyStore>) -> (Server, StandardServices) {
+    let services = StandardServices::new(
+        Arc::new(VirtualClock::new()),
+        Arc::new(CollectingNotifier::new()),
+    );
+    let api = register_standard(
+        GaaApiBuilder::new(store).with_clock(services.clock.clone()),
+        &services,
+    )
+    .build();
+    let glue = GaaGlue::new(api, services.clone()).with_decision_cache(DecisionCache::new());
+    (
+        Server::new(Vfs::default_site(), AccessControl::Gaa(Box::new(glue))),
+        services,
+    )
+}
+
+#[test]
+fn decision_cache_invalidates_on_generation_bump() {
+    let dir = setup_dir("decision-cache");
+    let system = dir.join("system.eacl");
+    std::fs::write(&system, "pos_access_right apache *\n").unwrap();
+    let store = Arc::new(FilePolicyStore::new().with_system_file(&system));
+    let (server, _services) = cached_decision_server(store.clone());
+
+    // Miss, then hit.
+    assert_eq!(get(&server), StatusCode::Ok);
+    assert_eq!(get(&server), StatusCode::Ok);
+    let stats = server.decision_cache_stats().unwrap();
+    assert!(stats.hits >= 1, "{stats:?}");
+
+    // An edit without touch() keeps serving the cached grant — the same
+    // documented trade-off as CachingPolicyStore (DESIGN §9).
+    std::fs::write(&system, "neg_access_right * *\n").unwrap();
+    assert_eq!(get(&server), StatusCode::Ok, "stale until touched");
+
+    // touch() bumps the store generation; the stamp mismatch flushes every
+    // cached decision and the deny takes effect.
+    store.touch();
+    assert_eq!(get(&server), StatusCode::Forbidden);
+    let stats = server.decision_cache_stats().unwrap();
+    assert!(stats.invalidations >= 1, "{stats:?}");
+
+    // And back: reopening also flows through.
+    std::fs::write(&system, "pos_access_right apache *\n").unwrap();
+    store.touch();
+    assert_eq!(get(&server), StatusCode::Ok);
+}
+
+#[test]
+fn decision_cache_invalidates_on_threat_transition() {
+    let dir = setup_dir("decision-cache-threat");
+    let system = dir.join("system.eacl");
+    std::fs::write(
+        &system,
+        "neg_access_right apache *\n\
+         pre_cond system_threat_level local =high\n\
+         pos_access_right apache *\n",
+    )
+    .unwrap();
+    let store = Arc::new(FilePolicyStore::new().with_system_file(&system));
+    let (server, services) = cached_decision_server(store);
+
+    assert_eq!(get(&server), StatusCode::Ok);
+    assert_eq!(get(&server), StatusCode::Ok); // cached grant
+
+    services.threat.set_level(ThreatLevel::High);
+    assert_eq!(get(&server), StatusCode::Forbidden, "lockdown beats cache");
+
+    services.threat.set_level(ThreatLevel::Low);
+    assert_eq!(get(&server), StatusCode::Ok);
+
+    let stats = server.decision_cache_stats().unwrap();
+    assert!(stats.hits >= 1, "{stats:?}");
+    assert!(stats.invalidations >= 2, "{stats:?}");
 }
