@@ -6,6 +6,7 @@
 //! gaa-lint diff [--json] OLD_DIR NEW_DIR
 //! gaa-lint equiv A_DIR B_DIR
 //! gaa-lint invariants FILE.inv DIR
+//! gaa-lint code [--json] [WORKSPACE_ROOT]
 //! ```
 //!
 //! Plain `FILE` arguments are object-local policies (the object name is
@@ -22,6 +23,11 @@
 //! deployments decide every request identically (exit `1` when they
 //! differ); `invariants` checks the `*.inv` assertions against a
 //! deployment, printing a counterexample per violation.
+//!
+//! `code` is the one subcommand that lints *Rust source*, not policies:
+//! the `GAA6xx` concurrency-hygiene rules over the serving core (see
+//! [`gaa_analyze::code`]). It takes the workspace root (default `.`) and
+//! exits `1` on any finding.
 
 use gaa_analyze::{
     check_invariants, diff_deployments, diff_lints, differential_check, max_severity,
@@ -45,7 +51,8 @@ const USAGE: &str = "usage: gaa-lint [--json] [--deny-warnings] [--differential]
                      [--no-default-registry] [--system FILE]... FILE...\n\
                      \x20      gaa-lint diff [--json] OLD_DIR NEW_DIR\n\
                      \x20      gaa-lint equiv A_DIR B_DIR\n\
-                     \x20      gaa-lint invariants FILE.inv DIR";
+                     \x20      gaa-lint invariants FILE.inv DIR\n\
+                     \x20      gaa-lint code [--json] [WORKSPACE_ROOT]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
@@ -210,6 +217,36 @@ fn run_equiv(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+fn run_code(args: &[String]) -> Result<ExitCode, String> {
+    let mut json = false;
+    let mut roots = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
+            root => roots.push(root),
+        }
+    }
+    if roots.len() > 1 {
+        return Err(format!("code takes at most one workspace root\n{USAGE}"));
+    }
+    let root = roots.first().copied().unwrap_or(".");
+    let lints = gaa_analyze::code::lint_workspace_code(Path::new(root));
+    if json {
+        println!("{}", render_json(&lints));
+    } else if lints.is_empty() {
+        println!("code: no GAA6xx findings (request-path, shim, and ordering rules hold)");
+    } else {
+        print!("{}", render_human(&lints));
+    }
+    // Any GAA6xx finding fails: these rules hold the codebase at zero.
+    Ok(if lints.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
 fn run_invariants(args: &[String]) -> Result<ExitCode, String> {
     let [inv_file, dir] = args else {
         return Err(format!(
@@ -242,6 +279,7 @@ fn main() -> ExitCode {
             "diff" => Some(run_diff(&args[1..])),
             "equiv" => Some(run_equiv(&args[1..])),
             "invariants" => Some(run_invariants(&args[1..])),
+            "code" => Some(run_code(&args[1..])),
             _ => None,
         };
         if let Some(result) = run {

@@ -24,6 +24,9 @@
 //!   [`diff_lints`] (`gaa-lint diff`, GAA5xx codes), [`check_invariants`]
 //!   (`*.inv` assertions), [`diff_gate`] (hot-reload update vetting) and
 //!   [`cross_validate`] (compiler soundness vs the interpreter);
+//! * [`code`] — the one tier that lints *Rust source* rather than policies:
+//!   concurrency-hygiene rules (`GAA6xx`) over the serving core, run as
+//!   `gaa-lint code`;
 //! * the `gaa-lint` binary — the command-line front end.
 //!
 //! ## Example
@@ -45,6 +48,7 @@
 #![warn(rustdoc::broken_intra_doc_links)]
 
 mod analyzer;
+pub mod code;
 mod differential;
 mod gate;
 mod lint;

@@ -54,6 +54,10 @@ impl fmt::Display for LintSeverity {
 /// | `GAA502` | warning | semantic diff: a denied region becomes MAYBE (deny-narrowing) |
 /// | `GAA503` | warning | semantic diff: a granted region becomes MAYBE (MAYBE-surface growth) |
 /// | `GAA504` | note | semantic diff: a region's status changes to NO (restriction-tightening) |
+/// | `GAA601` | error | code: `unwrap`/`expect`/`panic!` on the request path (worker-killing DoS primitive) |
+/// | `GAA602` | error | code: raw `std::sync`/`parking_lot` primitive in a `gaa_race::sync`-migrated file |
+/// | `GAA603` | warning | code: `Err` arm in the front end/glue that never reaches audit/degradation |
+/// | `GAA604` | warning | code: `Ordering::` use without a `// ordering:` rationale comment |
 ///
 /// `GAA101`/`GAA103`/`GAA104` are folded in from the syntax tier
 /// ([`gaa_eacl::validate`]); `GAA102`, that tier's unreachability check, is

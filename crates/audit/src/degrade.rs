@@ -11,7 +11,8 @@
 
 use crate::log::{AuditLog, AuditRecord, AuditSeverity};
 use crate::time::Timestamp;
-use parking_lot::Mutex;
+// Shim lock: model-checkable under gaa-race sessions, passthrough otherwise.
+use gaa_race::sync::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -107,7 +108,7 @@ impl DegradationState {
     /// transition.
     pub fn with_audit(audit: AuditLog) -> Self {
         DegradationState {
-            state: Arc::new(Mutex::new(State::default())),
+            state: Arc::new(Mutex::named("degrade.state", State::default())),
             audit: Some(audit),
         }
     }

@@ -11,10 +11,13 @@ use crate::degrade::{Component, DegradationState};
 use crate::log::{AuditLog, AuditRecord, AuditSeverity};
 use crate::time::{SharedClock, Timestamp};
 use gaa_faults::{Fault, FaultInjector, FaultSite};
-use parking_lot::Mutex;
+// Every notifier lock and counter goes through the gaa-race shim so the
+// circuit breaker's half-open probe race is explorable under the model
+// checker; production builds see plain parking_lot / std atomics.
+use gaa_race::sync::{AtomicU64, Mutex};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -165,11 +168,13 @@ impl Notifier for SimulatedSmtp {
         if !self.latency.is_zero() {
             std::thread::sleep(self.latency);
         }
+        // ordering: Relaxed — monotonic statistic, publishes no other memory.
         self.delivered.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     fn delivered(&self) -> u64 {
+        // ordering: Relaxed — monotonic statistic, publishes no other memory.
         self.delivered.load(Ordering::Relaxed)
     }
 }
@@ -190,11 +195,13 @@ impl ConsoleNotifier {
 impl Notifier for ConsoleNotifier {
     fn notify(&self, notification: &Notification) -> Result<(), NotifyError> {
         eprintln!("[notify] {notification}");
+        // ordering: Relaxed — monotonic statistic, publishes no other memory.
         self.delivered.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     fn delivered(&self) -> u64 {
+        // ordering: Relaxed — monotonic statistic, publishes no other memory.
         self.delivered.load(Ordering::Relaxed)
     }
 }
@@ -215,12 +222,14 @@ impl FailingNotifier {
 
     /// How many deliveries were attempted (and refused).
     pub fn attempts(&self) -> u64 {
+        // ordering: Relaxed — monotonic statistic, publishes no other memory.
         self.attempts.load(Ordering::Relaxed)
     }
 }
 
 impl Notifier for FailingNotifier {
     fn notify(&self, _notification: &Notification) -> Result<(), NotifyError> {
+        // ordering: Relaxed — monotonic statistic, publishes no other memory.
         self.attempts.fetch_add(1, Ordering::Relaxed);
         Err(NotifyError::new("transport unavailable"))
     }
@@ -263,6 +272,7 @@ impl Notifier for CompositeNotifier {
             }
         }
         if any_ok {
+            // ordering: Relaxed — monotonic statistic, publishes no other memory.
             self.delivered.fetch_add(1, Ordering::Relaxed);
             Ok(())
         } else {
@@ -271,6 +281,7 @@ impl Notifier for CompositeNotifier {
     }
 
     fn delivered(&self) -> u64 {
+        // ordering: Relaxed — monotonic statistic, publishes no other memory.
         self.delivered.load(Ordering::Relaxed)
     }
 }
@@ -389,11 +400,13 @@ impl RetryingNotifier {
 
     /// Total delivery attempts made (including retries).
     pub fn attempts(&self) -> u64 {
+        // ordering: Relaxed — monotonic statistic, publishes no other memory.
         self.attempts.load(Ordering::Relaxed)
     }
 
     /// Notifications given up on and dead-lettered to the audit log.
     pub fn dead_lettered(&self) -> u64 {
+        // ordering: Relaxed — monotonic statistic, publishes no other memory.
         self.dead_lettered.load(Ordering::Relaxed)
     }
 
@@ -438,6 +451,7 @@ impl Notifier for RetryingNotifier {
     fn notify(&self, notification: &Notification) -> Result<(), NotifyError> {
         let mut last_err = NotifyError::new("no attempt made");
         for attempt in 0..self.max_attempts {
+            // ordering: Relaxed — monotonic statistic, publishes no other memory.
             self.attempts.fetch_add(1, Ordering::Relaxed);
             match self.inner.notify(notification) {
                 Ok(()) => return Ok(()),
@@ -447,6 +461,7 @@ impl Notifier for RetryingNotifier {
                 self.clock.sleep(self.backoff(attempt));
             }
         }
+        // ordering: Relaxed — monotonic statistic, publishes no other memory.
         self.dead_lettered.fetch_add(1, Ordering::Relaxed);
         self.audit.record(
             AuditRecord::new(
@@ -523,10 +538,13 @@ impl CircuitBreakerNotifier {
             degradation,
             threshold: 3,
             cooldown: Duration::from_secs(5),
-            state: Mutex::new(BreakerState {
-                phase: BreakerPhase::Closed,
-                consecutive_failures: 0,
-            }),
+            state: Mutex::named(
+                "breaker.state",
+                BreakerState {
+                    phase: BreakerPhase::Closed,
+                    consecutive_failures: 0,
+                },
+            ),
             suppressed: AtomicU64::new(0),
         }
     }
@@ -550,15 +568,23 @@ impl CircuitBreakerNotifier {
 
     /// Notifications suppressed while the circuit was open.
     pub fn suppressed(&self) -> u64 {
+        // ordering: Relaxed — monotonic statistic, publishes no other memory.
         self.suppressed.load(Ordering::Relaxed)
     }
+
+    // Both transition helpers update the degradation mirror *while still
+    // holding the state lock*: phase and mirror must move together, or two
+    // racing callers can leave the breaker `Open` with the degradation
+    // registry showing `Notifier` recovered (close-then-reopen interleaved
+    // with the mirror writes in the opposite order). Found by the
+    // `breaker_half_open` gaa-race scenario. No lock cycle: nothing in the
+    // audit log or degradation registry calls back into the breaker.
 
     fn on_success(&self, now: Timestamp) {
         let mut state = self.state.lock();
         let was_open = matches!(state.phase, BreakerPhase::Open { .. });
         state.phase = BreakerPhase::Closed;
         state.consecutive_failures = 0;
-        drop(state);
         if was_open {
             self.audit.record(AuditRecord::new(
                 now,
@@ -569,6 +595,7 @@ impl CircuitBreakerNotifier {
             ));
             self.degradation.mark_recovered(Component::Notifier, now);
         }
+        drop(state);
     }
 
     fn on_failure(&self, now: Timestamp, was_probe: bool) {
@@ -580,7 +607,6 @@ impl CircuitBreakerNotifier {
             state.phase = BreakerPhase::Open { since: now };
         }
         let failures = state.consecutive_failures;
-        drop(state);
         if newly_open {
             self.audit.record(
                 AuditRecord::new(
@@ -614,6 +640,7 @@ impl Notifier for CircuitBreakerNotifier {
                 BreakerPhase::Open { since } => {
                     if now.since(since) < self.cooldown {
                         drop(state);
+                        // ordering: Relaxed — monotonic statistic, publishes no other memory.
                         self.suppressed.fetch_add(1, Ordering::Relaxed);
                         self.audit.record(
                             AuditRecord::new(
@@ -788,16 +815,20 @@ mod tests {
 
         impl Notifier for FlakyNotifier {
             fn notify(&self, _n: &Notification) -> Result<(), NotifyError> {
+                // ordering: Relaxed — monotonic statistic, publishes no other memory.
                 let left = self.failures.load(Ordering::Relaxed);
                 if left > 0 {
+                    // ordering: Relaxed — monotonic statistic, publishes no other memory.
                     self.failures.store(left - 1, Ordering::Relaxed);
                     return Err(NotifyError::new("flaky"));
                 }
+                // ordering: Relaxed — monotonic statistic, publishes no other memory.
                 self.delivered.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
 
             fn delivered(&self) -> u64 {
+                // ordering: Relaxed — monotonic statistic, publishes no other memory.
                 self.delivered.load(Ordering::Relaxed)
             }
         }

@@ -1,0 +1,213 @@
+//! `gaa-race` — deterministic schedule exploration for the serving core.
+//!
+//! Runs the closed-world concurrency scenarios from
+//! [`gaa_bench::race_scenarios`] under the `gaa-race` model checker:
+//! bounded-exhaustive DFS over preemption bounds plus seeded random
+//! schedule batches, with FastTrack-style data-race detection and
+//! lock-acquisition-graph deadlock detection on every execution.
+//!
+//! ```text
+//! gaa-race --smoke                    # CI sweep: every scenario, ≥10k interleavings
+//! gaa-race --list                     # registered scenarios
+//! gaa-race --scenario cache_stamp \
+//!          --seed 42 --bounds 0,1,2 --schedules 5000
+//! ```
+//!
+//! Exit codes: `0` all clean, `1` violations/races/cycles found, `2` usage
+//! error — the same contract as `gaa-lint`.
+
+use gaa_bench::race_scenarios::{all_scenarios, explore_scenario, Scenario};
+use std::process::ExitCode;
+
+struct Options {
+    smoke: bool,
+    list: bool,
+    scenario: Option<String>,
+    seed: u64,
+    bounds: Vec<u32>,
+    schedules: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            smoke: false,
+            list: false,
+            scenario: None,
+            seed: 0xC0FFEE,
+            bounds: vec![0, 1, 2],
+            schedules: 2_000,
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: gaa-race [--smoke | --list | --scenario NAME]\n\
+     \x20               [--seed N] [--bounds B0,B1,..] [--schedules N]\n\
+     \n\
+     --smoke       run every scenario: DFS at bounds 0,1,2 plus a seeded\n\
+     \x20             random batch (>= 10,000 interleavings total)\n\
+     --list        print the registered scenarios\n\
+     --scenario    run one scenario by name\n\
+     --seed        scenario + random-schedule seed (default 0xC0FFEE)\n\
+     --bounds      DFS preemption bounds, comma-separated (default 0,1,2)\n\
+     --schedules   random schedules per scenario (default 2000)"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--smoke" => options.smoke = true,
+            "--list" => options.list = true,
+            "--scenario" => options.scenario = Some(value("--scenario")?),
+            "--seed" => {
+                let raw = value("--seed")?;
+                options.seed = parse_u64(&raw).ok_or_else(|| format!("bad seed `{raw}`"))?;
+            }
+            "--bounds" => {
+                let raw = value("--bounds")?;
+                options.bounds = raw
+                    .split(',')
+                    .map(|b| b.trim().parse::<u32>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| format!("bad bounds `{raw}`"))?;
+            }
+            "--schedules" => {
+                let raw = value("--schedules")?;
+                options.schedules = raw
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad schedule count `{raw}`"))?;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !options.smoke && !options.list && options.scenario.is_none() {
+        return Err("one of --smoke, --list, or --scenario is required".to_string());
+    }
+    Ok(options)
+}
+
+fn parse_u64(raw: &str) -> Option<u64> {
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+/// Runs one scenario at the given budgets; prints per-mode summaries and
+/// returns `(total interleavings, clean)`.
+fn run_scenario(scenario: &Scenario, options: &Options) -> (usize, bool) {
+    println!("== {} — {}", scenario.name, scenario.description);
+    let mut total = 0;
+    let mut clean = true;
+    // Cap each DFS well above what the small scenarios need so an
+    // accidental state-space blowup fails loudly via `truncated`.
+    let reports = explore_scenario(
+        scenario,
+        options.seed,
+        &options.bounds,
+        options.schedules,
+        50_000,
+    );
+    for (label, report) in reports {
+        println!("   {label}: {}", report.summary());
+        total += report.schedules;
+        if !report.clean() {
+            clean = false;
+            for violation in &report.violations {
+                println!(
+                    "--- violation ({}) schedule {:?}\n{}\n{}",
+                    match violation.seed {
+                        Some(seed) => format!("random seed {seed}"),
+                        None => "dfs".to_string(),
+                    },
+                    violation.schedule,
+                    violation.message,
+                    violation.trace
+                );
+            }
+            for race in &report.races {
+                println!("--- data race\n{race}");
+            }
+            for cycle in &report.cycles {
+                println!("--- lock cycle\n{cycle}");
+            }
+        }
+    }
+    (total, clean)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("gaa-race: {message}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let scenarios = all_scenarios();
+    if options.list {
+        for scenario in &scenarios {
+            println!("{:<20} {}", scenario.name, scenario.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<&Scenario> = match &options.scenario {
+        Some(name) => {
+            let Some(found) = scenarios.iter().find(|s| s.name == *name) else {
+                eprintln!("gaa-race: unknown scenario `{name}` (try --list)");
+                return ExitCode::from(2);
+            };
+            vec![found]
+        }
+        None => scenarios.iter().collect(),
+    };
+
+    // --smoke guarantees the CI floor of >= 10k interleavings by sizing the
+    // per-scenario random batch from the scenario count.
+    let options = if options.smoke {
+        let per_scenario = (10_000 / selected.len().max(1)) + 500;
+        Options {
+            schedules: per_scenario.max(options.schedules),
+            ..options
+        }
+    } else {
+        options
+    };
+
+    let mut grand_total = 0;
+    let mut all_clean = true;
+    for scenario in &selected {
+        let (total, clean) = run_scenario(scenario, &options);
+        grand_total += total;
+        all_clean &= clean;
+    }
+    println!(
+        "\ngaa-race: {grand_total} interleavings across {} scenario(s): {}",
+        selected.len(),
+        if all_clean {
+            "all clean"
+        } else {
+            "FINDINGS ABOVE"
+        }
+    );
+    if options.smoke && grand_total < 10_000 {
+        eprintln!("gaa-race: smoke budget underrun ({grand_total} < 10000 interleavings)");
+        return ExitCode::FAILURE;
+    }
+    if all_clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -15,6 +15,8 @@
 //! Notification latency is configurable; §8's point is that the mail path
 //! dominates once enabled (5.9 ms → 53.3 ms on their hardware).
 
+pub mod race_scenarios;
+
 use gaa_audit::notify::{Notifier, SimulatedSmtp};
 use gaa_audit::SystemClock;
 use gaa_conditions::{register_standard, StandardServices};

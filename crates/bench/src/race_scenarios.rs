@@ -1,0 +1,432 @@
+//! Closed-world concurrency scenarios for the `gaa-race` model checker.
+//!
+//! Each scenario builds *fresh* shared state (real production components —
+//! [`DecisionCache`], [`ThreatMonitor`], [`CircuitBreakerNotifier`],
+//! [`DegradationState`] — not mocks), spawns a small number of model
+//! threads through [`Exec`], and asserts its invariants after
+//! `Exec::join_all`. The [`gaa_race::Explorer`] then drives every
+//! interleaving up to a preemption bound (plus seeded random batches) and
+//! funnels each execution's event log through the data-race and
+//! lock-cycle detectors.
+//!
+//! The scenarios mirror the four hazards called out in DESIGN.md §10:
+//!
+//! * `cache_stamp` — a decision-cache insert racing a threat-epoch bump;
+//!   the PR-4 stamp recheck must keep every stale grant invisible.
+//! * `threat_escalation` — suspicion-driven escalation (`Low → Medium →
+//!   High`) while an evaluation is in flight.
+//! * `pool_saturation` — the bounded accept queue under saturation and
+//!   shutdown: every connection is served or 503-counted, the queue drains,
+//!   and the `Frontend` degradation mirror matches the last transition.
+//! * `breaker_half_open` — two callers racing the circuit breaker's
+//!   half-open probe while the transport recovers; breaker phase and the
+//!   `Notifier` degradation mirror must never diverge.
+//!
+//! All nondeterminism beyond scheduling comes from the scenario seed, so
+//! any failure reproduces from the printed seed + schedule alone.
+
+use gaa_audit::degrade::Component;
+use gaa_audit::notify::{CircuitBreakerNotifier, Notification, Notifier, NotifyError};
+use gaa_audit::{AuditLog, Clock, DegradationState, VirtualClock};
+use gaa_core::{CacheStamp, DecisionCache, GaaStatus};
+use gaa_ids::{ThreatLevel, ThreatMonitor};
+use gaa_race::sync::{AtomicBool, AtomicU64, Condvar, Mutex};
+use gaa_race::{Exec, Explorer, Report};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A boxed scenario body, runnable many times under different schedules.
+pub type ScenarioFn = Box<dyn Fn(&mut Exec) + Send + Sync>;
+
+/// A named, seedable model-checking scenario.
+pub struct Scenario {
+    /// Stable name (CLI `--scenario` argument).
+    pub name: &'static str,
+    /// One-line description for `--list` output.
+    pub description: &'static str,
+    build: fn(u64) -> ScenarioFn,
+}
+
+impl Scenario {
+    /// Instantiates the scenario body for `seed`.
+    pub fn build(&self, seed: u64) -> ScenarioFn {
+        (self.build)(seed)
+    }
+}
+
+/// Every registered scenario.
+pub fn all_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "cache_stamp",
+            description: "decision-cache insert vs. threat-epoch bump vs. the PR-4 stamp recheck",
+            build: cache_stamp,
+        },
+        Scenario {
+            name: "threat_escalation",
+            description: "suspicion-driven escalation while an evaluation is in flight",
+            build: threat_escalation,
+        },
+        Scenario {
+            name: "pool_saturation",
+            description: "bounded accept queue under saturation and shutdown (503 accounting)",
+            build: pool_saturation,
+        },
+        Scenario {
+            name: "breaker_half_open",
+            description: "racing half-open circuit-breaker probes during transport recovery",
+            build: breaker_half_open,
+        },
+    ]
+}
+
+/// Runs `scenario` under systematic DFS at each preemption bound, then a
+/// seeded random batch; returns `(label, report)` pairs.
+pub fn explore_scenario(
+    scenario: &Scenario,
+    seed: u64,
+    bounds: &[u32],
+    random_schedules: usize,
+    max_schedules: usize,
+) -> Vec<(String, Report)> {
+    let mut out = Vec::new();
+    for &bound in bounds {
+        let body = scenario.build(seed);
+        let report = Explorer::dfs(bound)
+            .max_schedules(max_schedules)
+            .explore(move |exec| body(exec));
+        out.push((format!("dfs(bound={bound})"), report));
+    }
+    if random_schedules > 0 {
+        let body = scenario.build(seed);
+        let report = Explorer::random(seed, random_schedules)
+            .max_schedules(max_schedules)
+            .explore(move |exec| body(exec));
+        out.push((format!("random(seed={seed}, n={random_schedules})"), report));
+    }
+    out
+}
+
+fn fresh_monitor() -> (Arc<VirtualClock>, ThreatMonitor) {
+    let clock = Arc::new(VirtualClock::new());
+    // Decay off: the only level transitions are the ones the scenario
+    // performs, so epoch arithmetic is schedule-independent.
+    let monitor = ThreatMonitor::new(clock.clone()).with_decay_after(Duration::ZERO);
+    (clock, monitor)
+}
+
+/// The full PR-4 stamp protocol for one evaluation: read the stamp, decide
+/// from the *current* threat level, and store only if no transition
+/// happened mid-evaluation (the `GaaGlue::store_decisions` recheck).
+fn evaluate_with_stamp(monitor: &ThreatMonitor, cache: &DecisionCache, key: &str) {
+    let stamp: CacheStamp = [0, monitor.epoch(), 0];
+    let status = if monitor.current() >= ThreatLevel::High {
+        GaaStatus::No
+    } else {
+        GaaStatus::Yes
+    };
+    if [0, monitor.epoch(), 0] == stamp {
+        cache.insert(stamp, key, status);
+    } else {
+        cache.note_uncacheable();
+    }
+}
+
+/// After quiescence, an entry retrievable under the settled stamp must
+/// match the settled threat level — the "no stale grant after an epoch
+/// bump" invariant.
+fn assert_no_stale_grant(monitor: &ThreatMonitor, cache: &DecisionCache, key: &str) {
+    let final_stamp: CacheStamp = [0, monitor.epoch(), 0];
+    let level = monitor.current();
+    if let Some(status) = cache.lookup(final_stamp, key) {
+        let expected = if level >= ThreatLevel::High {
+            GaaStatus::No
+        } else {
+            GaaStatus::Yes
+        };
+        assert_eq!(
+            status, expected,
+            "stale decision served under the settled stamp (level {level})"
+        );
+    }
+}
+
+const KEY: &str = "alice\u{1d}/index.html\u{1d}read";
+
+fn cache_stamp(seed: u64) -> ScenarioFn {
+    Box::new(move |exec: &mut Exec| {
+        let (_clock, monitor) = fresh_monitor();
+        let cache = Arc::new(DecisionCache::with_shards_seeded(2, seed));
+        for _ in 0..2 {
+            let monitor = monitor.clone();
+            let cache = Arc::clone(&cache);
+            exec.spawn(move || evaluate_with_stamp(&monitor, &cache, KEY));
+        }
+        {
+            let monitor = monitor.clone();
+            exec.spawn(move || monitor.report_attack());
+        }
+        exec.join_all();
+        assert_eq!(monitor.current(), ThreatLevel::High);
+        assert_no_stale_grant(&monitor, &cache, KEY);
+    })
+}
+
+fn threat_escalation(seed: u64) -> ScenarioFn {
+    Box::new(move |exec: &mut Exec| {
+        let clock = Arc::new(VirtualClock::new());
+        let monitor = ThreatMonitor::new(clock)
+            .with_decay_after(Duration::ZERO)
+            .with_escalation_threshold(1);
+        let cache = Arc::new(DecisionCache::with_shards_seeded(2, seed));
+        {
+            let monitor = monitor.clone();
+            let cache = Arc::clone(&cache);
+            exec.spawn(move || evaluate_with_stamp(&monitor, &cache, KEY));
+        }
+        {
+            // Two suspicion reports at threshold 1: Low → Medium → High,
+            // each an epoch bump, interleaved with the in-flight eval.
+            let monitor = monitor.clone();
+            exec.spawn(move || {
+                monitor.report_suspicion();
+                monitor.report_suspicion();
+            });
+        }
+        exec.join_all();
+        assert_eq!(monitor.current(), ThreatLevel::High);
+        assert_eq!(
+            monitor.epoch(),
+            2,
+            "each transition bumps the epoch exactly once"
+        );
+        assert_no_stale_grant(&monitor, &cache, KEY);
+    })
+}
+
+/// Shared state of the worker-pool model (mirrors `gaa_httpd::tcp`: a
+/// bounded queue, a stop flag that gates loop exit only, and saturation
+/// sheds load visibly instead of blocking the accept thread).
+struct PoolModel {
+    queue: Mutex<VecDeque<u32>>,
+    not_empty: Condvar,
+    stop: AtomicBool,
+    rejected: AtomicU64,
+    served: AtomicU64,
+    degraded_at_exit: AtomicBool,
+}
+
+fn pool_saturation(_seed: u64) -> ScenarioFn {
+    const CONNS: u32 = 3;
+    const CAP: usize = 1;
+    const WORKERS: usize = 2;
+    Box::new(move |exec: &mut Exec| {
+        let degradation = DegradationState::new();
+        let pool = Arc::new(PoolModel {
+            queue: Mutex::named("pool.queue", VecDeque::new()),
+            not_empty: Condvar::named("pool.not_empty"),
+            stop: AtomicBool::named("pool.stop", false),
+            rejected: AtomicU64::named("pool.rejected", 0),
+            served: AtomicU64::named("pool.served", 0),
+            degraded_at_exit: AtomicBool::named("pool.degraded_at_exit", false),
+        });
+        for _ in 0..WORKERS {
+            let pool = Arc::clone(&pool);
+            exec.spawn(move || loop {
+                let mut queue = pool.queue.lock();
+                let conn = loop {
+                    if let Some(conn) = queue.pop_front() {
+                        break Some(conn);
+                    }
+                    // ordering: Relaxed — pure loop-exit signal, exactly as
+                    // in tcp.rs; the queue mutex orders the payload data.
+                    if pool.stop.load(Ordering::Relaxed) {
+                        break None;
+                    }
+                    queue = pool.not_empty.wait(queue);
+                };
+                drop(queue);
+                match conn {
+                    // ordering: Relaxed — monotonic statistic.
+                    Some(_) => {
+                        pool.served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            });
+        }
+        {
+            let pool = Arc::clone(&pool);
+            let degradation = degradation.clone();
+            let clock = VirtualClock::new();
+            exec.spawn(move || {
+                let mut degraded_here = false;
+                for conn in 0..CONNS {
+                    let mut queue = pool.queue.lock();
+                    if queue.len() >= CAP {
+                        drop(queue);
+                        // ordering: Relaxed — monotonic statistic.
+                        pool.rejected.fetch_add(1, Ordering::Relaxed);
+                        if !degraded_here {
+                            degraded_here = true;
+                            degradation.mark_degraded(
+                                Component::Frontend,
+                                "accept queue full",
+                                clock.now(),
+                            );
+                        }
+                    } else {
+                        queue.push_back(conn);
+                        drop(queue);
+                        if degraded_here {
+                            degraded_here = false;
+                            degradation.mark_recovered(Component::Frontend, clock.now());
+                        }
+                        pool.not_empty.notify_one();
+                    }
+                }
+                // ordering: Relaxed — loop-exit signal (see tcp.rs audit);
+                // workers drain via the queue mutex, joins do the rest.
+                pool.stop.store(true, Ordering::Relaxed);
+                pool.degraded_at_exit
+                    .store(degraded_here, Ordering::Relaxed);
+                pool.not_empty.notify_all();
+            });
+        }
+        exec.join_all();
+        let served = pool.served.load(Ordering::Relaxed);
+        let rejected = pool.rejected.load(Ordering::Relaxed);
+        assert_eq!(
+            served + rejected,
+            u64::from(CONNS),
+            "lost 503 accounting: {served} served + {rejected} rejected != {CONNS}"
+        );
+        assert!(
+            pool.queue.lock().is_empty(),
+            "connections leaked in the queue across shutdown"
+        );
+        assert_eq!(
+            degradation.is_degraded(Component::Frontend),
+            pool.degraded_at_exit.load(Ordering::Relaxed),
+            "Frontend degradation mirror diverged from the accept loop's last transition"
+        );
+    })
+}
+
+/// Transport whose availability is a published flag — the model stand-in
+/// for "sendmail came back" while probes race it.
+#[derive(Debug)]
+struct FlakyTransport {
+    ok: AtomicBool,
+    delivered: AtomicU64,
+}
+
+impl Notifier for FlakyTransport {
+    fn notify(&self, _notification: &Notification) -> Result<(), NotifyError> {
+        // ordering: Acquire — pairs with the recovery thread's Release
+        // store, so a successful delivery observes the repaired transport.
+        if self.ok.load(Ordering::Acquire) {
+            // ordering: Relaxed — monotonic statistic.
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        } else {
+            Err(NotifyError::new("transport down"))
+        }
+    }
+
+    fn delivered(&self) -> u64 {
+        // ordering: Relaxed — monotonic statistic.
+        self.delivered.load(Ordering::Relaxed)
+    }
+}
+
+fn breaker_half_open(_seed: u64) -> ScenarioFn {
+    Box::new(move |exec: &mut Exec| {
+        let clock = Arc::new(VirtualClock::new());
+        let degradation = DegradationState::new();
+        let transport = Arc::new(FlakyTransport {
+            ok: AtomicBool::named("transport.ok", false),
+            delivered: AtomicU64::named("transport.delivered", 0),
+        });
+        let breaker = Arc::new(
+            CircuitBreakerNotifier::new(
+                transport.clone(),
+                clock.clone(),
+                AuditLog::new(),
+                degradation.clone(),
+            )
+            .with_policy(1, Duration::from_secs(5)),
+        );
+        // Single-threaded setup (not model-checked): trip the breaker, then
+        // advance past the cooldown so the raced calls are half-open probes.
+        let note = Notification::new(clock.now(), "sysadmin", "cgi_exploit", "probe body");
+        assert!(breaker.notify(&note).is_err());
+        assert!(breaker.is_open());
+        clock.advance(Duration::from_secs(6));
+
+        let successes = Arc::new(AtomicU64::named("breaker.successes", 0));
+        for _ in 0..2 {
+            let breaker = Arc::clone(&breaker);
+            let successes = Arc::clone(&successes);
+            let note = note.clone();
+            exec.spawn(move || {
+                if breaker.notify(&note).is_ok() {
+                    // ordering: Relaxed — monotonic statistic.
+                    successes.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        {
+            let transport = Arc::clone(&transport);
+            exec.spawn(move || {
+                // ordering: Release — publishes the repaired transport to
+                // the Acquire load in `FlakyTransport::notify`.
+                transport.ok.store(true, Ordering::Release);
+            });
+        }
+        exec.join_all();
+        assert_eq!(
+            breaker.is_open(),
+            degradation.is_degraded(Component::Notifier),
+            "breaker phase and the Notifier degradation mirror diverged"
+        );
+        if !breaker.is_open() {
+            assert!(
+                successes.load(Ordering::Relaxed) > 0,
+                "circuit closed without any successful probe"
+            );
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every registered scenario is clean under a quick DFS + random pass
+    /// (the full budget runs in `gaa-race --smoke`).
+    #[test]
+    fn scenarios_are_clean_under_small_bounds() {
+        for scenario in all_scenarios() {
+            for (label, report) in explore_scenario(&scenario, 0xC0FFEE, &[0, 1], 64, 2_000) {
+                assert!(
+                    report.clean(),
+                    "{} under {label}: {}",
+                    scenario.name,
+                    report.summary()
+                );
+                report.assert_clean(scenario.name);
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_names_are_unique() {
+        let mut names: Vec<_> = all_scenarios().iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all_scenarios().len());
+    }
+}

@@ -21,9 +21,11 @@
 
 use gaa_core::{EvalDecision, EvalEnv};
 use gaa_ids::matcher::glob_match_ci;
-use parking_lot::RwLock;
+// Membership lock and version counter come from the gaa-race shim so the
+// stamp protocol around them is model-checkable (passthrough in production).
+use gaa_race::sync::{AtomicU64, RwLock};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Shared, mutable group-membership store.
@@ -45,28 +47,36 @@ impl GroupStore {
 
     /// Adds `member` to `group`; returns whether it was newly added.
     pub fn add(&self, group: &str, member: &str) -> bool {
-        let added = self
-            .groups
-            .write()
+        let mut groups = self.groups.write();
+        let added = groups
             .entry(group.to_string())
             .or_default()
             .insert(member.to_string());
         if added {
+            // ordering: Release, and deliberately *inside* the write
+            // critical section. Bumping after the guard dropped (as an
+            // earlier revision did) lets a reader observe the new
+            // membership under a still-old version — a decision cache
+            // keyed on the stamp would then cache a pre-change answer
+            // under the post-change world. Holding the guard makes
+            // "membership changed ⇒ version changed" atomic for any
+            // version() reader that also takes the lock, and the Release
+            // pairs with version()'s Acquire for lock-free readers.
             self.version.fetch_add(1, Ordering::Release);
         }
+        drop(groups);
         added
     }
 
     /// Removes `member` from `group`; returns whether it was present.
     pub fn remove(&self, group: &str, member: &str) -> bool {
-        let removed = self
-            .groups
-            .write()
-            .get_mut(group)
-            .is_some_and(|set| set.remove(member));
+        let mut groups = self.groups.write();
+        let removed = groups.get_mut(group).is_some_and(|set| set.remove(member));
         if removed {
+            // ordering: Release inside the critical section — see add().
             self.version.fetch_add(1, Ordering::Release);
         }
+        drop(groups);
         removed
     }
 
@@ -74,6 +84,9 @@ impl GroupStore {
     /// invalidation stamp consumed by authorization-decision caches, since
     /// `update_log` mutates membership mid-traffic (§7.2).
     pub fn version(&self) -> u64 {
+        // ordering: Acquire, pairing with the Release bump in add/remove:
+        // a reader that sees version N also sees every membership write
+        // that preceded bump N.
         self.version.load(Ordering::Acquire)
     }
 

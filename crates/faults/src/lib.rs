@@ -30,6 +30,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+pub mod rng;
+
 /// A place in the pipeline that consults the injector before doing work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultSite {

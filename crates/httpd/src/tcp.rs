@@ -20,10 +20,12 @@ use crate::server::Server;
 use gaa_audit::degrade::Component;
 use gaa_audit::{Clock, DegradationState, SystemClock};
 use gaa_faults::{Fault, FaultInjector, FaultSite};
-use parking_lot::Mutex;
+// Front-end synchronization goes through the gaa-race shim so the model
+// checker can schedule and log it (zero-cost passthrough in normal builds).
+use gaa_race::sync::{AtomicBool, AtomicU64, Mutex};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::Arc;
 use std::time::Duration;
@@ -118,12 +120,12 @@ impl TcpFront {
     ) -> std::io::Result<TcpFront> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let rejected = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::named("front.stop", false));
+        let rejected = Arc::new(AtomicU64::named("front.rejected", 0));
         let degradation = server.degradation().cloned();
 
         let (tx, rx) = sync_channel::<(TcpStream, SocketAddr)>(config.queue_depth.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(Mutex::named("front.rx", rx));
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let rx = rx.clone();
@@ -173,8 +175,8 @@ impl TcpFront {
     ) -> std::io::Result<TcpFront> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let rejected = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::named("front.stop", false));
+        let rejected = Arc::new(AtomicU64::named("front.rejected", 0));
         let degradation = server.degradation().cloned();
         let mode = FrontMode::ThreadPerConnection {
             server,
@@ -204,6 +206,8 @@ impl TcpFront {
 
     /// Connections answered `503` because the accept queue was full.
     pub fn saturation_rejects(&self) -> u64 {
+        // ordering: Relaxed — monotonic statistic; readers want an atomic
+        // count, not a consistent snapshot with other front-end state.
         self.rejected.load(Ordering::Relaxed)
     }
 
@@ -213,7 +217,13 @@ impl TcpFront {
     }
 
     fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // ordering: Relaxed — the stop flag is a pure loop-exit signal and
+        // publishes no other memory. Every cross-thread handoff on the
+        // shutdown path has its own synchronization: workers observe the
+        // channel disconnect (the accept thread dropping its sender), and
+        // the final joins below are full happens-before edges. SeqCst here
+        // would cost a fence per accept-loop iteration for nothing.
+        self.stop.store(true, Ordering::Relaxed);
         // The accept thread blocks in accept(); a throwaway connection
         // unblocks it so it can observe the stop flag.
         let _ = TcpStream::connect(self.addr);
@@ -257,13 +267,15 @@ fn accept_loop(
         }
     };
     loop {
-        if stop.load(Ordering::SeqCst) {
+        // ordering: Relaxed — loop-exit signal only; see `shutdown()`.
+        if stop.load(Ordering::Relaxed) {
             break;
         }
         match listener.accept() {
             Ok((stream, peer)) => {
                 backoff = Duration::from_millis(1);
-                if stop.load(Ordering::SeqCst) {
+                // ordering: Relaxed — loop-exit signal only; see `shutdown()`.
+                if stop.load(Ordering::Relaxed) {
                     break; // the stop() wake-up connection
                 }
                 match mode {
@@ -272,6 +284,7 @@ fn accept_loop(
                         Err(TrySendError::Full((stream, _))) => {
                             // Backpressure: the queue is the admission
                             // control surface. Shed load visibly.
+                            // ordering: Relaxed — monotonic statistic.
                             rejected.fetch_add(1, Ordering::Relaxed);
                             if !degraded_here {
                                 degraded_here = true;
@@ -311,7 +324,8 @@ fn accept_loop(
                     }
                 }
             }
-            Err(_) if stop.load(Ordering::SeqCst) => break,
+            // ordering: Relaxed — loop-exit signal only; see `shutdown()`.
+            Err(_) if stop.load(Ordering::Relaxed) => break,
             Err(e) => {
                 // Transient accept failure (EMFILE, ECONNABORTED, …): audit,
                 // back off, and keep listening — a front that dies on the
@@ -380,7 +394,8 @@ fn serve_pool_connection(
     stream.set_read_timeout(Some(config.read_timeout))?;
     let mut carry: Vec<u8> = Vec::new();
     let mut served = 0u32;
-    while served < config.max_requests_per_conn && !stop.load(Ordering::SeqCst) {
+    // ordering: Relaxed — loop-exit signal only; see `shutdown()`.
+    while served < config.max_requests_per_conn && !stop.load(Ordering::Relaxed) {
         let Some(frame) = read_request_frame(&mut stream, &mut carry)? else {
             break; // clean EOF / idle timeout with nothing buffered
         };

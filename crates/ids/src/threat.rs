@@ -10,7 +10,9 @@
 //! lockdown policy (§7.1) relaxes automatically once an attack subsides.
 
 use gaa_audit::time::{Clock, Timestamp};
-use parking_lot::Mutex;
+// The monitor's one lock comes from the gaa-race shim so the model checker
+// can schedule and log it (zero-cost passthrough in production builds).
+use gaa_race::sync::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
@@ -83,6 +85,12 @@ struct MonitorState {
     pending_reports: u32,
     /// Bumped on every actual level transition; decision caches key on it
     /// so a transition invalidates every cached outcome instantly.
+    ///
+    /// Ordering audit: a plain `u64`, not an atomic, on purpose — every
+    /// access happens under `state`'s mutex, and the mutex release/acquire
+    /// pair is what makes a bump visible to the next `epoch()` reader
+    /// *together with* the level change it describes. An atomic outside the
+    /// lock would allow an epoch to be observed without its transition.
     epoch: u64,
 }
 
@@ -132,12 +140,15 @@ impl ThreatMonitor {
     pub fn new(clock: Arc<dyn Clock>) -> Self {
         let now = clock.now();
         ThreatMonitor {
-            state: Arc::new(Mutex::new(MonitorState {
-                level: ThreatLevel::Low,
-                last_change: now,
-                pending_reports: 0,
-                epoch: 0,
-            })),
+            state: Arc::new(Mutex::named(
+                "threat.state",
+                MonitorState {
+                    level: ThreatLevel::Low,
+                    last_change: now,
+                    pending_reports: 0,
+                    epoch: 0,
+                },
+            )),
             clock,
             reports_to_escalate: 3,
             decay_after: Duration::from_secs(300),

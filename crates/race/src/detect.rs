@@ -1,0 +1,507 @@
+//! Post-hoc detectors over a recorded event log.
+//!
+//! Both detectors run after an execution, on the linear [`Event`] log the
+//! deterministic scheduler produced:
+//!
+//! - [`find_races`] rebuilds the happens-before partial order with vector
+//!   clocks (FastTrack-style, but with full access histories — scenario
+//!   logs are small) and reports every pair of conflicting plain accesses
+//!   to a [`Traced`](crate::sync::Traced) cell that no synchronization
+//!   orders.
+//! - [`lock_cycles`] builds the lock-acquisition graph — an edge `A → B`
+//!   whenever some thread acquires `B` while holding `A` — and reports its
+//!   cycles as *potential* deadlocks, even on executions where the
+//!   scheduler happened to dodge the interleaving that actually hangs.
+//!
+//! Happens-before edges recognised:
+//!
+//! | log pattern                              | edge                        |
+//! |------------------------------------------|-----------------------------|
+//! | program order within one thread          | always                      |
+//! | `MutexUnlock(m)` … `MutexLock(m)`        | release → acquire           |
+//! | `RwWriteUnlock(l)` … `Rw*Lock(l)`        | release → acquire           |
+//! | `RwReadUnlock(l)` … `RwWriteLock(l)`     | release → acquire           |
+//! | `AtomicStore/Rmw(a, release-ish)` … `AtomicLoad/Rmw(a, acquire-ish)` | release → acquire |
+//! | `Spawn(child)`                           | parent → child's first step |
+//!
+//! `Relaxed` atomics contribute **no** edges — which is precisely how an
+//! over-weakened ordering shows up as a detected race.
+
+use std::collections::HashMap;
+
+use crate::event::{render_trace, Event, Op};
+use crate::sync::object_name;
+
+/// A vector clock: component `t` is thread `t`'s logical time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The clock's component for `tid`.
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances `tid`'s own component.
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Componentwise maximum with `other`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (component, value) in other.0.iter().enumerate() {
+            if self.0[component] < *value {
+                self.0[component] = *value;
+            }
+        }
+    }
+
+    /// `self ≤ other` pointwise: everything up to `self` happened before
+    /// everything from `other` on.
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(component, value)| *value <= other.get(component))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Access {
+    tid: usize,
+    clock: VClock,
+    index: usize,
+    is_write: bool,
+}
+
+/// A pair of conflicting, happens-before-unordered plain accesses.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// Shim object id of the raced location.
+    pub location: u64,
+    /// Human-readable location name.
+    pub location_name: String,
+    /// (thread, log index, "read"/"write") of the earlier access.
+    pub first: (usize, usize, &'static str),
+    /// (thread, log index, "read"/"write") of the later access.
+    pub second: (usize, usize, &'static str),
+    /// Minimized event trace: the two threads' operations on the raced
+    /// location and on every sync object both of them touched.
+    pub trace: String,
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "data race on {}: t{} {} (#{}) is unordered with t{} {} (#{})",
+            self.location_name,
+            self.first.0,
+            self.first.2,
+            self.first.1,
+            self.second.0,
+            self.second.2,
+            self.second.1
+        )?;
+        write!(f, "{}", self.trace)
+    }
+}
+
+fn kind(is_write: bool) -> &'static str {
+    if is_write {
+        "write"
+    } else {
+        "read"
+    }
+}
+
+/// Minimize a trace for a race between `a` and `b`: keep only those two
+/// threads, and only events on the raced location plus sync objects *both*
+/// threads touched up to the second access (the synchronization that could
+/// have ordered them, but didn't).
+fn minimize(log: &[Event], location: u64, a: usize, b: usize, upto: usize) -> String {
+    let slice = &log[..=upto.min(log.len().saturating_sub(1))];
+    let mut touched: HashMap<u64, (bool, bool)> = HashMap::new();
+    for event in slice {
+        if let Some(id) = event.op.object() {
+            let entry = touched.entry(id).or_insert((false, false));
+            if event.tid == a {
+                entry.0 = true;
+            }
+            if event.tid == b {
+                entry.1 = true;
+            }
+        }
+    }
+    let mut focus: Vec<u64> = touched
+        .into_iter()
+        .filter(|(id, (by_a, by_b))| *id == location || (*by_a && *by_b))
+        .map(|(id, _)| id)
+        .collect();
+    focus.sort_unstable();
+    render_trace(slice, &[a, b], &focus)
+}
+
+/// Runs the vector-clock pass and returns every detected race on a traced
+/// cell, in log order of the second access. Duplicate pairs per location
+/// are collapsed to the first occurrence.
+pub fn find_races(log: &[Event]) -> Vec<RaceReport> {
+    let mut clocks: HashMap<usize, VClock> = HashMap::new();
+    let mut mutex_release: HashMap<u64, VClock> = HashMap::new();
+    let mut rw_write_release: HashMap<u64, VClock> = HashMap::new();
+    let mut rw_read_release: HashMap<u64, VClock> = HashMap::new();
+    let mut atomic_release: HashMap<u64, VClock> = HashMap::new();
+    let mut accesses: HashMap<u64, Vec<Access>> = HashMap::new();
+    let mut races: Vec<RaceReport> = Vec::new();
+    let mut reported: Vec<u64> = Vec::new();
+
+    // A thread's clock must carry a nonzero own component before its first
+    // event: two fresh all-zero clocks would compare as ordered, masking a
+    // race between first accesses.
+    fn ensure_init(clocks: &mut HashMap<usize, VClock>, tid: usize) {
+        let clock = clocks.entry(tid).or_default();
+        if clock.get(tid) == 0 {
+            clock.tick(tid);
+        }
+    }
+
+    for (index, event) in log.iter().enumerate() {
+        let tid = event.tid;
+        ensure_init(&mut clocks, tid);
+        // Acquire side: join the relevant release clock into this thread.
+        match &event.op {
+            Op::MutexLock(id) => {
+                if let Some(release) = mutex_release.get(id).cloned() {
+                    clocks.entry(tid).or_default().join(&release);
+                }
+            }
+            Op::RwReadLock(id) => {
+                if let Some(release) = rw_write_release.get(id).cloned() {
+                    clocks.entry(tid).or_default().join(&release);
+                }
+            }
+            Op::RwWriteLock(id) => {
+                if let Some(release) = rw_write_release.get(id).cloned() {
+                    clocks.entry(tid).or_default().join(&release);
+                }
+                if let Some(release) = rw_read_release.get(id).cloned() {
+                    clocks.entry(tid).or_default().join(&release);
+                }
+            }
+            Op::AtomicLoad(id, order) | Op::AtomicRmw(id, order) if order.is_acquire() => {
+                if let Some(release) = atomic_release.get(id).cloned() {
+                    clocks.entry(tid).or_default().join(&release);
+                }
+            }
+            _ => {}
+        }
+        // Release side (an AcqRel RMW does both) and plain accesses.
+        let snapshot = clocks.entry(tid).or_default().clone();
+        match &event.op {
+            Op::MutexUnlock(id) => {
+                mutex_release.insert(*id, snapshot);
+            }
+            Op::RwReadUnlock(id) => {
+                rw_read_release.entry(*id).or_default().join(&snapshot);
+            }
+            Op::RwWriteUnlock(id) => {
+                rw_write_release.insert(*id, snapshot);
+            }
+            Op::AtomicStore(id, order) | Op::AtomicRmw(id, order) if order.is_release() => {
+                atomic_release.entry(*id).or_default().join(&snapshot);
+            }
+            Op::Spawn(child) => {
+                ensure_init(&mut clocks, *child);
+                clocks.entry(*child).or_default().join(&snapshot);
+            }
+            Op::CellRead(id) | Op::CellWrite(id) => {
+                let is_write = matches!(event.op, Op::CellWrite(_));
+                let history = accesses.entry(*id).or_default();
+                for prior in history.iter() {
+                    let conflicting = (prior.is_write || is_write) && prior.tid != tid;
+                    if conflicting && !prior.clock.leq(&snapshot) && !reported.contains(id) {
+                        races.push(RaceReport {
+                            location: *id,
+                            location_name: object_name(*id),
+                            first: (prior.tid, prior.index, kind(prior.is_write)),
+                            second: (tid, index, kind(is_write)),
+                            trace: minimize(log, *id, prior.tid, tid, index),
+                        });
+                        reported.push(*id);
+                    }
+                }
+                history.push(Access {
+                    tid,
+                    clock: snapshot,
+                    index,
+                    is_write,
+                });
+            }
+            _ => {}
+        }
+        // Each event ticks its thread's component, so every access carries
+        // a distinct, comparable timestamp.
+        clocks.entry(tid).or_default().tick(tid);
+    }
+    races
+}
+
+/// A cycle in the lock-acquisition graph: a potential deadlock.
+#[derive(Debug, Clone)]
+pub struct CycleReport {
+    /// The locks on the cycle, in order (first repeated implicitly).
+    pub locks: Vec<u64>,
+    /// Human-readable description with lock names and an example
+    /// hold-while-acquiring site per edge.
+    pub description: String,
+}
+
+impl std::fmt::Display for CycleReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.description)
+    }
+}
+
+/// Canonical signature of a cycle (rotation-invariant), for deduping across
+/// executions.
+pub fn cycle_signature(locks: &[u64]) -> Vec<u64> {
+    if locks.is_empty() {
+        return Vec::new();
+    }
+    let min_position = locks
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, id)| **id)
+        .map(|(position, _)| position)
+        .unwrap_or(0);
+    let mut rotated = Vec::with_capacity(locks.len());
+    rotated.extend_from_slice(&locks[min_position..]);
+    rotated.extend_from_slice(&locks[..min_position]);
+    rotated
+}
+
+/// Builds the lock-acquisition graph from one execution's log and returns
+/// its elementary cycles (each reported once, rotation-deduped). Read locks
+/// participate too: a read-then-write ordering inversion deadlocks as soon
+/// as a writer wedges between the readers.
+pub fn lock_cycles(log: &[Event]) -> Vec<CycleReport> {
+    // edge (a, b) -> (tid, log index of the acquire of b while holding a)
+    let mut edges: HashMap<(u64, u64), (usize, usize)> = HashMap::new();
+    let mut held: HashMap<usize, Vec<u64>> = HashMap::new();
+    for (index, event) in log.iter().enumerate() {
+        match &event.op {
+            Op::MutexLock(id) | Op::RwReadLock(id) | Op::RwWriteLock(id) => {
+                let stack = held.entry(event.tid).or_default();
+                for holding in stack.iter() {
+                    if *holding != *id {
+                        edges.entry((*holding, *id)).or_insert((event.tid, index));
+                    }
+                }
+                stack.push(*id);
+            }
+            Op::MutexUnlock(id) | Op::RwReadUnlock(id) | Op::RwWriteUnlock(id) => {
+                let stack = held.entry(event.tid).or_default();
+                if let Some(position) = stack.iter().rposition(|held_id| held_id == id) {
+                    stack.remove(position);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut adjacency: HashMap<u64, Vec<u64>> = HashMap::new();
+    for (a, b) in edges.keys() {
+        adjacency.entry(*a).or_default().push(*b);
+    }
+    for successors in adjacency.values_mut() {
+        successors.sort_unstable();
+    }
+
+    // DFS cycle enumeration. Lock graphs here are tiny (a handful of
+    // nodes), so a simple path-based walk from each node is plenty.
+    let mut cycles: Vec<CycleReport> = Vec::new();
+    let mut seen_signatures: Vec<Vec<u64>> = Vec::new();
+    let mut nodes: Vec<u64> = adjacency.keys().copied().collect();
+    nodes.sort_unstable();
+    for start in nodes {
+        let mut path = vec![start];
+        walk(
+            start,
+            start,
+            &adjacency,
+            &mut path,
+            &mut |cycle: &[u64]| {
+                let signature = cycle_signature(cycle);
+                if seen_signatures.contains(&signature) {
+                    return;
+                }
+                seen_signatures.push(signature);
+                let mut description = String::from("lock-order cycle: ");
+                for (position, id) in cycle.iter().enumerate() {
+                    if position > 0 {
+                        description.push_str(" -> ");
+                    }
+                    description.push_str(&object_name(*id));
+                }
+                description.push_str(" -> ");
+                description.push_str(&object_name(cycle[0]));
+                for window in cycle.windows(2) {
+                    if let Some((tid, index)) = edges.get(&(window[0], window[1])) {
+                        description.push_str(&format!(
+                            "\n  t{tid} acquires {} while holding {} (#{index})",
+                            object_name(window[1]),
+                            object_name(window[0])
+                        ));
+                    }
+                }
+                if let Some((tid, index)) = edges.get(&(cycle[cycle.len() - 1], cycle[0])) {
+                    description.push_str(&format!(
+                        "\n  t{tid} acquires {} while holding {} (#{index})",
+                        object_name(cycle[0]),
+                        object_name(cycle[cycle.len() - 1])
+                    ));
+                }
+                cycles.push(CycleReport {
+                    locks: cycle.to_vec(),
+                    description,
+                });
+            },
+        );
+    }
+    cycles
+}
+
+fn walk(
+    start: u64,
+    node: u64,
+    adjacency: &HashMap<u64, Vec<u64>>,
+    path: &mut Vec<u64>,
+    emit: &mut impl FnMut(&[u64]),
+) {
+    let Some(successors) = adjacency.get(&node) else {
+        return;
+    };
+    for next in successors {
+        if *next == start {
+            emit(path);
+            continue;
+        }
+        // Only walk "forward" (next > start) so each cycle is found from
+        // its smallest node exactly once; skip nodes already on the path.
+        if *next < start || path.contains(next) {
+            continue;
+        }
+        path.push(*next);
+        walk(start, *next, adjacency, path, emit);
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MemOrder;
+
+    fn ev(tid: usize, op: Op) -> Event {
+        Event { tid, op }
+    }
+
+    #[test]
+    fn unordered_write_write_is_a_race() {
+        let log = vec![ev(0, Op::CellWrite(1)), ev(1, Op::CellWrite(1))];
+        let races = find_races(&log);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].location, 1);
+        assert_eq!(races[0].first.2, "write");
+    }
+
+    #[test]
+    fn mutex_discipline_orders_accesses() {
+        let log = vec![
+            ev(0, Op::MutexLock(9)),
+            ev(0, Op::CellWrite(1)),
+            ev(0, Op::MutexUnlock(9)),
+            ev(1, Op::MutexLock(9)),
+            ev(1, Op::CellRead(1)),
+            ev(1, Op::MutexUnlock(9)),
+        ];
+        assert!(find_races(&log).is_empty());
+    }
+
+    #[test]
+    fn release_acquire_atomics_order_but_relaxed_does_not() {
+        let ordered = vec![
+            ev(0, Op::CellWrite(1)),
+            ev(0, Op::AtomicStore(5, MemOrder::Release)),
+            ev(1, Op::AtomicLoad(5, MemOrder::Acquire)),
+            ev(1, Op::CellRead(1)),
+        ];
+        assert!(find_races(&ordered).is_empty());
+        let relaxed = vec![
+            ev(0, Op::CellWrite(1)),
+            ev(0, Op::AtomicStore(5, MemOrder::Relaxed)),
+            ev(1, Op::AtomicLoad(5, MemOrder::Relaxed)),
+            ev(1, Op::CellRead(1)),
+        ];
+        assert_eq!(relaxed.len(), 4);
+        assert_eq!(find_races(&relaxed).len(), 1, "relaxed pair gives no edge");
+    }
+
+    #[test]
+    fn concurrent_reads_are_not_a_race() {
+        let log = vec![ev(0, Op::CellRead(1)), ev(1, Op::CellRead(1))];
+        assert!(find_races(&log).is_empty());
+    }
+
+    #[test]
+    fn rwlock_write_release_orders_readers() {
+        let log = vec![
+            ev(0, Op::RwWriteLock(3)),
+            ev(0, Op::CellWrite(1)),
+            ev(0, Op::RwWriteUnlock(3)),
+            ev(1, Op::RwReadLock(3)),
+            ev(1, Op::CellRead(1)),
+            ev(1, Op::RwReadUnlock(3)),
+        ];
+        assert!(find_races(&log).is_empty());
+    }
+
+    #[test]
+    fn ab_ba_acquisition_order_forms_a_cycle() {
+        let log = vec![
+            ev(0, Op::MutexLock(1)),
+            ev(0, Op::MutexLock(2)),
+            ev(0, Op::MutexUnlock(2)),
+            ev(0, Op::MutexUnlock(1)),
+            ev(1, Op::MutexLock(2)),
+            ev(1, Op::MutexLock(1)),
+            ev(1, Op::MutexUnlock(1)),
+            ev(1, Op::MutexUnlock(2)),
+        ];
+        let cycles = lock_cycles(&log);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycle_signature(&cycles[0].locks), vec![1, 2]);
+        assert!(cycles[0].description.contains("while holding"));
+    }
+
+    #[test]
+    fn consistent_nesting_has_no_cycle() {
+        let log = vec![
+            ev(0, Op::MutexLock(1)),
+            ev(0, Op::MutexLock(2)),
+            ev(0, Op::MutexUnlock(2)),
+            ev(0, Op::MutexUnlock(1)),
+            ev(1, Op::MutexLock(1)),
+            ev(1, Op::MutexLock(2)),
+            ev(1, Op::MutexUnlock(2)),
+            ev(1, Op::MutexUnlock(1)),
+        ];
+        assert!(lock_cycles(&log).is_empty());
+    }
+}

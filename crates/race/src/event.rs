@@ -1,0 +1,232 @@
+//! The event vocabulary the instrumented shim records.
+//!
+//! One execution of a model-checked scenario produces a linear log of
+//! [`Event`]s — the total order the deterministic scheduler actually ran.
+//! The detectors ([`crate::detect`]) rebuild the *partial* happens-before
+//! order from this log: program order, lock release→acquire edges,
+//! release/acquire atomic edges, and spawn/join edges. Everything the
+//! scheduler can replay, the detectors can explain.
+
+use std::fmt;
+
+/// Memory-ordering tag mirrored from [`std::sync::atomic::Ordering`].
+///
+/// The detector's happens-before model keys off this: `Relaxed` operations
+/// create **no** synchronization edges; `Release` stores publish the writer's
+/// clock to the location; `Acquire` loads join it; `AcqRel`/`SeqCst` do both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOrder {
+    /// No synchronization — coherence only.
+    Relaxed,
+    /// Load half of a release/acquire pair.
+    Acquire,
+    /// Store half of a release/acquire pair.
+    Release,
+    /// Both halves (read-modify-write).
+    AcqRel,
+    /// Sequentially consistent (treated as `AcqRel` plus a total order the
+    /// scheduler provides anyway).
+    SeqCst,
+}
+
+impl MemOrder {
+    /// Conversion from the std ordering.
+    pub fn from_std(ordering: std::sync::atomic::Ordering) -> MemOrder {
+        use std::sync::atomic::Ordering as O;
+        match ordering {
+            O::Relaxed => MemOrder::Relaxed,
+            O::Acquire => MemOrder::Acquire,
+            O::Release => MemOrder::Release,
+            O::AcqRel => MemOrder::AcqRel,
+            _ => MemOrder::SeqCst,
+        }
+    }
+
+    /// Does this ordering publish (release) the writer's clock?
+    pub fn is_release(self) -> bool {
+        matches!(
+            self,
+            MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst
+        )
+    }
+
+    /// Does this ordering join (acquire) the location's published clock?
+    pub fn is_acquire(self) -> bool {
+        matches!(
+            self,
+            MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst
+        )
+    }
+}
+
+impl fmt::Display for MemOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemOrder::Relaxed => "relaxed",
+            MemOrder::Acquire => "acquire",
+            MemOrder::Release => "release",
+            MemOrder::AcqRel => "acqrel",
+            MemOrder::SeqCst => "seqcst",
+        })
+    }
+}
+
+/// One instrumented operation. `u64` fields are shim object ids
+/// (see [`crate::sync::object_name`] for the human name).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// A mutex was acquired.
+    MutexLock(u64),
+    /// A mutex was released.
+    MutexUnlock(u64),
+    /// A read lock was acquired.
+    RwReadLock(u64),
+    /// A read lock was released.
+    RwReadUnlock(u64),
+    /// A write lock was acquired.
+    RwWriteLock(u64),
+    /// A write lock was released.
+    RwWriteUnlock(u64),
+    /// An atomic load.
+    AtomicLoad(u64, MemOrder),
+    /// An atomic store.
+    AtomicStore(u64, MemOrder),
+    /// An atomic read-modify-write (fetch_add, swap, compare_exchange).
+    AtomicRmw(u64, MemOrder),
+    /// An *unsynchronized* (plain) read of a traced cell.
+    CellRead(u64),
+    /// An *unsynchronized* (plain) write of a traced cell.
+    CellWrite(u64),
+    /// A model thread was spawned (payload: child thread id).
+    Spawn(usize),
+    /// A condvar wait began (the paired mutex release is its own event).
+    CondvarWait(u64),
+    /// A condvar notify (payload: condvar id).
+    CondvarNotify(u64),
+    /// Free-form scenario annotation for traces.
+    Label(String),
+}
+
+impl Op {
+    /// The shim object id this op touches, if any.
+    pub fn object(&self) -> Option<u64> {
+        match self {
+            Op::MutexLock(id)
+            | Op::MutexUnlock(id)
+            | Op::RwReadLock(id)
+            | Op::RwReadUnlock(id)
+            | Op::RwWriteLock(id)
+            | Op::RwWriteUnlock(id)
+            | Op::AtomicLoad(id, _)
+            | Op::AtomicStore(id, _)
+            | Op::AtomicRmw(id, _)
+            | Op::CellRead(id)
+            | Op::CellWrite(id)
+            | Op::CondvarWait(id)
+            | Op::CondvarNotify(id) => Some(*id),
+            Op::Spawn(_) | Op::Label(_) => None,
+        }
+    }
+}
+
+/// One recorded step: which model thread performed which operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Model thread id (0-based, in spawn order).
+    pub tid: usize,
+    /// The operation.
+    pub op: Op,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = |id: &u64| crate::sync::object_name(*id);
+        match &self.op {
+            Op::MutexLock(id) => write!(f, "t{} lock {}", self.tid, name(id)),
+            Op::MutexUnlock(id) => write!(f, "t{} unlock {}", self.tid, name(id)),
+            Op::RwReadLock(id) => write!(f, "t{} read-lock {}", self.tid, name(id)),
+            Op::RwReadUnlock(id) => write!(f, "t{} read-unlock {}", self.tid, name(id)),
+            Op::RwWriteLock(id) => write!(f, "t{} write-lock {}", self.tid, name(id)),
+            Op::RwWriteUnlock(id) => write!(f, "t{} write-unlock {}", self.tid, name(id)),
+            Op::AtomicLoad(id, o) => write!(f, "t{} load({o}) {}", self.tid, name(id)),
+            Op::AtomicStore(id, o) => write!(f, "t{} store({o}) {}", self.tid, name(id)),
+            Op::AtomicRmw(id, o) => write!(f, "t{} rmw({o}) {}", self.tid, name(id)),
+            Op::CellRead(id) => write!(f, "t{} plain-read {}", self.tid, name(id)),
+            Op::CellWrite(id) => write!(f, "t{} plain-write {}", self.tid, name(id)),
+            Op::Spawn(child) => write!(f, "t{} spawn t{child}", self.tid),
+            Op::CondvarWait(id) => write!(f, "t{} condvar-wait {}", self.tid, name(id)),
+            Op::CondvarNotify(id) => write!(f, "t{} condvar-notify {}", self.tid, name(id)),
+            Op::Label(text) => write!(f, "t{} — {text}", self.tid),
+        }
+    }
+}
+
+/// Renders `log` as a numbered trace, keeping only events from
+/// `focus_threads` (all threads when empty) that either touch one of
+/// `focus_objects` (all objects when empty) or create scheduling structure
+/// (spawns, labels). This is the "minimized event trace" attached to
+/// detector findings: enough to replay the interleaving by hand, without
+/// the unrelated noise.
+pub fn render_trace(log: &[Event], focus_threads: &[usize], focus_objects: &[u64]) -> String {
+    let mut out = String::new();
+    for (index, event) in log.iter().enumerate() {
+        if !focus_threads.is_empty() && !focus_threads.contains(&event.tid) {
+            continue;
+        }
+        let structural = matches!(event.op, Op::Spawn(_) | Op::Label(_));
+        if !focus_objects.is_empty() && !structural {
+            match event.op.object() {
+                Some(id) if focus_objects.contains(&id) => {}
+                _ => continue,
+            }
+        }
+        out.push_str(&format!("  #{index:<4} {event}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_order_classification() {
+        use std::sync::atomic::Ordering;
+        assert!(!MemOrder::from_std(Ordering::Relaxed).is_acquire());
+        assert!(!MemOrder::from_std(Ordering::Relaxed).is_release());
+        assert!(MemOrder::from_std(Ordering::Acquire).is_acquire());
+        assert!(!MemOrder::from_std(Ordering::Acquire).is_release());
+        assert!(MemOrder::from_std(Ordering::Release).is_release());
+        assert!(MemOrder::from_std(Ordering::SeqCst).is_acquire());
+        assert!(MemOrder::from_std(Ordering::SeqCst).is_release());
+    }
+
+    #[test]
+    fn trace_rendering_filters_by_thread_and_object() {
+        let log = vec![
+            Event {
+                tid: 0,
+                op: Op::Spawn(1),
+            },
+            Event {
+                tid: 0,
+                op: Op::CellWrite(7),
+            },
+            Event {
+                tid: 1,
+                op: Op::CellRead(7),
+            },
+            Event {
+                tid: 1,
+                op: Op::MutexLock(9),
+            },
+        ];
+        let trace = render_trace(&log, &[], &[7]);
+        assert!(trace.contains("plain-write"));
+        assert!(trace.contains("plain-read"));
+        assert!(!trace.contains("lock"));
+        let trace = render_trace(&log, &[0], &[]);
+        assert!(trace.contains("spawn"));
+        assert!(!trace.contains("plain-read"));
+    }
+}

@@ -1,0 +1,39 @@
+//! `gaa-race`: deterministic schedule exploration and race/deadlock
+//! detection for the GAA serving core.
+//!
+//! Three integrated layers:
+//!
+//! 1. **Instrumented sync shim** ([`sync`]): drop-in `Mutex`, `RwLock`,
+//!    `Condvar` and atomic types the serving crates use instead of raw
+//!    `parking_lot`/`std::sync::atomic`. In normal builds they delegate
+//!    transparently; under the `record` feature, threads inside a
+//!    model-checking session have every operation scheduled and logged.
+//! 2. **Deterministic scheduler + explorer** ([`explore`], `record` only):
+//!    runs closed-world scenarios under bounded-exhaustive DFS
+//!    interleaving exploration (preemption bound) and seeded random
+//!    schedules. Failures replay from the printed schedule or seed alone.
+//! 3. **Detectors** ([`detect`]): a vector-clock (happens-before) data-race
+//!    detector and a lock-acquisition-graph deadlock detector over the
+//!    recorded event log, reporting minimized traces.
+//!
+//! Concrete scenarios over the real serving types (decision cache, worker
+//! pool, circuit breaker, threat monitor) live in `gaa-bench` and the
+//! workspace integration tests; this crate stays dependency-light so the
+//! serving crates can depend on it.
+
+#![deny(missing_docs)]
+
+pub mod detect;
+pub mod event;
+#[cfg(feature = "record")]
+pub mod explore;
+#[cfg(feature = "record")]
+mod session;
+pub mod sync;
+
+pub use event::{render_trace, Event, MemOrder, Op};
+#[cfg(feature = "record")]
+pub use explore::{Explorer, Report, Violation};
+#[cfg(feature = "record")]
+pub use session::Exec;
+pub use sync::{label, object_name};

@@ -1,0 +1,919 @@
+//! The instrumented synchronization shim.
+//!
+//! Drop-in replacements for the workspace's sync vocabulary — [`Mutex`],
+//! [`RwLock`], [`Condvar`], [`AtomicU64`]/[`AtomicUsize`]/[`AtomicBool`] —
+//! plus [`Traced`], a deliberately *unsynchronized-looking* cell for
+//! modelling plain shared accesses. Migrated crates (`gaa-core`,
+//! `gaa-httpd`, `gaa-audit`, `gaa-ids`, `gaa-conditions`) import these
+//! instead of `parking_lot` / `std::sync::atomic` directly.
+//!
+//! Two personalities:
+//!
+//! - **Without the `record` feature** (every production build): each type is
+//!   a thin delegation to `parking_lot` or `std::sync::atomic`. No ids, no
+//!   thread-locals, no logging — the request path pays nothing.
+//! - **With `record`**, when the calling thread belongs to a model-checking
+//!   [`crate::session::Session`]: every operation first hits a scheduling
+//!   decision point ([yield]), then executes, then lands in the event log
+//!   with its object id and memory ordering. Lock acquisition is rewritten
+//!   as a cooperative `try_lock`/park loop so the deterministic scheduler —
+//!   never the OS — decides who wins a race. Threads outside a session
+//!   behave exactly like the production build even with `record` on.
+//!
+//! [yield]: crate::session::Session::yield_point
+
+use std::sync::atomic::Ordering;
+
+#[cfg(feature = "record")]
+use crate::event::{MemOrder, Op};
+#[cfg(feature = "record")]
+use crate::session::{self, BlockOn};
+
+#[cfg(feature = "record")]
+mod registry {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+    static NAMES: OnceLock<Mutex<HashMap<u64, String>>> = OnceLock::new();
+
+    fn names() -> &'static Mutex<HashMap<u64, String>> {
+        NAMES.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    pub(super) fn alloc(kind: &str, name: Option<&str>) -> u64 {
+        // ordering: Relaxed suffices — the id only needs to be unique, no
+        // other memory is published through it.
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let label = match name {
+            Some(name) => name.to_string(),
+            None => format!("{kind}#{id}"),
+        };
+        names()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, label);
+        id
+    }
+
+    pub(super) fn lookup(id: u64) -> Option<String> {
+        names()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&id)
+            .cloned()
+    }
+}
+
+/// Human-readable name of a shim object id, for traces. Falls back to
+/// `obj#id` for unknown ids and in non-`record` builds.
+pub fn object_name(id: u64) -> String {
+    #[cfg(feature = "record")]
+    if let Some(name) = registry::lookup(id) {
+        return name;
+    }
+    format!("obj#{id}")
+}
+
+/// Records a free-form annotation into the current session's event log, for
+/// trace readability ("worker picked up conn", "epoch bumped"). A no-op
+/// outside a session and in non-`record` builds.
+pub fn label(text: impl Into<String>) {
+    #[cfg(feature = "record")]
+    if let Some(ctx) = session::current() {
+        ctx.session.record(ctx.tid, Op::Label(text.into()));
+        return;
+    }
+    let _ = text.into();
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Mutual exclusion with the `parking_lot` API shape (`lock()` returns a
+/// guard directly, no poisoning).
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "record")]
+    id: u64,
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            #[cfg(feature = "record")]
+            id: registry::alloc("mutex", None),
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// A new mutex with a human-readable name for traces.
+    pub fn named(name: &str, value: T) -> Mutex<T> {
+        #[cfg(not(feature = "record"))]
+        let _ = name;
+        Mutex {
+            #[cfg(feature = "record")]
+            id: registry::alloc("mutex", Some(name)),
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking (cooperatively, under a session) until
+    /// it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "record")]
+        if let Some(ctx) = session::current() {
+            loop {
+                ctx.session.yield_point(ctx.tid);
+                if let Some(inner) = self.inner.try_lock() {
+                    ctx.session.record(ctx.tid, Op::MutexLock(self.id));
+                    return MutexGuard {
+                        lock: self,
+                        inner: Some(inner),
+                        traced: true,
+                    };
+                }
+                ctx.session.block_on(ctx.tid, BlockOn::Lock(self.id));
+            }
+        }
+        MutexGuard {
+            lock: self,
+            inner: Some(self.inner.lock()),
+            #[cfg(feature = "record")]
+            traced: false,
+        }
+    }
+
+    /// A single acquisition attempt.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        #[cfg(feature = "record")]
+        if let Some(ctx) = session::current() {
+            ctx.session.yield_point(ctx.tid);
+            let inner = self.inner.try_lock()?;
+            ctx.session.record(ctx.tid, Op::MutexLock(self.id));
+            return Some(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+                traced: true,
+            });
+        }
+        Some(MutexGuard {
+            lock: self,
+            inner: Some(self.inner.try_lock()?),
+            #[cfg(feature = "record")]
+            traced: false,
+        })
+    }
+
+    /// Direct access through an exclusive reference (no locking, nothing
+    /// recorded — exclusivity is proven statically).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug + ?Sized> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_tuple("Mutex").field(&&*guard).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing records the unlock event.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<parking_lot::MutexGuard<'a, T>>,
+    #[cfg(feature = "record")]
+    traced: bool,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// The mutex this guard locks (used by [`Condvar::wait`]).
+    fn mutex(&self) -> &'a Mutex<T> {
+        self.lock
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        #[cfg(feature = "record")]
+        if self.traced {
+            if let Some(ctx) = session::current() {
+                ctx.session.record(ctx.tid, Op::MutexUnlock(self.lock.id));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Reader-writer lock with the `parking_lot` API shape.
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "record")]
+    id: u64,
+    inner: parking_lot::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// A new unlocked lock.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            #[cfg(feature = "record")]
+            id: registry::alloc("rwlock", None),
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// A new lock with a human-readable name for traces.
+    pub fn named(name: &str, value: T) -> RwLock<T> {
+        #[cfg(not(feature = "record"))]
+        let _ = name;
+        RwLock {
+            #[cfg(feature = "record")]
+            id: registry::alloc("rwlock", Some(name)),
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "record")]
+        if let Some(ctx) = session::current() {
+            loop {
+                ctx.session.yield_point(ctx.tid);
+                if let Some(inner) = self.inner.try_read() {
+                    ctx.session.record(ctx.tid, Op::RwReadLock(self.id));
+                    return RwLockReadGuard {
+                        lock: self,
+                        inner: Some(inner),
+                        traced: true,
+                    };
+                }
+                ctx.session.block_on(ctx.tid, BlockOn::RwRead(self.id));
+            }
+        }
+        RwLockReadGuard {
+            lock: self,
+            inner: Some(self.inner.read()),
+            #[cfg(feature = "record")]
+            traced: false,
+        }
+    }
+
+    /// Acquires exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "record")]
+        if let Some(ctx) = session::current() {
+            loop {
+                ctx.session.yield_point(ctx.tid);
+                if let Some(inner) = self.inner.try_write() {
+                    ctx.session.record(ctx.tid, Op::RwWriteLock(self.id));
+                    return RwLockWriteGuard {
+                        lock: self,
+                        inner: Some(inner),
+                        traced: true,
+                    };
+                }
+                ctx.session.block_on(ctx.tid, BlockOn::RwWrite(self.id));
+            }
+        }
+        RwLockWriteGuard {
+            lock: self,
+            inner: Some(self.inner.write()),
+            #[cfg(feature = "record")]
+            traced: false,
+        }
+    }
+
+    /// Direct access through an exclusive reference.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug + ?Sized> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RwLock(..)")
+    }
+}
+
+/// RAII shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<parking_lot::RwLockReadGuard<'a, T>>,
+    #[cfg(feature = "record")]
+    traced: bool,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        #[cfg(feature = "record")]
+        if self.traced {
+            if let Some(ctx) = session::current() {
+                ctx.session.record(ctx.tid, Op::RwReadUnlock(self.lock.id));
+            }
+        }
+        #[cfg(not(feature = "record"))]
+        let _ = self.lock;
+    }
+}
+
+/// RAII exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<parking_lot::RwLockWriteGuard<'a, T>>,
+    #[cfg(feature = "record")]
+    traced: bool,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        #[cfg(feature = "record")]
+        if self.traced {
+            if let Some(ctx) = session::current() {
+                ctx.session.record(ctx.tid, Op::RwWriteUnlock(self.lock.id));
+            }
+        }
+        #[cfg(not(feature = "record"))]
+        let _ = self.lock;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Condition variable paired with the shim [`Mutex`].
+///
+/// The vendored `parking_lot` carries no condvar, so the uninstrumented
+/// path is built on `std::sync`: a generation counter guarded by an internal
+/// mutex. A waiter snapshots the generation *before* releasing the caller's
+/// mutex (so a notify between release and park cannot be lost) and wakes
+/// once the generation moves. Under a session, waits and notifies are
+/// scheduler events instead, with the generation kept by the session.
+///
+/// As with any condvar, callers must re-check their predicate in a loop —
+/// wakeups may be spurious.
+pub struct Condvar {
+    #[cfg(feature = "record")]
+    id: u64,
+    generation: std::sync::Mutex<u64>,
+    wake: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condvar.
+    pub fn new() -> Condvar {
+        Condvar {
+            #[cfg(feature = "record")]
+            id: registry::alloc("condvar", None),
+            generation: std::sync::Mutex::new(0),
+            wake: std::sync::Condvar::new(),
+        }
+    }
+
+    /// A new condvar with a human-readable name for traces.
+    pub fn named(name: &str) -> Condvar {
+        #[cfg(not(feature = "record"))]
+        let _ = name;
+        Condvar {
+            #[cfg(feature = "record")]
+            id: registry::alloc("condvar", Some(name)),
+            generation: std::sync::Mutex::new(0),
+            wake: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases `guard`, waits for a notification, and
+    /// re-acquires the mutex.
+    pub fn wait<'a, T: ?Sized>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let lock = guard.mutex();
+        #[cfg(feature = "record")]
+        if let Some(ctx) = session::current() {
+            ctx.session.record(ctx.tid, Op::CondvarWait(self.id));
+            drop(guard); // records the paired unlock, wakes lock waiters
+            ctx.session.condvar_wait(ctx.tid, self.id);
+            return lock.lock();
+        }
+        // Snapshot the generation while still holding the caller's mutex:
+        // a notifier bumps it under the same internal lock, so a notify
+        // racing this release-then-park cannot be missed.
+        let generation = self.generation.lock().unwrap_or_else(|e| e.into_inner());
+        let seen = *generation;
+        drop(guard);
+        let mut generation = generation;
+        while *generation == seen {
+            generation = self
+                .wake
+                .wait(generation)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        drop(generation);
+        lock.lock()
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        #[cfg(feature = "record")]
+        if let Some(ctx) = session::current() {
+            ctx.session.yield_point(ctx.tid);
+            ctx.session.record(ctx.tid, Op::CondvarNotify(self.id));
+            ctx.session.condvar_notify(self.id, true);
+            return;
+        }
+        let mut generation = self.generation.lock().unwrap_or_else(|e| e.into_inner());
+        *generation += 1;
+        drop(generation);
+        self.wake.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        #[cfg(feature = "record")]
+        if let Some(ctx) = session::current() {
+            ctx.session.yield_point(ctx.tid);
+            ctx.session.record(ctx.tid, Op::CondvarNotify(self.id));
+            ctx.session.condvar_notify(self.id, false);
+            return;
+        }
+        let mut generation = self.generation.lock().unwrap_or_else(|e| e.into_inner());
+        *generation += 1;
+        drop(generation);
+        self.wake.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+macro_rules! atomic_int {
+    ($(#[$doc:meta])* $name:ident, $std:ty, $prim:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            #[cfg(feature = "record")]
+            id: u64,
+            inner: $std,
+        }
+
+        impl $name {
+            /// A new atomic with the given initial value.
+            pub fn new(value: $prim) -> $name {
+                $name {
+                    #[cfg(feature = "record")]
+                    id: registry::alloc(stringify!($name), None),
+                    inner: <$std>::new(value),
+                }
+            }
+
+            /// A new atomic with a human-readable name for traces.
+            pub fn named(name: &str, value: $prim) -> $name {
+                #[cfg(not(feature = "record"))]
+                let _ = name;
+                $name {
+                    #[cfg(feature = "record")]
+                    id: registry::alloc(stringify!($name), Some(name)),
+                    inner: <$std>::new(value),
+                }
+            }
+
+            /// Atomic load.
+            pub fn load(&self, ordering: Ordering) -> $prim {
+                #[cfg(feature = "record")]
+                if let Some(ctx) = session::current() {
+                    ctx.session.yield_point(ctx.tid);
+                    let value = self.inner.load(ordering);
+                    ctx.session
+                        .record(ctx.tid, Op::AtomicLoad(self.id, MemOrder::from_std(ordering)));
+                    return value;
+                }
+                self.inner.load(ordering)
+            }
+
+            /// Atomic store.
+            pub fn store(&self, value: $prim, ordering: Ordering) {
+                #[cfg(feature = "record")]
+                if let Some(ctx) = session::current() {
+                    ctx.session.yield_point(ctx.tid);
+                    self.inner.store(value, ordering);
+                    ctx.session
+                        .record(ctx.tid, Op::AtomicStore(self.id, MemOrder::from_std(ordering)));
+                    return;
+                }
+                self.inner.store(value, ordering)
+            }
+
+            /// Atomic add; returns the previous value.
+            pub fn fetch_add(&self, value: $prim, ordering: Ordering) -> $prim {
+                #[cfg(feature = "record")]
+                if let Some(ctx) = session::current() {
+                    ctx.session.yield_point(ctx.tid);
+                    let previous = self.inner.fetch_add(value, ordering);
+                    ctx.session
+                        .record(ctx.tid, Op::AtomicRmw(self.id, MemOrder::from_std(ordering)));
+                    return previous;
+                }
+                self.inner.fetch_add(value, ordering)
+            }
+
+            /// Atomic subtract; returns the previous value.
+            pub fn fetch_sub(&self, value: $prim, ordering: Ordering) -> $prim {
+                #[cfg(feature = "record")]
+                if let Some(ctx) = session::current() {
+                    ctx.session.yield_point(ctx.tid);
+                    let previous = self.inner.fetch_sub(value, ordering);
+                    ctx.session
+                        .record(ctx.tid, Op::AtomicRmw(self.id, MemOrder::from_std(ordering)));
+                    return previous;
+                }
+                self.inner.fetch_sub(value, ordering)
+            }
+
+            /// Atomic swap; returns the previous value.
+            pub fn swap(&self, value: $prim, ordering: Ordering) -> $prim {
+                #[cfg(feature = "record")]
+                if let Some(ctx) = session::current() {
+                    ctx.session.yield_point(ctx.tid);
+                    let previous = self.inner.swap(value, ordering);
+                    ctx.session
+                        .record(ctx.tid, Op::AtomicRmw(self.id, MemOrder::from_std(ordering)));
+                    return previous;
+                }
+                self.inner.swap(value, ordering)
+            }
+
+            /// Atomic compare-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                #[cfg(feature = "record")]
+                if let Some(ctx) = session::current() {
+                    ctx.session.yield_point(ctx.tid);
+                    let result = self.inner.compare_exchange(current, new, success, failure);
+                    let op = match result {
+                        Ok(_) => Op::AtomicRmw(self.id, MemOrder::from_std(success)),
+                        // A failed CAS is only a load at the failure ordering.
+                        Err(_) => Op::AtomicLoad(self.id, MemOrder::from_std(failure)),
+                    };
+                    ctx.session.record(ctx.tid, op);
+                    return result;
+                }
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// Direct access through an exclusive reference.
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.inner.get_mut()
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> $name {
+                $name::new(<$prim>::default())
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name))
+                    .field(&self.inner.load(Ordering::Relaxed))
+                    .finish()
+            }
+        }
+    };
+}
+
+atomic_int!(
+    /// Instrumented `u64` atomic.
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+atomic_int!(
+    /// Instrumented `usize` atomic.
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+
+/// Instrumented `bool` atomic.
+pub struct AtomicBool {
+    #[cfg(feature = "record")]
+    id: u64,
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// A new atomic with the given initial value.
+    pub fn new(value: bool) -> AtomicBool {
+        AtomicBool {
+            #[cfg(feature = "record")]
+            id: registry::alloc("AtomicBool", None),
+            inner: std::sync::atomic::AtomicBool::new(value),
+        }
+    }
+
+    /// A new atomic with a human-readable name for traces.
+    pub fn named(name: &str, value: bool) -> AtomicBool {
+        #[cfg(not(feature = "record"))]
+        let _ = name;
+        AtomicBool {
+            #[cfg(feature = "record")]
+            id: registry::alloc("AtomicBool", Some(name)),
+            inner: std::sync::atomic::AtomicBool::new(value),
+        }
+    }
+
+    /// Atomic load.
+    pub fn load(&self, ordering: Ordering) -> bool {
+        #[cfg(feature = "record")]
+        if let Some(ctx) = session::current() {
+            ctx.session.yield_point(ctx.tid);
+            let value = self.inner.load(ordering);
+            ctx.session.record(
+                ctx.tid,
+                Op::AtomicLoad(self.id, MemOrder::from_std(ordering)),
+            );
+            return value;
+        }
+        self.inner.load(ordering)
+    }
+
+    /// Atomic store.
+    pub fn store(&self, value: bool, ordering: Ordering) {
+        #[cfg(feature = "record")]
+        if let Some(ctx) = session::current() {
+            ctx.session.yield_point(ctx.tid);
+            self.inner.store(value, ordering);
+            ctx.session.record(
+                ctx.tid,
+                Op::AtomicStore(self.id, MemOrder::from_std(ordering)),
+            );
+            return;
+        }
+        self.inner.store(value, ordering)
+    }
+
+    /// Atomic swap; returns the previous value.
+    pub fn swap(&self, value: bool, ordering: Ordering) -> bool {
+        #[cfg(feature = "record")]
+        if let Some(ctx) = session::current() {
+            ctx.session.yield_point(ctx.tid);
+            let previous = self.inner.swap(value, ordering);
+            ctx.session.record(
+                ctx.tid,
+                Op::AtomicRmw(self.id, MemOrder::from_std(ordering)),
+            );
+            return previous;
+        }
+        self.inner.swap(value, ordering)
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool")
+            .field(&self.inner.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Traced cell
+// ---------------------------------------------------------------------------
+
+/// A shared cell whose accesses are recorded as **plain** (unsynchronized)
+/// reads and writes.
+///
+/// Internally it is a mutex (no UB is possible), but the event log shows
+/// `CellRead`/`CellWrite` with no synchronization — exactly what the
+/// vector-clock detector needs to flag a modeled data race. Use it in
+/// scenarios to represent state an implementation would have shared without
+/// a lock: if every pair of conflicting accesses is ordered by *other*
+/// recorded synchronization, the detector stays quiet; if not, the race is
+/// reported with a minimized trace. Clones share the same location.
+pub struct Traced<T> {
+    #[cfg(feature = "record")]
+    id: u64,
+    inner: std::sync::Arc<parking_lot::Mutex<T>>,
+}
+
+impl<T: Copy> Traced<T> {
+    /// A new traced cell.
+    pub fn new(value: T) -> Traced<T> {
+        Traced {
+            #[cfg(feature = "record")]
+            id: registry::alloc("cell", None),
+            inner: std::sync::Arc::new(parking_lot::Mutex::new(value)),
+        }
+    }
+
+    /// A new traced cell with a human-readable name for traces.
+    pub fn named(name: &str, value: T) -> Traced<T> {
+        #[cfg(not(feature = "record"))]
+        let _ = name;
+        Traced {
+            #[cfg(feature = "record")]
+            id: registry::alloc("cell", Some(name)),
+            inner: std::sync::Arc::new(parking_lot::Mutex::new(value)),
+        }
+    }
+
+    /// A plain read of the cell.
+    pub fn get(&self) -> T {
+        #[cfg(feature = "record")]
+        if let Some(ctx) = session::current() {
+            ctx.session.yield_point(ctx.tid);
+            let value = *self.inner.lock();
+            ctx.session.record(ctx.tid, Op::CellRead(self.id));
+            return value;
+        }
+        *self.inner.lock()
+    }
+
+    /// A plain write of the cell.
+    pub fn set(&self, value: T) {
+        #[cfg(feature = "record")]
+        if let Some(ctx) = session::current() {
+            ctx.session.yield_point(ctx.tid);
+            *self.inner.lock() = value;
+            ctx.session.record(ctx.tid, Op::CellWrite(self.id));
+            return;
+        }
+        *self.inner.lock() = value;
+    }
+
+    /// The cell's shim object id (for focusing traces on it).
+    #[cfg(feature = "record")]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl<T> Clone for Traced<T> {
+    fn clone(&self) -> Traced<T> {
+        Traced {
+            #[cfg(feature = "record")]
+            id: self.id,
+            inner: std::sync::Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for Traced<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Traced").field(&*self.inner.lock()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_mutex_and_rwlock_outside_sessions() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+        let rw = RwLock::new(vec![1, 2]);
+        assert_eq!(rw.read().len(), 2);
+        rw.write().push(3);
+        assert_eq!(rw.read().len(), 3);
+    }
+
+    #[test]
+    fn passthrough_atomics_and_cells() {
+        let n = AtomicU64::new(5);
+        assert_eq!(n.fetch_add(2, Ordering::Relaxed), 5);
+        assert_eq!(n.load(Ordering::Acquire), 7);
+        assert_eq!(n.swap(0, Ordering::AcqRel), 7);
+        assert_eq!(
+            n.compare_exchange(0, 9, Ordering::SeqCst, Ordering::Relaxed),
+            Ok(0)
+        );
+        let flag = AtomicBool::new(false);
+        flag.store(true, Ordering::Release);
+        assert!(flag.load(Ordering::Acquire));
+        let cell = Traced::new(3u8);
+        cell.set(4);
+        assert_eq!(cell.clone().get(), 4);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter_without_a_session() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = std::sync::Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut guard = lock.lock();
+                while !*guard {
+                    guard = cv.wait(guard);
+                }
+            })
+        };
+        // Give the waiter a chance to park, then flip and notify.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let (lock, cv) = &*pair;
+        *lock.lock() = true;
+        cv.notify_all();
+        waiter.join().expect("waiter thread");
+    }
+}

@@ -10,6 +10,7 @@ use gaa::eacl::parse_eacl;
 use gaa::httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
 use gaa::ids::ThreatLevel;
 use gaa::workload::{AttackKind, ScenarioBuilder};
+use gaa_race::Explorer;
 use std::sync::Arc;
 
 const POLICY: &str = "\
@@ -36,7 +37,7 @@ rr_cond update_log local on:failure/BadGuys/info:ip
 pos_access_right apache *
 ";
 
-fn build_with(policy: &str, cached: bool) -> (Arc<Server>, StandardServices) {
+fn build_with(policy: &str, cache: Option<DecisionCache>) -> (Arc<Server>, StandardServices) {
     let services = StandardServices::new(
         Arc::new(VirtualClock::new()),
         Arc::new(CollectingNotifier::new()),
@@ -49,8 +50,8 @@ fn build_with(policy: &str, cached: bool) -> (Arc<Server>, StandardServices) {
     )
     .build();
     let mut glue = GaaGlue::new(api, services.clone());
-    if cached {
-        glue = glue.with_decision_cache(DecisionCache::new());
+    if let Some(cache) = cache {
+        glue = glue.with_decision_cache(cache);
     }
     (
         Arc::new(Server::new(
@@ -62,7 +63,7 @@ fn build_with(policy: &str, cached: bool) -> (Arc<Server>, StandardServices) {
 }
 
 fn build() -> (Arc<Server>, StandardServices) {
-    build_with(POLICY, false)
+    build_with(POLICY, None)
 }
 
 #[test]
@@ -162,8 +163,12 @@ fn mixed_traffic_keeps_innocents_unaffected() {
 #[test]
 fn cached_and_uncached_decisions_agree_on_seeded_workloads() {
     for seed in [3u64, 7, 11] {
-        let (plain, _) = build_with(POLICY, false);
-        let (cached, _) = build_with(POLICY, true);
+        // The seed drives the workload AND cache shard placement, so a
+        // failure reproduces (same shards, same lock collisions) from the
+        // printed seed alone.
+        println!("cached/uncached agreement: seed {seed}");
+        let (plain, _) = build_with(POLICY, None);
+        let (cached, _) = build_with(POLICY, Some(DecisionCache::with_shards_seeded(16, seed)));
         let scenario =
             ScenarioBuilder::new(seed, vec!["/index.html".into(), "/docs/page1.html".into()])
                 .legit(80)
@@ -190,20 +195,30 @@ fn cached_and_uncached_decisions_agree_on_seeded_workloads() {
 
 #[test]
 fn threat_transitions_invalidate_cached_grants_in_flight() {
-    let (server, services) = build_with(LOCKDOWN_POLICY, true);
-
     // Benign traffic hammers the cache while the IDS threat level flips
     // underneath it. Every answer must be a coherent policy outcome for
     // *some* threat level — Ok or Forbidden, never an error — and once the
     // level settles, cached answers must match it.
-    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
-    let readers: Vec<_> = (0..4)
-        .map(|t| {
+    //
+    // This used to be a wall-clock stress test (free-running readers, 5ms
+    // sleeps between flips): real concurrency, irreproducible failures.
+    // Now the readers and the flipper are model threads under the gaa-race
+    // cooperative scheduler, so every interleaving derives from SEED and a
+    // reported failure replays from the printed seed alone — the whole
+    // serving path (glue, cache, threat monitor, group store) yields at its
+    // shim sync points.
+    const SEED: u64 = 0x7147_F11F5;
+    const SCHEDULES: usize = 24;
+    println!("threat-transition exploration: seed {SEED:#x}, {SCHEDULES} random schedules");
+    let report = Explorer::random(SEED, SCHEDULES).explore(|exec| {
+        let (server, services) = build_with(
+            LOCKDOWN_POLICY,
+            Some(DecisionCache::with_shards_seeded(16, SEED)),
+        );
+        for t in 0..3u8 {
             let server = server.clone();
-            let stop = stop.clone();
-            std::thread::spawn(move || {
-                let mut n = 0u32;
-                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+            exec.spawn(move || {
+                for _ in 0..2 {
                     let req =
                         HttpRequest::get("/index.html").with_client_ip(format!("10.2.0.{}", t + 1));
                     let status = server.handle(req).status;
@@ -211,39 +226,49 @@ fn threat_transitions_invalidate_cached_grants_in_flight() {
                         matches!(status, StatusCode::Ok | StatusCode::Forbidden),
                         "mid-transition answer must still be a policy outcome, got {status:?}"
                     );
-                    n += 1;
                 }
-                n
-            })
-        })
-        .collect();
+            });
+        }
+        let flipper = services.clone();
+        exec.spawn(move || {
+            flipper.threat.set_level(ThreatLevel::High);
+            flipper.threat.set_level(ThreatLevel::Low);
+        });
+        exec.join_all();
 
-    for _ in 0..5 {
+        // Settled states: lockdown denies, relaxation re-grants — through
+        // the cache, which must have been flushed on each transition.
+        let probe = || {
+            server
+                .handle(HttpRequest::get("/index.html").with_client_ip("10.2.0.1"))
+                .status
+        };
         services.threat.set_level(ThreatLevel::High);
-        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(probe(), StatusCode::Forbidden);
         services.threat.set_level(ThreatLevel::Low);
-        std::thread::sleep(std::time::Duration::from_millis(5));
-    }
-    stop.store(true, std::sync::atomic::Ordering::Relaxed);
-    let answered: u32 = readers.into_iter().map(|t| t.join().unwrap()).sum();
-    assert!(answered > 0);
+        assert_eq!(probe(), StatusCode::Ok);
+        assert_eq!(
+            probe(),
+            StatusCode::Ok,
+            "second settled probe must be a cache hit"
+        );
 
-    // Settled states: lockdown denies, relaxation re-grants — through the
-    // cache, which must have been flushed on each transition.
-    let probe = || {
-        server
-            .handle(HttpRequest::get("/index.html").with_client_ip("10.2.0.1"))
-            .status
-    };
-    services.threat.set_level(ThreatLevel::High);
-    assert_eq!(probe(), StatusCode::Forbidden);
-    services.threat.set_level(ThreatLevel::Low);
-    assert_eq!(probe(), StatusCode::Ok);
-
-    let stats = server.decision_cache_stats().unwrap();
-    assert!(stats.hits > 0, "{stats:?}");
+        let stats = server.decision_cache_stats().unwrap();
+        assert!(stats.hits > 0, "{stats:?}");
+        assert!(
+            stats.invalidations >= 2,
+            "each threat transition must flush the cache: {stats:?}"
+        );
+    });
+    report.assert_clean("threat_transitions_invalidate_cached_grants_in_flight");
+    println!("threat-transition exploration: {}", report.summary());
+    assert_eq!(report.schedules, SCHEDULES);
+    // The serving path must actually yield under the scheduler — a schedule
+    // with no decisions would mean the shim stopped recording and the test
+    // regressed to sequential execution.
     assert!(
-        stats.invalidations >= 2,
-        "each threat transition must flush the cache: {stats:?}"
+        report.decisions > SCHEDULES as u64 * 10,
+        "suspiciously few scheduling decisions: {}",
+        report.summary()
     );
 }
