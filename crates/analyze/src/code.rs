@@ -44,8 +44,11 @@ const SHIM_MIGRATED_FILES: &[&str] = &[
     "crates/ids/src/threat.rs",
     "crates/audit/src/degrade.rs",
     "crates/audit/src/notify.rs",
+    "crates/audit/src/export.rs",
     "crates/conditions/src/identity.rs",
     "crates/httpd/src/tcp.rs",
+    "crates/swarm/src/node.rs",
+    "crates/swarm/src/transport.rs",
 ];
 
 /// Files whose `Err` arms must reach the audit/degradation funnel.

@@ -32,17 +32,20 @@ pub enum Component {
     Cgi,
     /// The TCP serving front end (accept loop, worker pool).
     Frontend,
+    /// The node-to-node threat/blacklist replication channel (`gaa-swarm`).
+    Swarm,
 }
 
 impl Component {
     /// All components, for iteration in status reports.
-    pub const ALL: [Component; 6] = [
+    pub const ALL: [Component; 7] = [
         Component::Notifier,
         Component::PolicyStore,
         Component::Evaluator,
         Component::EventBus,
         Component::Cgi,
         Component::Frontend,
+        Component::Swarm,
     ];
 }
 
@@ -55,6 +58,7 @@ impl fmt::Display for Component {
             Component::EventBus => "event_bus",
             Component::Cgi => "cgi",
             Component::Frontend => "frontend",
+            Component::Swarm => "swarm",
         };
         f.write_str(s)
     }

@@ -1,0 +1,460 @@
+//! CEF-style structured alert export for external SIEM consumption.
+//!
+//! The paper keeps its alerts in-process (the administrator drains
+//! [`AlertQueue`](crate::AlertQueue)); production IDS practice ships every
+//! detection to an external SIEM in a structured, *injection-proof* format.
+//! This module provides that egress path:
+//!
+//! * [`sanitize_field`] / [`sanitize_extension`] — the one escaping policy
+//!   for everything user-controlled that ends up in a log line. A crafted
+//!   URL containing `\n` or `|` must not be able to forge a second record
+//!   or shift CEF columns; the same functions guard the in-process audit
+//!   log (every [`AuditRecord`](crate::AuditRecord) field passes through
+//!   [`sanitize_field`] at construction).
+//! * [`CefEvent`] — an ArcSight-CEF-shaped event
+//!   (`CEF:0|vendor|product|version|signatureId|name|severity|ext…`) built
+//!   from an [`Alert`](crate::Alert) or an [`AuditRecord`](crate::AuditRecord).
+//! * [`CefExporter`] — a bounded queue in front of a notifier sink. The
+//!   sink is expected to be a [`RetryingNotifier`](crate::RetryingNotifier)
+//!   (dead-letter on sustained sink failure is then inherited, and the
+//!   export path can never block enforcement: the queue drops-and-counts
+//!   when full, exactly like the audit ring).
+//!
+//! Concurrency: the queue lock and counters come from `gaa_race::sync`, so
+//! the exporter is schedulable by the model checker like every other
+//! concurrent component grown since PR 5.
+
+use crate::log::{AuditRecord, AuditSeverity};
+use crate::notify::{Notification, Notifier};
+use crate::time::Timestamp;
+// Shim primitives: model-checkable under gaa-race, passthrough otherwise.
+use gaa_race::sync::{AtomicU64, Mutex};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Escapes one user-controlled field for log-line embedding: backslash,
+/// pipe, CR/LF and every other control byte (C0 plus DEL) are rewritten so
+/// the output can never terminate a record early, forge a new one, or
+/// shift a `|`-delimited CEF column. Printable text passes unchanged.
+pub fn sanitize_field(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '|' => out.push_str("\\|"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 || c as u32 == 0x7f => {
+                out.push_str(&format!("\\x{:02x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// [`sanitize_field`] plus `=` escaping — CEF extension values use `=` as
+/// the key/value separator, so a raw `=` in a crafted user agent could
+/// smuggle extra keys into the SIEM's parsed view.
+pub fn sanitize_extension(raw: &str) -> String {
+    sanitize_field(raw).replace('=', "\\=")
+}
+
+/// CEF numeric severity for an audit severity class.
+fn cef_severity(severity: AuditSeverity) -> u8 {
+    match severity {
+        AuditSeverity::Info => 2,
+        AuditSeverity::Notice => 4,
+        AuditSeverity::Warning => 7,
+        AuditSeverity::Alert => 9,
+    }
+}
+
+/// One SIEM-bound event, pre-rendering. All fields are sanitized at
+/// construction; [`CefEvent::to_line`] only concatenates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CefEvent {
+    /// Event time (exported as the `rt` extension, epoch milliseconds).
+    pub time: Timestamp,
+    /// CEF severity, `0..=10`.
+    pub severity: u8,
+    /// Stable event class id (the audit category, e.g. `ids.signature`).
+    pub signature_id: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Extension key/value pairs, already escaped.
+    extensions: Vec<(String, String)>,
+}
+
+impl CefEvent {
+    /// Builds an event; `signature_id` and `name` are sanitized here,
+    /// extensions as they are added.
+    pub fn new(
+        time: Timestamp,
+        severity: u8,
+        signature_id: impl Into<String>,
+        name: impl Into<String>,
+    ) -> Self {
+        CefEvent {
+            time,
+            severity: severity.min(10),
+            signature_id: sanitize_field(&signature_id.into()),
+            name: sanitize_field(&name.into()),
+            extensions: Vec::new(),
+        }
+    }
+
+    /// Adds an extension pair (value sanitized for extension position).
+    pub fn with_ext(mut self, key: impl Into<String>, value: &str) -> Self {
+        self.extensions
+            .push((sanitize_extension(&key.into()), sanitize_extension(value)));
+        self
+    }
+
+    /// Converts an audit record: category becomes the signature id, subject
+    /// and attributes become extensions.
+    ///
+    /// Record fields were already sanitized at
+    /// [`AuditRecord::new`](crate::AuditRecord) time; conversion escapes
+    /// again for the CEF position (adding `=` escaping, re-escaping the
+    /// backslashes introduced earlier), so the extension carries the exact
+    /// text of the in-process audit line.
+    pub fn from_record(record: &AuditRecord) -> Self {
+        let mut event = CefEvent::new(
+            record.time,
+            cef_severity(record.severity),
+            record.category.clone(),
+            record.message.clone(),
+        )
+        .with_ext("suser", &record.subject);
+        for (key, value) in &record.attrs {
+            event = event.with_ext(key.clone(), value);
+        }
+        event
+    }
+
+    /// Converts an administrator alert.
+    pub fn from_alert(alert: &crate::alert::Alert) -> Self {
+        CefEvent::new(
+            alert.time,
+            cef_severity(alert.severity),
+            "gaa.alert",
+            alert.reason.clone(),
+        )
+        .with_ext("suser", &alert.subject)
+        .with_ext("act", &alert.action_taken)
+    }
+
+    /// Renders the CEF line:
+    /// `CEF:0|gaa|gaa-httpd|0.1|signatureId|name|severity|rt=… k=v …`.
+    pub fn to_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut line = String::with_capacity(96);
+        let _ = write!(
+            line,
+            "CEF:0|gaa|gaa-httpd|0.1|{}|{}|{}|rt={}",
+            self.signature_id,
+            self.name,
+            self.severity,
+            self.time.as_millis()
+        );
+        for (key, value) in &self.extensions {
+            let _ = write!(line, " {key}={value}");
+        }
+        line
+    }
+}
+
+impl fmt::Display for CefEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_line())
+    }
+}
+
+/// Counter snapshot from [`CefExporter::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CefExportStats {
+    /// Events accepted into the queue.
+    pub enqueued: u64,
+    /// Events dropped because the queue was full (counted, never blocking).
+    pub dropped: u64,
+    /// Events handed to the sink and acknowledged.
+    pub delivered: u64,
+    /// Events the sink gave up on (a retrying sink has already
+    /// dead-lettered these into the audit log).
+    pub failed: u64,
+}
+
+/// Bounded export queue in front of a SIEM sink.
+///
+/// Cloning shares the queue. `export` is called from the request path and
+/// must stay cheap and non-blocking; `flush` is the slow half, called from
+/// an operator loop, the swarm tick, or a test.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_audit::export::{CefEvent, CefExporter};
+/// use gaa_audit::notify::CollectingNotifier;
+/// use gaa_audit::Timestamp;
+/// use std::sync::Arc;
+///
+/// let sink = Arc::new(CollectingNotifier::new());
+/// let exporter = CefExporter::new(sink.clone(), 16);
+/// exporter.export(CefEvent::new(Timestamp::from_millis(1), 9, "ids.attack", "phf probe"));
+/// assert_eq!(exporter.flush(), 1);
+/// assert!(sink.sent()[0].body.starts_with("CEF:0|gaa|"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CefExporter {
+    inner: Arc<ExporterInner>,
+}
+
+#[derive(Debug)]
+struct ExporterInner {
+    queue: Mutex<VecDeque<CefEvent>>,
+    capacity: usize,
+    sink: Arc<dyn Notifier>,
+    recipient: String,
+    enqueued: AtomicU64,
+    dropped: AtomicU64,
+    delivered: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl CefExporter {
+    /// An exporter holding at most `capacity` undelivered events. Wrap
+    /// `sink` in a [`RetryingNotifier`](crate::RetryingNotifier) to get
+    /// backoff and dead-lettering on sink failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(sink: Arc<dyn Notifier>, capacity: usize) -> Self {
+        assert!(capacity > 0, "export queue capacity must be non-zero");
+        CefExporter {
+            inner: Arc::new(ExporterInner {
+                queue: Mutex::named("cef.queue", VecDeque::new()),
+                capacity,
+                sink,
+                recipient: "siem".to_string(),
+                enqueued: AtomicU64::named("cef.enqueued", 0),
+                dropped: AtomicU64::named("cef.dropped", 0),
+                delivered: AtomicU64::named("cef.delivered", 0),
+                failed: AtomicU64::named("cef.failed", 0),
+            }),
+        }
+    }
+
+    /// Enqueues an event; returns `false` (and counts a drop) when the
+    /// queue is full. Never blocks on the sink.
+    pub fn export(&self, event: CefEvent) -> bool {
+        let mut queue = self.inner.queue.lock();
+        if queue.len() >= self.inner.capacity {
+            drop(queue);
+            // ordering: Relaxed — monotonic statistic, publishes no other
+            // memory; the queue mutex orders the payload.
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        queue.push_back(event);
+        drop(queue);
+        // ordering: Relaxed — monotonic statistic (see above).
+        self.inner.enqueued.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Converts and enqueues every record in `records` at or above
+    /// `threshold`. Returns how many were accepted.
+    pub fn export_records(&self, records: &[AuditRecord], threshold: AuditSeverity) -> usize {
+        records
+            .iter()
+            .filter(|r| r.severity >= threshold)
+            .filter(|r| self.export(CefEvent::from_record(r)))
+            .count()
+    }
+
+    /// Drains the queue into the sink, one notification per event (subject
+    /// = signature id, body = the CEF line). An event the sink rejects is
+    /// counted as failed and *not* requeued — a retrying sink has already
+    /// dead-lettered it, and requeueing would wedge the queue behind a dead
+    /// sink. Returns the number delivered.
+    pub fn flush(&self) -> usize {
+        let mut sent = 0;
+        loop {
+            let event = { self.inner.queue.lock().pop_front() };
+            let Some(event) = event else { break };
+            let notification = Notification::new(
+                event.time,
+                self.inner.recipient.clone(),
+                event.signature_id.clone(),
+                event.to_line(),
+            );
+            match self.inner.sink.notify(&notification) {
+                Ok(()) => {
+                    // ordering: Relaxed — monotonic statistic.
+                    self.inner.delivered.fetch_add(1, Ordering::Relaxed);
+                    sent += 1;
+                }
+                Err(_) => {
+                    // ordering: Relaxed — monotonic statistic.
+                    self.inner.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        sent
+    }
+
+    /// Number of events waiting to be flushed.
+    pub fn pending(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CefExportStats {
+        // ordering: Relaxed — statistics only.
+        CefExportStats {
+            enqueued: self.inner.enqueued.load(Ordering::Relaxed),
+            dropped: self.inner.dropped.load(Ordering::Relaxed),
+            delivered: self.inner.delivered.load(Ordering::Relaxed),
+            failed: self.inner.failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::Alert;
+    use crate::notify::{CollectingNotifier, FailingNotifier, RetryingNotifier};
+    use crate::time::VirtualClock;
+    use crate::AuditLog;
+    use std::time::Duration;
+
+    #[test]
+    fn sanitize_neutralizes_injection_bytes() {
+        assert_eq!(
+            sanitize_field("/x\n127.0.0.1 - ok"),
+            "/x\\n127.0.0.1 - ok",
+            "newline cannot start a forged record"
+        );
+        assert_eq!(sanitize_field("a|b\\c"), "a\\|b\\\\c");
+        assert_eq!(sanitize_field("bell\x07"), "bell\\x07");
+        assert_eq!(
+            sanitize_field("höhe ok"),
+            "höhe ok",
+            "printable unicode passes"
+        );
+        assert_eq!(sanitize_extension("k=v"), "k\\=v");
+    }
+
+    #[test]
+    fn cef_line_shape_and_column_safety() {
+        let event = CefEvent::new(Timestamp::from_millis(42), 9, "ids.signature", "phf|probe")
+            .with_ext("request", "/cgi-bin/phf?Qalias=x\nFORGED")
+            .with_ext("src", "203.0.113.9");
+        let line = event.to_line();
+        assert!(line.starts_with("CEF:0|gaa|gaa-httpd|0.1|ids.signature|phf\\|probe|9|rt=42"));
+        // Exactly 7 unescaped pipes — the crafted name cannot add a column.
+        let columns = line.replace("\\|", "").matches('|').count();
+        assert_eq!(columns, 7, "{line}");
+        assert!(!line.contains('\n'));
+        assert!(line.contains("request=/cgi-bin/phf?Qalias\\=x\\nFORGED"));
+    }
+
+    #[test]
+    fn record_and_alert_conversions_carry_fields() {
+        let record = AuditRecord::new(
+            Timestamp::from_millis(7),
+            AuditSeverity::Warning,
+            "ids.signature",
+            "203.0.113.9",
+            "signature S3 matched",
+        )
+        .with_attr("url", "/cgi-bin/phf");
+        let line = CefEvent::from_record(&record).to_line();
+        assert!(line.contains("|ids.signature|signature S3 matched|7|"));
+        assert!(line.contains("suser=203.0.113.9"));
+        assert!(line.contains("url=/cgi-bin/phf"));
+
+        let alert = Alert {
+            time: Timestamp::from_millis(8),
+            severity: AuditSeverity::Alert,
+            action_taken: "blacklisted 203.0.113.9".into(),
+            reason: "matched signature *phf*".into(),
+            subject: "203.0.113.9".into(),
+        };
+        let line = CefEvent::from_alert(&alert).to_line();
+        assert!(line.contains("|gaa.alert|matched signature *phf*|9|"));
+        assert!(line.contains("act=blacklisted 203.0.113.9"));
+    }
+
+    #[test]
+    fn bounded_queue_drops_and_counts_when_full() {
+        let exporter = CefExporter::new(Arc::new(CollectingNotifier::new()), 2);
+        for i in 0..4 {
+            exporter.export(CefEvent::new(Timestamp::from_millis(i), 5, "c", "n"));
+        }
+        let stats = exporter.stats();
+        assert_eq!(stats.enqueued, 2);
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(exporter.pending(), 2);
+        assert_eq!(exporter.flush(), 2);
+        assert_eq!(exporter.stats().delivered, 2);
+    }
+
+    #[test]
+    fn sink_failure_dead_letters_through_retrying_notifier() {
+        let clock = Arc::new(VirtualClock::new());
+        let audit = AuditLog::new();
+        let failing = Arc::new(FailingNotifier::new());
+        let retrying = Arc::new(
+            RetryingNotifier::new(failing, clock, audit.clone()).with_policy(
+                2,
+                Duration::from_millis(1),
+                Duration::from_millis(2),
+            ),
+        );
+        let exporter = CefExporter::new(retrying.clone(), 8);
+        exporter.export(CefEvent::new(
+            Timestamp::from_millis(1),
+            9,
+            "ids.attack",
+            "n",
+        ));
+        assert_eq!(exporter.flush(), 0);
+        let stats = exporter.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(retrying.dead_lettered(), 1);
+        // The dead-letter audit record preserves the CEF line for replay.
+        let dead = audit.by_category("notify.dead_letter");
+        assert_eq!(dead.len(), 1);
+        assert!(dead[0].attr("body").unwrap().contains("CEF:0"));
+        assert_eq!(exporter.pending(), 0, "failed events are not requeued");
+    }
+
+    #[test]
+    fn export_records_filters_by_severity() {
+        let exporter = CefExporter::new(Arc::new(CollectingNotifier::new()), 8);
+        let records = vec![
+            AuditRecord::new(
+                Timestamp::from_millis(1),
+                AuditSeverity::Info,
+                "a",
+                "s",
+                "m",
+            ),
+            AuditRecord::new(
+                Timestamp::from_millis(2),
+                AuditSeverity::Alert,
+                "b",
+                "s",
+                "m",
+            ),
+        ];
+        assert_eq!(exporter.export_records(&records, AuditSeverity::Warning), 1);
+        assert_eq!(exporter.pending(), 1);
+    }
+}

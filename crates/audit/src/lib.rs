@@ -22,12 +22,14 @@
 #![warn(rustdoc::broken_intra_doc_links)]
 pub mod alert;
 pub mod degrade;
+pub mod export;
 pub mod log;
 pub mod notify;
 pub mod time;
 
 pub use alert::{Alert, AlertQueue};
 pub use degrade::{Component, DegradationState};
+pub use export::{sanitize_field, CefEvent, CefExportStats, CefExporter};
 pub use log::{AuditLog, AuditRecord, AuditSeverity};
 pub use notify::{
     resilient_notifier, CircuitBreakerNotifier, CollectingNotifier, CompositeNotifier,

@@ -60,6 +60,13 @@ pub struct AuditRecord {
 
 impl AuditRecord {
     /// Creates a record with no extra attributes.
+    ///
+    /// Subject and message are user-influenced (request paths, user agents,
+    /// peer addresses flow into them) and pass through
+    /// [`sanitize_field`](crate::export::sanitize_field) here, so a crafted
+    /// request containing `\n` or `|` cannot forge extra log lines or shift
+    /// delimited columns downstream. Category is a code-controlled constant
+    /// and is kept verbatim.
     pub fn new(
         time: Timestamp,
         severity: AuditSeverity,
@@ -71,15 +78,18 @@ impl AuditRecord {
             time,
             severity,
             category: category.into(),
-            subject: subject.into(),
-            message: message.into(),
+            subject: crate::export::sanitize_field(&subject.into()),
+            message: crate::export::sanitize_field(&message.into()),
             attrs: Vec::new(),
         }
     }
 
-    /// Adds a key/value attribute, returning `self` for chaining.
+    /// Adds a key/value attribute, returning `self` for chaining. The value
+    /// is sanitized (URLs, user agents and other request-derived data land
+    /// here); keys are code-controlled constants and kept verbatim.
     pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
-        self.attrs.push((key.into(), value.into()));
+        self.attrs
+            .push((key.into(), crate::export::sanitize_field(&value.into())));
         self
     }
 

@@ -1,0 +1,300 @@
+//! `gaa-swarm` — seeded multi-node chaos smoke for the swarm protocol.
+//!
+//! Spins up a 3-node in-process fleet over the fault-injected hub and
+//! drives the full partition-tolerance story end to end:
+//!
+//! 1. **chaos warm-up** — duplication + reordering + delay while bans and
+//!    a threat raise propagate; every duplicate must be absorbed by the
+//!    replay gate (blacklist cardinality proves single application);
+//! 2. **partition** — one node is isolated, the epoch origin de-escalates
+//!    and bans a fresh attacker; the isolated node must *hold* its stale
+//!    High floor (fail-safe: stale data only holds or raises) and surface
+//!    the staleness as a `swarm` degradation;
+//! 3. **heal** — after the partition lifts, anti-entropy must reconverge
+//!    both the threat pair and the blacklist within two intervals, and
+//!    the degradation must clear.
+//!
+//! ```text
+//! gaa-swarm --smoke             # CI gate, default seeds
+//! gaa-swarm --smoke --seed 99   # replay a failure
+//! ```
+//!
+//! Exit codes: `0` clean, `1` divergence/violation (details on stdout),
+//! `2` usage error — the same contract as `gaa-race` and `gaa-lint`.
+
+use gaa_audit::degrade::Component;
+use gaa_audit::time::{Timestamp, VirtualClock};
+use gaa_audit::{AuditLog, DegradationState};
+use gaa_conditions::identity::GroupStore;
+use gaa_faults::net::NetFaultPlan;
+use gaa_ids::{ThreatLevel, ThreatMonitor};
+use gaa_swarm::transport::Transport;
+use gaa_swarm::{InProcHub, SwarmConfig, SwarmNode};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const IDS: [&str; 3] = ["n0", "n1", "n2"];
+
+struct Fleet {
+    nodes: Vec<SwarmNode>,
+    hub: InProcHub,
+}
+
+impl Fleet {
+    fn new(plan: NetFaultPlan) -> Fleet {
+        let nodes = IDS
+            .iter()
+            .map(|id| {
+                let peers: Vec<&str> = IDS.iter().copied().filter(|p| p != id).collect();
+                let mut config = SwarmConfig::new(*id, &peers);
+                config.anti_entropy_every = Duration::from_millis(500);
+                config.stale_after = Duration::from_millis(3000);
+                SwarmNode::new(
+                    config,
+                    ThreatMonitor::new(Arc::new(VirtualClock::new())),
+                    GroupStore::new(),
+                    DegradationState::new(),
+                    AuditLog::new(),
+                )
+            })
+            .collect();
+        Fleet {
+            nodes,
+            hub: InProcHub::new(plan),
+        }
+    }
+
+    fn node(&self, id: &str) -> &SwarmNode {
+        self.nodes.iter().find(|n| n.node_id() == id).unwrap()
+    }
+
+    /// One simulated round at `now`: every node ticks, then drains its
+    /// inbox; all produced frames go through the (faulty) hub.
+    fn round(&self, now: Timestamp) {
+        for node in &self.nodes {
+            for (to, frame) in node.tick(now) {
+                self.hub.send(node.node_id(), &to, &frame, now);
+            }
+        }
+        for node in &self.nodes {
+            for frame in self.hub.recv(node.node_id(), now) {
+                for (to, reply) in node.receive(&frame, now) {
+                    self.hub.send(node.node_id(), &to, &reply, now);
+                }
+            }
+        }
+    }
+
+    /// Runs rounds every 100 virtual ms over `[from, to)`.
+    fn run(&self, from_ms: u64, to_ms: u64) {
+        let mut t = from_ms;
+        while t < to_ms {
+            self.round(Timestamp::from_millis(t));
+            t += 100;
+        }
+    }
+
+    fn converged(&self) -> bool {
+        let digest = self.nodes[0].blacklist_digest();
+        let fleet = self.nodes[0].fleet();
+        self.nodes
+            .iter()
+            .all(|n| n.blacklist_digest() == digest && n.fleet() == fleet)
+    }
+}
+
+/// Runs the three phases for one seed, appending violations to `problems`.
+fn run_seed(seed: u64, problems: &mut Vec<String>) {
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            problems.push(format!("seed {seed}: {what}"));
+        }
+    };
+
+    let plan = NetFaultPlan::builder(seed)
+        .duplicate(0.25)
+        .reorder(0.25)
+        .delay(0.15, 120)
+        .build();
+    let fleet = Fleet::new(plan);
+
+    // Phase 1: chaos warm-up.
+    fleet
+        .node("n0")
+        .ban("BadGuys", "203.0.113.9", Timestamp::from_millis(0));
+    fleet
+        .node("n1")
+        .ban("BadGuys", "198.51.100.7", Timestamp::from_millis(0));
+    fleet.node("n0").threat().set_level(ThreatLevel::High);
+    fleet.run(0, 4000);
+
+    check(
+        fleet.converged(),
+        "phase 1: fleet did not converge under chaos",
+    );
+    for node in &fleet.nodes {
+        check(
+            node.blacklist_len() == 2,
+            &format!(
+                "phase 1: {} applied a duplicate (blacklist len {})",
+                node.node_id(),
+                node.blacklist_len()
+            ),
+        );
+        check(
+            node.threat().current() == ThreatLevel::High,
+            &format!("phase 1: {} missed the threat raise", node.node_id()),
+        );
+        check(
+            node.stats().forgery_dropped == 0,
+            &format!(
+                "phase 1: {} saw forged frames on a clean link",
+                node.node_id()
+            ),
+        );
+    }
+    let replays: u64 = fleet.nodes.iter().map(|n| n.stats().replay_dropped).sum();
+    check(replays > 0, "phase 1: chaos produced no replays to absorb");
+
+    // Phase 2: partition n2; the epoch origin de-escalates and bans anew.
+    fleet.hub.plan().isolate("n2", &["n0", "n1"]);
+    fleet.node("n0").threat().set_level(ThreatLevel::Low);
+    fleet
+        .node("n0")
+        .ban("BadGuys", "192.0.2.99", Timestamp::from_millis(4000));
+    // Assert fail-safety at every tick of the sustained partition, not
+    // just at the end: the stale node must never dip below High.
+    let mut t = 4000u64;
+    while t < 9000 {
+        fleet.round(Timestamp::from_millis(t));
+        check(
+            fleet.node("n2").threat().current() == ThreatLevel::High,
+            &format!("phase 2: partitioned n2 relaxed on stale data at t={t}"),
+        );
+        t += 100;
+    }
+    check(
+        fleet.node("n1").threat().current() == ThreatLevel::Low,
+        "phase 2: connected n1 did not follow the fresh de-escalation",
+    );
+    check(
+        fleet.node("n2").degradation().is_degraded(Component::Swarm),
+        "phase 2: sustained staleness not surfaced as degradation",
+    );
+    check(
+        !fleet.node("n2").groups().contains("BadGuys", "192.0.2.99"),
+        "phase 2: ban crossed a severed link",
+    );
+
+    // Phase 3: heal; two anti-entropy intervals to reconverge.
+    fleet.hub.plan().heal_all();
+    fleet.run(9000, 10_100);
+    check(
+        fleet.converged(),
+        "phase 3: fleet did not reconverge after heal",
+    );
+    check(
+        fleet.node("n2").threat().current() == ThreatLevel::Low,
+        "phase 3: n2 did not adopt the fresh (lower) epoch after heal",
+    );
+    check(
+        fleet.node("n2").groups().contains("BadGuys", "192.0.2.99"),
+        "phase 3: partition-era ban did not reach n2",
+    );
+    check(
+        !fleet.node("n2").degradation().is_degraded(Component::Swarm),
+        "phase 3: degradation did not clear after rejoin",
+    );
+    check(
+        fleet.node("n2").stats().resyncs_requested >= 1,
+        "phase 3: rejoin happened without an anti-entropy resync",
+    );
+
+    for node in &fleet.nodes {
+        let stats = node.stats();
+        println!(
+            "   seed {seed} {}: sent={} accepted={} replay_dropped={} \
+             rate_limited(send/recv)={}/{} resyncs={} remote_bans={}",
+            node.node_id(),
+            stats.sent,
+            stats.accepted,
+            stats.replay_dropped,
+            stats.rate_limited_send,
+            stats.rate_limited_recv,
+            stats.resyncs_requested,
+            stats.remote_bans_adopted,
+        );
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: gaa-swarm --smoke [--seed N]\n\
+     \n\
+     --smoke   run the 3-node partition/heal chaos pass (CI gate)\n\
+     --seed    run a single seed instead of the default sweep"
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut seed: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                let Some(raw) = args.next() else {
+                    eprintln!("gaa-swarm: --seed needs a value\n\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                let parsed = match raw.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => raw.parse(),
+                };
+                match parsed {
+                    Ok(value) => seed = Some(value),
+                    Err(_) => {
+                        eprintln!("gaa-swarm: bad seed `{raw}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("gaa-swarm: unknown argument `{other}`\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !smoke {
+        eprintln!("gaa-swarm: --smoke is required\n\n{}", usage());
+        return ExitCode::from(2);
+    }
+
+    let seeds: Vec<u64> = match seed {
+        Some(one) => vec![one],
+        None => vec![7, 42, 1902, 0xBEE5, 77_777],
+    };
+    let mut problems = Vec::new();
+    for seed in &seeds {
+        println!("== seed {seed}");
+        run_seed(*seed, &mut problems);
+    }
+    if problems.is_empty() {
+        println!(
+            "\ngaa-swarm: {} seed(s), 3 nodes, partition + heal: all clean",
+            seeds.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!();
+        for problem in &problems {
+            println!("VIOLATION: {problem}");
+        }
+        println!("gaa-swarm: {} violation(s)", problems.len());
+        ExitCode::FAILURE
+    }
+}

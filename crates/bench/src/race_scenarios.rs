@@ -21,6 +21,9 @@
 //! * `breaker_half_open` — two callers racing the circuit breaker's
 //!   half-open probe while the transport recovers; breaker phase and the
 //!   `Notifier` degradation mirror must never diverge.
+//! * `swarm_epoch` — two real `gaa-swarm` nodes exchanging threat-epoch
+//!   bumps while local detections fire on both; after reconciliation the
+//!   fleet pair must converge with the higher level winning.
 //!
 //! All nondeterminism beyond scheduling comes from the scenario seed, so
 //! any failure reproduces from the printed seed + schedule alone.
@@ -78,6 +81,11 @@ pub fn all_scenarios() -> Vec<Scenario> {
             name: "breaker_half_open",
             description: "racing half-open circuit-breaker probes during transport recovery",
             build: breaker_half_open,
+        },
+        Scenario {
+            name: "swarm_epoch",
+            description: "concurrent local detections on two swarm nodes converge on the max level",
+            build: swarm_epoch,
         },
     ]
 }
@@ -397,6 +405,86 @@ fn breaker_half_open(_seed: u64) -> ScenarioFn {
                 successes.load(Ordering::Relaxed) > 0,
                 "circuit closed without any successful probe"
             );
+        }
+    })
+}
+
+/// Delivers every queued swarm frame to its destination in FIFO order
+/// (per-link in-order delivery, as the transports provide), feeding
+/// protocol replies (anti-entropy pull/push chains) back into the queue
+/// until it drains. The two-node world is closed: frames go to `a` or `b`.
+/// FIFO matters: delivering a node's frames newest-first would advance the
+/// replay watermark past the older ones and the gate would drop them.
+fn swarm_pump(
+    a: &gaa_swarm::SwarmNode,
+    b: &gaa_swarm::SwarmNode,
+    queue: Vec<(String, Vec<u8>)>,
+    now: gaa_audit::time::Timestamp,
+) {
+    let mut queue: VecDeque<(String, Vec<u8>)> = queue.into();
+    while let Some((to, frame)) = queue.pop_front() {
+        let target = if to == a.node_id() { a } else { b };
+        queue.extend(target.receive(&frame, now));
+    }
+}
+
+fn swarm_epoch(_seed: u64) -> ScenarioFn {
+    use gaa_audit::time::Timestamp;
+    use gaa_swarm::{SwarmConfig, SwarmNode};
+
+    Box::new(move |exec: &mut Exec| {
+        let node = |id: &str, peer: &str| {
+            let mut config = SwarmConfig::new(id, &[peer]);
+            config.anti_entropy_every = Duration::from_millis(100);
+            let clock = Arc::new(VirtualClock::new());
+            Arc::new(SwarmNode::new(
+                config,
+                ThreatMonitor::new(clock).with_decay_after(Duration::ZERO),
+                gaa_conditions::identity::GroupStore::new(),
+                DegradationState::new(),
+                AuditLog::new(),
+            ))
+        };
+        let a = node("a", "b");
+        let b = node("b", "a");
+
+        // Both nodes detect locally *at the same time* and gossip the
+        // resulting epoch bumps at each other, replies included.
+        {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            exec.spawn(move || {
+                a.threat().report_attack(); // → High
+                a.ban("BadGuys", "203.0.113.9", Timestamp::from_millis(0));
+                let frames = a.tick(Timestamp::from_millis(0));
+                swarm_pump(&a, &b, frames, Timestamp::from_millis(0));
+            });
+        }
+        {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            exec.spawn(move || {
+                b.threat().set_level(ThreatLevel::Medium);
+                let frames = b.tick(Timestamp::from_millis(0));
+                swarm_pump(&a, &b, frames, Timestamp::from_millis(0));
+            });
+        }
+        exec.join_all();
+
+        // Deterministic reconciliation: anti-entropy rounds until quiet.
+        for round in 1..=6u64 {
+            let now = Timestamp::from_millis(round * 200);
+            let mut frames = a.tick(now);
+            frames.extend(b.tick(now));
+            swarm_pump(&a, &b, frames, now);
+        }
+
+        assert_eq!(a.fleet(), b.fleet(), "fleet threat pair diverged");
+        assert_eq!(a.blacklist_digest(), b.blacklist_digest());
+        for n in [&a, &b] {
+            // Concurrent epoch bumps must max-merge: the attack-driven High
+            // on `a` can never be relaxed by `b`'s concurrent Medium.
+            assert_eq!(n.threat().current(), ThreatLevel::High, "{}", n.node_id());
+            assert!(n.groups().contains("BadGuys", "203.0.113.9"));
+            assert_eq!(n.stats().forgery_dropped, 0);
         }
     })
 }

@@ -36,7 +36,7 @@ use gaa_faults::rng::mix;
 // model checker (see crates/race).
 use gaa_race::sync::{AtomicU64, Mutex};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -90,16 +90,70 @@ struct Counters {
     insertions: AtomicU64,
     invalidations: AtomicU64,
     uncacheable: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// One shard: the entry map plus first-insertion order for FIFO eviction.
+///
+/// `order` may briefly hold keys whose entries were dropped by a
+/// stamp-change flush; [`Shard::insert_bounded`] skips such ghosts when
+/// evicting, and [`Shard::clear`] drops both structures together.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<String, (CacheStamp, GaaStatus)>,
+    order: VecDeque<String>,
+}
+
+impl Shard {
+    /// Inserts (or updates) `key`, evicting oldest-first-inserted entries
+    /// to respect `capacity`. Returns how many entries were evicted.
+    fn insert_bounded(
+        &mut self,
+        key: &str,
+        value: (CacheStamp, GaaStatus),
+        capacity: usize,
+    ) -> u64 {
+        if self.entries.insert(key.to_string(), value).is_some() {
+            // Update in place: size unchanged, FIFO position kept.
+            return 0;
+        }
+        self.order.push_back(key.to_string());
+        let mut evicted = 0;
+        while self.entries.len() > capacity {
+            match self.order.pop_front() {
+                Some(old) if old != key => {
+                    if self.entries.remove(&old).is_some() {
+                        evicted += 1;
+                    }
+                }
+                Some(old) => {
+                    // The new key itself is oldest (capacity pressure with
+                    // everything else a ghost): evict it and stop.
+                    self.entries.remove(&old);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
 }
 
 #[derive(Debug)]
 struct Inner {
-    shards: Vec<Mutex<HashMap<String, (CacheStamp, GaaStatus)>>>,
+    shards: Vec<Mutex<Shard>>,
     /// The stamp current entries were written under; `None` until first use.
     stamp: Mutex<Option<CacheStamp>>,
     /// Mixed into shard selection so seeded tests control which keys
     /// collide on a shard (and so failures replay from the seed alone).
     shard_seed: u64,
+    /// Per-shard entry capacity (total bound divided across shards).
+    shard_capacity: usize,
     counters: Counters,
 }
 
@@ -117,6 +171,8 @@ pub struct DecisionCacheStats {
     /// Decisions evaluated but not stored (volatile support set, residual
     /// obligations, or a `Maybe` outcome).
     pub uncacheable: u64,
+    /// Entries dropped oldest-first to respect the configured entry bound.
+    pub evictions: u64,
 }
 
 /// Sharded, stamp-invalidated map from decision key to [`GaaStatus`].
@@ -169,20 +225,45 @@ impl DecisionCache {
     /// which keys share a shard, so a printed seed reproduces the exact
     /// same lock contention pattern.
     pub fn with_shards_seeded(shards: usize, seed: u64) -> Self {
+        DecisionCache::with_shards_seeded_bounded(shards, seed, DecisionCache::DEFAULT_MAX_ENTRIES)
+    }
+
+    /// Default total entry bound (divided across shards). Each entry is a
+    /// short key string plus a stamp and status; the default keeps worst
+    /// case memory in the low tens of megabytes while staying far above any
+    /// plausible working set of distinct (subject, object, operation,
+    /// params) tuples.
+    pub const DEFAULT_MAX_ENTRIES: usize = 65_536;
+
+    /// A fully configured cache: `shards` shards, seeded placement, and at
+    /// most `max_entries` total entries (rounded up so every shard holds at
+    /// least one). When the bound is exceeded, each shard evicts its
+    /// oldest-first-inserted entries and counts them in
+    /// [`DecisionCacheStats::evictions`] — an unbounded cache keyed by
+    /// request parameters would otherwise hand an attacker a memory
+    /// exhaustion lever (one cache entry per crafted query string).
+    pub fn with_shards_seeded_bounded(shards: usize, seed: u64, max_entries: usize) -> Self {
         let shards = shards.max(1);
+        let shard_capacity = (max_entries / shards).max(1);
         DecisionCache {
             inner: Arc::new(Inner {
                 shards: (0..shards)
-                    .map(|index| Mutex::named(&format!("cache.shard{index}"), HashMap::new()))
+                    .map(|index| Mutex::named(&format!("cache.shard{index}"), Shard::default()))
                     .collect(),
                 stamp: Mutex::named("cache.stamp", None),
                 shard_seed: seed,
+                shard_capacity,
                 counters: Counters::default(),
             }),
         }
     }
 
-    fn shard(&self, key: &str) -> &Mutex<HashMap<String, (CacheStamp, GaaStatus)>> {
+    /// Total entry capacity (per-shard capacity times shard count).
+    pub fn capacity(&self) -> usize {
+        self.inner.shard_capacity * self.inner.shards.len()
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
         let index =
@@ -200,6 +281,8 @@ impl DecisionCache {
                 for shard in &self.inner.shards {
                     shard.lock().clear();
                 }
+                // (Shard::clear drops the FIFO order alongside the entries,
+                // so eviction never chases keys from a previous stamp.)
                 if other.is_some() {
                     // ordering: Relaxed — statistics only (see Counters).
                     self.inner
@@ -216,15 +299,20 @@ impl DecisionCache {
     /// since the last call flushes the cache first.
     pub fn lookup(&self, stamp: CacheStamp, key: &str) -> Option<GaaStatus> {
         self.ensure_stamp(stamp);
-        let found = self.shard(key).lock().get(key).and_then(|(s, status)| {
-            // Entries carry their own stamp so an insert racing an
-            // invalidation can never serve a stale answer.
-            if *s == stamp {
-                Some(*status)
-            } else {
-                None
-            }
-        });
+        let found = self
+            .shard(key)
+            .lock()
+            .entries
+            .get(key)
+            .and_then(|(s, status)| {
+                // Entries carry their own stamp so an insert racing an
+                // invalidation can never serve a stale answer.
+                if *s == stamp {
+                    Some(*status)
+                } else {
+                    None
+                }
+            });
         match found {
             Some(status) => {
                 // ordering: Relaxed — statistics only (see Counters).
@@ -239,17 +327,26 @@ impl DecisionCache {
         }
     }
 
-    /// Stores a decision computed under `stamp`.
+    /// Stores a decision computed under `stamp`, evicting oldest entries
+    /// from the target shard if the entry bound would be exceeded.
     pub fn insert(&self, stamp: CacheStamp, key: &str, status: GaaStatus) {
         self.ensure_stamp(stamp);
-        self.shard(key)
-            .lock()
-            .insert(key.to_string(), (stamp, status));
+        let evicted =
+            self.shard(key)
+                .lock()
+                .insert_bounded(key, (stamp, status), self.inner.shard_capacity);
         // ordering: Relaxed — statistics only (see Counters).
         self.inner
             .counters
             .insertions
             .fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            // ordering: Relaxed — statistics only (see Counters).
+            self.inner
+                .counters
+                .evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 
     /// Counts a decision the caller evaluated but declined to store.
@@ -263,7 +360,11 @@ impl DecisionCache {
 
     /// Number of live entries across all shards.
     pub fn len(&self) -> usize {
-        self.inner.shards.iter().map(|s| s.lock().len()).sum()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().entries.len())
+            .sum()
     }
 
     /// True when no entries are cached.
@@ -281,6 +382,7 @@ impl DecisionCache {
             insertions: c.insertions.load(Ordering::Relaxed),
             invalidations: c.invalidations.load(Ordering::Relaxed),
             uncacheable: c.uncacheable.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -391,6 +493,60 @@ mod tests {
         };
         assert_eq!(placement(7), placement(7), "same seed, same shards");
         assert_ne!(placement(7), placement(8), "seed steers placement");
+    }
+
+    #[test]
+    fn entry_bound_evicts_oldest_first_and_counts() {
+        // One shard, capacity 3: deterministic FIFO across all keys.
+        let cache = DecisionCache::with_shards_seeded_bounded(1, 0, 3);
+        assert_eq!(cache.capacity(), 3);
+        let stamp = [1, 0, 0];
+        for key in ["a", "b", "c"] {
+            cache.insert(stamp, key, GaaStatus::Yes);
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 0);
+
+        cache.insert(stamp, "d", GaaStatus::Yes);
+        assert_eq!(cache.len(), 3, "bound holds");
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.lookup(stamp, "a"), None, "oldest entry evicted");
+        assert_eq!(cache.lookup(stamp, "d"), Some(GaaStatus::Yes));
+
+        // Updating an existing key neither grows the cache nor evicts.
+        cache.insert(stamp, "d", GaaStatus::No);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.lookup(stamp, "d"), Some(GaaStatus::No));
+    }
+
+    #[test]
+    fn stamp_flush_resets_eviction_order() {
+        let cache = DecisionCache::with_shards_seeded_bounded(1, 0, 2);
+        cache.insert([1, 0, 0], "a", GaaStatus::Yes);
+        cache.insert([1, 0, 0], "b", GaaStatus::Yes);
+        // Stamp change flushes everything; the FIFO queue must flush too,
+        // or pre-flush keys would distort post-flush eviction.
+        cache.insert([2, 0, 0], "c", GaaStatus::Yes);
+        cache.insert([2, 0, 0], "d", GaaStatus::Yes);
+        assert_eq!(cache.len(), 2);
+        cache.insert([2, 0, 0], "e", GaaStatus::Yes);
+        assert_eq!(cache.lookup([2, 0, 0], "c"), None, "c evicted, not a ghost");
+        assert_eq!(cache.lookup([2, 0, 0], "d"), Some(GaaStatus::Yes));
+        assert_eq!(cache.lookup([2, 0, 0], "e"), Some(GaaStatus::Yes));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn adversarial_key_stream_cannot_exceed_capacity() {
+        let cache = DecisionCache::with_shards_seeded_bounded(4, 7, 16);
+        for i in 0..500 {
+            cache.insert([1, 0, 0], &format!("attacker-key-{i}"), GaaStatus::No);
+        }
+        assert!(cache.len() <= cache.capacity());
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 500);
+        assert_eq!(stats.evictions as usize, 500 - cache.len());
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+pub mod net;
 pub mod rng;
 
 /// A place in the pipeline that consults the injector before doing work.

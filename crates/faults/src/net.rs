@@ -1,0 +1,444 @@
+//! Network fault surface: seeded per-link chaos for `gaa-swarm`.
+//!
+//! The [`FaultPlan`](crate::FaultPlan) model — a deterministic schedule of
+//! faults per injection site — covers *call-shaped* dependencies (a store
+//! read, a notifier delivery). Datagram networks fail differently: links
+//! partition asymmetrically, packets are dropped, duplicated, reordered,
+//! delayed and corrupted *per message*, and the interesting behaviours are
+//! properties of a (sender, receiver) pair, not of a single component.
+//!
+//! [`NetFaultPlan`] is the datagram-shaped sibling: every delivery decision
+//! is a pure function of `(seed, from, to, message number)`, plus an explicit
+//! mutable partition set so chaos drivers can cut and heal links
+//! mid-scenario. The in-process swarm transport consults it for every
+//! datagram; production transports use [`NetFaultPlan::none`] and pay one
+//! branch.
+//!
+//! Determinism is inherited from the crate's contract: a failing multi-node
+//! convergence run reproduces from its seed and its partition script alone.
+
+use crate::rng::mix;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// What happens to one datagram on one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// The datagram is silently dropped.
+    Drop,
+    /// The datagram is delivered twice (replay-protection exercise).
+    Duplicate,
+    /// The datagram is delivered *ahead* of previously queued traffic
+    /// (reordering without needing a real clock).
+    Reorder,
+    /// Delivery is deferred by this many virtual milliseconds.
+    Delay(u64),
+    /// The payload is corrupted (digest-rejection exercise): byte at
+    /// `index % len` is XORed with `mask` (mask is never zero).
+    Corrupt {
+        /// Which byte to damage (taken modulo the payload length).
+        index: u32,
+        /// XOR mask applied to that byte.
+        mask: u8,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LinkRule {
+    /// Probability in `[0, 1]` that the rule fires for a given datagram.
+    probability: f64,
+    fault: NetFault,
+}
+
+#[derive(Debug, Default)]
+struct NetState {
+    /// Directed severed links `(from, to)`. A symmetric partition inserts
+    /// both directions.
+    severed: HashSet<(String, String)>,
+    /// Per-link datagram counters, keyed by `(from, to)`.
+    counters: std::collections::HashMap<(String, String), u64>,
+    /// Every fault injected: `(from, to, message number, fault)`.
+    history: Vec<(String, String, u64, NetFault)>,
+    disarmed: bool,
+}
+
+/// A deterministic, seeded schedule of per-link datagram faults plus an
+/// explicit partition set.
+///
+/// Cloning shares state (partitions, counters, history) so one plan handle
+/// can be wired into every node's transport and scripted from the chaos
+/// driver.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_faults::net::{NetFault, NetFaultPlan};
+///
+/// let plan = NetFaultPlan::builder(42).duplicate(0.5).build();
+/// plan.partition_both("n0", "n2");
+/// assert_eq!(plan.deliver("n0", "n2", b"x"), Vec::<Vec<u8>>::new());
+/// plan.heal_all();
+/// assert!(!plan.deliver("n0", "n2", b"x").is_empty());
+/// ```
+#[derive(Clone)]
+pub struct NetFaultPlan {
+    seed: u64,
+    rules: Vec<LinkRule>,
+    state: Arc<Mutex<NetState>>,
+}
+
+impl fmt::Debug for NetFaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("NetFaultPlan")
+            .field("seed", &self.seed)
+            .field("rules", &self.rules.len())
+            .field("severed_links", &state.severed.len())
+            .field("injected", &state.history.len())
+            .finish()
+    }
+}
+
+/// Builder for [`NetFaultPlan`].
+#[derive(Debug, Clone)]
+pub struct NetFaultPlanBuilder {
+    seed: u64,
+    rules: Vec<LinkRule>,
+}
+
+impl NetFaultPlanBuilder {
+    fn rule(mut self, probability: f64, fault: NetFault) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability out of range"
+        );
+        self.rules.push(LinkRule { probability, fault });
+        self
+    }
+
+    /// Drops each datagram independently with probability `p`.
+    pub fn drop(self, p: f64) -> Self {
+        self.rule(p, NetFault::Drop)
+    }
+
+    /// Duplicates each datagram independently with probability `p`.
+    pub fn duplicate(self, p: f64) -> Self {
+        self.rule(p, NetFault::Duplicate)
+    }
+
+    /// Reorders each datagram (delivers it ahead of queued traffic)
+    /// independently with probability `p`.
+    pub fn reorder(self, p: f64) -> Self {
+        self.rule(p, NetFault::Reorder)
+    }
+
+    /// Delays each datagram by `ms` virtual milliseconds with probability
+    /// `p`.
+    pub fn delay(self, p: f64, ms: u64) -> Self {
+        self.rule(p, NetFault::Delay(ms))
+    }
+
+    /// Corrupts one payload byte with probability `p` (byte index and mask
+    /// are drawn deterministically per datagram).
+    pub fn corrupt(self, p: f64) -> Self {
+        self.rule(
+            p,
+            NetFault::Corrupt {
+                index: 0,
+                mask: 0x80,
+            },
+        )
+    }
+
+    /// Finalizes the plan.
+    pub fn build(self) -> NetFaultPlan {
+        NetFaultPlan {
+            seed: self.seed,
+            rules: self.rules,
+            state: Arc::new(Mutex::new(NetState::default())),
+        }
+    }
+}
+
+impl NetFaultPlan {
+    /// Starts a plan over `seed`.
+    pub fn builder(seed: u64) -> NetFaultPlanBuilder {
+        NetFaultPlanBuilder {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// A plan that never interferes (production transports).
+    pub fn none() -> NetFaultPlan {
+        NetFaultPlan::builder(0).build()
+    }
+
+    /// The seed the plan was built over.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Severs the directed link `from → to`.
+    pub fn partition(&self, from: &str, to: &str) {
+        self.state
+            .lock()
+            .severed
+            .insert((from.to_string(), to.to_string()));
+    }
+
+    /// Severs both directions between `a` and `b`.
+    pub fn partition_both(&self, a: &str, b: &str) {
+        let mut state = self.state.lock();
+        state.severed.insert((a.to_string(), b.to_string()));
+        state.severed.insert((b.to_string(), a.to_string()));
+    }
+
+    /// Isolates `node` from every other endpoint it has ever exchanged a
+    /// datagram with, both directions.
+    pub fn isolate(&self, node: &str, peers: &[&str]) {
+        let mut state = self.state.lock();
+        for peer in peers {
+            state.severed.insert((node.to_string(), peer.to_string()));
+            state.severed.insert((peer.to_string(), node.to_string()));
+        }
+    }
+
+    /// Restores the directed link `from → to`.
+    pub fn heal(&self, from: &str, to: &str) {
+        self.state
+            .lock()
+            .severed
+            .remove(&(from.to_string(), to.to_string()));
+    }
+
+    /// Restores every severed link.
+    pub fn heal_all(&self) {
+        self.state.lock().severed.clear();
+    }
+
+    /// True when the directed link `from → to` is currently severed.
+    pub fn is_partitioned(&self, from: &str, to: &str) -> bool {
+        self.state
+            .lock()
+            .severed
+            .contains(&(from.to_string(), to.to_string()))
+    }
+
+    /// Stops all probabilistic injection (partitions stay scripted).
+    pub fn disarm(&self) {
+        self.state.lock().disarmed = true;
+    }
+
+    /// Resumes probabilistic injection after [`NetFaultPlan::disarm`].
+    pub fn rearm(&self) {
+        self.state.lock().disarmed = false;
+    }
+
+    /// Number of faults injected so far (partition drops are not counted —
+    /// they are scripted, not drawn).
+    pub fn injected_total(&self) -> u64 {
+        self.state.lock().history.len() as u64
+    }
+
+    /// Every probabilistic injection so far, in order.
+    pub fn history(&self) -> Vec<(String, String, u64, NetFault)> {
+        self.state.lock().history.clone()
+    }
+
+    /// Deterministic per-(seed, link, message, rule, draw) coin.
+    fn coin(&self, from: &str, to: &str, msg: u64, salt: u64) -> f64 {
+        let mut acc = self.seed ^ 0x6a09_e667_f3bc_c909;
+        for byte in from.as_bytes().iter().chain(to.as_bytes()) {
+            acc = mix(acc ^ u64::from(*byte));
+        }
+        let x = mix(acc ^ msg.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt);
+        (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Runs one datagram through the plan. Returns the payload copies the
+    /// receiver should see *now*, in order; an empty vector means the
+    /// datagram was dropped (partition or `Drop` fault). `Delay` and
+    /// `Reorder` are reported via [`Verdict`] for transports that keep
+    /// queues — this convenience entry point treats `Delay` as deliver and
+    /// `Reorder` as deliver (single-datagram view).
+    pub fn deliver(&self, from: &str, to: &str, payload: &[u8]) -> Vec<Vec<u8>> {
+        match self.verdict(from, to, payload) {
+            Verdict::Drop => Vec::new(),
+            Verdict::Deliver(bytes) | Verdict::DeliverAhead(bytes) | Verdict::Delayed(bytes, _) => {
+                vec![bytes]
+            }
+            Verdict::Duplicate(bytes) => vec![bytes.clone(), bytes],
+        }
+    }
+
+    /// Full verdict for one datagram on `from → to`. Transports with real
+    /// queues use this to honour `Reorder` (enqueue at the front) and
+    /// `Delay` (hold until the virtual deadline).
+    pub fn verdict(&self, from: &str, to: &str, payload: &[u8]) -> Verdict {
+        let mut state = self.state.lock();
+        let msg = {
+            let counter = state
+                .counters
+                .entry((from.to_string(), to.to_string()))
+                .or_insert(0);
+            let current = *counter;
+            *counter += 1;
+            current
+        };
+        if state.severed.contains(&(from.to_string(), to.to_string())) {
+            return Verdict::Drop;
+        }
+        if state.disarmed {
+            return Verdict::Deliver(payload.to_vec());
+        }
+        for (index, rule) in self.rules.iter().enumerate() {
+            if self.coin(from, to, msg, index as u64) >= rule.probability {
+                continue;
+            }
+            let fault = match rule.fault {
+                NetFault::Corrupt { .. } => NetFault::Corrupt {
+                    // Draw the damaged byte and mask from the same stream;
+                    // mask 0 would be a no-op corruption, so force a bit.
+                    index: (self.coin(from, to, msg, 0xC0_DE) * 4096.0) as u32,
+                    mask: ((self.coin(from, to, msg, 0xFACE) * 255.0) as u8) | 0x01,
+                },
+                other => other,
+            };
+            state
+                .history
+                .push((from.to_string(), to.to_string(), msg, fault));
+            drop(state);
+            return match fault {
+                NetFault::Drop => Verdict::Drop,
+                NetFault::Duplicate => Verdict::Duplicate(payload.to_vec()),
+                NetFault::Reorder => Verdict::DeliverAhead(payload.to_vec()),
+                NetFault::Delay(ms) => Verdict::Delayed(payload.to_vec(), ms),
+                NetFault::Corrupt { index, mask } => {
+                    let mut bytes = payload.to_vec();
+                    if !bytes.is_empty() {
+                        let at = (index as usize) % bytes.len();
+                        bytes[at] ^= mask;
+                    }
+                    Verdict::Deliver(bytes)
+                }
+            };
+        }
+        Verdict::Deliver(payload.to_vec())
+    }
+}
+
+/// What the transport should do with one datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver normally (payload possibly corrupted).
+    Deliver(Vec<u8>),
+    /// Deliver twice.
+    Duplicate(Vec<u8>),
+    /// Deliver ahead of already-queued traffic (reordering).
+    DeliverAhead(Vec<u8>),
+    /// Hold for this many virtual milliseconds, then deliver.
+    Delayed(Vec<u8>, u64),
+    /// Never deliver.
+    Drop,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_drops_and_heals() {
+        let plan = NetFaultPlan::none();
+        plan.partition_both("a", "b");
+        assert!(plan.is_partitioned("a", "b"));
+        assert!(plan.is_partitioned("b", "a"));
+        assert_eq!(plan.deliver("a", "b", b"x"), Vec::<Vec<u8>>::new());
+        plan.heal_all();
+        assert_eq!(plan.deliver("a", "b", b"x"), vec![b"x".to_vec()]);
+    }
+
+    #[test]
+    fn directed_partition_is_asymmetric() {
+        let plan = NetFaultPlan::none();
+        plan.partition("a", "b");
+        assert!(plan.deliver("a", "b", b"x").is_empty());
+        assert_eq!(plan.deliver("b", "a", b"x").len(), 1);
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_twice() {
+        let plan = NetFaultPlan::builder(1).duplicate(1.0).build();
+        assert_eq!(plan.deliver("a", "b", b"q").len(), 2);
+        assert_eq!(plan.injected_total(), 1);
+    }
+
+    #[test]
+    fn corrupt_fault_changes_exactly_one_byte() {
+        let plan = NetFaultPlan::builder(2).corrupt(1.0).build();
+        let out = plan.deliver("a", "b", b"hello");
+        assert_eq!(out.len(), 1);
+        let diff: usize = out[0]
+            .iter()
+            .zip(b"hello".iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(diff, 1, "exactly one byte corrupted: {:?}", out[0]);
+    }
+
+    #[test]
+    fn verdicts_are_deterministic_per_seed() {
+        let run = |seed| {
+            let plan = NetFaultPlan::builder(seed)
+                .drop(0.2)
+                .duplicate(0.2)
+                .reorder(0.2)
+                .build();
+            (0..64)
+                .map(|_| format!("{:?}", plan.verdict("a", "b", b"payload")))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(9));
+    }
+
+    #[test]
+    fn disarm_keeps_partitions_but_stops_draws() {
+        let plan = NetFaultPlan::builder(3).drop(1.0).build();
+        plan.partition("a", "b");
+        plan.disarm();
+        assert!(plan.deliver("a", "b", b"x").is_empty(), "still severed");
+        assert_eq!(plan.deliver("c", "d", b"x").len(), 1, "no drop draw");
+        plan.rearm();
+        assert!(plan.deliver("c", "d", b"x").is_empty());
+    }
+
+    #[test]
+    fn delay_and_reorder_surface_in_verdicts() {
+        let delayed = NetFaultPlan::builder(4).delay(1.0, 250).build();
+        match delayed.verdict("a", "b", b"x") {
+            Verdict::Delayed(bytes, ms) => {
+                assert_eq!(bytes, b"x".to_vec());
+                assert_eq!(ms, 250);
+            }
+            other => panic!("expected Delayed, got {other:?}"),
+        }
+        let reordered = NetFaultPlan::builder(4).reorder(1.0).build();
+        assert_eq!(
+            reordered.verdict("a", "b", b"x"),
+            Verdict::DeliverAhead(b"x".to_vec())
+        );
+    }
+
+    #[test]
+    fn clones_share_partitions_and_history() {
+        let plan = NetFaultPlan::builder(5).drop(1.0).build();
+        let other = plan.clone();
+        plan.partition("a", "b");
+        assert!(other.is_partitioned("a", "b"));
+        let _ = other.deliver("c", "d", b"x");
+        assert_eq!(plan.injected_total(), 1);
+    }
+}

@@ -9,6 +9,7 @@
 //! experiment can contrast offline detection with the GAA's inline
 //! blocking.
 
+use gaa_audit::export::sanitize_field;
 use gaa_audit::time::Timestamp;
 use parking_lot::Mutex;
 use std::fmt::Write as _;
@@ -34,15 +35,24 @@ pub struct AccessEntry {
 impl AccessEntry {
     /// Renders the entry in Common Log Format:
     /// `ip - user [time] "request" status bytes`.
+    ///
+    /// The user name and request line are attacker-controlled bytes off the
+    /// wire; they pass through [`sanitize_field`] so a request containing a
+    /// raw newline cannot forge a second log line (and thereby plant a fake
+    /// entry for the offline analyzer to trust).
     pub fn to_clf(&self) -> String {
         let mut out = String::with_capacity(64 + self.request_line.len());
         let _ = write!(
             out,
             "{} - {} [{}] \"{}\" {} {}",
             self.client_ip,
-            self.user.as_deref().unwrap_or("-"),
+            self.user
+                .as_deref()
+                .map(sanitize_field)
+                .as_deref()
+                .unwrap_or("-"),
             self.time.as_millis(),
-            self.request_line,
+            sanitize_field(&self.request_line),
             self.status,
             self.bytes
         );
@@ -165,6 +175,23 @@ mod tests {
             ..entry()
         };
         assert_eq!(AccessEntry::parse_clf(&e.to_clf()), Some(e));
+    }
+
+    #[test]
+    fn injection_bytes_cannot_forge_a_second_line() {
+        let e = AccessEntry {
+            request_line: "GET /x HTTP/1.0\" 200 5\n6.6.6.6 - - [1] \"GET /fake HTTP/1.0".into(),
+            user: Some("eve|admin".into()),
+            ..entry()
+        };
+        let line = e.to_clf();
+        assert!(!line.contains('\n'), "{line}");
+        assert!(line.contains("\\n6.6.6.6"));
+        assert!(line.contains("eve\\|admin"));
+        // The forged tail stays inside the quoted request field.
+        let parsed = AccessEntry::parse_clf(&line).unwrap();
+        assert_eq!(parsed.client_ip, "203.0.113.9");
+        assert_eq!(parsed.status, 403);
     }
 
     #[test]

@@ -28,6 +28,8 @@
 //!   passes prove self-defeating;
 //! * [`server`] — the request lifecycle tying it all together, with
 //!   pluggable access control (none / htaccess / GAA);
+//! * [`swarm_cfg`] — directive-style configuration for fleet threat
+//!   replication (`gaa-swarm`), plus the `Server` attachment point;
 //! * [`tcp`] — a minimal real-socket front end used by the runnable
 //!   examples.
 
@@ -42,6 +44,7 @@ pub mod http;
 pub mod loganalyzer;
 pub mod policy_lint;
 pub mod server;
+pub mod swarm_cfg;
 pub mod tcp;
 pub mod vfs;
 
@@ -51,4 +54,5 @@ pub use http::{HttpRequest, HttpResponse, Method, ParseRequestError, StatusCode}
 pub use loganalyzer::{LogAnalyzer, LogReport};
 pub use policy_lint::{lint_policy_store, LintEnforcement};
 pub use server::{AccessControl, Server, ServerStats};
+pub use swarm_cfg::parse_swarm_config;
 pub use vfs::{Node, Vfs};

@@ -161,6 +161,8 @@ pub struct Server {
     exec_control_interval: u32,
     /// Optional fault injector for chaos testing (CGI resource bombs).
     injector: Option<Arc<dyn FaultInjector>>,
+    /// Fleet replication node, when this server is one of several replicas.
+    swarm: Option<Arc<gaa_swarm::SwarmNode>>,
 }
 
 impl Server {
@@ -179,6 +181,7 @@ impl Server {
             stats: ServerStats::default(),
             exec_control_interval: 1,
             injector: None,
+            swarm: None,
         }
     }
 
@@ -208,6 +211,30 @@ impl Server {
             AccessControl::Gaa(glue) => glue.decision_cache().map(|c| c.stats()),
             _ => None,
         }
+    }
+
+    /// Attaches a fleet replication node. The node should share this
+    /// server's `ThreatMonitor` and `GroupStore` (typically the ones inside
+    /// the GAA glue's condition services) so that adopted remote state
+    /// feeds policy evaluation directly: a fleet threat floor raises the
+    /// effective `system_threat_level`, and replicated bans land in the
+    /// evaluator-visible `BadGuys` group. The caller drives
+    /// [`SwarmNode::tick`](gaa_swarm::SwarmNode::tick) and
+    /// [`receive`](gaa_swarm::SwarmNode::receive) from its transport loop.
+    #[must_use]
+    pub fn with_swarm(mut self, node: Arc<gaa_swarm::SwarmNode>) -> Self {
+        self.swarm = Some(node);
+        self
+    }
+
+    /// The attached fleet replication node, if any.
+    pub fn swarm(&self) -> Option<&Arc<gaa_swarm::SwarmNode>> {
+        self.swarm.as_ref()
+    }
+
+    /// One-line operator view of fleet replication state, if attached.
+    pub fn swarm_status(&self) -> Option<String> {
+        self.swarm.as_ref().map(|node| node.summary())
     }
 
     /// Sets the fallback credential store.
@@ -871,6 +898,79 @@ pos_access_right apache *
         assert_eq!(resp.status, StatusCode::Forbidden);
         // An innocent host is unaffected.
         let resp = server.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
+        assert_eq!(resp.status, StatusCode::Ok);
+    }
+
+    /// The fleet version of §7.2: replica A detects the exploit and bans the
+    /// host; the swarm carries the ban to replica B, which then refuses the
+    /// same attacker's *unknown* probe — the attacker cannot escape the
+    /// blacklist by reconnecting through the load balancer to another node.
+    #[test]
+    fn swarm_replicates_ban_across_server_replicas() {
+        use gaa_audit::time::Timestamp;
+        use gaa_audit::DegradationState;
+        use gaa_faults::net::NetFaultPlan;
+        use gaa_swarm::transport::Transport;
+        use gaa_swarm::{InProcHub, SwarmConfig, SwarmNode};
+
+        let policy = "\
+neg_access_right apache *
+pre_cond accessid GROUP BadGuys
+neg_access_right apache *
+pre_cond regex gnu *phf* *test-cgi*
+rr_cond update_log local on:failure/BadGuys/info:ip
+pos_access_right apache *
+";
+        let (server_a, services_a) =
+            gaa_server(&[("/cgi-bin/phf", policy), ("/index.html", policy)]);
+        let (server_b, services_b) =
+            gaa_server(&[("/cgi-bin/phf", policy), ("/index.html", policy)]);
+
+        let node = |id: &str, peer: &str, services: &StandardServices| {
+            Arc::new(SwarmNode::new(
+                SwarmConfig::new(id, &[peer]),
+                services.threat.clone(),
+                services.groups.clone(),
+                DegradationState::new(),
+                services.audit.clone(),
+            ))
+        };
+        let node_a = node("a", "b", &services_a);
+        let node_b = node("b", "a", &services_b);
+        let server_a = server_a.with_swarm(node_a.clone());
+        let server_b = server_b.with_swarm(node_b.clone());
+        assert!(server_a.swarm_status().unwrap().contains("swarm a"));
+
+        let attacker = "203.0.113.77";
+        // Replica A sees the known exploit: denied + locally blacklisted.
+        let resp = server_a.handle(HttpRequest::get("/cgi-bin/phf?x").with_client_ip(attacker));
+        assert_eq!(resp.status, StatusCode::Forbidden);
+        // Replica B has not seen the attacker; an unknown probe succeeds.
+        let resp = server_b.handle(HttpRequest::get("/index.html").with_client_ip(attacker));
+        assert_eq!(resp.status, StatusCode::Ok);
+
+        // One gossip exchange over a clean link.
+        let hub = InProcHub::new(NetFaultPlan::none());
+        let now = Timestamp::from_millis(100);
+        for server in [&server_a, &server_b] {
+            let swarm = server.swarm().unwrap();
+            for (to, frame) in swarm.tick(now) {
+                hub.send(swarm.node_id(), &to, &frame, now);
+            }
+        }
+        for server in [&server_a, &server_b] {
+            let swarm = server.swarm().unwrap();
+            for frame in hub.recv(swarm.node_id(), now) {
+                swarm.receive(&frame, now);
+            }
+        }
+
+        // Replica B now refuses the attacker's unknown probe.
+        assert!(services_b.groups.contains("BadGuys", attacker));
+        let resp = server_b.handle(HttpRequest::get("/index.html").with_client_ip(attacker));
+        assert_eq!(resp.status, StatusCode::Forbidden);
+        // Innocent traffic on B is unaffected.
+        let resp = server_b.handle(HttpRequest::get("/index.html").with_client_ip("10.0.0.1"));
         assert_eq!(resp.status, StatusCode::Ok);
     }
 

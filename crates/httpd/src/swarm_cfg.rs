@@ -1,0 +1,222 @@
+//! Server-side swarm configuration: Apache-style directives → [`SwarmConfig`].
+//!
+//! A multi-node deployment configures replication the same way the rest of
+//! the server is configured — directive lines in the server config:
+//!
+//! ```text
+//! SwarmNodeId        web1
+//! SwarmPeer          web2
+//! SwarmPeer          web3
+//! SwarmKey           0x5eed_f1ee7
+//! SwarmBanTtlMs      600000
+//! SwarmAntiEntropyMs 2000
+//! SwarmStaleMs       10000
+//! SwarmSendRate      256 128
+//! SwarmRecvRate      256 128
+//! SwarmGroup         BadGuys
+//! ```
+//!
+//! Parsing is strict: unknown directives and malformed values are errors,
+//! not silent defaults — a typo in the fleet key would otherwise split the
+//! fleet into two mutually-deaf halves that both *look* configured.
+
+use gaa_swarm::SwarmConfig;
+use std::time::Duration;
+
+/// Parses swarm directives out of a config text. Lines that do not start
+/// with `Swarm` are ignored (the text is shared with the rest of the
+/// server config); `#` comments and blank lines are skipped. Returns
+/// `Ok(None)` when no swarm directives appear at all (single-node
+/// deployment), `Err` on any malformed swarm directive.
+pub fn parse_swarm_config(text: &str) -> Result<Option<SwarmConfig>, String> {
+    let mut node_id: Option<String> = None;
+    let mut peers: Vec<String> = Vec::new();
+    let mut key: Option<u64> = None;
+    let mut ban_ttl = None;
+    let mut anti_entropy = None;
+    let mut stale = None;
+    let mut send_rate: Option<(u32, u32)> = None;
+    let mut recv_rate: Option<(u32, u32)> = None;
+    let mut groups: Vec<String> = Vec::new();
+    let mut saw_any = false;
+
+    for (number, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || !line.starts_with("Swarm") {
+            continue;
+        }
+        saw_any = true;
+        let mut parts = line.split_whitespace();
+        let directive = parts.next().unwrap_or_default();
+        let args: Vec<&str> = parts.collect();
+        let one = |args: &[&str]| -> Result<String, String> {
+            match args {
+                [value] => Ok((*value).to_string()),
+                _ => Err(format!(
+                    "line {}: {directive} takes exactly one argument",
+                    number + 1
+                )),
+            }
+        };
+        let millis = |args: &[&str]| -> Result<Duration, String> {
+            one(args)?
+                .parse::<u64>()
+                .map(Duration::from_millis)
+                .map_err(|_| format!("line {}: {directive} wants milliseconds", number + 1))
+        };
+        let pair = |args: &[&str]| -> Result<(u32, u32), String> {
+            match args {
+                [burst, per_sec] => {
+                    let burst = burst.parse().map_err(|_| {
+                        format!("line {}: {directive} burst must be a number", number + 1)
+                    })?;
+                    let per_sec = per_sec.parse().map_err(|_| {
+                        format!("line {}: {directive} rate must be a number", number + 1)
+                    })?;
+                    Ok((burst, per_sec))
+                }
+                _ => Err(format!(
+                    "line {}: {directive} takes <burst> <per-second>",
+                    number + 1
+                )),
+            }
+        };
+        match directive {
+            "SwarmNodeId" => node_id = Some(one(&args)?),
+            "SwarmPeer" => peers.push(one(&args)?),
+            "SwarmKey" => {
+                let text = one(&args)?.replace('_', "");
+                let parsed = match text.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => text.parse(),
+                };
+                key = Some(parsed.map_err(|_| {
+                    format!(
+                        "line {}: SwarmKey wants a u64 (decimal or 0x hex)",
+                        number + 1
+                    )
+                })?);
+            }
+            "SwarmBanTtlMs" => ban_ttl = Some(millis(&args)?),
+            "SwarmAntiEntropyMs" => anti_entropy = Some(millis(&args)?),
+            "SwarmStaleMs" => stale = Some(millis(&args)?),
+            "SwarmSendRate" => send_rate = Some(pair(&args)?),
+            "SwarmRecvRate" => recv_rate = Some(pair(&args)?),
+            "SwarmGroup" => groups.push(one(&args)?),
+            other => return Err(format!("line {}: unknown directive {other}", number + 1)),
+        }
+    }
+
+    if !saw_any {
+        return Ok(None);
+    }
+    let node_id = node_id.ok_or("SwarmNodeId is required when any Swarm directive is set")?;
+    if peers.is_empty() {
+        return Err("at least one SwarmPeer is required".to_string());
+    }
+    let peer_refs: Vec<&str> = peers.iter().map(String::as_str).collect();
+    let mut config = SwarmConfig::new(node_id, &peer_refs);
+    if let Some(key) = key {
+        config.key = key;
+    }
+    if let Some(ttl) = ban_ttl {
+        config.ban_ttl = ttl;
+    }
+    if let Some(every) = anti_entropy {
+        config.anti_entropy_every = every;
+    }
+    if let Some(after) = stale {
+        config.stale_after = after;
+    }
+    if let Some((burst, per_sec)) = send_rate {
+        config.send_burst = burst;
+        config.send_per_sec = per_sec;
+    }
+    if let Some((burst, per_sec)) = recv_rate {
+        config.recv_burst = burst;
+        config.recv_per_sec = per_sec;
+    }
+    if !groups.is_empty() {
+        config.replicated_groups = groups;
+    }
+    Ok(Some(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_config_parses() {
+        let text = "\
+# fleet replication
+ServerRoot /var/www          # non-swarm lines are ignored
+SwarmNodeId        web1
+SwarmPeer          web2
+SwarmPeer          web3
+SwarmKey           0x5eed_f1e7
+SwarmBanTtlMs      600000
+SwarmAntiEntropyMs 2000
+SwarmStaleMs       10000
+SwarmSendRate      64 32
+SwarmRecvRate      128 64
+SwarmGroup         BadGuys
+SwarmGroup         Probers
+";
+        let config = parse_swarm_config(text).unwrap().unwrap();
+        assert_eq!(config.node_id, "web1");
+        assert_eq!(config.peers, vec!["web2", "web3"]);
+        assert_eq!(config.key, 0x5eed_f1e7);
+        assert_eq!(config.ban_ttl, Duration::from_millis(600_000));
+        assert_eq!(config.anti_entropy_every, Duration::from_millis(2000));
+        assert_eq!(config.stale_after, Duration::from_millis(10_000));
+        assert_eq!((config.send_burst, config.send_per_sec), (64, 32));
+        assert_eq!((config.recv_burst, config.recv_per_sec), (128, 64));
+        assert_eq!(config.replicated_groups, vec!["BadGuys", "Probers"]);
+    }
+
+    #[test]
+    fn absent_directives_mean_single_node() {
+        assert!(parse_swarm_config("ServerRoot /var/www\n")
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn defaults_fill_unset_tunables() {
+        let config = parse_swarm_config("SwarmNodeId a\nSwarmPeer b\n")
+            .unwrap()
+            .unwrap();
+        let defaults = SwarmConfig::new("a", &["b"]);
+        assert_eq!(config.key, defaults.key);
+        assert_eq!(config.ban_ttl, defaults.ban_ttl);
+        assert_eq!(config.replicated_groups, vec!["BadGuys"]);
+    }
+
+    #[test]
+    fn malformed_directives_are_hard_errors() {
+        assert!(parse_swarm_config("SwarmNodeId\n").is_err(), "missing arg");
+        assert!(parse_swarm_config("SwarmKey zebra\nSwarmNodeId a\nSwarmPeer b\n").is_err());
+        assert!(
+            parse_swarm_config("SwarmBogus x\n").is_err(),
+            "unknown directive"
+        );
+        assert!(
+            parse_swarm_config("SwarmNodeId a\n").is_err(),
+            "node with no peers"
+        );
+        assert!(
+            parse_swarm_config("SwarmPeer b\n").is_err(),
+            "peers with no node id"
+        );
+        assert!(parse_swarm_config("SwarmSendRate 5\nSwarmNodeId a\nSwarmPeer b\n").is_err());
+    }
+
+    #[test]
+    fn decimal_key_accepted() {
+        let config = parse_swarm_config("SwarmNodeId a\nSwarmPeer b\nSwarmKey 12345\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(config.key, 12345);
+    }
+}

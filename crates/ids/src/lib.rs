@@ -35,10 +35,12 @@ pub mod correlate;
 pub mod host;
 pub mod matcher;
 pub mod network;
+pub mod replica;
 pub mod signatures;
 pub mod threat;
 
 pub use bus::{EventBus, GaaReport, IdsAdvisory, ReportKind, Subscription};
 pub use correlate::{Correlator, CorroboratedAlert};
+pub use replica::{BlacklistEntry, ReplicatedBlacklist};
 pub use signatures::{AttackClass, AttackSignature, SignatureDb, SignatureMatch};
 pub use threat::{ThreatLevel, ThreatMonitor};

@@ -1,0 +1,261 @@
+//! Replicable blacklist state for multi-node `BadGuys` propagation.
+//!
+//! §7.2's `update_log` response action appends attacker IPs to a mutable
+//! group so later requests are denied "even when probing unknown
+//! vulnerabilities". On one node that is [`GroupStore`]-shaped mutable
+//! state; across a fleet it must become a *replica*: a set every node can
+//! merge concurrent updates into and still converge.
+//!
+//! [`ReplicatedBlacklist`] is that replica: an add-wins map from
+//! `(group, member)` to an expiry deadline. The merge rule is
+//! `max(expiry)` — commutative, associative and idempotent, so datagram
+//! duplication, reordering and repeated anti-entropy exchanges all leave
+//! the same final state (the convergence argument in DESIGN.md §11 leans
+//! on exactly this). Expiry makes blacklisting self-healing: the paper's
+//! own caution that automated blocking can be staged into a DoS means
+//! entries must age out rather than accumulate forever.
+//!
+//! The struct is deliberately *not* internally synchronized: `gaa-swarm`
+//! owns one per node inside its state lock (a `gaa_race::sync` mutex, so
+//! the model checker schedules it). `GroupStore` — the store EACL
+//! evaluation actually reads — is mirrored from this replica by the swarm
+//! node, keeping the hot evaluator path untouched.
+//!
+//! [`GroupStore`]: https://docs.rs/gaa-conditions (crate `gaa-conditions`, `identity::GroupStore`)
+
+use gaa_audit::time::Timestamp;
+use gaa_faults::rng::mix;
+use std::collections::BTreeMap;
+
+/// One replicated blacklist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlacklistEntry {
+    /// Group the member is blacklisted in (e.g. `BadGuys`).
+    pub group: String,
+    /// The blacklisted member (IP address or user name).
+    pub member: String,
+    /// When the entry stops applying.
+    pub expiry: Timestamp,
+    /// Node that originated the entry (diagnostics / SIEM export).
+    pub origin: String,
+}
+
+/// Add-wins, expiry-merged replicated blacklist.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_audit::Timestamp;
+/// use gaa_ids::replica::ReplicatedBlacklist;
+///
+/// let mut a = ReplicatedBlacklist::new();
+/// let mut b = ReplicatedBlacklist::new();
+/// a.insert("BadGuys", "203.0.113.9", Timestamp::from_millis(500), "n0");
+/// b.insert("BadGuys", "203.0.113.9", Timestamp::from_millis(900), "n1");
+/// // Merge in either order: the longer ban wins and digests agree.
+/// a.insert("BadGuys", "203.0.113.9", Timestamp::from_millis(900), "n1");
+/// assert_eq!(a.digest(), b.digest());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplicatedBlacklist {
+    /// Keyed by `(group, member)`; `BTreeMap` so iteration (and therefore
+    /// the digest and `FullState` wire order) is canonical on every node.
+    entries: BTreeMap<(String, String), (Timestamp, String)>,
+}
+
+impl ReplicatedBlacklist {
+    /// An empty replica.
+    pub fn new() -> Self {
+        ReplicatedBlacklist::default()
+    }
+
+    /// Merges one entry with add-wins/max-expiry semantics. Returns `true`
+    /// when the replica changed (new member, or an extended expiry) — the
+    /// signal that the update is worth broadcasting onward.
+    pub fn insert(&mut self, group: &str, member: &str, expiry: Timestamp, origin: &str) -> bool {
+        let key = (group.to_string(), member.to_string());
+        match self.entries.get_mut(&key) {
+            Some((current, owner)) => {
+                if expiry > *current {
+                    *current = expiry;
+                    *owner = origin.to_string();
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                self.entries.insert(key, (expiry, origin.to_string()));
+                true
+            }
+        }
+    }
+
+    /// Removes an entry outright (operator reversal). Expiry-driven removal
+    /// goes through [`sweep`](ReplicatedBlacklist::sweep) instead.
+    pub fn remove(&mut self, group: &str, member: &str) -> bool {
+        self.entries
+            .remove(&(group.to_string(), member.to_string()))
+            .is_some()
+    }
+
+    /// Is `member` currently blacklisted in `group` (unexpired) at `now`?
+    pub fn contains(&self, group: &str, member: &str, now: Timestamp) -> bool {
+        self.entries
+            .get(&(group.to_string(), member.to_string()))
+            .is_some_and(|(expiry, _)| *expiry > now)
+    }
+
+    /// Drops every entry whose expiry has passed, returning the removed
+    /// `(group, member)` pairs so the caller can mirror the removals into
+    /// its `GroupStore` and audit them.
+    pub fn sweep(&mut self, now: Timestamp) -> Vec<(String, String)> {
+        let dead: Vec<(String, String)> = self
+            .entries
+            .iter()
+            .filter(|(_, (expiry, _))| *expiry <= now)
+            .map(|(key, _)| key.clone())
+            .collect();
+        for key in &dead {
+            self.entries.remove(key);
+        }
+        dead
+    }
+
+    /// Number of live entries (expired-but-unswept entries count; call
+    /// [`sweep`](ReplicatedBlacklist::sweep) first for an exact live count).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Every entry in canonical `(group, member)` order — the payload of an
+    /// anti-entropy `FullState` exchange.
+    pub fn entries(&self) -> Vec<BlacklistEntry> {
+        self.entries
+            .iter()
+            .map(|((group, member), (expiry, origin))| BlacklistEntry {
+                group: group.clone(),
+                member: member.clone(),
+                expiry: *expiry,
+                origin: origin.clone(),
+            })
+            .collect()
+    }
+
+    /// Merges a full remote state into this one; returns how many entries
+    /// changed. Merge is element-wise [`insert`](ReplicatedBlacklist::insert),
+    /// so it inherits commutativity and idempotence.
+    pub fn merge(&mut self, remote: &[BlacklistEntry]) -> usize {
+        remote
+            .iter()
+            .filter(|e| self.insert(&e.group, &e.member, e.expiry, &e.origin))
+            .count()
+    }
+
+    /// Order-insensitive content digest over `(group, member, expiry)`.
+    /// Two replicas with the same entries produce the same digest, which is
+    /// what anti-entropy summaries compare to decide whether a full-state
+    /// pull is needed. Origin is excluded: concurrent identical bans from
+    /// different nodes must still converge to equal digests.
+    pub fn digest(&self) -> u64 {
+        let mut acc = 0xD1_6E57u64;
+        for ((group, member), (expiry, _)) in &self.entries {
+            let mut h = 0x9e37_79b9_7f4a_7c15u64;
+            for byte in group.bytes().chain([0x1f]).chain(member.bytes()) {
+                h = mix(h ^ u64::from(byte));
+            }
+            acc = acc.wrapping_add(mix(h ^ expiry.as_millis()));
+        }
+        mix(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn insert_merge_is_add_wins_max_expiry() {
+        let mut replica = ReplicatedBlacklist::new();
+        assert!(replica.insert("BadGuys", "203.0.113.9", ts(100), "n0"));
+        // Shorter ban for the same member: no change, nothing to gossip.
+        assert!(!replica.insert("BadGuys", "203.0.113.9", ts(50), "n1"));
+        // Longer ban wins and reports a change.
+        assert!(replica.insert("BadGuys", "203.0.113.9", ts(200), "n1"));
+        assert!(replica.contains("BadGuys", "203.0.113.9", ts(150)));
+        assert!(!replica.contains("BadGuys", "203.0.113.9", ts(200)));
+    }
+
+    #[test]
+    fn sweep_removes_expired_and_reports_them() {
+        let mut replica = ReplicatedBlacklist::new();
+        replica.insert("BadGuys", "a", ts(10), "n0");
+        replica.insert("BadGuys", "b", ts(100), "n0");
+        let dead = replica.sweep(ts(50));
+        assert_eq!(dead, vec![("BadGuys".to_string(), "a".to_string())]);
+        assert_eq!(replica.len(), 1);
+        assert!(replica.contains("BadGuys", "b", ts(50)));
+    }
+
+    #[test]
+    fn merge_converges_regardless_of_order_and_duplication() {
+        let updates = [
+            ("BadGuys", "x", 100u64, "n0"),
+            ("BadGuys", "y", 200, "n1"),
+            ("Probers", "x", 50, "n2"),
+            ("BadGuys", "x", 300, "n1"),
+        ];
+        let mut forward = ReplicatedBlacklist::new();
+        for (g, m, e, o) in updates {
+            forward.insert(g, m, ts(e), o);
+        }
+        let mut reversed = ReplicatedBlacklist::new();
+        for (g, m, e, o) in updates.into_iter().rev() {
+            reversed.insert(g, m, ts(e), o);
+            reversed.insert(g, m, ts(e), o); // duplicated delivery
+        }
+        assert_eq!(forward.digest(), reversed.digest());
+        // Full-state merge is idempotent.
+        let snapshot = forward.entries();
+        assert_eq!(forward.merge(&snapshot), 0);
+    }
+
+    #[test]
+    fn digest_ignores_origin_but_not_content() {
+        let mut a = ReplicatedBlacklist::new();
+        let mut b = ReplicatedBlacklist::new();
+        a.insert("G", "m", ts(100), "n0");
+        b.insert("G", "m", ts(100), "n1");
+        assert_eq!(a.digest(), b.digest());
+        b.insert("G", "other", ts(100), "n1");
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn remove_is_explicit_reversal() {
+        let mut replica = ReplicatedBlacklist::new();
+        replica.insert("BadGuys", "a", ts(100), "n0");
+        assert!(replica.remove("BadGuys", "a"));
+        assert!(!replica.remove("BadGuys", "a"));
+        assert!(replica.is_empty());
+    }
+
+    #[test]
+    fn entries_are_canonically_ordered() {
+        let mut replica = ReplicatedBlacklist::new();
+        replica.insert("Z", "b", ts(1), "n");
+        replica.insert("A", "a", ts(1), "n");
+        let entries = replica.entries();
+        assert_eq!(entries[0].group, "A");
+        assert_eq!(entries[1].group, "Z");
+    }
+}

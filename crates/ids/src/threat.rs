@@ -92,6 +92,21 @@ struct MonitorState {
     /// *together with* the level change it describes. An atomic outside the
     /// lock would allow an epoch to be observed without its transition.
     epoch: u64,
+    /// External threat floor (the fleet view pushed in by `gaa-swarm`).
+    /// The *effective* level reported by [`ThreatMonitor::current`] is
+    /// `max(level, floor)`: a remote view can hold or raise restrictions
+    /// but never relax the local assessment, and local decay never drops
+    /// the effective level below a still-standing fleet floor — the
+    /// fail-safe direction for partition staleness.
+    floor: ThreatLevel,
+}
+
+impl MonitorState {
+    /// The level policy evaluation sees: local assessment clamped up by
+    /// the external floor.
+    fn effective(&self) -> ThreatLevel {
+        self.level.max(self.floor)
+    }
 }
 
 /// Shared, clock-driven threat-level provider.
@@ -147,6 +162,7 @@ impl ThreatMonitor {
                     last_change: now,
                     pending_reports: 0,
                     epoch: 0,
+                    floor: ThreatLevel::Low,
                 },
             )),
             clock,
@@ -172,11 +188,53 @@ impl ThreatMonitor {
         self
     }
 
-    /// The current level, after applying any pending decay.
+    /// The current *effective* level, after applying any pending decay:
+    /// the local assessment clamped up by any external floor
+    /// ([`set_external_floor`](ThreatMonitor::set_external_floor)).
     pub fn current(&self) -> ThreatLevel {
         let mut state = self.state.lock();
         self.apply_decay(&mut state);
+        state.effective()
+    }
+
+    /// The local assessment alone, ignoring any external floor — what this
+    /// node would believe if it were the whole fleet.
+    pub fn local_level(&self) -> ThreatLevel {
+        let mut state = self.state.lock();
+        self.apply_decay(&mut state);
         state.level
+    }
+
+    /// A consistent `(effective level, epoch)` pair read under one lock
+    /// acquisition — replication wants the level and the stamp it travels
+    /// under to describe the same instant.
+    pub fn snapshot(&self) -> (ThreatLevel, u64) {
+        let mut state = self.state.lock();
+        self.apply_decay(&mut state);
+        (state.effective(), state.epoch)
+    }
+
+    /// Sets the external threat floor (the fleet view maintained by
+    /// `gaa-swarm`). The effective level becomes `max(local, floor)` — a
+    /// remote view can hold or raise restrictions but never relax the
+    /// local assessment. Bumps the epoch (invalidating decision caches)
+    /// whenever the effective level actually changes; returns whether it
+    /// did.
+    pub fn set_external_floor(&self, floor: ThreatLevel) -> bool {
+        let mut state = self.state.lock();
+        self.apply_decay(&mut state);
+        let before = state.effective();
+        state.floor = floor;
+        let changed = state.effective() != before;
+        if changed {
+            state.epoch += 1;
+        }
+        changed
+    }
+
+    /// The current external floor.
+    pub fn external_floor(&self) -> ThreatLevel {
+        self.state.lock().floor
     }
 
     /// Forces the level (operator action or external IDS feed).
@@ -217,7 +275,7 @@ impl ThreatMonitor {
                 state.last_change = self.clock.now();
             }
         }
-        state.level
+        state.effective()
     }
 
     /// Registers a *confirmed attack*: jumps straight to `High`.
@@ -360,5 +418,49 @@ mod tests {
     fn escalate_relax_are_bounded() {
         assert_eq!(ThreatLevel::High.escalate(), ThreatLevel::High);
         assert_eq!(ThreatLevel::Low.relax(), ThreatLevel::Low);
+    }
+
+    #[test]
+    fn external_floor_raises_but_never_relaxes() {
+        let clock = VirtualClock::new();
+        let m = monitor(&clock);
+        // Raising the floor raises the effective level and bumps the epoch.
+        let e0 = m.epoch();
+        assert!(m.set_external_floor(ThreatLevel::High));
+        assert_eq!(m.current(), ThreatLevel::High);
+        assert_eq!(m.local_level(), ThreatLevel::Low);
+        assert_eq!(m.epoch(), e0 + 1);
+        // Setting the same floor again is a no-op.
+        assert!(!m.set_external_floor(ThreatLevel::High));
+        assert_eq!(m.epoch(), e0 + 1);
+        // A floor below the local level cannot relax the effective level.
+        m.set_level(ThreatLevel::Medium);
+        assert!(m.set_external_floor(ThreatLevel::Low)); // High → Medium eff.
+        assert_eq!(m.current(), ThreatLevel::Medium);
+        assert_eq!(m.local_level(), ThreatLevel::Medium);
+    }
+
+    #[test]
+    fn local_decay_cannot_drop_below_the_floor() {
+        let clock = VirtualClock::new();
+        let m = monitor(&clock);
+        m.set_level(ThreatLevel::High);
+        m.set_external_floor(ThreatLevel::High);
+        clock.advance(Duration::from_secs(200)); // two quiet periods
+        assert_eq!(m.local_level(), ThreatLevel::Low, "local decays freely");
+        assert_eq!(m.current(), ThreatLevel::High, "floor holds restrictions");
+        // Only a confirmed (fresh) fleet relaxation lowers it.
+        m.set_external_floor(ThreatLevel::Low);
+        assert_eq!(m.current(), ThreatLevel::Low);
+    }
+
+    #[test]
+    fn snapshot_is_a_consistent_pair() {
+        let clock = VirtualClock::new();
+        let m = monitor(&clock);
+        m.set_level(ThreatLevel::High);
+        let (level, epoch) = m.snapshot();
+        assert_eq!(level, ThreatLevel::High);
+        assert_eq!(epoch, m.epoch());
     }
 }

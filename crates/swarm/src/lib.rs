@@ -1,0 +1,44 @@
+//! # gaa-swarm — distributed threat propagation for `gaa-httpd` fleets
+//!
+//! The paper's integrated server is a single process: detections raise
+//! *its* threat level and extend *its* `BadGuys` group (§7). Real
+//! deployments run many replicas behind a balancer, and an attacker probed
+//! off one replica simply reconnects to the next — unless detections
+//! propagate. This crate makes the paper's two adaptive levers fleet-wide:
+//!
+//! * the **system threat level** (`pre_cond system_threat_level`, §7.1)
+//!   becomes a replicated Lamport-style `(epoch, level)` pair feeding each
+//!   node's [`ThreatMonitor`](gaa_ids::ThreatMonitor) as an external
+//!   floor;
+//! * the **blacklist** (`update_log` appending to `BadGuys`, §7.2)
+//!   becomes an add-wins, TTL-expiring
+//!   [`ReplicatedBlacklist`](gaa_ids::ReplicatedBlacklist) mirrored into
+//!   each node's evaluator-facing `GroupStore`.
+//!
+//! Module map:
+//!
+//! * [`wire`] — sequence-numbered, keyed-digest frames; replay and forgery
+//!   rejection at the parse boundary;
+//! * [`bucket`] — deterministic token buckets bounding send and receive;
+//! * [`transport`] — the in-process fault-injected hub (all chaos tests)
+//!   and the UDP-with-TCP-fallback socket transport (production shape);
+//! * [`node`] — the protocol node: gossip, anti-entropy resync,
+//!   fail-safe partition semantics, degradation wiring, SIEM export.
+//!
+//! Everything is deterministic under a seed: time is injected, transport
+//! faults come from [`NetFaultPlan`](gaa_faults::net::NetFaultPlan), and
+//! shared state uses `gaa_race::sync` so the model checker can schedule
+//! it. DESIGN.md §11 carries the wire format and the convergence argument.
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+pub mod bucket;
+pub mod node;
+pub mod transport;
+pub mod wire;
+
+pub use bucket::TokenBucket;
+pub use node::{SwarmConfig, SwarmNode, SwarmStats};
+pub use transport::{InProcHub, Transport, UdpTransport};
+pub use wire::{Envelope, Message, WireError};

@@ -1,0 +1,1004 @@
+//! The swarm protocol node.
+//!
+//! One [`SwarmNode`] rides alongside each `gaa-httpd` instance and keeps
+//! two pieces of fleet state converged:
+//!
+//! * **Fleet threat** — a Lamport-style `(epoch, level)` pair. A node that
+//!   locally escalates bumps the epoch and broadcasts; receivers adopt any
+//!   pair with a *higher* epoch (fresh information, may relax) and
+//!   max-merge on *equal* epochs (concurrent raises are fail-safe). The
+//!   adopted level is pushed into the local [`ThreatMonitor`] as an
+//!   external floor: `effective = max(local, floor)`, and every change
+//!   bumps the monitor's epoch, so decision-cache invalidation and the
+//!   EACL `system_threat_level` evaluator pick up fleet state with zero
+//!   changes to the request path.
+//! * **Shared blacklist** — a [`ReplicatedBlacklist`] mirrored into the
+//!   local [`GroupStore`] the evaluators read. Local additions (the
+//!   paper's `update_log` response action appending to `BadGuys`) are
+//!   detected by diffing the store each tick, stamped with a TTL, and
+//!   broadcast; remote additions merge add-wins/max-expiry.
+//!
+//! **Partition semantics are fail-safe by construction.** The floor is
+//! only ever *changed* by an authenticated, fresher-epoch update. During a
+//! partition no such update arrives, so the remote view goes stale and the
+//! floor simply *holds*: restrictions persist, nothing relaxes. Sustained
+//! staleness is surfaced through [`DegradationState`] as
+//! [`Component::Swarm`] (audited on entry and recovery, like every other
+//! degradation since PR 1). Anti-entropy summaries repair divergence after
+//! heal: digest mismatch → pull → full-state merge.
+//!
+//! Every inbound frame passes, in order: keyed-digest authentication,
+//! per-peer replay rejection (monotonic sequence numbers), per-peer
+//! receive rate limiting. Outbound traffic passes a node-wide send rate
+//! limit. Everything dropped is counted — the smoke harness asserts the
+//! counters, not log grep.
+
+use crate::bucket::TokenBucket;
+use crate::wire::{self, Envelope, Message, WireError};
+use gaa_audit::degrade::Component;
+use gaa_audit::export::{CefEvent, CefExporter};
+use gaa_audit::log::{AuditLog, AuditRecord, AuditSeverity};
+use gaa_audit::time::Timestamp;
+use gaa_audit::DegradationState;
+use gaa_conditions::identity::GroupStore;
+use gaa_ids::replica::ReplicatedBlacklist;
+use gaa_ids::{ThreatLevel, ThreatMonitor};
+// Shim primitives: model-checkable under gaa-race, passthrough otherwise.
+use gaa_race::sync::{AtomicU64, Mutex};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// Static configuration for one node.
+#[derive(Debug, Clone)]
+pub struct SwarmConfig {
+    /// This node's unique id (also the wire sender id).
+    pub node_id: String,
+    /// Peer node ids to gossip with (full mesh).
+    pub peers: Vec<String>,
+    /// Shared fleet key for the keyed frame digest.
+    pub key: u64,
+    /// TTL stamped on locally detected blacklist additions.
+    pub ban_ttl: Duration,
+    /// How often to broadcast anti-entropy summaries.
+    pub anti_entropy_every: Duration,
+    /// How long without any authenticated peer traffic before the remote
+    /// view is declared stale (→ `Component::Swarm` degradation).
+    pub stale_after: Duration,
+    /// Outbound rate limit: burst.
+    pub send_burst: u32,
+    /// Outbound rate limit: sustained frames per second.
+    pub send_per_sec: u32,
+    /// Per-peer inbound rate limit: burst.
+    pub recv_burst: u32,
+    /// Per-peer inbound rate limit: sustained frames per second.
+    pub recv_per_sec: u32,
+    /// Groups replicated across the fleet.
+    pub replicated_groups: Vec<String>,
+}
+
+impl SwarmConfig {
+    /// Defaults sized for a small fleet: generous rate limits (the smoke
+    /// and chaos harnesses tighten them), 10-minute bans, 2-second
+    /// anti-entropy, 10-second staleness.
+    pub fn new(node_id: impl Into<String>, peers: &[&str]) -> Self {
+        SwarmConfig {
+            node_id: node_id.into(),
+            peers: peers.iter().map(|p| p.to_string()).collect(),
+            key: 0x6177_5347,
+            ban_ttl: Duration::from_secs(600),
+            anti_entropy_every: Duration::from_secs(2),
+            stale_after: Duration::from_secs(10),
+            send_burst: 256,
+            send_per_sec: 128,
+            recv_burst: 256,
+            recv_per_sec: 128,
+            replicated_groups: vec!["BadGuys".to_string()],
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PeerState {
+    /// Highest authenticated sequence accepted from this peer.
+    last_seq: u64,
+    /// Last instant an authenticated frame arrived from this peer.
+    last_heard: Option<Timestamp>,
+    /// Inbound rate limiter for this peer.
+    bucket: TokenBucket,
+}
+
+#[derive(Debug)]
+struct NodeState {
+    next_seq: u64,
+    send_bucket: TokenBucket,
+    peers: BTreeMap<String, PeerState>,
+    replica: ReplicatedBlacklist,
+    fleet_epoch: u64,
+    fleet_level: ThreatLevel,
+    /// Node that issued the current fleet epoch — only it may de-escalate
+    /// (by issuing a fresher epoch at a lower level).
+    fleet_origin: String,
+    /// `(group, member)` pairs already mirrored between replica and store.
+    known: BTreeSet<(String, String)>,
+    last_anti_entropy: Option<Timestamp>,
+    started: Option<Timestamp>,
+    outbox: Vec<(String, Vec<u8>)>,
+}
+
+/// Monotonic protocol counters (see [`SwarmNode::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SwarmStats {
+    /// Frames queued for peers (post rate limit).
+    pub sent: u64,
+    /// Frames handed to [`SwarmNode::receive`].
+    pub received: u64,
+    /// Frames authenticated, fresh and applied.
+    pub accepted: u64,
+    /// Frames dropped: sequence at or below the replay watermark.
+    pub replay_dropped: u64,
+    /// Frames dropped: keyed digest mismatch (forgery or corruption).
+    pub forgery_dropped: u64,
+    /// Frames dropped: undecodable (truncated, bad type, oversized).
+    pub malformed_dropped: u64,
+    /// Frames dropped: sender not in the configured peer set.
+    pub unknown_peer_dropped: u64,
+    /// Outbound frames suppressed by the send rate limit.
+    pub rate_limited_send: u64,
+    /// Inbound frames suppressed by a peer's receive rate limit.
+    pub rate_limited_recv: u64,
+    /// Pull requests issued after a summary mismatch.
+    pub resyncs_requested: u64,
+    /// Full-state transfers served to peers.
+    pub full_states_sent: u64,
+    /// Blacklist entries adopted from remote nodes.
+    pub remote_bans_adopted: u64,
+    /// Fleet threat pairs adopted from remote nodes.
+    pub threat_adoptions: u64,
+}
+
+struct Counters {
+    sent: AtomicU64,
+    received: AtomicU64,
+    accepted: AtomicU64,
+    replay_dropped: AtomicU64,
+    forgery_dropped: AtomicU64,
+    malformed_dropped: AtomicU64,
+    unknown_peer_dropped: AtomicU64,
+    rate_limited_send: AtomicU64,
+    rate_limited_recv: AtomicU64,
+    resyncs_requested: AtomicU64,
+    full_states_sent: AtomicU64,
+    remote_bans_adopted: AtomicU64,
+    threat_adoptions: AtomicU64,
+}
+
+impl Counters {
+    fn named(node: &str) -> Counters {
+        let name = |suffix: &str| format!("swarm.{node}.{suffix}");
+        Counters {
+            sent: AtomicU64::named(&name("sent"), 0),
+            received: AtomicU64::named(&name("received"), 0),
+            accepted: AtomicU64::named(&name("accepted"), 0),
+            replay_dropped: AtomicU64::named(&name("replay_dropped"), 0),
+            forgery_dropped: AtomicU64::named(&name("forgery_dropped"), 0),
+            malformed_dropped: AtomicU64::named(&name("malformed_dropped"), 0),
+            unknown_peer_dropped: AtomicU64::named(&name("unknown_peer_dropped"), 0),
+            rate_limited_send: AtomicU64::named(&name("rate_limited_send"), 0),
+            rate_limited_recv: AtomicU64::named(&name("rate_limited_recv"), 0),
+            resyncs_requested: AtomicU64::named(&name("resyncs_requested"), 0),
+            full_states_sent: AtomicU64::named(&name("full_states_sent"), 0),
+            remote_bans_adopted: AtomicU64::named(&name("remote_bans_adopted"), 0),
+            threat_adoptions: AtomicU64::named(&name("threat_adoptions"), 0),
+        }
+    }
+}
+
+/// One node of the threat-propagation swarm.
+///
+/// Deterministic by construction: all time arrives as [`Timestamp`]
+/// arguments, all state sits under one shim mutex, and frame transport is
+/// the caller's problem ([`crate::transport`]). Drive it with
+/// [`tick`](SwarmNode::tick) (capture local changes, sweep, anti-entropy,
+/// staleness) and [`receive`](SwarmNode::receive) (apply one inbound
+/// frame); both return `(peer, frame)` pairs to hand to the transport.
+pub struct SwarmNode {
+    config: SwarmConfig,
+    threat: ThreatMonitor,
+    groups: GroupStore,
+    degradation: DegradationState,
+    audit: AuditLog,
+    exporter: Option<CefExporter>,
+    state: Mutex<NodeState>,
+    counters: Counters,
+}
+
+impl SwarmNode {
+    /// Builds a node bound to this instance's threat monitor, group store,
+    /// degradation registry and audit log.
+    pub fn new(
+        config: SwarmConfig,
+        threat: ThreatMonitor,
+        groups: GroupStore,
+        degradation: DegradationState,
+        audit: AuditLog,
+    ) -> Self {
+        let peers = config
+            .peers
+            .iter()
+            .map(|peer| {
+                (
+                    peer.clone(),
+                    PeerState {
+                        last_seq: 0,
+                        last_heard: None,
+                        bucket: TokenBucket::new(config.recv_burst, config.recv_per_sec),
+                    },
+                )
+            })
+            .collect();
+        let state = NodeState {
+            next_seq: 0,
+            send_bucket: TokenBucket::new(config.send_burst, config.send_per_sec),
+            peers,
+            replica: ReplicatedBlacklist::new(),
+            fleet_epoch: 0,
+            fleet_level: ThreatLevel::Low,
+            fleet_origin: config.node_id.clone(),
+            known: BTreeSet::new(),
+            last_anti_entropy: None,
+            started: None,
+            outbox: Vec::new(),
+        };
+        let counters = Counters::named(&config.node_id);
+        SwarmNode {
+            state: Mutex::named(&format!("swarm.{}.state", config.node_id), state),
+            config,
+            threat,
+            groups,
+            degradation,
+            audit,
+            exporter: None,
+            counters,
+        }
+    }
+
+    /// Attaches a SIEM exporter: remote ban adoptions and fleet threat
+    /// transitions leave the node as CEF events.
+    pub fn with_exporter(mut self, exporter: CefExporter) -> Self {
+        self.exporter = Some(exporter);
+        self
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> &str {
+        &self.config.node_id
+    }
+
+    /// The local threat monitor this node feeds its fleet floor into.
+    pub fn threat(&self) -> &ThreatMonitor {
+        &self.threat
+    }
+
+    /// The evaluator-facing group store mirrored from the replica.
+    pub fn groups(&self) -> &GroupStore {
+        &self.groups
+    }
+
+    /// The degradation registry this node reports staleness through.
+    pub fn degradation(&self) -> &DegradationState {
+        &self.degradation
+    }
+
+    /// Current fleet threat pair `(epoch, level)`.
+    pub fn fleet(&self) -> (u64, ThreatLevel) {
+        let state = self.state.lock();
+        (state.fleet_epoch, state.fleet_level)
+    }
+
+    /// Content digest of the replicated blacklist (convergence checks).
+    pub fn blacklist_digest(&self) -> u64 {
+        self.state.lock().replica.digest()
+    }
+
+    /// Number of live replicated blacklist entries.
+    pub fn blacklist_len(&self) -> usize {
+        self.state.lock().replica.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SwarmStats {
+        let c = &self.counters;
+        // ordering: Relaxed — statistics only; protocol state is fully
+        // mutex-ordered.
+        let get = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+        SwarmStats {
+            sent: get(&c.sent),
+            received: get(&c.received),
+            accepted: get(&c.accepted),
+            replay_dropped: get(&c.replay_dropped),
+            forgery_dropped: get(&c.forgery_dropped),
+            malformed_dropped: get(&c.malformed_dropped),
+            unknown_peer_dropped: get(&c.unknown_peer_dropped),
+            rate_limited_send: get(&c.rate_limited_send),
+            rate_limited_recv: get(&c.rate_limited_recv),
+            resyncs_requested: get(&c.resyncs_requested),
+            full_states_sent: get(&c.full_states_sent),
+            remote_bans_adopted: get(&c.remote_bans_adopted),
+            threat_adoptions: get(&c.threat_adoptions),
+        }
+    }
+
+    /// One-line operator summary.
+    pub fn summary(&self) -> String {
+        let state = self.state.lock();
+        format!(
+            "swarm {}: fleet=({}, {:?}) blacklist={} peers={}",
+            self.config.node_id,
+            state.fleet_epoch,
+            state.fleet_level,
+            state.replica.len(),
+            state.peers.len(),
+        )
+    }
+
+    fn enqueue(&self, state: &mut NodeState, to: &str, message: &Message, now: Timestamp) {
+        if !state.send_bucket.try_take(now) {
+            // ordering: Relaxed — monotonic statistic.
+            self.counters
+                .rate_limited_send
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        state.next_seq += 1;
+        let frame = wire::encode(
+            self.config.key,
+            &self.config.node_id,
+            state.next_seq,
+            message,
+        );
+        state.outbox.push((to.to_string(), frame));
+        // ordering: Relaxed — monotonic statistic.
+        self.counters.sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn broadcast(&self, state: &mut NodeState, message: &Message, now: Timestamp) {
+        for peer in &self.config.peers.clone() {
+            self.enqueue(state, peer, message, now);
+        }
+    }
+
+    fn export(&self, event: CefEvent) {
+        if let Some(exporter) = &self.exporter {
+            exporter.export(event);
+        }
+    }
+
+    /// Adopts a remote fleet pair if it is fresher. Higher epoch always
+    /// wins — including a *lower* level, which is exactly how confirmed
+    /// de-escalation propagates. Equal epochs merge by max level.
+    fn adopt_threat(
+        &self,
+        state: &mut NodeState,
+        epoch: u64,
+        level: ThreatLevel,
+        from: &str,
+        now: Timestamp,
+    ) {
+        let fresher =
+            epoch > state.fleet_epoch || (epoch == state.fleet_epoch && level > state.fleet_level);
+        if !fresher {
+            return;
+        }
+        state.fleet_epoch = epoch;
+        state.fleet_level = level;
+        state.fleet_origin = from.to_string();
+        // ordering: Relaxed — monotonic statistic.
+        self.counters
+            .threat_adoptions
+            .fetch_add(1, Ordering::Relaxed);
+        self.threat.set_external_floor(level);
+        self.audit.record(
+            AuditRecord::new(
+                now,
+                AuditSeverity::Notice,
+                "swarm.threat_adopted",
+                from,
+                format!("fleet threat epoch {epoch} level {level:?} adopted from {from}"),
+            )
+            .with_attr("epoch", epoch.to_string())
+            .with_attr("level", format!("{level:?}")),
+        );
+        self.export(
+            CefEvent::new(now, 6, "swarm.threat", "fleet threat transition")
+                .with_ext("suser", from)
+                .with_ext("cs1", &format!("epoch={epoch} level={level:?}")),
+        );
+    }
+
+    /// Adopts one blacklist entry into the replica and mirrors it into the
+    /// evaluator-facing group store.
+    fn adopt_ban(
+        &self,
+        state: &mut NodeState,
+        group: &str,
+        member: &str,
+        expiry: Timestamp,
+        origin: &str,
+        now: Timestamp,
+    ) -> bool {
+        if !state.replica.insert(group, member, expiry, origin) {
+            return false;
+        }
+        self.groups.add(group, member);
+        state.known.insert((group.to_string(), member.to_string()));
+        if origin != self.config.node_id {
+            // ordering: Relaxed — monotonic statistic.
+            self.counters
+                .remote_bans_adopted
+                .fetch_add(1, Ordering::Relaxed);
+            self.audit.record(
+                AuditRecord::new(
+                    now,
+                    AuditSeverity::Warning,
+                    "swarm.remote_ban",
+                    member,
+                    format!("{member} added to {group} (origin {origin})"),
+                )
+                .with_attr("group", group)
+                .with_attr("origin", origin),
+            );
+            self.export(
+                CefEvent::new(now, 7, "swarm.ban", "blacklist entry replicated")
+                    .with_ext("suser", member)
+                    .with_ext("cs1", group)
+                    .with_ext("cs2", origin),
+            );
+        }
+        true
+    }
+
+    /// Bans a member fleet-wide: local adoption plus broadcast. The normal
+    /// path is automatic (tick diffs the group store after an `update_log`
+    /// response action fires); this entry point serves operators and tests.
+    pub fn ban(&self, group: &str, member: &str, now: Timestamp) {
+        let mut state = self.state.lock();
+        let expiry = now.plus(self.config.ban_ttl);
+        if self.adopt_ban(
+            &mut state,
+            group,
+            member,
+            expiry,
+            &self.config.node_id.clone(),
+            now,
+        ) {
+            self.broadcast(
+                &mut state,
+                &Message::BlacklistAdd {
+                    group: group.to_string(),
+                    member: member.to_string(),
+                    expiry,
+                },
+                now,
+            );
+        }
+    }
+
+    /// Operator reversal: removes the entry locally and tells the fleet.
+    pub fn unban(&self, group: &str, member: &str, now: Timestamp) {
+        let mut state = self.state.lock();
+        state.replica.remove(group, member);
+        state.known.remove(&(group.to_string(), member.to_string()));
+        self.groups.remove(group, member);
+        self.broadcast(
+            &mut state,
+            &Message::BlacklistExpire {
+                group: group.to_string(),
+                member: member.to_string(),
+            },
+            now,
+        );
+    }
+
+    /// Periodic work: capture local blacklist additions, sweep expiries,
+    /// propagate local threat transitions, emit anti-entropy summaries,
+    /// update staleness. Returns `(peer, frame)` pairs for the transport.
+    pub fn tick(&self, now: Timestamp) -> Vec<(String, Vec<u8>)> {
+        let mut state = self.state.lock();
+        if state.started.is_none() {
+            state.started = Some(now);
+        }
+
+        // 1. Local additions: the paper's update_log response action
+        // appends to BadGuys through the GroupStore; diffing the store
+        // against the mirror set catches those without touching the
+        // request path.
+        for group in self.config.replicated_groups.clone() {
+            for member in self.groups.members(&group) {
+                let key = (group.clone(), member.clone());
+                if state.known.contains(&key) {
+                    continue;
+                }
+                let expiry = now.plus(self.config.ban_ttl);
+                let node_id = self.config.node_id.clone();
+                if self.adopt_ban(&mut state, &group, &member, expiry, &node_id, now) {
+                    self.broadcast(
+                        &mut state,
+                        &Message::BlacklistAdd {
+                            group: group.clone(),
+                            member,
+                            expiry,
+                        },
+                        now,
+                    );
+                }
+            }
+        }
+
+        // 2. Expiry sweep: deadline passed → drop replica entry and the
+        // GroupStore mirror. Every node sweeps on its own clock; no
+        // message needed (the expiry travelled with the add).
+        for (group, member) in state.replica.sweep(now) {
+            self.groups.remove(&group, &member);
+            state.known.remove(&(group.clone(), member.clone()));
+            self.audit.record(AuditRecord::new(
+                now,
+                AuditSeverity::Info,
+                "swarm.ban_expired",
+                member.as_str(),
+                format!("{member} aged out of {group}"),
+            ));
+        }
+
+        // 3. Local threat transitions. Escalation: any node may raise the
+        // fleet pair with a fresh epoch. De-escalation: only the origin of
+        // the current epoch may lower it (again with a fresh epoch), so a
+        // decayed bystander cannot silently relax a raise it never owned.
+        let local = self.threat.local_level();
+        let may_lower = state.fleet_origin == self.config.node_id && local < state.fleet_level;
+        if local > state.fleet_level || may_lower {
+            state.fleet_epoch += 1;
+            state.fleet_level = local;
+            state.fleet_origin = self.config.node_id.clone();
+            self.threat.set_external_floor(local);
+            let message = Message::ThreatUpdate {
+                epoch: state.fleet_epoch,
+                level: local,
+            };
+            self.broadcast(&mut state, &message, now);
+            self.audit.record(
+                AuditRecord::new(
+                    now,
+                    AuditSeverity::Notice,
+                    "swarm.threat_broadcast",
+                    self.config.node_id.as_str(),
+                    format!(
+                        "fleet threat epoch {} level {local:?} broadcast",
+                        state.fleet_epoch
+                    ),
+                )
+                .with_attr("epoch", state.fleet_epoch.to_string()),
+            );
+        }
+
+        // 4. Anti-entropy heartbeat.
+        let due = match state.last_anti_entropy {
+            None => true,
+            Some(last) => now.since(last) >= self.config.anti_entropy_every,
+        };
+        if due {
+            state.last_anti_entropy = Some(now);
+            let message = Message::Summary {
+                epoch: state.fleet_epoch,
+                level: state.fleet_level,
+                blacklist_digest: state.replica.digest(),
+                entries: state.replica.len() as u32,
+            };
+            self.broadcast(&mut state, &message, now);
+        }
+
+        // 5. Staleness: no authenticated traffic from *any* peer within
+        // the window means this node's remote view can no longer be
+        // trusted as fresh. The floor holds (fail-safe); the degradation
+        // makes the staleness observable and audited.
+        if !self.config.peers.is_empty() {
+            let started = state.started.unwrap_or(now);
+            let stale = self.config.peers.iter().all(|peer| {
+                let heard = state
+                    .peers
+                    .get(peer)
+                    .and_then(|p| p.last_heard)
+                    .unwrap_or(started);
+                now.since(heard) >= self.config.stale_after
+            });
+            if stale {
+                self.degradation.mark_degraded(
+                    Component::Swarm,
+                    "remote threat view stale (no authenticated peer traffic)",
+                    now,
+                );
+            } else {
+                self.degradation.mark_recovered(Component::Swarm, now);
+            }
+        }
+
+        std::mem::take(&mut state.outbox)
+    }
+
+    /// Applies one inbound frame; returns any direct replies (pull
+    /// requests, full-state transfers) as `(peer, frame)` pairs.
+    pub fn receive(&self, frame: &[u8], now: Timestamp) -> Vec<(String, Vec<u8>)> {
+        // ordering: Relaxed — monotonic statistic.
+        self.counters.received.fetch_add(1, Ordering::Relaxed);
+        let envelope = match wire::decode(self.config.key, frame) {
+            Ok(envelope) => envelope,
+            Err(WireError::BadDigest) => {
+                // ordering: Relaxed — monotonic statistic.
+                self.counters
+                    .forgery_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                return Vec::new();
+            }
+            Err(_) => {
+                // ordering: Relaxed — monotonic statistic.
+                self.counters
+                    .malformed_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                return Vec::new();
+            }
+        };
+        let Envelope { from, seq, message } = envelope;
+
+        let mut state = self.state.lock();
+        // Peer gate, replay gate, rate gate — in that order.
+        let Some(peer) = state.peers.get_mut(&from) else {
+            // ordering: Relaxed — monotonic statistic.
+            self.counters
+                .unknown_peer_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return Vec::new();
+        };
+        if seq <= peer.last_seq {
+            // Replayed, duplicated, or reordered-behind traffic. Anything
+            // a dropped-here frame carried is repaired by anti-entropy.
+            // ordering: Relaxed — monotonic statistic.
+            self.counters.replay_dropped.fetch_add(1, Ordering::Relaxed);
+            return Vec::new();
+        }
+        if !peer.bucket.try_take(now) {
+            // ordering: Relaxed — monotonic statistic.
+            self.counters
+                .rate_limited_recv
+                .fetch_add(1, Ordering::Relaxed);
+            return Vec::new();
+        }
+        peer.last_seq = seq;
+        peer.last_heard = Some(now);
+        // ordering: Relaxed — monotonic statistic.
+        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+
+        match message {
+            Message::ThreatUpdate { epoch, level } => {
+                self.adopt_threat(&mut state, epoch, level, &from, now);
+            }
+            Message::BlacklistAdd {
+                group,
+                member,
+                expiry,
+            } => {
+                self.adopt_ban(&mut state, &group, &member, expiry, &from, now);
+            }
+            Message::BlacklistExpire { group, member } => {
+                state.replica.remove(&group, &member);
+                state.known.remove(&(group.clone(), member.clone()));
+                self.groups.remove(&group, &member);
+            }
+            Message::Summary {
+                epoch,
+                level,
+                blacklist_digest,
+                entries: _,
+            } => {
+                self.adopt_threat(&mut state, epoch, level, &from, now);
+                let diverged =
+                    blacklist_digest != state.replica.digest() || epoch > state.fleet_epoch;
+                if diverged {
+                    // ordering: Relaxed — monotonic statistic.
+                    self.counters
+                        .resyncs_requested
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.enqueue(&mut state, &from, &Message::PullRequest, now);
+                }
+            }
+            Message::PullRequest => {
+                // ordering: Relaxed — monotonic statistic.
+                self.counters
+                    .full_states_sent
+                    .fetch_add(1, Ordering::Relaxed);
+                let message = Message::FullState {
+                    epoch: state.fleet_epoch,
+                    level: state.fleet_level,
+                    entries: state.replica.entries(),
+                };
+                self.enqueue(&mut state, &from, &message, now);
+            }
+            Message::FullState {
+                epoch,
+                level,
+                entries,
+            } => {
+                self.adopt_threat(&mut state, epoch, level, &from, now);
+                for entry in entries {
+                    self.adopt_ban(
+                        &mut state,
+                        &entry.group,
+                        &entry.member,
+                        entry.expiry,
+                        &entry.origin,
+                        now,
+                    );
+                }
+            }
+        }
+        std::mem::take(&mut state.outbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_audit::time::VirtualClock;
+    use std::sync::Arc;
+
+    fn ts(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn node(id: &str, peers: &[&str]) -> SwarmNode {
+        let clock = Arc::new(VirtualClock::new());
+        SwarmNode::new(
+            SwarmConfig::new(id, peers),
+            ThreatMonitor::new(clock),
+            GroupStore::new(),
+            DegradationState::new(),
+            AuditLog::new(),
+        )
+    }
+
+    /// Shuttles frames between two nodes until quiescent (no transport
+    /// faults — protocol-level unit tests only).
+    fn settle(a: &SwarmNode, b: &SwarmNode, now: Timestamp) {
+        let mut pending: Vec<(String, Vec<u8>)> = Vec::new();
+        pending.extend(a.tick(now));
+        pending.extend(b.tick(now));
+        for _ in 0..64 {
+            if pending.is_empty() {
+                break;
+            }
+            let mut next = Vec::new();
+            for (to, frame) in pending.drain(..) {
+                let target = if to == a.node_id() { a } else { b };
+                next.extend(target.receive(&frame, now));
+            }
+            pending = next;
+        }
+    }
+
+    #[test]
+    fn ban_propagates_and_mirrors_into_group_store() {
+        let a = node("n0", &["n1"]);
+        let b = node("n1", &["n0"]);
+        a.ban("BadGuys", "203.0.113.9", ts(100));
+        settle(&a, &b, ts(100));
+        assert!(b.groups.contains("BadGuys", "203.0.113.9"));
+        assert_eq!(a.blacklist_digest(), b.blacklist_digest());
+        assert_eq!(b.stats().remote_bans_adopted, 1);
+    }
+
+    #[test]
+    fn group_store_additions_are_captured_by_tick() {
+        let a = node("n0", &["n1"]);
+        let b = node("n1", &["n0"]);
+        // An update_log response action lands here in production.
+        a.groups.add("BadGuys", "198.51.100.7");
+        settle(&a, &b, ts(50));
+        assert!(b.groups.contains("BadGuys", "198.51.100.7"));
+    }
+
+    #[test]
+    fn threat_escalation_raises_remote_floor() {
+        let a = node("n0", &["n1"]);
+        let b = node("n1", &["n0"]);
+        a.threat.set_level(ThreatLevel::High);
+        settle(&a, &b, ts(10));
+        assert_eq!(b.fleet(), (1, ThreatLevel::High));
+        assert_eq!(b.threat.current(), ThreatLevel::High, "floor raised");
+        assert_eq!(b.threat.local_level(), ThreatLevel::Low, "local untouched");
+    }
+
+    #[test]
+    fn only_the_epoch_origin_may_deescalate() {
+        let a = node("n0", &["n1"]);
+        let b = node("n1", &["n0"]);
+        a.threat.set_level(ThreatLevel::High);
+        settle(&a, &b, ts(10));
+        // The bystander decaying changes nothing fleet-wide.
+        let before = b.fleet();
+        b.tick(ts(20));
+        assert_eq!(b.fleet(), before);
+        // The origin relaxing issues a fresh epoch that relaxes the fleet.
+        a.threat.set_level(ThreatLevel::Low);
+        settle(&a, &b, ts(3000));
+        assert_eq!(b.fleet(), (2, ThreatLevel::Low));
+        assert_eq!(b.threat.current(), ThreatLevel::Low);
+    }
+
+    #[test]
+    fn replayed_and_stale_sequence_frames_are_dropped_and_counted() {
+        let a = node("n0", &["n1"]);
+        let b = node("n1", &["n0"]);
+        a.ban("BadGuys", "x", ts(5));
+        let frames = a.tick(ts(5));
+        let frame = &frames[0].1;
+        assert!(b.receive(frame, ts(6)).is_empty());
+        // Exact replay: dropped.
+        b.receive(frame, ts(7));
+        assert_eq!(b.stats().replay_dropped, 1);
+        // A frame with an older sequence (the summary from tick's
+        // anti-entropy was seq 2; replay seq 1 again): dropped.
+        b.receive(frame, ts(8));
+        assert_eq!(b.stats().replay_dropped, 2);
+        assert_eq!(b.blacklist_len(), 1, "state applied exactly once");
+    }
+
+    #[test]
+    fn forged_and_malformed_frames_are_dropped_and_counted() {
+        let a = node("n0", &["n1"]);
+        let b = node("n1", &["n0"]);
+        a.ban("BadGuys", "x", ts(5));
+        let frame = a.tick(ts(5)).remove(0).1;
+        let mut tampered = frame.clone();
+        let last = tampered.len() - 9;
+        tampered[last] ^= 0xff;
+        b.receive(&tampered, ts(6));
+        assert_eq!(b.stats().forgery_dropped, 1);
+        b.receive(&frame[..8], ts(6));
+        assert_eq!(b.stats().malformed_dropped, 1);
+        // A frame keyed differently (wrong fleet key) is a forgery too.
+        let stranger = wire::encode(0xdead, "n0", 99, &Message::PullRequest);
+        b.receive(&stranger, ts(6));
+        assert_eq!(b.stats().forgery_dropped, 2);
+        assert_eq!(b.blacklist_len(), 0, "nothing applied");
+    }
+
+    #[test]
+    fn unknown_peers_are_ignored() {
+        let b = node("n1", &["n0"]);
+        let frame = wire::encode(
+            SwarmConfig::new("n1", &[]).key,
+            "intruder",
+            1,
+            &Message::PullRequest,
+        );
+        b.receive(&frame, ts(1));
+        assert_eq!(b.stats().unknown_peer_dropped, 1);
+    }
+
+    #[test]
+    fn receive_rate_limit_drops_and_counts() {
+        let mut config = SwarmConfig::new("n1", &["n0"]);
+        config.recv_burst = 2;
+        config.recv_per_sec = 1;
+        let clock = Arc::new(VirtualClock::new());
+        let b = SwarmNode::new(
+            config,
+            ThreatMonitor::new(clock),
+            GroupStore::new(),
+            DegradationState::new(),
+            AuditLog::new(),
+        );
+        let key = SwarmConfig::new("n0", &[]).key;
+        for seq in 1..=5 {
+            let frame = wire::encode(key, "n0", seq, &Message::PullRequest);
+            b.receive(&frame, ts(10));
+        }
+        let stats = b.stats();
+        assert_eq!(stats.accepted, 2, "burst of two accepted");
+        assert_eq!(stats.rate_limited_recv, 3);
+    }
+
+    #[test]
+    fn ban_expiry_sweeps_replica_and_group_store() {
+        let mut config = SwarmConfig::new("n0", &[]);
+        config.ban_ttl = Duration::from_millis(100);
+        let clock = Arc::new(VirtualClock::new());
+        let a = SwarmNode::new(
+            config,
+            ThreatMonitor::new(clock),
+            GroupStore::new(),
+            DegradationState::new(),
+            AuditLog::new(),
+        );
+        a.ban("BadGuys", "x", ts(0));
+        assert!(a.groups.contains("BadGuys", "x"));
+        a.tick(ts(50));
+        assert!(a.groups.contains("BadGuys", "x"));
+        a.tick(ts(150));
+        assert!(!a.groups.contains("BadGuys", "x"), "expired and swept");
+        assert_eq!(a.blacklist_len(), 0);
+        // The expiry sweep does not re-adopt from the diff (known was
+        // cleaned up alongside).
+        a.tick(ts(160));
+        assert_eq!(a.blacklist_len(), 0);
+    }
+
+    #[test]
+    fn sustained_silence_degrades_swarm_component_and_recovers() {
+        let a = node("n0", &["n1"]);
+        let b = node("n1", &["n0"]);
+        a.tick(ts(0));
+        assert!(!a.degradation.is_degraded(Component::Swarm));
+        // 10s of silence (default stale_after) → degraded.
+        a.tick(ts(10_000));
+        assert!(a.degradation.is_degraded(Component::Swarm));
+        // A peer frame arrives → next tick recovers.
+        for (to, frame) in b.tick(ts(10_001)) {
+            if to == "n0" {
+                a.receive(&frame, ts(10_001));
+            }
+        }
+        a.tick(ts(10_002));
+        assert!(!a.degradation.is_degraded(Component::Swarm));
+    }
+
+    #[test]
+    fn stale_partition_holds_the_floor_fail_safe() {
+        let a = node("n0", &["n1"]);
+        let b = node("n1", &["n0"]);
+        a.threat.set_level(ThreatLevel::High);
+        settle(&a, &b, ts(10));
+        assert_eq!(b.threat.current(), ThreatLevel::High);
+        // Partition: b hears nothing further, a relaxes locally. b's floor
+        // must hold High — stale information may only hold or raise.
+        a.threat.set_level(ThreatLevel::Low);
+        a.tick(ts(5000)); // broadcast relax — never delivered to b
+        for t in [5000u64, 11_000, 20_000] {
+            b.tick(ts(t));
+            assert_eq!(b.threat.current(), ThreatLevel::High, "floor held at t={t}");
+        }
+        assert!(b.degradation.is_degraded(Component::Swarm));
+    }
+
+    #[test]
+    fn anti_entropy_resync_converges_a_rejoining_node() {
+        let a = node("n0", &["n1"]);
+        let b = node("n1", &["n0"]);
+        // b misses everything a did (partition): two bans and a raise.
+        a.ban("BadGuys", "x", ts(0));
+        a.ban("BadGuys", "y", ts(1));
+        a.threat.set_level(ThreatLevel::Medium);
+        a.tick(ts(2));
+        assert_ne!(a.blacklist_digest(), b.blacklist_digest());
+        // Heal: summaries flow again; digest mismatch → pull → full state.
+        settle(&a, &b, ts(5000));
+        assert_eq!(a.blacklist_digest(), b.blacklist_digest());
+        assert_eq!(b.fleet(), a.fleet());
+        assert!(b.groups.contains("BadGuys", "x"));
+        assert!(b.groups.contains("BadGuys", "y"));
+        assert!(b.stats().resyncs_requested >= 1);
+        assert!(a.stats().full_states_sent >= 1);
+    }
+
+    #[test]
+    fn unban_reverses_fleet_wide() {
+        let a = node("n0", &["n1"]);
+        let b = node("n1", &["n0"]);
+        a.ban("BadGuys", "x", ts(0));
+        settle(&a, &b, ts(0));
+        assert!(b.groups.contains("BadGuys", "x"));
+        a.unban("BadGuys", "x", ts(10));
+        settle(&a, &b, ts(10));
+        assert!(!a.groups.contains("BadGuys", "x"));
+        assert!(!b.groups.contains("BadGuys", "x"));
+    }
+}

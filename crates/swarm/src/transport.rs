@@ -1,0 +1,347 @@
+//! Datagram transports: the in-process fault-injected hub and real sockets.
+//!
+//! The protocol layer ([`crate::node`]) never touches a socket; it hands
+//! encoded frames to a [`Transport`] and drains frames back out. Two
+//! implementations:
+//!
+//! * [`InProcHub`] — N in-process nodes joined through a
+//!   [`NetFaultPlan`]: every frame gets a seeded verdict (deliver,
+//!   duplicate, deliver-ahead, delay, corrupt, drop), partitions are
+//!   explicit sets, and delivery order is fully deterministic. All chaos
+//!   tests and the model-checked scenarios run here.
+//! * [`UdpTransport`] — real sockets: UDP datagrams for normal frames with
+//!   a length-framed TCP fallback for frames larger than one safe
+//!   datagram (anti-entropy `FullState` transfers grow with the
+//!   blacklist). Production shape, loopback-tested.
+
+use gaa_audit::time::Timestamp;
+use gaa_faults::net::{NetFaultPlan, Verdict};
+// Shim primitives: model-checkable under gaa-race, passthrough otherwise.
+use gaa_race::sync::{AtomicU64, Mutex};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Moves encoded frames between named nodes.
+pub trait Transport: Send + Sync {
+    /// Submits one frame from `from` to `to`. Best-effort: the transport
+    /// may drop, duplicate, reorder, delay or corrupt (the protocol layer
+    /// is built to survive all five).
+    fn send(&self, from: &str, to: &str, payload: &[u8], now: Timestamp);
+
+    /// Drains every frame currently deliverable to `node`, oldest first.
+    fn recv(&self, node: &str, now: Timestamp) -> Vec<Vec<u8>>;
+}
+
+#[derive(Debug, Default)]
+struct HubState {
+    inboxes: BTreeMap<String, VecDeque<Vec<u8>>>,
+    /// Frames held by a `Delay` verdict: `(to, due, payload)`.
+    delayed: Vec<(String, Timestamp, Vec<u8>)>,
+}
+
+/// In-process hub: every link runs through one [`NetFaultPlan`].
+///
+/// Deterministic by construction — same plan seed, same sends, same
+/// deliveries — which is what lets a failing chaos run replay from its
+/// printed seed alone.
+#[derive(Clone)]
+pub struct InProcHub {
+    plan: Arc<NetFaultPlan>,
+    state: Arc<Mutex<HubState>>,
+    sent: Arc<AtomicU64>,
+    delivered: Arc<AtomicU64>,
+}
+
+impl InProcHub {
+    /// A hub routing through `plan`.
+    pub fn new(plan: NetFaultPlan) -> Self {
+        InProcHub {
+            plan: Arc::new(plan),
+            state: Arc::new(Mutex::named("swarm.hub", HubState::default())),
+            sent: Arc::new(AtomicU64::named("swarm.hub.sent", 0)),
+            delivered: Arc::new(AtomicU64::named("swarm.hub.delivered", 0)),
+        }
+    }
+
+    /// The fault plan, for mid-test partition control.
+    pub fn plan(&self) -> &NetFaultPlan {
+        &self.plan
+    }
+
+    /// Frames submitted / frames handed to receivers so far.
+    pub fn stats(&self) -> (u64, u64) {
+        // ordering: Relaxed — monotonic statistics, publish no other memory.
+        (
+            self.sent.load(Ordering::Relaxed),
+            self.delivered.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Transport for InProcHub {
+    fn send(&self, from: &str, to: &str, payload: &[u8], now: Timestamp) {
+        // ordering: Relaxed — monotonic statistic.
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        let verdict = self.plan.verdict(from, to, payload);
+        let mut state = self.state.lock();
+        let inbox = state.inboxes.entry(to.to_string()).or_default();
+        match verdict {
+            Verdict::Deliver(bytes) => inbox.push_back(bytes),
+            Verdict::Duplicate(bytes) => {
+                inbox.push_back(bytes.clone());
+                inbox.push_back(bytes);
+            }
+            Verdict::DeliverAhead(bytes) => inbox.push_front(bytes),
+            Verdict::Delayed(bytes, ms) => {
+                let due = now.plus(Duration::from_millis(ms));
+                state.delayed.push((to.to_string(), due, bytes));
+            }
+            Verdict::Drop => {}
+        }
+    }
+
+    fn recv(&self, node: &str, now: Timestamp) -> Vec<Vec<u8>> {
+        let mut state = self.state.lock();
+        // Release delayed frames whose deadline passed, preserving the
+        // order they were delayed in.
+        let mut still_held = Vec::new();
+        let delayed = std::mem::take(&mut state.delayed);
+        for (to, due, bytes) in delayed {
+            if due <= now && to == node {
+                state.inboxes.entry(to).or_default().push_back(bytes);
+            } else {
+                still_held.push((to, due, bytes));
+            }
+        }
+        state.delayed = still_held;
+        let frames: Vec<Vec<u8>> = state
+            .inboxes
+            .get_mut(node)
+            .map(|inbox| inbox.drain(..).collect())
+            .unwrap_or_default();
+        drop(state);
+        // ordering: Relaxed — monotonic statistic.
+        self.delivered
+            .fetch_add(frames.len() as u64, Ordering::Relaxed);
+        frames
+    }
+}
+
+/// Largest frame sent as a single UDP datagram; anything bigger takes the
+/// TCP fallback. Chosen under a conservative 1280-byte path MTU.
+pub const MAX_DATAGRAM: usize = 1200;
+
+/// Real-socket transport: UDP datagrams with a length-framed TCP fallback.
+///
+/// One `UdpTransport` serves one node: it binds a UDP socket and a TCP
+/// listener on the same loopback-or-LAN port pair and resolves peer names
+/// through a registration table. Frames at or under [`MAX_DATAGRAM`] go as
+/// one datagram; larger frames (full-state anti-entropy transfers) open a
+/// short-lived TCP connection carrying `u32-be length || frame`.
+pub struct UdpTransport {
+    socket: UdpSocket,
+    listener: TcpListener,
+    peers: Mutex<BTreeMap<String, SocketAddr>>,
+    fallback_sends: AtomicU64,
+}
+
+impl UdpTransport {
+    /// Binds UDP and TCP on `addr` (use port 0 to let the OS pick; the two
+    /// sockets may then land on different ports — see
+    /// [`udp_addr`](UdpTransport::udp_addr) / [`tcp_addr`](UdpTransport::tcp_addr)).
+    pub fn bind(addr: &str) -> std::io::Result<UdpTransport> {
+        let socket = UdpSocket::bind(addr)?;
+        socket.set_nonblocking(true)?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(UdpTransport {
+            socket,
+            listener,
+            peers: Mutex::named("swarm.udp.peers", BTreeMap::new()),
+            fallback_sends: AtomicU64::named("swarm.udp.fallback", 0),
+        })
+    }
+
+    /// The bound UDP address (datagram target for peers).
+    pub fn udp_addr(&self) -> std::io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// The bound TCP address (fallback target for peers).
+    pub fn tcp_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Registers (or updates) a peer's datagram and fallback addresses.
+    pub fn register_peer(&self, name: &str, udp: SocketAddr, tcp: SocketAddr) {
+        self.peers.lock().insert(name.to_string(), udp);
+        self.peers.lock().insert(format!("{name}\u{1f}tcp"), tcp);
+    }
+
+    /// Frames that took the TCP fallback so far.
+    pub fn fallback_sends(&self) -> u64 {
+        // ordering: Relaxed — monotonic statistic.
+        self.fallback_sends.load(Ordering::Relaxed)
+    }
+
+    fn send_tcp(&self, addr: SocketAddr, payload: &[u8]) -> std::io::Result<()> {
+        let mut stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500))?;
+        stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+        let len = u32::try_from(payload.len()).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large")
+        })?;
+        stream.write_all(&len.to_be_bytes())?;
+        stream.write_all(payload)?;
+        Ok(())
+    }
+
+    fn recv_tcp(&self) -> Vec<Vec<u8>> {
+        let mut frames = Vec::new();
+        while let Ok((mut stream, _)) = self.listener.accept() {
+            // Short blocking read per accepted connection: the sender
+            // writes one frame and closes.
+            let _ = stream.set_nonblocking(false);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+            let mut len_bytes = [0u8; 4];
+            if stream.read_exact(&mut len_bytes).is_err() {
+                continue;
+            }
+            let len = u32::from_be_bytes(len_bytes) as usize;
+            // 16 MiB ceiling: a garbage length must not allocate the moon.
+            if len > 16 << 20 {
+                continue;
+            }
+            let mut payload = vec![0u8; len];
+            if stream.read_exact(&mut payload).is_ok() {
+                frames.push(payload);
+            }
+        }
+        frames
+    }
+}
+
+impl Transport for UdpTransport {
+    fn send(&self, _from: &str, to: &str, payload: &[u8], _now: Timestamp) {
+        let (udp, tcp) = {
+            let peers = self.peers.lock();
+            (
+                peers.get(to).copied(),
+                peers.get(&format!("{to}\u{1f}tcp")).copied(),
+            )
+        };
+        if payload.len() <= MAX_DATAGRAM {
+            if let Some(addr) = udp {
+                if self.socket.send_to(payload, addr).is_ok() {
+                    return;
+                }
+            }
+        }
+        // Oversized frame or datagram send failure: length-framed TCP.
+        if let Some(addr) = tcp {
+            // ordering: Relaxed — monotonic statistic.
+            self.fallback_sends.fetch_add(1, Ordering::Relaxed);
+            let _ = self.send_tcp(addr, payload);
+        }
+    }
+
+    fn recv(&self, _node: &str, _now: Timestamp) -> Vec<Vec<u8>> {
+        let mut frames = Vec::new();
+        let mut buffer = [0u8; 65_536];
+        while let Ok((len, _)) = self.socket.recv_from(&mut buffer) {
+            frames.push(buffer[..len].to_vec());
+        }
+        frames.extend(self.recv_tcp());
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn hub_delivers_in_order_without_faults() {
+        let hub = InProcHub::new(NetFaultPlan::none());
+        hub.send("a", "b", b"one", ts(0));
+        hub.send("a", "b", b"two", ts(0));
+        assert_eq!(hub.recv("b", ts(1)), vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(hub.recv("b", ts(1)).is_empty(), "recv drains");
+        assert_eq!(hub.stats(), (2, 2));
+    }
+
+    #[test]
+    fn hub_honours_partition() {
+        let hub = InProcHub::new(NetFaultPlan::none());
+        hub.plan().partition_both("a", "b");
+        hub.send("a", "b", b"x", ts(0));
+        assert!(hub.recv("b", ts(1)).is_empty());
+        hub.plan().heal_all();
+        hub.send("a", "b", b"y", ts(2));
+        assert_eq!(hub.recv("b", ts(3)), vec![b"y".to_vec()]);
+    }
+
+    #[test]
+    fn hub_releases_delayed_frames_at_their_deadline() {
+        let plan = NetFaultPlan::builder(11).delay(1.0, 50).build();
+        let hub = InProcHub::new(plan);
+        hub.send("a", "b", b"late", ts(100));
+        assert!(hub.recv("b", ts(120)).is_empty(), "still held");
+        assert_eq!(hub.recv("b", ts(150)), vec![b"late".to_vec()]);
+    }
+
+    #[test]
+    fn hub_duplicates_and_reorders_deterministically() {
+        let run = |seed: u64| {
+            let plan = NetFaultPlan::builder(seed)
+                .duplicate(0.3)
+                .reorder(0.3)
+                .build();
+            let hub = InProcHub::new(plan);
+            for i in 0..20u8 {
+                hub.send("a", "b", &[i], ts(u64::from(i)));
+            }
+            hub.recv("b", ts(100))
+        };
+        assert_eq!(run(5), run(5), "seeded chaos replays identically");
+        assert_ne!(run(5), run(6), "seed steers the fault pattern");
+    }
+
+    #[test]
+    fn udp_loopback_round_trip_with_tcp_fallback() {
+        let a = UdpTransport::bind("127.0.0.1:0").expect("bind a");
+        let b = UdpTransport::bind("127.0.0.1:0").expect("bind b");
+        a.register_peer(
+            "b",
+            b.udp_addr().expect("udp addr"),
+            b.tcp_addr().expect("tcp addr"),
+        );
+
+        // Small frame: one UDP datagram.
+        a.send("a", "b", b"small", ts(0));
+        // Large frame: forced through the length-framed TCP fallback.
+        let large = vec![0x42u8; MAX_DATAGRAM + 1];
+        a.send("a", "b", &large, ts(0));
+        assert_eq!(a.fallback_sends(), 1);
+
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.extend(b.recv("b", ts(1)));
+            if got.len() >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        got.sort_by_key(|f| f.len());
+        assert_eq!(got.len(), 2, "both frames arrive");
+        assert_eq!(got[0], b"small".to_vec());
+        assert_eq!(got[1], large);
+    }
+}

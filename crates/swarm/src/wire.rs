@@ -1,0 +1,476 @@
+//! Wire format for swarm datagrams.
+//!
+//! Every message travels in one envelope:
+//!
+//! ```text
+//! "GSW1" | node-id (u16 len + bytes) | seq u64 | type u8 | payload | digest u64
+//! ```
+//!
+//! * **seq** is a per-node monotonic counter. Receivers keep the highest
+//!   sequence seen per peer and drop anything at or below it — replayed or
+//!   long-delayed datagrams cannot re-apply old state. Gaps are normal
+//!   (frames to other peers, drops); anti-entropy repairs whatever the gap
+//!   contained.
+//! * **digest** is a keyed digest over every preceding byte. Both ends
+//!   share the key out of band; a datagram whose digest does not verify is
+//!   counted and dropped, so an off-path forger who cannot read the key
+//!   cannot inject threat transitions or blacklist entries. The digest is
+//!   an HMAC-*shaped* construction over the [`mix`] permutation — good
+//!   enough to make corruption and casual forgery detectable in this
+//!   reproduction, and NOT a substitute for a real MAC in production.
+//!
+//! All decode paths are total: truncated, oversized or type-confused input
+//! yields a [`WireError`], never a panic (the parser sits on the network
+//! path, so GAA601's no-panic rule applies in spirit here too).
+
+use gaa_audit::time::Timestamp;
+use gaa_faults::rng::mix;
+use gaa_ids::replica::BlacklistEntry;
+use gaa_ids::ThreatLevel;
+
+/// Frame prefix identifying protocol + version.
+pub const MAGIC: &[u8; 4] = b"GSW1";
+
+/// Hard ceiling on one encoded string (node ids, group names, members).
+pub const MAX_STR: usize = 1024;
+
+/// Hard ceiling on entries in one `FullState` frame.
+pub const MAX_ENTRIES: usize = 4096;
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes mid-field.
+    Truncated,
+    /// Frame does not start with [`MAGIC`].
+    BadMagic,
+    /// Unknown message type byte.
+    BadType,
+    /// Keyed digest mismatch (corruption or forgery).
+    BadDigest,
+    /// A length field exceeds [`MAX_STR`] / [`MAX_ENTRIES`].
+    Oversized,
+    /// A string field is not UTF-8.
+    BadString,
+    /// A threat-level byte is out of range.
+    BadLevel,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WireError::Truncated => "truncated frame",
+            WireError::BadMagic => "bad magic",
+            WireError::BadType => "unknown message type",
+            WireError::BadDigest => "digest mismatch",
+            WireError::Oversized => "length field too large",
+            WireError::BadString => "non-utf8 string",
+            WireError::BadLevel => "threat level out of range",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One protocol message (the envelope's typed payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Fleet threat transition: a Lamport-style `(epoch, level)` pair.
+    /// Higher epoch always wins (fresh information may *relax*); equal
+    /// epochs merge by max level (concurrent raises are fail-safe).
+    ThreatUpdate {
+        /// Fleet threat epoch.
+        epoch: u64,
+        /// Fleet threat level at that epoch.
+        level: ThreatLevel,
+    },
+    /// A member joined a replicated blacklist group.
+    BlacklistAdd {
+        /// Group name (e.g. `BadGuys`).
+        group: String,
+        /// Banned member (IP or user).
+        member: String,
+        /// Ban expiry.
+        expiry: Timestamp,
+    },
+    /// Operator-initiated reversal of a blacklist entry.
+    BlacklistExpire {
+        /// Group name.
+        group: String,
+        /// Member to unban.
+        member: String,
+    },
+    /// Anti-entropy heartbeat: enough state to detect divergence cheaply.
+    Summary {
+        /// Sender's fleet threat epoch.
+        epoch: u64,
+        /// Sender's fleet threat level.
+        level: ThreatLevel,
+        /// Sender's blacklist content digest.
+        blacklist_digest: u64,
+        /// Sender's blacklist entry count.
+        entries: u32,
+    },
+    /// "Your summary differs from my state — send me everything."
+    PullRequest,
+    /// Full-state transfer answering a [`Message::PullRequest`].
+    FullState {
+        /// Sender's fleet threat epoch.
+        epoch: u64,
+        /// Sender's fleet threat level.
+        level: ThreatLevel,
+        /// Complete blacklist in canonical order.
+        entries: Vec<BlacklistEntry>,
+    },
+}
+
+/// A decoded frame: who sent it, their sequence number, and the message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending node's id.
+    pub from: String,
+    /// Sender's per-node monotonic sequence number.
+    pub seq: u64,
+    /// The typed payload.
+    pub message: Message,
+}
+
+fn level_byte(level: ThreatLevel) -> u8 {
+    match level {
+        ThreatLevel::Low => 0,
+        ThreatLevel::Medium => 1,
+        ThreatLevel::High => 2,
+    }
+}
+
+fn byte_level(byte: u8) -> Result<ThreatLevel, WireError> {
+    match byte {
+        0 => Ok(ThreatLevel::Low),
+        1 => Ok(ThreatLevel::Medium),
+        2 => Ok(ThreatLevel::High),
+        _ => Err(WireError::BadLevel),
+    }
+}
+
+/// Keyed digest over `bytes`: a sponge over the splitmix permutation,
+/// keyed on both ends so the digest also authenticates (weakly — see the
+/// module docs). Length is absorbed first so extensions do not collide.
+pub fn keyed_digest(key: u64, bytes: &[u8]) -> u64 {
+    let mut h = mix(key ^ 0x5741_524d_u64) ^ mix(bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut word = 0u64;
+        for (i, b) in chunk.iter().enumerate() {
+            word |= u64::from(*b) << (8 * i);
+        }
+        h = mix(h ^ word).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    }
+    mix(h ^ key)
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(MAX_STR) as u16;
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(&bytes[..len as usize]);
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_be_bytes(arr))
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        if len > MAX_STR {
+            return Err(WireError::Oversized);
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadString)
+    }
+}
+
+/// Encodes one frame from `node_id` with sequence `seq`, signed by `key`.
+pub fn encode(key: u64, node_id: &str, seq: u64, message: &Message) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(MAGIC);
+    put_str(&mut out, node_id);
+    out.extend_from_slice(&seq.to_be_bytes());
+    match message {
+        Message::ThreatUpdate { epoch, level } => {
+            out.push(1);
+            out.extend_from_slice(&epoch.to_be_bytes());
+            out.push(level_byte(*level));
+        }
+        Message::BlacklistAdd {
+            group,
+            member,
+            expiry,
+        } => {
+            out.push(2);
+            put_str(&mut out, group);
+            put_str(&mut out, member);
+            out.extend_from_slice(&expiry.as_millis().to_be_bytes());
+        }
+        Message::BlacklistExpire { group, member } => {
+            out.push(3);
+            put_str(&mut out, group);
+            put_str(&mut out, member);
+        }
+        Message::Summary {
+            epoch,
+            level,
+            blacklist_digest,
+            entries,
+        } => {
+            out.push(4);
+            out.extend_from_slice(&epoch.to_be_bytes());
+            out.push(level_byte(*level));
+            out.extend_from_slice(&blacklist_digest.to_be_bytes());
+            out.extend_from_slice(&entries.to_be_bytes());
+        }
+        Message::PullRequest => out.push(5),
+        Message::FullState {
+            epoch,
+            level,
+            entries,
+        } => {
+            out.push(6);
+            out.extend_from_slice(&epoch.to_be_bytes());
+            out.push(level_byte(*level));
+            let count = entries.len().min(MAX_ENTRIES) as u32;
+            out.extend_from_slice(&count.to_be_bytes());
+            for entry in entries.iter().take(count as usize) {
+                put_str(&mut out, &entry.group);
+                put_str(&mut out, &entry.member);
+                out.extend_from_slice(&entry.expiry.as_millis().to_be_bytes());
+                put_str(&mut out, &entry.origin);
+            }
+        }
+    }
+    let digest = keyed_digest(key, &out);
+    out.extend_from_slice(&digest.to_be_bytes());
+    out
+}
+
+/// Decodes and authenticates one frame.
+pub fn decode(key: u64, bytes: &[u8]) -> Result<Envelope, WireError> {
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(WireError::Truncated);
+    }
+    // Verify the trailing digest before touching any content.
+    let (body, digest_bytes) = bytes.split_at(bytes.len() - 8);
+    let mut arr = [0u8; 8];
+    arr.copy_from_slice(digest_bytes);
+    if keyed_digest(key, body) != u64::from_be_bytes(arr) {
+        return Err(WireError::BadDigest);
+    }
+    let mut cur = Cursor {
+        bytes: body,
+        pos: 0,
+    };
+    if cur.take(4)? != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let from = cur.str()?;
+    let seq = cur.u64()?;
+    let message = match cur.u8()? {
+        1 => Message::ThreatUpdate {
+            epoch: cur.u64()?,
+            level: byte_level(cur.u8()?)?,
+        },
+        2 => Message::BlacklistAdd {
+            group: cur.str()?,
+            member: cur.str()?,
+            expiry: Timestamp::from_millis(cur.u64()?),
+        },
+        3 => Message::BlacklistExpire {
+            group: cur.str()?,
+            member: cur.str()?,
+        },
+        4 => Message::Summary {
+            epoch: cur.u64()?,
+            level: byte_level(cur.u8()?)?,
+            blacklist_digest: cur.u64()?,
+            entries: cur.u32()?,
+        },
+        5 => Message::PullRequest,
+        6 => {
+            let epoch = cur.u64()?;
+            let level = byte_level(cur.u8()?)?;
+            let count = cur.u32()? as usize;
+            if count > MAX_ENTRIES {
+                return Err(WireError::Oversized);
+            }
+            let mut entries = Vec::with_capacity(count.min(64));
+            for _ in 0..count {
+                entries.push(BlacklistEntry {
+                    group: cur.str()?,
+                    member: cur.str()?,
+                    expiry: Timestamp::from_millis(cur.u64()?),
+                    origin: cur.str()?,
+                });
+            }
+            Message::FullState {
+                epoch,
+                level,
+                entries,
+            }
+        }
+        _ => return Err(WireError::BadType),
+    };
+    Ok(Envelope { from, seq, message })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: u64 = 0xfeed_beef;
+
+    fn round_trip(message: Message) {
+        let bytes = encode(KEY, "node-a", 42, &message);
+        let envelope = decode(KEY, &bytes).expect("decodes");
+        assert_eq!(envelope.from, "node-a");
+        assert_eq!(envelope.seq, 42);
+        assert_eq!(envelope.message, message);
+    }
+
+    #[test]
+    fn all_message_kinds_round_trip() {
+        round_trip(Message::ThreatUpdate {
+            epoch: 7,
+            level: ThreatLevel::High,
+        });
+        round_trip(Message::BlacklistAdd {
+            group: "BadGuys".into(),
+            member: "203.0.113.9".into(),
+            expiry: Timestamp::from_millis(99_000),
+        });
+        round_trip(Message::BlacklistExpire {
+            group: "BadGuys".into(),
+            member: "203.0.113.9".into(),
+        });
+        round_trip(Message::Summary {
+            epoch: 3,
+            level: ThreatLevel::Medium,
+            blacklist_digest: 0xabcdef,
+            entries: 12,
+        });
+        round_trip(Message::PullRequest);
+        round_trip(Message::FullState {
+            epoch: 9,
+            level: ThreatLevel::Low,
+            entries: vec![
+                BlacklistEntry {
+                    group: "BadGuys".into(),
+                    member: "198.51.100.7".into(),
+                    expiry: Timestamp::from_millis(5),
+                    origin: "node-b".into(),
+                },
+                BlacklistEntry {
+                    group: "Probers".into(),
+                    member: "eve".into(),
+                    expiry: Timestamp::from_millis(6),
+                    origin: "node-c".into(),
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn wrong_key_is_rejected_as_forgery() {
+        let bytes = encode(KEY, "node-a", 1, &Message::PullRequest);
+        assert_eq!(decode(KEY + 1, &bytes), Err(WireError::BadDigest));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = encode(
+            KEY,
+            "n0",
+            5,
+            &Message::ThreatUpdate {
+                epoch: 2,
+                level: ThreatLevel::Medium,
+            },
+        );
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut tampered = bytes.clone();
+                tampered[byte] ^= 1 << bit;
+                assert!(
+                    decode(KEY, &tampered).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_never_panic() {
+        let bytes = encode(KEY, "node-a", 3, &Message::PullRequest);
+        for len in 0..bytes.len() {
+            let _ = decode(KEY, &bytes[..len]);
+        }
+        assert_eq!(decode(KEY, b""), Err(WireError::Truncated));
+        assert!(decode(KEY, &[0u8; 64]).is_err());
+    }
+
+    #[test]
+    fn oversized_full_state_is_refused() {
+        // Hand-build a frame claiming u32::MAX entries; the decoder must
+        // refuse before allocating.
+        let mut body = Vec::new();
+        body.extend_from_slice(MAGIC);
+        body.extend_from_slice(&2u16.to_be_bytes());
+        body.extend_from_slice(b"n0");
+        body.extend_from_slice(&1u64.to_be_bytes());
+        body.push(6);
+        body.extend_from_slice(&0u64.to_be_bytes());
+        body.push(0);
+        body.extend_from_slice(&u32::MAX.to_be_bytes());
+        let digest = keyed_digest(KEY, &body);
+        body.extend_from_slice(&digest.to_be_bytes());
+        assert_eq!(decode(KEY, &body), Err(WireError::Oversized));
+    }
+
+    #[test]
+    fn digest_is_keyed_and_length_separated() {
+        assert_ne!(keyed_digest(1, b"abc"), keyed_digest(2, b"abc"));
+        assert_ne!(keyed_digest(1, b"abc"), keyed_digest(1, b"abc\0"));
+        assert_ne!(keyed_digest(1, b""), keyed_digest(1, b"\0"));
+    }
+}

@@ -12,8 +12,10 @@
 //! * [`conditions`] — the standard condition evaluator library (§7);
 //! * [`httpd`] — the web-server substrate and GAA glue (§4–§6, Figure 1);
 //! * [`ids`] — IDS substrate and GAA↔IDS interaction (§3);
-//! * [`audit`] — audit log, notification, alerts;
-//! * [`workload`] — traffic/attack generators and the scenario driver (§7–§8).
+//! * [`audit`] — audit log, notification, alerts, SIEM (CEF) export;
+//! * [`workload`] — traffic/attack generators and the scenario driver (§7–§8);
+//! * [`swarm`] — fleet replication of the threat level and blacklist
+//!   across server replicas (DESIGN.md §11).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
@@ -25,4 +27,5 @@ pub use gaa_eacl as eacl;
 pub use gaa_faults as faults;
 pub use gaa_httpd as httpd;
 pub use gaa_ids as ids;
+pub use gaa_swarm as swarm;
 pub use gaa_workload as workload;
