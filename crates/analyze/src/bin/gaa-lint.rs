@@ -7,6 +7,8 @@
 //! gaa-lint equiv A_DIR B_DIR
 //! gaa-lint invariants FILE.inv DIR
 //! gaa-lint code [--json] [WORKSPACE_ROOT]
+//! gaa-lint patterns [--json] [--deny-warnings] [--no-signatures] [--seed N]
+//!                   [--system FILE]... FILE...
 //! ```
 //!
 //! Plain `FILE` arguments are object-local policies (the object name is
@@ -28,6 +30,11 @@
 //! the `GAA6xx` concurrency-hygiene rules over the serving core (see
 //! [`gaa_analyze::code`]). It takes the workspace root (default `.`) and
 //! exits `1` on any finding.
+//!
+//! `patterns` runs the `GAA7xx` pattern-set tier ([`gaa_analyze::patterns`])
+//! over the same policy-file arguments as the default mode, plus the
+//! built-in signature database (omit with `--no-signatures`). Every
+//! finding is replayed through the real matchers before being printed.
 
 use gaa_analyze::{
     check_invariants, diff_deployments, diff_lints, differential_check, max_severity,
@@ -52,7 +59,9 @@ const USAGE: &str = "usage: gaa-lint [--json] [--deny-warnings] [--differential]
                      \x20      gaa-lint diff [--json] OLD_DIR NEW_DIR\n\
                      \x20      gaa-lint equiv A_DIR B_DIR\n\
                      \x20      gaa-lint invariants FILE.inv DIR\n\
-                     \x20      gaa-lint code [--json] [WORKSPACE_ROOT]";
+                     \x20      gaa-lint code [--json] [WORKSPACE_ROOT]\n\
+                     \x20      gaa-lint patterns [--json] [--deny-warnings] [--no-signatures] \
+                     [--seed N] [--system FILE]... FILE...";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
@@ -247,6 +256,69 @@ fn run_code(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+fn run_patterns(args: &[String]) -> Result<ExitCode, String> {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut signatures = true;
+    let mut seed = 0u64;
+    let mut system_files = Vec::new();
+    let mut local_files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--no-signatures" => signatures = false,
+            "--seed" => {
+                let value = it.next().ok_or("--seed needs a value")?;
+                seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid --seed value `{value}`"))?;
+            }
+            "--system" => {
+                let file = it.next().ok_or("--system needs a file argument")?;
+                system_files.push(file.clone());
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
+            file => local_files.push(file.to_string()),
+        }
+    }
+    if system_files.is_empty() && local_files.is_empty() && !signatures {
+        return Err(format!(
+            "patterns needs policy files or signatures\n{USAGE}"
+        ));
+    }
+    let mut system = Vec::new();
+    for file in &system_files {
+        system.push(load("system".to_string(), file)?);
+    }
+    let mut locals = Vec::new();
+    for file in &local_files {
+        locals.push(load(object_name(file), file)?);
+    }
+    let db = signatures.then(gaa_ids::SignatureDb::with_defaults);
+    let report = gaa_analyze::lint_patterns(&system, &locals, db.as_ref(), seed);
+    if json {
+        println!("{}", render_json(&report.lints));
+    } else {
+        print!("{}", render_human(&report.lints));
+        eprintln!(
+            "patterns: {} set(s), {} pattern(s); {} claim(s) confirmed by matcher replay, \
+             {} dropped unconfirmed",
+            report.sets, report.patterns, report.confirmed, report.dropped
+        );
+    }
+    let failing = if deny_warnings {
+        LintSeverity::Warning
+    } else {
+        LintSeverity::Error
+    };
+    Ok(match max_severity(&report.lints) {
+        Some(worst) if worst >= failing => ExitCode::from(1),
+        _ => ExitCode::SUCCESS,
+    })
+}
+
 fn run_invariants(args: &[String]) -> Result<ExitCode, String> {
     let [inv_file, dir] = args else {
         return Err(format!(
@@ -280,6 +352,7 @@ fn main() -> ExitCode {
             "equiv" => Some(run_equiv(&args[1..])),
             "invariants" => Some(run_invariants(&args[1..])),
             "code" => Some(run_code(&args[1..])),
+            "patterns" => Some(run_patterns(&args[1..])),
             _ => None,
         };
         if let Some(result) = run {

@@ -46,6 +46,10 @@ const SHIM_MIGRATED_FILES: &[&str] = &[
     "crates/audit/src/notify.rs",
     "crates/audit/src/export.rs",
     "crates/conditions/src/identity.rs",
+    "crates/conditions/src/regex.rs",
+    "crates/conditions/src/multipattern.rs",
+    "crates/ids/src/matcher.rs",
+    "crates/ids/src/signatures.rs",
     "crates/httpd/src/tcp.rs",
     "crates/swarm/src/node.rs",
     "crates/swarm/src/transport.rs",

@@ -27,6 +27,11 @@
 //! * [`code`] — the one tier that lints *Rust source* rather than policies:
 //!   concurrency-hygiene rules (`GAA6xx`) over the serving core, run as
 //!   `gaa-lint code`;
+//! * [`patterns`] — the pattern-set tier (`GAA7xx`): subsumption, dead
+//!   patterns, case-dialect gaps, percent-encoding bypasses, and measured
+//!   matcher-cost amplification over the deployment's `regex` condition
+//!   values and the signature database, every claim replayed through the
+//!   real matchers before it is reported (`gaa-lint patterns`);
 //! * the `gaa-lint` binary — the command-line front end.
 //!
 //! ## Example
@@ -53,6 +58,7 @@ mod differential;
 mod gate;
 mod lint;
 mod passes;
+pub mod patterns;
 mod render;
 mod snapshot;
 mod source;
@@ -65,6 +71,7 @@ pub use differential::{
 };
 pub use gate::lint_gate;
 pub use lint::{max_severity, Lint, LintSeverity, OTHER_VALUE};
+pub use patterns::{lint_patterns, PatternReport};
 pub use render::{render_human, render_json, summary, JSON_SCHEMA_VERSION};
 pub use snapshot::RegistrySnapshot;
 pub use source::Source;

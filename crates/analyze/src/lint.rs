@@ -58,13 +58,20 @@ impl fmt::Display for LintSeverity {
 /// | `GAA602` | error | code: raw `std::sync`/`parking_lot` primitive in a `gaa_race::sync`-migrated file |
 /// | `GAA603` | warning | code: `Err` arm in the front end/glue that never reaches audit/degradation |
 /// | `GAA604` | warning | code: `Ordering::` use without a `// ordering:` rationale comment |
+/// | `GAA701` | warning | pattern subsumed by / equivalent to another pattern in the same set (dead weight) |
+/// | `GAA702` | error/warning | pattern can never match: invalid `re:` (error), empty language (warning) |
+/// | `GAA703` | warning | same literal guarded case-insensitively (glob) and case-sensitively (`re:`) — case-flipped requests split the dialects |
+/// | `GAA704` | warning | percent-encoding bypass: a caught request survives encoding unmatched by the whole set (the NIMDA gap) |
+/// | `GAA705` | note | crafted input amplifies glob matcher cost past the steps-per-byte threshold (measured) |
 ///
 /// `GAA101`/`GAA103`/`GAA104` are folded in from the syntax tier
 /// ([`gaa_eacl::validate`]); `GAA102`, that tier's unreachability check, is
 /// superseded here by the more precise `GAA201` and never emitted by the
 /// analyzer. The `GAA5xx` codes come from the symbolic tier
 /// ([`crate::symbolic`]) and are emitted by `gaa-lint diff`, not by
-/// [`crate::Analyzer`].
+/// [`crate::Analyzer`]. The `GAA7xx` codes come from the pattern tier
+/// ([`crate::patterns`], `gaa-lint patterns`): every one is replayed
+/// through the real matchers before being reported.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Lint {
     /// Stable code, e.g. `"GAA201"`.

@@ -1,0 +1,652 @@
+//! The GAA7xx pattern-analysis tier: lints over the *pattern sets* a
+//! deployment evaluates — the glob/`re:` token lists of its `regex`
+//! conditions plus the active signature database's URL globs.
+//!
+//! Every finding here is a claim about runtime matcher behaviour, so every
+//! finding is **replayed through the real matchers** before it is reported:
+//! subsumption witnesses are sampled from the sub-pattern's automaton and
+//! run through [`gaa_conditions::multipattern::match_one`] (the same
+//! per-pattern path `signature_matches` falls back to), encoding-bypass
+//! witnesses are checked against every pattern in the set, and cost
+//! findings quote step counts measured by the production glob matcher
+//! itself. A claim that fails replay is dropped, never downgraded — the
+//! tier's contract is zero false claims, not maximal recall.
+//!
+//! | code | severity | meaning |
+//! |---|---|---|
+//! | `GAA701` | warning | pattern subsumed by another pattern in the same set (redundant; shadows nothing at runtime) |
+//! | `GAA702` | error/warning | pattern can never match: invalid `re:` (error) or empty language (warning) |
+//! | `GAA703` | warning | glob (case-insensitive) and `re:` (case-sensitive) guard the same literal — case-flipped requests hit only one dialect |
+//! | `GAA704` | warning | percent-encoding bypass: a matched request survives encoding untouched by the whole set (the NIMDA `%5c` gap) |
+//! | `GAA705` | note | adversarial input amplifies glob cost to ≥ [`COST_FACTOR_THRESHOLD`] matcher steps per input byte |
+
+use crate::lint::{Lint, LintSeverity};
+use crate::source::Source;
+use gaa_conditions::multipattern::analysis::{language_included, Inclusion, PatternAutomaton};
+use gaa_conditions::multipattern::match_one;
+use gaa_conditions::regex::{Regex, REGEX_PREFIX};
+use gaa_eacl::{CondPhase, PolicyLayer, Span};
+use gaa_ids::matcher::glob_match_ci_steps;
+use gaa_ids::signatures::Matcher;
+use gaa_ids::SignatureDb;
+
+/// Product-state budget for each [`language_included`] query. Exhaustion
+/// yields [`Inclusion::Unknown`] — no claim, never a guess.
+pub const INCLUSION_BUDGET: usize = 4096;
+
+/// Subset-state budget for shortest-witness searches.
+const WITNESS_BUDGET: usize = 2048;
+
+/// Accepted-string samples replayed per subsumption claim.
+const SAMPLES: usize = 4;
+
+/// GAA705 reports when crafted input drives the glob matcher to at least
+/// this many steps per input byte.
+pub const COST_FACTOR_THRESHOLD: f64 = 8.0;
+
+/// One pattern set evaluated together at runtime: the whitespace-split
+/// value of a single `regex` condition (an OR at evaluation time), or the
+/// URL-glob signatures of the active database.
+struct PatternSet {
+    source: String,
+    layer: Option<PolicyLayer>,
+    eacl: Option<usize>,
+    entry: Option<usize>,
+    span: Option<Span>,
+    patterns: Vec<String>,
+}
+
+impl PatternSet {
+    fn lint(&self, code: &'static str, severity: LintSeverity, message: String) -> Lint {
+        let mut lint = Lint::new(code, severity, &self.source, message);
+        if let (Some(layer), Some(eacl)) = (self.layer, self.eacl) {
+            lint = lint.at(layer, eacl, self.entry, self.span);
+        }
+        lint
+    }
+}
+
+/// What one [`lint_patterns`] run looked at and concluded.
+#[derive(Debug)]
+pub struct PatternReport {
+    /// The findings, sorted by (source, code, message).
+    pub lints: Vec<Lint>,
+    /// Pattern sets examined (condition values + the signature set).
+    pub sets: usize,
+    /// Individual pattern tokens examined.
+    pub patterns: usize,
+    /// Claims confirmed by real-matcher replay and reported.
+    pub confirmed: usize,
+    /// Claims the automaton tier raised but replay could not confirm —
+    /// dropped, per the zero-false-claims contract.
+    pub dropped: usize,
+}
+
+/// Runs the GAA7xx tier over a deployment's policy sources plus an
+/// optional signature database. Pure and deterministic for a given `seed`.
+pub fn lint_patterns(
+    system: &[Source],
+    locals: &[Source],
+    db: Option<&SignatureDb>,
+    seed: u64,
+) -> PatternReport {
+    let sets = collect_sets(system, locals, db);
+    let mut report = PatternReport {
+        lints: Vec::new(),
+        sets: sets.len(),
+        patterns: sets.iter().map(|s| s.patterns.len()).sum(),
+        confirmed: 0,
+        dropped: 0,
+    };
+    for set in &sets {
+        lint_set(set, seed, &mut report);
+    }
+    report.lints.sort_by(|a, b| {
+        (a.source.as_str(), a.code, &a.message).cmp(&(b.source.as_str(), b.code, &b.message))
+    });
+    report
+}
+
+/// Collects every runtime pattern set: one per `regex` pre-condition value
+/// (system and local layers) plus one for the database's URL globs.
+fn collect_sets(system: &[Source], locals: &[Source], db: Option<&SignatureDb>) -> Vec<PatternSet> {
+    let mut sets = Vec::new();
+    for (layer, sources) in [(PolicyLayer::System, system), (PolicyLayer::Local, locals)] {
+        for source in sources {
+            for (ei, eacl) in source.eacls.iter().enumerate() {
+                for (ni, entry) in eacl.entries.iter().enumerate() {
+                    for (ci, cond) in entry.pre.iter().enumerate() {
+                        if cond.cond_type != "regex" {
+                            continue;
+                        }
+                        let patterns: Vec<String> =
+                            cond.value.split_whitespace().map(str::to_owned).collect();
+                        if patterns.is_empty() {
+                            continue;
+                        }
+                        sets.push(PatternSet {
+                            source: source.name.clone(),
+                            layer: Some(layer),
+                            eacl: Some(ei),
+                            entry: Some(ni),
+                            span: source.condition_span(ei, ni, CondPhase::Pre, ci),
+                            patterns,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if let Some(db) = db {
+        let patterns: Vec<String> = db
+            .signatures()
+            .iter()
+            .filter_map(|sig| match &sig.matcher {
+                Matcher::UrlGlob(glob) => Some(glob.clone()),
+                Matcher::InputLongerThan(_) => None,
+            })
+            .collect();
+        if !patterns.is_empty() {
+            sets.push(PatternSet {
+                source: "signatures".to_string(),
+                layer: None,
+                eacl: None,
+                entry: None,
+                span: None,
+                patterns,
+            });
+        }
+    }
+    sets
+}
+
+fn lint_set(set: &PatternSet, seed: u64, report: &mut PatternReport) {
+    // GAA702 first: dead patterns are excluded from the pairwise checks
+    // (anything is "subsumed by" a pattern that matches nothing… vacuously
+    // backwards; and sampling them is pointless).
+    let mut alive = vec![true; set.patterns.len()];
+    for (i, pattern) in set.patterns.iter().enumerate() {
+        if let Some(lint) = check_unsatisfiable(set, pattern) {
+            alive[i] = false;
+            report.confirmed += 1;
+            report.lints.push(lint);
+        }
+    }
+
+    let automata: Vec<Option<PatternAutomaton>> = set
+        .patterns
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if alive[i] {
+                PatternAutomaton::compile(p)
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    check_subsumption(set, &automata, seed, report);
+    check_case_gap(set, &alive, report);
+    check_encoding_bypass(set, &automata, seed, report);
+    check_cost(set, &alive, report);
+}
+
+/// GAA702: a pattern that can never match. Invalid `re:` patterns are
+/// errors (the runtime silently treats them as non-matches); syntactically
+/// valid but empty-language patterns are warnings. Both claims are
+/// replayed: the real matcher must reject a handful of probe texts.
+fn check_unsatisfiable(set: &PatternSet, pattern: &str) -> Option<Lint> {
+    let probes: [&str; 4] = ["", "/", "/cgi-bin/phf?x", pattern];
+    if let Some(src) = pattern.strip_prefix(REGEX_PREFIX) {
+        if Regex::new(src).is_err() {
+            if probes.iter().any(|t| match_one(pattern, t)) {
+                return None; // replay contradicts the claim — drop it
+            }
+            return Some(set.lint(
+                "GAA702",
+                LintSeverity::Error,
+                format!("regex `{pattern}` is invalid and can never match — the runtime treats it as an unconditional non-match"),
+            ).with_suggestion("fix the regex or delete the token".to_string()));
+        }
+    }
+    let automaton = PatternAutomaton::compile(pattern)?;
+    if !automaton.is_empty_language() || automaton.shortest_accepted(WITNESS_BUDGET).is_some() {
+        return None;
+    }
+    if probes.iter().any(|t| match_one(pattern, t)) {
+        return None;
+    }
+    Some(set.lint(
+        "GAA702",
+        LintSeverity::Warning,
+        format!("pattern `{pattern}` matches no string (empty language)"),
+    ))
+}
+
+/// GAA701: within one OR-set, a pattern whose language is contained in
+/// another's contributes nothing. Containment is proven by DFA-product
+/// walk ([`language_included`]); the claim is only reported after sampled
+/// accepted strings of the subsumed pattern replay as matches of **both**
+/// patterns through the real matcher.
+fn check_subsumption(
+    set: &PatternSet,
+    automata: &[Option<PatternAutomaton>],
+    seed: u64,
+    report: &mut PatternReport,
+) {
+    let n = set.patterns.len();
+    let mut included = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if let (Some(a), Some(b)) = (&automata[i], &automata[j]) {
+                included[i][j] = matches!(
+                    language_included(a, b, INCLUSION_BUDGET),
+                    Inclusion::Included
+                );
+            }
+        }
+    }
+    for i in 0..n {
+        // Report `i` as subsumed by the first `j` that strictly contains
+        // it — or, for equivalent patterns, by an *earlier* duplicate
+        // (so exactly one of an equal pair is flagged).
+        let by = (0..n).find(|&j| j != i && included[i][j] && (!included[j][i] || j < i));
+        let Some(j) = by else { continue };
+        let sub = &set.patterns[i];
+        let sup = &set.patterns[j];
+        let samples = automata[i]
+            .as_ref()
+            .map(|a| a.sample_accepted(seed ^ i as u64, 24, SAMPLES))
+            .unwrap_or_default();
+        let replayed = !samples.is_empty()
+            && samples
+                .iter()
+                .all(|s| match_one(sub, s) && match_one(sup, s));
+        if !replayed {
+            report.dropped += 1;
+            continue;
+        }
+        report.confirmed += 1;
+        let relation = if included[j][i] {
+            "equivalent to"
+        } else {
+            "subsumed by"
+        };
+        report.lints.push(
+            set.lint(
+                "GAA701",
+                LintSeverity::Warning,
+                format!(
+                    "pattern `{sub}` is {relation} `{sup}` in the same set — every request it matches \
+                     (replayed: {}) is already matched, so it is dead weight",
+                    sample_list(&samples),
+                ),
+            )
+            .with_suggestion(format!("delete `{sub}` or tighten `{sup}`")),
+        );
+    }
+}
+
+/// GAA703: a case-insensitive glob and a case-sensitive `re:` guarding the
+/// same literal. The case-flipped witness is replayed: the glob must match
+/// it and the regex must not, or no claim is made.
+fn check_case_gap(set: &PatternSet, alive: &[bool], report: &mut PatternReport) {
+    for (i, glob) in set.patterns.iter().enumerate() {
+        if !alive[i] || glob.starts_with(REGEX_PREFIX) {
+            continue;
+        }
+        let Some(gcore) = glob_literal_core(glob) else {
+            continue;
+        };
+        for (j, re) in set.patterns.iter().enumerate() {
+            if !alive[j] {
+                continue;
+            }
+            let Some(rlit) = regex_literal(re) else {
+                continue;
+            };
+            if !gcore.eq_ignore_ascii_case(rlit) || !rlit.bytes().any(|b| b.is_ascii_alphabetic()) {
+                continue;
+            }
+            let witness = flip_first_letter(rlit);
+            if !match_one(glob, &witness) || match_one(re, &witness) {
+                report.dropped += 1;
+                continue;
+            }
+            report.confirmed += 1;
+            report.lints.push(
+                set.lint(
+                    "GAA703",
+                    LintSeverity::Warning,
+                    format!(
+                        "glob `{glob}` matches `{rlit}` case-insensitively but regex `{re}` is \
+                         case-sensitive — request `{witness}` hits only the glob",
+                    ),
+                )
+                .with_suggestion(
+                    "spell the regex with explicit case classes or drop one dialect".to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// GAA704: the NIMDA gap. For a request the set matches, percent-encoding
+/// one character produces a raw request line **no pattern in the set**
+/// matches, although the server decodes it back to the caught form. A set
+/// containing an encoded-form catcher (the paper's `*%*`) is immune — any
+/// pattern matching the encoded witness suppresses the finding.
+fn check_encoding_bypass(
+    set: &PatternSet,
+    automata: &[Option<PatternAutomaton>],
+    seed: u64,
+    report: &mut PatternReport,
+) {
+    for (i, pattern) in set.patterns.iter().enumerate() {
+        let Some(automaton) = &automata[i] else {
+            continue;
+        };
+        let mut witnesses = automaton.sample_accepted(seed ^ ((i as u64) << 8), 24, SAMPLES);
+        if let Some(shortest) = automaton.shortest_accepted(WITNESS_BUDGET) {
+            witnesses.insert(0, shortest);
+        }
+        for witness in witnesses {
+            // The decoded form must really be caught (replay, not model).
+            if !match_one(pattern, &witness) {
+                continue;
+            }
+            let Some(encoded) = encode_one_char(&witness) else {
+                continue;
+            };
+            if set.patterns.iter().any(|p| match_one(p, &encoded)) {
+                continue; // the set catches the encoded form — no gap
+            }
+            report.confirmed += 1;
+            report.lints.push(
+                set.lint(
+                    "GAA704",
+                    LintSeverity::Warning,
+                    format!(
+                        "encoding bypass: `{encoded}` evades every pattern in this set raw, but \
+                         decodes to `{witness}`, which `{pattern}` catches — attackers can \
+                         percent-encode past the check",
+                    ),
+                )
+                .with_suggestion(
+                    "match the decoded request line, or add an encoded-form catcher such as `*%*`"
+                        .to_string(),
+                ),
+            );
+            return; // one confirmed witness per set is enough
+        }
+    }
+}
+
+/// GAA705: measured cost amplification. For globs with a long literal
+/// segment after a `*`, crafted input forces the backtracking matcher to
+/// re-scan the segment at every position. The finding quotes step counts
+/// measured by the production matcher — never an asymptotic guess.
+fn check_cost(set: &PatternSet, alive: &[bool], report: &mut PatternReport) {
+    for (i, pattern) in set.patterns.iter().enumerate() {
+        if !alive[i] || pattern.starts_with(REGEX_PREFIX) {
+            continue;
+        }
+        let Some(segment) = longest_star_segment(pattern) else {
+            continue;
+        };
+        if segment.len() < 8 {
+            continue;
+        }
+        let Some(text) = adversarial_text(pattern, segment, 512) else {
+            continue;
+        };
+        let (_, steps) = glob_match_ci_steps(pattern, &text);
+        let factor = steps as f64 / text.len() as f64;
+        if factor < COST_FACTOR_THRESHOLD {
+            continue;
+        }
+        report.confirmed += 1;
+        report.lints.push(
+            set.lint(
+                "GAA705",
+                LintSeverity::Note,
+                format!(
+                    "glob `{pattern}`: crafted input around segment `{segment}` costs {steps} \
+                     matcher steps over {} bytes ({factor:.1} steps/byte, measured)",
+                    text.len(),
+                ),
+            )
+            .with_suggestion(
+                "long repetitive literals after `*` amplify per-request matcher cost; shorten \
+                 the segment or prefer an anchored form"
+                    .to_string(),
+            ),
+        );
+    }
+}
+
+/// The literal core of a glob of shape `*lit*` / `lit` (no inner
+/// metacharacters): what it tests as a case-insensitive substring/equality.
+fn glob_literal_core(glob: &str) -> Option<&str> {
+    let core = glob.trim_matches('*');
+    if core.is_empty() || core.contains(['*', '?']) {
+        return None;
+    }
+    Some(core)
+}
+
+/// The literal a metacharacter-free `re:` pattern tests (anchors
+/// stripped), or `None` when the regex has structure.
+fn regex_literal(pattern: &str) -> Option<&str> {
+    let mut src = pattern.strip_prefix(REGEX_PREFIX)?;
+    src = src.strip_prefix('^').unwrap_or(src);
+    src = src.strip_suffix('$').unwrap_or(src);
+    if src.is_empty() || src.contains(['.', '*', '+', '?', '[', ']', '(', ')', '|', '\\', '^', '$'])
+    {
+        return None;
+    }
+    Some(src)
+}
+
+/// Flips the case of the first ASCII letter.
+fn flip_first_letter(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut flipped = false;
+    for c in text.chars() {
+        if !flipped && c.is_ascii_alphabetic() {
+            flipped = true;
+            if c.is_ascii_lowercase() {
+                out.push(c.to_ascii_uppercase());
+            } else {
+                out.push(c.to_ascii_lowercase());
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Percent-encodes the middle-most letter/digit/slash of `text`
+/// (uppercase hex, as servers emit it). `None` when nothing is encodable.
+fn encode_one_char(text: &str) -> Option<String> {
+    let positions: Vec<(usize, char)> = text
+        .char_indices()
+        .filter(|(_, c)| c.is_ascii_alphanumeric() || *c == '/')
+        .collect();
+    let &(pos, c) = positions.get(positions.len() / 2)?;
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push_str(&text[..pos]);
+    out.push_str(&format!("%{:02X}", c as u32));
+    out.push_str(&text[pos + c.len_utf8()..]);
+    Some(out)
+}
+
+/// The longest `*`-preceded literal segment of a glob (the unit the
+/// backtracking matcher re-scans).
+fn longest_star_segment(glob: &str) -> Option<&str> {
+    glob.split('*')
+        .skip(1)
+        .filter(|s| !s.is_empty() && !s.contains('?'))
+        .max_by_key(|s| s.len())
+}
+
+/// Crafted input for [`check_cost`]: the segment minus its final byte,
+/// terminated with a mismatching byte, repeated to ~`target_len`. Every
+/// position starts a near-match of `segment` that fails at the last step.
+fn adversarial_text(pattern: &str, segment: &str, target_len: usize) -> Option<String> {
+    let bytes = segment.as_bytes();
+    let last = *bytes.last()?;
+    let stem = &segment[..segment.len() - last_char_len(segment)];
+    if stem.is_empty() {
+        return None;
+    }
+    let tail = if last.eq_ignore_ascii_case(&b'x') {
+        '!'
+    } else {
+        'x'
+    };
+    let unit = format!("{stem}{tail}");
+    let reps = target_len / unit.len() + 1;
+    let text = unit.repeat(reps);
+    // Sanity: the crafted text must not simply match (matching is cheap).
+    let (matched, _) = glob_match_ci_steps(pattern, &text);
+    if matched {
+        return None;
+    }
+    Some(text)
+}
+
+fn last_char_len(s: &str) -> usize {
+    s.chars().next_back().map_or(0, char::len_utf8)
+}
+
+fn sample_list(samples: &[String]) -> String {
+    let shown: Vec<String> = samples.iter().take(2).map(|s| format!("`{s}`")).collect();
+    shown.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn local(text: &str) -> Vec<Source> {
+        vec![Source::parse("/cgi-bin/phf", text).unwrap()]
+    }
+
+    fn run(text: &str) -> PatternReport {
+        lint_patterns(&[], &local(text), None, 7)
+    }
+
+    fn codes(report: &PatternReport) -> Vec<&str> {
+        report.lints.iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn clean_set_reports_nothing() {
+        // `*%*` closes the encoding gap (the paper's NIMDA response), the
+        // literals are short and non-overlapping: nothing to report.
+        let report = run("neg_access_right apache *\npre_cond regex gnu *phf* *test-cgi* *%*\n");
+        assert!(report.lints.is_empty(), "{:?}", report.lints);
+        assert_eq!(report.sets, 1);
+        assert_eq!(report.patterns, 3);
+    }
+
+    #[test]
+    fn subsumed_pattern_is_confirmed_and_flagged() {
+        // `*phf-exploit*` ⊆ `*phf*`: anything the former matches the latter
+        // does. The claim must survive real-matcher replay.
+        let report = run("neg_access_right apache *\npre_cond regex gnu *phf* *phf-exploit* *%*\n");
+        assert_eq!(codes(&report), vec!["GAA701"]);
+        assert!(report.lints[0].message.contains("*phf-exploit*"));
+        assert!(report.confirmed >= 1);
+    }
+
+    #[test]
+    fn equivalent_duplicate_is_flagged_once() {
+        let report = run("neg_access_right apache *\npre_cond regex gnu *phf* *phf* *%*\n");
+        let gaa701: Vec<_> = report.lints.iter().filter(|l| l.code == "GAA701").collect();
+        assert_eq!(gaa701.len(), 1);
+        assert!(gaa701[0].message.contains("equivalent"));
+    }
+
+    #[test]
+    fn invalid_regex_is_an_error() {
+        let report = run("neg_access_right apache *\npre_cond regex gnu re:*broken\n");
+        assert_eq!(codes(&report), vec!["GAA702"]);
+        assert_eq!(report.lints[0].severity, LintSeverity::Error);
+    }
+
+    #[test]
+    fn case_dialect_gap_is_witnessed() {
+        let report = run("neg_access_right apache *\npre_cond regex gnu *phf* re:phf\n");
+        assert!(codes(&report).contains(&"GAA703"), "{:?}", report.lints);
+        let lint = report.lints.iter().find(|l| l.code == "GAA703").unwrap();
+        // The witness in the message must really split the dialects.
+        assert!(lint.message.contains("Phf") || lint.message.contains("PHF"));
+    }
+
+    #[test]
+    fn encoding_bypass_found_and_suppressed_by_percent_catcher() {
+        let gapped = run("neg_access_right apache *\npre_cond regex gnu */etc/passwd*\n");
+        assert!(codes(&gapped).contains(&"GAA704"), "{:?}", gapped.lints);
+
+        // The paper's NIMDA response: `*%*` catches every encoded form, so
+        // the same set plus the catcher is immune.
+        let fixed = run("neg_access_right apache *\npre_cond regex gnu */etc/passwd* *%*\n");
+        assert!(!codes(&fixed).contains(&"GAA704"), "{:?}", fixed.lints);
+    }
+
+    #[test]
+    fn signature_db_set_is_checked_and_percent_immune() {
+        let report = lint_patterns(&[], &[], Some(&SignatureDb::with_defaults()), 7);
+        // The default db carries `*%*` (nimda-percent): no encoding gap.
+        assert!(!codes(&report).contains(&"GAA704"), "{:?}", report.lints);
+        // The slash-flood signature's 19-byte repetitive segment is a
+        // measured cost amplifier.
+        assert!(codes(&report).contains(&"GAA705"), "{:?}", report.lints);
+        let cost = report.lints.iter().find(|l| l.code == "GAA705").unwrap();
+        assert_eq!(cost.severity, LintSeverity::Note);
+        assert!(cost.message.contains("steps/byte"));
+    }
+
+    #[test]
+    fn cost_findings_quote_measured_steps() {
+        let report = run(&format!(
+            "neg_access_right apache *\npre_cond regex gnu *{}*\n",
+            "/".repeat(24)
+        ));
+        let cost = report.lints.iter().find(|l| l.code == "GAA705").unwrap();
+        // Re-measure: the quoted adversarial construction must reproduce.
+        let segment = "/".repeat(24);
+        let text = adversarial_text(&format!("*{segment}*"), &segment, 512).unwrap();
+        let (_, steps) = glob_match_ci_steps(&format!("*{segment}*"), &text);
+        assert!(cost.message.contains(&steps.to_string()));
+    }
+
+    #[test]
+    fn unknown_inclusion_makes_no_claim() {
+        // `?` globs have byte-level semantics the char automaton cannot
+        // model: no automaton, no inclusion verdict, no lint.
+        let report = run("neg_access_right apache *\npre_cond regex gnu *phf? *phf*\n");
+        assert!(!codes(&report).contains(&"GAA701"), "{:?}", report.lints);
+    }
+
+    #[test]
+    fn output_is_sorted_and_deterministic() {
+        let text = "neg_access_right apache *\n\
+                    pre_cond regex gnu *phf* *phf-exploit* re:phf\n";
+        let a = run(text);
+        let b = run(text);
+        let render_a: Vec<String> = a.lints.iter().map(|l| l.to_string()).collect();
+        let render_b: Vec<String> = b.lints.iter().map(|l| l.to_string()).collect();
+        assert_eq!(render_a, render_b);
+        let mut sorted = render_a.clone();
+        sorted.sort();
+        assert_eq!(render_a, sorted);
+    }
+}

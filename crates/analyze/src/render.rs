@@ -40,12 +40,15 @@ pub fn summary(lints: &[Lint]) -> String {
 
 /// Version of the JSON report shape emitted by [`render_json`]. Bumped on
 /// any incompatible change so scripted consumers can pin what they parse.
-pub const JSON_SCHEMA_VERSION: usize = 1;
+/// Version 2 added the `GAA70x` pattern-tier codes to the code vocabulary
+/// (`gaa-lint patterns --json`); the field shape is unchanged, but
+/// consumers keying on an exhaustive code list must update.
+pub const JSON_SCHEMA_VERSION: usize = 2;
 
 /// Renders the report as a JSON document:
 ///
 /// ```json
-/// {"schema_version": 1, "max_severity": "error", "lints": [{"code": "GAA201", ...}]}
+/// {"schema_version": 2, "max_severity": "error", "lints": [{"code": "GAA201", ...}]}
 /// ```
 ///
 /// The output is deterministic and machine-stable: findings are sorted by
@@ -207,14 +210,14 @@ mod tests {
     #[test]
     fn json_escapes_and_nulls() {
         let json = render_json(&sample());
-        assert!(json.starts_with("{\"schema_version\":1,\"max_severity\":\"error\","));
+        assert!(json.starts_with("{\"schema_version\":2,\"max_severity\":\"error\","));
         assert!(json.contains("\"pattern\":{\"authority\":\"sshd\",\"value\":\"login\"}"));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"layer\":null"));
         assert!(json.contains("\"suggestion\":\"did you mean `accessid`?\""));
         assert_eq!(
             render_json(&[]),
-            "{\"schema_version\":1,\"max_severity\":null,\"lints\":[]}"
+            "{\"schema_version\":2,\"max_severity\":null,\"lints\":[]}"
         );
     }
 

@@ -1,0 +1,319 @@
+//! Whole-set pattern matching: combined compilation vs per-pattern loop.
+//!
+//! Builds an N=100 pattern set shaped like a production deployment (a
+//! large bank of literal signature globs, a tail of `re:` regexes, a few
+//! `?`/multi-segment residual globs) and measures a single
+//! [`CombinedMatcher::match_set`] pass against the interpreted
+//! per-pattern loop over four corpora: benign traffic, attack probes,
+//! percent-encoded and multibyte lines, and adversarial repetitive input
+//! crafted to maximize glob backtracking.
+//!
+//! Before any timing, a **differential gate** replays every corpus line
+//! plus a seeded random fuzz stream through both paths and refuses to
+//! benchmark (exit non-zero) on any divergence: a compiled matcher that
+//! changes answers is not an optimization, it is a policy violation.
+//!
+//! ```text
+//! pattern_match [--write FILE] [--iterations N] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks the timed run for CI (the differential gate still
+//! runs in full, and is the point of the CI invocation). Prints a
+//! hand-rolled JSON summary (the workspace carries no `serde_json`);
+//! `--write` also saves it, which is how the committed
+//! `BENCH_pattern_match.json` is produced.
+//!
+//! [`CombinedMatcher::match_set`]: gaa_conditions::CombinedMatcher::match_set
+
+use gaa_conditions::CombinedMatcher;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const DEFAULT_ITERATIONS: u32 = 2000;
+
+/// The N=100 pattern set: 80 literal substring globs (one Aho-Corasick
+/// automaton), 15 regexes (one merged NFA/lazy DFA), 5 residual globs
+/// (per-pattern byte-level path).
+fn pattern_set() -> Vec<String> {
+    let mut patterns: Vec<String> = Vec::with_capacity(100);
+    let stems = [
+        "phf",
+        "test-cgi",
+        "formmail",
+        "cmd.exe",
+        "root.exe",
+        "campas",
+        "aglimpse",
+        "websendmail",
+        "view-source",
+        "htmlscript",
+        "wwwboard",
+        "sojourn",
+        "nph-test",
+        "printenv",
+        "handler",
+        "webdist",
+        "faxsurvey",
+        "wrap",
+        "classifieds",
+        "guestbook",
+    ];
+    for stem in stems {
+        patterns.push(format!("*{stem}*"));
+        patterns.push(format!("*cgi-bin/{stem}*"));
+        patterns.push(format!("*{stem}.cgi*"));
+        patterns.push(format!("*{stem}.pl*"));
+    }
+    for re in [
+        "re:^GET /cgi-bin/",
+        "re:/etc/passwd",
+        "re:\\.\\./\\.\\.",
+        "re:%[0-9a-fA-F][0-9a-fA-F]",
+        "re:(cmd|root)\\.exe",
+        "re:^POST ",
+        "re:/scripts/.*\\.(bat|exe)",
+        "re:x{8}",
+        "re:[?&]debug=",
+        "re:~[a-z]+/",
+        "re:\\.(asa|asp)\\.",
+        "re:/_vti_bin/",
+        "re:/iisadmpwd/",
+        "re:autoexec",
+        "re:/msadc/",
+    ] {
+        patterns.push(re.to_string());
+    }
+    for residual in [
+        "*.ph?*",
+        "?ET *",
+        "*cgi?bin*passwd*",
+        "*a*b*c*d*",
+        "*//////////?",
+    ] {
+        patterns.push(residual.to_string());
+    }
+    assert_eq!(patterns.len(), 100);
+    patterns
+}
+
+/// Benign, attack, encoded/multibyte, and adversarial request lines.
+fn corpus(adversarial_len: usize) -> Vec<String> {
+    let mut lines: Vec<String> = Vec::new();
+    for path in [
+        "/index.html",
+        "/docs/page1.html",
+        "/images/logo.png?v=3",
+        "/api/v2/items?page=4&sort=name",
+        "/",
+    ] {
+        lines.push(format!("GET {path} HTTP/1.0"));
+    }
+    for attack in [
+        "/cgi-bin/phf?Qalias=x%0a/bin/cat%20/etc/passwd",
+        "/cgi-bin/test-cgi?*",
+        "/scripts/root.exe?/c+dir",
+        "/msadc/..%255c../..%255c../winnt/system32/cmd.exe?/c+dir",
+        "/cgi-bin/formmail.pl?recipient=x",
+    ] {
+        lines.push(format!("GET {attack} HTTP/1.0"));
+    }
+    for encoded in [
+        "/%70hf?probe=1",
+        "/caf\u{e9}/men\u{fc}.html",
+        "/\u{65e5}\u{672c}\u{8a9e}/index.html",
+        "/a%2e%2e%2fpasswd",
+    ] {
+        lines.push(format!("GET {encoded} HTTP/1.0"));
+    }
+    // Adversarial: long repetitive runs that maximize per-pattern glob
+    // backtracking (near-misses of the literal banks above).
+    lines.push(format!("GET /{} HTTP/1.0", "/".repeat(adversarial_len)));
+    lines.push(format!(
+        "GET /{} HTTP/1.0",
+        "cgi-bi/".repeat(adversarial_len / 7)
+    ));
+    lines.push(format!("GET /{} HTTP/1.0", "a".repeat(adversarial_len)));
+    lines
+}
+
+/// Seeded xorshift64* stream for the fuzz gate.
+fn fuzz_lines(seed: u64, count: usize) -> Vec<String> {
+    let alphabet: Vec<char> = "abcdefgh/%.?*-_0123456789 GETcgi-binphf\u{e9}\u{10000}"
+        .chars()
+        .collect();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..count)
+        .map(|_| {
+            let len = (next() % 64) as usize;
+            (0..len)
+                .map(|_| alphabet[(next() % alphabet.len() as u64) as usize])
+                .collect()
+        })
+        .collect()
+}
+
+/// Replays every text through both paths; returns the number of
+/// divergences (must be zero to proceed).
+fn differential_gate(matcher: &CombinedMatcher, texts: &[String]) -> usize {
+    let mut mismatches = 0;
+    for text in texts {
+        let combined = matcher.match_set(text);
+        let reference = matcher.match_set_per_pattern(text);
+        if combined.matched_indices() != reference.matched_indices() {
+            mismatches += 1;
+            eprintln!(
+                "DIVERGENCE on {text:?}: combined={:?} reference={:?}",
+                combined.matched_indices(),
+                reference.matched_indices()
+            );
+        }
+    }
+    mismatches
+}
+
+/// Times `f` over `iterations` sweeps of `texts`; returns ns per line.
+fn measure(texts: &[String], iterations: u32, mut f: impl FnMut(&str) -> usize) -> f64 {
+    let start = Instant::now();
+    let mut total = 0usize;
+    for _ in 0..iterations {
+        for text in texts {
+            total += f(text);
+        }
+    }
+    black_box(total);
+    start.elapsed().as_nanos() as f64 / (f64::from(iterations) * texts.len() as f64)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut write_to: Option<String> = None;
+    let mut iterations = DEFAULT_ITERATIONS;
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--write" => write_to = Some(it.next().expect("--write needs a file").clone()),
+            "--iterations" => {
+                iterations = it
+                    .next()
+                    .expect("--iterations needs a value")
+                    .parse()
+                    .expect("numeric iterations")
+            }
+            "--smoke" => smoke = true,
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    if smoke {
+        iterations = iterations.min(50);
+    }
+
+    let patterns = pattern_set();
+    let matcher = CombinedMatcher::compile(&patterns);
+    let tiers = matcher.tier_counts();
+    eprintln!(
+        "compiled {} patterns: {} exact, {} substring (one automaton), {} merged-NFA, \
+         {} residual, {} always/never",
+        patterns.len(),
+        tiers.exact,
+        tiers.substring,
+        tiers.merged,
+        tiers.residual,
+        tiers.always_true + tiers.never_true,
+    );
+
+    // Correctness gate first — in full even under --smoke.
+    let mut gate_texts = corpus(256);
+    gate_texts.extend(corpus(1024));
+    gate_texts.extend(fuzz_lines(0x5eed, 2000));
+    let mismatches = differential_gate(&matcher, &gate_texts);
+    assert_eq!(
+        mismatches,
+        0,
+        "combined matcher diverged from the per-pattern reference on \
+         {mismatches}/{} texts",
+        gate_texts.len()
+    );
+    eprintln!(
+        "differential gate: {} texts (corpus + seeded fuzz), 0 mismatches",
+        gate_texts.len()
+    );
+
+    let texts = corpus(512);
+    let combined_ns = measure(&texts, iterations, |t| matcher.match_set(t).len());
+    let per_pattern_ns = measure(&texts, iterations, |t| {
+        matcher.match_set_per_pattern(t).len()
+    });
+    let speedup = per_pattern_ns / combined_ns;
+
+    // Flat-latency check: per-byte cost of the combined pass on adversarial
+    // input must not grow with input length (the lazy DFA is single-pass;
+    // a per-pattern glob loop pays backtracking per pattern instead).
+    let short = corpus(512).split_off(14); // the three adversarial lines
+    let long = corpus(2048).split_off(14);
+    let short_bytes: usize = short.iter().map(String::len).sum();
+    let long_bytes: usize = long.iter().map(String::len).sum();
+    let flat_iters = iterations.max(100);
+    let combined_short = measure(&short, flat_iters, |t| matcher.match_set(t).len());
+    let combined_long = measure(&long, flat_iters, |t| matcher.match_set(t).len());
+    let per_byte_short = combined_short * short.len() as f64 / short_bytes as f64;
+    let per_byte_long = combined_long * long.len() as f64 / long_bytes as f64;
+    let flatness = per_byte_long / per_byte_short;
+
+    if !smoke {
+        assert!(
+            speedup >= 5.0,
+            "combined pass must be >=5x the per-pattern loop at N=100, got {speedup:.2}x"
+        );
+        assert!(
+            flatness < 3.0,
+            "adversarial per-byte cost must stay flat as input grows 4x, got {flatness:.2}x"
+        );
+    }
+
+    let mut json = String::from("{");
+    let _ = write!(json, "\"bench\":\"pattern_match\",");
+    let _ = write!(json, "\"patterns\":{},", patterns.len());
+    let _ = write!(
+        json,
+        "\"tiers\":{{\"exact\":{},\"substring\":{},\"merged\":{},\"residual\":{},\"trivial\":{}}},",
+        tiers.exact,
+        tiers.substring,
+        tiers.merged,
+        tiers.residual,
+        tiers.always_true + tiers.never_true
+    );
+    let _ = write!(json, "\"iterations\":{iterations},");
+    let _ = write!(json, "\"corpus_lines\":{},", texts.len());
+    let _ = write!(
+        json,
+        "\"combined\":{{\"ns_per_line\":{combined_ns:.0}}},\
+         \"per_pattern\":{{\"ns_per_line\":{per_pattern_ns:.0}}},"
+    );
+    let _ = write!(json, "\"speedup\":{speedup:.2},");
+    let _ = write!(
+        json,
+        "\"adversarial\":{{\"short_bytes\":{short_bytes},\"long_bytes\":{long_bytes},\
+         \"ns_per_byte_short\":{per_byte_short:.3},\"ns_per_byte_long\":{per_byte_long:.3},\
+         \"per_byte_growth\":{flatness:.2}}},"
+    );
+    let _ = write!(
+        json,
+        "\"differential\":{{\"texts\":{},\"mismatches\":{mismatches}}}",
+        gate_texts.len()
+    );
+    json.push('}');
+
+    println!("{json}");
+    if let Some(path) = write_to {
+        std::fs::write(&path, format!("{json}\n")).expect("write summary");
+        eprintln!("wrote {path}");
+    }
+}

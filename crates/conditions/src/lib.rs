@@ -39,6 +39,7 @@ pub mod expr;
 pub mod firewall;
 pub mod identity;
 pub mod location;
+pub mod multipattern;
 pub mod regex;
 pub mod resource;
 pub mod session;
@@ -52,6 +53,7 @@ pub use catalog::{
 };
 pub use firewall::Firewall;
 pub use identity::GroupStore;
+pub use multipattern::{CombinedMatcher, CompiledSignatureDb, MatchSet, PatternOracle};
 pub use regex::Regex;
 pub use session::SessionRegistry;
 pub use threshold::ThresholdTracker;

@@ -242,7 +242,7 @@ impl<'a> Parser<'a> {
 // ---- NFA ----
 
 #[derive(Debug, Clone, PartialEq)]
-enum CharSpec {
+pub(crate) enum CharSpec {
     Any,
     Literal(char),
     Class {
@@ -252,7 +252,7 @@ enum CharSpec {
 }
 
 impl CharSpec {
-    fn matches(&self, c: char) -> bool {
+    pub(crate) fn matches(&self, c: char) -> bool {
         match self {
             CharSpec::Any => true,
             CharSpec::Literal(l) => *l == c,
@@ -265,7 +265,7 @@ impl CharSpec {
 }
 
 #[derive(Debug, Clone)]
-enum State {
+pub(crate) enum State {
     Char { spec: CharSpec, next: usize },
     Split { a: usize, b: usize },
     Accept,
@@ -329,6 +329,25 @@ impl Regex {
     /// The original pattern text.
     pub fn pattern(&self) -> &str {
         &self.pattern
+    }
+
+    // NFA internals, exposed to `multipattern` so the combined matcher can
+    // merge many compiled patterns into one state arena and the analysis
+    // tier can determinize them for inclusion checks.
+    pub(crate) fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    pub(crate) fn start(&self) -> usize {
+        self.start
+    }
+
+    pub(crate) fn anchored_start(&self) -> bool {
+        self.anchored_start
+    }
+
+    pub(crate) fn anchored_end(&self) -> bool {
+        self.anchored_end
     }
 
     /// Does the pattern match anywhere in `text` (respecting anchors)?
@@ -591,8 +610,8 @@ pub const REGEX_PREFIX: &str = "re:";
 /// rebuilds (policies hold dozens of patterns, not thousands; the bound is
 /// a guard against pattern material derived from attacker input, which
 /// policies must never do anyway).
-fn compile_cached(pattern: &str) -> Option<Regex> {
-    use parking_lot::Mutex;
+pub(crate) fn compile_cached(pattern: &str) -> Option<Regex> {
+    use gaa_race::sync::Mutex;
     use std::collections::HashMap;
     use std::sync::OnceLock;
 
@@ -617,8 +636,18 @@ fn compile_cached(pattern: &str) -> Option<Regex> {
 /// the [`Regex`] engine (compiled once per process and cached). Invalid
 /// regexes never match (and are reported by policy validation, not at
 /// request time).
+///
+/// When the serving layer has installed a [`crate::multipattern`] oracle
+/// for this exact text (one combined-automaton pass already computed every
+/// pattern's verdict), per-pattern verdicts are read from it; any pattern
+/// the oracle does not know falls back to the per-pattern path below, so a
+/// compile gap in the combined tier can only cost speed, never change a
+/// decision.
 pub fn signature_matches(value: &str, text: &str) -> bool {
     value.split_whitespace().any(|pattern| {
+        if let Some(verdict) = crate::multipattern::oracle_verdict(pattern, text) {
+            return verdict;
+        }
         if let Some(re_src) = pattern.strip_prefix(REGEX_PREFIX) {
             compile_cached(re_src).is_some_and(|re| re.is_match(text))
         } else {

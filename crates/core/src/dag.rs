@@ -507,6 +507,11 @@ impl DecisionDag {
     }
 }
 
+/// The condition type whose values carry request-line patterns
+/// (`regex gnu <glob…>` / `re:<regex>`, §7.2). [`VarTable::pattern_values`]
+/// extracts these tokens for whole-set pattern compilation and lints.
+pub const PATTERN_COND_TYPE: &str = "regex";
+
 /// The global variable order: registered, non-redirect pre-condition
 /// `(type, authority, value)` triples, sorted. Redirect pre-conditions have
 /// no evaluator by design (they surface as MAYBE plus a replica location)
@@ -567,6 +572,23 @@ impl VarTable {
     pub fn condition(&self, index: usize) -> Condition {
         let (cond_type, authority, value) = &self.triples[index];
         Condition::new(cond_type, authority, value)
+    }
+
+    /// Every individual pattern token reachable from the compiled decision
+    /// DAG: the whitespace-split values of [`PATTERN_COND_TYPE`] variables,
+    /// sorted and deduplicated. This is the policy half of the combined
+    /// pattern universe handed to whole-set compilation and the GAA7xx
+    /// static-analysis tier; the other half comes from the active
+    /// signature database.
+    #[must_use]
+    pub fn pattern_values(&self) -> Vec<String> {
+        let mut out: BTreeSet<String> = BTreeSet::new();
+        for (cond_type, _, value) in &self.triples {
+            if cond_type == PATTERN_COND_TYPE {
+                out.extend(value.split_whitespace().map(str::to_owned));
+            }
+        }
+        out.into_iter().collect()
     }
 
     /// The variable index of a condition, if it is in the universe.
@@ -824,6 +846,23 @@ mod tests {
             // pre Yes -> Yes; pre Maybe -> Maybe — the identity on status.
             assert_eq!(dag.eval_status(root, &mut |_| status), status);
         }
+    }
+
+    #[test]
+    fn pattern_values_collects_sorted_regex_tokens() {
+        let p = policy(
+            "pos_access_right apache *\npre_cond regex gnu *phf* *test-cgi*\n",
+            "neg_access_right apache *\npre_cond regex gnu re:^/cgi-bin/ *phf*\n\
+             pos_access_right apache *\npre_cond accessid USER alice\n",
+        );
+        let vars = VarTable::from_policy(&p, &registered);
+        // Tokens are split per value, merged across layers, deduplicated
+        // (`*phf*` appears in both) and sorted; non-pattern conditions
+        // (accessid) contribute nothing.
+        assert_eq!(
+            vars.pattern_values(),
+            vec!["*phf*", "*test-cgi*", "re:^/cgi-bin/"]
+        );
     }
 
     #[test]

@@ -23,7 +23,8 @@
 
 use crate::http::{HttpRequest, Method};
 use gaa_audit::DegradationState;
-use gaa_conditions::StandardServices;
+use gaa_conditions::multipattern::install_oracle;
+use gaa_conditions::{CombinedMatcher, CompiledSignatureDb, PatternOracle, StandardServices};
 use gaa_core::{
     dag::VarTable, support_set_cacheable, AnswerCode, AuthorizationResult, CacheStamp,
     DecisionCache, GaaApi, Param, RightPattern, SecurityContext, Volatility,
@@ -31,6 +32,7 @@ use gaa_core::{
 use gaa_ids::{EventBus, GaaReport, ReportKind, SignatureDb};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// What the glue tells the server to do with a request.
 #[derive(Debug)]
@@ -56,6 +58,17 @@ pub struct GaaGlue {
     /// Per-object cache-safety plan: `object → (policy generation it was
     /// computed at, is the support set cacheable)`.
     plans: Mutex<HashMap<String, (u64, bool)>>,
+    /// Whether the whole-set pattern compiler is active. On by default;
+    /// [`with_combined_patterns`](GaaGlue::with_combined_patterns) turns it
+    /// off, reverting to the per-pattern interpreted path everywhere.
+    combined_patterns: bool,
+    /// The compiled signature automaton, rebuilt whenever
+    /// [`SignatureDb::version`] moves past the compiled one.
+    compiled_sigs: Mutex<Option<Arc<CompiledSignatureDb>>>,
+    /// Per-object compiled policy-pattern set: `object → (policy generation
+    /// it was compiled at, the combined matcher over every pattern token in
+    /// the object's decision-DAG variable universe)`.
+    pattern_plans: Mutex<HashMap<String, (u64, Arc<CombinedMatcher>)>>,
 }
 
 impl GaaGlue {
@@ -70,7 +83,20 @@ impl GaaGlue {
             degradation: None,
             cache: None,
             plans: Mutex::new(HashMap::new()),
+            combined_patterns: true,
+            compiled_sigs: Mutex::new(None),
+            pattern_plans: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Enables or disables the combined pattern-compilation tier (on by
+    /// default). When off, signature scans and `regex` conditions take the
+    /// interpreted per-pattern path — the reference semantics the combined
+    /// tier is differentially tested against.
+    #[must_use]
+    pub fn with_combined_patterns(mut self, enabled: bool) -> Self {
+        self.combined_patterns = enabled;
+        self
     }
 
     /// Attaches an authorization-decision cache (see
@@ -237,6 +263,16 @@ impl GaaGlue {
                 };
             }
         };
+
+        // Whole-set pattern tier: one combined pass precomputes every policy
+        // pattern's verdict for this request line; `signature_matches`
+        // consults the scoped oracle and falls back to the interpreted
+        // per-pattern path on any miss (different text, disabled tier).
+        let _oracle = self
+            .policy_pattern_matcher(&request.path, &policy, stamp[0])
+            .map(|matcher| {
+                install_oracle(PatternOracle::compute(&matcher, &request.request_line()))
+            });
 
         let rights = self.requested_rights(request, is_cgi);
         // The request is authorized only if every requested right is.
@@ -444,7 +480,13 @@ impl GaaGlue {
     /// escalating the threat monitor on confident hits.
     fn scan_and_report(&self, request: &HttpRequest, now: gaa_audit::Timestamp) {
         if let Some(db) = &self.signatures {
-            for hit in db.scan(&request.request_line(), request.input_len()) {
+            let hits = match self.compiled_signatures(db) {
+                // Single-pass path: one scan over the request line answers
+                // every glob signature at once.
+                Some(compiled) => compiled.scan(&request.request_line(), request.input_len()),
+                None => db.scan(&request.request_line(), request.input_len()),
+            };
+            for hit in hits {
                 let confident = hit.confidence >= 0.8;
                 self.publish(
                     GaaReport::new(
@@ -475,6 +517,57 @@ impl GaaGlue {
     fn publish(&self, report: GaaReport) {
         if let Some(bus) = &self.bus {
             bus.publish_report(report);
+        }
+    }
+
+    /// The compiled automaton for `db`, rebuilt when the db's mutation
+    /// counter has moved past the compiled version. `None` when the
+    /// combined tier is disabled.
+    fn compiled_signatures(&self, db: &SignatureDb) -> Option<Arc<CompiledSignatureDb>> {
+        if !self.combined_patterns {
+            return None;
+        }
+        let mut slot = self.compiled_sigs.lock();
+        match slot.as_ref() {
+            Some(compiled) if compiled.version() == db.version() => Some(compiled.clone()),
+            _ => {
+                let compiled = Arc::new(CompiledSignatureDb::compile(db));
+                *slot = Some(compiled.clone());
+                Some(compiled)
+            }
+        }
+    }
+
+    /// The combined matcher over every pattern token in `object`'s policy
+    /// (the `regex`-condition values of its decision-DAG variable
+    /// universe), compiled once per policy generation. `None` when the
+    /// combined tier is disabled or the policy holds no patterns.
+    fn policy_pattern_matcher(
+        &self,
+        object: &str,
+        policy: &gaa_eacl::ComposedPolicy,
+        generation: u64,
+    ) -> Option<Arc<CombinedMatcher>> {
+        if !self.combined_patterns {
+            return None;
+        }
+        let mut plans = self.pattern_plans.lock();
+        if let Some((gen_at, matcher)) = plans.get(object) {
+            if *gen_at == generation {
+                return if matcher.is_empty() {
+                    None
+                } else {
+                    Some(matcher.clone())
+                };
+            }
+        }
+        let vars = VarTable::from_policy(policy, &|t, a| self.api.registry().is_registered(t, a));
+        let matcher = Arc::new(CombinedMatcher::compile(&vars.pattern_values()));
+        plans.insert(object.to_string(), (generation, matcher.clone()));
+        if matcher.is_empty() {
+            None
+        } else {
+            Some(matcher)
         }
     }
 }
@@ -638,6 +731,64 @@ pos_access_right apache *
         assert_eq!(reports.len(), 3);
         assert!(reports[0].signature.is_some());
         assert_eq!(glue.services().threat.current(), ThreatLevel::Medium);
+    }
+
+    #[test]
+    fn combined_and_interpreted_pattern_paths_agree() {
+        // The whole-set pattern tier must be invisible: same answers, same
+        // signature reports, same escalation as the per-pattern path.
+        let requests = [
+            HttpRequest::get("/cgi-bin/phf?Qalias=x").with_client_ip("203.0.113.9"),
+            HttpRequest::get("/cgi-bin/test-cgi?*").with_client_ip("203.0.113.9"),
+            HttpRequest::get("/index.html").with_client_ip("10.0.0.1"),
+            HttpRequest::get("/scripts/..%255c../winnt/cmd.exe").with_client_ip("203.0.113.7"),
+        ];
+        let mut answers: Vec<Vec<String>> = Vec::new();
+        let mut report_counts: Vec<usize> = Vec::new();
+        for combined in [true, false] {
+            let bus = EventBus::new();
+            let sub = bus.subscribe_reports(Some(vec![ReportKind::ApplicationAttack]));
+            let glue = glue_with_policy(SECTION_72)
+                .with_combined_patterns(combined)
+                .with_bus(bus)
+                .with_signatures(SignatureDb::with_defaults());
+            answers.push(
+                requests
+                    .iter()
+                    .map(|req| format!("{:?}", glue.authorize(req, None, &[], true).answer))
+                    .collect(),
+            );
+            report_counts.push(sub.drain().len());
+        }
+        assert_eq!(answers[0], answers[1]);
+        assert_eq!(report_counts[0], report_counts[1]);
+        assert!(report_counts[0] > 0);
+    }
+
+    #[test]
+    fn signature_db_recompiles_after_mutation() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe_reports(Some(vec![ReportKind::ApplicationAttack]));
+        let mut db = SignatureDb::with_defaults();
+        let glue = glue_with_policy("pos_access_right apache *\n")
+            .with_bus(bus)
+            .with_signatures(db.clone());
+        let req = HttpRequest::get("/latest-exploit?x").with_client_ip("203.0.113.9");
+        let _ = glue.authorize(&req, None, &[], false);
+        assert_eq!(sub.drain().len(), 0);
+        // A new signature bumps the db version; the compiled automaton is
+        // stale and must be rebuilt, not served from cache.
+        db.add(gaa_ids::AttackSignature {
+            id: "sig.latest".to_string(),
+            class: gaa_ids::AttackClass::CgiExploit,
+            matcher: gaa_ids::signatures::Matcher::UrlGlob("*latest-exploit*".to_string()),
+            severity: 7,
+            confidence: 0.9,
+            recommendation: "block source".to_string(),
+        });
+        let glue = glue.with_signatures(db);
+        let _ = glue.authorize(&req, None, &[], false);
+        assert_eq!(sub.drain().len(), 1);
     }
 
     #[test]

@@ -7,9 +7,75 @@
 //! the classic two-pointer backtracking algorithm (no exponential blowup on
 //! adversarial patterns — important, since the patterns guard a DoS path).
 //!
+//! Two extras support the combined single-pass matcher and the `gaa-lint
+//! patterns` static tier:
+//!
+//! * [`AhoCorasick`] — a case-folded multi-substring automaton. Every glob of
+//!   the form `*literal*` (which is every signature the paper names) reduces
+//!   to "does the request line contain `literal`", so the whole set collapses
+//!   into one automaton walked once per request.
+//! * [`glob_match_ci_steps`] — an instrumented variant counting matcher work,
+//!   used by the GAA705 superlinear-cost lint to *confirm* a cost claim
+//!   against the real algorithm instead of asserting it from pattern shape.
+//!
 //! The richer regular-expression dialect for `pre_cond regex` lives in
 //! `gaa-conditions::regex`; this module is the minimal, allocation-free core
 //! used by the signature database.
+
+/// Shared two-pointer scan. `CI` selects ASCII case folding; folding happens
+/// per byte inside the loop so the case-insensitive path allocates nothing.
+/// Returns the verdict plus the number of loop iterations performed — the
+/// step count is the honest cost measure for GAA705 (two-pointer globs are
+/// O(n·m) worst case, not exponential, but m star-segments still multiply).
+#[inline]
+fn glob_match_core<const CI: bool>(pattern: &str, text: &str) -> (bool, u64) {
+    #[inline(always)]
+    fn fold<const CI: bool>(b: u8) -> u8 {
+        if CI {
+            b.to_ascii_lowercase()
+        } else {
+            b
+        }
+    }
+
+    let p = pattern.as_bytes();
+    let t = text.as_bytes();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    // Backtracking anchors: position of the last `*` in the pattern and the
+    // text position we will retry from when a literal run fails.
+    let (mut star_pi, mut star_ti) = (usize::MAX, 0usize);
+    let mut steps: u64 = 0;
+
+    while ti < t.len() {
+        steps += 1;
+        // `*` is checked before the literal branch: a `*` in the pattern is
+        // always the wildcard, even when the text byte is itself `*`. (The
+        // seed version tested the literal branch first, so `*%*` failed to
+        // match `%*p` — the pattern's trailing `*` was consumed as a
+        // literal match of the text's `*` and the wildcard was lost.)
+        if pi < p.len() && p[pi] == b'*' {
+            star_pi = pi;
+            star_ti = ti;
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == b'?' || fold::<CI>(p[pi]) == fold::<CI>(t[ti])) {
+            pi += 1;
+            ti += 1;
+        } else if star_pi != usize::MAX {
+            // Let the last `*` absorb one more byte and retry.
+            pi = star_pi + 1;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return (false, steps);
+        }
+    }
+    // Only trailing `*`s may remain.
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+        steps += 1;
+    }
+    (pi == p.len(), steps)
+}
 
 /// Does `pattern` (glob dialect: `*`, `?`, literals) match all of `text`?
 ///
@@ -24,41 +90,151 @@
 /// assert!(glob_match("a?c", "abc"));
 /// ```
 pub fn glob_match(pattern: &str, text: &str) -> bool {
-    let p = pattern.as_bytes();
-    let t = text.as_bytes();
-    let (mut pi, mut ti) = (0usize, 0usize);
-    // Backtracking anchors: position of the last `*` in the pattern and the
-    // text position we will retry from when a literal run fails.
-    let (mut star_pi, mut star_ti) = (usize::MAX, 0usize);
-
-    while ti < t.len() {
-        if pi < p.len() && (p[pi] == b'?' || p[pi] == t[ti]) {
-            pi += 1;
-            ti += 1;
-        } else if pi < p.len() && p[pi] == b'*' {
-            star_pi = pi;
-            star_ti = ti;
-            pi += 1;
-        } else if star_pi != usize::MAX {
-            // Let the last `*` absorb one more byte and retry.
-            pi = star_pi + 1;
-            star_ti += 1;
-            ti = star_ti;
-        } else {
-            return false;
-        }
-    }
-    // Only trailing `*`s may remain.
-    while pi < p.len() && p[pi] == b'*' {
-        pi += 1;
-    }
-    pi == p.len()
+    glob_match_core::<false>(pattern, text).0
 }
 
 /// Case-insensitive variant of [`glob_match`] (ASCII only — URLs and header
-/// names are ASCII-folded by attackers, e.g. `PHF` vs `phf`).
+/// names are ASCII-folded by attackers, e.g. `PHF` vs `phf`). Folds bytes
+/// inline during the scan; performs no allocation.
 pub fn glob_match_ci(pattern: &str, text: &str) -> bool {
-    glob_match(&pattern.to_ascii_lowercase(), &text.to_ascii_lowercase())
+    glob_match_core::<true>(pattern, text).0
+}
+
+/// [`glob_match_ci`] plus the number of matcher steps taken. GAA705 replays
+/// its superlinear-cost claims through this so a reported blowup is the real
+/// algorithm's measured work, not a guess from pattern shape.
+pub fn glob_match_ci_steps(pattern: &str, text: &str) -> (bool, u64) {
+    glob_match_core::<true>(pattern, text)
+}
+
+/// Case-folded Aho-Corasick multi-substring automaton.
+///
+/// Built once from `(pattern_id, literal)` needles; [`AhoCorasick::scan`]
+/// walks the text exactly once and invokes the callback for every needle
+/// that occurs as a (ASCII-case-insensitive) substring. Needles share a
+/// dense byte-transition table, so scan cost is O(text + matches) regardless
+/// of how many signatures are loaded.
+///
+/// # Examples
+///
+/// ```rust
+/// use gaa_ids::matcher::AhoCorasick;
+///
+/// let ac = AhoCorasick::new(&[(0, "phf".into()), (1, "test-cgi".into())]);
+/// let mut hits = Vec::new();
+/// ac.scan("GET /CGI-BIN/PHF?x HTTP/1.0", &mut |id| hits.push(id));
+/// assert_eq!(hits, vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    /// Dense transition table: `delta[state][byte] -> state`.
+    delta: Vec<[u32; 256]>,
+    /// Pattern ids accepted on reaching each state (failure outputs merged).
+    out: Vec<Vec<usize>>,
+}
+
+impl AhoCorasick {
+    /// Builds the automaton over `(pattern_id, needle)` pairs. Needles are
+    /// ASCII-case-folded at build time; empty needles match every text.
+    pub fn new(needles: &[(usize, String)]) -> AhoCorasick {
+        const NONE: u32 = u32::MAX;
+        // Trie construction over folded needle bytes.
+        let mut goto_: Vec<[u32; 256]> = vec![[NONE; 256]];
+        let mut out: Vec<Vec<usize>> = vec![Vec::new()];
+        for (id, needle) in needles {
+            let mut state = 0usize;
+            for &b in needle.as_bytes() {
+                let b = b.to_ascii_lowercase() as usize;
+                if goto_[state][b] == NONE {
+                    goto_[state][b] = goto_.len() as u32;
+                    goto_.push([NONE; 256]);
+                    out.push(Vec::new());
+                }
+                state = goto_[state][b] as usize;
+            }
+            out[state].push(*id);
+        }
+        // BFS failure links; merge failure outputs so a single state visit
+        // reports every needle ending there.
+        let mut fail = vec![0u32; goto_.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for s in goto_[0].iter().copied().filter(|&s| s != NONE) {
+            fail[s as usize] = 0;
+            queue.push_back(s as usize);
+        }
+        while let Some(s) = queue.pop_front() {
+            let row = goto_[s];
+            for (b, child) in row.iter().copied().enumerate() {
+                if child == NONE {
+                    continue;
+                }
+                let mut f = fail[s] as usize;
+                while f != 0 && goto_[f][b] == NONE {
+                    f = fail[f] as usize;
+                }
+                let fnext = if goto_[f][b] != NONE && goto_[f][b] != child {
+                    goto_[f][b]
+                } else {
+                    0
+                };
+                fail[child as usize] = fnext;
+                let merged: Vec<usize> = out[fnext as usize].clone();
+                out[child as usize].extend(merged);
+                queue.push_back(child as usize);
+            }
+        }
+        // Flatten goto+failure into a total delta function.
+        let mut delta = goto_.clone();
+        for d in delta[0].iter_mut() {
+            if *d == NONE {
+                *d = 0;
+            }
+        }
+        let mut bfs = std::collections::VecDeque::new();
+        for s in goto_[0].iter().copied().filter(|&s| s != NONE) {
+            bfs.push_back(s as usize);
+        }
+        let mut seen = vec![false; goto_.len()];
+        seen[0] = true;
+        while let Some(s) = bfs.pop_front() {
+            if seen[s] {
+                continue;
+            }
+            seen[s] = true;
+            let frow = delta[fail[s] as usize];
+            let row = &mut delta[s];
+            let mut children = Vec::new();
+            for (d, f) in row.iter_mut().zip(frow.iter().copied()) {
+                if *d == NONE {
+                    *d = f;
+                } else {
+                    children.push(*d as usize);
+                }
+            }
+            bfs.extend(children);
+        }
+        AhoCorasick { delta, out }
+    }
+
+    /// Walks `text` once (case-folded), calling `mark(pattern_id)` for every
+    /// needle occurrence. Ids may repeat if a needle occurs more than once.
+    pub fn scan(&self, text: &str, mark: &mut dyn FnMut(usize)) {
+        let mut state = 0usize;
+        for &id in &self.out[0] {
+            mark(id); // empty needles match before any byte is read
+        }
+        for &b in text.as_bytes() {
+            state = self.delta[state][b.to_ascii_lowercase() as usize] as usize;
+            for &id in &self.out[state] {
+                mark(id);
+            }
+        }
+    }
+
+    /// Number of automaton states (diagnostics / lint budgets).
+    pub fn state_count(&self) -> usize {
+        self.delta.len()
+    }
 }
 
 #[cfg(test)]
@@ -137,10 +313,131 @@ mod tests {
     }
 
     #[test]
+    fn pattern_star_stays_a_wildcard_against_literal_star_bytes() {
+        // Regression: the pattern's `*` must not be consumed as a literal
+        // match of a `*` byte in the text.
+        assert!(glob_match("*%*", "%*p"));
+        assert!(glob_match("*%*", "ä%*p*ab"));
+        assert!(glob_match("a*b", "a*b"));
+        assert!(glob_match("a*b", "a**b"));
+        assert!(glob_match("*x*", "*x"));
+        assert!(!glob_match("*x*", "***"));
+    }
+
+    #[test]
     fn star_at_edges() {
         assert!(glob_match("*suffix", "the-suffix"));
         assert!(glob_match("prefix*", "prefix-and-more"));
         assert!(!glob_match("*suffix", "suffix-not"));
         assert!(!glob_match("prefix*", "not-prefix"));
+    }
+
+    #[test]
+    fn step_counter_agrees_with_plain_matcher() {
+        let cases = [
+            ("*phf*", "/cgi-bin/phf"),
+            ("a*b*c", "acb"),
+            ("", ""),
+            ("*%*", "/index.html"),
+            ("a?c", "aXc"),
+        ];
+        for (p, t) in cases {
+            let (ok, steps) = glob_match_ci_steps(p, t);
+            assert_eq!(ok, glob_match_ci(p, t), "pattern={p} text={t}");
+            assert!(steps <= ((p.len() as u64) + 1) * ((t.len() as u64) + 1) + 1);
+        }
+    }
+
+    #[test]
+    fn step_counter_shows_quadratic_backtracking() {
+        // A long literal segment after a `*` is rescanned from every retry
+        // position — O(n·segment) work on a non-matching tail. (Many short
+        // segments stay near-linear: only the *last* star backtracks.)
+        let pattern = format!("*{}b*", "a".repeat(32));
+        let text = "a".repeat(512);
+        let (ok, steps) = glob_match_ci_steps(&pattern, &text);
+        assert!(!ok);
+        // Far more work than one pass over the text.
+        assert!(steps > 8 * text.len() as u64, "steps={steps}");
+    }
+
+    #[test]
+    fn aho_corasick_finds_all_needles() {
+        let ac = AhoCorasick::new(&[
+            (0, "phf".into()),
+            (1, "test-cgi".into()),
+            (2, "../".into()),
+            (3, "/etc/passwd".into()),
+        ]);
+        let mut hits = std::collections::BTreeSet::new();
+        ac.scan("GET /cgi-bin/phf/../test-cgi HTTP/1.0", &mut |id| {
+            hits.insert(id);
+        });
+        assert_eq!(hits.into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn aho_corasick_is_case_insensitive() {
+        let ac = AhoCorasick::new(&[(7, "phf".into())]);
+        let mut hits = Vec::new();
+        ac.scan("/CGI-BIN/PHF", &mut |id| hits.push(id));
+        assert_eq!(hits, vec![7]);
+    }
+
+    #[test]
+    fn aho_corasick_overlapping_and_nested_needles() {
+        // "he" ends inside "she"; "hers" extends past it — the classic
+        // failure-link exercise.
+        let ac = AhoCorasick::new(&[
+            (0, "he".into()),
+            (1, "she".into()),
+            (2, "his".into()),
+            (3, "hers".into()),
+        ]);
+        let mut hits = Vec::new();
+        ac.scan("ushers", &mut |id| hits.push(id));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn aho_corasick_empty_needle_matches_everything() {
+        let ac = AhoCorasick::new(&[(0, String::new()), (1, "x".into())]);
+        let mut hits = Vec::new();
+        ac.scan("", &mut |id| hits.push(id));
+        assert_eq!(hits, vec![0]);
+        let mut hits = std::collections::BTreeSet::new();
+        ac.scan("xyz", &mut |id| {
+            hits.insert(id);
+        });
+        assert_eq!(hits.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn aho_corasick_agrees_with_glob_on_signature_corpus() {
+        let needles = ["phf", "test-cgi", "%", "../", "/etc/passwd"];
+        let ac = AhoCorasick::new(
+            &needles
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (i, n.to_string()))
+                .collect::<Vec<_>>(),
+        );
+        let corpus = [
+            "GET /index.html HTTP/1.1",
+            "GET /cgi-bin/phf?Qalias=x HTTP/1.0",
+            "GET /scripts/..%c0%af../winnt HTTP/1.0",
+            "GET /../../etc/passwd HTTP/1.0",
+            "",
+            "GET /TEST-CGI HTTP/1.0",
+        ];
+        for text in corpus {
+            let mut got = vec![false; needles.len()];
+            ac.scan(text, &mut |id| got[id] = true);
+            for (i, n) in needles.iter().enumerate() {
+                let want = glob_match_ci(&format!("*{n}*"), text);
+                assert_eq!(got[i], want, "needle={n} text={text}");
+            }
+        }
     }
 }

@@ -108,9 +108,23 @@ pub struct SignatureMatch {
 /// assert!(hits.iter().any(|h| h.id == "sig.phf"));
 /// assert!(db.scan("GET /index.html HTTP/1.0", 0).is_empty());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SignatureDb {
     signatures: Vec<AttackSignature>,
+    /// Mutation counter: bumped on every [`SignatureDb::add`] / `remove` so
+    /// compiled automata and cache stamps can key on it. Process-local: a
+    /// freshly constructed database starts at 0 and counts its own
+    /// mutations from there.
+    version: u64,
+}
+
+// Equality compares contents only; `version` is a process-local mutation
+// counter, so two databases holding the same signatures are equal even if
+// they took different edit paths to get there.
+impl PartialEq for SignatureDb {
+    fn eq(&self, other: &Self) -> bool {
+        self.signatures == other.signatures
+    }
 }
 
 impl SignatureDb {
@@ -190,15 +204,31 @@ impl SignatureDb {
     }
 
     /// Appends a signature (later signatures scan after earlier ones).
+    /// Bumps [`SignatureDb::version`].
     pub fn add(&mut self, signature: AttackSignature) {
         self.signatures.push(signature);
+        self.version += 1;
     }
 
-    /// Removes a signature by id; returns whether one was removed.
+    /// Removes a signature by id; returns whether one was removed. Bumps
+    /// [`SignatureDb::version`] when it does.
     pub fn remove(&mut self, id: &str) -> bool {
         let before = self.signatures.len();
         self.signatures.retain(|s| s.id != id);
-        self.signatures.len() != before
+        let removed = self.signatures.len() != before;
+        if removed {
+            self.version += 1;
+        }
+        removed
+    }
+
+    /// Monotonic mutation counter. Any `add`/successful `remove` bumps it, so
+    /// a compiled combined automaton (or a decision-cache stamp) built
+    /// against version N is provably stale the moment the set changes —
+    /// before this existed, a runtime-added signature silently bypassed
+    /// every caching layer keyed on the database.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of signatures.
@@ -319,6 +349,43 @@ mod tests {
         assert!(db.remove("sig.custom"));
         assert!(!db.remove("sig.custom"));
         assert!(db.is_empty());
+    }
+
+    #[test]
+    fn version_bumps_on_mutation_only() {
+        let mut db = SignatureDb::new();
+        assert_eq!(db.version(), 0);
+        db.add(AttackSignature {
+            id: "sig.custom".into(),
+            class: AttackClass::CgiExploit,
+            matcher: Matcher::UrlGlob("*evil*".into()),
+            severity: 5,
+            confidence: 0.5,
+            recommendation: "deny".into(),
+        });
+        assert_eq!(db.version(), 1);
+        assert!(db.remove("sig.custom"));
+        assert_eq!(db.version(), 2);
+        // Failed remove is not a mutation.
+        assert!(!db.remove("sig.custom"));
+        assert_eq!(db.version(), 2);
+        // Scans never bump.
+        let _ = db.scan("GET /evil HTTP/1.0", 0);
+        assert_eq!(db.version(), 2);
+        // Equality ignores the counter: same contents, different histories.
+        let defaults_a = SignatureDb::with_defaults();
+        let mut defaults_b = SignatureDb::with_defaults();
+        defaults_b.add(AttackSignature {
+            id: "sig.tmp".into(),
+            class: AttackClass::CgiExploit,
+            matcher: Matcher::UrlGlob("*tmp*".into()),
+            severity: 1,
+            confidence: 0.1,
+            recommendation: "deny".into(),
+        });
+        assert!(defaults_b.remove("sig.tmp"));
+        assert_eq!(defaults_a, defaults_b);
+        assert_ne!(defaults_a.version(), defaults_b.version());
     }
 
     #[test]

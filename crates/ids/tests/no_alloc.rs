@@ -1,0 +1,62 @@
+//! Asserts the glob matchers are allocation-free on the hot path.
+//!
+//! `glob_match_ci` used to lowercase both pattern and text into fresh
+//! `String`s on every call — two heap allocations per signature per request
+//! on the hottest attacker-controlled path. The fix folds bytes inline
+//! during the two-pointer scan; this test pins that property with a
+//! counting global allocator so the regression cannot sneak back.
+
+use gaa_ids::matcher::{glob_match, glob_match_ci, glob_match_ci_steps};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // ordering: Relaxed — the counter is only read after the measured
+        // section on the same thread; no cross-thread ordering is needed.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn allocations_during<F: FnOnce()>(f: F) -> u64 {
+    // ordering: Relaxed — single-threaded measurement, reads happen-after
+    // the closure returns by program order.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn glob_matchers_do_not_allocate() {
+    // Warm up: pull the code paths in so lazy init (if any) is done.
+    assert!(glob_match_ci("*PHF*", "/cgi-bin/phf"));
+    assert!(glob_match("*phf*", "/cgi-bin/phf"));
+
+    let pattern = "*TeSt-CgI*";
+    let text = "GET /cgi-bin/test-cgi?x=long-ish-query-string HTTP/1.0";
+    let adversarial = "a".repeat(2048);
+
+    let n = allocations_during(|| {
+        for _ in 0..64 {
+            assert!(glob_match_ci(pattern, text));
+            assert!(!glob_match_ci("*a*a*a*a*a*b*", &adversarial));
+            assert!(!glob_match("*%*", text));
+            let (ok, steps) = glob_match_ci_steps(pattern, text);
+            assert!(ok && steps > 0);
+        }
+    });
+    assert_eq!(n, 0, "glob matching allocated {n} times on the hot path");
+}
