@@ -60,6 +60,7 @@ mod lint;
 mod passes;
 pub mod patterns;
 mod render;
+pub mod site;
 mod snapshot;
 mod source;
 pub mod symbolic;
@@ -72,11 +73,15 @@ pub use differential::{
 pub use gate::lint_gate;
 pub use lint::{max_severity, Lint, LintSeverity, OTHER_VALUE};
 pub use patterns::{lint_patterns, PatternReport};
-pub use render::{render_human, render_json, summary, JSON_SCHEMA_VERSION};
+pub use render::{render_human, render_json, render_json_with, summary, JSON_SCHEMA_VERSION};
+pub use site::{
+    audit_site, HtVerdict, ReplayMode, ReplayRequest, SiteObject, SiteReplay, SiteReport, SiteSpec,
+    BASELINE_CLIENT_IP, BLACKLIST_GROUP,
+};
 pub use snapshot::RegistrySnapshot;
 pub use source::Source;
 pub use symbolic::{
     check_invariants, cross_validate, diff_deployments, diff_gate, diff_lints, parse_invariants,
-    region_code, CrossValidationReport, Deployment, DeploymentDiff, DiffRegion, Invariant,
-    InvariantViolation, Witness,
+    region_code, violation_lints, CrossValidationReport, Deployment, DeploymentDiff, DiffRegion,
+    Invariant, InvariantViolation, Witness,
 };

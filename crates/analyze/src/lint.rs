@@ -54,6 +54,7 @@ impl fmt::Display for LintSeverity {
 /// | `GAA502` | warning | semantic diff: a denied region becomes MAYBE (deny-narrowing) |
 /// | `GAA503` | warning | semantic diff: a granted region becomes MAYBE (MAYBE-surface growth) |
 /// | `GAA504` | note | semantic diff: a region's status changes to NO (restriction-tightening) |
+/// | `GAA506` | error | symbolic invariant assertion violated (counterexample attached) |
 /// | `GAA601` | error | code: `unwrap`/`expect`/`panic!` on the request path (worker-killing DoS primitive) |
 /// | `GAA602` | error | code: raw `std::sync`/`parking_lot` primitive in a `gaa_race::sync`-migrated file |
 /// | `GAA603` | warning | code: `Err` arm in the front end/glue that never reaches audit/degradation |
@@ -63,6 +64,11 @@ impl fmt::Display for LintSeverity {
 /// | `GAA703` | warning | same literal guarded case-insensitively (glob) and case-sensitively (`re:`) — case-flipped requests split the dialects |
 /// | `GAA704` | warning | percent-encoding bypass: a caught request survives encoding unmatched by the whole set (the NIMDA gap) |
 /// | `GAA705` | note | crafted input amplifies glob matcher cost past the steps-per-byte threshold (measured) |
+/// | `GAA801` | error/warning | site: raising `system_threat_level` widens access on an object (error when a level step reaches YES) |
+/// | `GAA802` | warning | site: a `BadGuys` blacklist member is still granted on an object (blacklist does not dominate) |
+/// | `GAA803` | warning/note | site: object anonymously reachable but not on the declared allowlist (note: stale allowlist entry) |
+/// | `GAA804` | warning | site: policy serves an attack URL matching an IDS signature with no screening pre-condition (the static NIMDA gap) |
+/// | `GAA805` | warning/note | site: htaccess chain and EACL deployment disagree on the same object (warning when htaccess is the only defense) |
 ///
 /// `GAA101`/`GAA103`/`GAA104` are folded in from the syntax tier
 /// ([`gaa_eacl::validate`]); `GAA102`, that tier's unreachability check, is
@@ -71,7 +77,9 @@ impl fmt::Display for LintSeverity {
 /// ([`crate::symbolic`]) and are emitted by `gaa-lint diff`, not by
 /// [`crate::Analyzer`]. The `GAA7xx` codes come from the pattern tier
 /// ([`crate::patterns`], `gaa-lint patterns`): every one is replayed
-/// through the real matchers before being reported.
+/// through the real matchers before being reported. The `GAA8xx` codes
+/// come from the site tier ([`crate::site`], `gaa-lint site`): every one
+/// is replayed through a real in-process server before being reported.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Lint {
     /// Stable code, e.g. `"GAA201"`.

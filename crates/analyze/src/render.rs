@@ -42,8 +42,10 @@ pub fn summary(lints: &[Lint]) -> String {
 /// any incompatible change so scripted consumers can pin what they parse.
 /// Version 2 added the `GAA70x` pattern-tier codes to the code vocabulary
 /// (`gaa-lint patterns --json`); the field shape is unchanged, but
-/// consumers keying on an exhaustive code list must update.
-pub const JSON_SCHEMA_VERSION: usize = 2;
+/// consumers keying on an exhaustive code list must update. Version 3
+/// added the `GAA8xx` site-tier codes, the optional top-level `stats`
+/// object ([`render_json_with`]), and the `gaa-lint all` tier envelope.
+pub const JSON_SCHEMA_VERSION: usize = 3;
 
 /// Renders the report as a JSON document:
 ///
@@ -57,6 +59,16 @@ pub const JSON_SCHEMA_VERSION: usize = 2;
 /// [`JSON_SCHEMA_VERSION`]. Absent optional fields render as `null`; spans
 /// expand to `line`, `start`, `end`.
 pub fn render_json(lints: &[Lint]) -> String {
+    render_json_with(lints, &[])
+}
+
+/// [`render_json`] plus a `stats` object of named counters (emitted after
+/// `max_severity`, before `lints`, in the order given). The site tier uses
+/// this to surface its replay bookkeeping — objects audited, request cells
+/// compiled, findings confirmed, unconfirmed claims dropped — in `--json`.
+/// An empty `stats` slice omits the object entirely, so the version-2
+/// document shape is a strict subset.
+pub fn render_json_with(lints: &[Lint], stats: &[(&str, usize)]) -> String {
     let mut sorted: Vec<&Lint> = lints.iter().collect();
     sorted.sort_by(|a, b| {
         let span_key = |l: &Lint| match l.span {
@@ -80,6 +92,16 @@ pub fn render_json(lints: &[Lint]) -> String {
             out.push('"');
         }
         None => out.push_str("null"),
+    }
+    if !stats.is_empty() {
+        out.push_str(",\"stats\":{");
+        for (i, (key, value)) in stats.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{key}\":{value}");
+        }
+        out.push('}');
     }
     out.push_str(",\"lints\":[");
     for (i, lint) in sorted.iter().enumerate() {
@@ -210,15 +232,26 @@ mod tests {
     #[test]
     fn json_escapes_and_nulls() {
         let json = render_json(&sample());
-        assert!(json.starts_with("{\"schema_version\":2,\"max_severity\":\"error\","));
+        assert!(json.starts_with("{\"schema_version\":3,\"max_severity\":\"error\","));
         assert!(json.contains("\"pattern\":{\"authority\":\"sshd\",\"value\":\"login\"}"));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"layer\":null"));
         assert!(json.contains("\"suggestion\":\"did you mean `accessid`?\""));
         assert_eq!(
             render_json(&[]),
-            "{\"schema_version\":2,\"max_severity\":null,\"lints\":[]}"
+            "{\"schema_version\":3,\"max_severity\":null,\"lints\":[]}"
         );
+    }
+
+    #[test]
+    fn json_stats_object_preserves_order_and_is_omitted_when_empty() {
+        let json = render_json_with(&[], &[("objects", 3), ("dropped", 0)]);
+        assert_eq!(
+            json,
+            "{\"schema_version\":3,\"max_severity\":null,\
+             \"stats\":{\"objects\":3,\"dropped\":0},\"lints\":[]}"
+        );
+        assert_eq!(render_json_with(&[], &[]), render_json(&[]));
     }
 
     #[test]

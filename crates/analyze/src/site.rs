@@ -1,0 +1,1097 @@
+//! Whole-site attack-surface verification: the `GAA8xx` tier behind
+//! `gaa-lint site`.
+//!
+//! The per-deployment tiers prove properties of one composed policy at a
+//! time; this module closes over the *site*: every object in the served
+//! tree, its `.htaccess` chain verdict, its composed EACL deployment, and
+//! the IDS signature database, all compiled through the hash-consed
+//! decision DAG ([`gaa_core::dag`]). Five site-global invariants are
+//! checked:
+//!
+//! * **GAA801** — threat-level monotonicity: raising `system_threat_level`
+//!   never widens access on any object (symbolic sweep over the enumerated
+//!   levels, per identity scenario).
+//! * **GAA802** — blacklist dominance: a `BadGuys` member is denied
+//!   everywhere the deployment references the blacklist at all.
+//! * **GAA803** — anonymous-surface map: objects reachable with no
+//!   identity, diffed against the declared allowlist (stale entries are
+//!   notes).
+//! * **GAA804** — signature coverage gaps: attack URLs an object's policy
+//!   would serve even though an IDS signature matches them — the static
+//!   NIMDA gap, computed as a signature×policy product.
+//! * **GAA805** — layered-defense disagreement: the htaccess chain and the
+//!   EACL deployment decide the same object differently.
+//!
+//! ## Soundness: the environment model and witness replay
+//!
+//! Each candidate is found by *restricting* an object's decision DAG by a
+//! concrete request environment (method, URL, client address, identity,
+//! group memberships, threat level). Conditions the environment fully
+//! determines — `accessid USER/GROUP/HOST`, `regex gnu`, `location`,
+//! `system_threat_level` — are pinned to the exact outcome the runtime
+//! evaluator computes for that environment (the two implementations share
+//! code paths: [`threat_comparison`], [`glob_match_ci`],
+//! [`signature_matches`], [`location_matches`]). Everything else (time
+//! windows, thresholds, load expressions…) stays symbolic. A claim is
+//! reported **only when the restricted DAG is constant**: then no
+//! uncontrolled condition can change the outcome, so one concrete request
+//! decides it. Every surviving claim is replayed through a real server
+//! ([`SiteReplay`]) and dropped — and counted in
+//! [`SiteReport::dropped`] — unless the observed status code reproduces
+//! the claimed decision. Non-constant candidates whose widening is merely
+//! *reachable* are likewise counted as dropped, never reported.
+
+use crate::lint::{Lint, LintSeverity};
+use crate::snapshot::RegistrySnapshot;
+use crate::symbolic::{vocabulary, Deployment};
+use gaa_conditions::location::location_matches;
+use gaa_conditions::regex::signature_matches;
+use gaa_core::dag::{
+    compile_decision, threat_comparison, DecisionDag, PartialAssignment, VarTable,
+    THREAT_COND_TYPE, THREAT_LEVELS,
+};
+use gaa_core::GaaStatus;
+use gaa_eacl::RightPattern;
+use gaa_ids::matcher::glob_match_ci;
+use gaa_ids::signatures::Matcher;
+use gaa_ids::SignatureDb;
+use std::collections::BTreeSet;
+
+/// The client address every witness request originates from (TEST-NET-2:
+/// guaranteed not to collide with `HOST`/`location` patterns written for
+/// real networks, and stable so findings are reproducible).
+pub const BASELINE_CLIENT_IP: &str = "198.51.100.10";
+
+/// The blacklist group name the paper's §7.2 deployment maintains via
+/// `update_log` and that GAA802 quantifies over.
+pub const BLACKLIST_GROUP: &str = "BadGuys";
+
+/// The right authority the web-server glue requests (`apache METHOD`).
+const AUTHORITY: &str = "apache";
+
+/// The parseable request methods — the server's whole method space, so
+/// sweeping these three is exhaustive, not sampled.
+const METHODS: [&str; 3] = ["GET", "HEAD", "POST"];
+
+/// Boolean condition outcomes as statuses.
+fn status_of(met: bool) -> GaaStatus {
+    if met {
+        GaaStatus::Yes
+    } else {
+        GaaStatus::No
+    }
+}
+
+/// Widening transitions for GAA801, worst first.
+const WIDENINGS: [(GaaStatus, GaaStatus); 3] = [
+    (GaaStatus::No, GaaStatus::Yes),
+    (GaaStatus::Maybe, GaaStatus::Yes),
+    (GaaStatus::No, GaaStatus::Maybe),
+];
+
+/// The htaccess chain's verdict for an anonymous baseline client, as the
+/// site walker resolved it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HtVerdict {
+    /// No `.htaccess` governs the object — GAA805 has nothing to compare.
+    Open,
+    /// The chain allows the baseline client.
+    Allow,
+    /// The chain demands credentials (401).
+    AuthRequired,
+    /// The chain forbids the baseline client (403).
+    Forbidden,
+}
+
+/// One servable object in the site tree.
+#[derive(Debug, Clone)]
+pub struct SiteObject {
+    /// The Vfs path requests use (e.g. `/private/report.html`).
+    pub path: String,
+    /// The EACL object name its local policy is registered under (often
+    /// `/` + file stem; equals `path` when no local policy exists).
+    pub object: String,
+    /// The htaccess chain's anonymous-baseline verdict.
+    pub htaccess: HtVerdict,
+}
+
+/// The site under audit: the walked object list plus the declared
+/// anonymous allowlist (paths expected to be reachable with no identity).
+#[derive(Debug, Clone, Default)]
+pub struct SiteSpec {
+    /// Every servable object, in tree order.
+    pub objects: Vec<SiteObject>,
+    /// Declared anonymous-reachable paths (`site.allow`).
+    pub allow_anonymous: BTreeSet<String>,
+}
+
+/// Which access-control stack a witness request replays through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// The GAA glue (EACL deployment, signature scan, threat monitor).
+    Gaa,
+    /// The `.htaccess` chain only.
+    Htaccess,
+}
+
+/// A synthesized witness request for [`SiteReplay`] to execute.
+#[derive(Debug, Clone)]
+pub struct ReplayRequest {
+    /// Stack to exercise.
+    pub mode: ReplayMode,
+    /// HTTP method.
+    pub method: String,
+    /// Raw request target (path, optionally `?query`).
+    pub url: String,
+    /// Client address.
+    pub client_ip: String,
+    /// Authenticated user (the replayer must make these credentials
+    /// verifiable), or anonymous.
+    pub user: Option<String>,
+    /// `(group, member)` seeds for the shared group store.
+    pub groups: Vec<(String, String)>,
+    /// Threat-monitor level index into [`THREAT_LEVELS`].
+    pub threat_level: usize,
+    /// Whether the live signature scan runs during the replay.
+    pub with_signatures: bool,
+}
+
+/// Replays a witness request through a real server and reports the
+/// response status code (`None` = the request could not be served at all,
+/// which always drops the claim).
+///
+/// The implementation lives with the server (`gaa_httpd::site`): this
+/// crate sits below the web-server substrate in the dependency order, so
+/// the verifier takes the replayer as a capability.
+pub trait SiteReplay {
+    /// Executes one request against a **fresh** server and returns the
+    /// status code.
+    fn replay(&self, request: &ReplayRequest) -> Option<u16>;
+}
+
+/// Result of [`audit_site`].
+#[derive(Debug, Default)]
+pub struct SiteReport {
+    /// Confirmed findings, ready for rendering.
+    pub lints: Vec<Lint>,
+    /// Objects audited.
+    pub objects: usize,
+    /// Request cells compiled (objects × methods).
+    pub cells: usize,
+    /// Findings confirmed by server replay.
+    pub confirmed: usize,
+    /// Candidate claims dropped: replay contradicted them, or the
+    /// restricted DAG was not constant so no single request could confirm
+    /// them.
+    pub dropped: usize,
+}
+
+impl SiteReport {
+    /// The counters in `--json` `stats` order.
+    #[must_use]
+    pub fn stats(&self) -> [(&'static str, usize); 4] {
+        [
+            ("objects", self.objects),
+            ("cells", self.cells),
+            ("confirmed", self.confirmed),
+            ("dropped", self.dropped),
+        ]
+    }
+}
+
+/// A concrete request environment: everything the model pins.
+#[derive(Clone)]
+struct Env {
+    method: String,
+    url: String,
+    client_ip: String,
+    user: Option<String>,
+    /// `(group, member)` pairs the replay will seed.
+    memberships: Vec<(String, String)>,
+    /// `Some(level)` pins every well-formed threat condition;
+    /// `None` leaves them symbolic (GAA801's sweep axis) but still pins
+    /// malformed comparisons to their level-independent MAYBE.
+    threat: Option<usize>,
+}
+
+impl Env {
+    fn anonymous(method: &str, url: &str, threat: Option<usize>) -> Env {
+        Env {
+            method: method.to_string(),
+            url: url.to_string(),
+            client_ip: BASELINE_CLIENT_IP.to_string(),
+            user: None,
+            memberships: Vec::new(),
+            threat,
+        }
+    }
+
+    fn request_line(&self) -> String {
+        format!("{} {} HTTP/1.1", self.method, self.url)
+    }
+
+    /// The outcome the runtime evaluator computes for this condition in
+    /// this environment, or `None` for conditions the environment does not
+    /// determine (those stay symbolic).
+    fn pin(&self, cond_type: &str, authority: &str, value: &str) -> Option<GaaStatus> {
+        if cond_type == THREAT_COND_TYPE {
+            return match self.threat {
+                Some(level) => Some(match threat_comparison(value, level) {
+                    Some(true) => GaaStatus::Yes,
+                    Some(false) => GaaStatus::No,
+                    None => GaaStatus::Maybe,
+                }),
+                // Sweep axis: well-formed comparisons stay symbolic, but a
+                // malformed one is MAYBE at *every* level, so pin it.
+                None => match threat_comparison(value, 0) {
+                    None => Some(GaaStatus::Maybe),
+                    Some(_) => None,
+                },
+            };
+        }
+        match (cond_type, authority) {
+            ("accessid", "USER") => Some(match &self.user {
+                None => GaaStatus::Maybe,
+                Some(user) if value == "*" || glob_match_ci(value, user) => GaaStatus::Yes,
+                Some(_) => GaaStatus::No,
+            }),
+            ("accessid", "GROUP") => {
+                let group = value.trim();
+                let member = self.memberships.iter().any(|(g, m)| {
+                    g == group && (Some(m.as_str()) == self.user.as_deref() || *m == self.client_ip)
+                });
+                Some(status_of(member))
+            }
+            ("accessid", "HOST") => {
+                let matched = value.split_whitespace().any(|pat| {
+                    self.client_ip.starts_with(pat) || glob_match_ci(pat, &self.client_ip)
+                });
+                Some(status_of(matched))
+            }
+            ("regex", "gnu") => Some(status_of(signature_matches(value, &self.request_line()))),
+            ("location", _) => Some(status_of(location_matches(value, &self.client_ip))),
+            _ => None,
+        }
+    }
+
+    fn restriction(&self, vars: &VarTable) -> PartialAssignment {
+        vars.triples()
+            .iter()
+            .map(|(t, a, v)| self.pin(t, a, v))
+            .collect()
+    }
+
+    fn describe(&self) -> String {
+        match &self.user {
+            Some(user) => format!("user `{user}`"),
+            None => "anonymous clients".to_string(),
+        }
+    }
+
+    fn to_request(&self, mode: ReplayMode, with_signatures: bool) -> ReplayRequest {
+        ReplayRequest {
+            mode,
+            method: self.method.clone(),
+            url: self.url.clone(),
+            client_ip: self.client_ip.clone(),
+            user: self.user.clone(),
+            groups: self.memberships.clone(),
+            threat_level: self.threat.unwrap_or(0),
+            with_signatures,
+        }
+    }
+}
+
+/// Status codes that confirm a symbolic decision.
+fn expected_codes(status: GaaStatus) -> &'static [u16] {
+    match status {
+        GaaStatus::Yes => &[200],
+        GaaStatus::No => &[403],
+        // MAYBE translates to 401 (credentials could settle it) or 302
+        // (a redirect condition is in play).
+        GaaStatus::Maybe => &[401, 302],
+    }
+}
+
+/// Identity scenarios for the GAA801 sweep: anonymous, plus one realized
+/// user per distinct `accessid USER` pattern in the deployment (globs are
+/// instantiated and checked against the real matcher).
+fn identity_scenarios(vars: &VarTable) -> Vec<Option<String>> {
+    let mut scenarios = vec![None];
+    let mut seen = BTreeSet::new();
+    for (cond_type, authority, value) in vars.triples() {
+        if cond_type != "accessid" || authority != "USER" || value == "*" {
+            continue;
+        }
+        let realized: String = value
+            .chars()
+            .map(|c| if c == '*' || c == '?' { 'u' } else { c })
+            .collect();
+        if !realized.is_empty() && glob_match_ci(value, &realized) && seen.insert(realized.clone())
+        {
+            scenarios.push(Some(realized));
+        }
+    }
+    scenarios
+}
+
+/// A concrete query string guaranteed to trip `matcher`, when one can be
+/// synthesized without guessing (glob patterns with interior wildcards are
+/// skipped).
+fn attack_query(matcher: &Matcher) -> Option<String> {
+    match matcher {
+        Matcher::UrlGlob(glob) => {
+            let inner = glob.trim_matches('*');
+            (!inner.is_empty() && !inner.contains('*') && !inner.contains('?'))
+                .then(|| inner.to_string())
+        }
+        Matcher::InputLongerThan(limit) => Some("a".repeat(limit + 1)),
+    }
+}
+
+struct Auditor<'a> {
+    vars: &'a VarTable,
+    dag: DecisionDag,
+    replay: &'a dyn SiteReplay,
+    lints: Vec<Lint>,
+    confirmed: usize,
+    dropped: usize,
+}
+
+impl Auditor<'_> {
+    /// Replays one request and returns the observed code when it is among
+    /// the expected set; `None` otherwise (caller drops the claim).
+    fn observe(&self, request: &ReplayRequest, expect: &[u16]) -> Option<u16> {
+        let code = self.replay.replay(request)?;
+        expect.contains(&code).then_some(code)
+    }
+
+    fn record(&mut self, lint: Option<Lint>) {
+        match lint {
+            Some(lint) => {
+                self.lints.push(lint);
+                self.confirmed += 1;
+            }
+            None => self.dropped += 1,
+        }
+    }
+
+    /// True when the pair diagram `lo → hi` admits any widening
+    /// transition (used only to count unconfirmable candidates).
+    fn widening_reachable(&mut self, lo: u32, hi: u32) -> bool {
+        let pair = self.dag.pair_decision(lo, hi);
+        WIDENINGS.iter().any(|&(from, to)| {
+            self.dag
+                .witness_transition(pair, self.vars.len(), from, to)
+                .is_some()
+        })
+    }
+
+    /// GAA801: for each identity scenario, slice the environment-restricted
+    /// diagram at adjacent threat levels and flag widenings.
+    fn check_threat_monotonicity(
+        &mut self,
+        object: &SiteObject,
+        method: &str,
+        root: u32,
+        scenarios: &[Option<String>],
+    ) {
+        let mut reported: Vec<(usize, GaaStatus, GaaStatus)> = Vec::new();
+        for scenario in scenarios {
+            let mut env = Env::anonymous(method, &object.path, None);
+            env.user.clone_from(scenario);
+            let base = self.dag.restrict(root, &env.restriction(self.vars));
+            for level in 0..THREAT_LEVELS.len() - 1 {
+                let lo = self
+                    .dag
+                    .restrict(base, &self.vars.threat_restriction(level));
+                let hi = self
+                    .dag
+                    .restrict(base, &self.vars.threat_restriction(level + 1));
+                if lo == hi {
+                    continue;
+                }
+                match (self.dag.constant_status(lo), self.dag.constant_status(hi)) {
+                    (Some(from), Some(to)) if WIDENINGS.contains(&(from, to)) => {
+                        if reported.contains(&(level, from, to)) {
+                            continue;
+                        }
+                        reported.push((level, from, to));
+                        let mut lo_env = env.clone();
+                        lo_env.threat = Some(level);
+                        let mut hi_env = env.clone();
+                        hi_env.threat = Some(level + 1);
+                        let observed = self
+                            .observe(
+                                &lo_env.to_request(ReplayMode::Gaa, false),
+                                expected_codes(from),
+                            )
+                            .zip(self.observe(
+                                &hi_env.to_request(ReplayMode::Gaa, false),
+                                expected_codes(to),
+                            ));
+                        self.record(observed.map(|(lo_code, hi_code)| {
+                            let severity = if to == GaaStatus::Yes {
+                                LintSeverity::Error
+                            } else {
+                                LintSeverity::Warning
+                            };
+                            Lint::new(
+                                "GAA801",
+                                severity,
+                                &object.path,
+                                format!(
+                                    "raising system_threat_level from `{}` to `{}` widens \
+                                     `{AUTHORITY} {method}` from {from} to {to} for {} \
+                                     (replayed: {lo_code} then {hi_code})",
+                                    THREAT_LEVELS[level],
+                                    THREAT_LEVELS[level + 1],
+                                    env.describe(),
+                                ),
+                            )
+                            .with_pattern(RightPattern::new(AUTHORITY, method))
+                        }));
+                    }
+                    (Some(_), Some(_)) => {} // narrowing: the intended direction
+                    _ => {
+                        if self.widening_reachable(lo, hi) {
+                            self.dropped += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// GAA802: a blacklisted client must be denied everywhere.
+    fn check_blacklist_dominance(&mut self, object: &SiteObject, method: &str, root: u32) {
+        let mut env = Env::anonymous(method, &object.path, Some(0));
+        env.memberships
+            .push((BLACKLIST_GROUP.to_string(), BASELINE_CLIENT_IP.to_string()));
+        let restricted = self.dag.restrict(root, &env.restriction(self.vars));
+        match self.dag.constant_status(restricted) {
+            Some(GaaStatus::Yes) => {
+                let observed = self.observe(&env.to_request(ReplayMode::Gaa, false), &[200]);
+                self.record(observed.map(|code| {
+                    Lint::new(
+                        "GAA802",
+                        LintSeverity::Warning,
+                        &object.path,
+                        format!(
+                            "blacklisted client (member of `{BLACKLIST_GROUP}`) is still \
+                             granted `{AUTHORITY} {method}` (replayed: {code})"
+                        ),
+                    )
+                    .with_pattern(RightPattern::new(AUTHORITY, method))
+                }));
+            }
+            Some(_) => {}
+            None => {
+                if self
+                    .dag
+                    .witness_status(restricted, self.vars.len(), GaaStatus::Yes)
+                    .is_some()
+                {
+                    self.dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// GAA803: anonymous surface vs the declared allowlist. Returns the
+    /// anonymous baseline decision when it is constant, for GAA805 reuse.
+    fn check_anonymous_surface(
+        &mut self,
+        object: &SiteObject,
+        root: u32,
+        spec: &SiteSpec,
+    ) -> Option<GaaStatus> {
+        let env = Env::anonymous("GET", &object.path, Some(0));
+        let restricted = self.dag.restrict(root, &env.restriction(self.vars));
+        let constant = self.dag.constant_status(restricted);
+        let allowlisted = spec.allow_anonymous.contains(&object.path);
+        match constant {
+            Some(GaaStatus::Yes) if !allowlisted => {
+                let observed = self.observe(&env.to_request(ReplayMode::Gaa, false), &[200]);
+                self.record(observed.map(|code| {
+                    Lint::new(
+                        "GAA803",
+                        LintSeverity::Warning,
+                        &object.path,
+                        format!(
+                            "anonymously reachable with `{AUTHORITY} GET` but not on the \
+                             declared allowlist (replayed: {code})"
+                        ),
+                    )
+                    .with_pattern(RightPattern::new(AUTHORITY, "GET"))
+                }));
+            }
+            Some(status) if allowlisted && status != GaaStatus::Yes => {
+                let observed = self.observe(
+                    &env.to_request(ReplayMode::Gaa, false),
+                    expected_codes(status),
+                );
+                self.record(observed.map(|code| {
+                    Lint::new(
+                        "GAA803",
+                        LintSeverity::Note,
+                        &object.path,
+                        format!(
+                            "allowlisted but not anonymously reachable: `{AUTHORITY} GET` \
+                             decides {status} (replayed: {code})"
+                        ),
+                    )
+                }));
+            }
+            Some(_) => {}
+            None => {
+                if !allowlisted
+                    && self
+                        .dag
+                        .witness_status(restricted, self.vars.len(), GaaStatus::Yes)
+                        .is_some()
+                {
+                    self.dropped += 1;
+                }
+            }
+        }
+        constant
+    }
+
+    /// GAA803 (stale entries): allowlist paths matching no object at all.
+    fn check_stale_allowlist(&mut self, spec: &SiteSpec) {
+        let paths: BTreeSet<&str> = spec.objects.iter().map(|o| o.path.as_str()).collect();
+        for entry in &spec.allow_anonymous {
+            if paths.contains(entry.as_str()) {
+                continue;
+            }
+            let env = Env::anonymous("GET", entry, Some(0));
+            let observed = self.observe(&env.to_request(ReplayMode::Gaa, false), &[404]);
+            self.record(observed.map(|code| {
+                Lint::new(
+                    "GAA803",
+                    LintSeverity::Note,
+                    entry,
+                    format!(
+                        "allowlist entry matches no object in the site tree (replayed: {code})"
+                    ),
+                )
+            }));
+        }
+    }
+
+    /// GAA804: the signature×policy product — attack URLs the policy
+    /// would serve although an IDS signature matches them.
+    fn check_signature_coverage(&mut self, object: &SiteObject, root: u32, db: &SignatureDb) {
+        for signature in db.signatures() {
+            let Some(query) = attack_query(&signature.matcher) else {
+                continue;
+            };
+            let url = format!("{}?{query}", object.path);
+            let env = Env::anonymous("GET", &url, Some(0));
+            // The synthesized request must actually trip the signature —
+            // otherwise the candidate proves nothing.
+            if !signature.matches(&env.request_line(), query.len()) {
+                continue;
+            }
+            let restricted = self.dag.restrict(root, &env.restriction(self.vars));
+            match self.dag.constant_status(restricted) {
+                Some(GaaStatus::Yes) => {
+                    // Replay with the live scan on: if the deployment
+                    // reacts dynamically (threat escalation, blacklisting),
+                    // the replay contradicts the static claim and drops it.
+                    let observed = self.observe(&env.to_request(ReplayMode::Gaa, true), &[200]);
+                    self.record(observed.map(|code| {
+                        Lint::new(
+                            "GAA804",
+                            LintSeverity::Warning,
+                            &object.path,
+                            format!(
+                                "signature `{}` has no screening pre-condition here: policy \
+                                 serves attack URL `{url}` (replayed with live signature \
+                                 scan: {code})",
+                                signature.id
+                            ),
+                        )
+                        .with_pattern(RightPattern::new(AUTHORITY, "GET"))
+                    }));
+                }
+                Some(_) => {} // screened: a pre-condition denies the URL
+                None => {
+                    if self
+                        .dag
+                        .witness_status(restricted, self.vars.len(), GaaStatus::Yes)
+                        .is_some()
+                    {
+                        self.dropped += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// GAA805: htaccess chain vs EACL deployment on the anonymous
+    /// baseline (only meaningful when both layers are constant).
+    fn check_layer_agreement(&mut self, object: &SiteObject, eacl: Option<GaaStatus>) {
+        let env = Env::anonymous("GET", &object.path, Some(0));
+        let (severity, ht_code, message) = match (object.htaccess, eacl) {
+            (HtVerdict::Forbidden, Some(GaaStatus::Yes)) => (
+                LintSeverity::Warning,
+                403u16,
+                "htaccess chain forbids what the EACL deployment grants",
+            ),
+            (HtVerdict::AuthRequired, Some(GaaStatus::Yes)) => (
+                LintSeverity::Warning,
+                401,
+                "htaccess chain demands credentials the EACL deployment never asks for",
+            ),
+            (HtVerdict::Allow, Some(GaaStatus::No)) => (
+                LintSeverity::Note,
+                200,
+                "EACL deployment denies what the htaccess chain allows",
+            ),
+            _ => return,
+        };
+        let eacl_status = eacl.expect("matched arms carry a constant status");
+        let observed = self
+            .observe(
+                &env.to_request(ReplayMode::Gaa, false),
+                expected_codes(eacl_status),
+            )
+            .zip(self.observe(&env.to_request(ReplayMode::Htaccess, false), &[ht_code]));
+        self.record(observed.map(|(gaa_code, ht_observed)| {
+            Lint::new(
+                "GAA805",
+                severity,
+                &object.path,
+                format!(
+                    "{message} (`{AUTHORITY} GET`): layered defenses disagree \
+                     (replayed: gaa {gaa_code}, htaccess {ht_observed})"
+                ),
+            )
+            .with_pattern(RightPattern::new(AUTHORITY, "GET"))
+        }));
+    }
+}
+
+/// Audits the whole site: compiles every object × method cell of the
+/// deployment through the decision DAG and checks GAA801–GAA805, replaying
+/// every finding through `replay` before reporting it.
+#[must_use]
+pub fn audit_site(
+    deployment: &Deployment,
+    spec: &SiteSpec,
+    snapshot: &RegistrySnapshot,
+    db: Option<&SignatureDb>,
+    replay: &dyn SiteReplay,
+) -> SiteReport {
+    let voc = vocabulary(&[deployment], snapshot);
+    let vars = VarTable::from_triples(voc.triples.clone());
+    let scenarios = identity_scenarios(&vars);
+    let blacklist_used = voc
+        .triples
+        .iter()
+        .any(|(t, a, v)| t == "accessid" && a == "GROUP" && v == BLACKLIST_GROUP);
+    let mut auditor = Auditor {
+        vars: &vars,
+        dag: DecisionDag::new(),
+        replay,
+        lints: Vec::new(),
+        confirmed: 0,
+        dropped: 0,
+    };
+
+    for object in &spec.objects {
+        let policy = deployment.compose_for(&object.object);
+        for method in METHODS {
+            let root = compile_decision(
+                &mut auditor.dag,
+                &policy,
+                &vars,
+                AUTHORITY,
+                method,
+                GaaStatus::No,
+            );
+            auditor.check_threat_monotonicity(object, method, root, &scenarios);
+            if blacklist_used {
+                auditor.check_blacklist_dominance(object, method, root);
+            }
+            if method == "GET" {
+                let baseline = auditor.check_anonymous_surface(object, root, spec);
+                if object.htaccess != HtVerdict::Open {
+                    auditor.check_layer_agreement(object, baseline);
+                }
+                if let Some(db) = db {
+                    auditor.check_signature_coverage(object, root, db);
+                }
+            }
+        }
+    }
+    auditor.check_stale_allowlist(spec);
+
+    SiteReport {
+        lints: auditor.lints,
+        objects: spec.objects.len(),
+        cells: spec.objects.len() * METHODS.len(),
+        confirmed: auditor.confirmed,
+        dropped: auditor.dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Source;
+    use gaa_audit::{CollectingNotifier, VirtualClock};
+    use gaa_conditions::catalog::{register_standard, StandardServices};
+    use gaa_core::{GaaApiBuilder, MemoryPolicyStore, Param, SecurityContext};
+    use gaa_ids::ThreatLevel;
+    use std::sync::Arc;
+
+    fn deployment(system: &str, locals: &[(&str, &str)]) -> Deployment {
+        let system = if system.is_empty() {
+            Vec::new()
+        } else {
+            vec![Source::parse("system".to_string(), system).expect("system parses")]
+        };
+        let locals = locals
+            .iter()
+            .map(|(name, text)| Source::parse((*name).to_string(), text).expect("local parses"))
+            .collect();
+        Deployment::new(system, locals)
+    }
+
+    fn spec(objects: &[(&str, &str, HtVerdict)], allow: &[&str]) -> SiteSpec {
+        SiteSpec {
+            objects: objects
+                .iter()
+                .map(|(path, object, htaccess)| SiteObject {
+                    path: (*path).to_string(),
+                    object: (*object).to_string(),
+                    htaccess: *htaccess,
+                })
+                .collect(),
+            allow_anonymous: allow.iter().map(|s| (*s).to_string()).collect(),
+        }
+    }
+
+    /// A replayer backed by the real interpreter stack (`register_standard`
+    /// evaluators over real services) — the same semantics the HTTP server
+    /// wires up, minus the transport. Gaa mode only; htaccess requests
+    /// answer the expected verdict is unreachable (`None`).
+    struct ApiReplay {
+        deployment: Deployment,
+        spec: SiteSpec,
+    }
+
+    impl SiteReplay for ApiReplay {
+        fn replay(&self, request: &ReplayRequest) -> Option<u16> {
+            if request.mode == ReplayMode::Htaccess {
+                return None;
+            }
+            let services = StandardServices::new(
+                Arc::new(VirtualClock::new()),
+                Arc::new(CollectingNotifier::new()),
+            );
+            services.threat.set_level(match request.threat_level {
+                0 => ThreatLevel::Low,
+                1 => ThreatLevel::Medium,
+                _ => ThreatLevel::High,
+            });
+            for (group, member) in &request.groups {
+                services.groups.add(group, member);
+            }
+            let path = request.url.split('?').next().unwrap_or("").to_string();
+            // The served tree is exactly the spec's object list: anything
+            // else is a vfs miss, as the HTTP server would answer.
+            if !self.spec.objects.iter().any(|o| o.path == path) {
+                return Some(404);
+            }
+            let mut store = MemoryPolicyStore::new();
+            store.set_system(self.deployment.system_eacls());
+            for object in &self.spec.objects {
+                store.set_local(&object.path, self.deployment.local_eacls(&object.object));
+            }
+            let api = register_standard(
+                GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+                &services,
+            )
+            .build();
+            let mut ctx = SecurityContext::new()
+                .with_client_ip(request.client_ip.clone())
+                .with_object(path.clone())
+                .with_param(Param::new("url", "apache", request.url.clone()))
+                .with_param(Param::new(
+                    "request_line",
+                    "apache",
+                    format!("{} {} HTTP/1.1", request.method, request.url),
+                ))
+                .with_param(Param::new("method", "apache", request.method.clone()));
+            if let Some(user) = &request.user {
+                ctx = ctx.with_user(user);
+            }
+            let policy = api.get_object_policy_info(&path).ok()?;
+            let status = api
+                .check_authorization(
+                    &policy,
+                    &RightPattern::new(AUTHORITY, &request.method),
+                    &ctx,
+                )
+                .authorization_status();
+            Some(match status {
+                GaaStatus::Yes => 200,
+                GaaStatus::No => 403,
+                GaaStatus::Maybe => 401,
+            })
+        }
+    }
+
+    fn audit(deployment: &Deployment, spec: &SiteSpec, db: Option<&SignatureDb>) -> SiteReport {
+        let replay = ApiReplay {
+            deployment: deployment.clone(),
+            spec: spec.clone(),
+        };
+        audit_site(deployment, spec, &RegistrySnapshot::standard(), db, &replay)
+    }
+
+    fn codes(report: &SiteReport) -> Vec<&'static str> {
+        report.lints.iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn lockdown_inversion_trips_threat_monotonicity() {
+        // Granting ONLY at high threat inverts §7.1: raising the level
+        // widens access. medium→high must flag NO→YES as an error.
+        let d = deployment(
+            "",
+            &[(
+                "/status",
+                "pos_access_right apache *\npre_cond system_threat_level local =high\n",
+            )],
+        );
+        let s = spec(&[("/status", "/status", HtVerdict::Open)], &[]);
+        let report = audit(&d, &s, None);
+        let gaa801: Vec<_> = report.lints.iter().filter(|l| l.code == "GAA801").collect();
+        assert_eq!(gaa801.len(), METHODS.len(), "{:?}", codes(&report));
+        assert!(gaa801.iter().all(|l| l.severity == LintSeverity::Error));
+        assert!(gaa801[0].message.contains("`medium` to `high`"));
+        assert!(gaa801[0].message.contains("from NO to YES"));
+        assert!(gaa801[0].message.contains("replayed: 403 then 200"));
+        assert_eq!(report.confirmed, report.lints.len());
+    }
+
+    #[test]
+    fn section_71_lockdown_is_monotone_and_clean() {
+        // The paper's direction — deny at high — never widens.
+        let d = deployment(
+            "neg_access_right apache *\npre_cond system_threat_level local =high\n\n\
+             pos_access_right apache *\n",
+            &[],
+        );
+        let s = spec(&[("/index", "/index", HtVerdict::Open)], &["/index"]);
+        let report = audit(&d, &s, None);
+        assert!(!codes(&report).contains(&"GAA801"), "{:?}", codes(&report));
+    }
+
+    #[test]
+    fn blacklist_gap_flagged_only_where_screen_is_missing() {
+        // §7.2: /phf screens BadGuys, /index forgets to — GAA802 fires on
+        // /index only.
+        let d = deployment(
+            "pos_access_right apache *\n",
+            &[
+                (
+                    "/phf",
+                    "neg_access_right apache *\npre_cond accessid GROUP BadGuys\n\n\
+                     pos_access_right apache *\n",
+                ),
+                ("/index", "pos_access_right apache *\n"),
+            ],
+        );
+        let s = spec(
+            &[
+                ("/index", "/index", HtVerdict::Open),
+                ("/phf", "/phf", HtVerdict::Open),
+            ],
+            &["/index", "/phf"],
+        );
+        let report = audit(&d, &s, None);
+        let gaa802: Vec<_> = report.lints.iter().filter(|l| l.code == "GAA802").collect();
+        assert!(!gaa802.is_empty());
+        assert!(gaa802.iter().all(|l| l.source == "/index"));
+    }
+
+    #[test]
+    fn anonymous_surface_diffs_against_allowlist() {
+        let d = deployment(
+            "",
+            &[
+                ("/open", "pos_access_right apache *\n"),
+                (
+                    "/secret",
+                    "pos_access_right apache *\npre_cond accessid USER admin\n",
+                ),
+            ],
+        );
+        let s = spec(
+            &[
+                ("/open", "/open", HtVerdict::Open),
+                ("/secret", "/secret", HtVerdict::Open),
+            ],
+            &["/secret", "/gone"],
+        );
+        let report = audit(&d, &s, None);
+        let gaa803: Vec<_> = report.lints.iter().filter(|l| l.code == "GAA803").collect();
+        // /open: reachable but undeclared (warning). /gone: stale entry
+        // matching no object (note, replayed 404). /secret: allowlisted
+        // yet anonymous clients only reach MAYBE — a stale declaration
+        // (note, replayed 401).
+        assert!(gaa803
+            .iter()
+            .any(|l| l.source == "/open" && l.severity == LintSeverity::Warning));
+        assert!(gaa803
+            .iter()
+            .any(|l| l.source == "/gone" && l.severity == LintSeverity::Note));
+        assert!(gaa803.iter().any(|l| l.source == "/secret"
+            && l.severity == LintSeverity::Note
+            && l.message.contains("MAYBE")));
+    }
+
+    #[test]
+    fn signature_product_finds_the_nimda_gap() {
+        // /cover screens phf-style URLs; /index serves everything — the
+        // signature×policy product must flag /index for every
+        // synthesizable signature and keep /cover's screened ones quiet.
+        let d = deployment(
+            "",
+            &[
+                ("/index", "pos_access_right apache *\n"),
+                (
+                    "/cover",
+                    "neg_access_right apache *\npre_cond regex gnu *phf* *test-cgi*\n\n\
+                     pos_access_right apache *\n",
+                ),
+            ],
+        );
+        let s = spec(
+            &[
+                ("/index", "/index", HtVerdict::Open),
+                ("/cover", "/cover", HtVerdict::Open),
+            ],
+            &["/index", "/cover"],
+        );
+        let db = SignatureDb::with_defaults();
+        let report = audit(&d, &s, Some(&db));
+        let gaa804: Vec<_> = report.lints.iter().filter(|l| l.code == "GAA804").collect();
+        assert!(gaa804
+            .iter()
+            .any(|l| l.source == "/index" && l.message.contains("sig.phf")));
+        assert!(!gaa804
+            .iter()
+            .any(|l| l.source == "/cover" && l.message.contains("sig.phf")));
+        // The uncovered signatures still fire on /cover (e.g. traversal).
+        assert!(gaa804
+            .iter()
+            .any(|l| l.source == "/cover" && l.message.contains("sig.traversal")));
+    }
+
+    #[test]
+    fn unconfirmable_claims_are_dropped_and_counted() {
+        // The grant hinges on a time window the environment cannot pin:
+        // the anonymous surface is not constant, so nothing may be
+        // reported — but the reachable widening must be counted.
+        let d = deployment(
+            "",
+            &[(
+                "/timed",
+                "pos_access_right apache *\npre_cond time_window local 09:00-17:00\n",
+            )],
+        );
+        let s = spec(&[("/timed", "/timed", HtVerdict::Open)], &[]);
+        let report = audit(&d, &s, None);
+        assert!(codes(&report).is_empty(), "{:?}", codes(&report));
+        assert!(report.dropped > 0);
+    }
+
+    #[test]
+    fn layer_disagreement_requires_a_real_htaccess_replay() {
+        // The htaccess side of a GAA805 claim must be confirmed by a
+        // htaccess-mode replay; ApiReplay cannot serve one, so the claim
+        // drops rather than reports — zero false claims even when the
+        // replayer is partial.
+        let d = deployment("", &[("/report", "pos_access_right apache *\n")]);
+        let s = spec(
+            &[("/report", "/report", HtVerdict::Forbidden)],
+            &["/report"],
+        );
+        let report = audit(&d, &s, None);
+        assert!(!codes(&report).contains(&"GAA805"));
+        assert!(report.dropped > 0);
+    }
+
+    /// Satellite cross-validation: the DAG threat model restricted to each
+    /// enumerated level must agree with the real interpreter evaluating
+    /// the same policy with the threat monitor set to that level.
+    #[test]
+    fn threat_slices_agree_with_interpreter_at_every_level() {
+        let d = deployment(
+            "neg_access_right apache *\npre_cond system_threat_level local =high\n\n\
+             pos_access_right apache *\n",
+            &[(
+                "/page",
+                "pos_access_right apache GET\npre_cond system_threat_level local <high\n",
+            )],
+        );
+        let s = spec(&[("/page", "/page", HtVerdict::Open)], &["/page"]);
+        let replay = ApiReplay {
+            deployment: d.clone(),
+            spec: s.clone(),
+        };
+        let voc = vocabulary(&[&d], &RegistrySnapshot::standard());
+        let vars = VarTable::from_triples(voc.triples.clone());
+        let mut dag = DecisionDag::new();
+        let policy = d.compose_for("/page");
+        let root = compile_decision(&mut dag, &policy, &vars, AUTHORITY, "GET", GaaStatus::No);
+        let env = Env::anonymous("GET", "/page", None);
+        let base = dag.restrict(root, &env.restriction(&vars));
+        for (level, level_name) in THREAT_LEVELS.iter().enumerate() {
+            let slice = dag.restrict(base, &vars.threat_restriction(level));
+            let symbolic = dag
+                .constant_status(slice)
+                .expect("threat pins every condition in this policy");
+            let request = ReplayRequest {
+                mode: ReplayMode::Gaa,
+                method: "GET".to_string(),
+                url: "/page".to_string(),
+                client_ip: BASELINE_CLIENT_IP.to_string(),
+                user: None,
+                groups: Vec::new(),
+                threat_level: level,
+                with_signatures: false,
+            };
+            let code = replay.replay(&request).expect("interpreter replays");
+            assert_eq!(
+                expected_codes(symbolic),
+                expected_codes(match code {
+                    200 => GaaStatus::Yes,
+                    403 => GaaStatus::No,
+                    _ => GaaStatus::Maybe,
+                }),
+                "level {level} ({level_name}): DAG says {symbolic}, interpreter answered {code}",
+            );
+        }
+    }
+
+    #[test]
+    fn stats_counters_cover_every_replayed_finding() {
+        let d = deployment("", &[("/open", "pos_access_right apache *\n")]);
+        let s = spec(&[("/open", "/open", HtVerdict::Open)], &[]);
+        let report = audit(&d, &s, None);
+        assert_eq!(report.objects, 1);
+        assert_eq!(report.cells, 3);
+        assert_eq!(report.confirmed, report.lints.len());
+        let stats = report.stats();
+        assert_eq!(stats[0], ("objects", 1));
+        assert_eq!(stats[2].0, "confirmed");
+    }
+}

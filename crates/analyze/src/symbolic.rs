@@ -67,14 +67,19 @@ impl Deployment {
         Deployment { system, locals }
     }
 
-    fn system_eacls(&self) -> Vec<Eacl> {
+    /// Every system-layer EACL, in source order.
+    #[must_use]
+    pub fn system_eacls(&self) -> Vec<Eacl> {
         self.system
             .iter()
             .flat_map(|s| s.eacls.iter().cloned())
             .collect()
     }
 
-    fn local_eacls(&self, object: &str) -> Vec<Eacl> {
+    /// The local-layer EACLs registered for `object` (empty when the
+    /// object has no local policy).
+    #[must_use]
+    pub fn local_eacls(&self, object: &str) -> Vec<Eacl> {
         self.locals
             .iter()
             .filter(|s| s.name == object)
@@ -93,14 +98,14 @@ impl Deployment {
 /// The shared enumeration universe of one or more deployments: request
 /// alphabet (named tokens plus the `«other»` bucket per axis), object names
 /// (plus the unnamed-object bucket), and the condition-outcome variables.
-struct Vocabulary {
-    authorities: Vec<String>,
-    values: Vec<String>,
-    objects: Vec<String>,
-    triples: BTreeSet<(String, String, String)>,
+pub(crate) struct Vocabulary {
+    pub(crate) authorities: Vec<String>,
+    pub(crate) values: Vec<String>,
+    pub(crate) objects: Vec<String>,
+    pub(crate) triples: BTreeSet<(String, String, String)>,
 }
 
-fn vocabulary(deployments: &[&Deployment], snapshot: &RegistrySnapshot) -> Vocabulary {
+pub(crate) fn vocabulary(deployments: &[&Deployment], snapshot: &RegistrySnapshot) -> Vocabulary {
     let mut authorities: BTreeSet<String> = BTreeSet::new();
     let mut values: BTreeSet<String> = BTreeSet::new();
     let mut objects: BTreeSet<String> = BTreeSet::new();
@@ -572,6 +577,18 @@ impl InvariantViolation {
             },
         )
     }
+}
+
+/// Folds invariant violations into the lint vocabulary as `GAA506` errors,
+/// so `gaa-lint all` can merge the symbolic tier into one report. The
+/// source is the object the assertion fails on; the message carries the
+/// full counterexample description.
+#[must_use]
+pub fn violation_lints(violations: &[InvariantViolation]) -> Vec<Lint> {
+    violations
+        .iter()
+        .map(|v| Lint::new("GAA506", LintSeverity::Error, &v.object, v.describe()))
+        .collect()
 }
 
 fn object_matches(pattern: &str, name: &str) -> bool {

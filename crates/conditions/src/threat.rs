@@ -5,48 +5,30 @@
 //! policies use `=high` (system-wide lockout) and `>low` (local
 //! authentication requirement).
 
+use gaa_core::dag::threat_comparison;
 use gaa_core::{EvalDecision, EvalEnv};
-use gaa_ids::{ThreatLevel, ThreatMonitor};
-
-/// Parses a comparison value like `>=medium` into an operator and level.
-fn parse_comparison(value: &str) -> Option<(&str, ThreatLevel)> {
-    let value = value.trim();
-    for op in ["<=", ">=", "!=", "=", "<", ">"] {
-        if let Some(rest) = value.strip_prefix(op) {
-            return rest.trim().parse().ok().map(|level| (op, level));
-        }
-    }
-    // Bare level means equality.
-    value.parse().ok().map(|level| ("=", level))
-}
+use gaa_ids::ThreatMonitor;
 
 /// Builds the `system_threat_level` evaluator over a shared
 /// [`ThreatMonitor`].
+///
+/// The comparison algebra itself lives in
+/// [`gaa_core::dag::threat_comparison`], which the symbolic GAA801 sweep
+/// restricts over — the runtime evaluator and the DAG model must never
+/// drift apart, so this delegates rather than reimplementing.
 ///
 /// Malformed comparison values evaluate to `Unevaluated` (surface as
 /// `MAYBE`), never to a silent grant.
 pub fn threat_level_evaluator(
     monitor: ThreatMonitor,
 ) -> impl Fn(&str, &EvalEnv<'_>) -> EvalDecision + Send + Sync {
-    move |value: &str, _env: &EvalEnv<'_>| {
-        let Some((op, target)) = parse_comparison(value) else {
-            return EvalDecision::Unevaluated;
-        };
-        let current = monitor.current();
-        let met = match op {
-            "=" => current == target,
-            "!=" => current != target,
-            "<" => current < target,
-            "<=" => current <= target,
-            ">" => current > target,
-            ">=" => current >= target,
-            _ => unreachable!("parse_comparison only yields known operators"),
-        };
-        if met {
-            EvalDecision::Met
-        } else {
-            EvalDecision::NotMet
-        }
+    move |value: &str, _env: &EvalEnv<'_>| match threat_comparison(
+        value,
+        monitor.current() as usize,
+    ) {
+        Some(true) => EvalDecision::Met,
+        Some(false) => EvalDecision::NotMet,
+        None => EvalDecision::Unevaluated,
     }
 }
 
@@ -55,6 +37,7 @@ mod tests {
     use super::*;
     use gaa_audit::{Timestamp, VirtualClock};
     use gaa_core::SecurityContext;
+    use gaa_ids::ThreatLevel;
     use std::sync::Arc;
     use std::time::Duration;
 

@@ -512,6 +512,50 @@ impl DecisionDag {
 /// extracts these tokens for whole-set pattern compilation and lints.
 pub const PATTERN_COND_TYPE: &str = "regex";
 
+/// The condition type whose values compare against the IDS-supplied system
+/// threat level (§7.1). Unlike ordinary condition tokens, every variable of
+/// this type is a function of **one** underlying multi-valued quantity, so
+/// symbolic sweeps enumerate [`THREAT_LEVELS`] instead of treating each
+/// comparison as independently tri-valued — the same identity the decision
+/// cache exploits when it stamps cached outcomes with the threat epoch.
+pub const THREAT_COND_TYPE: &str = "system_threat_level";
+
+/// The enumerable threat-level domain, in ascending severity order. Index
+/// into this slice is the level's rank; `gaa_ids::ThreatLevel` casts to the
+/// same ranks (`Low`=0, `Medium`=1, `High`=2).
+pub const THREAT_LEVELS: &[&str] = &["low", "medium", "high"];
+
+/// Evaluates a [`THREAT_COND_TYPE`] comparison value (`=high`, `>low`,
+/// `>=medium`, `<high`, `<=medium`, `!=low`, or a bare level meaning
+/// equality) at the enumerated level rank.
+///
+/// Returns `None` for a malformed value — the runtime evaluator surfaces
+/// those as `Unevaluated` (MAYBE), never a silent grant, and the symbolic
+/// sweep leaves the variable unrestricted for the same reason. This is the
+/// **one** definition of the comparison algebra: the runtime
+/// `system_threat_level` evaluator delegates here, so the interpreter, the
+/// decision cache's stamp classification and the static sweeps cannot
+/// drift apart.
+#[must_use]
+pub fn threat_comparison(value: &str, level: usize) -> Option<bool> {
+    let value = value.trim();
+    // Two-character operators first so `<` does not swallow `<=`.
+    let (op, target) = ["<=", ">=", "!=", "=", "<", ">"]
+        .iter()
+        .find_map(|op| value.strip_prefix(op).map(|rest| (*op, rest.trim())))
+        .unwrap_or(("=", value));
+    let target = THREAT_LEVELS.iter().position(|l| *l == target)?;
+    Some(match op {
+        "=" => level == target,
+        "!=" => level != target,
+        "<" => level < target,
+        "<=" => level <= target,
+        ">" => level > target,
+        ">=" => level >= target,
+        _ => unreachable!("operator list above is exhaustive"),
+    })
+}
+
 /// The global variable order: registered, non-redirect pre-condition
 /// `(type, authority, value)` triples, sorted. Redirect pre-conditions have
 /// no evaluator by design (they surface as MAYBE plus a replica location)
@@ -589,6 +633,44 @@ impl VarTable {
             }
         }
         out.into_iter().collect()
+    }
+
+    /// Indices of the [`THREAT_COND_TYPE`] variables — the comparisons that
+    /// are jointly determined by the one underlying threat level.
+    #[must_use]
+    pub fn threat_vars(&self) -> Vec<usize> {
+        self.triples
+            .iter()
+            .enumerate()
+            .filter(|(_, (t, _, _))| t == THREAT_COND_TYPE)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The partial assignment that pins every threat-level comparison to
+    /// its truth value at the enumerated level rank (see
+    /// [`threat_comparison`]). Malformed comparison values stay symbolic
+    /// (they evaluate to MAYBE at runtime regardless of the level), as does
+    /// every non-threat variable. Restricting a decision diagram by this
+    /// assignment yields the deployment's decision surface *at that level*
+    /// — the per-level slices the GAA801 monotonicity sweep compares.
+    #[must_use]
+    pub fn threat_restriction(&self, level: usize) -> PartialAssignment {
+        self.triples
+            .iter()
+            .map(|(cond_type, _, value)| {
+                if cond_type != THREAT_COND_TYPE {
+                    return None;
+                }
+                threat_comparison(value, level).map(|met| {
+                    if met {
+                        GaaStatus::Yes
+                    } else {
+                        GaaStatus::No
+                    }
+                })
+            })
+            .collect()
     }
 
     /// The variable index of a condition, if it is in the universe.
@@ -845,6 +927,83 @@ mod tests {
             // pos entry: pre No falls through to abstain -> default No;
             // pre Yes -> Yes; pre Maybe -> Maybe — the identity on status.
             assert_eq!(dag.eval_status(root, &mut |_| status), status);
+        }
+    }
+
+    #[test]
+    fn threat_comparison_algebra_over_all_levels() {
+        // (value, [low, medium, high])
+        for (value, expect) in [
+            ("=high", [false, false, true]),
+            ("high", [false, false, true]), // bare level means equality
+            (">low", [false, true, true]),
+            (">=medium", [false, true, true]),
+            ("<high", [true, true, false]),
+            ("<=medium", [true, true, false]),
+            ("!=low", [false, true, true]),
+            ("  >= medium ", [false, true, true]), // whitespace tolerated
+        ] {
+            for (level, want) in expect.iter().enumerate() {
+                assert_eq!(
+                    threat_comparison(value, level),
+                    Some(*want),
+                    "{value} at level {level}"
+                );
+            }
+        }
+        for malformed in ["=catastrophic", "", ">>high", "~medium"] {
+            for level in 0..THREAT_LEVELS.len() {
+                assert_eq!(threat_comparison(malformed, level), None, "{malformed}");
+            }
+        }
+    }
+
+    #[test]
+    fn threat_restriction_pins_only_wellformed_threat_vars() {
+        let p = policy(
+            "neg_access_right apache *\npre_cond system_threat_level local =high\n",
+            "pos_access_right apache *\n\
+             pre_cond system_threat_level local >low\n\
+             pre_cond system_threat_level local =bogus\n\
+             pre_cond accessid USER alice\n",
+        );
+        let vars = VarTable::from_policy(&p, &registered);
+        assert_eq!(vars.threat_vars().len(), 3);
+        let at_medium = vars.threat_restriction(1);
+        for (i, (cond_type, _, value)) in vars.triples().iter().enumerate() {
+            let expect = match (cond_type.as_str(), value.as_str()) {
+                (THREAT_COND_TYPE, "=high") => Some(GaaStatus::No),
+                (THREAT_COND_TYPE, ">low") => Some(GaaStatus::Yes),
+                // Malformed comparison stays symbolic (MAYBE at runtime).
+                (THREAT_COND_TYPE, "=bogus") => None,
+                _ => None,
+            };
+            assert_eq!(at_medium[i], expect, "{cond_type} {value}");
+        }
+    }
+
+    #[test]
+    fn restricting_by_threat_level_slices_the_decision_surface() {
+        // §7.1 lockdown: denied while the IDS holds the level high,
+        // otherwise granted — the decision is a pure function of the level.
+        let p = policy(
+            "neg_access_right apache *\npre_cond system_threat_level local =high\n\
+             pos_access_right apache *\n",
+            "",
+        );
+        let vars = VarTable::from_policy(&p, &registered);
+        let mut dag = DecisionDag::new();
+        let root = compile_decision(&mut dag, &p, &vars, "apache", "GET", GaaStatus::No);
+        let expect = [GaaStatus::Yes, GaaStatus::Yes, GaaStatus::No];
+        for (level, want) in expect.iter().enumerate() {
+            let sliced = dag.restrict(root, &vars.threat_restriction(level));
+            assert_eq!(
+                dag.constant_status(sliced),
+                Some(*want),
+                "level {} ({})",
+                level,
+                THREAT_LEVELS[level]
+            );
         }
     }
 

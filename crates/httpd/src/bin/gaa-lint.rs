@@ -3,44 +3,65 @@
 //! ```text
 //! gaa-lint [--json] [--deny-warnings] [--differential] [--seed N]
 //!          [--no-default-registry] [--system FILE]... FILE...
-//! gaa-lint diff [--json] OLD_DIR NEW_DIR
+//! gaa-lint diff [--json] [--deny-warnings] OLD_DIR NEW_DIR
 //! gaa-lint equiv A_DIR B_DIR
 //! gaa-lint invariants FILE.inv DIR
-//! gaa-lint code [--json] [WORKSPACE_ROOT]
+//! gaa-lint code [--json] [--deny-warnings] [WORKSPACE_ROOT]
 //! gaa-lint patterns [--json] [--deny-warnings] [--no-signatures] [--seed N]
 //!                   [--system FILE]... FILE...
+//! gaa-lint site [--json] [--deny-warnings] [--no-signatures] DIR
+//! gaa-lint all [--json] [--deny-warnings] [--no-signatures] [--seed N]
+//!              [--code-root PATH] DIR
 //! ```
 //!
 //! Plain `FILE` arguments are object-local policies (the object name is
 //! `/` + the file stem, so `phf.eacl` analyzes as object `/phf`);
 //! `--system FILE` names system-wide policy files. Exit status: `0` clean
 //! (or warnings without `--deny-warnings`), `1` findings at or above the
-//! failing threshold, `2` usage or I/O errors.
+//! failing threshold, `2` usage or I/O errors. Every subcommand that
+//! emits [`gaa_analyze::Lint`]s shares one gate: errors always fail,
+//! warnings fail only under `--deny-warnings`, notes never fail.
 //!
 //! The subcommands take **deployment directories**: an optional
 //! `system.eacl` at the top plus `objects/*.eacl` local policies.
 //! `diff` reports every semantic change between two deployments as
-//! `GAA5xx` findings with interpreter-confirmed witnesses (exit `1` when
-//! any grant-widening/MAYBE-shifting region exists); `equiv` proves two
-//! deployments decide every request identically (exit `1` when they
-//! differ); `invariants` checks the `*.inv` assertions against a
-//! deployment, printing a counterexample per violation.
+//! `GAA5xx` findings with interpreter-confirmed witnesses; `equiv`
+//! proves two deployments decide every request identically (exit `1`
+//! when they differ); `invariants` checks the `*.inv` assertions against
+//! a deployment, printing a counterexample per violation.
 //!
 //! `code` is the one subcommand that lints *Rust source*, not policies:
 //! the `GAA6xx` concurrency-hygiene rules over the serving core (see
-//! [`gaa_analyze::code`]). It takes the workspace root (default `.`) and
-//! exits `1` on any finding.
+//! [`gaa_analyze::code`]). It takes the workspace root (default `.`).
 //!
 //! `patterns` runs the `GAA7xx` pattern-set tier ([`gaa_analyze::patterns`])
 //! over the same policy-file arguments as the default mode, plus the
 //! built-in signature database (omit with `--no-signatures`). Every
 //! finding is replayed through the real matchers before being printed.
+//!
+//! `site` runs the `GAA8xx` whole-site tier ([`gaa_analyze::site`]) over
+//! a deployment directory: the served tree is `DIR/site/` when present
+//! (files plus `.htaccess` chains), else one synthetic node per policy
+//! object; `DIR/site.allow` (one path per line, `#` comments) declares
+//! the intended anonymous surface. Every finding is replayed through a
+//! real in-process server ([`gaa_httpd::site::ServerReplay`]) before
+//! being printed; unconfirmable claims are dropped and counted.
+//!
+//! `all` runs every tier over one deployment directory — analyzer
+//! (GAA1xx–4xx), symbolic invariants from `DIR/policies.inv` when
+//! present (GAA506), code (GAA6xx, root from `--code-root`), patterns
+//! (GAA7xx), and site (GAA8xx) — and in `--json` mode emits one envelope
+//! with a `tiers` object holding each tier's full report document.
 
 use gaa_analyze::{
-    check_invariants, diff_deployments, diff_lints, differential_check, max_severity,
-    parse_invariants, region_code, render_human, render_json, Analyzer, Deployment, LintSeverity,
-    RegistrySnapshot, Source,
+    audit_site, check_invariants, diff_deployments, diff_lints, differential_check, lint_patterns,
+    max_severity, parse_invariants, region_code, render_human, render_json, render_json_with,
+    violation_lints, Analyzer, Deployment, Lint, LintSeverity, RegistrySnapshot, SiteReport,
+    Source, JSON_SCHEMA_VERSION,
 };
+use gaa_httpd::site::{site_spec, synthetic_vfs, vfs_from_dir, ServerReplay};
+use gaa_ids::SignatureDb;
+use std::fmt::Write as _;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -56,12 +77,30 @@ struct Options {
 
 const USAGE: &str = "usage: gaa-lint [--json] [--deny-warnings] [--differential] [--seed N] \
                      [--no-default-registry] [--system FILE]... FILE...\n\
-                     \x20      gaa-lint diff [--json] OLD_DIR NEW_DIR\n\
+                     \x20      gaa-lint diff [--json] [--deny-warnings] OLD_DIR NEW_DIR\n\
                      \x20      gaa-lint equiv A_DIR B_DIR\n\
                      \x20      gaa-lint invariants FILE.inv DIR\n\
-                     \x20      gaa-lint code [--json] [WORKSPACE_ROOT]\n\
+                     \x20      gaa-lint code [--json] [--deny-warnings] [WORKSPACE_ROOT]\n\
                      \x20      gaa-lint patterns [--json] [--deny-warnings] [--no-signatures] \
-                     [--seed N] [--system FILE]... FILE...";
+                     [--seed N] [--system FILE]... FILE...\n\
+                     \x20      gaa-lint site [--json] [--deny-warnings] [--no-signatures] DIR\n\
+                     \x20      gaa-lint all [--json] [--deny-warnings] [--no-signatures] \
+                     [--seed N] [--code-root PATH] DIR";
+
+/// The uniform exit gate shared by every lint-emitting subcommand:
+/// errors always fail, warnings fail only under `--deny-warnings`,
+/// notes never fail.
+fn gate(worst: Option<LintSeverity>, deny_warnings: bool) -> ExitCode {
+    let failing = if deny_warnings {
+        LintSeverity::Warning
+    } else {
+        LintSeverity::Error
+    };
+    match worst {
+        Some(w) if w >= failing => ExitCode::from(1),
+        _ => ExitCode::SUCCESS,
+    }
+}
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
@@ -151,10 +190,12 @@ fn load_deployment(dir: &str) -> Result<Deployment, String> {
 
 fn run_diff(args: &[String]) -> Result<ExitCode, String> {
     let mut json = false;
+    let mut deny_warnings = false;
     let mut dirs = Vec::new();
     for arg in args {
         match arg.as_str() {
             "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
             dir => dirs.push(dir),
         }
@@ -180,12 +221,10 @@ fn run_diff(args: &[String]) -> Result<ExitCode, String> {
             );
         }
     }
-    // Notes (GAA504 pure tightening) don't fail the diff; any widening or
-    // MAYBE-shifting region does.
-    Ok(match max_severity(&lints) {
-        Some(worst) if worst >= LintSeverity::Warning => ExitCode::from(1),
-        _ => ExitCode::SUCCESS,
-    })
+    // Widening/MAYBE-shifting regions are warnings; GAA504 pure
+    // tightenings are notes and never fail. Under `--deny-warnings`
+    // (what CI passes) any change besides pure tightening fails.
+    Ok(gate(max_severity(&lints), deny_warnings))
 }
 
 fn run_equiv(args: &[String]) -> Result<ExitCode, String> {
@@ -228,10 +267,12 @@ fn run_equiv(args: &[String]) -> Result<ExitCode, String> {
 
 fn run_code(args: &[String]) -> Result<ExitCode, String> {
     let mut json = false;
+    let mut deny_warnings = false;
     let mut roots = Vec::new();
     for arg in args {
         match arg.as_str() {
             "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
             root => roots.push(root),
         }
@@ -248,12 +289,8 @@ fn run_code(args: &[String]) -> Result<ExitCode, String> {
     } else {
         print!("{}", render_human(&lints));
     }
-    // Any GAA6xx finding fails: these rules hold the codebase at zero.
-    Ok(if lints.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
-    })
+    // GAA6xx rules hold the codebase at zero; CI passes --deny-warnings.
+    Ok(gate(max_severity(&lints), deny_warnings))
 }
 
 fn run_patterns(args: &[String]) -> Result<ExitCode, String> {
@@ -296,8 +333,8 @@ fn run_patterns(args: &[String]) -> Result<ExitCode, String> {
     for file in &local_files {
         locals.push(load(object_name(file), file)?);
     }
-    let db = signatures.then(gaa_ids::SignatureDb::with_defaults);
-    let report = gaa_analyze::lint_patterns(&system, &locals, db.as_ref(), seed);
+    let db = signatures.then(SignatureDb::with_defaults);
+    let report = lint_patterns(&system, &locals, db.as_ref(), seed);
     if json {
         println!("{}", render_json(&report.lints));
     } else {
@@ -308,15 +345,7 @@ fn run_patterns(args: &[String]) -> Result<ExitCode, String> {
             report.sets, report.patterns, report.confirmed, report.dropped
         );
     }
-    let failing = if deny_warnings {
-        LintSeverity::Warning
-    } else {
-        LintSeverity::Error
-    };
-    Ok(match max_severity(&report.lints) {
-        Some(worst) if worst >= failing => ExitCode::from(1),
-        _ => ExitCode::SUCCESS,
-    })
+    Ok(gate(max_severity(&report.lints), deny_warnings))
 }
 
 fn run_invariants(args: &[String]) -> Result<ExitCode, String> {
@@ -344,6 +373,209 @@ fn run_invariants(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::from(1))
 }
 
+/// Runs the GAA8xx site tier over a deployment directory: served tree
+/// from `DIR/site/` (synthetic one-node-per-object when absent),
+/// anonymous allowlist from `DIR/site.allow`, every finding replayed
+/// through a real in-process server.
+fn audit_site_dir(dir: &str, signatures: bool) -> Result<SiteReport, String> {
+    let deployment = load_deployment(dir)?;
+    let root = Path::new(dir);
+    let site_dir = root.join("site");
+    let vfs = if site_dir.is_dir() {
+        vfs_from_dir(&site_dir).map_err(|e| format!("gaa-lint: {e}"))?
+    } else {
+        synthetic_vfs(&deployment)
+    };
+    let mut spec = site_spec(&vfs, &deployment);
+    let allow_file = root.join("site.allow");
+    if allow_file.is_file() {
+        let text = std::fs::read_to_string(&allow_file)
+            .map_err(|e| format!("gaa-lint: {}: {e}", allow_file.display()))?;
+        spec.allow_anonymous = text
+            .lines()
+            .map(str::trim)
+            .filter(|line| !line.is_empty() && !line.starts_with('#'))
+            .map(String::from)
+            .collect();
+    }
+    let db = signatures.then(SignatureDb::with_defaults);
+    let replay = ServerReplay::new(deployment.clone(), spec.clone(), vfs);
+    Ok(audit_site(
+        &deployment,
+        &spec,
+        &RegistrySnapshot::standard(),
+        db.as_ref(),
+        &replay,
+    ))
+}
+
+fn site_summary(report: &SiteReport) -> String {
+    format!(
+        "site: {} object(s), {} request cell(s); {} finding(s) confirmed by server replay, \
+         {} dropped unconfirmed",
+        report.objects, report.cells, report.confirmed, report.dropped
+    )
+}
+
+fn run_site(args: &[String]) -> Result<ExitCode, String> {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut signatures = true;
+    let mut dirs = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--no-signatures" => signatures = false,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
+            dir => dirs.push(dir),
+        }
+    }
+    let [dir] = dirs.as_slice() else {
+        return Err(format!(
+            "site takes exactly one deployment directory\n{USAGE}"
+        ));
+    };
+    let report = audit_site_dir(dir, signatures)?;
+    if json {
+        println!("{}", render_json_with(&report.lints, &report.stats()));
+    } else {
+        print!("{}", render_human(&report.lints));
+        eprintln!("{}", site_summary(&report));
+    }
+    Ok(gate(max_severity(&report.lints), deny_warnings))
+}
+
+fn run_all(args: &[String]) -> Result<ExitCode, String> {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut signatures = true;
+    let mut seed = 0u64;
+    let mut code_root = ".".to_string();
+    let mut dirs = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--no-signatures" => signatures = false,
+            "--seed" => {
+                let value = it.next().ok_or("--seed needs a value")?;
+                seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid --seed value `{value}`"))?;
+            }
+            "--code-root" => {
+                let path = it.next().ok_or("--code-root needs a path")?;
+                code_root = path.clone();
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
+            dir => dirs.push(dir.to_string()),
+        }
+    }
+    let [dir] = dirs.as_slice() else {
+        return Err(format!(
+            "all takes exactly one deployment directory\n{USAGE}"
+        ));
+    };
+    let deployment = load_deployment(dir)?;
+
+    let analyzer_lints = Analyzer::new().analyze(&deployment.system, &deployment.locals);
+
+    let inv_file = Path::new(dir).join("policies.inv");
+    let symbolic_lints: Vec<Lint> = if inv_file.is_file() {
+        let text = std::fs::read_to_string(&inv_file)
+            .map_err(|e| format!("gaa-lint: {}: {e}", inv_file.display()))?;
+        let invariants = parse_invariants(&text)
+            .map_err(|e| format!("gaa-lint: {}: {e}", inv_file.display()))?;
+        let violations = check_invariants(&deployment, &RegistrySnapshot::standard(), &invariants)
+            .map_err(|e| format!("gaa-lint: {}: {e}", inv_file.display()))?;
+        violation_lints(&violations)
+    } else {
+        Vec::new()
+    };
+
+    let code_lints = gaa_analyze::code::lint_workspace_code(Path::new(&code_root));
+
+    let db = signatures.then(SignatureDb::with_defaults);
+    let patterns = lint_patterns(&deployment.system, &deployment.locals, db.as_ref(), seed);
+
+    let site = audit_site_dir(dir, signatures)?;
+
+    let worst = [
+        &analyzer_lints,
+        &symbolic_lints,
+        &code_lints,
+        &patterns.lints,
+        &site.lints,
+    ]
+    .into_iter()
+    .filter_map(|lints| max_severity(lints))
+    .max();
+
+    if json {
+        // One envelope, each tier's full report document embedded under
+        // its name: consumers of a single tier parse `tiers.<name>`
+        // exactly as they would that subcommand's own --json output.
+        let tiers = [
+            ("analyzer", render_json(&analyzer_lints)),
+            ("symbolic", render_json(&symbolic_lints)),
+            ("code", render_json(&code_lints)),
+            (
+                "patterns",
+                render_json_with(
+                    &patterns.lints,
+                    &[
+                        ("sets", patterns.sets),
+                        ("patterns", patterns.patterns),
+                        ("confirmed", patterns.confirmed),
+                        ("dropped", patterns.dropped),
+                    ],
+                ),
+            ),
+            ("site", render_json_with(&site.lints, &site.stats())),
+        ];
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema_version\":{JSON_SCHEMA_VERSION},\"max_severity\":"
+        );
+        match worst {
+            Some(severity) => {
+                let _ = write!(out, "\"{severity}\"");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"tiers\":{");
+        for (i, (name, doc)) in tiers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{doc}");
+        }
+        out.push_str("}}");
+        println!("{out}");
+    } else {
+        for (name, lints) in [
+            ("analyzer", &analyzer_lints),
+            ("symbolic", &symbolic_lints),
+            ("code", &code_lints),
+            ("patterns", &patterns.lints),
+            ("site", &site.lints),
+        ] {
+            println!("[{name}]");
+            print!("{}", render_human(lints));
+        }
+        eprintln!(
+            "patterns: {} set(s), {} pattern(s); {} claim(s) confirmed by matcher replay, \
+             {} dropped unconfirmed",
+            patterns.sets, patterns.patterns, patterns.confirmed, patterns.dropped
+        );
+        eprintln!("{}", site_summary(&site));
+    }
+    Ok(gate(worst, deny_warnings))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(subcommand) = args.first() {
@@ -353,6 +585,8 @@ fn main() -> ExitCode {
             "invariants" => Some(run_invariants(&args[1..])),
             "code" => Some(run_code(&args[1..])),
             "patterns" => Some(run_patterns(&args[1..])),
+            "site" => Some(run_site(&args[1..])),
+            "all" => Some(run_all(&args[1..])),
             _ => None,
         };
         if let Some(result) = run {
@@ -434,13 +668,5 @@ fn main() -> ExitCode {
         }
     }
 
-    let failing = if options.deny_warnings {
-        LintSeverity::Warning
-    } else {
-        LintSeverity::Error
-    };
-    match max_severity(&lints) {
-        Some(worst) if worst >= failing => ExitCode::from(1),
-        _ => ExitCode::SUCCESS,
-    }
+    gate(max_severity(&lints), options.deny_warnings)
 }

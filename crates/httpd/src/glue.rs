@@ -590,7 +590,7 @@ fn classify_input(cond_type: &str, authority: &str) -> Volatility {
         "accessid" if authority.eq_ignore_ascii_case("USER") => Volatility::Stable,
         "accessid" if authority.eq_ignore_ascii_case("HOST") => Volatility::Stable,
         "location" | "regex" | "expr" => Volatility::Stable,
-        "system_threat_level" => Volatility::StampKeyed,
+        gaa_core::dag::THREAT_COND_TYPE => Volatility::StampKeyed,
         _ => Volatility::Uncacheable,
     }
 }

@@ -302,6 +302,28 @@ impl fmt::Display for HtAccess {
     }
 }
 
+/// The conservative merge over a directory chain (outermost first): any
+/// `Forbidden` wins immediately, `AuthRequired` is sticky, otherwise the
+/// chain allows. This is the single merge rule the server's htaccess
+/// dispatch and the site walker (`gaa-lint site`, GAA805) share — the
+/// static model and the serving path must never disagree.
+#[must_use]
+pub fn chain_verdict(
+    chain: &[&HtAccess],
+    client_ip: &str,
+    identity: &HtIdentity<'_>,
+) -> HtDecision {
+    let mut decision = HtDecision::Allow;
+    for cfg in chain {
+        match cfg.evaluate(client_ip, identity) {
+            HtDecision::Forbidden => return HtDecision::Forbidden,
+            HtDecision::AuthRequired => decision = HtDecision::AuthRequired,
+            HtDecision::Allow => {}
+        }
+    }
+    decision
+}
+
 /// A registry of named htpasswd stores, resolving `AuthUserFile` paths.
 #[derive(Debug, Clone, Default)]
 pub struct AuthFileRegistry {

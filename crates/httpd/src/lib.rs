@@ -44,6 +44,7 @@ pub mod http;
 pub mod loganalyzer;
 pub mod policy_lint;
 pub mod server;
+pub mod site;
 pub mod swarm_cfg;
 pub mod tcp;
 pub mod vfs;

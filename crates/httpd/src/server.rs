@@ -475,20 +475,9 @@ impl Server {
             groups: &groups,
         };
 
-        // Conservative merge over the directory chain: any Forbidden wins,
-        // then any AuthRequired, else allow.
-        let mut decision = HtDecision::Allow;
-        for cfg in chain {
-            match cfg.evaluate(&request.client_ip, &identity) {
-                HtDecision::Forbidden => {
-                    decision = HtDecision::Forbidden;
-                    break;
-                }
-                HtDecision::AuthRequired => decision = HtDecision::AuthRequired,
-                HtDecision::Allow => {}
-            }
-        }
-        match decision {
+        // Conservative merge over the directory chain (shared with the
+        // gaa-lint site walker).
+        match crate::htaccess::chain_verdict(chain, &request.client_ip, &identity) {
             HtDecision::Forbidden => HttpResponse::with_status(StatusCode::Forbidden),
             HtDecision::AuthRequired => HttpResponse::unauthorized("protected"),
             HtDecision::Allow => self.run_handler(request, is_cgi, user.as_deref(), None),

@@ -1,0 +1,410 @@
+//! Site walker and server-backed witness replay for `gaa-lint site`.
+//!
+//! [`gaa_analyze::site`] proves the GAA8xx site invariants symbolically
+//! but, by the repo's zero-false-claims convention, reports nothing it
+//! cannot reproduce against a real server. This module supplies the two
+//! halves the analyzer cannot build itself (it sits below the web-server
+//! substrate in the dependency order):
+//!
+//! * the **walkers** — [`vfs_from_dir`] loads a served tree (files plus
+//!   `.htaccess` chains) from disk, [`synthetic_vfs`] fabricates one node
+//!   per policy object when a deployment ships no tree, and [`site_spec`]
+//!   resolves every object's policy name and htaccess verdict;
+//! * the **replayer** — [`ServerReplay`] executes each witness request
+//!   against a fresh in-process [`Server`] wired exactly like production
+//!   (standard condition registry, live threat monitor, shared group
+//!   store, optional signature scan) and reports the raw status code.
+
+use crate::auth::{base64_encode, HtpasswdStore};
+use crate::glue::GaaGlue;
+use crate::htaccess::{chain_verdict, AuthFileRegistry, HtAccess, HtDecision, HtIdentity};
+use crate::server::{AccessControl, Server};
+use crate::vfs::Vfs;
+use gaa_analyze::{
+    Deployment, HtVerdict, ReplayMode, ReplayRequest, SiteObject, SiteReplay, SiteSpec,
+    BASELINE_CLIENT_IP,
+};
+use gaa_audit::{CollectingNotifier, VirtualClock};
+use gaa_conditions::catalog::{register_standard, StandardServices};
+use gaa_core::{GaaApiBuilder, MemoryPolicyStore};
+use gaa_ids::{SignatureDb, ThreatLevel};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Password the replayer registers for synthesized authenticated users.
+const REPLAY_PASSWORD: &str = "site-replay";
+
+/// Loads a served tree from `root`: every regular file becomes a Vfs node
+/// at its `/`-rooted relative path, and every `.htaccess` file becomes the
+/// access configuration of its directory. The walk is sorted, so the
+/// resulting tree is deterministic.
+///
+/// # Errors
+///
+/// I/O failures reading the tree, and `.htaccess` parse errors (an
+/// unparseable access file must fail the audit loudly, never silently
+/// widen it).
+pub fn vfs_from_dir(root: &Path) -> Result<Vfs, String> {
+    let mut vfs = Vfs::new();
+    walk(root, root, &mut vfs)?;
+    Ok(vfs)
+}
+
+fn walk(root: &Path, dir: &Path, vfs: &mut Vfs) -> Result<(), String> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(root, &path, vfs)?;
+            continue;
+        }
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let served = format!("/{}", rel.to_string_lossy().replace('\\', "/"));
+        if path.file_name().is_some_and(|n| n == ".htaccess") {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let config = HtAccess::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            let dir_path = served.trim_end_matches("/.htaccess");
+            vfs.set_htaccess(if dir_path.is_empty() { "/" } else { dir_path }, config);
+        } else {
+            let content = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let content_type = match path.extension().and_then(|e| e.to_str()) {
+                Some("html") | Some("htm") => "text/html",
+                _ => "text/plain",
+            };
+            vfs.add_file(&served, content, content_type);
+        }
+    }
+    Ok(())
+}
+
+/// A tree for deployments that ship only policies: one HTML node per
+/// local policy object, served at the object's own name.
+#[must_use]
+pub fn synthetic_vfs(deployment: &Deployment) -> Vfs {
+    let mut vfs = Vfs::new();
+    for local in &deployment.locals {
+        vfs.add_html(&local.name, &format!("<p>{}</p>", local.name));
+    }
+    vfs
+}
+
+/// The EACL object name a served path resolves to: the exact path when a
+/// local policy is registered under it, else `/` + the file stem (the
+/// `gaa-lint` loader convention), else the path itself (system-only).
+fn object_for(path: &str, locals: &BTreeMap<&str, ()>) -> String {
+    if locals.contains_key(path) {
+        return path.to_string();
+    }
+    let stem = Path::new(path)
+        .file_stem()
+        .map(|s| format!("/{}", s.to_string_lossy()))
+        .unwrap_or_else(|| path.to_string());
+    if locals.contains_key(stem.as_str()) {
+        stem
+    } else {
+        path.to_string()
+    }
+}
+
+/// Resolves the site under audit: every served object with its policy
+/// name and the htaccess chain's verdict for the anonymous baseline
+/// client. The allowlist starts empty; the caller fills it from
+/// `site.allow`.
+#[must_use]
+pub fn site_spec(vfs: &Vfs, deployment: &Deployment) -> SiteSpec {
+    let locals: BTreeMap<&str, ()> = deployment
+        .locals
+        .iter()
+        .map(|s| (s.name.as_str(), ()))
+        .collect();
+    let identity = HtIdentity {
+        user: None,
+        groups: &[],
+    };
+    let objects = vfs
+        .paths()
+        .into_iter()
+        .map(|path| {
+            let chain = vfs.htaccess_chain(&path);
+            let htaccess = if chain.is_empty() {
+                HtVerdict::Open
+            } else {
+                match chain_verdict(&chain, BASELINE_CLIENT_IP, &identity) {
+                    HtDecision::Allow => HtVerdict::Allow,
+                    HtDecision::AuthRequired => HtVerdict::AuthRequired,
+                    HtDecision::Forbidden => HtVerdict::Forbidden,
+                }
+            };
+            SiteObject {
+                object: object_for(&path, &locals),
+                path,
+                htaccess,
+            }
+        })
+        .collect();
+    SiteSpec {
+        objects,
+        allow_anonymous: Default::default(),
+    }
+}
+
+/// Replays witness requests through a fresh in-process [`Server`] per
+/// request — fresh services too, so one replay's observations (threshold
+/// counters, blacklist updates, threat escalation) can never leak into
+/// the next and masquerade as policy behavior.
+pub struct ServerReplay {
+    deployment: Deployment,
+    spec: SiteSpec,
+    vfs: Vfs,
+}
+
+impl ServerReplay {
+    /// Bundles everything a replay needs. `spec` must be the same spec
+    /// handed to [`gaa_analyze::audit_site`] so local policies register
+    /// under the exact served paths.
+    #[must_use]
+    pub fn new(deployment: Deployment, spec: SiteSpec, vfs: Vfs) -> Self {
+        ServerReplay {
+            deployment,
+            spec,
+            vfs,
+        }
+    }
+
+    fn access_control(&self, request: &ReplayRequest) -> AccessControl {
+        match request.mode {
+            ReplayMode::Htaccess => AccessControl::Htaccess {
+                registry: AuthFileRegistry::new(),
+            },
+            ReplayMode::Gaa => {
+                let services = StandardServices::new(
+                    Arc::new(VirtualClock::new()),
+                    Arc::new(CollectingNotifier::new()),
+                );
+                services.threat.set_level(match request.threat_level {
+                    0 => ThreatLevel::Low,
+                    1 => ThreatLevel::Medium,
+                    _ => ThreatLevel::High,
+                });
+                for (group, member) in &request.groups {
+                    services.groups.add(group, member);
+                }
+                let mut store = MemoryPolicyStore::new();
+                store.set_system(self.deployment.system_eacls());
+                for object in &self.spec.objects {
+                    store.set_local(&object.path, self.deployment.local_eacls(&object.object));
+                }
+                let api = register_standard(
+                    GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+                    &services,
+                )
+                .build();
+                let mut glue = GaaGlue::new(api, services);
+                if request.with_signatures {
+                    glue = glue.with_signatures(SignatureDb::with_defaults());
+                }
+                AccessControl::Gaa(Box::new(glue))
+            }
+        }
+    }
+}
+
+impl SiteReplay for ServerReplay {
+    fn replay(&self, request: &ReplayRequest) -> Option<u16> {
+        let mut server = Server::new(self.vfs.clone(), self.access_control(request));
+        let mut auth = None;
+        if let Some(user) = &request.user {
+            let mut store = HtpasswdStore::new("site");
+            store.add_user(user, REPLAY_PASSWORD);
+            server = server.with_users(Arc::new(store));
+            auth = Some(format!(
+                "Basic {}",
+                base64_encode(format!("{user}:{REPLAY_PASSWORD}").as_bytes())
+            ));
+        }
+        let raw = match &auth {
+            Some(credentials) => format!(
+                "{} {} HTTP/1.1\r\nHost: site\r\nAuthorization: {credentials}\r\n\r\n",
+                request.method, request.url
+            ),
+            None => format!(
+                "{} {} HTTP/1.1\r\nHost: site\r\n\r\n",
+                request.method, request.url
+            ),
+        };
+        Some(
+            server
+                .handle_bytes(raw.as_bytes(), &request.client_ip)
+                .status
+                .code(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaa_analyze::{audit_site, Lint, LintSeverity, RegistrySnapshot, Source};
+    use std::collections::BTreeSet;
+
+    fn deployment(system: &str, locals: &[(&str, &str)]) -> Deployment {
+        let system = if system.is_empty() {
+            Vec::new()
+        } else {
+            vec![Source::parse("system".to_string(), system).expect("system parses")]
+        };
+        let locals = locals
+            .iter()
+            .map(|(name, text)| Source::parse((*name).to_string(), text).expect("local parses"))
+            .collect();
+        Deployment::new(system, locals)
+    }
+
+    fn audit(
+        deployment: &Deployment,
+        vfs: Vfs,
+        allow: &[&str],
+        db: Option<&SignatureDb>,
+    ) -> gaa_analyze::SiteReport {
+        let mut spec = site_spec(&vfs, deployment);
+        spec.allow_anonymous = allow.iter().map(|s| (*s).to_string()).collect();
+        let replay = ServerReplay::new(deployment.clone(), spec.clone(), vfs);
+        audit_site(
+            deployment,
+            &spec,
+            &RegistrySnapshot::standard(),
+            db,
+            &replay,
+        )
+    }
+
+    fn by_code<'a>(lints: &'a [Lint], code: &str) -> Vec<&'a Lint> {
+        lints.iter().filter(|l| l.code == code).collect()
+    }
+
+    #[test]
+    fn synthetic_tree_serves_each_policy_object() {
+        let d = deployment("", &[("/index", "pos_access_right apache *\n")]);
+        let vfs = synthetic_vfs(&d);
+        assert_eq!(vfs.paths(), vec!["/index".to_string()]);
+    }
+
+    #[test]
+    fn spec_maps_paths_to_policy_objects_by_stem() {
+        let d = deployment(
+            "",
+            &[
+                ("/report", "pos_access_right apache *\n"),
+                ("/open.html", "pos_access_right apache *\n"),
+            ],
+        );
+        let mut vfs = Vfs::new();
+        vfs.add_html("/private/report.html", "r");
+        vfs.add_html("/open.html", "o");
+        vfs.add_html("/stray.html", "s");
+        let spec = site_spec(&vfs, &d);
+        let object_of = |path: &str| {
+            spec.objects
+                .iter()
+                .find(|o| o.path == path)
+                .map(|o| o.object.clone())
+                .expect("object present")
+        };
+        // Stem convention, exact name, and the system-only fallback.
+        assert_eq!(object_of("/private/report.html"), "/report");
+        assert_eq!(object_of("/open.html"), "/open.html");
+        assert_eq!(object_of("/stray.html"), "/stray.html");
+    }
+
+    #[test]
+    fn htaccess_disagreement_is_confirmed_by_both_stacks() {
+        // EACL grants /private/report.html; the directory's .htaccess
+        // forbids everyone — GAA805, replayed through both stacks.
+        let d = deployment("", &[("/report", "pos_access_right apache *\n")]);
+        let mut vfs = Vfs::new();
+        vfs.add_html("/private/report.html", "r");
+        vfs.set_htaccess(
+            "/private",
+            HtAccess::parse("Order Deny,Allow\nDeny from All\n").expect("htaccess parses"),
+        );
+        let report = audit(&d, vfs, &["/private/report.html"], None);
+        let gaa805 = by_code(&report.lints, "GAA805");
+        assert_eq!(gaa805.len(), 1, "{:?}", report.lints);
+        assert!(gaa805[0].message.contains("gaa 200, htaccess 403"));
+        assert_eq!(gaa805[0].severity, LintSeverity::Warning);
+    }
+
+    #[test]
+    fn threat_inversion_and_signature_gap_replay_through_real_server() {
+        // The deliberately-vulnerable shape of tests/fixtures-site:
+        // a status page granted only at high threat (GAA801) and a wide-
+        // open page with no signature screening (GAA804).
+        let d = deployment(
+            "",
+            &[
+                (
+                    "/status",
+                    "pos_access_right apache *\n\
+                     pre_cond system_threat_level local =high\n",
+                ),
+                ("/open", "pos_access_right apache *\n"),
+            ],
+        );
+        let vfs = synthetic_vfs(&d);
+        let db = SignatureDb::with_defaults();
+        let report = audit(&d, vfs, &["/open"], Some(&db));
+        let gaa801 = by_code(&report.lints, "GAA801");
+        assert!(!gaa801.is_empty());
+        assert!(gaa801
+            .iter()
+            .all(|l| l.severity == LintSeverity::Error && l.source == "/status"));
+        assert!(gaa801[0].message.contains("replayed: 403 then 200"));
+        let gaa804 = by_code(&report.lints, "GAA804");
+        assert!(gaa804.iter().any(|l| l.source == "/open"));
+        assert!(gaa804.iter().all(|l| l.source != "/status"));
+        assert_eq!(report.confirmed, report.lints.len());
+    }
+
+    #[test]
+    fn examples_deployment_shape_keeps_the_historical_nimda_gap() {
+        // The §7.2 deployment: the system screens CGI exploit signatures,
+        // /phf additionally screens BadGuys. /index rides on `apache GET`
+        // alone — it keeps the historical NIMDA-class gap (GAA804) and
+        // misses the blacklist screen (GAA802), while /phf is covered.
+        let d = deployment(
+            "eacl_mode narrow\n\n\
+             neg_access_right apache *\n\
+             pre_cond regex gnu *phf* *test-cgi* *formmail*\n\n\
+             pos_access_right apache *\n",
+            &[
+                ("/index", "pos_access_right apache GET\n"),
+                (
+                    "/phf",
+                    "neg_access_right apache *\n\
+                     pre_cond accessid GROUP BadGuys\n\n\
+                     pos_access_right apache *\n",
+                ),
+            ],
+        );
+        let vfs = synthetic_vfs(&d);
+        let db = SignatureDb::with_defaults();
+        let report = audit(&d, vfs, &["/index"], Some(&db));
+        assert!(by_code(&report.lints, "GAA801").is_empty());
+        let sources: BTreeSet<_> = by_code(&report.lints, "GAA804")
+            .iter()
+            .map(|l| l.source.clone())
+            .collect();
+        assert!(sources.contains("/index"));
+        assert!(!sources.contains("/phf"));
+        let gaa802 = by_code(&report.lints, "GAA802");
+        assert!(gaa802.iter().any(|l| l.source == "/index"));
+        assert!(gaa802.iter().all(|l| l.source != "/phf"));
+    }
+}

@@ -268,4 +268,105 @@ mod tests {
         vfs.set_htaccess("/docs/", HtAccess::parse("Order Allow,Deny\n").unwrap());
         assert_eq!(vfs.htaccess_chain("/docs/a.html").len(), 1);
     }
+
+    #[test]
+    fn root_objects_see_only_the_root_config() {
+        let mut vfs = Vfs::new();
+        vfs.add_html("/index.html", "x");
+        // No configs anywhere: the chain is empty, not a phantom root.
+        assert!(vfs.htaccess_chain("/index.html").is_empty());
+
+        vfs.set_htaccess("/", HtAccess::parse("Require valid-user\n").unwrap());
+        vfs.set_htaccess(
+            "/docs",
+            HtAccess::parse("Order Deny,Allow\nDeny from All\n").unwrap(),
+        );
+        // A root-level object walks `/` only — sibling directory configs
+        // (here the denying `/docs`) must not leak into its chain.
+        let chain = vfs.htaccess_chain("/index.html");
+        assert_eq!(chain.len(), 1);
+        assert!(chain[0].requires_auth());
+    }
+
+    #[test]
+    fn deeply_nested_chain_collects_every_ancestor_in_order() {
+        let mut vfs = Vfs::new();
+        vfs.add_html("/a/b/c/d.html", "x");
+        vfs.set_htaccess("/a", HtAccess::parse("Order Deny,Allow\n").unwrap());
+        vfs.set_htaccess("/a/b/c", HtAccess::parse("Require valid-user\n").unwrap());
+        // `/a/b` has no config; the chain skips it without losing order:
+        // outermost (/a) first, innermost (/a/b/c) last.
+        let chain = vfs.htaccess_chain("/a/b/c/d.html");
+        assert_eq!(chain.len(), 2);
+        assert!(!chain[0].requires_auth());
+        assert!(chain[1].requires_auth());
+        // The object's own path never contributes a "directory" config:
+        // a config keyed at the full file path is not on the chain.
+        vfs.set_htaccess(
+            "/a/b/c/d.html",
+            HtAccess::parse("Order Deny,Allow\nDeny from All\n").unwrap(),
+        );
+        assert_eq!(vfs.htaccess_chain("/a/b/c/d.html").len(), 2);
+    }
+
+    #[test]
+    fn trailing_slash_and_exact_directory_keys_are_one_slot() {
+        let mut vfs = Vfs::new();
+        vfs.add_html("/docs/a.html", "x");
+        vfs.set_htaccess("/docs/", HtAccess::parse("Require valid-user\n").unwrap());
+        // Re-keying the same directory without the slash replaces the
+        // config rather than stacking a second chain entry.
+        vfs.set_htaccess("/docs", HtAccess::parse("Order Deny,Allow\n").unwrap());
+        let chain = vfs.htaccess_chain("/docs/a.html");
+        assert_eq!(chain.len(), 1);
+        assert!(!chain[0].requires_auth());
+    }
+
+    #[test]
+    fn outer_deny_is_not_regranted_by_inner_allow() {
+        use crate::htaccess::{chain_verdict, HtDecision, HtIdentity};
+        let mut vfs = Vfs::new();
+        vfs.add_html("/private/deep/x.html", "x");
+        vfs.set_htaccess(
+            "/private",
+            HtAccess::parse("Order Deny,Allow\nDeny from All\n").unwrap(),
+        );
+        // The inner directory "re-grants" — but Apache semantics (and §4)
+        // give every directory on the path a veto: the outer Forbidden
+        // wins no matter what deeper configs say.
+        vfs.set_htaccess(
+            "/private/deep",
+            HtAccess::parse("Order Allow,Deny\nAllow from All\n").unwrap(),
+        );
+        let chain = vfs.htaccess_chain("/private/deep/x.html");
+        assert_eq!(chain.len(), 2);
+        let anonymous = HtIdentity {
+            user: None,
+            groups: &[],
+        };
+        assert_eq!(
+            chain_verdict(&chain, "203.0.113.9", &anonymous),
+            HtDecision::Forbidden
+        );
+        // Reversed nesting: an inner deny under an outer grant still
+        // forbids — the veto works at any depth.
+        let mut vfs = Vfs::new();
+        vfs.add_html("/open/locked/x.html", "x");
+        vfs.set_htaccess(
+            "/open",
+            HtAccess::parse("Order Allow,Deny\nAllow from All\n").unwrap(),
+        );
+        vfs.set_htaccess(
+            "/open/locked",
+            HtAccess::parse("Order Deny,Allow\nDeny from All\n").unwrap(),
+        );
+        assert_eq!(
+            chain_verdict(
+                &vfs.htaccess_chain("/open/locked/x.html"),
+                "203.0.113.9",
+                &anonymous
+            ),
+            HtDecision::Forbidden
+        );
+    }
 }

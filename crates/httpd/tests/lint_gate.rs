@@ -1,0 +1,88 @@
+//! The uniform `--deny-warnings` gate, exercised end-to-end over every
+//! `gaa-lint` tier through the real binary.
+//!
+//! One table, one contract: errors exit `1` unconditionally, warnings
+//! exit `1` only under `--deny-warnings`, clean (or note-only) runs exit
+//! `0` either way. Each row names a tier and a fixture whose worst
+//! finding severity is known, so the table also pins *what* each shipped
+//! fixture reports — the examples deployment warns (the historical
+//! GAA802/GAA804 surface), the planted fixtures-site deployment errors
+//! (GAA801 threat inversion).
+
+use std::path::Path;
+use std::process::Command;
+
+fn repo_path(rel: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn lint_exit(args: &[&str]) -> i32 {
+    let output = Command::new(env!("CARGO_BIN_EXE_gaa-lint"))
+        .args(args)
+        .output()
+        .expect("gaa-lint runs");
+    output.status.code().expect("gaa-lint exits with a code")
+}
+
+#[test]
+fn deny_warnings_gate_is_uniform_across_tiers() {
+    let examples = repo_path("examples/policies");
+    let fixtures = repo_path("tests/fixtures-site");
+    let system = repo_path("examples/policies/system.eacl");
+    let index = repo_path("examples/policies/objects/index.eacl");
+    let workspace = repo_path(".");
+
+    // (tier, args, plain exit, --deny-warnings exit)
+    let table: Vec<(&str, Vec<&str>, i32, i32)> = vec![
+        // Analyzer tier: the examples deployment lints clean.
+        ("analyze", vec!["--system", &system, &index], 0, 0),
+        // Diff tier: a deployment diffed against itself is identical.
+        ("diff", vec!["diff", &examples, &examples], 0, 0),
+        // Code tier: CI holds GAA6xx at zero over this workspace.
+        ("code", vec!["code", &workspace], 0, 0),
+        // Patterns tier: the examples system policy has a known
+        // warning-level encoding bypass (GAA704).
+        ("patterns", vec!["patterns", "--system", &system], 0, 1),
+        // Site tier, warning-only deployment (historical GAA802/GAA804).
+        ("site-warn", vec!["site", &examples], 0, 1),
+        // Site tier, planted GAA801 error: fails with or without.
+        ("site-error", vec!["site", &fixtures], 1, 1),
+        // All tiers at once inherit the worst severity (warning here;
+        // --code-root keeps the code tier on the real workspace).
+        (
+            "all",
+            vec!["all", &examples, "--code-root", &workspace],
+            0,
+            1,
+        ),
+    ];
+
+    for (tier, args, plain, deny) in table {
+        assert_eq!(lint_exit(&args), plain, "{tier}: plain exit");
+        let mut strict = args.clone();
+        strict.push("--deny-warnings");
+        assert_eq!(lint_exit(&strict), deny, "{tier}: --deny-warnings exit");
+    }
+}
+
+#[test]
+fn fixtures_site_reports_the_planted_findings() {
+    let fixtures = repo_path("tests/fixtures-site");
+    let output = Command::new(env!("CARGO_BIN_EXE_gaa-lint"))
+        .args(["site", &fixtures])
+        .output()
+        .expect("gaa-lint runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for code in ["GAA801", "GAA803", "GAA804", "GAA805"] {
+        assert!(stdout.contains(code), "missing {code} in:\n{stdout}");
+    }
+    // No BadGuys group in the deployment: the dominance check is skipped.
+    assert!(!stdout.contains("GAA802"));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("0 dropped unconfirmed"), "{stderr}");
+}
