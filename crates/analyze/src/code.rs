@@ -31,6 +31,8 @@ use std::path::{Path, PathBuf};
 /// into a dead worker (a DoS primitive), so all failures must be `Result`s.
 const REQUEST_PATH_FILES: &[&str] = &[
     "crates/httpd/src/tcp.rs",
+    "crates/httpd/src/reactor.rs",
+    "crates/httpd/src/timer.rs",
     "crates/httpd/src/glue.rs",
     "crates/httpd/src/server.rs",
     "crates/core/src/cache.rs",
@@ -51,12 +53,18 @@ const SHIM_MIGRATED_FILES: &[&str] = &[
     "crates/ids/src/matcher.rs",
     "crates/ids/src/signatures.rs",
     "crates/httpd/src/tcp.rs",
+    "crates/httpd/src/reactor.rs",
+    "crates/httpd/src/timer.rs",
     "crates/swarm/src/node.rs",
     "crates/swarm/src/transport.rs",
 ];
 
 /// Files whose `Err` arms must reach the audit/degradation funnel.
-const ERR_AUDIT_FILES: &[&str] = &["crates/httpd/src/tcp.rs", "crates/httpd/src/glue.rs"];
+const ERR_AUDIT_FILES: &[&str] = &[
+    "crates/httpd/src/tcp.rs",
+    "crates/httpd/src/reactor.rs",
+    "crates/httpd/src/glue.rs",
+];
 
 /// How many lines after an `Err(` arm may contain its handling.
 const ERR_WINDOW: usize = 10;

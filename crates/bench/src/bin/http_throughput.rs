@@ -1,46 +1,62 @@
-//! End-to-end HTTP throughput: serving front × decision cache ablation.
+//! End-to-end HTTP throughput: serving front × decision cache ablation,
+//! plus the slowloris dimensions the epoll reactor exists for.
 //!
-//! Spawns three loopback servers over the same GAA policy and drives each
-//! with concurrent keep-alive clients:
+//! Spawns loopback servers over the same GAA policy and drives each with
+//! concurrent keep-alive clients:
 //!
 //! 1. `seed_front` — the original thread-per-connection,
 //!    one-request-per-connection front ([`TcpFront::spawn_thread_per_connection`]);
 //! 2. `pool` — the bounded worker-pool front with HTTP/1.1 keep-alive,
 //!    decision cache **off**;
 //! 3. `pool_cached` — the same front with the §9 authorization decision
-//!    cache **on**.
+//!    cache **on**;
+//! 4. `reactor` — the nonblocking epoll reactor front
+//!    ([`ReactorFront`]), decision cache off, happy path;
+//! 5. `idle_conns` / `slow_writer` — the pool and reactor fronts measured
+//!    *while* a horde of idle keep-alive connections (and then slow-writer
+//!    connections dribbling bytes of a never-completing request) is
+//!    attached. The worker pool's threads get pinned; the reactor treats
+//!    each attacker as a connection-state struct. The pool's collapse is
+//!    recorded, the reactor's retention is gated (≥ 80% of its unloaded
+//!    throughput in a full run).
 //!
-//! Before any timing, a **differential gate** replays a seeded mixed
-//! workload (benign traffic, CGI exploits, scan scripts) item-by-item
-//! through cache-on and cache-off servers — including a mid-run policy
-//! rewrite (`FilePolicyStore::touch`) and an IDS threat-level escalation
-//! and relaxation — and refuses to benchmark if any status diverges: a
-//! cache that changes answers is not an optimization, it is a policy
-//! violation.
+//! Before any timing, two **differential gates** run:
+//!
+//! * the cache gate replays a seeded mixed workload item-by-item through
+//!   cache-on and cache-off servers — including a mid-run policy rewrite
+//!   (`FilePolicyStore::touch`) and an IDS threat-level escalation and
+//!   relaxation — and refuses to benchmark if any status diverges;
+//! * the front gate replays a seeded workload serially over real sockets
+//!   against the seed, pool, and reactor fronts (fresh identical servers)
+//!   and refuses to benchmark if any status line diverges — three
+//!   transports, one observable behavior.
 //!
 //! ```text
 //! http_throughput [--write FILE] [--iterations N] [--smoke]
 //! ```
 //!
-//! `--smoke` shrinks the run for CI (the differential gate still runs in
+//! `--smoke` shrinks the run for CI (both differential gates still run in
 //! full). Prints a hand-rolled JSON summary (the workspace carries no
 //! `serde_json`); `--write` also saves it, which is how the committed
 //! `BENCH_http_throughput.json` is produced.
 //!
 //! [`TcpFront::spawn_thread_per_connection`]: gaa_httpd::tcp::TcpFront::spawn_thread_per_connection
+//! [`ReactorFront`]: gaa_httpd::reactor::ReactorFront
 
 use gaa_audit::notify::CollectingNotifier;
 use gaa_audit::VirtualClock;
 use gaa_conditions::{register_standard, StandardServices};
 use gaa_core::{DecisionCache, FilePolicyStore, GaaApiBuilder, MemoryPolicyStore};
 use gaa_eacl::parse_eacl_list;
+use gaa_httpd::reactor::{ReactorConfig, ReactorFront};
 use gaa_httpd::tcp::{PoolConfig, TcpFront};
-use gaa_httpd::{AccessControl, GaaGlue, Server, StatusCode, Vfs};
+use gaa_httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
 use gaa_ids::ThreatLevel;
 use gaa_workload::{AttackKind, ScenarioBuilder};
 use std::fmt::Write as _;
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -194,10 +210,9 @@ fn run_client(addr: std::net::SocketAddr, n: u32) {
     }
 }
 
-/// Drives `front` with [`CLIENTS`] concurrent clients of `n` requests each
-/// and returns requests per second.
-fn measure(front: &TcpFront, n: u32) -> f64 {
-    let addr = front.addr();
+/// Drives the front at `addr` with [`CLIENTS`] concurrent clients of `n`
+/// requests each and returns requests per second.
+fn measure_addr(addr: SocketAddr, n: u32) -> f64 {
     // Warmup: populate caches and profiles off the clock.
     run_client(addr, 50);
     let start = Instant::now();
@@ -208,6 +223,241 @@ fn measure(front: &TcpFront, n: u32) -> f64 {
         c.join().expect("client panicked");
     }
     f64::from(n) * (CLIENTS as f64) / start.elapsed().as_secs_f64()
+}
+
+/// Drives `front` with [`CLIENTS`] concurrent clients of `n` requests each
+/// and returns requests per second.
+fn measure(front: &TcpFront, n: u32) -> f64 {
+    measure_addr(front.addr(), n)
+}
+
+/// Time-windowed, failure-tolerant throughput probe for the *loaded*
+/// dimensions: counts completed 200s within `window`, treating timeouts and
+/// resets as zero-score attempts (a collapsed front scores ~0 instead of
+/// panicking the harness the way [`run_client`] would).
+fn measure_window(addr: SocketAddr, window: Duration) -> f64 {
+    let deadline = Instant::now() + window;
+    let completed = Arc::new(AtomicU64::new(0));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let completed = Arc::clone(&completed);
+            std::thread::spawn(move || {
+                let mut stream: Option<TcpStream> = None;
+                let mut carry: Vec<u8> = Vec::new();
+                let mut chunk = [0u8; 4096];
+                while Instant::now() < deadline {
+                    let s = match stream.as_mut() {
+                        Some(s) => s,
+                        None => {
+                            carry.clear();
+                            match TcpStream::connect(addr) {
+                                Ok(s) => {
+                                    let _ = s.set_read_timeout(Some(Duration::from_millis(250)));
+                                    stream.insert(s)
+                                }
+                                Err(_) => {
+                                    std::thread::sleep(Duration::from_millis(5));
+                                    continue;
+                                }
+                            }
+                        }
+                    };
+                    if s.write_all(b"GET /index.html HTTP/1.1\r\nhost: bench\r\n\r\n")
+                        .is_err()
+                    {
+                        stream = None;
+                        continue;
+                    }
+                    let response = loop {
+                        if let Some(len) = frame_len(&carry) {
+                            let rest = carry.split_off(len);
+                            break Some(std::mem::replace(&mut carry, rest));
+                        }
+                        match s.read(&mut chunk) {
+                            Ok(0) | Err(_) => break None, // EOF/timeout: failed attempt
+                            Ok(read) => carry.extend_from_slice(&chunk[..read]),
+                        }
+                    };
+                    match response {
+                        Some(bytes) => {
+                            let text = String::from_utf8_lossy(&bytes);
+                            if text.starts_with("HTTP/1.1 200") {
+                                completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if text.contains("connection: close") {
+                                stream = None;
+                            }
+                        }
+                        None => stream = None,
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("probe client panicked");
+    }
+    completed.load(Ordering::Relaxed) as f64 / window.as_secs_f64()
+}
+
+/// Opens `count` keep-alive connections that send nothing at all — the
+/// cheapest possible slowloris. The streams must be kept alive by the
+/// caller for the duration of the measurement.
+fn attach_idle_connections(addr: SocketAddr, count: usize) -> Vec<TcpStream> {
+    (0..count)
+        .filter_map(|_| TcpStream::connect(addr).ok())
+        .collect()
+}
+
+/// Spawns a dribbler thread driving `count` slow-writer connections: each
+/// gets a request line plus an eternally unfinished header, fed one byte
+/// per sweep, so the request can never frame and a per-read timeout would
+/// reset forever. Runs until `stop` is set.
+fn spawn_slow_writers(
+    addr: SocketAddr,
+    count: usize,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut conns: Vec<TcpStream> = (0..count)
+            .filter_map(|_| {
+                TcpStream::connect(addr)
+                    .and_then(|s| {
+                        s.set_nodelay(true)?;
+                        Ok(s)
+                    })
+                    .ok()
+            })
+            .collect();
+        for conn in &mut conns {
+            let _ = conn.write_all(b"GET /never HTTP/1.1\r\nx-slow: ");
+        }
+        while !stop.load(Ordering::Relaxed) {
+            for conn in &mut conns {
+                let _ = conn.write_all(b"a"); // never a frame terminator
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    })
+}
+
+/// One loaded dimension for one front: unloaded reference, then the same
+/// probe with `idle` parked connections (and, for the slow-writer pass,
+/// `slow` dribblers) attached. Returns `(unloaded, idle_loaded,
+/// slow_loaded)` in requests per second.
+fn loaded_profile(addr: SocketAddr, idle: usize, slow: usize, window: Duration) -> (f64, f64, f64) {
+    let unloaded = measure_window(addr, window);
+    let idle_conns = attach_idle_connections(addr, idle);
+    let idle_loaded = measure_window(addr, window);
+    let stop = Arc::new(AtomicBool::new(false));
+    let dribbler = spawn_slow_writers(addr, slow, Arc::clone(&stop));
+    let slow_loaded = measure_window(addr, window);
+    stop.store(true, Ordering::Relaxed);
+    dribbler.join().expect("dribbler panicked");
+    drop(idle_conns);
+    (unloaded, idle_loaded, slow_loaded)
+}
+
+/// Serializes a workload request for replay over a real socket, forcing
+/// `connection: close` so every front serves exactly one request per
+/// connection in the same order.
+fn raw_wire(request: &HttpRequest) -> Vec<u8> {
+    let mut head = format!(
+        "{} {} HTTP/1.1\r\n",
+        request.method.as_str(),
+        request.target
+    );
+    for (name, value) in &request.headers {
+        if name.eq_ignore_ascii_case("connection") || name.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    if !request.body.is_empty() {
+        let _ = write!(head, "content-length: {}\r\n", request.body.len());
+    }
+    head.push_str("connection: close\r\n\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(&request.body);
+    out
+}
+
+/// Sends `raw` and returns the response's status line (trimmed), or a
+/// tagged error string — which also diverges, and therefore also gates.
+fn status_line_over_socket(addr: SocketAddr, raw: &[u8]) -> String {
+    match gaa_httpd::tcp::send_raw(addr, raw) {
+        Ok(bytes) => String::from_utf8_lossy(&bytes)
+            .lines()
+            .next()
+            .unwrap_or("<empty>")
+            .trim()
+            .to_string(),
+        Err(e) => format!("<io error: {}>", e.kind()),
+    }
+}
+
+/// Replays one seeded mixed workload serially against the seed,
+/// pool, and reactor fronts — each over a *fresh* identical server — and
+/// counts status-line divergences. Serial replay with `connection: close`
+/// keeps every server's IDS/threat trajectory identical, so any
+/// divergence is a transport bug, not nondeterminism.
+fn front_differential_gate() -> (usize, usize) {
+    let scenario = ScenarioBuilder::new(43, vec!["/index.html".into(), "/docs/page1.html".into()])
+        .legit(60)
+        .attacks(AttackKind::CgiExploit, 8)
+        .attacks(AttackKind::MalformedUrl, 8)
+        .scan_scripts(1, 5)
+        .build();
+    let wires: Vec<Vec<u8>> = scenario
+        .items
+        .iter()
+        .map(|i| raw_wire(&i.request))
+        .collect();
+
+    let replay_statuses = |addr: SocketAddr| -> Vec<String> {
+        wires
+            .iter()
+            .map(|raw| status_line_over_socket(addr, raw))
+            .collect()
+    };
+
+    let seed_front =
+        TcpFront::spawn_thread_per_connection("127.0.0.1:0", throughput_server(false), None)
+            .expect("bind seed front");
+    let seed_statuses = replay_statuses(seed_front.addr());
+    seed_front.stop();
+
+    let pool = TcpFront::spawn_pool(
+        "127.0.0.1:0",
+        throughput_server(false),
+        PoolConfig::default(),
+        None,
+    )
+    .expect("bind pool front");
+    let pool_statuses = replay_statuses(pool.addr());
+    pool.stop();
+
+    let reactor =
+        ReactorFront::spawn("127.0.0.1:0", throughput_server(false)).expect("bind reactor front");
+    let reactor_statuses = replay_statuses(reactor.addr());
+    reactor.stop();
+
+    let mut mismatches = 0usize;
+    for (i, ((seed, pool), reactor)) in seed_statuses
+        .iter()
+        .zip(&pool_statuses)
+        .zip(&reactor_statuses)
+        .enumerate()
+    {
+        if seed != pool || seed != reactor {
+            mismatches += 1;
+            eprintln!(
+                "FRONT DIVERGENCE at item {i} ({:?}): seed={seed:?} pool={pool:?} reactor={reactor:?}",
+                scenario.items[i].request.target
+            );
+        }
+    }
+    (wires.len(), mismatches)
 }
 
 /// A GAA server over a shared on-disk system policy file, returning the
@@ -331,6 +581,15 @@ fn main() {
     assert!(diff_hits > 0, "differential gate never hit the cache");
     eprintln!("differential gate: {diff_items} items, 0 mismatches, {diff_hits} cache hits");
 
+    // Second gate: three serving fronts, one observable behavior. Refuse to
+    // compare throughputs of fronts that do not serve identical answers.
+    let (front_items, front_mismatches) = front_differential_gate();
+    assert_eq!(
+        front_mismatches, 0,
+        "serving fronts diverged on {front_mismatches}/{front_items} items"
+    );
+    eprintln!("front differential gate: {front_items} items, 0 mismatches");
+
     let seed_front =
         TcpFront::spawn_thread_per_connection("127.0.0.1:0", throughput_server(false), None)
             .expect("bind seed front");
@@ -359,6 +618,74 @@ fn main() {
     pool_cached.stop();
     let cache_stats = cached_server.decision_cache_stats();
 
+    let reactor =
+        ReactorFront::spawn("127.0.0.1:0", throughput_server(false)).expect("bind reactor front");
+    let reactor_rps = measure_addr(reactor.addr(), per_client);
+    reactor.stop();
+
+    // Slowloris dimensions: the same probe, unloaded → with idle keep-alive
+    // connections parked → with slow-writer dribblers on top. Deadlines are
+    // set far beyond the measurement window so what is measured is each
+    // front's *architecture* under attack, not its timeout tuning.
+    let (idle_count, slow_count, window) = if smoke {
+        (100, 8, Duration::from_millis(500))
+    } else {
+        (1000, 64, Duration::from_secs(2))
+    };
+
+    let pool_loaded = TcpFront::spawn_pool(
+        "127.0.0.1:0",
+        throughput_server(false),
+        PoolConfig {
+            // Queue deeper than the attack so idle connections wait in the
+            // queue instead of being shed — the pool's honest failure mode
+            // is worker pinning, and that is what gets recorded.
+            queue_depth: 8192,
+            read_timeout: Duration::from_secs(60),
+            request_deadline: Duration::from_secs(60),
+            ..PoolConfig::default()
+        },
+        None,
+    )
+    .expect("bind loaded pool front");
+    let (pool_unloaded, pool_idle, pool_slow) =
+        loaded_profile(pool_loaded.addr(), idle_count, slow_count, window);
+    pool_loaded.stop();
+
+    let reactor_loaded = ReactorFront::spawn_with(
+        "127.0.0.1:0",
+        throughput_server(false),
+        ReactorConfig {
+            max_connections: 8192,
+            request_deadline: Duration::from_secs(60),
+            idle_deadline: Duration::from_secs(120),
+            ..ReactorConfig::default()
+        },
+        None,
+    )
+    .expect("bind loaded reactor front");
+    let (reactor_unloaded, reactor_idle, reactor_slow) =
+        loaded_profile(reactor_loaded.addr(), idle_count, slow_count, window);
+    reactor_loaded.stop();
+
+    let pool_retention = pool_slow / pool_unloaded.max(1.0);
+    let reactor_retention = reactor_slow / reactor_unloaded.max(1.0);
+    eprintln!(
+        "loaded ({idle_count} idle + {slow_count} slow): pool {pool_unloaded:.0} -> {pool_idle:.0} -> {pool_slow:.0} rps ({:.0}% retained), reactor {reactor_unloaded:.0} -> {reactor_idle:.0} -> {reactor_slow:.0} rps ({:.0}% retained)",
+        pool_retention * 100.0,
+        reactor_retention * 100.0
+    );
+    // The reactor must shrug the attack off. Smoke windows are short and
+    // noisy, so CI gets a sanity bound; full runs get the real gate.
+    let retention_floor = if smoke { 0.25 } else { 0.8 };
+    assert!(
+        reactor_retention >= retention_floor,
+        "reactor retained only {:.0}% of unloaded throughput under \
+         {idle_count} idle + {slow_count} slow-writer connections (floor {:.0}%)",
+        reactor_retention * 100.0,
+        retention_floor * 100.0
+    );
+
     let mut json = String::from("{");
     let _ = write!(json, "\"bench\":\"http_throughput\",");
     let _ = write!(json, "\"clients\":{CLIENTS},");
@@ -378,6 +705,27 @@ fn main() {
         "\"pool_cached\":{{\"req_per_sec\":{cached_rps:.0},\"us_per_request\":{:.1}}},",
         1e6 / cached_rps
     );
+    let _ = write!(
+        json,
+        "\"reactor\":{{\"req_per_sec\":{reactor_rps:.0},\"us_per_request\":{:.1}}},",
+        1e6 / reactor_rps
+    );
+    let _ = write!(
+        json,
+        "\"idle_conns\":{{\"count\":{idle_count},\
+         \"pool_unloaded_rps\":{pool_unloaded:.0},\"pool_loaded_rps\":{pool_idle:.0},\
+         \"reactor_unloaded_rps\":{reactor_unloaded:.0},\"reactor_loaded_rps\":{reactor_idle:.0}}},"
+    );
+    let _ = write!(
+        json,
+        "\"slow_writer\":{{\"count\":{slow_count},\"idle_count\":{idle_count},\
+         \"pool_rps\":{pool_slow:.0},\"pool_retention\":{pool_retention:.3},\
+         \"reactor_rps\":{reactor_slow:.0},\"reactor_retention\":{reactor_retention:.3}}},"
+    );
+    let _ = write!(
+        json,
+        "\"front_differential\":{{\"items\":{front_items},\"mismatches\":{front_mismatches}}},"
+    );
     if let Some(stats) = cache_stats {
         let _ = write!(
             json,
@@ -390,6 +738,11 @@ fn main() {
         "\"differential\":{{\"items\":{diff_items},\"mismatches\":{mismatches},\"cache_hits\":{diff_hits}}},"
     );
     let _ = write!(json, "\"speedup_pool_vs_seed\":{:.2},", pool_rps / seed_rps);
+    let _ = write!(
+        json,
+        "\"speedup_reactor_vs_pool\":{:.2},",
+        reactor_rps / pool_rps
+    );
     let _ = write!(
         json,
         "\"speedup_cache_on_vs_off\":{:.2},",

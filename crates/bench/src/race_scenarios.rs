@@ -24,6 +24,10 @@
 //! * `swarm_epoch` — two real `gaa-swarm` nodes exchanging threat-epoch
 //!   bumps while local detections fire on both; after reconciliation the
 //!   fleet pair must converge with the higher level winning.
+//! * `reactor_dispatch` — the epoll reactor's worker handoff: shard
+//!   dispatches jobs, workers complete into the shard mailbox and signal
+//!   the (coalescing) wake pipe; every completion must be applied exactly
+//!   once, under any interleaving of completions and wake coalescing.
 //!
 //! All nondeterminism beyond scheduling comes from the scenario seed, so
 //! any failure reproduces from the printed seed + schedule alone.
@@ -86,6 +90,11 @@ pub fn all_scenarios() -> Vec<Scenario> {
             name: "swarm_epoch",
             description: "concurrent local detections on two swarm nodes converge on the max level",
             build: swarm_epoch,
+        },
+        Scenario {
+            name: "reactor_dispatch",
+            description: "reactor worker handoff: coalesced wakes lose no completions",
+            build: reactor_dispatch,
         },
     ]
 }
@@ -486,6 +495,86 @@ fn swarm_epoch(_seed: u64) -> ScenarioFn {
             assert!(n.groups().contains("BadGuys", "203.0.113.9"));
             assert_eq!(n.stats().forgery_dropped, 0);
         }
+    })
+}
+
+/// Shared state for the `reactor_dispatch` model: the shard's completion
+/// mailbox plus the coalescing wake flag standing in for the wake pipe (a
+/// full pipe drops the write — a wake is already pending — so multiple
+/// completions may ride one wake).
+struct ReactorModel {
+    jobs: Mutex<VecDeque<u32>>,
+    completions: Mutex<Vec<u32>>,
+    wake: Mutex<bool>,
+    wake_cv: Condvar,
+}
+
+fn reactor_dispatch(_seed: u64) -> ScenarioFn {
+    const JOBS: u32 = 3;
+    const WORKERS: usize = 2;
+    Box::new(move |exec: &mut Exec| {
+        let model = Arc::new(ReactorModel {
+            jobs: Mutex::named("reactor.jobs", (0..JOBS).collect()),
+            completions: Mutex::named("reactor.completions", Vec::new()),
+            wake: Mutex::named("reactor.wake", false),
+            wake_cv: Condvar::named("reactor.wake_cv"),
+        });
+        // Workers: pop a dispatched job, publish its completion into the
+        // shard mailbox, then signal the wake pipe (set-flag + notify — the
+        // model of a nonblocking 1-byte write that coalesces when pending).
+        for _ in 0..WORKERS {
+            let model = Arc::clone(&model);
+            exec.spawn(move || loop {
+                let job = model.jobs.lock().pop_front();
+                let Some(job) = job else { break };
+                model.completions.lock().push(job);
+                let mut wake = model.wake.lock();
+                *wake = true;
+                model.wake_cv.notify_one();
+            });
+        }
+        // Shard: sleep on the wake pipe, clear it, drain the mailbox —
+        // exactly the `epoll_wait` → `drain_wake` loop. The flag is
+        // cleared *before* the mailbox is drained, so a completion
+        // arriving between drain and the next wait still has its wake.
+        let applied = {
+            let model = Arc::clone(&model);
+            let applied = Arc::new(AtomicU64::named("reactor.applied", 0));
+            let out = Arc::clone(&applied);
+            exec.spawn(move || {
+                let mut seen = 0u32;
+                while seen < JOBS {
+                    {
+                        let mut wake = model.wake.lock();
+                        while !*wake {
+                            wake = model.wake_cv.wait(wake);
+                        }
+                        *wake = false;
+                    }
+                    for _job in model.completions.lock().drain(..) {
+                        seen += 1;
+                        // ordering: Relaxed — monotonic statistic read
+                        // after join_all.
+                        applied.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            out
+        };
+        exec.join_all();
+        // ordering: Relaxed — read after join_all; the join is the edge.
+        let applied = applied.load(Ordering::Relaxed);
+        assert_eq!(
+            applied,
+            u64::from(JOBS),
+            "worker completions lost or duplicated across coalesced wakes: \
+             applied {applied} of {JOBS}"
+        );
+        assert!(
+            model.completions.lock().is_empty(),
+            "completions leaked in the mailbox after the shard drained"
+        );
+        assert!(model.jobs.lock().is_empty(), "jobs left undispatched");
     })
 }
 

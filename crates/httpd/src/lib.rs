@@ -30,8 +30,14 @@
 //!   pluggable access control (none / htaccess / GAA);
 //! * [`swarm_cfg`] — directive-style configuration for fleet threat
 //!   replication (`gaa-swarm`), plus the `Server` attachment point;
-//! * [`tcp`] — a minimal real-socket front end used by the runnable
-//!   examples.
+//! * [`tcp`] — the blocking worker-pool front end (bounded queue,
+//!   keep-alive, whole-request deadlines, load shedding), kept as the
+//!   benchmark baseline;
+//! * [`reactor`] — the production front: a nonblocking epoll reactor with
+//!   per-connection state machines, where a slow or idle client costs a
+//!   connection-state struct instead of a thread;
+//! * [`timer`] — the hashed timer wheel backing the reactor's
+//!   whole-request, idle, and write-progress deadlines.
 
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
@@ -43,10 +49,12 @@ pub mod htaccess;
 pub mod http;
 pub mod loganalyzer;
 pub mod policy_lint;
+pub mod reactor;
 pub mod server;
 pub mod site;
 pub mod swarm_cfg;
 pub mod tcp;
+pub mod timer;
 pub mod vfs;
 
 pub use access_log::{AccessEntry, AccessLog};
@@ -54,6 +62,7 @@ pub use glue::GaaGlue;
 pub use http::{HttpRequest, HttpResponse, Method, ParseRequestError, StatusCode};
 pub use loganalyzer::{LogAnalyzer, LogReport};
 pub use policy_lint::{lint_policy_store, LintEnforcement};
+pub use reactor::{ReactorConfig, ReactorFront};
 pub use server::{AccessControl, Server, ServerStats};
 pub use swarm_cfg::parse_swarm_config;
 pub use vfs::{Node, Vfs};

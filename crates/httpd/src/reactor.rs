@@ -1,0 +1,1464 @@
+//! The event-driven epoll reactor front end.
+//!
+//! The worker-pool front ([`crate::tcp`]) burns one blocking thread per
+//! in-flight connection, so a client that dribbles bytes — or simply holds
+//! a keep-alive connection open — pins a worker for the duration. Eight
+//! slowloris connections (the default pool size) stall the whole front
+//! long before CPU saturates; the IDS literature classifies exactly this
+//! slow-rate DoS as the class signature matching cannot catch, so it must
+//! be absorbed by the serving *architecture*. Here a slow client costs a
+//! connection-state struct and a timer-wheel entry, not a thread.
+//!
+//! Shape:
+//!
+//! * **Hand-rolled epoll** (raw `epoll_create1`/`epoll_ctl`/`epoll_wait`
+//!   FFI in [`sys`] — the workspace vendors no `libc`-style crate, and the
+//!   symbols are in the C library every Linux Rust binary already links);
+//! * **Shards**: each shard is one thread owning an epoll instance, a
+//!   connection slab, and a hashed [`TimerWheel`]. Shard 0 additionally
+//!   owns the nonblocking listener and hands accepted connections
+//!   round-robin to all shards through per-shard mailboxes + wake pipes;
+//! * **Per-connection state machine**: `ReadHeaders → ReadBody →
+//!   (Dispatched →) Respond → WriteBackpressure → KeepAliveIdle`, plus a
+//!   `Drain` tail used on the shed path so a `503` is not destroyed by a
+//!   reset racing unread request bytes;
+//! * **Deadlines that cannot be reset by trickling bytes**: the timer
+//!   wheel arms a *whole-request* deadline when the first byte of a
+//!   request arrives (never re-armed by subsequent reads — the pool
+//!   front's per-read `set_read_timeout` reset was the headline bug), an
+//!   idle deadline for keep-alive gaps, and a write-progress deadline
+//!   under backpressure. Cancellation is lazy via generations;
+//! * **Admission control**: beyond `max_connections` the accept path
+//!   answers `503` on the spot, counts the shed, and flags
+//!   `Component::Frontend` degradation — same policy as the pool front;
+//! * **Workers only for CGI**: requests under `/cgi-bin/` (and injected
+//!   latency faults, which block) are executed on a small worker pool and
+//!   their responses delivered back to the owning shard via its mailbox;
+//!   everything else — the common path — is served inline by the shard.
+//!
+//! The cross-thread pieces (stop flag, shed counter, connection count,
+//! mailboxes) go through [`gaa_race::sync`] so the model checker can
+//! schedule them; the `reactor_dispatch` scenario in `gaa-bench` explores
+//! the dispatch/completion/wake protocol.
+
+use crate::http::{HttpResponse, StatusCode};
+use crate::server::Server;
+use crate::tcp::{frame_len, wants_keep_alive};
+use crate::timer::{TimerEntry, TimerWheel};
+use gaa_audit::degrade::Component;
+use gaa_audit::{Clock, DegradationState, SystemClock};
+use gaa_faults::{Fault, FaultInjector, FaultSite};
+// Cross-thread coordination goes through the gaa-race shim so the model
+// checker can schedule and log it (zero-cost passthrough in normal builds).
+use gaa_race::sync::{AtomicBool, AtomicU64, Mutex};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Hand-rolled epoll bindings: the three syscall wrappers this front
+/// needs, declared directly against the C library (no new dependencies).
+mod sys {
+    use std::os::raw::c_int;
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+
+    /// Mirrors `struct epoll_event`; the kernel ABI packs it on x86-64.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// A safe-ish wrapper over one epoll instance.
+struct Epoll {
+    fd: std::os::raw::c_int,
+}
+
+impl Epoll {
+    fn new() -> std::io::Result<Epoll> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: std::os::raw::c_int, fd: i32, events: u32, data: u64) -> std::io::Result<()> {
+        let mut ev = sys::EpollEvent { events, data };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        let rc = unsafe { sys::epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: i32, events: u32, data: u64) -> std::io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, events, data)
+    }
+
+    fn modify(&self, fd: i32, events: u32, data: u64) -> std::io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, events, data)
+    }
+
+    fn delete(&self, fd: i32) {
+        let _ = self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Waits up to `timeout_ms`; `EINTR` surfaces as an empty batch.
+    fn wait(&self, events: &mut [sys::EpollEvent], timeout_ms: i32) -> usize {
+        // SAFETY: the buffer is valid for `events.len()` entries.
+        let n = unsafe {
+            sys::epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len() as std::os::raw::c_int,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            0
+        } else {
+            n as usize
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: we own the fd.
+        unsafe {
+            sys::close(self.fd);
+        }
+    }
+}
+
+/// Tuning for the reactor front.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Reactor shard threads (each owns an epoll instance and a slab).
+    pub shards: usize,
+    /// Worker threads for CGI requests and blocking fault injections.
+    pub workers: usize,
+    /// Connections admitted before the accept path sheds with `503`.
+    pub max_connections: usize,
+    /// Whole-request deadline: from the first byte of a request to its
+    /// complete frame. Trickling bytes does not reset it.
+    pub request_deadline: Duration,
+    /// Keep-alive / pre-request idle deadline.
+    pub idle_deadline: Duration,
+    /// Write-progress deadline while a response is backpressured.
+    pub write_deadline: Duration,
+    /// Requests served on one connection before it is closed.
+    pub max_requests_per_conn: u32,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            shards: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+            workers: 2,
+            max_connections: 4096,
+            request_deadline: Duration::from_secs(10),
+            idle_deadline: Duration::from_secs(5),
+            write_deadline: Duration::from_secs(10),
+            max_requests_per_conn: 100,
+        }
+    }
+}
+
+/// A CGI/fault job executed on the worker pool.
+struct Job {
+    shard: usize,
+    slot: usize,
+    conn_id: u64,
+    frame: Vec<u8>,
+    peer_ip: String,
+    latency_ms: u64,
+    allow_keep: bool,
+}
+
+/// A finished worker job: the wire bytes to send on `slot`/`conn_id`.
+struct Completion {
+    slot: usize,
+    conn_id: u64,
+    bytes: Vec<u8>,
+    keep: bool,
+}
+
+/// Per-shard inbox: new connections handed over by the accepting shard
+/// plus completed worker responses, all delivered under one lock and
+/// signalled through the shard's wake pipe.
+struct Mailbox {
+    inbox: Mutex<MailboxState>,
+    wake: UnixStream,
+}
+
+#[derive(Default)]
+struct MailboxState {
+    conns: Vec<(TcpStream, SocketAddr)>,
+    completions: Vec<Completion>,
+}
+
+impl Mailbox {
+    /// Writes one byte into the wake pipe; a full pipe means a wake is
+    /// already pending, which is all the reader needs.
+    fn wake(&self) {
+        let _ = (&self.wake).write(&[1]);
+    }
+
+    fn push_conn(&self, stream: TcpStream, peer: SocketAddr) {
+        self.inbox.lock().conns.push((stream, peer));
+        self.wake();
+    }
+
+    fn push_completion(&self, completion: Completion) {
+        self.inbox.lock().completions.push(completion);
+        self.wake();
+    }
+}
+
+/// Handle to a running reactor front.
+pub struct ReactorFront {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    mailboxes: Vec<Arc<Mailbox>>,
+    shard_threads: Vec<std::thread::JoinHandle<()>>,
+    worker_threads: Vec<std::thread::JoinHandle<()>>,
+    job_tx: Option<Sender<Job>>,
+    rejected: Arc<AtomicU64>,
+}
+
+impl ReactorFront {
+    /// Binds `addr` and serves `server` with the default tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind / epoll-creation / wake-pipe errors.
+    pub fn spawn(addr: &str, server: Arc<Server>) -> std::io::Result<ReactorFront> {
+        ReactorFront::spawn_with(addr, server, ReactorConfig::default(), None)
+    }
+
+    /// Binds `addr` and serves `server` with explicit tuning; the fault
+    /// injector is consulted once per request at [`FaultSite::Tcp`], with
+    /// the same semantics as the pool front.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind / epoll-creation / wake-pipe errors.
+    pub fn spawn_with(
+        addr: &str,
+        server: Arc<Server>,
+        config: ReactorConfig,
+        injector: Option<Arc<dyn FaultInjector>>,
+    ) -> std::io::Result<ReactorFront> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::named("reactor.stop", false));
+        let rejected = Arc::new(AtomicU64::named("reactor.rejected", 0));
+        let active = Arc::new(AtomicU64::named("reactor.active", 0));
+        let shards = config.shards.max(1);
+
+        let mut mailboxes = Vec::with_capacity(shards);
+        let mut wake_readers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (reader, writer) = UnixStream::pair()?;
+            reader.set_nonblocking(true)?;
+            writer.set_nonblocking(true)?;
+            mailboxes.push(Arc::new(Mailbox {
+                inbox: Mutex::named("reactor.mailbox", MailboxState::default()),
+                wake: writer,
+            }));
+            wake_readers.push(reader);
+        }
+
+        let (job_tx, job_rx) = channel::<Job>();
+        let job_rx = Arc::new(Mutex::named("reactor.jobs", job_rx));
+        let worker_threads = (0..config.workers)
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                let server = Arc::clone(&server);
+                let mailboxes = mailboxes.clone();
+                let max = config.max_requests_per_conn;
+                std::thread::spawn(move || worker_loop(&job_rx, &server, &mailboxes, max))
+            })
+            .collect();
+
+        let mut shard_threads = Vec::with_capacity(shards);
+        let mut listener = Some(listener);
+        for (id, wake_rx) in wake_readers.into_iter().enumerate() {
+            let shard = Shard::new(
+                id,
+                listener.take(), // shard 0 owns the listener
+                wake_rx,
+                mailboxes.clone(),
+                Arc::clone(&server),
+                injector.clone(),
+                config.clone(),
+                job_tx.clone(),
+                Arc::clone(&active),
+                Arc::clone(&rejected),
+                Arc::clone(&stop),
+            )?;
+            shard_threads.push(std::thread::spawn(move || shard.run()));
+        }
+
+        Ok(ReactorFront {
+            addr: local,
+            stop,
+            mailboxes,
+            shard_threads,
+            worker_threads,
+            job_tx: Some(job_tx),
+            rejected,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections answered `503` because the front was at capacity.
+    pub fn saturation_rejects(&self) -> u64 {
+        // ordering: Relaxed — monotonic statistic; readers want a count,
+        // not a snapshot consistent with other front state.
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Stops every shard and worker and joins them.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        // ordering: Relaxed — the stop flag is a pure loop-exit signal; the
+        // joins below are the happens-before edges for everything else.
+        self.stop.store(true, Ordering::Relaxed);
+        for mailbox in &self.mailboxes {
+            mailbox.wake();
+        }
+        for thread in self.shard_threads.drain(..) {
+            let _ = thread.join();
+        }
+        // Dropping the job sender disconnects the workers' receive loop.
+        drop(self.job_tx.take());
+        for thread in self.worker_threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ReactorFront {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Worker-pool body: serve CGI/latency jobs, deliver completions back to
+/// the owning shard's mailbox, exit when the job channel disconnects.
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    server: &Server,
+    mailboxes: &[Arc<Mailbox>],
+    _max_requests: u32,
+) {
+    loop {
+        // Same shared-receiver pattern as the pool front: one worker waits
+        // on the channel, the rest on the mutex.
+        let job = rx.lock().recv();
+        let Ok(job) = job else {
+            break;
+        };
+        if job.latency_ms > 0 {
+            std::thread::sleep(Duration::from_millis(job.latency_ms));
+        }
+        let response = server.handle_bytes(&job.frame, &job.peer_ip);
+        let keep = job.allow_keep
+            && !matches!(
+                response.status,
+                StatusCode::BadRequest | StatusCode::PayloadTooLarge
+            );
+        if let Some(mailbox) = mailboxes.get(job.shard) {
+            mailbox.push_completion(Completion {
+                slot: job.slot,
+                conn_id: job.conn_id,
+                bytes: response.to_wire(keep),
+                keep,
+            });
+        }
+    }
+}
+
+/// Where a connection is in its request lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Waiting for / reading the request line and headers.
+    ReadHeaders,
+    /// Headers complete; reading the declared body.
+    ReadBody,
+    /// Request handed to the worker pool; awaiting its completion.
+    Dispatched,
+    /// Actively writing the response.
+    Respond,
+    /// Response write hit `WouldBlock`; waiting for writability under a
+    /// write-progress deadline.
+    WriteBackpressure,
+    /// Between requests on a keep-alive connection.
+    KeepAliveIdle,
+    /// Response sent and the connection is closing: read and discard
+    /// whatever the client still has in flight so the close cannot turn
+    /// into a reset that destroys the response (the `503` shed path).
+    Drain,
+}
+
+/// One live connection's state.
+struct Conn {
+    stream: TcpStream,
+    peer_ip: String,
+    slot: usize,
+    /// Identity for worker completions; never reused across conns.
+    conn_id: u64,
+    state: ConnState,
+    carry: Vec<u8>,
+    out: Vec<u8>,
+    written: usize,
+    served: u32,
+    keep_after_write: bool,
+    /// Whole-request deadline armed for the in-progress request.
+    request_armed: bool,
+    /// Timer-wheel generation; bumping it lazily cancels armed entries.
+    generation: u64,
+    /// Currently registered epoll interest mask.
+    interest: u32,
+    /// Peer EOF observed; close once the pending response is written.
+    eof: bool,
+}
+
+/// What to do with a connection after driving it.
+#[derive(PartialEq, Eq)]
+enum Verdict {
+    Keep,
+    Close,
+}
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+/// Transport-level cap on one buffered request (matches the pool front).
+const MAX_BUFFERED_REQUEST: usize = 1 << 22;
+/// How long a `Drain` tail may linger before the socket is dropped.
+const DRAIN_DEADLINE: Duration = Duration::from_millis(250);
+
+/// One reactor shard: an epoll instance, a connection slab, and a timer
+/// wheel, all owned by a single thread.
+struct Shard {
+    id: usize,
+    epoll: Epoll,
+    listener: Option<TcpListener>,
+    wake_rx: UnixStream,
+    mailboxes: Vec<Arc<Mailbox>>,
+    server: Arc<Server>,
+    injector: Option<Arc<dyn FaultInjector>>,
+    config: ReactorConfig,
+    job_tx: Sender<Job>,
+    active: Arc<AtomicU64>,
+    rejected: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    degradation: Option<DegradationState>,
+    degraded_here: bool,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    wheel: TimerWheel,
+    started: Instant,
+    next_conn_id: u64,
+    next_generation: u64,
+    next_shard: usize,
+    accept_backoff: Duration,
+}
+
+impl Shard {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        id: usize,
+        listener: Option<TcpListener>,
+        wake_rx: UnixStream,
+        mailboxes: Vec<Arc<Mailbox>>,
+        server: Arc<Server>,
+        injector: Option<Arc<dyn FaultInjector>>,
+        config: ReactorConfig,
+        job_tx: Sender<Job>,
+        active: Arc<AtomicU64>,
+        rejected: Arc<AtomicU64>,
+        stop: Arc<AtomicBool>,
+    ) -> std::io::Result<Shard> {
+        let epoll = Epoll::new()?;
+        if let Some(l) = &listener {
+            epoll.add(l.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER)?;
+        }
+        epoll.add(wake_rx.as_raw_fd(), sys::EPOLLIN, TOKEN_WAKE)?;
+        let degradation = server.degradation().cloned();
+        Ok(Shard {
+            id,
+            epoll,
+            listener,
+            wake_rx,
+            mailboxes,
+            server,
+            injector,
+            config,
+            job_tx,
+            active,
+            rejected,
+            stop,
+            degradation,
+            degraded_here: false,
+            conns: Vec::new(),
+            free: Vec::new(),
+            wheel: TimerWheel::new(512, Duration::from_millis(20)),
+            started: Instant::now(),
+            next_conn_id: 0,
+            next_generation: 0,
+            next_shard: 0,
+            accept_backoff: Duration::from_millis(1),
+        })
+    }
+
+    fn run(mut self) {
+        let mut events = [sys::EpollEvent { events: 0, data: 0 }; 256];
+        let mut fired: Vec<TimerEntry> = Vec::new();
+        loop {
+            // ordering: Relaxed — loop-exit signal only; the front joins
+            // the shard threads, which is the real happens-before edge.
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let timeout_ms: i32 = if self.wheel.is_empty() { 250 } else { 20 };
+            let n = self.epoll.wait(&mut events, timeout_ms);
+            for ev in events.iter().take(n) {
+                let (bits, token) = (ev.events, ev.data);
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.drain_wake(),
+                    slot => self.conn_event(slot as usize, bits),
+                }
+            }
+            let now = self.wheel.tick_for(self.started.elapsed());
+            fired.clear();
+            self.wheel.advance(now, &mut fired);
+            for entry in &fired {
+                self.deadline_fired(entry);
+            }
+        }
+        // Shutdown: close everything this shard owns.
+        for slot in 0..self.conns.len() {
+            if let Some(conn) = self.conns[slot].take() {
+                self.discard(conn);
+            }
+        }
+    }
+
+    // ---- accept path -------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            // ordering: Relaxed — loop-exit signal only; see `run`.
+            if self.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    self.accept_backoff = Duration::from_millis(1);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // ordering: Relaxed — admission control is a bounded
+                    // heuristic; an off-by-a-few race on the count only
+                    // sheds (or admits) a connection one accept early/late.
+                    if self.active.load(Ordering::Relaxed) >= self.config.max_connections as u64 {
+                        self.shed(stream, peer);
+                        continue;
+                    }
+                    // ordering: Relaxed — monotonic count; see above.
+                    self.active.fetch_add(1, Ordering::Relaxed);
+                    self.recover();
+                    let target = self.next_shard % self.mailboxes.len();
+                    self.next_shard = self.next_shard.wrapping_add(1);
+                    if target == self.id {
+                        self.register_conn(stream, peer);
+                    } else if let Some(mailbox) = self.mailboxes.get(target) {
+                        mailbox.push_conn(stream, peer);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) => {
+                    // Transient accept failure (EMFILE, ECONNABORTED, …):
+                    // audit, back off briefly, let level-triggered epoll
+                    // re-report readiness — the listener must survive
+                    // resource spikes.
+                    self.mark_degraded(&format!("accept error: {e}"));
+                    std::thread::sleep(self.accept_backoff);
+                    self.accept_backoff = (self.accept_backoff * 2).min(Duration::from_millis(100));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// At capacity: answer `503` immediately, then keep the socket in
+    /// `Drain` briefly so unread request bytes cannot turn the close into
+    /// a reset that destroys the response.
+    fn shed(&mut self, stream: TcpStream, peer: SocketAddr) {
+        // ordering: Relaxed — monotonic statistic.
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.mark_degraded("connection limit reached");
+        // ordering: Relaxed — the drained socket still counts against the
+        // cap until it is released; monotonic count.
+        self.active.fetch_add(1, Ordering::Relaxed);
+        let slot = self.register_conn(stream, peer);
+        let Some(slot) = slot else { return };
+        let Some(mut conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        conn.out = HttpResponse::with_status(StatusCode::ServiceUnavailable).to_wire(false);
+        conn.keep_after_write = false;
+        self.park_draining(conn);
+    }
+
+    // ---- registration & teardown ------------------------------------
+
+    /// Installs a connection in the slab and epoll; arms the pre-request
+    /// idle deadline. Returns the slot, or `None` if registration failed
+    /// (the connection is discarded and the count released).
+    fn register_conn(&mut self, stream: TcpStream, peer: SocketAddr) -> Option<usize> {
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        };
+        let fd = stream.as_raw_fd();
+        self.next_conn_id += 1;
+        let mut conn = Conn {
+            stream,
+            peer_ip: peer.ip().to_string(),
+            slot,
+            conn_id: self.next_conn_id,
+            state: ConnState::ReadHeaders,
+            carry: Vec::new(),
+            out: Vec::new(),
+            written: 0,
+            served: 0,
+            keep_after_write: false,
+            request_armed: false,
+            generation: 0,
+            interest: sys::EPOLLIN,
+            eof: false,
+        };
+        if self.epoll.add(fd, sys::EPOLLIN, slot as u64).is_err() {
+            self.free.push(slot);
+            // ordering: Relaxed — monotonic count release.
+            self.active.fetch_sub(1, Ordering::Relaxed);
+            return None;
+        }
+        self.arm(&mut conn, self.config.idle_deadline);
+        self.conns[slot] = Some(conn);
+        Some(slot)
+    }
+
+    /// Puts a live connection back into its slab slot.
+    fn park(&mut self, conn: Conn) {
+        let slot = conn.slot;
+        if slot < self.conns.len() {
+            self.conns[slot] = Some(conn);
+        }
+    }
+
+    /// Closes a connection and releases its slot and admission count.
+    fn discard(&mut self, conn: Conn) {
+        self.epoll.delete(conn.stream.as_raw_fd());
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        if conn.slot < self.conns.len() {
+            self.free.push(conn.slot);
+        }
+        // ordering: Relaxed — monotonic count release.
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    // ---- timers ------------------------------------------------------
+
+    /// Arms (re-arms) the connection's single deadline `delay` from now.
+    /// The old entry, if any, is lazily cancelled by the generation bump.
+    fn arm(&mut self, conn: &mut Conn, delay: Duration) {
+        self.next_generation += 1;
+        conn.generation = self.next_generation;
+        let deadline = self.wheel.tick_for(self.started.elapsed() + delay);
+        self.wheel
+            .schedule(conn.slot as u64, conn.generation, deadline);
+    }
+
+    /// Disarms the connection's deadline (lazy: the stale entry fires into
+    /// a generation mismatch and is ignored).
+    fn disarm(&mut self, conn: &mut Conn) {
+        self.next_generation += 1;
+        conn.generation = self.next_generation;
+    }
+
+    fn deadline_fired(&mut self, entry: &TimerEntry) {
+        let slot = entry.token as usize;
+        let stale = self
+            .conns
+            .get(slot)
+            .and_then(Option::as_ref)
+            .is_none_or(|conn| conn.generation != entry.generation);
+        if stale {
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        // Whatever state the deadline caught it in — a half-trickled
+        // request, an idle keep-alive gap, a stalled response write, or a
+        // lingering drain — the connection is cut. This is the whole-request
+        // deadline the per-read timeout reset could never provide.
+        self.discard(conn);
+    }
+
+    // ---- wake pipe ---------------------------------------------------
+
+    fn drain_wake(&mut self) {
+        let mut sink = [0u8; 64];
+        loop {
+            match (&self.wake_rx).read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        let (conns, completions) = {
+            let mailbox = match self.mailboxes.get(self.id) {
+                Some(m) => m,
+                None => return,
+            };
+            let mut state = mailbox.inbox.lock();
+            (
+                std::mem::take(&mut state.conns),
+                std::mem::take(&mut state.completions),
+            )
+        };
+        for (stream, peer) in conns {
+            self.register_conn(stream, peer);
+        }
+        for completion in completions {
+            self.apply_completion(completion);
+        }
+    }
+
+    fn apply_completion(&mut self, completion: Completion) {
+        let matches = self
+            .conns
+            .get(completion.slot)
+            .and_then(Option::as_ref)
+            .is_some_and(|conn| {
+                conn.conn_id == completion.conn_id && conn.state == ConnState::Dispatched
+            });
+        if !matches {
+            return; // connection died while the worker ran
+        }
+        let Some(mut conn) = self.conns.get_mut(completion.slot).and_then(Option::take) else {
+            return;
+        };
+        conn.out = completion.bytes;
+        conn.written = 0;
+        conn.keep_after_write = completion.keep;
+        conn.state = ConnState::Respond;
+        let verdict = self.pump(&mut conn);
+        match verdict {
+            Verdict::Keep => self.park(conn),
+            Verdict::Close => self.discard(conn),
+        }
+    }
+
+    // ---- connection events -------------------------------------------
+
+    fn conn_event(&mut self, slot: usize, bits: u32) {
+        let Some(mut conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        let verdict = self.drive(&mut conn, bits);
+        match verdict {
+            Verdict::Keep => self.park(conn),
+            Verdict::Close => self.discard(conn),
+        }
+    }
+
+    fn drive(&mut self, conn: &mut Conn, bits: u32) -> Verdict {
+        if bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0 && conn.state != ConnState::Drain {
+            return Verdict::Close;
+        }
+        if conn.state == ConnState::Drain {
+            return self.drain_some(conn);
+        }
+        if bits & sys::EPOLLIN != 0
+            && matches!(
+                conn.state,
+                ConnState::ReadHeaders | ConnState::ReadBody | ConnState::KeepAliveIdle
+            )
+        {
+            if self.read_some(conn) == Verdict::Close {
+                return Verdict::Close;
+            }
+            return self.pump(conn);
+        }
+        if bits & sys::EPOLLOUT != 0
+            && matches!(
+                conn.state,
+                ConnState::Respond | ConnState::WriteBackpressure
+            )
+        {
+            return self.pump(conn);
+        }
+        Verdict::Keep
+    }
+
+    /// Reads whatever the socket holds into `carry`. Arms the
+    /// whole-request deadline when the first byte of a new request
+    /// arrives — and **never re-arms it on subsequent reads**, which is
+    /// exactly the fix for the pool front's resetting per-read timeout.
+    fn read_some(&mut self, conn: &mut Conn) -> Verdict {
+        let mut chunk = [0u8; 16384];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.eof = true;
+                    if conn.carry.is_empty() && conn.out.is_empty() {
+                        return Verdict::Close;
+                    }
+                    return Verdict::Keep;
+                }
+                Ok(n) => {
+                    if conn.carry.is_empty() && !conn.request_armed {
+                        // First byte of a new request: start the
+                        // whole-request clock.
+                        conn.request_armed = true;
+                        conn.state = ConnState::ReadHeaders;
+                        self.arm(conn, self.config.request_deadline);
+                    }
+                    conn.carry.extend_from_slice(&chunk[..n]);
+                    if conn.carry.len() > MAX_BUFFERED_REQUEST {
+                        return Verdict::Keep; // pump hands it to the parser
+                    }
+                    if n < chunk.len() {
+                        // Short read: the socket buffer is drained. The
+                        // registration is level-triggered, so if more bytes
+                        // race in, the next epoll_wait reports the fd again
+                        // — no need to pay a read() just to see EAGAIN.
+                        return Verdict::Keep;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Verdict::Keep,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Verdict::Close,
+            }
+        }
+    }
+
+    /// Advances the state machine as far as it can go without waiting:
+    /// writes pending response bytes, then frames and serves buffered
+    /// requests (pipelining), then settles into a reading or idle state.
+    fn pump(&mut self, conn: &mut Conn) -> Verdict {
+        loop {
+            match conn.state {
+                ConnState::Respond | ConnState::WriteBackpressure => {
+                    match self.write_some(conn) {
+                        Verdict::Close => return Verdict::Close,
+                        Verdict::Keep => {
+                            if conn.state == ConnState::WriteBackpressure {
+                                return Verdict::Keep; // waiting for EPOLLOUT
+                            }
+                            // Response fully written.
+                            if !conn.keep_after_write {
+                                return Verdict::Close;
+                            }
+                            conn.state = ConnState::KeepAliveIdle;
+                        }
+                    }
+                }
+                ConnState::Dispatched => return Verdict::Keep,
+                ConnState::Drain => return self.drain_some(conn),
+                ConnState::ReadHeaders | ConnState::ReadBody | ConnState::KeepAliveIdle => {
+                    let oversize = conn.carry.len() > MAX_BUFFERED_REQUEST;
+                    if let Some(len) = frame_len(&conn.carry) {
+                        let rest = conn.carry.split_off(len);
+                        let frame = std::mem::replace(&mut conn.carry, rest);
+                        match self.begin_request(conn, frame) {
+                            Verdict::Close => return Verdict::Close,
+                            Verdict::Keep => continue,
+                        }
+                    } else if oversize || (conn.eof && !conn.carry.is_empty()) {
+                        // Transport cap hit, or EOF mid-request: hand the
+                        // partial frame to the parser (it answers 400/413)
+                        // and close after the response.
+                        let frame = std::mem::take(&mut conn.carry);
+                        let forced = self.begin_request_inline(conn, frame, false);
+                        match forced {
+                            Verdict::Close => return Verdict::Close,
+                            Verdict::Keep => continue,
+                        }
+                    } else if conn.eof {
+                        return Verdict::Close;
+                    } else if conn.carry.is_empty() {
+                        // Between requests: the (shorter) idle deadline
+                        // bounds the gap until the next first byte.
+                        conn.state = ConnState::KeepAliveIdle;
+                        conn.request_armed = false;
+                        self.arm(conn, self.config.idle_deadline);
+                        return self.want(conn, sys::EPOLLIN);
+                    } else {
+                        conn.state = if headers_complete(&conn.carry) {
+                            ConnState::ReadBody
+                        } else {
+                            ConnState::ReadHeaders
+                        };
+                        if !conn.request_armed {
+                            // A pipelined partial rode in behind the previous
+                            // response: its whole-request clock starts now —
+                            // and is never reset by later reads.
+                            conn.request_armed = true;
+                            self.arm(conn, self.config.request_deadline);
+                        }
+                        return self.want(conn, sys::EPOLLIN);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serves one framed request: consults the fault injector, then either
+    /// dispatches to the worker pool (CGI / blocking faults) or handles it
+    /// inline on the shard.
+    fn begin_request(&mut self, conn: &mut Conn, frame: Vec<u8>) -> Verdict {
+        let fault = self
+            .injector
+            .as_deref()
+            .and_then(|i| i.fault_at(FaultSite::Tcp));
+        let latency_ms = match fault {
+            Some(Fault::Error | Fault::Panic) => {
+                // Chaos: reset mid-request — request consumed, no response.
+                return Verdict::Close;
+            }
+            Some(Fault::Latency(ms) | Fault::Hang(ms)) => ms,
+            _ => 0,
+        };
+        conn.served += 1;
+        let allow_keep =
+            conn.served < self.config.max_requests_per_conn && wants_keep_alive(&frame);
+        let heavy = latency_ms > 0 || targets_cgi(&frame);
+        if heavy && self.config.workers > 0 {
+            // CGI and blocking faults go to the worker pool; the shard
+            // stays free to serve other connections meanwhile.
+            conn.state = ConnState::Dispatched;
+            // Server-side work is not client-controlled: the request
+            // deadline stops at dispatch.
+            self.disarm(conn);
+            conn.request_armed = false;
+            let job = Job {
+                shard: self.id,
+                slot: conn.slot,
+                conn_id: conn.conn_id,
+                frame,
+                peer_ip: conn.peer_ip.clone(),
+                latency_ms,
+                allow_keep,
+            };
+            if self.job_tx.send(job).is_err() {
+                return Verdict::Close; // workers are gone: shutting down
+            }
+            return self.want(conn, 0);
+        }
+        if latency_ms > 0 {
+            // No worker pool configured: block inline like the pool front.
+            std::thread::sleep(Duration::from_millis(latency_ms));
+        }
+        self.begin_request_inline(conn, frame, allow_keep)
+    }
+
+    /// Inline request service on the shard thread (the common path).
+    fn begin_request_inline(
+        &mut self,
+        conn: &mut Conn,
+        frame: Vec<u8>,
+        allow_keep: bool,
+    ) -> Verdict {
+        let response = self.server.handle_bytes(&frame, &conn.peer_ip);
+        let keep = allow_keep
+            && !matches!(
+                response.status,
+                StatusCode::BadRequest | StatusCode::PayloadTooLarge
+            );
+        conn.out = response.to_wire(keep);
+        conn.written = 0;
+        conn.keep_after_write = keep;
+        conn.request_armed = false;
+        self.disarm(conn);
+        conn.state = ConnState::Respond;
+        Verdict::Keep
+    }
+
+    /// Writes as much of `out` as the socket accepts. Leaves the state at
+    /// `Respond` when the buffer emptied, `WriteBackpressure` (with
+    /// `EPOLLOUT` armed and a write deadline) when the socket filled.
+    fn write_some(&mut self, conn: &mut Conn) -> Verdict {
+        while conn.written < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.written..]) {
+                Ok(0) => return Verdict::Close,
+                Ok(n) => conn.written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if conn.state == ConnState::Drain {
+                        // Stay draining; the drain deadline bounds the
+                        // stalled flush instead of the write deadline.
+                        return self.want(conn, sys::EPOLLIN | sys::EPOLLOUT);
+                    }
+                    conn.state = ConnState::WriteBackpressure;
+                    self.arm(conn, self.config.write_deadline);
+                    return self.want(conn, sys::EPOLLOUT);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Verdict::Close,
+            }
+        }
+        conn.out.clear();
+        conn.written = 0;
+        if conn.state == ConnState::Drain {
+            return Verdict::Keep;
+        }
+        conn.state = ConnState::Respond; // "fully written" marker for pump
+        Verdict::Keep
+    }
+
+    /// `Drain` tail: discard inbound bytes until EOF (or the drain
+    /// deadline fires) so closing cannot reset out the shed response.
+    fn drain_some(&mut self, conn: &mut Conn) -> Verdict {
+        // Finish flushing the 503 if backpressure interrupted it.
+        if conn.written < conn.out.len() && self.write_some(conn) == Verdict::Close {
+            return Verdict::Close;
+        }
+        let mut sink = [0u8; 4096];
+        loop {
+            match conn.stream.read(&mut sink) {
+                Ok(0) => return Verdict::Close, // client saw the response
+                Ok(_) => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Verdict::Keep,
+                Err(_) => return Verdict::Close,
+            }
+        }
+    }
+
+    /// Moves a freshly-shed connection into `Drain` with its short
+    /// deadline, or closes it if the response is already refused.
+    fn park_draining(&mut self, mut conn: Conn) {
+        conn.state = ConnState::Drain;
+        self.arm(&mut conn, DRAIN_DEADLINE);
+        if self.want(&mut conn, sys::EPOLLIN) == Verdict::Close {
+            self.discard(conn);
+            return;
+        }
+        match self.drain_some(&mut conn) {
+            Verdict::Keep => self.park(conn),
+            Verdict::Close => self.discard(conn),
+        }
+    }
+
+    /// Updates the connection's epoll interest mask if it changed.
+    fn want(&mut self, conn: &mut Conn, events: u32) -> Verdict {
+        if conn.interest == events {
+            return Verdict::Keep;
+        }
+        conn.interest = events;
+        match self
+            .epoll
+            .modify(conn.stream.as_raw_fd(), events, conn.slot as u64)
+        {
+            Ok(()) => Verdict::Keep,
+            Err(_) => Verdict::Close,
+        }
+    }
+
+    // ---- degradation bookkeeping ------------------------------------
+
+    fn mark_degraded(&mut self, reason: &str) {
+        if !self.degraded_here {
+            self.degraded_here = true;
+            if let Some(d) = &self.degradation {
+                d.mark_degraded(Component::Frontend, reason, SystemClock::new().now());
+            }
+        }
+    }
+
+    fn recover(&mut self) {
+        if self.degraded_here {
+            self.degraded_here = false;
+            if let Some(d) = &self.degradation {
+                d.mark_recovered(Component::Frontend, SystemClock::new().now());
+            }
+        }
+    }
+}
+
+/// True when the buffered head already contains the `\r\n\r\n` terminator.
+fn headers_complete(carry: &[u8]) -> bool {
+    carry.windows(4).any(|w| w == b"\r\n\r\n")
+}
+
+/// True when the request line targets the CGI tree — those requests run on
+/// the worker pool instead of the reactor shard.
+fn targets_cgi(frame: &[u8]) -> bool {
+    let line_end = frame
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .unwrap_or(frame.len());
+    let line = &frame[..line_end];
+    let mut parts = line.split(|&b| b == b' ').filter(|p| !p.is_empty());
+    let _method = parts.next();
+    matches!(parts.next(), Some(path) if path.starts_with(b"/cgi-bin/"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::AccessControl;
+    use crate::tcp::send_raw;
+    use crate::vfs::Vfs;
+
+    fn open_server() -> Arc<Server> {
+        Arc::new(Server::new(Vfs::default_site(), AccessControl::Open))
+    }
+
+    fn spawn_default() -> ReactorFront {
+        ReactorFront::spawn("127.0.0.1:0", open_server()).unwrap()
+    }
+
+    /// Reads one response (headers + content-length body) off a persistent
+    /// connection, carrying pipelined surplus over in `carry`.
+    fn read_one_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Vec<u8> {
+        let mut chunk = [0u8; 2048];
+        loop {
+            if let Some(len) = frame_len(carry) {
+                let rest = carry.split_off(len);
+                return std::mem::replace(carry, rest);
+            }
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed mid-response");
+            carry.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    #[test]
+    fn serves_real_sockets() {
+        let front = spawn_default();
+        let addr = front.addr();
+        let response = send_raw(addr, b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let text = String::from_utf8_lossy(&response);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("Welcome"));
+        let response = send_raw(addr, b"GET /missing HTTP/1.1\r\n\r\n").unwrap();
+        assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 404"));
+        front.stop();
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        let front = spawn_default();
+        let mut stream = TcpStream::connect(front.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut carry = Vec::new();
+        for i in 0..5 {
+            stream
+                .write_all(b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n")
+                .unwrap();
+            let response = read_one_response(&mut stream, &mut carry);
+            let text = String::from_utf8_lossy(&response);
+            assert!(text.starts_with("HTTP/1.1 200 OK"), "request {i}: {text}");
+            assert!(text.contains("connection: keep-alive"), "request {i}");
+        }
+        stream
+            .write_all(b"GET /index.html HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let response = read_one_response(&mut stream, &mut carry);
+        assert!(String::from_utf8_lossy(&response).contains("connection: close"));
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "server must close after connection: close");
+        front.stop();
+    }
+
+    #[test]
+    fn pipelined_requests_are_each_answered() {
+        let front = spawn_default();
+        let mut stream = TcpStream::connect(front.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream
+            .write_all(
+                b"GET /index.html HTTP/1.1\r\n\r\nGET /docs/page1.html HTTP/1.1\r\nConnection: close\r\n\r\n",
+            )
+            .unwrap();
+        let mut carry = Vec::new();
+        let first = read_one_response(&mut stream, &mut carry);
+        assert!(String::from_utf8_lossy(&first).contains("Welcome"));
+        let second = read_one_response(&mut stream, &mut carry);
+        assert!(String::from_utf8_lossy(&second).contains("Documentation page 1"));
+        front.stop();
+    }
+
+    #[test]
+    fn cgi_requests_run_on_the_worker_pool() {
+        let front = spawn_default();
+        let raw = b"POST /cgi-bin/test-cgi HTTP/1.1\r\ncontent-length: 7\r\n\r\npayload";
+        let response = send_raw(front.addr(), raw).unwrap();
+        let text = String::from_utf8_lossy(&response);
+        assert!(text.contains("QUERY_STRING = payload"), "{text}");
+        // Keep-alive across a dispatched CGI request also works.
+        let mut stream = TcpStream::connect(front.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut carry = Vec::new();
+        for _ in 0..2 {
+            stream
+                .write_all(b"GET /cgi-bin/test-cgi HTTP/1.1\r\nHost: t\r\n\r\n")
+                .unwrap();
+            let response = read_one_response(&mut stream, &mut carry);
+            assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 200"));
+        }
+        front.stop();
+    }
+
+    #[test]
+    fn at_capacity_new_connections_are_shed_with_a_readable_503() {
+        let config = ReactorConfig {
+            max_connections: 1,
+            ..ReactorConfig::default()
+        };
+        let front = ReactorFront::spawn_with("127.0.0.1:0", open_server(), config, None).unwrap();
+        let addr = front.addr();
+        // Occupy the only admitted slot with an idle keep-alive connection.
+        let mut holder = TcpStream::connect(addr).unwrap();
+        holder
+            .write_all(b"GET /index.html HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let mut carry = Vec::new();
+        holder
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let _ = read_one_response(&mut holder, &mut carry);
+        // Every further client must *read* a 503, even with its request
+        // bytes still unread in the socket when the shed path answers.
+        for _ in 0..4 {
+            let response = send_raw(
+                addr,
+                b"POST /index.html HTTP/1.1\r\nContent-Length: 8\r\n\r\n01234567",
+            )
+            .unwrap();
+            assert!(
+                String::from_utf8_lossy(&response).starts_with("HTTP/1.1 503"),
+                "shed client must observe the 503"
+            );
+        }
+        assert!(front.saturation_rejects() >= 4);
+        front.stop();
+    }
+
+    #[test]
+    fn slow_writer_is_cut_at_the_whole_request_deadline() {
+        let config = ReactorConfig {
+            request_deadline: Duration::from_millis(500),
+            idle_deadline: Duration::from_secs(30),
+            ..ReactorConfig::default()
+        };
+        let front = ReactorFront::spawn_with("127.0.0.1:0", open_server(), config, None).unwrap();
+        let started = Instant::now();
+        let mut slow = TcpStream::connect(front.addr()).unwrap();
+        slow.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        // Dribble a never-completing request; the whole-request deadline
+        // must cut the connection no matter how often bytes arrive.
+        let mut buf = [0u8; 256];
+        let mut closed = false;
+        for byte in b"GET / HTTP/1.1" {
+            if slow.write_all(&[*byte]).is_err() {
+                closed = true;
+                break;
+            }
+            match slow.read(&mut buf) {
+                Ok(0) => {
+                    closed = true;
+                    break;
+                }
+                Ok(_) => unreachable!("no response expected for a partial request"),
+                Err(_) => {} // read timeout: keep dribbling
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        // A final read observes the close if a write didn't.
+        if !closed {
+            slow.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+            closed = matches!(slow.read(&mut buf), Ok(0) | Err(_));
+        }
+        let elapsed = started.elapsed();
+        assert!(closed, "slow connection must be cut");
+        assert!(
+            elapsed >= Duration::from_millis(400) && elapsed < Duration::from_secs(5),
+            "cut must land near the 500ms whole-request deadline, took {elapsed:?}"
+        );
+        front.stop();
+    }
+
+    #[test]
+    fn idle_connections_are_cut_at_the_idle_deadline() {
+        let config = ReactorConfig {
+            idle_deadline: Duration::from_millis(300),
+            ..ReactorConfig::default()
+        };
+        let front = ReactorFront::spawn_with("127.0.0.1:0", open_server(), config, None).unwrap();
+        let mut idle = TcpStream::connect(front.addr()).unwrap();
+        idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let started = Instant::now();
+        let mut buf = [0u8; 64];
+        let n = idle.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "idle connection must see EOF, not data");
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "idle cut must land near the 300ms deadline"
+        );
+        front.stop();
+    }
+
+    #[test]
+    fn injected_reset_drops_the_connection_then_recovers() {
+        use gaa_faults::{Fault, FaultPlan, FaultSite};
+        let plan = FaultPlan::builder(7)
+            .fail_nth(FaultSite::Tcp, 0, Fault::Error)
+            .build();
+        let front = ReactorFront::spawn_with(
+            "127.0.0.1:0",
+            open_server(),
+            ReactorConfig::default(),
+            Some(Arc::new(plan)),
+        )
+        .unwrap();
+        let addr = front.addr();
+        let response = send_raw(addr, b"GET /index.html HTTP/1.1\r\n\r\n");
+        let empty = match response {
+            Ok(bytes) => bytes.is_empty(),
+            Err(_) => true, // a hard reset may also surface as an I/O error
+        };
+        assert!(empty, "reset connection must not deliver a response");
+        let response = send_raw(addr, b"GET /index.html HTTP/1.1\r\n\r\n").unwrap();
+        assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 200"));
+        front.stop();
+    }
+
+    #[test]
+    fn multiple_shards_share_the_accepted_load() {
+        let config = ReactorConfig {
+            shards: 2,
+            ..ReactorConfig::default()
+        };
+        let front = ReactorFront::spawn_with("127.0.0.1:0", open_server(), config, None).unwrap();
+        // Round-robin puts consecutive connections on different shards;
+        // all of them must serve.
+        for i in 0..6 {
+            let response =
+                send_raw(front.addr(), b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            assert!(
+                String::from_utf8_lossy(&response).starts_with("HTTP/1.1 200"),
+                "connection {i} failed"
+            );
+        }
+        front.stop();
+    }
+
+    #[test]
+    fn stop_joins_promptly() {
+        let front = spawn_default();
+        // Leave a live keep-alive connection behind: stop must not hang.
+        let mut stream = TcpStream::connect(front.addr()).unwrap();
+        stream
+            .write_all(b"GET /index.html HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let started = Instant::now();
+        front.stop();
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "stop must join shards and workers promptly, took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_not_buffered_forever() {
+        let front = spawn_default();
+        let mut stream = TcpStream::connect(front.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Headers that never end, larger than the transport cap.
+        let filler = vec![b'a'; 1 << 20];
+        let mut sent = 0usize;
+        let _ = stream.write_all(b"GET / HTTP/1.1\r\n");
+        while sent <= (1 << 22) + (1 << 20) {
+            if stream.write_all(&filler).is_err() {
+                break; // server already cut us off: also acceptable
+            }
+            sent += filler.len();
+        }
+        let mut response = Vec::new();
+        let _ = stream.read_to_end(&mut response);
+        let text = String::from_utf8_lossy(&response);
+        assert!(
+            response.is_empty()
+                || text.starts_with("HTTP/1.1 400")
+                || text.starts_with("HTTP/1.1 413"),
+            "oversized request must be rejected, got: {:?}",
+            &text[..text.len().min(80)]
+        );
+        front.stop();
+    }
+}

@@ -24,11 +24,11 @@ use gaa_faults::{Fault, FaultInjector, FaultSite};
 // checker can schedule and log it (zero-cost passthrough in normal builds).
 use gaa_race::sync::{AtomicBool, AtomicU64, Mutex};
 use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning for the worker-pool front.
 #[derive(Debug, Clone)]
@@ -42,6 +42,12 @@ pub struct PoolConfig {
     /// Socket read deadline — an idle keep-alive connection is dropped
     /// after this long.
     pub read_timeout: Duration,
+    /// Whole-request deadline: total time allowed from a request's first
+    /// byte to its complete frame. Unlike `read_timeout` (which bounds a
+    /// single `read` and therefore resets on every delivered byte), this
+    /// clock runs across reads, so a client trickling one byte per second
+    /// cannot hold a worker forever.
+    pub request_deadline: Duration,
 }
 
 impl Default for PoolConfig {
@@ -51,6 +57,7 @@ impl Default for PoolConfig {
             queue_depth: 64,
             max_requests_per_conn: 100,
             read_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(10),
         }
     }
 }
@@ -225,8 +232,20 @@ impl TcpFront {
         // would cost a fence per accept-loop iteration for nothing.
         self.stop.store(true, Ordering::Relaxed);
         // The accept thread blocks in accept(); a throwaway connection
-        // unblocks it so it can observe the stop flag.
-        let _ = TcpStream::connect(self.addr);
+        // unblocks it so it can observe the stop flag. Under a wildcard
+        // bind the local address is 0.0.0.0/[::], which is not a
+        // connectable destination everywhere — aim at loopback instead.
+        let wake = if self.addr.ip().is_unspecified() {
+            let loopback: IpAddr = if self.addr.is_ipv4() {
+                IpAddr::V4(Ipv4Addr::LOCALHOST)
+            } else {
+                IpAddr::V6(Ipv6Addr::LOCALHOST)
+            };
+            SocketAddr::new(loopback, self.addr.port())
+        } else {
+            self.addr
+        };
+        let _ = TcpStream::connect(wake);
         if let Some(thread) = self.accept_thread.take() {
             let _ = thread.join();
         }
@@ -349,6 +368,22 @@ fn accept_loop(
 
 fn respond_and_close(mut stream: TcpStream, response: &HttpResponse) {
     let _ = stream.write_all(&response.to_wire(false));
+    let _ = stream.flush();
+    // Half-close the write side, then briefly drain whatever request bytes
+    // the client already sent. An immediate `shutdown(Both)` (or drop) with
+    // unread inbound data pending makes Linux send RST instead of FIN, and
+    // the reset discards the response still sitting in the send buffer —
+    // shed clients would see a connection error instead of their 503.
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut sink = [0u8; 4096];
+    for _ in 0..8 {
+        match stream.read(&mut sink) {
+            Ok(0) => break,    // client saw the response and closed
+            Ok(_) => continue, // discard late request bytes
+            Err(_) => break,   // timeout or reset: we tried, close now
+        }
+    }
     let _ = stream.shutdown(Shutdown::Both);
 }
 
@@ -391,12 +426,17 @@ fn serve_pool_connection(
     config: &PoolConfig,
     stop: &AtomicBool,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(config.read_timeout))?;
     let mut carry: Vec<u8> = Vec::new();
     let mut served = 0u32;
     // ordering: Relaxed — loop-exit signal only; see `shutdown()`.
     while served < config.max_requests_per_conn && !stop.load(Ordering::Relaxed) {
-        let Some(frame) = read_request_frame(&mut stream, &mut carry)? else {
+        let Some((frame, complete)) = read_request_frame(
+            &mut stream,
+            &mut carry,
+            config.read_timeout,
+            config.request_deadline,
+        )?
+        else {
             break; // clean EOF / idle timeout with nothing buffered
         };
         // Chaos hook: the connection may be reset mid-request (after the
@@ -413,9 +453,13 @@ fn serve_pool_connection(
         }
         let response = server.handle_bytes(&frame, peer_ip);
         served += 1;
-        // A parse-level failure leaves the connection's framing suspect:
-        // close rather than guess where the next request starts.
-        let keep = served < config.max_requests_per_conn
+        // A parse-level failure or a truncated frame leaves the
+        // connection's framing suspect: close rather than guess where the
+        // next request starts. Gating on `complete` also denies a slow
+        // writer a second whole-request deadline window when its partial
+        // happens to parse cleanly.
+        let keep = complete
+            && served < config.max_requests_per_conn
             && !matches!(
                 response.status,
                 StatusCode::BadRequest | StatusCode::PayloadTooLarge
@@ -439,9 +483,14 @@ fn serve_one_request(
     injector: Option<&dyn FaultInjector>,
     read_timeout: Duration,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(read_timeout))?;
     let mut carry: Vec<u8> = Vec::new();
-    let Some(frame) = read_request_frame(&mut stream, &mut carry)? else {
+    let Some((frame, _complete)) = read_request_frame(
+        &mut stream,
+        &mut carry,
+        read_timeout,
+        PoolConfig::default().request_deadline,
+    )?
+    else {
         return Ok(());
     };
     match injector.and_then(|i| i.fault_at(FaultSite::Tcp)) {
@@ -462,25 +511,53 @@ fn serve_one_request(
 /// Reads one framed request (headers + declared body) into a buffer,
 /// carrying any pipelined surplus over to the next call.
 ///
-/// Returns `Ok(None)` on clean EOF or idle timeout with nothing buffered;
-/// a partial request interrupted by EOF/timeout is returned as-is so the
-/// parser can reject it (the original front behaved the same way).
+/// Returns `Ok(None)` on clean EOF or idle timeout with nothing buffered.
+/// A partial request interrupted by EOF/timeout/deadline is returned with
+/// `complete == false` so the parser can answer it — and the caller must
+/// then close: a lenient parser may *accept* a truncated frame (a valid
+/// request line plus an unterminated header still parses), and keeping
+/// such a connection alive would hand a slow-writing client a fresh
+/// deadline window per cycle.
+///
+/// `read_timeout` bounds each individual `read` (idle detection);
+/// `request_deadline` bounds the *whole* request, measured from its first
+/// byte across reads. The per-read socket timeout is re-derived before
+/// every read as `min(read_timeout, deadline remaining)`, so a client
+/// trickling one byte at a time keeps resetting the former but can never
+/// stretch the latter.
 fn read_request_frame(
     stream: &mut TcpStream,
     carry: &mut Vec<u8>,
-) -> std::io::Result<Option<Vec<u8>>> {
+    read_timeout: Duration,
+    request_deadline: Duration,
+) -> std::io::Result<Option<(Vec<u8>, bool)>> {
     let mut chunk = [0u8; 4096];
+    // A nonempty carry is a pipelined partial: its request is already in
+    // flight, so its clock starts now rather than at the first byte read.
+    let mut request_started: Option<Instant> = (!carry.is_empty()).then(Instant::now);
     loop {
         if let Some(len) = frame_len(carry) {
             let rest = carry.split_off(len);
             let frame = std::mem::replace(carry, rest);
-            return Ok(Some(frame));
+            return Ok(Some((frame, true)));
         }
         if carry.len() > 1 << 22 {
             // Absolute transport cap: hand the server what we have (it
             // answers 400/413) rather than buffering without bound.
-            return Ok(Some(std::mem::take(carry)));
+            return Ok(Some((std::mem::take(carry), false)));
         }
+        let per_read = match request_started {
+            Some(started) => {
+                match request_deadline.checked_sub(started.elapsed()) {
+                    // Whole-request deadline exhausted: hand the partial to
+                    // the parser and free the worker.
+                    None => return Ok(Some((std::mem::take(carry), false))),
+                    Some(remaining) => read_timeout.min(remaining),
+                }
+            }
+            None => read_timeout,
+        };
+        stream.set_read_timeout(Some(per_read.max(Duration::from_millis(1))))?;
         let n = match stream.read(&mut chunk) {
             Ok(n) => n,
             Err(e)
@@ -497,7 +574,12 @@ fn read_request_frame(
             if carry.is_empty() {
                 return Ok(None);
             }
-            return Ok(Some(std::mem::take(carry)));
+            return Ok(Some((std::mem::take(carry), false)));
+        }
+        if request_started.is_none() {
+            // First byte of a new request: the whole-request clock starts
+            // here and is never reset by later reads.
+            request_started = Some(Instant::now());
         }
         carry.extend_from_slice(&chunk[..n]);
     }
@@ -507,7 +589,7 @@ fn read_request_frame(
 /// complete request, else `None`. The `Content-Length` read here is
 /// *framing only* — lenient, first parseable copy — the strict parser
 /// re-validates it before any handler sees the request.
-fn frame_len(buf: &[u8]) -> Option<usize> {
+pub(crate) fn frame_len(buf: &[u8]) -> Option<usize> {
     let header_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
     let head = String::from_utf8_lossy(&buf[..header_end]);
     let content_length = head
@@ -525,7 +607,11 @@ fn frame_len(buf: &[u8]) -> Option<usize> {
 
 /// HTTP/1.x connection-persistence defaults: 1.1 keeps alive unless
 /// `connection: close`; 1.0 closes unless `connection: keep-alive`.
-fn wants_keep_alive(raw: &[u8]) -> bool {
+///
+/// The `Connection` header is a comma-separated token list; only an
+/// *exact* `close` or `keep-alive` token counts. Substring matching would
+/// let a `close-notify` or `keep-alives` token mis-negotiate persistence.
+pub(crate) fn wants_keep_alive(raw: &[u8]) -> bool {
     let header_end = raw
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
@@ -541,10 +627,24 @@ fn wants_keep_alive(raw: &[u8]) -> bool {
             .eq_ignore_ascii_case("connection")
             .then(|| value.trim().to_ascii_lowercase())
     });
-    match connection {
-        Some(value) if value.contains("close") => false,
-        Some(value) if value.contains("keep-alive") => true,
-        _ => !http10,
+    let Some(value) = connection else {
+        return !http10;
+    };
+    let mut close = false;
+    let mut keep = false;
+    for token in value.split(',') {
+        match token.trim() {
+            "close" => close = true,
+            "keep-alive" => keep = true,
+            _ => {} // unrelated connection options (e.g. "upgrade")
+        }
+    }
+    if close {
+        false // close wins over keep-alive if both appear
+    } else if keep {
+        true
+    } else {
+        !http10
     }
 }
 
@@ -778,6 +878,247 @@ mod tests {
         assert!(wants_keep_alive(
             b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
         ));
+    }
+
+    #[test]
+    fn keep_alive_requires_exact_tokens_not_substrings() {
+        // "close-notify" is not "close": HTTP/1.1 default (keep) applies.
+        assert!(wants_keep_alive(
+            b"GET / HTTP/1.1\r\nConnection: close-notify\r\n\r\n"
+        ));
+        // "keep-alives" is not "keep-alive": HTTP/1.0 default (close).
+        assert!(!wants_keep_alive(
+            b"GET / HTTP/1.0\r\nConnection: keep-alives\r\n\r\n"
+        ));
+        // Exact tokens inside a comma-separated list still count.
+        assert!(!wants_keep_alive(
+            b"GET / HTTP/1.1\r\nConnection: upgrade, close\r\n\r\n"
+        ));
+        assert!(wants_keep_alive(
+            b"GET / HTTP/1.0\r\nConnection: keep-alive, upgrade\r\n\r\n"
+        ));
+        // close wins when both appear.
+        assert!(!wants_keep_alive(
+            b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n"
+        ));
+    }
+
+    #[test]
+    fn slow_writer_is_cut_at_the_request_deadline_and_frees_the_worker() {
+        // One worker and a 1s whole-request deadline: a client dribbling
+        // bytes used to reset the per-read timeout forever and pin the
+        // worker; now the request clock runs across reads.
+        let front = TcpFront::spawn_pool(
+            "127.0.0.1:0",
+            open_server(),
+            PoolConfig {
+                workers: 1,
+                read_timeout: Duration::from_secs(5),
+                request_deadline: Duration::from_secs(1),
+                ..PoolConfig::default()
+            },
+            None,
+        )
+        .unwrap();
+        let addr = front.addr();
+
+        let started = Instant::now();
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Dribble a never-completing request one byte at a time.
+        let mut cut = Vec::new();
+        for byte in b"GET / HTT" {
+            if slow.write_all(&[*byte]).is_err() {
+                break;
+            }
+            // The server answers 400 to the partial and closes; the read
+            // returning data or EOF is the cut signal.
+            slow.set_read_timeout(Some(Duration::from_millis(400)))
+                .unwrap();
+            let mut buf = [0u8; 1024];
+            if let Ok(n) = slow.read(&mut buf) {
+                cut.extend_from_slice(&buf[..n]);
+                break;
+            } // else: still pending — keep dribbling
+            std::thread::sleep(Duration::from_millis(300));
+        }
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(900) && elapsed < Duration::from_secs(5),
+            "connection must be cut near the 1s whole-request deadline, not the \
+             per-read timeout horizon; took {elapsed:?}"
+        );
+
+        // The single worker is free again: a normal request succeeds fast.
+        let response = send_raw(addr, b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        assert!(
+            String::from_utf8_lossy(&response).starts_with("HTTP/1.1 200"),
+            "worker must be freed after the slow connection is cut"
+        );
+        front.stop();
+    }
+
+    #[test]
+    fn deadline_cut_partial_that_parses_cleanly_still_closes_the_connection() {
+        // A dribbled prefix that happens to parse — a valid request line
+        // plus an unterminated header — must not earn keep-alive: that
+        // would hand the slow writer a fresh deadline window per cycle.
+        let front = TcpFront::spawn_pool(
+            "127.0.0.1:0",
+            open_server(),
+            PoolConfig {
+                workers: 1,
+                read_timeout: Duration::from_secs(5),
+                request_deadline: Duration::from_millis(500),
+                ..PoolConfig::default()
+            },
+            None,
+        )
+        .unwrap();
+        let addr = front.addr();
+
+        let started = Instant::now();
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.write_all(b"GET /never HTTP/1.1\r\nx-slow: ").unwrap();
+        slow.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        // Keep dribbling header bytes; stop once the server cuts us. The
+        // cut shows up as a response followed by EOF, a bare EOF, or a
+        // reset (unread dribble bytes at close turn the FIN into RST).
+        let pending = |e: &std::io::Error| {
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        };
+        let mut closed = false;
+        for _ in 0..40 {
+            if slow.write_all(b"a").is_err() {
+                closed = true;
+                break;
+            }
+            let mut buf = [0u8; 4096];
+            match slow.read(&mut buf) {
+                Ok(0) => {
+                    closed = true;
+                    break;
+                }
+                Ok(_) => {
+                    // Response received — drain until EOF/reset proves the
+                    // close (and not a keep-alive renewal).
+                    loop {
+                        match slow.read(&mut buf) {
+                            Ok(0) => {
+                                closed = true;
+                                break;
+                            }
+                            Ok(_) => {}
+                            Err(ref e) if pending(e) => break,
+                            Err(_) => {
+                                closed = true;
+                                break;
+                            }
+                        }
+                    }
+                    break;
+                }
+                Err(ref e) if pending(e) => {} // still pending — dribble on
+                Err(_) => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        assert!(
+            closed,
+            "server must close after answering a deadline-cut partial"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "one deadline window only — the parseable partial must not renew \
+             keep-alive; took {:?}",
+            started.elapsed()
+        );
+        front.stop();
+    }
+
+    #[test]
+    fn shed_clients_reliably_observe_the_503() {
+        use gaa_faults::{Fault, FaultPlan, FaultSite};
+        // One worker pinned by latency, queue depth 1: most clients are
+        // shed. Every shed client must still *read* the 503 — the old
+        // write-then-shutdown(Both) could RST it away when unread request
+        // bytes sat in the socket.
+        let plan = FaultPlan::builder(11)
+            .fail_always(FaultSite::Tcp, Fault::Latency(400))
+            .build();
+        let front = TcpFront::spawn_pool(
+            "127.0.0.1:0",
+            open_server(),
+            PoolConfig {
+                workers: 1,
+                queue_depth: 1,
+                ..PoolConfig::default()
+            },
+            Some(Arc::new(plan)),
+        )
+        .unwrap();
+        let addr = front.addr();
+
+        let clients: Vec<_> = (0..12)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    // A full request (with body) is sitting unread in the
+                    // socket when the shed path answers.
+                    send_raw(
+                        addr,
+                        b"POST /index.html HTTP/1.1\r\nContent-Length: 64\r\n\r\n\
+                          0123456789012345678901234567890123456789012345678901234567890123",
+                    )
+                })
+            })
+            .collect();
+        let mut shed = 0u32;
+        let mut errors = 0u32;
+        for client in clients {
+            match client.join() {
+                Ok(Ok(bytes)) => {
+                    let text = String::from_utf8_lossy(&bytes).into_owned();
+                    assert!(
+                        text.starts_with("HTTP/1.1 "),
+                        "every client must read a status line, got: {text:?}"
+                    );
+                    shed += u32::from(text.starts_with("HTTP/1.1 503"));
+                }
+                _ => errors += 1,
+            }
+        }
+        assert!(shed >= 1, "expected shed connections");
+        assert_eq!(
+            errors, 0,
+            "shed clients must observe the 503, not a connection reset"
+        );
+        assert!(front.saturation_rejects() >= u64::from(shed));
+        front.stop();
+    }
+
+    #[test]
+    fn stopping_a_wildcard_bound_front_is_prompt() {
+        let front = TcpFront::spawn("0.0.0.0:0", open_server()).unwrap();
+        // Sanity: it serves (via loopback — 0.0.0.0 is not a destination).
+        let addr = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), front.addr().port());
+        let response = send_raw(addr, b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 200"));
+
+        let started = Instant::now();
+        front.stop();
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "stop() must wake the accept thread promptly under a wildcard \
+             bind; took {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! A hashed timer wheel for the epoll reactor front.
+//!
+//! The reactor ([`crate::reactor`]) enforces three deadline classes per
+//! connection — whole-request, keep-alive idle, and write-progress — and
+//! needs them cheap: arming, re-arming, and firing must not allocate per
+//! operation or scan every live connection. The classic answer is a hashed
+//! wheel: time is divided into fixed-width ticks, each tick hashes into one
+//! of `slots.len()` buckets, and a deadline is pushed onto the bucket its
+//! tick hashes to. Advancing the wheel walks only the buckets between the
+//! previous cursor and "now", so the steady-state cost is proportional to
+//! elapsed ticks plus fired entries, not to the number of armed timers.
+//!
+//! Cancellation is *lazy*: the wheel never removes an entry early. Each
+//! connection carries a monotonically increasing `generation`; re-arming or
+//! closing the connection bumps it, and when an entry fires the reactor
+//! compares the entry's generation against the connection's current one and
+//! ignores stale entries. This keeps the wheel allocation-free on the
+//! cancel path at the cost of dead entries riding along until their tick —
+//! bounded by the number of deadline re-arms, which is bounded by request
+//! count.
+
+use std::time::Duration;
+
+/// One armed deadline: an opaque connection token plus the generation the
+/// owner held when arming. Fired entries whose generation no longer
+/// matches the connection are stale re-arms and must be ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerEntry {
+    /// Opaque owner token (the reactor uses the connection slot index).
+    pub token: u64,
+    /// Arming generation; stale when it no longer matches the owner.
+    pub generation: u64,
+    /// Absolute deadline, in wheel ticks.
+    pub deadline: u64,
+}
+
+/// A hashed timer wheel over fixed-width ticks.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<TimerEntry>>,
+    granularity: Duration,
+    /// Last tick fully processed by [`advance`](TimerWheel::advance).
+    cursor: u64,
+    /// Live (including lazily cancelled) entries across all slots.
+    pending: usize,
+}
+
+impl TimerWheel {
+    /// A wheel with `slots` buckets of `granularity` width each.
+    /// `slots` is clamped to at least 2 so hashing stays meaningful.
+    pub fn new(slots: usize, granularity: Duration) -> TimerWheel {
+        let slots = slots.max(2);
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            granularity: granularity.max(Duration::from_millis(1)),
+            cursor: 0,
+            pending: 0,
+        }
+    }
+
+    /// The tick width.
+    pub fn granularity(&self) -> Duration {
+        self.granularity
+    }
+
+    /// Converts a duration since the wheel's epoch into an absolute tick
+    /// (rounding up, so a deadline never fires early).
+    pub fn tick_for(&self, since_epoch: Duration) -> u64 {
+        let g = self.granularity.as_micros().max(1);
+        let t = since_epoch.as_micros();
+        (t / g + u128::from(!t.is_multiple_of(g))) as u64
+    }
+
+    /// Arms `token`/`generation` to fire once the wheel advances to or past
+    /// `deadline` (an absolute tick). A deadline at or before the cursor
+    /// fires on the next [`advance`](TimerWheel::advance).
+    pub fn schedule(&mut self, token: u64, generation: u64, deadline: u64) {
+        // A deadline at or before the cursor is already due: park it in
+        // the next bucket the cursor will visit so it fires on the next
+        // advance instead of waiting a full revolution for its own bucket.
+        let bucket_tick = deadline.max(self.cursor + 1);
+        let slot = (bucket_tick as usize) % self.slots.len();
+        self.slots[slot].push(TimerEntry {
+            token,
+            generation,
+            deadline,
+        });
+        self.pending += 1;
+    }
+
+    /// Advances the cursor to `now` (an absolute tick), collecting every
+    /// entry whose deadline has passed into `fired`. Entries hashed into a
+    /// visited bucket whose deadline lies a full wheel revolution (or more)
+    /// ahead stay armed.
+    pub fn advance(&mut self, now: u64, fired: &mut Vec<TimerEntry>) {
+        if now <= self.cursor {
+            return;
+        }
+        let len = self.slots.len() as u64;
+        // Visiting more buckets than the wheel has is one full sweep.
+        let first = if now - self.cursor >= len {
+            now.saturating_sub(len - 1)
+        } else {
+            self.cursor + 1
+        };
+        for tick in first..=now {
+            let slot = (tick as usize) % self.slots.len();
+            let bucket = &mut self.slots[slot];
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].deadline <= now {
+                    fired.push(bucket.swap_remove(i));
+                    self.pending -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.cursor = now;
+    }
+
+    /// Number of armed entries (stale, lazily-cancelled ones included).
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// True when no entries are armed at all — the reactor may sleep long.
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel() -> TimerWheel {
+        TimerWheel::new(8, Duration::from_millis(10))
+    }
+
+    fn fire(w: &mut TimerWheel, now: u64) -> Vec<TimerEntry> {
+        let mut fired = Vec::new();
+        w.advance(now, &mut fired);
+        fired
+    }
+
+    #[test]
+    fn fires_at_and_after_the_deadline_not_before() {
+        let mut w = wheel();
+        w.schedule(1, 0, 5);
+        assert!(fire(&mut w, 4).is_empty());
+        let fired = fire(&mut w, 5);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].token, 1);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn late_advance_still_fires_skipped_ticks() {
+        let mut w = wheel();
+        w.schedule(7, 3, 2);
+        // The reactor slept past the deadline: a big jump must still fire.
+        let fired = fire(&mut w, 100);
+        assert_eq!(
+            fired,
+            vec![TimerEntry {
+                token: 7,
+                generation: 3,
+                deadline: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn wraparound_does_not_fire_entries_a_revolution_ahead() {
+        let mut w = wheel(); // 8 slots
+        w.schedule(1, 0, 3);
+        w.schedule(2, 0, 11); // same bucket (11 % 8 == 3), one lap later
+        let fired = fire(&mut w, 5);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].token, 1);
+        assert_eq!(w.pending(), 1);
+        let fired = fire(&mut w, 11);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].token, 2);
+    }
+
+    #[test]
+    fn deadline_at_or_before_cursor_fires_on_next_advance() {
+        let mut w = wheel();
+        assert!(fire(&mut w, 10).is_empty());
+        w.schedule(9, 1, 4); // already past
+        let fired = fire(&mut w, 11);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].token, 9);
+    }
+
+    #[test]
+    fn tick_conversion_rounds_up() {
+        let w = wheel();
+        assert_eq!(w.tick_for(Duration::ZERO), 0);
+        assert_eq!(w.tick_for(Duration::from_millis(1)), 1);
+        assert_eq!(w.tick_for(Duration::from_millis(10)), 1);
+        assert_eq!(w.tick_for(Duration::from_millis(11)), 2);
+    }
+
+    #[test]
+    fn generations_ride_through_untouched() {
+        let mut w = wheel();
+        w.schedule(5, 42, 1);
+        w.schedule(5, 43, 1); // re-arm: both fire, caller drops the stale one
+        let fired = fire(&mut w, 1);
+        assert_eq!(fired.len(), 2);
+        assert!(fired.iter().any(|e| e.generation == 42));
+        assert!(fired.iter().any(|e| e.generation == 43));
+    }
+
+    #[test]
+    fn many_entries_across_many_laps() {
+        let mut w = TimerWheel::new(16, Duration::from_millis(10));
+        for t in 0..200u64 {
+            w.schedule(t, 0, t + 1);
+        }
+        let mut seen = Vec::new();
+        for now in (0..=200).step_by(7) {
+            let mut fired = Vec::new();
+            w.advance(now, &mut fired);
+            for e in &fired {
+                assert!(e.deadline <= now, "fired early: {e:?} at {now}");
+            }
+            seen.extend(fired);
+        }
+        let mut fired = Vec::new();
+        w.advance(201, &mut fired);
+        seen.extend(fired);
+        assert_eq!(seen.len(), 200, "every entry fires exactly once");
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Slowloris differential: the same attack against the worker-pool front
+//! and the epoll reactor front, over real loopback sockets.
+//!
+//! The attack is a handful of connections each dribbling one byte of a
+//! never-completing request every ~100 ms. Per-read timeouts reset on
+//! every delivered byte, so before the whole-request deadline existed the
+//! pool's workers were pinned *forever*. The differential claims:
+//!
+//! * **pool** — with more dribblers than workers, legitimate requests
+//!   degrade while the attack holds the workers; once the whole-request
+//!   deadline cuts the dribblers, service recovers (the deadline fix,
+//!   observed end to end);
+//! * **reactor** — the same attack is just a few parked connection
+//!   structs: every legitimate request keeps succeeding, with per-request
+//!   latency bounded well below the attack's lifetime.
+
+use gaa::httpd::reactor::{ReactorConfig, ReactorFront};
+use gaa::httpd::tcp::{PoolConfig, TcpFront};
+use gaa::httpd::{AccessControl, Server, Vfs};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn open_server() -> Arc<Server> {
+    Arc::new(Server::new(Vfs::default_site(), AccessControl::Open))
+}
+
+/// Starts `count` slow-writer connections fed one header byte per ~100 ms
+/// from a background thread, so their requests never frame and a
+/// per-read timeout would reset indefinitely. Stops when `stop` is set.
+fn spawn_dribblers(
+    addr: SocketAddr,
+    count: usize,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut conns: Vec<TcpStream> = (0..count)
+            .filter_map(|_| TcpStream::connect(addr).ok())
+            .collect();
+        for conn in &mut conns {
+            let _ = conn.write_all(b"GET /never HTTP/1.1\r\nx-slow: ");
+        }
+        while !stop.load(Ordering::Relaxed) {
+            for conn in &mut conns {
+                // One byte, never a frame terminator. Writes to connections
+                // the server already cut fail silently — that *is* the cut.
+                let _ = conn.write_all(b"a");
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    })
+}
+
+/// One legitimate request with a hard client-side deadline. Returns the
+/// latency on a `200`, `None` on timeout/reset/non-200 — a degraded serve.
+fn timed_get(addr: SocketAddr, path: &str, deadline: Duration) -> Option<Duration> {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(deadline)).ok()?;
+    let raw = format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n");
+    stream.write_all(raw.as_bytes()).ok()?;
+    let mut response = Vec::new();
+    std::io::Read::read_to_end(&mut stream, &mut response).ok()?;
+    String::from_utf8_lossy(&response)
+        .starts_with("HTTP/1.1 200")
+        .then(|| start.elapsed())
+}
+
+const DRIBBLERS: usize = 8;
+
+#[test]
+fn reactor_keeps_serving_while_the_pool_degrades_then_recovers() {
+    // -- Pool: two workers, eight dribblers, 2 s whole-request deadline. --
+    let pool = TcpFront::spawn_pool(
+        "127.0.0.1:0",
+        open_server(),
+        PoolConfig {
+            workers: 2,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(2),
+            request_deadline: Duration::from_secs(2),
+            ..PoolConfig::default()
+        },
+        None,
+    )
+    .unwrap();
+    let pool_addr = pool.addr();
+
+    // Healthy before the attack.
+    assert!(
+        timed_get(pool_addr, "/index.html", Duration::from_millis(500)).is_some(),
+        "pool must serve before the attack"
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let dribbler = spawn_dribblers(pool_addr, DRIBBLERS, Arc::clone(&stop));
+    // Let the dribblers pin both workers and fill the queue behind them.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // While the attack is young, legitimate requests sit in the accept
+    // queue behind six more dribblers — a tight client deadline fails.
+    let degraded = (0..4)
+        .filter(|_| timed_get(pool_addr, "/index.html", Duration::from_millis(300)).is_none())
+        .count();
+    assert!(
+        degraded > 0,
+        "pool with {DRIBBLERS} dribblers on 2 workers should degrade legitimate service"
+    );
+
+    // The whole-request deadline is the recovery path: each dribbler is
+    // cut at 2 s no matter how faithfully it trickles bytes (before the
+    // deadline, the per-read timeout reset forever and this test hung).
+    let recovery_deadline = Instant::now() + Duration::from_secs(10);
+    let recovered = loop {
+        if timed_get(pool_addr, "/index.html", Duration::from_millis(500)).is_some() {
+            break true;
+        }
+        if Instant::now() > recovery_deadline {
+            break false;
+        }
+    };
+    assert!(
+        recovered,
+        "pool must recover once the whole-request deadline cuts the dribblers"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    dribbler.join().unwrap();
+    pool.stop();
+
+    // -- Reactor: same attack, same deadline — no degradation at all. --
+    let reactor = ReactorFront::spawn_with(
+        "127.0.0.1:0",
+        open_server(),
+        ReactorConfig {
+            request_deadline: Duration::from_secs(2),
+            idle_deadline: Duration::from_secs(5),
+            ..ReactorConfig::default()
+        },
+        None,
+    )
+    .unwrap();
+    let reactor_addr = reactor.addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let dribbler = spawn_dribblers(reactor_addr, DRIBBLERS, Arc::clone(&stop));
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Mixed legitimate traffic rides through the live attack: every
+    // request answered, worst-case latency far below the attack lifetime.
+    let mut worst = Duration::ZERO;
+    for i in 0..20 {
+        let path = ["/index.html", "/docs/page1.html"][i % 2];
+        let latency = timed_get(reactor_addr, path, Duration::from_secs(1))
+            .unwrap_or_else(|| panic!("reactor dropped legitimate request {i} under attack"));
+        worst = worst.max(latency);
+    }
+    assert!(
+        worst < Duration::from_secs(1),
+        "reactor worst-case legitimate latency under attack was {worst:?}"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    dribbler.join().unwrap();
+    reactor.stop();
+}
