@@ -61,6 +61,7 @@ mod passes;
 pub mod patterns;
 mod render;
 pub mod site;
+pub mod slice;
 mod snapshot;
 mod source;
 pub mod symbolic;
@@ -77,6 +78,9 @@ pub use render::{render_human, render_json, render_json_with, summary, JSON_SCHE
 pub use site::{
     audit_site, HtVerdict, ReplayMode, ReplayRequest, SiteObject, SiteReplay, SiteReport, SiteSpec,
     BASELINE_CLIENT_IP, BLACKLIST_GROUP,
+};
+pub use slice::{
+    analyze_slices, cross_validate_slices, SliceCrossValidation, SliceOptions, SliceReport,
 };
 pub use snapshot::RegistrySnapshot;
 pub use source::Source;

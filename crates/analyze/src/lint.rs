@@ -69,6 +69,9 @@ impl fmt::Display for LintSeverity {
 /// | `GAA803` | warning/note | site: object anonymously reachable but not on the declared allowlist (note: stale allowlist entry) |
 /// | `GAA804` | warning | site: policy serves an attack URL matching an IDS signature with no screening pre-condition (the static NIMDA gap) |
 /// | `GAA805` | warning/note | site: htaccess chain and EACL deployment disagree on the same object (warning when htaccess is the only defense) |
+/// | `GAA901` | warning | slice: unsliceable entry — a condition with unbounded support (free-form `expr` payload, or no registered evaluator) forces every request cell's slice to include it |
+/// | `GAA902` | warning | slice: entry dead in *every* request cell under both identity-class masks (stronger than the pairwise `GAA202`–`GAA204`) |
+/// | `GAA903` | warning | slice: slice-size blowup — a cell's proven slice keeps a threshold fraction of a large deployment, so slicing cannot contain per-request cost |
 ///
 /// `GAA101`/`GAA103`/`GAA104` are folded in from the syntax tier
 /// ([`gaa_eacl::validate`]); `GAA102`, that tier's unreachability check, is
@@ -80,6 +83,9 @@ impl fmt::Display for LintSeverity {
 /// through the real matchers before being reported. The `GAA8xx` codes
 /// come from the site tier ([`crate::site`], `gaa-lint site`): every one
 /// is replayed through a real in-process server before being reported.
+/// The `GAA9xx` codes come from the slice tier ([`crate::slice`],
+/// `gaa-lint slice`): every one is confirmed through the real interpreter
+/// at a mask-consistent witness before being reported.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Lint {
     /// Stable code, e.g. `"GAA201"`.

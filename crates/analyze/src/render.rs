@@ -45,7 +45,9 @@ pub fn summary(lints: &[Lint]) -> String {
 /// consumers keying on an exhaustive code list must update. Version 3
 /// added the `GAA8xx` site-tier codes, the optional top-level `stats`
 /// object ([`render_json_with`]), and the `gaa-lint all` tier envelope.
-pub const JSON_SCHEMA_VERSION: usize = 3;
+/// Version 4 added the `GAA9xx` slice-tier codes (`gaa-lint slice --json`
+/// and its row in the `all` envelope); the field shape is unchanged.
+pub const JSON_SCHEMA_VERSION: usize = 4;
 
 /// Renders the report as a JSON document:
 ///
@@ -232,14 +234,14 @@ mod tests {
     #[test]
     fn json_escapes_and_nulls() {
         let json = render_json(&sample());
-        assert!(json.starts_with("{\"schema_version\":3,\"max_severity\":\"error\","));
+        assert!(json.starts_with("{\"schema_version\":4,\"max_severity\":\"error\","));
         assert!(json.contains("\"pattern\":{\"authority\":\"sshd\",\"value\":\"login\"}"));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"layer\":null"));
         assert!(json.contains("\"suggestion\":\"did you mean `accessid`?\""));
         assert_eq!(
             render_json(&[]),
-            "{\"schema_version\":3,\"max_severity\":null,\"lints\":[]}"
+            "{\"schema_version\":4,\"max_severity\":null,\"lints\":[]}"
         );
     }
 
@@ -248,7 +250,7 @@ mod tests {
         let json = render_json_with(&[], &[("objects", 3), ("dropped", 0)]);
         assert_eq!(
             json,
-            "{\"schema_version\":3,\"max_severity\":null,\
+            "{\"schema_version\":4,\"max_severity\":null,\
              \"stats\":{\"objects\":3,\"dropped\":0},\"lints\":[]}"
         );
         assert_eq!(render_json_with(&[], &[]), render_json(&[]));

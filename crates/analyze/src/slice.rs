@@ -1,0 +1,739 @@
+//! The slice tier (`gaa-lint slice`, `GAA9xx`): static per-request-cell
+//! policy slicing, audited.
+//!
+//! The serving fast path ([`gaa_core::slice`]) evaluates, for each
+//! `(object, right, identity-class)` request cell, only the entries whose
+//! applies-diagram can reach TRUE under the class's outcome mask — after
+//! proving the sliced composition decision-equivalent to the full one on
+//! the hash-consed DAG. This pass runs the same analysis offline over the
+//! whole deployment and reports what it means for scalability:
+//!
+//! * `GAA901` — **unsliceable entry**: every request cell's slice must
+//!   include the entry. A wildcard right plus a condition with unbounded
+//!   support — a free-form `expr` payload whose every distinct value is its
+//!   own decision variable, or a condition type with no registered
+//!   evaluator — keeps it alive in every cell, so per-request cost cannot
+//!   be reduced below "evaluate this entry" no matter how the policy grows.
+//! * `GAA902` — **entry dead in every slice**: in each cell whose right it
+//!   matches, the applies-diagram is unreachable under both identity-class
+//!   masks. Stronger than the per-deployment `GAA202`–`GAA204`
+//!   ineffectiveness lints: those compare entries pairwise, this quantifies
+//!   over every request shape and identity class at once.
+//! * `GAA903` — **slice blowup**: some cell's proven slice still keeps at
+//!   least [`SliceOptions::blowup_pct`] percent of a deployment with at
+//!   least [`SliceOptions::min_entries`] entries — slicing is sound here
+//!   but toothless, which is exactly the scaling hazard the tier exists to
+//!   surface.
+//!
+//! Every finding is confirmed through the real interpreter before being
+//! reported, the same bar as the `GAA7xx`/`GAA8xx` tiers: `GAA901` replays
+//! a mask-consistent applies-witness and checks the entry really is in the
+//! applied set of an unrelated request cell; `GAA902` fires falsification
+//! probes (uniform mask-consistent assignments) and drops the claim if the
+//! entry is ever observed applying or if removing it ever shifts a probed
+//! status; `GAA903` replays full vs sliced composition at a
+//! mask-consistent assignment and requires equal statuses. Claims that
+//! fail confirmation are dropped and counted in [`SliceReport::dropped`] —
+//! never reported.
+
+use crate::lint::{Lint, LintSeverity};
+use crate::snapshot::RegistrySnapshot;
+use crate::symbolic::{describe_witness, vocabulary, witness_from, Deployment, Harness};
+use gaa_core::dag::{compile_applies, DecisionDag, EntryRef, PartialAssignment, VarTable};
+use gaa_core::{class_masks, slice_cell, CellSlice, GaaStatus, IdentityClass, REDIRECT_COND_TYPE};
+use gaa_eacl::{ComposedPolicy, Eacl, EaclEntry, PolicyLayer};
+use std::collections::HashSet;
+
+/// Condition type whose value is a free-form per-request predicate: every
+/// distinct payload is its own decision variable, so its support cannot be
+/// bounded, precomputed, or indexed — the canonical unsliceable guard.
+const EXPR_COND_TYPE: &str = "expr";
+
+/// Tunables for the slice audit.
+#[derive(Debug, Clone, Copy)]
+pub struct SliceOptions {
+    /// `GAA903` fires when a cell keeps at least this percentage of the
+    /// deployment's entries…
+    pub blowup_pct: usize,
+    /// …and the deployment has at least this many entries (tiny policies
+    /// trivially keep most of themselves and are not a scaling hazard).
+    pub min_entries: usize,
+}
+
+impl Default for SliceOptions {
+    fn default() -> Self {
+        SliceOptions {
+            blowup_pct: 50,
+            min_entries: 16,
+        }
+    }
+}
+
+/// Result of [`analyze_slices`].
+#[derive(Debug, Default)]
+pub struct SliceReport {
+    /// Confirmed findings, ready for rendering.
+    pub lints: Vec<Lint>,
+    /// Objects analyzed (named locals plus the unnamed-object bucket).
+    pub objects: usize,
+    /// Request cells sliced (object × authority × value × identity class).
+    pub cells: usize,
+    /// Cells whose slice passed the DAG equivalence proof.
+    pub verified: usize,
+    /// Cells where the proof failed — the serving path falls back to full
+    /// evaluation there.
+    pub unverified: usize,
+    /// Findings confirmed by interpreter replay.
+    pub confirmed: usize,
+    /// Candidate claims dropped: replay contradicted them or no
+    /// mask-consistent witness could be produced.
+    pub dropped: usize,
+}
+
+impl SliceReport {
+    /// The counters in `--json` `stats` order.
+    #[must_use]
+    pub fn stats(&self) -> [(&'static str, usize); 6] {
+        [
+            ("objects", self.objects),
+            ("cells", self.cells),
+            ("verified", self.verified),
+            ("unverified", self.unverified),
+            ("confirmed", self.confirmed),
+            ("dropped", self.dropped),
+        ]
+    }
+}
+
+/// Per-entry bookkeeping accumulated over the cell sweep.
+struct EntryFacts {
+    reference: EntryRef,
+    entry: EaclEntry,
+    /// Kept (right matched and mask-reachable) in every cell so far.
+    kept_everywhere: bool,
+    /// Right matched at least one cell.
+    matched_somewhere: bool,
+    /// Kept in at least one cell.
+    kept_somewhere: bool,
+}
+
+/// Runs the slice audit over a deployment.
+#[must_use]
+pub fn analyze_slices(
+    deployment: &Deployment,
+    snapshot: &RegistrySnapshot,
+    options: SliceOptions,
+) -> SliceReport {
+    let vocab = vocabulary(&[deployment], snapshot);
+    let vars = VarTable::from_triples(vocab.triples.clone());
+    let harness = Harness::new(deployment, vars.triples());
+    let mut report = SliceReport::default();
+
+    for object in &vocab.objects {
+        let policy = deployment.compose_for(object);
+        let entries = enumerate(&policy);
+        if entries.is_empty() {
+            continue;
+        }
+        report.objects += 1;
+        let total = entries.len();
+        let mut dag = DecisionDag::new();
+        let mut facts: Vec<EntryFacts> = entries
+            .iter()
+            .map(|(reference, entry)| EntryFacts {
+                reference: *reference,
+                entry: (*entry).clone(),
+                kept_everywhere: true,
+                matched_somewhere: false,
+                kept_somewhere: false,
+            })
+            .collect();
+        // The worst (largest-kept) cell, for GAA903.
+        let mut blowup: Option<(String, String, IdentityClass, CellSlice)> = None;
+
+        for authority in &vocab.authorities {
+            for value in &vocab.values {
+                for class in IdentityClass::ALL {
+                    let cell = slice_cell(
+                        &mut dag,
+                        &policy,
+                        &vars,
+                        authority,
+                        value,
+                        class,
+                        GaaStatus::No,
+                    );
+                    report.cells += 1;
+                    if cell.verified {
+                        report.verified += 1;
+                    } else {
+                        report.unverified += 1;
+                    }
+                    let dropped: HashSet<EntryRef> = cell.dropped.iter().copied().collect();
+                    for fact in &mut facts {
+                        let matched = fact.entry.right.matches(authority, value);
+                        let kept = matched && !dropped.contains(&fact.reference);
+                        fact.matched_somewhere |= matched;
+                        fact.kept_somewhere |= kept;
+                        fact.kept_everywhere &= kept;
+                    }
+                    let worst_so_far = blowup.as_ref().map_or(0, |(_, _, _, c)| c.kept_entries);
+                    if cell.kept_entries > worst_so_far {
+                        blowup = Some((authority.clone(), value.clone(), class, cell));
+                    }
+                }
+            }
+        }
+
+        // GAA901: kept in every cell, with a condition of unbounded support.
+        for fact in facts.iter().filter(|f| f.kept_everywhere) {
+            let Some(unbounded) = fact.entry.pre.iter().find(|c| {
+                c.cond_type.eq_ignore_ascii_case(EXPR_COND_TYPE)
+                    || (c.cond_type != REDIRECT_COND_TYPE
+                        && !snapshot.is_registered(&c.cond_type, &c.authority))
+            }) else {
+                continue;
+            };
+            let reason = if unbounded.cond_type.eq_ignore_ascii_case(EXPR_COND_TYPE) {
+                "is a free-form predicate (every distinct payload is its own \
+                 decision variable)"
+            } else {
+                "has no registered evaluator"
+            };
+            match confirm_unsliceable(&harness, &mut dag, &policy, &vars, fact) {
+                Some(witness) => {
+                    report.confirmed += 1;
+                    report.lints.push(
+                        Lint::new(
+                            "GAA901",
+                            LintSeverity::Warning,
+                            object,
+                            format!(
+                                "unsliceable entry: every request cell's slice must include \
+                                 it — pre-condition `{} {} {}` {}, so its support is \
+                                 unbounded; witness: request («other» «other»), {} \
+                                 (interpreter-confirmed applied)",
+                                unbounded.cond_type,
+                                unbounded.authority,
+                                unbounded.value,
+                                reason,
+                                describe_witness(&witness),
+                            ),
+                        )
+                        .at(
+                            fact.reference.layer,
+                            fact.reference.eacl,
+                            Some(fact.reference.entry),
+                            None,
+                        ),
+                    );
+                }
+                None => report.dropped += 1,
+            }
+        }
+
+        // GAA902: matched somewhere, kept nowhere — dead in every slice.
+        for fact in facts
+            .iter()
+            .filter(|f| f.matched_somewhere && !f.kept_somewhere)
+        {
+            if confirm_dead(
+                &harness,
+                &policy,
+                &vars,
+                &vocab.authorities,
+                &vocab.values,
+                fact,
+            ) {
+                report.confirmed += 1;
+                report.lints.push(
+                    Lint::new(
+                        "GAA902",
+                        LintSeverity::Warning,
+                        object,
+                        "entry is dead in every request cell: its applies-diagram is \
+                         unreachable under both identity-class masks (anonymous and \
+                         authenticated), so no request of any shape evaluates it; \
+                         interpreter probes with and without the entry agree everywhere \
+                         (interpreter-confirmed)"
+                            .to_string(),
+                    )
+                    .at(
+                        fact.reference.layer,
+                        fact.reference.eacl,
+                        Some(fact.reference.entry),
+                        None,
+                    ),
+                );
+            } else {
+                report.dropped += 1;
+            }
+        }
+
+        // GAA903: the worst cell keeps too much of a large deployment.
+        if total >= options.min_entries {
+            if let Some((authority, value, class, cell)) = blowup {
+                if cell.kept_entries * 100 >= options.blowup_pct * total {
+                    match confirm_blowup(&harness, &policy, &vars, &authority, &value, class, &cell)
+                    {
+                        Some(witness) => {
+                            report.confirmed += 1;
+                            report.lints.push(Lint::new(
+                                "GAA903",
+                                LintSeverity::Warning,
+                                object,
+                                format!(
+                                    "slice blowup: cell ({authority} {value}, {}) keeps {} of \
+                                     {total} entries ({}%) — slicing is proven sound here but \
+                                     cannot contain per-request cost; full and sliced \
+                                     compositions agree at {} (interpreter-confirmed)",
+                                    class.label(),
+                                    cell.kept_entries,
+                                    cell.kept_entries * 100 / total,
+                                    describe_witness(&witness),
+                                ),
+                            ));
+                        }
+                        None => report.dropped += 1,
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Every entry of the composition with its layer-relative reference.
+fn enumerate(policy: &ComposedPolicy) -> Vec<(EntryRef, &EaclEntry)> {
+    let mut out = Vec::new();
+    let (mut sys, mut loc) = (0usize, 0usize);
+    for (layer, eacl) in policy.layers() {
+        let eacl_index = match layer {
+            PolicyLayer::System => {
+                sys += 1;
+                sys - 1
+            }
+            PolicyLayer::Local => {
+                loc += 1;
+                loc - 1
+            }
+        };
+        for (entry_index, entry) in eacl.entries.iter().enumerate() {
+            out.push((
+                EntryRef {
+                    layer,
+                    eacl: eacl_index,
+                    entry: entry_index,
+                },
+                entry,
+            ));
+        }
+    }
+    out
+}
+
+/// A full, mask-consistent assignment: `base` wherever the class mask
+/// allows it, else the first allowed outcome.
+fn masked_uniform(vars: &VarTable, class: IdentityClass, base: GaaStatus) -> PartialAssignment {
+    let masks = class_masks(vars, class);
+    masks
+        .iter()
+        .map(|&mask| {
+            let candidates = [base, GaaStatus::Yes, GaaStatus::No, GaaStatus::Maybe];
+            candidates
+                .into_iter()
+                .find(|status| mask & outcome_bit(*status) != 0)
+        })
+        .collect()
+}
+
+fn outcome_bit(status: GaaStatus) -> u8 {
+    match status {
+        GaaStatus::Yes => gaa_core::dag::MASK_YES,
+        GaaStatus::No => gaa_core::dag::MASK_NO,
+        GaaStatus::Maybe => gaa_core::dag::MASK_MAYBE,
+    }
+}
+
+/// `GAA901` confirmation: in the `(«other», «other»)` cell — a request
+/// shape the policy never names — find a mask-consistent assignment under
+/// which the entry applies, replay it, and check the interpreter reports
+/// the entry in the applied set.
+fn confirm_unsliceable(
+    harness: &Harness,
+    dag: &mut DecisionDag,
+    policy: &ComposedPolicy,
+    vars: &VarTable,
+    fact: &EntryFacts,
+) -> Option<crate::symbolic::Witness> {
+    let other = crate::lint::OTHER_VALUE;
+    for class in IdentityClass::ALL {
+        let masks = class_masks(vars, class);
+        let applies = compile_applies(dag, policy, vars, other, other, fact.reference);
+        let Some(assignment) = dag.witness_bool_masked(applies, vars.len(), true, &masks) else {
+            continue;
+        };
+        harness.set(vars.triples(), &assignment);
+        let result = harness.result(policy, other, other);
+        let applied = result.applied().iter().any(|a| {
+            a.layer == fact.reference.layer
+                && a.eacl_index == fact.reference.eacl
+                && a.entry_index == fact.reference.entry
+        });
+        if applied {
+            return Some(witness_from(vars, &assignment));
+        }
+    }
+    None
+}
+
+/// `GAA902` confirmation: falsification probes. For both identity classes
+/// and three uniform mask-consistent assignments, across every cell the
+/// entry's right matches, the interpreter must (a) never report the entry
+/// applied and (b) agree with the composition that simply omits the entry.
+/// Any disagreement contradicts the claim and drops it.
+fn confirm_dead(
+    harness: &Harness,
+    policy: &ComposedPolicy,
+    vars: &VarTable,
+    authorities: &[String],
+    values: &[String],
+    fact: &EntryFacts,
+) -> bool {
+    let without = remove_entry(policy, fact.reference);
+    for class in IdentityClass::ALL {
+        for base in [GaaStatus::Yes, GaaStatus::No, GaaStatus::Maybe] {
+            let assignment = masked_uniform(vars, class, base);
+            harness.set(vars.triples(), &assignment);
+            for authority in authorities {
+                for value in values {
+                    if !fact.entry.right.matches(authority, value) {
+                        continue;
+                    }
+                    let result = harness.result(policy, authority, value);
+                    let applied = result.applied().iter().any(|a| {
+                        a.layer == fact.reference.layer
+                            && a.eacl_index == fact.reference.eacl
+                            && a.entry_index == fact.reference.entry
+                    });
+                    if applied {
+                        return false;
+                    }
+                    if result.authorization_status()
+                        != harness.authorization(&without, authority, value)
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// `GAA903` confirmation: the slice must be proven, and full vs sliced
+/// compositions must agree through the interpreter at a mask-consistent
+/// assignment.
+fn confirm_blowup(
+    harness: &Harness,
+    policy: &ComposedPolicy,
+    vars: &VarTable,
+    authority: &str,
+    value: &str,
+    class: IdentityClass,
+    cell: &CellSlice,
+) -> Option<crate::symbolic::Witness> {
+    if !cell.verified {
+        return None;
+    }
+    let assignment = masked_uniform(vars, class, GaaStatus::Yes);
+    harness.set(vars.triples(), &assignment);
+    if harness.authorization(policy, authority, value)
+        != harness.authorization(&cell.policy, authority, value)
+    {
+        return None;
+    }
+    Some(witness_from(vars, &assignment))
+}
+
+/// The composition with one entry removed (layer structure and EACL modes
+/// preserved).
+fn remove_entry(policy: &ComposedPolicy, reference: EntryRef) -> ComposedPolicy {
+    let mut system: Vec<Eacl> = Vec::new();
+    let mut local: Vec<Eacl> = Vec::new();
+    let (mut sys, mut loc) = (0usize, 0usize);
+    for (layer, eacl) in policy.layers() {
+        let eacl_index = match layer {
+            PolicyLayer::System => {
+                sys += 1;
+                sys - 1
+            }
+            PolicyLayer::Local => {
+                loc += 1;
+                loc - 1
+            }
+        };
+        let entries = eacl
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                !(layer == reference.layer && eacl_index == reference.eacl && *i == reference.entry)
+            })
+            .map(|(_, e)| e.clone())
+            .collect();
+        let sliced = Eacl {
+            mode: eacl.mode,
+            entries,
+        };
+        match layer {
+            PolicyLayer::System => system.push(sliced),
+            PolicyLayer::Local => local.push(sliced),
+        }
+    }
+    ComposedPolicy::compose(system, local)
+}
+
+// ---------------------------------------------------------------------------
+// Slice cross-validation
+// ---------------------------------------------------------------------------
+
+/// Outcome of [`cross_validate_slices`].
+#[derive(Debug, Clone)]
+pub struct SliceCrossValidation {
+    /// Request cells checked (object × authority × value × identity class).
+    pub cells: usize,
+    /// Cells whose slice passed the DAG equivalence proof and were
+    /// evaluated through the sliced composition.
+    pub verified: usize,
+    /// Cells where the proof failed: the serving path falls back to full
+    /// evaluation, so these were checked interpreter-vs-DAG only.
+    pub fallback: usize,
+    /// Interpreter `check_authorization` calls made.
+    pub requests: usize,
+    /// Any (cell, assignment) where the sliced interpreter, the full
+    /// interpreter and the compiled DAG did not all agree. Empty = slicing
+    /// is sound on this deployment.
+    pub disagreements: Vec<String>,
+}
+
+impl SliceCrossValidation {
+    /// True when all three evaluators agreed everywhere.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.disagreements.is_empty()
+    }
+}
+
+/// Maximum mask-consistent assignments enumerated exhaustively per cell.
+const SLICE_VALIDATE_LIMIT: usize = 243;
+/// Seeded sample count beyond the exhaustive limit.
+const SLICE_VALIDATE_SAMPLES: usize = 32;
+
+/// Differentially validates the slicing fast path against the ground
+/// truth, per request cell and identity class: over every mask-consistent
+/// assignment (exhaustive when the per-cell table is ≤ 243, `seed`-driven
+/// sampling beyond), the interpreter on the **sliced** composition, the
+/// interpreter on the **full** composition, and the compiled decision DAG
+/// must agree on the authorization status. Unverified cells — where the
+/// serving path falls back to full evaluation — are still checked
+/// interpreter-vs-DAG, so the fallback leg is covered too.
+#[must_use]
+pub fn cross_validate_slices(
+    deployment: &Deployment,
+    snapshot: &RegistrySnapshot,
+    seed: u64,
+) -> SliceCrossValidation {
+    use gaa_core::dag::compile_decision;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let vocab = vocabulary(&[deployment], snapshot);
+    let vars = VarTable::from_triples(vocab.triples.clone());
+    let harness = Harness::new(deployment, vars.triples());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = SliceCrossValidation {
+        cells: 0,
+        verified: 0,
+        fallback: 0,
+        requests: 0,
+        disagreements: Vec::new(),
+    };
+
+    for object in &vocab.objects {
+        let policy = deployment.compose_for(object);
+        let mut dag = DecisionDag::new();
+        for authority in &vocab.authorities {
+            for value in &vocab.values {
+                for class in IdentityClass::ALL {
+                    let cell = slice_cell(
+                        &mut dag,
+                        &policy,
+                        &vars,
+                        authority,
+                        value,
+                        class,
+                        GaaStatus::No,
+                    );
+                    report.cells += 1;
+                    let serving = if cell.verified {
+                        report.verified += 1;
+                        &cell.policy
+                    } else {
+                        report.fallback += 1;
+                        &policy
+                    };
+                    let root =
+                        compile_decision(&mut dag, &policy, &vars, authority, value, GaaStatus::No);
+
+                    // The per-variable outcomes the class mask allows.
+                    let allowed: Vec<Vec<GaaStatus>> = class_masks(&vars, class)
+                        .iter()
+                        .map(|&mask| {
+                            [GaaStatus::Yes, GaaStatus::No, GaaStatus::Maybe]
+                                .into_iter()
+                                .filter(|s| mask & outcome_bit(*s) != 0)
+                                .collect()
+                        })
+                        .collect();
+                    let total = allowed
+                        .iter()
+                        .try_fold(1usize, |acc, a| acc.checked_mul(a.len()));
+                    let (count, exhaustive) = match total {
+                        Some(t) if t <= SLICE_VALIDATE_LIMIT => (t, true),
+                        _ => (SLICE_VALIDATE_SAMPLES, false),
+                    };
+
+                    for index in 0..count {
+                        // Mixed-radix decode when exhaustive, seeded draw
+                        // otherwise — either way every variable stays
+                        // inside its class mask.
+                        let mut radix = index;
+                        let assignment: PartialAssignment = allowed
+                            .iter()
+                            .map(|choices| {
+                                let pick = if exhaustive {
+                                    let p = radix % choices.len();
+                                    radix /= choices.len();
+                                    p
+                                } else {
+                                    rng.gen_range(0..choices.len())
+                                };
+                                Some(choices[pick])
+                            })
+                            .collect();
+                        harness.set(vars.triples(), &assignment);
+                        let full = harness.authorization(&policy, authority, value);
+                        let sliced = harness.authorization(serving, authority, value);
+                        let compiled =
+                            dag.eval_status(root, &mut |i| assignment[i].expect("full assignment"));
+                        report.requests += 2;
+                        if full != sliced || full != compiled {
+                            report.disagreements.push(format!(
+                                "`{authority} {value}` on `{object}` ({}, assignment {index}): \
+                                 full={full} sliced={sliced} compiled={compiled}",
+                                class.label(),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Source;
+
+    fn deployment(system: &str, locals: &[(&str, &str)]) -> Deployment {
+        let system = if system.is_empty() {
+            vec![]
+        } else {
+            vec![Source::parse("system", system).unwrap()]
+        };
+        let locals = locals
+            .iter()
+            .map(|(name, text)| Source::parse(*name, text).unwrap())
+            .collect();
+        Deployment::new(system, locals)
+    }
+
+    fn snapshot() -> RegistrySnapshot {
+        RegistrySnapshot::standard()
+    }
+
+    #[test]
+    fn bare_expr_wildcard_entry_is_unsliceable() {
+        let dep = deployment(
+            "pos_access_right * *\npre_cond expr local payload\n\
+             pos_access_right apache GET\n",
+            &[],
+        );
+        let report = analyze_slices(&dep, &snapshot(), SliceOptions::default());
+        let gaa901: Vec<_> = report.lints.iter().filter(|l| l.code == "GAA901").collect();
+        assert_eq!(gaa901.len(), 1, "{:?}", report.lints);
+        assert!(gaa901[0].message.contains("interpreter-confirmed"));
+        assert_eq!(report.dropped, 0);
+        assert!(report.confirmed >= 1);
+    }
+
+    #[test]
+    fn entry_below_wildcard_screen_is_dead_everywhere() {
+        // The unconditional wildcard grant applies to every request, so the
+        // entry below it can never be reached in any cell of any class.
+        let dep = deployment(
+            "",
+            &[(
+                "/doc",
+                "pos_access_right * *\npos_access_right apache GET\n",
+            )],
+        );
+        let report = analyze_slices(&dep, &snapshot(), SliceOptions::default());
+        let gaa902: Vec<_> = report.lints.iter().filter(|l| l.code == "GAA902").collect();
+        assert_eq!(gaa902.len(), 1, "{:?}", report.lints);
+        assert_eq!(gaa902[0].entry, Some(1));
+        assert_eq!(report.dropped, 0);
+    }
+
+    #[test]
+    fn live_guarded_entries_raise_nothing() {
+        let dep = deployment(
+            "neg_access_right apache *\npre_cond accessid GROUP BadGuys\n\
+             pos_access_right apache *\npre_cond accessid USER *\n",
+            &[("/doc", "pos_access_right apache GET\n")],
+        );
+        let report = analyze_slices(&dep, &snapshot(), SliceOptions::default());
+        assert!(report.lints.is_empty(), "{:?}", report.lints);
+        assert!(report.verified > 0);
+    }
+
+    #[test]
+    fn blowup_fires_only_past_thresholds() {
+        // 16 unconditional wildcard-right grants: every (apache *) cell
+        // keeps the first... actually first-match keeps only the first
+        // entry live; build 16 distinctly-guarded entries instead so all
+        // stay kept.
+        let mut text = String::new();
+        for i in 0..16 {
+            text.push_str(&format!(
+                "pos_access_right apache *\npre_cond accessid GROUP g{i}\n"
+            ));
+        }
+        let dep = deployment(&text, &[]);
+        let report = analyze_slices(&dep, &snapshot(), SliceOptions::default());
+        let gaa903: Vec<_> = report.lints.iter().filter(|l| l.code == "GAA903").collect();
+        assert_eq!(gaa903.len(), 1, "{:?}", report.lints);
+        assert!(gaa903[0].message.contains("16 of 16"));
+
+        // The same shape below the size floor is quiet.
+        let small = deployment(
+            "pos_access_right apache *\npre_cond accessid GROUP g0\n",
+            &[],
+        );
+        let report = analyze_slices(&small, &snapshot(), SliceOptions::default());
+        assert!(report.lints.is_empty(), "{:?}", report.lints);
+    }
+}

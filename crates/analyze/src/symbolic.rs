@@ -145,7 +145,7 @@ pub(crate) fn vocabulary(deployments: &[&Deployment], snapshot: &RegistrySnapsho
 /// conditions may take any outcome).
 pub type Witness = Vec<(Condition, GaaStatus)>;
 
-fn witness_from(vars: &VarTable, assignment: &PartialAssignment) -> Witness {
+pub(crate) fn witness_from(vars: &VarTable, assignment: &PartialAssignment) -> Witness {
     assignment
         .iter()
         .enumerate()
@@ -153,7 +153,7 @@ fn witness_from(vars: &VarTable, assignment: &PartialAssignment) -> Witness {
         .collect()
 }
 
-fn describe_witness(witness: &Witness) -> String {
+pub(crate) fn describe_witness(witness: &Witness) -> String {
     if witness.is_empty() {
         return "any condition outcome".to_string();
     }
@@ -169,13 +169,13 @@ fn describe_witness(witness: &Witness) -> String {
 /// the ground truth every symbolic verdict is replayed against.
 type AssignmentTable = Arc<Mutex<HashMap<(String, String, String), GaaStatus>>>;
 
-struct Harness {
+pub(crate) struct Harness {
     api: GaaApi,
     assignment: AssignmentTable,
 }
 
 impl Harness {
-    fn new(deployment: &Deployment, triples: &[(String, String, String)]) -> Self {
+    pub(crate) fn new(deployment: &Deployment, triples: &[(String, String, String)]) -> Self {
         let mut store = MemoryPolicyStore::new();
         store.set_system(deployment.system_eacls());
         for source in &deployment.locals {
@@ -212,7 +212,7 @@ impl Harness {
     }
 
     /// Installs an assignment; variables left `None` default to YES (Met).
-    fn set(&self, triples: &[(String, String, String)], assignment: &PartialAssignment) {
+    pub(crate) fn set(&self, triples: &[(String, String, String)], assignment: &PartialAssignment) {
         let mut map = self.assignment.lock();
         map.clear();
         for (i, triple) in triples.iter().enumerate() {
@@ -225,14 +225,28 @@ impl Harness {
         }
     }
 
-    fn authorization(&self, policy: &ComposedPolicy, authority: &str, value: &str) -> GaaStatus {
-        self.api
-            .check_authorization(
-                policy,
-                &RightPattern::new(authority, value),
-                &SecurityContext::new(),
-            )
-            .authorization_status()
+    pub(crate) fn authorization(
+        &self,
+        policy: &ComposedPolicy,
+        authority: &str,
+        value: &str,
+    ) -> GaaStatus {
+        self.result(policy, authority, value).authorization_status()
+    }
+
+    /// The full authorization result (the slice tier inspects which entries
+    /// applied, not just the status).
+    pub(crate) fn result(
+        &self,
+        policy: &ComposedPolicy,
+        authority: &str,
+        value: &str,
+    ) -> gaa_core::AuthorizationResult {
+        self.api.check_authorization(
+            policy,
+            &RightPattern::new(authority, value),
+            &SecurityContext::new(),
+        )
     }
 }
 

@@ -169,7 +169,7 @@ fn renderers_cover_the_report() {
     assert!(human.lines().last().unwrap().starts_with("policy check: "));
 
     let json = render_json(&lints);
-    assert!(json.starts_with("{\"schema_version\":3,\"max_severity\":\"error\""));
+    assert!(json.starts_with("{\"schema_version\":4,\"max_severity\":\"error\""));
     assert!(json.contains("\"code\":\"GAA302\""));
     assert!(json.contains("\"layer\":\"local\""));
     // Spans survive into the JSON shape.

@@ -45,23 +45,27 @@
 
 use gaa_audit::notify::CollectingNotifier;
 use gaa_audit::VirtualClock;
+use gaa_bench::loopback::{
+    emit_json, measure_addr, measure_window, raw_wire, status_line_over_socket, BenchArgs,
+};
 use gaa_conditions::{register_standard, StandardServices};
 use gaa_core::{DecisionCache, FilePolicyStore, GaaApiBuilder, MemoryPolicyStore};
 use gaa_eacl::parse_eacl_list;
 use gaa_httpd::reactor::{ReactorConfig, ReactorFront};
 use gaa_httpd::tcp::{PoolConfig, TcpFront};
-use gaa_httpd::{AccessControl, GaaGlue, HttpRequest, Server, StatusCode, Vfs};
+use gaa_httpd::{AccessControl, GaaGlue, Server, StatusCode, Vfs};
 use gaa_ids::ThreatLevel;
 use gaa_workload::{AttackKind, ScenarioBuilder};
 use std::fmt::Write as _;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 const DEFAULT_REQUESTS_PER_CLIENT: u32 = 2000;
 const CLIENTS: usize = 4;
+const PATHS: &[&str] = &["/index.html", "/docs/page1.html"];
 
 /// A policy whose compiled support set is cacheable (group membership and
 /// the threat level are stamp-keyed; the regex is stable), with a lockdown
@@ -146,158 +150,10 @@ fn throughput_server(cached: bool) -> Arc<Server> {
     ))
 }
 
-/// Total frame length of one HTTP response (headers + `content-length`
-/// body) once `buf` holds it completely.
-fn frame_len(buf: &[u8]) -> Option<usize> {
-    let header_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
-    let head = String::from_utf8_lossy(&buf[..header_end]);
-    let content_length = head
-        .lines()
-        .find_map(|l| {
-            let (name, value) = l.split_once(':')?;
-            name.trim()
-                .eq_ignore_ascii_case("content-length")
-                .then(|| value.trim().parse::<usize>().ok())?
-        })
-        .unwrap_or(0);
-    let total = header_end + 4 + content_length;
-    (buf.len() >= total).then_some(total)
-}
-
-/// One benchmark client: `n` GET requests over keep-alive connections,
-/// reconnecting whenever the server closes (the seed front closes after
-/// every response, so it pays a connect per request).
-fn run_client(addr: std::net::SocketAddr, n: u32) {
-    let paths = ["/index.html", "/docs/page1.html"];
-    let mut stream: Option<TcpStream> = None;
-    let mut carry: Vec<u8> = Vec::new();
-    for i in 0..n {
-        let s = match stream.as_mut() {
-            Some(s) => s,
-            None => {
-                carry.clear();
-                let s = TcpStream::connect(addr).expect("connect");
-                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
-                stream.insert(s)
-            }
-        };
-        let request = format!(
-            "GET {} HTTP/1.1\r\nhost: bench\r\n\r\n",
-            paths[(i as usize) % paths.len()]
-        );
-        s.write_all(request.as_bytes()).expect("write");
-        let mut chunk = [0u8; 4096];
-        let (response, closed) = loop {
-            if let Some(len) = frame_len(&carry) {
-                let rest = carry.split_off(len);
-                break (std::mem::replace(&mut carry, rest), false);
-            }
-            let read = s.read(&mut chunk).expect("read");
-            if read == 0 {
-                break (std::mem::take(&mut carry), true);
-            }
-            carry.extend_from_slice(&chunk[..read]);
-        };
-        let text = String::from_utf8_lossy(&response);
-        assert!(
-            text.starts_with("HTTP/1.1 200"),
-            "unexpected response: {}",
-            text.lines().next().unwrap_or("")
-        );
-        if closed || text.contains("connection: close") {
-            stream = None;
-        }
-    }
-}
-
-/// Drives the front at `addr` with [`CLIENTS`] concurrent clients of `n`
-/// requests each and returns requests per second.
-fn measure_addr(addr: SocketAddr, n: u32) -> f64 {
-    // Warmup: populate caches and profiles off the clock.
-    run_client(addr, 50);
-    let start = Instant::now();
-    let clients: Vec<_> = (0..CLIENTS)
-        .map(|_| std::thread::spawn(move || run_client(addr, n)))
-        .collect();
-    for c in clients {
-        c.join().expect("client panicked");
-    }
-    f64::from(n) * (CLIENTS as f64) / start.elapsed().as_secs_f64()
-}
-
 /// Drives `front` with [`CLIENTS`] concurrent clients of `n` requests each
-/// and returns requests per second.
+/// over [`PATHS`] and returns requests per second.
 fn measure(front: &TcpFront, n: u32) -> f64 {
-    measure_addr(front.addr(), n)
-}
-
-/// Time-windowed, failure-tolerant throughput probe for the *loaded*
-/// dimensions: counts completed 200s within `window`, treating timeouts and
-/// resets as zero-score attempts (a collapsed front scores ~0 instead of
-/// panicking the harness the way [`run_client`] would).
-fn measure_window(addr: SocketAddr, window: Duration) -> f64 {
-    let deadline = Instant::now() + window;
-    let completed = Arc::new(AtomicU64::new(0));
-    let clients: Vec<_> = (0..CLIENTS)
-        .map(|_| {
-            let completed = Arc::clone(&completed);
-            std::thread::spawn(move || {
-                let mut stream: Option<TcpStream> = None;
-                let mut carry: Vec<u8> = Vec::new();
-                let mut chunk = [0u8; 4096];
-                while Instant::now() < deadline {
-                    let s = match stream.as_mut() {
-                        Some(s) => s,
-                        None => {
-                            carry.clear();
-                            match TcpStream::connect(addr) {
-                                Ok(s) => {
-                                    let _ = s.set_read_timeout(Some(Duration::from_millis(250)));
-                                    stream.insert(s)
-                                }
-                                Err(_) => {
-                                    std::thread::sleep(Duration::from_millis(5));
-                                    continue;
-                                }
-                            }
-                        }
-                    };
-                    if s.write_all(b"GET /index.html HTTP/1.1\r\nhost: bench\r\n\r\n")
-                        .is_err()
-                    {
-                        stream = None;
-                        continue;
-                    }
-                    let response = loop {
-                        if let Some(len) = frame_len(&carry) {
-                            let rest = carry.split_off(len);
-                            break Some(std::mem::replace(&mut carry, rest));
-                        }
-                        match s.read(&mut chunk) {
-                            Ok(0) | Err(_) => break None, // EOF/timeout: failed attempt
-                            Ok(read) => carry.extend_from_slice(&chunk[..read]),
-                        }
-                    };
-                    match response {
-                        Some(bytes) => {
-                            let text = String::from_utf8_lossy(&bytes);
-                            if text.starts_with("HTTP/1.1 200") {
-                                completed.fetch_add(1, Ordering::Relaxed);
-                            }
-                            if text.contains("connection: close") {
-                                stream = None;
-                            }
-                        }
-                        None => stream = None,
-                    }
-                }
-            })
-        })
-        .collect();
-    for c in clients {
-        c.join().expect("probe client panicked");
-    }
-    completed.load(Ordering::Relaxed) as f64 / window.as_secs_f64()
+    measure_addr(front.addr(), n, CLIENTS, PATHS)
 }
 
 /// Opens `count` keep-alive connections that send nothing at all — the
@@ -346,54 +202,16 @@ fn spawn_slow_writers(
 /// `slow` dribblers) attached. Returns `(unloaded, idle_loaded,
 /// slow_loaded)` in requests per second.
 fn loaded_profile(addr: SocketAddr, idle: usize, slow: usize, window: Duration) -> (f64, f64, f64) {
-    let unloaded = measure_window(addr, window);
+    let unloaded = measure_window(addr, window, CLIENTS);
     let idle_conns = attach_idle_connections(addr, idle);
-    let idle_loaded = measure_window(addr, window);
+    let idle_loaded = measure_window(addr, window, CLIENTS);
     let stop = Arc::new(AtomicBool::new(false));
     let dribbler = spawn_slow_writers(addr, slow, Arc::clone(&stop));
-    let slow_loaded = measure_window(addr, window);
+    let slow_loaded = measure_window(addr, window, CLIENTS);
     stop.store(true, Ordering::Relaxed);
     dribbler.join().expect("dribbler panicked");
     drop(idle_conns);
     (unloaded, idle_loaded, slow_loaded)
-}
-
-/// Serializes a workload request for replay over a real socket, forcing
-/// `connection: close` so every front serves exactly one request per
-/// connection in the same order.
-fn raw_wire(request: &HttpRequest) -> Vec<u8> {
-    let mut head = format!(
-        "{} {} HTTP/1.1\r\n",
-        request.method.as_str(),
-        request.target
-    );
-    for (name, value) in &request.headers {
-        if name.eq_ignore_ascii_case("connection") || name.eq_ignore_ascii_case("content-length") {
-            continue;
-        }
-        let _ = write!(head, "{name}: {value}\r\n");
-    }
-    if !request.body.is_empty() {
-        let _ = write!(head, "content-length: {}\r\n", request.body.len());
-    }
-    head.push_str("connection: close\r\n\r\n");
-    let mut out = head.into_bytes();
-    out.extend_from_slice(&request.body);
-    out
-}
-
-/// Sends `raw` and returns the response's status line (trimmed), or a
-/// tagged error string — which also diverges, and therefore also gates.
-fn status_line_over_socket(addr: SocketAddr, raw: &[u8]) -> String {
-    match gaa_httpd::tcp::send_raw(addr, raw) {
-        Ok(bytes) => String::from_utf8_lossy(&bytes)
-            .lines()
-            .next()
-            .unwrap_or("<empty>")
-            .trim()
-            .to_string(),
-        Err(e) => format!("<io error: {}>", e.kind()),
-    }
 }
 
 /// Replays one seeded mixed workload serially against the seed,
@@ -545,28 +363,9 @@ fn differential_gate(dir: &std::path::Path) -> (usize, usize, u64) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut write_to: Option<String> = None;
-    let mut per_client = DEFAULT_REQUESTS_PER_CLIENT;
-    let mut smoke = false;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--write" => write_to = Some(it.next().expect("--write needs a file").clone()),
-            "--iterations" => {
-                per_client = it
-                    .next()
-                    .expect("--iterations needs a value")
-                    .parse()
-                    .expect("numeric iterations")
-            }
-            "--smoke" => smoke = true,
-            other => panic!("unknown argument `{other}`"),
-        }
-    }
-    if smoke {
-        per_client = per_client.min(100);
-    }
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
+    let per_client = args.resolve_iterations(DEFAULT_REQUESTS_PER_CLIENT, 100);
 
     // Correctness gate first: refuse to benchmark a cache that changes
     // answers under policy reload or threat transitions.
@@ -620,7 +419,7 @@ fn main() {
 
     let reactor =
         ReactorFront::spawn("127.0.0.1:0", throughput_server(false)).expect("bind reactor front");
-    let reactor_rps = measure_addr(reactor.addr(), per_client);
+    let reactor_rps = measure_addr(reactor.addr(), per_client, CLIENTS, PATHS);
     reactor.stop();
 
     // Slowloris dimensions: the same probe, unloaded → with idle keep-alive
@@ -755,9 +554,5 @@ fn main() {
     );
     json.push('}');
 
-    println!("{json}");
-    if let Some(file) = write_to {
-        std::fs::write(&file, format!("{json}\n")).unwrap_or_else(|e| panic!("{file}: {e}"));
-        eprintln!("wrote {file}");
-    }
+    emit_json(&json, args.write_to.as_deref());
 }

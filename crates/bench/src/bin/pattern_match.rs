@@ -25,6 +25,7 @@
 //!
 //! [`CombinedMatcher::match_set`]: gaa_conditions::CombinedMatcher::match_set
 
+use gaa_bench::loopback::{emit_json, BenchArgs};
 use gaa_conditions::CombinedMatcher;
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -192,28 +193,9 @@ fn measure(texts: &[String], iterations: u32, mut f: impl FnMut(&str) -> usize) 
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut write_to: Option<String> = None;
-    let mut iterations = DEFAULT_ITERATIONS;
-    let mut smoke = false;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--write" => write_to = Some(it.next().expect("--write needs a file").clone()),
-            "--iterations" => {
-                iterations = it
-                    .next()
-                    .expect("--iterations needs a value")
-                    .parse()
-                    .expect("numeric iterations")
-            }
-            "--smoke" => smoke = true,
-            other => panic!("unknown argument `{other}`"),
-        }
-    }
-    if smoke {
-        iterations = iterations.min(50);
-    }
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
+    let iterations = args.resolve_iterations(DEFAULT_ITERATIONS, 50);
 
     let patterns = pattern_set();
     let matcher = CombinedMatcher::compile(&patterns);
@@ -311,9 +293,5 @@ fn main() {
     );
     json.push('}');
 
-    println!("{json}");
-    if let Some(path) = write_to {
-        std::fs::write(&path, format!("{json}\n")).expect("write summary");
-        eprintln!("wrote {path}");
-    }
+    emit_json(&json, args.write_to.as_deref());
 }

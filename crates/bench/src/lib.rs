@@ -15,6 +15,7 @@
 //! Notification latency is configurable; §8's point is that the mail path
 //! dominates once enabled (5.9 ms → 53.3 ms on their hardware).
 
+pub mod loopback;
 pub mod race_scenarios;
 
 use gaa_audit::notify::{Notifier, SimulatedSmtp};

@@ -1,0 +1,379 @@
+//! Shared loopback serving-bench harness.
+//!
+//! Every HTTP-level benchmark binary (`http_throughput`, `scale`) spawns
+//! real fronts on `127.0.0.1:0` and drives them with concurrent
+//! keep-alive clients over real sockets. The framing, client loop,
+//! measurement windows, wire serialization for differential replay, and
+//! the `--write/--iterations/--smoke` argument envelope live here so the
+//! binaries measure different *configurations*, not different harnesses.
+
+use gaa_httpd::HttpRequest;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The common benchmark argument envelope:
+/// `[--write FILE] [--iterations N] [--smoke]`.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// `--write FILE`: also save the JSON summary here.
+    pub write_to: Option<String>,
+    /// `--iterations N`: override the per-client/per-sweep iteration count.
+    pub iterations: Option<u32>,
+    /// `--smoke`: shrink the timed run for CI (gates still run in full).
+    pub smoke: bool,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args().skip(1)`; panics on unknown flags (these
+    /// are internal tools, not user-facing CLIs).
+    #[must_use]
+    pub fn parse() -> BenchArgs {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut parsed = BenchArgs::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--write" => {
+                    parsed.write_to = Some(it.next().expect("--write needs a file").clone());
+                }
+                "--iterations" => {
+                    parsed.iterations = Some(
+                        it.next()
+                            .expect("--iterations needs a value")
+                            .parse()
+                            .expect("numeric iterations"),
+                    );
+                }
+                "--smoke" => parsed.smoke = true,
+                other => panic!("unknown argument `{other}`"),
+            }
+        }
+        parsed
+    }
+
+    /// The iteration count: explicit override, else `default` shrunk to
+    /// `smoke_cap` under `--smoke`.
+    #[must_use]
+    pub fn resolve_iterations(&self, default: u32, smoke_cap: u32) -> u32 {
+        let n = self.iterations.unwrap_or(default);
+        if self.smoke {
+            n.min(smoke_cap)
+        } else {
+            n
+        }
+    }
+}
+
+/// Prints the JSON summary and saves it when `--write` was given.
+pub fn emit_json(json: &str, write_to: Option<&str>) {
+    println!("{json}");
+    if let Some(file) = write_to {
+        std::fs::write(file, format!("{json}\n")).unwrap_or_else(|e| panic!("{file}: {e}"));
+        eprintln!("wrote {file}");
+    }
+}
+
+/// Total frame length of one HTTP response (headers + `content-length`
+/// body) once `buf` holds it completely.
+#[must_use]
+pub fn frame_len(buf: &[u8]) -> Option<usize> {
+    let header_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = String::from_utf8_lossy(&buf[..header_end]);
+    let content_length = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse::<usize>().ok())?
+        })
+        .unwrap_or(0);
+    let total = header_end + 4 + content_length;
+    (buf.len() >= total).then_some(total)
+}
+
+/// One benchmark client: `n` requests drawn round-robin from `wires` over
+/// keep-alive connections, reconnecting whenever the server closes. Every
+/// response must carry a status in `expect_prefixes` (typically
+/// `&["HTTP/1.1 200"]`; pass more for mixed workloads).
+pub fn run_wire_client(addr: SocketAddr, wires: &[Vec<u8>], n: u32, expect_prefixes: &[&str]) {
+    assert!(!wires.is_empty(), "need at least one request");
+    let mut stream: Option<TcpStream> = None;
+    let mut carry: Vec<u8> = Vec::new();
+    for i in 0..n {
+        let s = match stream.as_mut() {
+            Some(s) => s,
+            None => {
+                carry.clear();
+                let s = TcpStream::connect(addr).expect("connect");
+                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                stream.insert(s)
+            }
+        };
+        s.write_all(&wires[(i as usize) % wires.len()])
+            .expect("write");
+        let mut chunk = [0u8; 4096];
+        let (response, closed) = loop {
+            if let Some(len) = frame_len(&carry) {
+                let rest = carry.split_off(len);
+                break (std::mem::replace(&mut carry, rest), false);
+            }
+            let read = s.read(&mut chunk).expect("read");
+            if read == 0 {
+                break (std::mem::take(&mut carry), true);
+            }
+            carry.extend_from_slice(&chunk[..read]);
+        };
+        let text = String::from_utf8_lossy(&response);
+        assert!(
+            expect_prefixes.iter().any(|p| text.starts_with(p)),
+            "unexpected response: {}",
+            text.lines().next().unwrap_or("")
+        );
+        if closed || text.contains("connection: close") {
+            stream = None;
+        }
+    }
+}
+
+/// A keep-alive GET for `path` (the classic benchmark request).
+#[must_use]
+pub fn get_wire(path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.1\r\nhost: bench\r\n\r\n").into_bytes()
+}
+
+/// One benchmark client: `n` GET requests over `paths` round-robin.
+pub fn run_client(addr: SocketAddr, n: u32, paths: &[&str]) {
+    let wires: Vec<Vec<u8>> = paths.iter().map(|p| get_wire(p)).collect();
+    run_wire_client(addr, &wires, n, &["HTTP/1.1 200"]);
+}
+
+/// Drives the front at `addr` with `clients` concurrent clients replaying
+/// `wires` (`n` requests each, after a 50-request warmup that populates
+/// caches and profiles off the clock) and returns requests per second.
+#[must_use]
+pub fn measure_wires(
+    addr: SocketAddr,
+    wires: &Arc<Vec<Vec<u8>>>,
+    n: u32,
+    clients: usize,
+    expect_prefixes: &'static [&'static str],
+) -> f64 {
+    run_wire_client(addr, wires, n.min(50), expect_prefixes);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let wires = Arc::clone(wires);
+            std::thread::spawn(move || run_wire_client(addr, &wires, n, expect_prefixes))
+        })
+        .collect();
+    for c in handles {
+        c.join().expect("client panicked");
+    }
+    f64::from(n) * (clients as f64) / start.elapsed().as_secs_f64()
+}
+
+/// Drives the front at `addr` with `clients` concurrent clients of `n`
+/// GET requests each over `paths` and returns requests per second.
+#[must_use]
+pub fn measure_addr(
+    addr: SocketAddr,
+    n: u32,
+    clients: usize,
+    paths: &'static [&'static str],
+) -> f64 {
+    let wires = Arc::new(paths.iter().map(|p| get_wire(p)).collect::<Vec<_>>());
+    measure_wires(addr, &wires, n, clients, &["HTTP/1.1 200"])
+}
+
+/// Time-windowed, failure-tolerant throughput probe for *loaded*
+/// dimensions: counts completed 200s within `window`, treating timeouts
+/// and resets as zero-score attempts (a collapsed front scores ~0 instead
+/// of panicking the harness the way [`run_client`] would).
+#[must_use]
+pub fn measure_window(addr: SocketAddr, window: Duration, clients: usize) -> f64 {
+    let deadline = Instant::now() + window;
+    let completed = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let completed = Arc::clone(&completed);
+            std::thread::spawn(move || {
+                let mut stream: Option<TcpStream> = None;
+                let mut carry: Vec<u8> = Vec::new();
+                let mut chunk = [0u8; 4096];
+                while Instant::now() < deadline {
+                    let s = match stream.as_mut() {
+                        Some(s) => s,
+                        None => {
+                            carry.clear();
+                            match TcpStream::connect(addr) {
+                                Ok(s) => {
+                                    let _ = s.set_read_timeout(Some(Duration::from_millis(250)));
+                                    stream.insert(s)
+                                }
+                                Err(_) => {
+                                    std::thread::sleep(Duration::from_millis(5));
+                                    continue;
+                                }
+                            }
+                        }
+                    };
+                    if s.write_all(b"GET /index.html HTTP/1.1\r\nhost: bench\r\n\r\n")
+                        .is_err()
+                    {
+                        stream = None;
+                        continue;
+                    }
+                    let response = loop {
+                        if let Some(len) = frame_len(&carry) {
+                            let rest = carry.split_off(len);
+                            break Some(std::mem::replace(&mut carry, rest));
+                        }
+                        match s.read(&mut chunk) {
+                            Ok(0) | Err(_) => break None, // EOF/timeout: failed attempt
+                            Ok(read) => carry.extend_from_slice(&chunk[..read]),
+                        }
+                    };
+                    match response {
+                        Some(bytes) => {
+                            let text = String::from_utf8_lossy(&bytes);
+                            if text.starts_with("HTTP/1.1 200") {
+                                completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if text.contains("connection: close") {
+                                stream = None;
+                            }
+                        }
+                        None => stream = None,
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in handles {
+        c.join().expect("probe client panicked");
+    }
+    completed.load(Ordering::Relaxed) as f64 / window.as_secs_f64()
+}
+
+/// Serializes a workload request for replay over a real socket, forcing
+/// `connection: close` so every front serves exactly one request per
+/// connection in the same order.
+#[must_use]
+pub fn raw_wire(request: &HttpRequest) -> Vec<u8> {
+    let mut head = format!(
+        "{} {} HTTP/1.1\r\n",
+        request.method.as_str(),
+        request.target
+    );
+    for (name, value) in &request.headers {
+        if name.eq_ignore_ascii_case("connection") || name.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    if !request.body.is_empty() {
+        let _ = write!(head, "content-length: {}\r\n", request.body.len());
+    }
+    head.push_str("connection: close\r\n\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(&request.body);
+    out
+}
+
+/// A keep-alive wire for a workload request (no forced close) — the
+/// throughput-side sibling of [`raw_wire`].
+#[must_use]
+pub fn keepalive_wire(request: &HttpRequest) -> Vec<u8> {
+    let mut head = format!(
+        "{} {} HTTP/1.1\r\n",
+        request.method.as_str(),
+        request.target
+    );
+    let mut saw_host = false;
+    for (name, value) in &request.headers {
+        if name.eq_ignore_ascii_case("connection") || name.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        saw_host |= name.eq_ignore_ascii_case("host");
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    if !saw_host {
+        head.push_str("host: bench\r\n");
+    }
+    if !request.body.is_empty() {
+        let _ = write!(head, "content-length: {}\r\n", request.body.len());
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(&request.body);
+    out
+}
+
+/// Sends `raw` and returns the response's status line (trimmed), or a
+/// tagged error string — which also diverges, and therefore also gates.
+#[must_use]
+pub fn status_line_over_socket(addr: SocketAddr, raw: &[u8]) -> String {
+    match gaa_httpd::tcp::send_raw(addr, raw) {
+        Ok(bytes) => String::from_utf8_lossy(&bytes)
+            .lines()
+            .next()
+            .unwrap_or("<empty>")
+            .trim()
+            .to_string(),
+        Err(e) => format!("<io error: {}>", e.kind()),
+    }
+}
+
+/// Resident-set size of this process in kilobytes, from
+/// `/proc/self/status` (`VmRSS`); `None` off Linux or on parse failure.
+#[must_use]
+pub fn vm_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status.lines().find_map(|line| {
+        line.strip_prefix("VmRSS:")?
+            .split_whitespace()
+            .next()?
+            .parse()
+            .ok()
+    })
+}
+
+#[cfg(test)]
+mod loopback_tests {
+    use super::*;
+
+    #[test]
+    fn frame_len_waits_for_full_body() {
+        let head = b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\n\r\n";
+        assert_eq!(frame_len(head), None);
+        let mut full = head.to_vec();
+        full.extend_from_slice(b"hello");
+        assert_eq!(frame_len(&full), Some(full.len()));
+        full.extend_from_slice(b"HTTP/1.1 200 ..."); // pipelined next frame
+        assert_eq!(frame_len(&full), Some(head.len() + 5));
+    }
+
+    #[test]
+    fn wires_preserve_headers_and_differ_on_connection_handling() {
+        let request = HttpRequest::get("/x").with_header("authorization", "Basic abc");
+        let raw = String::from_utf8(raw_wire(&request)).unwrap();
+        assert!(raw.contains("connection: close\r\n"));
+        assert!(raw.contains("authorization: Basic abc\r\n"));
+        let keep = String::from_utf8(keepalive_wire(&request)).unwrap();
+        assert!(!keep.contains("connection: close"));
+        assert!(keep.contains("host: bench\r\n"));
+        assert!(keep.contains("authorization: Basic abc\r\n"));
+    }
+
+    #[test]
+    fn vm_rss_reads_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(vm_rss_kb().unwrap() > 0);
+        }
+    }
+}

@@ -28,14 +28,28 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+/// The two membership maps, kept under **one** lock so they can never be
+/// observed out of sync: the forward map answers `contains(group, member)`,
+/// the reverse index answers `groups_of(member)` without scanning every
+/// group — the lookup shape the million-principal serving path needs.
+#[derive(Debug, Default)]
+struct Membership {
+    groups: HashMap<String, HashSet<String>>,
+    /// member → the groups holding it (the hashed principal index).
+    members: HashMap<String, HashSet<String>>,
+}
+
 /// Shared, mutable group-membership store.
 ///
 /// Backs `accessid GROUP` conditions and the `update_log` response action.
 /// Members may be user names or IP addresses — §7.2 blacklists IPs.
-/// Cloning shares the store.
+/// Cloning shares the store. Both `contains` and `groups_of` are hash
+/// lookups; the reverse index is maintained in the same critical section as
+/// the forward map and the version bump, so a stamp reader can never see
+/// one without the others.
 #[derive(Debug, Clone, Default)]
 pub struct GroupStore {
-    groups: Arc<RwLock<HashMap<String, HashSet<String>>>>,
+    groups: Arc<RwLock<Membership>>,
     version: Arc<AtomicU64>,
 }
 
@@ -49,10 +63,16 @@ impl GroupStore {
     pub fn add(&self, group: &str, member: &str) -> bool {
         let mut groups = self.groups.write();
         let added = groups
+            .groups
             .entry(group.to_string())
             .or_default()
             .insert(member.to_string());
         if added {
+            groups
+                .members
+                .entry(member.to_string())
+                .or_default()
+                .insert(group.to_string());
             // ordering: Release, and deliberately *inside* the write
             // critical section. Bumping after the guard dropped (as an
             // earlier revision did) lets a reader observe the new
@@ -61,7 +81,9 @@ impl GroupStore {
             // under the post-change world. Holding the guard makes
             // "membership changed ⇒ version changed" atomic for any
             // version() reader that also takes the lock, and the Release
-            // pairs with version()'s Acquire for lock-free readers.
+            // pairs with version()'s Acquire for lock-free readers. The
+            // reverse index mutates under the same guard, so the stamp
+            // protocol covers it for free.
             self.version.fetch_add(1, Ordering::Release);
         }
         drop(groups);
@@ -71,8 +93,17 @@ impl GroupStore {
     /// Removes `member` from `group`; returns whether it was present.
     pub fn remove(&self, group: &str, member: &str) -> bool {
         let mut groups = self.groups.write();
-        let removed = groups.get_mut(group).is_some_and(|set| set.remove(member));
+        let removed = groups
+            .groups
+            .get_mut(group)
+            .is_some_and(|set| set.remove(member));
         if removed {
+            if let Some(set) = groups.members.get_mut(member) {
+                set.remove(group);
+                if set.is_empty() {
+                    groups.members.remove(member);
+                }
+            }
             // ordering: Release inside the critical section — see add().
             self.version.fetch_add(1, Ordering::Release);
         }
@@ -94,13 +125,14 @@ impl GroupStore {
     pub fn contains(&self, group: &str, member: &str) -> bool {
         self.groups
             .read()
+            .groups
             .get(group)
             .is_some_and(|set| set.contains(member))
     }
 
     /// Number of members in `group` (0 when absent).
     pub fn len(&self, group: &str) -> usize {
-        self.groups.read().get(group).map_or(0, HashSet::len)
+        self.groups.read().groups.get(group).map_or(0, HashSet::len)
     }
 
     /// Is `group` absent or empty?
@@ -113,11 +145,75 @@ impl GroupStore {
         let mut out: Vec<String> = self
             .groups
             .read()
+            .groups
             .get(group)
             .map(|set| set.iter().cloned().collect())
             .unwrap_or_default();
         out.sort();
         out
+    }
+
+    /// Snapshot of the groups holding `member`, sorted — one hash lookup in
+    /// the reverse index, independent of how many groups exist.
+    pub fn groups_of(&self, member: &str) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .groups
+            .read()
+            .members
+            .get(member)
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+
+    /// Is `member` in any group at all? (Reverse-index probe.)
+    pub fn in_any_group(&self, member: &str) -> bool {
+        self.groups.read().members.contains_key(member)
+    }
+}
+
+/// An append-only intern table for principal names.
+///
+/// At a million principals the serving path must not re-allocate the same
+/// subject string on every request: the first sighting allocates one
+/// `Arc<str>`, every later `intern` of the same text returns a clone of
+/// that allocation (two pointer bumps). Cloning the table shares it.
+#[derive(Debug, Clone, Default)]
+pub struct SubjectTable {
+    subjects: Arc<RwLock<HashSet<Arc<str>>>>,
+}
+
+impl SubjectTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SubjectTable::default()
+    }
+
+    /// The shared allocation for `subject`, inserting it on first sight.
+    pub fn intern(&self, subject: &str) -> Arc<str> {
+        if let Some(hit) = self.subjects.read().get(subject) {
+            return hit.clone();
+        }
+        let mut subjects = self.subjects.write();
+        // Re-check under the write lock: another thread may have interned
+        // the same subject between our read and write acquisitions.
+        if let Some(hit) = subjects.get(subject) {
+            return hit.clone();
+        }
+        let entry: Arc<str> = Arc::from(subject);
+        subjects.insert(entry.clone());
+        entry
+    }
+
+    /// Distinct subjects interned so far.
+    pub fn len(&self) -> usize {
+        self.subjects.read().len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -206,6 +302,69 @@ mod tests {
         assert_eq!(store.version(), start + 2);
         assert!(!store.remove("BadGuys", "203.0.113.9")); // no-op
         assert_eq!(store.version(), start + 2);
+    }
+
+    #[test]
+    fn reverse_index_tracks_membership() {
+        let store = GroupStore::new();
+        assert!(!store.in_any_group("alice"));
+        store.add("staff", "alice");
+        store.add("VIPs", "alice");
+        store.add("staff", "bob");
+        assert_eq!(
+            store.groups_of("alice"),
+            vec!["VIPs".to_string(), "staff".to_string()]
+        );
+        assert!(store.in_any_group("alice"));
+        store.remove("VIPs", "alice");
+        assert_eq!(store.groups_of("alice"), vec!["staff".to_string()]);
+        store.remove("staff", "alice");
+        assert!(store.groups_of("alice").is_empty());
+        assert!(!store.in_any_group("alice"));
+        // The forward map was untouched for the other member.
+        assert!(store.contains("staff", "bob"));
+        assert_eq!(store.groups_of("bob"), vec!["staff".to_string()]);
+    }
+
+    #[test]
+    fn mutation_invalidates_index_and_stamped_cache_entries() {
+        // The regression the version protocol exists for: a decision cached
+        // under a stamp embedding version N must die when membership (and
+        // with it the reverse index) changes, because the stamp component
+        // moves to N+1 in the same critical section.
+        use gaa_core::{DecisionCache, GaaStatus};
+        let store = GroupStore::new();
+        store.add("staff", "alice");
+        let cache = DecisionCache::new();
+        let stamp = [7u64, 0, store.version()];
+        cache.insert(stamp, "alice-GET-/doc", GaaStatus::Yes);
+        assert_eq!(cache.lookup(stamp, "alice-GET-/doc"), Some(GaaStatus::Yes));
+        assert_eq!(store.groups_of("alice"), vec!["staff".to_string()]);
+
+        // One mutation: index and stamp move together.
+        store.remove("staff", "alice");
+        assert!(store.groups_of("alice").is_empty(), "index invalidated");
+        let fresh = [7u64, 0, store.version()];
+        assert_ne!(fresh, stamp);
+        assert_eq!(
+            cache.lookup(fresh, "alice-GET-/doc"),
+            None,
+            "stale grant must not survive the membership change"
+        );
+    }
+
+    #[test]
+    fn subject_table_interns_once() {
+        let table = SubjectTable::new();
+        let a = table.intern("alice");
+        let b = table.intern("alice");
+        assert!(Arc::ptr_eq(&a, &b), "same allocation on repeat intern");
+        let c = table.intern("bob");
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(table.len(), 2);
+        // Shared across clones.
+        let shared = table.clone();
+        assert!(Arc::ptr_eq(&shared.intern("alice"), &a));
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub use catalog::{
     register_standard, standard_registered_keys, StandardServices, KNOWN_CONDITIONS,
 };
 pub use firewall::Firewall;
-pub use identity::GroupStore;
+pub use identity::{GroupStore, SubjectTable};
 pub use multipattern::{CombinedMatcher, CompiledSignatureDb, MatchSet, PatternOracle};
 pub use regex::Regex;
 pub use session::SessionRegistry;

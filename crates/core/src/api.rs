@@ -537,8 +537,9 @@ impl GaaApi {
         &self.registry
     }
 
-    /// The §5.1 nothing-applies default this API was built with.
-    pub(crate) fn default_status(&self) -> GaaStatus {
+    /// The §5.1 nothing-applies default this API was built with. Slicing
+    /// needs it: a slice is only equivalent relative to the same default.
+    pub fn default_status(&self) -> GaaStatus {
         self.default_status
     }
 

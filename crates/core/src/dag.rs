@@ -45,6 +45,19 @@ const NUM_TERMINALS: u32 = 16;
 
 const STATUS_LABELS: [GaaStatus; 3] = [GaaStatus::Yes, GaaStatus::No, GaaStatus::Maybe];
 
+/// Allowed-outcome bit for YES in a per-variable mask (edge order
+/// `[Yes, No, Maybe]` — bit *i* permits child *i*). The masks feed the
+/// `*_masked` reachability/witness operations: the policy slicer restricts
+/// identity-condition variables to the outcomes an identity class can
+/// actually produce at runtime.
+pub const MASK_YES: u8 = 1 << 0;
+/// Allowed-outcome bit for NO.
+pub const MASK_NO: u8 = 1 << 1;
+/// Allowed-outcome bit for MAYBE (unevaluated).
+pub const MASK_MAYBE: u8 = 1 << 2;
+/// The unrestricted mask — every outcome permitted.
+pub const MASK_ANY: u8 = MASK_YES | MASK_NO | MASK_MAYBE;
+
 fn status_terminal(status: GaaStatus) -> u32 {
     match status {
         GaaStatus::Yes => T_YES,
@@ -359,6 +372,118 @@ impl DecisionDag {
         let mask = kids.iter().fold(0u16, |m, &k| m | self.reachable(k, memo));
         memo.insert(root, mask);
         mask
+    }
+
+    /// Bitmask of terminals reachable along paths *consistent with the
+    /// per-variable allowed-outcome masks* (see [`MASK_YES`]). Variables
+    /// beyond `allowed` are unrestricted. This is the restricted-world form
+    /// of reachability the policy slicer uses: a terminal absent from the
+    /// mask cannot be produced by any assignment an identity class permits.
+    fn reachable_masked(&self, root: u32, allowed: &[u8], memo: &mut HashMap<u32, u16>) -> u16 {
+        if root < NUM_TERMINALS {
+            return 1 << root;
+        }
+        if let Some(&hit) = memo.get(&root) {
+            return hit;
+        }
+        let node = self.nodes[(root - NUM_TERMINALS) as usize];
+        let var_mask = allowed.get(node.var as usize).copied().unwrap_or(MASK_ANY);
+        let mut mask = 0u16;
+        for (i, &kid) in node.kids.iter().enumerate() {
+            if var_mask & (1 << i) != 0 {
+                mask |= self.reachable_masked(kid, allowed, memo);
+            }
+        }
+        memo.insert(root, mask);
+        mask
+    }
+
+    /// Can a boolean (applies) diagram reach TRUE on any assignment the
+    /// per-variable masks permit? FALSE here is the slicer's sound-drop
+    /// certificate: an entry whose applies-diagram cannot reach TRUE under
+    /// the class mask never fires for that class, so removing it changes
+    /// neither the status nor any obligation.
+    #[must_use]
+    pub fn bool_reachable_masked(&self, root: u32, allowed: &[u8]) -> bool {
+        let mut memo = HashMap::new();
+        self.reachable_masked(root, allowed, &mut memo) & (1 << T_TRUE) != 0
+    }
+
+    /// Masked form of [`DecisionDag::witness`]: an assignment consistent
+    /// with the per-variable masks on which the diagram reaches a terminal
+    /// accepted by `accept`.
+    fn witness_masked(
+        &self,
+        root: u32,
+        num_vars: usize,
+        accept: u16,
+        allowed: &[u8],
+    ) -> Option<(u32, PartialAssignment)> {
+        let mut memo = HashMap::new();
+        if self.reachable_masked(root, allowed, &mut memo) & accept == 0 {
+            return None;
+        }
+        let mut assignment: PartialAssignment = vec![None; num_vars];
+        let mut id = root;
+        while id >= NUM_TERMINALS {
+            let node = self.nodes[(id - NUM_TERMINALS) as usize];
+            let var_mask = allowed.get(node.var as usize).copied().unwrap_or(MASK_ANY);
+            let pick = (0..3)
+                .find(|&i| {
+                    var_mask & (1 << i) != 0
+                        && self.reachable_masked(node.kids[i], allowed, &mut memo) & accept != 0
+                })
+                .expect("masked reachable promised a path");
+            assignment[node.var as usize] = Some(STATUS_LABELS[pick]);
+            id = node.kids[pick];
+        }
+        Some((id, assignment))
+    }
+
+    /// A mask-consistent assignment on which a boolean diagram is `target`.
+    #[must_use]
+    pub fn witness_bool_masked(
+        &self,
+        root: u32,
+        num_vars: usize,
+        target: bool,
+        allowed: &[u8],
+    ) -> Option<PartialAssignment> {
+        let terminal = if target { T_TRUE } else { T_FALSE };
+        self.witness_masked(root, num_vars, 1 << terminal, allowed)
+            .map(|(_, a)| a)
+    }
+
+    /// Proof obligation of the slicer: do two status diagrams agree on
+    /// *every* assignment the per-variable masks permit? Returns the first
+    /// divergence as `(value of a, value of b, witness)`, or `None` when
+    /// the diagrams are equivalent within the masked world. With all-open
+    /// masks this coincides with root equality (shared arena).
+    pub fn divergence_masked(
+        &mut self,
+        a: u32,
+        b: u32,
+        num_vars: usize,
+        allowed: &[u8],
+    ) -> Option<(GaaStatus, GaaStatus, PartialAssignment)> {
+        if a == b {
+            return None;
+        }
+        let pair = self.pair_decision(a, b);
+        let mut accept = 0u16;
+        for x in 0..3u32 {
+            for y in 0..3u32 {
+                if x != y {
+                    accept |= 1 << (x * 4 + y);
+                }
+            }
+        }
+        let (terminal, assignment) = self.witness_masked(pair, num_vars, accept, allowed)?;
+        Some((
+            terminal_status(terminal / 4),
+            terminal_status(terminal % 4),
+            assignment,
+        ))
     }
 
     /// Extracts an assignment on which the diagram reaches a terminal
@@ -777,7 +902,7 @@ pub fn compile_decision(
 
 /// Names one entry inside a composed deployment, using layer-relative EACL
 /// indices (the numbering [`crate::AppliedEntry`] reports).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EntryRef {
     /// The layer the entry's EACL came from.
     pub layer: PolicyLayer,
@@ -1111,6 +1236,99 @@ mod tests {
         // A cell the entries do not match: constant FALSE.
         let other = compile_applies(&mut dag, &p, &vars, "sshd", "login", entry(0));
         assert_eq!(dag.constant_bool(other), Some(false));
+    }
+
+    #[test]
+    fn masked_reachability_excludes_disallowed_outcomes() {
+        // Grant guarded by one condition: the decision is the identity on
+        // that variable's outcome, so masking outcomes masks terminals.
+        let p = policy(
+            "",
+            "pos_access_right apache *\npre_cond accessid USER alice\n",
+        );
+        let vars = VarTable::from_policy(&p, &registered);
+        let mut dag = DecisionDag::new();
+        let root = compile_decision(&mut dag, &p, &vars, "apache", "GET", GaaStatus::No);
+        // Unrestricted: all three statuses reachable (No via default).
+        assert!(dag
+            .divergence_masked(root, T_YES, vars.len(), &[MASK_ANY])
+            .is_some());
+        // USER pinned to MAYBE (anonymous class): only MAYBE reachable, so
+        // the diagram is equivalent to the constant MAYBE in that world.
+        assert!(dag
+            .divergence_masked(root, T_MAYBE, vars.len(), &[MASK_MAYBE])
+            .is_none());
+        // USER pinned to {YES, NO} (authenticated class): the diagram still
+        // diverges from a constant, and every witness the masked search
+        // returns respects the mask.
+        let auth = [MASK_YES | MASK_NO];
+        let (_, _, witness) = dag
+            .divergence_masked(root, T_YES, vars.len(), &auth)
+            .expect("guarded grant is not constant YES for authenticated users");
+        assert_eq!(witness, vec![Some(GaaStatus::No)]);
+    }
+
+    #[test]
+    fn masked_applies_certifies_dead_entries() {
+        // An anonymous-class world: the USER-guarded negative screen always
+        // applies (pre = MAYBE, never NO), so the grant below it can never
+        // fire — the slicer's drop certificate.
+        let p = policy(
+            "",
+            "neg_access_right apache *\npre_cond accessid USER *\n\
+             pos_access_right apache *\n",
+        );
+        let vars = VarTable::from_policy(&p, &registered);
+        let mut dag = DecisionDag::new();
+        let entry = |index| EntryRef {
+            layer: PolicyLayer::Local,
+            eacl: 0,
+            entry: index,
+        };
+        let screen = compile_applies(&mut dag, &p, &vars, "apache", "GET", entry(0));
+        let grant = compile_applies(&mut dag, &p, &vars, "apache", "GET", entry(1));
+        let anon = [MASK_MAYBE];
+        assert!(dag.bool_reachable_masked(screen, &anon));
+        assert!(!dag.bool_reachable_masked(grant, &anon));
+        // Authenticated world ({YES, NO}): the guard can come out NO, the
+        // walk falls through, the grant is live again.
+        let auth = [MASK_YES | MASK_NO];
+        assert!(dag.bool_reachable_masked(grant, &auth));
+        let witness = dag
+            .witness_bool_masked(grant, vars.len(), true, &auth)
+            .expect("live entry has a mask-consistent witness");
+        assert_eq!(witness, vec![Some(GaaStatus::No)]);
+    }
+
+    #[test]
+    fn divergence_masked_finds_and_confirms_disagreement() {
+        let full = policy(
+            "",
+            "neg_access_right apache *\npre_cond accessid GROUP BadGuys\n\
+             pos_access_right apache *\n",
+        );
+        let chopped = policy("", "pos_access_right apache *\n");
+        let mut triples = BTreeSet::new();
+        for p in [&full, &chopped] {
+            for (_, eacl) in p.layers() {
+                collect_triples(eacl, &registered, &mut triples);
+            }
+        }
+        let vars = VarTable::from_triples(triples);
+        let mut dag = DecisionDag::new();
+        let rf = compile_decision(&mut dag, &full, &vars, "apache", "GET", GaaStatus::No);
+        let rc = compile_decision(&mut dag, &chopped, &vars, "apache", "GET", GaaStatus::No);
+        let (got_full, got_chopped, witness) = dag
+            .divergence_masked(rf, rc, vars.len(), &[MASK_ANY])
+            .expect("dropping a live screen diverges");
+        assert_eq!(witness, vec![Some(GaaStatus::Yes)]);
+        assert_eq!(got_full, GaaStatus::No);
+        assert_eq!(got_chopped, GaaStatus::Yes);
+        // Restricting GROUP to NO (member never in the group) removes the
+        // divergence: in that world the screen is untriggerable.
+        assert!(dag
+            .divergence_masked(rf, rc, vars.len(), &[MASK_NO])
+            .is_none());
     }
 
     #[test]

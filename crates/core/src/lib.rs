@@ -75,6 +75,7 @@ mod trace;
 
 pub mod config;
 pub mod dag;
+pub mod slice;
 
 pub use api::{AppliedEntry, AuthorizationResult, GaaApi, GaaApiBuilder, PhaseStatus};
 pub use cache::{support_set_cacheable, CacheStamp, DecisionCache, DecisionCacheStats, Volatility};
@@ -88,5 +89,9 @@ pub use policy_store::{
     ResilientPolicyStore,
 };
 pub use registry::{ConditionEvaluator, ConditionRegistry, EvalDecision, EvalEnv};
+pub use slice::{
+    class_masks, condition_mask, maybe_violates_mask, slice_cell, CellSlice, IdentityClass,
+    SliceStats, SlicedPolicyStore,
+};
 pub use status::GaaStatus;
 pub use trace::{ConditionTrace, DecisionTrace, EaclTrace, EntryTrace};

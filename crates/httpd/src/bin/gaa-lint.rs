@@ -10,6 +10,7 @@
 //! gaa-lint patterns [--json] [--deny-warnings] [--no-signatures] [--seed N]
 //!                   [--system FILE]... FILE...
 //! gaa-lint site [--json] [--deny-warnings] [--no-signatures] DIR
+//! gaa-lint slice [--json] [--deny-warnings] DIR
 //! gaa-lint all [--json] [--deny-warnings] [--no-signatures] [--seed N]
 //!              [--code-root PATH] DIR
 //! ```
@@ -47,17 +48,25 @@
 //! real in-process server ([`gaa_httpd::site::ServerReplay`]) before
 //! being printed; unconfirmable claims are dropped and counted.
 //!
+//! `slice` runs the `GAA9xx` slice tier ([`gaa_analyze::slice`]) over a
+//! deployment directory: per-request-cell policy slicing under both
+//! identity-class masks, reporting unsliceable entries, entries dead in
+//! every slice, and slice-size blowups. Every finding is confirmed
+//! through the real interpreter at a mask-consistent witness before
+//! being printed; unconfirmable claims are dropped and counted.
+//!
 //! `all` runs every tier over one deployment directory — analyzer
 //! (GAA1xx–4xx), symbolic invariants from `DIR/policies.inv` when
 //! present (GAA506), code (GAA6xx, root from `--code-root`), patterns
-//! (GAA7xx), and site (GAA8xx) — and in `--json` mode emits one envelope
-//! with a `tiers` object holding each tier's full report document.
+//! (GAA7xx), site (GAA8xx), and slice (GAA9xx) — and in `--json` mode
+//! emits one envelope with a `tiers` object holding each tier's full
+//! report document.
 
 use gaa_analyze::{
-    audit_site, check_invariants, diff_deployments, diff_lints, differential_check, lint_patterns,
-    max_severity, parse_invariants, region_code, render_human, render_json, render_json_with,
-    violation_lints, Analyzer, Deployment, Lint, LintSeverity, RegistrySnapshot, SiteReport,
-    Source, JSON_SCHEMA_VERSION,
+    analyze_slices, audit_site, check_invariants, diff_deployments, diff_lints, differential_check,
+    lint_patterns, max_severity, parse_invariants, region_code, render_human, render_json,
+    render_json_with, violation_lints, Analyzer, Deployment, Lint, LintSeverity, RegistrySnapshot,
+    SiteReport, SliceOptions, SliceReport, Source, JSON_SCHEMA_VERSION,
 };
 use gaa_httpd::site::{site_spec, synthetic_vfs, vfs_from_dir, ServerReplay};
 use gaa_ids::SignatureDb;
@@ -84,6 +93,7 @@ const USAGE: &str = "usage: gaa-lint [--json] [--deny-warnings] [--differential]
                      \x20      gaa-lint patterns [--json] [--deny-warnings] [--no-signatures] \
                      [--seed N] [--system FILE]... FILE...\n\
                      \x20      gaa-lint site [--json] [--deny-warnings] [--no-signatures] DIR\n\
+                     \x20      gaa-lint slice [--json] [--deny-warnings] DIR\n\
                      \x20      gaa-lint all [--json] [--deny-warnings] [--no-signatures] \
                      [--seed N] [--code-root PATH] DIR";
 
@@ -446,6 +456,51 @@ fn run_site(args: &[String]) -> Result<ExitCode, String> {
     Ok(gate(max_severity(&report.lints), deny_warnings))
 }
 
+fn slice_summary(report: &SliceReport) -> String {
+    format!(
+        "slice: {} object(s), {} request cell(s) ({} slice(s) verified, {} fallback); \
+         {} finding(s) confirmed by interpreter replay, {} dropped unconfirmed",
+        report.objects,
+        report.cells,
+        report.verified,
+        report.unverified,
+        report.confirmed,
+        report.dropped
+    )
+}
+
+fn run_slice(args: &[String]) -> Result<ExitCode, String> {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut dirs = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
+            dir => dirs.push(dir),
+        }
+    }
+    let [dir] = dirs.as_slice() else {
+        return Err(format!(
+            "slice takes exactly one deployment directory\n{USAGE}"
+        ));
+    };
+    let deployment = load_deployment(dir)?;
+    let report = analyze_slices(
+        &deployment,
+        &RegistrySnapshot::standard(),
+        SliceOptions::default(),
+    );
+    if json {
+        println!("{}", render_json_with(&report.lints, &report.stats()));
+    } else {
+        print!("{}", render_human(&report.lints));
+        eprintln!("{}", slice_summary(&report));
+    }
+    Ok(gate(max_severity(&report.lints), deny_warnings))
+}
+
 fn run_all(args: &[String]) -> Result<ExitCode, String> {
     let mut json = false;
     let mut deny_warnings = false;
@@ -502,12 +557,19 @@ fn run_all(args: &[String]) -> Result<ExitCode, String> {
 
     let site = audit_site_dir(dir, signatures)?;
 
+    let slices = analyze_slices(
+        &deployment,
+        &RegistrySnapshot::standard(),
+        SliceOptions::default(),
+    );
+
     let worst = [
         &analyzer_lints,
         &symbolic_lints,
         &code_lints,
         &patterns.lints,
         &site.lints,
+        &slices.lints,
     ]
     .into_iter()
     .filter_map(|lints| max_severity(lints))
@@ -534,6 +596,7 @@ fn run_all(args: &[String]) -> Result<ExitCode, String> {
                 ),
             ),
             ("site", render_json_with(&site.lints, &site.stats())),
+            ("slice", render_json_with(&slices.lints, &slices.stats())),
         ];
         let mut out = String::new();
         let _ = write!(
@@ -562,6 +625,7 @@ fn run_all(args: &[String]) -> Result<ExitCode, String> {
             ("code", &code_lints),
             ("patterns", &patterns.lints),
             ("site", &site.lints),
+            ("slice", &slices.lints),
         ] {
             println!("[{name}]");
             print!("{}", render_human(lints));
@@ -572,6 +636,7 @@ fn run_all(args: &[String]) -> Result<ExitCode, String> {
             patterns.sets, patterns.patterns, patterns.confirmed, patterns.dropped
         );
         eprintln!("{}", site_summary(&site));
+        eprintln!("{}", slice_summary(&slices));
     }
     Ok(gate(worst, deny_warnings))
 }
@@ -586,6 +651,7 @@ fn main() -> ExitCode {
             "code" => Some(run_code(&args[1..])),
             "patterns" => Some(run_patterns(&args[1..])),
             "site" => Some(run_site(&args[1..])),
+            "slice" => Some(run_slice(&args[1..])),
             "all" => Some(run_all(&args[1..])),
             _ => None,
         };

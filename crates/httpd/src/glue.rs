@@ -26,8 +26,10 @@ use gaa_audit::DegradationState;
 use gaa_conditions::multipattern::install_oracle;
 use gaa_conditions::{CombinedMatcher, CompiledSignatureDb, PatternOracle, StandardServices};
 use gaa_core::{
-    dag::VarTable, support_set_cacheable, AnswerCode, AuthorizationResult, CacheStamp,
-    DecisionCache, GaaApi, Param, RightPattern, SecurityContext, Volatility,
+    dag::{DecisionDag, VarTable},
+    maybe_violates_mask, slice_cell, support_set_cacheable, AnswerCode, AuthorizationResult,
+    CacheStamp, DecisionCache, GaaApi, IdentityClass, Param, RightPattern, SecurityContext,
+    SliceStats, SlicedPolicyStore, Volatility,
 };
 use gaa_ids::{EventBus, GaaReport, ReportKind, SignatureDb};
 use parking_lot::Mutex;
@@ -69,6 +71,10 @@ pub struct GaaGlue {
     /// it was compiled at, the combined matcher over every pattern token in
     /// the object's decision-DAG variable universe)`.
     pattern_plans: Mutex<HashMap<String, (u64, Arc<CombinedMatcher>)>>,
+    /// Verified per-request-cell policy slices (the Cedar-style fast path);
+    /// `None` disables slicing and every right evaluates the full
+    /// composition.
+    slices: Option<SlicedPolicyStore>,
 }
 
 impl GaaGlue {
@@ -86,7 +92,26 @@ impl GaaGlue {
             combined_patterns: true,
             compiled_sigs: Mutex::new(None),
             pattern_plans: Mutex::new(HashMap::new()),
+            slices: None,
         }
+    }
+
+    /// Enables the policy-slicing fast path: each `(object, right,
+    /// identity-class)` cell evaluates a statically-computed slice of the
+    /// composed policy, but only after the slice is **proven** equivalent
+    /// to the full deployment on the decision DAG (fail-closed: unproven
+    /// cells, and sliced results whose unevaluated conditions contradict
+    /// the class mask, fall back to full evaluation). `capacity` bounds the
+    /// number of cached cells.
+    #[must_use]
+    pub fn with_policy_slicing(mut self, capacity: usize) -> Self {
+        self.slices = Some(SlicedPolicyStore::new(capacity));
+        self
+    }
+
+    /// Slice-usage counters, when the slicing fast path is enabled.
+    pub fn slice_stats(&self) -> Option<SliceStats> {
+        self.slices.as_ref().map(SlicedPolicyStore::stats)
     }
 
     /// Enables or disables the combined pattern-compilation tier (on by
@@ -240,39 +265,31 @@ impl GaaGlue {
             };
         }
 
-        let policy = match self.api.get_object_policy_info(&request.path) {
-            Ok(policy) => policy,
-            Err(e) => {
-                // Fail closed: unreadable policy denies.
-                self.services.audit.record(gaa_audit::AuditRecord::new(
-                    now,
-                    gaa_audit::AuditSeverity::Alert,
-                    "policy.retrieval_failed",
-                    context.subject(),
-                    e.to_string(),
-                ));
-                let result = self.api.check_authorization(
-                    &gaa_eacl::ComposedPolicy::compose(vec![deny_all_policy()], Vec::new()),
-                    &RightPattern::new("apache", request.method.as_str()),
-                    &context,
-                );
-                return GlueDecision {
-                    answer: AnswerCode::Declined,
-                    result,
-                    context,
-                };
-            }
-        };
+        // The full composition is materialized lazily: at a million
+        // principals the system EACL runs to thousands of entries, and the
+        // policy store hands out a deep copy — a verified-slice cache hit
+        // must not pay that per request. Everything below that needs the
+        // full policy goes through `materialize(&mut policy_slot)`, which
+        // fetches at most once; a steady-state sliced request never fills
+        // the slot at all.
+        let mut policy_slot: Option<gaa_eacl::ComposedPolicy> = None;
 
         // Whole-set pattern tier: one combined pass precomputes every policy
         // pattern's verdict for this request line; `signature_matches`
         // consults the scoped oracle and falls back to the interpreted
         // per-pattern path on any miss (different text, disabled tier).
-        let _oracle = self
-            .policy_pattern_matcher(&request.path, &policy, stamp[0])
-            .map(|matcher| {
-                install_oracle(PatternOracle::compute(&matcher, &request.request_line()))
-            });
+        // The per-object plan is generation-keyed, so the policy is only
+        // materialized to (re)build a stale plan.
+        let oracle_matcher = match self.current_pattern_matcher(&request.path, stamp[0]) {
+            Some(current) => current,
+            None => match self.materialize(&request.path, &mut policy_slot) {
+                Ok(policy) => self.policy_pattern_matcher(&request.path, policy, stamp[0]),
+                Err(e) => return self.policy_failure(request, context, now, &e),
+            },
+        };
+        let _oracle = oracle_matcher.map(|matcher| {
+            install_oracle(PatternOracle::compute(&matcher, &request.request_line()))
+        });
 
         let rights = self.requested_rights(request, is_cgi);
         // The request is authorized only if every requested right is.
@@ -306,20 +323,26 @@ impl GaaGlue {
         // response actions fire exactly once); the first non-YES result
         // replaces it and stops evaluation.
         let mut evaluated: Vec<(RightPattern, AuthorizationResult)> = Vec::new();
-        let mut result = self.api.check_authorization(&policy, first, &context);
+        let mut result = match self.check_right(&request.path, &mut policy_slot, first, &context) {
+            Ok(result) => result,
+            Err(e) => return self.policy_failure(request, context, now, &e),
+        };
         evaluated.push((first.clone(), result.clone()));
         for right in rest {
             if !result.status().is_yes() {
                 break;
             }
-            let next = self.api.check_authorization(&policy, right, &context);
+            let next = match self.check_right(&request.path, &mut policy_slot, right, &context) {
+                Ok(next) => next,
+                Err(e) => return self.policy_failure(request, context, now, &e),
+            };
             evaluated.push((right.clone(), next.clone()));
             if !next.status().is_yes() {
                 result = next;
                 break;
             }
         }
-        self.store_decisions(stamp, request, &policy, &context, &evaluated);
+        self.store_decisions(stamp, request, &mut policy_slot, &context, &evaluated);
         let answer = result.answer();
 
         self.post_decision_observations(request, &context, &answer, now);
@@ -328,6 +351,151 @@ impl GaaGlue {
             answer,
             result,
             context,
+        }
+    }
+
+    /// Fetches and composes the object's policy into `slot` (at most once
+    /// per request) and returns a borrow of it.
+    fn materialize<'s>(
+        &self,
+        object: &str,
+        slot: &'s mut Option<gaa_eacl::ComposedPolicy>,
+    ) -> Result<&'s gaa_eacl::ComposedPolicy, gaa_core::PolicyError> {
+        let policy = match slot.take() {
+            Some(policy) => policy,
+            None => self.api.get_object_policy_info(object)?,
+        };
+        Ok(slot.insert(policy))
+    }
+
+    /// Fail closed on an unreadable policy: audit and deny.
+    fn policy_failure(
+        &self,
+        request: &HttpRequest,
+        context: SecurityContext,
+        now: gaa_audit::Timestamp,
+        error: &gaa_core::PolicyError,
+    ) -> GlueDecision {
+        self.services.audit.record(gaa_audit::AuditRecord::new(
+            now,
+            gaa_audit::AuditSeverity::Alert,
+            "policy.retrieval_failed",
+            context.subject(),
+            error.to_string(),
+        ));
+        let result = self.api.check_authorization(
+            &gaa_eacl::ComposedPolicy::compose(vec![deny_all_policy()], Vec::new()),
+            &RightPattern::new("apache", request.method.as_str()),
+            &context,
+        );
+        GlueDecision {
+            answer: AnswerCode::Declined,
+            result,
+            context,
+        }
+    }
+
+    /// The object's compiled pattern plan, but only when it is already
+    /// current at `generation`: outer `None` means the plan is stale or
+    /// absent (the caller must materialize the policy and call
+    /// [`policy_pattern_matcher`](Self::policy_pattern_matcher)); inner
+    /// `None` means the tier is off or the matcher is empty.
+    #[allow(clippy::option_option)]
+    fn current_pattern_matcher(
+        &self,
+        object: &str,
+        generation: u64,
+    ) -> Option<Option<Arc<CombinedMatcher>>> {
+        if !self.combined_patterns {
+            return Some(None);
+        }
+        let plans = self.pattern_plans.lock();
+        match plans.get(object) {
+            Some((gen_at, matcher)) if *gen_at == generation => Some(if matcher.is_empty() {
+                None
+            } else {
+                Some(matcher.clone())
+            }),
+            _ => None,
+        }
+    }
+
+    /// Evaluates one right, through a verified policy slice when the
+    /// slicing tier is on and has (or can build) one for this request cell.
+    ///
+    /// Soundness at run time rests on three legs:
+    ///
+    /// 1. entries are only dropped when their applies-diagram cannot reach
+    ///    TRUE under the identity-class outcome mask, so statuses *and*
+    ///    obligations are preserved for every mask-consistent evaluation;
+    /// 2. the slice was proven decision-equivalent to the full composition
+    ///    on the DAG before first use (unproven cells cache `None` and take
+    ///    the full path);
+    /// 3. if the sliced result reports an unevaluated condition the mask
+    ///    said cannot be MAYBE (only an evaluator fault can do that), the
+    ///    sliced result is discarded and the full composition re-evaluated.
+    ///    Response actions may re-fire on that fault path — at-least-once,
+    ///    the same guarantee the retry-free path gives.
+    fn check_right(
+        &self,
+        object: &str,
+        policy_slot: &mut Option<gaa_eacl::ComposedPolicy>,
+        right: &RightPattern,
+        context: &SecurityContext,
+    ) -> Result<AuthorizationResult, gaa_core::PolicyError> {
+        let Some(store) = self.slices.as_ref() else {
+            let policy = self.materialize(object, policy_slot)?;
+            return Ok(self.api.check_authorization(policy, right, context));
+        };
+        let class = IdentityClass::of_user(context.user());
+        let sliced = store.sliced_for(
+            self.api.policy_generation(),
+            object,
+            &right.authority,
+            &right.value,
+            class,
+            || {
+                // Cold path, once per cell per generation: this fetch is
+                // what the cached cells exist to avoid.
+                let policy = self.api.get_object_policy_info(object).ok()?;
+                let vars =
+                    VarTable::from_policy(&policy, &|t, a| self.api.registry().is_registered(t, a));
+                let mut dag = DecisionDag::new();
+                let cell = slice_cell(
+                    &mut dag,
+                    &policy,
+                    &vars,
+                    &right.authority,
+                    &right.value,
+                    class,
+                    self.api.default_status(),
+                );
+                // Only a proven slice that actually removed entries is
+                // worth dispatching through.
+                (cell.verified && cell.kept_entries < cell.total_entries).then_some(cell.policy)
+            },
+        );
+        match sliced {
+            Some(slice) => {
+                let result = self.api.check_authorization(&slice, right, context);
+                if result
+                    .unevaluated()
+                    .iter()
+                    .any(|cond| maybe_violates_mask(cond, class))
+                {
+                    store.count_guard_fallback();
+                    let policy = self.materialize(object, policy_slot)?;
+                    Ok(self.api.check_authorization(policy, right, context))
+                } else {
+                    store.count_hit();
+                    Ok(result)
+                }
+            }
+            None => {
+                store.count_full();
+                let policy = self.materialize(object, policy_slot)?;
+                Ok(self.api.check_authorization(policy, right, context))
+            }
         }
     }
 
@@ -435,7 +603,7 @@ impl GaaGlue {
         &self,
         stamp: CacheStamp,
         request: &HttpRequest,
-        policy: &gaa_eacl::ComposedPolicy,
+        policy_slot: &mut Option<gaa_eacl::ComposedPolicy>,
         context: &SecurityContext,
         evaluated: &[(RightPattern, AuthorizationResult)],
     ) {
@@ -443,15 +611,29 @@ impl GaaGlue {
             return;
         };
         let cacheable = {
-            let mut plans = self.plans.lock();
-            match plans.get(&request.path) {
-                Some(&(generation, cacheable)) if generation == stamp[0] => cacheable,
-                _ => {
+            let current = {
+                let plans = self.plans.lock();
+                match plans.get(&request.path) {
+                    Some(&(generation, cacheable)) if generation == stamp[0] => Some(cacheable),
+                    _ => None,
+                }
+            };
+            match current {
+                Some(cacheable) => cacheable,
+                None => {
+                    // Stale plan: recompute from the full composition. An
+                    // unreadable policy here just skips caching.
+                    let Ok(policy) = self.materialize(&request.path, policy_slot) else {
+                        cache.note_uncacheable();
+                        return;
+                    };
                     let vars = VarTable::from_policy(policy, &|t, a| {
                         self.api.registry().is_registered(t, a)
                     });
                     let cacheable = support_set_cacheable(vars.triples(), classify_input);
-                    plans.insert(request.path.clone(), (stamp[0], cacheable));
+                    self.plans
+                        .lock()
+                        .insert(request.path.clone(), (stamp[0], cacheable));
                     cacheable
                 }
             }
@@ -934,6 +1116,115 @@ pre_cond time_window local 9:00-17:00
         assert_eq!(stats.hits, 0);
         assert_eq!(stats.insertions, 0);
         assert!(stats.uncacheable >= 1);
+    }
+
+    /// A deployment where the (apache, *) cells genuinely slice: the
+    /// departmental entry is for another authority, so every apache cell
+    /// drops it.
+    const DEPARTMENTAL: &str = "\
+pos_access_right svc-ledger *
+pre_cond accessid GROUP accounting
+neg_access_right apache *
+pre_cond accessid GROUP BadGuys
+neg_access_right apache *
+pre_cond regex gnu *phf*
+rr_cond update_log local on:failure/BadGuys/info:ip
+pos_access_right apache *
+";
+
+    #[test]
+    fn sliced_and_full_paths_agree() {
+        // The slicing tier must be invisible: same answers, same §7.2
+        // blacklisting side effects, for anonymous and authenticated
+        // requests, before and after the group mutation.
+        let requests = [
+            (
+                HttpRequest::get("/index.html").with_client_ip("10.0.0.1"),
+                None,
+            ),
+            (
+                HttpRequest::get("/index.html").with_client_ip("10.0.0.2"),
+                Some("alice"),
+            ),
+            (
+                HttpRequest::get("/cgi-bin/phf?Qalias=x").with_client_ip("203.0.113.9"),
+                None,
+            ),
+            // After the attack: the same IP is now in BadGuys.
+            (
+                HttpRequest::get("/index.html").with_client_ip("203.0.113.9"),
+                None,
+            ),
+        ];
+        let mut answers: Vec<Vec<String>> = Vec::new();
+        for slicing in [true, false] {
+            let glue = if slicing {
+                glue_with_policy(DEPARTMENTAL).with_policy_slicing(64)
+            } else {
+                glue_with_policy(DEPARTMENTAL)
+            };
+            answers.push(
+                requests
+                    .iter()
+                    .map(|(req, user)| {
+                        let is_cgi = req.path.starts_with("/cgi-bin");
+                        format!("{:?}", glue.authorize(req, *user, &[], is_cgi).answer)
+                    })
+                    .collect(),
+            );
+            if slicing {
+                let stats = glue.slice_stats().unwrap();
+                assert!(stats.hits >= 1, "slices must actually serve: {stats:?}");
+                assert_eq!(stats.guard_fallbacks, 0);
+            }
+        }
+        assert_eq!(answers[0], answers[1]);
+        assert_eq!(answers[0][2], "Declined", "attack denied through slice");
+        assert_eq!(answers[0][3], "Declined", "blacklist grew through slice");
+    }
+
+    #[test]
+    fn slice_guard_falls_back_on_unexpected_maybe() {
+        // An authenticated request whose USER evaluator faults into
+        // Unevaluated contradicts the {Met, NotMet} mask the slice was
+        // proven under — the glue must discard the sliced result and
+        // re-evaluate the full composition.
+        let build = || {
+            let services = StandardServices::new(
+                Arc::new(VirtualClock::new()),
+                Arc::new(CollectingNotifier::new()),
+            );
+            let mut store = MemoryPolicyStore::new();
+            store.set_local(
+                "/index.html",
+                vec![parse_eacl(
+                    "pos_access_right svc-ledger *\n\
+                     pre_cond accessid GROUP accounting\n\
+                     pos_access_right apache *\n\
+                     pre_cond accessid USER *\n",
+                )
+                .unwrap()],
+            );
+            let api = register_standard(
+                GaaApiBuilder::new(Arc::new(store)).with_clock(services.clock.clone()),
+                &services,
+            )
+            // Overrides the standard USER evaluator with a faulted one.
+            .register("accessid", "USER", |_, _| {
+                gaa_core::EvalDecision::Unevaluated
+            })
+            .build();
+            GaaGlue::new(api, services)
+        };
+        let sliced = build().with_policy_slicing(64);
+        let full = build();
+        let req = HttpRequest::get("/index.html").with_client_ip("10.0.0.1");
+        let a = sliced.authorize(&req, Some("alice"), &[], false);
+        let b = full.authorize(&req, Some("alice"), &[], false);
+        assert_eq!(format!("{:?}", a.answer), format!("{:?}", b.answer));
+        let stats = sliced.slice_stats().unwrap();
+        assert_eq!(stats.guard_fallbacks, 1, "{stats:?}");
+        assert_eq!(stats.hits, 0);
     }
 
     #[test]

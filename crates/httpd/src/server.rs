@@ -163,6 +163,60 @@ pub struct Server {
     injector: Option<Arc<dyn FaultInjector>>,
     /// Fleet replication node, when this server is one of several replicas.
     swarm: Option<Arc<gaa_swarm::SwarmNode>>,
+    /// Verified-credential cache (GAA mode): raw `Authorization` header →
+    /// interned subject, so a principal's base64 decode and password hash
+    /// run once, not per request.
+    auth_cache: Option<AuthCache>,
+}
+
+/// The principal fast path: maps the raw `Authorization` header value of a
+/// *successfully verified* login to its interned subject name.
+///
+/// Safety properties: only successes are cached (failed attempts always
+/// take the slow path, so the §3 item 4 failed-login threshold events are
+/// never suppressed), the credential store is immutable while serving
+/// (`Arc<HtpasswdStore>` has no mutation API), and the map is
+/// capacity-bounded FIFO so unauthenticated garbage headers cannot grow it
+/// — a miss costs one lookup on top of the verification it would do anyway.
+struct AuthCache {
+    capacity: usize,
+    subjects: gaa_conditions::SubjectTable,
+    map: parking_lot::Mutex<AuthCacheMap>,
+}
+
+/// Header → interned subject, plus FIFO insertion order for eviction.
+type AuthCacheMap = (
+    HashMap<String, Arc<str>>,
+    std::collections::VecDeque<String>,
+);
+
+impl AuthCache {
+    fn new(capacity: usize) -> Self {
+        AuthCache {
+            capacity: capacity.max(1),
+            subjects: gaa_conditions::SubjectTable::new(),
+            map: parking_lot::Mutex::new((HashMap::new(), std::collections::VecDeque::new())),
+        }
+    }
+
+    fn lookup(&self, header: &str) -> Option<Arc<str>> {
+        self.map.lock().0.get(header).cloned()
+    }
+
+    fn insert(&self, header: &str, user: &str) {
+        let subject = self.subjects.intern(user);
+        let mut map = self.map.lock();
+        if map.0.contains_key(header) {
+            return;
+        }
+        if map.0.len() >= self.capacity {
+            if let Some(evicted) = map.1.pop_front() {
+                map.0.remove(&evicted);
+            }
+        }
+        map.0.insert(header.to_string(), subject);
+        map.1.push_back(header.to_string());
+    }
 }
 
 impl Server {
@@ -182,7 +236,19 @@ impl Server {
             exec_control_interval: 1,
             injector: None,
             swarm: None,
+            auth_cache: None,
         }
+    }
+
+    /// Enables the verified-credential cache (GAA mode): up to `capacity`
+    /// known-good `Authorization` headers resolve to their interned subject
+    /// without re-running base64 decoding and password hashing. Failed
+    /// attempts are never cached, so login-failure threshold events (§3
+    /// item 4) still fire per attempt.
+    #[must_use]
+    pub fn with_auth_cache(mut self, capacity: usize) -> Self {
+        self.auth_cache = Some(AuthCache::new(capacity));
+        self
     }
 
     /// Installs a fault injector: an injected [`Fault::ResourceBomb`] at
@@ -209,6 +275,15 @@ impl Server {
     pub fn decision_cache_stats(&self) -> Option<gaa_core::DecisionCacheStats> {
         match &self.access {
             AccessControl::Gaa(glue) => glue.decision_cache().map(|c| c.stats()),
+            _ => None,
+        }
+    }
+
+    /// Slice-usage counters of the GAA glue's policy-slicing fast path,
+    /// when running in GAA mode with slicing enabled.
+    pub fn slice_stats(&self) -> Option<gaa_core::SliceStats> {
+        match &self.access {
+            AccessControl::Gaa(glue) => glue.slice_stats(),
             _ => None,
         }
     }
@@ -502,21 +577,40 @@ impl Server {
             None
         };
         // Verify credentials; a failed attempt is a threshold event
-        // (§3 item 4: failed login attempts per period).
+        // (§3 item 4: failed login attempts per period). A header already
+        // verified once resolves through the credential cache — same
+        // outcome, no base64/hash work, and since only successes are
+        // cached the failure threshold still sees every bad attempt.
         let mut fresh_login = false;
-        let user = session_user.or_else(|| match (credentials, self.users.as_ref()) {
-            (Some(creds), Some(store)) => {
-                if store.verify(&creds.user, &creds.password) {
-                    fresh_login = true;
-                    Some(creds.user.clone())
-                } else {
-                    glue.services()
-                        .thresholds
-                        .record("failed_logins", &request.client_ip);
-                    None
-                }
+        let cached_user = self.auth_cache.as_ref().and_then(|cache| {
+            request
+                .header("authorization")
+                .and_then(|header| cache.lookup(header))
+        });
+        let user = session_user.or_else(|| {
+            if let Some(user) = cached_user {
+                fresh_login = true;
+                return Some(user.as_ref().to_string());
             }
-            _ => None,
+            match (credentials, self.users.as_ref()) {
+                (Some(creds), Some(store)) => {
+                    if store.verify(&creds.user, &creds.password) {
+                        fresh_login = true;
+                        if let (Some(cache), Some(header)) =
+                            (self.auth_cache.as_ref(), request.header("authorization"))
+                        {
+                            cache.insert(header, &creds.user);
+                        }
+                        Some(creds.user.clone())
+                    } else {
+                        glue.services()
+                            .thresholds
+                            .record("failed_logins", &request.client_ip);
+                        None
+                    }
+                }
+                _ => None,
+            }
         });
         let groups = self.groups_of(user.as_deref());
 
@@ -979,6 +1073,47 @@ pre_cond accessid USER *
                 .with_header("authorization", &basic_auth_header("alice", "wonderland")),
         );
         assert_eq!(resp.status, StatusCode::Ok);
+    }
+
+    #[test]
+    fn auth_cache_serves_repeat_logins_and_never_caches_failures() {
+        let policy = "\
+pos_access_right apache *
+pre_cond accessid USER *
+";
+        let (server, services) = gaa_server(&[("/index.html", policy)]);
+        let server = server.with_auth_cache(16);
+        let good = basic_auth_header("alice", "wonderland");
+        let bad = basic_auth_header("alice", "WRONG");
+        // First login verifies and populates the cache; the repeat resolves
+        // through it — same observable outcome.
+        for _ in 0..2 {
+            let resp = server.handle(
+                HttpRequest::get("/index.html")
+                    .with_client_ip("10.0.0.1")
+                    .with_header("authorization", &good),
+            );
+            assert_eq!(resp.status, StatusCode::Ok);
+        }
+        // Wrong password after a cached success: still rejected (the cache
+        // keys on the whole header, not the user), and every failed attempt
+        // keeps feeding the §3 item 4 threshold.
+        for expected in 1..=2usize {
+            let resp = server.handle(
+                HttpRequest::get("/index.html")
+                    .with_client_ip("10.0.0.1")
+                    .with_header("authorization", &bad),
+            );
+            assert_eq!(resp.status, StatusCode::Unauthorized);
+            assert_eq!(
+                services.thresholds.count(
+                    "failed_logins",
+                    "10.0.0.1",
+                    std::time::Duration::from_secs(60)
+                ),
+                expected
+            );
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn lint_exit(args: &[&str]) -> i32 {
 fn deny_warnings_gate_is_uniform_across_tiers() {
     let examples = repo_path("examples/policies");
     let fixtures = repo_path("tests/fixtures-site");
+    let slice_fixtures = repo_path("tests/fixtures-slice");
     let system = repo_path("examples/policies/system.eacl");
     let index = repo_path("examples/policies/objects/index.eacl");
     let workspace = repo_path(".");
@@ -51,6 +52,10 @@ fn deny_warnings_gate_is_uniform_across_tiers() {
         ("site-warn", vec!["site", &examples], 0, 1),
         // Site tier, planted GAA801 error: fails with or without.
         ("site-error", vec!["site", &fixtures], 1, 1),
+        // Slice tier: the examples deployment slices clean.
+        ("slice-clean", vec!["slice", &examples], 0, 0),
+        // Slice tier, planted GAA901/GAA902 warnings: fails only strict.
+        ("slice-warn", vec!["slice", &slice_fixtures], 0, 1),
         // All tiers at once inherit the worst severity (warning here;
         // --code-root keeps the code tier on the real workspace).
         (
@@ -83,6 +88,24 @@ fn fixtures_site_reports_the_planted_findings() {
     }
     // No BadGuys group in the deployment: the dominance check is skipped.
     assert!(!stdout.contains("GAA802"));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("0 dropped unconfirmed"), "{stderr}");
+}
+
+#[test]
+fn fixtures_slice_reports_the_planted_findings() {
+    let fixtures = repo_path("tests/fixtures-slice");
+    let output = Command::new(env!("CARGO_BIN_EXE_gaa-lint"))
+        .args(["slice", &fixtures, "--deny-warnings"])
+        .output()
+        .expect("gaa-lint runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for code in ["GAA901", "GAA902"] {
+        assert!(stdout.contains(code), "missing {code} in:\n{stdout}");
+    }
+    // Three entries are below the GAA903 size floor.
+    assert!(!stdout.contains("GAA903"));
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("0 dropped unconfirmed"), "{stderr}");
 }

@@ -20,12 +20,63 @@ pub struct Account {
     pub password: String,
 }
 
+/// Precomputed inverse-CDF sampler over harmonic (zipf, s=1) weights:
+/// rank `r` is drawn with probability proportional to `1/(r+1)`.
+///
+/// Construction is O(n); each draw is a binary search, O(log n) — this is
+/// what lets the million-principal scale benchmark draw from a pool of
+/// 10^6 ranks without paying an O(n) scan per request the way the old
+/// incremental inverse-CDF did.
+#[derive(Debug, Clone)]
+pub struct ZipfIndex {
+    cdf: Vec<f64>,
+}
+
+impl ZipfIndex {
+    /// A sampler over `n` ranks (`n >= 1`).
+    #[must_use]
+    pub fn new(n: usize) -> ZipfIndex {
+        assert!(n > 0, "need at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0_f64;
+        for r in 0..n {
+            acc += 1.0 / (r + 1) as f64;
+            cdf.push(acc);
+        }
+        ZipfIndex { cdf }
+    }
+
+    /// The number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (construction requires `n >= 1`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `0..len()`, rank 0 most popular.
+    pub fn draw(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cdf.last().expect("non-empty");
+        let x = rng.gen::<f64>() * total;
+        // partition_point: first rank whose cumulative weight exceeds x.
+        self.cdf
+            .partition_point(|&acc| acc <= x)
+            .min(self.cdf.len() - 1)
+    }
+}
+
 /// Generator of benign requests.
 #[derive(Debug)]
 pub struct LegitTraffic {
     rng: StdRng,
     paths: Vec<String>,
+    path_ranks: ZipfIndex,
     accounts: Vec<Account>,
+    account_ranks: Option<ZipfIndex>,
     client_ips: Vec<String>,
     auth_fraction: f64,
 }
@@ -36,7 +87,9 @@ impl LegitTraffic {
         assert!(!paths.is_empty(), "need at least one path");
         LegitTraffic {
             rng: StdRng::seed_from_u64(seed),
+            path_ranks: ZipfIndex::new(paths.len()),
             paths,
+            account_ranks: None,
             accounts: vec![
                 Account {
                     user: "alice".into(),
@@ -56,6 +109,22 @@ impl LegitTraffic {
     #[must_use]
     pub fn with_accounts(mut self, accounts: Vec<Account>) -> Self {
         self.accounts = accounts;
+        if self.account_ranks.is_some() {
+            self.account_ranks =
+                (!self.accounts.is_empty()).then(|| ZipfIndex::new(self.accounts.len()));
+        }
+        self
+    }
+
+    /// Draws authenticating accounts with the same zipf skew as paths
+    /// (list order is popularity rank) instead of uniformly — the shape of
+    /// a large user base where a small active set does most of the
+    /// logging-in. This is what makes authentication caches honest to
+    /// benchmark at the 10^6-principal scale.
+    #[must_use]
+    pub fn with_zipf_accounts(mut self) -> Self {
+        self.account_ranks =
+            (!self.accounts.is_empty()).then(|| ZipfIndex::new(self.accounts.len()));
         self
     }
 
@@ -74,19 +143,9 @@ impl LegitTraffic {
         self
     }
 
-    /// Draws a path with zipf-ish skew: rank r is picked with weight ~1/(r+1).
+    /// Draws a path with zipf skew: rank r is picked with weight ~1/(r+1).
     fn draw_path(&mut self) -> String {
-        let n = self.paths.len();
-        // Inverse-CDF over harmonic weights, computed incrementally.
-        let total: f64 = (0..n).map(|r| 1.0 / (r + 1) as f64).sum();
-        let mut x = self.rng.gen::<f64>() * total;
-        for (r, path) in self.paths.iter().enumerate() {
-            x -= 1.0 / (r + 1) as f64;
-            if x <= 0.0 {
-                return path.clone();
-            }
-        }
-        self.paths[n - 1].clone()
+        self.paths[self.path_ranks.draw(&mut self.rng)].clone()
     }
 
     /// Generates the next benign request.
@@ -114,7 +173,11 @@ impl LegitTraffic {
         };
         let mut request = HttpRequest::get(&target).with_client_ip(ip);
         if !self.accounts.is_empty() && self.rng.gen_bool(self.auth_fraction) {
-            let account = &self.accounts[self.rng.gen_range(0..self.accounts.len())];
+            let pick = match &self.account_ranks {
+                Some(ranks) => ranks.draw(&mut self.rng),
+                None => self.rng.gen_range(0..self.accounts.len()),
+            };
+            let account = &self.accounts[pick];
             let token = base64_encode(format!("{}:{}", account.user, account.password).as_bytes());
             request = request.with_header("authorization", &format!("Basic {token}"));
         }
@@ -212,5 +275,68 @@ mod tests {
     #[should_panic(expected = "at least one path")]
     fn empty_paths_panics() {
         let _ = LegitTraffic::new(0, Vec::new());
+    }
+
+    #[test]
+    fn zipf_index_matches_harmonic_weights() {
+        let ranks = ZipfIndex::new(4);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = [0usize; 4];
+        for _ in 0..20_000 {
+            counts[ranks.draw(&mut rng)] += 1;
+        }
+        // Expected proportions 1 : 1/2 : 1/3 : 1/4 over H(4) ≈ 2.083.
+        assert!(counts[0] > counts[1] && counts[1] > counts[2] && counts[2] > counts[3]);
+        let ratio = counts[0] as f64 / counts[3] as f64;
+        assert!((2.5..6.0).contains(&ratio), "rank0/rank3 ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_index_scales_to_a_million_ranks() {
+        // Construction O(n), draws O(log n): a 10^6-rank pool must be
+        // usable, and the head must dominate any individual tail rank.
+        let ranks = ZipfIndex::new(1_000_000);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut head = 0usize;
+        for _ in 0..5_000 {
+            let r = ranks.draw(&mut rng);
+            assert!(r < 1_000_000);
+            if r < 100 {
+                head += 1;
+            }
+        }
+        // The top 100 of 10^6 ranks carry H(100)/H(10^6) ≈ 36% of the mass.
+        assert!(head > 1_000, "head ranks drew only {head}/5000");
+    }
+
+    #[test]
+    fn zipf_accounts_skew_toward_the_front_of_the_list() {
+        let accounts: Vec<Account> = (0..50)
+            .map(|i| Account {
+                user: format!("user{i}"),
+                password: format!("pw{i}"),
+            })
+            .collect();
+        let mut gen = LegitTraffic::new(11, paths())
+            .with_accounts(accounts)
+            .with_zipf_accounts()
+            .with_auth_fraction(1.0);
+        let mut front = 0usize;
+        let mut total = 0usize;
+        for req in gen.take(2000) {
+            let header = req.header("authorization").expect("authed").to_string();
+            total += 1;
+            // rank 0 is user0; its token prefix is stable for counting.
+            let token = base64_encode(b"user0:pw0");
+            if header == format!("Basic {token}") {
+                front += 1;
+            }
+        }
+        // Uniform draw would give user0 ~2% of 2000 = 40; zipf rank 0 of
+        // 50 carries 1/H(50) ≈ 22%.
+        assert!(
+            front > total / 10,
+            "rank-0 account drew only {front}/{total}"
+        );
     }
 }

@@ -7,7 +7,8 @@
 //! carries a witness request the interpreter confirms.
 
 use gaa::analyze::{
-    cross_validate, diff_deployments, region_code, Analyzer, Deployment, RegistrySnapshot, Source,
+    cross_validate, cross_validate_slices, diff_deployments, region_code, Analyzer, Deployment,
+    RegistrySnapshot, Source,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -254,6 +255,26 @@ fn soundness_batch(seeds: Range<u64>) {
             report.is_consistent(),
             "seed {seed}: mutated deployment disagrees: {:?}",
             report.disagreements
+        );
+
+        // Slicing soundness: per request cell and identity class, the
+        // interpreter on the proven slice, the interpreter on the full
+        // composition, and the compiled DAG agree on every mask-consistent
+        // assignment — and cells whose proof failed (the serving fallback
+        // leg) are still validated interpreter-vs-DAG.
+        let slices = cross_validate_slices(&old, &snapshot, seed);
+        assert!(
+            slices.is_consistent(),
+            "seed {seed}: sliced/full/compiled disagree: {:?}\nsystem: {:?}\nlocals: {:?}",
+            slices.disagreements,
+            draft.system,
+            draft.locals,
+        );
+        assert!(slices.cells > 0, "seed {seed}: no cells sliced");
+        assert_eq!(
+            slices.verified + slices.fallback,
+            slices.cells,
+            "seed {seed}: every cell is either verified or a fallback"
         );
     }
 }
